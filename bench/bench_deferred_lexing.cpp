@@ -1,0 +1,87 @@
+//===- bench/bench_deferred_lexing.cpp - experiment E6 -------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Sec 5 claim: deferring not only the interpretation but
+/// also the lexical analysis of symbol-table entries — by quoting them in
+/// parentheses so the scanner only matches brackets — reduces the time
+/// required to read a large symbol table by 40%. Also checks that forcing
+/// a deferred entry afterwards yields the same structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "lcc/driver.h"
+#include "postscript/interp.h"
+#include "workload.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+double readTime(const std::string &Symtab) {
+  return timeMedian([&] {
+    ps::Interp I;
+    if (I.run(ps::prelude()))
+      std::exit(2);
+    if (I.run(Symtab))
+      std::exit(3);
+  }, 7);
+}
+
+} // namespace
+
+int main() {
+  banner("E6: deferred lexing of symbol tables (paper Sec 5)",
+         "quoting entries in parentheses cuts large-symbol-table read "
+         "time by 40%");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::string Source = generateProgram(13000);
+
+  CompileOptions Eager, Deferred;
+  Deferred.DeferredSymtab = true;
+  auto A = compileAndLink({{"w.c", Source}}, Zmips, Eager);
+  auto B = compileAndLink({{"w.c", Source}}, Zmips, Deferred);
+  if (!A || !B) {
+    std::fprintf(stderr, "compile failed\n");
+    return 1;
+  }
+
+  double EagerTime = readTime((*A)->PsSymtab);
+  double DeferredTime = readTime((*B)->PsSymtab);
+  double Reduction = 1.0 - DeferredTime / EagerTime;
+
+  std::printf("\n  %-44s %14s %14s\n", "", "paper", "measured");
+  row("eager read (13,000-line program)", "-", ms(EagerTime));
+  row("deferred read", "-", ms(DeferredTime));
+  row("read-time reduction", "40%", pct(Reduction));
+
+  // Deferred entries must still interpret to the same structure when
+  // forced.
+  ps::Interp I;
+  if (I.run(ps::prelude()) || I.run((*B)->PsSymtab)) {
+    std::fprintf(stderr, "deferred symtab failed to read\n");
+    return 1;
+  }
+  if (I.run("symtab /externs get /main get Force /name get (main) eq "
+            "{ } { quit } ifelse")) {
+    std::fprintf(stderr, "forcing a deferred entry failed\n");
+    return 1;
+  }
+
+  std::printf("\nshape checks:\n");
+  std::printf("  deferral reduces read time materially: %s (%.1f%%; "
+              "paper 40%%)\n",
+              Reduction > 0.15 ? "yes" : "NO", Reduction * 100.0);
+  std::printf("  deferred entries force to the same structure: yes\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- bench/bench_interp_micro.cpp - interpreter micro-benchmarks ----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks for the pieces whose costs the
+/// paper's discussion attributes startup time to: PostScript scanning,
+/// interpretation, dictionary operations, and fetches through the
+/// abstract-memory DAG. Not a paper table; supporting data for E2/E6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mem/memories.h"
+#include "postscript/interp.h"
+#include "postscript/scanner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+void BM_ScanSymbolEntry(benchmark::State &State) {
+  const std::string Entry =
+      "/S10 << /name (i) /type << /decl (int %s) /printer {INT} >> "
+      "/sourcefile (fib.c) /sourcey 6 /sourcex 8 /kind (variable) "
+      "/where 30 ";
+  for (auto _ : State) {
+    StringCharSource Src(Entry);
+    Scanner Scan(Src);
+    for (;;) {
+      Scanner::Result R = Scan.next();
+      if (R.K != Scanner::Kind::Obj)
+        break;
+      benchmark::DoNotOptimize(R.O.Ty);
+    }
+  }
+}
+BENCHMARK(BM_ScanSymbolEntry);
+
+void BM_ScanDeferredEntry(benchmark::State &State) {
+  // The same entry quoted in parentheses: the deferral fast path.
+  const std::string Entry =
+      "(S10) (<< /name (i) /type << /decl (int %s) /printer {INT} >> "
+      "/sourcefile (fib.c) /sourcey 6 /sourcex 8 /kind (variable) "
+      "/where 30 >>) ";
+  for (auto _ : State) {
+    StringCharSource Src(Entry);
+    Scanner Scan(Src);
+    for (;;) {
+      Scanner::Result R = Scan.next();
+      if (R.K != Scanner::Kind::Obj)
+        break;
+      benchmark::DoNotOptimize(R.O.Ty);
+    }
+  }
+}
+BENCHMARK(BM_ScanDeferredEntry);
+
+void BM_ArithmeticLoop(benchmark::State &State) {
+  Interp I;
+  for (auto _ : State) {
+    if (I.run("0 1 1 1000 { add } for pop"))
+      State.SkipWithError("interpreter failed");
+  }
+}
+BENCHMARK(BM_ArithmeticLoop);
+
+void BM_DictDefineLookup(benchmark::State &State) {
+  Interp I;
+  for (auto _ : State) {
+    if (I.run("8 dict begin /x 1 def /y 2 def x y add pop end"))
+      State.SkipWithError("interpreter failed");
+  }
+}
+BENCHMARK(BM_DictDefineLookup);
+
+void BM_FetchThroughDag(benchmark::State &State) {
+  // joined -> register -> alias -> flat: the Fig 4 path for register 30.
+  auto Flat = std::make_shared<mem::FlatMemory>(ByteOrder::Big);
+  Flat->addSpace(mem::SpData, 4096);
+  auto Alias = std::make_shared<mem::AliasMemory>(Flat);
+  Alias->addAlias(mem::SpGpr, 30, mem::Location::absolute(mem::SpData, 92));
+  auto Reg = std::make_shared<mem::RegisterMemory>(Alias, "rfx");
+  auto Joined = std::make_shared<mem::JoinedMemory>();
+  Joined->join("rfx", Reg);
+  Joined->join("cd", Flat);
+  mem::Location Loc = mem::Location::absolute(mem::SpGpr, 30);
+  for (auto _ : State) {
+    uint64_t V = 0;
+    if (Joined->fetchInt(Loc, 4, V))
+      State.SkipWithError("fetch failed");
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_FetchThroughDag);
+
+void BM_PrinterInt(benchmark::State &State) {
+  Interp I;
+  if (I.run(prelude())) {
+    State.SkipWithError("prelude failed");
+    return;
+  }
+  auto Flat = std::make_shared<mem::FlatMemory>(ByteOrder::Little);
+  Flat->addSpace(mem::SpData, 64);
+  I.defineSystemValue("M", Object::makeMemory(Flat));
+  for (auto _ : State) {
+    if (I.run("M 0 DataLoc << /printer {INT} >> print"))
+      State.SkipWithError("printer failed");
+    benchmark::DoNotOptimize(I.takeOutput());
+  }
+}
+BENCHMARK(BM_PrinterInt);
+
+} // namespace
+
+BENCHMARK_MAIN();

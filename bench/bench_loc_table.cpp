@@ -1,0 +1,161 @@
+//===- bench/bench_loc_table.cpp - experiment E1 ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Sec 4.3 table: lines of machine-dependent code per
+/// target (debugger, PostScript, nub) against the machine-independent
+/// total. The paper's headline: 250-550 machine-dependent lines per
+/// target against ~14,000 shared lines; the MIPS debugger row is the
+/// largest because the machine has no frame pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "support/strings.h"
+
+#include <cstdio>
+#include <array>
+#include <map>
+#include <vector>
+
+using namespace ldb;
+using namespace ldb::bench;
+
+namespace {
+
+std::string root() { return LDB_SOURCE_ROOT; }
+
+unsigned fileLoc(const std::string &Path, const std::string &Comment) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::printf("  (missing: %s)\n", Path.c_str());
+    return 0;
+  }
+  return countCodeLines(Text, Comment);
+}
+
+/// Splits a core/targets arch file into its C++ part and its embedded
+/// machine-dependent PostScript fragment (between R"PS( and )PS").
+void archFileLoc(const std::string &Path, unsigned &Cpp, unsigned &Ps) {
+  std::string Text;
+  Cpp = Ps = 0;
+  if (!readFile(Path, Text))
+    return;
+  size_t Begin = Text.find("R\"PS(");
+  size_t End = Text.find(")PS\"");
+  if (Begin == std::string::npos || End == std::string::npos) {
+    Cpp = countCodeLines(Text, "//");
+    return;
+  }
+  std::string Fragment = Text.substr(Begin + 5, End - Begin - 5);
+  Ps = countCodeLines(Fragment, "%");
+  Cpp = countCodeLines(Text.substr(0, Begin) + Text.substr(End + 4), "//");
+}
+
+unsigned dirLoc(const std::string &Dir, const std::vector<std::string> &Files,
+                const std::string &Comment) {
+  unsigned Total = 0;
+  for (const std::string &F : Files)
+    Total += fileLoc(root() + "/" + Dir + "/" + F, Comment);
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  banner("E1: machine-dependent code per target (paper Sec 4.3 table)",
+         "MIPS 476/15/34, 68020 187/18/73, SPARC 206/18/5, VAX 199/13/72; "
+         "shared 12193/1203/632");
+
+  const char *Targets[] = {"zmips", "z68k", "zsparc", "zvax"};
+  const std::map<std::string, std::array<int, 3>> Paper = {
+      {"zmips", {476, 15, 34}},
+      {"z68k", {187, 18, 73}},
+      {"zsparc", {206, 18, 5}},
+      {"zvax", {199, 13, 72}},
+  };
+
+  std::printf("\n  %-10s %22s %22s %22s\n", "", "Debugger (C++)",
+              "PostScript", "Nub");
+  std::printf("  %-10s %10s %11s %10s %11s %10s %11s\n", "target", "paper",
+              "measured", "paper", "measured", "paper", "measured");
+  unsigned MaxDebugger = 0;
+  std::string MaxDebuggerTarget;
+  unsigned TotalMd = 0;
+  for (const char *T : Targets) {
+    unsigned ArchCpp, ArchPs;
+    archFileLoc(root() + "/src/core/targets/" + T + "_arch.cpp", ArchCpp,
+                ArchPs);
+    // The compiler's per-target data tables play the part of the
+    // machine-dependent symbol-table emission in production lcc.
+    unsigned Debugger = ArchCpp + fileLoc(root() + "/src/lcc/cg_" +
+                                              std::string(T) + ".cpp",
+                                          "//");
+    unsigned Nub =
+        fileLoc(root() + "/src/nub/md_" + std::string(T) + ".cpp", "//");
+    const auto &P = Paper.at(T);
+    std::printf("  %-10s %10d %11u %10d %11u %10d %11u\n", T, P[0], Debugger,
+                P[1], ArchPs, P[2], Nub);
+    TotalMd += Debugger + ArchPs + Nub;
+    if (Debugger > MaxDebugger) {
+      MaxDebugger = Debugger;
+      MaxDebuggerTarget = T;
+    }
+  }
+
+  // Shared, machine-independent code.
+  unsigned SharedCore =
+      dirLoc("src/core", {"arch.cpp", "frame.cpp", "symtab.cpp",
+                          "target.cpp", "eval.cpp", "debugger.cpp",
+                          "expreval.cpp", "arch.h", "target.h", "symtab.h",
+                          "eval.h", "debugger.h", "expreval.h"},
+             "//");
+  unsigned SharedMem = dirLoc(
+      "src/mem", {"memories.cpp", "remote.cpp", "memory.h", "memories.h",
+                  "location.h", "remote.h"},
+      "//");
+  unsigned SharedPsCpp = dirLoc(
+      "src/postscript",
+      {"interp.cpp", "ops.cpp", "debugops.cpp", "scanner.cpp", "object.cpp",
+       "interp.h", "scanner.h", "object.h"},
+      "//");
+  unsigned SharedNub = dirLoc(
+      "src/nub", {"nub.cpp", "client.cpp", "protocol.cpp", "channel.cpp",
+                  "host.cpp", "nubmd.cpp", "nub.h", "client.h",
+                  "protocol.h", "channel.h", "host.h", "nubmd.h"},
+      "//");
+
+  std::string PreludeText;
+  unsigned SharedPs = 0;
+  if (readFile(root() + "/src/postscript/prelude.cpp", PreludeText)) {
+    size_t Begin = PreludeText.find("R\"PS(");
+    size_t End = PreludeText.find(")PS\"");
+    if (Begin != std::string::npos && End != std::string::npos)
+      SharedPs = countCodeLines(
+          PreludeText.substr(Begin + 5, End - Begin - 5), "%");
+  }
+
+  std::printf("\n  %-30s %10s %11s\n", "shared (machine-independent)",
+              "paper", "measured");
+  std::printf("  %-30s %10d %11u\n", "debugger core", 12193,
+              SharedCore + SharedMem + SharedPsCpp);
+  std::printf("  %-30s %10d %11u\n", "PostScript prelude", 1203, SharedPs);
+  std::printf("  %-30s %10d %11u\n", "nub", 632, SharedNub);
+
+  unsigned Shared = SharedCore + SharedMem + SharedPsCpp + SharedNub +
+                    SharedPs;
+  std::printf("\nshape checks:\n");
+  std::printf("  largest machine-dependent debugger port: %s %s\n",
+              MaxDebuggerTarget.c_str(),
+              MaxDebuggerTarget == "zmips"
+                  ? "(matches the paper: the MIPS, with no frame pointer)"
+                  : "(PAPER MISMATCH: expected zmips)");
+  std::printf("  machine-dependent : shared ratio: %u : %u (%.1f%% "
+              "machine-dependent; paper about 10%%)\n",
+              TotalMd, Shared,
+              100.0 * TotalMd / static_cast<double>(TotalMd + Shared));
+  return 0;
+}

@@ -1,0 +1,152 @@
+//===- bench/bench_startup.cpp - experiment E2 ------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Sec 7 startup-time table: the elapsed time of ldb's
+/// initial phases (runtime initialization, reading the initial
+/// PostScript, reading symbol tables for a one-line program and an
+/// lcc-sized 13,000-line program, connecting to one machine, two
+/// machines, and cross-architecture), with the dbx/gdb baseline standing
+/// in as the stabs reader. Absolute times are 2026-hardware milliseconds
+/// against 1992 seconds; the shape to check is that symbol-table reading
+/// dominates and grows with program size, that the binary-stabs baseline
+/// is several times faster, and that cross-architecture connection costs
+/// about the same as same-architecture connection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/debugger.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+std::unique_ptr<Compilation> compileFor(const std::string &Name,
+                                        const std::string &Source,
+                                        const TargetDesc &Desc) {
+  auto C = compileAndLink({{Name, Source}}, Desc, CompileOptions());
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", C.message().c_str());
+    std::exit(1);
+  }
+  return C.take();
+}
+
+double connectTime(const std::vector<Compilation *> &Programs,
+                   const std::vector<const TargetDesc *> &Targets) {
+  return timeMedian([&] {
+    nub::ProcessHost Host;
+    for (size_t K = 0; K < Programs.size(); ++K) {
+      nub::NubProcess &P =
+          Host.createProcess("p" + std::to_string(K), *Targets[K]);
+      if (Error E = Programs[K]->Img.loadInto(P.machine()))
+        std::exit(2);
+      P.enter(Programs[K]->Img.Entry);
+    }
+    Ldb Debugger;
+    for (size_t K = 0; K < Programs.size(); ++K) {
+      auto T = Debugger.connect(Host, "p" + std::to_string(K),
+                                Programs[K]->PsSymtab,
+                                Programs[K]->LoaderTable);
+      if (!T)
+        std::exit(3);
+    }
+  });
+}
+
+} // namespace
+
+int main() {
+  banner("E2: startup phases (paper Sec 7 timing table)",
+         "M3 init 1.9s; initial PS 1.6s; symtab hello 2.2s / lcc 5.5s; "
+         "connect hello 1.8s / lcc 5.1s / two machines 6.2s / cross 5.0s; "
+         "dbx 1.5s, gdb 1.1s");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const TargetDesc &Zsparc = *targetByName("zsparc");
+
+  std::printf("\ncompiling workloads (hello.c: 1 line; lcc.c: ~13,000 "
+              "lines)...\n");
+  auto Hello = compileFor("hello.c", helloProgram(), Zmips);
+  std::string LccSource = generateProgram(13000);
+  auto Lcc = compileFor("lcc.c", LccSource, Zmips);
+  auto LccSparc = compileFor("lcc.c", LccSource, Zsparc);
+  std::printf("  lcc.c: %zu source lines, symtab %zu bytes, stabs %zu "
+              "bytes\n\n",
+              static_cast<size_t>(
+                  std::count(LccSource.begin(), LccSource.end(), '\n')),
+              Lcc->PsSymtab.size(), Lcc->Stabs.size());
+
+  head("phase", "paper", "measured");
+
+  double InterpInit = timeMedian([] { ps::Interp I; });
+  row("runtime initialization", "1.9 s", ms(InterpInit));
+
+  double InitialPs = timeMedian([] {
+    ps::Interp I;
+    if (I.run(ps::prelude()))
+      std::exit(4);
+  }) - InterpInit;
+  row("read initial PostScript", "1.6 s", ms(InitialPs));
+
+  auto SymtabRead = [&](const std::string &Text) {
+    ps::Interp I;
+    if (I.run(ps::prelude()))
+      std::exit(5);
+    Stopwatch W;
+    if (I.run(Text))
+      std::exit(6);
+    return W.seconds();
+  };
+  double HelloSym = timeMedian([&] { SymtabRead(Hello->PsSymtab); });
+  row("read symbol table for hello.c (1 line)", "2.2 s",
+      ms(SymtabRead(Hello->PsSymtab)));
+  (void)HelloSym;
+  double LccSym = SymtabRead(Lcc->PsSymtab);
+  row("read symbol table for lcc (13,000 lines)", "5.5 s", ms(LccSym));
+
+  double ConnHello = connectTime({Hello.get()}, {&Zmips});
+  row("connect to hello.c (one machine)", "1.8 s", ms(ConnHello));
+  double ConnLcc = connectTime({Lcc.get()}, {&Zmips});
+  row("connect to lcc (one machine)", "5.1 s", ms(ConnLcc));
+  double ConnTwo = connectTime({Lcc.get(), Lcc.get()}, {&Zmips, &Zmips});
+  row("connect to lcc (two zmips machines)", "6.2 s", ms(ConnTwo));
+  double ConnCross = connectTime({LccSparc.get()}, {&Zsparc});
+  row("connect to lcc (cross: zsparc target)", "5.0 s", ms(ConnCross));
+
+  double StabsRead = timeMedian([&] {
+    auto S = readStabs(Lcc->Stabs);
+    if (!S)
+      std::exit(7);
+  });
+  row("dbx/gdb baseline: read stabs for lcc", "1.5 s / 1.1 s",
+      ms(StabsRead));
+
+  std::printf("\nshape checks:\n");
+  std::printf("  symtab read grows with program size: %s (hello %.3f ms, "
+              "lcc %.3f ms)\n",
+              LccSym > 2 * SymtabRead(Hello->PsSymtab) ? "yes" : "NO",
+              SymtabRead(Hello->PsSymtab) * 1e3, LccSym * 1e3);
+  std::printf("  binary stabs read much faster than PostScript: %s "
+              "(%.1fx)\n",
+              StabsRead * 3 < LccSym ? "yes" : "NO", LccSym / StabsRead);
+  std::printf("  two machines cost more than one: %s\n",
+              ConnTwo > ConnLcc ? "yes" : "NO");
+  std::printf("  cross-architecture costs about the same as "
+              "same-architecture: %s (%.2fx)\n",
+              ConnCross < 1.5 * ConnLcc ? "yes" : "NO",
+              ConnCross / ConnLcc);
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- bench/bench_util.h - shared bench helpers ----------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table printing and robust timing for the evaluation benches. Every
+/// bench prints the paper's claim next to the measured value, since the
+/// goal is reproducing the *shape* of the results on a simulator, not the
+/// absolute 1992 numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_BENCH_BENCH_UTIL_H
+#define LDB_BENCH_BENCH_UTIL_H
+
+#include "support/stopwatch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ldb::bench {
+
+/// Median wall time of \p Runs invocations of \p Fn, in seconds.
+inline double timeMedian(const std::function<void()> &Fn, int Runs = 5) {
+  std::vector<double> Times;
+  for (int K = 0; K < Runs; ++K) {
+    Stopwatch W;
+    Fn();
+    Times.push_back(W.seconds());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+inline void banner(const std::string &Title, const std::string &Claim) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("paper: %s\n", Claim.c_str());
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+inline void row(const std::string &Label, const std::string &Paper,
+                const std::string &Measured) {
+  std::printf("  %-44s %14s %14s\n", Label.c_str(), Paper.c_str(),
+              Measured.c_str());
+}
+
+inline void head(const std::string &Label, const std::string &Paper,
+                 const std::string &Measured) {
+  row(Label, Paper, Measured);
+  std::printf("  %.44s %.14s %.14s\n",
+              "--------------------------------------------",
+              "--------------", "--------------");
+}
+
+inline std::string ms(double Seconds) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f ms", Seconds * 1e3);
+  return Buf;
+}
+
+inline std::string pct(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return Buf;
+}
+
+} // namespace ldb::bench
+
+#endif // LDB_BENCH_BENCH_UTIL_H

@@ -1,0 +1,76 @@
+//===- bench/workload.cpp - synthetic C workloads --------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload.h"
+
+using namespace ldb::bench;
+
+std::string ldb::bench::fibProgram() {
+  return "void fib(int n) {\n"
+         "  static int a[20];\n"
+         "  if (n > 20) n = 20;\n"
+         "  a[0] = a[1] = 1;\n"
+         "  { int i;\n"
+         "    for (i=2; i<n; i++)\n"
+         "      a[i] = a[i-1] + a[i-2];\n"
+         "  }\n"
+         "  { int j;\n"
+         "    for (j=0; j<n; j++)\n"
+         "      printf(\"%d \", a[j]);\n"
+         "  }\n"
+         "  printf(\"\\n\");\n"
+         "}\n"
+         "int main() { fib(10); return 0; }\n";
+}
+
+std::string ldb::bench::helloProgram() {
+  return "int main() { printf(\"hello, world\\n\"); return 0; }\n";
+}
+
+std::string ldb::bench::generateProgram(unsigned Lines) {
+  unsigned NFuncs = Lines / 19;
+  if (NFuncs == 0)
+    NFuncs = 1;
+  std::string Out;
+  Out += "struct rec { int tag; int count; double weight; };\n";
+  Out += "struct rec pool[8];\n";
+  Out += "int total;\n";
+  Out += "double scale = 1.5;\n";
+
+  for (unsigned F = 0; F < NFuncs; ++F) {
+    std::string N = std::to_string(F);
+    Out += "int work" + N + "(int n, int seed) {\n";
+    Out += "  static int cache" + N + "[12];\n";
+    Out += "  int acc;\n";
+    Out += "  int i;\n";
+    Out += "  acc = seed % 17 + " + N + ";\n";
+    Out += "  for (i = 0; i < n; i++) {\n";
+    Out += "    cache" + N + "[i % 12] = acc + i;\n";
+    Out += "    acc = acc + cache" + N + "[(i + 5) % 12] % 9;\n";
+    Out += "  }\n";
+    Out += "  { int hi;\n";
+    Out += "    hi = acc >> 3;\n";
+    Out += "    if (hi > 100) acc = hi - 100;\n";
+    Out += "  }\n";
+    Out += "  pool[" + std::to_string(F % 8) + "].count = acc;\n";
+    Out += "  total = total + acc;\n";
+    if (F > 0)
+      Out += "  if (n > 2) acc = acc + work" + std::to_string(F - 1) +
+             "(n - 2, seed) % 5;\n";
+    Out += "  return acc;\n";
+    Out += "}\n";
+  }
+
+  Out += "int main() {\n";
+  Out += "  int sum;\n";
+  Out += "  sum = 0;\n";
+  for (unsigned F = 0; F < NFuncs; ++F)
+    Out += "  sum = sum + work" + std::to_string(F) + "(4, " +
+           std::to_string(F * 3 + 1) + ") % 101;\n";
+  Out += "  return sum % 97;\n";
+  Out += "}\n";
+  return Out;
+}

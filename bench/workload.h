@@ -1,0 +1,36 @@
+//===- bench/workload.h - synthetic C workloads -----------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic C programs for the evaluation benches. The paper's
+/// measurements use a one-line "hello world" and a 13,000-line version of
+/// lcc; generate() produces programs of any size with the mix of
+/// constructs the compiler supports (functions, loops, arrays, structs,
+/// statics, floats, calls), so symbol tables and code scale realistically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_BENCH_WORKLOAD_H
+#define LDB_BENCH_WORKLOAD_H
+
+#include <string>
+
+namespace ldb::bench {
+
+/// The paper's Fig 1 program.
+std::string fibProgram();
+
+/// A one-line program (the paper's hello.c).
+std::string helloProgram();
+
+/// A program of roughly \p Lines source lines: \p Lines/14 functions with
+/// parameters, block-scoped locals, loops, a static array, struct use,
+/// and cross-calls, plus a main that calls them all.
+std::string generateProgram(unsigned Lines);
+
+} // namespace ldb::bench
+
+#endif // LDB_BENCH_WORKLOAD_H

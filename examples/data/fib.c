@@ -1,0 +1,17 @@
+/* The paper's Fig 1 program, for use with:
+ *    build/examples/ldb_cli zmips examples/data/fib.c          */
+void fib(int n) {
+  static int a[20];
+  if (n > 20) n = 20;
+  a[0] = a[1] = 1;
+  { int i;
+    for (i=2; i<n; i++)
+      a[i] = a[i-1] + a[i-2];
+  }
+  { int j;
+    for (j=0; j<n; j++)
+      printf("%d ", a[j]);
+  }
+  printf("\n");
+}
+int main() { fib(10); return 0; }

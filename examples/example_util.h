@@ -1,0 +1,76 @@
+//===- examples/example_util.h - shared example scaffolding ----*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the examples: compile a C source with the
+/// lcc-style compiler, load it into a simulated process with the nub, and
+/// hand back everything a debugging session needs. Each example then
+/// shows one slice of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_EXAMPLES_EXAMPLE_UTIL_H
+#define LDB_EXAMPLES_EXAMPLE_UTIL_H
+
+#include "core/debugger.h"
+#include "lcc/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace ldb::examples {
+
+/// Aborts the example with a message; examples prefer loud failure.
+inline void check(Error E, const char *What) {
+  if (!E)
+    return;
+  std::fprintf(stderr, "%s failed: %s\n", What, E.message().c_str());
+  std::exit(1);
+}
+
+template <typename T> T expect(Expected<T> V, const char *What) {
+  if (V)
+    return V.take();
+  std::fprintf(stderr, "%s failed: %s\n", What, V.message().c_str());
+  std::exit(1);
+}
+
+/// A compiled program loaded into a named, paused simulated process.
+struct HostedProgram {
+  std::unique_ptr<lcc::Compilation> Compiled;
+  nub::NubProcess *Process = nullptr;
+};
+
+inline HostedProgram hostProgram(nub::ProcessHost &Host,
+                                 const std::string &ProcName,
+                                 const std::string &FileName,
+                                 const std::string &Source,
+                                 const target::TargetDesc &Desc) {
+  HostedProgram H;
+  H.Compiled = expect(
+      lcc::compileAndLink({{FileName, Source}}, Desc, lcc::CompileOptions()),
+      "compile");
+  H.Process = &Host.createProcess(ProcName, Desc);
+  check(H.Compiled->Img.loadInto(H.Process->machine()), "load");
+  H.Process->enter(H.Compiled->Img.Entry);
+  return H;
+}
+
+/// Connects a debugger target to a hosted program, reading its PostScript
+/// symbol table and loader table.
+inline core::Target *connectTo(core::Ldb &Debugger, nub::ProcessHost &Host,
+                               const std::string &ProcName,
+                               const HostedProgram &H) {
+  return expect(Debugger.connect(Host, ProcName, H.Compiled->PsSymtab,
+                                 H.Compiled->LoaderTable),
+                "connect");
+}
+
+} // namespace ldb::examples
+
+#endif // LDB_EXAMPLES_EXAMPLE_UTIL_H

@@ -1,0 +1,111 @@
+//===- examples/expr_eval.cpp - the expression server at work ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression evaluation through the expression server (paper Sec 3,
+/// Fig 3): ldb sends each expression string down a pipe to a variant of
+/// the compiler front end; unresolved identifiers come back as
+/// "/name ExpressionServer.lookup" requests that ldb answers from the
+/// PostScript symbol tables; the resulting intermediate-code tree is
+/// rewritten as a PostScript procedure that ldb interprets against the
+/// stopped frame's abstract memory. The example prints the raw PostScript
+/// the server generates for one expression, then runs a small session of
+/// reads, arithmetic, and assignments.
+///
+/// Run:  build/examples/expr_eval
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/expreval.h"
+#include "example_util.h"
+#include "exprserver/server.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::examples;
+
+namespace {
+
+const char *SceneSource =
+    "struct vec { int x; int y; };\n"
+    "struct vec pos;\n"
+    "int grid[6] = {1, 2, 3, 5, 8, 13};\n"
+    "double gain = 0.5;\n"
+    "int probe(int depth) {\n"
+    "  int *cursor;\n"
+    "  cursor = &grid[2];\n"
+    "  pos.x = depth; pos.y = depth + 1;\n"
+    "  return depth;\n" // line 9
+    "}\n"
+    "int main() { return probe(5); }\n";
+
+} // namespace
+
+int main() {
+  // First, the wire itself: what the server generates for one expression
+  // when the debugger side answers lookups by hand.
+  std::printf("== the server's PostScript for `reading + 1` ==\n");
+  {
+    exprserver::ExprServer Srv;
+    Srv.toServer().writeLine("reading + 1");
+    std::string Line;
+    while (Srv.fromServer().readLine(Line)) {
+      std::printf("   server> %s\n", Line.c_str());
+      if (Line.find("ExpressionServer.lookup") != std::string::npos) {
+        std::printf("   ldb   > sym reg 16 i4\n");
+        Srv.toServer().writeLine("sym reg 16 i4");
+      }
+      if (Line == "ExpressionServer.result" ||
+          Line.find("ExpressionServer.error") != std::string::npos)
+        break;
+    }
+  }
+
+  // Now the whole loop against a live stopped process.
+  const target::TargetDesc &Desc = *target::targetByName("z68k");
+  nub::ProcessHost Host;
+  HostedProgram Scene =
+      hostProgram(Host, "scene", "scene.c", SceneSource, Desc);
+  Ldb Debugger;
+  Target *T = connectTo(Debugger, Host, "scene", Scene);
+  check(Debugger.breakAtLine(*T, "scene.c", 9), "break");
+  check(T->resume(), "continue");
+  std::printf("\n== stopped: %s ==\n",
+              expect(describeStop(*T), "status").c_str());
+
+  ExprSession Session;
+  const char *Expressions[] = {
+      "depth",
+      "grid[3] + grid[4]",
+      "*cursor",
+      "cursor[1] * 2",
+      "pos.x * pos.x + pos.y * pos.y",
+      "gain * 4.0",
+      "depth > 3 && grid[0] == 1",
+      "(int)&grid[5] - (int)&grid[0]",
+      "pos.y = pos.y + 10",
+      "pos.y",
+      "grid[depth] = 99",
+      "grid[5]",
+  };
+  for (const char *Text : Expressions) {
+    Expected<std::string> V = evalExpression(*T, Session, Text);
+    if (V)
+      std::printf("   (ldb) eval %-34s => %s\n", Text, V->c_str());
+    else
+      std::printf("   (ldb) eval %-34s => error: %s\n", Text,
+                  V.message().c_str());
+  }
+
+  // Errors are part of the interface too.
+  std::printf("\n== the server reports what it cannot do ==\n");
+  for (const char *Text : {"probe(1)", "missing_var", "1 +"}) {
+    Expected<std::string> V = evalExpression(*T, Session, Text);
+    std::printf("   (ldb) eval %-12s => %s\n", Text,
+                V ? V->c_str() : V.message().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- examples/ldb_cli.cpp - the interactive debugger ----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ldb as an interactive tool: compiles a C file (or the built-in fib.c),
+/// boots it in a simulated process on the chosen architecture, connects,
+/// and hands control to the command interpreter. With no terminal
+/// attached it runs a canned scripted session so the binary demonstrates
+/// itself.
+///
+/// Run:  build/examples/ldb_cli [ARCH] [FILE.c]       (interactive)
+///       echo "break main\ncontinue\nwhere\nquit" | build/examples/ldb_cli
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+#include "example_util.h"
+#include "support/strings.h"
+
+#include <unistd.h>
+
+#include <vector>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::examples;
+
+namespace {
+
+const char *DefaultSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "  { int j;\n"
+    "    for (j=0; j<n; j++)\n"
+    "      printf(\"%d \", a[j]);\n"
+    "  }\n"
+    "  printf(\"\\n\");\n"
+    "}\n"
+    "int main() { fib(10); return 0; }\n";
+
+const char *ScriptedSession[] = {
+    "help",          "targets",     "break fib.c:7", "continue",
+    "status",        "print i",     "print a",       "print n",
+    "where",         "eval a[i-1] + a[i-2]",         "set i 8",
+    "continue",      "print i",     "delete",        "continue",
+    "targets",       "quit",
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::string ArchName = argc > 1 ? argv[1] : "zmips";
+  const target::TargetDesc *Desc = target::targetByName(ArchName);
+  if (!Desc) {
+    std::fprintf(stderr, "unknown architecture %s\n", ArchName.c_str());
+    return 1;
+  }
+  std::string FileName = "fib.c";
+  std::string Source = DefaultSource;
+  if (argc > 2) {
+    FileName = argv[2];
+    if (!readFile(argv[2], Source)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[2]);
+      return 1;
+    }
+    size_t Slash = FileName.rfind('/');
+    if (Slash != std::string::npos)
+      FileName = FileName.substr(Slash + 1);
+  }
+
+  nub::ProcessHost Host;
+  HostedProgram Program =
+      hostProgram(Host, FileName, FileName, Source, *Desc);
+  Ldb Debugger;
+  Target *T = connectTo(Debugger, Host, FileName, Program);
+
+  CommandInterpreter Cli(Debugger);
+  Cli.setCurrent(T);
+  std::printf("ldb: debugging %s on %s; %s\n", FileName.c_str(),
+              ArchName.c_str(),
+              expect(describeStop(*T), "status").c_str());
+
+  if (isatty(STDIN_FILENO)) {
+    // Interactive loop.
+    char Line[512];
+    for (;;) {
+      std::printf("(ldb) ");
+      std::fflush(stdout);
+      if (!std::fgets(Line, sizeof(Line), stdin))
+        break;
+      std::printf("%s", Cli.execute(Line).c_str());
+      if (Cli.quitRequested())
+        break;
+    }
+  } else {
+    // Scripted: commands from stdin, or the canned session if none.
+    std::vector<std::string> Commands;
+    char Line[512];
+    while (std::fgets(Line, sizeof(Line), stdin))
+      Commands.push_back(Line);
+    if (Commands.empty())
+      for (const char *C : ScriptedSession)
+        Commands.push_back(C);
+    for (const std::string &Command : Commands) {
+      std::string Trimmed = Command;
+      while (!Trimmed.empty() && Trimmed.back() == '\n')
+        Trimmed.pop_back();
+      std::printf("(ldb) %s\n", Trimmed.c_str());
+      std::printf("%s", Cli.execute(Trimmed).c_str());
+      if (Cli.quitRequested())
+        break;
+    }
+  }
+  if (!Program.Process->machine().ConsoleOut.empty())
+    std::printf("target console: %s",
+                Program.Process->machine().ConsoleOut.c_str());
+  return 0;
+}

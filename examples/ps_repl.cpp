@@ -1,0 +1,74 @@
+//===- examples/ps_repl.cpp - the embedded PostScript dialect ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-eval-print loop for ldb's PostScript dialect (paper Sec 5):
+/// everything ldb itself uses — dictionaries, the debugging operators,
+/// the pretty printer — is available interactively. With stdin closed it
+/// demonstrates a few lines, including a symbol-table entry in the
+/// paper's own format.
+///
+/// Run:  build/examples/ps_repl
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+const char *Demo[] = {
+    "1 2 add ==",
+    "/square { dup mul } def  7 square ==",
+    "[ 1 2 3 ] { square == } forall",
+    "<< /name (i) /kind (variable) /where 30 Regset0 Absolute >> "
+    "/entry exch def",
+    "entry /name get ==",
+    "entry /where get ==",
+    "(deferred bodies lex lazily) == (1 2 add) cvx exec ==",
+    "{ 1 0 idiv } stopped { (caught: ) print lasterror print (\\n) print } if",
+};
+
+} // namespace
+
+int main() {
+  Interp I;
+  if (Error E = I.run(prelude())) {
+    std::fprintf(stderr, "prelude failed: %s\n", E.message().c_str());
+    return 1;
+  }
+
+  bool Interactive = isatty(STDIN_FILENO);
+  char Line[1024];
+  size_t DemoIndex = 0;
+  for (;;) {
+    std::printf("ps> ");
+    std::fflush(stdout);
+    std::string Code;
+    if (std::fgets(Line, sizeof(Line), stdin)) {
+      Code = Line;
+    } else if (!Interactive &&
+               DemoIndex < sizeof(Demo) / sizeof(Demo[0])) {
+      Code = Demo[DemoIndex++];
+      std::printf("%s\n", Code.c_str());
+    } else {
+      std::printf("\n");
+      break;
+    }
+    if (Code == "quit\n" || Code == "quit")
+      break;
+    if (Error E = I.run(Code))
+      std::printf("error: %s\n", E.message().c_str());
+    std::string Out = I.takeOutput();
+    std::printf("%s", Out.c_str());
+  }
+  return 0;
+}

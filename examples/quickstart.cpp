@@ -1,0 +1,92 @@
+//===- examples/quickstart.cpp - a first debugging session ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's walkthrough, end to end: compile Fig 1's fib.c with the
+/// lcc-style compiler (stopping-point no-ops, PostScript symbol table,
+/// loader table), load it into a simulated zmips process whose nub pauses
+/// before main, connect ldb, plant a breakpoint by source line, and — at
+/// each stop — print i, the static array a, and the parameter n through
+/// the PostScript printers and the abstract-memory DAG. Finally assign to
+/// a register variable and let the program finish.
+///
+/// Run:  build/examples/quickstart [zmips|z68k|zsparc|zvax]
+///
+//===----------------------------------------------------------------------===//
+
+#include "example_util.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::examples;
+
+namespace {
+
+const char *FibSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "  { int j;\n"
+    "    for (j=0; j<n; j++)\n"
+    "      printf(\"%d \", a[j]);\n"
+    "  }\n"
+    "  printf(\"\\n\");\n"
+    "}\n"
+    "int main() { fib(10); return 0; }\n";
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::string ArchName = argc > 1 ? argv[1] : "zmips";
+  const target::TargetDesc *Desc = target::targetByName(ArchName);
+  if (!Desc) {
+    std::fprintf(stderr, "unknown architecture %s\n", ArchName.c_str());
+    return 1;
+  }
+
+  std::printf("== compiling fib.c for %s (with -g) ==\n", ArchName.c_str());
+  nub::ProcessHost Host;
+  HostedProgram Fib = hostProgram(Host, "fib", "fib.c", FibSource, *Desc);
+  std::printf("   %u instructions, %u stopping-point no-ops, symbol table "
+              "%zu bytes\n\n",
+              Fib.Compiled->Img.Stats.Instructions,
+              Fib.Compiled->Img.Stats.StopNops,
+              Fib.Compiled->PsSymtab.size());
+
+  Ldb Debugger;
+  Target *T = connectTo(Debugger, Host, "fib", Fib);
+  std::printf("== connected: %s ==\n",
+              expect(describeStop(*T), "status").c_str());
+
+  check(Debugger.breakAtLine(*T, "fib.c", 7), "break fib.c:7");
+  std::printf("== breakpoint planted at fib.c:7 ==\n\n");
+
+  for (int Hit = 0; Hit < 3; ++Hit) {
+    check(T->resume(), "continue");
+    if (!T->stopped())
+      break;
+    std::printf("-- %s\n", expect(describeStop(*T), "status").c_str());
+    std::printf("   i = %s\n", expect(printVariable(*T, "i"), "print").c_str());
+    std::printf("   n = %s\n", expect(printVariable(*T, "n"), "print").c_str());
+    check(T->interp().run("6 setprintlimit"), "setprintlimit");
+    std::printf("   a = %s\n", expect(printVariable(*T, "a"), "print").c_str());
+    std::printf("   backtrace:\n%s",
+                expect(renderBacktrace(*T), "backtrace").c_str());
+  }
+
+  std::printf("\n== assigning i = 9 to cut the loop short ==\n");
+  check(assignVariable(*T, "i", "9"), "set i");
+  check(T->resume(), "continue");
+  std::printf("== %s ==\n", expect(describeStop(*T), "status").c_str());
+  std::printf("target console: %s",
+              Fib.Process->machine().ConsoleOut.c_str());
+  return 0;
+}

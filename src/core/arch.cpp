@@ -1,0 +1,27 @@
+//===- core/arch.cpp - the architecture registry ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/arch.h"
+
+namespace ldb::core {
+const Architecture &zmipsArchitecture();
+const Architecture &z68kArchitecture();
+const Architecture &zsparcArchitecture();
+const Architecture &zvaxArchitecture();
+} // namespace ldb::core
+
+const ldb::core::Architecture *
+ldb::core::architectureByName(const std::string &Name) {
+  if (Name == "zmips")
+    return &zmipsArchitecture();
+  if (Name == "z68k")
+    return &z68kArchitecture();
+  if (Name == "zsparc")
+    return &zsparcArchitecture();
+  if (Name == "zvax")
+    return &zvaxArchitecture();
+  return nullptr;
+}

@@ -1,0 +1,114 @@
+//===- core/arch.h - per-architecture bundle --------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything ldb proper needs per target architecture, gathered behind
+/// one registry keyed by the architecture name the nub announces (which
+/// is also the /architecture value in top-level dictionaries, paper Sec
+/// 2). Machine-independent classes define the abstractions; the
+/// machine-dependent subtypes and data live in core/targets/*.cpp and are
+/// counted by the Sec 4.3 LoC experiment:
+///
+///  * breakpoint data: the break and no-op bit patterns, the instruction
+///    access width, and the pc advance for resuming past a planted no-op
+///    (the four items of Sec 3);
+///  * the stack-frame walker subtype (Sec 4.1);
+///  * the per-architecture PostScript fragment (register names and
+///    similar MD data, Sec 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_ARCH_H
+#define LDB_CORE_ARCH_H
+
+#include "mem/memories.h"
+#include "nub/client.h"
+#include "nub/nubmd.h"
+#include "support/error.h"
+#include "target/targetdesc.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace ldb::core {
+
+class Target; // the debugger's handle on one process (core/target.h)
+
+/// The four items of machine-dependent breakpoint data (paper Sec 3).
+struct BreakpointData {
+  uint32_t BreakWord;
+  uint32_t NopWord;
+  unsigned InstrSize; ///< type used to fetch and store instructions
+  unsigned PcAdvance; ///< amount to advance the pc past the no-op
+};
+
+/// One activation record. The machine-independent part carries the pc,
+/// the virtual frame pointer, and the frame's abstract memory (the joined
+/// memory at the root of the Fig 4 DAG); machine-dependent walkers fill
+/// these in.
+struct FrameInfo {
+  uint32_t Pc = 0;
+  uint32_t Vfp = 0;
+  mem::MemoryRef Mem;                       ///< joined memory for the frame
+  std::shared_ptr<mem::AliasMemory> Alias;  ///< kept for alias reuse
+};
+
+/// The machine-dependent stack-frame methods: one that builds the top
+/// frame from a context and one that walks down the stack (paper Sec 4.1:
+/// machine-dependent instances supply only two methods).
+class FrameWalker {
+public:
+  virtual ~FrameWalker();
+
+  virtual Expected<FrameInfo> topFrame(Target &T, uint32_t CtxAddr) const = 0;
+  virtual Expected<FrameInfo> callerFrame(Target &T,
+                                          const FrameInfo &Callee) const = 0;
+
+  /// Frame size and register-save data for the procedure containing
+  /// \p Pc. The zmips implementation reads the runtime procedure table in
+  /// the target's address space; the shared frame-pointer implementation
+  /// reads the symbol table (paper Sec 4.3).
+  struct ProcFrameData {
+    uint32_t FrameSize = 0;
+    uint32_t SaveMask = 0;
+    int32_t SaveAreaOffset = 0;
+  };
+  virtual Expected<ProcFrameData> frameData(Target &T, uint32_t Pc) const = 0;
+};
+
+/// Shared machinery, parameterized by machine-dependent data: builds the
+/// frame DAG (wire -> alias -> register -> joined) with register aliases
+/// supplied by \p RegHome, pc and vfp as immediates in the extra-register
+/// space, and the frame-local space rebased at the vfp.
+FrameInfo buildFrameDag(Target &T, uint32_t Pc, uint32_t Vfp,
+                        const std::function<mem::Location(char, unsigned)>
+                            &RegHome);
+
+/// Builds a caller frame once the machine-dependent walker has produced
+/// the caller's pc and vfp: registers the callee saved are found on the
+/// stack; aliases from the called frame are reused for the rest (paper
+/// Sec 4.1).
+Expected<FrameInfo> buildCallerFrameDag(Target &T, const FrameInfo &Callee,
+                                        uint32_t CallerPc, uint32_t CallerVfp,
+                                        uint32_t CalleeSaveMask);
+
+/// The shared walker for targets with a frame pointer.
+const FrameWalker &fpFrameWalker();
+
+struct Architecture {
+  const target::TargetDesc *Desc = nullptr;
+  BreakpointData Bp;
+  const FrameWalker *Walker = nullptr;
+  std::string MdPostScript; ///< register names etc., pushed per target
+};
+
+/// The registered architecture named \p Name, or null.
+const Architecture *architectureByName(const std::string &Name);
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_ARCH_H

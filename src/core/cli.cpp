@@ -1,0 +1,224 @@
+//===- core/cli.cpp - the command interpreter -------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+
+#include "support/strings.h"
+#include "target/disasm.h"
+
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::core;
+
+namespace {
+
+const char *HelpText =
+    "commands:\n"
+    "  break FILE:LINE | break PROC   plant a breakpoint at a stopping "
+    "point\n"
+    "  breakpoints                    list planted breakpoints\n"
+    "  delete                         remove every breakpoint\n"
+    "  continue (c)                   resume execution\n"
+    "  step (s)                       run to the next stopping point\n"
+    "  status                         why and where the target stopped\n"
+    "  where (bt)                     backtrace\n"
+    "  frame N                        select frame N for print/eval/set\n"
+    "  print NAME (p)                 print a variable\n"
+    "  eval EXPR (e)                  evaluate an expression\n"
+    "  set NAME VALUE                 assign a constant to a variable\n"
+    "  regs                           registers\n"
+    "  disasm [N]                     disassemble N words at the pc\n"
+    "  targets | target NAME          list / switch targets\n"
+    "  help | quit\n";
+
+std::string errText(const std::string &Message) {
+  return "error: " + Message + "\n";
+}
+
+} // namespace
+
+std::string CommandInterpreter::requireTarget() {
+  if (!Current)
+    return "no target selected; use `target NAME`\n";
+  return std::string();
+}
+
+std::string CommandInterpreter::execute(const std::string &Line) {
+  std::vector<std::string> Words = splitWords(Line);
+  if (Words.empty())
+    return std::string();
+  const std::string &Cmd = Words[0];
+
+  if (Cmd == "help")
+    return HelpText;
+  if (Cmd == "quit" || Cmd == "q") {
+    Quit = true;
+    return std::string();
+  }
+
+  if (Cmd == "targets") {
+    std::string Out;
+    for (Target *T : Debugger.targets()) {
+      Out += (T == Current ? "* " : "  ") + T->name() + " (" +
+             T->arch().Desc->Name + ") ";
+      if (T->exited())
+        Out += "exited " + std::to_string(T->lastStop().ExitStatus);
+      else if (T->stopped())
+        Out += "stopped";
+      else
+        Out += "running";
+      Out += "\n";
+    }
+    return Out.empty() ? "no targets\n" : Out;
+  }
+  if (Cmd == "target") {
+    if (Words.size() < 2)
+      return errText("target NAME");
+    Target *T = Debugger.target(Words[1]);
+    if (!T)
+      return errText("no target named " + Words[1]);
+    Current = T;
+    CurrentFrame = 0;
+    return "current target: " + Words[1] + "\n";
+  }
+
+  if (std::string E = requireTarget(); !E.empty())
+    return E;
+
+  if (Cmd == "break" || Cmd == "b") {
+    if (Words.size() < 2)
+      return errText("break FILE:LINE or break PROC");
+    size_t Colon = Words[1].rfind(':');
+    Error E = Error::success();
+    if (Colon != std::string::npos) {
+      int LineNo = std::atoi(Words[1].c_str() + Colon + 1);
+      E = Debugger.breakAtLine(*Current, Words[1].substr(0, Colon), LineNo);
+    } else {
+      E = Debugger.breakAtProc(*Current, Words[1]);
+    }
+    if (E)
+      return errText(E.message());
+    return "breakpoint planted at " + Words[1] + "\n";
+  }
+
+  if (Cmd == "breakpoints") {
+    if (Current->breakpoints().empty())
+      return "no breakpoints\n";
+    std::string Out;
+    for (const auto &[Addr, Orig] : Current->breakpoints())
+      Out += "  " + hex32(Addr) + "\n";
+    return Out;
+  }
+
+  if (Cmd == "delete") {
+    std::vector<uint32_t> Addrs;
+    for (const auto &[Addr, Orig] : Current->breakpoints())
+      Addrs.push_back(Addr);
+    for (uint32_t Addr : Addrs)
+      if (Error E = Current->removeBreakpoint(Addr))
+        return errText(E.message());
+    return "deleted " + std::to_string(Addrs.size()) + " breakpoint(s)\n";
+  }
+
+  if (Cmd == "continue" || Cmd == "c") {
+    if (Error E = Current->resume())
+      return errText(E.message());
+    CurrentFrame = 0;
+    Expected<std::string> Where = describeStop(*Current);
+    return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "step" || Cmd == "s") {
+    if (Error E = Debugger.stepToNextStop(*Current))
+      return errText(E.message());
+    CurrentFrame = 0;
+    Expected<std::string> Where = describeStop(*Current);
+    return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "status") {
+    Expected<std::string> Where = describeStop(*Current);
+    if (!Where)
+      return errText(Where.message());
+    return *Where + "\n";
+  }
+
+  if (Cmd == "where" || Cmd == "bt") {
+    Expected<std::string> Bt = renderBacktrace(*Current);
+    if (!Bt)
+      return errText(Bt.message());
+    return *Bt;
+  }
+
+  if (Cmd == "frame") {
+    if (Words.size() < 2)
+      return errText("frame N");
+    CurrentFrame = static_cast<unsigned>(std::atoi(Words[1].c_str()));
+    return "frame " + Words[1] + " selected\n";
+  }
+
+  if (Cmd == "print" || Cmd == "p") {
+    if (Words.size() < 2)
+      return errText("print NAME");
+    Expected<std::string> V =
+        printVariable(*Current, Words[1], CurrentFrame);
+    if (!V)
+      return errText(V.message());
+    return Words[1] + " = " + *V + "\n";
+  }
+
+  if (Cmd == "eval" || Cmd == "e") {
+    if (Words.size() < 2)
+      return errText("eval EXPR");
+    std::string Expr = Line.substr(Line.find(Cmd) + Cmd.size());
+    Expected<std::string> V =
+        evalExpression(*Current, Session, Expr, CurrentFrame);
+    if (!V)
+      return errText(V.message());
+    return *V + "\n";
+  }
+
+  if (Cmd == "set") {
+    if (Words.size() < 3)
+      return errText("set NAME VALUE");
+    if (Error E =
+            assignVariable(*Current, Words[1], Words[2], CurrentFrame))
+      return errText(E.message());
+    return Words[1] + " = " + Words[2] + "\n";
+  }
+
+  if (Cmd == "disasm") {
+    unsigned Count = Words.size() > 1
+                         ? static_cast<unsigned>(std::atoi(Words[1].c_str()))
+                         : 6;
+    Expected<uint32_t> Pc = Current->ctxPc();
+    if (!Pc)
+      return errText(Pc.message());
+    std::string Out;
+    for (unsigned K = 0; K < Count; ++K) {
+      uint32_t Addr = *Pc + 4 * K;
+      uint64_t Word = 0;
+      if (Error E = Current->wire()->fetchInt(
+              mem::Location::absolute(mem::SpCode, Addr), 4, Word))
+        return errText(E.message());
+      Out += "  " + hex32(Addr) + ": " +
+             target::disassemble(*Current->arch().Desc,
+                                 static_cast<uint32_t>(Word)) +
+             (Current->breakpointAt(Addr) ? "   <- breakpoint" : "") + "\n";
+    }
+    return Out;
+  }
+
+  if (Cmd == "regs") {
+    Expected<std::string> R = printRegisters(*Current);
+    if (!R)
+      return errText(R.message());
+    return *R;
+  }
+
+  return errText("unknown command '" + Cmd + "' (try help)");
+}

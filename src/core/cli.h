@@ -1,0 +1,62 @@
+//===- core/cli.h - the command interpreter ---------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-level command interpreter, built entirely on the client
+/// interface (the paper's point that ldb exposes one so user interfaces
+/// and higher-level tools can be layered above it). Commands:
+///
+///   break FILE:LINE | break PROC      plant breakpoints
+///   breakpoints / delete              list / remove all breakpoints
+///   continue (c)                      resume until the next stop
+///   status                            why and where the target stopped
+///   where (bt)                        backtrace
+///   print NAME (p)                    print via the PostScript printers
+///   eval EXPR (e)                     evaluate via the expression server
+///   set NAME VALUE                    assign a constant
+///   frame N                           select the current frame
+///   regs                              registers, with per-target names
+///   disasm [N]                        disassemble N words at the pc
+///   targets / target NAME             list / switch targets
+///   help, quit
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_CLI_H
+#define LDB_CORE_CLI_H
+
+#include "core/debugger.h"
+#include "core/expreval.h"
+
+namespace ldb::core {
+
+class CommandInterpreter {
+public:
+  explicit CommandInterpreter(Ldb &Debugger) : Debugger(Debugger) {}
+
+  /// Executes one command line and returns its output (errors come back
+  /// as "error: ..." text, not failures — this is the user surface).
+  std::string execute(const std::string &Line);
+
+  bool quitRequested() const { return Quit; }
+
+  /// The target commands apply to; switched by `target NAME`.
+  void setCurrent(Target *T) { Current = T; }
+  Target *current() { return Current; }
+
+private:
+  std::string requireTarget();
+
+  Ldb &Debugger;
+  ExprSession Session;
+  Target *Current = nullptr;
+  unsigned CurrentFrame = 0;
+  bool Quit = false;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_CLI_H

@@ -1,0 +1,131 @@
+//===- core/debugger.cpp - ldb ----------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+
+#include <cassert>
+
+using namespace ldb;
+using namespace ldb::core;
+
+Ldb::Ldb() {
+  // Reading the initial PostScript can only fail if the prelude itself is
+  // broken; surface that loudly in debug builds.
+  Error E = I.run(ps::prelude());
+  (void)E;
+  assert(!E && "the machine-independent prelude must interpret cleanly");
+}
+
+Expected<Target *> Ldb::connect(nub::ProcessHost &Host,
+                                const std::string &ProcName,
+                                const std::string &PsSymtab,
+                                const std::string &LoaderTable) {
+  auto T = std::make_unique<Target>(ProcName, I);
+  if (Error E = T->connect(Host, ProcName))
+    return E;
+  if (!PsSymtab.empty())
+    if (Error E = T->loadSymbols(PsSymtab))
+      return E;
+  if (!LoaderTable.empty())
+    if (Error E = T->loadLoaderTable(LoaderTable))
+      return E;
+  Target *Raw = T.get();
+  Targets[ProcName] = std::move(T);
+  return Raw;
+}
+
+Target *Ldb::target(const std::string &ProcName) {
+  auto It = Targets.find(ProcName);
+  return It == Targets.end() ? nullptr : It->second.get();
+}
+
+std::vector<Target *> Ldb::targets() {
+  std::vector<Target *> Out;
+  for (auto &[Name, T] : Targets)
+    Out.push_back(T.get());
+  return Out;
+}
+
+void Ldb::disconnect(const std::string &ProcName) {
+  auto It = Targets.find(ProcName);
+  if (It == Targets.end())
+    return;
+  if (It->second->connected()) {
+    Error E = It->second->client().detach();
+    (void)E; // the process may already be gone
+  }
+  Targets.erase(It);
+}
+
+Error Ldb::breakAtLine(Target &T, const std::string &File, int Line) {
+  Target::Scope S(T);
+  Expected<std::vector<symtab::StopSite>> Sites =
+      symtab::stopsForSource(T, File, Line);
+  if (!Sites)
+    return Sites.takeError();
+  for (const symtab::StopSite &Site : *Sites)
+    if (Error E = T.plantBreakpoint(Site.Addr))
+      return E;
+  return Error::success();
+}
+
+Error Ldb::stepToNextStop(Target &T) {
+  Target::Scope S(T);
+  Expected<ps::Object> Top = symtab::topLevel(T.interp());
+  if (!Top)
+    return Top.takeError();
+  Expected<ps::Object> Procs = symtab::field(T.interp(), *Top, "procs");
+  if (!Procs)
+    return Procs.takeError();
+
+  // Plant a temporary breakpoint at every stopping point that does not
+  // already carry one. The currently-stopped point is skipped by the
+  // normal resume logic (the pc is advanced past its no-op).
+  std::vector<uint32_t> Temporary;
+  for (const ps::Object &EntryRef : *Procs->ArrVal) {
+    ps::Object Entry = EntryRef;
+    if (Error E = symtab::force(T.interp(), Entry))
+      return E;
+    Expected<ps::Object> Name = symtab::field(T.interp(), Entry, "name");
+    if (!Name)
+      continue;
+    Expected<uint32_t> ProcAddr = T.procAddr(Name->text());
+    if (!ProcAddr)
+      continue; // not in this image
+    Expected<ps::Object> Loci = symtab::field(T.interp(), Entry, "loci");
+    if (!Loci)
+      continue;
+    for (const ps::Object &Locus : *Loci->ArrVal) {
+      if (Locus.Ty != ps::Type::Array || Locus.ArrVal->size() < 2)
+        continue;
+      uint32_t Addr = *ProcAddr +
+                      static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
+      if (T.breakpointAt(Addr))
+        continue;
+      if (Error E = T.plantBreakpoint(Addr))
+        return E;
+      Temporary.push_back(Addr);
+    }
+  }
+
+  Error RunError = T.resume();
+  for (uint32_t Addr : Temporary) {
+    Error E = T.removeBreakpoint(Addr);
+    if (!RunError && E && !T.exited())
+      RunError = std::move(E);
+    // An exited process cannot service the removal stores; that is fine,
+    // the image is gone with it.
+  }
+  return RunError;
+}
+
+Error Ldb::breakAtProc(Target &T, const std::string &Proc) {
+  Target::Scope S(T);
+  Expected<symtab::StopSite> Site = symtab::entryStop(T, Proc);
+  if (!Site)
+    return Site.takeError();
+  return T.plantBreakpoint(Site->Addr);
+}

@@ -1,0 +1,77 @@
+//===- core/debugger.h - ldb ------------------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The debugger: one embedded PostScript interpreter, any number of
+/// simultaneously connected targets (possibly on different architectures,
+/// paper Sec 7), and the high-level operations user interfaces build on —
+/// the paper's point that ldb defines a client interface so other
+/// programs (user interfaces, event-action debuggers) can drive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_DEBUGGER_H
+#define LDB_CORE_DEBUGGER_H
+
+#include "core/eval.h"
+#include "core/symtab.h"
+#include "core/target.h"
+
+namespace ldb::core {
+
+class Ldb {
+public:
+  /// Builds the interpreter and reads the initial PostScript (the prelude
+  /// of printers — a separately timed startup phase in the paper's Sec 7
+  /// table).
+  Ldb();
+
+  ps::Interp &interp() { return I; }
+
+  //===--------------------------------------------------------------------===
+  // Targets
+  //===--------------------------------------------------------------------===
+
+  /// Connects a new target to a waiting process and reads its symbols
+  /// and loader table.
+  Expected<Target *> connect(nub::ProcessHost &Host,
+                             const std::string &ProcName,
+                             const std::string &PsSymtab,
+                             const std::string &LoaderTable);
+
+  Target *target(const std::string &ProcName);
+  std::vector<Target *> targets();
+
+  /// Drops a target (detaching politely when still connected).
+  void disconnect(const std::string &ProcName);
+
+  //===--------------------------------------------------------------------===
+  // Breakpoints by source location or procedure name (paper Sec 3:
+  // "users specify source locations or procedure names; ldb computes the
+  // locations of the corresponding instructions").
+  //===--------------------------------------------------------------------===
+
+  /// Plants breakpoints at every stopping point for File:Line.
+  Error breakAtLine(Target &T, const std::string &File, int Line);
+
+  /// Plants a breakpoint at the procedure's entry stopping point.
+  Error breakAtProc(Target &T, const std::string &Proc);
+
+  /// Source-level stepping, built entirely on breakpoints (the layering
+  /// the paper's Sec 7.1 sketches): plants temporary breakpoints at every
+  /// stopping point of every procedure with symbols, continues, then
+  /// removes the temporaries. Stops at the next stopping point reached,
+  /// including the entry of a called procedure.
+  Error stepToNextStop(Target &T);
+
+private:
+  ps::Interp I;
+  std::map<std::string, std::unique_ptr<Target>> Targets;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_DEBUGGER_H

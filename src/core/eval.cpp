@@ -1,0 +1,168 @@
+//===- core/eval.cpp - printing and assignment ------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/eval.h"
+
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+Expected<std::string> ldb::core::printEntry(Target &T,
+                                            const FrameInfo &Frame,
+                                            Object Entry) {
+  Interp &I = T.interp();
+  Expected<mem::Location> Where = symtab::whereOf(I, Entry);
+  if (!Where)
+    return Where.takeError();
+  Expected<Object> Ty = symtab::field(I, Entry, "type");
+  if (!Ty)
+    return Ty.takeError();
+
+  I.takeOutput(); // drop anything pending
+  I.push(Object::makeMemory(Frame.Mem));
+  I.push(Object::makeLocation(*Where));
+  I.push(*Ty);
+  if (Error E = I.run("print"))
+    return E;
+  return I.takeOutput();
+}
+
+namespace {
+
+/// Resolves \p Name in the context of \p FrameNo: the stopping point is
+/// the one whose no-op the frame's pc addresses.
+Expected<std::pair<FrameInfo, Object>>
+resolveInFrame(Target &T, const std::string &Name, unsigned FrameNo) {
+  Expected<FrameInfo> Frame = T.frame(FrameNo);
+  if (!Frame)
+    return Frame.takeError();
+  Expected<symtab::StopSite> Site =
+      symtab::nearestStopForPc(T, Frame->Pc);
+  if (!Site)
+    return Site.takeError();
+  Expected<Object> Entry = symtab::resolveName(T.interp(), *Site, Name);
+  if (!Entry)
+    return Entry.takeError();
+  return std::make_pair(*Frame, *Entry);
+}
+
+} // namespace
+
+Expected<std::string> ldb::core::printVariable(Target &T,
+                                               const std::string &Name,
+                                               unsigned FrameNo) {
+  Target::Scope S(T);
+  Expected<std::pair<FrameInfo, Object>> R =
+      resolveInFrame(T, Name, FrameNo);
+  if (!R)
+    return R.takeError();
+  return printEntry(T, R->first, R->second);
+}
+
+Error ldb::core::assignVariable(Target &T, const std::string &Name,
+                                const std::string &ValueText,
+                                unsigned FrameNo) {
+  Target::Scope S(T);
+  Expected<std::pair<FrameInfo, Object>> R =
+      resolveInFrame(T, Name, FrameNo);
+  if (!R)
+    return R.takeError();
+  Interp &I = T.interp();
+  Expected<mem::Location> Where = symtab::whereOf(I, R->second);
+  if (!Where)
+    return Where.takeError();
+  Expected<Object> Ty = symtab::field(I, R->second, "type");
+  if (!Ty)
+    return Ty.takeError();
+  Expected<Object> Size = symtab::field(I, *Ty, "size");
+  if (!Size)
+    return Size.takeError();
+  Expected<Object> Decl = symtab::field(I, *Ty, "decl");
+  if (!Decl)
+    return Decl.takeError();
+
+  bool Floating = Decl->text().find("float") != std::string::npos ||
+                  Decl->text().find("double") != std::string::npos;
+  char *End = nullptr;
+  if (Floating) {
+    double V = std::strtod(ValueText.c_str(), &End);
+    if (End == ValueText.c_str() || *End != '\0')
+      return Error::failure("not a numeric constant: " + ValueText);
+    return R->first.Mem->storeFloat(
+        *Where, static_cast<unsigned>(Size->IntVal), V);
+  }
+  long long V = std::strtoll(ValueText.c_str(), &End, 0);
+  if (End == ValueText.c_str() || *End != '\0')
+    return Error::failure("not an integer constant: " + ValueText);
+  return R->first.Mem->storeInt(*Where,
+                                static_cast<unsigned>(Size->IntVal),
+                                static_cast<uint64_t>(V));
+}
+
+Expected<std::string> ldb::core::printRegisters(Target &T) {
+  Target::Scope S(T);
+  Expected<FrameInfo> Frame = T.frame(0);
+  if (!Frame)
+    return Frame.takeError();
+  Interp &I = T.interp();
+  I.takeOutput();
+  I.push(Object::makeMemory(Frame->Mem));
+  if (Error E = I.run("PrintRegisters"))
+    return E;
+  return I.takeOutput();
+}
+
+Expected<std::string> ldb::core::describeStop(Target &T) {
+  if (T.exited())
+    return "process exited with status " +
+           std::to_string(T.lastStop().ExitStatus);
+  if (!T.stopped())
+    return Error::failure("the process is not stopped");
+  const nub::StopInfo &Stop = T.lastStop();
+  Expected<uint32_t> Pc = T.ctxPc();
+  if (!Pc)
+    return Pc.takeError();
+  std::string Out = nub::signalName(Stop.Signo);
+  Target::Scope S(T);
+  Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, *Pc);
+  if (Site) {
+    Expected<Object> File =
+        symtab::field(T.interp(), Site->ProcEntry, "sourcefile");
+    Out += " at " + (File ? File->text() : std::string("?")) + ":" +
+           std::to_string(Site->Line) + " in " + Site->ProcName;
+  } else {
+    Expected<Target::ProcAddr> Proc = T.procForPc(*Pc);
+    Out += " in " + (Proc ? Proc->Name : std::string("?"));
+  }
+  return Out;
+}
+
+Expected<std::string> ldb::core::renderBacktrace(Target &T, unsigned Max) {
+  Target::Scope S(T);
+  Expected<std::vector<FrameInfo>> Frames = T.backtrace(Max);
+  if (!Frames)
+    return Frames.takeError();
+  std::string Out;
+  for (size_t K = 0; K < Frames->size(); ++K) {
+    const FrameInfo &FI = (*Frames)[K];
+    Out += "#" + std::to_string(K) + " ";
+    Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, FI.Pc);
+    if (Site) {
+      Expected<Object> File =
+          symtab::field(T.interp(), Site->ProcEntry, "sourcefile");
+      Out += Site->ProcName + " at " +
+             (File ? File->text() : std::string("?")) + ":" +
+             std::to_string(Site->Line);
+    } else {
+      Expected<Target::ProcAddr> Proc = T.procForPc(FI.Pc);
+      Out += Proc ? Proc->Name : std::string("?");
+    }
+    Out += "\n";
+  }
+  return Out;
+}

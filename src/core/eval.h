@@ -1,0 +1,53 @@
+//===- core/eval.h - printing and assignment --------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value printing and simple assignment. Printing is entirely delegated
+/// to the PostScript /printer procedures in type dictionaries (paper Sec
+/// 2): ldb pushes the frame's abstract memory, the symbol's location, and
+/// the type dictionary, then interprets "print". Assignment of constants
+/// goes straight through the abstract memory; full expression evaluation
+/// and assignment run through the expression server (src/exprserver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_EVAL_H
+#define LDB_CORE_EVAL_H
+
+#include "core/symtab.h"
+#include "core/target.h"
+
+namespace ldb::core {
+
+/// Prints the value of the (forced) symbol-table entry \p Entry as seen
+/// from \p Frame. Must run inside a Target::Scope.
+Expected<std::string> printEntry(Target &T, const FrameInfo &Frame,
+                                 ps::Object Entry);
+
+/// Resolves \p Name at the current stop point of frame \p FrameNo and
+/// prints its value. Manages its own scope.
+Expected<std::string> printVariable(Target &T, const std::string &Name,
+                                    unsigned FrameNo = 0);
+
+/// Assigns a numeric constant (e.g. "42", "-1", "2.5") to the named
+/// scalar variable.
+Error assignVariable(Target &T, const std::string &Name,
+                     const std::string &ValueText, unsigned FrameNo = 0);
+
+/// Renders the target's registers using the machine-dependent
+/// /RegisterNames PostScript.
+Expected<std::string> printRegisters(Target &T);
+
+/// One line describing where and why the target is stopped, e.g.
+/// "breakpoint trap at fib.c:11 in fib".
+Expected<std::string> describeStop(Target &T);
+
+/// A rendered backtrace, one "#N proc at file:line" line per frame.
+Expected<std::string> renderBacktrace(Target &T, unsigned Max = 16);
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_EVAL_H

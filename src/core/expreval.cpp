@@ -1,0 +1,221 @@
+//===- core/expreval.cpp - expression evaluation ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/expreval.h"
+
+#include "core/symtab.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+Expected<std::string> ldb::core::encodePsType(Interp &I, Object TyDict) {
+  Expected<Object> Printer = symtab::field(I, TyDict, "printer");
+  if (!Printer)
+    return Printer.takeError();
+  if (Printer->Ty != Type::Array || Printer->ArrVal->empty() ||
+      (*Printer->ArrVal)[0].Ty != Type::Name)
+    return Error::failure("malformed printer procedure in type dict");
+  const std::string &Kind = (*Printer->ArrVal)[0].text();
+
+  if (Kind == "INT")
+    return std::string("i4");
+  if (Kind == "UNSIGNED")
+    return std::string("u4");
+  if (Kind == "SHORT")
+    return std::string("i2");
+  if (Kind == "CHAR" || Kind == "SCHAR")
+    return std::string("i1");
+  if (Kind == "FLOAT")
+    return std::string("f4");
+  if (Kind == "DOUBLE")
+    return std::string("f8");
+  if (Kind == "LONGDOUBLE")
+    return std::string("f10");
+  if (Kind == "FUNCPTR")
+    return std::string("pf");
+  if (Kind == "POINTER") {
+    if (!symtab::hasField(TyDict, "&pointee"))
+      return std::string("p v");
+    Expected<Object> Pointee = symtab::field(I, TyDict, "&pointee");
+    if (!Pointee)
+      return Pointee.takeError();
+    Expected<std::string> Sub = encodePsType(I, *Pointee);
+    if (!Sub)
+      return Sub.takeError();
+    return "p " + *Sub;
+  }
+  if (Kind == "CHARARRAY") {
+    Expected<Object> Size = symtab::field(I, TyDict, "&arraysize");
+    if (!Size)
+      return Size.takeError();
+    return "a " + std::to_string(Size->IntVal) + " i1";
+  }
+  if (Kind == "ARRAY") {
+    Expected<Object> Total = symtab::field(I, TyDict, "&arraysize");
+    Expected<Object> ElemSize = symtab::field(I, TyDict, "&elemsize");
+    Expected<Object> ElemTy = symtab::field(I, TyDict, "&elemtype");
+    if (!Total || !ElemSize || !ElemTy)
+      return Error::failure("malformed array type dict");
+    Expected<std::string> Sub = encodePsType(I, *ElemTy);
+    if (!Sub)
+      return Sub.takeError();
+    int64_t Count =
+        ElemSize->IntVal > 0 ? Total->IntVal / ElemSize->IntVal : 0;
+    return "a " + std::to_string(Count) + " " + *Sub;
+  }
+  if (Kind == "STRUCT") {
+    Expected<Object> Fields = symtab::field(I, TyDict, "&fields");
+    if (!Fields || Fields->Ty != Type::Array)
+      return Error::failure("malformed struct type dict");
+    std::string Out = "s " + std::to_string(Fields->ArrVal->size());
+    for (const Object &F : *Fields->ArrVal) {
+      Expected<Object> Name = symtab::field(I, F, "name");
+      Expected<Object> Offset = symtab::field(I, F, "offset");
+      Expected<Object> Sub = symtab::field(I, F, "type");
+      if (!Name || !Offset || !Sub)
+        return Error::failure("malformed struct field");
+      Expected<std::string> SubCode = encodePsType(I, *Sub);
+      if (!SubCode)
+        return SubCode.takeError();
+      Out += " " + Name->text() + " " +
+             std::to_string(Offset->IntVal) + " " + *SubCode;
+    }
+    return Out;
+  }
+  return Error::failure("cannot describe type with printer " + Kind);
+}
+
+namespace {
+
+/// Builds one lookup reply line, or "unknown" when resolution fails.
+std::string lookupReply(Target &T, const symtab::StopSite &Site,
+                        const std::string &Name) {
+  Interp &I = T.interp();
+  Expected<Object> Entry = symtab::resolveName(I, Site, Name);
+  if (!Entry)
+    return "unknown";
+
+  Expected<Object> Kind = symtab::field(I, *Entry, "kind");
+  if (Kind && Kind->text() == "procedure") {
+    Expected<uint32_t> Addr = T.procAddr(Name);
+    return "sym proc " + std::to_string(Addr ? *Addr : 0) + " func";
+  }
+
+  Expected<mem::Location> Where = symtab::whereOf(I, *Entry);
+  if (!Where)
+    return "unknown";
+  Expected<Object> TyDict = symtab::field(I, *Entry, "type");
+  if (!TyDict)
+    return "unknown";
+  Expected<std::string> TyCode = encodePsType(I, *TyDict);
+  if (!TyCode)
+    return "unknown";
+
+  std::string Loc;
+  switch (Where->Space) {
+  case mem::SpGpr:
+    Loc = "reg " + std::to_string(Where->Offset);
+    break;
+  case mem::SpLocal:
+    Loc = "local " + std::to_string(Where->Offset);
+    break;
+  case mem::SpData:
+    Loc = "addr " + std::to_string(Where->Offset);
+    break;
+  default:
+    return "unknown";
+  }
+  return "sym " + Loc + " " + *TyCode;
+}
+
+} // namespace
+
+Expected<std::string> ldb::core::evalExpression(Target &T,
+                                                ExprSession &Session,
+                                                const std::string &Text,
+                                                unsigned FrameNo) {
+  Target::Scope S(T);
+  Expected<FrameInfo> Frame = T.frame(FrameNo);
+  if (!Frame)
+    return Frame.takeError();
+  Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, Frame->Pc);
+  if (!Site)
+    return Site.takeError();
+
+  Interp &I = T.interp();
+  exprserver::ExprServer &Srv = Session.server();
+
+  // The debugger treats each expression as a string: send it to the
+  // expression server, then interpret PostScript code until the server
+  // says to stop (paper Sec 3).
+  Srv.toServer().writeLine(Text);
+
+  bool GotResult = false;
+  std::string ServerError;
+  auto Ops = Object::makeDict(std::make_shared<DictImpl>());
+  Ops.DictVal->Entries["ExpressionServer.lookup"] = Object::makeOperator(
+      "ExpressionServer.lookup", [&](Interp &In) {
+        std::string Name;
+        if (PsStatus St = In.popNameText(Name); St != PsStatus::Ok)
+          return St;
+        Srv.toServer().writeLine(lookupReply(T, *Site, Name));
+        return PsStatus::Ok;
+      });
+  Ops.DictVal->Entries["ExpressionServer.result"] = Object::makeOperator(
+      "ExpressionServer.result", [&](Interp &) {
+        GotResult = true;
+        return PsStatus::Stop;
+      });
+  Ops.DictVal->Entries["ExpressionServer.error"] = Object::makeOperator(
+      "ExpressionServer.error", [&](Interp &In) {
+        Object Msg;
+        if (PsStatus St = In.pop(Msg); St != PsStatus::Ok)
+          return St;
+        ServerError = cvsText(Msg);
+        return PsStatus::Stop;
+      });
+
+  size_t Depth = I.opStack().size();
+  I.dictStack().push_back(Ops);
+  auto Source = std::make_shared<CallbackCharSource>(
+      [&Srv] { return Srv.fromServer().readByte(); });
+  PsStatus St = I.exec(Object::makeFile(Source));
+  I.dictStack().pop_back();
+
+  if (St == PsStatus::Failed) {
+    I.opStack().resize(Depth);
+    return Error::failure(I.errorMessage());
+  }
+  if (!ServerError.empty()) {
+    I.opStack().resize(Depth);
+    return Error::failure(ServerError);
+  }
+  if (!GotResult || I.opStack().size() != Depth + 1) {
+    I.opStack().resize(Depth);
+    return Error::failure("expression server sent no result");
+  }
+  Object Proc = I.opStack().back();
+  I.opStack().pop_back();
+
+  // Execute the procedure against the frame's abstract memory.
+  auto Env = Object::makeDict(std::make_shared<DictImpl>());
+  Env.DictVal->Entries["&mem"] = Object::makeMemory(Frame->Mem);
+  I.dictStack().push_back(Env);
+  St = I.exec(Proc);
+  I.dictStack().pop_back();
+  if (St == PsStatus::Failed) {
+    I.opStack().resize(Depth);
+    return Error::failure(I.errorMessage());
+  }
+  if (I.opStack().size() != Depth + 1) {
+    I.opStack().resize(Depth);
+    return Error::failure("expression produced no value");
+  }
+  Object Result = I.opStack().back();
+  I.opStack().pop_back();
+  return cvsText(Result);
+}

@@ -1,0 +1,47 @@
+//===- core/expreval.h - expression evaluation ------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ldb's end of the expression server (paper Sec 3, Fig 3). To evaluate
+/// an expression, ldb sends it to the server as a string, then interprets
+/// PostScript from the server's pipe until told to stop: lookups resolve
+/// symbols at the current stopping point and reply with reconstructed
+/// entry data; the final procedure is executed against the frame's
+/// abstract memory. Assignments work because the rewritten code stores
+/// through the same abstract memories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_EXPREVAL_H
+#define LDB_CORE_EXPREVAL_H
+
+#include "core/target.h"
+#include "exprserver/server.h"
+
+namespace ldb::core {
+
+/// One expression server, shared across expressions (the server keeps
+/// accumulated type information; symbols are discarded per expression).
+class ExprSession {
+public:
+  exprserver::ExprServer &server() { return Server; }
+
+private:
+  exprserver::ExprServer Server;
+};
+
+/// Evaluates \p Text in the context of \p FrameNo and renders the result.
+Expected<std::string> evalExpression(Target &T, ExprSession &Session,
+                                     const std::string &Text,
+                                     unsigned FrameNo = 0);
+
+/// Encodes a PostScript type dictionary as a wire type description for
+/// lookup replies (exposed for tests).
+Expected<std::string> encodePsType(ps::Interp &I, ps::Object TyDict);
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_EXPREVAL_H

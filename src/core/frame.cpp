@@ -1,0 +1,168 @@
+//===- core/frame.cpp - the stack-frame machinery --------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-independent part of the stack-frame abstraction (paper Sec
+/// 4.1): building the per-frame abstract-memory DAG of Fig 4, and the
+/// shared frame-pointer walker used by z68k, zsparc, and zvax (mirroring
+/// the paper: the VAX, SPARC, and 68020 share a single machine-independent
+/// implementation; the MIPS cannot, because it has no frame pointer).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/symtab.h"
+#include "core/target.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::mem;
+
+FrameWalker::~FrameWalker() = default;
+
+FrameInfo ldb::core::buildFrameDag(
+    Target &T, uint32_t Pc, uint32_t Vfp,
+    const std::function<Location(char, unsigned)> &RegHome) {
+  const target::TargetDesc &Desc = *T.arch().Desc;
+  FrameInfo FI;
+  FI.Pc = Pc;
+  FI.Vfp = Vfp;
+
+  auto Alias = std::make_shared<AliasMemory>(T.wire());
+  for (unsigned R = 0; R < Desc.NumGpr; ++R)
+    Alias->addAlias(SpGpr, R, RegHome(SpGpr, R));
+  for (unsigned R = 0; R < Desc.NumFpr; ++R)
+    Alias->addAlias(SpFpr, R, RegHome(SpFpr, R));
+  // The extra registers (pc and virtual frame pointer) are aliases for
+  // immediate locations, not for locations in target memory.
+  Alias->addAlias(SpExtra, 0, Location::immediate(Pc));
+  Alias->addAlias(SpExtra, 1, Location::immediate(Vfp));
+  // Frame locals address relative to the vfp.
+  Alias->addRebase(SpLocal, SpData, static_cast<int64_t>(Vfp));
+
+  auto Reg = std::make_shared<RegisterMemory>(Alias, "rfx");
+  auto Joined = std::make_shared<JoinedMemory>();
+  Joined->join("rfxl", Reg);
+  Joined->join("cd", T.wire());
+
+  FI.Alias = Alias;
+  FI.Mem = Joined;
+  return FI;
+}
+
+Expected<FrameInfo> ldb::core::buildCallerFrameDag(Target &T,
+                                                   const FrameInfo &Callee,
+                                                   uint32_t CallerPc,
+                                                   uint32_t CallerVfp,
+                                                   uint32_t CalleeSaveMask) {
+  // Slots the callee's prologue used, descending from vfp-12 in save-mask
+  // bit order (matching the compiler).
+  std::map<unsigned, Location> SavedAt;
+  int Index = 0;
+  for (unsigned R = 0; R < 32; ++R) {
+    if (!(CalleeSaveMask & (1u << R)))
+      continue;
+    SavedAt[R] = Location::absolute(
+        SpData, static_cast<int64_t>(Callee.Vfp) - 12 - 4 * Index);
+    ++Index;
+  }
+
+  auto Home = [&](char Space, unsigned R) -> Location {
+    if (Space == SpGpr) {
+      auto It = SavedAt.find(R);
+      if (It != SavedAt.end())
+        return It->second;
+    }
+    // Reuse the alias from the called frame: when callee-saved registers
+    // are not modified by the called procedure, the callee's mapping
+    // still describes where the caller's value lives.
+    Location Out;
+    Callee.Alias->translate(Location::absolute(Space, R), Out);
+    return Out;
+  };
+  return buildFrameDag(T, CallerPc, CallerVfp, Home);
+}
+
+//===----------------------------------------------------------------------===//
+// The shared frame-pointer walker
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walker for the three targets with a frame pointer. All machine
+/// dependence is data: the frame-pointer register number from the
+/// TargetDesc and the register-save information in symbol-table entries.
+class FpFrameWalker : public FrameWalker {
+public:
+  Expected<FrameInfo> topFrame(Target &T, uint32_t Ctx) const override {
+    const target::TargetDesc &Desc = *T.arch().Desc;
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc)
+      return Pc.takeError();
+    Expected<uint32_t> Vfp = T.ctxGpr(static_cast<unsigned>(Desc.FpReg));
+    if (!Vfp)
+      return Vfp.takeError();
+    const nub::ContextLayout &L = T.layout();
+    auto Home = [&](char Space, unsigned R) {
+      if (Space == SpGpr)
+        return Location::absolute(SpData, L.gprAddr(Ctx, R, Desc.NumGpr));
+      return Location::absolute(SpData, L.fprAddr(Ctx, R));
+    };
+    return buildFrameDag(T, *Pc, *Vfp, Home);
+  }
+
+  Expected<FrameInfo> callerFrame(Target &T,
+                                  const FrameInfo &Callee) const override {
+    uint64_t Ra = 0, CallerVfp = 0;
+    if (Error E = T.wire()->fetchInt(
+            Location::absolute(SpData, Callee.Vfp - 4), 4, Ra))
+      return E;
+    if (Error E = T.wire()->fetchInt(
+            Location::absolute(SpData, Callee.Vfp - 8), 4, CallerVfp))
+      return E;
+    if (Ra < 8)
+      return Error::failure("no caller: return address is null");
+    uint32_t CallerPc = static_cast<uint32_t>(Ra) - 4;
+    Expected<ProcFrameData> CalleeData = T.frameData(Callee.Pc);
+    uint32_t Mask = CalleeData ? CalleeData->SaveMask : 0;
+    return buildCallerFrameDag(T, Callee, CallerPc,
+                               static_cast<uint32_t>(CallerVfp), Mask);
+  }
+
+  Expected<ProcFrameData> frameData(Target &T, uint32_t Pc) const override {
+    // From the symbol table: /framesize, /savemask, /saveoffset in the
+    // procedure's entry (the paper's 68020 register-save masks).
+    Expected<Target::ProcAddr> Proc = T.procForPc(Pc);
+    if (!Proc)
+      return Proc.takeError();
+    Expected<ps::Object> Entry =
+        symtab::procEntryByName(T.interp(), Proc->Name);
+    if (!Entry)
+      return Error::failure("no frame data for " + Proc->Name);
+    ProcFrameData Data;
+    Expected<ps::Object> Fs =
+        symtab::field(T.interp(), *Entry, "framesize");
+    if (!Fs)
+      return Fs.takeError();
+    Data.FrameSize = static_cast<uint32_t>(Fs->IntVal);
+    Expected<ps::Object> Sm = symtab::field(T.interp(), *Entry, "savemask");
+    if (!Sm)
+      return Sm.takeError();
+    Data.SaveMask = static_cast<uint32_t>(Sm->IntVal);
+    Expected<ps::Object> So =
+        symtab::field(T.interp(), *Entry, "saveoffset");
+    if (!So)
+      return So.takeError();
+    Data.SaveAreaOffset = static_cast<int32_t>(So->IntVal);
+    return Data;
+  }
+};
+
+} // namespace
+
+const FrameWalker &ldb::core::fpFrameWalker() {
+  static const FpFrameWalker W;
+  return W;
+}

@@ -1,0 +1,298 @@
+//===- core/symtab.cpp - reading PostScript symbol tables ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/symtab.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+Error symtab::force(Interp &I, Object &V) {
+  // Deferred symbol tables reference entries by literal name from their
+  // containers; resolve the indirection first.
+  if (V.Ty == Type::Name && !V.Exec) {
+    Object Bound;
+    if (!I.lookup(V.text(), Bound))
+      return Error::failure("undefined symbol-table entry " + V.text());
+    V = Bound;
+  }
+  if (!V.Exec || (V.Ty != Type::Array && V.Ty != Type::String))
+    return Error::success();
+  size_t Depth = I.opStack().size();
+  PsStatus S = I.exec(V);
+  if (S == PsStatus::Failed)
+    return Error::failure(I.errorMessage());
+  if (S != PsStatus::Ok || I.opStack().size() != Depth + 1) {
+    I.opStack().resize(Depth);
+    return Error::failure("deferred value did not yield one result");
+  }
+  V = I.opStack().back();
+  I.opStack().pop_back();
+  return Error::success();
+}
+
+bool symtab::hasField(const Object &Dict, const std::string &Key) {
+  return Dict.Ty == Type::Dict && Dict.DictVal->Entries.count(Key) != 0;
+}
+
+Expected<ps::Object> symtab::field(Interp &I, const Object &Dict,
+                                   const std::string &Key) {
+  if (Dict.Ty != Type::Dict)
+    return Error::failure("symbol-table entry is not a dictionary");
+  auto It = Dict.DictVal->Entries.find(Key);
+  if (It == Dict.DictVal->Entries.end())
+    return Error::failure("symbol-table entry has no /" + Key);
+  Object V = It->second;
+  // Force only deferred (executable-string) values here: procedures such
+  // as /printer are values in their own right and must not run.
+  if (V.Exec && V.Ty == Type::String) {
+    if (Error E = force(I, V))
+      return E;
+    It->second = V; // memoize: the literal replaces the procedure
+  }
+  return V;
+}
+
+Expected<ps::Object> symtab::topLevel(Interp &I) {
+  Object Top;
+  if (!I.lookup("symtab", Top) || Top.Ty != Type::Dict)
+    return Error::failure("no symbol table loaded for this target");
+  return Top;
+}
+
+Expected<ps::Object> symtab::procEntryByName(Interp &I,
+                                             const std::string &Name) {
+  Expected<Object> Top = topLevel(I);
+  if (!Top)
+    return Top.takeError();
+  Expected<Object> Externs = field(I, *Top, "externs");
+  if (!Externs)
+    return Externs.takeError();
+  auto It = Externs->DictVal->Entries.find(Name);
+  if (It == Externs->DictVal->Entries.end())
+    return Error::failure("no symbol named " + Name);
+  Object Entry = It->second;
+  if (Error E = force(I, Entry))
+    return E;
+  It->second = Entry;
+  return Entry;
+}
+
+namespace {
+
+/// Builds a StopSite from one loci element: [ line codeoffset visible ].
+Expected<symtab::StopSite> siteFromLocus(Interp &I, const Object &Locus,
+                                         int Index, uint32_t ProcAddr,
+                                         const std::string &ProcName,
+                                         Object ProcEntry) {
+  if (Locus.Ty != Type::Array || Locus.ArrVal->size() < 3)
+    return Error::failure("malformed stopping point");
+  symtab::StopSite Site;
+  Site.Line = static_cast<int>((*Locus.ArrVal)[0].IntVal);
+  Site.Addr = ProcAddr + static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
+  Site.Index = Index;
+  Site.ProcAddr = ProcAddr;
+  Site.ProcName = ProcName;
+  Site.ProcEntry = std::move(ProcEntry);
+  Object Visible = (*Locus.ArrVal)[2];
+  if (Error E = symtab::force(I, Visible))
+    return E;
+  Site.Visible = Visible;
+  return Site;
+}
+
+} // namespace
+
+Expected<symtab::StopSite> symtab::stopForPc(Target &T, uint32_t Pc) {
+  Interp &I = T.interp();
+  Expected<Target::ProcAddr> Proc = T.procForPc(Pc);
+  if (!Proc)
+    return Proc.takeError();
+  Expected<Object> Entry = procEntryByName(I, Proc->Name);
+  if (!Entry)
+    return Error::failure("no debugging symbols for " + Proc->Name);
+  Expected<Object> Loci = field(I, *Entry, "loci");
+  if (!Loci)
+    return Loci.takeError();
+  uint32_t Offset = Pc - Proc->Addr;
+  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+    const Object &Locus = (*Loci->ArrVal)[K];
+    if (Locus.Ty == Type::Array && Locus.ArrVal->size() >= 2 &&
+        static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal) == Offset)
+      return siteFromLocus(I, Locus, static_cast<int>(K), Proc->Addr,
+                           Proc->Name, *Entry);
+  }
+  return Error::failure("pc " + std::to_string(Pc) +
+                        " is not at a stopping point of " + Proc->Name);
+}
+
+Expected<symtab::StopSite> symtab::nearestStopForPc(Target &T, uint32_t Pc) {
+  Interp &I = T.interp();
+  Expected<Target::ProcAddr> Proc = T.procForPc(Pc);
+  if (!Proc)
+    return Proc.takeError();
+  Expected<Object> Entry = procEntryByName(I, Proc->Name);
+  if (!Entry)
+    return Error::failure("no debugging symbols for " + Proc->Name);
+  Expected<Object> Loci = field(I, *Entry, "loci");
+  if (!Loci)
+    return Loci.takeError();
+  uint32_t Offset = Pc - Proc->Addr;
+  int BestIndex = -1;
+  uint32_t BestOffset = 0;
+  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+    const Object &Locus = (*Loci->ArrVal)[K];
+    if (Locus.Ty != Type::Array || Locus.ArrVal->size() < 2)
+      continue;
+    uint32_t Off = static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
+    if (Off <= Offset && (BestIndex < 0 || Off >= BestOffset)) {
+      BestIndex = static_cast<int>(K);
+      BestOffset = Off;
+    }
+  }
+  if (BestIndex < 0)
+    return Error::failure("no stopping point at or before this pc");
+  return siteFromLocus(I, (*Loci->ArrVal)[BestIndex], BestIndex, Proc->Addr,
+                       Proc->Name, *Entry);
+}
+
+Expected<std::vector<symtab::StopSite>>
+symtab::stopsForSource(Target &T, const std::string &File, int Line) {
+  Interp &I = T.interp();
+  Expected<Object> Top = topLevel(I);
+  if (!Top)
+    return Top.takeError();
+  Expected<Object> SourceMap = field(I, *Top, "sourcemap");
+  if (!SourceMap)
+    return SourceMap.takeError();
+  auto It = SourceMap->DictVal->Entries.find(File);
+  if (It == SourceMap->DictVal->Entries.end())
+    return Error::failure("no compilation unit named " + File);
+  Object Procs = It->second;
+  if (Error E = force(I, Procs))
+    return E;
+  if (Procs.Ty != Type::Array)
+    return Error::failure("malformed sourcemap");
+
+  // Because of the preprocessor a single source location may correspond
+  // to more than one stopping point (paper Sec 2); collect them all.
+  std::vector<StopSite> Sites;
+  for (const Object &EntryRef : *Procs.ArrVal) {
+    Object Entry = EntryRef;
+    if (Error E = force(I, Entry))
+      return E;
+    Expected<Object> NameV = field(I, Entry, "name");
+    if (!NameV)
+      return NameV.takeError();
+    Expected<uint32_t> ProcAddr = T.procAddr(NameV->text());
+    if (!ProcAddr)
+      continue; // procedure not in this image
+    Expected<Object> Loci = field(I, Entry, "loci");
+    if (!Loci)
+      return Loci.takeError();
+    for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+      const Object &Locus = (*Loci->ArrVal)[K];
+      if (Locus.Ty != Type::Array ||
+          (*Locus.ArrVal)[0].IntVal != Line)
+        continue;
+      Expected<StopSite> Site = siteFromLocus(
+          I, Locus, static_cast<int>(K), *ProcAddr, NameV->text(), Entry);
+      if (!Site)
+        return Site.takeError();
+      Sites.push_back(*Site);
+    }
+  }
+  if (Sites.empty())
+    return Error::failure("no stopping point at " + File + ":" +
+                          std::to_string(Line));
+  return Sites;
+}
+
+Expected<symtab::StopSite> symtab::entryStop(Target &T,
+                                             const std::string &ProcName) {
+  Interp &I = T.interp();
+  Expected<Object> Entry = procEntryByName(I, ProcName);
+  if (!Entry)
+    return Entry.takeError();
+  Expected<uint32_t> ProcAddr = T.procAddr(ProcName);
+  if (!ProcAddr)
+    return ProcAddr.takeError();
+  Expected<Object> Loci = field(I, *Entry, "loci");
+  if (!Loci)
+    return Loci.takeError();
+  if (Loci->ArrVal->empty())
+    return Error::failure(ProcName + " has no stopping points");
+  return siteFromLocus(I, (*Loci->ArrVal)[0], 0, *ProcAddr, ProcName,
+                       *Entry);
+}
+
+Expected<ps::Object> symtab::resolveName(Interp &I, const StopSite &Site,
+                                         const std::string &Name) {
+  // Walk up the uplink tree from the stopping point's visible chain.
+  Object Entry = Site.Visible;
+  while (Entry.Ty == Type::Dict) {
+    Expected<Object> EntryName = field(I, Entry, "name");
+    if (!EntryName)
+      return EntryName.takeError();
+    if (EntryName->text() == Name)
+      return Entry;
+    if (!hasField(Entry, "uplink"))
+      break;
+    Expected<Object> Up = field(I, Entry, "uplink");
+    if (!Up)
+      return Up.takeError();
+    Entry = *Up;
+  }
+  // Statics of the current compilation unit.
+  if (Site.ProcEntry.Ty == Type::Dict &&
+      hasField(Site.ProcEntry, "statics")) {
+    Expected<Object> Statics = field(I, Site.ProcEntry, "statics");
+    if (!Statics)
+      return Statics.takeError();
+    auto It = Statics->DictVal->Entries.find(Name);
+    if (It != Statics->DictVal->Entries.end()) {
+      Object E = It->second;
+      if (Error Err = force(I, E))
+        return Err;
+      It->second = E;
+      return E;
+    }
+  }
+  // Global symbols.
+  Expected<Object> Top = topLevel(I);
+  if (!Top)
+    return Top.takeError();
+  Expected<Object> Externs = field(I, *Top, "externs");
+  if (!Externs)
+    return Externs.takeError();
+  auto It = Externs->DictVal->Entries.find(Name);
+  if (It != Externs->DictVal->Entries.end()) {
+    Object E = It->second;
+    if (Error Err = force(I, E))
+      return Err;
+    It->second = E;
+    return E;
+  }
+  return Error::failure("no symbol named '" + Name + "' is visible here");
+}
+
+Expected<mem::Location> symtab::whereOf(Interp &I, ps::Object Entry) {
+  if (Entry.Ty != Type::Dict)
+    return Error::failure("symbol-table entry is not a dictionary");
+  auto It = Entry.DictVal->Entries.find("where");
+  if (It == Entry.DictVal->Entries.end())
+    return Error::failure("symbol has no storage location");
+  Object Where = It->second;
+  // Where-values may be procedures interpreted at debug time (the
+  // anchor-symbol technique); the result replaces the procedure so the
+  // target fetch happens at most once per entry (paper Sec 5, 7).
+  if (Error E = force(I, Where))
+    return E;
+  It->second = Where;
+  if (Where.Ty != Type::Location)
+    return Error::failure("symbol has no storage location");
+  return Where.LocVal;
+}

@@ -1,0 +1,85 @@
+//===- core/symtab.h - reading PostScript symbol tables ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ldb's view of the PostScript symbol tables: stopping points, the
+/// uplink-tree name resolution of Sec 2, and where-value evaluation with
+/// the replace-procedure-by-result memoization of Sec 5. All functions
+/// must run inside a Target::Scope so the target's dictionaries are on
+/// the dictionary stack and LazyData can reach the linker interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_SYMTAB_H
+#define LDB_CORE_SYMTAB_H
+
+#include "core/target.h"
+#include "postscript/interp.h"
+
+#include <vector>
+
+namespace ldb::core::symtab {
+
+/// If \p V is executable (a deferred entry string or a where-procedure),
+/// executes it and replaces it with the single result.
+Error force(ps::Interp &I, ps::Object &V);
+
+/// Fetches \p Key from \p Dict, forcing deferred values and memoizing the
+/// result back into the dictionary (literal-replaces-procedure, Sec 5).
+Expected<ps::Object> field(ps::Interp &I, const ps::Object &Dict,
+                           const std::string &Key);
+
+/// True if \p Dict has \p Key.
+bool hasField(const ps::Object &Dict, const std::string &Key);
+
+/// The current /symtab top-level dictionary.
+Expected<ps::Object> topLevel(ps::Interp &I);
+
+/// The (forced) symbol-table entry for procedure \p Name, from the
+/// top-level externs dictionary.
+Expected<ps::Object> procEntryByName(ps::Interp &I, const std::string &Name);
+
+/// A stopping point, fully resolved to an object-code address.
+struct StopSite {
+  uint32_t Addr = 0;     ///< absolute address of the no-op
+  int Line = 0;          ///< source line
+  int Index = -1;        ///< position in the procedure's loci
+  uint32_t ProcAddr = 0;
+  std::string ProcName;
+  ps::Object ProcEntry; ///< the procedure's symbol-table entry
+  ps::Object Visible;   ///< head of the visible-symbol chain (may be null)
+};
+
+/// The stopping point whose no-op is at \p Pc (the context for name
+/// resolution when the target stops there).
+Expected<StopSite> stopForPc(Target &T, uint32_t Pc);
+
+/// The nearest stopping point at or before \p Pc — used for caller
+/// frames, whose pc is at a call site between stopping points, and for
+/// faults that occur mid-expression.
+Expected<StopSite> nearestStopForPc(Target &T, uint32_t Pc);
+
+/// All stopping points for \p File : \p Line — one source location can
+/// map to several stopping points (paper Sec 2).
+Expected<std::vector<StopSite>> stopsForSource(Target &T,
+                                               const std::string &File,
+                                               int Line);
+
+/// The procedure-entry stopping point of \p ProcName.
+Expected<StopSite> entryStop(Target &T, const std::string &ProcName);
+
+/// Name resolution (paper Sec 2): walk up the uplink tree from the
+/// stopping point's visible chain, then the procedure's statics, then the
+/// program's externs. Returns the symbol's (forced) entry.
+Expected<ps::Object> resolveName(ps::Interp &I, const StopSite &Site,
+                                 const std::string &Name);
+
+/// The entry's location: forces and memoizes /where.
+Expected<mem::Location> whereOf(ps::Interp &I, ps::Object Entry);
+
+} // namespace ldb::core::symtab
+
+#endif // LDB_CORE_SYMTAB_H

@@ -1,0 +1,348 @@
+//===- core/target.cpp - the target object ---------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/target.h"
+
+#include "core/symtab.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+//===----------------------------------------------------------------------===//
+// Scope
+//===----------------------------------------------------------------------===//
+
+Target::Scope::Scope(Target &T) : T(T) {
+  SavedDepth = T.I.dictStack().size();
+  SavedHooks = T.I.Hooks;
+  // Architecture dictionary below, target dictionary on top: symbol
+  // tables and loader tables read inside the scope define their names in
+  // the target dictionary, and machine-dependent names resolve through
+  // the architecture dictionary (the rebinding of paper Sec 5).
+  T.I.dictStack().push_back(T.ArchDict);
+  T.I.dictStack().push_back(T.TargetDict);
+  T.I.Hooks = &T;
+}
+
+Target::Scope::~Scope() {
+  T.I.dictStack().resize(SavedDepth);
+  T.I.Hooks = SavedHooks;
+}
+
+//===----------------------------------------------------------------------===//
+// Connection
+//===----------------------------------------------------------------------===//
+
+Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
+  Expected<std::unique_ptr<nub::NubClient>> C = Host.connect(ProcName);
+  if (!C)
+    return C.takeError();
+  Client = C.take();
+
+  // The nub's welcome names the architecture; that name selects all of
+  // ldb's machine-dependent code and data.
+  std::string ArchName = Client->archName();
+  Arch = architectureByName(ArchName);
+  if (!Arch) {
+    Client = nullptr;
+    return Error::failure("unknown target architecture: " + ArchName);
+  }
+  Layout = nub::nubMdFor(*Arch->Desc).layout(*Arch->Desc);
+  Wire = std::make_shared<mem::WireMemory>(*Client);
+  Stop = Client->pendingStop();
+
+  TargetDict = Object::makeDict(std::make_shared<DictImpl>());
+  ArchDict = Object::makeDict(std::make_shared<DictImpl>());
+
+  // Populate the architecture dictionary from its PostScript fragment.
+  I.dictStack().push_back(ArchDict);
+  Error E = I.run(Arch->MdPostScript);
+  I.dictStack().pop_back();
+  if (E)
+    return E;
+
+  // procnameat: addr -> procedure name, used by the FUNCPTR printer.
+  Target *Self = this;
+  ArchDict.DictVal->Entries["procnameat"] = Object::makeOperator(
+      "procnameat", [Self](Interp &In) {
+        int64_t Addr;
+        if (PsStatus S = In.popInt(Addr); S != PsStatus::Ok)
+          return S;
+        Expected<ProcAddr> P =
+            Self->procForPc(static_cast<uint32_t>(Addr));
+        if (!P)
+          return In.fail(P.message());
+        In.push(Object::makeString(P->Name));
+        return PsStatus::Ok;
+      });
+  return Error::success();
+}
+
+void Target::crashConnection() {
+  if (Client)
+    Client->crash();
+}
+
+Error Target::loadSymbols(const std::string &PsText) {
+  Scope S(*this);
+  return I.run(PsText);
+}
+
+Error Target::loadLoaderTable(const std::string &PsText) {
+  Scope S(*this);
+  if (Error E = I.run(PsText))
+    return E;
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return Error::failure("loader table did not define /loadertable");
+  auto It = LT.DictVal->Entries.find("rpt");
+  if (It != LT.DictVal->Entries.end())
+    RptAddr = static_cast<uint32_t>(It->second.IntVal);
+
+  // Consistency check (paper Sec 2): the anchor-symbol names in the
+  // top-level dictionary must all appear in the loader table, ensuring
+  // the symbol table matches the object code.
+  Object Top;
+  if (!I.lookup("symtab", Top) || Top.Ty != Type::Dict)
+    return Error::success(); // no symbols loaded; nothing to verify
+  Expected<Object> ArchName = symtab::field(I, Top, "architecture");
+  if (ArchName && ArchName->text() != Arch->Desc->Name)
+    return Error::failure("symbol table is for " + ArchName->text() +
+                          " but the target runs " + Arch->Desc->Name);
+  Expected<Object> Anchors = symtab::field(I, Top, "anchors");
+  if (!Anchors)
+    return Anchors.takeError();
+  Expected<Object> AnchorMap = symtab::field(I, LT, "anchormap");
+  if (!AnchorMap)
+    return AnchorMap.takeError();
+  for (const Object &A : *Anchors->ArrVal)
+    if (!AnchorMap->DictVal->Entries.count(A.text()))
+      return Error::failure(
+          "symbol table does not match the object code: anchor " +
+          A.text() + " is missing from the loader table");
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+Error Target::requireStopped() const {
+  if (!Client)
+    return Error::failure("not connected to a process");
+  if (!stopped())
+    return Error::failure("the process is not stopped");
+  return Error::success();
+}
+
+Error Target::resume() {
+  if (Error E = requireStopped())
+    return E;
+  // Resuming from a planted breakpoint skips the no-op: advance the saved
+  // pc in the context (paper Sec 3).
+  if (Stop->Signo == nub::SigTrap) {
+    Expected<uint32_t> Pc = ctxPc();
+    if (!Pc)
+      return Pc.takeError();
+    if (breakpointAt(*Pc))
+      if (Error E = setCtxPc(*Pc + Arch->Bp.PcAdvance))
+        return E;
+  }
+  nub::StopInfo Next;
+  if (Error E = Client->doContinue(Next))
+    return E;
+  Stop = Next;
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Context access
+//===----------------------------------------------------------------------===//
+
+Expected<uint32_t> Target::ctxWord(uint32_t Offset) {
+  if (Error E = requireStopped())
+    return E;
+  uint64_t V = 0;
+  if (Error E = Wire->fetchInt(
+          mem::Location::absolute(mem::SpData,
+                                  Stop->ContextAddr + Offset),
+          4, V))
+    return E;
+  return static_cast<uint32_t>(V);
+}
+
+Error Target::setCtxWord(uint32_t Offset, uint32_t Value) {
+  if (Error E = requireStopped())
+    return E;
+  return Wire->storeInt(
+      mem::Location::absolute(mem::SpData, Stop->ContextAddr + Offset), 4,
+      Value);
+}
+
+Expected<uint32_t> Target::ctxPc() { return ctxWord(Layout.PcOff); }
+
+Error Target::setCtxPc(uint32_t Pc) { return setCtxWord(Layout.PcOff, Pc); }
+
+Expected<uint32_t> Target::ctxGpr(unsigned Reg) {
+  return ctxWord(Layout.gprAddr(0, Reg, Arch->Desc->NumGpr));
+}
+
+//===----------------------------------------------------------------------===//
+// Linker interface
+//===----------------------------------------------------------------------===//
+
+Expected<uint32_t> Target::anchorAddress(const std::string &Name) {
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return Error::failure("no loader table for this target");
+  auto Map = LT.DictVal->Entries.find("anchormap");
+  if (Map == LT.DictVal->Entries.end() ||
+      Map->second.Ty != Type::Dict)
+    return Error::failure("loader table has no anchor map");
+  auto It = Map->second.DictVal->Entries.find(Name);
+  if (It == Map->second.DictVal->Entries.end())
+    return Error::failure("unknown anchor symbol: " + Name);
+  return static_cast<uint32_t>(It->second.IntVal);
+}
+
+Expected<uint32_t> Target::fetchDataWord(uint32_t Addr) {
+  uint64_t V = 0;
+  if (Error E =
+          Wire->fetchInt(mem::Location::absolute(mem::SpData, Addr), 4, V))
+    return E;
+  return static_cast<uint32_t>(V);
+}
+
+namespace {
+
+Expected<Object> proctable(Interp &I) {
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return Error::failure("no loader table for this target");
+  auto It = LT.DictVal->Entries.find("proctable");
+  if (It == LT.DictVal->Entries.end() || It->second.Ty != Type::Array)
+    return Error::failure("loader table has no proctable");
+  return It->second;
+}
+
+} // namespace
+
+Expected<Target::ProcAddr> Target::procForPc(uint32_t Pc) {
+  Scope S(*this);
+  Expected<Object> Pt = proctable(I);
+  if (!Pt)
+    return Pt.takeError();
+  // The flat array of ascending (address, name) pairs: find the last
+  // entry at or below the pc.
+  ProcAddr Best;
+  bool Found = false;
+  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2) {
+    uint32_t Addr = static_cast<uint32_t>((*Pt->ArrVal)[K].IntVal);
+    if (Addr > Pc)
+      break;
+    Best.Addr = Addr;
+    Best.Name = (*Pt->ArrVal)[K + 1].text();
+    Found = true;
+  }
+  if (!Found)
+    return Error::failure("pc is below every known procedure");
+  return Best;
+}
+
+Expected<uint32_t> Target::procAddr(const std::string &Name) {
+  Scope S(*this);
+  Expected<Object> Pt = proctable(I);
+  if (!Pt)
+    return Pt.takeError();
+  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2)
+    if ((*Pt->ArrVal)[K + 1].text() == Name)
+      return static_cast<uint32_t>((*Pt->ArrVal)[K].IntVal);
+  return Error::failure("no procedure named " + Name);
+}
+
+Expected<FrameWalker::ProcFrameData> Target::frameData(uint32_t Pc) {
+  Expected<ProcAddr> Proc = procForPc(Pc);
+  if (!Proc)
+    return Proc.takeError();
+  auto Cached = FrameDataCache.find(Proc->Addr);
+  if (Cached != FrameDataCache.end())
+    return Cached->second;
+  Expected<FrameWalker::ProcFrameData> Data =
+      Arch->Walker->frameData(*this, Pc);
+  if (Data)
+    FrameDataCache[Proc->Addr] = *Data;
+  return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+Expected<FrameInfo> Target::frame(unsigned N) {
+  if (Error E = requireStopped())
+    return E;
+  Expected<FrameInfo> FI = Arch->Walker->topFrame(*this, Stop->ContextAddr);
+  for (unsigned K = 0; K < N && FI; ++K)
+    FI = Arch->Walker->callerFrame(*this, *FI);
+  return FI;
+}
+
+Expected<std::vector<FrameInfo>> Target::backtrace(unsigned Max) {
+  if (Error E = requireStopped())
+    return E;
+  std::vector<FrameInfo> Frames;
+  Expected<FrameInfo> FI = Arch->Walker->topFrame(*this, Stop->ContextAddr);
+  if (!FI)
+    return FI.takeError();
+  while (Frames.size() < Max) {
+    Expected<ProcAddr> Proc = procForPc(FI->Pc);
+    Frames.push_back(*FI);
+    if (!Proc || Proc->Name == "_start" || Proc->Name == "main")
+      break;
+    FI = Arch->Walker->callerFrame(*this, *FI);
+    if (!FI)
+      break; // the bottom of the stack
+  }
+  return Frames;
+}
+
+//===----------------------------------------------------------------------===//
+// Breakpoints
+//===----------------------------------------------------------------------===//
+
+Error Target::plantBreakpoint(uint32_t Addr) {
+  if (Error E = requireStopped())
+    return E;
+  if (Breakpoints.count(Addr))
+    return Error::success();
+  const BreakpointData &Bp = Arch->Bp;
+  uint64_t Word = 0;
+  if (Error E = Wire->fetchInt(mem::Location::absolute(mem::SpCode, Addr),
+                               Bp.InstrSize, Word))
+    return E;
+  // The interim scheme: breakpoints go only on no-op instructions, which
+  // can be skipped instead of interpreted (paper Sec 3).
+  if (static_cast<uint32_t>(Word) != Bp.NopWord)
+    return Error::failure("not a stopping point: no no-op at " +
+                          std::to_string(Addr));
+  if (Error E = Wire->storeInt(mem::Location::absolute(mem::SpCode, Addr),
+                               Bp.InstrSize, Bp.BreakWord))
+    return E;
+  Breakpoints[Addr] = static_cast<uint32_t>(Word);
+  return Error::success();
+}
+
+Error Target::removeBreakpoint(uint32_t Addr) {
+  auto It = Breakpoints.find(Addr);
+  if (It == Breakpoints.end())
+    return Error::failure("no breakpoint at " + std::to_string(Addr));
+  if (Error E = Wire->storeInt(mem::Location::absolute(mem::SpCode, Addr),
+                               Arch->Bp.InstrSize, It->second))
+    return E;
+  Breakpoints.erase(It);
+  return Error::success();
+}

@@ -1,0 +1,180 @@
+//===- core/target.h - the target object ------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A target object: ldb's handle on one debugged process (paper Sec 7:
+/// "ldb can connect to multiple targets simultaneously, so it must not
+/// leave target-specific state in global variables. It stores such state
+/// in target objects.") Each target carries its nub connection, its
+/// loader table and symbol table (as PostScript objects in a per-target
+/// dictionary), its architecture, its breakpoints, and the current stop
+/// state. The debugger shares one embedded interpreter across targets;
+/// entering a target's Scope pushes the target dictionary and the
+/// architecture's machine-dependent dictionary onto the dictionary stack
+/// (the rebinding of Sec 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_TARGET_H
+#define LDB_CORE_TARGET_H
+
+#include "core/arch.h"
+#include "mem/remote.h"
+#include "nub/host.h"
+#include "postscript/interp.h"
+
+#include <map>
+#include <optional>
+
+namespace ldb::core {
+
+class Target : public ps::DebugHooks {
+public:
+  Target(std::string Name, ps::Interp &Interp)
+      : Name(std::move(Name)), I(Interp) {}
+
+  const std::string &name() const { return Name; }
+
+  //===--------------------------------------------------------------------===
+  // Connection and symbols
+  //===--------------------------------------------------------------------===
+
+  /// Connects to a waiting process; the Welcome message names the
+  /// architecture, which selects ldb's machine-dependent code and data.
+  Error connect(nub::ProcessHost &Host, const std::string &ProcName);
+
+  /// Interprets PostScript symbol tables into the target dictionary.
+  Error loadSymbols(const std::string &PsText);
+
+  /// Interprets the loader table, then checks that the top-level
+  /// dictionary matches the object code: every anchor symbol the symtab
+  /// names must appear in the loader table's anchor map (paper Sec 2).
+  Error loadLoaderTable(const std::string &PsText);
+
+  const Architecture &arch() const { return *Arch; }
+  nub::NubClient &client() { return *Client; }
+  bool connected() const { return Client != nullptr; }
+
+  /// Severs the connection as a crash would (no Detach): the nub must
+  /// preserve the process state for the next debugger.
+  void crashConnection();
+
+  //===--------------------------------------------------------------------===
+  // Execution state
+  //===--------------------------------------------------------------------===
+
+  bool stopped() const { return Stop.has_value() && !Stop->Exited; }
+  bool exited() const { return Stop.has_value() && Stop->Exited; }
+  const nub::StopInfo &lastStop() const { return *Stop; }
+
+  /// Resumes the target; if it is stopped at a planted breakpoint the
+  /// saved pc is advanced past the no-op first (the Sec 3 resume).
+  Error resume();
+
+  //===--------------------------------------------------------------------===
+  // Context access: machine-independent code parameterized by the
+  // machine-dependent field description (paper Sec 4.3).
+  //===--------------------------------------------------------------------===
+
+  Expected<uint32_t> ctxWord(uint32_t Offset);
+  Error setCtxWord(uint32_t Offset, uint32_t Value);
+  Expected<uint32_t> ctxPc();
+  Error setCtxPc(uint32_t Pc);
+  Expected<uint32_t> ctxGpr(unsigned Reg);
+  const nub::ContextLayout &layout() const { return Layout; }
+
+  //===--------------------------------------------------------------------===
+  // The wire and the PostScript scope
+  //===--------------------------------------------------------------------===
+
+  mem::MemoryRef wire() { return Wire; }
+  ps::Interp &interp() { return I; }
+
+  /// RAII: pushes the target dictionary and the architecture dictionary,
+  /// installs this target as the interpreter's debug hooks.
+  class Scope {
+  public:
+    explicit Scope(Target &T);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Target &T;
+    ps::DebugHooks *SavedHooks;
+    size_t SavedDepth;
+  };
+
+  //===--------------------------------------------------------------------===
+  // Linker interface (paper Sec 3): the loader table as an object.
+  //===--------------------------------------------------------------------===
+
+  Expected<uint32_t> anchorAddress(const std::string &Name) override;
+  Expected<uint32_t> fetchDataWord(uint32_t Addr) override;
+
+  struct ProcAddr {
+    uint32_t Addr = 0;
+    std::string Name;
+  };
+  /// The procedure containing \p Pc, from the loader table's proctable.
+  Expected<ProcAddr> procForPc(uint32_t Pc);
+  /// The procedure entry address for \p Name.
+  Expected<uint32_t> procAddr(const std::string &Name);
+
+  /// Frame data for the procedure containing \p Pc, via the walker's
+  /// machine-dependent source (must be called inside a Scope). Cached per
+  /// procedure.
+  Expected<FrameWalker::ProcFrameData> frameData(uint32_t Pc);
+
+  /// Runtime procedure table address (zmips), from the loader table.
+  uint32_t rptAddr() const { return RptAddr; }
+
+  //===--------------------------------------------------------------------===
+  // Frames
+  //===--------------------------------------------------------------------===
+
+  /// Frame 0 is the stopped frame; N walks down the stack. Must be called
+  /// inside a Scope.
+  Expected<FrameInfo> frame(unsigned N);
+
+  /// All frames down to main/_start (bounded by \p Max).
+  Expected<std::vector<FrameInfo>> backtrace(unsigned Max = 64);
+
+  //===--------------------------------------------------------------------===
+  // Breakpoints (implemented entirely in the debugger with fetches and
+  // stores; the nub knows nothing about them — paper Sec 3, 6).
+  //===--------------------------------------------------------------------===
+
+  /// Plants a breakpoint at \p Addr, which must hold the no-op word.
+  Error plantBreakpoint(uint32_t Addr);
+  Error removeBreakpoint(uint32_t Addr);
+  bool breakpointAt(uint32_t Addr) const { return Breakpoints.count(Addr); }
+  const std::map<uint32_t, uint32_t> &breakpoints() const {
+    return Breakpoints;
+  }
+
+private:
+  friend class Scope;
+
+  Error requireStopped() const;
+
+  std::string Name;
+  ps::Interp &I;
+  std::unique_ptr<nub::NubClient> Client;
+  const Architecture *Arch = nullptr;
+  nub::ContextLayout Layout{};
+  mem::MemoryRef Wire;
+  ps::Object TargetDict; ///< symtab + loader table live here
+  ps::Object ArchDict;   ///< machine-dependent PostScript bindings
+  std::optional<nub::StopInfo> Stop;
+  uint32_t RptAddr = 0;
+  std::map<uint32_t, uint32_t> Breakpoints; ///< addr -> saved word
+  std::map<uint32_t, FrameWalker::ProcFrameData> FrameDataCache;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_TARGET_H

@@ -1,0 +1,45 @@
+//===- core/targets/z68k_arch.cpp - z68k debugger port --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: z68k. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/target.h"
+
+using namespace ldb::core;
+
+namespace ldb::core {
+const Architecture &z68kArchitecture();
+} // namespace ldb::core
+
+namespace {
+
+/// z68k uses the shared frame-pointer walker; its register-save masks
+/// come from the symbol table (the compiler adds them when compiling
+/// procedures for this target, paper Sec 5).
+const char Z68kPostScript[] = R"PS(
+% z68k machine-dependent PostScript: register enumeration and the
+% decoding of register-save masks stored in procedure entries.
+/RegisterNames [
+  (d0) (d1) (d2) (d3) (d4) (d5) (d6) (d7)
+  (a0) (a1) (a2) (a3) (a4) (a5) (fp) (sp)
+] def
+/FramePointerName (fp) def
+/SaveMaskBits 16 def
+)PS";
+
+} // namespace
+
+const Architecture &ldb::core::z68kArchitecture() {
+  static const Architecture Arch = [] {
+    const ldb::target::TargetDesc *Desc = ldb::target::targetByName("z68k");
+    Architecture A;
+    A.Desc = Desc;
+    A.Bp = BreakpointData{Desc->breakWord(), Desc->nopWord(), 4, 4};
+    A.Walker = &fpFrameWalker();
+    A.MdPostScript = Z68kPostScript;
+    return A;
+  }();
+  return Arch;
+}

@@ -1,0 +1,148 @@
+//===- core/targets/zmips_arch.cpp - zmips debugger port ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zmips. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The zmips port of ldb's machine-dependent pieces. It is the largest of
+/// the four (as the MIPS port was in the paper) because zmips has no
+/// frame pointer: the walker computes a virtual frame pointer by adding
+/// the procedure's frame size to the stack pointer, and the frame sizes
+/// come from the runtime procedure table located in the target's address
+/// space — fetched through the wire, entry by entry, even for procedures
+/// without debugging symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/target.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::mem;
+
+namespace ldb::core {
+const Architecture &zmipsArchitecture();
+} // namespace ldb::core
+
+namespace {
+
+/// One runtime-procedure-table probe: the table is a count word followed
+/// by entries of (address, frame size, save mask, save-area offset).
+Expected<FrameWalker::ProcFrameData> rptLookup(Target &T, uint32_t Pc) {
+  uint32_t Rpt = T.rptAddr();
+  if (Rpt == 0)
+    return Error::failure("no runtime procedure table in this image");
+  uint64_t Count = 0;
+  if (Error E = T.wire()->fetchInt(Location::absolute(SpData, Rpt), 4,
+                                   Count))
+    return E;
+  FrameWalker::ProcFrameData Best;
+  uint32_t BestAddr = 0;
+  bool Found = false;
+  for (uint64_t K = 0; K < Count; ++K) {
+    int64_t At = Rpt + 4 + 16 * static_cast<int64_t>(K);
+    uint64_t Addr = 0, FrameSize = 0, Mask = 0, SaveOff = 0;
+    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At), 4,
+                                     Addr))
+      return E;
+    if (Addr > Pc || (Found && Addr <= BestAddr))
+      continue;
+    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 4), 4,
+                                     FrameSize))
+      return E;
+    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 8), 4,
+                                     Mask))
+      return E;
+    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 12),
+                                     4, SaveOff))
+      return E;
+    Found = true;
+    BestAddr = static_cast<uint32_t>(Addr);
+    Best.FrameSize = static_cast<uint32_t>(FrameSize);
+    Best.SaveMask = static_cast<uint32_t>(Mask);
+    Best.SaveAreaOffset = static_cast<int32_t>(SaveOff);
+  }
+  if (!Found)
+    return Error::failure("pc not covered by the runtime procedure table");
+  return Best;
+}
+
+/// zmips stack walking: no frame pointer, so vfp = sp + frame size, with
+/// the frame size from the runtime procedure table.
+class ZmipsFrameWalker : public FrameWalker {
+public:
+  Expected<FrameInfo> topFrame(Target &T, uint32_t Ctx) const override {
+    const target::TargetDesc &Desc = *T.arch().Desc;
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc)
+      return Pc.takeError();
+    Expected<uint32_t> Sp = T.ctxGpr(Desc.SpReg);
+    if (!Sp)
+      return Sp.takeError();
+    Expected<ProcFrameData> Data = T.frameData(*Pc);
+    if (!Data)
+      return Data.takeError();
+    uint32_t Vfp = *Sp + Data->FrameSize;
+    const nub::ContextLayout &L = T.layout();
+    auto Home = [&](char Space, unsigned R) {
+      if (Space == SpGpr)
+        return Location::absolute(SpData, L.gprAddr(Ctx, R, Desc.NumGpr));
+      return Location::absolute(SpData, L.fprAddr(Ctx, R));
+    };
+    return buildFrameDag(T, *Pc, Vfp, Home);
+  }
+
+  Expected<FrameInfo> callerFrame(Target &T,
+                                  const FrameInfo &Callee) const override {
+    uint64_t Ra = 0;
+    if (Error E = T.wire()->fetchInt(
+            Location::absolute(SpData, Callee.Vfp - 4), 4, Ra))
+      return E;
+    if (Ra < 8)
+      return Error::failure("no caller: return address is null");
+    uint32_t CallerPc = static_cast<uint32_t>(Ra) - 4;
+    // To walk past a zmips frame ldb needs the *caller's* frame size: the
+    // callee's vfp is the caller's sp, so caller vfp = callee vfp +
+    // caller frame size.
+    Expected<ProcFrameData> CallerData = T.frameData(CallerPc);
+    if (!CallerData)
+      return CallerData.takeError();
+    uint32_t CallerVfp = Callee.Vfp + CallerData->FrameSize;
+    Expected<ProcFrameData> CalleeData = T.frameData(Callee.Pc);
+    uint32_t Mask = CalleeData ? CalleeData->SaveMask : 0;
+    return buildCallerFrameDag(T, Callee, CallerPc, CallerVfp, Mask);
+  }
+
+  Expected<ProcFrameData> frameData(Target &T, uint32_t Pc) const override {
+    return rptLookup(T, Pc);
+  }
+};
+
+const char ZmipsPostScript[] = R"PS(
+% zmips machine-dependent PostScript: register enumeration.
+/RegisterNames [
+  (r0) (r1) (rv) (r3) (a0) (a1) (a2) (a3)
+  (t0) (t1) (t2) (t3) (t4) (t5) (r14) (r15)
+  (s0) (s1) (s2) (s3) (s4) (s5) (s6) (s7)
+  (r24) (r25) (r26) (r27) (r28) (sp) (r30) (ra)
+] def
+/FramePointerName (virtual) def
+)PS";
+
+} // namespace
+
+const Architecture &ldb::core::zmipsArchitecture() {
+  static const ZmipsFrameWalker Walker;
+  static const Architecture Arch = [] {
+    const target::TargetDesc *Desc = target::targetByName("zmips");
+    Architecture A;
+    A.Desc = Desc;
+    A.Bp = BreakpointData{Desc->breakWord(), Desc->nopWord(), 4, 4};
+    A.Walker = &Walker;
+    A.MdPostScript = ZmipsPostScript;
+    return A;
+  }();
+  return Arch;
+}

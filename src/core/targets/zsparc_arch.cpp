@@ -1,0 +1,46 @@
+//===- core/targets/zsparc_arch.cpp - zsparc debugger port ----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zsparc. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/target.h"
+
+using namespace ldb::core;
+
+namespace ldb::core {
+const Architecture &zsparcArchitecture();
+} // namespace ldb::core
+
+namespace {
+
+/// zsparc shares the frame-pointer walker; almost everything else about
+/// it is provided by its context (the reason the paper's SPARC nub needed
+/// only 5 lines of machine-dependent code).
+const char ZsparcPostScript[] = R"PS(
+% zsparc machine-dependent PostScript: register enumeration.
+/RegisterNames [
+  (g0) (g1) (g2) (g3) (g4) (g5) (g6) (g7)
+  (o0) (o1) (o2) (o3) (o4) (o5) (sp) (o7)
+  (l0) (l1) (l2) (l3) (l4) (l5) (l6) (l7)
+  (i0) (i1) (i2) (i3) (i4) (i5) (fp) (ra)
+] def
+/FramePointerName (fp) def
+)PS";
+
+} // namespace
+
+const Architecture &ldb::core::zsparcArchitecture() {
+  static const Architecture Arch = [] {
+    const ldb::target::TargetDesc *Desc =
+        ldb::target::targetByName("zsparc");
+    Architecture A;
+    A.Desc = Desc;
+    A.Bp = BreakpointData{Desc->breakWord(), Desc->nopWord(), 4, 4};
+    A.Walker = &fpFrameWalker();
+    A.MdPostScript = ZsparcPostScript;
+    return A;
+  }();
+  return Arch;
+}

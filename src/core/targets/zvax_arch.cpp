@@ -1,0 +1,41 @@
+//===- core/targets/zvax_arch.cpp - zvax debugger port --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zvax. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/target.h"
+
+using namespace ldb::core;
+
+namespace ldb::core {
+const Architecture &zvaxArchitecture();
+} // namespace ldb::core
+
+namespace {
+
+/// zvax shares the frame-pointer walker.
+const char ZvaxPostScript[] = R"PS(
+% zvax machine-dependent PostScript: register enumeration.
+/RegisterNames [
+  (r0) (r1) (r2) (r3) (r4) (r5) (r6) (r7)
+  (r8) (r9) (r10) (r11) (fp) (ra) (sp) (r15)
+] def
+/FramePointerName (fp) def
+)PS";
+
+} // namespace
+
+const Architecture &ldb::core::zvaxArchitecture() {
+  static const Architecture Arch = [] {
+    const ldb::target::TargetDesc *Desc = ldb::target::targetByName("zvax");
+    Architecture A;
+    A.Desc = Desc;
+    A.Bp = BreakpointData{Desc->breakWord(), Desc->nopWord(), 4, 4};
+    A.Walker = &fpFrameWalker();
+    A.MdPostScript = ZvaxPostScript;
+    return A;
+  }();
+  return Arch;
+}

@@ -1,0 +1,54 @@
+//===- exprserver/pipe.cpp - blocking byte pipes ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exprserver/pipe.h"
+
+using namespace ldb::exprserver;
+
+void BlockingPipe::write(const std::string &Text) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Closed)
+      return;
+    Bytes.insert(Bytes.end(), Text.begin(), Text.end());
+  }
+  Cv.notify_all();
+}
+
+int BlockingPipe::readByte() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return !Bytes.empty() || Closed; });
+  if (Bytes.empty())
+    return -1;
+  char C = Bytes.front();
+  Bytes.pop_front();
+  return static_cast<unsigned char>(C);
+}
+
+bool BlockingPipe::readLine(std::string &Out) {
+  Out.clear();
+  for (;;) {
+    int C = readByte();
+    if (C < 0)
+      return !Out.empty();
+    if (C == '\n')
+      return true;
+    Out += static_cast<char>(C);
+  }
+}
+
+void BlockingPipe::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  Cv.notify_all();
+}
+
+bool BlockingPipe::closed() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Closed && Bytes.empty();
+}

@@ -1,0 +1,54 @@
+//===- exprserver/pipe.h - blocking byte pipes ------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipes between ldb and the expression server (paper Fig 3). The
+/// original ran the server as a separate process; here it runs as a
+/// separate thread that communicates *only* through these byte streams,
+/// preserving the property the paper calls out: the compiler and debugger
+/// need not share an address space, data types, or storage management.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_EXPRSERVER_PIPE_H
+#define LDB_EXPRSERVER_PIPE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace ldb::exprserver {
+
+/// A unidirectional blocking byte stream.
+class BlockingPipe {
+public:
+  /// Appends bytes and wakes the reader.
+  void write(const std::string &Bytes);
+  void writeLine(const std::string &Line) { write(Line + "\n"); }
+
+  /// Blocks until a byte is available; returns -1 once closed and
+  /// drained.
+  int readByte();
+
+  /// Reads up to and including a newline (the newline is dropped);
+  /// returns false once closed and drained.
+  bool readLine(std::string &Out);
+
+  /// Closing wakes any blocked reader.
+  void close();
+  bool closed();
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<char> Bytes;
+  bool Closed = false;
+};
+
+} // namespace ldb::exprserver
+
+#endif // LDB_EXPRSERVER_PIPE_H

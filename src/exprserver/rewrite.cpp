@@ -1,0 +1,398 @@
+//===- exprserver/rewrite.cpp - intermediate code to PostScript -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites the front end's intermediate-code trees as PostScript
+/// procedures (paper Sec 3: "the server's intermediate-code tree is not
+/// passed to the usual compiler back end; instead it is rewritten as a
+/// PostScript procedure" — a job the paper did in 124 lines of C). The
+/// generated code runs against the stopped frame's abstract memory, bound
+/// to /&mem by ldb before execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exprserver/server.h"
+
+#include "support/strings.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::exprserver;
+using namespace ldb::lcc;
+
+namespace {
+
+class Rewriter {
+public:
+  Expected<std::string> run(const Expr &E) {
+    if (Error Err = value(E))
+      return Err;
+    return Out;
+  }
+
+private:
+  Error fail(const std::string &Msg) { return Error::failure(Msg); }
+  void emit(const std::string &Text) {
+    Out += Text;
+    Out += ' ';
+  }
+
+  /// Fetch suffix for a scalar load of type \p Ty; assumes "&mem LOC" is
+  /// already emitted.
+  Error emitFetch(const CType &Ty) {
+    if (Ty.isFloating()) {
+      emit(std::to_string(Ty.Size) + " fetchf");
+      return Error::success();
+    }
+    switch (Ty.Size) {
+    case 1:
+      emit("1 fetch 8 signedbits");
+      return Error::success();
+    case 2:
+      emit("2 fetch 16 signedbits");
+      return Error::success();
+    default:
+      emit(Ty.Kind == TyKind::UInt || Ty.isPointer() ? "4 fetch"
+                                                     : "4 fetch 32 signedbits");
+      return Error::success();
+    }
+  }
+
+  /// Wraps an integer result to C's 32-bit semantics.
+  void emitWrap(const CType &Ty) {
+    if (Ty.Kind == TyKind::UInt)
+      emit("16#ffffffff and");
+    else if (Ty.isInteger())
+      emit("32 signedbits");
+  }
+
+  /// Emits code leaving the *location* of lvalue \p E on the stack.
+  Error location(const Expr &E) {
+    switch (E.Op) {
+    case Ex::SymRef: {
+      const CSymbol &S = *E.Sym;
+      if (S.InRegister) {
+        emit(std::to_string(S.RegNum) + " Regset0 Absolute");
+        return Error::success();
+      }
+      if (S.HasDebugAddr) {
+        emit(std::to_string(S.DebugAddr) + " DataLoc Absolute");
+        return Error::success();
+      }
+      if (S.Sto == Storage::Local || S.Sto == Storage::Param) {
+        emit(std::to_string(S.FrameOffset) + " Locals Absolute");
+        return Error::success();
+      }
+      return fail("no debug-time location for " + S.Name);
+    }
+    case Ex::Index: {
+      const Expr &Base = *E.Kids[0];
+      if (Base.Ty->Kind == TyKind::Array) {
+        if (Error Err = location(Base))
+          return Err;
+      } else {
+        if (Error Err = value(Base))
+          return Err;
+        emit("DataLoc Absolute");
+      }
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      emit(std::to_string(E.Ty->Size) + " mul Shifted");
+      return Error::success();
+    }
+    case Ex::Member: {
+      const Expr &Base = *E.Kids[0];
+      if (Error Err = location(Base))
+        return Err;
+      unsigned Off = 0;
+      for (const StructField &F : Base.Ty->Fields)
+        if (F.Name == E.SVal)
+          Off = F.Offset;
+      if (Off != 0)
+        emit(std::to_string(Off) + " Shifted");
+      return Error::success();
+    }
+    case Ex::Deref:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("DataLoc Absolute");
+      return Error::success();
+    default:
+      return fail("expression is not an lvalue");
+    }
+  }
+
+  /// Stores the value on top of the stack to \p LValue, leaving the value.
+  Error storeKeep(const Expr &LValue) {
+    emit("&mem");
+    if (Error Err = location(LValue))
+      return Err;
+    emit(std::to_string(LValue.Ty->Size));
+    emit("3 index");
+    emit(LValue.Ty->isFloating() ? "storevalf" : "storeval");
+    return Error::success();
+  }
+
+  Error value(const Expr &E) {
+    switch (E.Op) {
+    case Ex::IntConst:
+      emit(std::to_string(E.IVal));
+      return Error::success();
+    case Ex::FloatConst: {
+      char Buf[48];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", E.FVal);
+      std::string Text = Buf;
+      if (Text.find_first_of(".eE") == std::string::npos)
+        Text += ".0"; // keep it a PostScript real
+      emit(Text);
+      return Error::success();
+    }
+    case Ex::StrConst:
+      return fail("string literals are not supported in expressions");
+    case Ex::SymRef:
+      if (!E.Ty->isScalar())
+        return fail("aggregate used as a value");
+      emit("&mem");
+      if (Error Err = location(E))
+        return Err;
+      return emitFetch(*E.Ty);
+    case Ex::Index:
+    case Ex::Member:
+    case Ex::Deref:
+      if (!E.Ty->isScalar())
+        return fail("aggregate used as a value");
+      emit("&mem");
+      if (Error Err = location(E))
+        return Err;
+      return emitFetch(*E.Ty);
+    case Ex::AddrOf: {
+      const Expr &K = *E.Kids[0];
+      if (K.Op == Ex::SymRef && K.Sym->Ty->Kind == TyKind::Func)
+        return fail("procedure addresses are not supported in expressions");
+      if (K.Op == Ex::SymRef && K.Sym->InRegister)
+        return fail("cannot take the address of register variable " +
+                    K.Sym->Name);
+      if (Error Err = location(K))
+        return Err;
+      emit("LocOffset");
+      return Error::success();
+    }
+    case Ex::Assign:
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      return storeKeep(*E.Kids[0]);
+
+    case Ex::Add:
+    case Ex::Sub:
+    case Ex::Mul:
+    case Ex::Div:
+    case Ex::Rem:
+    case Ex::BitAnd:
+    case Ex::BitOr:
+    case Ex::BitXor:
+    case Ex::Shl:
+    case Ex::Shr: {
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      bool PointerScale = E.Ty->isPointer() && E.Kids[1]->Ty->isInteger();
+      if (PointerScale && E.Ty->Ref->Size != 1)
+        emit(std::to_string(E.Ty->Ref->Size) + " mul");
+      if (E.Ty->isFloating()) {
+        switch (E.Op) {
+        case Ex::Add:
+          emit("add");
+          break;
+        case Ex::Sub:
+          emit("sub");
+          break;
+        case Ex::Mul:
+          emit("mul");
+          break;
+        default:
+          emit("div");
+        }
+        return Error::success();
+      }
+      switch (E.Op) {
+      case Ex::Add:
+        emit("add");
+        break;
+      case Ex::Sub:
+        emit("sub");
+        break;
+      case Ex::Mul:
+        emit("mul");
+        break;
+      case Ex::Div:
+        emit("idiv");
+        break;
+      case Ex::Rem:
+        emit("mod");
+        break;
+      case Ex::BitAnd:
+        emit("and");
+        break;
+      case Ex::BitOr:
+        emit("or");
+        break;
+      case Ex::BitXor:
+        emit("xor");
+        break;
+      case Ex::Shl:
+        emit("bitshift");
+        break;
+      default: // Shr
+        emit(E.Ty->Kind == TyKind::UInt ? "Srl" : "Sra");
+        break;
+      }
+      emitWrap(*E.Ty);
+      return Error::success();
+    }
+
+    case Ex::Neg:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("neg");
+      emitWrap(*E.Ty);
+      return Error::success();
+    case Ex::BitNot:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("not");
+      emitWrap(*E.Ty);
+      return Error::success();
+    case Ex::LogNot:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("0 eq { 1 } { 0 } ifelse");
+      return Error::success();
+
+    case Ex::Lt:
+    case Ex::Le:
+    case Ex::Gt:
+    case Ex::Ge:
+    case Ex::EqEq:
+    case Ex::NeEq: {
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      const char *Cmp;
+      switch (E.Op) {
+      case Ex::Lt:
+        Cmp = "lt";
+        break;
+      case Ex::Le:
+        Cmp = "le";
+        break;
+      case Ex::Gt:
+        Cmp = "gt";
+        break;
+      case Ex::Ge:
+        Cmp = "ge";
+        break;
+      case Ex::EqEq:
+        Cmp = "eq";
+        break;
+      default:
+        Cmp = "ne";
+        break;
+      }
+      emit(std::string(Cmp) + " { 1 } { 0 } ifelse");
+      return Error::success();
+    }
+
+    case Ex::LogAnd:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("0 ne {");
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      emit("0 ne { 1 } { 0 } ifelse } { 0 } ifelse");
+      return Error::success();
+    case Ex::LogOr:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("0 ne { 1 } {");
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      emit("0 ne { 1 } { 0 } ifelse } ifelse");
+      return Error::success();
+    case Ex::Cond:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      emit("0 ne {");
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      emit("} {");
+      if (Error Err = value(*E.Kids[2]))
+        return Err;
+      emit("} ifelse");
+      return Error::success();
+
+    case Ex::PreInc:
+    case Ex::PreDec:
+    case Ex::PostInc:
+    case Ex::PostDec: {
+      const Expr &L = *E.Kids[0];
+      int64_t Delta = L.Ty->isPointer()
+                          ? static_cast<int64_t>(L.Ty->Ref->Size)
+                          : 1;
+      if (E.Op == Ex::PreDec || E.Op == Ex::PostDec)
+        Delta = -Delta;
+      bool Post = E.Op == Ex::PostInc || E.Op == Ex::PostDec;
+      if (Error Err = value(L))
+        return Err;
+      if (Post)
+        emit("dup");
+      emit(std::to_string(Delta) + " add");
+      emitWrap(*L.Ty);
+      if (Error Err = storeKeep(L))
+        return Err;
+      if (Post)
+        emit("pop");
+      return Error::success();
+    }
+
+    case Ex::Cast: {
+      const Expr &K = *E.Kids[0];
+      if (Error Err = value(K))
+        return Err;
+      const CType &From = *K.Ty;
+      const CType &To = *E.Ty;
+      if (From.isFloating() && !To.isFloating()) {
+        emit("cvi");
+        emitWrap(To);
+      } else if (!From.isFloating() && To.isFloating()) {
+        emit("cvr");
+      } else if (To.isInteger() && To.Size < 4) {
+        emit(std::to_string(8 * To.Size) + " signedbits");
+      } else if (To.Kind == TyKind::UInt && From.isInteger()) {
+        emit("16#ffffffff and");
+      }
+      return Error::success();
+    }
+
+    case Ex::Call:
+      // The paper's stated limitation: "ldb cannot evaluate expressions
+      // that include procedure calls into the target process".
+      return fail("procedure calls into the target are not yet supported");
+    }
+    return fail("unsupported expression");
+  }
+
+  std::string Out;
+};
+
+} // namespace
+
+Expected<std::string> ldb::exprserver::rewriteToPostScript(const Expr &E) {
+  Rewriter R;
+  return R.run(E);
+}

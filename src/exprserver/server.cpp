@@ -1,0 +1,104 @@
+//===- exprserver/server.cpp - the expression server -----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exprserver/server.h"
+
+#include "exprserver/typecodes.h"
+#include "lcc/parser.h"
+#include "support/strings.h"
+
+using namespace ldb;
+using namespace ldb::exprserver;
+using namespace ldb::lcc;
+
+ExprServer::ExprServer() {
+  Symbols = std::make_unique<Unit>();
+  Symbols->FileName = "<expression-server>";
+  // The server's type metrics match the richest target (80-bit long
+  // doubles); expression evaluation never depends on the difference.
+  Symbols->Types = std::make_unique<TypePool>(/*TargetHasF80=*/true);
+  Thread = std::thread([this] { serve(); });
+}
+
+ExprServer::~ExprServer() {
+  In.close();
+  Out.close();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void ExprServer::serve() {
+  std::string Line;
+  while (In.readLine(Line)) {
+    if (Line.empty())
+      continue;
+    handleExpression(Line);
+  }
+}
+
+CSymbol *ExprServer::lookupRemote(const std::string &Name) {
+  // The modified symbol-table code: ask the debugger, then reconstruct
+  // the entry on the fly (paper Sec 3).
+  Out.write("/" + Name + " ExpressionServer.lookup\n");
+  std::string Reply;
+  if (!In.readLine(Reply))
+    return nullptr;
+  std::vector<std::string> Tokens = splitWords(Reply);
+  if (Tokens.size() < 3 || Tokens[0] != "sym")
+    return nullptr;
+
+  CSymbol *S = Symbols->newSymbol();
+  S->Name = Name;
+  const std::string &LocKind = Tokens[1];
+  long LocValue = std::strtol(Tokens[2].c_str(), nullptr, 10);
+  if (LocKind == "reg") {
+    S->Sto = Storage::Local;
+    S->InRegister = true;
+    S->RegNum = static_cast<int>(LocValue);
+  } else if (LocKind == "local") {
+    S->Sto = Storage::Local;
+    S->FrameOffset = static_cast<int>(LocValue);
+  } else if (LocKind == "addr") {
+    S->Sto = Storage::Global;
+    S->HasDebugAddr = true;
+    S->DebugAddr = static_cast<uint32_t>(LocValue);
+  } else if (LocKind == "proc") {
+    S->Sto = Storage::Func;
+    S->HasDebugAddr = true;
+    S->DebugAddr = static_cast<uint32_t>(LocValue);
+  } else {
+    S->Sto = Storage::Local;
+  }
+  size_t Pos = 3;
+  Expected<const CType *> Ty = decodeType(*Symbols->Types, Tokens, Pos);
+  if (!Ty)
+    return nullptr;
+  S->Ty = *Ty;
+  return S;
+}
+
+void ExprServer::handleExpression(const std::string &Text) {
+  size_t SymbolsBefore = Symbols->AllSymbols.size();
+  Expected<ExprPtr> Tree = Parser::parseExpression(
+      Text, *Symbols, [this](const std::string &Name) {
+        return lookupRemote(Name);
+      });
+
+  std::string Output;
+  if (!Tree) {
+    Output = "(" + psEscape(Tree.message()) + ") ExpressionServer.error\n";
+  } else {
+    Expected<std::string> Ps = rewriteToPostScript(**Tree);
+    if (!Ps)
+      Output = "(" + psEscape(Ps.message()) + ") ExpressionServer.error\n";
+    else
+      Output = "{ " + *Ps + "}\nExpressionServer.result\n";
+  }
+  // Discard this expression's reconstructed symbol-table entries; keep
+  // the accumulated type information (paper Sec 3).
+  Symbols->AllSymbols.resize(SymbolsBefore);
+  Out.write(Output);
+}

@@ -1,0 +1,75 @@
+//===- exprserver/server.h - the expression server --------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression server (paper Sec 3): a variant of the compiler front
+/// end running in its own thread of control, connected to ldb only by
+/// pipes. ldb writes an expression; the server parses and type-checks it,
+/// and when it fails to find an identifier it writes
+///
+///     /name ExpressionServer.lookup
+///
+/// to its output pipe and blocks reading the reply, from which its
+/// modified symbol-table code reconstructs the entry on the fly. The
+/// intermediate-code tree is not passed to the compiler back end; it is
+/// rewritten as a PostScript procedure and sent to ldb followed by
+/// "ExpressionServer.result". New symbol-table entries are discarded
+/// after each expression; types persist for the session.
+///
+/// Wire formats:
+///   ldb -> server: one expression per line; lookup replies as
+///                  "sym LOCKIND LOCVALUE TYPE..." or "unknown".
+///                  LOCKIND is reg | local | addr | none.
+///   server -> ldb: PostScript text ending with "ExpressionServer.result",
+///                  or "(message) ExpressionServer.error".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_EXPRSERVER_SERVER_H
+#define LDB_EXPRSERVER_SERVER_H
+
+#include "exprserver/pipe.h"
+#include "lcc/ast.h"
+#include "support/error.h"
+
+#include <memory>
+#include <thread>
+
+namespace ldb::exprserver {
+
+class ExprServer {
+public:
+  /// Starts the server thread.
+  ExprServer();
+
+  /// Closes the pipes and joins the thread.
+  ~ExprServer();
+
+  ExprServer(const ExprServer &) = delete;
+  ExprServer &operator=(const ExprServer &) = delete;
+
+  BlockingPipe &toServer() { return In; }
+  BlockingPipe &fromServer() { return Out; }
+
+private:
+  void serve();
+  void handleExpression(const std::string &Text);
+  lcc::CSymbol *lookupRemote(const std::string &Name);
+
+  BlockingPipe In, Out;
+  std::unique_ptr<lcc::Unit> Symbols; ///< owns reconstructed symbols/types
+  std::thread Thread;
+};
+
+/// Rewrites an intermediate-code tree as PostScript (the paper's 124-line
+/// rewriter). The emitted procedure expects /&mem to be bound to the
+/// frame's abstract memory. Returns an error for constructs that need
+/// target execution (procedure calls) or allocation (string literals).
+Expected<std::string> rewriteToPostScript(const lcc::Expr &E);
+
+} // namespace ldb::exprserver
+
+#endif // LDB_EXPRSERVER_SERVER_H

@@ -1,0 +1,121 @@
+//===- exprserver/typecodes.cpp - type descriptions on the wire -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exprserver/typecodes.h"
+
+using namespace ldb;
+using namespace ldb::exprserver;
+using namespace ldb::lcc;
+
+Expected<const CType *>
+ldb::exprserver::decodeType(TypePool &Pool,
+                            const std::vector<std::string> &Tokens,
+                            size_t &Pos) {
+  if (Pos >= Tokens.size())
+    return Error::failure("truncated type description");
+  const std::string &Tok = Tokens[Pos++];
+  if (Tok == "v")
+    return Pool.voidTy();
+  if (Tok == "i1")
+    return Pool.charTy();
+  if (Tok == "i2")
+    return Pool.shortTy();
+  if (Tok == "i4")
+    return Pool.intTy();
+  if (Tok == "u4")
+    return Pool.uintTy();
+  if (Tok == "f4")
+    return Pool.floatTy();
+  if (Tok == "f8")
+    return Pool.doubleTy();
+  if (Tok == "f10")
+    return Pool.longDoubleTy();
+  if (Tok == "p") {
+    Expected<const CType *> Sub = decodeType(Pool, Tokens, Pos);
+    if (!Sub)
+      return Sub.takeError();
+    return Pool.pointerTo(*Sub);
+  }
+  if (Tok == "pf")
+    return Pool.pointerTo(Pool.func(Pool.intTy(), {}));
+  if (Tok == "func")
+    return Pool.func(Pool.intTy(), {});
+  if (Tok == "a") {
+    if (Pos >= Tokens.size())
+      return Error::failure("array type missing its length");
+    unsigned Count = static_cast<unsigned>(std::stoul(Tokens[Pos++]));
+    Expected<const CType *> Sub = decodeType(Pool, Tokens, Pos);
+    if (!Sub)
+      return Sub.takeError();
+    return Pool.arrayOf(*Sub, Count);
+  }
+  if (Tok == "s") {
+    if (Pos >= Tokens.size())
+      return Error::failure("struct type missing its field count");
+    unsigned N = static_cast<unsigned>(std::stoul(Tokens[Pos++]));
+    // Reconstructed structs are anonymous to the server; give each a
+    // fresh tag so distinct layouts never unify.
+    static int Counter = 0;
+    CType *S = Pool.structTag("$reconstructed" + std::to_string(Counter++));
+    for (unsigned K = 0; K < N; ++K) {
+      if (Pos + 1 >= Tokens.size())
+        return Error::failure("truncated struct field");
+      StructField F;
+      F.Name = Tokens[Pos++];
+      F.Offset = static_cast<unsigned>(std::stoul(Tokens[Pos++]));
+      Expected<const CType *> Sub = decodeType(Pool, Tokens, Pos);
+      if (!Sub)
+        return Sub.takeError();
+      F.Ty = *Sub;
+      S->Fields.push_back(F);
+    }
+    // Offsets came from the debugger; size only needs to cover them.
+    unsigned Size = 0;
+    for (const StructField &F : S->Fields)
+      Size = std::max(Size, F.Offset + F.Ty->Size);
+    S->Size = (Size + 3u) & ~3u;
+    S->Align = 4;
+    return S;
+  }
+  return Error::failure("unknown type token: " + Tok);
+}
+
+std::string ldb::exprserver::encodeType(const CType &Ty) {
+  switch (Ty.Kind) {
+  case TyKind::Void:
+    return "v";
+  case TyKind::Char:
+    return "i1";
+  case TyKind::Short:
+    return "i2";
+  case TyKind::Int:
+    return "i4";
+  case TyKind::UInt:
+    return "u4";
+  case TyKind::Float:
+    return "f4";
+  case TyKind::Double:
+    return "f8";
+  case TyKind::LongDouble:
+    return Ty.Size == 10 ? "f10" : "f8";
+  case TyKind::Ptr:
+    if (Ty.Ref->Kind == TyKind::Func)
+      return "pf";
+    return "p " + encodeType(*Ty.Ref);
+  case TyKind::Array:
+    return "a " + std::to_string(Ty.ArrayLen) + " " + encodeType(*Ty.Ref);
+  case TyKind::Struct: {
+    std::string Out = "s " + std::to_string(Ty.Fields.size());
+    for (const StructField &F : Ty.Fields)
+      Out += " " + F.Name + " " + std::to_string(F.Offset) + " " +
+             encodeType(*F.Ty);
+    return Out;
+  }
+  case TyKind::Func:
+    return "pf";
+  }
+  return "v";
+}

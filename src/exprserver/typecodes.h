@@ -1,0 +1,44 @@
+//===- exprserver/typecodes.h - type descriptions on the wire ---*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual type descriptions ldb sends in replies to
+/// ExpressionServer.lookup, from which the server's modified symbol-table
+/// code reconstructs the compiler's type information on the fly (paper
+/// Sec 3). Grammar (whitespace separated):
+///
+///   type := v | i1 | i2 | i4 | u4 | f4 | f8 | f10
+///         | p type          (pointer)
+///         | pf              (function pointer)
+///         | a COUNT type    (array)
+///         | s N (NAME OFFSET type)*   (struct with N fields)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_EXPRSERVER_TYPECODES_H
+#define LDB_EXPRSERVER_TYPECODES_H
+
+#include "lcc/ctype.h"
+#include "support/error.h"
+
+#include <string>
+#include <vector>
+
+namespace ldb::exprserver {
+
+/// Parses the token stream \p Tokens starting at \p Pos into a type from
+/// \p Pool.
+Expected<const lcc::CType *> decodeType(lcc::TypePool &Pool,
+                                        const std::vector<std::string> &Tokens,
+                                        size_t &Pos);
+
+/// Renders \p Ty as a token string (used by tests and by the debugger
+/// when its symbols come from C++ data rather than PostScript dicts).
+std::string encodeType(const lcc::CType &Ty);
+
+} // namespace ldb::exprserver
+
+#endif // LDB_EXPRSERVER_TYPECODES_H

@@ -1,0 +1,326 @@
+//===- lcc/asm.cpp - the assembler ----------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/asm.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+/// Registers an instruction reads and writes, for scheduling dependence
+/// checks. Conservative: unknown shapes read/write everything.
+struct RegUse {
+  uint64_t Reads = 0;  // bit per gpr (0..31) | fpr (32..47)
+  uint64_t Writes = 0;
+  bool Mem = false;     // touches memory
+  bool Control = false; // branch/jump/sys/break
+};
+
+uint64_t gprBit(unsigned R) { return uint64_t(1) << (R & 31); }
+uint64_t fprBit(unsigned R) { return uint64_t(1) << (32 + (R & 15)); }
+
+RegUse regUse(const Instr &In, const TargetDesc &Desc) {
+  RegUse Use;
+  Op O = In.Opc;
+  Use.Control = isControl(O);
+  Use.Mem = isLoad(O) || isStore(O);
+  switch (opFormat(O)) {
+  case OpFormat::N:
+    break;
+  case OpFormat::J:
+    if (O == Op::Jal)
+      Use.Writes |= gprBit(Desc.RaReg);
+    break;
+  case OpFormat::R:
+    switch (O) {
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FDiv:
+      Use.Reads |= fprBit(In.Ra) | fprBit(In.Rb);
+      Use.Writes |= fprBit(In.Rd);
+      break;
+    case Op::FNeg:
+    case Op::FMov:
+      Use.Reads |= fprBit(In.Ra);
+      Use.Writes |= fprBit(In.Rd);
+      break;
+    case Op::FEq:
+    case Op::FLt:
+    case Op::FLe:
+      Use.Reads |= fprBit(In.Ra) | fprBit(In.Rb);
+      Use.Writes |= gprBit(In.Rd);
+      break;
+    case Op::CvtIF:
+    case Op::MovIF:
+      Use.Reads |= gprBit(In.Ra);
+      Use.Writes |= fprBit(In.Rd);
+      break;
+    case Op::CvtFI:
+    case Op::MovFI:
+      Use.Reads |= fprBit(In.Ra);
+      Use.Writes |= gprBit(In.Rd);
+      break;
+    case Op::Jalr:
+      Use.Reads |= gprBit(In.Ra);
+      Use.Writes |= gprBit(In.Rd);
+      break;
+    default:
+      Use.Reads |= gprBit(In.Ra) | gprBit(In.Rb);
+      Use.Writes |= gprBit(In.Rd);
+    }
+    break;
+  case OpFormat::I:
+    if (isLoad(O)) {
+      Use.Reads |= gprBit(In.Ra);
+      if (writesFloatReg(O))
+        Use.Writes |= fprBit(In.Rd);
+      else
+        Use.Writes |= gprBit(In.Rd);
+    } else if (isStore(O)) {
+      Use.Reads |= gprBit(In.Ra);
+      if (O == Op::Fs4 || O == Op::Fs8 || O == Op::Fs10)
+        Use.Reads |= fprBit(In.Rd);
+      else
+        Use.Reads |= gprBit(In.Rd);
+    } else if (O == Op::Sys) {
+      Use.Reads |= gprBit(In.Ra) | fprBit(In.Ra);
+    } else if (O == Op::Beq || O == Op::Bne || O == Op::Blt ||
+               O == Op::Bge || O == Op::Bltu || O == Op::Bgeu) {
+      Use.Reads |= gprBit(In.Rd) | gprBit(In.Ra);
+    } else if (O == Op::Lui) {
+      Use.Writes |= gprBit(In.Rd);
+    } else {
+      Use.Reads |= gprBit(In.Ra);
+      Use.Writes |= gprBit(In.Rd);
+    }
+    break;
+  }
+  // r0 is hardwired zero: never a real dependence.
+  Use.Reads &= ~uint64_t(1);
+  Use.Writes &= ~uint64_t(1);
+  return Use;
+}
+
+/// True if the next instruction reads the register the load writes (the
+/// hazard the zmips shadow faults on).
+bool hazard(const Instr &Load, const Instr &Next, const TargetDesc &Desc) {
+  if (!isLoad(Load.Opc) || writesFloatReg(Load.Opc) || Load.Rd == 0)
+    return false;
+  RegUse NextUse = regUse(Next, Desc);
+  return (NextUse.Reads & gprBit(Load.Rd)) != 0;
+}
+
+/// The delay-slot scheduler. Scans each barrier-delimited block; for every
+/// load whose successor depends on it, tries to move a later independent
+/// instruction into the slot, else inserts a no-op. With -g, stopping
+/// points are additional barriers — the paper's "the scheduler may
+/// rearrange instructions only within top-level expressions".
+void fillDelaySlots(const TargetDesc &Desc, AsmStream &Stream, bool Debug,
+                    bool Schedule, AsmStats &Stats) {
+  std::vector<AsmItem> &Items = Stream.Items;
+  auto IsBarrierItem = [&](const AsmItem &It) {
+    if (It.K == AsmItem::Label)
+      return true;
+    if (It.K == AsmItem::Stop)
+      return Debug; // only barriers when no-ops are actually planted
+    return It.I.LabelRef >= 0 || regUse(It.I.In, Desc).Control;
+  };
+
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (Items[I].K != AsmItem::Ins || !isLoad(Items[I].I.In.Opc))
+      continue;
+    // Find the next item that emits an instruction. Labels and unplanted
+    // stops emit nothing; a planted stop no-op fills the slot for free.
+    size_t Next = I + 1;
+    while (Next < Items.size() &&
+           (Items[Next].K == AsmItem::Label ||
+            (Items[Next].K == AsmItem::Stop && !Debug)))
+      ++Next;
+    if (Next >= Items.size())
+      continue;
+    if (Items[Next].K == AsmItem::Stop)
+      continue; // planted no-op follows the load
+    if (!hazard(Items[I].I.In, Items[Next].I.In, Desc))
+      continue;
+    if (getenv("LDB_SCHED_DEBUG"))
+      std::fprintf(stderr, "hazard at %zu: %s rd=%d -> %s\n", I,
+                   opName(Items[I].I.In.Opc), Items[I].I.In.Rd,
+                   opName(Items[Next].I.In.Opc));
+
+    // Try to find a movable independent instruction later in the block.
+    // Nothing may move across a barrier, and candidates only come from
+    // the contiguous instruction run right after the dependent one.
+    bool Filled = false;
+    bool CrossedBarrier = false;
+    for (size_t K = I + 1; K <= Next; ++K)
+      CrossedBarrier |= IsBarrierItem(Items[K]);
+    if (Schedule && !CrossedBarrier) {
+      RegUse Crossed = regUse(Items[Next].I.In, Desc);
+      for (size_t J = Next + 1; J < Items.size(); ++J) {
+        if (IsBarrierItem(Items[J]))
+          break;
+        if (Items[J].K != AsmItem::Ins)
+          continue; // an unplanted stopping point emits nothing
+        const AsmIns &Cand = Items[J].I;
+        RegUse CU = regUse(Cand.In, Desc);
+        bool Movable =
+            !CU.Mem && !CU.Control &&
+            (CU.Reads & gprBit(Items[I].I.In.Rd)) == 0 && // not in shadow
+            (CU.Reads & Crossed.Writes) == 0 &&           // true dep
+            (CU.Writes & Crossed.Reads) == 0 &&           // anti dep
+            (CU.Writes & Crossed.Writes) == 0;            // output dep
+        if (getenv("LDB_SCHED_DEBUG"))
+          std::fprintf(stderr, "  cand %zu %s movable=%d\n", J,
+                       opName(Cand.In.Opc), (int)Movable);
+        if (Movable) {
+          AsmItem Moved = Items[J];
+          Items.erase(Items.begin() + static_cast<long>(J));
+          Items.insert(Items.begin() + static_cast<long>(I) + 1, Moved);
+          ++Stats.DelayFilled;
+          Filled = true;
+          break;
+        }
+        Crossed.Reads |= CU.Reads;
+        Crossed.Writes |= CU.Writes;
+        // Crossing a memory operation is safe for the ALU candidates we
+        // move (register dependences are tracked above); control flow
+        // ends the window.
+        if (CU.Control)
+          break;
+      }
+    }
+    if (!Filled) {
+      AsmItem Nop;
+      Nop.I.In = Instr::nop();
+      Items.insert(Items.begin() + static_cast<long>(I) + 1, Nop);
+      ++Stats.DelayNops;
+    }
+  }
+}
+
+} // namespace
+
+Error ldb::lcc::assemble(const TargetDesc &Desc, UnitAsm &UA,
+                         std::vector<std::unique_ptr<Function>> &Functions,
+                         bool Debug, bool Schedule, ObjectModule &Out) {
+  Out.UnitName = UA.UnitName;
+  Out.TargetName = Desc.Name;
+  Out.Data = UA.Data;
+  Out.DataSyms = UA.DataSyms;
+  Out.DataRelocs = UA.DataRelocs;
+
+  if (Desc.LoadDelaySlots > 0)
+    fillDelaySlots(Desc, UA.Stream, Debug, Schedule, Out.Stats);
+
+  // Placement: byte offsets for every item.
+  std::vector<AsmItem> &Items = UA.Stream.Items;
+  std::map<int, uint32_t> LabelOffset;
+  uint32_t Offset = 0;
+  for (AsmItem &It : Items) {
+    switch (It.K) {
+    case AsmItem::Label:
+      LabelOffset[It.Id] = Offset;
+      break;
+    case AsmItem::Stop:
+      if (Debug)
+        Offset += 4;
+      break;
+    case AsmItem::Ins:
+      Offset += 4;
+      break;
+    }
+  }
+
+  // Procedure boundaries.
+  for (const PendingProc &P : UA.Procs) {
+    auto Start = LabelOffset.find(P.StartLabel);
+    auto End = LabelOffset.find(P.EndLabel);
+    if (Start == LabelOffset.end() || End == LabelOffset.end())
+      return Error::failure("procedure " + P.Name + " has unplaced labels");
+    ProcInfo Info;
+    Info.Name = P.Name;
+    Info.CodeOffset = Start->second;
+    Info.CodeSize = End->second - Start->second;
+    Info.FrameSize = P.FrameSize;
+    Info.SaveMask = P.SaveMask;
+    Info.SaveAreaOffset = P.SaveAreaOffset;
+    Info.FnIndex = P.FnIndex;
+    Out.Procs.push_back(Info);
+    Out.TextSyms[P.Name] = Start->second;
+  }
+
+  // Encoding.
+  Out.Code.clear();
+  Offset = 0;
+  for (const AsmItem &It : Items) {
+    switch (It.K) {
+    case AsmItem::Label:
+      break;
+    case AsmItem::Stop: {
+      if (!Debug)
+        break;
+      if (It.FnIndex >= 0 &&
+          static_cast<size_t>(It.FnIndex) < Functions.size()) {
+        Function &Fn = *Functions[It.FnIndex];
+        uint32_t ProcStart = 0;
+        for (const ProcInfo &P : Out.Procs)
+          if (P.FnIndex == It.FnIndex)
+            ProcStart = P.CodeOffset;
+        if (It.Id >= 0 && static_cast<size_t>(It.Id) < Fn.Stops.size())
+          Fn.Stops[It.Id].CodeOffset = Offset - ProcStart;
+      }
+      Out.Code.push_back(Desc.nopWord());
+      ++Out.Stats.StopNops;
+      Offset += 4;
+      break;
+    }
+    case AsmItem::Ins: {
+      Instr In = It.I.In;
+      if (It.I.LabelRef >= 0) {
+        auto Found = LabelOffset.find(It.I.LabelRef);
+        if (Found == LabelOffset.end())
+          return Error::failure("undefined local label");
+        if (opFormat(In.Opc) == OpFormat::J) {
+          // Local jump: module-relative word address; the linker adds the
+          // module's base via the synthetic reloc below.
+          In.Imm = static_cast<int32_t>(Found->second / 4);
+          CodeReloc R;
+          R.WordIndex = Offset / 4;
+          R.Rel = RelocKind::Abs26;
+          R.Sym = ""; // empty symbol: module-base-relative
+          Out.CodeRelocs.push_back(R);
+        } else {
+          In.Imm = (static_cast<int32_t>(Found->second) -
+                    static_cast<int32_t>(Offset) - 4) /
+                   4;
+          if (In.Imm < -32768 || In.Imm > 32767)
+            return Error::failure("branch out of range");
+        }
+      }
+      if (It.I.Rel != RelocKind::None) {
+        CodeReloc R;
+        R.WordIndex = Offset / 4;
+        R.Rel = It.I.Rel;
+        R.Sym = It.I.Sym;
+        Out.CodeRelocs.push_back(R);
+      }
+      Out.Code.push_back(Desc.Enc.encode(In));
+      ++Out.Stats.Instructions;
+      Offset += 4;
+      break;
+    }
+    }
+  }
+  Out.Stats.Instructions = static_cast<uint32_t>(Out.Code.size());
+  return Error::success();
+}

@@ -1,0 +1,175 @@
+//===- lcc/asm.h - assembly items, object modules, the assembler -*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between the code generator and the assembler. The code
+/// generator emits a stream of items (instructions, labels, stopping
+/// points); the assembler fills zmips load delay slots (with scheduling
+/// restricted at stopping-point barriers when compiling for debugging,
+/// which is the paper's +13% MIPS penalty), resolves local branches,
+/// encodes instruction words, and produces an object module with
+/// relocations for the linker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_ASM_H
+#define LDB_LCC_ASM_H
+
+#include "lcc/ast.h"
+#include "support/error.h"
+#include "target/targetdesc.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldb::lcc {
+
+enum class RelocKind : uint8_t {
+  None,
+  Hi16,  ///< high 16 bits of a symbol's address (Lui)
+  Lo16,  ///< low 16 bits (OrI)
+  Abs26, ///< 26-bit word address (Jal/J)
+};
+
+struct AsmIns {
+  target::Instr In;
+  RelocKind Rel = RelocKind::None;
+  std::string Sym;    ///< relocation symbol (link name)
+  int LabelRef = -1;  ///< local label this branch targets, or -1
+};
+
+struct AsmItem {
+  enum Kind : uint8_t { Ins, Label, Stop } K = Ins;
+  AsmIns I;     ///< Ins
+  int Id = 0;   ///< label id (Label) or stopping-point id (Stop)
+  int FnIndex = -1; ///< Stop: index of the function in the unit
+};
+
+/// An instruction stream under construction, one per compilation unit.
+class AsmStream {
+public:
+  void ins(target::Instr In) {
+    AsmItem It;
+    It.I.In = In;
+    Items.push_back(It);
+  }
+  void insReloc(target::Instr In, RelocKind Rel, std::string Sym) {
+    AsmItem It;
+    It.I.In = In;
+    It.I.Rel = Rel;
+    It.I.Sym = std::move(Sym);
+    Items.push_back(It);
+  }
+  void insBranch(target::Instr In, int LabelId) {
+    AsmItem It;
+    It.I.In = In;
+    It.I.LabelRef = LabelId;
+    Items.push_back(It);
+  }
+  int newLabel() { return NextLabel++; }
+  void label(int Id) {
+    AsmItem It;
+    It.K = AsmItem::Label;
+    It.Id = Id;
+    Items.push_back(It);
+  }
+  void stop(int StopId, int FnIndex) {
+    AsmItem It;
+    It.K = AsmItem::Stop;
+    It.Id = StopId;
+    It.FnIndex = FnIndex;
+    Items.push_back(It);
+  }
+
+  /// Index of the next item (used to patch prologue placeholders).
+  size_t size() const { return Items.size(); }
+  AsmItem &operator[](size_t K) { return Items[K]; }
+
+  std::vector<AsmItem> Items;
+
+private:
+  int NextLabel = 0;
+};
+
+/// Per-procedure information the linker and the debugger need: frame size
+/// (the zmips runtime procedure table), the register-save mask and save
+/// area (the z68k masks of paper Sec 5), and stopping-point offsets.
+struct ProcInfo {
+  std::string Name;          ///< link name
+  uint32_t CodeOffset = 0;   ///< byte offset of entry in module text
+  uint32_t CodeSize = 0;
+  uint32_t FrameSize = 0;
+  uint32_t SaveMask = 0;
+  int32_t SaveAreaOffset = 0; ///< vfp-relative
+  int FnIndex = -1;           ///< index into Unit::Functions, -1 if none
+};
+
+struct CodeReloc {
+  uint32_t WordIndex; ///< which code word
+  RelocKind Rel;
+  std::string Sym;
+};
+
+struct DataReloc {
+  uint32_t Offset; ///< byte offset in the data segment
+  std::string Sym; ///< word there becomes the symbol's address
+};
+
+/// Statistics for the evaluation benches.
+struct AsmStats {
+  uint32_t Instructions = 0; ///< total encoded instruction words
+  uint32_t StopNops = 0;     ///< no-ops planted at stopping points (-g)
+  uint32_t DelayNops = 0;    ///< unfillable zmips load delay slots
+  uint32_t DelayFilled = 0;  ///< delay slots filled by scheduling
+};
+
+struct ObjectModule {
+  std::string UnitName;
+  std::string TargetName;
+  std::vector<uint32_t> Code; ///< encoded words
+  std::vector<CodeReloc> CodeRelocs;
+  std::vector<uint8_t> Data;
+  std::vector<DataReloc> DataRelocs;
+  std::map<std::string, uint32_t> TextSyms; ///< link name -> byte offset
+  std::map<std::string, uint32_t> DataSyms;
+  std::vector<ProcInfo> Procs;
+  AsmStats Stats;
+};
+
+/// A procedure in an unassembled stream, bracketed by labels.
+struct PendingProc {
+  std::string Name;
+  int StartLabel = -1;
+  int EndLabel = -1;
+  uint32_t FrameSize = 0;
+  uint32_t SaveMask = 0;
+  int32_t SaveAreaOffset = 0;
+  int FnIndex = -1;
+};
+
+/// Everything the code generator hands to the assembler for one unit.
+struct UnitAsm {
+  std::string UnitName;
+  AsmStream Stream;
+  std::vector<PendingProc> Procs;
+  std::vector<uint8_t> Data;
+  std::map<std::string, uint32_t> DataSyms;
+  std::vector<DataReloc> DataRelocs;
+};
+
+/// Assembles \p UA for \p Desc. When \p Debug is set, stopping points
+/// become no-ops (breakpoint anchors) and act as scheduling barriers;
+/// stop-point code offsets (relative to their procedure's entry) are
+/// written back into \p Functions. \p Schedule enables zmips delay-slot
+/// filling; without it every hazardous slot gets a no-op.
+Error assemble(const target::TargetDesc &Desc, UnitAsm &UA,
+               std::vector<std::unique_ptr<Function>> &Functions, bool Debug,
+               bool Schedule, ObjectModule &Out);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_ASM_H

@@ -1,0 +1,231 @@
+//===- lcc/ast.h - typed trees, symbols, and debug info ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's typed expression trees (lcc-style intermediate trees:
+/// every node carries its C type), statements, symbols, and the per-unit
+/// debug information consumed by the symbol-table emitters. The same
+/// expression trees are rewritten into PostScript by the expression server
+/// (paper Sec 3), so this header is the shared intermediate representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_AST_H
+#define LDB_LCC_AST_H
+
+#include "lcc/ctype.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldb::lcc {
+
+//===----------------------------------------------------------------------===//
+// Symbols
+//===----------------------------------------------------------------------===//
+
+enum class Storage : uint8_t {
+  Global, ///< extern linkage, defined in this unit
+  Static, ///< file- or function-scope static
+  Local,
+  Param,
+  Func, ///< procedure
+};
+
+struct CSymbol {
+  std::string Name;
+  const CType *Ty = nullptr;
+  Storage Sto = Storage::Local;
+
+  // Locations (filled by the code generator).
+  bool InRegister = false;
+  int RegNum = 0;      ///< callee-saved register holding the value
+  int FrameOffset = 0; ///< vfp-relative (negative) for locals and params
+  int AnchorIndex = -1; ///< slot in the unit's anchor table (statics and
+                        ///< globals)
+
+  // Source coordinates and scope chain for the symbol table.
+  std::string SourceFile;
+  int Line = 0;
+  int Col = 0;
+  CSymbol *Uplink = nullptr; ///< previous symbol in this or enclosing scope
+  int Id = 0;                ///< S-number in the emitted table
+
+  bool AddressTaken = false;
+  bool Defined = false; ///< a body or initializer appeared in this unit
+
+  // Expression-server reconstruction (paper Sec 3): symbols rebuilt on
+  // the fly from debugger replies carry a resolved debug-time address.
+  bool HasDebugAddr = false;
+  uint32_t DebugAddr = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions (the intermediate trees)
+//===----------------------------------------------------------------------===//
+
+enum class Ex : uint8_t {
+  IntConst,
+  FloatConst,
+  StrConst, ///< address of a string literal; SVal holds the bytes
+  SymRef,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Neg,
+  LogNot,
+  BitNot,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NeEq,
+  LogAnd,
+  LogOr,
+  Assign,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+  Index,  ///< Kids[0][Kids[1]]
+  Member, ///< Kids[0].SVal (struct lvalue)
+  Deref,
+  AddrOf,
+  Call, ///< Kids[0] = callee SymRef, Kids[1..] = args
+  Cast, ///< to Ty
+  Cond, ///< Kids[0] ? Kids[1] : Kids[2]
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  Ex Op;
+  const CType *Ty = nullptr;
+  int64_t IVal = 0;
+  double FVal = 0;
+  std::string SVal; ///< string literal bytes or member name
+  CSymbol *Sym = nullptr;
+  std::vector<ExprPtr> Kids;
+  int Line = 0;
+};
+
+ExprPtr makeExpr(Ex Op, const CType *Ty, int Line);
+
+/// True if the node denotes an object with an address (modulo registers).
+bool isLValue(const Expr &E);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class St : uint8_t {
+  Compound,
+  ExprStmt,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  DeclStmt, ///< local declaration; E is the optional initializer assignment
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  St Kind;
+  int Line = 0;
+  int EndLine = 0; ///< Compound: line of the closing brace
+  ExprPtr E, E2, E3;           ///< cond/init/incr operands by statement kind
+  std::vector<StmtPtr> Body;   ///< compound
+  StmtPtr Then, Else;          ///< if; Then doubles as loop body
+  CSymbol *DeclSym = nullptr;  ///< DeclStmt
+
+  // Stopping points (paper Sec 2, Fig 1): one before every top-level
+  // expression. Assigned at parse time so the visible-symbol chain can be
+  // captured; emitted in the same order by the code generator.
+  int StopId = -1;  ///< ExprStmt/Return/DeclStmt(with init); If/While cond
+  int StopId2 = -1; ///< For: condition (StopId covers the init)
+  int StopId3 = -1; ///< For: increment
+};
+
+//===----------------------------------------------------------------------===//
+// Stopping points and procedures
+//===----------------------------------------------------------------------===//
+
+struct StopPoint {
+  int Id = 0;
+  int Line = 0;
+  int Col = 0;
+  CSymbol *Visible = nullptr; ///< head of the visible-symbol chain here
+  uint32_t CodeOffset = 0;    ///< byte offset from procedure entry (set by
+                              ///< the assembler)
+};
+
+struct Function {
+  CSymbol *Sym = nullptr;
+  std::vector<CSymbol *> Params;
+  std::vector<CSymbol *> Locals; ///< every block-scope symbol, in order
+  StmtPtr Body;
+  std::vector<StopPoint> Stops;
+  int EntryStopId = -1;
+  int ExitStopId = -1;
+
+  // Filled by the code generator for the stack-walking machinery: which
+  // callee-saved registers the prologue saves, and where (vfp-relative
+  // offset of the save area). The 68020 register-save masks of paper Sec 5.
+  uint32_t SaveMask = 0;
+  int SaveAreaOffset = 0;
+  uint32_t FrameSize = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// A parsed compilation unit
+//===----------------------------------------------------------------------===//
+
+struct GlobalInit {
+  CSymbol *Sym = nullptr;
+  // Scalar or array-of-scalar initializers; empty means zero.
+  std::vector<double> FloatValues;
+  std::vector<int64_t> IntValues;
+  std::string StringValue; ///< for char arrays initialized from a literal
+};
+
+struct Unit {
+  std::string FileName;
+  std::unique_ptr<TypePool> Types;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<CSymbol *> Globals; ///< defined globals and statics, in order
+  std::vector<GlobalInit> Inits;
+  std::string AnchorName; ///< the unit's anchor symbol
+  int NextAnchorIndex = 0;
+
+  // Ownership of every symbol created while parsing.
+  std::vector<std::unique_ptr<CSymbol>> AllSymbols;
+  int NextSymbolId = 1;
+
+  CSymbol *newSymbol() {
+    AllSymbols.push_back(std::make_unique<CSymbol>());
+    AllSymbols.back()->Id = NextSymbolId++;
+    return AllSymbols.back().get();
+  }
+};
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_AST_H

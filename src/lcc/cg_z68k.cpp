@@ -1,0 +1,26 @@
+//===- lcc/cg_z68k.cpp - z68k codegen data (machine-dependent) -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: z68k. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/cgtarget.h"
+
+namespace ldb::lcc {
+const CgTarget &z68kCgTarget();
+} // namespace ldb::lcc
+
+const ldb::lcc::CgTarget &ldb::lcc::z68kCgTarget() {
+  // Registers are scarce on the 68020-like target: r6 and r7 plus the
+  // last argument register (caller-saved, dead outside the instant the
+  // arguments are loaded) serve as intermediates; deep expressions spill
+  // to the frame.
+  static const CgTarget TG = {
+      ldb::target::targetByName("z68k"),
+      {6, 7, 5},
+      {2, 3, 4},
+      {5, 6, 7},
+  };
+  return TG;
+}

@@ -1,0 +1,24 @@
+//===- lcc/cg_zmips.cpp - zmips codegen data (machine-dependent) ---------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zmips. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/cgtarget.h"
+
+namespace ldb::lcc {
+const CgTarget &zmipsCgTarget();
+} // namespace ldb::lcc
+
+const ldb::lcc::CgTarget &ldb::lcc::zmipsCgTarget() {
+  // r8..r13 are caller-saved temporaries; f2..f5 hold floating
+  // intermediates; floating arguments travel in f12..f15 (MIPS style).
+  static const CgTarget TG = {
+      ldb::target::targetByName("zmips"),
+      {8, 9, 10, 11, 12, 13},
+      {2, 3, 4, 5},
+      {12, 13, 14, 15},
+  };
+  return TG;
+}

@@ -1,0 +1,24 @@
+//===- lcc/cg_zsparc.cpp - zsparc codegen data (machine-dependent) -------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zsparc. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/cgtarget.h"
+
+namespace ldb::lcc {
+const CgTarget &zsparcCgTarget();
+} // namespace ldb::lcc
+
+const ldb::lcc::CgTarget &ldb::lcc::zsparcCgTarget() {
+  // r1..r7 serve as temporaries (the %g/%o scratch registers); floating
+  // intermediates in f2..f5, floating arguments in f8..f11.
+  static const CgTarget TG = {
+      ldb::target::targetByName("zsparc"),
+      {1, 2, 3, 4, 5, 6, 7},
+      {2, 3, 4, 5},
+      {8, 9, 10, 11},
+  };
+  return TG;
+}

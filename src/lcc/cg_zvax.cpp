@@ -1,0 +1,24 @@
+//===- lcc/cg_zvax.cpp - zvax codegen data (machine-dependent) -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zvax. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/cgtarget.h"
+
+namespace ldb::lcc {
+const CgTarget &zvaxCgTarget();
+} // namespace ldb::lcc
+
+const ldb::lcc::CgTarget &ldb::lcc::zvaxCgTarget() {
+  // r10, r11, and r15 are the scratch registers; callee-saved registers
+  // r6..r9 hold register variables.
+  static const CgTarget TG = {
+      ldb::target::targetByName("zvax"),
+      {10, 11, 15},
+      {2, 3, 4},
+      {5, 6, 7},
+  };
+  return TG;
+}

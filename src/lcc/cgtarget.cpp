@@ -1,0 +1,28 @@
+//===- lcc/cgtarget.cpp - per-target code generation data -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/cgtarget.h"
+
+#include <cassert>
+
+namespace ldb::lcc {
+const CgTarget &zmipsCgTarget();
+const CgTarget &z68kCgTarget();
+const CgTarget &zsparcCgTarget();
+const CgTarget &zvaxCgTarget();
+} // namespace ldb::lcc
+
+const ldb::lcc::CgTarget &
+ldb::lcc::cgTargetFor(const ldb::target::TargetDesc &Desc) {
+  if (Desc.Name == "zmips")
+    return zmipsCgTarget();
+  if (Desc.Name == "z68k")
+    return z68kCgTarget();
+  if (Desc.Name == "zsparc")
+    return zsparcCgTarget();
+  assert(Desc.Name == "zvax" && "unknown target");
+  return zvaxCgTarget();
+}

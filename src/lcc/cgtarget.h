@@ -1,0 +1,38 @@
+//===- lcc/cgtarget.h - per-target code generation data ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What the shared code generator needs to know about each target, beyond
+/// the TargetDesc register conventions: which registers are usable as
+/// expression temporaries, and how local variables are addressed (frame
+/// pointer, or stack pointer plus frame size on zmips, which has none).
+/// The per-target instances live in cg_*.cpp and are counted by the
+/// machine-dependent-LoC experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_CGTARGET_H
+#define LDB_LCC_CGTARGET_H
+
+#include "target/targetdesc.h"
+
+#include <vector>
+
+namespace ldb::lcc {
+
+struct CgTarget {
+  const target::TargetDesc *Desc = nullptr;
+  std::vector<unsigned> TempRegs;  ///< caller-saved integer temporaries
+  std::vector<unsigned> FTempRegs; ///< floating temporaries
+  std::vector<unsigned> FArgRegs;  ///< floating argument registers
+};
+
+/// The code-generation data for \p Desc.
+const CgTarget &cgTargetFor(const target::TargetDesc &Desc);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_CGTARGET_H

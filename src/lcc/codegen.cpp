@@ -1,0 +1,1463 @@
+//===- lcc/codegen.cpp - shared code generator -----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/codegen.h"
+
+#include "support/byteorder.h"
+
+#include <cassert>
+
+using namespace ldb;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+std::string ldb::lcc::linkName(const Unit &U, const CSymbol &Sym) {
+  if (Sym.Sto == Storage::Static) {
+    // _stanchor__XXXXXXXX -> unit suffix XXXXXXXX
+    std::string Suffix = U.AnchorName.substr(U.AnchorName.size() - 8);
+    return Sym.Name + "$" + Suffix;
+  }
+  return Sym.Name;
+}
+
+namespace {
+
+/// Frame layout constants: everything is addressed relative to the
+/// virtual frame pointer (the stack pointer at entry). The return address
+/// lives at vfp-4, the caller's frame pointer at vfp-8, and the
+/// callee-saved register save area starts at vfp-12.
+constexpr int32_t RaSlot = -4;
+constexpr int32_t FpSlot = -8;
+constexpr int32_t SaveAreaStart = -12;
+
+class UnitCodegen {
+public:
+  UnitCodegen(Unit &U, const TargetDesc &Desc, bool Debug, UnitAsm &Out)
+      : U(U), Desc(Desc), TG(cgTargetFor(Desc)), Debug(Debug), Out(Out) {}
+
+  Error run();
+
+  // Data segment services.
+  uint32_t dataAlloc(unsigned Size, unsigned Align);
+  std::string internString(const std::string &Bytes);
+  std::string internDoubleConst(double Value);
+  void fail(const std::string &Msg) {
+    if (FirstError.empty())
+      FirstError = Msg;
+  }
+
+  Unit &U;
+  const TargetDesc &Desc;
+  const CgTarget &TG;
+  bool Debug;
+  UnitAsm &Out;
+  std::string FirstError;
+
+private:
+  void layoutGlobals();
+  std::map<std::string, std::string> StringLabels;
+  std::map<double, std::string> DoubleLabels;
+  int NextLiteral = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-function code generation
+//===----------------------------------------------------------------------===//
+
+class FnCodegen {
+public:
+  FnCodegen(UnitCodegen &UC, Function &Fn, int FnIndex)
+      : UC(UC), Desc(UC.Desc), TG(UC.TG), Fn(Fn), FnIndex(FnIndex),
+        S(UC.Out.Stream) {}
+
+  void run();
+
+private:
+  // -- frame ---------------------------------------------------------------
+  int32_t allocFrameSlot(unsigned Size);
+  void assignLocations();
+
+  // Emits an instruction whose immediate must have the frame size added
+  // at the end of the function (zmips sp-relative addressing) or negated
+  // frame size (the sp adjustment itself).
+  enum class PatchKind { AddFrame, SubFrame };
+  void insPatched(Instr In, PatchKind PK);
+
+  /// Base register for vfp-relative addressing and whether the offset
+  /// needs the frame size added (the zmips case).
+  unsigned localBase() const {
+    return Desc.HasFramePointer ? static_cast<unsigned>(Desc.FpReg)
+                                : Desc.SpReg;
+  }
+  bool needsFramePatch() const { return !Desc.HasFramePointer; }
+
+  /// Emits a load/store-shaped instruction addressing vfp+Off.
+  void insLocal(Op O, unsigned Reg, int32_t Off);
+
+  // -- virtual evaluation stack ---------------------------------------------
+  struct VSlot {
+    bool IsFloat = false;
+    bool InReg = false;
+    unsigned Reg = 0;
+    int32_t SpillOff = 0;
+  };
+  unsigned allocTemp(bool Float);
+  void freeTemp(unsigned Reg, bool Float);
+  void pushReg(unsigned Reg, bool Float);
+  unsigned popI();
+  unsigned popF();
+  void scaleTop(unsigned Size); ///< multiply the (integer) top by Size
+  void popTwoI(unsigned &A, unsigned &B);
+  void popTwoF(unsigned &A, unsigned &B);
+  void discardTop();
+  void spillAll();
+
+  // -- expressions -----------------------------------------------------------
+  void genPush(const Expr &E);    ///< evaluate, push value (maybe nothing
+                                  ///< for void calls)
+  void genAddrPush(const Expr &E); ///< evaluate lvalue address, push it
+  void materializeInt(unsigned Reg, int64_t Value);
+  void loadSymbolAddr(unsigned Reg, const CSymbol &Sym);
+  void loadScalar(const CType &Ty, bool FromAddrOnStack);
+  void storeScalarTo(const Expr &LValue); ///< value on top of stack
+  void genCall(const Expr &E);
+  void genPrintf(const Expr &E);
+  void genCompare(Ex Op, const CType &OperandTy);
+  void genIncDec(const Expr &E);
+  void branchIfFalse(const Expr &Cond, int Label);
+  Op loadOpFor(const CType &Ty) const;
+  Op storeOpFor(const CType &Ty) const;
+
+  // -- statements -------------------------------------------------------------
+  void genStmt(const Stmt &St);
+  void emitStop(int StopId);
+
+  UnitCodegen &UC;
+  const TargetDesc &Desc;
+  const CgTarget &TG;
+  Function &Fn;
+  int FnIndex;
+  AsmStream &S;
+
+  std::vector<VSlot> VS;
+  std::vector<unsigned> FreeI, FreeF;
+  std::vector<int32_t> FreeSpill;
+
+  int32_t NextLocal = 0; ///< next free vfp-relative offset (negative)
+  std::vector<std::pair<size_t, PatchKind>> Patches;
+  int EpilogueLabel = -1;
+  std::vector<int> BreakLabels, ContinueLabels;
+};
+
+int32_t FnCodegen::allocFrameSlot(unsigned Size) {
+  unsigned Rounded = (Size + 3u) & ~3u;
+  NextLocal -= static_cast<int32_t>(Rounded);
+  // Keep 8-byte slots 8-aligned relative to vfp (vfp is 16-aligned).
+  if (Rounded >= 8)
+    NextLocal &= ~7;
+  return NextLocal;
+}
+
+void FnCodegen::insPatched(Instr In, PatchKind PK) {
+  Patches.push_back({S.size(), PK});
+  S.ins(In);
+}
+
+void FnCodegen::insLocal(Op O, unsigned Reg, int32_t Off) {
+  Instr In = Instr::i(O, Reg, localBase(), Off);
+  if (needsFramePatch())
+    insPatched(In, PatchKind::AddFrame);
+  else
+    S.ins(In);
+}
+
+//===----------------------------------------------------------------------===//
+// Locations: registers for eligible locals, frame slots for the rest
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::assignLocations() {
+  NextLocal = SaveAreaStart;
+
+  // Callee-saved registers for 4-byte integer locals whose address is
+  // never taken (the paper's i lands in a register this way).
+  unsigned NextSave = Desc.FirstCalleeSaved;
+  unsigned SaveEnd = Desc.FirstCalleeSaved + Desc.NumCalleeSaved;
+  for (CSymbol *Sym : Fn.Locals) {
+    if (Sym->Sto != Storage::Local || Sym->AddressTaken)
+      continue;
+    const CType *Ty = Sym->Ty;
+    bool Eligible = Ty->Size == 4 && (Ty->isInteger() || Ty->isPointer());
+    if (!Eligible || NextSave >= SaveEnd)
+      continue;
+    Sym->InRegister = true;
+    Sym->RegNum = static_cast<int>(NextSave++);
+    Fn.SaveMask |= 1u << Sym->RegNum;
+  }
+  unsigned NumSaved = 0;
+  for (unsigned R = 0; R < 32; ++R)
+    if (Fn.SaveMask & (1u << R))
+      ++NumSaved;
+  Fn.SaveAreaOffset = SaveAreaStart - 4 * (static_cast<int>(NumSaved) - 1);
+  NextLocal = SaveAreaStart - 4 * static_cast<int32_t>(NumSaved);
+
+  // Parameters and remaining locals get frame slots.
+  for (CSymbol *P : Fn.Params)
+    P->FrameOffset = allocFrameSlot(P->Ty->Size);
+  for (CSymbol *Sym : Fn.Locals) {
+    if (Sym->Sto != Storage::Local || Sym->InRegister)
+      continue;
+    Sym->FrameOffset = allocFrameSlot(Sym->Ty->Size);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Virtual evaluation stack
+//===----------------------------------------------------------------------===//
+
+unsigned FnCodegen::allocTemp(bool Float) {
+  // Round-robin through the temporaries (take from the front, release to
+  // the back): spreading values across registers leaves the zmips
+  // delay-slot scheduler independent instructions to move.
+  std::vector<unsigned> &Free = Float ? FreeF : FreeI;
+  if (!Free.empty()) {
+    unsigned R = Free.front();
+    Free.erase(Free.begin());
+    return R;
+  }
+  // Spill the oldest stack entry holding a register of this kind.
+  for (VSlot &V : VS) {
+    if (!V.InReg || V.IsFloat != Float)
+      continue;
+    int32_t Off = allocFrameSlot(Float ? 8 : 4);
+    if (Float)
+      insLocal(Op::Fs8, V.Reg, Off);
+    else
+      insLocal(Op::Sw, V.Reg, Off);
+    V.InReg = false;
+    V.SpillOff = Off;
+    return V.Reg;
+  }
+  UC.fail("expression too complex: out of temporaries");
+  return Float ? TG.FTempRegs[0] : TG.TempRegs[0];
+}
+
+void FnCodegen::freeTemp(unsigned Reg, bool Float) {
+  (Float ? FreeF : FreeI).push_back(Reg);
+}
+
+void FnCodegen::pushReg(unsigned Reg, bool Float) {
+  VSlot V;
+  V.IsFloat = Float;
+  V.InReg = true;
+  V.Reg = Reg;
+  VS.push_back(V);
+}
+
+unsigned FnCodegen::popI() {
+  assert(!VS.empty() && "value stack underflow");
+  VSlot V = VS.back();
+  VS.pop_back();
+  assert(!V.IsFloat && "expected an integer value");
+  if (V.InReg)
+    return V.Reg;
+  unsigned R = allocTemp(false);
+  insLocal(Op::Lw, R, V.SpillOff);
+  FreeSpill.push_back(V.SpillOff);
+  return R;
+}
+
+unsigned FnCodegen::popF() {
+  assert(!VS.empty() && "value stack underflow");
+  VSlot V = VS.back();
+  VS.pop_back();
+  assert(V.IsFloat && "expected a floating value");
+  if (V.InReg)
+    return V.Reg;
+  unsigned R = allocTemp(true);
+  insLocal(Op::Fl8, R, V.SpillOff);
+  FreeSpill.push_back(V.SpillOff);
+  return R;
+}
+
+void FnCodegen::popTwoI(unsigned &A, unsigned &B) {
+  B = popI();
+  A = popI();
+}
+
+void FnCodegen::popTwoF(unsigned &A, unsigned &B) {
+  B = popF();
+  A = popF();
+}
+
+/// Multiplies the integer on top of the stack by Size in place. Done
+/// before the base operand is popped so a spillable value remains on the
+/// stack if a scratch register is needed (the z68k has only two).
+void FnCodegen::scaleTop(unsigned Size) {
+  if (Size == 1)
+    return;
+  unsigned R = popI();
+  if ((Size & (Size - 1)) == 0) {
+    unsigned Shift = 0;
+    while ((1u << Shift) < Size)
+      ++Shift;
+    S.ins(Instr::i(Op::SllI, R, R, static_cast<int32_t>(Shift)));
+  } else {
+    unsigned T = allocTemp(false);
+    materializeInt(T, Size);
+    S.ins(Instr::r(Op::Mul, R, R, T));
+    freeTemp(T, false);
+  }
+  pushReg(R, false);
+}
+
+void FnCodegen::discardTop() {
+  if (VS.empty())
+    return;
+  bool Float = VS.back().IsFloat;
+  if (VS.back().InReg) {
+    unsigned R = VS.back().Reg;
+    VS.pop_back();
+    freeTemp(R, Float);
+  } else {
+    FreeSpill.push_back(VS.back().SpillOff);
+    VS.pop_back();
+  }
+}
+
+void FnCodegen::spillAll() {
+  for (VSlot &V : VS) {
+    if (!V.InReg)
+      continue;
+    int32_t Off = allocFrameSlot(V.IsFloat ? 8 : 4);
+    if (V.IsFloat)
+      insLocal(Op::Fs8, V.Reg, Off);
+    else
+      insLocal(Op::Sw, V.Reg, Off);
+    freeTemp(V.Reg, V.IsFloat);
+    V.InReg = false;
+    V.SpillOff = Off;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expression helpers
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::materializeInt(unsigned Reg, int64_t Value) {
+  int32_t V = static_cast<int32_t>(Value);
+  if (V >= -32768 && V < 32768) {
+    S.ins(Instr::i(Op::AddI, Reg, 0, V));
+    return;
+  }
+  S.ins(Instr::i(Op::Lui, Reg, 0,
+                 static_cast<int32_t>((static_cast<uint32_t>(V) >> 16))));
+  S.ins(Instr::i(Op::OrI, Reg, Reg,
+                 static_cast<int32_t>(static_cast<uint32_t>(V) & 0xffff)));
+}
+
+void FnCodegen::loadSymbolAddr(unsigned Reg, const CSymbol &Sym) {
+  switch (Sym.Sto) {
+  case Storage::Local:
+  case Storage::Param: {
+    Instr In = Instr::i(Op::AddI, Reg, localBase(), Sym.FrameOffset);
+    if (needsFramePatch())
+      insPatched(In, PatchKind::AddFrame);
+    else
+      S.ins(In);
+    return;
+  }
+  case Storage::Global:
+  case Storage::Static:
+  case Storage::Func: {
+    std::string Name = linkName(UC.U, Sym);
+    S.insReloc(Instr::i(Op::Lui, Reg, 0, 0), RelocKind::Hi16, Name);
+    S.insReloc(Instr::i(Op::OrI, Reg, Reg, 0), RelocKind::Lo16, Name);
+    return;
+  }
+  }
+}
+
+Op FnCodegen::loadOpFor(const CType &Ty) const {
+  if (Ty.isFloating())
+    return Ty.Size == 4 ? Op::Fl4 : Ty.Size == 8 ? Op::Fl8 : Op::Fl10;
+  switch (Ty.Size) {
+  case 1:
+    return Op::Lb; // char is signed
+  case 2:
+    return Op::Lh;
+  default:
+    return Op::Lw;
+  }
+}
+
+Op FnCodegen::storeOpFor(const CType &Ty) const {
+  if (Ty.isFloating())
+    return Ty.Size == 4 ? Op::Fs4 : Ty.Size == 8 ? Op::Fs8 : Op::Fs10;
+  switch (Ty.Size) {
+  case 1:
+    return Op::Sb;
+  case 2:
+    return Op::Sh;
+  default:
+    return Op::Sw;
+  }
+}
+
+/// Pops an address, loads a scalar of type \p Ty from it, pushes the value.
+void FnCodegen::loadScalar(const CType &Ty, bool) {
+  unsigned Addr = popI();
+  if (Ty.isFloating()) {
+    unsigned F = allocTemp(true);
+    S.ins(Instr::i(loadOpFor(Ty), F, Addr, 0));
+    freeTemp(Addr, false);
+    pushReg(F, true);
+    return;
+  }
+  S.ins(Instr::i(loadOpFor(Ty), Addr, Addr, 0));
+  pushReg(Addr, false);
+}
+
+//===----------------------------------------------------------------------===//
+// Addresses
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::genAddrPush(const Expr &E) {
+  switch (E.Op) {
+  case Ex::SymRef: {
+    assert(E.Sym && "symbol reference without a symbol");
+    if (E.Sym->InRegister) {
+      UC.fail("cannot take the address of register variable " + E.Sym->Name);
+      return;
+    }
+    unsigned R = allocTemp(false);
+    loadSymbolAddr(R, *E.Sym);
+    pushReg(R, false);
+    return;
+  }
+  case Ex::StrConst: {
+    std::string Label = UC.internString(E.SVal);
+    unsigned R = allocTemp(false);
+    S.insReloc(Instr::i(Op::Lui, R, 0, 0), RelocKind::Hi16, Label);
+    S.insReloc(Instr::i(Op::OrI, R, R, 0), RelocKind::Lo16, Label);
+    pushReg(R, false);
+    return;
+  }
+  case Ex::Index: {
+    const Expr &Base = *E.Kids[0];
+    // An array lvalue contributes its address; a pointer contributes its
+    // value.
+    if (Base.Ty->Kind == TyKind::Array)
+      genAddrPush(Base);
+    else
+      genPush(Base);
+    genPush(*E.Kids[1]);
+    scaleTop(E.Ty->Size);
+    unsigned BaseR, IdxR;
+    popTwoI(BaseR, IdxR);
+    S.ins(Instr::r(Op::Add, BaseR, BaseR, IdxR));
+    freeTemp(IdxR, false);
+    pushReg(BaseR, false);
+    return;
+  }
+  case Ex::Member: {
+    const Expr &Base = *E.Kids[0];
+    genAddrPush(Base);
+    unsigned Off = 0;
+    for (const StructField &F : Base.Ty->Fields)
+      if (F.Name == E.SVal)
+        Off = F.Offset;
+    if (Off != 0) {
+      unsigned R = popI();
+      S.ins(Instr::i(Op::AddI, R, R, static_cast<int32_t>(Off)));
+      pushReg(R, false);
+    }
+    return;
+  }
+  case Ex::Deref:
+    genPush(*E.Kids[0]);
+    return;
+  case Ex::AddrOf:
+    // &x as an lvalue address does not exist; AddrOf only appears as a
+    // value (handled in genPush).
+    UC.fail("internal: address of an address expression");
+    return;
+  default:
+    UC.fail("expression is not an lvalue");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::genCompare(Ex Opx, const CType &OperandTy) {
+  if (OperandTy.isFloating()) {
+    unsigned A, B;
+    popTwoF(A, B);
+    unsigned D = allocTemp(false);
+    switch (Opx) {
+    case Ex::Lt:
+      S.ins(Instr::r(Op::FLt, D, A, B));
+      break;
+    case Ex::Gt:
+      S.ins(Instr::r(Op::FLt, D, B, A));
+      break;
+    case Ex::Le:
+      S.ins(Instr::r(Op::FLe, D, A, B));
+      break;
+    case Ex::Ge:
+      S.ins(Instr::r(Op::FLe, D, B, A));
+      break;
+    case Ex::EqEq:
+      S.ins(Instr::r(Op::FEq, D, A, B));
+      break;
+    default:
+      S.ins(Instr::r(Op::FEq, D, A, B));
+      S.ins(Instr::i(Op::XorI, D, D, 1));
+      break;
+    }
+    freeTemp(A, true);
+    freeTemp(B, true);
+    pushReg(D, false);
+    return;
+  }
+
+  bool Unsigned = OperandTy.Kind == TyKind::UInt || OperandTy.isPointer();
+  Op Slt = Unsigned ? Op::Sltu : Op::Slt;
+  unsigned A, B;
+  popTwoI(A, B);
+  switch (Opx) {
+  case Ex::Lt:
+    S.ins(Instr::r(Slt, A, A, B));
+    break;
+  case Ex::Gt:
+    S.ins(Instr::r(Slt, A, B, A));
+    break;
+  case Ex::Le:
+    S.ins(Instr::r(Slt, A, B, A));
+    S.ins(Instr::i(Op::XorI, A, A, 1));
+    break;
+  case Ex::Ge:
+    S.ins(Instr::r(Slt, A, A, B));
+    S.ins(Instr::i(Op::XorI, A, A, 1));
+    break;
+  case Ex::EqEq:
+    S.ins(Instr::r(Op::Sub, A, A, B));
+    S.ins(Instr::r(Op::Sltu, A, 0, A));
+    S.ins(Instr::i(Op::XorI, A, A, 1));
+    break;
+  default: // NeEq
+    S.ins(Instr::r(Op::Sub, A, A, B));
+    S.ins(Instr::r(Op::Sltu, A, 0, A));
+    break;
+  }
+  freeTemp(B, false);
+  pushReg(A, false);
+}
+
+void FnCodegen::genIncDec(const Expr &E) {
+  const Expr &L = *E.Kids[0];
+  bool Post = E.Op == Ex::PostInc || E.Op == Ex::PostDec;
+  bool Inc = E.Op == Ex::PostInc || E.Op == Ex::PreInc;
+  int32_t Delta = 1;
+  if (L.Ty->isPointer())
+    Delta = static_cast<int32_t>(L.Ty->Ref->Size);
+  if (!Inc)
+    Delta = -Delta;
+
+  if (L.Ty->isFloating()) {
+    UC.fail("++/-- on floating types is not supported");
+    return;
+  }
+
+  if (L.Op == Ex::SymRef && L.Sym->InRegister) {
+    unsigned Reg = static_cast<unsigned>(L.Sym->RegNum);
+    unsigned T = allocTemp(false);
+    if (Post) {
+      S.ins(Instr::r(Op::Add, T, Reg, 0));
+      S.ins(Instr::i(Op::AddI, Reg, Reg, Delta));
+    } else {
+      S.ins(Instr::i(Op::AddI, Reg, Reg, Delta));
+      S.ins(Instr::r(Op::Add, T, Reg, 0));
+    }
+    pushReg(T, false);
+    return;
+  }
+
+  // Two registers suffice even for the post forms: store the new value,
+  // then undo the delta to recover the old one as the expression value.
+  genAddrPush(L);
+  unsigned Addr = popI();
+  unsigned Val = allocTemp(false);
+  S.ins(Instr::i(loadOpFor(*L.Ty), Val, Addr, 0));
+  S.ins(Instr::i(Op::AddI, Val, Val, Delta));
+  S.ins(Instr::i(storeOpFor(*L.Ty), Val, Addr, 0));
+  if (Post)
+    S.ins(Instr::i(Op::AddI, Val, Val, -Delta));
+  freeTemp(Addr, false);
+  pushReg(Val, false);
+}
+
+void FnCodegen::branchIfFalse(const Expr &Cond, int Label) {
+  genPush(Cond);
+  if (Cond.Ty->isFloating()) {
+    unsigned F = popF();
+    unsigned Z = allocTemp(true);
+    S.ins(Instr::r(Op::CvtIF, Z, 0, 0)); // 0.0
+    unsigned T = allocTemp(false);
+    S.ins(Instr::r(Op::FEq, T, F, Z));
+    S.insBranch(Instr::i(Op::Bne, T, 0, 0), Label);
+    freeTemp(T, false);
+    freeTemp(Z, true);
+    freeTemp(F, true);
+    return;
+  }
+  unsigned R = popI();
+  S.insBranch(Instr::i(Op::Beq, R, 0, 0), Label);
+  freeTemp(R, false);
+}
+
+void FnCodegen::storeScalarTo(const Expr &LValue) {
+  // Value is on top of the stack and stays there as the expression value.
+  if (LValue.Op == Ex::SymRef && LValue.Sym->InRegister) {
+    unsigned V = popI();
+    S.ins(Instr::r(Op::Add, static_cast<unsigned>(LValue.Sym->RegNum), V, 0));
+    pushReg(V, false);
+    return;
+  }
+  genAddrPush(LValue);
+  unsigned Addr = popI();
+  if (LValue.Ty->isFloating()) {
+    unsigned V = popF();
+    S.ins(Instr::i(storeOpFor(*LValue.Ty), V, Addr, 0));
+    freeTemp(Addr, false);
+    pushReg(V, true);
+    return;
+  }
+  unsigned V = popI();
+  S.ins(Instr::i(storeOpFor(*LValue.Ty), V, Addr, 0));
+  freeTemp(Addr, false);
+  pushReg(V, false);
+}
+
+void FnCodegen::genPrintf(const Expr &E) {
+  if (E.Kids.size() < 2 || E.Kids[1]->Op != Ex::StrConst) {
+    UC.fail("printf needs a literal format string");
+    return;
+  }
+  const std::string &Fmt = E.Kids[1]->SVal;
+  size_t ArgIndex = 2;
+  std::string Chunk;
+  auto FlushChunk = [&] {
+    if (Chunk.empty())
+      return;
+    std::string Label = UC.internString(Chunk);
+    unsigned R = allocTemp(false);
+    S.insReloc(Instr::i(Op::Lui, R, 0, 0), RelocKind::Hi16, Label);
+    S.insReloc(Instr::i(Op::OrI, R, R, 0), RelocKind::Lo16, Label);
+    S.ins(Instr::i(Op::Sys, 0, R, static_cast<int32_t>(Syscall::PutStr)));
+    freeTemp(R, false);
+    Chunk.clear();
+  };
+
+  for (size_t K = 0; K < Fmt.size(); ++K) {
+    if (Fmt[K] != '%' || K + 1 >= Fmt.size()) {
+      Chunk += Fmt[K];
+      continue;
+    }
+    char Conv = Fmt[++K];
+    if (Conv == '%') {
+      Chunk += '%';
+      continue;
+    }
+    FlushChunk();
+    if (ArgIndex >= E.Kids.size()) {
+      UC.fail("printf: not enough arguments for format");
+      return;
+    }
+    const Expr &Arg = *E.Kids[ArgIndex++];
+    genPush(Arg);
+    switch (Conv) {
+    case 'd': {
+      unsigned R = popI();
+      S.ins(Instr::i(Op::Sys, 0, R, static_cast<int32_t>(Syscall::PutInt)));
+      freeTemp(R, false);
+      break;
+    }
+    case 'u':
+    case 'x': {
+      unsigned R = popI();
+      S.ins(Instr::i(Op::Sys, 0, R, static_cast<int32_t>(Syscall::PutUint)));
+      freeTemp(R, false);
+      break;
+    }
+    case 'c': {
+      unsigned R = popI();
+      S.ins(Instr::i(Op::Sys, 0, R, static_cast<int32_t>(Syscall::PutChar)));
+      freeTemp(R, false);
+      break;
+    }
+    case 's': {
+      unsigned R = popI();
+      S.ins(Instr::i(Op::Sys, 0, R, static_cast<int32_t>(Syscall::PutStr)));
+      freeTemp(R, false);
+      break;
+    }
+    case 'f':
+    case 'g': {
+      unsigned F = popF();
+      S.ins(Instr::i(Op::Sys, 0, F, static_cast<int32_t>(Syscall::PutFloat)));
+      freeTemp(F, true);
+      break;
+    }
+    default:
+      UC.fail(std::string("printf: unsupported conversion %") + Conv);
+      return;
+    }
+  }
+  FlushChunk();
+  // printf returns int; push a zero so the value context is satisfied.
+  unsigned R = allocTemp(false);
+  materializeInt(R, 0);
+  pushReg(R, false);
+}
+
+void FnCodegen::genCall(const Expr &E) {
+  const Expr &Callee = *E.Kids[0];
+  assert(Callee.Op == Ex::SymRef);
+  CSymbol &Fn = *Callee.Sym;
+  if (Fn.Name == "printf" && !Fn.Defined) {
+    genPrintf(E);
+    return;
+  }
+
+  size_t NArgs = E.Kids.size() - 1;
+  if (NArgs > Desc.NumArgRegs) {
+    UC.fail("too many arguments to " + Fn.Name);
+    return;
+  }
+
+  // Everything live is caller-saved; park it in the frame.
+  spillAll();
+
+  // Evaluate arguments into dedicated frame slots, then load them into
+  // the argument registers just before the call.
+  std::vector<int32_t> Slots;
+  std::vector<bool> IsFloat;
+  for (size_t K = 1; K < E.Kids.size(); ++K) {
+    const Expr &Arg = *E.Kids[K];
+    genPush(Arg);
+    bool F = Arg.Ty->isFloating();
+    int32_t Slot = allocFrameSlot(F ? 8 : 4);
+    if (F) {
+      unsigned R = popF();
+      insLocal(Op::Fs8, R, Slot);
+      freeTemp(R, true);
+    } else {
+      unsigned R = popI();
+      insLocal(Op::Sw, R, Slot);
+      freeTemp(R, false);
+    }
+    Slots.push_back(Slot);
+    IsFloat.push_back(F);
+  }
+  unsigned NextIArg = Desc.FirstArgReg;
+  unsigned NextFArg = 0;
+  for (size_t K = 0; K < Slots.size(); ++K) {
+    if (IsFloat[K])
+      insLocal(Op::Fl8, TG.FArgRegs[NextFArg++], Slots[K]);
+    else
+      insLocal(Op::Lw, NextIArg++, Slots[K]);
+  }
+  S.insReloc(Instr::j(Op::Jal, 0), RelocKind::Abs26, linkName(UC.U, Fn));
+
+  const CType *RetTy = Fn.Ty->Ref;
+  if (RetTy->Kind == TyKind::Void)
+    return; // no value pushed
+  if (RetTy->isFloating()) {
+    unsigned R = allocTemp(true);
+    S.ins(Instr::r(Op::FMov, R, Desc.FRvReg, 0));
+    pushReg(R, true);
+  } else {
+    unsigned R = allocTemp(false);
+    S.ins(Instr::r(Op::Add, R, Desc.RvReg, 0));
+    pushReg(R, false);
+  }
+}
+
+void FnCodegen::genPush(const Expr &E) {
+  TypePool &TP = *UC.U.Types;
+  (void)TP;
+  switch (E.Op) {
+  case Ex::IntConst: {
+    unsigned R = allocTemp(false);
+    materializeInt(R, E.IVal);
+    pushReg(R, false);
+    return;
+  }
+  case Ex::FloatConst: {
+    std::string Label = UC.internDoubleConst(E.FVal);
+    unsigned A = allocTemp(false);
+    S.insReloc(Instr::i(Op::Lui, A, 0, 0), RelocKind::Hi16, Label);
+    S.insReloc(Instr::i(Op::OrI, A, A, 0), RelocKind::Lo16, Label);
+    unsigned F = allocTemp(true);
+    S.ins(Instr::i(Op::Fl8, F, A, 0));
+    freeTemp(A, false);
+    pushReg(F, true);
+    return;
+  }
+  case Ex::StrConst:
+    genAddrPush(E);
+    return;
+  case Ex::SymRef: {
+    const CSymbol &Sym = *E.Sym;
+    if (Sym.InRegister) {
+      unsigned R = allocTemp(false);
+      S.ins(Instr::r(Op::Add, R, static_cast<unsigned>(Sym.RegNum), 0));
+      pushReg(R, false);
+      return;
+    }
+    if (!E.Ty->isScalar()) {
+      UC.fail("aggregate used as a value");
+      return;
+    }
+    genAddrPush(E);
+    loadScalar(*E.Ty, true);
+    return;
+  }
+  case Ex::Index:
+  case Ex::Member:
+  case Ex::Deref: {
+    if (!E.Ty->isScalar()) {
+      UC.fail("aggregate used as a value");
+      return;
+    }
+    genAddrPush(E);
+    loadScalar(*E.Ty, true);
+    return;
+  }
+  case Ex::AddrOf: {
+    const Expr &K = *E.Kids[0];
+    if (K.Op == Ex::SymRef && K.Sym->Ty->Kind == TyKind::Func) {
+      unsigned R = allocTemp(false);
+      loadSymbolAddr(R, *K.Sym);
+      pushReg(R, false);
+      return;
+    }
+    genAddrPush(K);
+    return;
+  }
+  case Ex::Assign: {
+    genPush(*E.Kids[1]);
+    storeScalarTo(*E.Kids[0]);
+    return;
+  }
+  case Ex::Add:
+  case Ex::Sub: {
+    const Expr &L = *E.Kids[0];
+    const Expr &R = *E.Kids[1];
+    // Pointer arithmetic scales the integer operand.
+    if (E.Ty->isPointer()) {
+      genPush(L);
+      genPush(R);
+      scaleTop(E.Ty->Ref->Size);
+      unsigned A, B;
+      popTwoI(A, B);
+      S.ins(Instr::r(E.Op == Ex::Add ? Op::Add : Op::Sub, A, A, B));
+      freeTemp(B, false);
+      pushReg(A, false);
+      return;
+    }
+    [[fallthrough]];
+  }
+  case Ex::Mul:
+  case Ex::Div:
+  case Ex::Rem:
+  case Ex::BitAnd:
+  case Ex::BitOr:
+  case Ex::BitXor:
+  case Ex::Shl:
+  case Ex::Shr: {
+    genPush(*E.Kids[0]);
+    genPush(*E.Kids[1]);
+    if (E.Ty->isFloating()) {
+      unsigned A, B;
+      popTwoF(A, B);
+      Op O = E.Op == Ex::Add   ? Op::FAdd
+             : E.Op == Ex::Sub ? Op::FSub
+             : E.Op == Ex::Mul ? Op::FMul
+                               : Op::FDiv;
+      S.ins(Instr::r(O, A, A, B));
+      freeTemp(B, true);
+      pushReg(A, true);
+      return;
+    }
+    unsigned A, B;
+    popTwoI(A, B);
+    Op O;
+    switch (E.Op) {
+    case Ex::Add:
+      O = Op::Add;
+      break;
+    case Ex::Sub:
+      O = Op::Sub;
+      break;
+    case Ex::Mul:
+      O = Op::Mul;
+      break;
+    case Ex::Div:
+      O = Op::Div;
+      break;
+    case Ex::Rem:
+      O = Op::Rem;
+      break;
+    case Ex::BitAnd:
+      O = Op::And;
+      break;
+    case Ex::BitOr:
+      O = Op::Or;
+      break;
+    case Ex::BitXor:
+      O = Op::Xor;
+      break;
+    case Ex::Shl:
+      O = Op::Sll;
+      break;
+    default:
+      O = E.Ty->Kind == TyKind::UInt ? Op::Srl : Op::Sra;
+      break;
+    }
+    S.ins(Instr::r(O, A, A, B));
+    freeTemp(B, false);
+    pushReg(A, false);
+    return;
+  }
+  case Ex::Neg: {
+    genPush(*E.Kids[0]);
+    if (E.Ty->isFloating()) {
+      unsigned F = popF();
+      S.ins(Instr::r(Op::FNeg, F, F, 0));
+      pushReg(F, true);
+      return;
+    }
+    unsigned R = popI();
+    S.ins(Instr::r(Op::Sub, R, 0, R));
+    pushReg(R, false);
+    return;
+  }
+  case Ex::LogNot: {
+    genPush(*E.Kids[0]);
+    if (E.Kids[0]->Ty->isFloating()) {
+      unsigned F = popF();
+      unsigned Z = allocTemp(true);
+      S.ins(Instr::r(Op::CvtIF, Z, 0, 0));
+      unsigned R = allocTemp(false);
+      S.ins(Instr::r(Op::FEq, R, F, Z));
+      freeTemp(F, true);
+      freeTemp(Z, true);
+      pushReg(R, false);
+      return;
+    }
+    unsigned R = popI();
+    S.ins(Instr::r(Op::Sltu, R, 0, R));
+    S.ins(Instr::i(Op::XorI, R, R, 1));
+    pushReg(R, false);
+    return;
+  }
+  case Ex::BitNot: {
+    genPush(*E.Kids[0]);
+    unsigned R = popI();
+    unsigned M = allocTemp(false);
+    S.ins(Instr::i(Op::AddI, M, 0, -1));
+    S.ins(Instr::r(Op::Xor, R, R, M));
+    freeTemp(M, false);
+    pushReg(R, false);
+    return;
+  }
+  case Ex::Lt:
+  case Ex::Le:
+  case Ex::Gt:
+  case Ex::Ge:
+  case Ex::EqEq:
+  case Ex::NeEq: {
+    genPush(*E.Kids[0]);
+    genPush(*E.Kids[1]);
+    genCompare(E.Op, *E.Kids[0]->Ty);
+    return;
+  }
+  case Ex::LogAnd:
+  case Ex::LogOr: {
+    // Short-circuit evaluation. The 0/1 result accumulates in a frame
+    // slot so that no temporary stays live across the branches — on the
+    // register-poor z68k both temporaries must stay available inside the
+    // operand expressions.
+    spillAll();
+    int32_t Slot = allocFrameSlot(4);
+    int LShort = S.newLabel();
+    int LEnd = S.newLabel();
+    bool IsAnd = E.Op == Ex::LogAnd;
+    if (IsAnd) {
+      branchIfFalse(*E.Kids[0], LShort);
+      branchIfFalse(*E.Kids[1], LShort);
+      unsigned T = allocTemp(false);
+      materializeInt(T, 1);
+      insLocal(Op::Sw, T, Slot);
+      freeTemp(T, false);
+      S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LEnd);
+      S.label(LShort);
+      T = allocTemp(false);
+      materializeInt(T, 0);
+      insLocal(Op::Sw, T, Slot);
+      freeTemp(T, false);
+      S.label(LEnd);
+    } else {
+      int LTrue = S.newLabel();
+      int LTestB = S.newLabel();
+      branchIfFalse(*E.Kids[0], LTestB);
+      S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LTrue);
+      S.label(LTestB);
+      branchIfFalse(*E.Kids[1], LShort);
+      S.label(LTrue);
+      unsigned T = allocTemp(false);
+      materializeInt(T, 1);
+      insLocal(Op::Sw, T, Slot);
+      freeTemp(T, false);
+      S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LEnd);
+      S.label(LShort);
+      T = allocTemp(false);
+      materializeInt(T, 0);
+      insLocal(Op::Sw, T, Slot);
+      freeTemp(T, false);
+      S.label(LEnd);
+    }
+    unsigned R = allocTemp(false);
+    insLocal(Op::Lw, R, Slot);
+    pushReg(R, false);
+    return;
+  }
+  case Ex::Cond: {
+    // The conditional expression routes both arms through a frame slot
+    // for the same reason as the short-circuit operators.
+    spillAll();
+    bool Float = E.Ty->isFloating();
+    int32_t Slot = allocFrameSlot(Float ? 8 : 4);
+    int LElse = S.newLabel();
+    int LEnd = S.newLabel();
+    branchIfFalse(*E.Kids[0], LElse);
+    genPush(*E.Kids[1]);
+    if (Float) {
+      unsigned R = popF();
+      insLocal(Op::Fs8, R, Slot);
+      freeTemp(R, true);
+    } else {
+      unsigned R = popI();
+      insLocal(Op::Sw, R, Slot);
+      freeTemp(R, false);
+    }
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LEnd);
+    S.label(LElse);
+    genPush(*E.Kids[2]);
+    if (Float) {
+      unsigned R = popF();
+      insLocal(Op::Fs8, R, Slot);
+      freeTemp(R, true);
+    } else {
+      unsigned R = popI();
+      insLocal(Op::Sw, R, Slot);
+      freeTemp(R, false);
+    }
+    S.label(LEnd);
+    if (Float) {
+      unsigned R = allocTemp(true);
+      insLocal(Op::Fl8, R, Slot);
+      pushReg(R, true);
+    } else {
+      unsigned R = allocTemp(false);
+      insLocal(Op::Lw, R, Slot);
+      pushReg(R, false);
+    }
+    return;
+  }
+  case Ex::PreInc:
+  case Ex::PreDec:
+  case Ex::PostInc:
+  case Ex::PostDec:
+    genIncDec(E);
+    return;
+  case Ex::Call:
+    genCall(E);
+    return;
+  case Ex::Cast: {
+    const Expr &K = *E.Kids[0];
+    genPush(K);
+    const CType &From = *K.Ty;
+    const CType &To = *E.Ty;
+    if (To.Kind == TyKind::Void) {
+      discardTop();
+      return;
+    }
+    if (From.isFloating() && To.isFloating())
+      return; // extended in the register either way
+    if (From.isFloating() && !To.isFloating()) {
+      unsigned F = popF();
+      unsigned R = allocTemp(false);
+      S.ins(Instr::r(Op::CvtFI, R, F, 0));
+      freeTemp(F, true);
+      pushReg(R, false);
+      return;
+    }
+    if (!From.isFloating() && To.isFloating()) {
+      unsigned R = popI();
+      unsigned F = allocTemp(true);
+      S.ins(Instr::r(Op::CvtIF, F, R, 0));
+      freeTemp(R, false);
+      pushReg(F, true);
+      return;
+    }
+    // Integer / pointer conversions: truncate-and-extend when narrowing.
+    if (To.Size < 4 && To.isInteger()) {
+      unsigned R = popI();
+      unsigned Shift = To.Size == 1 ? 24 : 16;
+      S.ins(Instr::i(Op::SllI, R, R, static_cast<int32_t>(Shift)));
+      S.ins(Instr::i(Op::SraI, R, R, static_cast<int32_t>(Shift)));
+      pushReg(R, false);
+    }
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::emitStop(int StopId) {
+  if (StopId >= 0)
+    S.stop(StopId, FnIndex);
+}
+
+void FnCodegen::genStmt(const Stmt &St) {
+  switch (St.Kind) {
+  case St::Compound:
+    for (const StmtPtr &Sub : St.Body)
+      genStmt(*Sub);
+    return;
+  case St::ExprStmt:
+  case St::DeclStmt: {
+    if (!St.E)
+      return;
+    emitStop(St.StopId);
+    size_t Depth = VS.size();
+    genPush(*St.E);
+    while (VS.size() > Depth)
+      discardTop();
+    return;
+  }
+  case St::If: {
+    emitStop(St.StopId);
+    int LElse = S.newLabel();
+    int LEnd = St.Else ? S.newLabel() : LElse;
+    branchIfFalse(*St.E, LElse);
+    genStmt(*St.Then);
+    if (St.Else) {
+      S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LEnd);
+      S.label(LElse);
+      genStmt(*St.Else);
+    }
+    S.label(LEnd);
+    return;
+  }
+  case St::While: {
+    int LCond = S.newLabel();
+    int LEnd = S.newLabel();
+    S.label(LCond);
+    emitStop(St.StopId);
+    branchIfFalse(*St.E, LEnd);
+    BreakLabels.push_back(LEnd);
+    ContinueLabels.push_back(LCond);
+    genStmt(*St.Then);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LCond);
+    S.label(LEnd);
+    return;
+  }
+  case St::For: {
+    if (St.E) {
+      emitStop(St.StopId);
+      size_t Depth = VS.size();
+      genPush(*St.E);
+      while (VS.size() > Depth)
+        discardTop();
+    }
+    int LCond = S.newLabel();
+    int LIncr = S.newLabel();
+    int LEnd = S.newLabel();
+    S.label(LCond);
+    if (St.E2) {
+      emitStop(St.StopId2);
+      branchIfFalse(*St.E2, LEnd);
+    }
+    BreakLabels.push_back(LEnd);
+    ContinueLabels.push_back(LIncr);
+    if (St.Then)
+      genStmt(*St.Then);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    S.label(LIncr);
+    if (St.E3) {
+      emitStop(St.StopId3);
+      size_t Depth = VS.size();
+      genPush(*St.E3);
+      while (VS.size() > Depth)
+        discardTop();
+    }
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), LCond);
+    S.label(LEnd);
+    return;
+  }
+  case St::Return: {
+    emitStop(St.StopId);
+    if (St.E) {
+      genPush(*St.E);
+      if (St.E->Ty->isFloating()) {
+        unsigned R = popF();
+        S.ins(Instr::r(Op::FMov, Desc.FRvReg, R, 0));
+        freeTemp(R, true);
+      } else {
+        unsigned R = popI();
+        S.ins(Instr::r(Op::Add, Desc.RvReg, R, 0));
+        freeTemp(R, false);
+      }
+    }
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), EpilogueLabel);
+    return;
+  }
+  case St::Break:
+    if (BreakLabels.empty()) {
+      UC.fail("break outside a loop");
+      return;
+    }
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), BreakLabels.back());
+    return;
+  case St::Continue:
+    if (ContinueLabels.empty()) {
+      UC.fail("continue outside a loop");
+      return;
+    }
+    S.insBranch(Instr::i(Op::Beq, 0, 0, 0), ContinueLabels.back());
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function skeleton
+//===----------------------------------------------------------------------===//
+
+void FnCodegen::run() {
+  FreeI = TG.TempRegs;
+  FreeF = TG.FTempRegs;
+  assignLocations();
+
+  int StartLabel = S.newLabel();
+  int EndLabel = S.newLabel();
+  EpilogueLabel = S.newLabel();
+  S.label(StartLabel);
+
+  // Prologue: adjust sp, save ra, caller's fp, callee-saved registers,
+  // and park parameters in their frame slots. All stores are sp-relative
+  // with frame-size patches, since fp is established last.
+  insPatched(Instr::i(Op::AddI, Desc.SpReg, Desc.SpReg, 0),
+             PatchKind::SubFrame);
+  {
+    Instr In = Instr::i(Op::Sw, Desc.RaReg, Desc.SpReg, RaSlot);
+    insPatched(In, PatchKind::AddFrame);
+  }
+  if (Desc.HasFramePointer) {
+    insPatched(Instr::i(Op::Sw, static_cast<unsigned>(Desc.FpReg),
+                        Desc.SpReg, FpSlot),
+               PatchKind::AddFrame);
+  }
+  int32_t SaveOff = SaveAreaStart;
+  for (unsigned R = 0; R < 32; ++R) {
+    if (!(Fn.SaveMask & (1u << R)))
+      continue;
+    insPatched(Instr::i(Op::Sw, R, Desc.SpReg, SaveOff),
+               PatchKind::AddFrame);
+    SaveOff -= 4;
+  }
+  unsigned NextIArg = Desc.FirstArgReg;
+  unsigned NextFArg = 0;
+  for (CSymbol *P : Fn.Params) {
+    if (P->Ty->isFloating())
+      insPatched(Instr::i(Op::Fs8, TG.FArgRegs[NextFArg++], Desc.SpReg,
+                          P->FrameOffset),
+                 PatchKind::AddFrame);
+    else
+      insPatched(Instr::i(Op::Sw, NextIArg++, Desc.SpReg, P->FrameOffset),
+                 PatchKind::AddFrame);
+  }
+  if (Desc.HasFramePointer)
+    insPatched(Instr::i(Op::AddI, static_cast<unsigned>(Desc.FpReg),
+                        Desc.SpReg, 0),
+               PatchKind::AddFrame);
+
+  emitStop(Fn.EntryStopId);
+  genStmt(*Fn.Body);
+
+  // Epilogue: exit stopping point, restore saved state, return.
+  S.label(EpilogueLabel);
+  emitStop(Fn.ExitStopId);
+  SaveOff = SaveAreaStart;
+  for (unsigned R = 0; R < 32; ++R) {
+    if (!(Fn.SaveMask & (1u << R)))
+      continue;
+    insLocal(Op::Lw, R, SaveOff);
+    SaveOff -= 4;
+  }
+  insLocal(Op::Lw, Desc.RaReg, RaSlot);
+  if (Desc.HasFramePointer)
+    insLocal(Op::Lw, static_cast<unsigned>(Desc.FpReg), FpSlot);
+  insPatched(Instr::i(Op::AddI, Desc.SpReg, Desc.SpReg, 0),
+             PatchKind::AddFrame);
+  S.ins(Instr::r(Op::Jalr, 0, Desc.RaReg, 0));
+  S.label(EndLabel);
+
+  // Frame size is now known; patch the placeholders.
+  uint32_t FrameSize = static_cast<uint32_t>((-NextLocal + 15) & ~15);
+  Fn.FrameSize = FrameSize;
+  // AddFrame patches exist only on sp-relative instructions (all
+  // vfp-relative accesses on zmips; prologue/epilogue on every target);
+  // fp-relative accesses were emitted unpatched by insLocal.
+  for (auto &[Index, PK] : Patches) {
+    AsmItem &It = S[Index];
+    if (PK == PatchKind::SubFrame)
+      It.I.In.Imm = -static_cast<int32_t>(FrameSize);
+    else
+      It.I.In.Imm += static_cast<int32_t>(FrameSize);
+  }
+
+  PendingProc P;
+  P.Name = linkName(UC.U, *Fn.Sym);
+  P.StartLabel = StartLabel;
+  P.EndLabel = EndLabel;
+  P.FrameSize = FrameSize;
+  P.SaveMask = Fn.SaveMask;
+  P.SaveAreaOffset = Fn.SaveAreaOffset;
+  P.FnIndex = FnIndex;
+  UC.Out.Procs.push_back(P);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Unit-level code generation
+//===----------------------------------------------------------------------===//
+
+uint32_t UnitCodegen::dataAlloc(unsigned Size, unsigned Align) {
+  uint32_t Off = static_cast<uint32_t>(Out.Data.size());
+  Off = (Off + Align - 1) / Align * Align;
+  Out.Data.resize(Off + Size, 0);
+  return Off;
+}
+
+std::string UnitCodegen::internString(const std::string &Bytes) {
+  auto Found = StringLabels.find(Bytes);
+  if (Found != StringLabels.end())
+    return Found->second;
+  std::string Label =
+      "$str" + U.AnchorName.substr(U.AnchorName.size() - 8) + "_" +
+      std::to_string(NextLiteral++);
+  uint32_t Off = dataAlloc(static_cast<unsigned>(Bytes.size()) + 1, 1);
+  std::copy(Bytes.begin(), Bytes.end(), Out.Data.begin() + Off);
+  Out.DataSyms[Label] = Off;
+  StringLabels[Bytes] = Label;
+  return Label;
+}
+
+std::string UnitCodegen::internDoubleConst(double Value) {
+  auto Found = DoubleLabels.find(Value);
+  if (Found != DoubleLabels.end())
+    return Found->second;
+  std::string Label =
+      "$dbl" + U.AnchorName.substr(U.AnchorName.size() - 8) + "_" +
+      std::to_string(NextLiteral++);
+  uint32_t Off = dataAlloc(8, 8);
+  packF64(Value, Out.Data.data() + Off, Desc.Order);
+  Out.DataSyms[Label] = Off;
+  DoubleLabels[Value] = Label;
+  return Label;
+}
+
+void UnitCodegen::layoutGlobals() {
+  // Place every defined global and static, applying initializers in
+  // target byte order.
+  for (const GlobalInit &Init : U.Inits) {
+    CSymbol &Sym = *Init.Sym;
+    uint32_t Off = dataAlloc(Sym.Ty->Size, std::max(Sym.Ty->Align, 4u));
+    Out.DataSyms[linkName(U, Sym)] = Off;
+
+    const CType *Elem =
+        Sym.Ty->Kind == TyKind::Array ? Sym.Ty->Ref : Sym.Ty;
+    if (!Init.StringValue.empty()) {
+      for (size_t K = 0;
+           K < Init.StringValue.size() && K < Sym.Ty->Size; ++K)
+        Out.Data[Off + K] = static_cast<uint8_t>(Init.StringValue[K]);
+      continue;
+    }
+    for (size_t K = 0; K < Init.IntValues.size(); ++K) {
+      uint32_t At = Off + static_cast<uint32_t>(K) * Elem->Size;
+      if (At + Elem->Size > Out.Data.size())
+        break;
+      if (Elem->isFloating()) {
+        if (Elem->Size == 4)
+          packF32(static_cast<float>(Init.FloatValues[K]),
+                  Out.Data.data() + At, Desc.Order);
+        else if (Elem->Size == 8)
+          packF64(Init.FloatValues[K], Out.Data.data() + At, Desc.Order);
+        else
+          packF80(static_cast<long double>(Init.FloatValues[K]),
+                  Out.Data.data() + At, Desc.Order);
+      } else {
+        packInt(static_cast<uint64_t>(Init.IntValues[K]),
+                Out.Data.data() + At, Elem->Size, Desc.Order);
+      }
+    }
+  }
+
+  // The unit's anchor table: one word per anchored symbol, relocated to
+  // that symbol's address at link time (paper Sec 2's anchor technique).
+  if (U.NextAnchorIndex > 0) {
+    uint32_t Off = dataAlloc(4 * static_cast<unsigned>(U.NextAnchorIndex), 4);
+    Out.DataSyms[U.AnchorName] = Off;
+    for (CSymbol *Sym : U.Globals) {
+      if (Sym->AnchorIndex < 0)
+        continue;
+      DataReloc R;
+      R.Offset = Off + 4 * static_cast<uint32_t>(Sym->AnchorIndex);
+      R.Sym = linkName(U, *Sym);
+      Out.DataRelocs.push_back(R);
+    }
+  }
+}
+
+Error UnitCodegen::run() {
+  Out.UnitName = U.FileName;
+  layoutGlobals();
+  for (size_t K = 0; K < U.Functions.size(); ++K) {
+    FnCodegen FC(*this, *U.Functions[K], static_cast<int>(K));
+    FC.run();
+    if (!FirstError.empty())
+      return Error::failure(FirstError);
+  }
+  return Error::success();
+}
+
+Error ldb::lcc::generate(Unit &U, const TargetDesc &Desc, bool Debug,
+                         UnitAsm &Out) {
+  UnitCodegen UC(U, Desc, Debug, Out);
+  return UC.run();
+}

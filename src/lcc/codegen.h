@@ -1,0 +1,41 @@
+//===- lcc/codegen.h - shared code generator --------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree-walking code generator. It is shared across all four targets;
+/// machine dependence enters only through the TargetDesc register
+/// conventions, the CgTarget temporary-register tables, and the frame
+/// addressing rule (frame pointer, or stack pointer + frame size on
+/// zmips). When \p Debug is set it emits a stopping point (a label, which
+/// the assembler turns into a no-op) before every top-level expression —
+/// lcc already places labels at stopping points, so putting no-ops there
+/// requires no extra effort (paper Sec 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_CODEGEN_H
+#define LDB_LCC_CODEGEN_H
+
+#include "lcc/asm.h"
+#include "lcc/cgtarget.h"
+
+namespace ldb::lcc {
+
+/// Generates code and data for \p U into \p Out. Fills frame sizes, save
+/// masks, and register assignments back into \p U's symbols and functions
+/// (the debugger's stack-walking data).
+Error generate(Unit &U, const target::TargetDesc &Desc, bool Debug,
+               UnitAsm &Out);
+
+/// The link-time name of a symbol: globals and functions keep their C
+/// name; statics are made unit-local ("a$3f2a19c4"), which is how the
+/// loader distinguishes identically named private symbols from different
+/// compilation units.
+std::string linkName(const Unit &U, const CSymbol &Sym);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_CODEGEN_H

@@ -1,0 +1,133 @@
+//===- lcc/ctype.cpp - C source-language types ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/ctype.h"
+
+using namespace ldb::lcc;
+
+std::string CType::declString() const {
+  switch (Kind) {
+  case TyKind::Void:
+    return "void %s";
+  case TyKind::Char:
+    return "char %s";
+  case TyKind::Short:
+    return "short %s";
+  case TyKind::Int:
+    return "int %s";
+  case TyKind::UInt:
+    return "unsigned %s";
+  case TyKind::Float:
+    return "float %s";
+  case TyKind::Double:
+    return "double %s";
+  case TyKind::LongDouble:
+    return "long double %s";
+  case TyKind::Ptr: {
+    std::string Inner = Ref->declString();
+    size_t At = Inner.find("%s");
+    return Inner.substr(0, At) + "*%s" + Inner.substr(At + 2);
+  }
+  case TyKind::Array: {
+    std::string Inner = Ref->declString();
+    size_t At = Inner.find("%s");
+    return Inner.substr(0, At) + "%s[" + std::to_string(ArrayLen) + "]" +
+           Inner.substr(At + 2);
+  }
+  case TyKind::Struct:
+    return "struct " + Tag + " %s";
+  case TyKind::Func: {
+    std::string Inner = Ref->declString();
+    size_t At = Inner.find("%s");
+    return Inner.substr(0, At) + "%s()" + Inner.substr(At + 2);
+  }
+  }
+  return "%s";
+}
+
+TypePool::TypePool(bool TargetHasF80) {
+  auto Basic = [](TyKind Kind, unsigned Size, unsigned Align) {
+    CType T;
+    T.Kind = Kind;
+    T.Size = Size;
+    T.Align = Align;
+    return T;
+  };
+  VoidTy = Basic(TyKind::Void, 0, 1);
+  CharTy = Basic(TyKind::Char, 1, 1);
+  ShortTy = Basic(TyKind::Short, 2, 2);
+  IntTy = Basic(TyKind::Int, 4, 4);
+  UIntTy = Basic(TyKind::UInt, 4, 4);
+  FloatTy = Basic(TyKind::Float, 4, 4);
+  DoubleTy = Basic(TyKind::Double, 8, 4);
+  // The machine-dependent type metric: 80-bit extended where the target
+  // has it, else an alias for double's representation.
+  LongDoubleTy = TargetHasF80 ? Basic(TyKind::LongDouble, 10, 2)
+                              : Basic(TyKind::LongDouble, 8, 4);
+}
+
+const CType *TypePool::pointerTo(const CType *Ref) {
+  for (const auto &T : Owned)
+    if (T->Kind == TyKind::Ptr && T->Ref == Ref)
+      return T.get();
+  auto T = std::make_unique<CType>();
+  T->Kind = TyKind::Ptr;
+  T->Size = 4;
+  T->Align = 4;
+  T->Ref = Ref;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+const CType *TypePool::arrayOf(const CType *Elem, unsigned Len) {
+  for (const auto &T : Owned)
+    if (T->Kind == TyKind::Array && T->Ref == Elem && T->ArrayLen == Len)
+      return T.get();
+  auto T = std::make_unique<CType>();
+  T->Kind = TyKind::Array;
+  T->Ref = Elem;
+  T->ArrayLen = Len;
+  T->Size = Elem->Size * Len;
+  T->Align = Elem->Align;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+CType *TypePool::structTag(const std::string &Tag) {
+  for (const auto &T : Owned)
+    if (T->Kind == TyKind::Struct && T->Tag == Tag)
+      return T.get();
+  auto T = std::make_unique<CType>();
+  T->Kind = TyKind::Struct;
+  T->Tag = Tag;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+const CType *TypePool::func(const CType *Ret,
+                            std::vector<const CType *> Params) {
+  auto T = std::make_unique<CType>();
+  T->Kind = TyKind::Func;
+  T->Ref = Ret;
+  T->Params = std::move(Params);
+  T->Size = 0;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+void TypePool::layOutStruct(CType *S) {
+  unsigned Offset = 0;
+  unsigned Align = 1;
+  for (StructField &F : S->Fields) {
+    unsigned A = F.Ty->Align;
+    Offset = (Offset + A - 1) / A * A;
+    F.Offset = Offset;
+    Offset += F.Ty->Size;
+    Align = std::max(Align, A);
+  }
+  S->Size = (Offset + Align - 1) / Align * Align;
+  S->Align = Align;
+}

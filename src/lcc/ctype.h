@@ -1,0 +1,107 @@
+//===- lcc/ctype.h - C source-language types --------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-language types for the lcc-style compiler. Sizes follow the
+/// 32-bit targets: char 1, short 2, int/unsigned/pointer 4, float 4,
+/// double 8; long double is 10 bytes on targets with 80-bit floats (z68k)
+/// and 8 elsewhere — a machine-dependent type metric, as in lcc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_CTYPE_H
+#define LDB_LCC_CTYPE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldb::lcc {
+
+enum class TyKind : uint8_t {
+  Void,
+  Char,
+  Short,
+  Int,
+  UInt,
+  Float,
+  Double,
+  LongDouble,
+  Ptr,
+  Array,
+  Struct,
+  Func,
+};
+
+struct CType;
+
+struct StructField {
+  std::string Name;
+  const CType *Ty;
+  unsigned Offset;
+};
+
+struct CType {
+  TyKind Kind;
+  unsigned Size = 0;
+  unsigned Align = 1;
+  const CType *Ref = nullptr;       ///< pointee / element / return type
+  unsigned ArrayLen = 0;            ///< Array
+  std::string Tag;                  ///< Struct
+  std::vector<StructField> Fields;  ///< Struct
+  std::vector<const CType *> Params; ///< Func
+
+  bool isInteger() const {
+    return Kind == TyKind::Char || Kind == TyKind::Short ||
+           Kind == TyKind::Int || Kind == TyKind::UInt;
+  }
+  bool isFloating() const {
+    return Kind == TyKind::Float || Kind == TyKind::Double ||
+           Kind == TyKind::LongDouble;
+  }
+  bool isArithmetic() const { return isInteger() || isFloating(); }
+  bool isPointer() const { return Kind == TyKind::Ptr; }
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+
+  /// The C declaration for an object of this type, with %s where the
+  /// declared name goes — the /decl strings of the paper's type dicts
+  /// ("int %s", "int %s[20]").
+  std::string declString() const;
+};
+
+/// Owns and interns types for one compilation. Machine-dependent metrics
+/// (the long double size) are fixed at construction.
+class TypePool {
+public:
+  explicit TypePool(bool TargetHasF80);
+
+  const CType *voidTy() const { return &VoidTy; }
+  const CType *charTy() const { return &CharTy; }
+  const CType *shortTy() const { return &ShortTy; }
+  const CType *intTy() const { return &IntTy; }
+  const CType *uintTy() const { return &UIntTy; }
+  const CType *floatTy() const { return &FloatTy; }
+  const CType *doubleTy() const { return &DoubleTy; }
+  const CType *longDoubleTy() const { return &LongDoubleTy; }
+
+  const CType *pointerTo(const CType *Ref);
+  const CType *arrayOf(const CType *Elem, unsigned Len);
+  /// Creates (or finds) struct \p Tag; fields may be filled in later.
+  CType *structTag(const std::string &Tag);
+  const CType *func(const CType *Ret, std::vector<const CType *> Params);
+
+  /// Lays out \p S's fields: assigns offsets, size, alignment.
+  static void layOutStruct(CType *S);
+
+private:
+  CType VoidTy, CharTy, ShortTy, IntTy, UIntTy, FloatTy, DoubleTy,
+      LongDoubleTy;
+  std::vector<std::unique_ptr<CType>> Owned;
+};
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_CTYPE_H

@@ -1,0 +1,97 @@
+//===- lcc/driver.cpp - the compiler driver --------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/driver.h"
+
+#include "lcc/codegen.h"
+#include "lcc/nm.h"
+#include "lcc/parser.h"
+
+using namespace ldb;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+/// PostScript that merges per-unit top-level dictionaries into one
+/// whole-program /symtab (paper Sec 2: "a top-level dictionary describes a
+/// single compilation unit or any combination of compilation units").
+std::string mergeTopLevels(size_t NUnits, const std::string &Arch) {
+  if (NUnits == 1)
+    return std::string(); // the unit already bound /symtab
+  std::string Out = "/symtab <<\n  /procs [";
+  for (size_t K = 0; K < NUnits; ++K)
+    Out += " symtab_" + std::to_string(K) + " /procs get aload pop";
+  Out += " ]\n  /externs 64 dict\n";
+  for (size_t K = 0; K < NUnits; ++K)
+    Out += "    dup symtab_" + std::to_string(K) +
+           " /externs get MergeDict\n";
+  Out += "  /sourcemap 16 dict\n";
+  for (size_t K = 0; K < NUnits; ++K)
+    Out += "    dup symtab_" + std::to_string(K) +
+           " /sourcemap get MergeDict\n";
+  Out += "  /anchors [";
+  for (size_t K = 0; K < NUnits; ++K)
+    Out += " symtab_" + std::to_string(K) + " /anchors get aload pop";
+  Out += " ]\n  /architecture (" + Arch + ")\n>> def\n";
+  return Out;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<Compilation>>
+ldb::lcc::compileAndLink(const std::vector<SourceFile> &Sources,
+                         const TargetDesc &Desc,
+                         const CompileOptions &Options) {
+  auto C = std::make_unique<Compilation>();
+  C->Desc = &Desc;
+
+  std::vector<ObjectModule> Modules;
+  for (size_t K = 0; K < Sources.size(); ++K) {
+    Expected<std::unique_ptr<Unit>> UnitOr =
+        Parser::parseUnit(Sources[K].Text, Sources[K].Name, Desc.HasF80);
+    if (!UnitOr)
+      return UnitOr.takeError();
+    std::unique_ptr<Unit> U = UnitOr.take();
+
+    UnitAsm UA;
+    if (Error E = generate(*U, Desc, Options.Debug, UA))
+      return E;
+    ObjectModule Module;
+    if (Error E = assemble(Desc, UA, U->Functions, Options.Debug,
+                           Options.Schedule, Module))
+      return E;
+    Modules.push_back(std::move(Module));
+    C->Units.push_back(std::move(U));
+  }
+
+  Expected<Image> ImgOr = link(Desc, std::move(Modules));
+  if (!ImgOr)
+    return ImgOr.takeError();
+  C->Img = ImgOr.take();
+
+  if (Options.Debug) {
+    // Symbol tables are generated after assembly so stopping-point code
+    // offsets are final; the loader table after linking, like the
+    // original driver running nm on the linked program.
+    bool Single = C->Units.size() == 1;
+    for (size_t K = 0; K < C->Units.size(); ++K) {
+      PsSymtabOptions PO;
+      PO.Deferred = Options.DeferredSymtab;
+      PO.Architecture = Desc.Name;
+      PO.SymbolPrefix = Single ? "S" : "S" + std::to_string(K) + "_";
+      PO.TopLevelName = Single ? "symtab" : "symtab_" + std::to_string(K);
+      C->PsSymtab += emitPsSymtab(*C->Units[K], PO);
+    }
+    C->PsSymtab += mergeTopLevels(C->Units.size(), Desc.Name);
+    C->LoaderTable = emitLoaderTable(C->Img);
+    for (const auto &U : C->Units) {
+      std::vector<uint8_t> S = emitStabs(*U);
+      C->Stabs.insert(C->Stabs.end(), S.begin(), S.end());
+    }
+  }
+  return C;
+}

@@ -1,0 +1,53 @@
+//===- lcc/driver.h - the compiler driver -----------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lcc compiler driver: compiles C sources, links them, and — as in
+/// paper Sec 3 — generates the debugging artifacts after linking: the
+/// PostScript symbol table (one per unit, plus PostScript that merges
+/// them into a whole-program top-level dictionary), the loader table
+/// built from the nm-style symbol dump, and the stabs baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_DRIVER_H
+#define LDB_LCC_DRIVER_H
+
+#include "lcc/linker.h"
+#include "lcc/pssym.h"
+#include "lcc/stabs.h"
+
+namespace ldb::lcc {
+
+struct CompileOptions {
+  bool Debug = true;           ///< plant stopping-point no-ops, emit symtabs
+  bool Schedule = true;        ///< fill zmips load delay slots
+  bool DeferredSymtab = false; ///< emit deferred-lexing symbol tables
+};
+
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+};
+
+/// A compiled-and-linked program with its debugging artifacts.
+struct Compilation {
+  const target::TargetDesc *Desc = nullptr;
+  std::vector<std::unique_ptr<Unit>> Units;
+  Image Img;
+  std::string PsSymtab;       ///< all units' entries + merged /symtab
+  std::string LoaderTable;    ///< nm output: defines /loadertable
+  std::vector<uint8_t> Stabs; ///< baseline binary symbols, all units
+};
+
+/// Compiles \p Sources for \p Desc and links them.
+Expected<std::unique_ptr<Compilation>>
+compileAndLink(const std::vector<SourceFile> &Sources,
+               const target::TargetDesc &Desc, const CompileOptions &Options);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_DRIVER_H

@@ -1,0 +1,309 @@
+//===- lcc/lexer.cpp - C lexer --------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace ldb::lcc;
+
+Lexer::Lexer(std::string Source, std::string FileName)
+    : Src(std::move(Source)), File(std::move(FileName)) {}
+
+int Lexer::peek() const {
+  return Pos < Src.size() ? static_cast<unsigned char>(Src[Pos]) : -1;
+}
+
+int Lexer::get() {
+  if (Pos >= Src.size())
+    return -1;
+  int C = static_cast<unsigned char>(Src[Pos++]);
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::error(const std::string &Msg) {
+  if (ErrorMsg.empty())
+    ErrorMsg = File + ":" + std::to_string(Line) + ": " + Msg;
+}
+
+namespace {
+
+const std::map<std::string, Tok> &keywords() {
+  static const std::map<std::string, Tok> Map = {
+      {"void", Tok::KwVoid},         {"char", Tok::KwChar},
+      {"short", Tok::KwShort},       {"int", Tok::KwInt},
+      {"unsigned", Tok::KwUnsigned}, {"long", Tok::KwLong},
+      {"float", Tok::KwFloat},       {"double", Tok::KwDouble},
+      {"struct", Tok::KwStruct},     {"static", Tok::KwStatic},
+      {"extern", Tok::KwExtern},     {"if", Tok::KwIf},
+      {"else", Tok::KwElse},         {"while", Tok::KwWhile},
+      {"for", Tok::KwFor},           {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak},       {"continue", Tok::KwContinue},
+      {"sizeof", Tok::KwSizeof},
+  };
+  return Map;
+}
+
+int unescape(int C) {
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    return C;
+  }
+}
+
+} // namespace
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  for (;;) {
+    int C = peek();
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+      get();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Src.size()) {
+      if (Src[Pos + 1] == '/') {
+        while (peek() != '\n' && peek() != -1)
+          get();
+        continue;
+      }
+      if (Src[Pos + 1] == '*') {
+        get();
+        get();
+        for (;;) {
+          int D = get();
+          if (D == -1) {
+            error("unterminated comment");
+            break;
+          }
+          if (D == '*' && peek() == '/') {
+            get();
+            break;
+          }
+        }
+        continue;
+      }
+    }
+    break;
+  }
+
+  Token T;
+  T.Line = Line;
+  T.Col = Col;
+  int C = peek();
+  if (C == -1)
+    return T;
+
+  if (std::isalpha(C) || C == '_') {
+    std::string Word;
+    while (std::isalnum(peek()) || peek() == '_')
+      Word += static_cast<char>(get());
+    auto It = keywords().find(Word);
+    if (It != keywords().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = Tok::Ident;
+      T.Text = Word;
+    }
+    return T;
+  }
+
+  if (std::isdigit(C)) {
+    std::string Num;
+    while (std::isalnum(peek()) || peek() == '.' ||
+           ((peek() == '+' || peek() == '-') && !Num.empty() &&
+            (Num.back() == 'e' || Num.back() == 'E') &&
+            Num.compare(0, 2, "0x") != 0 && Num.compare(0, 2, "0X") != 0))
+      Num += static_cast<char>(get());
+    bool Hex = Num.compare(0, 2, "0x") == 0 || Num.compare(0, 2, "0X") == 0;
+    bool IsFloat = !Hex && (Num.find('.') != std::string::npos ||
+                            Num.find('e') != std::string::npos ||
+                            Num.find('E') != std::string::npos);
+    // Strip integer suffixes (u, U, l, L).
+    std::string Parse = Num;
+    if (!IsFloat)
+      while (!Parse.empty() && (Parse.back() == 'u' || Parse.back() == 'U' ||
+                                Parse.back() == 'l' || Parse.back() == 'L'))
+        Parse.pop_back();
+    char *End = nullptr;
+    if (IsFloat) {
+      T.Kind = Tok::FloatLit;
+      T.FloatValue = std::strtod(Parse.c_str(), &End);
+    } else {
+      T.Kind = Tok::IntLit;
+      T.IntValue = std::strtoll(Parse.c_str(), &End, 0);
+    }
+    if (End == nullptr || *End != '\0')
+      error("malformed number: " + Num);
+    return T;
+  }
+
+  if (C == '\'') {
+    get();
+    int V = get();
+    if (V == '\\')
+      V = unescape(get());
+    if (get() != '\'')
+      error("unterminated character constant");
+    T.Kind = Tok::CharLit;
+    T.IntValue = V;
+    return T;
+  }
+
+  if (C == '"') {
+    get();
+    std::string Text;
+    for (;;) {
+      int D = get();
+      if (D == -1) {
+        error("unterminated string literal");
+        break;
+      }
+      if (D == '"')
+        break;
+      if (D == '\\')
+        D = unescape(get());
+      Text += static_cast<char>(D);
+    }
+    T.Kind = Tok::StrLit;
+    T.Text = Text;
+    return T;
+  }
+
+  get();
+  auto Two = [&](char Next, Tok IfTwo, Tok IfOne) {
+    if (peek() == Next) {
+      get();
+      T.Kind = IfTwo;
+    } else {
+      T.Kind = IfOne;
+    }
+  };
+
+  switch (C) {
+  case '(':
+    T.Kind = Tok::LParen;
+    break;
+  case ')':
+    T.Kind = Tok::RParen;
+    break;
+  case '{':
+    T.Kind = Tok::LBrace;
+    break;
+  case '}':
+    T.Kind = Tok::RBrace;
+    break;
+  case '[':
+    T.Kind = Tok::LBracket;
+    break;
+  case ']':
+    T.Kind = Tok::RBracket;
+    break;
+  case ';':
+    T.Kind = Tok::Semi;
+    break;
+  case ',':
+    T.Kind = Tok::Comma;
+    break;
+  case '.':
+    T.Kind = Tok::Dot;
+    break;
+  case '~':
+    T.Kind = Tok::Tilde;
+    break;
+  case '?':
+    T.Kind = Tok::Question;
+    break;
+  case ':':
+    T.Kind = Tok::Colon;
+    break;
+  case '+':
+    if (peek() == '+') {
+      get();
+      T.Kind = Tok::PlusPlus;
+    } else {
+      Two('=', Tok::PlusAssign, Tok::Plus);
+    }
+    break;
+  case '-':
+    if (peek() == '-') {
+      get();
+      T.Kind = Tok::MinusMinus;
+    } else if (peek() == '>') {
+      get();
+      T.Kind = Tok::Arrow;
+    } else {
+      Two('=', Tok::MinusAssign, Tok::Minus);
+    }
+    break;
+  case '*':
+    Two('=', Tok::StarAssign, Tok::Star);
+    break;
+  case '/':
+    Two('=', Tok::SlashAssign, Tok::Slash);
+    break;
+  case '%':
+    T.Kind = Tok::Percent;
+    break;
+  case '&':
+    Two('&', Tok::AndAnd, Tok::Amp);
+    break;
+  case '|':
+    Two('|', Tok::OrOr, Tok::Pipe);
+    break;
+  case '^':
+    T.Kind = Tok::Caret;
+    break;
+  case '!':
+    Two('=', Tok::Ne, Tok::Bang);
+    break;
+  case '=':
+    Two('=', Tok::Eq, Tok::Assign);
+    break;
+  case '<':
+    if (peek() == '<') {
+      get();
+      T.Kind = Tok::Shl;
+    } else {
+      Two('=', Tok::Le, Tok::Lt);
+    }
+    break;
+  case '>':
+    if (peek() == '>') {
+      get();
+      T.Kind = Tok::Shr;
+    } else {
+      Two('=', Tok::Ge, Tok::Gt);
+    }
+    break;
+  default:
+    error(std::string("stray character '") + static_cast<char>(C) + "'");
+    T.Kind = Tok::Eof;
+  }
+  return T;
+}

@@ -1,0 +1,126 @@
+//===- lcc/lexer.h - C lexer ------------------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C-subset lexer shared by the compiler front end and the expression
+/// server (which reuses the front end's input and lexical-analysis
+/// modules, paper Sec 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_LEXER_H
+#define LDB_LCC_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace ldb::lcc {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  CharLit,
+  StrLit,
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwUnsigned,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwStruct,
+  KwStatic,
+  KwExtern,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PlusPlus,
+  MinusMinus,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+  Shl,
+  Shr,
+  Question,
+  Colon,
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;   ///< identifier or string contents
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+class Lexer {
+public:
+  Lexer(std::string Source, std::string FileName);
+
+  /// Scans the next token. Lexical errors yield Eof with ErrorMessage set.
+  Token next();
+
+  const std::string &fileName() const { return File; }
+  const std::string &errorMessage() const { return ErrorMsg; }
+  bool hadError() const { return !ErrorMsg.empty(); }
+
+private:
+  int peek() const;
+  int get();
+  void error(const std::string &Msg);
+
+  std::string Src;
+  std::string File;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  std::string ErrorMsg;
+};
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_LEXER_H

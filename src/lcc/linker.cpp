@@ -1,0 +1,182 @@
+//===- lcc/linker.cpp - linker and executable images -----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/linker.h"
+
+#include "support/byteorder.h"
+
+#include <map>
+
+using namespace ldb;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+uint32_t Image::symbolAddr(const std::string &Name) const {
+  for (const ImageSymbol &S : Symbols)
+    if (S.Name == Name)
+      return S.Addr;
+  return 0;
+}
+
+Error Image::loadInto(Machine &M) const {
+  if (TextBase + Text.size() > M.memSize() ||
+      DataBase + Data.size() > M.memSize())
+    return Error::failure("image does not fit in target memory");
+  if (!Text.empty() && !M.writeBytes(TextBase, static_cast<unsigned>(
+                                                   Text.size()),
+                                     Text.data()))
+    return Error::failure("cannot write text segment");
+  if (!Data.empty() && !M.writeBytes(DataBase, static_cast<unsigned>(
+                                                   Data.size()),
+                                     Data.data()))
+    return Error::failure("cannot write data segment");
+  return Error::success();
+}
+
+Expected<Image> ldb::lcc::link(const TargetDesc &Desc,
+                               std::vector<ObjectModule> Modules) {
+  constexpr uint32_t TextBase = 0x1000;
+  Image Img;
+  Img.Desc = &Desc;
+  Img.TextBase = TextBase;
+  Img.Entry = TextBase;
+
+  // The startup stub: call main, then exit with its return value. The
+  // system-dependent startup code is what the original modified to call
+  // the nub first; here the nub takes control in NubProcess::enter.
+  ObjectModule Startup;
+  Startup.UnitName = "<startup>";
+  Startup.Code.push_back(Desc.Enc.encode(Instr::j(Op::Jal, 0)));
+  Startup.CodeRelocs.push_back(CodeReloc{0, RelocKind::Abs26, "main"});
+  Startup.Code.push_back(Desc.Enc.encode(
+      Instr::i(Op::Sys, 0, Desc.RvReg, static_cast<int32_t>(Syscall::Exit))));
+  Startup.TextSyms["_start"] = 0;
+  // The startup stub is a procedure too: nm lists it, and the zmips
+  // runtime procedure table covers it (frame size 0), so stack walking
+  // and pc mapping work even before main.
+  ProcInfo StartInfo;
+  StartInfo.Name = "_start";
+  StartInfo.CodeOffset = 0;
+  StartInfo.CodeSize = 8;
+  Startup.Procs.push_back(StartInfo);
+  Modules.insert(Modules.begin(), std::move(Startup));
+
+  // Lay out text and data, collect the global symbol map.
+  std::map<std::string, uint32_t> SymAddr;
+  std::vector<uint32_t> ModTextBase(Modules.size());
+  std::vector<uint32_t> ModDataBase(Modules.size());
+  uint32_t TextSize = 0;
+  for (size_t K = 0; K < Modules.size(); ++K) {
+    ModTextBase[K] = TextBase + TextSize;
+    TextSize += static_cast<uint32_t>(Modules[K].Code.size()) * 4;
+  }
+  uint32_t DataBase = (TextBase + TextSize + 15) & ~15u;
+  Img.DataBase = DataBase;
+  uint32_t DataSize = 0;
+  for (size_t K = 0; K < Modules.size(); ++K) {
+    ModDataBase[K] = DataBase + DataSize;
+    DataSize += (static_cast<uint32_t>(Modules[K].Data.size()) + 15) & ~15u;
+  }
+
+  for (size_t K = 0; K < Modules.size(); ++K) {
+    for (const auto &[Name, Off] : Modules[K].TextSyms) {
+      if (SymAddr.count(Name))
+        return Error::failure("multiple definitions of " + Name);
+      SymAddr[Name] = ModTextBase[K] + Off;
+      Img.Symbols.push_back(ImageSymbol{Name, ModTextBase[K] + Off, 'T'});
+    }
+    for (const auto &[Name, Off] : Modules[K].DataSyms) {
+      if (SymAddr.count(Name))
+        return Error::failure("multiple definitions of " + Name);
+      SymAddr[Name] = ModDataBase[K] + Off;
+      Img.Symbols.push_back(ImageSymbol{Name, ModDataBase[K] + Off, 'D'});
+    }
+  }
+  if (!SymAddr.count("main"))
+    return Error::failure("undefined symbol: main");
+
+  // Resolve relocations and emit final bytes.
+  Img.Text.resize(TextSize);
+  Img.Data.resize(DataSize);
+  for (size_t K = 0; K < Modules.size(); ++K) {
+    ObjectModule &M = Modules[K];
+    for (const CodeReloc &R : M.CodeRelocs) {
+      Instr In;
+      if (!Desc.Enc.decode(M.Code[R.WordIndex], In))
+        return Error::failure("relocation against an undecodable word");
+      uint32_t Target;
+      if (R.Sym.empty()) {
+        // Module-base-relative jump placed by the assembler.
+        Target = ModTextBase[K] + static_cast<uint32_t>(In.Imm) * 4;
+      } else {
+        auto Found = SymAddr.find(R.Sym);
+        if (Found == SymAddr.end())
+          return Error::failure("undefined symbol: " + R.Sym);
+        Target = Found->second;
+      }
+      switch (R.Rel) {
+      case RelocKind::Hi16:
+        In.Imm = static_cast<int32_t>(Target >> 16);
+        break;
+      case RelocKind::Lo16:
+        In.Imm = static_cast<int32_t>(Target & 0xffff);
+        break;
+      case RelocKind::Abs26:
+        In.Imm = static_cast<int32_t>(Target / 4);
+        break;
+      case RelocKind::None:
+        break;
+      }
+      M.Code[R.WordIndex] = Desc.Enc.encode(In);
+    }
+    for (size_t W = 0; W < M.Code.size(); ++W)
+      packInt(M.Code[W], Img.Text.data() + (ModTextBase[K] - TextBase) +
+                             4 * W,
+              4, Desc.Order);
+
+    std::copy(M.Data.begin(), M.Data.end(),
+              Img.Data.begin() + (ModDataBase[K] - DataBase));
+    for (const DataReloc &R : M.DataRelocs) {
+      auto Found = SymAddr.find(R.Sym);
+      if (Found == SymAddr.end())
+        return Error::failure("undefined symbol: " + R.Sym);
+      packInt(Found->second,
+              Img.Data.data() + (ModDataBase[K] - DataBase) + R.Offset, 4,
+              Desc.Order);
+    }
+
+    for (ProcInfo P : M.Procs) {
+      P.CodeOffset += ModTextBase[K];
+      Img.Procs.push_back(P);
+    }
+    Img.Stats.Instructions += M.Stats.Instructions;
+    Img.Stats.StopNops += M.Stats.StopNops;
+    Img.Stats.DelayNops += M.Stats.DelayNops;
+    Img.Stats.DelayFilled += M.Stats.DelayFilled;
+  }
+
+  // The zmips runtime procedure table: available for every procedure,
+  // even ones without debugging symbols (paper Sec 4.3, footnote 4).
+  if (!Desc.HasFramePointer) {
+    uint32_t Off = static_cast<uint32_t>(Img.Data.size());
+    Img.RptAddr = DataBase + Off;
+    uint32_t Count = static_cast<uint32_t>(Img.Procs.size());
+    Img.Data.resize(Off + 4 + 16 * Count);
+    packInt(Count, Img.Data.data() + Off, 4, Desc.Order);
+    uint32_t At = Off + 4;
+    for (const ProcInfo &P : Img.Procs) {
+      packInt(P.CodeOffset, Img.Data.data() + At, 4, Desc.Order);
+      packInt(P.FrameSize, Img.Data.data() + At + 4, 4, Desc.Order);
+      packInt(P.SaveMask, Img.Data.data() + At + 8, 4, Desc.Order);
+      packInt(static_cast<uint32_t>(P.SaveAreaOffset),
+              Img.Data.data() + At + 12, 4, Desc.Order);
+      At += 16;
+    }
+    Img.Symbols.push_back(ImageSymbol{"_rpt", Img.RptAddr, 'D'});
+  }
+
+  return Img;
+}

@@ -1,0 +1,60 @@
+//===- lcc/linker.h - linker and executable images --------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Links object modules into an executable image for the simulator. The
+/// linker also builds the zmips runtime procedure table in the image's
+/// data segment — the structure the real MIPS provides and from which
+/// ldb's zmips linker interface reads frame sizes at debug time (paper
+/// Sec 4.3) — and prepends the startup stub that calls main and exits
+/// with its return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_LINKER_H
+#define LDB_LCC_LINKER_H
+
+#include "lcc/asm.h"
+#include "target/machine.h"
+
+namespace ldb::lcc {
+
+struct ImageSymbol {
+  std::string Name;
+  uint32_t Addr = 0;
+  char Kind = 'T'; ///< 'T' text, 'D' data
+};
+
+struct Image {
+  const target::TargetDesc *Desc = nullptr;
+  uint32_t Entry = 0;
+  uint32_t TextBase = 0;
+  uint32_t DataBase = 0;
+  std::vector<uint8_t> Text; ///< encoded instruction bytes, target order
+  std::vector<uint8_t> Data;
+  std::vector<ImageSymbol> Symbols;
+  std::vector<ProcInfo> Procs; ///< CodeOffset now absolute
+
+  /// zmips runtime procedure table: address of the count word; entries of
+  /// four words (addr, frame size, save mask, save-area offset) follow.
+  uint32_t RptAddr = 0;
+
+  AsmStats Stats; ///< merged across modules
+
+  /// Address of \p Name, or 0 if absent.
+  uint32_t symbolAddr(const std::string &Name) const;
+
+  /// Copies text and data into a simulator's memory.
+  Error loadInto(target::Machine &M) const;
+};
+
+/// Links \p Modules (all compiled for \p Desc) into an image.
+Expected<Image> link(const target::TargetDesc &Desc,
+                     std::vector<ObjectModule> Modules);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_LINKER_H

@@ -1,0 +1,41 @@
+//===- lcc/nm.cpp - loader-table generation --------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/nm.h"
+
+#include "support/strings.h"
+
+#include <algorithm>
+
+using namespace ldb;
+using namespace ldb::lcc;
+
+std::string ldb::lcc::emitLoaderTable(const Image &Img) {
+  std::string Out;
+  Out += "/loadertable <<\n";
+
+  Out += "  /anchormap <<\n";
+  for (const ImageSymbol &S : Img.Symbols)
+    if (S.Name.compare(0, 10, "_stanchor_") == 0)
+      Out += "    /" + S.Name + " " + psHex(S.Addr) + "\n";
+  Out += "  >>\n";
+
+  std::vector<const ProcInfo *> Sorted;
+  for (const ProcInfo &P : Img.Procs)
+    Sorted.push_back(&P);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const ProcInfo *A, const ProcInfo *B) {
+              return A->CodeOffset < B->CodeOffset;
+            });
+  Out += "  /proctable [\n";
+  for (const ProcInfo *P : Sorted)
+    Out += "    " + psHex(P->CodeOffset) + " (" + psEscape(P->Name) + ")\n";
+  Out += "  ]\n";
+
+  Out += "  /rpt " + psHex(Img.RptAddr) + "\n";
+  Out += ">> def\n";
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- lcc/nm.h - loader-table generation -----------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nm(1) equivalent: after linking, the compiler driver generates
+/// PostScript that, when interpreted, builds the *loader table* (paper
+/// Sec 3) — a dictionary holding the anchor-symbol address map and an
+/// array of (address, name) pairs for every procedure. Using a symbol
+/// dump keeps ldb independent of linker formats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_NM_H
+#define LDB_LCC_NM_H
+
+#include "lcc/linker.h"
+
+#include <string>
+
+namespace ldb::lcc {
+
+/// PostScript that defines /loadertable: a dict with /anchormap (anchor
+/// symbol -> address), /proctable (flat array of address, name pairs,
+/// ascending), and /rpt (the zmips runtime procedure table address, 0
+/// elsewhere).
+std::string emitLoaderTable(const Image &Img);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_NM_H

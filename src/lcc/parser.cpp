@@ -1,0 +1,1306 @@
+//===- lcc/parser.cpp - C-subset parser and type checker ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/parser.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::lcc;
+
+ExprPtr ldb::lcc::makeExpr(Ex Op, const CType *Ty, int Line) {
+  auto E = std::make_unique<Expr>();
+  E->Op = Op;
+  E->Ty = Ty;
+  E->Line = Line;
+  return E;
+}
+
+bool ldb::lcc::isLValue(const Expr &E) {
+  switch (E.Op) {
+  case Ex::SymRef:
+    return E.Sym && E.Sym->Sto != Storage::Func;
+  case Ex::Index:
+  case Ex::Member:
+  case Ex::Deref:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and entry points
+//===----------------------------------------------------------------------===//
+
+Parser::Parser(const std::string &Source, const std::string &FileName,
+               Unit &U)
+    : Lex(Source, FileName), U(U) {
+  Cur = Lex.next();
+  Scopes.emplace_back(); // file scope
+}
+
+Expected<std::unique_ptr<Unit>> Parser::parseUnit(const std::string &Source,
+                                                  const std::string &FileName,
+                                                  bool TargetHasF80) {
+  auto UnitPtr = std::make_unique<Unit>();
+  UnitPtr->FileName = FileName;
+  UnitPtr->Types = std::make_unique<TypePool>(TargetHasF80);
+  // Anchor symbol for this unit, uniquified by a hash of the file name
+  // (the original generated names like _stanchor__V2935334b_e288a).
+  uint32_t Hash = 2166136261u;
+  for (char C : FileName)
+    Hash = (Hash ^ static_cast<unsigned char>(C)) * 16777619u;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "_stanchor__%08x", Hash);
+  UnitPtr->AnchorName = Buf;
+
+  Parser P(Source, FileName, *UnitPtr);
+  while (!P.at(Tok::Eof)) {
+    if (!P.parseTopLevel())
+      break;
+  }
+  if (P.Lex.hadError() && P.FirstError.empty())
+    P.FirstError = P.Lex.errorMessage();
+  if (!P.FirstError.empty())
+    return Error::failure(P.FirstError);
+  return UnitPtr;
+}
+
+Expected<ExprPtr> Parser::parseExpression(const std::string &Text,
+                                          Unit &SymbolOwner,
+                                          SymbolResolver Resolve) {
+  Parser P(Text, "<expression>", SymbolOwner);
+  P.InExpressionMode = true;
+  P.Resolver = std::move(Resolve);
+  ExprPtr E = P.parseExpr();
+  if (!P.FirstError.empty())
+    return Error::failure(P.FirstError);
+  if (!P.at(Tok::Eof))
+    return Error::failure("trailing junk after expression");
+  if (!E)
+    return Error::failure("empty expression");
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Token plumbing
+//===----------------------------------------------------------------------===//
+
+void Parser::advance() { Cur = Lex.next(); }
+
+bool Parser::accept(Tok K) {
+  if (!at(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(Tok K, const char *What) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + What);
+  return false;
+}
+
+void Parser::error(const std::string &Msg) {
+  if (FirstError.empty())
+    FirstError = Lex.fileName() + ":" + std::to_string(Cur.Line) + ": " + Msg;
+  // Error recovery is minimal: skip to end of input so parsing stops.
+  while (!at(Tok::Eof))
+    advance();
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes and stopping points
+//===----------------------------------------------------------------------===//
+
+void Parser::pushScope() { Scopes.emplace_back(); }
+
+void Parser::popScope() { Scopes.pop_back(); }
+
+CSymbol *Parser::lookupSymbol(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  if (InExpressionMode && Resolver)
+    return Resolver(Name);
+  return nullptr;
+}
+
+CSymbol *Parser::declare(const std::string &Name, const CType *Ty,
+                         Storage Sto, int Line, int Col) {
+  auto &Scope = Scopes.back();
+  auto Found = Scope.find(Name);
+  if (Found != Scope.end()) {
+    // Redeclaration is legal only for globals/functions of the same type.
+    CSymbol *Old = Found->second;
+    if (Scopes.size() > 1 || !typesCompatible(Old->Ty, Ty)) {
+      error("redeclaration of '" + Name + "'");
+      return Old;
+    }
+    return Old;
+  }
+  CSymbol *S = U.newSymbol();
+  S->Name = Name;
+  S->Ty = Ty;
+  S->Sto = Sto;
+  S->SourceFile = Lex.fileName();
+  S->Line = Line;
+  S->Col = Col;
+  Scope[Name] = S;
+  // The uplink chain covers block-scope symbols: locals, params, and
+  // function-scope statics (Fig 2 shows fib's static array a in the tree).
+  if (Scopes.size() > 1) {
+    S->Uplink = CurrentUplink;
+    CurrentUplink = S;
+    if (CurFn)
+      CurFn->Locals.push_back(S);
+  }
+  return S;
+}
+
+int Parser::newStop(int Line, int Col) {
+  assert(CurFn && "stopping point outside a function");
+  StopPoint P;
+  P.Id = static_cast<int>(CurFn->Stops.size());
+  P.Line = Line;
+  P.Col = Col;
+  P.Visible = CurrentUplink;
+  CurFn->Stops.push_back(P);
+  return P.Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Types and declarators
+//===----------------------------------------------------------------------===//
+
+const CType *Parser::parseTypeSpec(bool *SawType) {
+  TypePool &TP = *U.Types;
+  if (SawType)
+    *SawType = true;
+  if (accept(Tok::KwVoid))
+    return TP.voidTy();
+  if (accept(Tok::KwChar))
+    return TP.charTy();
+  if (accept(Tok::KwShort))
+    return TP.shortTy();
+  if (accept(Tok::KwInt))
+    return TP.intTy();
+  if (accept(Tok::KwFloat))
+    return TP.floatTy();
+  if (accept(Tok::KwDouble))
+    return TP.doubleTy();
+  if (accept(Tok::KwUnsigned)) {
+    accept(Tok::KwInt);
+    return TP.uintTy();
+  }
+  if (accept(Tok::KwLong)) {
+    if (accept(Tok::KwDouble))
+      return TP.longDoubleTy();
+    accept(Tok::KwInt);
+    return TP.intTy(); // long is 32 bits here
+  }
+  if (accept(Tok::KwStruct)) {
+    if (!at(Tok::Ident)) {
+      error("expected struct tag");
+      return TP.intTy();
+    }
+    std::string Tag = Cur.Text;
+    advance();
+    CType *S = TP.structTag(Tag);
+    if (accept(Tok::LBrace)) {
+      if (!S->Fields.empty()) {
+        error("redefinition of struct " + Tag);
+        return S;
+      }
+      while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+        const CType *FieldBase = parseTypeSpec();
+        do {
+          std::string FieldName;
+          const CType *FieldTy =
+              parseDeclarator(FieldBase, FieldName, nullptr, nullptr);
+          S->Fields.push_back(StructField{FieldName, FieldTy, 0});
+        } while (accept(Tok::Comma));
+        expect(Tok::Semi, "';' after struct field");
+      }
+      expect(Tok::RBrace, "'}' after struct fields");
+      TypePool::layOutStruct(S);
+    }
+    return S;
+  }
+  if (SawType)
+    *SawType = false;
+  return TP.intTy();
+}
+
+/// Is the current token the start of a type? (Used for casts and local
+/// declarations.)
+static bool startsType(Tok K) {
+  switch (K) {
+  case Tok::KwVoid:
+  case Tok::KwChar:
+  case Tok::KwShort:
+  case Tok::KwInt:
+  case Tok::KwUnsigned:
+  case Tok::KwLong:
+  case Tok::KwFloat:
+  case Tok::KwDouble:
+  case Tok::KwStruct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const CType *Parser::parseDeclarator(const CType *Base, std::string &Name,
+                                     std::vector<const CType *> *ParamTypes,
+                                     std::vector<std::string> *ParamNames) {
+  const CType *Ty = Base;
+  while (accept(Tok::Star))
+    Ty = U.Types->pointerTo(Ty);
+  if (at(Tok::Ident)) {
+    Name = Cur.Text;
+    advance();
+  } else {
+    Name.clear();
+  }
+  if (accept(Tok::LParen)) {
+    // Function declarator.
+    std::vector<const CType *> Params;
+    if (!at(Tok::RParen)) {
+      if (at(Tok::KwVoid)) {
+        advance();
+      } else {
+        do {
+          const CType *PBase = parseTypeSpec();
+          std::string PName;
+          const CType *PTy = parseDeclarator(PBase, PName, nullptr, nullptr);
+          if (PTy->Kind == TyKind::Array)
+            PTy = U.Types->pointerTo(PTy->Ref); // arrays decay in params
+          Params.push_back(PTy);
+          if (ParamNames)
+            ParamNames->push_back(PName);
+        } while (accept(Tok::Comma));
+      }
+    }
+    expect(Tok::RParen, "')' after parameters");
+    if (ParamTypes)
+      *ParamTypes = Params;
+    return U.Types->func(Ty, Params);
+  }
+  // Array suffixes, innermost last.
+  std::vector<unsigned> Dims;
+  while (accept(Tok::LBracket)) {
+    if (at(Tok::IntLit)) {
+      Dims.push_back(static_cast<unsigned>(Cur.IntValue));
+      advance();
+    } else {
+      Dims.push_back(0); // length inferred from the initializer
+    }
+    expect(Tok::RBracket, "']' in array declarator");
+  }
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Ty = U.Types->arrayOf(Ty, *It);
+  return Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTopLevel() {
+  bool IsStatic = false, IsExtern = false;
+  while (at(Tok::KwStatic) || at(Tok::KwExtern)) {
+    IsStatic |= at(Tok::KwStatic);
+    IsExtern |= at(Tok::KwExtern);
+    advance();
+  }
+  const CType *Base = parseTypeSpec();
+  if (accept(Tok::Semi))
+    return FirstError.empty(); // bare struct declaration
+
+  for (;;) {
+    std::string Name;
+    std::vector<const CType *> ParamTypes;
+    std::vector<std::string> ParamNames;
+    int Line = Cur.Line, Col = Cur.Col;
+    const CType *Ty = parseDeclarator(Base, Name, &ParamTypes, &ParamNames);
+    if (Name.empty()) {
+      error("expected a name in declaration");
+      return false;
+    }
+
+    if (Ty->Kind == TyKind::Func) {
+      CSymbol *Fn =
+          declare(Name, Ty, IsStatic ? Storage::Static : Storage::Func, Line,
+                  Col);
+      Fn->Sto = Storage::Func;
+      if (at(Tok::LBrace)) {
+        if (Fn->Defined) {
+          error("redefinition of function " + Name);
+          return false;
+        }
+        Fn->Defined = true;
+        parseFunctionBody(Fn, ParamTypes, ParamNames);
+        return FirstError.empty();
+      }
+      // Prototype only.
+      if (accept(Tok::Comma))
+        continue;
+      expect(Tok::Semi, "';' after declaration");
+      return FirstError.empty();
+    }
+
+    CSymbol *Sym = declare(
+        Name, Ty, IsStatic ? Storage::Static : Storage::Global, Line, Col);
+    if (!IsExtern) {
+      Sym->Defined = true;
+      Sym->AnchorIndex = U.NextAnchorIndex++;
+      U.Globals.push_back(Sym);
+      parseGlobalInit(Sym);
+    }
+    if (accept(Tok::Comma))
+      continue;
+    expect(Tok::Semi, "';' after declaration");
+    return FirstError.empty();
+  }
+}
+
+void Parser::parseGlobalInit(CSymbol *Sym) {
+  GlobalInit Init;
+  Init.Sym = Sym;
+  if (accept(Tok::Assign)) {
+    auto ScalarConst = [&](int64_t &IOut, double &FOut, bool &IsFloat) {
+      bool Negate = accept(Tok::Minus);
+      if (at(Tok::IntLit) || at(Tok::CharLit)) {
+        IOut = Negate ? -Cur.IntValue : Cur.IntValue;
+        IsFloat = false;
+        advance();
+        return true;
+      }
+      if (at(Tok::FloatLit)) {
+        FOut = Negate ? -Cur.FloatValue : Cur.FloatValue;
+        IsFloat = true;
+        advance();
+        return true;
+      }
+      return false;
+    };
+    if (accept(Tok::LBrace)) {
+      while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+        int64_t I = 0;
+        double F = 0;
+        bool IsFloat = false;
+        if (!ScalarConst(I, F, IsFloat)) {
+          error("unsupported initializer element");
+          return;
+        }
+        Init.IntValues.push_back(I);
+        Init.FloatValues.push_back(IsFloat ? F : static_cast<double>(I));
+        if (!accept(Tok::Comma))
+          break;
+      }
+      expect(Tok::RBrace, "'}' after initializer");
+      // Infer array length from the initializer when elided.
+      if (Sym->Ty->Kind == TyKind::Array && Sym->Ty->ArrayLen == 0)
+        Sym->Ty = U.Types->arrayOf(
+            Sym->Ty->Ref, static_cast<unsigned>(Init.IntValues.size()));
+    } else if (at(Tok::StrLit)) {
+      Init.StringValue = Cur.Text;
+      advance();
+      if (Sym->Ty->Kind == TyKind::Array && Sym->Ty->ArrayLen == 0)
+        Sym->Ty = U.Types->arrayOf(
+            Sym->Ty->Ref,
+            static_cast<unsigned>(Init.StringValue.size() + 1));
+    } else {
+      int64_t I = 0;
+      double F = 0;
+      bool IsFloat = false;
+      if (!ScalarConst(I, F, IsFloat)) {
+        error("unsupported global initializer");
+        return;
+      }
+      Init.IntValues.push_back(I);
+      Init.FloatValues.push_back(IsFloat ? F : static_cast<double>(I));
+    }
+  }
+  U.Inits.push_back(std::move(Init));
+}
+
+void Parser::parseFunctionBody(
+    CSymbol *FnSym, const std::vector<const CType *> &ParamTypes,
+    const std::vector<std::string> &ParamNames) {
+  auto Fn = std::make_unique<Function>();
+  Fn->Sym = FnSym;
+  CurFn = Fn.get();
+  CurReturnTy = FnSym->Ty->Ref;
+
+  pushScope();
+  CSymbol *SavedUplink = CurrentUplink;
+  CurrentUplink = nullptr;
+  for (size_t K = 0; K < ParamTypes.size(); ++K) {
+    std::string PName =
+        K < ParamNames.size() && !ParamNames[K].empty()
+            ? ParamNames[K]
+            : "arg" + std::to_string(K);
+    CSymbol *P = declare(PName, ParamTypes[K], Storage::Param, Cur.Line,
+                         Cur.Col);
+    Fn->Params.push_back(P);
+  }
+
+  Fn->EntryStopId = newStop(Cur.Line, Cur.Col);
+  Fn->Body = parseCompound();
+  Fn->ExitStopId = newStop(Fn->Body->EndLine, 1);
+
+  CurrentUplink = SavedUplink;
+  popScope();
+  CurFn = nullptr;
+  U.Functions.push_back(std::move(Fn));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseCompound() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = St::Compound;
+  S->Line = Cur.Line;
+  expect(Tok::LBrace, "'{'");
+  pushScope();
+  CSymbol *UplinkAtEntry = CurrentUplink;
+  while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+    StmtPtr Sub = parseStmt();
+    if (!Sub)
+      break;
+    S->Body.push_back(std::move(Sub));
+  }
+  S->EndLine = Cur.Line; // the closing brace's line
+  expect(Tok::RBrace, "'}'");
+  CurrentUplink = UplinkAtEntry;
+  popScope();
+  return S;
+}
+
+StmtPtr Parser::parseLocalDecl() {
+  bool IsStatic = accept(Tok::KwStatic);
+  const CType *Base = parseTypeSpec();
+  auto First = std::make_unique<Stmt>();
+  First->Kind = St::Compound; // may hold several declarators
+  First->Line = Cur.Line;
+  do {
+    std::string Name;
+    int Line = Cur.Line, Col = Cur.Col;
+    const CType *Ty = parseDeclarator(Base, Name, nullptr, nullptr);
+    if (Name.empty()) {
+      error("expected a name in declaration");
+      return nullptr;
+    }
+    CSymbol *Sym = declare(Name, Ty,
+                           IsStatic ? Storage::Static : Storage::Local, Line,
+                           Col);
+    if (IsStatic) {
+      Sym->Defined = true;
+      Sym->AnchorIndex = U.NextAnchorIndex++;
+      U.Globals.push_back(Sym);
+      GlobalInit Init;
+      Init.Sym = Sym;
+      U.Inits.push_back(std::move(Init)); // zero-initialized
+    }
+    auto D = std::make_unique<Stmt>();
+    D->Kind = St::DeclStmt;
+    D->Line = Line;
+    D->DeclSym = Sym;
+    if (accept(Tok::Assign)) {
+      if (IsStatic) {
+        error("initialized function-scope statics are not supported");
+        return nullptr;
+      }
+      ExprPtr Ref = makeExpr(Ex::SymRef, Sym->Ty, Line);
+      Ref->Sym = Sym;
+      ExprPtr Value = parseAssign();
+      if (!Value)
+        return nullptr;
+      Value = convert(decay(std::move(Value)), Sym->Ty);
+      ExprPtr Asgn = makeExpr(Ex::Assign, Sym->Ty, Line);
+      Asgn->Kids.push_back(std::move(Ref));
+      Asgn->Kids.push_back(std::move(Value));
+      D->StopId = newStop(Line, Col);
+      D->E = std::move(Asgn);
+    }
+    First->Body.push_back(std::move(D));
+  } while (accept(Tok::Comma));
+  expect(Tok::Semi, "';' after declaration");
+  return First;
+}
+
+StmtPtr Parser::parseStmt() {
+  int Line = Cur.Line, Col = Cur.Col;
+  if (at(Tok::LBrace))
+    return parseCompound();
+  if (at(Tok::KwStatic) || startsType(Cur.Kind))
+    return parseLocalDecl();
+
+  auto S = std::make_unique<Stmt>();
+  S->Line = Line;
+
+  if (accept(Tok::KwIf)) {
+    S->Kind = St::If;
+    expect(Tok::LParen, "'(' after if");
+    S->StopId = newStop(Line, Col);
+    S->E = decay(parseExpr());
+    expect(Tok::RParen, "')' after condition");
+    S->Then = parseStmt();
+    if (accept(Tok::KwElse))
+      S->Else = parseStmt();
+    return S;
+  }
+  if (accept(Tok::KwWhile)) {
+    S->Kind = St::While;
+    expect(Tok::LParen, "'(' after while");
+    S->StopId = newStop(Line, Col);
+    S->E = decay(parseExpr());
+    expect(Tok::RParen, "')' after condition");
+    S->Then = parseStmt();
+    return S;
+  }
+  if (accept(Tok::KwFor)) {
+    S->Kind = St::For;
+    expect(Tok::LParen, "'(' after for");
+    if (!at(Tok::Semi)) {
+      S->StopId = newStop(Cur.Line, Cur.Col);
+      S->E = parseExpr();
+    }
+    expect(Tok::Semi, "';' in for");
+    if (!at(Tok::Semi)) {
+      S->StopId2 = newStop(Cur.Line, Cur.Col);
+      S->E2 = decay(parseExpr());
+    }
+    expect(Tok::Semi, "';' in for");
+    if (!at(Tok::RParen)) {
+      S->StopId3 = newStop(Cur.Line, Cur.Col);
+      S->E3 = parseExpr();
+    }
+    expect(Tok::RParen, "')' after for");
+    S->Then = parseStmt();
+    return S;
+  }
+  if (accept(Tok::KwReturn)) {
+    S->Kind = St::Return;
+    S->StopId = newStop(Line, Col);
+    if (!at(Tok::Semi)) {
+      S->E = decay(parseExpr());
+      if (S->E && CurReturnTy && CurReturnTy->Kind != TyKind::Void)
+        S->E = convert(std::move(S->E), CurReturnTy);
+    }
+    expect(Tok::Semi, "';' after return");
+    return S;
+  }
+  if (accept(Tok::KwBreak)) {
+    S->Kind = St::Break;
+    expect(Tok::Semi, "';' after break");
+    return S;
+  }
+  if (accept(Tok::KwContinue)) {
+    S->Kind = St::Continue;
+    expect(Tok::Semi, "';' after continue");
+    return S;
+  }
+
+  S->Kind = St::ExprStmt;
+  S->StopId = newStop(Line, Col);
+  S->E = parseExpr();
+  expect(Tok::Semi, "';' after expression");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic helpers
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::decay(ExprPtr E) {
+  if (!E)
+    return E;
+  if (E->Ty->Kind == TyKind::Array) {
+    ExprPtr Addr =
+        makeExpr(Ex::AddrOf, U.Types->pointerTo(E->Ty->Ref), E->Line);
+    // &a[0]: represent as AddrOf of the array; codegen and the server
+    // both treat it as the array's address.
+    Addr->Kids.push_back(std::move(E));
+    return Addr;
+  }
+  if (E->Ty->Kind == TyKind::Func) {
+    ExprPtr Addr = makeExpr(Ex::AddrOf, U.Types->pointerTo(E->Ty), E->Line);
+    Addr->Kids.push_back(std::move(E));
+    return Addr;
+  }
+  return E;
+}
+
+ExprPtr Parser::convert(ExprPtr E, const CType *To) {
+  if (!E || E->Ty == To)
+    return E;
+  if (E->Ty->Kind == To->Kind && E->Ty->Size == To->Size)
+    return E;
+  bool OkScalar = E->Ty->isScalar() && To->isScalar();
+  if (!OkScalar) {
+    error("invalid implicit conversion");
+    return E;
+  }
+  // Fold integer constant conversions immediately.
+  if (E->Op == Ex::IntConst && To->isInteger()) {
+    E->Ty = To;
+    return E;
+  }
+  if (E->Op == Ex::IntConst && To->isFloating()) {
+    ExprPtr F = makeExpr(Ex::FloatConst, To, E->Line);
+    F->FVal = static_cast<double>(E->IVal);
+    return F;
+  }
+  ExprPtr C = makeExpr(Ex::Cast, To, E->Line);
+  C->Kids.push_back(std::move(E));
+  return C;
+}
+
+const CType *Parser::usualArith(const CType *A, const CType *B) {
+  TypePool &TP = *U.Types;
+  auto Rank = [](const CType *T) {
+    switch (T->Kind) {
+    case TyKind::LongDouble:
+      return 6;
+    case TyKind::Double:
+      return 5;
+    case TyKind::Float:
+      return 4;
+    case TyKind::UInt:
+      return 3;
+    default:
+      return 2; // int and narrower promote to int
+    }
+  };
+  int R = std::max(Rank(A), Rank(B));
+  switch (R) {
+  case 6:
+    return TP.longDoubleTy();
+  case 5:
+    return TP.doubleTy();
+  case 4:
+    return TP.floatTy();
+  case 3:
+    return TP.uintTy();
+  default:
+    return TP.intTy();
+  }
+}
+
+bool Parser::typesCompatible(const CType *A, const CType *B) {
+  if (A == B)
+    return true;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case TyKind::Ptr:
+    return typesCompatible(A->Ref, B->Ref);
+  case TyKind::Array:
+    return A->ArrayLen == B->ArrayLen && typesCompatible(A->Ref, B->Ref);
+  case TyKind::Func: {
+    if (!typesCompatible(A->Ref, B->Ref) ||
+        A->Params.size() != B->Params.size())
+      return false;
+    for (size_t K = 0; K < A->Params.size(); ++K)
+      if (!typesCompatible(A->Params[K], B->Params[K]))
+        return false;
+    return true;
+  }
+  case TyKind::Struct:
+    return A->Tag == B->Tag;
+  default:
+    return true;
+  }
+}
+
+ExprPtr Parser::cloneExpr(const Expr &E) {
+  ExprPtr C = makeExpr(E.Op, E.Ty, E.Line);
+  C->IVal = E.IVal;
+  C->FVal = E.FVal;
+  C->SVal = E.SVal;
+  C->Sym = E.Sym;
+  for (const ExprPtr &Kid : E.Kids)
+    C->Kids.push_back(cloneExpr(*Kid));
+  return C;
+}
+
+ExprPtr Parser::checkBinary(Ex Op, ExprPtr L, ExprPtr R, int Line) {
+  if (!L || !R)
+    return nullptr;
+  TypePool &TP = *U.Types;
+  L = decay(std::move(L));
+  R = decay(std::move(R));
+
+  bool Comparison = Op == Ex::Lt || Op == Ex::Le || Op == Ex::Gt ||
+                    Op == Ex::Ge || Op == Ex::EqEq || Op == Ex::NeEq;
+  bool Logical = Op == Ex::LogAnd || Op == Ex::LogOr;
+
+  if (Logical) {
+    if (!L->Ty->isScalar() || !R->Ty->isScalar()) {
+      error("logical operator needs scalar operands");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Op, TP.intTy(), Line);
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(std::move(R));
+    return E;
+  }
+
+  // Pointer arithmetic: ptr +/- int.
+  if ((Op == Ex::Add || Op == Ex::Sub) && L->Ty->isPointer() &&
+      R->Ty->isInteger()) {
+    ExprPtr E = makeExpr(Op, L->Ty, Line);
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(convert(std::move(R), TP.intTy()));
+    return E;
+  }
+  if (Op == Ex::Add && L->Ty->isInteger() && R->Ty->isPointer()) {
+    ExprPtr E = makeExpr(Op, R->Ty, Line);
+    E->Kids.push_back(std::move(R));
+    E->Kids.push_back(convert(std::move(L), TP.intTy()));
+    return E;
+  }
+  if (Comparison && L->Ty->isPointer() && R->Ty->isPointer()) {
+    ExprPtr E = makeExpr(Op, TP.intTy(), Line);
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(std::move(R));
+    return E;
+  }
+  if (Comparison && L->Ty->isPointer() && R->Op == Ex::IntConst) {
+    ExprPtr E = makeExpr(Op, TP.intTy(), Line);
+    R->Ty = L->Ty;
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(std::move(R));
+    return E;
+  }
+
+  if (!L->Ty->isArithmetic() || !R->Ty->isArithmetic()) {
+    error("invalid operands to binary operator");
+    return nullptr;
+  }
+  bool IntOnly = Op == Ex::Rem || Op == Ex::BitAnd || Op == Ex::BitOr ||
+                 Op == Ex::BitXor || Op == Ex::Shl || Op == Ex::Shr;
+  const CType *Common = usualArith(L->Ty, R->Ty);
+  if (IntOnly && !Common->isInteger()) {
+    error("operator requires integer operands");
+    return nullptr;
+  }
+  const CType *ResultTy = Comparison ? TP.intTy() : Common;
+  ExprPtr E = makeExpr(Op, ResultTy, Line);
+  E->Kids.push_back(convert(std::move(L), Common));
+  E->Kids.push_back(convert(std::move(R), Common));
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssign(); }
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr L = parseCond();
+  if (!L)
+    return nullptr;
+  Ex BinOp;
+  bool Compound = true;
+  switch (Cur.Kind) {
+  case Tok::Assign:
+    Compound = false;
+    BinOp = Ex::Add; // unused
+    break;
+  case Tok::PlusAssign:
+    BinOp = Ex::Add;
+    break;
+  case Tok::MinusAssign:
+    BinOp = Ex::Sub;
+    break;
+  case Tok::StarAssign:
+    BinOp = Ex::Mul;
+    break;
+  case Tok::SlashAssign:
+    BinOp = Ex::Div;
+    break;
+  default:
+    return L;
+  }
+  int Line = Cur.Line;
+  advance();
+  if (!isLValue(*L)) {
+    error("left side of assignment is not an lvalue");
+    return nullptr;
+  }
+  ExprPtr R = parseAssign();
+  if (!R)
+    return nullptr;
+  if (Compound)
+    R = checkBinary(BinOp, cloneExpr(*L), std::move(R), Line);
+  if (!R)
+    return nullptr;
+  R = convert(decay(std::move(R)), L->Ty);
+  ExprPtr A = makeExpr(Ex::Assign, L->Ty, Line);
+  A->Kids.push_back(std::move(L));
+  A->Kids.push_back(std::move(R));
+  return A;
+}
+
+ExprPtr Parser::parseCond() {
+  ExprPtr C = parseBinary(0);
+  if (!C || !at(Tok::Question))
+    return C;
+  int Line = Cur.Line;
+  advance();
+  ExprPtr T = parseExpr();
+  expect(Tok::Colon, "':' in conditional expression");
+  ExprPtr F = parseCond();
+  if (!T || !F)
+    return nullptr;
+  T = decay(std::move(T));
+  F = decay(std::move(F));
+  const CType *Ty = T->Ty;
+  if (T->Ty->isArithmetic() && F->Ty->isArithmetic()) {
+    Ty = usualArith(T->Ty, F->Ty);
+    T = convert(std::move(T), Ty);
+    F = convert(std::move(F), Ty);
+  }
+  ExprPtr E = makeExpr(Ex::Cond, Ty, Line);
+  E->Kids.push_back(decay(std::move(C)));
+  E->Kids.push_back(std::move(T));
+  E->Kids.push_back(std::move(F));
+  return E;
+}
+
+namespace {
+
+struct BinOpInfo {
+  Tok Token;
+  Ex Op;
+  int Prec;
+};
+
+const BinOpInfo BinOps[] = {
+    {Tok::OrOr, Ex::LogOr, 1},    {Tok::AndAnd, Ex::LogAnd, 2},
+    {Tok::Pipe, Ex::BitOr, 3},    {Tok::Caret, Ex::BitXor, 4},
+    {Tok::Amp, Ex::BitAnd, 5},    {Tok::Eq, Ex::EqEq, 6},
+    {Tok::Ne, Ex::NeEq, 6},       {Tok::Lt, Ex::Lt, 7},
+    {Tok::Le, Ex::Le, 7},         {Tok::Gt, Ex::Gt, 7},
+    {Tok::Ge, Ex::Ge, 7},         {Tok::Shl, Ex::Shl, 8},
+    {Tok::Shr, Ex::Shr, 8},       {Tok::Plus, Ex::Add, 9},
+    {Tok::Minus, Ex::Sub, 9},     {Tok::Star, Ex::Mul, 10},
+    {Tok::Slash, Ex::Div, 10},    {Tok::Percent, Ex::Rem, 10},
+};
+
+const BinOpInfo *findBinOp(Tok K) {
+  for (const BinOpInfo &Info : BinOps)
+    if (Info.Token == K)
+      return &Info;
+  return nullptr;
+}
+
+} // namespace
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr L = parseUnary();
+  for (;;) {
+    const BinOpInfo *Info = findBinOp(Cur.Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return L;
+    int Line = Cur.Line;
+    advance();
+    ExprPtr R = parseBinary(Info->Prec + 1);
+    L = checkBinary(Info->Op, std::move(L), std::move(R), Line);
+    if (!L)
+      return nullptr;
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  int Line = Cur.Line;
+  TypePool &TP = *U.Types;
+
+  if (accept(Tok::Minus)) {
+    ExprPtr K = decay(parseUnary());
+    if (!K)
+      return nullptr;
+    if (K->Op == Ex::IntConst) {
+      K->IVal = -K->IVal;
+      return K;
+    }
+    if (K->Op == Ex::FloatConst) {
+      K->FVal = -K->FVal;
+      return K;
+    }
+    if (!K->Ty->isArithmetic()) {
+      error("negation needs an arithmetic operand");
+      return nullptr;
+    }
+    const CType *Ty = K->Ty->isInteger() ? TP.intTy() : K->Ty;
+    ExprPtr E = makeExpr(Ex::Neg, Ty, Line);
+    E->Kids.push_back(convert(std::move(K), Ty));
+    return E;
+  }
+  if (accept(Tok::Bang)) {
+    ExprPtr K = decay(parseUnary());
+    if (!K)
+      return nullptr;
+    ExprPtr E = makeExpr(Ex::LogNot, TP.intTy(), Line);
+    E->Kids.push_back(std::move(K));
+    return E;
+  }
+  if (accept(Tok::Tilde)) {
+    ExprPtr K = decay(parseUnary());
+    if (!K || !K->Ty->isInteger()) {
+      error("~ needs an integer operand");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Ex::BitNot, TP.intTy(), Line);
+    E->Kids.push_back(convert(std::move(K), TP.intTy()));
+    return E;
+  }
+  if (accept(Tok::Star)) {
+    ExprPtr K = decay(parseUnary());
+    if (!K || !K->Ty->isPointer()) {
+      error("cannot dereference a non-pointer");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Ex::Deref, K->Ty->Ref, Line);
+    E->Kids.push_back(std::move(K));
+    return E;
+  }
+  if (accept(Tok::Amp)) {
+    ExprPtr K = parseUnary();
+    if (!K)
+      return nullptr;
+    if (K->Ty->Kind == TyKind::Func || K->Ty->Kind == TyKind::Array)
+      return decay(std::move(K));
+    if (!isLValue(*K)) {
+      error("cannot take the address of this expression");
+      return nullptr;
+    }
+    if (K->Op == Ex::SymRef)
+      K->Sym->AddressTaken = true;
+    ExprPtr E = makeExpr(Ex::AddrOf, TP.pointerTo(K->Ty), Line);
+    E->Kids.push_back(std::move(K));
+    return E;
+  }
+  if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+    Ex Op = at(Tok::PlusPlus) ? Ex::PreInc : Ex::PreDec;
+    advance();
+    ExprPtr K = parseUnary();
+    if (!K || !isLValue(*K) || !K->Ty->isScalar()) {
+      error("++/-- needs a scalar lvalue");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Op, K->Ty, Line);
+    E->Kids.push_back(std::move(K));
+    return E;
+  }
+  if (accept(Tok::KwSizeof)) {
+    const CType *Ty = nullptr;
+    if (at(Tok::LParen)) {
+      advance();
+      if (startsType(Cur.Kind)) {
+        const CType *Base = parseTypeSpec();
+        std::string Ignored;
+        Ty = parseDeclarator(Base, Ignored, nullptr, nullptr);
+      } else {
+        ExprPtr K = parseExpr();
+        if (!K)
+          return nullptr;
+        Ty = K->Ty;
+      }
+      expect(Tok::RParen, "')' after sizeof");
+    } else {
+      ExprPtr K = parseUnary();
+      if (!K)
+        return nullptr;
+      Ty = K->Ty;
+    }
+    ExprPtr E = makeExpr(Ex::IntConst, TP.intTy(), Line);
+    E->IVal = Ty->Size;
+    return E;
+  }
+  // Cast: '(' type ')' unary.
+  if (at(Tok::LParen)) {
+    // Peek: need to know whether a type follows. Save lexer state by
+    // re-lexing is complex; instead use the grammar restriction that a
+    // parenthesized *type* must start with a type keyword.
+    // We look ahead one token by consuming '(' and checking.
+    advance();
+    if (startsType(Cur.Kind)) {
+      const CType *Base = parseTypeSpec();
+      std::string Ignored;
+      const CType *Ty = parseDeclarator(Base, Ignored, nullptr, nullptr);
+      expect(Tok::RParen, "')' after cast");
+      ExprPtr K = decay(parseUnary());
+      if (!K)
+        return nullptr;
+      if (Ty->Kind == TyKind::Void) {
+        ExprPtr E = makeExpr(Ex::Cast, TP.voidTy(), Line);
+        E->Kids.push_back(std::move(K));
+        return E;
+      }
+      if (!K->Ty->isScalar() || !Ty->isScalar()) {
+        error("invalid cast");
+        return nullptr;
+      }
+      ExprPtr E = makeExpr(Ex::Cast, Ty, Line);
+      E->Kids.push_back(std::move(K));
+      return E;
+    }
+    ExprPtr E = parseExpr();
+    expect(Tok::RParen, "')'");
+    // Continue with postfix operators applied to the parenthesized
+    // expression.
+    for (;;) {
+      if (accept(Tok::LBracket)) {
+        ExprPtr Idx = parseExpr();
+        expect(Tok::RBracket, "']'");
+        E = decay(std::move(E));
+        if (!E || !E->Ty->isPointer()) {
+          error("subscripted value is not an array or pointer");
+          return nullptr;
+        }
+        ExprPtr X = makeExpr(Ex::Index, E->Ty->Ref, Line);
+        X->Kids.push_back(std::move(E));
+        X->Kids.push_back(convert(decay(std::move(Idx)), TP.intTy()));
+        E = std::move(X);
+        continue;
+      }
+      if (at(Tok::Dot) || at(Tok::Arrow)) {
+        bool IsArrow = at(Tok::Arrow);
+        advance();
+        if (!at(Tok::Ident)) {
+          error("expected member name");
+          return nullptr;
+        }
+        std::string Field = Cur.Text;
+        advance();
+        if (IsArrow) {
+          if (!E->Ty->isPointer()) {
+            error("-> on a non-pointer");
+            return nullptr;
+          }
+          ExprPtr D = makeExpr(Ex::Deref, E->Ty->Ref, Line);
+          D->Kids.push_back(std::move(E));
+          E = std::move(D);
+        }
+        if (E->Ty->Kind != TyKind::Struct) {
+          error("member access on a non-struct");
+          return nullptr;
+        }
+        const CType *FieldTy = nullptr;
+        for (const StructField &F : E->Ty->Fields)
+          if (F.Name == Field)
+            FieldTy = F.Ty;
+        if (!FieldTy) {
+          error("no member named '" + Field + "'");
+          return nullptr;
+        }
+        ExprPtr M = makeExpr(Ex::Member, FieldTy, Line);
+        M->SVal = Field;
+        M->Kids.push_back(std::move(E));
+        E = std::move(M);
+        continue;
+      }
+      break;
+    }
+    // Postfix ++/-- after a parenthesized lvalue.
+    if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+      Ex Op = at(Tok::PlusPlus) ? Ex::PostInc : Ex::PostDec;
+      advance();
+      if (!E || !isLValue(*E) || !E->Ty->isScalar()) {
+        error("++/-- needs a scalar lvalue");
+        return nullptr;
+      }
+      ExprPtr X = makeExpr(Op, E->Ty, Line);
+      X->Kids.push_back(std::move(E));
+      E = std::move(X);
+    }
+    return E;
+  }
+
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  TypePool &TP = *U.Types;
+  for (;;) {
+    int Line = Cur.Line;
+    if (accept(Tok::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      expect(Tok::RBracket, "']'");
+      const CType *ElemTy = nullptr;
+      if (E->Ty->Kind == TyKind::Array)
+        ElemTy = E->Ty->Ref;
+      else if (E->Ty->isPointer())
+        ElemTy = E->Ty->Ref;
+      if (!ElemTy || !Idx) {
+        error("subscripted value is not an array or pointer");
+        return nullptr;
+      }
+      ExprPtr X = makeExpr(Ex::Index, ElemTy, Line);
+      X->Kids.push_back(std::move(E)); // array or pointer; codegen decides
+      X->Kids.push_back(convert(decay(std::move(Idx)), TP.intTy()));
+      E = std::move(X);
+      continue;
+    }
+    if (accept(Tok::LParen)) {
+      // Call. The callee must be a plain function symbol.
+      if (E->Op != Ex::SymRef || !E->Sym ||
+          E->Sym->Ty->Kind != TyKind::Func) {
+        error("called object is not a function");
+        return nullptr;
+      }
+      CSymbol *Callee = E->Sym;
+      std::vector<ExprPtr> Args;
+      if (!at(Tok::RParen)) {
+        do {
+          ExprPtr A = decay(parseAssign());
+          if (!A)
+            return nullptr;
+          Args.push_back(std::move(A));
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "')' after arguments");
+      // printf is the variadic builtin; everything else checks arity.
+      bool IsPrintf = Callee->Name == "printf" && !Callee->Defined;
+      if (!IsPrintf) {
+        const auto &Params = Callee->Ty->Params;
+        if (Params.size() != Args.size()) {
+          error("wrong number of arguments to " + Callee->Name);
+          return nullptr;
+        }
+        for (size_t K = 0; K < Args.size(); ++K)
+          Args[K] = convert(std::move(Args[K]), Params[K]);
+      } else {
+        // Default argument promotions for the variadic part.
+        for (size_t K = 1; K < Args.size(); ++K) {
+          if (Args[K]->Ty->Kind == TyKind::Float)
+            Args[K] = convert(std::move(Args[K]), TP.doubleTy());
+          else if (Args[K]->Ty->isInteger() && Args[K]->Ty->Size < 4)
+            Args[K] = convert(std::move(Args[K]), TP.intTy());
+        }
+      }
+      ExprPtr C = makeExpr(Ex::Call, Callee->Ty->Ref, Line);
+      C->Kids.push_back(std::move(E));
+      for (ExprPtr &A : Args)
+        C->Kids.push_back(std::move(A));
+      E = std::move(C);
+      continue;
+    }
+    if (at(Tok::Dot) || at(Tok::Arrow)) {
+      bool IsArrow = at(Tok::Arrow);
+      advance();
+      if (!at(Tok::Ident)) {
+        error("expected member name");
+        return nullptr;
+      }
+      std::string Field = Cur.Text;
+      advance();
+      if (IsArrow) {
+        if (!E->Ty->isPointer()) {
+          error("-> on a non-pointer");
+          return nullptr;
+        }
+        ExprPtr D = makeExpr(Ex::Deref, E->Ty->Ref, Line);
+        D->Kids.push_back(std::move(E));
+        E = std::move(D);
+      }
+      if (E->Ty->Kind != TyKind::Struct) {
+        error("member access on a non-struct");
+        return nullptr;
+      }
+      const CType *FieldTy = nullptr;
+      for (const StructField &F : E->Ty->Fields)
+        if (F.Name == Field)
+          FieldTy = F.Ty;
+      if (!FieldTy) {
+        error("no member named '" + Field + "'");
+        return nullptr;
+      }
+      ExprPtr M = makeExpr(Ex::Member, FieldTy, Line);
+      M->SVal = Field;
+      M->Kids.push_back(std::move(E));
+      E = std::move(M);
+      continue;
+    }
+    if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+      Ex Op = at(Tok::PlusPlus) ? Ex::PostInc : Ex::PostDec;
+      advance();
+      if (!isLValue(*E) || !E->Ty->isScalar()) {
+        error("++/-- needs a scalar lvalue");
+        return nullptr;
+      }
+      ExprPtr X = makeExpr(Op, E->Ty, Line);
+      X->Kids.push_back(std::move(E));
+      E = std::move(X);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  TypePool &TP = *U.Types;
+  int Line = Cur.Line;
+  if (at(Tok::IntLit) || at(Tok::CharLit)) {
+    ExprPtr E = makeExpr(Ex::IntConst,
+                         at(Tok::CharLit) ? TP.charTy() : TP.intTy(), Line);
+    E->IVal = Cur.IntValue;
+    if (at(Tok::CharLit))
+      E->Ty = TP.intTy(); // character constants have type int in C
+    advance();
+    return E;
+  }
+  if (at(Tok::FloatLit)) {
+    ExprPtr E = makeExpr(Ex::FloatConst, TP.doubleTy(), Line);
+    E->FVal = Cur.FloatValue;
+    advance();
+    return E;
+  }
+  if (at(Tok::StrLit)) {
+    ExprPtr E = makeExpr(Ex::StrConst, TP.pointerTo(TP.charTy()), Line);
+    E->SVal = Cur.Text;
+    advance();
+    return E;
+  }
+  if (at(Tok::Ident)) {
+    std::string Name = Cur.Text;
+    advance();
+    CSymbol *Sym = lookupSymbol(Name);
+    if (!Sym && Name == "printf" && !InExpressionMode) {
+      // The variadic builtin appears on first use.
+      Sym = U.newSymbol();
+      Sym->Name = "printf";
+      Sym->Ty = U.Types->func(TP.intTy(), {TP.pointerTo(TP.charTy())});
+      Sym->Sto = Storage::Func;
+      Scopes.front()["printf"] = Sym;
+    }
+    if (!Sym) {
+      error("undeclared identifier '" + Name + "'");
+      return nullptr;
+    }
+    ExprPtr E = makeExpr(Ex::SymRef, Sym->Ty, Line);
+    E->Sym = Sym;
+    return E;
+  }
+  error("expected an expression");
+  return nullptr;
+}

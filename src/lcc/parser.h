@@ -1,0 +1,113 @@
+//===- lcc/parser.h - C-subset parser and type checker ----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser and type checker producing typed intermediate
+/// trees (the lcc style: parsing, name resolution, and type checking in
+/// one pass). Also provides the expression-mode entry point the expression
+/// server uses: when an identifier is not in the server's symbol table, a
+/// resolver callback reconstructs it on the fly from information the
+/// debugger sends back (paper Sec 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_PARSER_H
+#define LDB_LCC_PARSER_H
+
+#include "lcc/ast.h"
+#include "lcc/lexer.h"
+#include "support/error.h"
+
+#include <functional>
+#include <map>
+
+namespace ldb::lcc {
+
+/// Looks up an identifier the parser cannot resolve; returns nullptr if
+/// the name is genuinely unknown. Used only in expression mode.
+using SymbolResolver = std::function<CSymbol *(const std::string &)>;
+
+class Parser {
+public:
+  /// Parses a whole compilation unit.
+  static Expected<std::unique_ptr<Unit>>
+  parseUnit(const std::string &Source, const std::string &FileName,
+            bool TargetHasF80);
+
+  /// Parses and type-checks a single expression against symbols provided
+  /// by \p Resolve. \p SymbolOwner owns any symbols the resolver creates;
+  /// its type pool supplies types.
+  static Expected<ExprPtr> parseExpression(const std::string &Text,
+                                           Unit &SymbolOwner,
+                                           SymbolResolver Resolve);
+
+private:
+  Parser(const std::string &Source, const std::string &FileName, Unit &U);
+
+  // Token plumbing.
+  void advance();
+  bool at(Tok K) const { return Cur.Kind == K; }
+  bool accept(Tok K);
+  bool expect(Tok K, const char *What);
+  void error(const std::string &Msg);
+
+  // Scopes and stopping points.
+  void pushScope();
+  void popScope();
+  CSymbol *lookupSymbol(const std::string &Name);
+  CSymbol *declare(const std::string &Name, const CType *Ty, Storage Sto,
+                   int Line, int Col);
+  int newStop(int Line, int Col);
+
+  // Declarations.
+  bool parseTopLevel();
+  const CType *parseTypeSpec(bool *SawType = nullptr);
+  const CType *parseDeclarator(const CType *Base, std::string &Name,
+                               std::vector<const CType *> *ParamTypes,
+                               std::vector<std::string> *ParamNames);
+  void parseGlobalInit(CSymbol *Sym);
+  void parseFunctionBody(CSymbol *FnSym,
+                         const std::vector<const CType *> &ParamTypes,
+                         const std::vector<std::string> &ParamNames);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseCompound();
+  StmtPtr parseLocalDecl();
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseAssign();
+  ExprPtr parseCond();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  // Semantic helpers.
+  ExprPtr decay(ExprPtr E);
+  ExprPtr convert(ExprPtr E, const CType *To);
+  const CType *usualArith(const CType *A, const CType *B);
+  ExprPtr checkBinary(Ex Op, ExprPtr L, ExprPtr R, int Line);
+  ExprPtr cloneExpr(const Expr &E);
+  bool typesCompatible(const CType *A, const CType *B);
+
+  Lexer Lex;
+  Token Cur;
+  Unit &U;
+  std::string FirstError;
+  bool InExpressionMode = false;
+  SymbolResolver Resolver;
+
+  std::vector<std::map<std::string, CSymbol *>> Scopes;
+  CSymbol *CurrentUplink = nullptr;
+  Function *CurFn = nullptr;
+  const CType *CurReturnTy = nullptr;
+};
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_PARSER_H

@@ -1,0 +1,354 @@
+//===- lcc/pssym.cpp - PostScript symbol-table emission --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/pssym.h"
+
+#include "lcc/codegen.h"
+#include "support/strings.h"
+
+using namespace ldb;
+using namespace ldb::lcc;
+
+namespace {
+
+std::string declFor(const CType &Ty) {
+  return "(" + psEscape(Ty.declString()) + ")";
+}
+
+} // namespace
+
+std::string ldb::lcc::psTypeDict(const CType &Ty) {
+  std::string Out = "<< /decl " + declFor(Ty);
+  switch (Ty.Kind) {
+  case TyKind::Void:
+    Out += " /printer {POINTER} /size 0";
+    break;
+  case TyKind::Char:
+    Out += " /printer {CHAR} /size 1";
+    break;
+  case TyKind::Short:
+    Out += " /printer {SHORT} /size 2";
+    break;
+  case TyKind::Int:
+    Out += " /printer {INT} /size 4";
+    break;
+  case TyKind::UInt:
+    Out += " /printer {UNSIGNED} /size 4";
+    break;
+  case TyKind::Float:
+    Out += " /printer {FLOAT} /size 4";
+    break;
+  case TyKind::Double:
+    Out += " /printer {DOUBLE} /size 8";
+    break;
+  case TyKind::LongDouble:
+    Out += Ty.Size == 10 ? " /printer {LONGDOUBLE} /size 10"
+                         : " /printer {DOUBLE} /size 8";
+    break;
+  case TyKind::Ptr:
+    if (Ty.Ref->Kind == TyKind::Func)
+      Out += " /printer {FUNCPTR} /size 4";
+    else
+      Out += " /printer {POINTER} /size 4 /&pointee " + psTypeDict(*Ty.Ref);
+    break;
+  case TyKind::Array:
+    if (Ty.Ref->Kind == TyKind::Char) {
+      Out += " /printer {CHARARRAY} /size " + std::to_string(Ty.Size) +
+             " /&arraysize " + std::to_string(Ty.Size);
+    } else {
+      // The machine-dependent element size and total size are placed in
+      // the type dictionary by the compiler and used only by PostScript
+      // code like the ARRAY procedure, never by ldb proper (paper Sec 2).
+      Out += " /printer {ARRAY} /size " + std::to_string(Ty.Size) +
+             " /&elemsize " + std::to_string(Ty.Ref->Size) +
+             " /&arraysize " + std::to_string(Ty.Size) + " /&elemtype " +
+             psTypeDict(*Ty.Ref);
+    }
+    break;
+  case TyKind::Struct: {
+    Out += " /printer {STRUCT} /size " + std::to_string(Ty.Size) +
+           " /&fields [";
+    for (const StructField &F : Ty.Fields)
+      Out += " << /name (" + psEscape(F.Name) + ") /offset " +
+             std::to_string(F.Offset) + " /type " + psTypeDict(*F.Ty) +
+             " >>";
+    Out += " ]";
+    break;
+  }
+  case TyKind::Func:
+    Out += " /printer {FUNCPTR} /size 4";
+    break;
+  }
+  Out += " >>";
+  return Out;
+}
+
+namespace {
+
+class PsEmitter {
+public:
+  PsEmitter(const Unit &U, const PsSymtabOptions &Options)
+      : U(U), Opt(Options) {}
+
+  std::string run();
+
+private:
+  std::string sname(const CSymbol &Sym) const {
+    return Opt.SymbolPrefix + std::to_string(Sym.Id);
+  }
+
+  /// A reference from a lazily-read container: executable (forces the
+  /// entry at read time) when eager, a literal name when deferred.
+  std::string lazyRef(const CSymbol &Sym) const {
+    return (Opt.Deferred ? "/" : "") + sname(Sym);
+  }
+
+  /// Types are hash-consed: each distinct type dictionary is emitted once
+  /// and referenced by name, as production lcc shares type entries.
+  std::string typeRef(const CType &Ty) {
+    auto Found = TypeNames.find(&Ty);
+    if (Found != TypeNames.end())
+      return Found->second;
+    // Emit components first so the definition only references earlier
+    // names.
+    std::string Body = typeDictBody(Ty);
+    std::string Name =
+        Opt.SymbolPrefix + "T" + std::to_string(TypeNames.size());
+    TypeDefs += "/" + Name + " " + Body + " def\n";
+    TypeNames[&Ty] = Name;
+    return Name;
+  }
+
+  std::string typeDictBody(const CType &Ty);
+
+  std::map<const CType *, std::string> TypeNames;
+  std::string TypeDefs;
+
+public:
+  const std::string &typeDefinitions() const { return TypeDefs; }
+
+private:
+
+  std::string whereValue(const CSymbol &Sym) const;
+  std::string entryBody(const CSymbol &Sym);
+  std::string procExtras(const Function &Fn) const;
+  void define(std::string &Out, const CSymbol &Sym,
+              const std::string &Body) const;
+
+  const Unit &U;
+  const PsSymtabOptions &Opt;
+};
+
+std::string PsEmitter::typeDictBody(const CType &Ty) {
+  std::string Out = "<< /decl " + declFor(Ty);
+  switch (Ty.Kind) {
+  case TyKind::Void:
+    Out += " /printer {POINTER} /size 0";
+    break;
+  case TyKind::Char:
+    Out += " /printer {CHAR} /size 1";
+    break;
+  case TyKind::Short:
+    Out += " /printer {SHORT} /size 2";
+    break;
+  case TyKind::Int:
+    Out += " /printer {INT} /size 4";
+    break;
+  case TyKind::UInt:
+    Out += " /printer {UNSIGNED} /size 4";
+    break;
+  case TyKind::Float:
+    Out += " /printer {FLOAT} /size 4";
+    break;
+  case TyKind::Double:
+    Out += " /printer {DOUBLE} /size 8";
+    break;
+  case TyKind::LongDouble:
+    Out += Ty.Size == 10 ? " /printer {LONGDOUBLE} /size 10"
+                         : " /printer {DOUBLE} /size 8";
+    break;
+  case TyKind::Ptr:
+    if (Ty.Ref->Kind == TyKind::Func)
+      Out += " /printer {FUNCPTR} /size 4";
+    else
+      Out += " /printer {POINTER} /size 4 /&pointee " + typeRef(*Ty.Ref);
+    break;
+  case TyKind::Array:
+    if (Ty.Ref->Kind == TyKind::Char) {
+      Out += " /printer {CHARARRAY} /size " + std::to_string(Ty.Size) +
+             " /&arraysize " + std::to_string(Ty.Size);
+    } else {
+      Out += " /printer {ARRAY} /size " + std::to_string(Ty.Size) +
+             " /&elemsize " + std::to_string(Ty.Ref->Size) +
+             " /&arraysize " + std::to_string(Ty.Size) + " /&elemtype " +
+             typeRef(*Ty.Ref);
+    }
+    break;
+  case TyKind::Struct: {
+    Out += " /printer {STRUCT} /size " + std::to_string(Ty.Size) +
+           " /&fields [";
+    for (const StructField &F : Ty.Fields)
+      Out += " << /name (" + psEscape(F.Name) + ") /offset " +
+             std::to_string(F.Offset) + " /type " + typeRef(*F.Ty) + " >>";
+    Out += " ]";
+    break;
+  }
+  case TyKind::Func:
+    Out += " /printer {FUNCPTR} /size 4";
+    break;
+  }
+  Out += " >>";
+  return Out;
+}
+
+std::string PsEmitter::whereValue(const CSymbol &Sym) const {
+  switch (Sym.Sto) {
+  case Storage::Local:
+  case Storage::Param:
+    if (Sym.InRegister)
+      return std::to_string(Sym.RegNum) + " Regset0 Absolute";
+    return std::to_string(Sym.FrameOffset) + " Locals Absolute";
+  case Storage::Static:
+  case Storage::Global:
+    // Computed at debug time via the unit's anchor symbol: LazyData gets
+    // the anchor's address from the linker interface and fetches the
+    // variable's address from the AnchorIndex-th word after it.
+    return "{(" + psEscape(U.AnchorName) + ") " +
+           std::to_string(Sym.AnchorIndex) + " LazyData}";
+  case Storage::Func:
+    return std::string();
+  }
+  return std::string();
+}
+
+std::string PsEmitter::entryBody(const CSymbol &Sym) {
+  std::string Out = "<< /name (" + psEscape(Sym.Name) + ")";
+  Out += "\n   /type " + typeRef(*Sym.Ty);
+  Out += "\n   /sourcefile (" + psEscape(Sym.SourceFile) + ")";
+  Out += " /sourcey " + std::to_string(Sym.Line);
+  Out += " /sourcex " + std::to_string(Sym.Col);
+  Out += "\n   /kind (" +
+         std::string(Sym.Sto == Storage::Func ? "procedure" : "variable") +
+         ")";
+  std::string Where = whereValue(Sym);
+  if (!Where.empty())
+    Out += "\n   /where " + Where;
+  if (Sym.Uplink)
+    Out += "\n   /uplink " + sname(*Sym.Uplink);
+
+  if (Sym.Sto == Storage::Func) {
+    for (const auto &Fn : U.Functions)
+      if (Fn->Sym == &Sym)
+        Out += procExtras(*Fn);
+  }
+  Out += " >>";
+  return Out;
+}
+
+std::string PsEmitter::procExtras(const Function &Fn) const {
+  std::string Out;
+  // formals: the entry for the last parameter (the uplink chain walks the
+  // rest).
+  if (!Fn.Params.empty())
+    Out += "\n   /formals " + sname(*Fn.Params.back());
+  // The stopping-point array: source location, object location (a byte
+  // offset from the procedure's entry), and the visible symbol chain.
+  Out += "\n   /loci [";
+  for (const StopPoint &P : Fn.Stops) {
+    Out += "\n     [ " + std::to_string(P.Line) + " " +
+           std::to_string(P.CodeOffset) + " " +
+           (P.Visible ? sname(*P.Visible) : "null") + " ]";
+  }
+  Out += " ]";
+  // Statics of this compilation unit, for name resolution from this
+  // procedure: one dictionary shared by every procedure entry.
+  Out += "\n   /statics " + Opt.SymbolPrefix + "statics";
+  // Machine-dependent stack-walking data, ignored by most of ldb but used
+  // by the machine-dependent frame code (the paper's 68020 register-save
+  // masks).
+  Out += "\n   /framesize " + std::to_string(Fn.FrameSize);
+  Out += " /savemask " + std::to_string(Fn.SaveMask);
+  Out += " /saveoffset " + std::to_string(Fn.SaveAreaOffset);
+  return Out;
+}
+
+void PsEmitter::define(std::string &Out, const CSymbol &Sym,
+                       const std::string &Body) const {
+  if (Opt.Deferred) {
+    // Deferred lexing: the body is scanned as a string (bracket matching
+    // only) and lexed when the entry is first executed.
+    Out += "(" + sname(Sym) + ") (" + Body + ") DeferDef\n";
+  } else {
+    Out += "/" + sname(Sym) + " " + Body + " def\n";
+  }
+}
+
+std::string PsEmitter::run() {
+  std::string Out;
+
+  // Data entries first, in id order (uplinks always reference earlier
+  // entries); procedure entries last, because their loci, formals, and
+  // statics refer to symbols declared inside their bodies.
+  for (const auto &SymPtr : U.AllSymbols) {
+    const CSymbol &Sym = *SymPtr;
+    if (Sym.Sto == Storage::Func)
+      continue;
+    define(Out, Sym, entryBody(Sym));
+  }
+  // The unit's statics dictionary, shared by every procedure entry.
+  Out += "/" + Opt.SymbolPrefix + "statics <<";
+  for (const CSymbol *G : U.Globals)
+    if (G->Sto == Storage::Static)
+      Out += " /" + G->Name + " " + lazyRef(*G);
+  Out += " >> def\n";
+
+  for (const auto &SymPtr : U.AllSymbols) {
+    const CSymbol &Sym = *SymPtr;
+    if (Sym.Sto != Storage::Func)
+      continue;
+    if (Sym.Name == "printf" && !Sym.Defined)
+      continue; // the builtin has no entry
+    define(Out, Sym, entryBody(Sym));
+  }
+
+  // The top-level dictionary (paper Sec 2): procedures, externs, the
+  // source map, anchors, and the architecture, which ldb uses at debug
+  // time to find its machine-dependent code and data.
+  Out += "/" + Opt.TopLevelName + " <<\n  /procs [";
+  for (const auto &Fn : U.Functions)
+    Out += " " + lazyRef(*Fn->Sym);
+  Out += " ]\n  /externs <<";
+  for (const auto &SymPtr : U.AllSymbols) {
+    const CSymbol &Sym = *SymPtr;
+    bool Extern = (Sym.Sto == Storage::Global ||
+                   (Sym.Sto == Storage::Func && Sym.Defined));
+    if (Extern)
+      Out += " /" + Sym.Name + " " + lazyRef(Sym);
+  }
+  Out += " >>\n  /sourcemap << /" + U.FileName + " [";
+  for (const auto &Fn : U.Functions)
+    Out += " " + lazyRef(*Fn->Sym);
+  if (U.NextAnchorIndex > 0)
+    Out += " ] >>\n  /anchors [ /" + U.AnchorName + " ]\n";
+  else
+    Out += " ] >>\n  /anchors [ ]\n";
+  Out += "  /architecture (" + Opt.Architecture + ")\n>> def\n";
+  return Out;
+}
+
+} // namespace
+
+std::string ldb::lcc::emitPsSymtab(const Unit &U,
+                                   const PsSymtabOptions &Options) {
+  PsEmitter E(U, Options);
+  std::string Entries = E.run();
+  // Shared type dictionaries first (entries reference them by name), then
+  // the entries and the top-level dictionary.
+  std::string Out = "% PostScript symbol table for " + U.FileName + "\n";
+  Out += E.typeDefinitions();
+  Out += Entries;
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- lcc/pssym.h - PostScript symbol-table emission -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits machine-independent symbol tables represented by PostScript
+/// programs (paper Sec 2). Symbol tables contain code as well as data:
+/// type dictionaries carry /printer procedures ldb interprets to print
+/// values, so ldb need not know the layout of runtime data structures;
+/// where-values are locations or procedures evaluated at debug time (the
+/// anchor-symbol technique for statics and globals).
+///
+/// The deferred format quotes each entry body in parentheses so the
+/// scanner merely matches brackets at read time; the entry is lexed only
+/// if it is ever used (the Sec 5 deferral technique, 40% faster reads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_PSSYM_H
+#define LDB_LCC_PSSYM_H
+
+#include "lcc/ast.h"
+
+#include <string>
+
+namespace ldb::lcc {
+
+struct PsSymtabOptions {
+  bool Deferred = false;      ///< quote entry bodies in strings
+  std::string Architecture;   ///< /architecture value in the top level
+  std::string SymbolPrefix = "S"; ///< entries are named <prefix><id>
+  std::string TopLevelName = "symtab"; ///< the top-level dict's binding
+};
+
+/// The PostScript text for one unit's symbols plus its top-level
+/// dictionary bound to /symtab. Assumes code generation has run (register
+/// assignments and stop offsets are in place).
+std::string emitPsSymtab(const Unit &U, const PsSymtabOptions &Options);
+
+/// The PostScript fragment of a type dictionary (exposed for tests).
+std::string psTypeDict(const CType &Ty);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_PSSYM_H

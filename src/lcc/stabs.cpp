@@ -1,0 +1,205 @@
+//===- lcc/stabs.cpp - dbx-style binary symbol tables ----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcc/stabs.h"
+
+#include "support/byteorder.h"
+
+using namespace ldb;
+using namespace ldb::lcc;
+
+namespace {
+
+enum TypeTag : uint8_t {
+  TagVoid = 0,
+  TagChar,
+  TagShort,
+  TagInt,
+  TagUInt,
+  TagFloat,
+  TagDouble,
+  TagLongDouble,
+  TagPtr = 0x10,
+  TagArray = 0x11,
+  TagStruct = 0x12,
+  TagFunc = 0x13,
+};
+
+void encodeType(const CType &Ty, std::vector<uint8_t> &Out) {
+  switch (Ty.Kind) {
+  case TyKind::Void:
+    Out.push_back(TagVoid);
+    return;
+  case TyKind::Char:
+    Out.push_back(TagChar);
+    return;
+  case TyKind::Short:
+    Out.push_back(TagShort);
+    return;
+  case TyKind::Int:
+    Out.push_back(TagInt);
+    return;
+  case TyKind::UInt:
+    Out.push_back(TagUInt);
+    return;
+  case TyKind::Float:
+    Out.push_back(TagFloat);
+    return;
+  case TyKind::Double:
+    Out.push_back(TagDouble);
+    return;
+  case TyKind::LongDouble:
+    Out.push_back(TagLongDouble);
+    return;
+  case TyKind::Ptr:
+    Out.push_back(TagPtr);
+    encodeType(*Ty.Ref, Out);
+    return;
+  case TyKind::Array: {
+    Out.push_back(TagArray);
+    uint8_t Len[2];
+    packInt(Ty.ArrayLen, Len, 2, ByteOrder::Little);
+    Out.insert(Out.end(), Len, Len + 2);
+    encodeType(*Ty.Ref, Out);
+    return;
+  }
+  case TyKind::Struct: {
+    Out.push_back(TagStruct);
+    Out.push_back(static_cast<uint8_t>(Ty.Fields.size()));
+    for (const StructField &F : Ty.Fields) {
+      Out.push_back(static_cast<uint8_t>(F.Name.size()));
+      Out.insert(Out.end(), F.Name.begin(), F.Name.end());
+      uint8_t Off[2];
+      packInt(F.Offset, Off, 2, ByteOrder::Little);
+      Out.insert(Out.end(), Off, Off + 2);
+      encodeType(*F.Ty, Out);
+    }
+    return;
+  }
+  case TyKind::Func:
+    Out.push_back(TagFunc);
+    encodeType(*Ty.Ref, Out);
+    return;
+  }
+}
+
+/// Skips one encoded type, returning false on truncation.
+bool skipType(const std::vector<uint8_t> &Bytes, size_t &Pos) {
+  if (Pos >= Bytes.size())
+    return false;
+  uint8_t Tag = Bytes[Pos++];
+  switch (Tag) {
+  case TagPtr:
+  case TagFunc:
+    return skipType(Bytes, Pos);
+  case TagArray:
+    Pos += 2;
+    return Pos <= Bytes.size() && skipType(Bytes, Pos);
+  case TagStruct: {
+    if (Pos >= Bytes.size())
+      return false;
+    uint8_t N = Bytes[Pos++];
+    for (uint8_t K = 0; K < N; ++K) {
+      if (Pos >= Bytes.size())
+        return false;
+      uint8_t NameLen = Bytes[Pos++];
+      Pos += NameLen + 2u;
+      if (Pos > Bytes.size() || !skipType(Bytes, Pos))
+        return false;
+    }
+    return true;
+  }
+  default:
+    return Tag <= TagLongDouble;
+  }
+}
+
+void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  uint8_t Raw[2];
+  packInt(V, Raw, 2, ByteOrder::Little);
+  Out.insert(Out.end(), Raw, Raw + 2);
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  uint8_t Raw[4];
+  packInt(V, Raw, 4, ByteOrder::Little);
+  Out.insert(Out.end(), Raw, Raw + 4);
+}
+
+} // namespace
+
+std::vector<uint8_t> ldb::lcc::emitStabs(const Unit &U) {
+  std::vector<uint8_t> Out = {'S', 'T', 'A', 'B'};
+  uint32_t Count = 0;
+  size_t CountAt = Out.size();
+  putU32(Out, 0); // patched below
+
+  for (const auto &SymPtr : U.AllSymbols) {
+    const CSymbol &Sym = *SymPtr;
+    if (Sym.Name == "printf" && !Sym.Defined)
+      continue;
+    Out.push_back(Sym.Sto == Storage::Func    ? 1
+                  : Sym.Sto == Storage::Param ? 2
+                                              : 0);
+    Out.push_back(static_cast<uint8_t>(Sym.Name.size()));
+    Out.insert(Out.end(), Sym.Name.begin(), Sym.Name.end());
+    encodeType(*Sym.Ty, Out);
+    putU16(Out, static_cast<uint16_t>(Sym.Line));
+    if (Sym.InRegister) {
+      Out.push_back(1);
+      putU32(Out, static_cast<uint32_t>(Sym.RegNum));
+    } else if (Sym.AnchorIndex >= 0) {
+      Out.push_back(2);
+      putU32(Out, static_cast<uint32_t>(Sym.AnchorIndex));
+    } else {
+      Out.push_back(0);
+      putU32(Out, static_cast<uint32_t>(Sym.FrameOffset));
+    }
+    ++Count;
+  }
+  packInt(Count, Out.data() + CountAt, 4, ByteOrder::Little);
+  return Out;
+}
+
+Expected<std::vector<Stab>>
+ldb::lcc::readStabs(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 8 || Bytes[0] != 'S' || Bytes[1] != 'T' ||
+      Bytes[2] != 'A' || Bytes[3] != 'B')
+    return Error::failure("not a stabs blob");
+  uint32_t Count =
+      static_cast<uint32_t>(unpackInt(Bytes.data() + 4, 4,
+                                      ByteOrder::Little));
+  std::vector<Stab> Stabs;
+  Stabs.reserve(Count);
+  size_t Pos = 8;
+  for (uint32_t K = 0; K < Count; ++K) {
+    Stab S;
+    if (Pos + 2 > Bytes.size())
+      return Error::failure("truncated stabs");
+    S.Kind = Bytes[Pos++];
+    uint8_t NameLen = Bytes[Pos++];
+    if (Pos + NameLen > Bytes.size())
+      return Error::failure("truncated stabs name");
+    S.Name.assign(reinterpret_cast<const char *>(Bytes.data() + Pos),
+                  NameLen);
+    Pos += NameLen;
+    size_t TypeStart = Pos;
+    if (!skipType(Bytes, Pos))
+      return Error::failure("malformed stabs type");
+    S.TypeCode.assign(Bytes.begin() + TypeStart, Bytes.begin() + Pos);
+    if (Pos + 7 > Bytes.size())
+      return Error::failure("truncated stabs record");
+    S.Line = static_cast<uint16_t>(
+        unpackInt(Bytes.data() + Pos, 2, ByteOrder::Little));
+    Pos += 2;
+    S.LocKind = Bytes[Pos++];
+    S.Value = static_cast<int32_t>(
+        unpackInt(Bytes.data() + Pos, 4, ByteOrder::Little));
+    Pos += 4;
+    Stabs.push_back(std::move(S));
+  }
+  return Stabs;
+}

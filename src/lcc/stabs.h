@@ -1,0 +1,46 @@
+//===- lcc/stabs.h - dbx-style binary symbol tables -------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline symbol-table format: compact machine-dependent binary
+/// "stabs" of the kind production lcc emits for dbx and gdb. The paper
+/// compares against it twice: PostScript symbol tables are about 9x
+/// larger raw (about 2x after compression), and dbx/gdb read their
+/// symbols several times faster than ldb reads PostScript (Sec 7). The
+/// reader here plays dbx's part in the timing bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_LCC_STABS_H
+#define LDB_LCC_STABS_H
+
+#include "lcc/ast.h"
+#include "support/error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ldb::lcc {
+
+/// One decoded stab.
+struct Stab {
+  uint8_t Kind = 0; ///< 0 variable, 1 procedure, 2 parameter
+  std::string Name;
+  std::vector<uint8_t> TypeCode; ///< compact recursive encoding
+  uint16_t Line = 0;
+  uint8_t LocKind = 0; ///< 0 frame offset, 1 register, 2 anchor index
+  int32_t Value = 0;
+};
+
+/// Emits binary stabs for \p U.
+std::vector<uint8_t> emitStabs(const Unit &U);
+
+/// Parses stabs back (the "dbx reads a.out" step).
+Expected<std::vector<Stab>> readStabs(const std::vector<uint8_t> &Bytes);
+
+} // namespace ldb::lcc
+
+#endif // LDB_LCC_STABS_H

@@ -1,0 +1,69 @@
+//===- mem/location.h - abstract memory locations --------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locations within an abstract memory (paper Sec 4.1). An abstract memory
+/// is a collection of spaces denoted by lower-case letters; a location is a
+/// space plus an integer offset, with an addressing mode. Fetches that use
+/// the immediate mode return the offset itself as the value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_LOCATION_H
+#define LDB_MEM_LOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace ldb::mem {
+
+/// Space letters used by every target. Targets may add more; these are the
+/// ones ldb itself assumes (code and data) plus the conventional ones the
+/// MIPS port introduced (paper Sec 4.1) and the frame-local space.
+enum Space : char {
+  SpCode = 'c',   ///< instructions
+  SpData = 'd',   ///< data, stack, contexts
+  SpGpr = 'r',    ///< general-purpose registers
+  SpFpr = 'f',    ///< floating-point registers
+  SpExtra = 'x',  ///< extra registers: x0 = pc, x1 = virtual frame pointer
+  SpLocal = 'l',  ///< frame locals, offsets relative to the virtual frame
+                  ///< pointer; resolved per-frame by an alias memory
+};
+
+enum class AddrMode : uint8_t {
+  Absolute,  ///< offset addresses a cell within the space
+  Immediate, ///< the offset *is* the value
+};
+
+struct Location {
+  char Space = SpData;
+  int64_t Offset = 0;
+  AddrMode Mode = AddrMode::Absolute;
+
+  static Location absolute(char Space, int64_t Offset) {
+    return Location{Space, Offset, AddrMode::Absolute};
+  }
+  static Location immediate(int64_t Value) {
+    return Location{'i', Value, AddrMode::Immediate};
+  }
+
+  /// Returns a location \p Bytes further into the same space (the PostScript
+  /// Shifted operator).
+  Location shifted(int64_t Bytes) const {
+    return Location{Space, Offset + Bytes, Mode};
+  }
+
+  bool operator==(const Location &O) const {
+    return Space == O.Space && Offset == O.Offset && Mode == O.Mode;
+  }
+
+  /// Renders e.g. "r:30", "d:0x23d8", or "imm:42" for diagnostics.
+  std::string str() const;
+};
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_LOCATION_H

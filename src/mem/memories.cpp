@@ -1,0 +1,299 @@
+//===- mem/memories.cpp - the memory DAG building blocks -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/memories.h"
+
+#include <cassert>
+
+using namespace ldb;
+using namespace ldb::mem;
+
+Memory::~Memory() = default;
+
+std::string Location::str() const {
+  if (Mode == AddrMode::Immediate)
+    return "imm:" + std::to_string(Offset);
+  return std::string(1, Space) + ":" + std::to_string(Offset);
+}
+
+namespace {
+
+/// Immediate-mode fetches return the offset itself (paper Sec 4.1); stores
+/// to immediate locations are always errors.
+bool fetchImmediate(Location Loc, uint64_t &Value) {
+  if (Loc.Mode != AddrMode::Immediate)
+    return false;
+  Value = static_cast<uint64_t>(Loc.Offset);
+  return true;
+}
+
+Error immediateStoreError() {
+  return Error::failure("cannot store to an immediate location");
+}
+
+} // namespace
+
+Error Memory::fetchFloat(Location Loc, unsigned Size, long double &Value) {
+  // Default path for memories whose cells are value-addressable through
+  // fetchInt: reassemble the float from its bit pattern. Only 4-byte floats
+  // can travel through the 32-bit integer path.
+  if (Size != 4)
+    return Error::failure("this memory cannot fetch " +
+                          std::to_string(Size) + "-byte floats");
+  uint64_t Bits;
+  if (Error E = fetchInt(Loc, 4, Bits))
+    return E;
+  uint8_t Raw[4];
+  packInt(Bits, Raw, 4, ByteOrder::Little);
+  Value = unpackF32(Raw, ByteOrder::Little);
+  return Error::success();
+}
+
+Error Memory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  if (Size != 4)
+    return Error::failure("this memory cannot store " +
+                          std::to_string(Size) + "-byte floats");
+  uint8_t Raw[4];
+  packF32(static_cast<float>(Value), Raw, ByteOrder::Little);
+  return storeInt(Loc, 4, unpackInt(Raw, 4, ByteOrder::Little));
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMemory
+//===----------------------------------------------------------------------===//
+
+void FlatMemory::addSpace(char Space, size_t Size) {
+  std::vector<uint8_t> &Bytes = Spaces[Space];
+  if (Bytes.size() < Size)
+    Bytes.resize(Size, 0);
+}
+
+Error FlatMemory::bytesAt(Location Loc, unsigned Size, uint8_t *&Ptr) {
+  auto It = Spaces.find(Loc.Space);
+  if (It == Spaces.end())
+    return Error::failure("no such space '" + std::string(1, Loc.Space) +
+                          "' in flat memory");
+  if (Loc.Offset < 0 ||
+      static_cast<uint64_t>(Loc.Offset) + Size > It->second.size())
+    return Error::failure("address " + Loc.str() + " out of range");
+  Ptr = It->second.data() + Loc.Offset;
+  return Error::success();
+}
+
+Error FlatMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (fetchImmediate(Loc, Value))
+    return Error::success();
+  assert(isIntSize(Size) && "bad integer size");
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, Size, Ptr))
+    return E;
+  Value = unpackInt(Ptr, Size, Order);
+  return Error::success();
+}
+
+Error FlatMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  assert(isIntSize(Size) && "bad integer size");
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, Size, Ptr))
+    return E;
+  packInt(Value, Ptr, Size, Order);
+  return Error::success();
+}
+
+Error FlatMemory::fetchFloat(Location Loc, unsigned Size, long double &Value) {
+  assert(isFloatSize(Size) && "bad float size");
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, Size, Ptr))
+    return E;
+  switch (Size) {
+  case 4:
+    Value = unpackF32(Ptr, Order);
+    break;
+  case 8:
+    Value = unpackF64(Ptr, Order);
+    break;
+  default:
+    Value = unpackF80(Ptr, Order);
+  }
+  return Error::success();
+}
+
+Error FlatMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  assert(isFloatSize(Size) && "bad float size");
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, Size, Ptr))
+    return E;
+  switch (Size) {
+  case 4:
+    packF32(static_cast<float>(Value), Ptr, Order);
+    break;
+  case 8:
+    packF64(static_cast<double>(Value), Ptr, Order);
+    break;
+  default:
+    packF80(Value, Ptr, Order);
+  }
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// AliasMemory
+//===----------------------------------------------------------------------===//
+
+void AliasMemory::addAlias(char Space, int64_t Offset, Location Target) {
+  Aliases[{Space, Offset}] = Target;
+}
+
+void AliasMemory::addRebase(char Space, char TargetSpace, int64_t Delta) {
+  Rebases[Space] = Rebase{TargetSpace, Delta};
+}
+
+bool AliasMemory::translate(Location Loc, Location &Out) const {
+  auto It = Aliases.find({Loc.Space, Loc.Offset});
+  if (It != Aliases.end()) {
+    Out = It->second;
+    return true;
+  }
+  auto RIt = Rebases.find(Loc.Space);
+  if (RIt != Rebases.end()) {
+    Out = Location::absolute(RIt->second.TargetSpace,
+                             Loc.Offset + RIt->second.Delta);
+    return true;
+  }
+  Out = Loc;
+  return false;
+}
+
+Error AliasMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (fetchImmediate(Loc, Value))
+    return Error::success();
+  Location Target;
+  translate(Loc, Target);
+  if (fetchImmediate(Target, Value))
+    return Error::success();
+  return Under->fetchInt(Target, Size, Value);
+}
+
+Error AliasMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  Location Target;
+  translate(Loc, Target);
+  if (Target.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  return Under->storeInt(Target, Size, Value);
+}
+
+Error AliasMemory::fetchFloat(Location Loc, unsigned Size,
+                              long double &Value) {
+  Location Target;
+  translate(Loc, Target);
+  return Under->fetchFloat(Target, Size, Value);
+}
+
+Error AliasMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  Location Target;
+  translate(Loc, Target);
+  if (Target.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  return Under->storeFloat(Target, Size, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// RegisterMemory
+//===----------------------------------------------------------------------===//
+
+Error RegisterMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (fetchImmediate(Loc, Value))
+    return Error::success();
+  if (!isRegisterSpace(Loc.Space) || Size == 4)
+    return Under->fetchInt(Loc, Size, Value);
+  // Subword register fetch: fetch the whole register, then return only the
+  // least significant bits; byte order never enters the picture.
+  uint64_t Word;
+  if (Error E = Under->fetchInt(Loc, 4, Word))
+    return E;
+  Value = Word & ((uint64_t(1) << (8 * Size)) - 1);
+  return Error::success();
+}
+
+Error RegisterMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  if (!isRegisterSpace(Loc.Space) || Size == 4)
+    return Under->storeInt(Loc, Size, Value);
+  uint64_t Word;
+  if (Error E = Under->fetchInt(Loc, 4, Word))
+    return E;
+  uint64_t Mask = (uint64_t(1) << (8 * Size)) - 1;
+  Word = (Word & ~Mask) | (Value & Mask);
+  return Under->storeInt(Loc, 4, Word);
+}
+
+Error RegisterMemory::fetchFloat(Location Loc, unsigned Size,
+                                 long double &Value) {
+  return Under->fetchFloat(Loc, Size, Value);
+}
+
+Error RegisterMemory::storeFloat(Location Loc, unsigned Size,
+                                 long double Value) {
+  return Under->storeFloat(Loc, Size, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// JoinedMemory
+//===----------------------------------------------------------------------===//
+
+void JoinedMemory::join(const std::string &Spaces, MemoryRef M) {
+  for (char Space : Spaces)
+    Routes[Space] = M;
+}
+
+Error JoinedMemory::route(char Space, MemoryRef &Out) {
+  auto It = Routes.find(Space);
+  if (It == Routes.end())
+    return Error::failure("no memory joined for space '" +
+                          std::string(1, Space) + "'");
+  Out = It->second;
+  return Error::success();
+}
+
+Error JoinedMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (fetchImmediate(Loc, Value))
+    return Error::success();
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->fetchInt(Loc, Size, Value);
+}
+
+Error JoinedMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->storeInt(Loc, Size, Value);
+}
+
+Error JoinedMemory::fetchFloat(Location Loc, unsigned Size,
+                               long double &Value) {
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->fetchFloat(Loc, Size, Value);
+}
+
+Error JoinedMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->storeFloat(Loc, Size, Value);
+}

@@ -1,0 +1,136 @@
+//===- mem/memories.h - the memory DAG building blocks ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-memory instances that form the per-frame DAG of Fig 4:
+///
+///   joined -> register -> alias -> wire -> nub
+///        \______________________/
+///
+/// * FlatMemory: host-side byte storage per space (used for tests and for
+///   debugger-side scratch such as saved contexts in unit tests).
+/// * AliasMemory: translates register-space locations into code/data (or
+///   immediate) locations; also rebases whole spaces (frame-local space 'l'
+///   onto the data space at the virtual frame pointer).
+/// * RegisterMemory: turns subword register accesses into full-word
+///   operations on the underlying memory so target byte order is
+///   irrelevant to the debugger (paper Sec 4.1).
+/// * JoinedMemory: routes each space to an underlying memory; this is the
+///   instance presented to the rest of the debugger for a stack frame.
+///
+/// All memories return immediate-mode fetches directly (the offset is the
+/// value) and refuse immediate-mode stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_MEMORIES_H
+#define LDB_MEM_MEMORIES_H
+
+#include "mem/memory.h"
+#include "support/byteorder.h"
+
+#include <map>
+#include <vector>
+
+namespace ldb::mem {
+
+/// Byte storage for a set of spaces, with a byte order; the test-suite
+/// stand-in for real target memory and a convenient backing store.
+class FlatMemory : public Memory {
+public:
+  explicit FlatMemory(ByteOrder Order) : Order(Order) {}
+
+  /// Creates (or grows) storage for \p Space to at least \p Size bytes.
+  void addSpace(char Space, size_t Size);
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+
+  ByteOrder byteOrder() const { return Order; }
+
+private:
+  Error bytesAt(Location Loc, unsigned Size, uint8_t *&Ptr);
+
+  ByteOrder Order;
+  std::map<char, std::vector<uint8_t>> Spaces;
+};
+
+/// Translates aliased locations, then forwards everything to an underlying
+/// memory. Machine-independent code manipulating machine-dependent data:
+/// only the alias table differs between targets.
+class AliasMemory : public Memory {
+public:
+  explicit AliasMemory(MemoryRef Under) : Under(std::move(Under)) {}
+
+  /// Makes (Space, Offset) an alias for \p Target (which may be immediate).
+  void addAlias(char Space, int64_t Offset, Location Target);
+
+  /// Rebases all of \p Space onto \p TargetSpace at \p Delta: location
+  /// (Space, o) becomes (TargetSpace, o + Delta). Used for the frame-local
+  /// space, whose delta is the virtual frame pointer.
+  void addRebase(char Space, char TargetSpace, int64_t Delta);
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+
+  /// Exposes the translation for reuse when a caller's frame shares
+  /// register aliases with its callee (paper Sec 4.1).
+  bool translate(Location Loc, Location &Out) const;
+
+private:
+  struct Rebase {
+    char TargetSpace;
+    int64_t Delta;
+  };
+  MemoryRef Under;
+  std::map<std::pair<char, int64_t>, Location> Aliases;
+  std::map<char, Rebase> Rebases;
+};
+
+/// Widens subword accesses to register spaces into full-word operations so
+/// the same debugger code runs against little- and big-endian targets.
+class RegisterMemory : public Memory {
+public:
+  RegisterMemory(MemoryRef Under, std::string RegisterSpaces)
+      : Under(std::move(Under)), RegisterSpaces(std::move(RegisterSpaces)) {}
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+
+private:
+  bool isRegisterSpace(char Space) const {
+    return RegisterSpaces.find(Space) != std::string::npos;
+  }
+
+  MemoryRef Under;
+  std::string RegisterSpaces;
+};
+
+/// Routes each space to one of several underlying memories.
+class JoinedMemory : public Memory {
+public:
+  void join(const std::string &Spaces, MemoryRef M);
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+
+private:
+  Error route(char Space, MemoryRef &Out);
+
+  std::map<char, MemoryRef> Routes;
+};
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_MEMORIES_H

@@ -1,0 +1,61 @@
+//===- mem/memory.h - the abstract memory class -----------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract memory class (paper Sec 4.1). Abstract memories represent
+/// the registers and memory of a target process. Given a memory and a
+/// location, ldb can fetch and store three sizes of integers (8, 16, and 32
+/// bits) and three sizes of floating-point values (32, 64, and 80 bits).
+/// Instances are combined into a per-frame DAG (Fig 4) by the classes in
+/// mem/memories.h and the frame code in core/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_MEMORY_H
+#define LDB_MEM_MEMORY_H
+
+#include "mem/location.h"
+#include "support/error.h"
+
+#include <memory>
+
+namespace ldb::mem {
+
+/// Abstract base for all memories in the DAG. Integer values travel
+/// zero-extended in a uint64_t; floating values travel as long double
+/// (which can represent all three target float sizes exactly).
+class Memory {
+public:
+  virtual ~Memory();
+
+  /// Fetches a \p Size-byte integer (Size is 1, 2, or 4) at \p Loc.
+  virtual Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) = 0;
+
+  /// Stores the low \p Size bytes of \p Value at \p Loc.
+  virtual Error storeInt(Location Loc, unsigned Size, uint64_t Value) = 0;
+
+  /// Fetches a \p Size-byte float (Size is 4, 8, or 10) at \p Loc.
+  virtual Error fetchFloat(Location Loc, unsigned Size, long double &Value);
+
+  /// Stores \p Value as a \p Size-byte float at \p Loc.
+  virtual Error storeFloat(Location Loc, unsigned Size, long double Value);
+};
+
+using MemoryRef = std::shared_ptr<Memory>;
+
+/// Checks that \p Size is a legal integer access width.
+inline bool isIntSize(unsigned Size) {
+  return Size == 1 || Size == 2 || Size == 4;
+}
+
+/// Checks that \p Size is a legal float access width.
+inline bool isFloatSize(unsigned Size) {
+  return Size == 4 || Size == 8 || Size == 10;
+}
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_MEMORY_H

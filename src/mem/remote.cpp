@@ -1,0 +1,55 @@
+//===- mem/remote.cpp - the wire memory ----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/remote.h"
+
+using namespace ldb;
+using namespace ldb::mem;
+
+RemoteEndpoint::~RemoteEndpoint() = default;
+
+Error WireMemory::checkAddr(Location Loc, uint32_t &Addr) {
+  if (Loc.Offset < 0 || Loc.Offset > UINT32_MAX)
+    return Error::failure("remote address " + Loc.str() + " out of range");
+  Addr = static_cast<uint32_t>(Loc.Offset);
+  return Error::success();
+}
+
+Error WireMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (Loc.Mode == AddrMode::Immediate) {
+    Value = static_cast<uint64_t>(Loc.Offset);
+    return Error::success();
+  }
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteFetchInt(Loc.Space, Addr, Size, Value);
+}
+
+Error WireMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot store to an immediate location");
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteStoreInt(Loc.Space, Addr, Size, Value);
+}
+
+Error WireMemory::fetchFloat(Location Loc, unsigned Size, long double &Value) {
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteFetchFloat(Loc.Space, Addr, Size, Value);
+}
+
+Error WireMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot store to an immediate location");
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteStoreFloat(Loc.Space, Addr, Size, Value);
+}

@@ -1,0 +1,57 @@
+//===- mem/remote.h - the wire memory --------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire: an abstract memory that holds a connection to the nub and
+/// forwards fetch and store requests to it (paper Sec 4.1, Fig 4). The
+/// connection itself is behind the RemoteEndpoint interface so this library
+/// stays independent of the protocol implementation (ldb_nub provides the
+/// endpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_REMOTE_H
+#define LDB_MEM_REMOTE_H
+
+#include "mem/memory.h"
+
+namespace ldb::mem {
+
+/// What the wire needs from a nub connection. The nub can respond to
+/// requests only for locations in the code and data spaces.
+class RemoteEndpoint {
+public:
+  virtual ~RemoteEndpoint();
+
+  virtual Error remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
+                               uint64_t &Value) = 0;
+  virtual Error remoteStoreInt(char Space, uint32_t Addr, unsigned Size,
+                               uint64_t Value) = 0;
+  virtual Error remoteFetchFloat(char Space, uint32_t Addr, unsigned Size,
+                                 long double &Value) = 0;
+  virtual Error remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
+                                 long double Value) = 0;
+};
+
+/// Forwards every request to the nub through a RemoteEndpoint.
+class WireMemory : public Memory {
+public:
+  explicit WireMemory(RemoteEndpoint &Endpoint) : Endpoint(Endpoint) {}
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+
+private:
+  Error checkAddr(Location Loc, uint32_t &Addr);
+
+  RemoteEndpoint &Endpoint;
+};
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_REMOTE_H

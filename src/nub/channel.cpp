@@ -1,0 +1,52 @@
+//===- nub/channel.cpp - duplex byte channels -----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/channel.h"
+
+using namespace ldb::nub;
+
+std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
+LocalLink::makePair() {
+  auto Link = std::make_shared<LocalLink>();
+  auto A = std::make_shared<ChannelEnd>(Link, /*IsA=*/true);
+  auto B = std::make_shared<ChannelEnd>(Link, /*IsA=*/false);
+  return {A, B};
+}
+
+void ChannelEnd::write(const uint8_t *Bytes, size_t Size) {
+  if (Link->Broken)
+    return;
+  std::deque<uint8_t> &Out = outbox();
+  Out.insert(Out.end(), Bytes, Bytes + Size);
+  // Wake the peer. The callback may itself write back to us; that nests
+  // safely because each direction has its own queue.
+  std::function<void()> &Peer = IsA ? Link->BReadable : Link->AReadable;
+  if (Peer)
+    Peer();
+}
+
+bool ChannelEnd::read(uint8_t *Out, size_t Size) {
+  std::deque<uint8_t> &In = inbox();
+  if (In.size() < Size)
+    return false;
+  for (size_t K = 0; K < Size; ++K) {
+    Out[K] = In.front();
+    In.pop_front();
+  }
+  return true;
+}
+
+size_t ChannelEnd::available() const { return inbox().size(); }
+
+void ChannelEnd::setReadable(std::function<void()> Fn) {
+  (IsA ? Link->AReadable : Link->BReadable) = std::move(Fn);
+}
+
+void ChannelEnd::breakLink() {
+  Link->Broken = true;
+  Link->AReadable = nullptr;
+  Link->BReadable = nullptr;
+}

@@ -1,0 +1,80 @@
+//===- nub/channel.h - duplex byte channels ---------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-stream connection between ldb and a nub. The original used
+/// UNIX sockets; the simulated equivalent is a deterministic in-process
+/// duplex link with the same observable semantics: ordered bytes, two
+/// independent directions, and an explicit broken state (so debugger-crash
+/// recovery is testable). The nub side registers a readable-callback and
+/// services requests as they arrive, exactly like a socket event loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_CHANNEL_H
+#define LDB_NUB_CHANNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+namespace ldb::nub {
+
+class ChannelEnd;
+
+/// A bidirectional in-process link with two endpoints, A and B.
+class LocalLink {
+public:
+  /// Creates a connected pair of endpoints.
+  static std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
+  makePair();
+
+private:
+  friend class ChannelEnd;
+  std::deque<uint8_t> ToA, ToB;
+  std::function<void()> AReadable, BReadable;
+  bool Broken = false;
+};
+
+/// One endpoint of a link.
+class ChannelEnd {
+public:
+  ChannelEnd(std::shared_ptr<LocalLink> Link, bool IsA)
+      : Link(std::move(Link)), IsA(IsA) {}
+
+  /// Appends bytes for the peer and synchronously invokes the peer's
+  /// readable callback (the simulated analogue of the peer's event loop
+  /// waking up). Writing on a broken channel silently drops the bytes,
+  /// like writing to a closed socket with SIGPIPE ignored.
+  void write(const uint8_t *Bytes, size_t Size);
+
+  /// Reads exactly \p Size bytes; returns false if fewer are available or
+  /// the channel is broken and drained.
+  bool read(uint8_t *Out, size_t Size);
+
+  size_t available() const;
+
+  /// Called after bytes arrive for this endpoint.
+  void setReadable(std::function<void()> Fn);
+
+  /// Breaks the connection (debugger crash / detach at the transport
+  /// level). Both ends observe it.
+  void breakLink();
+
+  bool isBroken() const { return Link->Broken; }
+
+private:
+  std::deque<uint8_t> &inbox() const { return IsA ? Link->ToA : Link->ToB; }
+  std::deque<uint8_t> &outbox() const { return IsA ? Link->ToB : Link->ToA; }
+
+  std::shared_ptr<LocalLink> Link;
+  bool IsA;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_CHANNEL_H

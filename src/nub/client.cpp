@@ -1,0 +1,174 @@
+//===- nub/client.cpp - debugger end of the nub protocol -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/client.h"
+
+using namespace ldb;
+using namespace ldb::nub;
+
+Error NubClient::send(const MsgWriter &W) {
+  if (Chan->isBroken())
+    return Error::failure("connection to nub is broken");
+  std::vector<uint8_t> Frame = W.frame();
+  Chan->write(Frame.data(), Frame.size());
+  return Error::success();
+}
+
+Error NubClient::recv(MsgReader &Out) {
+  uint8_t Header[5];
+  if (!Chan->read(Header, 5))
+    return Error::failure("connection to nub is broken: no reply");
+  uint32_t Len =
+      static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
+  std::vector<uint8_t> Payload(Len);
+  if (Len > 0 && !Chan->read(Payload.data(), Len))
+    return Error::failure("truncated reply from nub");
+  Out = MsgReader(static_cast<MsgKind>(Header[0]), std::move(Payload));
+  return Error::success();
+}
+
+Error NubClient::expectAck() {
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = recv(Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused: " + Reason);
+  }
+  return Error::failure("unexpected reply from nub");
+}
+
+namespace {
+
+bool parseStop(MsgReader &Msg, StopInfo &Out) {
+  if (Msg.kind() == MsgKind::Exited) {
+    Out.Exited = true;
+    return Msg.u32(Out.ExitStatus);
+  }
+  if (Msg.kind() != MsgKind::Stopped)
+    return false;
+  uint32_t Signo;
+  if (!Msg.u32(Signo) || !Msg.u32(Out.Code) || !Msg.u32(Out.ContextAddr))
+    return false;
+  Out.Signo = static_cast<int32_t>(Signo);
+  Out.Exited = false;
+  return true;
+}
+
+} // namespace
+
+Error NubClient::handshake() {
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = recv(Msg))
+    return E;
+  if (Msg.kind() != MsgKind::Welcome || !Msg.str(Arch))
+    return Error::failure("nub did not send a welcome");
+  // A stop or exit notification may already be queued (the nub announces
+  // the current state of an already-stopped process at attach time).
+  if (Chan->available() >= 5) {
+    MsgReader Note(MsgKind::Ack, {});
+    if (Error E = recv(Note))
+      return E;
+    StopInfo Info;
+    if (parseStop(Note, Info))
+      Pending = Info;
+  }
+  return Error::success();
+}
+
+Error NubClient::doContinue(StopInfo &Out) {
+  Pending.reset();
+  if (Error E = send(MsgWriter(MsgKind::Continue)))
+    return E;
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = recv(Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused to continue: " + Reason);
+  }
+  if (!parseStop(Msg, Out))
+    return Error::failure("unexpected reply to continue");
+  return Error::success();
+}
+
+Error NubClient::kill() {
+  if (Error E = send(MsgWriter(MsgKind::Kill)))
+    return E;
+  return expectAck();
+}
+
+Error NubClient::detach() {
+  if (Error E = send(MsgWriter(MsgKind::Detach)))
+    return E;
+  return expectAck();
+}
+
+Error NubClient::remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
+                                uint64_t &Value) {
+  if (Error E = send(MsgWriter(MsgKind::FetchInt)
+                         .u8(static_cast<uint8_t>(Space))
+                         .u32(Addr)
+                         .u8(static_cast<uint8_t>(Size))))
+    return E;
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = recv(Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("fetch failed: " + Reason);
+  }
+  if (Msg.kind() != MsgKind::FetchIntReply || !Msg.u64(Value))
+    return Error::failure("unexpected reply to fetch");
+  return Error::success();
+}
+
+Error NubClient::remoteStoreInt(char Space, uint32_t Addr, unsigned Size,
+                                uint64_t Value) {
+  if (Error E = send(MsgWriter(MsgKind::StoreInt)
+                         .u8(static_cast<uint8_t>(Space))
+                         .u32(Addr)
+                         .u8(static_cast<uint8_t>(Size))
+                         .u64(Value)))
+    return E;
+  return expectAck();
+}
+
+Error NubClient::remoteFetchFloat(char Space, uint32_t Addr, unsigned Size,
+                                  long double &Value) {
+  if (Error E = send(MsgWriter(MsgKind::FetchFloat)
+                         .u8(static_cast<uint8_t>(Space))
+                         .u32(Addr)
+                         .u8(static_cast<uint8_t>(Size))))
+    return E;
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = recv(Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("fetch failed: " + Reason);
+  }
+  if (Msg.kind() != MsgKind::FetchFloatReply || !Msg.f80(Value))
+    return Error::failure("unexpected reply to float fetch");
+  return Error::success();
+}
+
+Error NubClient::remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
+                                  long double Value) {
+  if (Error E = send(MsgWriter(MsgKind::StoreFloat)
+                         .u8(static_cast<uint8_t>(Space))
+                         .u32(Addr)
+                         .u8(static_cast<uint8_t>(Size))
+                         .f80(Value)))
+    return E;
+  return expectAck();
+}

@@ -1,0 +1,87 @@
+//===- nub/client.h - debugger end of the nub protocol ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The debugger's end of the nub connection. Implements the wire's
+/// RemoteEndpoint interface so a mem::WireMemory can forward fetches and
+/// stores to the target process, and exposes continue / kill / detach plus
+/// stop notifications. Everything here is machine-independent; the only
+/// machine dependence is data carried in the Welcome message (the target's
+/// architecture name, which ldb uses to find its machine-dependent code
+/// and data, paper Sec 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_CLIENT_H
+#define LDB_NUB_CLIENT_H
+
+#include "mem/remote.h"
+#include "nub/channel.h"
+#include "nub/protocol.h"
+#include "support/error.h"
+
+#include <memory>
+#include <optional>
+
+namespace ldb::nub {
+
+/// What a Stopped or Exited notification tells the debugger.
+struct StopInfo {
+  bool Exited = false;
+  uint32_t ExitStatus = 0;
+  int32_t Signo = 0;
+  uint32_t Code = 0;
+  uint32_t ContextAddr = 0;
+};
+
+class NubClient : public mem::RemoteEndpoint {
+public:
+  explicit NubClient(std::shared_ptr<ChannelEnd> End) : Chan(std::move(End)) {}
+
+  /// Reads the Welcome (and any pending stop notification). Must be called
+  /// once after connecting.
+  Error handshake();
+
+  /// Architecture name announced by the nub.
+  const std::string &archName() const { return Arch; }
+
+  /// The stop state announced at attach time, if the process was already
+  /// stopped (it always is, right after the startup pause).
+  const std::optional<StopInfo> &pendingStop() const { return Pending; }
+
+  /// Resumes the target and waits for the next stop or exit.
+  Error doContinue(StopInfo &Out);
+
+  Error kill();
+  Error detach();
+
+  /// Simulates a debugger crash: the transport breaks with no Detach
+  /// message. The nub must preserve target state for the next debugger.
+  void crash() { Chan->breakLink(); }
+
+  // RemoteEndpoint: fetches and stores travelling to the nub.
+  Error remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
+                       uint64_t &Value) override;
+  Error remoteStoreInt(char Space, uint32_t Addr, unsigned Size,
+                       uint64_t Value) override;
+  Error remoteFetchFloat(char Space, uint32_t Addr, unsigned Size,
+                         long double &Value) override;
+  Error remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
+                         long double Value) override;
+
+private:
+  Error send(const MsgWriter &W);
+  Error recv(MsgReader &Out);
+  Error expectAck();
+
+  std::shared_ptr<ChannelEnd> Chan;
+  std::string Arch;
+  std::optional<StopInfo> Pending;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_CLIENT_H

@@ -1,0 +1,39 @@
+//===- nub/host.cpp - process rendezvous ----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/host.h"
+
+using namespace ldb;
+using namespace ldb::nub;
+
+NubProcess &ProcessHost::createProcess(const std::string &Name,
+                                       const target::TargetDesc &Desc,
+                                       uint32_t MemBytes) {
+  auto Proc = std::make_unique<NubProcess>(Desc, MemBytes);
+  NubProcess &Ref = *Proc;
+  Processes[Name] = std::move(Proc);
+  return Ref;
+}
+
+Expected<std::unique_ptr<NubClient>>
+ProcessHost::connect(const std::string &Name) {
+  NubProcess *Proc = find(Name);
+  if (!Proc)
+    return Error::failure("no process named '" + Name + "' is waiting");
+  auto [DebuggerEnd, NubEnd] = LocalLink::makePair();
+  auto Client = std::make_unique<NubClient>(DebuggerEnd);
+  Proc->attach(NubEnd);
+  if (Error E = Client->handshake())
+    return E;
+  return Client;
+}
+
+NubProcess *ProcessHost::find(const std::string &Name) {
+  auto It = Processes.find(Name);
+  return It == Processes.end() ? nullptr : It->second.get();
+}
+
+void ProcessHost::reap(const std::string &Name) { Processes.erase(Name); }

@@ -1,0 +1,52 @@
+//===- nub/host.h - process rendezvous --------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rendezvous between debuggers and target processes — the simulated
+/// analogue of connecting to a waiting nub over the network (paper Sec
+/// 4.2). Processes register under a name; any number of sequential
+/// connections may be made to the same process (a new connection after a
+/// debugger crash reattaches to the preserved state). ldb can hold
+/// connections to several processes at once, on different architectures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_HOST_H
+#define LDB_NUB_HOST_H
+
+#include "nub/client.h"
+#include "nub/nub.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ldb::nub {
+
+class ProcessHost {
+public:
+  /// Creates a process named \p Name for \p Desc. The name plays the role
+  /// of host:port.
+  NubProcess &createProcess(const std::string &Name,
+                            const target::TargetDesc &Desc,
+                            uint32_t MemBytes = 1u << 20);
+
+  /// Connects a new debugger to the named process: builds a channel pair,
+  /// attaches the nub end, and performs the client handshake.
+  Expected<std::unique_ptr<NubClient>> connect(const std::string &Name);
+
+  NubProcess *find(const std::string &Name);
+
+  /// Removes an exited process.
+  void reap(const std::string &Name);
+
+private:
+  std::map<std::string, std::unique_ptr<NubProcess>> Processes;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_HOST_H

@@ -1,0 +1,47 @@
+//===- nub/md_z68k.cpp - z68k nub fragment (machine-dependent) -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: z68k. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/nubmd.h"
+
+namespace ldb::nub {
+const NubMd &z68kNubMd();
+} // namespace ldb::nub
+
+using namespace ldb::nub;
+using namespace ldb::target;
+
+namespace {
+
+/// z68k has no struct sigcontext; the stand-in for the 68020's hand-written
+/// assembly save area keeps signo/code/pc/sp up front and saves the
+/// floating registers in the coprocessor's 80-bit extended format, which
+/// is the quirk that forced assembly code in the original's 68020 nub.
+class Z68kNubMd : public NubMd {
+public:
+  const char *targetName() const override { return "z68k"; }
+
+  ContextLayout layout(const TargetDesc &Desc) const override {
+    ContextLayout L;
+    L.SignoOff = 0;
+    L.CodeOff = 4;
+    L.PcOff = 8;
+    L.SpOff = 12;
+    L.GprOff = 16;
+    L.GprsReversed = false;
+    L.FprOff = L.GprOff + 4 * Desc.NumGpr;
+    L.FprSize = 10; // 80-bit extended floats
+    L.Size = L.FprOff + L.FprSize * Desc.NumFpr;
+    return L;
+  }
+};
+
+} // namespace
+
+const NubMd &ldb::nub::z68kNubMd() {
+  static const Z68kNubMd Md;
+  return Md;
+}

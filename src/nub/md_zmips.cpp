@@ -1,0 +1,46 @@
+//===- nub/md_zmips.cpp - zmips nub fragment (machine-dependent) ---------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zmips. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/nubmd.h"
+
+namespace ldb::nub {
+const NubMd &zmipsNubMd();
+} // namespace ldb::nub
+
+using namespace ldb::nub;
+using namespace ldb::target;
+
+namespace {
+
+/// zmips contexts follow the struct-sigcontext convention: signo, code,
+/// pc, sp, then the 32 general registers in ascending order, then the 16
+/// floating registers as 64-bit doubles.
+class ZmipsNubMd : public NubMd {
+public:
+  const char *targetName() const override { return "zmips"; }
+
+  ContextLayout layout(const TargetDesc &Desc) const override {
+    ContextLayout L;
+    L.SignoOff = 0;
+    L.CodeOff = 4;
+    L.PcOff = 8;
+    L.SpOff = 12;
+    L.GprOff = 16;
+    L.GprsReversed = false;
+    L.FprOff = L.GprOff + 4 * Desc.NumGpr;
+    L.FprSize = 8;
+    L.Size = L.FprOff + L.FprSize * Desc.NumFpr;
+    return L;
+  }
+};
+
+} // namespace
+
+const NubMd &ldb::nub::zmipsNubMd() {
+  static const ZmipsNubMd Md;
+  return Md;
+}

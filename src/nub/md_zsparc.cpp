@@ -1,0 +1,47 @@
+//===- nub/md_zsparc.cpp - zsparc nub fragment (machine-dependent) -------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zsparc. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/nubmd.h"
+
+namespace ldb::nub {
+const NubMd &zsparcNubMd();
+} // namespace ldb::nub
+
+using namespace ldb::nub;
+using namespace ldb::target;
+
+namespace {
+
+/// zsparc's operating system provides the whole register set in its
+/// sigcontext (the reason the original SPARC nub needed only 5 lines of
+/// machine-dependent code); its layout puts the floating state before the
+/// general registers.
+class ZsparcNubMd : public NubMd {
+public:
+  const char *targetName() const override { return "zsparc"; }
+
+  ContextLayout layout(const TargetDesc &Desc) const override {
+    ContextLayout L;
+    L.SignoOff = 0;
+    L.CodeOff = 4;
+    L.PcOff = 8;
+    L.SpOff = 12;
+    L.FprOff = 16;
+    L.FprSize = 8;
+    L.GprOff = L.FprOff + L.FprSize * Desc.NumFpr;
+    L.GprsReversed = false;
+    L.Size = L.GprOff + 4 * Desc.NumGpr;
+    return L;
+  }
+};
+
+} // namespace
+
+const NubMd &ldb::nub::zsparcNubMd() {
+  static const ZsparcNubMd Md;
+  return Md;
+}

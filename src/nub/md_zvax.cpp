@@ -1,0 +1,46 @@
+//===- nub/md_zvax.cpp - zvax nub fragment (machine-dependent) -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+// MACHINE-DEPENDENT: zvax. Counted by the Sec 4.3 LoC experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/nubmd.h"
+
+namespace ldb::nub {
+const NubMd &zvaxNubMd();
+} // namespace ldb::nub
+
+using namespace ldb::nub;
+using namespace ldb::target;
+
+namespace {
+
+/// zvax, like the VAX, needs its own save-area convention (the original
+/// used assembly): registers are pushed high-to-low, so the context
+/// stores r15 first and r0 last.
+class ZvaxNubMd : public NubMd {
+public:
+  const char *targetName() const override { return "zvax"; }
+
+  ContextLayout layout(const TargetDesc &Desc) const override {
+    ContextLayout L;
+    L.SignoOff = 0;
+    L.CodeOff = 4;
+    L.PcOff = 8;
+    L.SpOff = 12;
+    L.GprOff = 16;
+    L.GprsReversed = true; // pushed high-to-low
+    L.FprOff = L.GprOff + 4 * Desc.NumGpr;
+    L.FprSize = 8;
+    L.Size = L.FprOff + L.FprSize * Desc.NumFpr;
+    return L;
+  }
+};
+
+} // namespace
+
+const NubMd &ldb::nub::zvaxNubMd() {
+  static const ZvaxNubMd Md;
+  return Md;
+}

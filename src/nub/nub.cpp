@@ -1,0 +1,262 @@
+//===- nub/nub.cpp - the debug nub ----------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/nub.h"
+
+using namespace ldb;
+using namespace ldb::nub;
+using namespace ldb::target;
+
+NubProcess::NubProcess(const TargetDesc &Desc, uint32_t MemBytes)
+    : M(Desc, MemBytes), Md(nubMdFor(Desc)) {
+  uint32_t CtxSize = Md.layout(Desc).Size;
+  CtxAddr = (MemBytes - CtxSize) & ~15u;
+}
+
+void NubProcess::enter(uint32_t Entry) {
+  M.Pc = Entry;
+  M.setGpr(desc().SpReg, stackTop());
+  // The one-line "pause" procedure: stop before main so a debugger can
+  // take control. The context captures the startup state.
+  Signo = SigPause;
+  SigCode = 0;
+  Md.saveContext(M, CtxAddr, Signo, SigCode);
+  St = State::Stopped;
+  if (attached())
+    sendStopped();
+}
+
+void NubProcess::continueUnattached() {
+  if (St != State::Stopped)
+    return;
+  doContinue();
+}
+
+void NubProcess::attach(std::shared_ptr<ChannelEnd> End) {
+  Chan = std::move(End);
+  Chan->setReadable([this] { onReadable(); });
+  send(MsgWriter(MsgKind::Welcome).str(desc().Name));
+  if (St == State::Exited)
+    send(MsgWriter(MsgKind::Exited).u32(ExitStatus));
+  else if (St == State::Stopped)
+    sendStopped();
+  // Drain anything the client wrote before we installed the handler.
+  onReadable();
+}
+
+void NubProcess::send(const MsgWriter &W) {
+  if (!attached())
+    return;
+  std::vector<uint8_t> Frame = W.frame();
+  Chan->write(Frame.data(), Frame.size());
+}
+
+void NubProcess::nak(const std::string &Reason) {
+  send(MsgWriter(MsgKind::Nak).str(Reason));
+}
+
+void NubProcess::sendStopped() {
+  send(MsgWriter(MsgKind::Stopped)
+           .u32(static_cast<uint32_t>(Signo))
+           .u32(SigCode)
+           .u32(CtxAddr));
+}
+
+void NubProcess::onReadable() {
+  if (!Chan)
+    return;
+  // Frames are delivered whole by the channel, but parse defensively.
+  while (Chan->available() >= 5) {
+    uint8_t Header[5];
+    if (!Chan->read(Header, 5))
+      return;
+    uint32_t Len =
+        static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
+    std::vector<uint8_t> Payload(Len);
+    if (Len > 0 && !Chan->read(Payload.data(), Len))
+      return; // truncated frame: drop silently, like a dead socket
+    MsgReader Msg(static_cast<MsgKind>(Header[0]), std::move(Payload));
+    handleMessage(Msg);
+    if (!Chan)
+      return; // detached while handling
+  }
+}
+
+void NubProcess::handleMessage(MsgReader &Msg) {
+  switch (Msg.kind()) {
+  case MsgKind::Hello:
+    send(MsgWriter(MsgKind::Ack));
+    return;
+  case MsgKind::FetchInt:
+    handleFetchInt(Msg);
+    return;
+  case MsgKind::StoreInt:
+    handleStoreInt(Msg);
+    return;
+  case MsgKind::FetchFloat:
+    handleFetchFloat(Msg);
+    return;
+  case MsgKind::StoreFloat:
+    handleStoreFloat(Msg);
+    return;
+  case MsgKind::Continue:
+    if (St != State::Stopped) {
+      nak("process is not stopped");
+      return;
+    }
+    doContinue();
+    return;
+  case MsgKind::Kill:
+    St = State::Exited;
+    ExitStatus = 0x80;
+    send(MsgWriter(MsgKind::Ack));
+    return;
+  case MsgKind::Detach: {
+    send(MsgWriter(MsgKind::Ack));
+    // Preserve all target state; just drop the connection.
+    Chan->setReadable(nullptr);
+    Chan = nullptr;
+    return;
+  }
+  default:
+    nak("unknown request");
+  }
+}
+
+namespace {
+
+/// The nub can respond to requests only for locations in the code and
+/// data spaces (paper Sec 4.1) — on these targets the two name the same
+/// flat memory.
+bool nubSpace(uint8_t Space) { return Space == 'c' || Space == 'd'; }
+
+} // namespace
+
+void NubProcess::handleFetchInt(MsgReader &Msg) {
+  uint8_t Space, Size;
+  uint32_t Addr;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u8(Size))
+    return nak("malformed fetch");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  uint32_t Value;
+  if (!M.loadInt(Addr, Size, Value))
+    return nak("bad address");
+  // The nub fetches using the target's byte order and replies in wire
+  // (little-endian) order; MsgWriter does the wire packing.
+  send(MsgWriter(MsgKind::FetchIntReply).u64(Value));
+}
+
+void NubProcess::handleStoreInt(MsgReader &Msg) {
+  uint8_t Space, Size;
+  uint32_t Addr;
+  uint64_t Value;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u8(Size) || !Msg.u64(Value))
+    return nak("malformed store");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  if (!M.storeInt(Addr, Size, static_cast<uint32_t>(Value)))
+    return nak("bad address");
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::handleFetchFloat(MsgReader &Msg) {
+  uint8_t Space, Size;
+  uint32_t Addr;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u8(Size))
+    return nak("malformed fetch");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  if (Size == 10 && !desc().HasF80)
+    return nak("target has no 80-bit floats");
+  uint8_t Raw[10];
+  if (!M.readBytes(Addr, Size, Raw))
+    return nak("bad address");
+  long double Value;
+  switch (Size) {
+  case 4:
+    Value = unpackF32(Raw, desc().Order);
+    break;
+  case 8:
+    Value = unpackF64(Raw, desc().Order);
+    break;
+  case 10:
+    Value = unpackF80(Raw, desc().Order);
+    break;
+  default:
+    return nak("bad float size");
+  }
+  send(MsgWriter(MsgKind::FetchFloatReply).f80(Value));
+}
+
+void NubProcess::handleStoreFloat(MsgReader &Msg) {
+  uint8_t Space, Size;
+  uint32_t Addr;
+  long double Value;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u8(Size) || !Msg.f80(Value))
+    return nak("malformed store");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  if (Size == 10 && !desc().HasF80)
+    return nak("target has no 80-bit floats");
+  uint8_t Raw[10];
+  switch (Size) {
+  case 4:
+    packF32(static_cast<float>(Value), Raw, desc().Order);
+    break;
+  case 8:
+    packF64(static_cast<double>(Value), Raw, desc().Order);
+    break;
+  case 10:
+    packF80(Value, Raw, desc().Order);
+    break;
+  default:
+    return nak("bad float size");
+  }
+  if (!M.writeBytes(Addr, Size, Raw))
+    return nak("bad address");
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::doContinue() {
+  Md.restoreContext(M, CtxAddr);
+  handleEvent(M.run(StepBudget));
+}
+
+void NubProcess::handleEvent(RunResult R) {
+  int32_t NewSigno = SigTrap;
+  switch (R.Kind) {
+  case StopKind::Exited:
+    St = State::Exited;
+    ExitStatus = R.Value;
+    send(MsgWriter(MsgKind::Exited).u32(ExitStatus));
+    return;
+  case StopKind::Breakpoint:
+    NewSigno = SigTrap;
+    break;
+  case StopKind::MemFault:
+    NewSigno = SigSegv;
+    break;
+  case StopKind::DivFault:
+    NewSigno = SigFpe;
+    break;
+  case StopKind::IllegalInstr:
+    NewSigno = SigIll;
+    break;
+  case StopKind::DelayHazard:
+    NewSigno = SigBus;
+    break;
+  case StopKind::Running:
+    NewSigno = SigXCpu; // step budget exhausted
+    break;
+  }
+  Signo = NewSigno;
+  SigCode = R.Value;
+  Md.saveContext(M, CtxAddr, Signo, SigCode);
+  St = State::Stopped;
+  if (attached())
+    sendStopped();
+}

@@ -1,0 +1,104 @@
+//===- nub/nub.h - the debug nub --------------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The debug nub (paper Sec 4.2). The nub is loaded with the target
+/// program; it gets control when the process faults or hits a breakpoint,
+/// saves a context holding the register values at the time of the signal,
+/// notifies ldb, and then services fetch and store requests until told to
+/// continue, terminate, or break the connection. When a connection breaks
+/// — even by a debugger crash — the nub preserves the state of the target
+/// program and waits for a new connection from another instance of ldb.
+/// The nub knows nothing about breakpoints or single-stepping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_NUB_H
+#define LDB_NUB_NUB_H
+
+#include "nub/channel.h"
+#include "nub/nubmd.h"
+#include "nub/protocol.h"
+#include "support/error.h"
+
+#include <memory>
+#include <string>
+
+namespace ldb::nub {
+
+class NubProcess {
+public:
+  explicit NubProcess(const target::TargetDesc &Desc,
+                      uint32_t MemBytes = 1u << 20);
+
+  target::Machine &machine() { return M; }
+  const target::TargetDesc &desc() const { return M.desc(); }
+
+  enum class State : uint8_t {
+    Fresh,   ///< program loaded, nub not yet entered
+    Stopped, ///< signal caught; context valid; servicing requests
+    Exited,  ///< program finished (or was killed)
+  };
+
+  State state() const { return St; }
+  uint32_t exitStatus() const { return ExitStatus; }
+
+  /// Where the context block lives in target memory.
+  uint32_t contextAddr() const { return CtxAddr; }
+
+  /// Highest usable stack address (the context block sits above it).
+  uint32_t stackTop() const { return CtxAddr & ~15u; }
+
+  /// The system-dependent startup code calls the nub instead of main
+  /// (paper Sec 4.3): entering here runs the one-line "pause", stopping
+  /// the program before main with a pause signal so a debugger can attach
+  /// or continue it.
+  void enter(uint32_t Entry);
+
+  /// Continues execution without a debugger attached — the "faulty process
+  /// asking to be debugged" path. Runs until the next signal or exit; on a
+  /// signal the nub saves the context and waits for a connection.
+  void continueUnattached();
+
+  /// Accepts a connection. Sends Welcome and, if the process is stopped,
+  /// the pending Stopped notification.
+  void attach(std::shared_ptr<ChannelEnd> End);
+
+  bool attached() const { return Chan != nullptr && !Chan->isBroken(); }
+
+  /// Instruction budget per continue; exceeding it raises a SigXCpu-style
+  /// stop rather than hanging the debugger.
+  uint64_t StepBudget = 200'000'000;
+
+  /// Simulated signal number for a blown step budget.
+  static constexpr int32_t SigXCpu = 24;
+
+private:
+  void onReadable();
+  void handleMessage(MsgReader &Msg);
+  void handleFetchInt(MsgReader &Msg);
+  void handleStoreInt(MsgReader &Msg);
+  void handleFetchFloat(MsgReader &Msg);
+  void handleStoreFloat(MsgReader &Msg);
+  void doContinue();
+  void handleEvent(target::RunResult R);
+  void sendStopped();
+  void send(const MsgWriter &W);
+  void nak(const std::string &Reason);
+
+  target::Machine M;
+  const NubMd &Md;
+  State St = State::Fresh;
+  uint32_t ExitStatus = 0;
+  uint32_t CtxAddr;
+  int32_t Signo = 0;
+  uint32_t SigCode = 0;
+  std::shared_ptr<ChannelEnd> Chan;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_NUB_H

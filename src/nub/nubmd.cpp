@@ -1,0 +1,82 @@
+//===- nub/nubmd.cpp - shared context save/restore ------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-independent context save/restore, parameterized by each
+/// target's ContextLayout. The per-target fragments live in md_*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "nub/nubmd.h"
+
+#include <cassert>
+
+using namespace ldb;
+using namespace ldb::nub;
+using namespace ldb::target;
+
+NubMd::~NubMd() = default;
+
+void NubMd::saveContext(Machine &M, uint32_t Ctx, int32_t Signo,
+                        uint32_t Code) const {
+  const TargetDesc &Desc = M.desc();
+  ContextLayout L = layout(Desc);
+  bool Ok = true;
+  Ok &= M.storeInt(Ctx + L.SignoOff, 4, static_cast<uint32_t>(Signo));
+  Ok &= M.storeInt(Ctx + L.CodeOff, 4, Code);
+  Ok &= M.storeInt(Ctx + L.PcOff, 4, M.Pc);
+  Ok &= M.storeInt(Ctx + L.SpOff, 4, M.gpr(Desc.SpReg));
+  for (unsigned R = 0; R < Desc.NumGpr; ++R)
+    Ok &= M.storeInt(L.gprAddr(Ctx, R, Desc.NumGpr), 4, M.gpr(R));
+  for (unsigned R = 0; R < Desc.NumFpr; ++R) {
+    uint8_t Raw[10];
+    if (L.FprSize == 10)
+      packF80(M.fpr(R), Raw, Desc.Order);
+    else
+      packF64(static_cast<double>(M.fpr(R)), Raw, Desc.Order);
+    Ok &= M.writeBytes(L.fprAddr(Ctx, R), L.FprSize, Raw);
+  }
+  assert(Ok && "context area must be inside target memory");
+  (void)Ok;
+}
+
+void NubMd::restoreContext(Machine &M, uint32_t Ctx) const {
+  const TargetDesc &Desc = M.desc();
+  ContextLayout L = layout(Desc);
+  uint32_t Word = 0;
+  if (M.loadInt(Ctx + L.PcOff, 4, Word))
+    M.Pc = Word;
+  for (unsigned R = 0; R < Desc.NumGpr; ++R)
+    if (M.loadInt(L.gprAddr(Ctx, R, Desc.NumGpr), 4, Word))
+      M.setGpr(R, Word);
+  for (unsigned R = 0; R < Desc.NumFpr; ++R) {
+    uint8_t Raw[10];
+    if (!M.readBytes(L.fprAddr(Ctx, R), L.FprSize, Raw))
+      continue;
+    if (L.FprSize == 10)
+      M.setFpr(R, unpackF80(Raw, Desc.Order));
+    else
+      M.setFpr(R, unpackF64(Raw, Desc.Order));
+  }
+}
+
+namespace ldb::nub {
+const NubMd &zmipsNubMd();
+const NubMd &z68kNubMd();
+const NubMd &zsparcNubMd();
+const NubMd &zvaxNubMd();
+} // namespace ldb::nub
+
+const NubMd &ldb::nub::nubMdFor(const TargetDesc &Desc) {
+  if (Desc.Name == "zmips")
+    return zmipsNubMd();
+  if (Desc.Name == "z68k")
+    return z68kNubMd();
+  if (Desc.Name == "zsparc")
+    return zsparcNubMd();
+  assert(Desc.Name == "zvax" && "unknown target");
+  return zvaxNubMd();
+}

@@ -1,0 +1,74 @@
+//===- nub/nubmd.h - machine-dependent nub fragments ------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-dependent corner of the nub (paper Sec 4.3): what a context
+/// looks like for each target and how machine state is saved into and
+/// restored from it. The save/restore code itself is machine-independent
+/// but parameterized by this per-target description, exactly as the paper
+/// describes for the code that fetches and stores fields of a context.
+/// Per-target quirks (z68k saves floating registers in 80-bit format, the
+/// zvax context stores its general registers high-to-low, the zsparc
+/// context puts floating state first) live in the md_*.cpp files, which
+/// the machine-dependent-LoC experiment counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_NUBMD_H
+#define LDB_NUB_NUBMD_H
+
+#include "target/machine.h"
+
+namespace ldb::nub {
+
+/// Where each field of a saved context lives, relative to the context's
+/// base address in the target's data space. Machine-dependent data.
+struct ContextLayout {
+  uint32_t SignoOff;
+  uint32_t CodeOff;
+  uint32_t PcOff;
+  uint32_t SpOff; ///< copy of the stack pointer at stop time
+  uint32_t GprOff;
+  bool GprsReversed; ///< zvax stores r(N-1) first
+  uint32_t FprOff;
+  unsigned FprSize; ///< 8, or 10 on z68k
+  uint32_t Size;    ///< total bytes
+
+  uint32_t gprAddr(uint32_t Ctx, unsigned Reg, unsigned NumGpr) const {
+    unsigned Index = GprsReversed ? NumGpr - 1 - Reg : Reg;
+    return Ctx + GprOff + 4 * Index;
+  }
+  uint32_t fprAddr(uint32_t Ctx, unsigned Reg) const {
+    return Ctx + FprOff + FprSize * Reg;
+  }
+};
+
+/// The per-target nub fragment.
+class NubMd {
+public:
+  virtual ~NubMd();
+
+  virtual const char *targetName() const = 0;
+  virtual ContextLayout layout(const target::TargetDesc &Desc) const = 0;
+
+  /// Saves the machine's registers and pc into the context block at \p Ctx
+  /// in target memory (in target byte order, as a real sigcontext would
+  /// be). The shared implementation is parameterized by layout().
+  virtual void saveContext(target::Machine &M, uint32_t Ctx, int32_t Signo,
+                           uint32_t Code) const;
+
+  /// Restores machine state from the context (the debugger may have
+  /// modified it: advancing the pc past a breakpoint no-op, assigning to
+  /// register variables).
+  virtual void restoreContext(target::Machine &M, uint32_t Ctx) const;
+};
+
+/// The fragment for \p Desc; every registered target has one.
+const NubMd &nubMdFor(const target::TargetDesc &Desc);
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_NUBMD_H

@@ -1,0 +1,123 @@
+//===- nub/protocol.cpp - the ldb <-> nub wire protocol -------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/protocol.h"
+
+using namespace ldb;
+using namespace ldb::nub;
+
+const char *ldb::nub::signalName(int32_t Signo) {
+  switch (Signo) {
+  case SigPause:
+    return "pause before main";
+  case SigIll:
+    return "illegal instruction";
+  case SigTrap:
+    return "breakpoint trap";
+  case SigFpe:
+    return "arithmetic fault";
+  case SigBus:
+    return "bus error (load delay hazard)";
+  case SigSegv:
+    return "segmentation fault";
+  default:
+    return "unknown signal";
+  }
+}
+
+MsgWriter &MsgWriter::u8(uint8_t V) {
+  Payload.push_back(V);
+  return *this;
+}
+
+MsgWriter &MsgWriter::u32(uint32_t V) {
+  uint8_t Raw[4];
+  packInt(V, Raw, 4, ByteOrder::Little);
+  Payload.insert(Payload.end(), Raw, Raw + 4);
+  return *this;
+}
+
+MsgWriter &MsgWriter::u64(uint64_t V) {
+  uint8_t Raw[8];
+  packInt(V, Raw, 8, ByteOrder::Little);
+  Payload.insert(Payload.end(), Raw, Raw + 8);
+  return *this;
+}
+
+MsgWriter &MsgWriter::f80(long double V) {
+  uint8_t Raw[10];
+  packF80(V, Raw, ByteOrder::Little);
+  Payload.insert(Payload.end(), Raw, Raw + 10);
+  return *this;
+}
+
+MsgWriter &MsgWriter::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Payload.insert(Payload.end(), S.begin(), S.end());
+  return *this;
+}
+
+std::vector<uint8_t> MsgWriter::frame() const {
+  std::vector<uint8_t> Out;
+  Out.reserve(Payload.size() + 5);
+  Out.push_back(static_cast<uint8_t>(Kind));
+  uint8_t Len[4];
+  packInt(Payload.size(), Len, 4, ByteOrder::Little);
+  Out.insert(Out.end(), Len, Len + 4);
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+bool MsgReader::take(size_t N, const uint8_t *&Ptr) {
+  if (Pos + N > Payload.size())
+    return false;
+  Ptr = Payload.data() + Pos;
+  Pos += N;
+  return true;
+}
+
+bool MsgReader::u8(uint8_t &V) {
+  const uint8_t *Ptr;
+  if (!take(1, Ptr))
+    return false;
+  V = *Ptr;
+  return true;
+}
+
+bool MsgReader::u32(uint32_t &V) {
+  const uint8_t *Ptr;
+  if (!take(4, Ptr))
+    return false;
+  V = static_cast<uint32_t>(unpackInt(Ptr, 4, ByteOrder::Little));
+  return true;
+}
+
+bool MsgReader::u64(uint64_t &V) {
+  const uint8_t *Ptr;
+  if (!take(8, Ptr))
+    return false;
+  V = unpackInt(Ptr, 8, ByteOrder::Little);
+  return true;
+}
+
+bool MsgReader::f80(long double &V) {
+  const uint8_t *Ptr;
+  if (!take(10, Ptr))
+    return false;
+  V = unpackF80(Ptr, ByteOrder::Little);
+  return true;
+}
+
+bool MsgReader::str(std::string &S) {
+  uint32_t Size;
+  if (!u32(Size))
+    return false;
+  const uint8_t *Ptr;
+  if (!take(Size, Ptr))
+    return false;
+  S.assign(reinterpret_cast<const char *>(Ptr), Size);
+  return true;
+}

@@ -1,0 +1,107 @@
+//===- nub/protocol.h - the ldb <-> nub wire protocol -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The little-endian communication protocol between ldb and the nub
+/// (paper Sec 4.2). It is deliberately small: fetch, store, continue,
+/// kill, detach. In particular the protocol and nub do not mention
+/// breakpoints or single-stepping — breakpoints are implemented entirely
+/// in ldb using fetches and stores (paper Sec 6). The protocol is
+/// little-endian on every host/target combination; the nub converts
+/// between wire order and target order.
+///
+/// Frame: kind (1 byte), payload length (4 bytes LE), payload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_PROTOCOL_H
+#define LDB_NUB_PROTOCOL_H
+
+#include "support/byteorder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldb::nub {
+
+enum class MsgKind : uint8_t {
+  // Debugger -> nub.
+  Hello = 1,
+  FetchInt,
+  StoreInt,
+  FetchFloat,
+  StoreFloat,
+  Continue,
+  Kill,
+  Detach,
+
+  // Nub -> debugger.
+  Welcome = 64,
+  Stopped,
+  Exited,
+  FetchIntReply,
+  FetchFloatReply,
+  Ack,
+  Nak,
+};
+
+/// Simulated signal numbers carried in Stopped messages.
+enum Signal : int32_t {
+  SigPause = 0, ///< the nub's pause before main (paper Sec 4.3)
+  SigIll = 4,
+  SigTrap = 5, ///< breakpoint
+  SigFpe = 8,
+  SigBus = 10, ///< zmips load-delay hazard
+  SigSegv = 11,
+};
+
+const char *signalName(int32_t Signo);
+
+/// Serializes payload fields in wire (little-endian) order.
+class MsgWriter {
+public:
+  explicit MsgWriter(MsgKind Kind) : Kind(Kind) {}
+
+  MsgWriter &u8(uint8_t V);
+  MsgWriter &u32(uint32_t V);
+  MsgWriter &u64(uint64_t V);
+  MsgWriter &f80(long double V); ///< 10 bytes, wire order
+  MsgWriter &str(const std::string &S);
+
+  /// Frames the message: kind, length, payload.
+  std::vector<uint8_t> frame() const;
+
+private:
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+};
+
+/// Deserializes a received payload.
+class MsgReader {
+public:
+  MsgReader(MsgKind Kind, std::vector<uint8_t> Payload)
+      : Kind(Kind), Payload(std::move(Payload)) {}
+
+  MsgKind kind() const { return Kind; }
+  bool u8(uint8_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+  bool f80(long double &V);
+  bool str(std::string &S);
+  bool atEnd() const { return Pos == Payload.size(); }
+
+private:
+  bool take(size_t N, const uint8_t *&Ptr);
+
+  MsgKind Kind;
+  std::vector<uint8_t> Payload;
+  size_t Pos = 0;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_PROTOCOL_H

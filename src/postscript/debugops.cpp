@@ -1,0 +1,322 @@
+//===- postscript/debugops.cpp - debugging operator extensions -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dialect's debugging extensions (paper Sec 2, 4.1, 5): location
+/// constructors (Regset0, Locals, Immediate, ...), abstract-memory fetch
+/// and store, Shifted, LazyData (the anchor-symbol technique), and the
+/// pretty-printer interface (Put, Break, Begin, End).
+///
+/// Location grammar as it appears in symbol tables:
+///   30 Regset0 Absolute              register 30
+///   5 Regset1 Absolute               floating register 5
+///   0 Regset2 Absolute               extra register 0 (the pc)
+///   -12 Locals Absolute              frame local at vfp-12
+///   { (_stanchor_x) 8 LazyData }     static data, resolved at debug time
+///   42 Immediate                     the value 42 itself
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+PsStatus makeSpaceLocation(Interp &I, char Space) {
+  int64_t Offset;
+  if (PsStatus S = I.popInt(Offset); S != PsStatus::Ok)
+    return S;
+  I.push(Object::makeLocation(mem::Location::absolute(Space, Offset)));
+  return PsStatus::Ok;
+}
+
+PsStatus opRegset0(Interp &I) { return makeSpaceLocation(I, mem::SpGpr); }
+PsStatus opRegset1(Interp &I) { return makeSpaceLocation(I, mem::SpFpr); }
+PsStatus opRegset2(Interp &I) { return makeSpaceLocation(I, mem::SpExtra); }
+PsStatus opLocals(Interp &I) { return makeSpaceLocation(I, mem::SpLocal); }
+PsStatus opDataLoc(Interp &I) { return makeSpaceLocation(I, mem::SpData); }
+PsStatus opCodeLoc(Interp &I) { return makeSpaceLocation(I, mem::SpCode); }
+
+/// Generic constructor: (space-letter) offset SpaceLoc -> location.
+PsStatus opSpaceLoc(Interp &I) {
+  int64_t Offset;
+  if (PsStatus S = I.popInt(Offset); S != PsStatus::Ok)
+    return S;
+  std::string Space;
+  if (PsStatus S = I.popString(Space); S != PsStatus::Ok)
+    return S;
+  if (Space.size() != 1)
+    return I.fail("space must be a single letter");
+  I.push(Object::makeLocation(mem::Location::absolute(Space[0], Offset)));
+  return PsStatus::Ok;
+}
+
+/// Locations built by the constructors above are already absolute;
+/// Absolute is kept as the explicit mode marker the symbol tables spell
+/// out ("30 Regset0 Absolute").
+PsStatus opAbsolute(Interp &I) {
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  Loc.Mode = mem::AddrMode::Absolute;
+  I.push(Object::makeLocation(Loc));
+  return PsStatus::Ok;
+}
+
+PsStatus opImmediate(Interp &I) {
+  int64_t Value;
+  if (PsStatus S = I.popInt(Value); S != PsStatus::Ok)
+    return S;
+  I.push(Object::makeLocation(mem::Location::immediate(Value)));
+  return PsStatus::Ok;
+}
+
+/// loc bytes Shifted -> loc', the location bytes further on.
+PsStatus opShifted(Interp &I) {
+  int64_t Bytes;
+  if (PsStatus S = I.popInt(Bytes); S != PsStatus::Ok)
+    return S;
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  I.push(Object::makeLocation(Loc.shifted(Bytes)));
+  return PsStatus::Ok;
+}
+
+/// loc LocOffset -> int (diagnostics and address arithmetic in printers).
+PsStatus opLocOffset(Interp &I) {
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  I.push(Object::makeInt(Loc.Offset));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Fetch and store
+//===----------------------------------------------------------------------===//
+
+/// mem loc size fetch -> int (zero-extended; printers apply signedbits).
+PsStatus opFetch(Interp &I) {
+  int64_t Size;
+  if (PsStatus S = I.popInt(Size); S != PsStatus::Ok)
+    return S;
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  Object Mem;
+  if (PsStatus S = I.popMemory(Mem); S != PsStatus::Ok)
+    return S;
+  if (!mem::isIntSize(static_cast<unsigned>(Size)))
+    return I.fail("integer fetch size must be 1, 2, or 4");
+  uint64_t Value;
+  if (Error E = Mem.MemVal->fetchInt(Loc, static_cast<unsigned>(Size), Value))
+    return I.fail(E.message());
+  I.push(Object::makeInt(static_cast<int64_t>(Value)));
+  return PsStatus::Ok;
+}
+
+/// mem loc size fetchf -> real.
+PsStatus opFetchF(Interp &I) {
+  int64_t Size;
+  if (PsStatus S = I.popInt(Size); S != PsStatus::Ok)
+    return S;
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  Object Mem;
+  if (PsStatus S = I.popMemory(Mem); S != PsStatus::Ok)
+    return S;
+  if (!mem::isFloatSize(static_cast<unsigned>(Size)))
+    return I.fail("float fetch size must be 4, 8, or 10");
+  long double Value;
+  if (Error E =
+          Mem.MemVal->fetchFloat(Loc, static_cast<unsigned>(Size), Value))
+    return I.fail(E.message());
+  I.push(Object::makeReal(static_cast<double>(Value)));
+  return PsStatus::Ok;
+}
+
+/// mem loc size value store.
+PsStatus opStoreOp(Interp &I) {
+  int64_t Value;
+  if (PsStatus S = I.popInt(Value); S != PsStatus::Ok)
+    return S;
+  int64_t Size;
+  if (PsStatus S = I.popInt(Size); S != PsStatus::Ok)
+    return S;
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  Object Mem;
+  if (PsStatus S = I.popMemory(Mem); S != PsStatus::Ok)
+    return S;
+  if (!mem::isIntSize(static_cast<unsigned>(Size)))
+    return I.fail("integer store size must be 1, 2, or 4");
+  if (Error E = Mem.MemVal->storeInt(Loc, static_cast<unsigned>(Size),
+                                     static_cast<uint64_t>(Value)))
+    return I.fail(E.message());
+  return PsStatus::Ok;
+}
+
+/// mem loc size value storef.
+PsStatus opStoreF(Interp &I) {
+  double Value;
+  if (PsStatus S = I.popNumber(Value); S != PsStatus::Ok)
+    return S;
+  int64_t Size;
+  if (PsStatus S = I.popInt(Size); S != PsStatus::Ok)
+    return S;
+  mem::Location Loc;
+  if (PsStatus S = I.popLocation(Loc); S != PsStatus::Ok)
+    return S;
+  Object Mem;
+  if (PsStatus S = I.popMemory(Mem); S != PsStatus::Ok)
+    return S;
+  if (!mem::isFloatSize(static_cast<unsigned>(Size)))
+    return I.fail("float store size must be 4, 8, or 10");
+  if (Error E = Mem.MemVal->storeFloat(Loc, static_cast<unsigned>(Size),
+                                       static_cast<long double>(Value)))
+    return I.fail(E.message());
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// LazyData: the anchor-symbol technique (paper Sec 2)
+//===----------------------------------------------------------------------===//
+
+/// (anchorname) idx LazyData -> location. Gets the anchor's address from
+/// the linker interface, then fetches the variable's address from the
+/// idx-th word following that location in the target's data space.
+PsStatus opLazyData(Interp &I) {
+  int64_t Index;
+  if (PsStatus S = I.popInt(Index); S != PsStatus::Ok)
+    return S;
+  std::string Anchor;
+  if (PsStatus S = I.popNameText(Anchor); S != PsStatus::Ok)
+    return S;
+  if (!I.Hooks)
+    return I.fail("no target connected: LazyData needs the linker interface");
+  Expected<uint32_t> Addr = I.Hooks->anchorAddress(Anchor);
+  if (!Addr)
+    return I.fail(Addr.message());
+  Expected<uint32_t> Word =
+      I.Hooks->fetchDataWord(*Addr + 4 * static_cast<uint32_t>(Index));
+  if (!Word)
+    return I.fail(Word.message());
+  I.push(Object::makeLocation(
+      mem::Location::absolute(mem::SpData, static_cast<int64_t>(*Word))));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty-printer interface (paper Sec 5)
+//===----------------------------------------------------------------------===//
+
+PsStatus opPut(Interp &I) {
+  Object O;
+  if (PsStatus S = I.pop(O); S != PsStatus::Ok)
+    return S;
+  I.printer().put(cvsText(O));
+  return PsStatus::Ok;
+}
+
+PsStatus opBreak(Interp &I) {
+  I.printer().brk();
+  return PsStatus::Ok;
+}
+
+PsStatus opPpBegin(Interp &I) {
+  int64_t Indent;
+  if (PsStatus S = I.popInt(Indent); S != PsStatus::Ok)
+    return S;
+  if (Indent < 0)
+    return I.fail("negative indent");
+  I.printer().begin(static_cast<unsigned>(Indent));
+  return PsStatus::Ok;
+}
+
+PsStatus opPpEnd(Interp &I) {
+  I.printer().end();
+  return PsStatus::Ok;
+}
+
+PsStatus opPrintLimit(Interp &I) {
+  I.push(Object::makeInt(I.PrintLimit));
+  return PsStatus::Ok;
+}
+
+PsStatus opSetPrintLimit(Interp &I) {
+  int64_t Limit;
+  if (PsStatus S = I.popInt(Limit); S != PsStatus::Ok)
+    return S;
+  if (Limit < 1)
+    return I.fail("print limit must be positive");
+  I.PrintLimit = Limit;
+  return PsStatus::Ok;
+}
+
+/// int chr -> one-character string (for the CHAR printer).
+PsStatus opChr(Interp &I) {
+  int64_t Code;
+  if (PsStatus S = I.popInt(Code); S != PsStatus::Ok)
+    return S;
+  I.push(Object::makeString(std::string(1, static_cast<char>(Code))));
+  return PsStatus::Ok;
+}
+
+/// int hexstring -> (0x%08x) (for the POINTER printer).
+PsStatus opHexString(Interp &I) {
+  int64_t Value;
+  if (PsStatus S = I.popInt(Value); S != PsStatus::Ok)
+    return S;
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", static_cast<uint32_t>(Value));
+  I.push(Object::makeString(Buf));
+  return PsStatus::Ok;
+}
+
+} // namespace
+
+void ldb::ps::installDebugOps(Interp &I) {
+  // Locations.
+  I.defineSystem("Regset0", opRegset0);
+  I.defineSystem("Regset1", opRegset1);
+  I.defineSystem("Regset2", opRegset2);
+  I.defineSystem("Locals", opLocals);
+  I.defineSystem("DataLoc", opDataLoc);
+  I.defineSystem("CodeLoc", opCodeLoc);
+  I.defineSystem("SpaceLoc", opSpaceLoc);
+  I.defineSystem("Absolute", opAbsolute);
+  I.defineSystem("Immediate", opImmediate);
+  I.defineSystem("Shifted", opShifted);
+  I.defineSystem("LocOffset", opLocOffset);
+
+  // Abstract-memory access.
+  I.defineSystem("fetch", opFetch);
+  I.defineSystem("fetchf", opFetchF);
+  I.defineSystem("storeval", opStoreOp);
+  I.defineSystem("storevalf", opStoreF);
+
+  // Linker interface.
+  I.defineSystem("LazyData", opLazyData);
+
+  // Pretty printer.
+  I.defineSystem("Put", opPut);
+  I.defineSystem("Break", opBreak);
+  I.defineSystem("Begin", opPpBegin);
+  I.defineSystem("End", opPpEnd);
+  I.defineSystem("printlimit", opPrintLimit);
+  I.defineSystem("setprintlimit", opSetPrintLimit);
+
+  // Formatting helpers for printers.
+  I.defineSystem("chr", opChr);
+  I.defineSystem("hexstring", opHexString);
+}

@@ -1,0 +1,274 @@
+//===- postscript/interp.cpp - the embedded interpreter ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+#include "postscript/scanner.h"
+
+using namespace ldb;
+using namespace ldb::ps;
+
+DebugHooks::~DebugHooks() = default;
+
+namespace {
+
+constexpr unsigned MaxDepth = 2000;
+
+Object newDict() { return Object::makeDict(std::make_shared<DictImpl>()); }
+
+} // namespace
+
+Interp::Interp() {
+  Systemdict = newDict();
+  Userdict = newDict();
+  DictStack.push_back(Systemdict);
+  DictStack.push_back(Userdict);
+  installCoreOps(*this);
+  installDebugOps(*this);
+}
+
+PsStatus Interp::fail(const std::string &Message) {
+  LastError = CurrentOp.empty() ? Message : CurrentOp + ": " + Message;
+  return PsStatus::Failed;
+}
+
+//===----------------------------------------------------------------------===//
+// Operand stack helpers
+//===----------------------------------------------------------------------===//
+
+PsStatus Interp::pop(Object &Out) {
+  if (OpStack.empty())
+    return fail("operand stack underflow");
+  Out = std::move(OpStack.back());
+  OpStack.pop_back();
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popInt(int64_t &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (O.Ty != Type::Int)
+    return fail("expected an integer, got " + std::string(typeName(O.Ty)));
+  Out = O.IntVal;
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popBool(bool &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (O.Ty != Type::Bool)
+    return fail("expected a boolean, got " + std::string(typeName(O.Ty)));
+  Out = O.BoolVal;
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popNumber(double &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (!O.isNumber())
+    return fail("expected a number, got " + std::string(typeName(O.Ty)));
+  Out = O.numberValue();
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popString(std::string &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (O.Ty != Type::String)
+    return fail("expected a string, got " + std::string(typeName(O.Ty)));
+  Out = O.text();
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popNameText(std::string &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (O.Ty != Type::Name && O.Ty != Type::String)
+    return fail("expected a name or string, got " +
+                std::string(typeName(O.Ty)));
+  Out = O.text();
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popDict(Object &Out) {
+  if (PsStatus S = pop(Out); S != PsStatus::Ok)
+    return S;
+  if (Out.Ty != Type::Dict)
+    return fail("expected a dict, got " + std::string(typeName(Out.Ty)));
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popArray(Object &Out) {
+  if (PsStatus S = pop(Out); S != PsStatus::Ok)
+    return S;
+  if (Out.Ty != Type::Array)
+    return fail("expected an array, got " + std::string(typeName(Out.Ty)));
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popMemory(Object &Out) {
+  if (PsStatus S = pop(Out); S != PsStatus::Ok)
+    return S;
+  if (Out.Ty != Type::Memory)
+    return fail("expected an abstract memory, got " +
+                std::string(typeName(Out.Ty)));
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popLocation(mem::Location &Out) {
+  Object O;
+  if (PsStatus S = pop(O); S != PsStatus::Ok)
+    return S;
+  if (O.Ty != Type::Location)
+    return fail("expected a location, got " + std::string(typeName(O.Ty)));
+  Out = O.LocVal;
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::popProc(Object &Out) {
+  if (PsStatus S = pop(Out); S != PsStatus::Ok)
+    return S;
+  bool Procedural = (Out.Ty == Type::Array && Out.Exec) ||
+                    Out.Ty == Type::Operator ||
+                    (Out.Ty == Type::Name && Out.Exec);
+  if (!Procedural)
+    return fail("expected a procedure, got " + std::string(typeName(Out.Ty)));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Dictionary stack
+//===----------------------------------------------------------------------===//
+
+bool Interp::lookup(const std::string &Name, Object &Out) const {
+  for (auto It = DictStack.rbegin(); It != DictStack.rend(); ++It) {
+    const auto &Entries = It->DictVal->Entries;
+    auto Found = Entries.find(Name);
+    if (Found != Entries.end()) {
+      Out = Found->second;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Interp::defineCurrent(const std::string &Name, Object Value) {
+  DictStack.back().DictVal->Entries[Name] = std::move(Value);
+}
+
+void Interp::defineSystem(const std::string &Name,
+                          std::function<PsStatus(Interp &)> Fn) {
+  Systemdict.DictVal->Entries[Name] =
+      Object::makeOperator(Name, std::move(Fn));
+}
+
+void Interp::defineSystemValue(const std::string &Name, Object Value) {
+  Systemdict.DictVal->Entries[Name] = std::move(Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+PsStatus Interp::execName(const std::string &Name) {
+  Object Value;
+  if (!lookup(Name, Value))
+    return fail("undefined name: " + Name);
+  return exec(Value);
+}
+
+PsStatus Interp::execProcBody(const ArrayImpl &Body) {
+  for (const Object &Elem : Body) {
+    // Procedures nested inside a procedure body are pushed, not executed.
+    if (Elem.Ty == Type::Array && Elem.Exec) {
+      push(Elem);
+      continue;
+    }
+    if (PsStatus S = exec(Elem); S != PsStatus::Ok)
+      return S;
+  }
+  return PsStatus::Ok;
+}
+
+PsStatus Interp::exec(const Object &O) {
+  if (!O.Exec) {
+    push(O);
+    return PsStatus::Ok;
+  }
+  if (Depth >= MaxDepth)
+    return fail("execution nested too deeply");
+  ++Depth;
+  PsStatus S;
+  switch (O.Ty) {
+  case Type::Name:
+    S = execName(O.text());
+    break;
+  case Type::Operator: {
+    std::string SavedOp = CurrentOp;
+    CurrentOp = O.OpVal->Name;
+    S = O.OpVal->Fn(*this);
+    CurrentOp = SavedOp;
+    break;
+  }
+  case Type::Array:
+    S = execProcBody(*O.ArrVal);
+    break;
+  case Type::String: {
+    // An executable string is scanned and run like a little file: this is
+    // the deferred-lexing path of Sec 5.
+    StringCharSource Src(O.text());
+    S = runTokens(Src);
+    break;
+  }
+  case Type::File:
+    S = runTokens(*O.FileVal);
+    break;
+  default:
+    push(O);
+    S = PsStatus::Ok;
+  }
+  --Depth;
+  return S;
+}
+
+PsStatus Interp::runTokens(CharSource &Src) {
+  Scanner Scan(Src);
+  for (;;) {
+    Scanner::Result R = Scan.next();
+    if (R.K == Scanner::Kind::EndOfInput)
+      return PsStatus::Ok;
+    if (R.K == Scanner::Kind::Failed)
+      return fail("syntax error: " + R.Message);
+    // Scanned procedures are pushed; everything else executes normally.
+    if (R.O.Ty == Type::Array && R.O.Exec) {
+      push(std::move(R.O));
+      continue;
+    }
+    if (PsStatus S = exec(R.O); S != PsStatus::Ok)
+      return S;
+  }
+}
+
+Error Interp::run(const std::string &Text) {
+  StringCharSource Src(Text);
+  switch (runTokens(Src)) {
+  case PsStatus::Ok:
+  case PsStatus::Quit:
+    return Error::success();
+  case PsStatus::Stop:
+    return Error::failure("stop with no enclosing stopped");
+  case PsStatus::Exit:
+    return Error::failure("exit with no enclosing loop");
+  case PsStatus::Failed:
+    return Error::failure(LastError);
+  }
+  return Error::success();
+}

@@ -1,0 +1,162 @@
+//===- postscript/interp.h - the embedded interpreter ----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedded PostScript interpreter (paper Sec 2, 5). One interpreter
+/// supports code in symbol-table entries and expression evaluation. The
+/// dictionary stack is explicitly controlled by the program; ldb rebinds
+/// machine-dependent names by placing a per-architecture dictionary on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_POSTSCRIPT_INTERP_H
+#define LDB_POSTSCRIPT_INTERP_H
+
+#include "postscript/object.h"
+#include "support/error.h"
+#include "support/prettyprint.h"
+
+#include <string>
+#include <vector>
+
+namespace ldb::ps {
+
+/// Services the debugger supplies to debugging operators: the linker
+/// interface behind LazyData (paper Sec 2) and target-memory access for
+/// anchor tables. Installed per-target by ldb's core.
+class DebugHooks {
+public:
+  virtual ~DebugHooks();
+
+  /// Returns the address of anchor symbol \p Name from the loader table.
+  virtual Expected<uint32_t> anchorAddress(const std::string &Name) = 0;
+
+  /// Fetches a word from the target's data space (anchor tables live
+  /// there).
+  virtual Expected<uint32_t> fetchDataWord(uint32_t Addr) = 0;
+};
+
+class Interp {
+public:
+  /// Builds an interpreter with systemdict and userdict installed. The
+  /// machine-independent prelude (printers etc.) is loaded separately with
+  /// run(prelude()) so benches can time it (paper Sec 7 "read initial
+  /// PostScript").
+  Interp();
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+
+  /// Scans and executes \p Text as a top-level program.
+  Error run(const std::string &Text);
+
+  /// Executes one object according to its type and attribute.
+  PsStatus exec(const Object &O);
+
+  /// Executes scanned tokens from \p Src until end of input or a non-Ok
+  /// status (file semantics; also the body of run()).
+  PsStatus runTokens(CharSource &Src);
+
+  /// Reports an error; exec unwinds until a stopped catches it. The
+  /// current operator name, if any, is prefixed to the message.
+  PsStatus fail(const std::string &Message);
+
+  /// Message of the most recent failure.
+  const std::string &errorMessage() const { return LastError; }
+
+  //===--------------------------------------------------------------------===
+  // Operand stack
+  //===--------------------------------------------------------------------===
+
+  void push(Object O) { OpStack.push_back(std::move(O)); }
+  PsStatus pop(Object &Out);
+  PsStatus popInt(int64_t &Out);
+  PsStatus popBool(bool &Out);
+  PsStatus popNumber(double &Out);
+  PsStatus popString(std::string &Out);
+  PsStatus popNameText(std::string &Out); // accepts a name or a string
+  PsStatus popDict(Object &Out);
+  PsStatus popArray(Object &Out);
+  PsStatus popMemory(Object &Out);
+  PsStatus popLocation(mem::Location &Out);
+  PsStatus popProc(Object &Out); // an executable array or operator
+
+  std::vector<Object> &opStack() { return OpStack; }
+
+  //===--------------------------------------------------------------------===
+  // Dictionary stack
+  //===--------------------------------------------------------------------===
+
+  /// Searches the dictionary stack top-down; returns false if unbound.
+  bool lookup(const std::string &Name, Object &Out) const;
+
+  /// Defines \p Name in the current (topmost) dictionary.
+  void defineCurrent(const std::string &Name, Object Value);
+
+  /// Defines an operator or value in systemdict.
+  void defineSystem(const std::string &Name,
+                    std::function<PsStatus(Interp &)> Fn);
+  void defineSystemValue(const std::string &Name, Object Value);
+
+  std::vector<Object> &dictStack() { return DictStack; }
+  Object systemDict() const { return Systemdict; }
+  Object userDict() const { return Userdict; }
+
+  //===--------------------------------------------------------------------===
+  // Output: all printing flows through the pretty printer, which the
+  // Put/Break/Begin/End operators also drive (paper Sec 5).
+  //===--------------------------------------------------------------------===
+
+  PrettyPrinter &printer() { return PP; }
+
+  /// Flushes and returns everything printed since the last take.
+  std::string takeOutput() { return PP.take(); }
+
+  //===--------------------------------------------------------------------===
+  // Debugger services
+  //===--------------------------------------------------------------------===
+
+  DebugHooks *Hooks = nullptr;
+
+  /// Element-count limit used by the ARRAY printer (the "adjustable limit"
+  /// of Sec 2).
+  int64_t PrintLimit = 16;
+
+private:
+  PsStatus execProcBody(const ArrayImpl &Body);
+  PsStatus execName(const std::string &Name);
+
+  std::vector<Object> OpStack;
+  std::vector<Object> DictStack;
+  Object Systemdict;
+  Object Userdict;
+  PrettyPrinter PP;
+  std::string LastError;
+  std::string CurrentOp;
+  unsigned Depth = 0;
+
+  friend PsStatus opStopped(Interp &);
+};
+
+/// Installs the core operator set (stack, arithmetic, dict, array, control,
+/// conversion, output). Called by the constructor.
+void installCoreOps(Interp &I);
+
+/// Installs the debugging extensions: locations, abstract-memory fetch and
+/// store, the pretty-printer operators, and LazyData. Called by the
+/// constructor.
+void installDebugOps(Interp &I);
+
+/// The machine-independent PostScript prelude: value printers (INT, CHAR,
+/// UNSIGNED, FLOAT, DOUBLE, LONGDOUBLE, POINTER, ARRAY, STRUCT), the print
+/// dispatcher, and helpers. About 1200 lines of PostScript in the original
+/// (the "shared" column of the Sec 4.3 table).
+const std::string &prelude();
+
+} // namespace ldb::ps
+
+#endif // LDB_POSTSCRIPT_INTERP_H

@@ -1,0 +1,150 @@
+//===- postscript/object.cpp - PostScript object model -------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/object.h"
+
+#include "support/strings.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+CharSource::~CharSource() = default;
+
+const char *ldb::ps::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Null:
+    return "nulltype";
+  case Type::Mark:
+    return "marktype";
+  case Type::Bool:
+    return "booleantype";
+  case Type::Int:
+    return "integertype";
+  case Type::Real:
+    return "realtype";
+  case Type::Name:
+    return "nametype";
+  case Type::String:
+    return "stringtype";
+  case Type::Array:
+    return "arraytype";
+  case Type::Dict:
+    return "dicttype";
+  case Type::Operator:
+    return "operatortype";
+  case Type::Memory:
+    return "memorytype";
+  case Type::Location:
+    return "locationtype";
+  case Type::File:
+    return "filetype";
+  }
+  return "unknowntype";
+}
+
+bool Object::equals(const Object &O) const {
+  if (isNumber() && O.isNumber())
+    return numberValue() == O.numberValue();
+  if (Ty != O.Ty)
+    return false;
+  switch (Ty) {
+  case Type::Null:
+  case Type::Mark:
+    return true;
+  case Type::Bool:
+    return BoolVal == O.BoolVal;
+  case Type::Name:
+  case Type::String:
+    return text() == O.text();
+  case Type::Array:
+    return ArrVal == O.ArrVal;
+  case Type::Dict:
+    return DictVal == O.DictVal;
+  case Type::Operator:
+    return OpVal == O.OpVal;
+  case Type::Memory:
+    return MemVal == O.MemVal;
+  case Type::Location:
+    return LocVal == O.LocVal;
+  case Type::File:
+    return FileVal == O.FileVal;
+  default:
+    return false;
+  }
+}
+
+static std::string formatReal(double Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", Value);
+  return Buf;
+}
+
+std::string ldb::ps::cvsText(const Object &O) {
+  switch (O.Ty) {
+  case Type::Null:
+    return "null";
+  case Type::Mark:
+    return "-mark-";
+  case Type::Bool:
+    return O.BoolVal ? "true" : "false";
+  case Type::Int:
+    return std::to_string(O.IntVal);
+  case Type::Real:
+    return formatReal(O.RealVal);
+  case Type::Name:
+  case Type::String:
+    return O.text();
+  case Type::Operator:
+    return O.OpVal->Name;
+  case Type::Location:
+    return O.LocVal.str();
+  case Type::Memory:
+    return "-memory-";
+  case Type::Array:
+    return "-array-";
+  case Type::Dict:
+    return "-dict-";
+  case Type::File:
+    return "-file-";
+  }
+  return "-unknown-";
+}
+
+std::string ldb::ps::repr(const Object &O) {
+  switch (O.Ty) {
+  case Type::Name:
+    return O.Exec ? O.text() : "/" + O.text();
+  case Type::String:
+    return "(" + psEscape(O.text()) + ")";
+  case Type::Operator:
+    return "--" + O.OpVal->Name + "--";
+  case Type::Array: {
+    std::string Out = O.Exec ? "{" : "[";
+    bool First = true;
+    for (const Object &Elem : *O.ArrVal) {
+      if (!First)
+        Out += ' ';
+      First = false;
+      Out += repr(Elem);
+    }
+    Out += O.Exec ? '}' : ']';
+    return Out;
+  }
+  case Type::Dict: {
+    std::string Out = "<<";
+    for (const auto &[Key, Value] : O.DictVal->Entries) {
+      Out += " /" + Key + " ";
+      Out += repr(Value);
+    }
+    Out += " >>";
+    return Out;
+  }
+  default:
+    return cvsText(O);
+  }
+}

@@ -1,0 +1,221 @@
+//===- postscript/object.h - PostScript object model -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Objects for ldb's embedded PostScript dialect (paper Sec 2, 5). The
+/// dialect omits font and imaging types and operators but adds debugging
+/// types: abstract memories and locations. Following the paper's changes
+/// for embedding: strings are immutable, there are no save/restore
+/// operators, no substrings or subarrays, and interpreter errors surface
+/// as error values rather than exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_POSTSCRIPT_OBJECT_H
+#define LDB_POSTSCRIPT_OBJECT_H
+
+#include "mem/location.h"
+#include "mem/memory.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ldb::ps {
+
+class Interp;
+struct Object;
+
+/// Outcome of executing one object: normal completion, the non-local exits
+/// of the stop / exit / quit operators, or an error (recorded in the
+/// interpreter and caught by stopped).
+enum class PsStatus : uint8_t { Ok, Stop, Exit, Quit, Failed };
+
+enum class Type : uint8_t {
+  Null,
+  Mark,
+  Bool,
+  Int,
+  Real,
+  Name,
+  String,
+  Array,
+  Dict,
+  Operator,
+  Memory,   ///< debugging extension: an abstract memory
+  Location, ///< debugging extension: a location within an abstract memory
+  File,     ///< an input stream of PostScript tokens
+};
+
+/// Returns e.g. "integertype" for Type::Int (the names the type operator
+/// pushes).
+const char *typeName(Type Ty);
+
+using ArrayImpl = std::vector<Object>;
+
+struct DictImpl {
+  std::map<std::string, Object> Entries;
+};
+
+struct OperatorImpl {
+  std::string Name;
+  std::function<PsStatus(Interp &)> Fn;
+};
+
+/// A character source for the scanner; files and executable strings read
+/// through this. next() returns -1 at end of input.
+class CharSource {
+public:
+  virtual ~CharSource();
+  virtual int next() = 0;
+};
+
+class StringCharSource : public CharSource {
+public:
+  explicit StringCharSource(std::string Text) : Text(std::move(Text)) {}
+  int next() override {
+    if (Pos >= Text.size())
+      return -1;
+    return static_cast<unsigned char>(Text[Pos++]);
+  }
+
+private:
+  std::string Text;
+  size_t Pos = 0;
+};
+
+/// Reads characters from a callback; used to execute tokens straight off a
+/// pipe from the expression server ("cvx stopped" applied to the open pipe,
+/// paper Sec 3).
+class CallbackCharSource : public CharSource {
+public:
+  explicit CallbackCharSource(std::function<int()> Fn) : Fn(std::move(Fn)) {}
+  int next() override { return Fn(); }
+
+private:
+  std::function<int()> Fn;
+};
+
+/// A PostScript object: a tagged value plus the literal/executable
+/// attribute. Composite objects share their storage, as in PostScript.
+struct Object {
+  Type Ty = Type::Null;
+  bool Exec = false;
+
+  int64_t IntVal = 0;
+  double RealVal = 0;
+  bool BoolVal = false;
+  std::shared_ptr<const std::string> StrVal; // String and Name text
+  std::shared_ptr<ArrayImpl> ArrVal;
+  std::shared_ptr<DictImpl> DictVal;
+  std::shared_ptr<OperatorImpl> OpVal;
+  mem::MemoryRef MemVal;
+  mem::Location LocVal;
+  std::shared_ptr<CharSource> FileVal;
+
+  static Object makeNull() { return Object(); }
+  static Object makeMark() {
+    Object O;
+    O.Ty = Type::Mark;
+    return O;
+  }
+  static Object makeBool(bool V) {
+    Object O;
+    O.Ty = Type::Bool;
+    O.BoolVal = V;
+    return O;
+  }
+  static Object makeInt(int64_t V) {
+    Object O;
+    O.Ty = Type::Int;
+    O.IntVal = V;
+    return O;
+  }
+  static Object makeReal(double V) {
+    Object O;
+    O.Ty = Type::Real;
+    O.RealVal = V;
+    return O;
+  }
+  static Object makeName(std::string Text, bool Exec) {
+    Object O;
+    O.Ty = Type::Name;
+    O.Exec = Exec;
+    O.StrVal = std::make_shared<const std::string>(std::move(Text));
+    return O;
+  }
+  static Object makeString(std::string Text) {
+    Object O;
+    O.Ty = Type::String;
+    O.StrVal = std::make_shared<const std::string>(std::move(Text));
+    return O;
+  }
+  static Object makeArray(std::shared_ptr<ArrayImpl> Impl, bool Exec = false) {
+    Object O;
+    O.Ty = Type::Array;
+    O.Exec = Exec;
+    O.ArrVal = std::move(Impl);
+    return O;
+  }
+  static Object makeDict(std::shared_ptr<DictImpl> Impl) {
+    Object O;
+    O.Ty = Type::Dict;
+    O.DictVal = std::move(Impl);
+    return O;
+  }
+  static Object makeOperator(std::string Name,
+                             std::function<PsStatus(Interp &)> Fn) {
+    Object O;
+    O.Ty = Type::Operator;
+    O.Exec = true;
+    O.OpVal = std::make_shared<OperatorImpl>(
+        OperatorImpl{std::move(Name), std::move(Fn)});
+    return O;
+  }
+  static Object makeMemory(mem::MemoryRef M) {
+    Object O;
+    O.Ty = Type::Memory;
+    O.MemVal = std::move(M);
+    return O;
+  }
+  static Object makeLocation(mem::Location Loc) {
+    Object O;
+    O.Ty = Type::Location;
+    O.LocVal = Loc;
+    return O;
+  }
+  static Object makeFile(std::shared_ptr<CharSource> Src) {
+    Object O;
+    O.Ty = Type::File;
+    O.Exec = true;
+    O.FileVal = std::move(Src);
+    return O;
+  }
+
+  bool isNumber() const { return Ty == Type::Int || Ty == Type::Real; }
+  double numberValue() const {
+    return Ty == Type::Int ? static_cast<double>(IntVal) : RealVal;
+  }
+  const std::string &text() const { return *StrVal; }
+
+  /// Value equality as used by eq / dict keys: numbers compare by value,
+  /// strings and names by text, composites by identity.
+  bool equals(const Object &O) const;
+};
+
+/// Renders an object the way the == operator would (arrays and dicts
+/// recursively, strings parenthesised).
+std::string repr(const Object &O);
+
+/// Renders an object the way cvs / = would (strings bare).
+std::string cvsText(const Object &O);
+
+} // namespace ldb::ps
+
+#endif // LDB_POSTSCRIPT_OBJECT_H

@@ -1,0 +1,1023 @@
+//===- postscript/ops.cpp - core operator set ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-independent core operators: stack manipulation, arithmetic,
+/// relational and boolean operators, dictionaries, arrays, control flow,
+/// and conversions. Dialect deviations from Adobe PostScript (paper Sec 5):
+/// strings are immutable (put on a string is an error), there are no
+/// save/restore, no substrings or subarrays, cvs takes one operand and
+/// returns a fresh string, and errors are values caught by stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+#include "postscript/scanner.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+#define POP(Var)                                                              \
+  Object Var;                                                                 \
+  if (PsStatus S_##Var = I.pop(Var); S_##Var != PsStatus::Ok)                 \
+  return S_##Var
+#define POP_INT(Var)                                                          \
+  int64_t Var;                                                                \
+  if (PsStatus S_##Var = I.popInt(Var); S_##Var != PsStatus::Ok)              \
+  return S_##Var
+#define POP_BOOL(Var)                                                         \
+  bool Var;                                                                   \
+  if (PsStatus S_##Var = I.popBool(Var); S_##Var != PsStatus::Ok)             \
+  return S_##Var
+#define POP_DICT(Var)                                                         \
+  Object Var;                                                                 \
+  if (PsStatus S_##Var = I.popDict(Var); S_##Var != PsStatus::Ok)             \
+  return S_##Var
+#define POP_PROC(Var)                                                         \
+  Object Var;                                                                 \
+  if (PsStatus S_##Var = I.popProc(Var); S_##Var != PsStatus::Ok)             \
+  return S_##Var
+
+//===----------------------------------------------------------------------===//
+// Stack manipulation
+//===----------------------------------------------------------------------===//
+
+PsStatus opPop(Interp &I) {
+  POP(O);
+  return PsStatus::Ok;
+}
+
+PsStatus opExch(Interp &I) {
+  POP(B);
+  POP(A);
+  I.push(std::move(B));
+  I.push(std::move(A));
+  return PsStatus::Ok;
+}
+
+PsStatus opDup(Interp &I) {
+  POP(O);
+  I.push(O);
+  I.push(std::move(O));
+  return PsStatus::Ok;
+}
+
+PsStatus opCopy(Interp &I) {
+  POP_INT(N);
+  auto &Stack = I.opStack();
+  if (N < 0 || static_cast<size_t>(N) > Stack.size())
+    return I.fail("bad copy count");
+  size_t Base = Stack.size() - static_cast<size_t>(N);
+  for (int64_t K = 0; K < N; ++K)
+    Stack.push_back(Stack[Base + static_cast<size_t>(K)]);
+  return PsStatus::Ok;
+}
+
+PsStatus opIndex(Interp &I) {
+  POP_INT(N);
+  auto &Stack = I.opStack();
+  if (N < 0 || static_cast<size_t>(N) >= Stack.size())
+    return I.fail("index out of range");
+  I.push(Stack[Stack.size() - 1 - static_cast<size_t>(N)]);
+  return PsStatus::Ok;
+}
+
+PsStatus opRoll(Interp &I) {
+  POP_INT(J);
+  POP_INT(N);
+  auto &Stack = I.opStack();
+  if (N < 0 || static_cast<size_t>(N) > Stack.size())
+    return I.fail("bad roll count");
+  if (N == 0)
+    return PsStatus::Ok;
+  size_t Base = Stack.size() - static_cast<size_t>(N);
+  int64_t Shift = ((J % N) + N) % N;
+  std::rotate(Stack.begin() + Base,
+              Stack.begin() + Base + static_cast<size_t>(N - Shift),
+              Stack.end());
+  return PsStatus::Ok;
+}
+
+PsStatus opClear(Interp &I) {
+  I.opStack().clear();
+  return PsStatus::Ok;
+}
+
+PsStatus opCount(Interp &I) {
+  I.push(Object::makeInt(static_cast<int64_t>(I.opStack().size())));
+  return PsStatus::Ok;
+}
+
+PsStatus opMark(Interp &I) {
+  I.push(Object::makeMark());
+  return PsStatus::Ok;
+}
+
+/// Index from the top of the stack of the topmost mark, or -1.
+int64_t findMark(Interp &I) {
+  auto &Stack = I.opStack();
+  for (size_t K = 0; K < Stack.size(); ++K)
+    if (Stack[Stack.size() - 1 - K].Ty == Type::Mark)
+      return static_cast<int64_t>(K);
+  return -1;
+}
+
+PsStatus opClearToMark(Interp &I) {
+  int64_t K = findMark(I);
+  if (K < 0)
+    return I.fail("no mark on stack");
+  I.opStack().resize(I.opStack().size() - static_cast<size_t>(K) - 1);
+  return PsStatus::Ok;
+}
+
+PsStatus opCountToMark(Interp &I) {
+  int64_t K = findMark(I);
+  if (K < 0)
+    return I.fail("no mark on stack");
+  I.push(Object::makeInt(K));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+template <typename IntFn, typename RealFn>
+PsStatus binaryArith(Interp &I, IntFn IF, RealFn RF) {
+  POP(B);
+  POP(A);
+  if (!A.isNumber() || !B.isNumber())
+    return I.fail("expected two numbers");
+  if (A.Ty == Type::Int && B.Ty == Type::Int) {
+    I.push(Object::makeInt(IF(A.IntVal, B.IntVal)));
+    return PsStatus::Ok;
+  }
+  I.push(Object::makeReal(RF(A.numberValue(), B.numberValue())));
+  return PsStatus::Ok;
+}
+
+PsStatus opAdd(Interp &I) {
+  return binaryArith(
+      I, [](int64_t A, int64_t B) { return A + B; },
+      [](double A, double B) { return A + B; });
+}
+
+PsStatus opSub(Interp &I) {
+  return binaryArith(
+      I, [](int64_t A, int64_t B) { return A - B; },
+      [](double A, double B) { return A - B; });
+}
+
+PsStatus opMul(Interp &I) {
+  return binaryArith(
+      I, [](int64_t A, int64_t B) { return A * B; },
+      [](double A, double B) { return A * B; });
+}
+
+PsStatus opDiv(Interp &I) {
+  POP(B);
+  POP(A);
+  if (!A.isNumber() || !B.isNumber())
+    return I.fail("expected two numbers");
+  if (B.numberValue() == 0)
+    return I.fail("division by zero");
+  I.push(Object::makeReal(A.numberValue() / B.numberValue()));
+  return PsStatus::Ok;
+}
+
+PsStatus opIDiv(Interp &I) {
+  POP_INT(B);
+  POP_INT(A);
+  if (B == 0)
+    return I.fail("division by zero");
+  I.push(Object::makeInt(A / B));
+  return PsStatus::Ok;
+}
+
+PsStatus opMod(Interp &I) {
+  POP_INT(B);
+  POP_INT(A);
+  if (B == 0)
+    return I.fail("division by zero");
+  I.push(Object::makeInt(A % B));
+  return PsStatus::Ok;
+}
+
+PsStatus opNeg(Interp &I) {
+  POP(A);
+  if (A.Ty == Type::Int)
+    I.push(Object::makeInt(-A.IntVal));
+  else if (A.Ty == Type::Real)
+    I.push(Object::makeReal(-A.RealVal));
+  else
+    return I.fail("expected a number");
+  return PsStatus::Ok;
+}
+
+PsStatus opAbs(Interp &I) {
+  POP(A);
+  if (A.Ty == Type::Int)
+    I.push(Object::makeInt(A.IntVal < 0 ? -A.IntVal : A.IntVal));
+  else if (A.Ty == Type::Real)
+    I.push(Object::makeReal(std::fabs(A.RealVal)));
+  else
+    return I.fail("expected a number");
+  return PsStatus::Ok;
+}
+
+PsStatus opBitshift(Interp &I) {
+  POP_INT(Shift);
+  POP_INT(Value);
+  uint64_t U = static_cast<uint64_t>(Value);
+  if (Shift >= 0)
+    I.push(Object::makeInt(static_cast<int64_t>(U << (Shift & 63))));
+  else
+    I.push(Object::makeInt(static_cast<int64_t>(U >> ((-Shift) & 63))));
+  return PsStatus::Ok;
+}
+
+/// Sign-extends the low N bits of an integer; used by printers to recover
+/// signed values from zero-extended fetches.
+PsStatus opSignedBits(Interp &I) {
+  POP_INT(Bits);
+  POP_INT(Value);
+  if (Bits <= 0 || Bits > 64)
+    return I.fail("bad bit count");
+  uint64_t U = static_cast<uint64_t>(Value);
+  if (Bits < 64) {
+    uint64_t Sign = uint64_t(1) << (Bits - 1);
+    U &= (uint64_t(1) << Bits) - 1;
+    U = (U ^ Sign) - Sign;
+  }
+  I.push(Object::makeInt(static_cast<int64_t>(U)));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean / bitwise
+//===----------------------------------------------------------------------===//
+
+template <typename BoolFn, typename IntFn>
+PsStatus logical(Interp &I, BoolFn BF, IntFn IF) {
+  POP(B);
+  POP(A);
+  if (A.Ty == Type::Bool && B.Ty == Type::Bool) {
+    I.push(Object::makeBool(BF(A.BoolVal, B.BoolVal)));
+    return PsStatus::Ok;
+  }
+  if (A.Ty == Type::Int && B.Ty == Type::Int) {
+    I.push(Object::makeInt(IF(A.IntVal, B.IntVal)));
+    return PsStatus::Ok;
+  }
+  return I.fail("expected two booleans or two integers");
+}
+
+PsStatus opAnd(Interp &I) {
+  return logical(
+      I, [](bool A, bool B) { return A && B; },
+      [](int64_t A, int64_t B) { return A & B; });
+}
+
+PsStatus opOr(Interp &I) {
+  return logical(
+      I, [](bool A, bool B) { return A || B; },
+      [](int64_t A, int64_t B) { return A | B; });
+}
+
+PsStatus opXor(Interp &I) {
+  return logical(
+      I, [](bool A, bool B) { return A != B; },
+      [](int64_t A, int64_t B) { return A ^ B; });
+}
+
+PsStatus opNot(Interp &I) {
+  POP(A);
+  if (A.Ty == Type::Bool)
+    I.push(Object::makeBool(!A.BoolVal));
+  else if (A.Ty == Type::Int)
+    I.push(Object::makeInt(~A.IntVal));
+  else
+    return I.fail("expected a boolean or integer");
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Relational
+//===----------------------------------------------------------------------===//
+
+PsStatus opEq(Interp &I) {
+  POP(B);
+  POP(A);
+  I.push(Object::makeBool(A.equals(B)));
+  return PsStatus::Ok;
+}
+
+PsStatus opNe(Interp &I) {
+  POP(B);
+  POP(A);
+  I.push(Object::makeBool(!A.equals(B)));
+  return PsStatus::Ok;
+}
+
+template <typename Cmp> PsStatus ordered(Interp &I, Cmp C) {
+  POP(B);
+  POP(A);
+  if (A.isNumber() && B.isNumber()) {
+    I.push(Object::makeBool(C(A.numberValue(), B.numberValue())));
+    return PsStatus::Ok;
+  }
+  if ((A.Ty == Type::String || A.Ty == Type::Name) &&
+      (B.Ty == Type::String || B.Ty == Type::Name)) {
+    I.push(Object::makeBool(C(A.text().compare(B.text()), 0)));
+    return PsStatus::Ok;
+  }
+  return I.fail("expected two numbers or two strings");
+}
+
+PsStatus opLt(Interp &I) {
+  return ordered(I, [](auto A, auto B) { return A < B; });
+}
+PsStatus opLe(Interp &I) {
+  return ordered(I, [](auto A, auto B) { return A <= B; });
+}
+PsStatus opGt(Interp &I) {
+  return ordered(I, [](auto A, auto B) { return A > B; });
+}
+PsStatus opGe(Interp &I) {
+  return ordered(I, [](auto A, auto B) { return A >= B; });
+}
+
+//===----------------------------------------------------------------------===//
+// Control
+//===----------------------------------------------------------------------===//
+
+PsStatus opExec(Interp &I) {
+  POP(O);
+  return I.exec(O);
+}
+
+PsStatus opIf(Interp &I) {
+  POP_PROC(Proc);
+  POP_BOOL(Cond);
+  if (Cond)
+    return I.exec(Proc);
+  return PsStatus::Ok;
+}
+
+PsStatus opIfElse(Interp &I) {
+  POP_PROC(Else);
+  POP_PROC(Then);
+  POP_BOOL(Cond);
+  return I.exec(Cond ? Then : Else);
+}
+
+/// Runs a loop body, translating Exit into normal completion.
+PsStatus runBody(Interp &I, const Object &Proc, bool &Stop) {
+  PsStatus S = I.exec(Proc);
+  Stop = false;
+  if (S == PsStatus::Exit) {
+    Stop = true;
+    return PsStatus::Ok;
+  }
+  return S;
+}
+
+PsStatus opFor(Interp &I) {
+  POP_PROC(Proc);
+  POP(Limit);
+  POP(Incr);
+  POP(Init);
+  if (!Limit.isNumber() || !Incr.isNumber() || !Init.isNumber())
+    return I.fail("expected numeric loop bounds");
+  bool Ints = Limit.Ty == Type::Int && Incr.Ty == Type::Int &&
+              Init.Ty == Type::Int;
+  double Control = Init.numberValue();
+  double Step = Incr.numberValue();
+  double Bound = Limit.numberValue();
+  for (;;) {
+    if (Step >= 0 ? Control > Bound : Control < Bound)
+      return PsStatus::Ok;
+    if (Ints)
+      I.push(Object::makeInt(static_cast<int64_t>(Control)));
+    else
+      I.push(Object::makeReal(Control));
+    bool Stop;
+    if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+      return S;
+    if (Stop)
+      return PsStatus::Ok;
+    Control += Step;
+  }
+}
+
+PsStatus opRepeat(Interp &I) {
+  POP_PROC(Proc);
+  POP_INT(N);
+  for (int64_t K = 0; K < N; ++K) {
+    bool Stop;
+    if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+      return S;
+    if (Stop)
+      return PsStatus::Ok;
+  }
+  return PsStatus::Ok;
+}
+
+PsStatus opLoop(Interp &I) {
+  POP_PROC(Proc);
+  for (;;) {
+    bool Stop;
+    if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+      return S;
+    if (Stop)
+      return PsStatus::Ok;
+  }
+}
+
+PsStatus opForall(Interp &I) {
+  POP_PROC(Proc);
+  POP(Coll);
+  switch (Coll.Ty) {
+  case Type::Array: {
+    for (const Object &Elem : *Coll.ArrVal) {
+      I.push(Elem);
+      bool Stop;
+      if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+        return S;
+      if (Stop)
+        return PsStatus::Ok;
+    }
+    return PsStatus::Ok;
+  }
+  case Type::String: {
+    for (char C : Coll.text()) {
+      I.push(Object::makeInt(static_cast<unsigned char>(C)));
+      bool Stop;
+      if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+        return S;
+      if (Stop)
+        return PsStatus::Ok;
+    }
+    return PsStatus::Ok;
+  }
+  case Type::Dict: {
+    // Iterate a snapshot so the body may modify the dict.
+    std::vector<std::pair<std::string, Object>> Snapshot(
+        Coll.DictVal->Entries.begin(), Coll.DictVal->Entries.end());
+    for (auto &[Key, Value] : Snapshot) {
+      I.push(Object::makeName(Key, /*Exec=*/false));
+      I.push(Value);
+      bool Stop;
+      if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
+        return S;
+      if (Stop)
+        return PsStatus::Ok;
+    }
+    return PsStatus::Ok;
+  }
+  default:
+    return I.fail("forall needs an array, string, or dict");
+  }
+}
+
+PsStatus opExit(Interp &) { return PsStatus::Exit; }
+PsStatus opStop(Interp &) { return PsStatus::Stop; }
+PsStatus opQuit(Interp &) { return PsStatus::Quit; }
+
+} // namespace
+
+namespace ldb::ps {
+
+PsStatus opStopped(Interp &I) {
+  Object Proc;
+  if (PsStatus S = I.pop(Proc); S != PsStatus::Ok)
+    return S;
+  PsStatus S = I.exec(Proc);
+  if (S == PsStatus::Stop || S == PsStatus::Failed) {
+    I.push(Object::makeBool(true));
+    return PsStatus::Ok;
+  }
+  if (S != PsStatus::Ok)
+    return S; // exit and quit propagate
+  I.push(Object::makeBool(false));
+  return PsStatus::Ok;
+}
+
+} // namespace ldb::ps
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Conversions and type inspection
+//===----------------------------------------------------------------------===//
+
+PsStatus opType(Interp &I) {
+  POP(O);
+  I.push(Object::makeName(typeName(O.Ty), /*Exec=*/false));
+  return PsStatus::Ok;
+}
+
+PsStatus opCvx(Interp &I) {
+  POP(O);
+  O.Exec = true;
+  I.push(std::move(O));
+  return PsStatus::Ok;
+}
+
+PsStatus opCvlit(Interp &I) {
+  POP(O);
+  O.Exec = false;
+  I.push(std::move(O));
+  return PsStatus::Ok;
+}
+
+PsStatus opXcheck(Interp &I) {
+  POP(O);
+  I.push(Object::makeBool(O.Exec));
+  return PsStatus::Ok;
+}
+
+PsStatus opCvi(Interp &I) {
+  POP(O);
+  if (O.Ty == Type::Int) {
+    I.push(std::move(O));
+    return PsStatus::Ok;
+  }
+  if (O.Ty == Type::Real) {
+    I.push(Object::makeInt(static_cast<int64_t>(O.RealVal)));
+    return PsStatus::Ok;
+  }
+  if (O.Ty == Type::String) {
+    Object Num;
+    if (!parsePsNumber(O.text(), Num))
+      return I.fail("cannot convert string to number: " + O.text());
+    if (Num.Ty == Type::Real)
+      Num = Object::makeInt(static_cast<int64_t>(Num.RealVal));
+    I.push(std::move(Num));
+    return PsStatus::Ok;
+  }
+  return I.fail("cvi needs a number or string");
+}
+
+PsStatus opCvr(Interp &I) {
+  POP(O);
+  if (O.Ty == Type::Real) {
+    I.push(std::move(O));
+    return PsStatus::Ok;
+  }
+  if (O.Ty == Type::Int) {
+    I.push(Object::makeReal(static_cast<double>(O.IntVal)));
+    return PsStatus::Ok;
+  }
+  if (O.Ty == Type::String) {
+    Object Num;
+    if (!parsePsNumber(O.text(), Num))
+      return I.fail("cannot convert string to number: " + O.text());
+    if (Num.Ty == Type::Int)
+      Num = Object::makeReal(static_cast<double>(Num.IntVal));
+    I.push(std::move(Num));
+    return PsStatus::Ok;
+  }
+  return I.fail("cvr needs a number or string");
+}
+
+PsStatus opCvn(Interp &I) {
+  POP(O);
+  if (O.Ty != Type::String)
+    return I.fail("cvn needs a string");
+  I.push(Object::makeName(O.text(), O.Exec));
+  return PsStatus::Ok;
+}
+
+PsStatus opCvs(Interp &I) {
+  POP(O);
+  I.push(Object::makeString(cvsText(O)));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Dictionaries
+//===----------------------------------------------------------------------===//
+
+PsStatus opDict(Interp &I) {
+  POP_INT(Capacity);
+  (void)Capacity;
+  I.push(Object::makeDict(std::make_shared<DictImpl>()));
+  return PsStatus::Ok;
+}
+
+PsStatus opBegin(Interp &I) {
+  POP_DICT(D);
+  I.dictStack().push_back(std::move(D));
+  return PsStatus::Ok;
+}
+
+PsStatus opEnd(Interp &I) {
+  // The bottom two (systemdict, userdict) are permanent.
+  if (I.dictStack().size() <= 2)
+    return I.fail("dictionary stack underflow");
+  I.dictStack().pop_back();
+  return PsStatus::Ok;
+}
+
+PsStatus opDef(Interp &I) {
+  POP(Value);
+  POP(Key);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("def needs a name key");
+  I.defineCurrent(Key.text(), std::move(Value));
+  return PsStatus::Ok;
+}
+
+PsStatus opLoad(Interp &I) {
+  POP(Key);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("load needs a name");
+  Object Value;
+  if (!I.lookup(Key.text(), Value))
+    return I.fail("undefined name: " + Key.text());
+  I.push(std::move(Value));
+  return PsStatus::Ok;
+}
+
+PsStatus opStore(Interp &I) {
+  POP(Value);
+  POP(Key);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("store needs a name key");
+  for (auto It = I.dictStack().rbegin(); It != I.dictStack().rend(); ++It) {
+    auto &Entries = It->DictVal->Entries;
+    auto Found = Entries.find(Key.text());
+    if (Found != Entries.end()) {
+      Found->second = std::move(Value);
+      return PsStatus::Ok;
+    }
+  }
+  I.defineCurrent(Key.text(), std::move(Value));
+  return PsStatus::Ok;
+}
+
+PsStatus opKnown(Interp &I) {
+  POP(Key);
+  POP_DICT(D);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("known needs a name key");
+  I.push(Object::makeBool(D.DictVal->Entries.count(Key.text()) != 0));
+  return PsStatus::Ok;
+}
+
+PsStatus opWhere(Interp &I) {
+  POP(Key);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("where needs a name");
+  for (auto It = I.dictStack().rbegin(); It != I.dictStack().rend(); ++It) {
+    if (It->DictVal->Entries.count(Key.text())) {
+      I.push(*It);
+      I.push(Object::makeBool(true));
+      return PsStatus::Ok;
+    }
+  }
+  I.push(Object::makeBool(false));
+  return PsStatus::Ok;
+}
+
+PsStatus opCurrentDict(Interp &I) {
+  I.push(I.dictStack().back());
+  return PsStatus::Ok;
+}
+
+PsStatus opUndef(Interp &I) {
+  POP(Key);
+  POP_DICT(D);
+  if (Key.Ty != Type::Name && Key.Ty != Type::String)
+    return I.fail("undef needs a name key");
+  D.DictVal->Entries.erase(Key.text());
+  return PsStatus::Ok;
+}
+
+PsStatus opDictToMark(Interp &I) {
+  int64_t K = findMark(I);
+  if (K < 0)
+    return I.fail("no mark on stack for >>");
+  if (K % 2 != 0)
+    return I.fail("odd number of operands between << and >>");
+  auto Impl = std::make_shared<DictImpl>();
+  auto &Stack = I.opStack();
+  size_t Base = Stack.size() - static_cast<size_t>(K);
+  for (size_t P = Base; P + 1 < Stack.size(); P += 2) {
+    Object &Key = Stack[P];
+    Object &Value = Stack[P + 1];
+    if (Key.Ty != Type::Name && Key.Ty != Type::String)
+      return I.fail("dict keys must be names");
+    Impl->Entries[Key.text()] = Value;
+  }
+  Stack.resize(Base - 1); // Drop the mark too.
+  I.push(Object::makeDict(std::move(Impl)));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays (and polymorphic get / put / length)
+//===----------------------------------------------------------------------===//
+
+PsStatus opArray(Interp &I) {
+  POP_INT(N);
+  if (N < 0)
+    return I.fail("bad array length");
+  auto Impl = std::make_shared<ArrayImpl>(static_cast<size_t>(N));
+  I.push(Object::makeArray(std::move(Impl)));
+  return PsStatus::Ok;
+}
+
+PsStatus opArrayClose(Interp &I) {
+  int64_t K = findMark(I);
+  if (K < 0)
+    return I.fail("no mark on stack for ]");
+  auto &Stack = I.opStack();
+  size_t Base = Stack.size() - static_cast<size_t>(K);
+  auto Impl = std::make_shared<ArrayImpl>(Stack.begin() + Base, Stack.end());
+  Stack.resize(Base - 1); // Drop the mark too.
+  I.push(Object::makeArray(std::move(Impl)));
+  return PsStatus::Ok;
+}
+
+PsStatus opGet(Interp &I) {
+  POP(Key);
+  POP(Coll);
+  switch (Coll.Ty) {
+  case Type::Dict: {
+    if (Key.Ty != Type::Name && Key.Ty != Type::String)
+      return I.fail("dict get needs a name key");
+    auto Found = Coll.DictVal->Entries.find(Key.text());
+    if (Found == Coll.DictVal->Entries.end())
+      return I.fail("undefined dict key: " + Key.text());
+    I.push(Found->second);
+    return PsStatus::Ok;
+  }
+  case Type::Array: {
+    if (Key.Ty != Type::Int)
+      return I.fail("array get needs an integer index");
+    if (Key.IntVal < 0 ||
+        static_cast<size_t>(Key.IntVal) >= Coll.ArrVal->size())
+      return I.fail("array index out of range");
+    I.push((*Coll.ArrVal)[static_cast<size_t>(Key.IntVal)]);
+    return PsStatus::Ok;
+  }
+  case Type::String: {
+    if (Key.Ty != Type::Int)
+      return I.fail("string get needs an integer index");
+    if (Key.IntVal < 0 ||
+        static_cast<size_t>(Key.IntVal) >= Coll.text().size())
+      return I.fail("string index out of range");
+    I.push(Object::makeInt(static_cast<unsigned char>(
+        Coll.text()[static_cast<size_t>(Key.IntVal)])));
+    return PsStatus::Ok;
+  }
+  default:
+    return I.fail("get needs a dict, array, or string");
+  }
+}
+
+PsStatus opPut(Interp &I) {
+  POP(Value);
+  POP(Key);
+  POP(Coll);
+  switch (Coll.Ty) {
+  case Type::Dict:
+    if (Key.Ty != Type::Name && Key.Ty != Type::String)
+      return I.fail("dict put needs a name key");
+    Coll.DictVal->Entries[Key.text()] = std::move(Value);
+    return PsStatus::Ok;
+  case Type::Array:
+    if (Key.Ty != Type::Int)
+      return I.fail("array put needs an integer index");
+    if (Key.IntVal < 0 ||
+        static_cast<size_t>(Key.IntVal) >= Coll.ArrVal->size())
+      return I.fail("array index out of range");
+    (*Coll.ArrVal)[static_cast<size_t>(Key.IntVal)] = std::move(Value);
+    return PsStatus::Ok;
+  case Type::String:
+    return I.fail("strings are immutable in this dialect");
+  default:
+    return I.fail("put needs a dict or array");
+  }
+}
+
+PsStatus opLength(Interp &I) {
+  POP(Coll);
+  switch (Coll.Ty) {
+  case Type::Dict:
+    I.push(Object::makeInt(
+        static_cast<int64_t>(Coll.DictVal->Entries.size())));
+    return PsStatus::Ok;
+  case Type::Array:
+    I.push(Object::makeInt(static_cast<int64_t>(Coll.ArrVal->size())));
+    return PsStatus::Ok;
+  case Type::String:
+  case Type::Name:
+    I.push(Object::makeInt(static_cast<int64_t>(Coll.text().size())));
+    return PsStatus::Ok;
+  default:
+    return I.fail("length needs a composite object");
+  }
+}
+
+PsStatus opALoad(Interp &I) {
+  POP(Arr);
+  if (Arr.Ty != Type::Array)
+    return I.fail("aload needs an array");
+  for (const Object &Elem : *Arr.ArrVal)
+    I.push(Elem);
+  I.push(std::move(Arr));
+  return PsStatus::Ok;
+}
+
+/// Concatenates two strings into a fresh immutable string (a dialect
+/// extension replacing mutable string building).
+PsStatus opConcat(Interp &I) {
+  POP(B);
+  POP(A);
+  if (A.Ty != Type::String || B.Ty != Type::String)
+    return I.fail("concat needs two strings");
+  I.push(Object::makeString(A.text() + B.text()));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// bind
+//===----------------------------------------------------------------------===//
+
+void bindProc(Interp &I, ArrayImpl &Body) {
+  for (Object &Elem : Body) {
+    if (Elem.Ty == Type::Name && Elem.Exec) {
+      Object Value;
+      if (I.lookup(Elem.text(), Value) && Value.Ty == Type::Operator)
+        Elem = Value;
+    } else if (Elem.Ty == Type::Array && Elem.Exec) {
+      bindProc(I, *Elem.ArrVal);
+    }
+  }
+}
+
+PsStatus opBind(Interp &I) {
+  POP(Proc);
+  if (Proc.Ty == Type::Array && Proc.Exec)
+    bindProc(I, *Proc.ArrVal);
+  I.push(std::move(Proc));
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Output
+//===----------------------------------------------------------------------===//
+
+PsStatus opSysWrite(Interp &I) {
+  std::string Text;
+  if (PsStatus S = I.popString(Text); S != PsStatus::Ok)
+    return S;
+  I.printer().put(Text);
+  return PsStatus::Ok;
+}
+
+PsStatus opEquals(Interp &I) {
+  POP(O);
+  I.printer().put(cvsText(O) + "\n");
+  return PsStatus::Ok;
+}
+
+PsStatus opEqualsEquals(Interp &I) {
+  POP(O);
+  I.printer().put(repr(O) + "\n");
+  return PsStatus::Ok;
+}
+
+PsStatus opPstack(Interp &I) {
+  auto &Stack = I.opStack();
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+    I.printer().put(repr(*It) + "\n");
+  return PsStatus::Ok;
+}
+
+PsStatus opLastError(Interp &I) {
+  I.push(Object::makeString(I.errorMessage()));
+  return PsStatus::Ok;
+}
+
+#undef POP
+#undef POP_INT
+#undef POP_BOOL
+#undef POP_DICT
+#undef POP_PROC
+
+} // namespace
+
+void ldb::ps::installCoreOps(Interp &I) {
+  // Stack.
+  I.defineSystem("pop", opPop);
+  I.defineSystem("exch", opExch);
+  I.defineSystem("dup", opDup);
+  I.defineSystem("copy", opCopy);
+  I.defineSystem("index", opIndex);
+  I.defineSystem("roll", opRoll);
+  I.defineSystem("clear", opClear);
+  I.defineSystem("count", opCount);
+  I.defineSystem("mark", opMark);
+  I.defineSystem("cleartomark", opClearToMark);
+  I.defineSystem("counttomark", opCountToMark);
+
+  // Arithmetic.
+  I.defineSystem("add", opAdd);
+  I.defineSystem("sub", opSub);
+  I.defineSystem("mul", opMul);
+  I.defineSystem("div", opDiv);
+  I.defineSystem("idiv", opIDiv);
+  I.defineSystem("mod", opMod);
+  I.defineSystem("neg", opNeg);
+  I.defineSystem("abs", opAbs);
+  I.defineSystem("bitshift", opBitshift);
+  I.defineSystem("signedbits", opSignedBits);
+
+  // Boolean / bitwise.
+  I.defineSystem("and", opAnd);
+  I.defineSystem("or", opOr);
+  I.defineSystem("xor", opXor);
+  I.defineSystem("not", opNot);
+  I.defineSystemValue("true", Object::makeBool(true));
+  I.defineSystemValue("false", Object::makeBool(false));
+  I.defineSystemValue("null", Object::makeNull());
+
+  // Relational.
+  I.defineSystem("eq", opEq);
+  I.defineSystem("ne", opNe);
+  I.defineSystem("lt", opLt);
+  I.defineSystem("le", opLe);
+  I.defineSystem("gt", opGt);
+  I.defineSystem("ge", opGe);
+
+  // Control.
+  I.defineSystem("exec", opExec);
+  I.defineSystem("if", opIf);
+  I.defineSystem("ifelse", opIfElse);
+  I.defineSystem("for", opFor);
+  I.defineSystem("repeat", opRepeat);
+  I.defineSystem("loop", opLoop);
+  I.defineSystem("forall", opForall);
+  I.defineSystem("exit", opExit);
+  I.defineSystem("stop", opStop);
+  I.defineSystem("stopped", opStopped);
+  I.defineSystem("quit", opQuit);
+
+  // Conversion / type inspection.
+  I.defineSystem("type", opType);
+  I.defineSystem("cvx", opCvx);
+  I.defineSystem("cvlit", opCvlit);
+  I.defineSystem("xcheck", opXcheck);
+  I.defineSystem("cvi", opCvi);
+  I.defineSystem("cvr", opCvr);
+  I.defineSystem("cvn", opCvn);
+  I.defineSystem("cvs", opCvs);
+
+  // Dictionaries.
+  I.defineSystem("dict", opDict);
+  I.defineSystem("begin", opBegin);
+  I.defineSystem("end", opEnd);
+  I.defineSystem("def", opDef);
+  I.defineSystem("load", opLoad);
+  I.defineSystem("store", opStore);
+  I.defineSystem("known", opKnown);
+  I.defineSystem("where", opWhere);
+  I.defineSystem("currentdict", opCurrentDict);
+  I.defineSystem("undef", opUndef);
+  I.defineSystem("<<", opMark);
+  I.defineSystem(">>", opDictToMark);
+  I.defineSystemValue("systemdict", I.systemDict());
+  I.defineSystemValue("userdict", I.userDict());
+
+  // Arrays and polymorphic collection operators.
+  I.defineSystem("array", opArray);
+  I.defineSystem("[", opMark);
+  I.defineSystem("]", opArrayClose);
+  I.defineSystem("get", opGet);
+  I.defineSystem("put", opPut);
+  I.defineSystem("length", opLength);
+  I.defineSystem("aload", opALoad);
+  I.defineSystem("concat", opConcat);
+  I.defineSystem("bind", opBind);
+
+  // Output and debugging aids.
+  I.defineSystem("syswrite", opSysWrite);
+  I.defineSystem("=", opEquals);
+  I.defineSystem("==", opEqualsEquals);
+  I.defineSystem("pstack", opPstack);
+  I.defineSystem("lasterror", opLastError);
+  I.defineSystemValue("version", Object::makeString("ldb-ps-1"));
+}

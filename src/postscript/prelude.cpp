@@ -1,0 +1,227 @@
+//===- postscript/prelude.cpp - machine-independent PostScript -----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "initial PostScript" ldb reads at startup (timed separately in the
+/// paper's Sec 7 table): the machine-independent value printers and the
+/// print dispatcher. Symbol tables reference these printers by name in
+/// their type dictionaries (/printer {INT} and so on, Sec 2); everything
+/// here is target-independent — the compiler puts any machine-dependent
+/// sizes and offsets *in the type dictionaries*, not in this code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+using namespace ldb::ps;
+
+namespace {
+
+const char PreludeText[] = R"PS(
+% ---- ldb machine-independent prelude -----------------------------------
+% Printer protocol: every printer is called with three operands:
+%     machine location typedict printer
+% where machine is an abstract memory for the stopped frame. Printers
+% consume all three and emit text through the prettyprinter (Put/Break).
+
+% print: the dispatcher. With a type dict on top it invokes the type's
+% printer; with a string on top it writes the string (the standard
+% PostScript behaviour).
+/print {
+  dup type /dicttype eq
+    { dup /printer get exec }
+    { syswrite }
+  ifelse
+} def
+
+% ---- scalar printers ----------------------------------------------------
+
+/INT {                         % machine loc type INT
+  pop 4 fetch 32 signedbits cvs Put
+} def
+
+/UNSIGNED {                    % machine loc type UNSIGNED
+  pop 4 fetch cvs Put
+} def
+
+/SHORT {
+  pop 2 fetch 16 signedbits cvs Put
+} def
+
+/USHORT {
+  pop 2 fetch cvs Put
+} def
+
+/SCHAR {                       % numeric value of a signed char
+  pop 1 fetch 8 signedbits cvs Put
+} def
+
+/CHAR {                        % character constant rendering
+  pop 1 fetch 8 signedbits
+  3 dict begin
+    /&v exch def
+    (') Put
+    &v 32 ge &v 127 lt and
+      { &v chr Put }
+      { (\\) Put &v 255 and cvs Put }
+    ifelse
+    (') Put
+  end
+} def
+
+/FLOAT {
+  pop 4 fetchf cvs Put
+} def
+
+/DOUBLE {
+  pop 8 fetchf cvs Put
+} def
+
+/LONGDOUBLE {
+  pop 10 fetchf cvs Put
+} def
+
+/POINTER {
+  pop 4 fetch hexstring Put
+} def
+
+% Function pointers: print the hex address, then the procedure name when
+% the target's loader table is available (procnameat is installed by ldb
+% while connected).
+/FUNCPTR {
+  pop 4 fetch
+  dup hexstring Put
+  /procnameat where
+    { pop ( ) Put (<) Put procnameat Put (>) Put }
+    { pop }
+  ifelse
+} def
+
+% ---- aggregate printers --------------------------------------------------
+% Array type dicts carry &elemtype, &elemsize (bytes per element), and
+% &arraysize (total bytes); struct type dicts carry &fields, an array of
+% << /name /offset /type >> descriptors. These keys are placed in the type
+% dictionaries by the compiler and used only by this code, never by ldb
+% proper (paper Sec 2).
+
+/ARRAY {                       % machine loc type ARRAY
+  8 dict begin
+    /&type exch def /&loc exch def /&machine exch def
+    /&elemtype &type /&elemtype get def
+    /&elemsize &type /&elemsize get def
+    /&arraysize &type /&arraysize get def
+    /&limit printlimit &elemsize mul def
+    ({) Put 2 Begin
+    0 &elemsize &arraysize 1 sub {
+      dup 0 ne { (, ) Put Break } if
+      dup &limit ge { (...) Put pop exit } if
+      &machine &loc 3 -1 roll Shifted &elemtype print
+    } for
+    (}) Put End
+  end
+} def
+
+% Character arrays print as string literals up to the element limit.
+/CHARARRAY {
+  8 dict begin
+    /&type exch def /&loc exch def /&machine exch def
+    /&arraysize &type /&arraysize get def
+    /&limit printlimit 4 mul def
+    (") Put
+    0 1 &arraysize 1 sub {
+      dup &limit ge { (...) Put pop exit } if
+      /&c &machine &loc 3 index Shifted 1 fetch def
+      &c 0 eq { pop exit } if
+      &c 32 ge &c 127 lt and { &c chr Put } { (.) Put } ifelse
+      pop
+    } for
+    (") Put
+  end
+} def
+
+/STRUCT {                      % machine loc type STRUCT
+  8 dict begin
+    /&type exch def /&loc exch def /&machine exch def
+    /&first true def
+    ({) Put 2 Begin
+    &type /&fields get {
+      /&f exch def
+      &first { /&first false def } { (, ) Put Break } ifelse
+      &f /name get Put (=) Put
+      &machine &loc &f /offset get Shifted &f /type get print
+    } forall
+    (}) Put End
+  end
+} def
+
+% ---- register display ----------------------------------------------------
+% PrintRegisters: machine PrintRegisters. Uses the machine-dependent
+% /RegisterNames array that each architecture dictionary supplies (the
+% "enumerate a target's registers" PostScript of paper Sec 4.3).
+
+/PrintRegisters {
+  6 dict begin
+    /&machine exch def
+    0 Begin
+    0 1 RegisterNames length 1 sub {
+      /&i exch def
+      RegisterNames &i get Put (=) Put
+      &machine &i Regset0 Absolute 4 fetch hexstring Put
+      &i RegisterNames length 1 sub ne { ( ) Put Break } if
+    } for
+    End (\n) Put
+  end
+} def
+
+% ---- misc helpers --------------------------------------------------------
+
+% DeferDef: used by deferred symbol tables. The body of a symbol-table
+% entry arrives as a *string*; it is lexed only if the entry is ever
+% needed. (name) (body) DeferDef binds name to the executable string.
+/DeferDef {
+  cvx exch cvn exch def
+} def
+
+% Sra / Srl: 32-bit arithmetic and logical right shifts for code the
+% expression server generates. v n Sra / v n Srl.
+/Sra {
+  4 dict begin
+    /&n exch def /&v exch 32 signedbits def
+    /&d 1 &n bitshift def
+    &v 0 ge { &v &d idiv } { &v &d 1 sub sub &d idiv } ifelse
+  end
+} def
+
+/Srl {
+  4 dict begin
+    /&n exch def 16#ffffffff and
+    1 &n bitshift idiv
+  end
+} def
+
+% MergeDict: dst src MergeDict -- copies every entry of src into dst.
+% Used to combine the top-level dictionaries of several compilation units
+% into one describing the whole program (paper Sec 2).
+/MergeDict {
+  { 2 index 3 1 roll put } forall pop
+} def
+
+% Force: resolve a deferred value. A literal name (a lazy reference from
+% a deferred table's containers) executes to its binding; an executable
+% string or procedure (a deferred entry body or where-value) executes to
+% its result; anything else is already a value.
+/Force {
+  dup type /nametype eq { cvx exec } if
+  dup xcheck { exec } if
+} def
+)PS";
+
+} // namespace
+
+const std::string &ldb::ps::prelude() {
+  static const std::string Text(PreludeText);
+  return Text;
+}

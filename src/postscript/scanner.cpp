@@ -1,0 +1,243 @@
+//===- postscript/scanner.cpp - PostScript tokenizer ---------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/scanner.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+bool isPsWhitespace(int C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+         C == '\0';
+}
+
+bool isPsDelimiter(int C) {
+  return C == '(' || C == ')' || C == '<' || C == '>' || C == '[' ||
+         C == ']' || C == '{' || C == '}' || C == '/' || C == '%';
+}
+
+Scanner::Result okResult(Object O) {
+  return Scanner::Result{Scanner::Kind::Obj, std::move(O), {}};
+}
+
+Scanner::Result errResult(std::string Message) {
+  return Scanner::Result{Scanner::Kind::Failed, Object(), std::move(Message)};
+}
+
+Scanner::Result eoiResult() {
+  return Scanner::Result{Scanner::Kind::EndOfInput, Object(), {}};
+}
+
+} // namespace
+
+int Scanner::getChar() {
+  if (Pushback != -2) {
+    int C = Pushback;
+    Pushback = -2;
+    return C;
+  }
+  return Src.next();
+}
+
+void Scanner::ungetChar(int C) { Pushback = C; }
+
+bool ldb::ps::parsePsNumber(const std::string &Token, Object &Out) {
+  if (Token.empty())
+    return false;
+  const char *Begin = Token.c_str();
+  char *End = nullptr;
+
+  // Radix form: base#digits, base in 2..36.
+  size_t Hash = Token.find('#');
+  if (Hash != std::string::npos) {
+    errno = 0;
+    long Base = std::strtol(Begin, &End, 10);
+    if (End != Begin + Hash || Base < 2 || Base > 36)
+      return false;
+    errno = 0;
+    unsigned long long Value =
+        std::strtoull(Begin + Hash + 1, &End, static_cast<int>(Base));
+    if (*End != '\0' || End == Begin + Hash + 1 || errno == ERANGE)
+      return false;
+    Out = Object::makeInt(static_cast<int64_t>(Value));
+    return true;
+  }
+
+  errno = 0;
+  long long IntValue = std::strtoll(Begin, &End, 10);
+  if (*End == '\0' && End != Begin && errno != ERANGE) {
+    Out = Object::makeInt(IntValue);
+    return true;
+  }
+
+  errno = 0;
+  double RealValue = std::strtod(Begin, &End);
+  if (*End == '\0' && End != Begin && errno != ERANGE) {
+    Out = Object::makeReal(RealValue);
+    return true;
+  }
+  return false;
+}
+
+Scanner::Result Scanner::scanString() {
+  // The opening '(' has been consumed. Balanced parens nest; backslash
+  // escapes \( \) \\ \n \t \r and octal \ddd; backslash-newline continues.
+  std::string Text;
+  int Depth = 1;
+  for (;;) {
+    int C = getChar();
+    if (C < 0)
+      return errResult("unterminated string");
+    if (C == '\\') {
+      int E = getChar();
+      switch (E) {
+      case 'n':
+        Text += '\n';
+        break;
+      case 't':
+        Text += '\t';
+        break;
+      case 'r':
+        Text += '\r';
+        break;
+      case '\n':
+        break; // Line continuation.
+      case -1:
+        return errResult("unterminated string escape");
+      default:
+        if (E >= '0' && E <= '7') {
+          int Value = E - '0';
+          for (int I = 0; I < 2; ++I) {
+            int D = getChar();
+            if (D < '0' || D > '7') {
+              ungetChar(D);
+              break;
+            }
+            Value = Value * 8 + (D - '0');
+          }
+          Text += static_cast<char>(Value);
+        } else {
+          Text += static_cast<char>(E);
+        }
+      }
+      continue;
+    }
+    if (C == '(')
+      ++Depth;
+    if (C == ')') {
+      if (--Depth == 0)
+        break;
+    }
+    Text += static_cast<char>(C);
+  }
+  return okResult(Object::makeString(std::move(Text)));
+}
+
+Scanner::Result Scanner::regularToken(int First) {
+  std::string Token(1, static_cast<char>(First));
+  for (;;) {
+    int C = getChar();
+    if (C < 0)
+      break;
+    if (isPsWhitespace(C) || isPsDelimiter(C)) {
+      ungetChar(C);
+      break;
+    }
+    Token += static_cast<char>(C);
+  }
+  Object Num;
+  if (parsePsNumber(Token, Num))
+    return okResult(Num);
+  return okResult(Object::makeName(std::move(Token), /*Exec=*/true));
+}
+
+Scanner::Result Scanner::scanProcedure() {
+  auto Body = std::make_shared<ArrayImpl>();
+  for (;;) {
+    bool RBrace = false;
+    Result R = nextToken(RBrace);
+    if (RBrace)
+      return okResult(Object::makeArray(std::move(Body), /*Exec=*/true));
+    if (R.K == Kind::EndOfInput)
+      return errResult("unterminated procedure: missing }");
+    if (R.K == Kind::Failed)
+      return R;
+    Body->push_back(std::move(R.O));
+  }
+}
+
+Scanner::Result Scanner::nextToken(bool &RBrace) {
+  RBrace = false;
+  for (;;) {
+    int C = getChar();
+    if (C < 0)
+      return eoiResult();
+    if (isPsWhitespace(C))
+      continue;
+    if (C == '%') {
+      while (C >= 0 && C != '\n')
+        C = getChar();
+      continue;
+    }
+    switch (C) {
+    case '(':
+      return scanString();
+    case ')':
+      return errResult("unmatched )");
+    case '{':
+      return scanProcedure();
+    case '}':
+      RBrace = true;
+      return okResult(Object());
+    case '[':
+    case ']':
+      return okResult(
+          Object::makeName(std::string(1, static_cast<char>(C)), true));
+    case '<': {
+      int N = getChar();
+      if (N == '<')
+        return okResult(Object::makeName("<<", true));
+      return errResult("hex strings are not in this dialect");
+    }
+    case '>': {
+      int N = getChar();
+      if (N == '>')
+        return okResult(Object::makeName(">>", true));
+      return errResult("unmatched >");
+    }
+    case '/': {
+      std::string Name;
+      for (;;) {
+        int D = getChar();
+        if (D < 0)
+          break;
+        if (isPsWhitespace(D) || isPsDelimiter(D)) {
+          ungetChar(D);
+          break;
+        }
+        Name += static_cast<char>(D);
+      }
+      return okResult(Object::makeName(std::move(Name), /*Exec=*/false));
+    }
+    default:
+      return regularToken(C);
+    }
+  }
+}
+
+Scanner::Result Scanner::next() {
+  bool RBrace = false;
+  Result R = nextToken(RBrace);
+  if (RBrace)
+    return errResult("unmatched }");
+  return R;
+}

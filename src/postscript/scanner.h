@@ -1,0 +1,59 @@
+//===- postscript/scanner.h - PostScript tokenizer -------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PostScript scanner. Scanning a parenthesised string only matches
+/// brackets and processes escapes — it does not tokenize the contents —
+/// which is what makes the paper's deferral technique work: "we can defer
+/// not only the interpretation but also the lexical analysis of PostScript
+/// code by quoting it with parentheses; the scanner reads the resulting
+/// string quickly" (Sec 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_POSTSCRIPT_SCANNER_H
+#define LDB_POSTSCRIPT_SCANNER_H
+
+#include "postscript/object.h"
+
+namespace ldb::ps {
+
+class Scanner {
+public:
+  enum class Kind { Obj, EndOfInput, Failed };
+
+  struct Result {
+    Kind K;
+    Object O;
+    std::string Message;
+  };
+
+  explicit Scanner(CharSource &Src) : Src(Src) {}
+
+  /// Scans the next object: a number, name, string, procedure, or one of
+  /// the self-delimiting names ([ ] << >>).
+  Result next();
+
+private:
+  Result nextToken(bool &RBrace);
+  Result scanString();
+  Result scanProcedure();
+  Result regularToken(int First);
+
+  int getChar();
+  void ungetChar(int C);
+
+  CharSource &Src;
+  int Pushback = -2;
+};
+
+/// Parses a PostScript numeric token (decimal integer, radix integer like
+/// 16#23d8, or real). Returns false if \p Token is not a number.
+bool parsePsNumber(const std::string &Token, Object &Out);
+
+} // namespace ldb::ps
+
+#endif // LDB_POSTSCRIPT_SCANNER_H

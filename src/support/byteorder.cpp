@@ -1,0 +1,37 @@
+//===- support/byteorder.cpp - endian-aware byte packing -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/byteorder.h"
+
+using namespace ldb;
+
+// The host long double must be x87-style 80-bit extended precision; the
+// packed wire layout is a 16-bit sign/exponent word followed by the 64-bit
+// significand, each in the requested byte order.
+static_assert(sizeof(long double) >= 10,
+              "host long double too small for 80-bit floats");
+
+void ldb::packF80(long double Value, uint8_t *Out, ByteOrder Order) {
+  uint8_t Raw[sizeof(long double)] = {0};
+  std::memcpy(Raw, &Value, 10);
+  // Host x87 layout is little-endian: significand first, then sign/exponent.
+  uint64_t Significand = unpackInt(Raw, 8, ByteOrder::Little);
+  uint16_t SignExp =
+      static_cast<uint16_t>(unpackInt(Raw + 8, 2, ByteOrder::Little));
+  packInt(SignExp, Out, 2, Order);
+  packInt(Significand, Out + 2, 8, Order);
+}
+
+long double ldb::unpackF80(const uint8_t *In, ByteOrder Order) {
+  uint16_t SignExp = static_cast<uint16_t>(unpackInt(In, 2, Order));
+  uint64_t Significand = unpackInt(In + 2, 8, Order);
+  uint8_t Raw[sizeof(long double)] = {0};
+  packInt(Significand, Raw, 8, ByteOrder::Little);
+  packInt(SignExp, Raw + 8, 2, ByteOrder::Little);
+  long double Value = 0;
+  std::memcpy(&Value, Raw, 10);
+  return Value;
+}

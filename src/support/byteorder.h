@@ -1,0 +1,98 @@
+//===- support/byteorder.h - endian-aware byte packing --------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-order conversion helpers. ldb's wire protocol is little-endian on
+/// every host/target combination (paper Sec 4.2); simulated targets are big-
+/// or little-endian. All multi-byte values cross module boundaries as byte
+/// vectors packed by these helpers, so the debugger proper never depends on
+/// host byte order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_BYTEORDER_H
+#define LDB_SUPPORT_BYTEORDER_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace ldb {
+
+enum class ByteOrder { Little, Big };
+
+/// Writes the low \p Size bytes of \p Value at \p Out in \p Order.
+inline void packInt(uint64_t Value, uint8_t *Out, unsigned Size,
+                    ByteOrder Order) {
+  for (unsigned I = 0; I < Size; ++I) {
+    unsigned Shift =
+        (Order == ByteOrder::Little) ? 8 * I : 8 * (Size - 1 - I);
+    Out[I] = static_cast<uint8_t>(Value >> Shift);
+  }
+}
+
+/// Reads \p Size bytes at \p In in \p Order as an unsigned integer.
+inline uint64_t unpackInt(const uint8_t *In, unsigned Size, ByteOrder Order) {
+  uint64_t Value = 0;
+  for (unsigned I = 0; I < Size; ++I) {
+    unsigned Shift =
+        (Order == ByteOrder::Little) ? 8 * I : 8 * (Size - 1 - I);
+    Value |= static_cast<uint64_t>(In[I]) << Shift;
+  }
+  return Value;
+}
+
+/// Sign-extends the low \p Bits bits of \p Value.
+inline int64_t signExtend(uint64_t Value, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(Value);
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  Value &= Mask;
+  uint64_t Sign = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>((Value ^ Sign) - Sign);
+}
+
+/// Packs an IEEE single into 4 bytes in \p Order.
+inline void packF32(float Value, uint8_t *Out, ByteOrder Order) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &Value, 4);
+  packInt(Bits, Out, 4, Order);
+}
+
+/// Packs an IEEE double into 8 bytes in \p Order.
+inline void packF64(double Value, uint8_t *Out, ByteOrder Order) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, 8);
+  packInt(Bits, Out, 8, Order);
+}
+
+inline float unpackF32(const uint8_t *In, ByteOrder Order) {
+  uint32_t Bits = static_cast<uint32_t>(unpackInt(In, 4, Order));
+  float Value;
+  std::memcpy(&Value, &Bits, 4);
+  return Value;
+}
+
+inline double unpackF64(const uint8_t *In, ByteOrder Order) {
+  uint64_t Bits = unpackInt(In, 8, Order);
+  double Value;
+  std::memcpy(&Value, &Bits, 8);
+  return Value;
+}
+
+/// Packs an 80-bit extended float (the 68020's long double; paper Sec 4.1
+/// supports three float sizes: 32, 64, and 80 bits) into 10 bytes.
+///
+/// Encoding: 1 sign bit + 15 exponent bits, then a 64-bit significand with
+/// explicit integer bit, matching the x87/68881 layout. The value travels
+/// as (sign/exponent 16-bit word, significand 64-bit word) each in \p Order.
+void packF80(long double Value, uint8_t *Out, ByteOrder Order);
+
+/// Reads a 10-byte extended float packed by packF80.
+long double unpackF80(const uint8_t *In, ByteOrder Order);
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_BYTEORDER_H

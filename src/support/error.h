@@ -1,0 +1,102 @@
+//===- support/error.h - lightweight error handling -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error and Expected<T>: a small exception-free error-handling scheme in
+/// the spirit of llvm::Error / llvm::Expected. The original ldb relied on
+/// Modula-3 exceptions; library code here instead returns these values and
+/// callers check them explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_ERROR_H
+#define LDB_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ldb {
+
+/// An error outcome: success, or failure with a human-readable message.
+///
+/// Messages follow the tool-diagnostic convention: lowercase first word,
+/// no trailing period.
+class Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Failed = true;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// True when this is a failure value.
+  explicit operator bool() const { return Failed; }
+
+  /// The failure message; empty for success values.
+  const std::string &message() const { return Message; }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Either a value of type \p T or an Error. Test with operator bool, then
+/// dereference on success or call takeError() on failure.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error E) : Storage(std::move(E)) {
+    assert(std::get<Error>(Storage) && "Expected built from success Error");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing failed Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing failed Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Moves the value out of a successful Expected.
+  T take() {
+    assert(*this && "taking value of failed Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+  /// Extracts the error from a failed Expected.
+  Error takeError() {
+    if (*this)
+      return Error::success();
+    return std::move(std::get<Error>(Storage));
+  }
+
+  /// The failure message (empty on success); convenience for diagnostics.
+  std::string message() const {
+    if (*this)
+      return std::string();
+    return std::get<Error>(Storage).message();
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_ERROR_H

@@ -1,0 +1,146 @@
+//===- support/lzw.cpp - LZW compression ---------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/lzw.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace ldb;
+
+namespace {
+
+constexpr unsigned MinBits = 9;
+constexpr unsigned MaxBits = 16;
+constexpr uint32_t FullCode = 1u << MaxBits;
+
+/// Packs variable-width codes least-significant-bit first, as compress(1)
+/// does.
+class BitWriter {
+public:
+  void write(uint32_t Value, unsigned Width) {
+    Acc |= static_cast<uint64_t>(Value) << Pending;
+    Pending += Width;
+    while (Pending >= 8) {
+      Bytes.push_back(static_cast<uint8_t>(Acc & 0xff));
+      Acc >>= 8;
+      Pending -= 8;
+    }
+  }
+
+  std::vector<uint8_t> finish() {
+    if (Pending > 0)
+      Bytes.push_back(static_cast<uint8_t>(Acc & 0xff));
+    return std::move(Bytes);
+  }
+
+private:
+  std::vector<uint8_t> Bytes;
+  uint64_t Acc = 0;
+  unsigned Pending = 0;
+};
+
+class BitReader {
+public:
+  explicit BitReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  /// Reads \p Width bits; returns false at end of stream.
+  bool read(unsigned Width, uint32_t &Value) {
+    while (Pending < Width) {
+      if (Next >= Bytes.size())
+        return false;
+      Acc |= static_cast<uint64_t>(Bytes[Next++]) << Pending;
+      Pending += 8;
+    }
+    Value = static_cast<uint32_t>(Acc & ((1u << Width) - 1));
+    Acc >>= Width;
+    Pending -= Width;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  uint64_t Acc = 0;
+  unsigned Pending = 0;
+  size_t Next = 0;
+};
+
+/// Code width for the Nth emitted code (1-based): both ends derive the
+/// width from the emit count, so they never fall out of sync. The encoder's
+/// dictionary holds min(256 + N - 1, FullCode) entries when it emits code N.
+unsigned widthForEmit(size_t N) {
+  uint32_t DictSize = static_cast<uint32_t>(
+      std::min<uint64_t>(256 + (N - 1), FullCode));
+  unsigned Width = MinBits;
+  while ((1u << Width) < DictSize && Width < MaxBits)
+    ++Width;
+  return Width;
+}
+
+} // namespace
+
+std::vector<uint8_t> ldb::lzwCompress(const std::string &Input) {
+  BitWriter Writer;
+  if (Input.empty())
+    return Writer.finish();
+
+  // Key is (prefix code << 8) | next byte; values are codes >= 256.
+  std::unordered_map<uint32_t, uint32_t> Dict;
+  uint32_t NextCode = 256;
+  size_t Emits = 0;
+
+  uint32_t Cur = static_cast<uint8_t>(Input[0]);
+  for (size_t I = 1; I < Input.size(); ++I) {
+    uint8_t Byte = static_cast<uint8_t>(Input[I]);
+    uint32_t Key = (Cur << 8) | Byte;
+    auto It = Dict.find(Key);
+    if (It != Dict.end()) {
+      Cur = It->second;
+      continue;
+    }
+    Writer.write(Cur, widthForEmit(++Emits));
+    if (NextCode < FullCode)
+      Dict.emplace(Key, NextCode++);
+    Cur = Byte;
+  }
+  Writer.write(Cur, widthForEmit(++Emits));
+  return Writer.finish();
+}
+
+std::string ldb::lzwDecompress(const std::vector<uint8_t> &Compressed) {
+  BitReader Reader(Compressed);
+  std::string Output;
+
+  std::vector<std::string> Table;
+  Table.reserve(FullCode);
+  for (unsigned I = 0; I < 256; ++I)
+    Table.push_back(std::string(1, static_cast<char>(I)));
+
+  size_t Emits = 0;
+  uint32_t Code;
+  if (!Reader.read(widthForEmit(++Emits), Code))
+    return Output;
+  if (Code >= 256)
+    return std::string();
+  std::string Prev = Table[Code];
+  Output += Prev;
+
+  while (Reader.read(widthForEmit(++Emits), Code)) {
+    std::string Entry;
+    if (Code < Table.size()) {
+      Entry = Table[Code];
+    } else if (Code == Table.size() && Table.size() < FullCode) {
+      Entry = Prev + Prev[0]; // The KwKwK case.
+    } else {
+      return std::string(); // Corrupt stream.
+    }
+    Output += Entry;
+    if (Table.size() < FullCode)
+      Table.push_back(Prev + Entry[0]);
+    Prev = Entry;
+  }
+  return Output;
+}

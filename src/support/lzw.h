@@ -1,0 +1,33 @@
+//===- support/lzw.h - LZW compression ------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LZW compressor/decompressor standing in for UNIX compress(1), which
+/// the paper uses to compare PostScript symbol-table sizes against dbx
+/// stabs ("after compression ... the ratio is about 2", Sec 7). Like
+/// compress, this is LZW with codes growing from 9 to 16 bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_LZW_H
+#define LDB_SUPPORT_LZW_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldb {
+
+/// Compresses \p Input with LZW (9..16-bit codes, dictionary reset when
+/// full, as in compress(1) without the adaptive reset heuristic).
+std::vector<uint8_t> lzwCompress(const std::string &Input);
+
+/// Inverts lzwCompress. Malformed input yields an empty result.
+std::string lzwDecompress(const std::vector<uint8_t> &Compressed);
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_LZW_H

@@ -1,0 +1,59 @@
+//===- support/prettyprint.cpp - fill-style pretty printer ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/prettyprint.h"
+
+using namespace ldb;
+
+void PrettyPrinter::put(const std::string &Text) {
+  // Honor explicit newlines from the caller (e.g. PostScript printing a
+  // literal \n): they flush the line unconditionally.
+  for (char C : Text) {
+    if (C != '\n') {
+      Segment += C;
+      continue;
+    }
+    Line += Segment;
+    Segment.clear();
+    Out += Line;
+    Out += '\n';
+    Line.clear();
+  }
+}
+
+void PrettyPrinter::brk() { flushSegment(); }
+
+void PrettyPrinter::begin(unsigned Indent) {
+  flushSegment();
+  IndentStack.push_back(static_cast<unsigned>(Line.size()) + Indent);
+}
+
+void PrettyPrinter::end() {
+  flushSegment();
+  if (!IndentStack.empty())
+    IndentStack.pop_back();
+}
+
+std::string PrettyPrinter::take() {
+  Line += Segment;
+  Segment.clear();
+  Out += Line;
+  Line.clear();
+  return std::move(Out);
+}
+
+void PrettyPrinter::flushSegment() {
+  if (Segment.empty())
+    return;
+  if (Line.size() + Segment.size() > Margin && !Line.empty()) {
+    Out += Line;
+    Out += '\n';
+    unsigned Indent = IndentStack.empty() ? 0 : IndentStack.back();
+    Line.assign(Indent, ' ');
+  }
+  Line += Segment;
+  Segment.clear();
+}

@@ -1,0 +1,60 @@
+//===- support/prettyprint.h - fill-style pretty printer ------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-filling pretty printer. The original ldb exposed the Modula-3
+/// prettyprinter to PostScript printing procedures through the Put / Break /
+/// Begin / End operators (paper Sec 5); this class is the engine behind
+/// those operators. Begin opens a group whose continuation lines are
+/// indented relative to the column where the group began; Break marks an
+/// optional break point that becomes a newline only when the following
+/// segment would overflow the margin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_PRETTYPRINT_H
+#define LDB_SUPPORT_PRETTYPRINT_H
+
+#include <string>
+#include <vector>
+
+namespace ldb {
+
+class PrettyPrinter {
+public:
+  explicit PrettyPrinter(unsigned Margin = 72) : Margin(Margin) {}
+
+  /// Appends \p Text to the current unbreakable segment.
+  void put(const std::string &Text);
+
+  /// Marks an optional break point between segments.
+  void brk();
+
+  /// Opens a group; continuation lines inside it are indented \p Indent
+  /// columns past the column where the group began.
+  void begin(unsigned Indent);
+
+  /// Closes the innermost group.
+  void end();
+
+  /// Flushes pending output and returns everything printed so far.
+  std::string take();
+
+  unsigned margin() const { return Margin; }
+
+private:
+  void flushSegment();
+
+  unsigned Margin;
+  std::string Out;
+  std::string Line;
+  std::string Segment;
+  std::vector<unsigned> IndentStack;
+};
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_PRETTYPRINT_H

@@ -1,0 +1,39 @@
+//===- support/stopwatch.h - wall-clock timing -----------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic stopwatch. The paper's Sec 7 timing table was measured "with
+/// a stopwatch"; benches use this one instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_STOPWATCH_H
+#define LDB_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace ldb {
+
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_STOPWATCH_H

@@ -1,0 +1,117 @@
+//===- support/strings.cpp - small string utilities ----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ldb;
+
+std::string ldb::psEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '(':
+      Out += "\\(";
+      break;
+    case ')':
+      Out += "\\)";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\%03o",
+                      static_cast<unsigned char>(C));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string ldb::psHex(uint32_t Value) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "16#%08x", Value);
+  return Buf;
+}
+
+std::string ldb::hex32(uint32_t Value) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", Value);
+  return Buf;
+}
+
+std::vector<std::string> ldb::splitWords(const std::string &Text) {
+  std::vector<std::string> Words;
+  std::string Word;
+  std::istringstream Stream(Text);
+  while (Stream >> Word)
+    Words.push_back(Word);
+  return Words;
+}
+
+std::vector<std::string> ldb::splitOn(const std::string &Text, char Sep) {
+  std::vector<std::string> Fields;
+  std::string Field;
+  for (char C : Text) {
+    if (C == Sep) {
+      Fields.push_back(Field);
+      Field.clear();
+    } else {
+      Field += C;
+    }
+  }
+  Fields.push_back(Field);
+  return Fields;
+}
+
+unsigned ldb::countCodeLines(const std::string &Source,
+                             const std::string &LineComment) {
+  unsigned Count = 0;
+  for (const std::string &Line : splitOn(Source, '\n')) {
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos)
+      continue; // Blank line.
+    if (!LineComment.empty() &&
+        Line.compare(First, LineComment.size(), LineComment) == 0)
+      continue; // Pure comment line.
+    ++Count;
+  }
+  return Count;
+}
+
+bool ldb::readFile(const std::string &Path, std::string &Contents) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Contents = Buffer.str();
+  return true;
+}
+
+bool ldb::writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Contents;
+  return Out.good();
+}

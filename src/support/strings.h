@@ -1,0 +1,53 @@
+//===- support/strings.h - small string utilities --------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the PostScript emitters, scanners, and the
+/// command interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_SUPPORT_STRINGS_H
+#define LDB_SUPPORT_STRINGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldb {
+
+/// Escapes \p Text for inclusion in a PostScript (...) string literal:
+/// backslash-escapes parentheses and backslashes, and encodes control
+/// characters as \n, \t, or octal.
+std::string psEscape(const std::string &Text);
+
+/// Formats \p Value as PostScript radix-16 syntax, e.g. "16#000023d8".
+std::string psHex(uint32_t Value);
+
+/// Formats \p Value as 0x-prefixed zero-padded hex, e.g. "0x000023d8".
+std::string hex32(uint32_t Value);
+
+/// Splits \p Text on whitespace into non-empty words.
+std::vector<std::string> splitWords(const std::string &Text);
+
+/// Splits \p Text on \p Sep (keeping empty fields).
+std::vector<std::string> splitOn(const std::string &Text, char Sep);
+
+/// Counts lines of code in \p Source: lines that are neither blank nor
+/// pure comment. \p LineComment is the comment leader ("//", "%", or "#").
+/// Used by the machine-dependent-LoC experiment (paper Sec 4.3 table).
+unsigned countCodeLines(const std::string &Source,
+                        const std::string &LineComment);
+
+/// Reads a whole file; returns false if it cannot be opened.
+bool readFile(const std::string &Path, std::string &Contents);
+
+/// Writes \p Contents to \p Path; returns false on failure.
+bool writeFile(const std::string &Path, const std::string &Contents);
+
+} // namespace ldb
+
+#endif // LDB_SUPPORT_STRINGS_H

@@ -1,0 +1,171 @@
+//===- tests/core/cli_test.cpp -------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-interpreter tests: the user surface built on the client
+/// interface, driven as scripted sessions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+const char *FibSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "  { int j;\n"
+    "    for (j=0; j<n; j++)\n"
+    "      printf(\"%d \", a[j]);\n"
+    "  }\n"
+    "  printf(\"\\n\");\n"
+    "}\n"
+    "int main() { fib(10); return 0; }\n";
+
+class CliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    const TargetDesc &Desc = *targetByName("zmips");
+    auto COr =
+        compileAndLink({{"fib.c", FibSource}}, Desc, CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+    Proc = &Host.createProcess("fib", Desc);
+    ASSERT_FALSE(C->Img.loadInto(Proc->machine()));
+    Proc->enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    Cli = std::make_unique<CommandInterpreter>(*Debugger);
+    Cli->setCurrent(*TOr);
+  }
+
+  std::string run(const std::string &Command) {
+    return Cli->execute(Command);
+  }
+
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  std::unique_ptr<CommandInterpreter> Cli;
+};
+
+TEST_F(CliTest, HelpListsCommands) {
+  std::string Out = run("help");
+  EXPECT_NE(Out.find("break"), std::string::npos);
+  EXPECT_NE(Out.find("eval"), std::string::npos);
+}
+
+TEST_F(CliTest, TargetsShowsState) {
+  std::string Out = run("targets");
+  EXPECT_NE(Out.find("fib (zmips) stopped"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, FullSession) {
+  EXPECT_NE(run("break fib.c:7").find("planted"), std::string::npos);
+  EXPECT_NE(run("continue").find("breakpoint trap at fib.c:7"),
+            std::string::npos);
+  EXPECT_EQ(run("print i"), "i = 2\n");
+  EXPECT_EQ(run("print n"), "n = 10\n");
+  EXPECT_EQ(run("eval a[i-1] + a[i-2]"), "2\n");
+  std::string Bt = run("where");
+  EXPECT_NE(Bt.find("#0 fib at fib.c:7"), std::string::npos);
+  EXPECT_NE(Bt.find("#1 main"), std::string::npos);
+  EXPECT_EQ(run("set i 8"), "i = 8\n");
+  EXPECT_NE(run("continue").find("fib.c:7"), std::string::npos);
+  EXPECT_EQ(run("print i"), "i = 9\n");
+  EXPECT_NE(run("delete").find("deleted 1"), std::string::npos);
+  EXPECT_NE(run("continue").find("exited with status 0"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, BreakpointsListAndDelete) {
+  run("break fib.c:7");
+  run("break fib");
+  std::string Out = run("breakpoints");
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 2);
+  EXPECT_NE(run("delete").find("2 breakpoint(s)"), std::string::npos);
+  EXPECT_EQ(run("breakpoints"), "no breakpoints\n");
+}
+
+TEST_F(CliTest, FrameSelection) {
+  run("break fib.c:7");
+  run("continue");
+  EXPECT_NE(run("frame 1").find("frame 1 selected"), std::string::npos);
+  // main's frame has no i; switching back finds it.
+  EXPECT_NE(run("print i").find("error"), std::string::npos);
+  run("frame 0");
+  EXPECT_EQ(run("print i"), "i = 2\n");
+}
+
+TEST_F(CliTest, RegsUsesArchNames) {
+  run("break fib.c:7");
+  run("continue");
+  std::string Out = run("regs");
+  EXPECT_NE(Out.find("sp=0x"), std::string::npos) << Out;
+}
+
+TEST_F(CliTest, DisasmShowsPlantedBreak) {
+  run("break fib.c:7");
+  run("continue");
+  std::string Out = run("disasm 4");
+  // The pc sits on the planted break instruction.
+  EXPECT_NE(Out.find("break   <- breakpoint"), std::string::npos) << Out;
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4) << Out;
+}
+
+TEST_F(CliTest, ErrorsAreUserLevel) {
+  EXPECT_NE(run("bogus").find("unknown command"), std::string::npos);
+  EXPECT_NE(run("break nowhere.c:99").find("error"), std::string::npos);
+  EXPECT_NE(run("print nothing").find("error"), std::string::npos);
+  EXPECT_NE(run("set").find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, QuitSetsFlag) {
+  EXPECT_FALSE(Cli->quitRequested());
+  run("quit");
+  EXPECT_TRUE(Cli->quitRequested());
+}
+
+TEST_F(CliTest, TargetSwitching) {
+  // A second process on another architecture; the CLI hops between them.
+  const TargetDesc &Z68k = *targetByName("z68k");
+  auto C2Or = compileAndLink({{"fib.c", FibSource}}, Z68k,
+                             CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(C2Or));
+  nub::NubProcess &P2 = Host.createProcess("other", Z68k);
+  ASSERT_FALSE((*C2Or)->Img.loadInto(P2.machine()));
+  P2.enter((*C2Or)->Img.Entry);
+  auto T2 = Debugger->connect(Host, "other", (*C2Or)->PsSymtab,
+                              (*C2Or)->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(T2));
+
+  EXPECT_NE(run("targets").find("other (z68k)"), std::string::npos);
+  EXPECT_NE(run("target other").find("current target: other"),
+            std::string::npos);
+  run("break fib.c:7");
+  run("continue");
+  EXPECT_EQ(run("print i"), "i = 2\n");
+  run("target fib");
+  EXPECT_NE(run("status").find("pause before main"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,409 @@
+//===- tests/core/debugger_test.cpp ---------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end debugger tests: the paper's whole story on every target —
+/// compile fib.c with lcc, load it into a simulated process with the nub,
+/// connect ldb, plant breakpoints by source line, stop, resolve names
+/// through the uplink tree, print values through PostScript printers and
+/// the abstract-memory DAG, assign, walk the stack, and continue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+// The paper's Fig 1 program with explicit line numbers:
+//  1: void fib(int n) {
+//  2:   static int a[20];
+//  3:   if (n > 20) n = 20;
+//  4:   a[0] = a[1] = 1;
+//  5:   { int i;
+//  6:     for (i=2; i<n; i++)
+//  7:       a[i] = a[i-1] + a[i-2];
+//  8:   }
+//  9:   { int j;
+// 10:     for (j=0; j<n; j++)
+// 11:       printf("%d ", a[j]);
+// 12:   }
+// 13:   printf("\n");
+// 14: }
+// 15: int main() { int limit; limit = 10; fib(limit); return 0; }
+const char *FibSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "  { int j;\n"
+    "    for (j=0; j<n; j++)\n"
+    "      printf(\"%d \", a[j]);\n"
+    "  }\n"
+    "  printf(\"\\n\");\n"
+    "}\n"
+    "int main() { int limit; limit = 10; fib(limit); return 0; }\n";
+
+class DebuggerTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    Desc = GetParam();
+    auto COr =
+        compileAndLink({{"fib.c", FibSource}}, *Desc, CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+
+    Proc = &Host.createProcess("fib", *Desc);
+    ASSERT_FALSE(C->Img.loadInto(Proc->machine()));
+    Proc->enter(C->Img.Entry);
+
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+    ASSERT_TRUE(T->stopped()); // the nub's pause before main
+    EXPECT_EQ(T->lastStop().Signo, nub::SigPause);
+  }
+
+  /// Plants a breakpoint at fib.c:Line and resumes until it hits.
+  void runToLine(int Line) {
+    ASSERT_FALSE(Debugger->breakAtLine(*T, "fib.c", Line));
+    ASSERT_FALSE(T->resume());
+    ASSERT_TRUE(T->stopped());
+    ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  }
+
+  std::string print(const std::string &Name, unsigned Frame = 0) {
+    Expected<std::string> Out = printVariable(*T, Name, Frame);
+    EXPECT_TRUE(static_cast<bool>(Out)) << Out.message();
+    return Out ? *Out : std::string();
+  }
+
+  const TargetDesc *Desc = nullptr;
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+};
+
+TEST_P(DebuggerTest, RunsToCompletionWithoutBreakpoints) {
+  ASSERT_FALSE(T->resume());
+  EXPECT_TRUE(T->exited());
+  EXPECT_EQ(T->lastStop().ExitStatus, 0u);
+  EXPECT_EQ(Proc->machine().ConsoleOut, "1 1 2 3 5 8 13 21 34 55 \n");
+}
+
+TEST_P(DebuggerTest, BreakpointBySourceLineHits) {
+  runToLine(7);
+  Expected<std::string> Where = describeStop(*T);
+  ASSERT_TRUE(static_cast<bool>(Where)) << Where.message();
+  EXPECT_NE(Where->find("fib.c:7"), std::string::npos) << *Where;
+  EXPECT_NE(Where->find("in fib"), std::string::npos);
+}
+
+TEST_P(DebuggerTest, PrintsRegisterVariable) {
+  runToLine(7); // first arrival: i == 2
+  EXPECT_EQ(print("i"), "2");
+}
+
+TEST_P(DebuggerTest, PrintsParameterFromStack) {
+  runToLine(7);
+  EXPECT_EQ(print("n"), "10");
+}
+
+TEST_P(DebuggerTest, PrintsStaticArrayThroughAnchor) {
+  runToLine(7);
+  ASSERT_FALSE(T->interp().run("5 setprintlimit"));
+  EXPECT_EQ(print("a"), "{1, 1, 0, 0, 0, ...}");
+}
+
+TEST_P(DebuggerTest, BreakpointHitsRepeatedly) {
+  runToLine(7);
+  EXPECT_EQ(print("i"), "2");
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+  EXPECT_EQ(print("i"), "3");
+  ASSERT_FALSE(T->resume());
+  EXPECT_EQ(print("i"), "4");
+  // a grows as fib fills it.
+  ASSERT_FALSE(T->interp().run("4 setprintlimit"));
+  EXPECT_EQ(print("a"), "{1, 1, 2, 3, ...}");
+}
+
+TEST_P(DebuggerTest, NameResolutionFollowsScopes) {
+  // At line 11, j is visible but i is not (different block); a and n are.
+  runToLine(11);
+  EXPECT_EQ(print("j"), "0");
+  EXPECT_EQ(print("n"), "10");
+  Expected<std::string> Bad = printVariable(*T, "i");
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.message().find("i"), std::string::npos);
+}
+
+TEST_P(DebuggerTest, AssignmentToRegisterVariable) {
+  runToLine(7);
+  // Cut the loop short: force i to n-1 so only one more element fills.
+  ASSERT_FALSE(assignVariable(*T, "i", "9"));
+  EXPECT_EQ(print("i"), "9");
+  ASSERT_FALSE(T->resume()); // runs a[9]=a[8]+a[7]=0, i++, loop exits
+  EXPECT_TRUE(T->exited());
+  // a[2..9] were never really filled.
+  EXPECT_EQ(Proc->machine().ConsoleOut, "1 1 0 0 0 0 0 0 0 0 \n");
+}
+
+TEST_P(DebuggerTest, AssignmentToParameter) {
+  runToLine(4); // before the loops: n = 10 still
+  ASSERT_FALSE(assignVariable(*T, "n", "3"));
+  ASSERT_FALSE(T->resume());
+  EXPECT_TRUE(T->exited());
+  EXPECT_EQ(Proc->machine().ConsoleOut, "1 1 2 \n");
+}
+
+TEST_P(DebuggerTest, BacktraceShowsCallChain) {
+  runToLine(7);
+  Expected<std::string> Bt = renderBacktrace(*T);
+  ASSERT_TRUE(static_cast<bool>(Bt)) << Bt.message();
+  EXPECT_NE(Bt->find("#0 fib at fib.c:7"), std::string::npos) << *Bt;
+  EXPECT_NE(Bt->find("#1 main at fib.c:15"), std::string::npos) << *Bt;
+}
+
+TEST_P(DebuggerTest, PrintsLocalInCallerFrame) {
+  runToLine(7);
+  // limit lives in main's frame (frame 1).
+  EXPECT_EQ(print("limit", 1), "10");
+  // It is not visible from fib's own frame.
+  Expected<std::string> Bad = printVariable(*T, "limit", 0);
+  EXPECT_FALSE(static_cast<bool>(Bad));
+}
+
+TEST_P(DebuggerTest, BreakAtProcedureEntry) {
+  ASSERT_FALSE(Debugger->breakAtProc(*T, "fib"));
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+  EXPECT_EQ(print("n"), "10");
+  ASSERT_FALSE(T->resume());
+  EXPECT_TRUE(T->exited());
+}
+
+TEST_P(DebuggerTest, RemoveBreakpointRestoresNop) {
+  runToLine(7);
+  // Remove every breakpoint: the program then runs to completion.
+  std::vector<uint32_t> Addrs;
+  for (const auto &[Addr, Orig] : T->breakpoints())
+    Addrs.push_back(Addr);
+  for (uint32_t Addr : Addrs)
+    ASSERT_FALSE(T->removeBreakpoint(Addr));
+  ASSERT_FALSE(T->resume());
+  EXPECT_TRUE(T->exited());
+  EXPECT_EQ(Proc->machine().ConsoleOut, "1 1 2 3 5 8 13 21 34 55 \n");
+}
+
+TEST_P(DebuggerTest, BreakpointRefusedOffStoppingPoints) {
+  // An address that holds a real instruction, not a no-op.
+  Error E = T->plantBreakpoint(C->Img.Entry);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("no-op"), std::string::npos);
+}
+
+TEST_P(DebuggerTest, RegistersPrintWithMdNames) {
+  runToLine(7);
+  Expected<std::string> Regs = printRegisters(*T);
+  ASSERT_TRUE(static_cast<bool>(Regs)) << Regs.message();
+  EXPECT_NE(Regs->find("sp=0x"), std::string::npos) << *Regs;
+  // Each architecture names its registers its own way.
+  if (Desc->Name == "z68k") {
+    EXPECT_NE(Regs->find("d0="), std::string::npos);
+  }
+  if (Desc->Name == "zsparc") {
+    EXPECT_NE(Regs->find("g0="), std::string::npos);
+  }
+}
+
+TEST_P(DebuggerTest, DebuggerCrashAndReattachKeepsEverything) {
+  runToLine(7);
+  EXPECT_EQ(print("i"), "2");
+
+  // The debugger dies without detaching; the nub preserves all state.
+  T->crashConnection();
+  Debugger = std::make_unique<Ldb>();
+  auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  T = *TOr;
+  ASSERT_TRUE(T->stopped());
+  EXPECT_EQ(T->lastStop().Signo, nub::SigTrap);
+  EXPECT_EQ(print("i"), "2");
+
+  // The new debugger does not know about the old one's planted
+  // breakpoints; the word in code memory is still a break instruction,
+  // so re-plant bookkeeping by reading the code is possible — here we
+  // simply resume past the trap by adjusting the context pc, as the old
+  // debugger would have.
+  Expected<uint32_t> Pc = T->ctxPc();
+  ASSERT_TRUE(static_cast<bool>(Pc));
+  ASSERT_FALSE(T->setCtxPc(*Pc + T->arch().Bp.PcAdvance));
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped()); // hits the planted break again
+}
+
+TEST_P(DebuggerTest, FaultReportsSourcePosition) {
+  // A program that faults: ldb maps the faulting pc to the nearest
+  // stopping point.
+  auto COr = compileAndLink(
+      {{"crash.c", "int f(int d) { return 10 / d; }\n"
+                   "int main() { return f(0); }\n"}},
+      *Desc, CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+  nub::NubProcess &P = Host.createProcess("crash", *Desc);
+  ASSERT_FALSE((*COr)->Img.loadInto(P.machine()));
+  P.enter((*COr)->Img.Entry);
+  auto TOr = Debugger->connect(Host, "crash", (*COr)->PsSymtab,
+                               (*COr)->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  Target &CT = **TOr;
+  ASSERT_FALSE(CT.resume());
+  ASSERT_TRUE(CT.stopped());
+  EXPECT_EQ(CT.lastStop().Signo, nub::SigFpe);
+  Expected<std::string> Where = describeStop(CT);
+  ASSERT_TRUE(static_cast<bool>(Where)) << Where.message();
+  EXPECT_NE(Where->find("arithmetic fault"), std::string::npos);
+  EXPECT_NE(Where->find("crash.c:1"), std::string::npos) << *Where;
+  // The argument is printable at the fault.
+  Expected<std::string> D = printVariable(CT, "d");
+  ASSERT_TRUE(static_cast<bool>(D)) << D.message();
+  EXPECT_EQ(*D, "0");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, DebuggerTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+//===----------------------------------------------------------------------===//
+// Cross-architecture and multi-target debugging
+//===----------------------------------------------------------------------===//
+
+TEST(CrossArch, TwoTargetsTwoArchitecturesSimultaneously) {
+  // "ldb can debug on multiple architectures simultaneously" (Sec 6) and
+  // cross-architecture debugging is identical to single-architecture
+  // debugging (Sec 1): one debugger, one interpreter, a zmips process and
+  // a z68k process, interleaved.
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  std::map<std::string, std::unique_ptr<Compilation>> Programs;
+  for (const char *Name : {"zmips", "z68k"}) {
+    const TargetDesc &Desc = *targetByName(Name);
+    auto COr =
+        compileAndLink({{"fib.c", FibSource}}, Desc, CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    nub::NubProcess &P =
+        Host.createProcess(std::string("p-") + Name, Desc);
+    ASSERT_FALSE((*COr)->Img.loadInto(P.machine()));
+    P.enter((*COr)->Img.Entry);
+    Programs[Name] = COr.take();
+  }
+
+  Target *A = nullptr, *B = nullptr;
+  {
+    auto AOr = Debugger.connect(Host, "p-zmips",
+                                Programs["zmips"]->PsSymtab,
+                                Programs["zmips"]->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(AOr)) << AOr.message();
+    A = *AOr;
+    auto BOr = Debugger.connect(Host, "p-z68k",
+                                Programs["z68k"]->PsSymtab,
+                                Programs["z68k"]->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(BOr)) << BOr.message();
+    B = *BOr;
+  }
+  EXPECT_EQ(A->arch().Desc->Name, "zmips");
+  EXPECT_EQ(B->arch().Desc->Name, "z68k");
+
+  // Break both at line 7, interleave stops, print on both sides with the
+  // *same* debugger code paths.
+  ASSERT_FALSE(Debugger.breakAtLine(*A, "fib.c", 7));
+  ASSERT_FALSE(Debugger.breakAtLine(*B, "fib.c", 7));
+  ASSERT_FALSE(A->resume());
+  ASSERT_FALSE(B->resume());
+  Expected<std::string> Ia = printVariable(*A, "i");
+  Expected<std::string> Ib = printVariable(*B, "i");
+  ASSERT_TRUE(static_cast<bool>(Ia)) << Ia.message();
+  ASSERT_TRUE(static_cast<bool>(Ib)) << Ib.message();
+  EXPECT_EQ(*Ia, "2");
+  EXPECT_EQ(*Ib, "2");
+
+  // Advance only the little-endian target; the big-endian one is
+  // untouched (state is in target objects, not globals).
+  ASSERT_FALSE(A->resume());
+  Ia = printVariable(*A, "i");
+  Ib = printVariable(*B, "i");
+  ASSERT_TRUE(static_cast<bool>(Ia));
+  ASSERT_TRUE(static_cast<bool>(Ib));
+  EXPECT_EQ(*Ia, "3");
+  EXPECT_EQ(*Ib, "2");
+}
+
+TEST(CrossArch, FaultingProcessNotChildOfDebugger) {
+  // The "faulty process asks to be debugged" flow: the process runs (and
+  // faults) before any debugger exists.
+  const TargetDesc &Desc = *targetByName("zvax");
+  auto COr = compileAndLink(
+      {{"late.c", "int g; int main() { g = 7; return g / (g - 7); }\n"}},
+      Desc, CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+  nub::ProcessHost Host;
+  nub::NubProcess &P = Host.createProcess("late", Desc);
+  ASSERT_FALSE((*COr)->Img.loadInto(P.machine()));
+  P.enter((*COr)->Img.Entry);
+  P.continueUnattached(); // crashes with nobody watching
+  ASSERT_EQ(P.state(), nub::NubProcess::State::Stopped);
+
+  Ldb Debugger;
+  auto TOr = Debugger.connect(Host, "late", (*COr)->PsSymtab,
+                              (*COr)->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  Target &T = **TOr;
+  ASSERT_TRUE(T.stopped());
+  EXPECT_EQ(T.lastStop().Signo, nub::SigFpe);
+  Expected<std::string> G = printVariable(T, "g");
+  ASSERT_TRUE(static_cast<bool>(G)) << G.message();
+  EXPECT_EQ(*G, "7");
+}
+
+TEST(LdbApi, MismatchedSymbolTableRejected) {
+  // A symbol table for one architecture must not load against a target
+  // running another.
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const TargetDesc &Zvax = *targetByName("zvax");
+  auto CM = compileAndLink({{"t.c", "int main() { return 0; }\n"}}, Zmips,
+                           CompileOptions());
+  auto CV = compileAndLink({{"t.c", "int main() { return 0; }\n"}}, Zvax,
+                           CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(CM));
+  ASSERT_TRUE(static_cast<bool>(CV));
+  nub::ProcessHost Host;
+  nub::NubProcess &P = Host.createProcess("t", Zvax);
+  ASSERT_FALSE((*CV)->Img.loadInto(P.machine()));
+  P.enter((*CV)->Img.Entry);
+  Ldb Debugger;
+  // zmips symbols + zvax loader table against the zvax process.
+  auto TOr =
+      Debugger.connect(Host, "t", (*CM)->PsSymtab, (*CV)->LoaderTable);
+  ASSERT_FALSE(static_cast<bool>(TOr));
+  EXPECT_NE(TOr.message().find("zmips"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/core/deferred_session_test.cpp -------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete debugging session against *deferred* symbol tables: every
+/// capability the eager path has must work identically when entries are
+/// lexed lazily (paper Sec 5), because laziness is supposed to be an
+/// optimization, not a behaviour change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+const char *FibSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "  { int j;\n"
+    "    for (j=0; j<n; j++)\n"
+    "      printf(\"%d \", a[j]);\n"
+    "  }\n"
+    "  printf(\"\\n\");\n"
+    "}\n"
+    "int main() { fib(10); return 0; }\n";
+
+class DeferredSession : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    CompileOptions Options;
+    Options.DeferredSymtab = true;
+    auto COr =
+        compileAndLink({{"fib.c", FibSource}}, *GetParam(), Options);
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+    ASSERT_NE(C->PsSymtab.find("DeferDef"), std::string::npos);
+    Proc = &Host.createProcess("fib", *GetParam());
+    ASSERT_FALSE(C->Img.loadInto(Proc->machine()));
+    Proc->enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+  }
+
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+};
+
+TEST_P(DeferredSession, BreakPrintEvalAssignBacktrace) {
+  ASSERT_FALSE(Debugger->breakAtLine(*T, "fib.c", 7));
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+
+  Expected<std::string> I = printVariable(*T, "i");
+  ASSERT_TRUE(static_cast<bool>(I)) << I.message();
+  EXPECT_EQ(*I, "2");
+  Expected<std::string> N = printVariable(*T, "n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  EXPECT_EQ(*N, "10");
+
+  ASSERT_FALSE(T->interp().run("4 setprintlimit"));
+  Expected<std::string> A = printVariable(*T, "a");
+  ASSERT_TRUE(static_cast<bool>(A)) << A.message();
+  EXPECT_EQ(*A, "{1, 1, 0, 0, ...}");
+
+  Expected<std::string> Bt = renderBacktrace(*T);
+  ASSERT_TRUE(static_cast<bool>(Bt)) << Bt.message();
+  EXPECT_NE(Bt->find("#1 main"), std::string::npos);
+
+  ExprSession Session;
+  Expected<std::string> V =
+      evalExpression(*T, Session, "a[i-1] + a[i-2] + n");
+  ASSERT_TRUE(static_cast<bool>(V)) << V.message();
+  EXPECT_EQ(*V, "12");
+
+  ASSERT_FALSE(assignVariable(*T, "i", "9"));
+  ASSERT_FALSE(T->resume());
+  EXPECT_TRUE(T->exited());
+  EXPECT_EQ(Proc->machine().ConsoleOut, "1 1 0 0 0 0 0 0 0 0 \n");
+}
+
+TEST_P(DeferredSession, BreakByProcedureAndSecondStop) {
+  ASSERT_FALSE(Debugger->breakAtProc(*T, "fib"));
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+  Expected<std::string> Where = describeStop(*T);
+  ASSERT_TRUE(static_cast<bool>(Where)) << Where.message();
+  EXPECT_NE(Where->find("in fib"), std::string::npos);
+  // Forcing memoizes: the same entry resolves instantly a second time.
+  Expected<std::string> N1 = printVariable(*T, "n");
+  Expected<std::string> N2 = printVariable(*T, "n");
+  ASSERT_TRUE(static_cast<bool>(N1));
+  ASSERT_TRUE(static_cast<bool>(N2));
+  EXPECT_EQ(*N1, *N2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, DeferredSession,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

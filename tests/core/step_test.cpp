@@ -1,0 +1,130 @@
+//===- tests/core/step_test.cpp -------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source-level stepping, layered entirely on the breakpoint mechanism
+/// (the construction sketched in the paper's Sec 7.1). Stepping must walk
+/// the stopping points in execution order — into callees, around loops —
+/// and leave previously planted user breakpoints untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+//  1: int twice(int x) {
+//  2:   return x * 2;
+//  3: }
+//  4: int main() {
+//  5:   int v;
+//  6:   v = 1;
+//  7:   v = twice(v);
+//  8:   v = v + 5;
+//  9:   return v;
+// 10: }
+const char *StepSource = "int twice(int x) {\n"
+                         "  return x * 2;\n"
+                         "}\n"
+                         "int main() {\n"
+                         "  int v;\n"
+                         "  v = 1;\n"
+                         "  v = twice(v);\n"
+                         "  v = v + 5;\n"
+                         "  return v;\n"
+                         "}\n";
+
+class StepTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    auto COr =
+        compileAndLink({{"step.c", StepSource}}, *GetParam(),
+                       CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+    Proc = &Host.createProcess("step", *GetParam());
+    ASSERT_FALSE(C->Img.loadInto(Proc->machine()));
+    Proc->enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "step", C->PsSymtab,
+                                 C->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+  }
+
+  /// Steps once and returns "proc:line".
+  std::string step() {
+    Error E = Debugger->stepToNextStop(*T);
+    EXPECT_FALSE(E) << E.message();
+    if (T->exited())
+      return "exited";
+    Expected<uint32_t> Pc = T->ctxPc();
+    EXPECT_TRUE(static_cast<bool>(Pc));
+    Target::Scope S(*T);
+    Expected<symtab::StopSite> Site = symtab::stopForPc(*T, *Pc);
+    EXPECT_TRUE(static_cast<bool>(Site)) << Site.message();
+    if (!Site)
+      return "?";
+    return Site->ProcName + ":" + std::to_string(Site->Line);
+  }
+
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+};
+
+TEST_P(StepTest, WalksStoppingPointsInExecutionOrder) {
+  // From the startup pause, stepping enters main, walks its statements,
+  // dives into twice at the call, and comes back.
+  EXPECT_EQ(step(), "main:4"); // entry stop
+  EXPECT_EQ(step(), "main:6"); // v = 1
+  EXPECT_EQ(step(), "main:7"); // v = twice(v)
+  EXPECT_EQ(step(), "twice:1"); // callee entry stop
+  EXPECT_EQ(step(), "twice:2"); // return x * 2
+  EXPECT_EQ(step(), "twice:3"); // exit stop
+  EXPECT_EQ(step(), "main:8"); // v = v + 5
+  Expected<std::string> V = printVariable(*T, "v");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, "2"); // the call has completed, the add has not
+}
+
+TEST_P(StepTest, StepsToExit) {
+  int Guard = 0;
+  while (!T->exited() && ++Guard < 40)
+    ASSERT_FALSE(Debugger->stepToNextStop(*T));
+  ASSERT_TRUE(T->exited());
+  EXPECT_EQ(T->lastStop().ExitStatus, 7u);
+}
+
+TEST_P(StepTest, UserBreakpointsSurviveStepping) {
+  ASSERT_FALSE(Debugger->breakAtLine(*T, "step.c", 8));
+  ASSERT_EQ(T->breakpoints().size(), 1u);
+  step();
+  step();
+  EXPECT_EQ(T->breakpoints().size(), 1u); // temporaries were removed
+  // The user breakpoint still fires on a plain continue.
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+  Expected<std::string> Where = describeStop(*T);
+  ASSERT_TRUE(static_cast<bool>(Where));
+  EXPECT_NE(Where->find("step.c:8"), std::string::npos) << *Where;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, StepTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/exprserver/expr_property_test.cpp ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property test: randomly generated C integer expressions, evaluated by
+/// the whole pipeline — the expression server's parser, the PostScript
+/// rewriter, and the embedded interpreter against live variables in a
+/// stopped simulated process — must agree with the host's own evaluation
+/// of the same expression tree. Seeds are the parameter, so failures
+/// replay deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+/// The variables the target program exposes, mirrored host-side.
+struct Env {
+  int32_t A = 7, B = -3, C = 100, D = 13;
+  int32_t Arr[5] = {2, 4, 8, 16, 32};
+
+  int32_t var(int K) const {
+    switch (K & 3) {
+    case 0:
+      return A;
+    case 1:
+      return B;
+    case 2:
+      return C;
+    default:
+      return D;
+    }
+  }
+  static const char *varName(int K) {
+    switch (K & 3) {
+    case 0:
+      return "va";
+    case 1:
+      return "vb";
+    case 2:
+      return "vc";
+    default:
+      return "vd";
+    }
+  }
+};
+
+/// Generates an expression and computes its value host-side. Division and
+/// shifts are generated in guarded forms so the target cannot fault.
+class Gen {
+public:
+  Gen(std::mt19937 &Rng, const Env &E) : Rng(Rng), E(E) {}
+
+  std::string expr(int Depth, int64_t &Value) {
+    if (Depth <= 0 || pick(4) == 0)
+      return leaf(Value);
+    int64_t L, R;
+    switch (pick(9)) {
+    case 0: {
+      std::string Out = "(" + expr(Depth - 1, L) + " + " +
+                        expr(Depth - 1, R) + ")";
+      Value = wrap(L + R);
+      return Out;
+    }
+    case 1: {
+      std::string Out = "(" + expr(Depth - 1, L) + " - " +
+                        expr(Depth - 1, R) + ")";
+      Value = wrap(L - R);
+      return Out;
+    }
+    case 2: {
+      std::string Out = "(" + expr(Depth - 1, L) + " * " +
+                        expr(Depth - 1, R) + ")";
+      Value = wrap(L * R);
+      return Out;
+    }
+    case 3: {
+      // Guarded division: a / (|b| % 7 + 1).
+      std::string BS = expr(Depth - 1, R);
+      int64_t Div = (R < 0 ? -R : R) % 7 + 1;
+      std::string Out = "(" + expr(Depth - 1, L) + " / ((" + BS + " < 0 ? -(" +
+                        BS + ") : (" + BS + ")) % 7 + 1))";
+      // The guard re-evaluates BS; it is side-effect free by construction.
+      Value = wrap(L / Div);
+      return Out;
+    }
+    case 4: {
+      std::string Out = "(" + expr(Depth - 1, L) + " & " +
+                        expr(Depth - 1, R) + ")";
+      Value = wrap(L & R);
+      return Out;
+    }
+    case 5: {
+      std::string Out = "(" + expr(Depth - 1, L) + " ^ " +
+                        expr(Depth - 1, R) + ")";
+      Value = wrap(L ^ R);
+      return Out;
+    }
+    case 6: {
+      std::string Out = "(" + expr(Depth - 1, L) + " < " +
+                        expr(Depth - 1, R) + ")";
+      Value = L < R;
+      return Out;
+    }
+    case 7: {
+      std::string Out = "(" + expr(Depth - 1, L) + " == " +
+                        expr(Depth - 1, R) + ")";
+      Value = L == R;
+      return Out;
+    }
+    default: {
+      std::string Out = "(-" + expr(Depth - 1, L) + ")";
+      Value = wrap(-L);
+      return Out;
+    }
+    }
+  }
+
+private:
+  int pick(int N) { return static_cast<int>(Rng() % N); }
+
+  static int64_t wrap(int64_t V) {
+    return static_cast<int32_t>(static_cast<uint64_t>(V));
+  }
+
+  std::string leaf(int64_t &Value) {
+    switch (pick(3)) {
+    case 0: {
+      int K = pick(4);
+      Value = E.var(K);
+      return Env::varName(K);
+    }
+    case 1: {
+      int K = pick(5);
+      Value = E.Arr[K];
+      return "arr[" + std::to_string(K) + "]";
+    }
+    default: {
+      int32_t C = static_cast<int32_t>(Rng() % 201) - 100;
+      Value = C;
+      return C < 0 ? "(" + std::to_string(C) + ")" : std::to_string(C);
+    }
+    }
+  }
+
+  std::mt19937 &Rng;
+  const Env &E;
+};
+
+const char *TargetSource =
+    "int va = 7; int vb = -3; int vc = 100; int vd = 13;\n"
+    "int arr[5] = {2, 4, 8, 16, 32};\n"
+    "int main() { int anchor; anchor = 1; return anchor; }\n";
+
+class ExprFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprFuzz, AgreesWithHostSemantics) {
+  const TargetDesc &Desc =
+      *allTargets()[static_cast<size_t>(GetParam()) % allTargets().size()];
+  auto COr = compileAndLink({{"env.c", TargetSource}}, Desc,
+                            CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+  nub::ProcessHost Host;
+  nub::NubProcess &P = Host.createProcess("env", Desc);
+  ASSERT_FALSE((*COr)->Img.loadInto(P.machine()));
+  P.enter((*COr)->Img.Entry);
+  Ldb Debugger;
+  auto TOr = Debugger.connect(Host, "env", (*COr)->PsSymtab,
+                              (*COr)->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  Target &T = **TOr;
+  ASSERT_FALSE(Debugger.breakAtLine(T, "env.c", 3));
+  ASSERT_FALSE(T.resume());
+  ASSERT_TRUE(T.stopped());
+
+  ExprSession Session;
+  Env E;
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()) * 2654435761u + 17);
+  for (int K = 0; K < 25; ++K) {
+    Gen G(Rng, E);
+    int64_t Want = 0;
+    std::string Text = G.expr(3, Want);
+    Expected<std::string> Got = evalExpression(T, Session, Text);
+    ASSERT_TRUE(static_cast<bool>(Got))
+        << "seed " << GetParam() << " expr " << Text << ": "
+        << Got.message();
+    EXPECT_EQ(*Got, std::to_string(Want))
+        << "seed " << GetParam() << " target " << Desc.Name << " expr "
+        << Text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzz, ::testing::Range(0, 12));
+
+} // namespace

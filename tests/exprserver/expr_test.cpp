@@ -1,0 +1,330 @@
+//===- tests/exprserver/expr_test.cpp ------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression-server tests: the rewriter in isolation, the pipe protocol
+/// with a scripted debugger side, and full end-to-end evaluation against
+/// stopped processes on all four targets (paper Sec 3 / Fig 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+#include "lcc/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::exprserver;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Protocol-level tests with a scripted debugger side
+//===----------------------------------------------------------------------===//
+
+/// Drives the server pipes directly: replies to lookups from a table and
+/// returns everything the server emits up to the final directive.
+std::string converse(ExprServer &Srv, const std::string &Expr,
+                     const std::map<std::string, std::string> &Table,
+                     bool &IsError) {
+  Srv.toServer().writeLine(Expr);
+  std::string Collected;
+  std::string Line;
+  IsError = false;
+  while (Srv.fromServer().readLine(Line)) {
+    if (Line.find("ExpressionServer.lookup") != std::string::npos) {
+      // "/name ExpressionServer.lookup"
+      std::string Name = Line.substr(1, Line.find(' ') - 1);
+      auto It = Table.find(Name);
+      Srv.toServer().writeLine(It == Table.end() ? "unknown" : It->second);
+      continue;
+    }
+    if (Line.find("ExpressionServer.error") != std::string::npos) {
+      IsError = true;
+      Collected += Line;
+      break;
+    }
+    if (Line == "ExpressionServer.result")
+      break;
+    Collected += Line + "\n";
+  }
+  return Collected;
+}
+
+TEST(ExprProtocol, ConstantExpressionNeedsNoLookups) {
+  ExprServer Srv;
+  bool IsError;
+  std::string Ps = converse(Srv, "1 + 2 * 3", {}, IsError);
+  EXPECT_FALSE(IsError) << Ps;
+  EXPECT_NE(Ps.find("1 2 3 mul"), std::string::npos) << Ps;
+}
+
+TEST(ExprProtocol, LookupRoundTrip) {
+  ExprServer Srv;
+  bool IsError;
+  std::string Ps =
+      converse(Srv, "x + 1", {{"x", "sym reg 16 i4"}}, IsError);
+  EXPECT_FALSE(IsError) << Ps;
+  EXPECT_NE(Ps.find("16 Regset0 Absolute"), std::string::npos) << Ps;
+  EXPECT_NE(Ps.find("4 fetch"), std::string::npos) << Ps;
+}
+
+TEST(ExprProtocol, UnknownSymbolReportsError) {
+  ExprServer Srv;
+  bool IsError;
+  std::string Ps = converse(Srv, "mystery + 1", {}, IsError);
+  EXPECT_TRUE(IsError);
+  EXPECT_NE(Ps.find("mystery"), std::string::npos) << Ps;
+}
+
+TEST(ExprProtocol, SyntaxErrorReported) {
+  ExprServer Srv;
+  bool IsError;
+  std::string Ps = converse(Srv, "1 + ", {}, IsError);
+  EXPECT_TRUE(IsError) << Ps;
+}
+
+TEST(ExprProtocol, ServerSurvivesManyExpressions) {
+  ExprServer Srv;
+  for (int K = 0; K < 50; ++K) {
+    bool IsError;
+    std::string Ps = converse(
+        Srv, "v + " + std::to_string(K),
+        {{"v", "sym local -16 i4"}}, IsError);
+    EXPECT_FALSE(IsError) << Ps;
+  }
+}
+
+TEST(ExprProtocol, StructMemberThroughLookup) {
+  ExprServer Srv;
+  bool IsError;
+  std::string Ps = converse(
+      Srv, "pt.y", {{"pt", "sym addr 8192 s 2 x 0 i4 y 4 i4"}}, IsError);
+  EXPECT_FALSE(IsError) << Ps;
+  EXPECT_NE(Ps.find("8192 DataLoc Absolute"), std::string::npos) << Ps;
+  EXPECT_NE(Ps.find("4 Shifted"), std::string::npos) << Ps;
+}
+
+//===----------------------------------------------------------------------===//
+// Rewriter unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(Rewriter, RefusesCalls) {
+  Unit U;
+  U.Types = std::make_unique<TypePool>(false);
+  CSymbol *F = U.newSymbol();
+  F->Name = "f";
+  F->Ty = U.Types->func(U.Types->intTy(), {});
+  F->Sto = Storage::Func;
+  auto R = Parser::parseExpression("f()", U,
+                                   [&](const std::string &) { return F; });
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+  auto Ps = rewriteToPostScript(**R);
+  ASSERT_FALSE(static_cast<bool>(Ps));
+  EXPECT_NE(Ps.message().find("procedure calls"), std::string::npos);
+}
+
+TEST(Rewriter, RefusesAddressOfRegisterVariable) {
+  Unit U;
+  U.Types = std::make_unique<TypePool>(false);
+  CSymbol *X = U.newSymbol();
+  X->Name = "x";
+  X->Ty = U.Types->intTy();
+  X->InRegister = true;
+  X->RegNum = 16;
+  auto R = Parser::parseExpression("&x", U,
+                                   [&](const std::string &) { return X; });
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+  auto Ps = rewriteToPostScript(**R);
+  ASSERT_FALSE(static_cast<bool>(Ps));
+  EXPECT_NE(Ps.message().find("register"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end evaluation against stopped targets
+//===----------------------------------------------------------------------===//
+
+const char *EvalSource =
+    "struct point { int x; int y; };\n"
+    "struct point origin;\n"
+    "int values[4] = {10, 20, 30, 40};\n"
+    "double ratio = 2.5;\n"
+    "unsigned mask = 4294967295u;\n"
+    "void inspect(int n, double f) {\n"
+    "  int i;\n"
+    "  int *p;\n"
+    "  i = 6;\n"
+    "  p = &values[1];\n"
+    "  origin.x = 3; origin.y = 4;\n"
+    "  i = i;\n" // line 12: the breakpoint, everything initialized
+    "}\n"
+    "int main() { inspect(7, 1.5); return 0; }\n";
+
+class ExprEval : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    Desc = GetParam();
+    auto COr =
+        compileAndLink({{"eval.c", EvalSource}}, *Desc, CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+    Proc = &Host.createProcess("eval", *Desc);
+    ASSERT_FALSE(C->Img.loadInto(Proc->machine()));
+    Proc->enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr =
+        Debugger->connect(Host, "eval", C->PsSymtab, C->LoaderTable);
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+    ASSERT_FALSE(Debugger->breakAtLine(*T, "eval.c", 12));
+    ASSERT_FALSE(T->resume());
+    ASSERT_TRUE(T->stopped());
+  }
+
+  std::string eval(const std::string &Text) {
+    Expected<std::string> Out = evalExpression(*T, Session, Text);
+    EXPECT_TRUE(static_cast<bool>(Out)) << Text << ": " << Out.message();
+    return Out ? *Out : std::string();
+  }
+
+  const TargetDesc *Desc = nullptr;
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+  ExprSession Session;
+};
+
+TEST_P(ExprEval, Constants) {
+  EXPECT_EQ(eval("1 + 2 * 3"), "7");
+  EXPECT_EQ(eval("(10 - 4) / 3"), "2");
+  EXPECT_EQ(eval("7 % 4"), "3");
+  EXPECT_EQ(eval("-5"), "-5");
+}
+
+TEST_P(ExprEval, Variables) {
+  EXPECT_EQ(eval("i"), "6");
+  EXPECT_EQ(eval("n"), "7");
+  EXPECT_EQ(eval("i + n"), "13");
+  EXPECT_EQ(eval("n * i - 2"), "40");
+}
+
+TEST_P(ExprEval, GlobalsAndArrays) {
+  EXPECT_EQ(eval("values[0]"), "10");
+  EXPECT_EQ(eval("values[3]"), "40");
+  EXPECT_EQ(eval("values[i - 5]"), "20");
+}
+
+TEST_P(ExprEval, Pointers) {
+  EXPECT_EQ(eval("*p"), "20");
+  EXPECT_EQ(eval("p[1]"), "30");
+  EXPECT_EQ(eval("*(p + 2)"), "40");
+  EXPECT_EQ(eval("(int)&values[2] - (int)&values[0]"), "8");
+}
+
+TEST_P(ExprEval, Structs) {
+  EXPECT_EQ(eval("origin.x"), "3");
+  EXPECT_EQ(eval("origin.y"), "4");
+  EXPECT_EQ(eval("origin.x * origin.x + origin.y * origin.y"), "25");
+}
+
+TEST_P(ExprEval, Floats) {
+  EXPECT_EQ(eval("ratio"), "2.5");
+  EXPECT_EQ(eval("ratio * 2.0"), "5");
+  EXPECT_EQ(eval("f"), "1.5");
+  EXPECT_EQ(eval("(int)(ratio * 4.0)"), "10");
+  EXPECT_EQ(eval("i / 4.0"), "1.5");
+}
+
+TEST_P(ExprEval, UnsignedSemantics) {
+  EXPECT_EQ(eval("mask"), "4294967295");
+  EXPECT_EQ(eval("mask + 1"), "0");
+  EXPECT_EQ(eval("mask > 1"), "1");
+  EXPECT_EQ(eval("mask >> 1"), "2147483647");
+}
+
+TEST_P(ExprEval, ComparisonsAndLogic) {
+  EXPECT_EQ(eval("i < n"), "1");
+  EXPECT_EQ(eval("i > n"), "0");
+  EXPECT_EQ(eval("i == 6 && n == 7"), "1");
+  EXPECT_EQ(eval("i == 0 || n == 7"), "1");
+  EXPECT_EQ(eval("!i"), "0");
+  EXPECT_EQ(eval("i != 6 ? 111 : 222"), "222");
+}
+
+TEST_P(ExprEval, ShiftsSigned) {
+  EXPECT_EQ(eval("1 << 5"), "32");
+  EXPECT_EQ(eval("-8 >> 1"), "-4");
+  EXPECT_EQ(eval("i << 2"), "24");
+}
+
+TEST_P(ExprEval, AssignmentThroughExpression) {
+  EXPECT_EQ(eval("i = 41"), "41");
+  EXPECT_EQ(eval("i"), "41");
+  EXPECT_EQ(eval("i = i + 1"), "42");
+  EXPECT_EQ(eval("values[0] = 99"), "99");
+  EXPECT_EQ(eval("values[0]"), "99");
+  EXPECT_EQ(eval("origin.y = origin.x"), "3");
+  EXPECT_EQ(eval("origin.y"), "3");
+}
+
+TEST_P(ExprEval, AssignmentVisibleToTheTarget) {
+  // The store went through the wire into real target memory.
+  EXPECT_EQ(eval("values[1] = 77"), "77");
+  uint32_t V = 0;
+  uint32_t Addr = C->Img.symbolAddr("values") + 4;
+  ASSERT_TRUE(Proc->machine().loadInt(Addr, 4, V));
+  EXPECT_EQ(V, 77u);
+}
+
+TEST_P(ExprEval, CompoundAssignAndIncrement) {
+  EXPECT_EQ(eval("i += 4"), "10");
+  EXPECT_EQ(eval("i++"), "10");
+  EXPECT_EQ(eval("i"), "11");
+  EXPECT_EQ(eval("--i"), "10");
+}
+
+TEST_P(ExprEval, ErrorsAreClean) {
+  Expected<std::string> E1 = evalExpression(*T, Session, "nosuchvar + 1");
+  ASSERT_FALSE(static_cast<bool>(E1));
+  EXPECT_NE(E1.message().find("nosuchvar"), std::string::npos);
+
+  // Procedure calls parse but are rejected by the rewriter, as in the
+  // paper ("ldb cannot evaluate expressions that include procedure calls
+  // into the target process").
+  Expected<std::string> E2 = evalExpression(*T, Session, "main()");
+  ASSERT_FALSE(static_cast<bool>(E2));
+  EXPECT_NE(E2.message().find("not yet supported"), std::string::npos)
+      << E2.message();
+  Expected<std::string> E2b = evalExpression(*T, Session, "inspect(1, 2.0)");
+  EXPECT_FALSE(static_cast<bool>(E2b));
+
+  Expected<std::string> E3 = evalExpression(*T, Session, "1 +");
+  EXPECT_FALSE(static_cast<bool>(E3));
+
+  // The session still works after errors.
+  EXPECT_EQ(eval("2 + 2"), "4");
+}
+
+TEST_P(ExprEval, WorksInCallerFrames) {
+  // main's locals are not visible from inspect's frame, but constants
+  // evaluate in any frame; and lookups resolve against frame 1's scope.
+  Expected<std::string> N = evalExpression(*T, Session, "n", 0);
+  ASSERT_TRUE(static_cast<bool>(N));
+  EXPECT_EQ(*N, "7");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, ExprEval,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

@@ -1,0 +1,530 @@
+//===- tests/lcc/compile_run_test.cpp ------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end compiler tests: C programs compiled by the lcc-style
+/// compiler, linked, loaded into the simulator, and executed — on all
+/// four targets. The same source must produce the same console output
+/// everywhere, which is the compiler-side half of the retargetability
+/// story.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+struct RunOutcome {
+  std::string Console;
+  uint32_t ExitStatus = 0;
+  StopKind Kind = StopKind::Running;
+  std::string Error;
+};
+
+RunOutcome compileAndRun(const std::string &Source, const TargetDesc &Desc,
+                         const CompileOptions &Options = {}) {
+  RunOutcome Out;
+  auto C = compileAndLink({{"test.c", Source}}, Desc, Options);
+  if (!C) {
+    Out.Error = C.message();
+    return Out;
+  }
+  Machine M(Desc);
+  if (Error E = (*C)->Img.loadInto(M)) {
+    Out.Error = E.message();
+    return Out;
+  }
+  M.Pc = (*C)->Img.Entry;
+  M.setGpr(Desc.SpReg, M.memSize() - 4096);
+  RunResult R = M.run(50'000'000);
+  Out.Kind = R.Kind;
+  Out.ExitStatus = R.Value;
+  Out.Console = M.ConsoleOut;
+  return Out;
+}
+
+class CompileRun : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  /// Compiles, runs, and checks a clean exit; returns console output.
+  std::string run(const std::string &Source, uint32_t ExpectExit = 0) {
+    RunOutcome Out = compileAndRun(Source, *GetParam());
+    EXPECT_TRUE(Out.Error.empty()) << Out.Error;
+    EXPECT_EQ(Out.Kind, StopKind::Exited)
+        << "stopped by " << stopKindName(Out.Kind);
+    EXPECT_EQ(Out.ExitStatus, ExpectExit);
+    return Out.Console;
+  }
+};
+
+TEST_P(CompileRun, ReturnConstant) {
+  run("int main() { return 42; }", 42);
+}
+
+TEST_P(CompileRun, Arithmetic) {
+  run("int main() { return (3 + 4) * 6 - 84 / 42 + 10 % 8; }", 42);
+}
+
+TEST_P(CompileRun, DeepExpressionSpills) {
+  // Deep enough to exhaust every target's temporaries (z68k has two).
+  run("int main() {\n"
+      "  int a; int b; a = 3; b = 4;\n"
+      "  return ((a+b)*(a-b+9)) + ((a*b)-(a+b)) + ((((a+1)*(b+1))-(a*b))\n"
+      "         - (a+b+1)) - 19;\n" // 56 + 5 + 0 - 19
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, LocalsAndAssignments) {
+  run("int main() { int x; int y; x = 40; y = 2; x += y; return x; }", 42);
+}
+
+TEST_P(CompileRun, GlobalsAndStatics) {
+  run("int g = 30;\n"
+      "static int s = 10;\n"
+      "int main() { s = s + 2; return g + s; }",
+      42);
+}
+
+TEST_P(CompileRun, GlobalArrayInitializer) {
+  run("int a[4] = {10, 11, 10, 11};\n"
+      "int main() { return a[0] + a[1] + a[2] + a[3]; }",
+      42);
+}
+
+TEST_P(CompileRun, IfElseChains) {
+  run("int classify(int x) {\n"
+      "  if (x < 0) return 1;\n"
+      "  else if (x == 0) return 2;\n"
+      "  else return 3;\n"
+      "}\n"
+      "int main() { return classify(-5) * 100 + classify(0) * 10 +\n"
+      "                    classify(7); }",
+      123);
+}
+
+TEST_P(CompileRun, WhileLoopBreakContinue) {
+  run("int main() {\n"
+      "  int i; int sum; i = 0; sum = 0;\n"
+      "  while (1) {\n"
+      "    i = i + 1;\n"
+      "    if (i > 100) break;\n"
+      "    if (i % 2) continue;\n"
+      "    sum = sum + i;\n"
+      "  }\n"
+      "  return sum / 60;\n" // 2550 / 60 = 42
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, ForLoop) {
+  run("int main() { int s; int i; s = 0;\n"
+      "  for (i = 1; i <= 13; i++) s += i;\n"
+      "  return s - 49; }", // 91 - 49
+      42);
+}
+
+TEST_P(CompileRun, Recursion) {
+  run("int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }\n"
+      "int main() { return fact(5) / 3 + 2; }", // 120/3+2
+      42);
+}
+
+TEST_P(CompileRun, MutualRecursion) {
+  run("int isOdd(int n);\n"
+      "int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }\n"
+      "int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }\n"
+      "int main() { return isEven(10) * 40 + isOdd(7) * 2; }",
+      42);
+}
+
+TEST_P(CompileRun, PointersAndAddressOf) {
+  run("int main() {\n"
+      "  int x; int *p; x = 10; p = &x;\n"
+      "  *p = *p + 32;\n"
+      "  return x;\n"
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, PointerArithmetic) {
+  run("int a[5] = {1, 2, 4, 8, 16};\n"
+      "int main() {\n"
+      "  int *p; int s; s = 0;\n"
+      "  for (p = a; p < a + 5; p++) s += *p;\n"
+      "  return s + 11;\n" // 31 + 11
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, ArraysLocal) {
+  run("int main() {\n"
+      "  int a[10]; int i; int s;\n"
+      "  for (i = 0; i < 10; i++) a[i] = i;\n"
+      "  s = 0;\n"
+      "  for (i = 0; i < 10; i++) s += a[i];\n"
+      "  return s - 3;\n" // 45 - 3
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, Structs) {
+  run("struct point { int x; int y; };\n"
+      "struct point p;\n"
+      "int main() {\n"
+      "  struct point *q;\n"
+      "  p.x = 40; p.y = 2;\n"
+      "  q = &p;\n"
+      "  return q->x + q->y;\n"
+      "}",
+      42);
+}
+
+TEST_P(CompileRun, StructFieldOffsets) {
+  run("struct mixed { char c; int i; short s; };\n"
+      "struct mixed m;\n"
+      "int main() {\n"
+      "  m.c = 'a'; m.i = 1000000; m.s = -5;\n"
+      "  if (m.c != 'a') return 1;\n"
+      "  if (m.i != 1000000) return 2;\n"
+      "  if (m.s != -5) return 3;\n"
+      "  return 0;\n"
+      "}");
+}
+
+TEST_P(CompileRun, CharAndShortMemory) {
+  run("char c; short h;\n"
+      "int main() {\n"
+      "  c = 200;\n"         // wraps to -56 as signed char
+      "  h = 40000;\n"       // wraps to -25536 as signed short
+      "  if (c >= 0) return 1;\n"
+      "  if (h >= 0) return 2;\n"
+      "  return (c + 56) + (h + 25536);\n"
+      "}");
+}
+
+TEST_P(CompileRun, UnsignedComparisons) {
+  run("int main() {\n"
+      "  unsigned a; int b;\n"
+      "  a = 1; a = a - 2;\n" // 0xffffffff
+      "  b = -1;\n"
+      "  if (a < 1) return 1;\n"      // unsigned: huge, not less
+      "  if (!(b < 1)) return 2;\n"   // signed: -1 < 1
+      "  return 0;\n"
+      "}");
+}
+
+TEST_P(CompileRun, ShiftsAndBitOps) {
+  run("int main() {\n"
+      "  int x; unsigned u;\n"
+      "  x = 1 << 5;\n"
+      "  if (x != 32) return 1;\n"
+      "  x = -8 >> 1;\n"
+      "  if (x != -4) return 2;\n"
+      "  u = 1; u = u - 9;\n"       // 0xfffffff8
+      "  u = u >> 1;\n"
+      "  if (u != 2147483644u + 0u) return 3;\n"
+      "  if ((12 & 10) != 8) return 4;\n"
+      "  if ((12 | 10) != 14) return 5;\n"
+      "  if ((12 ^ 10) != 6) return 6;\n"
+      "  if (~0 != -1) return 7;\n"
+      "  return 0;\n"
+      "}");
+}
+
+TEST_P(CompileRun, LogicalOperators) {
+  run("int sideEffects = 0;\n"
+      "int bump() { sideEffects = sideEffects + 1; return 1; }\n"
+      "int main() {\n"
+      "  if (0 && bump()) return 1;\n"
+      "  if (sideEffects != 0) return 2;\n" // short-circuit held
+      "  if (!(1 || bump())) return 3;\n"
+      "  if (sideEffects != 0) return 4;\n"
+      "  if (!(1 && 2)) return 5;\n"
+      "  if (0 || 0) return 6;\n"
+      "  return 0;\n"
+      "}");
+}
+
+TEST_P(CompileRun, TernaryOperator) {
+  run("int main() { int x; x = 5; return x > 0 ? 42 : 7; }", 42);
+}
+
+TEST_P(CompileRun, IncDecOperators) {
+  run("int main() {\n"
+      "  int i; int a[3]; int *p;\n"
+      "  i = 5;\n"
+      "  if (i++ != 5) return 1;\n"
+      "  if (i != 6) return 2;\n"
+      "  if (++i != 7) return 3;\n"
+      "  if (--i != 6) return 4;\n"
+      "  if (i-- != 6) return 5;\n"
+      "  a[0] = 1; a[1] = 2; a[2] = 3;\n"
+      "  p = a;\n"
+      "  p++;\n"
+      "  if (*p != 2) return 6;\n"
+      "  return 0;\n"
+      "}");
+}
+
+TEST_P(CompileRun, FloatsAndDoubles) {
+  run("double half(double x) { return x / 2.0; }\n"
+      "int main() {\n"
+      "  double d; float f;\n"
+      "  d = 10.5;\n"
+      "  f = 2.25;\n"
+      "  d = half(d) + f;\n" // 5.25 + 2.25 = 7.5
+      "  if (d < 7.4) return 1;\n"
+      "  if (d > 7.6) return 2;\n"
+      "  return (int)(d * 4.0);\n" // 30
+      "}",
+      30);
+}
+
+TEST_P(CompileRun, IntFloatConversions) {
+  run("int main() {\n"
+      "  double d; int i;\n"
+      "  i = 7;\n"
+      "  d = i;\n"
+      "  d = d / 2;\n"
+      "  i = (int)d;\n" // 3.5 -> 3
+      "  return i;\n"
+      "}",
+      3);
+}
+
+TEST_P(CompileRun, PrintfFormats) {
+  std::string Console = run(
+      "int main() {\n"
+      "  printf(\"%d %c %s %u\\n\", -42, 'x', \"str\", 7);\n"
+      "  printf(\"pct%%done\\n\");\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(Console, "-42 x str 7\npct%done\n");
+}
+
+TEST_P(CompileRun, PrintfFloat) {
+  std::string Console = run(
+      "int main() { printf(\"%g\\n\", 2.5); return 0; }");
+  EXPECT_EQ(Console, "2.5\n");
+}
+
+TEST_P(CompileRun, PaperFibProgram) {
+  // The paper's Fig 1 program, output checked exactly.
+  std::string Console = run(
+      "void fib(int n) {\n"
+      "  static int a[20];\n"
+      "  if (n > 20) n = 20;\n"
+      "  a[0] = a[1] = 1;\n"
+      "  { int i;\n"
+      "    for (i=2; i<n; i++)\n"
+      "      a[i] = a[i-1] + a[i-2];\n"
+      "  }\n"
+      "  { int j;\n"
+      "    for (j=0; j<n; j++)\n"
+      "      printf(\"%d \", a[j]);\n"
+      "  }\n"
+      "  printf(\"\\n\");\n"
+      "}\n"
+      "int main() { fib(10); return 0; }\n");
+  EXPECT_EQ(Console, "1 1 2 3 5 8 13 21 34 55 \n");
+}
+
+TEST_P(CompileRun, StringGlobals) {
+  std::string Console = run(
+      "char msg[] = \"hello\";\n"
+      "int main() { printf(\"%s world\\n\", msg); return 0; }");
+  EXPECT_EQ(Console, "hello world\n");
+}
+
+TEST_P(CompileRun, SizeofOperator) {
+  run("struct pair { int a; int b; };\n"
+      "int main() { return sizeof(int) + sizeof(char) + sizeof(short)\n"
+      "  + sizeof(double) + sizeof(struct pair) + sizeof(int[4]); }",
+      4 + 1 + 2 + 8 + 8 + 16);
+}
+
+TEST_P(CompileRun, MultiUnitProgram) {
+  CompileOptions Options;
+  auto C = compileAndLink(
+      {{"lib.c", "int add(int a, int b) { return a + b; }\n"
+                 "static int secret = 30;\n"
+                 "int getSecret() { return secret; }\n"},
+       {"main.c", "int add(int a, int b);\n"
+                  "int getSecret();\n"
+                  "static int secret = 10;\n" // same name, different unit
+                  "int main() { return add(getSecret(), secret) + 2; }\n"}},
+      *GetParam(), Options);
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  Machine M(*GetParam());
+  ASSERT_FALSE((*C)->Img.loadInto(M));
+  M.Pc = (*C)->Img.Entry;
+  M.setGpr(GetParam()->SpReg, M.memSize() - 4096);
+  RunResult R = M.run(1'000'000);
+  EXPECT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 42u);
+}
+
+TEST_P(CompileRun, DivideByZeroFaults) {
+  RunOutcome Out = compileAndRun(
+      "int main() { int z; z = 0; return 5 / z; }", *GetParam());
+  EXPECT_TRUE(Out.Error.empty()) << Out.Error;
+  EXPECT_EQ(Out.Kind, StopKind::DivFault);
+}
+
+TEST_P(CompileRun, NullDereferenceFaults) {
+  // Address 0 is mapped in the flat simulator, so fault via a wild
+  // pointer instead.
+  RunOutcome Out = compileAndRun(
+      "int main() { int *p; p = (int *)-16; return *p; }", *GetParam());
+  EXPECT_TRUE(Out.Error.empty()) << Out.Error;
+  EXPECT_EQ(Out.Kind, StopKind::MemFault);
+}
+
+TEST_P(CompileRun, NoDebugStillRuns) {
+  CompileOptions Options;
+  Options.Debug = false;
+  RunOutcome Out = compileAndRun("int main() { return 42; }", *GetParam(),
+                                 Options);
+  EXPECT_TRUE(Out.Error.empty()) << Out.Error;
+  EXPECT_EQ(Out.ExitStatus, 42u);
+}
+
+TEST_P(CompileRun, DebugIncreasesInstructionCount) {
+  const char *Source =
+      "int main() { int s; int i; s = 0;\n"
+      "  for (i = 0; i < 10; i++) s += i;\n"
+      "  return s; }";
+  CompileOptions Dbg, NoDbg;
+  NoDbg.Debug = false;
+  auto A = compileAndLink({{"t.c", Source}}, *GetParam(), Dbg);
+  auto B = compileAndLink({{"t.c", Source}}, *GetParam(), NoDbg);
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_GT((*A)->Img.Stats.Instructions, (*B)->Img.Stats.Instructions);
+  EXPECT_GT((*A)->Img.Stats.StopNops, 0u);
+  EXPECT_EQ((*B)->Img.Stats.StopNops, 0u);
+}
+
+TEST_P(CompileRun, SyntaxErrorsReported) {
+  auto C = compileAndLink({{"bad.c", "int main( { return 0; }"}},
+                          *GetParam(), CompileOptions());
+  ASSERT_FALSE(static_cast<bool>(C));
+  EXPECT_NE(C.message().find("bad.c"), std::string::npos);
+}
+
+TEST_P(CompileRun, TypeErrorsReported) {
+  auto C = compileAndLink(
+      {{"bad.c", "int main() { int x; return x(3); }"}}, *GetParam(),
+      CompileOptions());
+  EXPECT_FALSE(static_cast<bool>(C));
+}
+
+TEST_P(CompileRun, UndefinedSymbolReported) {
+  auto C = compileAndLink(
+      {{"bad.c", "int helper(int);\nint main() { return helper(1); }"}},
+      *GetParam(), CompileOptions());
+  ASSERT_FALSE(static_cast<bool>(C));
+  EXPECT_NE(C.message().find("helper"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CompileRun,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+//===----------------------------------------------------------------------===//
+// zmips scheduling (the paper's Sec 3 penalty)
+//===----------------------------------------------------------------------===//
+
+TEST(ZmipsScheduling, HazardFreeExecutionWithAndWithoutScheduler) {
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const char *Source =
+      "int a[8] = {1,2,3,4,5,6,7,8};\n"
+      "int main() { int s; int i; s = 0;\n"
+      "  for (i = 0; i < 8; i++) s += a[i] * a[7 - i];\n"
+      "  return s; }";
+  for (bool Schedule : {true, false}) {
+    CompileOptions Options;
+    Options.Schedule = Schedule;
+    auto C = compileAndLink({{"t.c", Source}}, Zmips, Options);
+    ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+    Machine M(Zmips);
+    ASSERT_FALSE((*C)->Img.loadInto(M));
+    M.Pc = (*C)->Img.Entry;
+    M.setGpr(Zmips.SpReg, M.memSize() - 4096);
+    RunResult R = M.run(1'000'000);
+    EXPECT_EQ(R.Kind, StopKind::Exited) << stopKindName(R.Kind);
+    EXPECT_EQ(R.Value, 120u); // 2*(1*8+2*7+3*6+4*5)
+  }
+}
+
+TEST(ZmipsScheduling, SchedulerFillsSlots) {
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const char *Source =
+      "int a; int b; int c; int d;\n"
+      "int main() { int s;\n"
+      "  s = a + b + c + d;\n"
+      "  s = s * (a - b) + (c - d);\n"
+      "  return s; }";
+  CompileOptions On, Off;
+  Off.Schedule = false;
+  On.Debug = Off.Debug = false; // no barriers: best case for the scheduler
+  auto WithSched = compileAndLink({{"t.c", Source}}, Zmips, On);
+  auto NoSched = compileAndLink({{"t.c", Source}}, Zmips, Off);
+  ASSERT_TRUE(static_cast<bool>(WithSched));
+  ASSERT_TRUE(static_cast<bool>(NoSched));
+  EXPECT_LT((*WithSched)->Img.Stats.DelayNops,
+            (*NoSched)->Img.Stats.DelayNops);
+  EXPECT_GT((*WithSched)->Img.Stats.DelayFilled, 0u);
+}
+
+TEST(ZmipsScheduling, DebugRestrictsScheduling) {
+  // With -g, stopping points are barriers, so fewer slots can be filled
+  // and more padding no-ops remain (the paper's +13% effect).
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::string Source = "int a[64]; int main() { int s; int i; s = 0;\n";
+  for (int K = 0; K < 24; ++K)
+    Source += "  s += a[" + std::to_string(K) + "] + " +
+              std::to_string(K) + ";\n";
+  Source += "  return s; }";
+  CompileOptions Dbg, NoDbg;
+  NoDbg.Debug = false;
+  auto WithDebug = compileAndLink({{"t.c", Source}}, Zmips, Dbg);
+  auto NoDebug = compileAndLink({{"t.c", Source}}, Zmips, NoDbg);
+  ASSERT_TRUE(static_cast<bool>(WithDebug));
+  ASSERT_TRUE(static_cast<bool>(NoDebug));
+  EXPECT_GE((*WithDebug)->Img.Stats.DelayNops,
+            (*NoDebug)->Img.Stats.DelayNops);
+}
+
+//===----------------------------------------------------------------------===//
+// z68k 80-bit long double
+//===----------------------------------------------------------------------===//
+
+TEST(Z68kLongDouble, TenByteStorage) {
+  const TargetDesc &Z68k = *targetByName("z68k");
+  auto C = compileAndLink(
+      {{"t.c", "long double x;\n"
+               "int main() { x = 2.5; return (int)(x * 4.0); }"}},
+      Z68k, CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  // The type metric is machine-dependent: 10 bytes here.
+  EXPECT_EQ((*C)->Units[0]->Types->longDoubleTy()->Size, 10u);
+  Machine M(Z68k);
+  ASSERT_FALSE((*C)->Img.loadInto(M));
+  M.Pc = (*C)->Img.Entry;
+  M.setGpr(Z68k.SpReg, M.memSize() - 4096);
+  RunResult R = M.run(1'000'000);
+  EXPECT_EQ(R.Kind, StopKind::Exited) << stopKindName(R.Kind);
+  EXPECT_EQ(R.Value, 10u);
+}
+
+} // namespace

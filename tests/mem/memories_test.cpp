@@ -1,0 +1,236 @@
+//===- tests/mem/memories_test.cpp ---------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the abstract-memory DAG (paper Sec 4.1 / Fig 4), including the
+/// key retargetability property: register memories make target byte order
+/// irrelevant to the debugger.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mem/memories.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::mem;
+
+namespace {
+
+TEST(FlatMemory, IntRoundTrip) {
+  FlatMemory M(ByteOrder::Little);
+  M.addSpace(SpData, 64);
+  ASSERT_FALSE(M.storeInt(Location::absolute(SpData, 8), 4, 0xdeadbeef));
+  uint64_t V = 0;
+  ASSERT_FALSE(M.fetchInt(Location::absolute(SpData, 8), 4, V));
+  EXPECT_EQ(V, 0xdeadbeefu);
+}
+
+TEST(FlatMemory, ByteOrderVisibleInBytes) {
+  FlatMemory Big(ByteOrder::Big);
+  Big.addSpace(SpData, 8);
+  ASSERT_FALSE(Big.storeInt(Location::absolute(SpData, 0), 4, 0x11223344));
+  uint64_t FirstByte = 0;
+  ASSERT_FALSE(Big.fetchInt(Location::absolute(SpData, 0), 1, FirstByte));
+  EXPECT_EQ(FirstByte, 0x11u); // MSB first on a big-endian target.
+
+  FlatMemory Little(ByteOrder::Little);
+  Little.addSpace(SpData, 8);
+  ASSERT_FALSE(Little.storeInt(Location::absolute(SpData, 0), 4, 0x11223344));
+  ASSERT_FALSE(Little.fetchInt(Location::absolute(SpData, 0), 1, FirstByte));
+  EXPECT_EQ(FirstByte, 0x44u);
+}
+
+TEST(FlatMemory, OutOfRangeFails) {
+  FlatMemory M(ByteOrder::Little);
+  M.addSpace(SpData, 4);
+  uint64_t V;
+  EXPECT_TRUE(M.fetchInt(Location::absolute(SpData, 2), 4, V));
+  EXPECT_TRUE(M.fetchInt(Location::absolute(SpData, -1), 1, V));
+  EXPECT_TRUE(M.fetchInt(Location::absolute(SpCode, 0), 4, V));
+}
+
+TEST(FlatMemory, FloatSizes) {
+  FlatMemory M(ByteOrder::Big);
+  M.addSpace(SpData, 64);
+  long double V = 0;
+  ASSERT_FALSE(M.storeFloat(Location::absolute(SpData, 0), 4, 1.5L));
+  ASSERT_FALSE(M.fetchFloat(Location::absolute(SpData, 0), 4, V));
+  EXPECT_EQ(V, 1.5L);
+  ASSERT_FALSE(M.storeFloat(Location::absolute(SpData, 8), 8, -2.25L));
+  ASSERT_FALSE(M.fetchFloat(Location::absolute(SpData, 8), 8, V));
+  EXPECT_EQ(V, -2.25L);
+  ASSERT_FALSE(M.storeFloat(Location::absolute(SpData, 16), 10, 3.0L / 7.0L));
+  ASSERT_FALSE(M.fetchFloat(Location::absolute(SpData, 16), 10, V));
+  EXPECT_EQ(V, 3.0L / 7.0L); // 80-bit storage is exact for long double.
+}
+
+TEST(ImmediateSemantics, FetchReturnsOffsetStoreFails) {
+  FlatMemory M(ByteOrder::Little);
+  uint64_t V = 0;
+  ASSERT_FALSE(M.fetchInt(Location::immediate(77), 4, V));
+  EXPECT_EQ(V, 77u);
+  EXPECT_TRUE(M.storeInt(Location::immediate(77), 4, 1));
+}
+
+class AliasFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Flat = std::make_shared<FlatMemory>(ByteOrder::Big);
+    Flat->addSpace(SpData, 256);
+    Alias = std::make_shared<AliasMemory>(Flat);
+  }
+  std::shared_ptr<FlatMemory> Flat;
+  std::shared_ptr<AliasMemory> Alias;
+};
+
+TEST_F(AliasFixture, RegisterAliasRoutesToData) {
+  // Register 30 saved at data offset 92, as in the paper's walkthrough.
+  Alias->addAlias(SpGpr, 30, Location::absolute(SpData, 92));
+  ASSERT_FALSE(Flat->storeInt(Location::absolute(SpData, 92), 4, 2));
+  uint64_t V = 0;
+  ASSERT_FALSE(Alias->fetchInt(Location::absolute(SpGpr, 30), 4, V));
+  EXPECT_EQ(V, 2u);
+}
+
+TEST_F(AliasFixture, ImmediateAliasForExtraRegisters) {
+  // The pc is an alias for an immediate location (paper Sec 4.1).
+  Alias->addAlias(SpExtra, 0, Location::immediate(0x2270));
+  uint64_t V = 0;
+  ASSERT_FALSE(Alias->fetchInt(Location::absolute(SpExtra, 0), 4, V));
+  EXPECT_EQ(V, 0x2270u);
+  EXPECT_TRUE(Alias->storeInt(Location::absolute(SpExtra, 0), 4, 1));
+}
+
+TEST_F(AliasFixture, RebaseMapsLocalSpace) {
+  // Frame-local space rebased onto data at vfp = 128.
+  Alias->addRebase(SpLocal, SpData, 128);
+  ASSERT_FALSE(Flat->storeInt(Location::absolute(SpData, 116), 4, 42));
+  uint64_t V = 0;
+  ASSERT_FALSE(Alias->fetchInt(Location::absolute(SpLocal, -12), 4, V));
+  EXPECT_EQ(V, 42u);
+}
+
+TEST_F(AliasFixture, UnaliasedRequestsPassThrough) {
+  ASSERT_FALSE(Flat->storeInt(Location::absolute(SpData, 4), 4, 9));
+  uint64_t V = 0;
+  ASSERT_FALSE(Alias->fetchInt(Location::absolute(SpData, 4), 4, V));
+  EXPECT_EQ(V, 9u);
+}
+
+TEST_F(AliasFixture, StoreThroughAlias) {
+  Alias->addAlias(SpGpr, 5, Location::absolute(SpData, 40));
+  ASSERT_FALSE(Alias->storeInt(Location::absolute(SpGpr, 5), 4, 0xabcd));
+  uint64_t V = 0;
+  ASSERT_FALSE(Flat->fetchInt(Location::absolute(SpData, 40), 4, V));
+  EXPECT_EQ(V, 0xabcdu);
+}
+
+/// The paper's central byte-order claim: fetching a character from a 32-bit
+/// register returns the least significant 8 bits on *both* byte orders, so
+/// ldb executes the same code whether debugging a little- or big-endian
+/// target.
+class RegisterByteOrder : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(RegisterByteOrder, SubwordRegisterFetchIsLsb) {
+  auto Flat = std::make_shared<FlatMemory>(GetParam());
+  Flat->addSpace(SpData, 256);
+  auto Alias = std::make_shared<AliasMemory>(Flat);
+  Alias->addAlias(SpGpr, 7, Location::absolute(SpData, 92));
+  auto Reg = std::make_shared<RegisterMemory>(Alias, "rfx");
+
+  // Register 7 holds 0x11223344; a char fetch must see 0x44 regardless of
+  // the byte order of the underlying saved-register storage.
+  ASSERT_FALSE(Reg->storeInt(Location::absolute(SpGpr, 7), 4, 0x11223344));
+  uint64_t V = 0;
+  ASSERT_FALSE(Reg->fetchInt(Location::absolute(SpGpr, 7), 1, V));
+  EXPECT_EQ(V, 0x44u);
+  ASSERT_FALSE(Reg->fetchInt(Location::absolute(SpGpr, 7), 2, V));
+  EXPECT_EQ(V, 0x3344u);
+}
+
+TEST_P(RegisterByteOrder, SubwordRegisterStoreIsReadModifyWrite) {
+  auto Flat = std::make_shared<FlatMemory>(GetParam());
+  Flat->addSpace(SpData, 256);
+  auto Alias = std::make_shared<AliasMemory>(Flat);
+  Alias->addAlias(SpGpr, 7, Location::absolute(SpData, 92));
+  auto Reg = std::make_shared<RegisterMemory>(Alias, "rfx");
+
+  ASSERT_FALSE(Reg->storeInt(Location::absolute(SpGpr, 7), 4, 0x11223344));
+  ASSERT_FALSE(Reg->storeInt(Location::absolute(SpGpr, 7), 1, 0x99));
+  uint64_t V = 0;
+  ASSERT_FALSE(Reg->fetchInt(Location::absolute(SpGpr, 7), 4, V));
+  EXPECT_EQ(V, 0x11223399u);
+}
+
+TEST_P(RegisterByteOrder, NonRegisterSpacePassesThrough) {
+  auto Flat = std::make_shared<FlatMemory>(GetParam());
+  Flat->addSpace(SpData, 8);
+  auto Reg = std::make_shared<RegisterMemory>(Flat, "rfx");
+  ASSERT_FALSE(Flat->storeInt(Location::absolute(SpData, 0), 4, 0x11223344));
+  uint64_t V = 0;
+  // A data-space byte fetch is a real byte fetch: byte order shows.
+  ASSERT_FALSE(Reg->fetchInt(Location::absolute(SpData, 0), 1, V));
+  EXPECT_EQ(V, GetParam() == ByteOrder::Big ? 0x11u : 0x44u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RegisterByteOrder,
+                         ::testing::Values(ByteOrder::Little, ByteOrder::Big));
+
+TEST(JoinedMemory, RoutesBySpace) {
+  auto DataMem = std::make_shared<FlatMemory>(ByteOrder::Little);
+  DataMem->addSpace(SpData, 32);
+  DataMem->addSpace(SpCode, 32);
+  auto RegMem = std::make_shared<FlatMemory>(ByteOrder::Little);
+  RegMem->addSpace(SpGpr, 32 * 4);
+
+  auto Joined = std::make_shared<JoinedMemory>();
+  Joined->join("cd", DataMem);
+  Joined->join("rfx", RegMem);
+
+  ASSERT_FALSE(DataMem->storeInt(Location::absolute(SpData, 0), 4, 1));
+  ASSERT_FALSE(RegMem->storeInt(Location::absolute(SpGpr, 0), 4, 2));
+  uint64_t V = 0;
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpData, 0), 4, V));
+  EXPECT_EQ(V, 1u);
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpGpr, 0), 4, V));
+  EXPECT_EQ(V, 2u);
+  EXPECT_TRUE(Joined->fetchInt(Location::absolute('z', 0), 4, V));
+}
+
+TEST(JoinedMemory, FullDagWalkthrough) {
+  // Reproduces the Sec 4.1 walkthrough: i lives in register 30; the joined
+  // memory routes to the register memory, which does a full-word fetch
+  // through the alias memory, which notes that register 30 lives 92 bytes
+  // into the context in data space.
+  auto Target = std::make_shared<FlatMemory>(ByteOrder::Big);
+  Target->addSpace(SpData, 4096);
+  auto Alias = std::make_shared<AliasMemory>(Target);
+  Alias->addAlias(SpGpr, 30, Location::absolute(SpData, 92));
+  Alias->addAlias(SpExtra, 0, Location::immediate(0x2290)); // pc
+  auto Reg = std::make_shared<RegisterMemory>(Alias, "rfx");
+  auto Joined = std::make_shared<JoinedMemory>();
+  Joined->join("rfx", Reg);
+  Joined->join("cd", Target);
+
+  ASSERT_FALSE(Target->storeInt(Location::absolute(SpData, 92), 4, 7));
+  uint64_t V = 0;
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpGpr, 30), 4, V));
+  EXPECT_EQ(V, 7u);
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpExtra, 0), 4, V));
+  EXPECT_EQ(V, 0x2290u);
+}
+
+TEST(Location, Helpers) {
+  Location L = Location::absolute(SpGpr, 30);
+  EXPECT_EQ(L.str(), "r:30");
+  EXPECT_EQ(L.shifted(8).Offset, 38);
+  EXPECT_EQ(Location::immediate(5).str(), "imm:5");
+  EXPECT_TRUE(L == Location::absolute(SpGpr, 30));
+  EXPECT_FALSE(L == Location::absolute(SpGpr, 31));
+}
+
+} // namespace

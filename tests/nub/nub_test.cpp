@@ -1,0 +1,399 @@
+//===- tests/nub/nub_test.cpp --------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nub + protocol tests across all four targets: the little-endian wire
+/// protocol works on every target byte order (paper Sec 4.2), breakpoints
+/// are pure fetch/store from the nub's point of view, state survives
+/// debugger crashes, and the context is readable through the wire using
+/// the per-target layout.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mem/memories.h"
+#include "nub/host.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::mem;
+using namespace ldb::nub;
+using namespace ldb::target;
+
+namespace {
+
+constexpr uint32_t TextBase = 0x1000;
+
+/// counter: r1 = 5; nop (stopping point); r1 = r1 + 1; exit(r1)
+std::vector<Instr> counterProgram(unsigned ArgReg) {
+  return {
+      Instr::i(Op::AddI, 1, 0, 5),
+      Instr::nop(),
+      Instr::i(Op::AddI, 1, 1, 1),
+      Instr::i(Op::AddI, ArgReg, 1, 0),
+      Instr::i(Op::Sys, 0, ArgReg, static_cast<int32_t>(Syscall::Exit)),
+  };
+}
+
+class NubTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    Desc = GetParam();
+    Proc = &Host.createProcess("t1", *Desc);
+    loadProgram(counterProgram(argReg()));
+  }
+
+  unsigned argReg() const { return Desc->FirstArgReg; }
+
+  void loadProgram(const std::vector<Instr> &Program) {
+    uint32_t Addr = TextBase;
+    for (const Instr &In : Program) {
+      ASSERT_TRUE(Proc->machine().storeInt(Addr, 4, Desc->Enc.encode(In)));
+      Addr += 4;
+    }
+  }
+
+  std::unique_ptr<NubClient> connect() {
+    auto C = Host.connect("t1");
+    EXPECT_TRUE(static_cast<bool>(C)) << C.message();
+    return C ? C.take() : nullptr;
+  }
+
+  const TargetDesc *Desc = nullptr;
+  ProcessHost Host;
+  NubProcess *Proc = nullptr;
+};
+
+TEST_P(NubTest, HandshakeAnnouncesArchitecture) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  EXPECT_EQ(Client->archName(), Desc->Name);
+}
+
+TEST_P(NubTest, PauseSignalBeforeMain) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_TRUE(Client->pendingStop().has_value());
+  EXPECT_EQ(Client->pendingStop()->Signo, SigPause);
+  EXPECT_EQ(Client->pendingStop()->ContextAddr, Proc->contextAddr());
+}
+
+TEST_P(NubTest, ContinueRunsToExit) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+  EXPECT_TRUE(Stop.Exited);
+  EXPECT_EQ(Stop.ExitStatus, 6u);
+}
+
+TEST_P(NubTest, FetchAndStoreThroughWire) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  // Store 0x11223344 at 0x2000 through the wire, read it back in pieces.
+  ASSERT_FALSE(Client->remoteStoreInt('d', 0x2000, 4, 0x11223344));
+  uint64_t V = 0;
+  ASSERT_FALSE(Client->remoteFetchInt('d', 0x2000, 4, V));
+  EXPECT_EQ(V, 0x11223344u);
+  // Value semantics: a 2-byte fetch at the word's address returns the
+  // target's idea of the halfword there, which *does* depend on target
+  // byte order — the wire carries values, the nub reads target memory.
+  ASSERT_FALSE(Client->remoteFetchInt('d', 0x2000, 2, V));
+  EXPECT_EQ(V, Desc->isBigEndian() ? 0x1122u : 0x3344u);
+}
+
+TEST_P(NubTest, RegisterSpaceRefused) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  uint64_t V;
+  Error E = Client->remoteFetchInt('r', 1, 4, V);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("code and data"), std::string::npos);
+}
+
+TEST_P(NubTest, BadAddressNaks) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  uint64_t V;
+  EXPECT_TRUE(static_cast<bool>(
+      Client->remoteFetchInt('d', 0xfffffff0, 4, V)));
+}
+
+TEST_P(NubTest, FloatRoundTripThroughWire) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(Client->remoteStoreFloat('d', 0x2000, 8, -2.5L));
+  long double V = 0;
+  ASSERT_FALSE(Client->remoteFetchFloat('d', 0x2000, 8, V));
+  EXPECT_EQ(V, -2.5L);
+  ASSERT_FALSE(Client->remoteStoreFloat('d', 0x2010, 4, 1.25L));
+  ASSERT_FALSE(Client->remoteFetchFloat('d', 0x2010, 4, V));
+  EXPECT_EQ(V, 1.25L);
+}
+
+TEST_P(NubTest, F80OnlyWhereSupported) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  Error E = Client->remoteStoreFloat('d', 0x2000, 10, 3.0L);
+  if (Desc->HasF80) {
+    EXPECT_FALSE(E);
+    long double V = 0;
+    EXPECT_FALSE(Client->remoteFetchFloat('d', 0x2000, 10, V));
+    EXPECT_EQ(V, 3.0L);
+  } else {
+    EXPECT_TRUE(static_cast<bool>(E));
+  }
+}
+
+TEST_P(NubTest, BreakpointByStoreOnly) {
+  // The debugger's whole breakpoint mechanism, nub-side: fetch the no-op
+  // word, store the break word, continue, observe SIGTRAP, restore or
+  // skip, continue again (paper Sec 3 and 6).
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+
+  uint32_t StopAddr = TextBase + 4; // the no-op
+  uint64_t Orig = 0;
+  ASSERT_FALSE(Client->remoteFetchInt('c', StopAddr, 4, Orig));
+  EXPECT_EQ(Orig, Desc->nopWord());
+  ASSERT_FALSE(Client->remoteStoreInt('c', StopAddr, 4, Desc->breakWord()));
+
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+  ASSERT_FALSE(Stop.Exited);
+  EXPECT_EQ(Stop.Signo, SigTrap);
+
+  // Read the pc out of the context through the wire, using the target's
+  // machine-dependent context layout.
+  ContextLayout L = nubMdFor(*Desc).layout(*Desc);
+  uint64_t Pc = 0;
+  ASSERT_FALSE(
+      Client->remoteFetchInt('d', Stop.ContextAddr + L.PcOff, 4, Pc));
+  EXPECT_EQ(Pc, StopAddr);
+
+  // Resume by skipping the no-op: advance the saved pc by 4 and continue.
+  ASSERT_FALSE(Client->remoteStoreInt('d', Stop.ContextAddr + L.PcOff, 4,
+                                      Pc + 4));
+  ASSERT_FALSE(Client->doContinue(Stop));
+  EXPECT_TRUE(Stop.Exited);
+  EXPECT_EQ(Stop.ExitStatus, 6u);
+}
+
+TEST_P(NubTest, ContextHoldsRegisters) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(
+      Client->remoteStoreInt('c', TextBase + 4, 4, Desc->breakWord()));
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+  ASSERT_EQ(Stop.Signo, SigTrap);
+
+  ContextLayout L = nubMdFor(*Desc).layout(*Desc);
+  uint64_t R1 = 0;
+  ASSERT_FALSE(Client->remoteFetchInt(
+      'd', L.gprAddr(Stop.ContextAddr, 1, Desc->NumGpr), 4, R1));
+  EXPECT_EQ(R1, 5u); // r1 was set to 5 before the stopping point
+
+  // Assignment to a register variable: write the context, continue, and
+  // the program exits with the modified value + 1.
+  ASSERT_FALSE(Client->remoteStoreInt(
+      'd', L.gprAddr(Stop.ContextAddr, 1, Desc->NumGpr), 4, 41));
+  uint64_t Pc = 0;
+  ASSERT_FALSE(
+      Client->remoteFetchInt('d', Stop.ContextAddr + L.PcOff, 4, Pc));
+  ASSERT_FALSE(Client->remoteStoreInt('d', Stop.ContextAddr + L.PcOff, 4,
+                                      Pc + 4));
+  ASSERT_FALSE(Client->doContinue(Stop));
+  EXPECT_TRUE(Stop.Exited);
+  EXPECT_EQ(Stop.ExitStatus, 42u);
+}
+
+TEST_P(NubTest, WireMemoryIntegration) {
+  // A WireMemory + alias DAG reads a register straight out of the context
+  // (the paper's Fig 4 walkthrough, against a live nub).
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(
+      Client->remoteStoreInt('c', TextBase + 4, 4, Desc->breakWord()));
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+
+  ContextLayout L = nubMdFor(*Desc).layout(*Desc);
+  auto Wire = std::make_shared<WireMemory>(*Client);
+  auto Alias = std::make_shared<AliasMemory>(Wire);
+  Alias->addAlias(SpGpr, 1,
+                  Location::absolute(SpData, L.gprAddr(Stop.ContextAddr, 1,
+                                                       Desc->NumGpr)));
+  auto Reg = std::make_shared<RegisterMemory>(Alias, "rfx");
+  auto Joined = std::make_shared<JoinedMemory>();
+  Joined->join("rfx", Reg);
+  Joined->join("cd", Wire);
+
+  uint64_t V = 0;
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpGpr, 1), 4, V));
+  EXPECT_EQ(V, 5u);
+  // Subword register fetch: identical result on both byte orders.
+  ASSERT_FALSE(Joined->fetchInt(Location::absolute(SpGpr, 1), 1, V));
+  EXPECT_EQ(V, 5u);
+}
+
+TEST_P(NubTest, DetachPreservesStateForReattach) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(Client->detach());
+  EXPECT_FALSE(Proc->attached());
+
+  auto Client2 = connect();
+  ASSERT_TRUE(Client2);
+  ASSERT_TRUE(Client2->pendingStop().has_value());
+  EXPECT_EQ(Client2->pendingStop()->Signo, SigPause);
+  StopInfo Stop;
+  ASSERT_FALSE(Client2->doContinue(Stop));
+  EXPECT_TRUE(Stop.Exited);
+}
+
+TEST_P(NubTest, DebuggerCrashPreservesState) {
+  // "Normally, when a connection is broken, even by a debugger crash, the
+  // nub preserves the state of the target program and waits for a new
+  // connection from another instance of ldb."
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(
+      Client->remoteStoreInt('c', TextBase + 4, 4, Desc->breakWord()));
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+  ASSERT_EQ(Stop.Signo, SigTrap);
+
+  Client->crash(); // no Detach message, transport just dies
+
+  auto Client2 = connect();
+  ASSERT_TRUE(Client2);
+  // The new debugger sees the preserved stop state.
+  ASSERT_TRUE(Client2->pendingStop().has_value());
+  EXPECT_EQ(Client2->pendingStop()->Signo, SigTrap);
+  ContextLayout L = nubMdFor(*Desc).layout(*Desc);
+  uint64_t R1 = 0;
+  ASSERT_FALSE(Client2->remoteFetchInt(
+      'd', L.gprAddr(Client2->pendingStop()->ContextAddr, 1, Desc->NumGpr),
+      4, R1));
+  EXPECT_EQ(R1, 5u);
+}
+
+TEST_P(NubTest, FaultingProcessWaitsForDebugger) {
+  // A process that faults with no debugger attached keeps its state and
+  // waits; the target program need not be a child of the debugger.
+  std::vector<Instr> Faulty = {
+      Instr::i(Op::AddI, 1, 0, 10),
+      Instr::r(Op::Div, 1, 1, 0), // divide by zero
+  };
+  loadProgram(Faulty);
+  Proc->enter(TextBase);
+  Proc->continueUnattached();
+  EXPECT_EQ(Proc->state(), NubProcess::State::Stopped);
+
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_TRUE(Client->pendingStop().has_value());
+  EXPECT_EQ(Client->pendingStop()->Signo, SigFpe);
+}
+
+TEST_P(NubTest, KillTerminates) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(Client->kill());
+  EXPECT_EQ(Proc->state(), NubProcess::State::Exited);
+  StopInfo Stop;
+  EXPECT_TRUE(static_cast<bool>(Client->doContinue(Stop)));
+}
+
+TEST_P(NubTest, StepBudgetStopsRunawayProcess) {
+  std::vector<Instr> Spin = {
+      Instr::j(Op::J, TextBase / 4), // tight infinite loop
+  };
+  loadProgram(Spin);
+  Proc->enter(TextBase);
+  Proc->StepBudget = 10000;
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  StopInfo Stop;
+  ASSERT_FALSE(Client->doContinue(Stop));
+  EXPECT_FALSE(Stop.Exited);
+  EXPECT_EQ(Stop.Signo, NubProcess::SigXCpu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, NubTest, ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+TEST(ProcessHost, MultipleSimultaneousTargets) {
+  // ldb can connect to multiple targets at once, on different
+  // architectures (paper Sec 7).
+  ProcessHost Host;
+  NubProcess &A = Host.createProcess("alpha", *targetByName("zmips"));
+  NubProcess &B = Host.createProcess("beta", *targetByName("z68k"));
+  for (NubProcess *P : {&A, &B}) {
+    uint32_t Addr = TextBase;
+    for (const Instr &In : counterProgram(P->desc().FirstArgReg)) {
+      ASSERT_TRUE(P->machine().storeInt(Addr, 4, P->desc().Enc.encode(In)));
+      Addr += 4;
+    }
+    P->enter(TextBase);
+  }
+  auto CA = Host.connect("alpha");
+  auto CB = Host.connect("beta");
+  ASSERT_TRUE(static_cast<bool>(CA));
+  ASSERT_TRUE(static_cast<bool>(CB));
+  EXPECT_EQ((*CA)->archName(), "zmips");
+  EXPECT_EQ((*CB)->archName(), "z68k");
+  StopInfo SA, SB;
+  ASSERT_FALSE((*CA)->doContinue(SA));
+  ASSERT_FALSE((*CB)->doContinue(SB));
+  EXPECT_TRUE(SA.Exited);
+  EXPECT_TRUE(SB.Exited);
+}
+
+TEST(ProcessHost, ConnectToMissingProcessFails) {
+  ProcessHost Host;
+  auto C = Host.connect("ghost");
+  EXPECT_FALSE(static_cast<bool>(C));
+}
+
+TEST(ContextLayouts, PerTargetQuirksAreVisible) {
+  // zvax reverses its gpr area; z68k uses 80-bit float slots; zsparc puts
+  // floating state first. These are the machine-dependent data the shared
+  // save/restore code is parameterized by.
+  const TargetDesc *Zvax = targetByName("zvax");
+  ContextLayout LV = nubMdFor(*Zvax).layout(*Zvax);
+  EXPECT_TRUE(LV.GprsReversed);
+  EXPECT_GT(LV.gprAddr(0, 0, Zvax->NumGpr), LV.gprAddr(0, 1, Zvax->NumGpr));
+
+  const TargetDesc *Z68k = targetByName("z68k");
+  EXPECT_EQ(nubMdFor(*Z68k).layout(*Z68k).FprSize, 10u);
+
+  const TargetDesc *Zsparc = targetByName("zsparc");
+  ContextLayout LS = nubMdFor(*Zsparc).layout(*Zsparc);
+  EXPECT_LT(LS.FprOff, LS.GprOff);
+
+  const TargetDesc *Zmips = targetByName("zmips");
+  ContextLayout LM = nubMdFor(*Zmips).layout(*Zmips);
+  EXPECT_EQ(LM.FprSize, 8u);
+  EXPECT_LT(LM.GprOff, LM.FprOff);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/nub/protocol_test.cpp ----------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire-protocol serialization tests: every field type round-trips, the
+/// wire is little-endian regardless of anything, truncated payloads are
+/// rejected, and a property sweep exercises random message contents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "nub/channel.h"
+#include "nub/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ldb;
+using namespace ldb::nub;
+
+namespace {
+
+MsgReader roundTrip(const MsgWriter &W) {
+  std::vector<uint8_t> Frame = W.frame();
+  EXPECT_GE(Frame.size(), 5u);
+  MsgKind Kind = static_cast<MsgKind>(Frame[0]);
+  uint32_t Len =
+      static_cast<uint32_t>(unpackInt(Frame.data() + 1, 4,
+                                      ByteOrder::Little));
+  EXPECT_EQ(Len + 5, Frame.size());
+  return MsgReader(Kind,
+                   std::vector<uint8_t>(Frame.begin() + 5, Frame.end()));
+}
+
+TEST(Protocol, FieldsRoundTrip) {
+  MsgReader R = roundTrip(MsgWriter(MsgKind::StoreInt)
+                              .u8('d')
+                              .u32(0xdeadbeef)
+                              .u8(4)
+                              .u64(0x1122334455667788ull)
+                              .str("hello")
+                              .f80(-2.5L));
+  EXPECT_EQ(R.kind(), MsgKind::StoreInt);
+  uint8_t B;
+  uint32_t W;
+  uint64_t Q;
+  std::string S;
+  long double F;
+  ASSERT_TRUE(R.u8(B));
+  EXPECT_EQ(B, 'd');
+  ASSERT_TRUE(R.u32(W));
+  EXPECT_EQ(W, 0xdeadbeefu);
+  ASSERT_TRUE(R.u8(B));
+  EXPECT_EQ(B, 4);
+  ASSERT_TRUE(R.u64(Q));
+  EXPECT_EQ(Q, 0x1122334455667788ull);
+  ASSERT_TRUE(R.str(S));
+  EXPECT_EQ(S, "hello");
+  ASSERT_TRUE(R.f80(F));
+  EXPECT_EQ(F, -2.5L);
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(Protocol, WireIsLittleEndian) {
+  std::vector<uint8_t> Frame = MsgWriter(MsgKind::FetchInt)
+                                   .u32(0x11223344)
+                                   .frame();
+  // Payload begins after the 5-byte header; least significant byte first.
+  EXPECT_EQ(Frame[5], 0x44);
+  EXPECT_EQ(Frame[8], 0x11);
+}
+
+TEST(Protocol, TruncatedPayloadRejected) {
+  MsgReader R(MsgKind::FetchInt, {0x01, 0x02});
+  uint32_t W;
+  EXPECT_FALSE(R.u32(W));
+  uint64_t Q;
+  EXPECT_FALSE(R.u64(Q));
+  std::string S;
+  EXPECT_FALSE(R.str(S));
+}
+
+TEST(Protocol, TruncatedStringRejected) {
+  // Length claims 100 bytes; only 2 present.
+  MsgReader R(MsgKind::Welcome, {100, 0, 0, 0, 'a', 'b'});
+  std::string S;
+  EXPECT_FALSE(R.str(S));
+}
+
+TEST(Protocol, EmptyString) {
+  MsgReader R = roundTrip(MsgWriter(MsgKind::Welcome).str(""));
+  std::string S = "junk";
+  ASSERT_TRUE(R.str(S));
+  EXPECT_EQ(S, "");
+}
+
+TEST(Protocol, SignalNamesCover) {
+  EXPECT_STREQ(signalName(SigTrap), "breakpoint trap");
+  EXPECT_STREQ(signalName(SigSegv), "segmentation fault");
+  EXPECT_STREQ(signalName(SigPause), "pause before main");
+  EXPECT_STREQ(signalName(12345), "unknown signal");
+}
+
+class ProtocolFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolFuzz, RandomMessagesRoundTrip) {
+  std::mt19937_64 Rng(static_cast<unsigned>(GetParam()) * 7919 + 3);
+  for (int K = 0; K < 200; ++K) {
+    uint8_t B = static_cast<uint8_t>(Rng());
+    uint32_t W = static_cast<uint32_t>(Rng());
+    uint64_t Q = Rng();
+    std::string S;
+    for (unsigned J = Rng() % 40; J > 0; --J)
+      S += static_cast<char>(Rng() % 256);
+    long double F =
+        static_cast<long double>(static_cast<int64_t>(Rng())) /
+        (static_cast<long double>(Rng() % 1000) + 1);
+    MsgReader R = roundTrip(
+        MsgWriter(MsgKind::Stopped).u8(B).u32(W).u64(Q).str(S).f80(F));
+    uint8_t B2;
+    uint32_t W2;
+    uint64_t Q2;
+    std::string S2;
+    long double F2;
+    ASSERT_TRUE(R.u8(B2) && R.u32(W2) && R.u64(Q2) && R.str(S2) &&
+                R.f80(F2));
+    EXPECT_EQ(B2, B);
+    EXPECT_EQ(W2, W);
+    EXPECT_EQ(Q2, Q);
+    EXPECT_EQ(S2, S);
+    EXPECT_EQ(F2, F);
+    EXPECT_TRUE(R.atEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Range(0, 6));
+
+TEST(Channel, BytesFlowBothWays) {
+  auto [A, B] = LocalLink::makePair();
+  uint8_t Out[4] = {1, 2, 3, 4};
+  A->write(Out, 4);
+  uint8_t In[4] = {0};
+  ASSERT_TRUE(B->read(In, 4));
+  EXPECT_EQ(In[2], 3);
+  B->write(Out, 2);
+  ASSERT_TRUE(A->read(In, 2));
+  EXPECT_FALSE(A->read(In, 1)); // drained
+}
+
+TEST(Channel, ReadableCallbackFires) {
+  auto [A, B] = LocalLink::makePair();
+  int Fired = 0;
+  B->setReadable([&] { ++Fired; });
+  uint8_t Byte = 9;
+  A->write(&Byte, 1);
+  A->write(&Byte, 1);
+  EXPECT_EQ(Fired, 2);
+}
+
+TEST(Channel, BrokenLinkDropsTraffic) {
+  auto [A, B] = LocalLink::makePair();
+  A->breakLink();
+  EXPECT_TRUE(B->isBroken());
+  uint8_t Byte = 9;
+  A->write(&Byte, 1);
+  EXPECT_EQ(B->available(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,299 @@
+//===- tests/postscript/interp_test.cpp ----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  /// Runs code and returns the single integer left on the stack.
+  int64_t evalInt(const std::string &Code) {
+    EXPECT_FALSE(I.run(Code)) << "while running: " << Code;
+    EXPECT_EQ(I.opStack().size(), 1u) << Code;
+    EXPECT_EQ(I.opStack().back().Ty, Type::Int) << Code;
+    int64_t V = I.opStack().back().IntVal;
+    I.opStack().clear();
+    return V;
+  }
+
+  bool evalBool(const std::string &Code) {
+    EXPECT_FALSE(I.run(Code)) << Code;
+    EXPECT_EQ(I.opStack().back().Ty, Type::Bool) << Code;
+    bool V = I.opStack().back().BoolVal;
+    I.opStack().clear();
+    return V;
+  }
+
+  std::string evalOutput(const std::string &Code) {
+    EXPECT_FALSE(I.run(Code)) << Code;
+    return I.takeOutput();
+  }
+
+  Interp I;
+};
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_EQ(evalInt("1 2 add"), 3);
+  EXPECT_EQ(evalInt("10 3 sub"), 7);
+  EXPECT_EQ(evalInt("6 7 mul"), 42);
+  EXPECT_EQ(evalInt("17 5 idiv"), 3);
+  EXPECT_EQ(evalInt("17 5 mod"), 2);
+  EXPECT_EQ(evalInt("5 neg"), -5);
+  EXPECT_EQ(evalInt("-5 abs"), 5);
+}
+
+TEST_F(InterpTest, MixedRealArithmetic) {
+  EXPECT_FALSE(I.run("1 2.5 add"));
+  EXPECT_EQ(I.opStack().back().Ty, Type::Real);
+  EXPECT_DOUBLE_EQ(I.opStack().back().RealVal, 3.5);
+}
+
+TEST_F(InterpTest, StackOps) {
+  EXPECT_EQ(evalInt("1 2 exch sub"), 1);
+  EXPECT_EQ(evalInt("3 dup mul"), 9);
+  EXPECT_EQ(evalInt("1 2 3 pop pop"), 1);
+  EXPECT_EQ(evalInt("10 20 30 2 index pop pop pop"), 10);
+  EXPECT_EQ(evalInt("1 2 3 3 -1 roll pop pop"), 2); // 2 3 1 -> pops 1, 3
+  EXPECT_EQ(evalInt("1 2 3 clear 42"), 42);
+  EXPECT_EQ(evalInt("7 8 count exch pop exch pop"), 2);
+}
+
+TEST_F(InterpTest, Marks) {
+  EXPECT_EQ(evalInt("mark 1 2 3 counttomark 5 1 roll cleartomark"), 3);
+}
+
+TEST_F(InterpTest, Relational) {
+  EXPECT_TRUE(evalBool("1 1 eq"));
+  EXPECT_FALSE(evalBool("1 2 eq"));
+  EXPECT_TRUE(evalBool("1 2 ne"));
+  EXPECT_TRUE(evalBool("1 2 lt"));
+  EXPECT_TRUE(evalBool("2 2 le"));
+  EXPECT_TRUE(evalBool("3 2 gt"));
+  EXPECT_TRUE(evalBool("(abc) (abd) lt"));
+  EXPECT_TRUE(evalBool("(x) (x) eq"));
+  EXPECT_TRUE(evalBool("1 1.0 eq")); // numeric cross-type equality
+}
+
+TEST_F(InterpTest, Booleans) {
+  EXPECT_TRUE(evalBool("true false or"));
+  EXPECT_FALSE(evalBool("true false and"));
+  EXPECT_TRUE(evalBool("true false xor"));
+  EXPECT_FALSE(evalBool("true not"));
+  EXPECT_EQ(evalInt("12 10 and"), 8);
+  EXPECT_EQ(evalInt("12 10 or"), 14);
+  EXPECT_EQ(evalInt("1 3 bitshift"), 8);
+  EXPECT_EQ(evalInt("8 -3 bitshift"), 1);
+}
+
+TEST_F(InterpTest, SignedBits) {
+  EXPECT_EQ(evalInt("255 8 signedbits"), -1);
+  EXPECT_EQ(evalInt("127 8 signedbits"), 127);
+  EXPECT_EQ(evalInt("16#ffffffff 32 signedbits"), -1);
+}
+
+TEST_F(InterpTest, ControlFlow) {
+  EXPECT_EQ(evalInt("true { 1 } { 2 } ifelse"), 1);
+  EXPECT_EQ(evalInt("false { 1 } { 2 } ifelse"), 2);
+  EXPECT_EQ(evalInt("0 true { 5 add } if"), 5);
+  EXPECT_EQ(evalInt("0 1 1 10 { add } for"), 55);
+  EXPECT_EQ(evalInt("0 5 { 1 add } repeat"), 5);
+  EXPECT_EQ(evalInt("0 { 1 add dup 7 eq { exit } if } loop"), 7);
+}
+
+TEST_F(InterpTest, ForCountsDown) {
+  EXPECT_EQ(evalInt("0 10 -1 1 { add } for"), 55);
+}
+
+TEST_F(InterpTest, ForallArray) {
+  EXPECT_EQ(evalInt("0 [ 1 2 3 4 ] { add } forall"), 10);
+}
+
+TEST_F(InterpTest, ForallString) {
+  EXPECT_EQ(evalInt("0 (ab) { add } forall"), 'a' + 'b');
+}
+
+TEST_F(InterpTest, ForallDict) {
+  EXPECT_EQ(evalInt("0 << /a 1 /b 2 >> { exch pop add } forall"), 3);
+}
+
+TEST_F(InterpTest, ExitInsideForall) {
+  EXPECT_EQ(evalInt("0 [ 1 2 3 4 ] { add dup 3 eq { exit } if } forall"), 3);
+}
+
+TEST_F(InterpTest, DefAndLookup) {
+  EXPECT_EQ(evalInt("/x 42 def x"), 42);
+  EXPECT_EQ(evalInt("/double { 2 mul } def 21 double"), 42);
+}
+
+TEST_F(InterpTest, DictBeginEnd) {
+  EXPECT_EQ(evalInt("/x 1 def 4 dict begin /x 2 def x end"), 2);
+  EXPECT_EQ(evalInt("/x 1 def 4 dict begin /x 2 def end x"), 1);
+}
+
+TEST_F(InterpTest, DictLiteralAndGet) {
+  EXPECT_EQ(evalInt("<< /a 10 /b 20 >> /b get"), 20);
+  EXPECT_TRUE(evalBool("<< /a 1 >> /a known"));
+  EXPECT_FALSE(evalBool("<< /a 1 >> /z known"));
+}
+
+TEST_F(InterpTest, NestedDictLiteral) {
+  EXPECT_EQ(evalInt("<< /t << /size 4 >> >> /t get /size get"), 4);
+}
+
+TEST_F(InterpTest, DictPutSharesStorage) {
+  EXPECT_EQ(evalInt("/d 2 dict def d /k 9 put d /k get"), 9);
+}
+
+TEST_F(InterpTest, StoreRebindsWhereDefined) {
+  EXPECT_EQ(evalInt("/x 1 def 4 dict begin /x 2 store end x"), 2);
+}
+
+TEST_F(InterpTest, WhereFindsDict) {
+  EXPECT_TRUE(evalBool("/x 5 def /x where { pop true } { false } ifelse"));
+  EXPECT_FALSE(evalBool("/zz.unbound where { pop true } { false } ifelse"));
+}
+
+TEST_F(InterpTest, Arrays) {
+  EXPECT_EQ(evalInt("[ 10 20 30 ] 1 get"), 20);
+  EXPECT_EQ(evalInt("[ 1 2 3 ] length"), 3);
+  EXPECT_EQ(evalInt("3 array length"), 3);
+  EXPECT_EQ(evalInt("/a [ 0 0 ] def a 1 99 put a 1 get"), 99);
+  EXPECT_EQ(evalInt("[ 5 6 ] aload pop add"), 11);
+}
+
+TEST_F(InterpTest, StringsAreImmutable) {
+  Error E = I.run("(abc) 0 88 put");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("immutable"), std::string::npos);
+}
+
+TEST_F(InterpTest, StringOps) {
+  EXPECT_EQ(evalInt("(abc) length"), 3);
+  EXPECT_EQ(evalInt("(abc) 1 get"), 'b');
+  EXPECT_EQ(evalOutput("(ab) (cd) concat syswrite"), "abcd");
+}
+
+TEST_F(InterpTest, Conversions) {
+  EXPECT_EQ(evalInt("3.7 cvi"), 3);
+  EXPECT_EQ(evalInt("(42) cvi"), 42);
+  EXPECT_TRUE(evalBool("1 cvr 1.0 eq"));
+  EXPECT_TRUE(evalBool("(abc) cvn /abc eq"));
+  EXPECT_EQ(evalOutput("42 cvs syswrite"), "42");
+  EXPECT_TRUE(evalBool("{ dup } xcheck"));
+  EXPECT_FALSE(evalBool("[ 1 ] xcheck"));
+}
+
+TEST_F(InterpTest, TypeOp) {
+  EXPECT_TRUE(evalBool("1 type /integertype eq"));
+  EXPECT_TRUE(evalBool("(s) type /stringtype eq"));
+  EXPECT_TRUE(evalBool("<< >> type /dicttype eq"));
+  EXPECT_TRUE(evalBool("{ } type /arraytype eq"));
+}
+
+TEST_F(InterpTest, CvxExecOnString) {
+  // Deferred lexing: an executable string scans and runs when executed.
+  EXPECT_EQ(evalInt("(1 2 add) cvx exec"), 3);
+}
+
+TEST_F(InterpTest, CvxMakesNameExecutable) {
+  EXPECT_EQ(evalInt("/sq { dup mul } def (sq) cvn cvx /f exch def 5 f"), 25);
+}
+
+TEST_F(InterpTest, LiteralReplacesProcedureTrick) {
+  // The paper's memoisation idiom (Sec 5): a procedure interpreted at most
+  // once is replaced by its result; executing the literal result pushes it.
+  EXPECT_EQ(evalInt("/d << /w { 1 2 add } >> def"
+                    "  d /w get exec"        // compute once: 3
+                    "  d exch /w exch put"   // replace proc with result
+                    "  d /w get dup exec eq" // literal now pushes itself
+                    "  { 1 } { 0 } ifelse"),
+            1);
+}
+
+TEST_F(InterpTest, StoppedCatchesStop) {
+  EXPECT_TRUE(evalBool("{ 1 stop 2 } stopped"));
+  EXPECT_FALSE(evalBool("{ 1 pop } stopped"));
+}
+
+TEST_F(InterpTest, StoppedCatchesErrors) {
+  EXPECT_TRUE(evalBool("{ 1 0 idiv } stopped"));
+  EXPECT_TRUE(evalBool("{ undefined.name.xyz } stopped"));
+  // The interpreter is usable again afterwards.
+  EXPECT_EQ(evalInt("40 2 add"), 42);
+}
+
+TEST_F(InterpTest, ErrorsCarryMessages) {
+  Error E = I.run("undefined.name.xyz");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("undefined"), std::string::npos);
+  E = I.run("1 0 idiv");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("division by zero"), std::string::npos);
+}
+
+TEST_F(InterpTest, StackUnderflowIsError) {
+  EXPECT_TRUE(static_cast<bool>(I.run("add")));
+}
+
+TEST_F(InterpTest, EndBelowFloorIsError) {
+  EXPECT_TRUE(static_cast<bool>(I.run("end")));
+}
+
+TEST_F(InterpTest, Output) {
+  EXPECT_EQ(evalOutput("(hi) syswrite"), "hi");
+  EXPECT_EQ(evalOutput("42 ="), "42\n");
+  EXPECT_EQ(evalOutput("(s) =="), "(s)\n");
+  EXPECT_EQ(evalOutput("[ 1 (a) /b ] =="), "[1 (a) /b]\n");
+}
+
+TEST_F(InterpTest, Bind) {
+  // After bind, redefining add does not affect the bound procedure.
+  EXPECT_EQ(evalInt("/f { 1 2 add } bind def /add { pop pop 0 } def f"), 3);
+}
+
+TEST_F(InterpTest, RecursionDepthLimited) {
+  EXPECT_TRUE(static_cast<bool>(I.run("/f { f } def f")));
+}
+
+TEST_F(InterpTest, QuitStopsExecution) {
+  EXPECT_FALSE(I.run("1 quit 2"));
+  ASSERT_EQ(I.opStack().size(), 1u);
+}
+
+TEST_F(InterpTest, FileObjectExecution) {
+  auto Src = std::make_shared<StringCharSource>("10 32 add");
+  EXPECT_EQ(I.exec(Object::makeFile(Src)), PsStatus::Ok);
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 42);
+}
+
+TEST_F(InterpTest, StoppedOnFileHonorsStop) {
+  // The expression-server idiom: interpret tokens from a stream until told
+  // to stop ("cvx stopped" applied to the open pipe, paper Sec 3).
+  auto Src = std::make_shared<StringCharSource>("1 2 add stop 99");
+  I.push(Object::makeFile(Src));
+  EXPECT_FALSE(I.run("stopped"));
+  ASSERT_EQ(I.opStack().size(), 2u);
+  EXPECT_TRUE(I.opStack().back().BoolVal);
+  EXPECT_EQ(I.opStack()[0].IntVal, 3); // 99 never executed
+}
+
+TEST_F(InterpTest, DictStackRebinding) {
+  // Architecture switching: pushing a dictionary rebinds MD names
+  // (paper Sec 5).
+  EXPECT_FALSE(I.run("/FrameReg (generic) def"
+                     "/mips 2 dict def mips /FrameReg (vfp) put"));
+  EXPECT_EQ(evalOutput("mips begin FrameReg syswrite end"), "vfp");
+  EXPECT_EQ(evalOutput("FrameReg syswrite"), "generic");
+}
+
+} // namespace

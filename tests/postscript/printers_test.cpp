@@ -1,0 +1,263 @@
+//===- tests/postscript/printers_test.cpp --------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the machine-independent prelude printers driving abstract
+/// memories — the paper's Sec 2 story: the compiler emits type dictionaries
+/// whose /printer procedures ldb interprets, so ldb proper never knows the
+/// layout of runtime data structures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mem/memories.h"
+#include "postscript/interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+class PrinterTest : public ::testing::TestWithParam<ByteOrder> {
+protected:
+  void SetUp() override {
+    ASSERT_FALSE(I.run(prelude()));
+    Mem = std::make_shared<mem::FlatMemory>(GetParam());
+    Mem->addSpace(mem::SpData, 4096);
+    I.defineSystemValue("M", Object::makeMemory(Mem));
+  }
+
+  std::string print(const std::string &Code) {
+    Error E = I.run(Code);
+    EXPECT_FALSE(E) << E.message() << " in: " << Code;
+    return I.takeOutput();
+  }
+
+  mem::Location data(int64_t Off) {
+    return mem::Location::absolute(mem::SpData, Off);
+  }
+
+  Interp I;
+  std::shared_ptr<mem::FlatMemory> Mem;
+};
+
+TEST_P(PrinterTest, IntPrinter) {
+  ASSERT_FALSE(Mem->storeInt(data(100), 4, static_cast<uint64_t>(-7) &
+                                                0xffffffffu));
+  EXPECT_EQ(print("M 100 DataLoc Absolute << /printer {INT} >> print"), "-7");
+}
+
+TEST_P(PrinterTest, UnsignedPrinter) {
+  ASSERT_FALSE(Mem->storeInt(data(100), 4, 0xfffffff9u));
+  EXPECT_EQ(print("M 100 DataLoc << /printer {UNSIGNED} >> print"),
+            "4294967289");
+}
+
+TEST_P(PrinterTest, ShortPrinter) {
+  ASSERT_FALSE(Mem->storeInt(data(20), 2, 0xfffe));
+  EXPECT_EQ(print("M 20 DataLoc << /printer {SHORT} >> print"), "-2");
+}
+
+TEST_P(PrinterTest, CharPrinterPrintable) {
+  ASSERT_FALSE(Mem->storeInt(data(3), 1, 'A'));
+  EXPECT_EQ(print("M 3 DataLoc << /printer {CHAR} >> print"), "'A'");
+}
+
+TEST_P(PrinterTest, CharPrinterNonPrintable) {
+  ASSERT_FALSE(Mem->storeInt(data(3), 1, 7));
+  EXPECT_EQ(print("M 3 DataLoc << /printer {CHAR} >> print"), "'\\7'");
+}
+
+TEST_P(PrinterTest, FloatAndDoublePrinters) {
+  ASSERT_FALSE(Mem->storeFloat(data(0), 4, 1.5L));
+  EXPECT_EQ(print("M 0 DataLoc << /printer {FLOAT} >> print"), "1.5");
+  ASSERT_FALSE(Mem->storeFloat(data(8), 8, -0.25L));
+  EXPECT_EQ(print("M 8 DataLoc << /printer {DOUBLE} >> print"), "-0.25");
+}
+
+TEST_P(PrinterTest, LongDoublePrinter) {
+  ASSERT_FALSE(Mem->storeFloat(data(16), 10, 2.5L));
+  EXPECT_EQ(print("M 16 DataLoc << /printer {LONGDOUBLE} >> print"), "2.5");
+}
+
+TEST_P(PrinterTest, PointerPrinter) {
+  ASSERT_FALSE(Mem->storeInt(data(40), 4, 0x23d8));
+  EXPECT_EQ(print("M 40 DataLoc << /printer {POINTER} >> print"),
+            "0x000023d8");
+}
+
+TEST_P(PrinterTest, ArrayPrinter) {
+  // int a[5] = {1, 1, 2, 3, 5} at offset 200.
+  int Fib[5] = {1, 1, 2, 3, 5};
+  for (int K = 0; K < 5; ++K)
+    ASSERT_FALSE(Mem->storeInt(data(200 + 4 * K), 4,
+                               static_cast<uint64_t>(Fib[K])));
+  std::string Out = print(
+      "M 200 DataLoc "
+      "<< /printer {ARRAY} /&elemsize 4 /&arraysize 20 "
+      "   /&elemtype << /printer {INT} >> >> print");
+  EXPECT_EQ(Out, "{1, 1, 2, 3, 5}");
+}
+
+TEST_P(PrinterTest, ArrayPrinterHonorsLimit) {
+  for (int K = 0; K < 30; ++K)
+    ASSERT_FALSE(Mem->storeInt(data(200 + 4 * K), 4,
+                               static_cast<uint64_t>(K)));
+  ASSERT_FALSE(I.run("4 setprintlimit"));
+  std::string Out = print(
+      "M 200 DataLoc "
+      "<< /printer {ARRAY} /&elemsize 4 /&arraysize 120 "
+      "   /&elemtype << /printer {INT} >> >> print");
+  EXPECT_EQ(Out, "{0, 1, 2, 3, ...}");
+}
+
+TEST_P(PrinterTest, NestedArrayOfArrays) {
+  // int m[2][3] at offset 0.
+  int K = 0;
+  for (int V : {1, 2, 3, 4, 5, 6})
+    ASSERT_FALSE(Mem->storeInt(data(4 * K++), 4, static_cast<uint64_t>(V)));
+  std::string Out = print(
+      "M 0 DataLoc "
+      "<< /printer {ARRAY} /&elemsize 12 /&arraysize 24 /&elemtype "
+      "   << /printer {ARRAY} /&elemsize 4 /&arraysize 12 /&elemtype "
+      "      << /printer {INT} >> >> >> print");
+  EXPECT_EQ(Out, "{{1, 2, 3}, {4, 5, 6}}");
+}
+
+TEST_P(PrinterTest, StructPrinter) {
+  // struct { int x; char c; } at offset 64: x = -3, c = 'z'.
+  ASSERT_FALSE(Mem->storeInt(data(64), 4,
+                             static_cast<uint64_t>(-3) & 0xffffffffu));
+  ASSERT_FALSE(Mem->storeInt(data(68), 1, 'z'));
+  std::string Out = print(
+      "M 64 DataLoc "
+      "<< /printer {STRUCT} /&fields [ "
+      "   << /name (x) /offset 0 /type << /printer {INT} >> >> "
+      "   << /name (c) /offset 4 /type << /printer {CHAR} >> >> ] >> print");
+  EXPECT_EQ(Out, "{x=-3, c='z'}");
+}
+
+TEST_P(PrinterTest, CharArrayPrintsAsString) {
+  const char *Text = "fib";
+  for (int K = 0; K < 4; ++K)
+    ASSERT_FALSE(Mem->storeInt(data(300 + K), 1,
+                               static_cast<uint64_t>(Text[K])));
+  std::string Out = print(
+      "M 300 DataLoc << /printer {CHARARRAY} /&arraysize 8 >> print");
+  EXPECT_EQ(Out, "\"fib\"");
+}
+
+TEST_P(PrinterTest, PrintDispatchesOnStrings) {
+  EXPECT_EQ(print("(plain) print"), "plain");
+}
+
+TEST_P(PrinterTest, CompilerExtendedTypeDictIgnoredKeysHarmless) {
+  // Machine-dependent extras in type dicts (e.g. 68020 register-save
+  // masks, paper Sec 5) must not disturb printing.
+  ASSERT_FALSE(Mem->storeInt(data(100), 4, 5));
+  EXPECT_EQ(print("M 100 DataLoc "
+                  "<< /printer {INT} /savemask 16#c0c0 /decl (int %s) >> "
+                  "print"),
+            "5");
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PrinterTest,
+                         ::testing::Values(ByteOrder::Little, ByteOrder::Big));
+
+//===----------------------------------------------------------------------===//
+// LazyData / anchor symbols
+//===----------------------------------------------------------------------===//
+
+class FakeHooks : public DebugHooks {
+public:
+  std::map<std::string, uint32_t> Anchors;
+  std::map<uint32_t, uint32_t> DataWords;
+  int FetchCount = 0;
+
+  Expected<uint32_t> anchorAddress(const std::string &Name) override {
+    auto It = Anchors.find(Name);
+    if (It == Anchors.end())
+      return Error::failure("unknown anchor symbol: " + Name);
+    return It->second;
+  }
+  Expected<uint32_t> fetchDataWord(uint32_t Addr) override {
+    ++FetchCount;
+    auto It = DataWords.find(Addr);
+    if (It == DataWords.end())
+      return Error::failure("bad data address");
+    return It->second;
+  }
+};
+
+TEST(LazyData, ResolvesThroughAnchorTable) {
+  Interp I;
+  ASSERT_FALSE(I.run(prelude()));
+  FakeHooks Hooks;
+  Hooks.Anchors["_stanchor__V2935334b_e288a"] = 0x23d8;
+  Hooks.DataWords[0x23d8 + 8 * 4] = 0x3000; // a's address, 8th word on
+  I.Hooks = &Hooks;
+
+  ASSERT_FALSE(I.run("(_stanchor__V2935334b_e288a) 8 LazyData"));
+  ASSERT_EQ(I.opStack().size(), 1u);
+  ASSERT_EQ(I.opStack().back().Ty, Type::Location);
+  EXPECT_EQ(I.opStack().back().LocVal,
+            mem::Location::absolute(mem::SpData, 0x3000));
+}
+
+TEST(LazyData, UnknownAnchorFails) {
+  Interp I;
+  FakeHooks Hooks;
+  I.Hooks = &Hooks;
+  Error E = I.run("(_missing) 0 LazyData");
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("unknown anchor"), std::string::npos);
+}
+
+TEST(LazyData, NoTargetFails) {
+  Interp I;
+  EXPECT_TRUE(static_cast<bool>(I.run("(_x) 0 LazyData")));
+}
+
+TEST(LazyData, MemoizationAvoidsRepeatFetches) {
+  // The deferral technique of Sec 5: a where-procedure is interpreted at
+  // most once and replaced with its result.
+  Interp I;
+  ASSERT_FALSE(I.run(prelude()));
+  FakeHooks Hooks;
+  Hooks.Anchors["_a"] = 100;
+  Hooks.DataWords[100] = 0x4000;
+  I.Hooks = &Hooks;
+
+  ASSERT_FALSE(I.run("/entry << /where { (_a) 0 LazyData } >> def "
+                     "entry /where get Force "
+                     "entry exch /where exch put "
+                     "entry /where get Force pop "
+                     "entry /where get Force pop"));
+  EXPECT_EQ(Hooks.FetchCount, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Deferred lexing (paper Sec 5)
+//===----------------------------------------------------------------------===//
+
+TEST(DeferredLexing, DeferDefBindsLazily) {
+  Interp I;
+  ASSERT_FALSE(I.run(prelude()));
+  // The body contains an undefined name, which is harmless until forced.
+  ASSERT_FALSE(I.run("(S1) (<< /name (fib) /kind (proc) >>) DeferDef"));
+  ASSERT_FALSE(I.run("S1 /name get"));
+  EXPECT_EQ(I.opStack().back().text(), "fib");
+}
+
+TEST(DeferredLexing, SyntaxErrorsSurfaceOnlyWhenForced) {
+  Interp I;
+  ASSERT_FALSE(I.run(prelude()));
+  ASSERT_FALSE(I.run("(bad) ({ unbalanced) DeferDef"));
+  EXPECT_TRUE(static_cast<bool>(I.run("bad")));
+}
+
+} // namespace

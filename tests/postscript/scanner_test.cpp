@@ -1,0 +1,147 @@
+//===- tests/postscript/scanner_test.cpp ---------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/scanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb::ps;
+
+namespace {
+
+std::vector<Object> scanAll(const std::string &Text, bool *Failed = nullptr) {
+  StringCharSource Src(Text);
+  Scanner Scan(Src);
+  std::vector<Object> Objects;
+  for (;;) {
+    Scanner::Result R = Scan.next();
+    if (R.K == Scanner::Kind::EndOfInput)
+      break;
+    if (R.K == Scanner::Kind::Failed) {
+      if (Failed)
+        *Failed = true;
+      break;
+    }
+    Objects.push_back(std::move(R.O));
+  }
+  return Objects;
+}
+
+TEST(Scanner, Integers) {
+  auto O = scanAll("42 -7 0");
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0].IntVal, 42);
+  EXPECT_EQ(O[1].IntVal, -7);
+  EXPECT_EQ(O[2].IntVal, 0);
+}
+
+TEST(Scanner, RadixIntegers) {
+  auto O = scanAll("16#000023d8 2#1010 8#777");
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0].IntVal, 0x23d8);
+  EXPECT_EQ(O[1].IntVal, 10);
+  EXPECT_EQ(O[2].IntVal, 0777);
+}
+
+TEST(Scanner, Reals) {
+  auto O = scanAll("1.5 -2.25 1e3");
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0].Ty, Type::Real);
+  EXPECT_DOUBLE_EQ(O[0].RealVal, 1.5);
+  EXPECT_DOUBLE_EQ(O[1].RealVal, -2.25);
+  EXPECT_DOUBLE_EQ(O[2].RealVal, 1000.0);
+}
+
+TEST(Scanner, Names) {
+  auto O = scanAll("fib /S10 &elemsize ExpressionServer.lookup");
+  ASSERT_EQ(O.size(), 4u);
+  EXPECT_EQ(O[0].Ty, Type::Name);
+  EXPECT_TRUE(O[0].Exec);
+  EXPECT_EQ(O[0].text(), "fib");
+  EXPECT_FALSE(O[1].Exec);
+  EXPECT_EQ(O[1].text(), "S10");
+  EXPECT_EQ(O[2].text(), "&elemsize");
+  EXPECT_EQ(O[3].text(), "ExpressionServer.lookup");
+}
+
+TEST(Scanner, MalformedNumberIsName) {
+  auto O = scanAll("3abc 1.2.3");
+  ASSERT_EQ(O.size(), 2u);
+  EXPECT_EQ(O[0].Ty, Type::Name);
+  EXPECT_EQ(O[1].Ty, Type::Name);
+}
+
+TEST(Scanner, Strings) {
+  auto O = scanAll("(hello world) (nested (parens) ok) (esc \\( \\) \\\\)");
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0].text(), "hello world");
+  EXPECT_EQ(O[1].text(), "nested (parens) ok");
+  EXPECT_EQ(O[2].text(), "esc ( ) \\");
+}
+
+TEST(Scanner, StringEscapes) {
+  auto O = scanAll("(a\\nb\\tc\\101)");
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0].text(), "a\nb\tcA");
+}
+
+TEST(Scanner, Procedures) {
+  auto O = scanAll("{ dup 0 ne { exch } if }");
+  ASSERT_EQ(O.size(), 1u);
+  ASSERT_EQ(O[0].Ty, Type::Array);
+  EXPECT_TRUE(O[0].Exec);
+  ASSERT_EQ(O[0].ArrVal->size(), 5u);
+  // The nested procedure stays a procedure element.
+  EXPECT_EQ((*O[0].ArrVal)[3].Ty, Type::Array);
+  EXPECT_EQ((*O[0].ArrVal)[4].text(), "if");
+}
+
+TEST(Scanner, DictBrackets) {
+  auto O = scanAll("<< /name (i) >> [ 1 2 ]");
+  ASSERT_GE(O.size(), 4u);
+  EXPECT_EQ(O[0].text(), "<<");
+  EXPECT_TRUE(O[0].Exec);
+}
+
+TEST(Scanner, Comments) {
+  auto O = scanAll("1 % comment to end of line\n2");
+  ASSERT_EQ(O.size(), 2u);
+  EXPECT_EQ(O[1].IntVal, 2);
+}
+
+TEST(Scanner, UnterminatedString) {
+  bool Failed = false;
+  scanAll("(no close", &Failed);
+  EXPECT_TRUE(Failed);
+}
+
+TEST(Scanner, UnterminatedProc) {
+  bool Failed = false;
+  scanAll("{ dup", &Failed);
+  EXPECT_TRUE(Failed);
+}
+
+TEST(Scanner, StrayRBrace) {
+  bool Failed = false;
+  scanAll("}", &Failed);
+  EXPECT_TRUE(Failed);
+}
+
+TEST(Scanner, PaperSymbolEntryScans) {
+  // The S10 entry from paper Sec 2, verbatim in structure.
+  const char *Entry = "/S10 << /name (i)\n"
+                      "  /type << /decl (int %s) /printer {INT} >>\n"
+                      "  /sourcefile (fib.c) /sourcey 6 /sourcex 8\n"
+                      "  /kind (variable)\n"
+                      "  /where 30 Regset0 Absolute\n"
+                      "  /uplink S8 >> def\n";
+  bool Failed = false;
+  auto O = scanAll(Entry, &Failed);
+  EXPECT_FALSE(Failed);
+  EXPECT_GT(O.size(), 20u);
+}
+
+} // namespace

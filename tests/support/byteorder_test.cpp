@@ -1,0 +1,76 @@
+//===- tests/support/byteorder_test.cpp ----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/byteorder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+
+namespace {
+
+TEST(ByteOrder, PackUnpackLittle) {
+  uint8_t Buf[4];
+  packInt(0x11223344u, Buf, 4, ByteOrder::Little);
+  EXPECT_EQ(Buf[0], 0x44);
+  EXPECT_EQ(Buf[3], 0x11);
+  EXPECT_EQ(unpackInt(Buf, 4, ByteOrder::Little), 0x11223344u);
+}
+
+TEST(ByteOrder, PackUnpackBig) {
+  uint8_t Buf[4];
+  packInt(0x11223344u, Buf, 4, ByteOrder::Big);
+  EXPECT_EQ(Buf[0], 0x11);
+  EXPECT_EQ(Buf[3], 0x44);
+  EXPECT_EQ(unpackInt(Buf, 4, ByteOrder::Big), 0x11223344u);
+}
+
+TEST(ByteOrder, MixedOrdersDisagree) {
+  uint8_t Buf[2];
+  packInt(0xABCD, Buf, 2, ByteOrder::Big);
+  EXPECT_EQ(unpackInt(Buf, 2, ByteOrder::Little), 0xCDABu);
+}
+
+TEST(ByteOrder, SignExtend) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0xFFFF, 16), -1);
+  EXPECT_EQ(signExtend(0x8000, 16), -32768);
+  EXPECT_EQ(signExtend(0xFFFFFFFFull, 32), -1);
+  EXPECT_EQ(signExtend(5, 32), 5);
+}
+
+class FloatRoundTrip : public ::testing::TestWithParam<ByteOrder> {};
+
+TEST_P(FloatRoundTrip, F32) {
+  uint8_t Buf[4];
+  packF32(3.25f, Buf, GetParam());
+  EXPECT_EQ(unpackF32(Buf, GetParam()), 3.25f);
+}
+
+TEST_P(FloatRoundTrip, F64) {
+  uint8_t Buf[8];
+  packF64(-1.5e300, Buf, GetParam());
+  EXPECT_EQ(unpackF64(Buf, GetParam()), -1.5e300);
+}
+
+TEST_P(FloatRoundTrip, F80) {
+  uint8_t Buf[10];
+  long double Value = 1.0000000000000000001L;
+  packF80(Value, Buf, GetParam());
+  EXPECT_EQ(unpackF80(Buf, GetParam()), Value);
+}
+
+TEST_P(FloatRoundTrip, F80Negative) {
+  uint8_t Buf[10];
+  packF80(-42.0L, Buf, GetParam());
+  EXPECT_EQ(unpackF80(Buf, GetParam()), -42.0L);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, FloatRoundTrip,
+                         ::testing::Values(ByteOrder::Little, ByteOrder::Big));
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/support/lzw_test.cpp ----------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/lzw.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ldb;
+
+namespace {
+
+std::string roundTrip(const std::string &Input) {
+  return lzwDecompress(lzwCompress(Input));
+}
+
+TEST(Lzw, Empty) {
+  EXPECT_TRUE(lzwCompress("").empty());
+  EXPECT_EQ(roundTrip(""), "");
+}
+
+TEST(Lzw, SingleByte) { EXPECT_EQ(roundTrip("x"), "x"); }
+
+TEST(Lzw, ShortText) { EXPECT_EQ(roundTrip("hello, world"), "hello, world"); }
+
+TEST(Lzw, KwKwKCase) {
+  // The classic pattern that exercises the code-not-yet-in-table case.
+  EXPECT_EQ(roundTrip("abababababab"), "abababababab");
+  EXPECT_EQ(roundTrip("aaaaaaaaaaaaaaaa"), "aaaaaaaaaaaaaaaa");
+}
+
+TEST(Lzw, AllByteValues) {
+  std::string Input;
+  for (int C = 0; C < 256; ++C)
+    Input += static_cast<char>(C);
+  Input += Input;
+  EXPECT_EQ(roundTrip(Input), Input);
+}
+
+TEST(Lzw, CompressesRepetitiveText) {
+  std::string Input;
+  for (int I = 0; I < 500; ++I)
+    Input += "/S10 << /name (i) /kind (variable) >> def\n";
+  std::vector<uint8_t> Packed = lzwCompress(Input);
+  EXPECT_LT(Packed.size(), Input.size() / 4);
+  EXPECT_EQ(lzwDecompress(Packed), Input);
+}
+
+TEST(Lzw, LargeRandomRoundTrip) {
+  std::mt19937 Rng(12345);
+  std::string Input;
+  // Mildly structured randomness: words drawn from a small alphabet so the
+  // dictionary grows past the 9-bit and 10-bit boundaries.
+  for (int I = 0; I < 200000; ++I)
+    Input += static_cast<char>('a' + Rng() % 20);
+  EXPECT_EQ(roundTrip(Input), Input);
+}
+
+TEST(Lzw, DictionaryFullStillRoundTrips) {
+  std::mt19937 Rng(99);
+  std::string Input;
+  // Force the dictionary to its 16-bit capacity.
+  for (int I = 0; I < 2000000; ++I)
+    Input += static_cast<char>(Rng() % 256);
+  EXPECT_EQ(roundTrip(Input), Input);
+}
+
+TEST(Lzw, CorruptStreamYieldsEmpty) {
+  std::vector<uint8_t> Bogus = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(lzwDecompress(Bogus), "");
+}
+
+} // namespace

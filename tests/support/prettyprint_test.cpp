@@ -1,0 +1,82 @@
+//===- tests/support/prettyprint_test.cpp --------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/prettyprint.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+
+namespace {
+
+TEST(PrettyPrint, PlainTextPassesThrough) {
+  PrettyPrinter PP(40);
+  PP.put("hello");
+  PP.put(" world");
+  EXPECT_EQ(PP.take(), "hello world");
+}
+
+TEST(PrettyPrint, ExplicitNewlineFlushes) {
+  PrettyPrinter PP(40);
+  PP.put("one\ntwo");
+  EXPECT_EQ(PP.take(), "one\ntwo");
+}
+
+TEST(PrettyPrint, BreakKeepsShortLinesTogether) {
+  PrettyPrinter PP(40);
+  PP.put("a");
+  PP.brk();
+  PP.put("b");
+  EXPECT_EQ(PP.take(), "ab");
+}
+
+TEST(PrettyPrint, BreakSplitsLongLines) {
+  PrettyPrinter PP(10);
+  PP.put("aaaa, ");
+  PP.brk();
+  PP.put("bbbb, ");
+  PP.brk();
+  PP.put("cccc");
+  std::string Out = PP.take();
+  EXPECT_EQ(Out, "aaaa, \nbbbb, cccc"); // "bbbb, cccc" is exactly 10 cols
+}
+
+TEST(PrettyPrint, GroupIndentAppliesToContinuations) {
+  PrettyPrinter PP(12);
+  PP.put("x = {");
+  PP.begin(2);
+  PP.put("11111, ");
+  PP.brk();
+  PP.put("22222, ");
+  PP.brk();
+  PP.put("33333");
+  PP.end();
+  PP.put("}");
+  std::string Out = PP.take();
+  // Continuation lines are indented to the column where the group began
+  // (5) plus 2.
+  EXPECT_NE(Out.find("\n       22222"), std::string::npos) << Out;
+}
+
+TEST(PrettyPrint, TakeResets) {
+  PrettyPrinter PP(40);
+  PP.put("first");
+  EXPECT_EQ(PP.take(), "first");
+  PP.put("second");
+  EXPECT_EQ(PP.take(), "second");
+}
+
+TEST(PrettyPrint, SegmentLongerThanMarginStillEmitted) {
+  PrettyPrinter PP(4);
+  PP.put("abcdefgh");
+  PP.brk();
+  PP.put("xy");
+  std::string Out = PP.take();
+  EXPECT_NE(Out.find("abcdefgh"), std::string::npos);
+  EXPECT_NE(Out.find("xy"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- tests/support/strings_test.cpp ------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+
+namespace {
+
+TEST(Strings, PsEscapePlain) { EXPECT_EQ(psEscape("fib.c"), "fib.c"); }
+
+TEST(Strings, PsEscapeSpecials) {
+  EXPECT_EQ(psEscape("a(b)c"), "a\\(b\\)c");
+  EXPECT_EQ(psEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(psEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(psEscape("tab\there"), "tab\\there");
+}
+
+TEST(Strings, PsEscapeControl) {
+  EXPECT_EQ(psEscape(std::string(1, '\x01')), "\\001");
+}
+
+TEST(Strings, PsHex) { EXPECT_EQ(psHex(0x23d8), "16#000023d8"); }
+
+TEST(Strings, Hex32) { EXPECT_EQ(hex32(0x2270), "0x00002270"); }
+
+TEST(Strings, SplitWords) {
+  auto W = splitWords("  break fib.c:11   ");
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_EQ(W[0], "break");
+  EXPECT_EQ(W[1], "fib.c:11");
+}
+
+TEST(Strings, SplitOn) {
+  auto F = splitOn("a:b::c", ':');
+  ASSERT_EQ(F.size(), 4u);
+  EXPECT_EQ(F[0], "a");
+  EXPECT_EQ(F[2], "");
+  EXPECT_EQ(F[3], "c");
+}
+
+TEST(Strings, CountCodeLines) {
+  std::string Source = "int x;\n"
+                       "\n"
+                       "  // comment only\n"
+                       "int y; // trailing comment counts\n"
+                       "   \t \n"
+                       "}\n";
+  EXPECT_EQ(countCodeLines(Source, "//"), 3u);
+}
+
+TEST(Strings, CountCodeLinesPostScript) {
+  std::string Source = "% a comment\n/INT { pop } def\n\n";
+  EXPECT_EQ(countCodeLines(Source, "%"), 1u);
+}
+
+TEST(Strings, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/ldb_strings_test.txt";
+  ASSERT_TRUE(writeFile(Path, "contents\n"));
+  std::string Back;
+  ASSERT_TRUE(readFile(Path, Back));
+  EXPECT_EQ(Back, "contents\n");
+}
+
+TEST(Strings, ReadMissingFileFails) {
+  std::string Contents;
+  EXPECT_FALSE(readFile("/nonexistent/definitely/missing", Contents));
+}
+
+} // namespace
