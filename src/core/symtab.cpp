@@ -10,6 +10,27 @@ using namespace ldb;
 using namespace ldb::core;
 using namespace ldb::ps;
 
+namespace {
+
+/// The entry's /name for error context, when it is already a plain
+/// string (never forces). Empty when unavailable.
+std::string entryName(const Object &Dict) {
+  if (Dict.Ty != Type::Dict)
+    return std::string();
+  auto It = Dict.DictVal->Entries.find("name");
+  if (It == Dict.DictVal->Entries.end() || It->second.Ty != Type::String)
+    return std::string();
+  return It->second.text();
+}
+
+/// Renders " of 'name'" when the entry has a usable /name.
+std::string ofEntry(const Object &Dict) {
+  std::string Name = entryName(Dict);
+  return Name.empty() ? std::string() : " of '" + Name + "'";
+}
+
+} // namespace
+
 Error symtab::force(Interp &I, Object &V) {
   // Deferred symbol tables reference entries by literal name from their
   // containers; resolve the indirection first.
@@ -23,8 +44,10 @@ Error symtab::force(Interp &I, Object &V) {
     return Error::success();
   size_t Depth = I.opStack().size();
   PsStatus S = I.exec(V);
-  if (S == PsStatus::Failed)
-    return Error::failure(I.errorMessage());
+  if (S == PsStatus::Failed) {
+    I.opStack().resize(Depth);
+    return Error::failure("deferred value failed: " + I.errorMessage());
+  }
   if (S != PsStatus::Ok || I.opStack().size() != Depth + 1) {
     I.opStack().resize(Depth);
     return Error::failure("deferred value did not yield one result");
@@ -44,13 +67,15 @@ Expected<ps::Object> symtab::field(Interp &I, const Object &Dict,
     return Error::failure("symbol-table entry is not a dictionary");
   auto It = Dict.DictVal->Entries.find(Key);
   if (It == Dict.DictVal->Entries.end())
-    return Error::failure("symbol-table entry has no /" + Key);
+    return Error::failure("symbol-table entry" + ofEntry(Dict) +
+                          " has no /" + Key);
   Object V = It->second;
   // Force only deferred (executable-string) values here: procedures such
   // as /printer are values in their own right and must not run.
   if (V.Exec && V.Ty == Type::String) {
     if (Error E = force(I, V))
-      return E;
+      return Error::failure("forcing /" + Key + ofEntry(Dict) + ": " +
+                            E.message());
     It->second = V; // memoize: the literal replaces the procedure
   }
   return V;
@@ -76,7 +101,8 @@ Expected<ps::Object> symtab::procEntryByName(Interp &I,
     return Error::failure("no symbol named " + Name);
   Object Entry = It->second;
   if (Error E = force(I, Entry))
-    return E;
+    return Error::failure("forcing entry for '" + Name + "': " +
+                          E.message());
   It->second = Entry;
   return Entry;
 }
@@ -284,15 +310,18 @@ Expected<mem::Location> symtab::whereOf(Interp &I, ps::Object Entry) {
     return Error::failure("symbol-table entry is not a dictionary");
   auto It = Entry.DictVal->Entries.find("where");
   if (It == Entry.DictVal->Entries.end())
-    return Error::failure("symbol has no storage location");
+    return Error::failure("symbol" + ofEntry(Entry) +
+                          " has no storage location");
   Object Where = It->second;
   // Where-values may be procedures interpreted at debug time (the
   // anchor-symbol technique); the result replaces the procedure so the
   // target fetch happens at most once per entry (paper Sec 5, 7).
   if (Error E = force(I, Where))
-    return E;
+    return Error::failure("forcing /where" + ofEntry(Entry) + ": " +
+                          E.message());
   It->second = Where;
   if (Where.Ty != Type::Location)
-    return Error::failure("symbol has no storage location");
+    return Error::failure("/where" + ofEntry(Entry) +
+                          " did not yield a location");
   return Where.LocVal;
 }

@@ -213,6 +213,12 @@ std::string PsEmitter::whereValue(const CSymbol &Sym) const {
     return std::to_string(Sym.FrameOffset) + " Locals Absolute";
   case Storage::Static:
   case Storage::Global:
+    // An extern declaration has no data slot in this unit; its location
+    // belongs to the defining unit, reached through the program-wide
+    // /externs dictionary at debug time.
+    if (Sym.AnchorIndex < 0)
+      return "{symtab /externs get /" + Sym.Name +
+             " get Force /where get Force}";
     // Computed at debug time via the unit's anchor symbol: LazyData gets
     // the anchor's address from the linker interface and fetches the
     // variable's address from the AnchorIndex-th word after it.
@@ -323,8 +329,11 @@ std::string PsEmitter::run() {
   Out += " ]\n  /externs <<";
   for (const auto &SymPtr : U.AllSymbols) {
     const CSymbol &Sym = *SymPtr;
-    bool Extern = (Sym.Sto == Storage::Global ||
-                   (Sym.Sto == Storage::Func && Sym.Defined));
+    // Only symbols this unit defines: an extern declaration must not
+    // shadow the defining unit's entry when the per-unit dictionaries are
+    // merged into the whole-program /externs.
+    bool Extern = Sym.Defined && (Sym.Sto == Storage::Global ||
+                                  Sym.Sto == Storage::Func);
     if (Extern)
       Out += " /" + Sym.Name + " " + lazyRef(Sym);
   }

@@ -164,17 +164,19 @@ std::vector<uint8_t> ldb::lcc::emitStabs(const Unit &U) {
   return Out;
 }
 
-Expected<std::vector<Stab>>
-ldb::lcc::readStabs(const std::vector<uint8_t> &Bytes) {
-  if (Bytes.size() < 8 || Bytes[0] != 'S' || Bytes[1] != 'T' ||
-      Bytes[2] != 'A' || Bytes[3] != 'B')
+namespace {
+
+/// Reads one 'STAB' blob starting at \p Pos, appending to \p Stabs and
+/// leaving \p Pos just past the blob.
+Error readOneBlob(const std::vector<uint8_t> &Bytes, size_t &Pos,
+                  std::vector<Stab> &Stabs) {
+  if (Pos + 8 > Bytes.size() || Bytes[Pos] != 'S' || Bytes[Pos + 1] != 'T' ||
+      Bytes[Pos + 2] != 'A' || Bytes[Pos + 3] != 'B')
     return Error::failure("not a stabs blob");
-  uint32_t Count =
-      static_cast<uint32_t>(unpackInt(Bytes.data() + 4, 4,
-                                      ByteOrder::Little));
-  std::vector<Stab> Stabs;
-  Stabs.reserve(Count);
-  size_t Pos = 8;
+  uint32_t Count = static_cast<uint32_t>(
+      unpackInt(Bytes.data() + Pos + 4, 4, ByteOrder::Little));
+  Pos += 8;
+  Stabs.reserve(Stabs.size() + Count);
   for (uint32_t K = 0; K < Count; ++K) {
     Stab S;
     if (Pos + 2 > Bytes.size())
@@ -188,10 +190,10 @@ ldb::lcc::readStabs(const std::vector<uint8_t> &Bytes) {
     Pos += NameLen;
     size_t TypeStart = Pos;
     if (!skipType(Bytes, Pos))
-      return Error::failure("malformed stabs type");
+      return Error::failure("malformed stabs type in record for " + S.Name);
     S.TypeCode.assign(Bytes.begin() + TypeStart, Bytes.begin() + Pos);
     if (Pos + 7 > Bytes.size())
-      return Error::failure("truncated stabs record");
+      return Error::failure("truncated stabs record for " + S.Name);
     S.Line = static_cast<uint16_t>(
         unpackInt(Bytes.data() + Pos, 2, ByteOrder::Little));
     Pos += 2;
@@ -201,5 +203,26 @@ ldb::lcc::readStabs(const std::vector<uint8_t> &Bytes) {
     Pos += 4;
     Stabs.push_back(std::move(S));
   }
+  return Error::success();
+}
+
+} // namespace
+
+Expected<std::vector<Stab>>
+ldb::lcc::readStabs(const std::vector<uint8_t> &Bytes) {
+  std::vector<Stab> Stabs;
+  size_t Pos = 0;
+  if (Error E = readOneBlob(Bytes, Pos, Stabs))
+    return E;
+  return Stabs;
+}
+
+Expected<std::vector<Stab>>
+ldb::lcc::readAllStabs(const std::vector<uint8_t> &Bytes) {
+  std::vector<Stab> Stabs;
+  size_t Pos = 0;
+  while (Pos < Bytes.size())
+    if (Error E = readOneBlob(Bytes, Pos, Stabs))
+      return E;
   return Stabs;
 }

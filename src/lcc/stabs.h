@@ -38,8 +38,13 @@ struct Stab {
 /// Emits binary stabs for \p U.
 std::vector<uint8_t> emitStabs(const Unit &U);
 
-/// Parses stabs back (the "dbx reads a.out" step).
+/// Parses one stabs blob back (the "dbx reads a.out" step). Trailing
+/// bytes past the blob's record count are ignored.
 Expected<std::vector<Stab>> readStabs(const std::vector<uint8_t> &Bytes);
+
+/// Parses a whole-program concatenation of per-unit stabs blobs, as
+/// stored in lcc::Compilation::Stabs, into one record list.
+Expected<std::vector<Stab>> readAllStabs(const std::vector<uint8_t> &Bytes);
 
 } // namespace ldb::lcc
 

@@ -8,6 +8,8 @@
 
 #include "postscript/scanner.h"
 
+#include <set>
+
 using namespace ldb;
 using namespace ldb::ps;
 
@@ -28,6 +30,37 @@ Interp::Interp() {
   DictStack.push_back(Userdict);
   installCoreOps(*this);
   installDebugOps(*this);
+}
+
+Interp::~Interp() {
+  // Collect every dict and array reachable from the stacks, then empty
+  // them all: emptying severs any reference cycles so the shared_ptr
+  // counts can reach zero.
+  std::vector<std::shared_ptr<DictImpl>> Dicts;
+  std::vector<std::shared_ptr<ArrayImpl>> Arrays;
+  std::set<const void *> Seen;
+  std::vector<Object> Pending(OpStack);
+  Pending.insert(Pending.end(), DictStack.begin(), DictStack.end());
+  Pending.push_back(Systemdict);
+  Pending.push_back(Userdict);
+  while (!Pending.empty()) {
+    Object O = std::move(Pending.back());
+    Pending.pop_back();
+    if (O.DictVal && Seen.insert(O.DictVal.get()).second) {
+      Dicts.push_back(O.DictVal);
+      for (const auto &KV : O.DictVal->Entries)
+        Pending.push_back(KV.second);
+    }
+    if (O.ArrVal && Seen.insert(O.ArrVal.get()).second) {
+      Arrays.push_back(O.ArrVal);
+      for (const Object &E : *O.ArrVal)
+        Pending.push_back(E);
+    }
+  }
+  for (const auto &D : Dicts)
+    D->Entries.clear();
+  for (const auto &A : Arrays)
+    A->clear();
 }
 
 PsStatus Interp::fail(const std::string &Message) {

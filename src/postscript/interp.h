@@ -47,6 +47,13 @@ public:
   /// PostScript").
   Interp();
 
+  /// Composite objects may form reference cycles (systemdict names itself,
+  /// and interpreted programs can build cyclic tables with put), which
+  /// shared_ptr alone never reclaims; the destructor clears every dict and
+  /// array reachable from the interpreter's stacks. Objects obtained from
+  /// an interpreter must not be dereferenced after it is destroyed.
+  ~Interp();
+
   //===--------------------------------------------------------------------===
   // Execution
   //===--------------------------------------------------------------------===

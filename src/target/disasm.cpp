@@ -1,0 +1,108 @@
+//===- target/disasm.cpp - disassembly -------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/disasm.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::target;
+
+namespace {
+
+std::string reg(char Bank, unsigned R) {
+  return std::string(1, Bank) + std::to_string(R);
+}
+
+bool floatSrcStore(Op O) {
+  return O == Op::Fs4 || O == Op::Fs8 || O == Op::Fs10;
+}
+
+} // namespace
+
+std::string ldb::target::renderInstr(const TargetDesc &Desc,
+                                     const Instr &In) {
+  (void)Desc;
+  Op O = In.Opc;
+  std::string Out = opName(O);
+  auto Sep = [&Out, First = true]() mutable {
+    Out += First ? " " : ", ";
+    First = false;
+  };
+
+  switch (opFormat(O)) {
+  case OpFormat::N:
+    break;
+  case OpFormat::J:
+    Sep();
+    Out += "0x";
+    {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%x",
+                    static_cast<uint32_t>(In.Imm) * 4);
+      Out += Buf;
+    }
+    break;
+  case OpFormat::R: {
+    bool FDest = writesFloatReg(O);
+    bool FSrc = O == Op::FAdd || O == Op::FSub || O == Op::FMul ||
+                O == Op::FDiv || O == Op::FNeg || O == Op::FMov ||
+                O == Op::FEq || O == Op::FLt || O == Op::FLe ||
+                O == Op::CvtFI || O == Op::MovFI;
+    Sep();
+    Out += reg(FDest ? 'f' : 'r', In.Rd);
+    Sep();
+    Out += reg(FSrc ? 'f' : 'r', In.Ra);
+    bool TwoSrc = O == Op::FAdd || O == Op::FSub || O == Op::FMul ||
+                  O == Op::FDiv || O == Op::FEq || O == Op::FLt ||
+                  O == Op::FLe ||
+                  (!FDest && !FSrc && O != Op::Jalr && O != Op::CvtIF &&
+                   O != Op::MovIF);
+    if (TwoSrc) {
+      Sep();
+      Out += reg(FSrc ? 'f' : 'r', In.Rb);
+    }
+    break;
+  }
+  case OpFormat::I:
+    if (isLoad(O) || isStore(O)) {
+      bool F = writesFloatReg(O) || floatSrcStore(O);
+      Sep();
+      Out += reg(F ? 'f' : 'r', In.Rd);
+      Sep();
+      Out += std::to_string(In.Imm) + "(" + reg('r', In.Ra) + ")";
+    } else if (O == Op::Sys) {
+      Sep();
+      Out += std::to_string(In.Imm);
+      Sep();
+      Out += reg('r', In.Ra);
+    } else if (O == Op::Lui) {
+      Sep();
+      Out += reg('r', In.Rd);
+      Sep();
+      Out += std::to_string(In.Imm);
+    } else {
+      Sep();
+      Out += reg('r', In.Rd);
+      Sep();
+      Out += reg('r', In.Ra);
+      Sep();
+      Out += std::to_string(In.Imm);
+    }
+    break;
+  }
+  return Out;
+}
+
+std::string ldb::target::disassemble(const TargetDesc &Desc, uint32_t Word) {
+  Instr In;
+  if (!Desc.Enc.decode(Word, In)) {
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), ".word 0x%08x", Word);
+    return Buf;
+  }
+  return renderInstr(Desc, In);
+}

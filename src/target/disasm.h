@@ -1,0 +1,29 @@
+//===- target/disasm.h - disassembly ---------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-line disassembly of encoded instruction words, for the cli's
+/// disasm command and for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_TARGET_DISASM_H
+#define LDB_TARGET_DISASM_H
+
+#include "target/targetdesc.h"
+
+namespace ldb::target {
+
+/// Renders \p Word as e.g. "addi r4, r0, 5"; undecodable words render as
+/// ".word 0x...".
+std::string disassemble(const TargetDesc &Desc, uint32_t Word);
+
+/// Renders a decoded instruction.
+std::string renderInstr(const TargetDesc &Desc, const Instr &In);
+
+} // namespace ldb::target
+
+#endif // LDB_TARGET_DISASM_H

@@ -1,0 +1,445 @@
+//===- target/machine.cpp - the simulated CPU ------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/machine.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace ldb;
+using namespace ldb::target;
+
+const char *ldb::target::stopKindName(StopKind K) {
+  switch (K) {
+  case StopKind::Running:
+    return "running";
+  case StopKind::Exited:
+    return "exited";
+  case StopKind::Breakpoint:
+    return "breakpoint";
+  case StopKind::MemFault:
+    return "memory fault";
+  case StopKind::DivFault:
+    return "division fault";
+  case StopKind::IllegalInstr:
+    return "illegal instruction";
+  case StopKind::DelayHazard:
+    return "load delay hazard";
+  }
+  return "?";
+}
+
+Machine::Machine(const TargetDesc &Desc, uint32_t MemBytes)
+    : Desc(&Desc), Mem(MemBytes, 0), Gpr(Desc.NumGpr, 0),
+      Fpr(Desc.NumFpr, 0.0L) {}
+
+bool Machine::loadInt(uint32_t Addr, unsigned Size, uint32_t &Out) const {
+  if ((Size != 1 && Size != 2 && Size != 4) || !inRange(Addr, Size))
+    return false;
+  Out = static_cast<uint32_t>(unpackInt(Mem.data() + Addr, Size,
+                                        Desc->Order));
+  return true;
+}
+
+bool Machine::storeInt(uint32_t Addr, unsigned Size, uint32_t Value) {
+  if ((Size != 1 && Size != 2 && Size != 4) || !inRange(Addr, Size))
+    return false;
+  packInt(Value, Mem.data() + Addr, Size, Desc->Order);
+  return true;
+}
+
+bool Machine::readBytes(uint32_t Addr, unsigned Count, uint8_t *Out) const {
+  if (!inRange(Addr, Count))
+    return false;
+  std::memcpy(Out, Mem.data() + Addr, Count);
+  return true;
+}
+
+bool Machine::writeBytes(uint32_t Addr, unsigned Count, const uint8_t *In) {
+  if (!inRange(Addr, Count))
+    return false;
+  std::memcpy(Mem.data() + Addr, In, Count);
+  return true;
+}
+
+namespace {
+
+/// Mirrors the assembler's read-set (lcc/asm.cpp regUse) for the gprs:
+/// the delay-shadow hazard triggers exactly where the scheduler must
+/// schedule around.
+bool readsGpr(const Instr &In, unsigned R) {
+  Op O = In.Opc;
+  switch (opFormat(O)) {
+  case OpFormat::N:
+  case OpFormat::J:
+    return false;
+  case OpFormat::R:
+    switch (O) {
+    case Op::FAdd:
+    case Op::FSub:
+    case Op::FMul:
+    case Op::FDiv:
+    case Op::FNeg:
+    case Op::FMov:
+    case Op::FEq:
+    case Op::FLt:
+    case Op::FLe:
+    case Op::CvtFI:
+    case Op::MovFI:
+      return false;
+    case Op::CvtIF:
+    case Op::MovIF:
+    case Op::Jalr:
+      return In.Ra == R;
+    default:
+      return In.Ra == R || In.Rb == R;
+    }
+  case OpFormat::I:
+    if (isStore(O)) {
+      bool FloatSrc = O == Op::Fs4 || O == Op::Fs8 || O == Op::Fs10;
+      return In.Ra == R || (!FloatSrc && In.Rd == R);
+    }
+    if (O == Op::Beq || O == Op::Bne || O == Op::Blt || O == Op::Bge ||
+        O == Op::Bltu || O == Op::Bgeu)
+      return In.Rd == R || In.Ra == R;
+    if (O == Op::Lui)
+      return false;
+    // Loads, arithmetic immediates, and Sys read Ra.
+    return In.Ra == R;
+  }
+  return false;
+}
+
+int32_t asSigned(uint32_t V) { return static_cast<int32_t>(V); }
+
+/// float -> int conversion with the out-of-range cases defined (the C
+/// cast is undefined and UBSan flags it).
+int32_t toInt32(long double V) {
+  if (!(V > -2147483649.0L))
+    return INT32_MIN;
+  if (!(V < 2147483648.0L))
+    return INT32_MAX;
+  return static_cast<int32_t>(V);
+}
+
+} // namespace
+
+RunResult Machine::run(uint64_t Budget) {
+  // A stop drains the pipeline: the load shadow does not survive into a
+  // resumed run (by then the load has long completed).
+  ShadowReg = -1;
+  while (Budget-- > 0) {
+    RunResult R = step();
+    if (R.Kind != StopKind::Running)
+      return R;
+  }
+  return RunResult{StopKind::Running, 0};
+}
+
+RunResult Machine::step() {
+  uint32_t Word = 0;
+  if (!loadInt(Pc, 4, Word))
+    return RunResult{StopKind::MemFault, Pc};
+  Instr In;
+  if (!Desc->Enc.decode(Word, In))
+    return RunResult{StopKind::IllegalInstr, Pc};
+
+  if (In.Opc == Op::Break)
+    return RunResult{StopKind::Breakpoint, Pc};
+
+  // zmips load-delay modeling: consuming the loaded register in the very
+  // next instruction is a fault the assembler's scheduler must prevent.
+  int Shadow = ShadowReg;
+  ShadowReg = -1;
+  if (Desc->LoadDelaySlots > 0 && Shadow > 0 &&
+      readsGpr(In, static_cast<unsigned>(Shadow)))
+    return RunResult{StopKind::DelayHazard, Pc};
+  if (Desc->LoadDelaySlots > 0 && isLoad(In.Opc) &&
+      !writesFloatReg(In.Opc) && In.Rd != 0)
+    ShadowReg = static_cast<int>(In.Rd);
+
+  uint32_t NextPc = Pc + 4;
+  uint32_t A = gpr(In.Ra);
+  uint32_t B = gpr(In.Rb);
+
+  switch (In.Opc) {
+  case Op::Nop:
+  case Op::Break:
+    break;
+
+  case Op::Add:
+    setGpr(In.Rd, A + B);
+    break;
+  case Op::Sub:
+    setGpr(In.Rd, A - B);
+    break;
+  case Op::Mul:
+    setGpr(In.Rd, A * B);
+    break;
+  case Op::Div:
+  case Op::Rem: {
+    if (B == 0)
+      return RunResult{StopKind::DivFault, Pc};
+    // INT_MIN / -1 overflows; define it with 64-bit arithmetic.
+    int64_t Q = static_cast<int64_t>(asSigned(A)) / asSigned(B);
+    int64_t M = static_cast<int64_t>(asSigned(A)) % asSigned(B);
+    setGpr(In.Rd, static_cast<uint32_t>(In.Opc == Op::Div ? Q : M));
+    break;
+  }
+  case Op::And:
+    setGpr(In.Rd, A & B);
+    break;
+  case Op::Or:
+    setGpr(In.Rd, A | B);
+    break;
+  case Op::Xor:
+    setGpr(In.Rd, A ^ B);
+    break;
+  case Op::Sll:
+    setGpr(In.Rd, A << (B & 31));
+    break;
+  case Op::Srl:
+    setGpr(In.Rd, A >> (B & 31));
+    break;
+  case Op::Sra:
+    setGpr(In.Rd, static_cast<uint32_t>(
+                      static_cast<int64_t>(asSigned(A)) >> (B & 31)));
+    break;
+  case Op::Slt:
+    setGpr(In.Rd, asSigned(A) < asSigned(B) ? 1 : 0);
+    break;
+  case Op::Sltu:
+    setGpr(In.Rd, A < B ? 1 : 0);
+    break;
+
+  case Op::FAdd:
+    setFpr(In.Rd, fpr(In.Ra) + fpr(In.Rb));
+    break;
+  case Op::FSub:
+    setFpr(In.Rd, fpr(In.Ra) - fpr(In.Rb));
+    break;
+  case Op::FMul:
+    setFpr(In.Rd, fpr(In.Ra) * fpr(In.Rb));
+    break;
+  case Op::FDiv:
+    setFpr(In.Rd, fpr(In.Ra) / fpr(In.Rb));
+    break;
+  case Op::FNeg:
+    setFpr(In.Rd, -fpr(In.Ra));
+    break;
+  case Op::FMov:
+    setFpr(In.Rd, fpr(In.Ra));
+    break;
+  case Op::FEq:
+    setGpr(In.Rd, fpr(In.Ra) == fpr(In.Rb) ? 1 : 0);
+    break;
+  case Op::FLt:
+    setGpr(In.Rd, fpr(In.Ra) < fpr(In.Rb) ? 1 : 0);
+    break;
+  case Op::FLe:
+    setGpr(In.Rd, fpr(In.Ra) <= fpr(In.Rb) ? 1 : 0);
+    break;
+  case Op::CvtIF:
+    setFpr(In.Rd, static_cast<long double>(asSigned(A)));
+    break;
+  case Op::CvtFI:
+    setGpr(In.Rd, static_cast<uint32_t>(toInt32(fpr(In.Ra))));
+    break;
+  case Op::MovIF: {
+    // Bit move between register files (mtc1-style).
+    uint8_t Raw[4];
+    packInt(A, Raw, 4, ByteOrder::Little);
+    setFpr(In.Rd, unpackF32(Raw, ByteOrder::Little));
+    break;
+  }
+  case Op::MovFI: {
+    uint8_t Raw[4];
+    packF32(static_cast<float>(fpr(In.Ra)), Raw, ByteOrder::Little);
+    setGpr(In.Rd, static_cast<uint32_t>(unpackInt(Raw, 4,
+                                                  ByteOrder::Little)));
+    break;
+  }
+
+  case Op::Jalr:
+    setGpr(In.Rd, Pc + 4);
+    NextPc = A;
+    break;
+
+  case Op::AddI:
+    setGpr(In.Rd, A + static_cast<uint32_t>(In.Imm));
+    break;
+  case Op::OrI:
+    setGpr(In.Rd, A | (static_cast<uint32_t>(In.Imm) & 0xffffu));
+    break;
+  case Op::XorI:
+    setGpr(In.Rd, A ^ (static_cast<uint32_t>(In.Imm) & 0xffffu));
+    break;
+  case Op::SllI:
+    setGpr(In.Rd, A << (In.Imm & 31));
+    break;
+  case Op::SrlI:
+    setGpr(In.Rd, A >> (In.Imm & 31));
+    break;
+  case Op::SraI:
+    setGpr(In.Rd, static_cast<uint32_t>(
+                      static_cast<int64_t>(asSigned(A)) >> (In.Imm & 31)));
+    break;
+  case Op::Lui:
+    setGpr(In.Rd, (static_cast<uint32_t>(In.Imm) & 0xffffu) << 16);
+    break;
+
+  case Op::Lb:
+  case Op::Lh:
+  case Op::Lw: {
+    uint32_t Addr = A + static_cast<uint32_t>(In.Imm);
+    unsigned Size = In.Opc == Op::Lb ? 1 : In.Opc == Op::Lh ? 2 : 4;
+    uint32_t V = 0;
+    if (!loadInt(Addr, Size, V))
+      return RunResult{StopKind::MemFault, Addr};
+    if (In.Opc != Op::Lw) // char and short are signed
+      V = static_cast<uint32_t>(signExtend(V, 8 * Size));
+    setGpr(In.Rd, V);
+    break;
+  }
+  case Op::Sb:
+  case Op::Sh:
+  case Op::Sw: {
+    uint32_t Addr = A + static_cast<uint32_t>(In.Imm);
+    unsigned Size = In.Opc == Op::Sb ? 1 : In.Opc == Op::Sh ? 2 : 4;
+    if (!storeInt(Addr, Size, gpr(In.Rd)))
+      return RunResult{StopKind::MemFault, Addr};
+    break;
+  }
+
+  case Op::Fl4:
+  case Op::Fl8:
+  case Op::Fl10: {
+    if (In.Opc == Op::Fl10 && !Desc->HasF80)
+      return RunResult{StopKind::IllegalInstr, Pc};
+    uint32_t Addr = A + static_cast<uint32_t>(In.Imm);
+    unsigned Size = In.Opc == Op::Fl4 ? 4 : In.Opc == Op::Fl8 ? 8 : 10;
+    uint8_t Raw[10];
+    if (!readBytes(Addr, Size, Raw))
+      return RunResult{StopKind::MemFault, Addr};
+    if (In.Opc == Op::Fl4)
+      setFpr(In.Rd, unpackF32(Raw, Desc->Order));
+    else if (In.Opc == Op::Fl8)
+      setFpr(In.Rd, unpackF64(Raw, Desc->Order));
+    else
+      setFpr(In.Rd, unpackF80(Raw, Desc->Order));
+    break;
+  }
+  case Op::Fs4:
+  case Op::Fs8:
+  case Op::Fs10: {
+    if (In.Opc == Op::Fs10 && !Desc->HasF80)
+      return RunResult{StopKind::IllegalInstr, Pc};
+    uint32_t Addr = A + static_cast<uint32_t>(In.Imm);
+    unsigned Size = In.Opc == Op::Fs4 ? 4 : In.Opc == Op::Fs8 ? 8 : 10;
+    uint8_t Raw[10];
+    if (In.Opc == Op::Fs4)
+      packF32(static_cast<float>(fpr(In.Rd)), Raw, Desc->Order);
+    else if (In.Opc == Op::Fs8)
+      packF64(static_cast<double>(fpr(In.Rd)), Raw, Desc->Order);
+    else
+      packF80(fpr(In.Rd), Raw, Desc->Order);
+    if (!writeBytes(Addr, Size, Raw))
+      return RunResult{StopKind::MemFault, Addr};
+    break;
+  }
+
+  case Op::Beq:
+  case Op::Bne:
+  case Op::Blt:
+  case Op::Bge:
+  case Op::Bltu:
+  case Op::Bgeu: {
+    uint32_t D = gpr(In.Rd);
+    bool Taken = false;
+    switch (In.Opc) {
+    case Op::Beq:
+      Taken = D == A;
+      break;
+    case Op::Bne:
+      Taken = D != A;
+      break;
+    case Op::Blt:
+      Taken = asSigned(D) < asSigned(A);
+      break;
+    case Op::Bge:
+      Taken = asSigned(D) >= asSigned(A);
+      break;
+    case Op::Bltu:
+      Taken = D < A;
+      break;
+    default:
+      Taken = D >= A;
+      break;
+    }
+    if (Taken)
+      NextPc = Pc + 4 + static_cast<uint32_t>(In.Imm) * 4;
+    break;
+  }
+
+  case Op::Sys: {
+    switch (static_cast<Syscall>(In.Imm)) {
+    case Syscall::Exit:
+      Pc = NextPc;
+      return RunResult{StopKind::Exited, A};
+    case Syscall::PutChar:
+      ConsoleOut += static_cast<char>(A & 0xff);
+      break;
+    case Syscall::PutInt: {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%" PRId32, asSigned(A));
+      ConsoleOut += Buf;
+      break;
+    }
+    case Syscall::PutUint: {
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), "%" PRIu32, A);
+      ConsoleOut += Buf;
+      break;
+    }
+    case Syscall::PutStr: {
+      uint32_t Addr = A;
+      for (;;) {
+        uint32_t C = 0;
+        if (!loadInt(Addr, 1, C))
+          return RunResult{StopKind::MemFault, Addr};
+        if (C == 0)
+          break;
+        ConsoleOut += static_cast<char>(C);
+        ++Addr;
+      }
+      break;
+    }
+    case Syscall::PutFloat: {
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), "%g",
+                    static_cast<double>(fpr(In.Ra)));
+      ConsoleOut += Buf;
+      break;
+    }
+    default:
+      return RunResult{StopKind::IllegalInstr, Pc};
+    }
+    break;
+  }
+
+  case Op::J:
+    NextPc = static_cast<uint32_t>(In.Imm) * 4;
+    break;
+  case Op::Jal:
+    setGpr(Desc->RaReg, Pc + 4);
+    NextPc = static_cast<uint32_t>(In.Imm) * 4;
+    break;
+  }
+
+  Pc = NextPc;
+  return RunResult{StopKind::Running, 0};
+}

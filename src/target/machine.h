@@ -1,0 +1,101 @@
+//===- target/machine.h - the simulated CPU --------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated 32-bit machine: a flat byte-addressed memory, general
+/// and floating registers, and an interpreter for the abstract
+/// instruction set, parameterized by a TargetDesc (byte order, encoding,
+/// load delay slots). Register 0 reads as zero on every target — the
+/// code generator relies on it. The machine stops (rather than signals)
+/// on breakpoints, faults, and exhausted budgets; the nub maps stop
+/// kinds to Unix-style signals (paper Sec 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_TARGET_MACHINE_H
+#define LDB_TARGET_MACHINE_H
+
+#include "target/targetdesc.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ldb::target {
+
+/// Why the machine stopped.
+enum class StopKind : uint8_t {
+  Running,      ///< budget exhausted; resumable
+  Exited,       ///< Sys Exit; Value is the exit status
+  Breakpoint,   ///< executed the break word; Pc is at the break
+  MemFault,     ///< out-of-range access; Value is the bad address
+  DivFault,     ///< integer division by zero
+  IllegalInstr, ///< undecodable word
+  DelayHazard,  ///< zmips: consumed a load result inside its delay slot
+};
+
+const char *stopKindName(StopKind K);
+
+struct RunResult {
+  StopKind Kind = StopKind::Running;
+  uint32_t Value = 0;
+};
+
+class Machine {
+public:
+  explicit Machine(const TargetDesc &Desc, uint32_t MemBytes = 1u << 20);
+
+  const TargetDesc &desc() const { return *Desc; }
+  uint32_t memSize() const { return static_cast<uint32_t>(Mem.size()); }
+
+  uint32_t Pc = 0;
+
+  /// Console output accumulated by the Put* system calls.
+  std::string ConsoleOut;
+
+  uint32_t gpr(unsigned R) const { return R == 0 ? 0 : Gpr[R]; }
+  void setGpr(unsigned R, uint32_t V) {
+    if (R != 0)
+      Gpr[R] = V;
+  }
+  long double fpr(unsigned R) const { return Fpr[R]; }
+  void setFpr(unsigned R, long double V) { Fpr[R] = V; }
+
+  /// Integer memory access in the target's byte order. Size is 1, 2, or
+  /// 4. Returns false (without side effects) on a bad address.
+  bool loadInt(uint32_t Addr, unsigned Size, uint32_t &Out) const;
+  bool storeInt(uint32_t Addr, unsigned Size, uint32_t Value);
+
+  /// Raw byte access (context blocks, image loading, float registers).
+  bool readBytes(uint32_t Addr, unsigned Count, uint8_t *Out) const;
+  bool writeBytes(uint32_t Addr, unsigned Count, const uint8_t *In);
+
+  /// Executes up to \p Budget instructions; returns why it stopped. A
+  /// Running result means the budget ran out and run() may be called
+  /// again. The Pc is left at the stopping instruction for breakpoints
+  /// and faults, past it for exits.
+  RunResult run(uint64_t Budget);
+
+private:
+  bool inRange(uint32_t Addr, unsigned Size) const {
+    return Addr <= Mem.size() && Size <= Mem.size() - Addr;
+  }
+
+  RunResult step();
+
+  const TargetDesc *Desc;
+  std::vector<uint8_t> Mem;
+  std::vector<uint32_t> Gpr;
+  std::vector<long double> Fpr;
+
+  /// zmips load-delay modeling: the integer register written by the most
+  /// recently executed load, or -1. Reading it in the very next
+  /// instruction is a DelayHazard.
+  int ShadowReg = -1;
+};
+
+} // namespace ldb::target
+
+#endif // LDB_TARGET_MACHINE_H

@@ -1,0 +1,307 @@
+//===- target/targetdesc.cpp - simulated target descriptions ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/targetdesc.h"
+
+#include <cassert>
+
+using namespace ldb;
+using namespace ldb::target;
+
+//===----------------------------------------------------------------------===//
+// Opcode properties
+//===----------------------------------------------------------------------===//
+
+OpFormat ldb::target::opFormat(Op O) {
+  if (O == Op::Nop || O == Op::Break)
+    return OpFormat::N;
+  if (O == Op::J || O == Op::Jal)
+    return OpFormat::J;
+  if (O >= Op::AddI && O <= Op::Sys)
+    return OpFormat::I;
+  return OpFormat::R;
+}
+
+bool ldb::target::isControl(Op O) {
+  return (O >= Op::Beq && O <= Op::Bgeu) || O == Op::J || O == Op::Jal ||
+         O == Op::Jalr || O == Op::Sys;
+}
+
+bool ldb::target::isLoad(Op O) {
+  return O == Op::Lb || O == Op::Lh || O == Op::Lw || O == Op::Fl4 ||
+         O == Op::Fl8 || O == Op::Fl10;
+}
+
+bool ldb::target::isStore(Op O) {
+  return O == Op::Sb || O == Op::Sh || O == Op::Sw || O == Op::Fs4 ||
+         O == Op::Fs8 || O == Op::Fs10;
+}
+
+bool ldb::target::writesFloatReg(Op O) {
+  switch (O) {
+  case Op::FAdd:
+  case Op::FSub:
+  case Op::FMul:
+  case Op::FDiv:
+  case Op::FNeg:
+  case Op::FMov:
+  case Op::CvtIF:
+  case Op::MovIF:
+  case Op::Fl4:
+  case Op::Fl8:
+  case Op::Fl10:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ldb::target::opName(Op O) {
+  static const char *const Names[NumOps] = {
+      "nop",  "break", "add",  "sub",  "mul",  "div",   "rem",  "and",
+      "or",   "xor",   "sll",  "srl",  "sra",  "slt",   "sltu", "fadd",
+      "fsub", "fmul",  "fdiv", "fneg", "fmov", "feq",   "flt",  "fle",
+      "cvtif", "cvtfi", "movif", "movfi", "jalr", "addi", "ori", "xori",
+      "slli", "srli",  "srai", "lui",  "lb",   "lh",    "lw",   "sb",
+      "sh",   "sw",    "fl4",  "fl8",  "fl10", "fs4",   "fs8",  "fs10",
+      "beq",  "bne",   "blt",  "bge",  "bltu", "bgeu",  "sys",  "j",
+      "jal"};
+  unsigned K = static_cast<unsigned>(O);
+  return K < NumOps ? Names[K] : "?";
+}
+
+namespace {
+
+/// Immediates of the logical operations and Lui are raw 16-bit values
+/// (the linker patches Lo16/Hi16 relocations with values up to 0xffff);
+/// everything else sign-extends.
+bool zeroExtendsImm(Op O) {
+  return O == Op::OrI || O == Op::XorI || O == Op::Lui;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+Encoding::Encoding(Layout L, unsigned Mul, unsigned Add) : L(L) {
+  assert((Mul & 1) != 0 && "opcode permutation multiplier must be odd");
+  for (int16_t &V : OpFromPrimary)
+    V = -1;
+  for (int16_t &V : OpFromFunct)
+    V = -1;
+
+  unsigned NextPrimary = 0; // permutation slot for primary opcodes
+  unsigned NextFunct = 0;   // permutation slot for R-format functs
+  auto Perm = [&](unsigned Slot) -> uint8_t {
+    return static_cast<uint8_t>((Slot * Mul + Add) & 63u);
+  };
+
+  // The shared R-format primary opcode takes the first slot.
+  RFormatPrimary = Perm(NextPrimary++);
+  assert(RFormatPrimary != 0 && "all-zero words must not decode");
+
+  for (unsigned K = 0; K < NumOps; ++K) {
+    Op O = static_cast<Op>(K);
+    if (opFormat(O) == OpFormat::R) {
+      PrimaryOf[K] = RFormatPrimary;
+      FunctOf[K] = Perm(NextFunct++);
+      OpFromFunct[FunctOf[K]] = static_cast<int16_t>(K);
+    } else {
+      PrimaryOf[K] = Perm(NextPrimary++);
+      FunctOf[K] = 0;
+      assert(PrimaryOf[K] != 0 && "all-zero words must not decode");
+      OpFromPrimary[PrimaryOf[K]] = static_cast<int16_t>(K);
+    }
+  }
+}
+
+uint32_t Encoding::encode(const Instr &In) const {
+  unsigned K = static_cast<unsigned>(In.Opc);
+  uint32_t Word = static_cast<uint32_t>(PrimaryOf[K]) << L.OpShift;
+  switch (opFormat(In.Opc)) {
+  case OpFormat::N:
+    break;
+  case OpFormat::R:
+    Word |= (In.Rd & 31u) << L.RdShift;
+    Word |= (In.Ra & 31u) << L.RaShift;
+    // The third register and the function code live in the immediate
+    // field: funct in its low 6 bits, rb in its top 5.
+    Word |= static_cast<uint32_t>(FunctOf[K]) << L.ImmShift;
+    Word |= (In.Rb & 31u) << (L.ImmShift + 11);
+    break;
+  case OpFormat::I:
+    Word |= (In.Rd & 31u) << L.RdShift;
+    Word |= (In.Ra & 31u) << L.RaShift;
+    Word |= (static_cast<uint32_t>(In.Imm) & 0xffffu) << L.ImmShift;
+    break;
+  case OpFormat::J:
+    Word |= (static_cast<uint32_t>(In.Imm) & 0x3ffffffu)
+            << (L.OpShift == 26 ? 0 : 6);
+    break;
+  }
+  return Word;
+}
+
+bool Encoding::decode(uint32_t Word, Instr &Out) const {
+  uint32_t Primary = (Word >> L.OpShift) & 63u;
+  uint32_t Rd = (Word >> L.RdShift) & 31u;
+  uint32_t Ra = (Word >> L.RaShift) & 31u;
+  uint32_t Imm16 = (Word >> L.ImmShift) & 0xffffu;
+
+  if (Primary == RFormatPrimary) {
+    // Reject stray bits between the funct and rb subfields so random
+    // words rarely decode.
+    if ((Imm16 & 0x07c0u) != 0)
+      return false;
+    int16_t K = OpFromFunct[Imm16 & 63u];
+    if (K < 0)
+      return false;
+    Out = Instr::r(static_cast<Op>(K), Rd, Ra, (Imm16 >> 11) & 31u);
+    return true;
+  }
+
+  int16_t K = OpFromPrimary[Primary];
+  if (K < 0)
+    return false;
+  Op O = static_cast<Op>(K);
+  switch (opFormat(O)) {
+  case OpFormat::N:
+    // Every non-opcode bit must be clear: the no-op and break words are
+    // exactly one bit pattern each (paper Sec 3).
+    if ((Word & ~(63u << L.OpShift)) != 0)
+      return false;
+    Out = Instr{};
+    Out.Opc = O;
+    return true;
+  case OpFormat::J: {
+    uint32_t Imm26 = (Word >> (L.OpShift == 26 ? 0 : 6)) & 0x3ffffffu;
+    Out = Instr::j(O, static_cast<int32_t>(Imm26));
+    return true;
+  }
+  case OpFormat::I: {
+    int32_t Imm = zeroExtendsImm(O)
+                      ? static_cast<int32_t>(Imm16)
+                      : static_cast<int32_t>(signExtend(Imm16, 16));
+    Out = Instr::i(O, Rd, Ra, Imm);
+    return true;
+  }
+  case OpFormat::R:
+    return false; // unreachable: R shares one primary
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// The four targets
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TargetDesc makeZmips() {
+  // MIPS-like field placement: op[31:26] rd[25:21] ra[20:16] imm[15:0].
+  TargetDesc D("zmips", ByteOrder::Little,
+               Encoding::Layout{26, 21, 16, 0}, 3, 8);
+  D.NumGpr = 32;
+  D.NumFpr = 16;
+  D.SpReg = 29;
+  D.FpReg = -1; // no frame pointer: the runtime procedure table instead
+  D.RaReg = 31;
+  D.RvReg = 2;
+  D.FRvReg = 0;
+  D.FirstArgReg = 4; // a0-a3
+  D.NumArgRegs = 4;
+  D.FirstCalleeSaved = 16; // s0-s7
+  D.NumCalleeSaved = 8;
+  D.HasF80 = false;
+  D.HasFramePointer = false;
+  D.LoadDelaySlots = 1;
+  return D;
+}
+
+TargetDesc makeZ68k() {
+  // Low opcode field, registers above it, immediate on top:
+  // imm[31:16] ra[15:11] rd[10:6] op[5:0].
+  TargetDesc D("z68k", ByteOrder::Big, Encoding::Layout{0, 6, 11, 16}, 7,
+               5);
+  D.NumGpr = 16; // d0-d7 a0-a5 fp sp
+  D.NumFpr = 8;
+  D.SpReg = 15;
+  D.FpReg = 14;
+  D.RaReg = 9; // a1
+  D.RvReg = 1; // d1 (d0 is the hardwired zero)
+  D.FRvReg = 0;
+  D.FirstArgReg = 2; // d2-d5
+  D.NumArgRegs = 4;
+  D.FirstCalleeSaved = 10; // a2-a5
+  D.NumCalleeSaved = 4;
+  D.HasF80 = true;
+  D.HasFramePointer = true;
+  D.LoadDelaySlots = 0;
+  return D;
+}
+
+TargetDesc makeZsparc() {
+  // SPARC-like: op[31:26], but rd below ra: ra[25:21] rd[20:16] imm[15:0].
+  TargetDesc D("zsparc", ByteOrder::Big, Encoding::Layout{26, 16, 21, 0},
+               11, 2);
+  D.NumGpr = 32; // g0-g7 o0-o5 sp o7 l0-l7 i0-i5 fp ra
+  D.NumFpr = 16;
+  D.SpReg = 14;
+  D.FpReg = 30;
+  D.RaReg = 31;
+  D.RvReg = 8; // o0
+  D.FRvReg = 0;
+  D.FirstArgReg = 8; // o0-o5
+  D.NumArgRegs = 6;
+  D.FirstCalleeSaved = 16; // l0-l7
+  D.NumCalleeSaved = 8;
+  D.HasF80 = false;
+  D.HasFramePointer = true;
+  D.LoadDelaySlots = 0;
+  return D;
+}
+
+TargetDesc makeZvax() {
+  // rd[31:27] imm[26:11] ra[10:6] op[5:0].
+  TargetDesc D("zvax", ByteOrder::Little, Encoding::Layout{0, 27, 6, 11},
+               13, 3);
+  D.NumGpr = 16; // r0-r11 fp ra sp r15
+  D.NumFpr = 8;
+  D.SpReg = 14;
+  D.FpReg = 12;
+  D.RaReg = 13;
+  D.RvReg = 1;
+  D.FRvReg = 0;
+  D.FirstArgReg = 2; // r2-r5
+  D.NumArgRegs = 4;
+  D.FirstCalleeSaved = 6; // r6-r9
+  D.NumCalleeSaved = 4;
+  D.HasF80 = false;
+  D.HasFramePointer = true;
+  D.LoadDelaySlots = 0;
+  return D;
+}
+
+} // namespace
+
+const TargetDesc *ldb::target::targetByName(const std::string &Name) {
+  for (const TargetDesc *D : allTargets())
+    if (D->Name == Name)
+      return D;
+  return nullptr;
+}
+
+const std::vector<const TargetDesc *> &ldb::target::allTargets() {
+  static const TargetDesc Zmips = makeZmips();
+  static const TargetDesc Z68k = makeZ68k();
+  static const TargetDesc Zsparc = makeZsparc();
+  static const TargetDesc Zvax = makeZvax();
+  static const std::vector<const TargetDesc *> All = {&Zmips, &Z68k,
+                                                      &Zsparc, &Zvax};
+  return All;
+}

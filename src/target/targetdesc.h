@@ -1,0 +1,251 @@
+//===- target/targetdesc.h - simulated target descriptions -----*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptions of the four simulated 32-bit targets (paper Sec 6: the
+/// MIPS, 68020, SPARC, and VAX ports). Each target shares one abstract
+/// RISC-flavoured instruction set but has its own register conventions,
+/// byte order, instruction encoding, and quirks:
+///
+///  * zmips  - little-endian, no frame pointer (runtime procedure table),
+///             one load delay slot the assembler must schedule around;
+///  * z68k   - big-endian, frame pointer, 80-bit extended floats,
+///             register-save masks;
+///  * zsparc - big-endian, frame pointer;
+///  * zvax   - little-endian, frame pointer, context gprs stored in
+///             reverse order.
+///
+/// The encodings differ per target (field placement and opcode numbering)
+/// so nothing machine-independent can get away with assuming one; the
+/// break and no-op words are likewise distinct bit patterns per target
+/// (the four items of machine-dependent breakpoint data, paper Sec 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_TARGET_TARGETDESC_H
+#define LDB_TARGET_TARGETDESC_H
+
+#include "support/byteorder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldb::target {
+
+/// The abstract operation set shared by every simulated target.
+enum class Op : uint8_t {
+  // N-format: no operands.
+  Nop,
+  Break,
+  // R-format: rd, ra, rb.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Sll,
+  Srl,
+  Sra,
+  Slt,
+  Sltu,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+  FMov,
+  FEq,
+  FLt,
+  FLe,
+  CvtIF,
+  CvtFI,
+  MovIF,
+  MovFI,
+  Jalr,
+  // I-format: rd, ra, imm16.
+  AddI,
+  OrI,
+  XorI,
+  SllI,
+  SrlI,
+  SraI,
+  Lui,
+  Lb,
+  Lh,
+  Lw,
+  Sb,
+  Sh,
+  Sw,
+  Fl4,
+  Fl8,
+  Fl10,
+  Fs4,
+  Fs8,
+  Fs10,
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Bltu,
+  Bgeu,
+  Sys,
+  // J-format: imm26 (absolute word address).
+  J,
+  Jal,
+};
+
+constexpr unsigned NumOps = static_cast<unsigned>(Op::Jal) + 1;
+
+enum class OpFormat : uint8_t { N, R, I, J };
+
+OpFormat opFormat(Op O);
+/// Branches, jumps, calls, and Sys: ends a scheduling window.
+bool isControl(Op O);
+bool isLoad(Op O);
+bool isStore(Op O);
+/// True for operations whose destination is a floating-point register.
+bool writesFloatReg(Op O);
+const char *opName(Op O);
+
+/// One decoded instruction. Rd is the destination register, Ra/Rb the
+/// sources; branches compare Rd against Ra and loads/stores address
+/// through Ra. Imm holds a sign-extended 16-bit value for I-format
+/// (zero-extended for the logical immediates and Lui) and a 26-bit word
+/// address for J-format.
+struct Instr {
+  Op Opc = Op::Nop;
+  unsigned Rd = 0;
+  unsigned Ra = 0;
+  unsigned Rb = 0;
+  int32_t Imm = 0;
+
+  static Instr nop() { return Instr{}; }
+  static Instr brk() {
+    Instr In;
+    In.Opc = Op::Break;
+    return In;
+  }
+  static Instr r(Op O, unsigned Rd, unsigned Ra, unsigned Rb) {
+    Instr In;
+    In.Opc = O;
+    In.Rd = Rd;
+    In.Ra = Ra;
+    In.Rb = Rb;
+    return In;
+  }
+  static Instr i(Op O, unsigned Rd, unsigned Ra, int32_t Imm) {
+    Instr In;
+    In.Opc = O;
+    In.Rd = Rd;
+    In.Ra = Ra;
+    In.Imm = Imm;
+    return In;
+  }
+  static Instr j(Op O, int32_t Imm) {
+    Instr In;
+    In.Opc = O;
+    In.Imm = Imm;
+    return In;
+  }
+};
+
+/// System calls: Op::Sys with the call number in Imm and the argument in
+/// register Ra (a gpr, or an fpr for PutFloat).
+enum class Syscall : int32_t {
+  Exit = 1,
+  PutChar = 2,
+  PutInt = 3,
+  PutUint = 4,
+  PutStr = 5,
+  PutFloat = 6,
+};
+
+/// A target's instruction encoding: a 32-bit word partitioned into a
+/// 6-bit primary opcode, two 5-bit register fields, and a 16-bit
+/// immediate, with per-target field placement and a per-target opcode
+/// permutation. R-format instructions share one primary opcode; their
+/// function code and third register live inside the immediate field.
+/// J-format uses the 26 bits that are not the opcode (so the opcode
+/// field sits at bit 0 or bit 26).
+class Encoding {
+public:
+  struct Layout {
+    unsigned OpShift;  ///< 0 or 26
+    unsigned RdShift;
+    unsigned RaShift;
+    unsigned ImmShift;
+  };
+
+  /// Builds the opcode tables from the permutation word = (slot * Mul +
+  /// Add) mod 64; Mul must be odd. The constructor asserts that no
+  /// assigned opcode is 0, so an all-zero word never decodes.
+  Encoding(Layout L, unsigned Mul, unsigned Add);
+
+  uint32_t encode(const Instr &In) const;
+
+  /// Decodes \p Word; returns false (leaving \p Out unspecified) for
+  /// words that no instruction assembles to.
+  bool decode(uint32_t Word, Instr &Out) const;
+
+private:
+  Layout L;
+  uint8_t PrimaryOf[NumOps];  ///< abstract op -> concrete primary opcode
+  uint8_t FunctOf[NumOps];    ///< R-format ops -> concrete function code
+  int16_t OpFromPrimary[64];  ///< concrete primary -> abstract, -1 unused
+  int16_t OpFromFunct[64];    ///< concrete funct -> abstract, -1 unused
+  uint8_t RFormatPrimary = 0; ///< the shared R-format primary opcode
+};
+
+/// Everything machine-dependent the toolchain and debugger need to know
+/// about a target, as data (paper Sec 4.3: most machine-dependent code is
+/// really machine-dependent data).
+struct TargetDesc {
+  std::string Name;
+  ByteOrder Order = ByteOrder::Little;
+
+  unsigned NumGpr = 32;
+  unsigned NumFpr = 16;
+  unsigned SpReg = 0;        ///< stack pointer
+  int FpReg = -1;            ///< frame pointer, -1 if none
+  unsigned RaReg = 0;        ///< link register written by Jal
+  unsigned RvReg = 0;        ///< integer return value (never gpr 0)
+  unsigned FRvReg = 0;       ///< float return value
+  unsigned FirstArgReg = 0;  ///< first integer argument register
+  unsigned NumArgRegs = 0;
+  unsigned FirstCalleeSaved = 0; ///< register-variable pool
+  unsigned NumCalleeSaved = 0;
+
+  bool HasF80 = false;         ///< 80-bit long double (z68k)
+  bool HasFramePointer = true; ///< false: zmips runtime procedure table
+  unsigned LoadDelaySlots = 0; ///< zmips: 1
+
+  Encoding Enc;
+
+  TargetDesc(std::string Name, ByteOrder Order, Encoding::Layout L,
+             unsigned Mul, unsigned Add)
+      : Name(std::move(Name)), Order(Order), Enc(L, Mul, Add) {}
+
+  bool isBigEndian() const { return Order == ByteOrder::Big; }
+
+  /// The planted stopping-point word (paper Sec 3).
+  uint32_t nopWord() const { return Enc.encode(Instr::nop()); }
+  /// The word the debugger stores over a no-op to plant a breakpoint.
+  uint32_t breakWord() const { return Enc.encode(Instr::brk()); }
+};
+
+/// The registered target named \p Name, or null.
+const TargetDesc *targetByName(const std::string &Name);
+
+/// All four simulated targets, in a stable order (zmips first).
+const std::vector<const TargetDesc *> &allTargets();
+
+} // namespace ldb::target
+
+#endif // LDB_TARGET_TARGETDESC_H

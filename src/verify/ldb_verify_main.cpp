@@ -1,0 +1,171 @@
+//===- verify/ldb_verify_main.cpp - the ldb-verify tool ---------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver for the static debug-info verifier: compiles the
+/// requested programs for the requested targets, cross-checks the four
+/// debugging artifacts (image, PostScript symbol table, loader table,
+/// stabs), and lints the source tree for machine-dependence leaks.
+///
+/// Run:  build/src/verify/ldb-verify [options]
+///   --target=NAME|all       architecture to verify (default all four)
+///   --program=SPEC          hello | fib | gen:<lines> | <path>.c;
+///                           repeatable (default hello, fib, gen:13000)
+///   --deferred              verify deferred-lexing symbol tables too
+///   --no-md-lint            skip the source-tree lint
+///   --md-lint-only          run only the source-tree lint
+///   --src-root=DIR          source tree for the lint (default: this
+///                           checkout's src/)
+///
+/// Exits 0 when every report is clean, 1 otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/mdlint.h"
+#include "verify/verify.h"
+
+#include "support/strings.h"
+#include "workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ldb;
+
+namespace {
+
+struct ProgramSpec {
+  std::string Label;
+  lcc::SourceFile Source;
+};
+
+Expected<ProgramSpec> resolveProgram(const std::string &Spec) {
+  if (Spec == "hello")
+    return ProgramSpec{"hello", {"hello.c", bench::helloProgram()}};
+  if (Spec == "fib")
+    return ProgramSpec{"fib", {"fib.c", bench::fibProgram()}};
+  if (Spec.rfind("gen:", 0) == 0) {
+    unsigned Lines = static_cast<unsigned>(atoi(Spec.c_str() + 4));
+    if (Lines == 0)
+      return Error::failure("bad program spec: " + Spec);
+    return ProgramSpec{Spec,
+                       {Spec + ".c", bench::generateProgram(Lines)}};
+  }
+  std::string Text;
+  if (!readFile(Spec, Text))
+    return Error::failure("cannot read " + Spec);
+  // The unit name becomes a PostScript name in the symtab's /sourcemap, so
+  // strip the directories (a slash ends a name token).
+  size_t Slash = Spec.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Spec : Spec.substr(Slash + 1);
+  return ProgramSpec{Spec, {Base, Text}};
+}
+
+/// Verifies one program on one target; returns the number of errors, or
+/// 1 for a program that cannot be compiled or analyzed at all.
+unsigned verifyOne(const target::TargetDesc &Desc, const ProgramSpec &Prog,
+                   bool Deferred) {
+  lcc::CompileOptions CO;
+  CO.DeferredSymtab = Deferred;
+  Expected<std::unique_ptr<lcc::Compilation>> C =
+      lcc::compileAndLink({Prog.Source}, Desc, CO);
+  if (!C) {
+    std::fprintf(stderr, "ldb-verify: %s/%s: compile failed: %s\n",
+                 Desc.Name.c_str(), Prog.Label.c_str(),
+                 C.message().c_str());
+    return 1;
+  }
+  Expected<verify::Report> R = verify::verifyCompilation(**C);
+  if (!R) {
+    std::fprintf(stderr, "ldb-verify: %s/%s: %s\n", Desc.Name.c_str(),
+                 Prog.Label.c_str(), R.message().c_str());
+    return 1;
+  }
+  std::printf("%-6s %-10s %-8s %4u entries %4u stops  %s\n",
+              Desc.Name.c_str(), Prog.Label.c_str(),
+              Deferred ? "deferred" : "eager", R->EntriesWalked,
+              R->StopsChecked,
+              R->clean() ? "clean"
+                         : (std::to_string(R->errors()) + " errors, " +
+                            std::to_string(R->warnings()) + " warnings")
+                               .c_str());
+  if (!R->clean())
+    std::fputs(R->str().c_str(), stdout);
+  return R->errors();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TargetName = "all";
+  std::vector<std::string> Programs;
+  std::string SrcRoot = std::string(LDB_SOURCE_ROOT) + "/src";
+  bool Deferred = false, MdLint = true, MdLintOnly = false;
+
+  for (int K = 1; K < argc; ++K) {
+    std::string Arg = argv[K];
+    if (Arg.rfind("--target=", 0) == 0)
+      TargetName = Arg.substr(9);
+    else if (Arg.rfind("--program=", 0) == 0)
+      Programs.push_back(Arg.substr(10));
+    else if (Arg == "--deferred")
+      Deferred = true;
+    else if (Arg == "--no-md-lint")
+      MdLint = false;
+    else if (Arg == "--md-lint-only")
+      MdLintOnly = true;
+    else if (Arg.rfind("--src-root=", 0) == 0)
+      SrcRoot = Arg.substr(11);
+    else {
+      std::fprintf(stderr, "ldb-verify: unknown option %s\n", Arg.c_str());
+      return 2;
+    }
+  }
+  if (Programs.empty())
+    Programs = {"hello", "fib", "gen:13000"};
+
+  std::vector<const target::TargetDesc *> Targets;
+  if (TargetName == "all") {
+    Targets = target::allTargets();
+  } else if (const target::TargetDesc *D = target::targetByName(TargetName)) {
+    Targets.push_back(D);
+  } else {
+    std::fprintf(stderr, "ldb-verify: unknown target %s\n",
+                 TargetName.c_str());
+    return 2;
+  }
+
+  unsigned Errors = 0;
+  if (!MdLintOnly) {
+    for (const std::string &Spec : Programs) {
+      Expected<ProgramSpec> Prog = resolveProgram(Spec);
+      if (!Prog) {
+        std::fprintf(stderr, "ldb-verify: %s\n", Prog.message().c_str());
+        return 2;
+      }
+      for (const target::TargetDesc *D : Targets) {
+        Errors += verifyOne(*D, *Prog, /*Deferred=*/false);
+        if (Deferred)
+          Errors += verifyOne(*D, *Prog, /*Deferred=*/true);
+      }
+    }
+  }
+
+  if (MdLint || MdLintOnly) {
+    std::vector<verify::Diagnostic> Lint = verify::mdIsolationLint(SrcRoot);
+    std::printf("md-lint %-25s %s\n", SrcRoot.c_str(),
+                Lint.empty()
+                    ? "clean"
+                    : (std::to_string(Lint.size()) + " findings").c_str());
+    for (const verify::Diagnostic &D : Lint) {
+      std::fputs(D.str().c_str(), stdout);
+      std::fputc('\n', stdout);
+      Errors += D.Sev == verify::Severity::Error;
+    }
+  }
+
+  return Errors ? 1 : 0;
+}

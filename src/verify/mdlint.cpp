@@ -1,0 +1,178 @@
+//===- verify/mdlint.cpp - machine-dependence isolation lint ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/mdlint.h"
+
+#include "support/strings.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace ldb;
+using namespace ldb::verify;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *const TargetNames[] = {"zmips", "z68k", "zsparc", "zvax"};
+
+/// The dispatch registries: the one place per subsystem allowed to map an
+/// architecture name to its machine-dependent instance (paper Sec 4.3's
+/// "machine-independent code selects among machine-dependent instances").
+const char *const Registries[] = {
+    "core/arch.cpp",
+    "lcc/cgtarget.cpp",
+    "nub/nubmd.cpp",
+};
+
+bool isIdentChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+/// Replaces comments and string/character literals with spaces, keeping
+/// newlines so line numbers survive.
+std::string stripCommentsAndLiterals(const std::string &In) {
+  std::string Out = In;
+  enum { Code, LineComment, BlockComment, Str, Chr } State = Code;
+  for (size_t K = 0; K < In.size(); ++K) {
+    char C = In[K];
+    char Next = K + 1 < In.size() ? In[K + 1] : '\0';
+    switch (State) {
+    case Code:
+      if (C == '/' && Next == '/') {
+        State = LineComment;
+        Out[K] = ' ';
+      } else if (C == '/' && Next == '*') {
+        State = BlockComment;
+        Out[K] = ' ';
+      } else if (C == '"') {
+        State = Str;
+        Out[K] = ' ';
+      } else if (C == '\'') {
+        State = Chr;
+        Out[K] = ' ';
+      }
+      break;
+    case LineComment:
+      if (C == '\n')
+        State = Code;
+      else
+        Out[K] = ' ';
+      break;
+    case BlockComment:
+      if (C == '*' && Next == '/') {
+        Out[K] = ' ';
+        Out[K + 1] = ' ';
+        ++K;
+        State = Code;
+      } else if (C != '\n') {
+        Out[K] = ' ';
+      }
+      break;
+    case Str:
+    case Chr:
+      if (C == '\\' && K + 1 < In.size()) {
+        Out[K] = ' ';
+        if (Next != '\n')
+          Out[K + 1] = ' ';
+        ++K;
+      } else if ((State == Str && C == '"') || (State == Chr && C == '\'')) {
+        Out[K] = ' ';
+        State = Code;
+      } else if (C != '\n') {
+        Out[K] = ' ';
+      }
+      break;
+    }
+  }
+  return Out;
+}
+
+void lintFile(const std::string &RelPath, const std::string &Contents,
+              std::vector<Diagnostic> &Diags) {
+  std::string Code = stripCommentsAndLiterals(Contents);
+  for (const char *Target : TargetNames) {
+    for (size_t Pos = Code.find(Target); Pos != std::string::npos;
+         Pos = Code.find(Target, Pos + 1)) {
+      if (Pos > 0 && isIdentChar(Code[Pos - 1]))
+        continue; // suffix of a longer identifier
+      unsigned Line =
+          1 + static_cast<unsigned>(
+                  std::count(Code.begin(), Code.begin() + Pos, '\n'));
+      Diagnostic D;
+      D.Sev = Severity::Error;
+      D.Check = "md-lint";
+      D.Art = Artifact::Source;
+      D.Symbol = RelPath + ":" + std::to_string(Line);
+      D.Message = std::string("target identifier '") + Target +
+                  "' outside the machine-dependent files";
+      Diags.push_back(std::move(D));
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+ldb::verify::mdIsolationLint(const std::string &SrcRoot) {
+  std::vector<Diagnostic> Diags;
+  std::error_code Ec;
+  std::vector<std::string> Files;
+  for (fs::recursive_directory_iterator It(SrcRoot, Ec), End;
+       !Ec && It != End; It.increment(Ec)) {
+    if (!It->is_regular_file(Ec))
+      continue;
+    std::string Ext = It->path().extension().string();
+    if (Ext == ".h" || Ext == ".cpp")
+      Files.push_back(It->path().string());
+  }
+  if (Ec) {
+    Diagnostic D;
+    D.Sev = Severity::Error;
+    D.Check = "md-lint";
+    D.Art = Artifact::Source;
+    D.Symbol = SrcRoot;
+    D.Message = "cannot walk source tree: " + Ec.message();
+    Diags.push_back(std::move(D));
+    return Diags;
+  }
+  std::sort(Files.begin(), Files.end()); // deterministic output
+
+  for (const std::string &Path : Files) {
+    std::string Rel =
+        fs::path(Path).lexically_relative(SrcRoot).generic_string();
+    bool Allowed = false;
+    for (const char *Registry : Registries)
+      if (Rel == Registry ||
+          (Rel.size() > std::string(Registry).size() &&
+           Rel.compare(Rel.size() - std::string(Registry).size(),
+                       std::string::npos, Registry) == 0))
+        Allowed = true;
+    if (Allowed)
+      continue;
+
+    std::string Contents;
+    if (!readFile(Path, Contents)) {
+      Diagnostic D;
+      D.Sev = Severity::Error;
+      D.Check = "md-lint";
+      D.Art = Artifact::Source;
+      D.Symbol = Rel;
+      D.Message = "cannot read source file";
+      Diags.push_back(std::move(D));
+      continue;
+    }
+    // The tag appears in the file header comment; look only at the head
+    // so a stray mention deep in a shared file cannot exempt it.
+    if (Contents.substr(0, 512).find("MACHINE-DEPENDENT:") !=
+        std::string::npos)
+      continue;
+    lintFile(Rel, Contents, Diags);
+  }
+  return Diags;
+}

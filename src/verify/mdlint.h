@@ -1,0 +1,37 @@
+//===- verify/mdlint.h - machine-dependence isolation lint ------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lint over the debugger's own source tree enforcing the paper's
+/// machine-dependence discipline (Sec 4.3): target-specific identifiers
+/// (zmips, z68k, zsparc, zvax) may appear only in the files tagged
+/// MACHINE-DEPENDENT — the ones the Sec 4.3 LoC experiment counts — and
+/// in the three dispatch registries that map an architecture name to its
+/// machine-dependent instance. Comments and string literals are exempt:
+/// naming a target is fine, *depending* on one is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_MDLINT_H
+#define LDB_VERIFY_MDLINT_H
+
+#include "verify/verify.h"
+
+#include <string>
+#include <vector>
+
+namespace ldb::verify {
+
+/// Walks every .h/.cpp under \p SrcRoot and reports each target
+/// identifier found outside a MACHINE-DEPENDENT-tagged file or a
+/// dispatch registry. Diagnostics carry Artifact::Source with the
+/// offending "path:line" in Symbol; an unreadable tree yields a
+/// diagnostic rather than an error.
+std::vector<Diagnostic> mdIsolationLint(const std::string &SrcRoot);
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_MDLINT_H

@@ -1,0 +1,1016 @@
+//===- verify/verify.cpp - static debug-info verifier ----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/verify.h"
+
+#include "core/arch.h"
+#include "core/symtab.h"
+#include "lcc/stabs.h"
+#include "support/byteorder.h"
+#include "support/strings.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::ps;
+
+namespace symtab = ldb::core::symtab;
+
+const char *ldb::verify::artifactName(Artifact A) {
+  switch (A) {
+  case Artifact::Image:
+    return "image";
+  case Artifact::Symtab:
+    return "symtab";
+  case Artifact::LoaderTable:
+    return "loader-table";
+  case Artifact::Stabs:
+    return "stabs";
+  case Artifact::Source:
+    return "source";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = Sev == Severity::Error ? "error: [" : "warning: [";
+  Out += Check;
+  Out += "] ";
+  Out += artifactName(Art);
+  if (!Symbol.empty())
+    Out += ": " + Symbol;
+  if (HasAddr)
+    Out += " @ " + hex32(Addr);
+  Out += ": " + Message;
+  return Out;
+}
+
+unsigned Report::errors() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == Severity::Error;
+  return N;
+}
+
+unsigned Report::warnings() const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == Severity::Warning;
+  return N;
+}
+
+std::string Report::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += D.str() + "\n";
+  return Out;
+}
+
+namespace {
+
+/// LazyData resolution against the artifacts instead of a live process:
+/// anchor addresses come from the loader-table object the verifier
+/// interpreted, and "target memory" fetches read the image's data
+/// segment. This is the whole trick that lets /where procedures — written
+/// to run against a live target (paper Sec 2) — evaluate fully
+/// statically.
+class StaticHooks : public DebugHooks {
+public:
+  StaticHooks(Interp &I, const lcc::Image &Img) : I(I), Img(Img) {}
+
+  Expected<uint32_t> anchorAddress(const std::string &Name) override {
+    Object LT;
+    if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+      return Error::failure("no loader table loaded");
+    auto Map = LT.DictVal->Entries.find("anchormap");
+    if (Map == LT.DictVal->Entries.end() || Map->second.Ty != Type::Dict)
+      return Error::failure("loader table has no anchor map");
+    auto It = Map->second.DictVal->Entries.find(Name);
+    if (It == Map->second.DictVal->Entries.end())
+      return Error::failure("unknown anchor symbol: " + Name);
+    return static_cast<uint32_t>(It->second.IntVal);
+  }
+
+  Expected<uint32_t> fetchDataWord(uint32_t Addr) override {
+    if (Addr < Img.DataBase || Addr + 4 > Img.DataBase + Img.Data.size())
+      return Error::failure("data fetch at " + hex32(Addr) +
+                            " is outside the data segment");
+    return static_cast<uint32_t>(
+        unpackInt(Img.Data.data() + (Addr - Img.DataBase), 4,
+                  Img.Desc->Order));
+  }
+
+private:
+  Interp &I;
+  const lcc::Image &Img;
+};
+
+class Verifier {
+public:
+  Verifier(const lcc::Compilation &C, const Options &Opt)
+      : C(C), Opt(Opt), Hooks(I, C.Img) {}
+
+  Report run();
+
+private:
+  //===--- diagnostics ---------------------------------------------------===//
+
+  void diag(Severity Sev, const char *Check, Artifact Art, std::string Sym,
+            std::string Msg) {
+    Diagnostic D;
+    D.Sev = Sev;
+    D.Check = Check;
+    D.Art = Art;
+    D.Symbol = std::move(Sym);
+    D.Message = std::move(Msg);
+    R.Diags.push_back(std::move(D));
+  }
+
+  void diagAt(Severity Sev, const char *Check, Artifact Art, std::string Sym,
+              uint32_t Addr, std::string Msg) {
+    Diagnostic D;
+    D.Sev = Sev;
+    D.Check = Check;
+    D.Art = Art;
+    D.Symbol = std::move(Sym);
+    D.Addr = Addr;
+    D.HasAddr = true;
+    D.Message = std::move(Msg);
+    R.Diags.push_back(std::move(D));
+  }
+
+  //===--- phases --------------------------------------------------------===//
+
+  bool setup();
+  void loadProcTable();
+  void walkSymtab();
+  void checkProcEntry(Object Entry, const std::string &Context);
+  /// Structural checks on one (forced) entry; returns false if it is not
+  /// a usable dictionary. FrameSize < 0 means "no enclosing procedure".
+  bool checkEntry(Object &Entry, const std::string &Context,
+                  int64_t FrameSize);
+  void walkVisibleChain(Object Head, const std::string &Context,
+                        int64_t FrameSize);
+  void checkWhere(Object &Entry, const std::string &Name, int64_t FrameSize);
+  void checkType(Object Ty, const std::string &Sym);
+  void checkPrinterBody(const Object &Proc, const std::string &Sym);
+  void checkAgreement();
+
+  //===--- small helpers -------------------------------------------------===//
+
+  /// The image word at code address \p Addr, or failure when outside the
+  /// text segment.
+  Expected<uint32_t> textWord(uint32_t Addr) const {
+    const lcc::Image &Img = C.Img;
+    if (Addr < Img.TextBase || Addr + 4 > Img.TextBase + Img.Text.size())
+      return Error::failure("address outside the text segment");
+    return static_cast<uint32_t>(unpackInt(
+        Img.Text.data() + (Addr - Img.TextBase), 4, Img.Desc->Order));
+  }
+
+  /// Fetches an integer field, adding a diagnostic and returning false on
+  /// absence or wrong type.
+  bool intField(const Object &Entry, const char *Key,
+                const std::string &Context, int64_t &Out) {
+    Expected<Object> V = symtab::field(I, Entry, Key);
+    if (!V || V->Ty != Type::Int) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Context,
+           V ? "/" + std::string(Key) + " is not an integer"
+             : V.message());
+      return false;
+    }
+    Out = V->IntVal;
+    return true;
+  }
+
+  const lcc::Compilation &C;
+  Options Opt;
+  Interp I;
+  StaticHooks Hooks;
+  const core::Architecture *Arch = nullptr;
+  Object ArchDict, TargetDict;
+
+  struct Proc {
+    uint32_t Addr = 0;
+    uint32_t End = 0; ///< start of the next procedure (or end of text)
+    std::string Name;
+  };
+  std::vector<Proc> ProcTable; ///< the loader table's view, sorted
+  std::map<std::string, size_t> ProcByName;
+
+  std::set<const DictImpl *> SeenEntries;
+  std::set<const DictImpl *> SeenTypes;
+  std::set<std::string> EntryNames;      ///< /name of every entry walked
+  std::set<std::string> SymtabProcNames; ///< entries with /kind (procedure)
+  std::map<std::string, uint32_t> GlobalAddrs; ///< extern/static data addrs
+
+  Report R;
+};
+
+//===----------------------------------------------------------------------===//
+// Setup: the static scope
+//===----------------------------------------------------------------------===//
+
+bool Verifier::setup() {
+  if (Error E = I.run(prelude())) {
+    diag(Severity::Error, "setup", Artifact::Symtab, "",
+         "prelude failed: " + E.message());
+    return false;
+  }
+  ArchDict = Object::makeDict(std::make_shared<DictImpl>());
+  TargetDict = Object::makeDict(std::make_shared<DictImpl>());
+
+  // Mirror Target::connect + Target::Scope: the architecture dictionary
+  // is populated from the machine-dependent PostScript fragment, then
+  // both dictionaries go on the stack for the whole verification.
+  I.dictStack().push_back(ArchDict);
+  Error E = I.run(Arch->MdPostScript);
+  I.dictStack().pop_back();
+  if (E) {
+    diag(Severity::Error, "setup", Artifact::Symtab, Arch->Desc->Name,
+         "machine-dependent PostScript failed: " + E.message());
+    return false;
+  }
+  I.dictStack().push_back(ArchDict);
+  I.dictStack().push_back(TargetDict);
+  I.Hooks = &Hooks;
+
+  bool Ok = true;
+  if (Error SymE = I.run(C.PsSymtab)) {
+    diag(Severity::Error, "scope", Artifact::Symtab, "",
+         "symbol table does not interpret: " + SymE.message());
+    Ok = false;
+  }
+  if (Error LtE = I.run(C.LoaderTable)) {
+    diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
+         "loader table does not interpret: " + LtE.message());
+    Ok = false;
+  }
+  return Ok;
+}
+
+void Verifier::loadProcTable() {
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict) {
+    diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
+         "loader table did not define /loadertable");
+    return;
+  }
+  auto It = LT.DictVal->Entries.find("proctable");
+  if (It == LT.DictVal->Entries.end() || It->second.Ty != Type::Array) {
+    diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
+         "loader table has no /proctable");
+    return;
+  }
+  const ArrayImpl &A = *It->second.ArrVal;
+  if (A.size() % 2 != 0)
+    diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
+         "proctable length is odd; expected (address, name) pairs");
+  for (size_t K = 0; K + 1 < A.size(); K += 2) {
+    if (A[K].Ty != Type::Int || A[K + 1].Ty != Type::String) {
+      diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
+           "proctable entry " + std::to_string(K / 2) +
+               " is not an (address, name) pair");
+      continue;
+    }
+    Proc P;
+    P.Addr = static_cast<uint32_t>(A[K].IntVal);
+    P.Name = A[K + 1].text();
+    if (!ProcTable.empty() && P.Addr <= ProcTable.back().Addr)
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, P.Name,
+             P.Addr, "proctable is not sorted by ascending address");
+    ProcTable.push_back(P);
+  }
+  uint32_t TextEnd =
+      C.Img.TextBase + static_cast<uint32_t>(C.Img.Text.size());
+  for (size_t K = 0; K < ProcTable.size(); ++K) {
+    ProcTable[K].End =
+        K + 1 < ProcTable.size() ? ProcTable[K + 1].Addr : TextEnd;
+    ProcByName[ProcTable[K].Name] = K;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The symbol-table walk: families 1-4
+//===----------------------------------------------------------------------===//
+
+void Verifier::walkSymtab() {
+  Expected<Object> Top = symtab::topLevel(I);
+  if (!Top) {
+    diag(Severity::Error, "scope", Artifact::Symtab, "", Top.message());
+    return;
+  }
+  Expected<Object> ArchName = symtab::field(I, *Top, "architecture");
+  if (!ArchName || ArchName->Ty != Type::String)
+    diag(Severity::Error, "agreement", Artifact::Symtab, "",
+         "top-level dictionary has no /architecture string");
+  else if (ArchName->text() != C.Desc->Name)
+    diag(Severity::Error, "agreement", Artifact::Symtab, ArchName->text(),
+         "symbol table is for " + ArchName->text() +
+             " but the image is " + C.Desc->Name);
+
+  // Externs: every global datum and defined procedure. Forcing each one
+  // exercises the deferred path when the table was emitted with
+  // DeferDef.
+  Expected<Object> Externs = symtab::field(I, *Top, "externs");
+  if (!Externs || Externs->Ty != Type::Dict) {
+    diag(Severity::Error, "scope", Artifact::Symtab, "",
+         Externs ? "top-level /externs is not a dictionary"
+                 : Externs.message());
+  } else {
+    for (auto &KV : Externs->DictVal->Entries) {
+      Object V = KV.second;
+      if (Error E = symtab::force(I, V)) {
+        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+             E.message());
+        continue;
+      }
+      KV.second = V;
+      checkEntry(V, KV.first, -1);
+    }
+  }
+
+  // Procedures, with their loci (family 1), visible chains (family 2),
+  // statics, and formals.
+  Expected<Object> Procs = symtab::field(I, *Top, "procs");
+  if (!Procs || Procs->Ty != Type::Array) {
+    diag(Severity::Error, "scope", Artifact::Symtab, "",
+         Procs ? "top-level /procs is not an array" : Procs.message());
+  } else {
+    for (size_t K = 0; K < Procs->ArrVal->size(); ++K) {
+      Object Entry = (*Procs->ArrVal)[K];
+      if (Error E = symtab::force(I, Entry)) {
+        diag(Severity::Error, "scope", Artifact::Symtab,
+             "procs[" + std::to_string(K) + "]", E.message());
+        continue;
+      }
+      (*Procs->ArrVal)[K] = Entry;
+      checkProcEntry(Entry, "procs[" + std::to_string(K) + "]");
+    }
+  }
+
+  // The source map must reference the same procedure entries.
+  Expected<Object> SourceMap = symtab::field(I, *Top, "sourcemap");
+  if (!SourceMap || SourceMap->Ty != Type::Dict) {
+    diag(Severity::Error, "scope", Artifact::Symtab, "",
+         SourceMap ? "top-level /sourcemap is not a dictionary"
+                   : SourceMap.message());
+  } else {
+    for (auto &KV : SourceMap->DictVal->Entries) {
+      Object V = KV.second;
+      if (Error E = symtab::force(I, V)) {
+        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+             E.message());
+        continue;
+      }
+      KV.second = V;
+      if (V.Ty != Type::Array) {
+        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+             "sourcemap value is not an array of procedure entries");
+        continue;
+      }
+      for (Object &Ref : *V.ArrVal) {
+        Object Entry = Ref;
+        if (Error E = symtab::force(I, Entry)) {
+          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+               E.message());
+          continue;
+        }
+        Ref = Entry;
+        if (Entry.Ty != Type::Dict || !symtab::hasField(Entry, "loci"))
+          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+               "sourcemap references a non-procedure entry");
+      }
+    }
+  }
+}
+
+void Verifier::checkProcEntry(Object Entry, const std::string &Context) {
+  if (!checkEntry(Entry, Context, -1))
+    return;
+  Expected<Object> NameV = symtab::field(I, Entry, "name");
+  std::string Name = NameV && NameV->Ty == Type::String ? NameV->text()
+                                                        : Context;
+  SymtabProcNames.insert(Name);
+
+  int64_t FrameSize = 0, SaveMask = 0, SaveOffset = 0;
+  if (!intField(Entry, "framesize", Name, FrameSize))
+    FrameSize = -1;
+  else if (FrameSize < 0 || FrameSize > (1 << 20))
+    diag(Severity::Error, "scope", Artifact::Symtab, Name,
+         "implausible /framesize " + std::to_string(FrameSize));
+  intField(Entry, "savemask", Name, SaveMask);
+  intField(Entry, "saveoffset", Name, SaveOffset);
+
+  // Statics: one dictionary shared by every procedure of the unit.
+  if (symtab::hasField(Entry, "statics")) {
+    Expected<Object> Statics = symtab::field(I, Entry, "statics");
+    if (!Statics || Statics->Ty != Type::Dict) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Name,
+           Statics ? "/statics is not a dictionary" : Statics.message());
+    } else {
+      for (auto &KV : Statics->DictVal->Entries) {
+        Object V = KV.second;
+        if (Error E = symtab::force(I, V)) {
+          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+               E.message());
+          continue;
+        }
+        KV.second = V;
+        checkEntry(V, KV.first, -1);
+      }
+    }
+  } else {
+    diag(Severity::Error, "scope", Artifact::Symtab, Name,
+         "procedure entry has no /statics");
+  }
+
+  // Formals: the last parameter heads a chain through the rest.
+  if (symtab::hasField(Entry, "formals")) {
+    Expected<Object> Formals = symtab::field(I, Entry, "formals");
+    if (!Formals)
+      diag(Severity::Error, "scope", Artifact::Symtab, Name,
+           Formals.message());
+    else
+      walkVisibleChain(*Formals, Name, FrameSize);
+  }
+
+  // The stopping points (family 1) and their visible chains (family 2).
+  Expected<Object> Loci = symtab::field(I, Entry, "loci");
+  if (!Loci || Loci->Ty != Type::Array) {
+    diag(Severity::Error, "stop-site", Artifact::Symtab, Name,
+         Loci ? "/loci is not an array" : Loci.message());
+    return;
+  }
+  const Proc *P = nullptr;
+  if (auto It = ProcByName.find(Name); It != ProcByName.end())
+    P = &ProcTable[It->second];
+  else
+    diag(Severity::Error, "agreement", Artifact::LoaderTable, Name,
+         "procedure has debugging symbols but no loader-table entry");
+
+  int64_t PrevLine = 0;
+  std::set<int64_t> SeenOffsets;
+  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+    const Object &Locus = (*Loci->ArrVal)[K];
+    std::string Where = Name + " loci[" + std::to_string(K) + "]";
+    if (Locus.Ty != Type::Array || Locus.ArrVal->size() < 3) {
+      diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
+           "malformed stopping point: expected [line offset visible]");
+      continue;
+    }
+    const ArrayImpl &L = *Locus.ArrVal;
+    if (L[0].Ty != Type::Int || L[0].IntVal <= 0) {
+      diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
+           "stopping point has no positive source line");
+    } else {
+      // Loci are sorted by source line (code offsets may jump around
+      // loop back-edges), and each stopping point has its own no-op.
+      if (L[0].IntVal < PrevLine)
+        diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
+             "stopping points are not sorted by source line");
+      PrevLine = L[0].IntVal;
+    }
+    if (L[1].Ty != Type::Int || L[1].IntVal < 0) {
+      diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
+           "stopping point has no non-negative code offset");
+      continue;
+    }
+    if (!SeenOffsets.insert(L[1].IntVal).second)
+      diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
+           "two stopping points share one code offset");
+
+    if (Opt.CheckStops && P) {
+      ++R.StopsChecked;
+      uint32_t Addr = P->Addr + static_cast<uint32_t>(L[1].IntVal);
+      if (Addr < P->Addr || Addr >= P->End) {
+        diagAt(Severity::Error, "stop-site", Artifact::Symtab, Name, Addr,
+               "stopping point lies outside the procedure's code range [" +
+                   hex32(P->Addr) + ", " + hex32(P->End) + ")");
+      } else {
+        Expected<uint32_t> Word = textWord(Addr);
+        if (!Word)
+          diagAt(Severity::Error, "stop-site", Artifact::Image, Name, Addr,
+                 Word.message());
+        else if (*Word != C.Desc->nopWord())
+          diagAt(Severity::Error, "stop-site", Artifact::Image, Name, Addr,
+                 "stopping point does not hold the no-op word: found " +
+                     hex32(*Word) + ", expected " +
+                     hex32(C.Desc->nopWord()));
+      }
+    }
+
+    if (Opt.CheckScopes) {
+      Object Visible = L[2];
+      if (Error E = symtab::force(I, Visible)) {
+        diag(Severity::Error, "scope", Artifact::Symtab, Where,
+             E.message());
+        continue;
+      }
+      walkVisibleChain(Visible, Where, FrameSize);
+    }
+  }
+}
+
+bool Verifier::checkEntry(Object &Entry, const std::string &Context,
+                          int64_t FrameSize) {
+  if (Entry.Ty != Type::Dict) {
+    diag(Severity::Error, "scope", Artifact::Symtab, Context,
+         "symbol-table entry is not a dictionary");
+    return false;
+  }
+  if (!SeenEntries.insert(Entry.DictVal.get()).second)
+    return true; // already checked
+  ++R.EntriesWalked;
+
+  std::string Name = Context;
+  Expected<Object> NameV = symtab::field(I, Entry, "name");
+  if (!NameV || NameV->Ty != Type::String)
+    diag(Severity::Error, "scope", Artifact::Symtab, Context,
+         NameV ? "/name is not a string" : NameV.message());
+  else {
+    Name = NameV->text();
+    EntryNames.insert(Name);
+  }
+
+  for (const char *Key : {"sourcefile", "kind"}) {
+    Expected<Object> V = symtab::field(I, Entry, Key);
+    if (!V || V->Ty != Type::String)
+      diag(Severity::Error, "scope", Artifact::Symtab, Name,
+           V ? "/" + std::string(Key) + " is not a string" : V.message());
+  }
+  int64_t Y = 0, X = 0;
+  intField(Entry, "sourcey", Name, Y);
+  intField(Entry, "sourcex", Name, X);
+
+  Expected<Object> Kind = symtab::field(I, Entry, "kind");
+  bool IsProc = false;
+  if (Kind && Kind->Ty == Type::String) {
+    if (Kind->text() == "procedure")
+      IsProc = true;
+    else if (Kind->text() != "variable")
+      diag(Severity::Error, "scope", Artifact::Symtab, Name,
+           "unknown /kind (" + Kind->text() + ")");
+  }
+
+  if (Opt.CheckTypes) {
+    Expected<Object> Ty = symtab::field(I, Entry, "type");
+    if (!Ty)
+      diag(Severity::Error, "type", Artifact::Symtab, Name, Ty.message());
+    else
+      checkType(*Ty, Name);
+  }
+
+  if (Opt.CheckWhere && !IsProc)
+    checkWhere(Entry, Name, FrameSize);
+  return true;
+}
+
+void Verifier::walkVisibleChain(Object Head, const std::string &Context,
+                                int64_t FrameSize) {
+  // null ends a chain (a stopping point before any declaration).
+  std::set<const DictImpl *> OnChain;
+  Object Entry = Head;
+  int64_t PrevY = -1, PrevX = -1;
+  std::string PrevFile, PrevName;
+  while (Entry.Ty != Type::Null) {
+    if (Error E = symtab::force(I, Entry)) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Context,
+           "unresolved visible-chain link: " + E.message());
+      return;
+    }
+    if (Entry.Ty != Type::Dict) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Context,
+           "visible-chain link is not a symbol-table entry");
+      return;
+    }
+    if (!OnChain.insert(Entry.DictVal.get()).second) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Context,
+           "uplink cycle: the visible chain revisits an entry");
+      return;
+    }
+    if (!checkEntry(Entry, Context, FrameSize))
+      return;
+
+    // Scope nesting must match the source (Fig 2): each uplink target
+    // was declared at or before the symbol that links to it, so walking
+    // up the chain source positions never advance (within one file).
+    Expected<Object> File = symtab::field(I, Entry, "sourcefile");
+    Expected<Object> NameV = symtab::field(I, Entry, "name");
+    int64_t Y = 0, X = 0;
+    bool HaveYx = symtab::hasField(Entry, "sourcey") &&
+                  symtab::hasField(Entry, "sourcex");
+    if (HaveYx) {
+      Expected<Object> YV = symtab::field(I, Entry, "sourcey");
+      Expected<Object> XV = symtab::field(I, Entry, "sourcex");
+      if (YV && XV && YV->Ty == Type::Int && XV->Ty == Type::Int) {
+        Y = YV->IntVal;
+        X = XV->IntVal;
+      } else {
+        HaveYx = false;
+      }
+    }
+    std::string FileText =
+        File && File->Ty == Type::String ? File->text() : std::string();
+    if (HaveYx && PrevY >= 0 && FileText == PrevFile &&
+        (Y > PrevY || (Y == PrevY && X > PrevX)))
+      diag(Severity::Error, "scope", Artifact::Symtab,
+           NameV && NameV->Ty == Type::String ? NameV->text() : Context,
+           "scope nesting does not match the source: declared at line " +
+               std::to_string(Y) + " but linked below " + PrevName +
+               " (line " + std::to_string(PrevY) + ")");
+    if (HaveYx) {
+      PrevY = Y;
+      PrevX = X;
+      PrevFile = FileText;
+      PrevName = NameV && NameV->Ty == Type::String ? NameV->text()
+                                                    : std::string("?");
+    }
+
+    if (!symtab::hasField(Entry, "uplink"))
+      return;
+    Expected<Object> Up = symtab::field(I, Entry, "uplink");
+    if (!Up) {
+      diag(Severity::Error, "scope", Artifact::Symtab, Context,
+           "unresolved uplink: " + Up.message());
+      return;
+    }
+    Entry = *Up;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Family 3: /where well-formedness
+//===----------------------------------------------------------------------===//
+
+void Verifier::checkWhere(Object &Entry, const std::string &Name,
+                          int64_t FrameSize) {
+  if (!symtab::hasField(Entry, "where"))
+    return; // procedures and abstract entries carry no /where
+  Expected<mem::Location> Loc = symtab::whereOf(I, Entry);
+  if (!Loc) {
+    diag(Severity::Error, "where", Artifact::Symtab, Name, Loc.message());
+    return;
+  }
+  const target::TargetDesc &D = *C.Desc;
+  if (Loc->Mode == mem::AddrMode::Immediate)
+    return;
+  switch (Loc->Space) {
+  case mem::SpGpr:
+    if (Loc->Offset < 0 ||
+        Loc->Offset >= static_cast<int64_t>(D.NumGpr))
+      diag(Severity::Error, "where", Artifact::Symtab, Name,
+           "register number " + std::to_string(Loc->Offset) +
+               " out of range: " + D.Name + " has " +
+               std::to_string(D.NumGpr) + " general registers");
+    break;
+  case mem::SpFpr:
+    if (Loc->Offset < 0 ||
+        Loc->Offset >= static_cast<int64_t>(D.NumFpr))
+      diag(Severity::Error, "where", Artifact::Symtab, Name,
+           "floating register number " + std::to_string(Loc->Offset) +
+               " out of range: " + D.Name + " has " +
+               std::to_string(D.NumFpr) + " floating registers");
+    break;
+  case mem::SpLocal: {
+    // Locals live below the virtual frame pointer; allow headroom for
+    // argument-build areas but reject anything that cannot be inside
+    // this procedure's frame.
+    int64_t Lo = FrameSize >= 0 ? -(FrameSize + 4096) : -(1 << 16);
+    int64_t Hi = 4096;
+    if (Loc->Offset < Lo || Loc->Offset > Hi)
+      diag(Severity::Error, "where", Artifact::Symtab, Name,
+           "frame offset " + std::to_string(Loc->Offset) +
+               " cannot lie within the procedure's frame (size " +
+               std::to_string(FrameSize) + ")");
+    break;
+  }
+  case mem::SpData: {
+    uint32_t Addr = static_cast<uint32_t>(Loc->Offset);
+    if (Loc->Offset < 0 || Addr < C.Img.DataBase ||
+        Addr >= C.Img.DataBase + C.Img.Data.size())
+      diagAt(Severity::Error, "where", Artifact::Symtab, Name, Addr,
+             "resolved data address lies outside the data segment");
+    else
+      GlobalAddrs[Name] = Addr;
+    break;
+  }
+  case mem::SpCode:
+    break;
+  default:
+    diag(Severity::Error, "where", Artifact::Symtab, Name,
+         "location in unknown space: " + Loc->str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Family 4: type dictionaries
+//===----------------------------------------------------------------------===//
+
+void Verifier::checkPrinterBody(const Object &Proc, const std::string &Sym) {
+  for (const Object &El : *Proc.ArrVal) {
+    if (El.Ty == Type::Array && El.Exec)
+      checkPrinterBody(El, Sym);
+    else if (El.Ty == Type::Name && El.Exec) {
+      Object Bound;
+      if (!I.lookup(El.text(), Bound))
+        diag(Severity::Error, "type", Artifact::Symtab, Sym,
+             "/printer references undefined name " + El.text());
+    }
+  }
+}
+
+void Verifier::checkType(Object Ty, const std::string &Sym) {
+  if (Ty.Ty != Type::Dict) {
+    diag(Severity::Error, "type", Artifact::Symtab, Sym,
+         "/type is not a dictionary");
+    return;
+  }
+  // Types are hash-consed by the emitter; check each shared dictionary
+  // once.
+  if (!SeenTypes.insert(Ty.DictVal.get()).second)
+    return;
+
+  Expected<Object> Decl = symtab::field(I, Ty, "decl");
+  if (!Decl || Decl->Ty != Type::String)
+    diag(Severity::Error, "type", Artifact::Symtab, Sym,
+         Decl ? "type has no /decl string" : Decl.message());
+  std::string TyName =
+      Decl && Decl->Ty == Type::String ? Sym + " (" + Decl->text() + ")"
+                                       : Sym;
+
+  int64_t Size = -1;
+  Expected<Object> SizeV = symtab::field(I, Ty, "size");
+  if (!SizeV || SizeV->Ty != Type::Int)
+    diag(Severity::Error, "type", Artifact::Symtab, TyName,
+         SizeV ? "type has no integer /size" : SizeV.message());
+  else if ((Size = SizeV->IntVal) < 0 || Size > (1 << 24))
+    diag(Severity::Error, "type", Artifact::Symtab, TyName,
+         "implausible type size " + std::to_string(Size));
+
+  Expected<Object> Printer = symtab::field(I, Ty, "printer");
+  if (!Printer)
+    diag(Severity::Error, "type", Artifact::Symtab, TyName,
+         Printer.message());
+  else if (Printer->Ty == Type::Array && Printer->Exec)
+    checkPrinterBody(*Printer, TyName);
+  else if (!(Printer->Ty == Type::Name && Printer->Exec) &&
+           Printer->Ty != Type::Operator)
+    diag(Severity::Error, "type", Artifact::Symtab, TyName,
+         "/printer is not a procedure");
+
+  if (symtab::hasField(Ty, "&pointee")) {
+    Expected<Object> Pointee = symtab::field(I, Ty, "&pointee");
+    if (Pointee)
+      checkType(*Pointee, Sym);
+    if (Size >= 0 && Size != 4)
+      diag(Severity::Error, "type", Artifact::Symtab, TyName,
+           "pointer type has size " + std::to_string(Size));
+  }
+
+  if (symtab::hasField(Ty, "&elemtype") ||
+      symtab::hasField(Ty, "&elemsize")) {
+    int64_t ElemSize = 0, ArraySize = 0;
+    if (intField(Ty, "&elemsize", TyName, ElemSize)) {
+      if (ElemSize <= 0)
+        diag(Severity::Error, "type", Artifact::Symtab, TyName,
+             "array element size " + std::to_string(ElemSize) +
+                 " is not positive");
+      else if (Size >= 0 && Size % ElemSize != 0)
+        diag(Severity::Error, "type", Artifact::Symtab, TyName,
+             "array size " + std::to_string(Size) +
+                 " is not a multiple of the element size " +
+                 std::to_string(ElemSize));
+    }
+    if (intField(Ty, "&arraysize", TyName, ArraySize) && Size >= 0 &&
+        ArraySize != Size)
+      diag(Severity::Error, "type", Artifact::Symtab, TyName,
+           "/&arraysize " + std::to_string(ArraySize) +
+               " disagrees with /size " + std::to_string(Size));
+    if (symtab::hasField(Ty, "&elemtype")) {
+      Expected<Object> Elem = symtab::field(I, Ty, "&elemtype");
+      if (Elem)
+        checkType(*Elem, Sym);
+    }
+  }
+
+  if (symtab::hasField(Ty, "&fields")) {
+    Expected<Object> Fields = symtab::field(I, Ty, "&fields");
+    if (!Fields || Fields->Ty != Type::Array) {
+      diag(Severity::Error, "type", Artifact::Symtab, TyName,
+           Fields ? "/&fields is not an array" : Fields.message());
+      return;
+    }
+    int64_t PrevOffset = -1;
+    for (const Object &F : *Fields->ArrVal) {
+      if (F.Ty != Type::Dict) {
+        diag(Severity::Error, "type", Artifact::Symtab, TyName,
+             "struct field is not a dictionary");
+        continue;
+      }
+      Expected<Object> FName = symtab::field(I, F, "name");
+      std::string FieldName =
+          FName && FName->Ty == Type::String ? TyName + "." + FName->text()
+                                             : TyName;
+      int64_t Offset = -1, FieldSize = -1;
+      if (intField(F, "offset", FieldName, Offset) && Offset < 0)
+        diag(Severity::Error, "type", Artifact::Symtab, FieldName,
+             "negative field offset " + std::to_string(Offset));
+      if (Offset >= 0 && Offset < PrevOffset)
+        diag(Severity::Error, "type", Artifact::Symtab, FieldName,
+             "field offsets are not non-decreasing");
+      PrevOffset = std::max(PrevOffset, Offset);
+      Expected<Object> FTy = symtab::field(I, F, "type");
+      if (!FTy) {
+        diag(Severity::Error, "type", Artifact::Symtab, FieldName,
+             FTy.message());
+        continue;
+      }
+      checkType(*FTy, FieldName);
+      if (FTy->Ty == Type::Dict && symtab::hasField(*FTy, "size")) {
+        Expected<Object> FSize = symtab::field(I, *FTy, "size");
+        if (FSize && FSize->Ty == Type::Int)
+          FieldSize = FSize->IntVal;
+      }
+      if (Size >= 0 && Offset >= 0 && FieldSize >= 0 &&
+          Offset + FieldSize > Size)
+        diag(Severity::Error, "type", Artifact::Symtab, FieldName,
+             "field at offset " + std::to_string(Offset) + " of size " +
+                 std::to_string(FieldSize) +
+                 " overruns the struct size " + std::to_string(Size));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Family 5: cross-artifact agreement
+//===----------------------------------------------------------------------===//
+
+void Verifier::checkAgreement() {
+  const lcc::Image &Img = C.Img;
+  std::map<std::string, uint32_t> ImageText, ImageData;
+  for (const lcc::ImageSymbol &S : Img.Symbols)
+    (S.Kind == 'T' ? ImageText : ImageData)[S.Name] = S.Addr;
+
+  // Loader table vs image: the proctable is generated from the image, so
+  // every entry must name a text symbol at the same address, and every
+  // linked procedure must appear.
+  uint32_t TextEnd = Img.TextBase + static_cast<uint32_t>(Img.Text.size());
+  for (const Proc &P : ProcTable) {
+    if (P.Addr < Img.TextBase || P.Addr >= TextEnd)
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, P.Name,
+             P.Addr, "proctable entry lies outside the text segment");
+    auto It = ImageText.find(P.Name);
+    if (It == ImageText.end())
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, P.Name,
+             P.Addr, "proctable names a procedure the image does not");
+    else if (It->second != P.Addr)
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, P.Name,
+             P.Addr,
+             "proctable address disagrees with the image symbol at " +
+                 hex32(It->second));
+  }
+  for (const lcc::ProcInfo &P : Img.Procs)
+    if (!ProcByName.count(P.Name))
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, P.Name,
+             P.CodeOffset,
+             "linked procedure is missing from the proctable");
+
+  // Anchor symbols: the symtab's anchors and the loader table's anchor
+  // map must match exactly, and each anchor must be a data symbol the
+  // image defines (paper Sec 2's "symbol table matches the object code"
+  // check, strengthened to both directions).
+  std::set<std::string> SymtabAnchors;
+  Expected<Object> Top = symtab::topLevel(I);
+  if (Top) {
+    Expected<Object> Anchors = symtab::field(I, *Top, "anchors");
+    if (!Anchors || Anchors->Ty != Type::Array)
+      diag(Severity::Error, "agreement", Artifact::Symtab, "",
+           Anchors ? "top-level /anchors is not an array"
+                   : Anchors.message());
+    else
+      for (const Object &A : *Anchors->ArrVal)
+        if (A.Ty == Type::Name || A.Ty == Type::String)
+          SymtabAnchors.insert(A.text());
+  }
+  Object LT;
+  std::map<std::string, uint32_t> AnchorMap;
+  if (I.lookup("loadertable", LT) && LT.Ty == Type::Dict) {
+    auto It = LT.DictVal->Entries.find("anchormap");
+    if (It != LT.DictVal->Entries.end() && It->second.Ty == Type::Dict)
+      for (const auto &KV : It->second.DictVal->Entries)
+        AnchorMap[KV.first] = static_cast<uint32_t>(KV.second.IntVal);
+  }
+  for (const std::string &A : SymtabAnchors)
+    if (!AnchorMap.count(A))
+      diag(Severity::Error, "agreement", Artifact::LoaderTable, A,
+           "anchor symbol is dangling: named by the symbol table but "
+           "missing from the loader table");
+  for (const auto &[Name, Addr] : AnchorMap) {
+    if (!SymtabAnchors.count(Name))
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, Name,
+             Addr, "loader table lists an anchor no symbol table names");
+    if (Addr < Img.DataBase || Addr >= Img.DataBase + Img.Data.size())
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, Name,
+             Addr, "anchor address lies outside the data segment");
+    auto It = ImageData.find(Name);
+    if (It == ImageData.end())
+      diag(Severity::Error, "agreement", Artifact::LoaderTable, Name,
+           "anchor names a data symbol the image does not define");
+    else if (It->second != Addr)
+      diagAt(Severity::Error, "agreement", Artifact::LoaderTable, Name,
+             Addr, "anchor address disagrees with the image symbol at " +
+                       hex32(It->second));
+  }
+
+  // Symtab procedures must be loadable: every /kind (procedure) entry
+  // needs a proctable address (the reverse — proctable entries like
+  // _start without debugging symbols — is legitimate).
+  for (const std::string &Name : SymtabProcNames)
+    if (!ProcByName.count(Name))
+      diag(Severity::Error, "agreement", Artifact::Symtab, Name,
+           "procedure entry has no loader-table address");
+
+  // Globals the symbol table located (via LazyData) must agree with the
+  // image's data symbols when the image exports them by name.
+  for (const auto &[Name, Addr] : GlobalAddrs) {
+    auto It = ImageData.find(Name);
+    if (It != ImageData.end() && It->second != Addr)
+      diagAt(Severity::Error, "agreement", Artifact::Symtab, Name, Addr,
+             "symbol table resolves the global to " + hex32(Addr) +
+                 " but the image defines it at " + hex32(It->second));
+  }
+
+  // Stabs: the baseline must agree with the PostScript view on names.
+  Expected<std::vector<lcc::Stab>> Stabs = lcc::readAllStabs(C.Stabs);
+  if (!Stabs) {
+    diag(Severity::Error, "agreement", Artifact::Stabs, "",
+         Stabs.message());
+    return;
+  }
+  std::set<std::string> StabProcs;
+  const target::TargetDesc &D = *C.Desc;
+  for (const lcc::Stab &S : *Stabs) {
+    if (S.Kind == 1) {
+      StabProcs.insert(S.Name);
+      if (!ProcByName.count(S.Name))
+        diag(Severity::Error, "agreement", Artifact::Stabs, S.Name,
+             "stab procedure is missing from the loader table");
+    } else if (S.LocKind == 2) {
+      if (!EntryNames.count(S.Name))
+        diag(Severity::Error, "agreement", Artifact::Stabs, S.Name,
+             "stab global has no PostScript symbol-table entry");
+      if (S.Value < 0)
+        diag(Severity::Error, "agreement", Artifact::Stabs, S.Name,
+             "negative anchor index " + std::to_string(S.Value));
+    } else if (S.LocKind == 1) {
+      int64_t MaxReg = std::max(D.NumGpr, D.NumFpr);
+      if (S.Value < 0 || S.Value >= MaxReg)
+        diag(Severity::Error, "agreement", Artifact::Stabs, S.Name,
+             "stab register number " + std::to_string(S.Value) +
+                 " out of range for " + D.Name);
+    }
+  }
+  for (const std::string &Name : SymtabProcNames)
+    if (!StabProcs.count(Name))
+      diag(Severity::Error, "agreement", Artifact::Stabs, Name,
+           "procedure has PostScript symbols but no stab");
+  for (const std::string &Name : StabProcs)
+    if (!SymtabProcNames.count(Name))
+      diag(Severity::Error, "agreement", Artifact::Stabs, Name,
+           "stab procedure has no PostScript symbol-table entry");
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+Report Verifier::run() {
+  Arch = core::architectureByName(C.Desc->Name);
+  if (setup()) {
+    loadProcTable();
+    walkSymtab();
+    if (Opt.CheckAgreement)
+      checkAgreement();
+  }
+  return std::move(R);
+}
+
+} // namespace
+
+Expected<Report> ldb::verify::verifyCompilation(const lcc::Compilation &C,
+                                                const Options &Opt) {
+  if (!C.Desc)
+    return Error::failure("compilation has no target description");
+  if (!core::architectureByName(C.Desc->Name))
+    return Error::failure("no registered architecture named " +
+                          C.Desc->Name);
+  Verifier V(C, Opt);
+  return V.run();
+}

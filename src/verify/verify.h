@@ -1,0 +1,105 @@
+//===- verify/verify.h - static debug-info verifier -------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static verifier for the four debugging artifacts the compiler
+/// pipeline emits independently: the linked image with its planted
+/// stopping-point no-ops (paper Sec 3), the PostScript symbol table (Sec
+/// 2), the nm-emitted loader table (Sec 3), and the stabs baseline (Sec
+/// 7). Nothing else cross-checks these against each other except whatever
+/// a live debug session happens to touch; the verifier walks all of them
+/// — without running the simulator — and reports structured diagnostics
+/// for every inconsistency it can prove from the artifacts alone.
+///
+/// Check families (see DESIGN.md "The static verifier"):
+///   stop-site  every stopping point holds the target's no-op word and
+///              lies inside its procedure's code range;
+///   scope      the uplink tree is acyclic, every visible-chain link
+///              resolves, and nesting matches source order (Fig 2);
+///   where      every /where evaluates to a well-formed mem::Location
+///              with register numbers and frame offsets in range;
+///   type       type dictionaries are well-formed and /printer
+///              procedures are syntactically valid PostScript;
+///   agreement  loader table, symtab externs, image symbols, and stabs
+///              agree on the name -> address map, with no dangling
+///              anchor symbols;
+///   md-lint    (verify/mdlint.h) target-specific identifiers appear
+///              only in the tagged machine-dependent files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_VERIFY_H
+#define LDB_VERIFY_VERIFY_H
+
+#include "lcc/driver.h"
+
+#include <string>
+#include <vector>
+
+namespace ldb::verify {
+
+enum class Severity : uint8_t { Error, Warning };
+
+/// Which emitted artifact a diagnostic is about.
+enum class Artifact : uint8_t {
+  Image,       ///< the linked executable image
+  Symtab,      ///< the PostScript symbol table
+  LoaderTable, ///< the nm-style loader table
+  Stabs,       ///< the binary stabs baseline
+  Source,      ///< the debugger's own source tree (md-lint)
+};
+
+const char *artifactName(Artifact A);
+
+/// One structured finding: severity, check family, artifact, and — when
+/// known — the symbol and object-code address involved.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string Check;   ///< check family, e.g. "stop-site"
+  Artifact Art = Artifact::Symtab;
+  std::string Symbol;  ///< offending symbol or dictionary key, may be empty
+  uint32_t Addr = 0;   ///< object-code address, valid when HasAddr
+  bool HasAddr = false;
+  std::string Message;
+
+  /// Renders "error: [stop-site] symtab: main @ 0x00001010: ..." style.
+  std::string str() const;
+};
+
+struct Report {
+  std::vector<Diagnostic> Diags;
+  unsigned EntriesWalked = 0; ///< symbol-table entries forced and checked
+  unsigned StopsChecked = 0;  ///< stopping points validated against the image
+
+  unsigned errors() const;
+  unsigned warnings() const;
+  bool clean() const { return Diags.empty(); }
+
+  /// All diagnostics, one per line.
+  std::string str() const;
+};
+
+struct Options {
+  bool CheckStops = true;
+  bool CheckScopes = true;
+  bool CheckWhere = true;
+  bool CheckTypes = true;
+  bool CheckAgreement = true;
+};
+
+/// Statically verifies one compiled-and-linked program: interprets its
+/// PostScript symbol table and loader table in a no-target "static scope"
+/// (LazyData resolves against the loader table and the image's data
+/// segment instead of a live process), forces every deferred entry, and
+/// runs the check families enabled in \p Opt. Returns an Error only when
+/// the artifacts cannot be analyzed at all (e.g. unknown architecture);
+/// malformed-but-analyzable artifacts produce diagnostics instead.
+Expected<Report> verifyCompilation(const lcc::Compilation &C,
+                                   const Options &Opt = Options());
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_VERIFY_H

@@ -1,0 +1,45 @@
+//===- tests/target/disasm_test.cpp - disassembly ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/disasm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::target;
+
+namespace {
+
+TEST(Disasm, RendersCommonShapes) {
+  const TargetDesc &D = *targetByName("zmips");
+  EXPECT_EQ(disassemble(D, D.nopWord()), "nop");
+  EXPECT_EQ(disassemble(D, D.breakWord()), "break");
+  EXPECT_EQ(disassemble(D, D.Enc.encode(Instr::r(Op::Add, 3, 1, 2))),
+            "add r3, r1, r2");
+  EXPECT_EQ(disassemble(D, D.Enc.encode(Instr::i(Op::AddI, 4, 0, -4))),
+            "addi r4, r0, -4");
+  EXPECT_EQ(disassemble(D, D.Enc.encode(Instr::i(Op::Lw, 2, 29, 8))),
+            "lw r2, 8(r29)");
+  EXPECT_EQ(disassemble(D, D.Enc.encode(Instr::r(Op::FAdd, 1, 2, 3))),
+            "fadd f1, f2, f3");
+  EXPECT_EQ(disassemble(D, D.Enc.encode(Instr::j(Op::Jal, 0x1000 / 4))),
+            "jal 0x1000");
+}
+
+TEST(Disasm, UndecodableWordsRenderRaw) {
+  for (const TargetDesc *D : allTargets())
+    EXPECT_EQ(disassemble(*D, 0), ".word 0x00000000") << D->Name;
+}
+
+TEST(Disasm, EveryTargetRendersItsOwnEncoding) {
+  Instr Probe = Instr::i(Op::AddI, 4, 2, 42);
+  for (const TargetDesc *D : allTargets()) {
+    EXPECT_EQ(disassemble(*D, D->Enc.encode(Probe)), "addi r4, r2, 42")
+        << D->Name;
+  }
+}
+
+} // namespace

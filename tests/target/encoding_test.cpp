@@ -1,0 +1,154 @@
+//===- tests/target/encoding_test.cpp - instruction encodings --------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/targetdesc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ldb;
+using namespace ldb::target;
+
+namespace {
+
+class EncodingTest : public ::testing::TestWithParam<const TargetDesc *> {};
+
+std::vector<Instr> sampleInstrs(const TargetDesc &Desc) {
+  std::vector<Instr> Out = {
+      Instr::nop(),
+      Instr::brk(),
+      Instr::r(Op::Add, 3, 1, 2),
+      Instr::r(Op::Sub, 1, 0, 1),
+      Instr::r(Op::Sltu, 5, 0, 5),
+      Instr::r(Op::FAdd, 2, 3, 4),
+      Instr::r(Op::Jalr, 0, Desc.RaReg, 0),
+      Instr::i(Op::AddI, 4, 0, -32768),
+      Instr::i(Op::AddI, 4, 0, 32767),
+      Instr::i(Op::OrI, 4, 4, 0xffff),
+      Instr::i(Op::XorI, 7, 7, 1),
+      Instr::i(Op::Lui, 6, 0, 0xffff),
+      Instr::i(Op::Lw, 3, Desc.SpReg, -64),
+      Instr::i(Op::Sw, 3, Desc.SpReg, 124),
+      Instr::i(Op::Lb, 1, 2, 0),
+      Instr::i(Op::Fs8, 2, Desc.SpReg, 8),
+      Instr::i(Op::Beq, 3, 0, -5),
+      Instr::i(Op::Bne, 3, 1, 17),
+      Instr::i(Op::Sys, 0, Desc.RvReg,
+               static_cast<int32_t>(Syscall::Exit)),
+      Instr::j(Op::J, 0x1000 / 4),
+      Instr::j(Op::Jal, (1 << 26) - 1),
+  };
+  return Out;
+}
+
+bool sameInstr(const Instr &A, const Instr &B) {
+  if (A.Opc != B.Opc || A.Imm != B.Imm)
+    return false;
+  switch (opFormat(A.Opc)) {
+  case OpFormat::N:
+  case OpFormat::J:
+    return true;
+  case OpFormat::R:
+    return A.Rd == B.Rd && A.Ra == B.Ra && A.Rb == B.Rb;
+  case OpFormat::I:
+    return A.Rd == B.Rd && A.Ra == B.Ra;
+  }
+  return false;
+}
+
+TEST_P(EncodingTest, RoundTrips) {
+  const TargetDesc &Desc = *GetParam();
+  for (const Instr &In : sampleInstrs(Desc)) {
+    uint32_t Word = Desc.Enc.encode(In);
+    Instr Back;
+    ASSERT_TRUE(Desc.Enc.decode(Word, Back))
+        << Desc.Name << " " << opName(In.Opc);
+    EXPECT_TRUE(sameInstr(In, Back)) << Desc.Name << " " << opName(In.Opc);
+    // Re-encoding the decoded form gives the same word (the linker
+    // depends on this when patching relocations).
+    EXPECT_EQ(Desc.Enc.encode(Back), Word) << opName(In.Opc);
+  }
+}
+
+TEST_P(EncodingTest, NopAndBreakAreDistinctAndDecodable) {
+  const TargetDesc &Desc = *GetParam();
+  EXPECT_NE(Desc.nopWord(), Desc.breakWord());
+  Instr In;
+  ASSERT_TRUE(Desc.Enc.decode(Desc.nopWord(), In));
+  EXPECT_EQ(In.Opc, Op::Nop);
+  ASSERT_TRUE(Desc.Enc.decode(Desc.breakWord(), In));
+  EXPECT_EQ(In.Opc, Op::Break);
+}
+
+TEST_P(EncodingTest, ZeroWordIsIllegal) {
+  Instr In;
+  EXPECT_FALSE(GetParam()->Enc.decode(0, In));
+}
+
+TEST_P(EncodingTest, ImmediateExtension) {
+  const TargetDesc &Desc = *GetParam();
+  Instr In;
+  // Arithmetic immediates sign-extend...
+  ASSERT_TRUE(
+      Desc.Enc.decode(Desc.Enc.encode(Instr::i(Op::AddI, 1, 0, -1)), In));
+  EXPECT_EQ(In.Imm, -1);
+  // ...logical ones and Lui keep raw 16-bit values (the linker stores
+  // Lo16/Hi16 relocation results up to 0xffff).
+  ASSERT_TRUE(
+      Desc.Enc.decode(Desc.Enc.encode(Instr::i(Op::OrI, 1, 1, 0xffff)), In));
+  EXPECT_EQ(In.Imm, 0xffff);
+  ASSERT_TRUE(
+      Desc.Enc.decode(Desc.Enc.encode(Instr::i(Op::Lui, 1, 0, 0xffff)), In));
+  EXPECT_EQ(In.Imm, 0xffff);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, EncodingTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+TEST(Encodings, TargetsDisagree) {
+  // The whole point of four ports: no two targets share an encoding, so
+  // nothing machine-independent can assume one (paper Sec 6).
+  std::set<uint32_t> Nops, Breaks;
+  for (const TargetDesc *D : allTargets()) {
+    Nops.insert(D->nopWord());
+    Breaks.insert(D->breakWord());
+  }
+  EXPECT_EQ(Nops.size(), allTargets().size());
+  EXPECT_EQ(Breaks.size(), allTargets().size());
+
+  Instr Probe = Instr::i(Op::AddI, 4, 2, 42);
+  std::set<uint32_t> Words;
+  for (const TargetDesc *D : allTargets())
+    Words.insert(D->Enc.encode(Probe));
+  EXPECT_EQ(Words.size(), allTargets().size());
+}
+
+TEST(Registry, ByNameAndConventions) {
+  EXPECT_EQ(allTargets().size(), 4u);
+  for (const TargetDesc *D : allTargets()) {
+    EXPECT_EQ(targetByName(D->Name), D);
+    // gpr 0 is the hardwired zero everywhere; conventions must avoid it.
+    EXPECT_NE(D->RvReg, 0u);
+    EXPECT_NE(D->SpReg, 0u);
+    EXPECT_NE(D->RaReg, 0u);
+    EXPECT_GT(D->FirstArgReg, 0u);
+    EXPECT_LE(D->FirstArgReg + D->NumArgRegs, D->NumGpr);
+    EXPECT_LE(D->FirstCalleeSaved + D->NumCalleeSaved, D->NumGpr);
+    if (D->HasFramePointer) {
+      EXPECT_GE(D->FpReg, 0);
+      EXPECT_LT(static_cast<unsigned>(D->FpReg), D->NumGpr);
+    }
+  }
+  EXPECT_EQ(targetByName("zmips")->LoadDelaySlots, 1u);
+  EXPECT_EQ(targetByName("z68k")->HasF80, true);
+  EXPECT_EQ(targetByName("zvax")->Order, ByteOrder::Little);
+  EXPECT_EQ(targetByName("zsparc")->Order, ByteOrder::Big);
+  EXPECT_EQ(targetByName("nosuch"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/target/machine_test.cpp - the simulator -----------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::target;
+
+namespace {
+
+constexpr uint32_t Base = 0x1000;
+
+class MachineTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  /// Loads \p Program at Base and positions the pc there.
+  Machine load(const std::vector<Instr> &Program) {
+    const TargetDesc &Desc = *GetParam();
+    Machine M(Desc);
+    uint32_t Addr = Base;
+    for (const Instr &In : Program) {
+      EXPECT_TRUE(M.storeInt(Addr, 4, Desc.Enc.encode(In)));
+      Addr += 4;
+    }
+    M.Pc = Base;
+    M.setGpr(Desc.SpReg, M.memSize() - 4096);
+    return M;
+  }
+};
+
+TEST_P(MachineTest, ArithmeticAndExit) {
+  const TargetDesc &D = *GetParam();
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 5),
+      Instr::i(Op::AddI, 2, 0, 7),
+      Instr::r(Op::Add, 3, 1, 2),
+      Instr::r(Op::Mul, 3, 3, 2),
+      Instr::i(Op::AddI, D.FirstArgReg, 3, -4),
+      Instr::i(Op::Sys, 0, D.FirstArgReg,
+               static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 80u); // (5+7)*7 - 4
+}
+
+TEST_P(MachineTest, GprZeroIsHardwired) {
+  Machine M = load({
+      Instr::i(Op::AddI, 0, 0, 99),
+      Instr::i(Op::Sys, 0, 0, static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R = M.run(10);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 0u);
+}
+
+TEST_P(MachineTest, ByteOrderOfMemory) {
+  const TargetDesc &D = *GetParam();
+  Machine M(D);
+  ASSERT_TRUE(M.storeInt(0x2000, 4, 0x11223344));
+  uint32_t Half = 0;
+  ASSERT_TRUE(M.loadInt(0x2000, 2, Half));
+  EXPECT_EQ(Half, D.isBigEndian() ? 0x1122u : 0x3344u);
+  uint8_t Raw[4];
+  ASSERT_TRUE(M.readBytes(0x2000, 4, Raw));
+  EXPECT_EQ(Raw[0], D.isBigEndian() ? 0x11 : 0x44);
+}
+
+TEST_P(MachineTest, BranchesAndLoops) {
+  const TargetDesc &D = *GetParam();
+  // Sum 1..5 with a countdown loop.
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 5),
+      Instr::i(Op::AddI, 2, 0, 0),
+      // loop:
+      Instr::r(Op::Add, 2, 2, 1),
+      Instr::i(Op::AddI, 1, 1, -1),
+      Instr::i(Op::Bne, 1, 0, -3), // back to loop
+      Instr::i(Op::Sys, 0, 2, static_cast<int32_t>(Syscall::Exit)),
+  });
+  (void)D;
+  RunResult R = M.run(1000);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 15u);
+}
+
+TEST_P(MachineTest, LoadStoreSignedness) {
+  const TargetDesc &D = *GetParam();
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, -2),
+      Instr::i(Op::Sb, 1, D.SpReg, 0),
+      Instr::i(Op::Lb, 2, D.SpReg, 0),
+      Instr::nop(),
+      Instr::i(Op::Sys, 0, 2, static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(static_cast<int32_t>(R.Value), -2); // Lb sign-extends
+}
+
+TEST_P(MachineTest, BreakpointStopsAtBreak) {
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 1),
+      Instr::brk(),
+      Instr::i(Op::AddI, 1, 1, 1),
+      Instr::i(Op::Sys, 0, 1, static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Breakpoint);
+  EXPECT_EQ(M.Pc, Base + 4); // pc rests on the break word
+  // The debugger resumes by advancing the pc past the planted no-op.
+  M.Pc += 4;
+  R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 2u);
+}
+
+TEST_P(MachineTest, FaultsAndBudget) {
+  const TargetDesc &D = *GetParam();
+  // Division by zero.
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 3),
+      Instr::r(Op::Div, 1, 1, 0),
+  });
+  EXPECT_EQ(M.run(10).Kind, StopKind::DivFault);
+
+  // Memory fault: load far past the end of memory.
+  Machine M2 = load({
+      Instr::i(Op::Lui, 1, 0, 0xfff0),
+      Instr::i(Op::Lw, 2, 1, 0),
+  });
+  RunResult R2 = M2.run(10);
+  EXPECT_EQ(R2.Kind, StopKind::MemFault);
+  EXPECT_EQ(R2.Value, 0xfff00000u);
+
+  // Illegal instruction: the all-zero word never decodes.
+  Machine M3(D);
+  M3.Pc = 0x3000;
+  EXPECT_EQ(M3.run(10).Kind, StopKind::IllegalInstr);
+
+  // Budget exhaustion is resumable.
+  Machine M4 = load({Instr::j(Op::J, Base / 4)});
+  EXPECT_EQ(M4.run(100).Kind, StopKind::Running);
+  EXPECT_EQ(M4.run(100).Kind, StopKind::Running);
+}
+
+TEST_P(MachineTest, CallAndReturn) {
+  const TargetDesc &D = *GetParam();
+  // _start: jal f; exit(rv).  f: rv = 41 + 1; jalr back.
+  Machine M = load({
+      Instr::j(Op::Jal, (Base + 12) / 4),
+      Instr::i(Op::Sys, 0, D.RvReg, static_cast<int32_t>(Syscall::Exit)),
+      Instr::nop(),
+      // f:
+      Instr::i(Op::AddI, D.RvReg, 0, 41),
+      Instr::i(Op::AddI, D.RvReg, D.RvReg, 1),
+      Instr::r(Op::Jalr, 0, D.RaReg, 0),
+  });
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 42u);
+}
+
+TEST_P(MachineTest, FloatsAndConsole) {
+  const TargetDesc &D = *GetParam();
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 5),
+      Instr::r(Op::CvtIF, 2, 1, 0),
+      Instr::i(Op::AddI, 1, 0, 2),
+      Instr::r(Op::CvtIF, 3, 1, 0),
+      Instr::r(Op::FDiv, 2, 2, 3), // 2.5
+      Instr::i(Op::Sys, 0, 2, static_cast<int32_t>(Syscall::PutFloat)),
+      Instr::i(Op::AddI, 1, 0, 10),
+      Instr::i(Op::Sys, 0, 1, static_cast<int32_t>(Syscall::PutChar)),
+      Instr::i(Op::AddI, 1, 0, -7),
+      Instr::i(Op::Sys, 0, 1, static_cast<int32_t>(Syscall::PutInt)),
+      Instr::i(Op::Sys, 0, 0, static_cast<int32_t>(Syscall::Exit)),
+  });
+  (void)D;
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(M.ConsoleOut, "2.5\n-7");
+}
+
+TEST_P(MachineTest, FloatMemoryRoundTrip) {
+  const TargetDesc &D = *GetParam();
+  std::vector<Instr> Prog = {
+      Instr::i(Op::AddI, 1, 0, 7),
+      Instr::r(Op::CvtIF, 2, 1, 0),
+      Instr::i(Op::AddI, 1, 0, 2),
+      Instr::r(Op::CvtIF, 3, 1, 0),
+      Instr::r(Op::FDiv, 2, 2, 3), // 3.5
+      Instr::i(Op::Fs8, 2, D.SpReg, 16),
+      Instr::i(Op::Fl8, 4, D.SpReg, 16),
+      Instr::r(Op::CvtFI, 1, 4, 0), // truncates to 3
+      Instr::nop(),
+      Instr::i(Op::Sys, 0, 1, static_cast<int32_t>(Syscall::Exit)),
+  };
+  Machine M = load(Prog);
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(R.Value, 3u);
+}
+
+TEST_P(MachineTest, DelaySlotHazard) {
+  const TargetDesc &D = *GetParam();
+  Machine M = load({
+      Instr::i(Op::AddI, 1, 0, 11),
+      Instr::i(Op::Sw, 1, D.SpReg, 0),
+      Instr::i(Op::Lw, 2, D.SpReg, 0),
+      Instr::i(Op::AddI, 3, 2, 0), // reads r2 in the delay slot
+      Instr::i(Op::Sys, 0, 3, static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R = M.run(100);
+  if (D.LoadDelaySlots > 0) {
+    ASSERT_EQ(R.Kind, StopKind::DelayHazard) << D.Name;
+    EXPECT_EQ(M.Pc, Base + 12);
+  } else {
+    ASSERT_EQ(R.Kind, StopKind::Exited) << D.Name;
+    EXPECT_EQ(R.Value, 11u);
+  }
+
+  // With a no-op (or any independent instruction) in the slot every
+  // target agrees.
+  Machine M2 = load({
+      Instr::i(Op::AddI, 1, 0, 11),
+      Instr::i(Op::Sw, 1, D.SpReg, 0),
+      Instr::i(Op::Lw, 2, D.SpReg, 0),
+      Instr::nop(),
+      Instr::i(Op::AddI, 3, 2, 0),
+      Instr::i(Op::Sys, 0, 3, static_cast<int32_t>(Syscall::Exit)),
+  });
+  RunResult R2 = M2.run(100);
+  ASSERT_EQ(R2.Kind, StopKind::Exited);
+  EXPECT_EQ(R2.Value, 11u);
+}
+
+TEST_P(MachineTest, PutStr) {
+  const TargetDesc &D = *GetParam();
+  Machine M(D);
+  const char *Msg = "hi there";
+  ASSERT_TRUE(M.writeBytes(0x8000, 9,
+                           reinterpret_cast<const uint8_t *>(Msg)));
+  uint32_t Addr = Base;
+  std::vector<Instr> Prog = {
+      Instr::i(Op::Lui, 1, 0, 0),
+      Instr::i(Op::OrI, 1, 1, 0x8000),
+      Instr::i(Op::Sys, 0, 1, static_cast<int32_t>(Syscall::PutStr)),
+      Instr::i(Op::Sys, 0, 0, static_cast<int32_t>(Syscall::Exit)),
+  };
+  for (const Instr &In : Prog) {
+    ASSERT_TRUE(M.storeInt(Addr, 4, D.Enc.encode(In)));
+    Addr += 4;
+  }
+  M.Pc = Base;
+  RunResult R = M.run(100);
+  ASSERT_EQ(R.Kind, StopKind::Exited);
+  EXPECT_EQ(M.ConsoleOut, "hi there");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, MachineTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

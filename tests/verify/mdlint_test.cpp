@@ -1,0 +1,113 @@
+//===- tests/verify/mdlint_test.cpp - machine-dependence isolation ----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/mdlint.h"
+
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace ldb;
+using namespace ldb::verify;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class MdLintTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // One tree per test case: ctest runs the cases as concurrent
+    // processes, so a shared path would race on remove_all.
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Root = fs::path(::testing::TempDir()) /
+           (std::string("mdlint_") + Info->name());
+    fs::remove_all(Root);
+    fs::create_directories(Root / "core");
+  }
+  void TearDown() override { fs::remove_all(Root); }
+
+  void addFile(const std::string &Rel, const std::string &Contents) {
+    fs::path P = Root / Rel;
+    fs::create_directories(P.parent_path());
+    ASSERT_TRUE(writeFile(P.string(), Contents));
+  }
+
+  fs::path Root;
+};
+
+TEST_F(MdLintTest, TargetIdentifierInSharedCodeIsFlagged) {
+  addFile("core/shared.cpp",
+          "int shared();\n"
+          "int leak() { return zmipsNopWord(); }\n");
+  std::vector<Diagnostic> Diags = mdIsolationLint(Root.string());
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Check, "md-lint");
+  EXPECT_EQ(Diags[0].Art, Artifact::Source);
+  EXPECT_EQ(Diags[0].Symbol, "core/shared.cpp:2");
+  EXPECT_NE(Diags[0].Message.find("zmips"), std::string::npos);
+}
+
+TEST_F(MdLintTest, TaggedMachineDependentFileIsExempt) {
+  addFile("core/zmips_arch.cpp",
+          "//===- zmips_arch.cpp -===//\n"
+          "//\n"
+          "// MACHINE-DEPENDENT: zmips. Counted by the Sec 4.3 LoC "
+          "experiment.\n"
+          "uint32_t zmipsNopWord() { return 0; }\n");
+  EXPECT_TRUE(mdIsolationLint(Root.string()).empty());
+}
+
+TEST_F(MdLintTest, DispatchRegistriesAreExempt) {
+  addFile("core/arch.cpp", "void f() { z68kArchitecture(); }\n");
+  addFile("lcc/cgtarget.cpp", "void g() { zvaxCgTarget(); }\n");
+  addFile("nub/nubmd.cpp", "void h() { zsparcNubMd(); }\n");
+  EXPECT_TRUE(mdIsolationLint(Root.string()).empty());
+}
+
+TEST_F(MdLintTest, CommentsAndStringsAreExempt) {
+  addFile("core/doc.cpp",
+          "// the zmips runtime procedure table\n"
+          "/* z68k saves floats in 80-bit format */\n"
+          "const char *Name = \"zsparc\";\n"
+          "const char Quote = 'z'; // not zvax\n"
+          "int f() { return 0; }\n");
+  EXPECT_TRUE(mdIsolationLint(Root.string()).empty());
+}
+
+TEST_F(MdLintTest, SuffixOfALongerIdentifierIsNotFlagged) {
+  addFile("core/ok.cpp", "int ldb_zmips_count;\n");
+  EXPECT_TRUE(mdIsolationLint(Root.string()).empty());
+}
+
+TEST_F(MdLintTest, EveryTargetNameIsCovered) {
+  addFile("a.cpp", "int a = zmipsX;\n");
+  addFile("b.cpp", "int b = z68kX;\n");
+  addFile("c.cpp", "int c = zsparcX;\n");
+  addFile("d.cpp", "int d = zvaxX;\n");
+  EXPECT_EQ(mdIsolationLint(Root.string()).size(), 4u);
+}
+
+TEST_F(MdLintTest, NonSourceFilesAreIgnored) {
+  addFile("notes.md", "zmips everywhere\n");
+  addFile("build.txt", "zvax\n");
+  EXPECT_TRUE(mdIsolationLint(Root.string()).empty());
+}
+
+// The real source tree must satisfy its own discipline (the acceptance
+// check the CLI also runs).
+TEST(MdLintTree, LdbSourceTreeIsClean) {
+  std::vector<Diagnostic> Diags =
+      mdIsolationLint(std::string(LDB_SOURCE_ROOT) + "/src");
+  std::string All;
+  for (const Diagnostic &D : Diags)
+    All += D.str() + "\n";
+  EXPECT_TRUE(Diags.empty()) << All;
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tests/verify/verify_test.cpp - the static verifier -------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pristine compiler output must verify clean on every target, and each
+/// class of artifact corruption — a dropped stopping-point no-op, a
+/// broken or cyclic uplink, a skewed /where, a malformed type, a
+/// desynchronized loader table or stabs blob — must be caught.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/verify.h"
+
+#include "support/byteorder.h"
+#include "support/strings.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <regex>
+
+using namespace ldb;
+using namespace ldb::verify;
+
+namespace {
+
+std::unique_ptr<lcc::Compilation>
+compile(const target::TargetDesc &Desc, const std::string &Source,
+        bool Deferred = false) {
+  lcc::CompileOptions CO;
+  CO.DeferredSymtab = Deferred;
+  auto C = lcc::compileAndLink({{"fib.c", Source}}, Desc, CO);
+  EXPECT_TRUE(bool(C)) << C.message();
+  return C ? C.take() : nullptr;
+}
+
+Report verify(const lcc::Compilation &C) {
+  Expected<Report> R = verifyCompilation(C);
+  EXPECT_TRUE(bool(R)) << R.message();
+  return R ? *R : Report();
+}
+
+/// True if any diagnostic's message or check family contains \p Needle.
+bool mentions(const Report &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.str().find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// Applies the first match of \p Pattern -> \p Replacement, asserting one
+/// existed.
+void mutate(std::string &Text, const std::string &Pattern,
+            const std::string &Replacement) {
+  std::regex Re(Pattern);
+  ASSERT_TRUE(std::regex_search(Text, Re)) << "no match for " << Pattern;
+  Text = std::regex_replace(Text, Re, Replacement,
+                            std::regex_constants::format_first_only);
+}
+
+class VerifyTest : public ::testing::TestWithParam<const target::TargetDesc *> {
+protected:
+  const target::TargetDesc &desc() { return *GetParam(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Pristine output is clean
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, PristineProgramsAreClean) {
+  for (const std::string &Source :
+       {bench::helloProgram(), bench::fibProgram(),
+        bench::generateProgram(1500)}) {
+    for (bool Deferred : {false, true}) {
+      auto C = compile(desc(), Source, Deferred);
+      ASSERT_TRUE(C);
+      Report R = verify(*C);
+      EXPECT_TRUE(R.clean()) << (Deferred ? "deferred\n" : "eager\n")
+                             << R.str();
+      EXPECT_GT(R.StopsChecked, 0u);
+      EXPECT_GT(R.EntriesWalked, 0u);
+    }
+  }
+}
+
+TEST_P(VerifyTest, MultiUnitProgramIsClean) {
+  lcc::CompileOptions CO;
+  auto C = lcc::compileAndLink(
+      {{"a.c", "int shared; int helper(int x) { shared = x; return x + 1; }\n"},
+       {"b.c", "extern int shared; int helper(int);\n"
+               "int main() { int v; v = helper(4); return v + shared; }\n"}},
+      desc(), CO);
+  ASSERT_TRUE(bool(C)) << C.message();
+  Report R = verify(**C);
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 1: a stopping point without its no-op
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, DroppedNoOpIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // Overwrite every no-op word in the text segment; stop-sites must
+  // notice (delay-slot filler no-ops are not stopping points, so only
+  // the stop-site family fires).
+  uint32_t Nop = desc().nopWord();
+  uint32_t Other = desc().Enc.encode(target::Instr::r(target::Op::Add, 1, 1, 1));
+  unsigned Rewritten = 0;
+  for (size_t K = 0; K + 4 <= C->Img.Text.size(); K += 4) {
+    if (unpackInt(C->Img.Text.data() + K, 4, desc().Order) == Nop) {
+      packInt(Other, C->Img.Text.data() + K, 4, desc().Order);
+      ++Rewritten;
+    }
+  }
+  ASSERT_GT(Rewritten, 0u);
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), R.StopsChecked);
+  EXPECT_TRUE(mentions(R, "does not hold the no-op word")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 2: broken uplinks
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, DanglingUplinkIsCaught) {
+  // Deferred tables resolve uplinks lazily, so a dangling reference
+  // survives until the verifier forces the chain.
+  auto C = compile(desc(), bench::fibProgram(), /*Deferred=*/true);
+  ASSERT_TRUE(C);
+  mutate(C->PsSymtab, R"(/uplink S[0-9]+)", "/uplink S99999");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "scope")) << R.str();
+}
+
+TEST_P(VerifyTest, UplinkCycleIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // Make some linked-to entry its own uplink after the table loads.
+  std::smatch M;
+  ASSERT_TRUE(std::regex_search(C->PsSymtab, M,
+                                std::regex(R"(/uplink (S[0-9]+))")));
+  std::string Id = M[1];
+  C->PsSymtab += "\n" + Id + " /uplink " + Id + " put\n";
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "uplink cycle")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 3: skewed /where values
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, RegisterNumberOutOfRangeIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  mutate(C->PsSymtab, R"([0-9]+ Regset0 Absolute)", "99 Regset0 Absolute");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "register number 99 out of range")) << R.str();
+}
+
+TEST_P(VerifyTest, FrameOffsetOutOfRangeIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  mutate(C->PsSymtab, R"(-?[0-9]+ Locals Absolute)",
+         "1000000 Locals Absolute");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "frame offset 1000000")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 4: malformed type dictionaries
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, NegativeTypeSizeIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  mutate(C->PsSymtab, R"(/size 4)", "/size -4");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "implausible type size -4")) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 5: loader table out of sync
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, SkewedProcTableAddressIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // Nudge the first proctable address by four bytes.
+  std::smatch M;
+  ASSERT_TRUE(std::regex_search(
+      C->LoaderTable, M, std::regex(R"(16#([0-9a-f]{8}) \()")));
+  uint32_t Addr =
+      static_cast<uint32_t>(std::stoul(M[1].str(), nullptr, 16)) + 4;
+  C->LoaderTable = M.prefix().str() + psHex(Addr) + " (" +
+                   M.suffix().str();
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "disagrees with the image symbol")) << R.str();
+}
+
+TEST_P(VerifyTest, MissingAnchorIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // Drop the anchormap entry the static array's /where depends on.
+  mutate(C->LoaderTable, R"(/_stanchor_[0-9a-f_]+ 16#[0-9a-f]{8})", "");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "dangling")) << R.str();
+}
+
+TEST_P(VerifyTest, ArchitectureMismatchIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  std::string Wrong = desc().Name == "zvax" ? "zmips" : "zvax";
+  mutate(C->PsSymtab, R"(/architecture \([a-z0-9]+\))",
+         "/architecture (" + Wrong + ")");
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "but the image is " + desc().Name)) << R.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption class 6: stabs out of sync with the PostScript table
+//===----------------------------------------------------------------------===//
+
+TEST_P(VerifyTest, RenamedStabProcedureIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // Rename main's stab record in place (same length, different name).
+  const uint8_t Pattern[] = {4, 'm', 'a', 'i', 'n'};
+  auto It = std::search(C->Stabs.begin(), C->Stabs.end(), Pattern,
+                        Pattern + sizeof(Pattern));
+  ASSERT_NE(It, C->Stabs.end());
+  std::copy_n("niam", 4, It + 1);
+  Report R = verify(*C);
+  EXPECT_GE(R.errors(), 2u); // both directions of the name-set mismatch
+  EXPECT_TRUE(mentions(R, "stabs")) << R.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, VerifyTest,
+                         ::testing::ValuesIn(target::allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+//===----------------------------------------------------------------------===//
+// The multi-blob stabs reader
+//===----------------------------------------------------------------------===//
+
+TEST(ReadAllStabs, ConcatenatedBlobsParseAsOneList) {
+  const target::TargetDesc &Desc = *target::targetByName("zmips");
+  auto C = lcc::compileAndLink(
+      {{"a.c", "int f(int x) { return x + 1; }\n"},
+       {"b.c", "int f(int); int main() { return f(1); }\n"}},
+      Desc, {});
+  ASSERT_TRUE(bool(C)) << C.message();
+  auto All = lcc::readAllStabs((*C)->Stabs);
+  ASSERT_TRUE(bool(All)) << All.message();
+  auto First = lcc::readStabs((*C)->Stabs);
+  ASSERT_TRUE(bool(First)) << First.message();
+  EXPECT_GT(All->size(), First->size());
+  bool SawMain = false;
+  for (const lcc::Stab &S : *All)
+    SawMain |= S.Name == "main";
+  EXPECT_TRUE(SawMain);
+}
+
+TEST(ReadAllStabs, TruncatedBlobIsAnError) {
+  const target::TargetDesc &Desc = *target::targetByName("zmips");
+  auto C = lcc::compileAndLink({{"a.c", "int main() { return 0; }\n"}},
+                               Desc, {});
+  ASSERT_TRUE(bool(C));
+  std::vector<uint8_t> Bytes = (*C)->Stabs;
+  Bytes.resize(Bytes.size() - 3);
+  EXPECT_FALSE(bool(lcc::readAllStabs(Bytes)));
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic rendering
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, RenderCheckArtifactSymbolAndAddress) {
+  Diagnostic D;
+  D.Check = "stop-site";
+  D.Art = Artifact::Image;
+  D.Symbol = "fib";
+  D.Addr = 0x1010;
+  D.HasAddr = true;
+  D.Message = "stopping point does not hold the no-op word";
+  EXPECT_EQ(D.str(), "error: [stop-site] image: fib @ 0x00001010: "
+                     "stopping point does not hold the no-op word");
+  D.Sev = Severity::Warning;
+  D.HasAddr = false;
+  EXPECT_EQ(D.str(), "warning: [stop-site] image: fib: "
+                     "stopping point does not hold the no-op word");
+}
+
+} // namespace
