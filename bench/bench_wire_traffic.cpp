@@ -1,0 +1,319 @@
+//===- bench/bench_wire_traffic.cpp - experiment E7 -------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wire-traffic comparison of the word-granularity transport (the paper's
+/// one-value-per-round-trip nub protocol, Sec 4.2) against the
+/// block-oriented transport with the line cache (the MSR-TR-99-4 revisit).
+/// Two debugger workloads are measured in round trips and bytes:
+///
+///   (a) planting and removing a breakpoint at every stopping point of the
+///       13,000-line generated program, and
+///   (b) a full backtrace through 50 recursive frames.
+///
+/// Both paths must observe byte-identical debugger-visible state (same
+/// saved words, same frame pcs); the block path must use strictly fewer
+/// round trips — the process exits nonzero otherwise, so CI can run this
+/// as a smoke check. Results are emitted to BENCH_wire.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/debugger.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+struct Traffic {
+  uint64_t RoundTrips = 0;
+  uint64_t Bytes = 0;
+};
+
+Traffic delta(Target &T, const std::function<void()> &Fn) {
+  T.resetStats();
+  Fn();
+  const mem::TransportStats &S = T.stats();
+  return {S.RoundTrips, S.BytesSent + S.BytesReceived};
+}
+
+/// One connected debugger+target over a fresh process running \p C.
+struct Session {
+  Session(const Compilation &C, const TargetDesc &Desc, bool Block) {
+    nub::NubProcess &P = Host.createProcess("bench", Desc);
+    if (Error E = C.Img.loadInto(P.machine())) {
+      std::fprintf(stderr, "load failed: %s\n", E.message().c_str());
+      std::exit(2);
+    }
+    P.enter(C.Img.Entry);
+    auto TOr = Debugger.connect(Host, "bench", C.PsSymtab, C.LoaderTable);
+    if (!TOr) {
+      std::fprintf(stderr, "connect failed: %s\n", TOr.message().c_str());
+      std::exit(2);
+    }
+    T = *TOr;
+    T->setBlockTransport(Block);
+  }
+
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+};
+
+/// Every stopping point in the image, from the symbol table — the same
+/// walk source-level stepping plants its temporary breakpoints with.
+std::vector<uint32_t> allStopSites(Target &T) {
+  Target::Scope S(T);
+  std::vector<uint32_t> Sites;
+  Expected<ps::Object> Top = symtab::topLevel(T.interp());
+  if (!Top)
+    return Sites;
+  Expected<ps::Object> Procs = symtab::field(T.interp(), *Top, "procs");
+  if (!Procs)
+    return Sites;
+  for (const ps::Object &EntryRef : *Procs->ArrVal) {
+    ps::Object Entry = EntryRef;
+    if (symtab::force(T.interp(), Entry))
+      continue;
+    Expected<ps::Object> Name = symtab::field(T.interp(), Entry, "name");
+    if (!Name)
+      continue;
+    Expected<uint32_t> ProcAddr = T.procAddr(Name->text());
+    if (!ProcAddr)
+      continue;
+    Expected<ps::Object> Loci = symtab::field(T.interp(), Entry, "loci");
+    if (!Loci)
+      continue;
+    for (const ps::Object &Locus : *Loci->ArrVal) {
+      if (Locus.Ty != ps::Type::Array || Locus.ArrVal->size() < 2)
+        continue;
+      Sites.push_back(*ProcAddr +
+                      static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal));
+    }
+  }
+  return Sites;
+}
+
+const char *DeepSource = "int rec(int n) {\n"
+                         "  if (n == 0)\n"
+                         "    return 1;\n"
+                         "  return rec(n - 1) + 1;\n"
+                         "}\n"
+                         "int main() {\n"
+                         "  return rec(50);\n"
+                         "}\n";
+
+std::unique_ptr<Compilation> compileFor(const std::string &Name,
+                                        const std::string &Source,
+                                        const TargetDesc &Desc) {
+  auto C = compileAndLink({{Name, Source}}, Desc, CompileOptions());
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", C.message().c_str());
+    std::exit(1);
+  }
+  return C.take();
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+std::string ratio(uint64_t Word, uint64_t Block) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx",
+                Block ? static_cast<double>(Word) / Block : 0.0);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  banner("E7: wire traffic, word transport vs block transport + cache",
+         "MSR-TR-99-4: block-granularity nub messages; target >=5x fewer "
+         "round trips planting gen:13000 breakpoints, >=3x for a backtrace");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::printf("\ncompiling gen:13000 and the 50-deep recursion program...\n");
+  auto Gen = compileFor("gen.c", generateProgram(13000), Zmips);
+  auto Deep = compileFor("deep.c", DeepSource, Zmips);
+
+  //===------------------------------------------------------------------===//
+  // (a) plant + remove a breakpoint at every stopping point
+  //===------------------------------------------------------------------===//
+
+  Session WordS(*Gen, Zmips, /*Block=*/false);
+  Session BlockS(*Gen, Zmips, /*Block=*/true);
+  std::vector<uint32_t> Sites = allStopSites(*WordS.T);
+  if (Sites.empty()) {
+    std::fprintf(stderr, "no stopping points found\n");
+    return 2;
+  }
+  std::printf("%zu stopping points in gen:13000\n\n", Sites.size());
+
+  auto fail = [](const Error &E) {
+    std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+    std::exit(2);
+  };
+
+  // Word transport: one breakpoint at a time, as ldb always worked.
+  Traffic WordPlant = delta(*WordS.T, [&] {
+    for (uint32_t A : Sites)
+      if (Error E = WordS.T->plantBreakpoint(A))
+        fail(E);
+  });
+  Traffic WordRemove = delta(*WordS.T, [&] {
+    for (uint32_t A : Sites)
+      if (Error E = WordS.T->removeBreakpoint(A))
+        fail(E);
+  });
+
+  // Block transport: coalesced ranges, one fetch + one store per range.
+  Traffic BlockPlant = delta(*BlockS.T, [&] {
+    if (Error E = BlockS.T->plantBreakpoints(Sites))
+      fail(E);
+  });
+  Traffic BlockRemove = delta(*BlockS.T, [&] {
+    if (Error E = BlockS.T->removeBreakpoints(Sites))
+      fail(E);
+  });
+
+  // Semantics check: both paths must leave identical saved words behind
+  // (the debugger-visible state the transports must agree on).
+  if (WordS.T->breakpoints() != BlockS.T->breakpoints() ||
+      !WordS.T->breakpoints().empty()) {
+    std::fprintf(stderr, "transports disagree on breakpoint state\n");
+    return 2;
+  }
+
+  //===------------------------------------------------------------------===//
+  // (b) full backtrace through 50 recursive frames
+  //===------------------------------------------------------------------===//
+
+  auto runToBase = [&](Session &S) {
+    if (Error E = S.Debugger.breakAtLine(*S.T, "deep.c", 3))
+      fail(E);
+    if (Error E = S.T->resume())
+      fail(E);
+    if (!S.T->stopped()) {
+      std::fprintf(stderr, "did not reach the recursion base\n");
+      std::exit(2);
+    }
+  };
+  Session WordD(*Deep, Zmips, /*Block=*/false);
+  Session BlockD(*Deep, Zmips, /*Block=*/true);
+  runToBase(WordD);
+  runToBase(BlockD);
+
+  std::vector<FrameInfo> WordFrames, BlockFrames;
+  Traffic WordBt = delta(*WordD.T, [&] {
+    Target::Scope Sc(*WordD.T);
+    Expected<std::vector<FrameInfo>> B = WordD.T->backtrace();
+    if (!B)
+      fail(B.takeError());
+    WordFrames = *B;
+  });
+  Traffic BlockBt = delta(*BlockD.T, [&] {
+    Target::Scope Sc(*BlockD.T);
+    Expected<std::vector<FrameInfo>> B = BlockD.T->backtrace();
+    if (!B)
+      fail(B.takeError());
+    BlockFrames = *B;
+  });
+
+  // Same world through both transports: frame-for-frame identical pcs.
+  if (WordFrames.size() != BlockFrames.size() || WordFrames.size() < 50) {
+    std::fprintf(stderr, "backtraces differ in depth (%zu vs %zu)\n",
+                 WordFrames.size(), BlockFrames.size());
+    return 2;
+  }
+  for (size_t K = 0; K < WordFrames.size(); ++K)
+    if (WordFrames[K].Pc != BlockFrames[K].Pc ||
+        WordFrames[K].Vfp != BlockFrames[K].Vfp) {
+      std::fprintf(stderr, "backtraces disagree at frame %zu\n", K);
+      return 2;
+    }
+
+  //===------------------------------------------------------------------===//
+  // Report
+  //===------------------------------------------------------------------===//
+
+  head("workload (round trips)", "word", "block");
+  row("plant " + num(Sites.size()) + " breakpoints", num(WordPlant.RoundTrips),
+      num(BlockPlant.RoundTrips));
+  row("remove " + num(Sites.size()) + " breakpoints",
+      num(WordRemove.RoundTrips), num(BlockRemove.RoundTrips));
+  row("backtrace, " + num(WordFrames.size()) + " frames",
+      num(WordBt.RoundTrips), num(BlockBt.RoundTrips));
+  std::printf("\n");
+  head("workload (bytes on wire)", "word", "block");
+  row("plant", num(WordPlant.Bytes), num(BlockPlant.Bytes));
+  row("remove", num(WordRemove.Bytes), num(BlockRemove.Bytes));
+  row("backtrace", num(WordBt.Bytes), num(BlockBt.Bytes));
+  std::printf("\nround-trip improvement: plant %s, remove %s, backtrace %s\n",
+              ratio(WordPlant.RoundTrips, BlockPlant.RoundTrips).c_str(),
+              ratio(WordRemove.RoundTrips, BlockRemove.RoundTrips).c_str(),
+              ratio(WordBt.RoundTrips, BlockBt.RoundTrips).c_str());
+
+  std::FILE *J = std::fopen("BENCH_wire.json", "w");
+  if (J) {
+    std::fprintf(
+        J,
+        "{\n"
+        "  \"bench\": \"wire_traffic\",\n"
+        "  \"target\": \"zmips\",\n"
+        "  \"stop_sites\": %zu,\n"
+        "  \"frames\": %zu,\n"
+        "  \"plant\": {\"word_rt\": %llu, \"block_rt\": %llu, "
+        "\"word_bytes\": %llu, \"block_bytes\": %llu},\n"
+        "  \"remove\": {\"word_rt\": %llu, \"block_rt\": %llu, "
+        "\"word_bytes\": %llu, \"block_bytes\": %llu},\n"
+        "  \"backtrace\": {\"word_rt\": %llu, \"block_rt\": %llu, "
+        "\"word_bytes\": %llu, \"block_bytes\": %llu}\n"
+        "}\n",
+        Sites.size(), WordFrames.size(),
+        static_cast<unsigned long long>(WordPlant.RoundTrips),
+        static_cast<unsigned long long>(BlockPlant.RoundTrips),
+        static_cast<unsigned long long>(WordPlant.Bytes),
+        static_cast<unsigned long long>(BlockPlant.Bytes),
+        static_cast<unsigned long long>(WordRemove.RoundTrips),
+        static_cast<unsigned long long>(BlockRemove.RoundTrips),
+        static_cast<unsigned long long>(WordRemove.Bytes),
+        static_cast<unsigned long long>(BlockRemove.Bytes),
+        static_cast<unsigned long long>(WordBt.RoundTrips),
+        static_cast<unsigned long long>(BlockBt.RoundTrips),
+        static_cast<unsigned long long>(WordBt.Bytes),
+        static_cast<unsigned long long>(BlockBt.Bytes));
+    std::fclose(J);
+    std::printf("wrote BENCH_wire.json\n");
+  }
+
+  // Smoke assertions for CI: the block transport must beat the word
+  // transport outright, and by the margins the refactor promises.
+  bool Ok = true;
+  auto require = [&](bool Cond, const char *What) {
+    if (!Cond) {
+      std::fprintf(stderr, "FAIL: %s\n", What);
+      Ok = false;
+    }
+  };
+  require(BlockPlant.RoundTrips < WordPlant.RoundTrips,
+          "block plant must use fewer round trips than word plant");
+  require(BlockRemove.RoundTrips < WordRemove.RoundTrips,
+          "block remove must use fewer round trips than word remove");
+  require(BlockBt.RoundTrips < WordBt.RoundTrips,
+          "block backtrace must use fewer round trips than word backtrace");
+  require(WordPlant.RoundTrips >= 5 * BlockPlant.RoundTrips,
+          "plant improvement must be at least 5x");
+  require(WordBt.RoundTrips >= 3 * BlockBt.RoundTrips,
+          "backtrace improvement must be at least 3x");
+  return Ok ? 0 : 1;
+}

@@ -32,6 +32,8 @@ const char *HelpText =
     "  set NAME VALUE                 assign a constant to a variable\n"
     "  regs                           registers\n"
     "  disasm [N]                     disassemble N words at the pc\n"
+    "  stats [reset]                  wire-transport counters (round trips,\n"
+    "                                 bytes, cache hits/misses)\n"
     "  targets | target NAME          list / switch targets\n"
     "  help | quit\n";
 
@@ -118,10 +120,30 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     std::vector<uint32_t> Addrs;
     for (const auto &[Addr, Orig] : Current->breakpoints())
       Addrs.push_back(Addr);
-    for (uint32_t Addr : Addrs)
-      if (Error E = Current->removeBreakpoint(Addr))
-        return errText(E.message());
+    if (Error E = Current->removeBreakpoints(Addrs))
+      return errText(E.message());
     return "deleted " + std::to_string(Addrs.size()) + " breakpoint(s)\n";
+  }
+
+  if (Cmd == "stats") {
+    if (Words.size() > 1 && Words[1] == "reset") {
+      Current->resetStats();
+      return "transport counters reset\n";
+    }
+    const mem::TransportStats &S = Current->stats();
+    std::string Out;
+    Out += "round trips:    " + std::to_string(S.RoundTrips) + "\n";
+    Out += "messages:       " + std::to_string(S.MsgsSent) + " sent, " +
+           std::to_string(S.MsgsReceived) + " received\n";
+    Out += "bytes on wire:  " + std::to_string(S.BytesSent) + " sent, " +
+           std::to_string(S.BytesReceived) + " received\n";
+    Out += "cache:          " + std::to_string(S.cacheHits()) + " hits, " +
+           std::to_string(S.cacheMisses()) + " misses\n";
+    for (const auto &[Space, C] : S.Cache)
+      Out += "  space " + std::string(1, Space) + ":      " +
+             std::to_string(C.Hits) + " hits, " + std::to_string(C.Misses) +
+             " misses\n";
+    return Out;
   }
 
   if (Cmd == "continue" || Cmd == "c") {

@@ -66,10 +66,10 @@ Error Ldb::breakAtLine(Target &T, const std::string &File, int Line) {
       symtab::stopsForSource(T, File, Line);
   if (!Sites)
     return Sites.takeError();
+  std::vector<uint32_t> Addrs;
   for (const symtab::StopSite &Site : *Sites)
-    if (Error E = T.plantBreakpoint(Site.Addr))
-      return E;
-  return Error::success();
+    Addrs.push_back(Site.Addr);
+  return T.plantBreakpoints(Addrs);
 }
 
 Error Ldb::stepToNextStop(Target &T) {
@@ -105,19 +105,21 @@ Error Ldb::stepToNextStop(Target &T) {
                       static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
       if (T.breakpointAt(Addr))
         continue;
-      if (Error E = T.plantBreakpoint(Addr))
-        return E;
       Temporary.push_back(Addr);
     }
   }
+  // One batch plant and one batch removal: a handful of block transfers
+  // instead of a round trip per stopping point.
+  if (Error E = T.plantBreakpoints(Temporary))
+    return E;
 
   Error RunError = T.resume();
-  for (uint32_t Addr : Temporary) {
-    Error E = T.removeBreakpoint(Addr);
+  if (!Temporary.empty()) {
+    Error E = T.removeBreakpoints(Temporary);
+    // An exited process may not service the removal stores; that is fine,
+    // the image is gone with it.
     if (!RunError && E && !T.exited())
       RunError = std::move(E);
-    // An exited process cannot service the removal stores; that is fine,
-    // the image is gone with it.
   }
   return RunError;
 }

@@ -15,6 +15,7 @@
 
 #include "core/symtab.h"
 #include "core/target.h"
+#include "support/byteorder.h"
 
 using namespace ldb;
 using namespace ldb::core;
@@ -115,13 +116,16 @@ public:
 
   Expected<FrameInfo> callerFrame(Target &T,
                                   const FrameInfo &Callee) const override {
-    uint64_t Ra = 0, CallerVfp = 0;
-    if (Error E = T.wire()->fetchInt(
-            Location::absolute(SpData, Callee.Vfp - 4), 4, Ra))
+    // The two link words sit side by side at the top of the frame: fetch
+    // them as one block (raw target-order bytes) instead of two word round
+    // trips, and unpack with the target's byte order.
+    const target::TargetDesc &Desc = *T.arch().Desc;
+    uint8_t Link[8];
+    if (Error E = T.wire()->fetchBlock(
+            Location::absolute(SpData, Callee.Vfp - 8), 8, Link))
       return E;
-    if (Error E = T.wire()->fetchInt(
-            Location::absolute(SpData, Callee.Vfp - 8), 4, CallerVfp))
-      return E;
+    uint64_t CallerVfp = unpackInt(Link, 4, Desc.Order);
+    uint64_t Ra = unpackInt(Link + 4, 4, Desc.Order);
     if (Ra < 8)
       return Error::failure("no caller: return address is null");
     uint32_t CallerPc = static_cast<uint32_t>(Ra) - 4;

@@ -7,6 +7,9 @@
 #include "core/target.h"
 
 #include "core/symtab.h"
+#include "support/byteorder.h"
+
+#include <algorithm>
 
 using namespace ldb;
 using namespace ldb::core;
@@ -38,7 +41,7 @@ Target::Scope::~Scope() {
 //===----------------------------------------------------------------------===//
 
 Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
-  Expected<std::unique_ptr<nub::NubClient>> C = Host.connect(ProcName);
+  Expected<std::unique_ptr<nub::NubClient>> C = Host.connect(ProcName, &Stats);
   if (!C)
     return C.takeError();
   Client = C.take();
@@ -52,7 +55,15 @@ Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
     return Error::failure("unknown target architecture: " + ArchName);
   }
   Layout = nub::nubMdFor(*Arch->Desc).layout(*Arch->Desc);
-  Wire = std::make_shared<mem::WireMemory>(*Client);
+  // The block cache sits between the debugger and the wire (Fig 4 grows a
+  // node): every consumer reads through it, and it is flushed whenever
+  // the target runs. Code and data name the same nub memory, so the cache
+  // is told they alias.
+  Cache = std::make_shared<mem::CachedMemory>(
+      std::make_shared<mem::WireMemory>(*Client), Arch->Desc->Order);
+  Cache->setSpacesAlias(true);
+  Cache->setStats(&Stats);
+  Wire = Cache;
   Stop = Client->pendingStop();
 
   TargetDict = Object::makeDict(std::make_shared<DictImpl>());
@@ -153,10 +164,20 @@ Error Target::resume() {
         return E;
   }
   nub::StopInfo Next;
-  if (Error E = Client->doContinue(Next))
+  Error E = Client->doContinue(Next);
+  // The target ran (or at least may have): every cached line is now
+  // suspect, success or not.
+  if (Cache)
+    Cache->invalidate();
+  if (E)
     return E;
   Stop = Next;
   return Error::success();
+}
+
+void Target::setBlockTransport(bool Enabled) {
+  if (Cache)
+    Cache->setBypass(!Enabled);
 }
 
 //===----------------------------------------------------------------------===//
@@ -344,5 +365,104 @@ Error Target::removeBreakpoint(uint32_t Addr) {
                                Arch->Bp.InstrSize, It->second))
     return E;
   Breakpoints.erase(It);
+  return Error::success();
+}
+
+namespace {
+
+/// A contiguous code range covering a run of nearby breakpoint sites.
+struct SiteRange {
+  uint32_t Begin = 0, End = 0; ///< [Begin, End) in bytes
+  std::vector<uint32_t> Sites;
+};
+
+/// Coalesces sorted unique site addresses into ranges: sites within MaxGap
+/// bytes share a range (the bytes between them ride along in the same
+/// block), and no range outgrows one block message.
+std::vector<SiteRange> coalesce(const std::vector<uint32_t> &Addrs,
+                                uint32_t InstrSize) {
+  constexpr uint32_t MaxGap = 1024;
+  std::vector<SiteRange> Ranges;
+  for (uint32_t A : Addrs) {
+    if (!Ranges.empty() && A <= Ranges.back().End + MaxGap &&
+        A + InstrSize - Ranges.back().Begin <= nub::MaxBlockLen) {
+      Ranges.back().End = A + InstrSize;
+      Ranges.back().Sites.push_back(A);
+    } else {
+      Ranges.push_back({A, A + InstrSize, {A}});
+    }
+  }
+  return Ranges;
+}
+
+} // namespace
+
+Error Target::plantBreakpoints(const std::vector<uint32_t> &Addrs) {
+  if (Error E = requireStopped())
+    return E;
+  std::vector<uint32_t> Fresh;
+  for (uint32_t A : Addrs)
+    if (!Breakpoints.count(A))
+      Fresh.push_back(A);
+  std::sort(Fresh.begin(), Fresh.end());
+  Fresh.erase(std::unique(Fresh.begin(), Fresh.end()), Fresh.end());
+  const BreakpointData &Bp = Arch->Bp;
+  ByteOrder Order = Arch->Desc->Order;
+  for (const SiteRange &R : coalesce(Fresh, Bp.InstrSize)) {
+    std::vector<uint8_t> Block(R.End - R.Begin);
+    if (Error E =
+            Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    // Verify every site before storing anything, so a bad site aborts its
+    // whole range with no partial plants. Bytes between sites (including
+    // any already-planted break words) ride along unchanged.
+    for (uint32_t A : R.Sites) {
+      uint32_t Word = static_cast<uint32_t>(
+          unpackInt(Block.data() + (A - R.Begin), Bp.InstrSize, Order));
+      if (Word != Bp.NopWord)
+        return Error::failure("not a stopping point: no no-op at " +
+                              std::to_string(A));
+    }
+    for (uint32_t A : R.Sites)
+      packInt(Bp.BreakWord, Block.data() + (A - R.Begin), Bp.InstrSize,
+              Order);
+    if (Error E =
+            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    for (uint32_t A : R.Sites)
+      Breakpoints[A] = Bp.NopWord;
+  }
+  return Error::success();
+}
+
+Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
+  std::vector<uint32_t> Sorted = Addrs;
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  for (uint32_t A : Sorted)
+    if (!Breakpoints.count(A))
+      return Error::failure("no breakpoint at " + std::to_string(A));
+  if (Sorted.empty())
+    return Error::success();
+  const BreakpointData &Bp = Arch->Bp;
+  ByteOrder Order = Arch->Desc->Order;
+  for (const SiteRange &R : coalesce(Sorted, Bp.InstrSize)) {
+    std::vector<uint8_t> Block(R.End - R.Begin);
+    if (Error E =
+            Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    for (uint32_t A : R.Sites)
+      packInt(Breakpoints[A], Block.data() + (A - R.Begin), Bp.InstrSize,
+              Order);
+    if (Error E =
+            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    for (uint32_t A : R.Sites)
+      Breakpoints.erase(A);
+  }
   return Error::success();
 }

@@ -22,12 +22,15 @@
 #define LDB_CORE_TARGET_H
 
 #include "core/arch.h"
+#include "mem/cached.h"
 #include "mem/remote.h"
+#include "mem/stats.h"
 #include "nub/host.h"
 #include "postscript/interp.h"
 
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace ldb::core {
 
@@ -90,8 +93,23 @@ public:
   // The wire and the PostScript scope
   //===--------------------------------------------------------------------===
 
+  /// The target's code/data memory as the rest of the debugger should see
+  /// it: the block cache over the wire, so bursts of nearby accesses cost
+  /// one round trip per line. Invalidated whenever the target runs.
   mem::MemoryRef wire() { return Wire; }
   ps::Interp &interp() { return I; }
+
+  /// Transport counters for this connection: round trips, bytes on the
+  /// wire, and cache hits/misses per space.
+  mem::TransportStats &stats() { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+  /// Switches between the block transport (default: block messages plus
+  /// the cache) and the word-granularity transport every access cost a
+  /// round trip under (kept for word-only nubs; the wire-traffic bench
+  /// measures it as the baseline).
+  void setBlockTransport(bool Enabled);
+  bool blockTransport() const { return Cache && !Cache->bypass(); }
 
   /// RAII: pushes the target dictionary and the architecture dictionary,
   /// installs this target as the interpreter's debug hooks.
@@ -151,6 +169,14 @@ public:
   /// Plants a breakpoint at \p Addr, which must hold the no-op word.
   Error plantBreakpoint(uint32_t Addr);
   Error removeBreakpoint(uint32_t Addr);
+
+  /// Plants (removes) breakpoints at every address at once: the addresses
+  /// are coalesced into ranges and each range is moved with one block
+  /// fetch and one block store, instead of a round trip per word. All
+  /// sites are verified to hold no-ops before anything is stored.
+  Error plantBreakpoints(const std::vector<uint32_t> &Addrs);
+  Error removeBreakpoints(const std::vector<uint32_t> &Addrs);
+
   bool breakpointAt(uint32_t Addr) const { return Breakpoints.count(Addr); }
   const std::map<uint32_t, uint32_t> &breakpoints() const {
     return Breakpoints;
@@ -166,7 +192,9 @@ private:
   std::unique_ptr<nub::NubClient> Client;
   const Architecture *Arch = nullptr;
   nub::ContextLayout Layout{};
-  mem::MemoryRef Wire;
+  mem::TransportStats Stats;
+  mem::MemoryRef Wire; ///< what wire() hands out: the cache over the wire
+  std::shared_ptr<mem::CachedMemory> Cache;
   ps::Object TargetDict; ///< symtab + loader table live here
   ps::Object ArchDict;   ///< machine-dependent PostScript bindings
   std::optional<nub::StopInfo> Stop;

@@ -17,6 +17,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/target.h"
+#include "support/byteorder.h"
+
+#include <vector>
 
 using namespace ldb;
 using namespace ldb::core;
@@ -29,7 +32,9 @@ const Architecture &zmipsArchitecture();
 namespace {
 
 /// One runtime-procedure-table probe: the table is a count word followed
-/// by entries of (address, frame size, save mask, save-area offset).
+/// by entries of (address, frame size, save mask, save-area offset). The
+/// whole table is moved as raw blocks and scanned locally — one round trip
+/// per block rather than four per entry.
 Expected<FrameWalker::ProcFrameData> rptLookup(Target &T, uint32_t Pc) {
   uint32_t Rpt = T.rptAddr();
   if (Rpt == 0)
@@ -38,31 +43,27 @@ Expected<FrameWalker::ProcFrameData> rptLookup(Target &T, uint32_t Pc) {
   if (Error E = T.wire()->fetchInt(Location::absolute(SpData, Rpt), 4,
                                    Count))
     return E;
+  if (Count > (1u << 16))
+    return Error::failure("runtime procedure table is implausibly large");
+  std::vector<uint8_t> Table(Count * 16);
+  if (Error E = T.wire()->fetchBlock(Location::absolute(SpData, Rpt + 4),
+                                     Table.size(), Table.data()))
+    return E;
+  ByteOrder Order = T.arch().Desc->Order;
   FrameWalker::ProcFrameData Best;
   uint32_t BestAddr = 0;
   bool Found = false;
   for (uint64_t K = 0; K < Count; ++K) {
-    int64_t At = Rpt + 4 + 16 * static_cast<int64_t>(K);
-    uint64_t Addr = 0, FrameSize = 0, Mask = 0, SaveOff = 0;
-    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At), 4,
-                                     Addr))
-      return E;
+    const uint8_t *Entry = Table.data() + 16 * K;
+    uint32_t Addr = static_cast<uint32_t>(unpackInt(Entry, 4, Order));
     if (Addr > Pc || (Found && Addr <= BestAddr))
       continue;
-    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 4), 4,
-                                     FrameSize))
-      return E;
-    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 8), 4,
-                                     Mask))
-      return E;
-    if (Error E = T.wire()->fetchInt(Location::absolute(SpData, At + 12),
-                                     4, SaveOff))
-      return E;
     Found = true;
-    BestAddr = static_cast<uint32_t>(Addr);
-    Best.FrameSize = static_cast<uint32_t>(FrameSize);
-    Best.SaveMask = static_cast<uint32_t>(Mask);
-    Best.SaveAreaOffset = static_cast<int32_t>(SaveOff);
+    BestAddr = Addr;
+    Best.FrameSize = static_cast<uint32_t>(unpackInt(Entry + 4, 4, Order));
+    Best.SaveMask = static_cast<uint32_t>(unpackInt(Entry + 8, 4, Order));
+    Best.SaveAreaOffset =
+        static_cast<int32_t>(unpackInt(Entry + 12, 4, Order));
   }
   if (!Found)
     return Error::failure("pc not covered by the runtime procedure table");

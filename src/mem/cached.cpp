@@ -1,0 +1,203 @@
+//===- mem/cached.cpp - the block cache -----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/cached.h"
+
+#include <algorithm>
+
+using namespace ldb;
+using namespace ldb::mem;
+
+CachedMemory::CachedMemory(MemoryRef Under, ByteOrder Order, unsigned LineBytes,
+                           std::string CachedSpaces)
+    : Under(std::move(Under)), Order(Order), LineBytes(LineBytes),
+      CachedSpaces(std::move(CachedSpaces)) {}
+
+void CachedMemory::invalidate() { Lines.clear(); }
+
+void CachedMemory::setBypass(bool Enabled) {
+  Bypass = Enabled;
+  if (Enabled)
+    Lines.clear();
+}
+
+Error CachedMemory::fetchBytes(Location Loc, size_t Size, uint8_t *Out) {
+  size_t Done = 0;
+  while (Done < Size) {
+    int64_t Addr = Loc.Offset + static_cast<int64_t>(Done);
+    int64_t LineBase = Addr - (Addr % LineBytes);
+    auto Key = std::make_pair(Loc.Space, LineBase);
+    auto It = Lines.find(Key);
+    if (It == Lines.end()) {
+      if (Stats)
+        ++Stats->Cache[Loc.Space].Misses;
+      std::vector<uint8_t> Line(LineBytes);
+      if (Under->fetchBlock(Location::absolute(Loc.Space, LineBase), LineBytes,
+                            Line.data())) {
+        // The line fill failed — likely a line that runs past the end of
+        // target memory. Serve exactly the requested range uncached; its
+        // own error (if any) is the honest answer.
+        return Under->fetchBlock(Loc, Size, Out);
+      }
+      It = Lines.emplace(Key, std::move(Line)).first;
+    } else if (Stats) {
+      ++Stats->Cache[Loc.Space].Hits;
+    }
+    size_t InLine = static_cast<size_t>(Addr - LineBase);
+    size_t N = std::min(Size - Done, static_cast<size_t>(LineBytes) - InLine);
+    std::copy_n(It->second.data() + InLine, N, Out + Done);
+    Done += N;
+  }
+  return Error::success();
+}
+
+void CachedMemory::patchSpace(char Space, int64_t Offset, size_t Size,
+                              const uint8_t *Bytes) {
+  size_t Done = 0;
+  while (Done < Size) {
+    int64_t Addr = Offset + static_cast<int64_t>(Done);
+    int64_t LineBase = Addr - (Addr % LineBytes);
+    size_t InLine = static_cast<size_t>(Addr - LineBase);
+    size_t N = std::min(Size - Done, static_cast<size_t>(LineBytes) - InLine);
+    auto It = Lines.find(std::make_pair(Space, LineBase));
+    if (It != Lines.end())
+      std::copy_n(Bytes + Done, N, It->second.data() + InLine);
+    Done += N;
+  }
+}
+
+void CachedMemory::patchLines(Location Loc, size_t Size,
+                              const uint8_t *Bytes) {
+  if (!SpacesAlias) {
+    patchSpace(Loc.Space, Loc.Offset, Size, Bytes);
+    return;
+  }
+  // All cached spaces are windows onto the same storage (the nub's code
+  // and data spaces): a store through any of them must be visible through
+  // all of them.
+  for (char Space : CachedSpaces)
+    patchSpace(Space, Loc.Offset, Size, Bytes);
+}
+
+void CachedMemory::seedLines(Location Loc, size_t Size,
+                             const uint8_t *Bytes) {
+  int64_t First = Loc.Offset + (LineBytes - 1);
+  First -= First % LineBytes; // first line base fully inside the block
+  for (int64_t Base = First;
+       Base + LineBytes <= Loc.Offset + static_cast<int64_t>(Size);
+       Base += LineBytes) {
+    const uint8_t *Src = Bytes + (Base - Loc.Offset);
+    Lines[std::make_pair(Loc.Space, Base)].assign(Src, Src + LineBytes);
+  }
+}
+
+Error CachedMemory::fetchInt(Location Loc, unsigned Size, uint64_t &Value) {
+  if (Loc.Mode == AddrMode::Immediate) {
+    Value = static_cast<uint64_t>(Loc.Offset);
+    return Error::success();
+  }
+  if (Bypass || !cacheable(Loc))
+    return Under->fetchInt(Loc, Size, Value);
+  uint8_t Buf[8];
+  if (Error E = fetchBytes(Loc, Size, Buf))
+    return E;
+  Value = unpackInt(Buf, Size, Order);
+  return Error::success();
+}
+
+Error CachedMemory::storeInt(Location Loc, unsigned Size, uint64_t Value) {
+  // Write through as the same word message the wire always carried (so the
+  // nub's validation is unchanged), then patch any resident copy.
+  if (Error E = Under->storeInt(Loc, Size, Value))
+    return E;
+  if (!Bypass && cacheable(Loc)) {
+    uint8_t Buf[8];
+    packInt(Value, Buf, Size, Order);
+    patchLines(Loc, Size, Buf);
+  }
+  return Error::success();
+}
+
+Error CachedMemory::fetchFloat(Location Loc, unsigned Size,
+                               long double &Value) {
+  // Floats stay word operations: the nub gates 80-bit requests on the
+  // target's float support, and a cache serving raw bytes would skip that.
+  return Under->fetchFloat(Loc, Size, Value);
+}
+
+Error CachedMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
+  if (Error E = Under->storeFloat(Loc, Size, Value))
+    return E;
+  if (!Bypass && cacheable(Loc) && isFloatSize(Size)) {
+    uint8_t Buf[10];
+    if (Size == 4)
+      packF32(static_cast<float>(Value), Buf, Order);
+    else if (Size == 8)
+      packF64(static_cast<double>(Value), Buf, Order);
+    else
+      packF80(Value, Buf, Order);
+    patchLines(Loc, Size, Buf);
+  }
+  return Error::success();
+}
+
+Error CachedMemory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot fetch a block from an immediate location");
+  if (Size == 0)
+    return Error::success();
+  if (Bypass && cacheable(Loc)) {
+    // Word-granularity compatibility: one value message per word, repacked
+    // into the target-order bytes a block carries.
+    size_t Done = 0;
+    while (Done < Size) {
+      size_t Left = Size - Done;
+      unsigned Chunk = Left >= 4 ? 4 : Left >= 2 ? 2 : 1;
+      uint64_t Value = 0;
+      if (Error E = Under->fetchInt(Loc.shifted(Done), Chunk, Value))
+        return E;
+      packInt(Value, Out + Done, Chunk, Order);
+      Done += Chunk;
+    }
+    return Error::success();
+  }
+  if (!cacheable(Loc))
+    return Under->fetchBlock(Loc, Size, Out);
+  if (Size < LineBytes)
+    return fetchBytes(Loc, Size, Out);
+  // A block at least one line long: move it in one transfer rather than
+  // line by line, then keep the whole lines it covers.
+  if (Error E = Under->fetchBlock(Loc, Size, Out))
+    return E;
+  if (Stats)
+    ++Stats->Cache[Loc.Space].Misses;
+  seedLines(Loc, Size, Out);
+  return Error::success();
+}
+
+Error CachedMemory::storeBlock(Location Loc, size_t Size,
+                               const uint8_t *Bytes) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot store to an immediate location");
+  if (Size == 0)
+    return Error::success();
+  if (Bypass && cacheable(Loc)) {
+    size_t Done = 0;
+    while (Done < Size) {
+      size_t Left = Size - Done;
+      unsigned Chunk = Left >= 4 ? 4 : Left >= 2 ? 2 : 1;
+      uint64_t Value = unpackInt(Bytes + Done, Chunk, Order);
+      if (Error E = Under->storeInt(Loc.shifted(Done), Chunk, Value))
+        return E;
+      Done += Chunk;
+    }
+    return Error::success();
+  }
+  if (Error E = Under->storeBlock(Loc, Size, Bytes))
+    return E;
+  patchLines(Loc, Size, Bytes);
+  return Error::success();
+}

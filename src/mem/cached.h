@@ -1,0 +1,108 @@
+//===- mem/cached.h - the block cache ---------------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-granular, write-through cache that sits between the joined
+/// memory and the wire (the block-oriented transport of Hanson's
+/// MSR-TR-99-4 revisit of the nub design). Word fetches that reach it are
+/// served from cached lines filled by one block message each, so a burst
+/// of nearby fetches — a stack walk, a context read, breakpoint planting —
+/// costs one round trip per line instead of one per word. Stores write
+/// through to the target first and only then patch any cached copy, so
+/// the cache never holds bytes the target has not accepted. The owner
+/// must invalidate() on every Continue/Stopped transition: the target
+/// runs, the cache forgets, stale state is impossible.
+///
+/// Lines hold raw bytes in the target's byte order; the cache is given
+/// that order so it can serve the value-level word interface from them.
+/// Bypass mode degrades every operation to the word-granularity wire
+/// traffic ldb produced before the block protocol existed — kept for
+/// backward compatibility with word-only nubs and used by the wire
+/// traffic bench as the measured baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_CACHED_H
+#define LDB_MEM_CACHED_H
+
+#include "mem/memory.h"
+#include "mem/stats.h"
+#include "support/byteorder.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldb::mem {
+
+class CachedMemory : public Memory {
+public:
+  /// Caches \p CachedSpaces of \p Under in lines of \p LineBytes, serving
+  /// values in \p Order (the target's byte order).
+  CachedMemory(MemoryRef Under, ByteOrder Order, unsigned LineBytes = 256,
+               std::string CachedSpaces = "cd");
+
+  /// Declares that all cached spaces name the same underlying storage (as
+  /// the nub's code and data spaces do), so a store through one space also
+  /// patches lines cached under the others.
+  void setSpacesAlias(bool Alias) { SpacesAlias = Alias; }
+
+  /// Drops every line. Must be called whenever the target may have run.
+  void invalidate();
+
+  /// Word-granularity compatibility mode: no lines are kept and block
+  /// operations degrade to one word message per 4 bytes, reproducing the
+  /// pre-block wire traffic.
+  void setBypass(bool Enabled);
+  bool bypass() const { return Bypass; }
+
+  /// Counters for line hits and misses (per space); may be null.
+  void setStats(TransportStats *S) { Stats = S; }
+
+  unsigned lineBytes() const { return LineBytes; }
+  size_t cachedLines() const { return Lines.size(); }
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override;
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+  Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
+  Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
+
+private:
+  bool cacheable(Location Loc) const {
+    return Loc.Mode == AddrMode::Absolute && Loc.Offset >= 0 &&
+           CachedSpaces.find(Loc.Space) != std::string::npos;
+  }
+
+  /// Reads \p Size raw bytes at \p Loc through the line cache, filling
+  /// missing lines with one block fetch each. Falls back to one direct
+  /// uncached block fetch if a line fill fails (e.g. a line that would
+  /// run past the end of target memory).
+  Error fetchBytes(Location Loc, size_t Size, uint8_t *Out);
+
+  /// Patches bytes that are present in cached lines (never allocates); with
+  /// aliased spaces, patches every cached space at the same offsets.
+  void patchLines(Location Loc, size_t Size, const uint8_t *Bytes);
+  void patchSpace(char Space, int64_t Offset, size_t Size,
+                  const uint8_t *Bytes);
+
+  /// Installs whole lines covered by a block that was just transferred.
+  void seedLines(Location Loc, size_t Size, const uint8_t *Bytes);
+
+  MemoryRef Under;
+  ByteOrder Order;
+  unsigned LineBytes;
+  std::string CachedSpaces;
+  bool SpacesAlias = false;
+  bool Bypass = false;
+  TransportStats *Stats = nullptr;
+  std::map<std::pair<char, int64_t>, std::vector<uint8_t>> Lines;
+};
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_CACHED_H

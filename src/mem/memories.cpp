@@ -6,6 +6,7 @@
 
 #include "mem/memories.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ldb;
@@ -59,6 +60,30 @@ Error Memory::storeFloat(Location Loc, unsigned Size, long double Value) {
   uint8_t Raw[4];
   packF32(static_cast<float>(Value), Raw, ByteOrder::Little);
   return storeInt(Loc, 4, unpackInt(Raw, 4, ByteOrder::Little));
+}
+
+Error Memory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
+  // Single-byte fetches are byte-order-independent, so this loop yields
+  // the target's raw bytes through any memory's value-level word path.
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot fetch a block from an immediate location");
+  for (size_t K = 0; K < Size; ++K) {
+    uint64_t Byte = 0;
+    if (Error E = fetchInt(Loc.shifted(static_cast<int64_t>(K)), 1, Byte))
+      return E;
+    Out[K] = static_cast<uint8_t>(Byte);
+  }
+  return Error::success();
+}
+
+Error Memory::storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  for (size_t K = 0; K < Size; ++K)
+    if (Error E =
+            storeInt(Loc.shifted(static_cast<int64_t>(K)), 1, Bytes[K]))
+      return E;
+  return Error::success();
 }
 
 //===----------------------------------------------------------------------===//
@@ -120,6 +145,37 @@ Error FlatMemory::fetchFloat(Location Loc, unsigned Size, long double &Value) {
   default:
     Value = unpackF80(Ptr, Order);
   }
+  return Error::success();
+}
+
+namespace {
+
+/// bytesAt takes an unsigned count; refuse sizes that would truncate.
+bool blockSizeSane(size_t Size) { return Size <= (size_t(1) << 30); }
+
+} // namespace
+
+Error FlatMemory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot fetch a block from an immediate location");
+  if (!blockSizeSane(Size))
+    return Error::failure("block size too large");
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, static_cast<unsigned>(Size), Ptr))
+    return E;
+  std::copy(Ptr, Ptr + Size, Out);
+  return Error::success();
+}
+
+Error FlatMemory::storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  if (!blockSizeSane(Size))
+    return Error::failure("block size too large");
+  uint8_t *Ptr;
+  if (Error E = bytesAt(Loc, static_cast<unsigned>(Size), Ptr))
+    return E;
+  std::copy(Bytes, Bytes + Size, Ptr);
   return Error::success();
 }
 
@@ -296,4 +352,23 @@ Error JoinedMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
   if (Error E = route(Loc.Space, M))
     return E;
   return M->storeFloat(Loc, Size, Value);
+}
+
+Error JoinedMemory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot fetch a block from an immediate location");
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->fetchBlock(Loc, Size, Out);
+}
+
+Error JoinedMemory::storeBlock(Location Loc, size_t Size,
+                               const uint8_t *Bytes) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return immediateStoreError();
+  MemoryRef M;
+  if (Error E = route(Loc.Space, M))
+    return E;
+  return M->storeBlock(Loc, Size, Bytes);
 }

@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The abstract-memory instances that form the per-frame DAG of Fig 4:
+/// The abstract-memory instances that form the per-frame DAG of Fig 4
+/// (grown by one node, the block cache of the MSR-TR-99-4 revisit):
 ///
-///   joined -> register -> alias -> wire -> nub
-///        \______________________/
+///   joined -> register -> alias -> cache -> wire -> nub
+///        \_______________________/
 ///
 /// * FlatMemory: host-side byte storage per space (used for tests and for
 ///   debugger-side scratch such as saved contexts in unit tests).
@@ -50,6 +51,8 @@ public:
   Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
   Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
   Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+  Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
+  Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
 
   ByteOrder byteOrder() const { return Order; }
 
@@ -124,6 +127,11 @@ public:
   Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
   Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
   Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+  // Blocks route whole so a joined code/data space keeps the underlying
+  // memory's bulk path (one wire message, cache lines) instead of
+  // degrading to the byte loop.
+  Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
+  Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
 
 private:
   Error route(char Space, MemoryRef &Out);

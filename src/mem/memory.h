@@ -20,6 +20,7 @@
 #include "mem/location.h"
 #include "support/error.h"
 
+#include <cstddef>
 #include <memory>
 
 namespace ldb::mem {
@@ -42,6 +43,21 @@ public:
 
   /// Stores \p Value as a \p Size-byte float at \p Loc.
   virtual Error storeFloat(Location Loc, unsigned Size, long double Value);
+
+  //===--------------------------------------------------------------------===
+  // Block access. Blocks are raw bytes in the *target's* byte order (what
+  // the nub's memcpy would see), unlike the word operations, which carry
+  // values. The defaults loop over single-byte word operations, so every
+  // memory is block-addressable and byte-for-byte consistent with its own
+  // word operations; memories with a cheaper bulk path (the wire, the
+  // block cache, flat storage) override them.
+  //===--------------------------------------------------------------------===
+
+  /// Fetches \p Size raw bytes starting at \p Loc into \p Out.
+  virtual Error fetchBlock(Location Loc, size_t Size, uint8_t *Out);
+
+  /// Stores \p Size raw bytes from \p Bytes starting at \p Loc.
+  virtual Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes);
 };
 
 using MemoryRef = std::shared_ptr<Memory>;

@@ -11,6 +11,25 @@ using namespace ldb::mem;
 
 RemoteEndpoint::~RemoteEndpoint() = default;
 
+Error RemoteEndpoint::remoteFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                                       uint8_t *Out) {
+  for (uint32_t K = 0; K < Len; ++K) {
+    uint64_t Byte = 0;
+    if (Error E = remoteFetchInt(Space, Addr + K, 1, Byte))
+      return E;
+    Out[K] = static_cast<uint8_t>(Byte);
+  }
+  return Error::success();
+}
+
+Error RemoteEndpoint::remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                                       const uint8_t *Bytes) {
+  for (uint32_t K = 0; K < Len; ++K)
+    if (Error E = remoteStoreInt(Space, Addr + K, 1, Bytes[K]))
+      return E;
+  return Error::success();
+}
+
 Error WireMemory::checkAddr(Location Loc, uint32_t &Addr) {
   if (Loc.Offset < 0 || Loc.Offset > UINT32_MAX)
     return Error::failure("remote address " + Loc.str() + " out of range");
@@ -52,4 +71,28 @@ Error WireMemory::storeFloat(Location Loc, unsigned Size, long double Value) {
   if (Error E = checkAddr(Loc, Addr))
     return E;
   return Endpoint.remoteStoreFloat(Loc.Space, Addr, Size, Value);
+}
+
+Error WireMemory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot fetch a block from an immediate location");
+  if (Size > UINT32_MAX)
+    return Error::failure("block size too large for the wire");
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteFetchBlock(Loc.Space, Addr,
+                                   static_cast<uint32_t>(Size), Out);
+}
+
+Error WireMemory::storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) {
+  if (Loc.Mode == AddrMode::Immediate)
+    return Error::failure("cannot store to an immediate location");
+  if (Size > UINT32_MAX)
+    return Error::failure("block size too large for the wire");
+  uint32_t Addr;
+  if (Error E = checkAddr(Loc, Addr))
+    return E;
+  return Endpoint.remoteStoreBlock(Loc.Space, Addr,
+                                   static_cast<uint32_t>(Size), Bytes);
 }

@@ -34,6 +34,15 @@ public:
                                  long double &Value) = 0;
   virtual Error remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
                                  long double Value) = 0;
+
+  /// Block transfers: \p Len raw bytes in the target's byte order. The
+  /// defaults loop over single-byte word requests so every endpoint is
+  /// block-capable; real protocols (the nub client) override them with
+  /// one message per block.
+  virtual Error remoteFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                                 uint8_t *Out);
+  virtual Error remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                                 const uint8_t *Bytes);
 };
 
 /// Forwards every request to the nub through a RemoteEndpoint.
@@ -45,6 +54,8 @@ public:
   Error storeInt(Location Loc, unsigned Size, uint64_t Value) override;
   Error fetchFloat(Location Loc, unsigned Size, long double &Value) override;
   Error storeFloat(Location Loc, unsigned Size, long double Value) override;
+  Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
+  Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
 
 private:
   Error checkAddr(Location Loc, uint32_t &Addr);

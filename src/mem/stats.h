@@ -1,0 +1,62 @@
+//===- mem/stats.h - transport instrumentation ------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters threaded through the transport stack (channel -> client ->
+/// wire -> cache) so the cost of debugger operations on the wire is
+/// observable: synchronous round trips, bytes in each direction, and the
+/// block cache's hits and misses per abstract-memory space. One instance
+/// lives in each core::Target; the CLI's `stats` command renders it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_MEM_STATS_H
+#define LDB_MEM_STATS_H
+
+#include <cstdint>
+#include <map>
+
+namespace ldb::mem {
+
+struct TransportStats {
+  /// Synchronous request/reply exchanges with the nub (each one is a
+  /// full wire latency; the number the block refactor exists to shrink).
+  uint64_t RoundTrips = 0;
+
+  /// Frames sent to / received from the nub.
+  uint64_t MsgsSent = 0;
+  uint64_t MsgsReceived = 0;
+
+  /// Raw bytes written to / read from the channel.
+  uint64_t BytesSent = 0;
+  uint64_t BytesReceived = 0;
+
+  struct CacheCounters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  /// Block-cache line lookups, keyed by space letter ('c', 'd').
+  std::map<char, CacheCounters> Cache;
+
+  void reset() { *this = TransportStats(); }
+
+  uint64_t cacheHits() const {
+    uint64_t N = 0;
+    for (const auto &[Space, C] : Cache)
+      N += C.Hits;
+    return N;
+  }
+  uint64_t cacheMisses() const {
+    uint64_t N = 0;
+    for (const auto &[Space, C] : Cache)
+      N += C.Misses;
+    return N;
+  }
+};
+
+} // namespace ldb::mem
+
+#endif // LDB_MEM_STATS_H

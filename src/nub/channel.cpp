@@ -19,6 +19,8 @@ LocalLink::makePair() {
 void ChannelEnd::write(const uint8_t *Bytes, size_t Size) {
   if (Link->Broken)
     return;
+  if (Stats)
+    Stats->BytesSent += Size;
   std::deque<uint8_t> &Out = outbox();
   Out.insert(Out.end(), Bytes, Bytes + Size);
   // Wake the peer. The callback may itself write back to us; that nests
@@ -36,6 +38,8 @@ bool ChannelEnd::read(uint8_t *Out, size_t Size) {
     Out[K] = In.front();
     In.pop_front();
   }
+  if (Stats)
+    Stats->BytesReceived += Size;
   return true;
 }
 

@@ -17,6 +17,8 @@
 #ifndef LDB_NUB_CHANNEL_H
 #define LDB_NUB_CHANNEL_H
 
+#include "mem/stats.h"
+
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -67,12 +69,17 @@ public:
 
   bool isBroken() const { return Link->Broken; }
 
+  /// Counts bytes this endpoint puts on and takes off the wire (the
+  /// transport-instrumentation hook; per endpoint, may be null).
+  void setStats(mem::TransportStats *S) { Stats = S; }
+
 private:
   std::deque<uint8_t> &inbox() const { return IsA ? Link->ToA : Link->ToB; }
   std::deque<uint8_t> &outbox() const { return IsA ? Link->ToB : Link->ToA; }
 
   std::shared_ptr<LocalLink> Link;
   bool IsA;
+  mem::TransportStats *Stats = nullptr;
 };
 
 } // namespace ldb::nub

@@ -6,6 +6,8 @@
 
 #include "nub/client.h"
 
+#include <algorithm>
+
 using namespace ldb;
 using namespace ldb::nub;
 
@@ -14,20 +16,29 @@ Error NubClient::send(const MsgWriter &W) {
     return Error::failure("connection to nub is broken");
   std::vector<uint8_t> Frame = W.frame();
   Chan->write(Frame.data(), Frame.size());
+  if (Stats)
+    ++Stats->MsgsSent;
   return Error::success();
 }
 
 Error NubClient::recv(MsgReader &Out) {
-  uint8_t Header[5];
-  if (!Chan->read(Header, 5))
+  switch (readFrame(*Chan, Out)) {
+  case FrameStatus::Ok:
+    // Every receive in this synchronous protocol answers a send, so each
+    // one closes a round trip.
+    if (Stats) {
+      ++Stats->MsgsReceived;
+      ++Stats->RoundTrips;
+    }
+    return Error::success();
+  case FrameStatus::NoFrame:
     return Error::failure("connection to nub is broken: no reply");
-  uint32_t Len =
-      static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
-  std::vector<uint8_t> Payload(Len);
-  if (Len > 0 && !Chan->read(Payload.data(), Len))
+  case FrameStatus::Truncated:
     return Error::failure("truncated reply from nub");
-  Out = MsgReader(static_cast<MsgKind>(Header[0]), std::move(Payload));
-  return Error::success();
+  case FrameStatus::Oversized:
+    return Error::failure("oversized reply from nub");
+  }
+  return Error::failure("unexpected frame state");
 }
 
 Error NubClient::expectAck() {
@@ -171,4 +182,54 @@ Error NubClient::remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
                          .f80(Value)))
     return E;
   return expectAck();
+}
+
+Error NubClient::remoteFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                                  uint8_t *Out) {
+  while (Len > 0) {
+    uint32_t N = std::min(Len, MaxBlockLen);
+    if (Error E = send(MsgWriter(MsgKind::FetchBlock)
+                           .u8(static_cast<uint8_t>(Space))
+                           .u32(Addr)
+                           .u32(N)))
+      return E;
+    MsgReader Msg(MsgKind::Ack, {});
+    if (Error E = recv(Msg))
+      return E;
+    if (Msg.kind() == MsgKind::Nak) {
+      std::string Reason;
+      Msg.str(Reason);
+      return Error::failure("block fetch failed: " + Reason);
+    }
+    const uint8_t *Ptr;
+    // A reply shorter than requested is an error, never a partial success:
+    // a link that dies mid-block must not read as zeros.
+    if (Msg.kind() != MsgKind::FetchBlockReply || Msg.remaining() != N ||
+        !Msg.raw(N, Ptr))
+      return Error::failure("unexpected reply to block fetch");
+    std::copy_n(Ptr, N, Out);
+    Addr += N;
+    Out += N;
+    Len -= N;
+  }
+  return Error::success();
+}
+
+Error NubClient::remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                                  const uint8_t *Bytes) {
+  while (Len > 0) {
+    uint32_t N = std::min(Len, MaxBlockLen);
+    if (Error E = send(MsgWriter(MsgKind::StoreBlock)
+                           .u8(static_cast<uint8_t>(Space))
+                           .u32(Addr)
+                           .u32(N)
+                           .raw(Bytes, N)))
+      return E;
+    if (Error E = expectAck())
+      return E;
+    Addr += N;
+    Bytes += N;
+    Len -= N;
+  }
+  return Error::success();
 }

@@ -62,6 +62,13 @@ public:
   /// message. The nub must preserve target state for the next debugger.
   void crash() { Chan->breakLink(); }
 
+  /// Attaches transport counters: the channel counts bytes, the client
+  /// counts messages and round trips. Pass null to detach.
+  void setStats(mem::TransportStats *S) {
+    Stats = S;
+    Chan->setStats(S);
+  }
+
   // RemoteEndpoint: fetches and stores travelling to the nub.
   Error remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
                        uint64_t &Value) override;
@@ -71,6 +78,12 @@ public:
                          long double &Value) override;
   Error remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
                          long double Value) override;
+  // Block transfers: one message per MaxBlockLen bytes instead of one per
+  // word; larger requests are split transparently.
+  Error remoteFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                         uint8_t *Out) override;
+  Error remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                         const uint8_t *Bytes) override;
 
 private:
   Error send(const MsgWriter &W);
@@ -80,6 +93,7 @@ private:
   std::shared_ptr<ChannelEnd> Chan;
   std::string Arch;
   std::optional<StopInfo> Pending;
+  mem::TransportStats *Stats = nullptr;
 };
 
 } // namespace ldb::nub

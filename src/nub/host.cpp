@@ -19,12 +19,14 @@ NubProcess &ProcessHost::createProcess(const std::string &Name,
 }
 
 Expected<std::unique_ptr<NubClient>>
-ProcessHost::connect(const std::string &Name) {
+ProcessHost::connect(const std::string &Name, mem::TransportStats *Stats) {
   NubProcess *Proc = find(Name);
   if (!Proc)
     return Error::failure("no process named '" + Name + "' is waiting");
   auto [DebuggerEnd, NubEnd] = LocalLink::makePair();
   auto Client = std::make_unique<NubClient>(DebuggerEnd);
+  if (Stats)
+    Client->setStats(Stats);
   Proc->attach(NubEnd);
   if (Error E = Client->handshake())
     return E;

@@ -35,8 +35,11 @@ public:
                             uint32_t MemBytes = 1u << 20);
 
   /// Connects a new debugger to the named process: builds a channel pair,
-  /// attaches the nub end, and performs the client handshake.
-  Expected<std::unique_ptr<NubClient>> connect(const std::string &Name);
+  /// attaches the nub end, and performs the client handshake. If \p Stats
+  /// is given it is attached before the handshake, so the counters see
+  /// every byte of the connection's life.
+  Expected<std::unique_ptr<NubClient>>
+  connect(const std::string &Name, mem::TransportStats *Stats = nullptr);
 
   NubProcess *find(const std::string &Name);
 

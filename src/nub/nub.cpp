@@ -69,17 +69,22 @@ void NubProcess::onReadable() {
   if (!Chan)
     return;
   // Frames are delivered whole by the channel, but parse defensively.
-  while (Chan->available() >= 5) {
-    uint8_t Header[5];
-    if (!Chan->read(Header, 5))
+  for (;;) {
+    MsgReader Msg(MsgKind::Ack, {});
+    switch (readFrame(*Chan, Msg)) {
+    case FrameStatus::NoFrame:
       return;
-    uint32_t Len =
-        static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
-    std::vector<uint8_t> Payload(Len);
-    if (Len > 0 && !Chan->read(Payload.data(), Len))
+    case FrameStatus::Truncated:
       return; // truncated frame: drop silently, like a dead socket
-    MsgReader Msg(static_cast<MsgKind>(Header[0]), std::move(Payload));
-    handleMessage(Msg);
+    case FrameStatus::Oversized:
+      // The declared length was hostile; readFrame drained the garbage, so
+      // refuse the request and keep serving.
+      nak("oversized frame");
+      break;
+    case FrameStatus::Ok:
+      handleMessage(Msg);
+      break;
+    }
     if (!Chan)
       return; // detached while handling
   }
@@ -101,6 +106,12 @@ void NubProcess::handleMessage(MsgReader &Msg) {
     return;
   case MsgKind::StoreFloat:
     handleStoreFloat(Msg);
+    return;
+  case MsgKind::FetchBlock:
+    handleFetchBlock(Msg);
+    return;
+  case MsgKind::StoreBlock:
+    handleStoreBlock(Msg);
     return;
   case MsgKind::Continue:
     if (St != State::Stopped) {
@@ -159,6 +170,40 @@ void NubProcess::handleStoreInt(MsgReader &Msg) {
   if (!nubSpace(Space))
     return nak("nub can access only code and data spaces");
   if (!M.storeInt(Addr, Size, static_cast<uint32_t>(Value)))
+    return nak("bad address");
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::handleFetchBlock(MsgReader &Msg) {
+  uint8_t Space;
+  uint32_t Addr, Len;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u32(Len))
+    return nak("malformed block fetch");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  if (Len > MaxBlockLen)
+    return nak("block too large");
+  // Blocks are raw target memory; no byte-order conversion happens here
+  // (the word messages are the ones that carry converted values).
+  std::vector<uint8_t> Raw(Len);
+  if (Len > 0 && !M.readBytes(Addr, Len, Raw.data()))
+    return nak("bad address");
+  send(MsgWriter(MsgKind::FetchBlockReply).raw(Raw.data(), Raw.size()));
+}
+
+void NubProcess::handleStoreBlock(MsgReader &Msg) {
+  uint8_t Space;
+  uint32_t Addr, Len;
+  if (!Msg.u8(Space) || !Msg.u32(Addr) || !Msg.u32(Len))
+    return nak("malformed block store");
+  if (!nubSpace(Space))
+    return nak("nub can access only code and data spaces");
+  if (Len > MaxBlockLen)
+    return nak("block too large");
+  const uint8_t *Bytes = nullptr;
+  if (!Msg.raw(Len, Bytes))
+    return nak("malformed block store");
+  if (Len > 0 && !M.writeBytes(Addr, Len, Bytes))
     return nak("bad address");
   send(MsgWriter(MsgKind::Ack));
 }

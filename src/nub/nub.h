@@ -83,6 +83,8 @@ private:
   void handleStoreInt(MsgReader &Msg);
   void handleFetchFloat(MsgReader &Msg);
   void handleStoreFloat(MsgReader &Msg);
+  void handleFetchBlock(MsgReader &Msg);
+  void handleStoreBlock(MsgReader &Msg);
   void doContinue();
   void handleEvent(target::RunResult R);
   void sendStopped();

@@ -6,6 +6,10 @@
 
 #include "nub/protocol.h"
 
+#include "nub/channel.h"
+
+#include <algorithm>
+
 using namespace ldb;
 using namespace ldb::nub;
 
@@ -57,6 +61,11 @@ MsgWriter &MsgWriter::f80(long double V) {
 MsgWriter &MsgWriter::str(const std::string &S) {
   u32(static_cast<uint32_t>(S.size()));
   Payload.insert(Payload.end(), S.begin(), S.end());
+  return *this;
+}
+
+MsgWriter &MsgWriter::raw(const uint8_t *Bytes, size_t Size) {
+  Payload.insert(Payload.end(), Bytes, Bytes + Size);
   return *this;
 }
 
@@ -120,4 +129,39 @@ bool MsgReader::str(std::string &S) {
     return false;
   S.assign(reinterpret_cast<const char *>(Ptr), Size);
   return true;
+}
+
+bool MsgReader::raw(size_t N, const uint8_t *&Ptr) { return take(N, Ptr); }
+
+FrameStatus ldb::nub::readFrame(ChannelEnd &Ch, MsgReader &Out) {
+  if (Ch.available() < 5)
+    return FrameStatus::NoFrame;
+  uint8_t Header[5];
+  if (!Ch.read(Header, 5))
+    return FrameStatus::NoFrame;
+  MsgKind Kind = static_cast<MsgKind>(Header[0]);
+  uint32_t Len =
+      static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
+  if (Len > MaxFramePayload) {
+    // A hostile or corrupt length: never allocate it. Whatever payload
+    // bytes did arrive are garbage belonging to this frame — drain them so
+    // a following frame can resynchronize.
+    uint8_t Sink[256];
+    uint64_t Left = Len;
+    while (Left > 0 && Ch.available() > 0) {
+      size_t N = std::min<uint64_t>({Left, Ch.available(), sizeof(Sink)});
+      if (!Ch.read(Sink, N))
+        break;
+      Left -= N;
+    }
+    Out = MsgReader(Kind, {});
+    return FrameStatus::Oversized;
+  }
+  std::vector<uint8_t> Payload(Len);
+  if (Len > 0 && !Ch.read(Payload.data(), Len)) {
+    Out = MsgReader(Kind, {});
+    return FrameStatus::Truncated;
+  }
+  Out = MsgReader(Kind, std::move(Payload));
+  return FrameStatus::Ok;
 }

@@ -13,7 +13,16 @@
 /// little-endian on every host/target combination; the nub converts
 /// between wire order and target order.
 ///
-/// Frame: kind (1 byte), payload length (4 bytes LE), payload.
+/// Frame: kind (1 byte), payload length (4 bytes LE), payload. Frames
+/// declaring more than MaxFramePayload bytes are rejected (Nak'd by the
+/// nub, an error in the client) rather than allocated.
+///
+/// Word messages (FetchInt and friends) carry *values*: the nub unpacks
+/// target memory with the target's byte order and the wire carries the
+/// value little-endian. Block messages carry *raw bytes* exactly as they
+/// sit in target memory, so bulk transfers cost one round trip and no
+/// per-word conversion; the debugger side unpacks them with the target's
+/// byte order when it needs values.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +47,8 @@ enum class MsgKind : uint8_t {
   Continue,
   Kill,
   Detach,
+  FetchBlock, ///< space (u8), addr (u32), length (u32)
+  StoreBlock, ///< space (u8), addr (u32), length (u32), raw bytes
 
   // Nub -> debugger.
   Welcome = 64,
@@ -47,7 +58,17 @@ enum class MsgKind : uint8_t {
   FetchFloatReply,
   Ack,
   Nak,
+  FetchBlockReply, ///< raw bytes, in target order
 };
+
+/// Largest payload a frame may declare; anything larger is malformed (or
+/// hostile) and is refused without being allocated.
+inline constexpr uint32_t MaxFramePayload = 1u << 20;
+
+/// Largest block a single Fetch/StoreBlock message may move; chosen so the
+/// StoreBlock header fields and payload always fit one frame. Clients split
+/// larger transfers.
+inline constexpr uint32_t MaxBlockLen = MaxFramePayload - 16;
 
 /// Simulated signal numbers carried in Stopped messages.
 enum Signal : int32_t {
@@ -71,6 +92,7 @@ public:
   MsgWriter &u64(uint64_t V);
   MsgWriter &f80(long double V); ///< 10 bytes, wire order
   MsgWriter &str(const std::string &S);
+  MsgWriter &raw(const uint8_t *Bytes, size_t Size); ///< verbatim bytes
 
   /// Frames the message: kind, length, payload.
   std::vector<uint8_t> frame() const;
@@ -92,7 +114,10 @@ public:
   bool u64(uint64_t &V);
   bool f80(long double &V);
   bool str(std::string &S);
+  /// Yields a pointer to the next \p N verbatim payload bytes.
+  bool raw(size_t N, const uint8_t *&Ptr);
   bool atEnd() const { return Pos == Payload.size(); }
+  size_t remaining() const { return Payload.size() - Pos; }
 
 private:
   bool take(size_t N, const uint8_t *&Ptr);
@@ -101,6 +126,23 @@ private:
   std::vector<uint8_t> Payload;
   size_t Pos = 0;
 };
+
+class ChannelEnd;
+
+/// What came of trying to read one frame off a channel.
+enum class FrameStatus : uint8_t {
+  Ok,        ///< a whole frame was consumed into the reader
+  NoFrame,   ///< nothing (or only part of a header) buffered; nothing consumed
+  Truncated, ///< header consumed but the payload never arrived (dead link)
+  Oversized, ///< declared length exceeds MaxFramePayload; payload drained
+};
+
+/// Reads one frame from \p Ch into \p Out, enforcing MaxFramePayload before
+/// allocating: an oversized declaration consumes the header, drains whatever
+/// payload bytes did arrive, and reports Oversized with the frame's kind in
+/// \p Out so the caller can answer (the nub Naks; the client errors). Both
+/// ends of the protocol read frames through here.
+FrameStatus readFrame(ChannelEnd &Ch, MsgReader &Out);
 
 } // namespace ldb::nub
 

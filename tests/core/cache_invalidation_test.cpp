@@ -1,0 +1,139 @@
+//===- tests/core/cache_invalidation_test.cpp -----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end block-cache coherence against a live nub, on every target:
+/// memory the debugger read before a continue must be re-read afterwards,
+/// because the target ran and may have changed it. The cache makes reads
+/// cheap; resume() makes it forget. A target whose stores went unseen
+/// would be a debugger that lies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::mem;
+using namespace ldb::target;
+
+namespace {
+
+constexpr uint32_t TextBase = 0x1000;
+constexpr uint32_t Flag = 0x2000; // data word the program writes
+
+class CacheInvalidationTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override {
+    Desc = GetParam();
+    Proc = &Host.createProcess("t1", *Desc);
+    unsigned ArgReg = Desc->FirstArgReg;
+    // r1 = 42; nop (bp); [Flag] = r1; nop (bp); exit(0)
+    std::vector<Instr> Program = {
+        Instr::i(Op::AddI, 1, 0, 42),
+        Instr::nop(),
+        Instr::i(Op::Sw, 1, 0, static_cast<int32_t>(Flag)),
+        Instr::nop(),
+        Instr::i(Op::AddI, ArgReg, 0, 0),
+        Instr::i(Op::Sys, 0, ArgReg, static_cast<int32_t>(Syscall::Exit)),
+    };
+    uint32_t Addr = TextBase;
+    for (const Instr &In : Program) {
+      ASSERT_TRUE(Proc->machine().storeInt(Addr, 4, Desc->Enc.encode(In)));
+      Addr += 4;
+    }
+    Proc->enter(TextBase);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "t1", "", "");
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+  }
+
+  uint64_t fetchFlag() {
+    uint64_t V = ~0ull;
+    Error E = T->wire()->fetchInt(Location::absolute(SpData, Flag), 4, V);
+    EXPECT_FALSE(E) << E.message();
+    return V;
+  }
+
+  const TargetDesc *Desc = nullptr;
+  nub::ProcessHost Host;
+  nub::NubProcess *Proc = nullptr;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+};
+
+TEST_P(CacheInvalidationTest, ResumeForgetsCachedMemory) {
+  ASSERT_FALSE(T->plantBreakpoints({TextBase + 4, TextBase + 12}));
+
+  ASSERT_FALSE(T->resume()); // startup pause -> first breakpoint
+  ASSERT_TRUE(T->stopped());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+
+  // Read the flag word; read it again so it is demonstrably served from
+  // the cache (no extra round trip).
+  EXPECT_EQ(fetchFlag(), 0u);
+  uint64_t Before = T->stats().RoundTrips;
+  EXPECT_EQ(fetchFlag(), 0u);
+  EXPECT_EQ(T->stats().RoundTrips, Before);
+
+  // Continue: the program stores 42 into the flag and hits the second
+  // breakpoint. The cached line must be gone, the new value visible.
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->stopped());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  EXPECT_EQ(fetchFlag(), 42u);
+
+  ASSERT_FALSE(T->resume());
+  ASSERT_TRUE(T->exited());
+  EXPECT_EQ(T->lastStop().ExitStatus, 0u);
+}
+
+TEST_P(CacheInvalidationTest, BatchPlantMovesOneRangeInTwoRoundTrips) {
+  // Both sites sit in one coalesced range inside one cache line: the
+  // batch plant costs exactly one block fetch plus one block store.
+  uint64_t Before = T->stats().RoundTrips;
+  ASSERT_FALSE(T->plantBreakpoints({TextBase + 4, TextBase + 12}));
+  EXPECT_EQ(T->stats().RoundTrips - Before, 2u);
+
+  // The removal's verification fetch hits the line still resident from
+  // the plant, so only the write-through store goes to the wire.
+  Before = T->stats().RoundTrips;
+  uint64_t HitsBefore = T->stats().cacheHits();
+  ASSERT_FALSE(T->removeBreakpoints({TextBase + 4, TextBase + 12}));
+  EXPECT_EQ(T->stats().RoundTrips - Before, 1u);
+  EXPECT_GT(T->stats().cacheHits(), HitsBefore);
+  EXPECT_TRUE(T->breakpoints().empty());
+}
+
+TEST_P(CacheInvalidationTest, WordTransportSeesTheSameWorld) {
+  // The word-granularity compatibility transport has no cache to go
+  // stale; the observable values are identical, just dearer.
+  T->setBlockTransport(false);
+  EXPECT_FALSE(T->blockTransport());
+
+  ASSERT_FALSE(T->plantBreakpoints({TextBase + 4, TextBase + 12}));
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  EXPECT_EQ(fetchFlag(), 0u);
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  EXPECT_EQ(fetchFlag(), 42u);
+
+  // Flipping the block transport back on mid-session is safe: the cache
+  // restarts empty and refills.
+  T->setBlockTransport(true);
+  EXPECT_TRUE(T->blockTransport());
+  EXPECT_EQ(fetchFlag(), 42u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CacheInvalidationTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

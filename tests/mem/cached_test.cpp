@@ -1,0 +1,331 @@
+//===- tests/mem/cached_test.cpp ------------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CachedMemory unit tests: lines fill once and serve many, stores write
+/// through before patching, invalidate really forgets, failed line fills
+/// fall back to direct transfers, and bypass mode reproduces the old
+/// word-at-a-time traffic. The underlying memory is wrapped in a probe
+/// that counts what actually reaches it — the cache's whole point is what
+/// does *not* reach the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mem/cached.h"
+#include "mem/memories.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::mem;
+
+namespace {
+
+/// Forwards everything and counts it, so tests can assert how much traffic
+/// the cache let through.
+class ProbeMemory : public Memory {
+public:
+  explicit ProbeMemory(MemoryRef Under) : Under(std::move(Under)) {}
+
+  Error fetchInt(Location Loc, unsigned Size, uint64_t &Value) override {
+    ++FetchInts;
+    return Under->fetchInt(Loc, Size, Value);
+  }
+  Error storeInt(Location Loc, unsigned Size, uint64_t Value) override {
+    ++StoreInts;
+    return Under->storeInt(Loc, Size, Value);
+  }
+  Error fetchFloat(Location Loc, unsigned Size, long double &Value) override {
+    ++FetchFloats;
+    return Under->fetchFloat(Loc, Size, Value);
+  }
+  Error storeFloat(Location Loc, unsigned Size, long double Value) override {
+    ++StoreFloats;
+    return Under->storeFloat(Loc, Size, Value);
+  }
+  Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override {
+    ++FetchBlocks;
+    return Under->fetchBlock(Loc, Size, Out);
+  }
+  Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override {
+    ++StoreBlocks;
+    return Under->storeBlock(Loc, Size, Bytes);
+  }
+
+  int FetchInts = 0, StoreInts = 0, FetchFloats = 0, StoreFloats = 0;
+  int FetchBlocks = 0, StoreBlocks = 0;
+
+private:
+  MemoryRef Under;
+};
+
+struct Rig {
+  explicit Rig(ByteOrder Order = ByteOrder::Little, unsigned LineBytes = 16) {
+    Flat = std::make_shared<FlatMemory>(Order);
+    Flat->addSpace('c', 4096);
+    Flat->addSpace('d', 4096);
+    Probe = std::make_shared<ProbeMemory>(Flat);
+    Cache = std::make_shared<CachedMemory>(Probe, Order, LineBytes);
+    Cache->setStats(&Stats);
+  }
+  std::shared_ptr<FlatMemory> Flat;
+  std::shared_ptr<ProbeMemory> Probe;
+  std::shared_ptr<CachedMemory> Cache;
+  TransportStats Stats;
+};
+
+Location d(int64_t Off) { return Location::absolute(SpData, Off); }
+Location c(int64_t Off) { return Location::absolute(SpCode, Off); }
+
+TEST(CachedMemory, LineFillsOnceThenServes) {
+  Rig R;
+  ASSERT_FALSE(R.Flat->storeInt(d(0x100), 4, 0x11223344));
+  ASSERT_FALSE(R.Flat->storeInt(d(0x104), 4, 0x55667788));
+
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V));
+  EXPECT_EQ(V, 0x11223344u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 1); // one line fill
+  EXPECT_EQ(R.Probe->FetchInts, 0);   // no word ever reached the wire
+
+  // The neighbouring word rides the same line: zero new traffic.
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x104), 4, V));
+  EXPECT_EQ(V, 0x55667788u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 1);
+  EXPECT_EQ(R.Stats.Cache[SpData].Misses, 1u);
+  EXPECT_EQ(R.Stats.Cache[SpData].Hits, 1u);
+  EXPECT_EQ(R.Cache->cachedLines(), 1u);
+}
+
+TEST(CachedMemory, ServesValuesInTargetByteOrder) {
+  Rig R(ByteOrder::Big);
+  ASSERT_FALSE(R.Flat->storeInt(d(0x40), 4, 0xdeadbeef));
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x40), 4, V));
+  EXPECT_EQ(V, 0xdeadbeefu);
+  // Subword fetch out of the cached line honours big-endian layout.
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x40), 2, V));
+  EXPECT_EQ(V, 0xdeadu);
+}
+
+TEST(CachedMemory, StoresWriteThroughThenPatchResidentLines) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x200), 4, V)); // cache the line
+  ASSERT_FALSE(R.Cache->storeInt(d(0x200), 4, 0xcafef00d));
+
+  // Underneath sees the store immediately (write-through)...
+  ASSERT_FALSE(R.Flat->fetchInt(d(0x200), 4, V));
+  EXPECT_EQ(V, 0xcafef00du);
+  // ...and the cached copy was patched, not dropped: the re-fetch is free.
+  int BlocksBefore = R.Probe->FetchBlocks;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x200), 4, V));
+  EXPECT_EQ(V, 0xcafef00du);
+  EXPECT_EQ(R.Probe->FetchBlocks, BlocksBefore);
+}
+
+TEST(CachedMemory, StoreToUncachedLineAllocatesNothing) {
+  Rig R;
+  ASSERT_FALSE(R.Cache->storeInt(d(0x300), 4, 7));
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Flat->fetchInt(d(0x300), 4, V));
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(CachedMemory, InvalidateForgetsEverything) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x80), 4, V));
+  EXPECT_EQ(V, 0u);
+
+  // The target runs behind the cache's back.
+  ASSERT_FALSE(R.Flat->storeInt(d(0x80), 4, 42));
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x80), 4, V));
+  EXPECT_EQ(V, 0u) << "still serving the cached line, by design";
+
+  R.Cache->invalidate();
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x80), 4, V));
+  EXPECT_EQ(V, 42u);
+}
+
+TEST(CachedMemory, FetchAcrossLineBoundaryFillsBothLines) {
+  Rig R; // 16-byte lines
+  ASSERT_FALSE(R.Flat->storeInt(d(14), 4, 0xaabbccdd));
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(14), 4, V));
+  EXPECT_EQ(V, 0xaabbccddu);
+  EXPECT_EQ(R.Cache->cachedLines(), 2u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 2);
+}
+
+TEST(CachedMemory, LinePastEndOfSpaceFallsBackUncached) {
+  auto Flat = std::make_shared<FlatMemory>(ByteOrder::Little);
+  Flat->addSpace('d', 100); // a line at offset 96 would run past the end
+  auto Probe = std::make_shared<ProbeMemory>(Flat);
+  CachedMemory Cache(Probe, ByteOrder::Little, 16);
+
+  ASSERT_FALSE(Flat->storeInt(d(96), 4, 99));
+  uint64_t V = 0;
+  ASSERT_FALSE(Cache.fetchInt(d(96), 4, V));
+  EXPECT_EQ(V, 99u);
+  EXPECT_EQ(Cache.cachedLines(), 0u) << "the failed line must not linger";
+
+  // Past the space entirely the error still surfaces.
+  EXPECT_TRUE(static_cast<bool>(Cache.fetchInt(d(200), 4, V)));
+}
+
+TEST(CachedMemory, LargeBlockIsOneTransferAndSeedsLines) {
+  Rig R; // 16-byte lines
+  ASSERT_FALSE(R.Flat->storeInt(d(0x410), 4, 0x01020304));
+  uint8_t Block[64];
+  ASSERT_FALSE(R.Cache->fetchBlock(d(0x400), 64, Block));
+  EXPECT_EQ(R.Probe->FetchBlocks, 1) << "one bulk transfer, not per-line";
+  EXPECT_EQ(R.Cache->cachedLines(), 4u);
+
+  // The seeded lines now serve word fetches for free.
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x410), 4, V));
+  EXPECT_EQ(V, 0x01020304u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 1);
+}
+
+TEST(CachedMemory, BlockStoreWritesThroughAndPatches) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x500), 4, V)); // resident line
+  uint8_t Bytes[8];
+  packInt(0x11111111, Bytes, 4, ByteOrder::Little);
+  packInt(0x22222222, Bytes + 4, 4, ByteOrder::Little);
+  ASSERT_FALSE(R.Cache->storeBlock(d(0x500), 8, Bytes));
+  EXPECT_EQ(R.Probe->StoreBlocks, 1);
+
+  ASSERT_FALSE(R.Flat->fetchInt(d(0x504), 4, V));
+  EXPECT_EQ(V, 0x22222222u);
+  int BlocksBefore = R.Probe->FetchBlocks;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x500), 4, V));
+  EXPECT_EQ(V, 0x11111111u);
+  EXPECT_EQ(R.Probe->FetchBlocks, BlocksBefore);
+}
+
+TEST(CachedMemory, AliasedSpacesPatchEachOther) {
+  // The nub's code and data spaces name the same bytes; FlatMemory's do
+  // not, which makes the aliasing visible: a store through 'd' patches the
+  // cached 'c' line even though flat 'c' storage never changes.
+  Rig R;
+  R.Cache->setSpacesAlias(true);
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x600), 4, V)); // cache a 'c' line
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x600), 4, V)); // and the 'd' twin
+  ASSERT_FALSE(R.Cache->storeInt(d(0x600), 4, 0x5eed));
+
+  int BlocksBefore = R.Probe->FetchBlocks;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x600), 4, V));
+  EXPECT_EQ(V, 0x5eedu);
+  EXPECT_EQ(R.Probe->FetchBlocks, BlocksBefore) << "served from the cache";
+}
+
+TEST(CachedMemory, WithoutAliasSpacesStayIndependent) {
+  Rig R; // SpacesAlias defaults to false
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x600), 4, V));
+  ASSERT_FALSE(R.Cache->storeInt(d(0x600), 4, 0x5eed));
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x600), 4, V));
+  EXPECT_EQ(V, 0u);
+}
+
+TEST(CachedMemory, BypassKeepsNoLinesAndDegradesToWords) {
+  Rig R;
+  R.Cache->setBypass(true);
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x700), 4, V));
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+  EXPECT_EQ(R.Probe->FetchInts, 1);
+  EXPECT_EQ(R.Probe->FetchBlocks, 0);
+
+  // Block ops degrade to one word message per 4 bytes — the pre-block
+  // traffic shape the bench uses as its baseline.
+  uint8_t Block[8];
+  ASSERT_FALSE(R.Cache->fetchBlock(d(0x700), 8, Block));
+  EXPECT_EQ(R.Probe->FetchInts, 3);
+  EXPECT_EQ(R.Probe->FetchBlocks, 0);
+  ASSERT_FALSE(R.Cache->storeBlock(d(0x700), 8, Block));
+  EXPECT_EQ(R.Probe->StoreInts, 2);
+  EXPECT_EQ(R.Probe->StoreBlocks, 0);
+}
+
+TEST(CachedMemory, SettingBypassDropsResidentLines) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0), 4, V));
+  EXPECT_EQ(R.Cache->cachedLines(), 1u);
+  R.Cache->setBypass(true);
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+}
+
+TEST(CachedMemory, FloatsAlwaysGoToTheWire) {
+  // Floats stay word operations so the nub keeps its say (e.g. refusing
+  // 80-bit floats on targets without them).
+  Rig R;
+  ASSERT_FALSE(R.Cache->storeFloat(d(0x20), 8, -2.5L));
+  long double F = 0;
+  ASSERT_FALSE(R.Cache->fetchFloat(d(0x20), 8, F));
+  EXPECT_EQ(F, -2.5L);
+  EXPECT_EQ(R.Probe->StoreFloats, 1);
+  EXPECT_EQ(R.Probe->FetchFloats, 1);
+}
+
+TEST(CachedMemory, FloatStorePatchesResidentLine) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x20), 4, V)); // resident line
+  ASSERT_FALSE(R.Cache->storeFloat(d(0x20), 8, 1.5L));
+  long double F = 0;
+  ASSERT_FALSE(R.Cache->fetchFloat(d(0x20), 8, F));
+  EXPECT_EQ(F, 1.5L);
+  // The cached line was patched with the packed bytes, so an int view of
+  // the same address matches what the flat memory holds.
+  uint64_t Below = 0, Above = 0;
+  ASSERT_FALSE(R.Flat->fetchInt(d(0x20), 4, Below));
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x20), 4, Above));
+  EXPECT_EQ(Above, Below);
+}
+
+TEST(CachedMemory, ZeroSizeBlocksAreFreeSuccesses) {
+  Rig R;
+  uint8_t Byte = 0;
+  ASSERT_FALSE(R.Cache->fetchBlock(d(0), 0, &Byte));
+  ASSERT_FALSE(R.Cache->storeBlock(d(0), 0, &Byte));
+  EXPECT_EQ(R.Probe->FetchBlocks, 0);
+  EXPECT_EQ(R.Probe->StoreBlocks, 0);
+}
+
+TEST(CachedMemory, ImmediateFetchNeedsNoWire) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(Location::immediate(123), 4, V));
+  EXPECT_EQ(V, 123u);
+  EXPECT_EQ(R.Probe->FetchInts + R.Probe->FetchBlocks, 0);
+  uint8_t Byte = 0;
+  EXPECT_TRUE(
+      static_cast<bool>(R.Cache->fetchBlock(Location::immediate(1), 1, &Byte)));
+}
+
+TEST(CachedMemory, UncachedSpacesForwardUntouched) {
+  auto Flat = std::make_shared<FlatMemory>(ByteOrder::Little);
+  Flat->addSpace('d', 256);
+  Flat->addSpace('x', 256);
+  auto Probe = std::make_shared<ProbeMemory>(Flat);
+  CachedMemory Cache(Probe, ByteOrder::Little, 16, "d");
+
+  uint64_t V = 0;
+  ASSERT_FALSE(Cache.fetchInt(Location::absolute(SpExtra, 0), 4, V));
+  EXPECT_EQ(Probe->FetchInts, 1) << "'x' is not cached: the word forwards";
+  EXPECT_EQ(Cache.cachedLines(), 0u);
+}
+
+} // namespace

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace ldb;
 using namespace ldb::mem;
 using namespace ldb::nub;
@@ -338,8 +340,161 @@ TEST_P(NubTest, StepBudgetStopsRunawayProcess) {
   EXPECT_EQ(Stop.Signo, NubProcess::SigXCpu);
 }
 
+TEST_P(NubTest, BlockFetchCarriesRawTargetBytes) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(Client->remoteStoreInt('d', 0x2000, 4, 0x11223344));
+  ASSERT_FALSE(Client->remoteStoreInt('d', 0x2004, 4, 0x55667788));
+  uint8_t Block[8] = {0};
+  ASSERT_FALSE(Client->remoteFetchBlock('d', 0x2000, 8, Block));
+  // Blocks are raw target-order bytes — what the nub's memcpy sees — so
+  // unpacking with the target's order recovers the stored values.
+  EXPECT_EQ(unpackInt(Block, 4, Desc->Order), 0x11223344u);
+  EXPECT_EQ(unpackInt(Block + 4, 4, Desc->Order), 0x55667788u);
+}
+
+TEST_P(NubTest, BlockStoreMatchesWordStores) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  uint8_t Block[8];
+  packInt(0xcafebabe, Block, 4, Desc->Order);
+  packInt(0x0badf00d, Block + 4, 4, Desc->Order);
+  ASSERT_FALSE(Client->remoteStoreBlock('d', 0x3000, 8, Block));
+  uint64_t V = 0;
+  ASSERT_FALSE(Client->remoteFetchInt('d', 0x3000, 4, V));
+  EXPECT_EQ(V, 0xcafebabeu);
+  ASSERT_FALSE(Client->remoteFetchInt('d', 0x3004, 4, V));
+  EXPECT_EQ(V, 0x0badf00du);
+}
+
+TEST_P(NubTest, BlockRefusesRegisterSpaceAndBadAddress) {
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  uint8_t Block[4] = {0};
+  Error E = Client->remoteFetchBlock('r', 0, 4, Block);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("code and data"), std::string::npos);
+  EXPECT_TRUE(
+      static_cast<bool>(Client->remoteFetchBlock('d', 0xfffffff0, 16, Block)));
+  EXPECT_TRUE(static_cast<bool>(
+      Client->remoteStoreBlock('d', 0xfffffff0, 4, Block)));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTargets, NubTest, ::testing::ValuesIn(allTargets()),
                          [](const auto &Info) { return Info.param->Name; });
+
+TEST(NubFraming, OversizedFrameNakedAndConnectionSurvives) {
+  // A frame declaring a huge payload is refused with a Nak and never
+  // allocated; the nub keeps serving afterwards.
+  ProcessHost Host;
+  NubProcess &P = Host.createProcess("t1", *targetByName("zmips"));
+  ASSERT_TRUE(
+      P.machine().storeInt(TextBase, 4, P.desc().Enc.encode(Instr::nop())));
+  P.enter(TextBase);
+  auto [DebuggerEnd, NubEnd] = LocalLink::makePair();
+  P.attach(NubEnd);
+  // Drain the Welcome and Stopped notifications.
+  uint8_t Sink[256];
+  while (DebuggerEnd->available())
+    DebuggerEnd->read(Sink, std::min<size_t>(DebuggerEnd->available(), 256));
+
+  uint8_t Bad[5];
+  Bad[0] = static_cast<uint8_t>(MsgKind::FetchInt);
+  packInt(64u << 20, Bad + 1, 4, ByteOrder::Little);
+  DebuggerEnd->write(Bad, 5);
+  MsgReader Reply(MsgKind::Ack, {});
+  ASSERT_EQ(readFrame(*DebuggerEnd, Reply), FrameStatus::Ok);
+  EXPECT_EQ(Reply.kind(), MsgKind::Nak);
+  std::string Reason;
+  ASSERT_TRUE(Reply.str(Reason));
+  EXPECT_NE(Reason.find("oversized"), std::string::npos);
+
+  // Still alive: a well-formed request gets a real answer.
+  NubClient Client(DebuggerEnd);
+  uint64_t V = 0;
+  ASSERT_FALSE(Client.remoteFetchInt('c', TextBase, 4, V));
+  EXPECT_EQ(V, targetByName("zmips")->nopWord());
+}
+
+TEST(NubFraming, BlockLargerThanMessageCapNaked) {
+  // The client splits big transfers, but a hand-rolled request past the
+  // cap must be refused, not served.
+  ProcessHost Host;
+  NubProcess &P = Host.createProcess("t1", *targetByName("zmips"));
+  P.enter(TextBase);
+  auto [DebuggerEnd, NubEnd] = LocalLink::makePair();
+  P.attach(NubEnd);
+  uint8_t Sink[256];
+  while (DebuggerEnd->available())
+    DebuggerEnd->read(Sink, std::min<size_t>(DebuggerEnd->available(), 256));
+
+  std::vector<uint8_t> Req = MsgWriter(MsgKind::FetchBlock)
+                                 .u8('d')
+                                 .u32(0)
+                                 .u32(MaxBlockLen + 1)
+                                 .frame();
+  DebuggerEnd->write(Req.data(), Req.size());
+  MsgReader Reply(MsgKind::Ack, {});
+  ASSERT_EQ(readFrame(*DebuggerEnd, Reply), FrameStatus::Ok);
+  EXPECT_EQ(Reply.kind(), MsgKind::Nak);
+  std::string Reason;
+  ASSERT_TRUE(Reply.str(Reason));
+  EXPECT_NE(Reason.find("too large"), std::string::npos);
+}
+
+TEST(NubFraming, LinkBrokenMidBlockReplyIsCleanError) {
+  // A link that dies halfway through a block reply must surface as an
+  // error from the wire memory — never as a short read passed off as
+  // success with zero-filled tails.
+  auto [FakeNub, DebuggerEnd] = LocalLink::makePair();
+  FakeNub->setReadable([End = FakeNub.get()] {
+    // Consume whatever request arrived, then answer with a reply frame
+    // whose header promises 64 bytes but whose payload is cut off at 10,
+    // and kill the link — a crash mid-send.
+    uint8_t Sink[256];
+    while (End->available())
+      End->read(Sink, std::min<size_t>(End->available(), 256));
+    uint8_t Header[5];
+    Header[0] = static_cast<uint8_t>(MsgKind::FetchBlockReply);
+    packInt(64, Header + 1, 4, ByteOrder::Little);
+    End->write(Header, 5);
+    uint8_t Part[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    End->write(Part, 10);
+    End->breakLink();
+  });
+
+  NubClient Client(DebuggerEnd);
+  WireMemory Wire(Client);
+  uint8_t Out[64] = {0};
+  Error E = Wire.fetchBlock(Location::absolute(SpData, 0x2000), 64, Out);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("truncated"), std::string::npos);
+}
+
+TEST(NubFraming, ShortBlockReplyIsError) {
+  // A *well-formed* frame that simply carries fewer bytes than requested
+  // is just as wrong: the client must refuse it, not zero-fill.
+  auto [FakeNub, DebuggerEnd] = LocalLink::makePair();
+  FakeNub->setReadable([End = FakeNub.get()] {
+    uint8_t Sink[256];
+    while (End->available())
+      End->read(Sink, std::min<size_t>(End->available(), 256));
+    uint8_t Part[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<uint8_t> Reply =
+        MsgWriter(MsgKind::FetchBlockReply).raw(Part, 10).frame();
+    End->write(Reply.data(), Reply.size());
+  });
+
+  NubClient Client(DebuggerEnd);
+  WireMemory Wire(Client);
+  uint8_t Out[64] = {0};
+  Error E = Wire.fetchBlock(Location::absolute(SpData, 0x2000), 64, Out);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("unexpected reply"), std::string::npos);
+}
 
 TEST(ProcessHost, MultipleSimultaneousTargets) {
   // ldb can connect to multiple targets at once, on different

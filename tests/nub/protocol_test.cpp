@@ -138,6 +138,99 @@ TEST_P(ProtocolFuzz, RandomMessagesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Range(0, 6));
 
+TEST(Protocol, RawBytesRoundTrip) {
+  uint8_t Bytes[5] = {0x10, 0x20, 0x30, 0x40, 0x50};
+  MsgReader R = roundTrip(MsgWriter(MsgKind::FetchBlockReply).raw(Bytes, 5));
+  EXPECT_EQ(R.remaining(), 5u);
+  const uint8_t *Ptr = nullptr;
+  ASSERT_TRUE(R.raw(5, Ptr));
+  EXPECT_EQ(Ptr[0], 0x10);
+  EXPECT_EQ(Ptr[4], 0x50);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.raw(1, Ptr)); // drained
+}
+
+TEST(Protocol, BlockMessageFieldsRoundTrip) {
+  uint8_t Bytes[3] = {9, 8, 7};
+  MsgReader R = roundTrip(MsgWriter(MsgKind::StoreBlock)
+                              .u8('c')
+                              .u32(0x1000)
+                              .u32(3)
+                              .raw(Bytes, 3));
+  uint8_t Space;
+  uint32_t Addr, Len;
+  ASSERT_TRUE(R.u8(Space) && R.u32(Addr) && R.u32(Len));
+  EXPECT_EQ(Space, 'c');
+  EXPECT_EQ(Addr, 0x1000u);
+  ASSERT_EQ(Len, 3u);
+  const uint8_t *Ptr = nullptr;
+  ASSERT_TRUE(R.raw(Len, Ptr));
+  EXPECT_EQ(Ptr[2], 7);
+}
+
+TEST(ReadFrame, WholeFrameComesOff) {
+  auto [A, B] = LocalLink::makePair();
+  std::vector<uint8_t> Frame =
+      MsgWriter(MsgKind::FetchInt).u8('d').u32(0x2000).u8(4).frame();
+  A->write(Frame.data(), Frame.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
+  EXPECT_EQ(Msg.kind(), MsgKind::FetchInt);
+  EXPECT_EQ(Msg.remaining(), 6u);
+  EXPECT_EQ(B->available(), 0u);
+}
+
+TEST(ReadFrame, PartialHeaderConsumesNothing) {
+  auto [A, B] = LocalLink::makePair();
+  uint8_t Partial[3] = {1, 2, 3};
+  A->write(Partial, 3);
+  MsgReader Msg(MsgKind::Ack, {});
+  EXPECT_EQ(readFrame(*B, Msg), FrameStatus::NoFrame);
+  EXPECT_EQ(B->available(), 3u); // still there for when the rest arrives
+}
+
+TEST(ReadFrame, MissingPayloadIsTruncated) {
+  auto [A, B] = LocalLink::makePair();
+  // Header declares 10 payload bytes; only 4 ever arrive.
+  uint8_t Header[5] = {static_cast<uint8_t>(MsgKind::FetchInt), 10, 0, 0, 0};
+  uint8_t Some[4] = {1, 2, 3, 4};
+  A->write(Header, 5);
+  A->write(Some, 4);
+  MsgReader Msg(MsgKind::Ack, {});
+  EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Truncated);
+}
+
+TEST(ReadFrame, OversizedDeclarationRefusedWithoutAllocation) {
+  auto [A, B] = LocalLink::makePair();
+  // A frame declaring a 256 MiB payload must be rejected outright, not
+  // allocated on faith.
+  std::vector<uint8_t> Bad(5 + 32, 0xee); // header + some garbage payload
+  Bad[0] = static_cast<uint8_t>(MsgKind::Hello);
+  packInt(256u << 20, Bad.data() + 1, 4, ByteOrder::Little);
+  A->write(Bad.data(), Bad.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Oversized);
+  EXPECT_EQ(Msg.kind(), MsgKind::Hello); // the kind survives for the Nak
+  // The garbage payload bytes that did arrive were drained, so a later
+  // well-formed frame frames cleanly.
+  EXPECT_EQ(B->available(), 0u);
+  std::vector<uint8_t> Good = MsgWriter(MsgKind::FetchInt).u8('d').frame();
+  A->write(Good.data(), Good.size());
+  ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
+  EXPECT_EQ(Msg.kind(), MsgKind::FetchInt);
+}
+
+TEST(ReadFrame, LargestLegalPayloadStillAccepted) {
+  auto [A, B] = LocalLink::makePair();
+  std::vector<uint8_t> Big(MaxFramePayload, 0xab);
+  std::vector<uint8_t> Frame =
+      MsgWriter(MsgKind::FetchBlockReply).raw(Big.data(), Big.size()).frame();
+  A->write(Frame.data(), Frame.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
+  EXPECT_EQ(Msg.remaining(), MaxFramePayload);
+}
+
 TEST(Channel, BytesFlowBothWays) {
   auto [A, B] = LocalLink::makePair();
   uint8_t Out[4] = {1, 2, 3, 4};
