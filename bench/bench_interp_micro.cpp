@@ -7,12 +7,15 @@
 /// \file
 /// Google-benchmark microbenchmarks for the pieces whose costs the
 /// paper's discussion attributes startup time to: PostScript scanning,
-/// interpretation, dictionary operations, and fetches through the
-/// abstract-memory DAG. Not a paper table; supporting data for E2/E6.
+/// interpretation, dictionary operations, atom interning, fastload
+/// replay, and fetches through the abstract-memory DAG. Not a paper
+/// table; supporting data for E2/E6. Emits BENCH_interp.json.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "mem/memories.h"
+#include "postscript/atoms.h"
+#include "postscript/fastload.h"
 #include "postscript/interp.h"
 #include "postscript/scanner.h"
 
@@ -78,6 +81,53 @@ void BM_DictDefineLookup(benchmark::State &State) {
 }
 BENCHMARK(BM_DictDefineLookup);
 
+void BM_AtomInternHit(benchmark::State &State) {
+  // The hot case: every name in a symbol table after the first mention.
+  AtomTable &AT = AtomTable::global();
+  AT.intern("bench-atom-hit");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(AT.intern("bench-atom-hit"));
+}
+BENCHMARK(BM_AtomInternHit);
+
+void BM_DictFindLarge(benchmark::State &State) {
+  // An indexed lookup in a systemdict-sized dictionary.
+  DictImpl D;
+  for (int K = 0; K < 500; ++K)
+    D.set("entry" + std::to_string(K), Object::makeInt(K));
+  uint32_t Key = AtomTable::global().intern("entry250");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(D.find(Key));
+}
+BENCHMARK(BM_DictFindLarge);
+
+void BM_ReplaySymbolEntry(benchmark::State &State) {
+  // Decoding one symbol entry from a fastload blob — the per-entry cost
+  // that replaces BM_ScanSymbolEntry on warm loads.
+  const std::string Entry =
+      "/S10 << /name (i) /type << /decl (int %s) /printer {INT} >> "
+      "/sourcefile (fib.c) /sourcey 6 /sourcex 8 /kind (variable) "
+      "/where 30 ";
+  uint64_t Hash = fastload::contentHash(Entry);
+  auto Tokens = fastload::scanAll(Entry);
+  if (!Tokens) {
+    State.SkipWithError("scan failed");
+    return;
+  }
+  auto Blob = fastload::encode(*Tokens, Hash);
+  if (!Blob) {
+    State.SkipWithError("encode failed");
+    return;
+  }
+  for (auto _ : State) {
+    auto Back = fastload::decode(*Blob, Hash);
+    if (!Back)
+      State.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(Back->size());
+  }
+}
+BENCHMARK(BM_ReplaySymbolEntry);
+
 void BM_FetchThroughDag(benchmark::State &State) {
   // joined -> register -> alias -> flat: the Fig 4 path for register 30.
   auto Flat = std::make_shared<mem::FlatMemory>(ByteOrder::Big);
@@ -115,6 +165,39 @@ void BM_PrinterInt(benchmark::State &State) {
 }
 BENCHMARK(BM_PrinterInt);
 
+/// Console output as usual, plus a flat JSON summary of adjusted real
+/// times so CI can archive the numbers next to BENCH_wire.json.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<std::pair<std::string, double>> Rows;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports)
+      if (!R.error_occurred)
+        Rows.emplace_back(R.benchmark_name(), R.GetAdjustedRealTime());
+    ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  JsonCaptureReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+
+  std::FILE *J = std::fopen("BENCH_interp.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_interp.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"bench\": \"interp_micro\",\n  \"unit\": \"ns\"");
+  for (const auto &[Name, Ns] : Reporter.Rows)
+    std::fprintf(J, ",\n  \"%s\": %.1f", Name.c_str(), Ns);
+  std::fprintf(J, "\n}\n");
+  std::fclose(J);
+  benchmark::Shutdown();
+  return 0;
+}

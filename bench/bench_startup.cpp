@@ -21,6 +21,7 @@
 #include "bench_util.h"
 #include "core/debugger.h"
 #include "lcc/driver.h"
+#include "postscript/fastload.h"
 #include "workload.h"
 
 #include <cstdio>
@@ -110,11 +111,9 @@ int main() {
       std::exit(6);
     return W.seconds();
   };
-  double HelloSym = timeMedian([&] { SymtabRead(Hello->PsSymtab); });
-  row("read symbol table for hello.c (1 line)", "2.2 s",
-      ms(SymtabRead(Hello->PsSymtab)));
-  (void)HelloSym;
-  double LccSym = SymtabRead(Lcc->PsSymtab);
+  double HelloSym = medianOf([&] { return SymtabRead(Hello->PsSymtab); });
+  row("read symbol table for hello.c (1 line)", "2.2 s", ms(HelloSym));
+  double LccSym = medianOf([&] { return SymtabRead(Lcc->PsSymtab); });
   row("read symbol table for lcc (13,000 lines)", "5.5 s", ms(LccSym));
 
   double ConnHello = connectTime({Hello.get()}, {&Zmips});
@@ -134,6 +133,37 @@ int main() {
   row("dbx/gdb baseline: read stabs for lcc", "1.5 s / 1.1 s",
       ms(StabsRead));
 
+  // The fastload comparison: the same 13,000-line symtab read through the
+  // scanner versus replayed from a warm binary blob. The cold read pays
+  // scan + encode once; every read after that skips the scanner.
+  ps::fastload::Cache &FC = ps::fastload::Cache::global();
+  auto FastloadRead = [&](const std::string &Text) {
+    ps::Interp I;
+    if (I.run(ps::prelude()))
+      std::exit(8);
+    Stopwatch W;
+    if (FC.run(I, Text))
+      std::exit(9);
+    return W.seconds();
+  };
+  FC.setEnabled(true);
+  FC.clear();
+  double FastloadCold = FastloadRead(Lcc->PsSymtab);
+  FastloadRead(Lcc->PsSymtab); // first hit decodes and keeps the stream
+  double FastloadWarm =
+      medianOf([&] { return FastloadRead(Lcc->PsSymtab); });
+  row("read symtab for lcc, fastload cold", "-", ms(FastloadCold));
+  row("read symtab for lcc, fastload warm", "-", ms(FastloadWarm));
+
+  // The PR's acceptance baseline: the scanner path as measured before
+  // the atom-interning and fastload work landed (EXPERIMENTS.md E2, the
+  // "read symtab, lcc" row recorded at PR 2). The in-binary scanner has
+  // itself sped up since — interned dicts and the leaner exec loop serve
+  // both paths — so the seed number is kept as a recorded constant.
+  const double SeedScannerMs = 41.7;
+  double VsScanner = FastloadWarm > 0 ? LccSym / FastloadWarm : 0;
+  double VsSeed = FastloadWarm > 0 ? SeedScannerMs / (FastloadWarm * 1e3) : 0;
+
   std::printf("\nshape checks:\n");
   std::printf("  symtab read grows with program size: %s (hello %.3f ms, "
               "lcc %.3f ms)\n",
@@ -148,5 +178,59 @@ int main() {
               "same-architecture: %s (%.2fx)\n",
               ConnCross < 1.5 * ConnLcc ? "yes" : "NO",
               ConnCross / ConnLcc);
+  std::printf("  fastload warm read beats this binary's scanner: %s "
+              "(%.1fx)\n",
+              VsScanner > 1.0 ? "yes" : "NO", VsScanner);
+  std::printf("  fastload warm read >= 3x the pre-PR scanner path "
+              "(%.1f ms): %s (%.1fx)\n",
+              SeedScannerMs, VsSeed >= 3.0 ? "yes" : "NO", VsSeed);
+
+  std::FILE *J = std::fopen("BENCH_startup.json", "w");
+  if (J) {
+    std::fprintf(
+        J,
+        "{\n"
+        "  \"bench\": \"startup\",\n"
+        "  \"target\": \"zmips\",\n"
+        "  \"lcc_lines\": 13000,\n"
+        "  \"unit\": \"ms\",\n"
+        "  \"runtime_init\": %.3f,\n"
+        "  \"initial_ps\": %.3f,\n"
+        "  \"symtab_hello\": %.3f,\n"
+        "  \"symtab_lcc_scanner\": %.3f,\n"
+        "  \"symtab_lcc_scanner_seed\": %.1f,\n"
+        "  \"symtab_lcc_fastload_cold\": %.3f,\n"
+        "  \"symtab_lcc_fastload_warm\": %.3f,\n"
+        "  \"fastload_speedup_vs_scanner\": %.2f,\n"
+        "  \"fastload_speedup_vs_seed\": %.2f,\n"
+        "  \"connect_hello\": %.3f,\n"
+        "  \"connect_lcc\": %.3f,\n"
+        "  \"connect_two_machines\": %.3f,\n"
+        "  \"connect_cross_arch\": %.3f,\n"
+        "  \"stabs_lcc\": %.3f\n"
+        "}\n",
+        InterpInit * 1e3, InitialPs * 1e3, HelloSym * 1e3, LccSym * 1e3,
+        SeedScannerMs, FastloadCold * 1e3, FastloadWarm * 1e3, VsScanner,
+        VsSeed, ConnHello * 1e3, ConnLcc * 1e3, ConnTwo * 1e3,
+        ConnCross * 1e3, StabsRead * 1e3);
+    std::fclose(J);
+  }
+
+  // The PR's acceptance gate: a warm fastload read must beat the scanner
+  // path in this binary, and beat the pre-PR scanner path by >= 3x.
+  if (VsScanner <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: fastload warm read (%.2f ms) does not beat this "
+                 "binary's scanner path (%.2f ms)\n",
+                 FastloadWarm * 1e3, LccSym * 1e3);
+    return 1;
+  }
+  if (VsSeed < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: fastload warm read only %.2fx faster than the "
+                 "pre-PR scanner path (need >= 3x)\n",
+                 VsSeed);
+    return 1;
+  }
   return 0;
 }

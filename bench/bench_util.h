@@ -37,6 +37,17 @@ inline double timeMedian(const std::function<void()> &Fn, int Runs = 5) {
   return Times[Times.size() / 2];
 }
 
+/// Median over \p Runs invocations of a function that returns its own
+/// measured seconds — for phases timed with an inner Stopwatch so that
+/// setup and teardown around the phase stay out of the number.
+inline double medianOf(const std::function<double()> &Fn, int Runs = 5) {
+  std::vector<double> Times;
+  for (int K = 0; K < Runs; ++K)
+    Times.push_back(Fn());
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
 inline void banner(const std::string &Title, const std::string &Claim) {
   std::printf("==============================================================="
               "=========\n");

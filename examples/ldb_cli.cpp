@@ -11,13 +11,17 @@
 /// attached it runs a canned scripted session so the binary demonstrates
 /// itself.
 ///
-/// Run:  build/examples/ldb_cli [ARCH] [FILE.c]       (interactive)
+/// Run:  build/examples/ldb_cli [--no-fastload] [ARCH] [FILE.c]
 ///       echo "break main\ncontinue\nwhere\nquit" | build/examples/ldb_cli
+///
+/// --no-fastload disables the binary symbol-table cache and forces the
+/// plain PostScript scanner path (useful for timing comparisons).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/cli.h"
 #include "example_util.h"
+#include "postscript/fastload.h"
 #include "support/strings.h"
 
 #include <unistd.h>
@@ -58,7 +62,14 @@ const char *ScriptedSession[] = {
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::string ArchName = argc > 1 ? argv[1] : "zmips";
+  std::vector<std::string> Args;
+  for (int K = 1; K < argc; ++K) {
+    if (std::string(argv[K]) == "--no-fastload")
+      ps::fastload::Cache::global().setEnabled(false);
+    else
+      Args.push_back(argv[K]);
+  }
+  const std::string ArchName = Args.size() > 0 ? Args[0] : "zmips";
   const target::TargetDesc *Desc = target::targetByName(ArchName);
   if (!Desc) {
     std::fprintf(stderr, "unknown architecture %s\n", ArchName.c_str());
@@ -66,10 +77,10 @@ int main(int argc, char **argv) {
   }
   std::string FileName = "fib.c";
   std::string Source = DefaultSource;
-  if (argc > 2) {
-    FileName = argv[2];
-    if (!readFile(argv[2], Source)) {
-      std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  if (Args.size() > 1) {
+    FileName = Args[1];
+    if (!readFile(FileName.c_str(), Source)) {
+      std::fprintf(stderr, "cannot read %s\n", FileName.c_str());
       return 1;
     }
     size_t Slash = FileName.rfind('/');

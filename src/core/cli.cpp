@@ -6,6 +6,7 @@
 
 #include "core/cli.h"
 
+#include "postscript/atoms.h"
 #include "support/strings.h"
 #include "target/disasm.h"
 
@@ -32,8 +33,9 @@ const char *HelpText =
     "  set NAME VALUE                 assign a constant to a variable\n"
     "  regs                           registers\n"
     "  disasm [N]                     disassemble N words at the pc\n"
-    "  stats [reset]                  wire-transport counters (round trips,\n"
-    "                                 bytes, cache hits/misses)\n"
+    "  stats [reset]                  wire-transport and interpreter\n"
+    "                                 counters (round trips, bytes, cache\n"
+    "                                 hits, atoms, dict probes, fastload)\n"
     "  targets | target NAME          list / switch targets\n"
     "  help | quit\n";
 
@@ -128,7 +130,8 @@ std::string CommandInterpreter::execute(const std::string &Line) {
   if (Cmd == "stats") {
     if (Words.size() > 1 && Words[1] == "reset") {
       Current->resetStats();
-      return "transport counters reset\n";
+      ps::interpStats().reset();
+      return "transport and interpreter counters reset\n";
     }
     const mem::TransportStats &S = Current->stats();
     std::string Out;
@@ -143,6 +146,21 @@ std::string CommandInterpreter::execute(const std::string &Line) {
       Out += "  space " + std::string(1, Space) + ":      " +
              std::to_string(C.Hits) + " hits, " + std::to_string(C.Misses) +
              " misses\n";
+    const ps::InterpStats &IS = ps::interpStats();
+    Out += "atoms interned: " + std::to_string(IS.AtomsInterned) + "\n";
+    Out += "dict lookups:   " + std::to_string(IS.DictFinds) + " finds, " +
+           std::to_string(IS.DictProbes) + " probes";
+    if (IS.DictFinds) {
+      char Avg[32];
+      std::snprintf(Avg, sizeof(Avg), " (%.2f avg)",
+                    double(IS.DictProbes) / double(IS.DictFinds));
+      Out += Avg;
+    }
+    Out += "\n";
+    Out += "fastload:       " + std::to_string(IS.FastloadHits) + " hits, " +
+           std::to_string(IS.FastloadMisses) + " misses, " +
+           std::to_string(IS.FastloadStores) + " stores, " +
+           std::to_string(IS.FastloadFallbacks) + " fallbacks\n";
     return Out;
   }
 

@@ -6,6 +6,8 @@
 
 #include "core/debugger.h"
 
+#include "postscript/fastload.h"
+
 #include <cassert>
 
 using namespace ldb;
@@ -14,7 +16,7 @@ using namespace ldb::core;
 Ldb::Ldb() {
   // Reading the initial PostScript can only fail if the prelude itself is
   // broken; surface that loudly in debug builds.
-  Error E = I.run(ps::prelude());
+  Error E = ps::fastload::Cache::global().run(I, ps::prelude());
   (void)E;
   assert(!E && "the machine-independent prelude must interpret cleanly");
 }

@@ -157,27 +157,30 @@ Expected<std::string> ldb::core::evalExpression(Target &T,
   bool GotResult = false;
   std::string ServerError;
   auto Ops = Object::makeDict(std::make_shared<DictImpl>());
-  Ops.DictVal->Entries["ExpressionServer.lookup"] = Object::makeOperator(
-      "ExpressionServer.lookup", [&](Interp &In) {
+  Ops.DictVal->set(
+      "ExpressionServer.lookup",
+      Object::makeOperator("ExpressionServer.lookup", [&](Interp &In) {
         std::string Name;
         if (PsStatus St = In.popNameText(Name); St != PsStatus::Ok)
           return St;
         Srv.toServer().writeLine(lookupReply(T, *Site, Name));
         return PsStatus::Ok;
-      });
-  Ops.DictVal->Entries["ExpressionServer.result"] = Object::makeOperator(
-      "ExpressionServer.result", [&](Interp &) {
+      }));
+  Ops.DictVal->set(
+      "ExpressionServer.result",
+      Object::makeOperator("ExpressionServer.result", [&](Interp &) {
         GotResult = true;
         return PsStatus::Stop;
-      });
-  Ops.DictVal->Entries["ExpressionServer.error"] = Object::makeOperator(
-      "ExpressionServer.error", [&](Interp &In) {
+      }));
+  Ops.DictVal->set(
+      "ExpressionServer.error",
+      Object::makeOperator("ExpressionServer.error", [&](Interp &In) {
         Object Msg;
         if (PsStatus St = In.pop(Msg); St != PsStatus::Ok)
           return St;
         ServerError = cvsText(Msg);
         return PsStatus::Stop;
-      });
+      }));
 
   size_t Depth = I.opStack().size();
   I.dictStack().push_back(Ops);
@@ -203,7 +206,7 @@ Expected<std::string> ldb::core::evalExpression(Target &T,
 
   // Execute the procedure against the frame's abstract memory.
   auto Env = Object::makeDict(std::make_shared<DictImpl>());
-  Env.DictVal->Entries["&mem"] = Object::makeMemory(Frame->Mem);
+  Env.DictVal->set("&mem", Object::makeMemory(Frame->Mem));
   I.dictStack().push_back(Env);
   St = I.exec(Proc);
   I.dictStack().pop_back();

@@ -17,10 +17,10 @@ namespace {
 std::string entryName(const Object &Dict) {
   if (Dict.Ty != Type::Dict)
     return std::string();
-  auto It = Dict.DictVal->Entries.find("name");
-  if (It == Dict.DictVal->Entries.end() || It->second.Ty != Type::String)
+  const Object *Found = Dict.DictVal->find("name");
+  if (!Found || Found->Ty != Type::String)
     return std::string();
-  return It->second.text();
+  return Found->text();
 }
 
 /// Renders " of 'name'" when the entry has a usable /name.
@@ -36,7 +36,7 @@ Error symtab::force(Interp &I, Object &V) {
   // containers; resolve the indirection first.
   if (V.Ty == Type::Name && !V.Exec) {
     Object Bound;
-    if (!I.lookup(V.text(), Bound))
+    if (!I.lookup(V.Atom, Bound))
       return Error::failure("undefined symbol-table entry " + V.text());
     V = Bound;
   }
@@ -58,25 +58,27 @@ Error symtab::force(Interp &I, Object &V) {
 }
 
 bool symtab::hasField(const Object &Dict, const std::string &Key) {
-  return Dict.Ty == Type::Dict && Dict.DictVal->Entries.count(Key) != 0;
+  return Dict.Ty == Type::Dict && Dict.DictVal->contains(Key);
 }
 
 Expected<ps::Object> symtab::field(Interp &I, const Object &Dict,
                                    const std::string &Key) {
   if (Dict.Ty != Type::Dict)
     return Error::failure("symbol-table entry is not a dictionary");
-  auto It = Dict.DictVal->Entries.find(Key);
-  if (It == Dict.DictVal->Entries.end())
+  Object *Found = Dict.DictVal->find(Key);
+  if (!Found)
     return Error::failure("symbol-table entry" + ofEntry(Dict) +
                           " has no /" + Key);
-  Object V = It->second;
+  Object V = *Found;
   // Force only deferred (executable-string) values here: procedures such
   // as /printer are values in their own right and must not run.
   if (V.Exec && V.Ty == Type::String) {
     if (Error E = force(I, V))
       return Error::failure("forcing /" + Key + ofEntry(Dict) + ": " +
                             E.message());
-    It->second = V; // memoize: the literal replaces the procedure
+    // Memoize: the literal replaces the procedure. Re-find, since forcing
+    // can define new entries in the same dict.
+    Dict.DictVal->set(Key, V);
   }
   return V;
 }
@@ -96,14 +98,14 @@ Expected<ps::Object> symtab::procEntryByName(Interp &I,
   Expected<Object> Externs = field(I, *Top, "externs");
   if (!Externs)
     return Externs.takeError();
-  auto It = Externs->DictVal->Entries.find(Name);
-  if (It == Externs->DictVal->Entries.end())
+  const Object *Found = Externs->DictVal->find(Name);
+  if (!Found)
     return Error::failure("no symbol named " + Name);
-  Object Entry = It->second;
+  Object Entry = *Found;
   if (Error E = force(I, Entry))
     return Error::failure("forcing entry for '" + Name + "': " +
                           E.message());
-  It->second = Entry;
+  Externs->DictVal->set(Name, Entry);
   return Entry;
 }
 
@@ -194,10 +196,10 @@ symtab::stopsForSource(Target &T, const std::string &File, int Line) {
   Expected<Object> SourceMap = field(I, *Top, "sourcemap");
   if (!SourceMap)
     return SourceMap.takeError();
-  auto It = SourceMap->DictVal->Entries.find(File);
-  if (It == SourceMap->DictVal->Entries.end())
+  const Object *Found = SourceMap->DictVal->find(File);
+  if (!Found)
     return Error::failure("no compilation unit named " + File);
-  Object Procs = It->second;
+  Object Procs = *Found;
   if (Error E = force(I, Procs))
     return E;
   if (Procs.Ty != Type::Array)
@@ -278,12 +280,11 @@ Expected<ps::Object> symtab::resolveName(Interp &I, const StopSite &Site,
     Expected<Object> Statics = field(I, Site.ProcEntry, "statics");
     if (!Statics)
       return Statics.takeError();
-    auto It = Statics->DictVal->Entries.find(Name);
-    if (It != Statics->DictVal->Entries.end()) {
-      Object E = It->second;
+    if (const Object *Found = Statics->DictVal->find(Name)) {
+      Object E = *Found;
       if (Error Err = force(I, E))
         return Err;
-      It->second = E;
+      Statics->DictVal->set(Name, E);
       return E;
     }
   }
@@ -294,12 +295,11 @@ Expected<ps::Object> symtab::resolveName(Interp &I, const StopSite &Site,
   Expected<Object> Externs = field(I, *Top, "externs");
   if (!Externs)
     return Externs.takeError();
-  auto It = Externs->DictVal->Entries.find(Name);
-  if (It != Externs->DictVal->Entries.end()) {
-    Object E = It->second;
+  if (const Object *Found = Externs->DictVal->find(Name)) {
+    Object E = *Found;
     if (Error Err = force(I, E))
       return Err;
-    It->second = E;
+    Externs->DictVal->set(Name, E);
     return E;
   }
   return Error::failure("no symbol named '" + Name + "' is visible here");
@@ -308,18 +308,18 @@ Expected<ps::Object> symtab::resolveName(Interp &I, const StopSite &Site,
 Expected<mem::Location> symtab::whereOf(Interp &I, ps::Object Entry) {
   if (Entry.Ty != Type::Dict)
     return Error::failure("symbol-table entry is not a dictionary");
-  auto It = Entry.DictVal->Entries.find("where");
-  if (It == Entry.DictVal->Entries.end())
+  const Object *Found = Entry.DictVal->find("where");
+  if (!Found)
     return Error::failure("symbol" + ofEntry(Entry) +
                           " has no storage location");
-  Object Where = It->second;
+  Object Where = *Found;
   // Where-values may be procedures interpreted at debug time (the
   // anchor-symbol technique); the result replaces the procedure so the
   // target fetch happens at most once per entry (paper Sec 5, 7).
   if (Error E = force(I, Where))
     return Error::failure("forcing /where" + ofEntry(Entry) + ": " +
                           E.message());
-  It->second = Where;
+  Entry.DictVal->set("where", Where);
   if (Where.Ty != Type::Location)
     return Error::failure("/where" + ofEntry(Entry) +
                           " did not yield a location");

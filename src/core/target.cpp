@@ -7,6 +7,7 @@
 #include "core/target.h"
 
 #include "core/symtab.h"
+#include "postscript/fastload.h"
 #include "support/byteorder.h"
 
 #include <algorithm>
@@ -70,15 +71,17 @@ Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
   ArchDict = Object::makeDict(std::make_shared<DictImpl>());
 
   // Populate the architecture dictionary from its PostScript fragment.
+  // Every target of an architecture runs the same fragment, so this is a
+  // fastload hit from the second connect on.
   I.dictStack().push_back(ArchDict);
-  Error E = I.run(Arch->MdPostScript);
+  Error E = ps::fastload::Cache::global().run(I, Arch->MdPostScript);
   I.dictStack().pop_back();
   if (E)
     return E;
 
   // procnameat: addr -> procedure name, used by the FUNCPTR printer.
   Target *Self = this;
-  ArchDict.DictVal->Entries["procnameat"] = Object::makeOperator(
+  ArchDict.DictVal->set("procnameat", Object::makeOperator(
       "procnameat", [Self](Interp &In) {
         int64_t Addr;
         if (PsStatus S = In.popInt(Addr); S != PsStatus::Ok)
@@ -89,7 +92,7 @@ Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
           return In.fail(P.message());
         In.push(Object::makeString(P->Name));
         return PsStatus::Ok;
-      });
+      }));
   return Error::success();
 }
 
@@ -100,19 +103,20 @@ void Target::crashConnection() {
 
 Error Target::loadSymbols(const std::string &PsText) {
   Scope S(*this);
-  return I.run(PsText);
+  // Symbol tables are where fastload pays: a re-connect or a second
+  // target loading the same unit replays cached tokens past the scanner.
+  return ps::fastload::Cache::global().run(I, PsText);
 }
 
 Error Target::loadLoaderTable(const std::string &PsText) {
   Scope S(*this);
-  if (Error E = I.run(PsText))
+  if (Error E = ps::fastload::Cache::global().run(I, PsText))
     return E;
   Object LT;
   if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
     return Error::failure("loader table did not define /loadertable");
-  auto It = LT.DictVal->Entries.find("rpt");
-  if (It != LT.DictVal->Entries.end())
-    RptAddr = static_cast<uint32_t>(It->second.IntVal);
+  if (const Object *Rpt = LT.DictVal->find("rpt"))
+    RptAddr = static_cast<uint32_t>(Rpt->IntVal);
 
   // Consistency check (paper Sec 2): the anchor-symbol names in the
   // top-level dictionary must all appear in the loader table, ensuring
@@ -131,7 +135,7 @@ Error Target::loadLoaderTable(const std::string &PsText) {
   if (!AnchorMap)
     return AnchorMap.takeError();
   for (const Object &A : *Anchors->ArrVal)
-    if (!AnchorMap->DictVal->Entries.count(A.text()))
+    if (!AnchorMap->DictVal->contains(A.text()))
       return Error::failure(
           "symbol table does not match the object code: anchor " +
           A.text() + " is missing from the loader table");
@@ -220,14 +224,13 @@ Expected<uint32_t> Target::anchorAddress(const std::string &Name) {
   Object LT;
   if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
     return Error::failure("no loader table for this target");
-  auto Map = LT.DictVal->Entries.find("anchormap");
-  if (Map == LT.DictVal->Entries.end() ||
-      Map->second.Ty != Type::Dict)
+  const Object *Map = LT.DictVal->find("anchormap");
+  if (!Map || Map->Ty != Type::Dict)
     return Error::failure("loader table has no anchor map");
-  auto It = Map->second.DictVal->Entries.find(Name);
-  if (It == Map->second.DictVal->Entries.end())
+  const Object *Found = Map->DictVal->find(Name);
+  if (!Found)
     return Error::failure("unknown anchor symbol: " + Name);
-  return static_cast<uint32_t>(It->second.IntVal);
+  return static_cast<uint32_t>(Found->IntVal);
 }
 
 Expected<uint32_t> Target::fetchDataWord(uint32_t Addr) {
@@ -244,10 +247,10 @@ Expected<Object> proctable(Interp &I) {
   Object LT;
   if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
     return Error::failure("no loader table for this target");
-  auto It = LT.DictVal->Entries.find("proctable");
-  if (It == LT.DictVal->Entries.end() || It->second.Ty != Type::Array)
+  const Object *Found = LT.DictVal->find("proctable");
+  if (!Found || Found->Ty != Type::Array)
     return Error::failure("loader table has no proctable");
-  return It->second;
+  return *Found;
 }
 
 } // namespace

@@ -1,0 +1,80 @@
+//===- postscript/atoms.cpp - interned names and counters ----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/atoms.h"
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+uint64_t fnv1a(std::string_view S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+InterpStats &ldb::ps::interpStats() {
+  static InterpStats S;
+  return S;
+}
+
+AtomTable &AtomTable::global() {
+  static AtomTable T;
+  return T;
+}
+
+AtomTable::AtomTable() { Slots.assign(1024, 0); }
+
+uint32_t AtomTable::peek(std::string_view Text) const {
+  uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
+  uint32_t H = static_cast<uint32_t>(fnv1a(Text)) & Mask;
+  for (;;) {
+    uint32_t E = Slots[H];
+    if (E == 0)
+      return None;
+    if (Texts[E - 1] == Text)
+      return E - 1;
+    H = (H + 1) & Mask;
+  }
+}
+
+uint32_t AtomTable::intern(std::string_view Text) {
+  uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
+  uint32_t H = static_cast<uint32_t>(fnv1a(Text)) & Mask;
+  for (;;) {
+    uint32_t E = Slots[H];
+    if (E == 0)
+      break;
+    if (Texts[E - 1] == Text)
+      return E - 1;
+    H = (H + 1) & Mask;
+  }
+  uint32_t Atom = static_cast<uint32_t>(Texts.size());
+  Texts.emplace_back(Text);
+  Slots[H] = Atom + 1;
+  ++interpStats().AtomsInterned;
+  if ((Texts.size() + 1) * 4 >= Slots.size() * 3)
+    grow();
+  return Atom;
+}
+
+void AtomTable::grow() {
+  std::vector<uint32_t> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, 0);
+  uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
+  for (uint32_t A = 0; A < Texts.size(); ++A) {
+    uint32_t H = static_cast<uint32_t>(fnv1a(Texts[A])) & Mask;
+    while (Slots[H] != 0)
+      H = (H + 1) & Mask;
+    Slots[H] = A + 1;
+  }
+}

@@ -1,0 +1,76 @@
+//===- postscript/atoms.h - interned names and counters --------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atom table: every PostScript name is interned once and carried as a
+/// 32-bit id, so names compare and hash as integers on the symbol-table
+/// hot path instead of allocating and comparing strings (the MSR-TR-99-4
+/// response to the paper's Sec 7 startup costs, kept inside the PostScript
+/// design). The table is process-wide and append-only — atoms outlive any
+/// one Interp, which is what lets fastload blobs and re-connects reuse
+/// them — and, like the interpreter itself, it is not thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_POSTSCRIPT_ATOMS_H
+#define LDB_POSTSCRIPT_ATOMS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldb::ps {
+
+/// Interpreter-side counters surfaced by the CLI `stats` command next to
+/// the wire-transport counters.
+struct InterpStats {
+  uint64_t AtomsInterned = 0;     ///< new atoms created
+  uint64_t DictFinds = 0;         ///< dict lookups (hit or miss)
+  uint64_t DictProbes = 0;        ///< slots inspected across all finds
+  uint64_t FastloadHits = 0;      ///< loads replayed from a cached blob
+  uint64_t FastloadMisses = 0;    ///< loads that had to scan
+  uint64_t FastloadStores = 0;    ///< blobs encoded and cached
+  uint64_t FastloadFallbacks = 0; ///< corrupt/stale blobs dropped
+  void reset() { *this = InterpStats(); }
+};
+
+InterpStats &interpStats();
+
+class AtomTable {
+public:
+  /// The reserved "no atom" id; never returned by intern().
+  static constexpr uint32_t None = 0xFFFFFFFFu;
+
+  static AtomTable &global();
+
+  /// Returns the id for \p Text, creating one on first sight.
+  uint32_t intern(std::string_view Text);
+
+  /// Returns the id for \p Text, or None when it was never interned. Read
+  /// paths use this: a name nobody ever interned cannot be a key in any
+  /// dictionary.
+  uint32_t peek(std::string_view Text) const;
+
+  /// The text of an atom. References stay valid for the process lifetime
+  /// (texts live in a deque and are never moved).
+  const std::string &text(uint32_t Atom) const { return Texts[Atom]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(Texts.size()); }
+
+private:
+  AtomTable();
+  void grow();
+
+  std::deque<std::string> Texts;
+  /// Open-addressed index: each slot holds atom+1, 0 = empty.
+  std::vector<uint32_t> Slots;
+};
+
+} // namespace ldb::ps
+
+#endif // LDB_POSTSCRIPT_ATOMS_H

@@ -1,0 +1,560 @@
+//===- postscript/fastload.cpp - binary token-stream cache ---------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "postscript/fastload.h"
+
+#include "postscript/scanner.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+using namespace ldb;
+using namespace ldb::ps;
+using namespace ldb::ps::fastload;
+
+uint64_t fastload::contentHash(std::string_view Text) {
+  // FNV-1a folded over 8-byte lanes instead of single bytes: the hash is
+  // purely an internal cache key (it never leaves the process and the
+  // format version gates any change), and hashing a megabyte of symtab
+  // text byte-at-a-time would cost more than validating the blob it keys.
+  uint64_t H = 1469598103934665603ull ^ Text.size();
+  const char *P = Text.data();
+  size_t N = Text.size();
+  while (N >= 8) {
+    uint64_t Lane;
+    std::memcpy(&Lane, P, 8);
+    H ^= Lane;
+    H *= 1099511628211ull;
+    P += 8;
+    N -= 8;
+  }
+  uint64_t Tail = 0;
+  std::memcpy(&Tail, P, N);
+  H ^= Tail;
+  H *= 1099511628211ull;
+  return H;
+}
+
+Expected<std::vector<Object>> fastload::scanAll(const std::string &Text) {
+  StringCharSource Src(Text);
+  Scanner Scan(Src);
+  std::vector<Object> Tokens;
+  for (;;) {
+    Scanner::Result R = Scan.next();
+    if (R.K == Scanner::Kind::EndOfInput)
+      return Tokens;
+    if (R.K == Scanner::Kind::Failed)
+      return Error::failure("syntax error: " + R.Message);
+    Tokens.push_back(std::move(R.O));
+  }
+}
+
+PsStatus fastload::execTokens(Interp &I, const std::vector<Object> &Tokens) {
+  for (const Object &O : Tokens) {
+    // Scanned procedures are pushed; everything else executes normally
+    // (Interp::runTokens semantics).
+    if (O.Ty == Type::Array && O.Exec) {
+      I.push(O);
+      continue;
+    }
+    if (PsStatus S = I.exec(O); S != PsStatus::Ok)
+      return S;
+  }
+  return PsStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Token tags: type nibble, exec attribute in the high bit.
+enum Tag : uint8_t {
+  TagInt = 1,
+  TagReal = 2,
+  TagName = 3,
+  TagString = 4,
+  TagArray = 5,
+  TagExecBit = 0x80,
+};
+
+constexpr unsigned MaxProcDepth = 200;
+
+void putVarint(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+void putZigzag(std::vector<uint8_t> &Out, int64_t V) {
+  putVarint(Out, (static_cast<uint64_t>(V) << 1) ^
+                     static_cast<uint64_t>(V >> 63));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putBytes(std::vector<uint8_t> &Out, std::string_view S) {
+  putVarint(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+/// Maps the atoms used by a token stream to dense name-table indices.
+class NameIndex {
+public:
+  uint32_t indexOf(uint32_t Atom) {
+    auto [It, New] = Map.emplace(Atom, Names.size());
+    if (New)
+      Names.push_back(Atom);
+    return It->second;
+  }
+  const std::vector<uint32_t> &names() const { return Names; }
+
+private:
+  std::unordered_map<uint32_t, uint32_t> Map;
+  std::vector<uint32_t> Names;
+};
+
+/// Maps distinct string texts to dense string-table indices. Owners are
+/// retained so table entries stay valid after the source tokens are
+/// consumed by execution.
+class StringIndex {
+public:
+  uint32_t indexOf(const std::shared_ptr<const std::string> &S) {
+    auto [It, New] = Map.emplace(std::string_view(*S), Strings.size());
+    if (New)
+      Strings.push_back(S);
+    return It->second;
+  }
+  const std::vector<std::shared_ptr<const std::string>> &strings() const {
+    return Strings;
+  }
+
+private:
+  std::unordered_map<std::string_view, uint32_t> Map;
+  std::vector<std::shared_ptr<const std::string>> Strings;
+};
+
+/// Appends one token to \p Out, interning names and strings into the
+/// tables as they are first seen. Returns false for token types the
+/// scanner cannot produce (dicts, operators, ...), which have no blob
+/// representation.
+bool encodeToken(std::vector<uint8_t> &Out, const Object &O,
+                 NameIndex &Names, StringIndex &Strings, unsigned Depth) {
+  if (Depth > MaxProcDepth)
+    return false;
+  uint8_t ExecBit = O.Exec ? TagExecBit : 0;
+  switch (O.Ty) {
+  case Type::Int:
+    Out.push_back(TagInt | ExecBit);
+    putZigzag(Out, O.IntVal);
+    return true;
+  case Type::Real: {
+    Out.push_back(TagReal | ExecBit);
+    uint64_t Bits;
+    std::memcpy(&Bits, &O.RealVal, sizeof(Bits));
+    putU64(Out, Bits);
+    return true;
+  }
+  case Type::Name:
+    Out.push_back(TagName | ExecBit);
+    putVarint(Out, Names.indexOf(O.Atom));
+    return true;
+  case Type::String:
+    Out.push_back(TagString | ExecBit);
+    putVarint(Out, Strings.indexOf(O.StrVal));
+    return true;
+  case Type::Array:
+    Out.push_back(TagArray | ExecBit);
+    putVarint(Out, O.ArrVal->size());
+    for (const Object &E : *O.ArrVal)
+      if (!encodeToken(Out, E, Names, Strings, Depth + 1))
+        return false;
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Builds the final blob from the finished tables and token bytes.
+std::vector<uint8_t> assembleBlob(uint64_t Hash, const NameIndex &Names,
+                                  const StringIndex &Strings,
+                                  size_t TokenCount,
+                                  const std::vector<uint8_t> &TokenBytes) {
+  std::vector<uint8_t> Out;
+  Out.reserve(TokenBytes.size() + 64);
+  Out.insert(Out.end(), {'L', 'D', 'F', 'L'});
+  Out.push_back(Version);
+  putU64(Out, Hash);
+
+  AtomTable &AT = AtomTable::global();
+  putVarint(Out, Names.names().size());
+  for (uint32_t Atom : Names.names())
+    putBytes(Out, AT.text(Atom));
+
+  putVarint(Out, Strings.strings().size());
+  for (const auto &S : Strings.strings())
+    putBytes(Out, *S);
+
+  putVarint(Out, TokenCount);
+  Out.insert(Out.end(), TokenBytes.begin(), TokenBytes.end());
+  return Out;
+}
+
+} // namespace
+
+Expected<std::vector<uint8_t>>
+fastload::encode(const std::vector<Object> &Tokens, uint64_t Hash) {
+  NameIndex Names;
+  StringIndex Strings;
+  std::vector<uint8_t> TokenBytes;
+  for (const Object &O : Tokens)
+    if (!encodeToken(TokenBytes, O, Names, Strings, 0))
+      return Error::failure("token type not representable in fastload: " +
+                            std::string(typeName(O.Ty)));
+  return assembleBlob(Hash, Names, Strings, Tokens.size(), TokenBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bounds-checked reader over a blob; every primitive fails loudly rather
+/// than reading past the end.
+class BlobReader {
+public:
+  BlobReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t remaining() const { return Size - Pos; }
+
+  bool u8(uint8_t &Out) {
+    if (Pos >= Size)
+      return false;
+    Out = Data[Pos++];
+    return true;
+  }
+
+  bool u64(uint64_t &Out) {
+    if (remaining() < 8)
+      return false;
+    Out = 0;
+    for (int I = 0; I < 8; ++I)
+      Out |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return true;
+  }
+
+  bool varint(uint64_t &Out) {
+    Out = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B;
+      if (!u8(B))
+        return false;
+      Out |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      if (!(B & 0x80))
+        return true;
+    }
+    return false; // over-long varint
+  }
+
+  bool zigzag(int64_t &Out) {
+    uint64_t V;
+    if (!varint(V))
+      return false;
+    Out = static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+    return true;
+  }
+
+  bool bytes(std::string_view &Out) {
+    uint64_t Len;
+    if (!varint(Len) || Len > remaining())
+      return false;
+    Out = std::string_view(reinterpret_cast<const char *>(Data + Pos),
+                           static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+/// The decoded header tables: interned atoms and one shared allocation
+/// per distinct string text.
+struct BlobTables {
+  std::vector<uint32_t> Names;
+  std::vector<std::shared_ptr<const std::string>> Strings;
+};
+
+/// Parses and checks everything up to the token count; on success \p R
+/// is positioned at the first token and \p Tables holds the interned
+/// name atoms and shared string allocations.
+Error readHeader(BlobReader &R, uint64_t ExpectHash, BlobTables &Tables,
+                 uint64_t &TokenCount) {
+  uint8_t Magic[4];
+  for (uint8_t &M : Magic)
+    if (!R.u8(M))
+      return Error::failure("fastload blob truncated");
+  if (std::memcmp(Magic, "LDFL", 4) != 0)
+    return Error::failure("bad fastload magic");
+  uint8_t Ver;
+  if (!R.u8(Ver))
+    return Error::failure("fastload blob truncated");
+  if (Ver != Version)
+    return Error::failure("fastload version mismatch");
+  uint64_t Hash;
+  if (!R.u64(Hash))
+    return Error::failure("fastload blob truncated");
+  if (Hash != ExpectHash)
+    return Error::failure("stale fastload blob: content hash mismatch");
+
+  uint64_t NC;
+  if (!R.varint(NC) || NC > R.remaining())
+    return Error::failure("fastload blob truncated");
+  AtomTable &AT = AtomTable::global();
+  Tables.Names.reserve(static_cast<size_t>(NC));
+  for (uint64_t I = 0; I < NC; ++I) {
+    std::string_view Text;
+    if (!R.bytes(Text))
+      return Error::failure("fastload blob truncated");
+    Tables.Names.push_back(AT.intern(Text));
+  }
+
+  uint64_t SC;
+  if (!R.varint(SC) || SC > R.remaining())
+    return Error::failure("fastload blob truncated");
+  Tables.Strings.reserve(static_cast<size_t>(SC));
+  for (uint64_t I = 0; I < SC; ++I) {
+    std::string_view Text;
+    if (!R.bytes(Text))
+      return Error::failure("fastload blob truncated");
+    Tables.Strings.push_back(std::make_shared<const std::string>(Text));
+  }
+
+  if (!R.varint(TokenCount) || TokenCount > R.remaining())
+    return Error::failure("fastload blob truncated");
+  return Error::success();
+}
+
+bool decodeToken(BlobReader &R, const BlobTables &Tables, unsigned Depth,
+                 Object &Out) {
+  if (Depth > MaxProcDepth)
+    return false;
+  uint8_t Tag;
+  if (!R.u8(Tag))
+    return false;
+  bool Exec = (Tag & TagExecBit) != 0;
+  switch (Tag & ~TagExecBit) {
+  case TagInt: {
+    int64_t V;
+    if (!R.zigzag(V))
+      return false;
+    Out = Object::makeInt(V);
+    Out.Exec = Exec;
+    return true;
+  }
+  case TagReal: {
+    uint64_t Bits;
+    if (!R.u64(Bits))
+      return false;
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    Out = Object::makeReal(V);
+    Out.Exec = Exec;
+    return true;
+  }
+  case TagName: {
+    uint64_t Idx;
+    if (!R.varint(Idx) || Idx >= Tables.Names.size())
+      return false;
+    Out = Object::makeNameAtom(Tables.Names[static_cast<size_t>(Idx)],
+                               Exec);
+    return true;
+  }
+  case TagString: {
+    uint64_t Idx;
+    if (!R.varint(Idx) || Idx >= Tables.Strings.size())
+      return false;
+    Out = Object();
+    Out.Ty = Type::String;
+    Out.Exec = Exec;
+    Out.StrVal = Tables.Strings[static_cast<size_t>(Idx)];
+    return true;
+  }
+  case TagArray: {
+    uint64_t N;
+    if (!R.varint(N) || N > R.remaining())
+      return false;
+    auto Body = std::make_shared<ArrayImpl>();
+    Body->reserve(static_cast<size_t>(N));
+    for (uint64_t I = 0; I < N; ++I) {
+      Object E;
+      if (!decodeToken(R, Tables, Depth + 1, E))
+        return false;
+      Body->push_back(std::move(E));
+    }
+    Out = Object::makeArray(std::move(Body), Exec);
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+Expected<std::vector<Object>>
+fastload::decode(const std::vector<uint8_t> &Blob, uint64_t ExpectHash) {
+  BlobReader R(Blob.data(), Blob.size());
+  BlobTables Tables;
+  uint64_t TokenCount;
+  if (Error E = readHeader(R, ExpectHash, Tables, TokenCount))
+    return E;
+  std::vector<Object> Tokens;
+  Tokens.reserve(static_cast<size_t>(TokenCount));
+  for (uint64_t I = 0; I < TokenCount; ++I) {
+    Object O;
+    if (!decodeToken(R, Tables, 0, O))
+      return Error::failure("corrupt fastload token stream");
+    Tokens.push_back(std::move(O));
+  }
+  if (R.remaining() != 0)
+    return Error::failure("trailing bytes after fastload token stream");
+  return Tokens;
+}
+
+namespace {
+
+/// A fresh deep copy of a cached procedure: replays must hand out new
+/// array objects every time, exactly like the scanner, so bind or an
+/// array store on one load can never leak into the next.
+Object freshProc(const Object &O) {
+  Object Out = O;
+  auto Arr = std::make_shared<ArrayImpl>();
+  Arr->reserve(O.ArrVal->size());
+  for (const Object &Elem : *O.ArrVal)
+    Arr->push_back(Elem.Ty == Type::Array ? freshProc(Elem) : Elem);
+  Out.ArrVal = std::move(Arr);
+  return Out;
+}
+
+/// Replays a prepared token stream with Interp::runTokens semantics.
+/// Scalars and strings are shared with the cache (strings are immutable
+/// in this dialect); procedures are deep-copied fresh.
+PsStatus replayPrepared(Interp &I, const std::vector<Object> &Tokens) {
+  for (const Object &O : Tokens) {
+    if (O.Ty == Type::Array && O.Exec) {
+      I.push(freshProc(O));
+      continue;
+    }
+    if (O.Exec) {
+      if (PsStatus S = I.exec(O); S != PsStatus::Ok)
+        return S;
+    } else {
+      I.push(O);
+    }
+  }
+  return PsStatus::Ok;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+Cache &Cache::global() {
+  static Cache C;
+  return C;
+}
+
+Cache::Cache() {
+  if (std::getenv("LDB_NO_FASTLOAD"))
+    Enabled = false;
+}
+
+void Cache::store(uint64_t Hash, std::vector<uint8_t> Blob) {
+  Blobs[Hash] = Entry{std::move(Blob), nullptr};
+}
+
+const std::vector<uint8_t> *Cache::lookup(uint64_t Hash) const {
+  auto It = Blobs.find(Hash);
+  return It == Blobs.end() ? nullptr : &It->second.Blob;
+}
+
+void Cache::clear() { Blobs.clear(); }
+
+Error Cache::run(Interp &I, const std::string &Text) {
+  if (!Enabled)
+    return I.run(Text);
+  InterpStats &S = interpStats();
+  uint64_t Hash = contentHash(Text);
+  auto It = Blobs.find(Hash);
+  if (It != Blobs.end()) {
+    if (!It->second.Tokens) {
+      // First hit on this blob: decoding doubles as full validation
+      // (header, hash, table bounds, every token, no trailing bytes).
+      // The decoded stream is kept so later hits skip straight to
+      // replay.
+      if (Expected<std::vector<Object>> Decoded = decode(It->second.Blob,
+                                                         Hash))
+        It->second.Tokens = std::make_shared<const std::vector<Object>>(
+            std::move(*Decoded));
+    }
+    if (It->second.Tokens) {
+      ++S.FastloadHits;
+      // Hold a reference across the replay: executed code could reach
+      // back into the cache and invalidate the entry.
+      std::shared_ptr<const std::vector<Object>> Tokens = It->second.Tokens;
+      return I.statusToError(replayPrepared(I, *Tokens));
+    }
+    // Corrupt or stale: drop the blob and take the scanner path.
+    ++S.FastloadFallbacks;
+    Blobs.erase(It);
+  }
+  ++S.FastloadMisses;
+
+  // Cold path: one streaming pass with Interp::runTokens semantics —
+  // scan a token, append it to the blob-in-progress, execute it. Each
+  // token is encoded before it executes, so bind rewriting a procedure
+  // body later never reaches the blob. Stop where runTokens would stop
+  // (scan error or failed execution); only a fully scanned and executed
+  // text is cached.
+  StringCharSource Src(Text);
+  Scanner Scan(Src);
+  NameIndex Names;
+  StringIndex Strings;
+  std::vector<uint8_t> TokenBytes;
+  size_t TokenCount = 0;
+  for (;;) {
+    Scanner::Result R = Scan.next();
+    if (R.K == Scanner::Kind::EndOfInput)
+      break;
+    if (R.K == Scanner::Kind::Failed)
+      return I.statusToError(I.fail("syntax error: " + R.Message));
+    if (!encodeToken(TokenBytes, R.O, Names, Strings, 0))
+      return I.statusToError(I.fail("token not representable in fastload"));
+    ++TokenCount;
+    if (R.O.Ty == Type::Array && R.O.Exec) {
+      I.push(std::move(R.O));
+      continue;
+    }
+    if (PsStatus St = I.exec(R.O); St != PsStatus::Ok)
+      return I.statusToError(St);
+  }
+  store(Hash, assembleBlob(Hash, Names, Strings, TokenCount, TokenBytes));
+  ++S.FastloadStores;
+  return Error::success();
+}

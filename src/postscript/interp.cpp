@@ -48,8 +48,8 @@ Interp::~Interp() {
     Pending.pop_back();
     if (O.DictVal && Seen.insert(O.DictVal.get()).second) {
       Dicts.push_back(O.DictVal);
-      for (const auto &KV : O.DictVal->Entries)
-        Pending.push_back(KV.second);
+      O.DictVal->forEach(
+          [&Pending](uint32_t, const Object &V) { Pending.push_back(V); });
     }
     if (O.ArrVal && Seen.insert(O.ArrVal.get()).second) {
       Arrays.push_back(O.ArrVal);
@@ -58,13 +58,13 @@ Interp::~Interp() {
     }
   }
   for (const auto &D : Dicts)
-    D->Entries.clear();
+    D->clearEntries();
   for (const auto &A : Arrays)
     A->clear();
 }
 
 PsStatus Interp::fail(const std::string &Message) {
-  LastError = CurrentOp.empty() ? Message : CurrentOp + ": " + Message;
+  LastError = CurrentOp ? *CurrentOp + ": " + Message : Message;
   return PsStatus::Failed;
 }
 
@@ -181,41 +181,72 @@ PsStatus Interp::popProc(Object &Out) {
 // Dictionary stack
 //===----------------------------------------------------------------------===//
 
-bool Interp::lookup(const std::string &Name, Object &Out) const {
+bool Interp::lookup(uint32_t Atom, Object &Out) const {
   for (auto It = DictStack.rbegin(); It != DictStack.rend(); ++It) {
-    const auto &Entries = It->DictVal->Entries;
-    auto Found = Entries.find(Name);
-    if (Found != Entries.end()) {
-      Out = Found->second;
+    if (const Object *Found = It->DictVal->find(Atom)) {
+      Out = *Found;
       return true;
     }
   }
   return false;
 }
 
-void Interp::defineCurrent(const std::string &Name, Object Value) {
-  DictStack.back().DictVal->Entries[Name] = std::move(Value);
+bool Interp::lookup(std::string_view Name, Object &Out) const {
+  uint32_t Atom = AtomTable::global().peek(Name);
+  return Atom != AtomTable::None && lookup(Atom, Out);
+}
+
+void Interp::defineCurrent(uint32_t Atom, Object Value) {
+  DictStack.back().DictVal->set(Atom, std::move(Value));
+}
+
+void Interp::defineCurrent(std::string_view Name, Object Value) {
+  defineCurrent(AtomTable::global().intern(Name), std::move(Value));
 }
 
 void Interp::defineSystem(const std::string &Name,
                           std::function<PsStatus(Interp &)> Fn) {
-  Systemdict.DictVal->Entries[Name] =
-      Object::makeOperator(Name, std::move(Fn));
+  Systemdict.DictVal->set(Name, Object::makeOperator(Name, std::move(Fn)));
 }
 
 void Interp::defineSystemValue(const std::string &Name, Object Value) {
-  Systemdict.DictVal->Entries[Name] = std::move(Value);
+  Systemdict.DictVal->set(Name, std::move(Value));
 }
 
 //===----------------------------------------------------------------------===//
 // Execution
 //===----------------------------------------------------------------------===//
 
-PsStatus Interp::execName(const std::string &Name) {
-  Object Value;
-  if (!lookup(Name, Value))
-    return fail("undefined name: " + Name);
-  return exec(Value);
+PsStatus Interp::execName(const Object &Name) {
+  for (auto It = DictStack.rbegin(); It != DictStack.rend(); ++It) {
+    if (const Object *Found = It->DictVal->find(Name.Atom)) {
+      if (!Found->Exec) {
+        // Most symtab names resolve to data values; push the one copy
+        // directly instead of detouring through exec().
+        push(*Found);
+        return PsStatus::Ok;
+      }
+      if (Found->Ty == Type::Operator) {
+        // The other hot case: def, <<, >>, and friends. Pin the
+        // operator itself rather than copying the whole object — the
+        // call may redefine the dict entry out from under us.
+        std::shared_ptr<OperatorImpl> Op = Found->OpVal;
+        if (Depth >= MaxDepth)
+          return fail("execution nested too deeply");
+        ++Depth;
+        const std::string *SavedOp = CurrentOp;
+        CurrentOp = &Op->Name;
+        PsStatus S = Op->Fn(*this);
+        CurrentOp = SavedOp;
+        --Depth;
+        return S;
+      }
+      // Copy before executing: execution may mutate the dict entry.
+      Object Value = *Found;
+      return exec(Value);
+    }
+  }
+  return fail("undefined name: " + Name.text());
 }
 
 PsStatus Interp::execProcBody(const ArrayImpl &Body) {
@@ -242,11 +273,11 @@ PsStatus Interp::exec(const Object &O) {
   PsStatus S;
   switch (O.Ty) {
   case Type::Name:
-    S = execName(O.text());
+    S = execName(O);
     break;
   case Type::Operator: {
-    std::string SavedOp = CurrentOp;
-    CurrentOp = O.OpVal->Name;
+    const std::string *SavedOp = CurrentOp;
+    CurrentOp = &O.OpVal->Name;
     S = O.OpVal->Fn(*this);
     CurrentOp = SavedOp;
     break;
@@ -292,7 +323,11 @@ PsStatus Interp::runTokens(CharSource &Src) {
 
 Error Interp::run(const std::string &Text) {
   StringCharSource Src(Text);
-  switch (runTokens(Src)) {
+  return statusToError(runTokens(Src));
+}
+
+Error Interp::statusToError(PsStatus S) const {
+  switch (S) {
   case PsStatus::Ok:
   case PsStatus::Quit:
     return Error::success();

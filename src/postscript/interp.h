@@ -61,6 +61,10 @@ public:
   /// Scans and executes \p Text as a top-level program.
   Error run(const std::string &Text);
 
+  /// Maps a top-level status to the Error run() would return (shared with
+  /// the fastload replay path, which bypasses run()).
+  Error statusToError(PsStatus S) const;
+
   /// Executes one object according to its type and attribute.
   PsStatus exec(const Object &O);
 
@@ -99,10 +103,12 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Searches the dictionary stack top-down; returns false if unbound.
-  bool lookup(const std::string &Name, Object &Out) const;
+  bool lookup(uint32_t Atom, Object &Out) const;
+  bool lookup(std::string_view Name, Object &Out) const;
 
   /// Defines \p Name in the current (topmost) dictionary.
-  void defineCurrent(const std::string &Name, Object Value);
+  void defineCurrent(uint32_t Atom, Object Value);
+  void defineCurrent(std::string_view Name, Object Value);
 
   /// Defines an operator or value in systemdict.
   void defineSystem(const std::string &Name,
@@ -135,7 +141,7 @@ public:
 
 private:
   PsStatus execProcBody(const ArrayImpl &Body);
-  PsStatus execName(const std::string &Name);
+  PsStatus execName(const Object &Name);
 
   std::vector<Object> OpStack;
   std::vector<Object> DictStack;
@@ -143,7 +149,9 @@ private:
   Object Userdict;
   PrettyPrinter PP;
   std::string LastError;
-  std::string CurrentOp;
+  /// Name of the operator currently executing (owned by its OperatorImpl,
+  /// which outlives the call), for error-message prefixes.
+  const std::string *CurrentOp = nullptr;
   unsigned Depth = 0;
 
   friend PsStatus opStopped(Interp &);

@@ -8,12 +8,164 @@
 
 #include "support/strings.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace ldb;
 using namespace ldb::ps;
 
 CharSource::~CharSource() = default;
+
+int CharSource::underflow() {
+  const char *Buf = nullptr;
+  size_t N = 0;
+  while (fill(Buf, N)) {
+    if (N == 0)
+      continue;
+    Chunk = Buf;
+    Pos = 1;
+    Len = N;
+    return static_cast<unsigned char>(Buf[0]);
+  }
+  Chunk = nullptr;
+  Pos = Len = 0;
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// DictImpl
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Fibonacci hashing spreads sequentially-allocated atom ids.
+inline uint32_t atomHash(uint32_t Atom) { return Atom * 2654435761u; }
+} // namespace
+
+uint32_t DictImpl::indexOf(uint32_t Atom) const {
+  InterpStats &S = interpStats();
+  ++S.DictFinds;
+  if (Slots.empty()) {
+    for (uint32_t I = 0; I < Count; ++I) {
+      ++S.DictProbes;
+      if (keyAt(I) == Atom)
+        return I;
+    }
+    return NoIndex;
+  }
+  uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
+  uint32_t H = atomHash(Atom) & Mask;
+  for (;;) {
+    ++S.DictProbes;
+    uint32_t E = Slots[H];
+    if (E == 0)
+      return NoIndex;
+    if (keyAt(E - 1) == Atom)
+      return E - 1;
+    H = (H + 1) & Mask;
+  }
+}
+
+Object *DictImpl::find(uint32_t Atom) {
+  uint32_t I = indexOf(Atom);
+  return I == NoIndex ? nullptr : &valueAt(I);
+}
+
+void DictImpl::set(uint32_t Atom, Object Value) {
+  uint32_t I = indexOf(Atom);
+  if (I != NoIndex) {
+    valueAt(I) = std::move(Value);
+    return;
+  }
+  uint32_t New = Count;
+  if (New < InlineCap) {
+    InlineKeys[New] = Atom;
+    InlineVals[New] = std::move(Value);
+  } else {
+    HeapKeys.push_back(Atom);
+    HeapVals.push_back(std::move(Value));
+  }
+  ++Count;
+  if (!Slots.empty()) {
+    if ((Count + 1) * 4 >= Slots.size() * 3) {
+      rebuildSlots();
+    } else {
+      uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
+      uint32_t H = atomHash(Atom) & Mask;
+      while (Slots[H] != 0)
+        H = (H + 1) & Mask;
+      Slots[H] = New + 1;
+    }
+  } else if (Count > LinearLimit) {
+    rebuildSlots();
+  }
+}
+
+void DictImpl::rebuildSlots() {
+  uint32_t Cap = 16;
+  while ((Count + 1) * 4 >= Cap * 3)
+    Cap <<= 1;
+  Slots.assign(Cap, 0);
+  uint32_t Mask = Cap - 1;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t H = atomHash(keyAt(I)) & Mask;
+    while (Slots[H] != 0)
+      H = (H + 1) & Mask;
+    Slots[H] = I + 1;
+  }
+}
+
+bool DictImpl::erase(uint32_t Atom) {
+  uint32_t I = indexOf(Atom);
+  if (I == NoIndex)
+    return false;
+  // Shift later entries down so insertion order stays dense.
+  uint32_t Last = Count - 1;
+  for (uint32_t K = I; K < Last; ++K) {
+    keyRef(K) = keyAt(K + 1);
+    valueAt(K) = std::move(valueAt(K + 1));
+  }
+  if (Last >= InlineCap) {
+    HeapKeys.pop_back();
+    HeapVals.pop_back();
+  } else {
+    InlineVals[Last] = Object(); // drop the vacated slot's references
+  }
+  Count = Last;
+  if (!Slots.empty()) {
+    if (Count <= LinearLimit)
+      Slots.clear();
+    else
+      rebuildSlots();
+  }
+  return true;
+}
+
+void DictImpl::clearEntries() {
+  for (uint32_t I = 0; I < Count && I < InlineCap; ++I)
+    InlineVals[I] = Object();
+  HeapKeys.clear();
+  HeapVals.clear();
+  Slots.clear();
+  Count = 0;
+}
+
+std::vector<std::pair<uint32_t, Object>> DictImpl::sortedItems() const {
+  std::vector<std::pair<uint32_t, Object>> Items;
+  Items.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I)
+    Items.emplace_back(keyAt(I), valueAt(I));
+  AtomTable &AT = AtomTable::global();
+  std::sort(Items.begin(), Items.end(),
+            [&AT](const std::pair<uint32_t, Object> &A,
+                  const std::pair<uint32_t, Object> &B) {
+              return AT.text(A.first) < AT.text(B.first);
+            });
+  return Items;
+}
+
+//===----------------------------------------------------------------------===//
+// Object
+//===----------------------------------------------------------------------===//
 
 const char *ldb::ps::typeName(Type Ty) {
   switch (Ty) {
@@ -59,6 +211,7 @@ bool Object::equals(const Object &O) const {
   case Type::Bool:
     return BoolVal == O.BoolVal;
   case Type::Name:
+    return Atom == O.Atom;
   case Type::String:
     return text() == O.text();
   case Type::Array:
@@ -136,9 +289,10 @@ std::string ldb::ps::repr(const Object &O) {
     return Out;
   }
   case Type::Dict: {
+    AtomTable &AT = AtomTable::global();
     std::string Out = "<<";
-    for (const auto &[Key, Value] : O.DictVal->Entries) {
-      Out += " /" + Key + " ";
+    for (const auto &[Key, Value] : O.DictVal->sortedItems()) {
+      Out += " /" + AT.text(Key) + " ";
       Out += repr(Value);
     }
     Out += " >>";

@@ -12,6 +12,10 @@
 /// operators, no substrings or subarrays, and interpreter errors surface
 /// as error values rather than exceptions.
 ///
+/// Names carry an interned 32-bit atom instead of heap-allocated text, and
+/// dictionaries hash those atoms directly (see atoms.h); both are part of
+/// the symbol-table fast path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LDB_POSTSCRIPT_OBJECT_H
@@ -19,18 +23,22 @@
 
 #include "mem/location.h"
 #include "mem/memory.h"
+#include "postscript/atoms.h"
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ldb::ps {
 
 class Interp;
 struct Object;
+class DictImpl;
 
 /// Outcome of executing one object: normal completion, the non-local exits
 /// of the stop / exit / quit operators, or an error (recorded in the
@@ -59,47 +67,81 @@ const char *typeName(Type Ty);
 
 using ArrayImpl = std::vector<Object>;
 
-struct DictImpl {
-  std::map<std::string, Object> Entries;
-};
-
 struct OperatorImpl {
   std::string Name;
   std::function<PsStatus(Interp &)> Fn;
 };
 
 /// A character source for the scanner; files and executable strings read
-/// through this. next() returns -1 at end of input.
+/// through this. The scanner pulls characters with the non-virtual next(),
+/// which runs out of a chunk the concrete source handed over in fill() —
+/// one virtual call per chunk rather than per character.
 class CharSource {
 public:
   virtual ~CharSource();
-  virtual int next() = 0;
+
+  /// Next character, or -1 at end of input.
+  int next() {
+    if (Pos < Len)
+      return static_cast<unsigned char>(Chunk[Pos++]);
+    return underflow();
+  }
+
+protected:
+  /// Supplies the next chunk of input. Returns false at end of input; the
+  /// chunk must stay valid until the next fill() call. Sources that must
+  /// not read ahead of the consumer (pipes) hand out one byte per call.
+  virtual bool fill(const char *&Buf, size_t &N) = 0;
+
+private:
+  int underflow();
+
+  const char *Chunk = nullptr;
+  size_t Pos = 0;
+  size_t Len = 0;
 };
 
 class StringCharSource : public CharSource {
 public:
   explicit StringCharSource(std::string Text) : Text(std::move(Text)) {}
-  int next() override {
-    if (Pos >= Text.size())
-      return -1;
-    return static_cast<unsigned char>(Text[Pos++]);
+
+protected:
+  bool fill(const char *&Buf, size_t &N) override {
+    if (Done)
+      return false;
+    Done = true;
+    Buf = Text.data();
+    N = Text.size();
+    return true;
   }
 
 private:
   std::string Text;
-  size_t Pos = 0;
+  bool Done = false;
 };
 
 /// Reads characters from a callback; used to execute tokens straight off a
 /// pipe from the expression server ("cvx stopped" applied to the open pipe,
-/// paper Sec 3).
+/// paper Sec 3). Deliberately fills one byte at a time: the scanner must
+/// never consume further into the pipe than the tokens it has delivered.
 class CallbackCharSource : public CharSource {
 public:
   explicit CallbackCharSource(std::function<int()> Fn) : Fn(std::move(Fn)) {}
-  int next() override { return Fn(); }
+
+protected:
+  bool fill(const char *&Buf, size_t &N) override {
+    int C = Fn();
+    if (C < 0)
+      return false;
+    Ch = static_cast<char>(C);
+    Buf = &Ch;
+    N = 1;
+    return true;
+  }
 
 private:
   std::function<int()> Fn;
+  char Ch = 0;
 };
 
 /// A PostScript object: a tagged value plus the literal/executable
@@ -108,10 +150,11 @@ struct Object {
   Type Ty = Type::Null;
   bool Exec = false;
 
+  uint32_t Atom = AtomTable::None; ///< interned text for Type::Name
   int64_t IntVal = 0;
   double RealVal = 0;
   bool BoolVal = false;
-  std::shared_ptr<const std::string> StrVal; // String and Name text
+  std::shared_ptr<const std::string> StrVal; // String text
   std::shared_ptr<ArrayImpl> ArrVal;
   std::shared_ptr<DictImpl> DictVal;
   std::shared_ptr<OperatorImpl> OpVal;
@@ -143,11 +186,14 @@ struct Object {
     O.RealVal = V;
     return O;
   }
-  static Object makeName(std::string Text, bool Exec) {
+  static Object makeName(std::string_view Text, bool Exec) {
+    return makeNameAtom(AtomTable::global().intern(Text), Exec);
+  }
+  static Object makeNameAtom(uint32_t Atom, bool Exec) {
     Object O;
     O.Ty = Type::Name;
     O.Exec = Exec;
-    O.StrVal = std::make_shared<const std::string>(std::move(Text));
+    O.Atom = Atom;
     return O;
   }
   static Object makeString(std::string Text) {
@@ -202,11 +248,94 @@ struct Object {
   double numberValue() const {
     return Ty == Type::Int ? static_cast<double>(IntVal) : RealVal;
   }
-  const std::string &text() const { return *StrVal; }
+  const std::string &text() const {
+    return Ty == Type::Name ? AtomTable::global().text(Atom) : *StrVal;
+  }
 
   /// Value equality as used by eq / dict keys: numbers compare by value,
   /// strings and names by text, composites by identity.
   bool equals(const Object &O) const;
+};
+
+/// A PostScript dictionary. Keys are interned atoms; entries live in
+/// insertion order, in a small inline buffer that spills to heap vectors,
+/// and an open-addressed index over the entries is built once the dict
+/// outgrows linear search. Where iteration order is observable (repr,
+/// forall, the symtab and verifier walkers) entries are visited sorted by
+/// key text — the order the std::map this replaces used to give.
+class DictImpl {
+public:
+  Object *find(uint32_t Atom);
+  const Object *find(uint32_t Atom) const {
+    return const_cast<DictImpl *>(this)->find(Atom);
+  }
+  /// String lookups do not intern: a key nobody ever interned cannot be in
+  /// any dict.
+  Object *find(std::string_view Key) {
+    uint32_t A = AtomTable::global().peek(Key);
+    return A == AtomTable::None ? nullptr : find(A);
+  }
+  const Object *find(std::string_view Key) const {
+    return const_cast<DictImpl *>(this)->find(Key);
+  }
+  bool contains(uint32_t Atom) const { return find(Atom) != nullptr; }
+  bool contains(std::string_view Key) const { return find(Key) != nullptr; }
+
+  void set(uint32_t Atom, Object Value);
+  void set(std::string_view Key, Object Value) {
+    set(AtomTable::global().intern(Key), std::move(Value));
+  }
+  bool erase(uint32_t Atom);
+  bool erase(std::string_view Key) {
+    uint32_t A = AtomTable::global().peek(Key);
+    return A != AtomTable::None && erase(A);
+  }
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Empties the dict, dropping every reference it holds (the Interp
+  /// destructor uses this to sever cycles).
+  void clearEntries();
+
+  /// Entry access in insertion order.
+  uint32_t keyAt(uint32_t I) const {
+    return I < InlineCap ? InlineKeys[I] : HeapKeys[I - InlineCap];
+  }
+  Object &valueAt(uint32_t I) {
+    return I < InlineCap ? InlineVals[I] : HeapVals[I - InlineCap];
+  }
+  const Object &valueAt(uint32_t I) const {
+    return I < InlineCap ? InlineVals[I] : HeapVals[I - InlineCap];
+  }
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (uint32_t I = 0; I < Count; ++I)
+      F(keyAt(I), valueAt(I));
+  }
+
+  /// Entries sorted by key text: the observable iteration order.
+  std::vector<std::pair<uint32_t, Object>> sortedItems() const;
+
+private:
+  static constexpr uint32_t InlineCap = 4;
+  static constexpr uint32_t LinearLimit = 8;
+  static constexpr uint32_t NoIndex = 0xFFFFFFFFu;
+
+  uint32_t &keyRef(uint32_t I) {
+    return I < InlineCap ? InlineKeys[I] : HeapKeys[I - InlineCap];
+  }
+  uint32_t indexOf(uint32_t Atom) const;
+  void rebuildSlots();
+
+  uint32_t Count = 0;
+  std::array<uint32_t, InlineCap> InlineKeys{};
+  std::array<Object, InlineCap> InlineVals;
+  std::vector<uint32_t> HeapKeys;
+  std::vector<Object> HeapVals;
+  /// Open-addressed index over the entries: each slot holds entry index+1,
+  /// 0 = empty. Rebuilt on growth and erase (no tombstones); empty while
+  /// Count <= LinearLimit, where a linear scan wins.
+  std::vector<uint32_t> Slots;
 };
 
 /// Renders an object the way the == operator would (arrays and dicts

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 using namespace ldb;
 using namespace ldb::ps;
@@ -46,6 +47,18 @@ namespace {
   Object Var;                                                                 \
   if (PsStatus S_##Var = I.popProc(Var); S_##Var != PsStatus::Ok)             \
   return S_##Var
+
+// Dict keys may be names (already interned) or strings. Write paths intern
+// string keys; read paths only peek — a key nobody ever interned cannot be
+// in any dict, and AtomTable::None misses every lookup.
+uint32_t readKeyAtom(const Object &Key) {
+  return Key.Ty == Type::Name ? Key.Atom
+                              : AtomTable::global().peek(Key.text());
+}
+uint32_t writeKeyAtom(const Object &Key) {
+  return Key.Ty == Type::Name ? Key.Atom
+                              : AtomTable::global().intern(Key.text());
+}
 
 //===----------------------------------------------------------------------===//
 // Stack manipulation
@@ -471,10 +484,10 @@ PsStatus opForall(Interp &I) {
   }
   case Type::Dict: {
     // Iterate a snapshot so the body may modify the dict.
-    std::vector<std::pair<std::string, Object>> Snapshot(
-        Coll.DictVal->Entries.begin(), Coll.DictVal->Entries.end());
+    std::vector<std::pair<uint32_t, Object>> Snapshot =
+        Coll.DictVal->sortedItems();
     for (auto &[Key, Value] : Snapshot) {
-      I.push(Object::makeName(Key, /*Exec=*/false));
+      I.push(Object::makeNameAtom(Key, /*Exec=*/false));
       I.push(Value);
       bool Stop;
       if (PsStatus S = runBody(I, Proc, Stop); S != PsStatus::Ok)
@@ -634,7 +647,7 @@ PsStatus opDef(Interp &I) {
   POP(Key);
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("def needs a name key");
-  I.defineCurrent(Key.text(), std::move(Value));
+  I.defineCurrent(writeKeyAtom(Key), std::move(Value));
   return PsStatus::Ok;
 }
 
@@ -643,7 +656,8 @@ PsStatus opLoad(Interp &I) {
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("load needs a name");
   Object Value;
-  if (!I.lookup(Key.text(), Value))
+  uint32_t Atom = readKeyAtom(Key);
+  if (Atom == AtomTable::None || !I.lookup(Atom, Value))
     return I.fail("undefined name: " + Key.text());
   I.push(std::move(Value));
   return PsStatus::Ok;
@@ -654,15 +668,14 @@ PsStatus opStore(Interp &I) {
   POP(Key);
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("store needs a name key");
+  uint32_t Atom = writeKeyAtom(Key);
   for (auto It = I.dictStack().rbegin(); It != I.dictStack().rend(); ++It) {
-    auto &Entries = It->DictVal->Entries;
-    auto Found = Entries.find(Key.text());
-    if (Found != Entries.end()) {
-      Found->second = std::move(Value);
+    if (Object *Found = It->DictVal->find(Atom)) {
+      *Found = std::move(Value);
       return PsStatus::Ok;
     }
   }
-  I.defineCurrent(Key.text(), std::move(Value));
+  I.defineCurrent(Atom, std::move(Value));
   return PsStatus::Ok;
 }
 
@@ -671,7 +684,7 @@ PsStatus opKnown(Interp &I) {
   POP_DICT(D);
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("known needs a name key");
-  I.push(Object::makeBool(D.DictVal->Entries.count(Key.text()) != 0));
+  I.push(Object::makeBool(D.DictVal->contains(readKeyAtom(Key))));
   return PsStatus::Ok;
 }
 
@@ -679,8 +692,9 @@ PsStatus opWhere(Interp &I) {
   POP(Key);
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("where needs a name");
+  uint32_t Atom = readKeyAtom(Key);
   for (auto It = I.dictStack().rbegin(); It != I.dictStack().rend(); ++It) {
-    if (It->DictVal->Entries.count(Key.text())) {
+    if (It->DictVal->contains(Atom)) {
       I.push(*It);
       I.push(Object::makeBool(true));
       return PsStatus::Ok;
@@ -700,7 +714,7 @@ PsStatus opUndef(Interp &I) {
   POP_DICT(D);
   if (Key.Ty != Type::Name && Key.Ty != Type::String)
     return I.fail("undef needs a name key");
-  D.DictVal->Entries.erase(Key.text());
+  D.DictVal->erase(readKeyAtom(Key));
   return PsStatus::Ok;
 }
 
@@ -718,7 +732,9 @@ PsStatus opDictToMark(Interp &I) {
     Object &Value = Stack[P + 1];
     if (Key.Ty != Type::Name && Key.Ty != Type::String)
       return I.fail("dict keys must be names");
-    Impl->Entries[Key.text()] = Value;
+    // The stack slots are discarded by the resize below, so the values
+    // can be moved out rather than copied.
+    Impl->set(writeKeyAtom(Key), std::move(Value));
   }
   Stack.resize(Base - 1); // Drop the mark too.
   I.push(Object::makeDict(std::move(Impl)));
@@ -744,7 +760,9 @@ PsStatus opArrayClose(Interp &I) {
     return I.fail("no mark on stack for ]");
   auto &Stack = I.opStack();
   size_t Base = Stack.size() - static_cast<size_t>(K);
-  auto Impl = std::make_shared<ArrayImpl>(Stack.begin() + Base, Stack.end());
+  auto Impl = std::make_shared<ArrayImpl>(
+      std::make_move_iterator(Stack.begin() + Base),
+      std::make_move_iterator(Stack.end()));
   Stack.resize(Base - 1); // Drop the mark too.
   I.push(Object::makeArray(std::move(Impl)));
   return PsStatus::Ok;
@@ -757,10 +775,10 @@ PsStatus opGet(Interp &I) {
   case Type::Dict: {
     if (Key.Ty != Type::Name && Key.Ty != Type::String)
       return I.fail("dict get needs a name key");
-    auto Found = Coll.DictVal->Entries.find(Key.text());
-    if (Found == Coll.DictVal->Entries.end())
+    const Object *Found = Coll.DictVal->find(readKeyAtom(Key));
+    if (!Found)
       return I.fail("undefined dict key: " + Key.text());
-    I.push(Found->second);
+    I.push(*Found);
     return PsStatus::Ok;
   }
   case Type::Array: {
@@ -795,7 +813,7 @@ PsStatus opPut(Interp &I) {
   case Type::Dict:
     if (Key.Ty != Type::Name && Key.Ty != Type::String)
       return I.fail("dict put needs a name key");
-    Coll.DictVal->Entries[Key.text()] = std::move(Value);
+    Coll.DictVal->set(writeKeyAtom(Key), std::move(Value));
     return PsStatus::Ok;
   case Type::Array:
     if (Key.Ty != Type::Int)
@@ -816,8 +834,7 @@ PsStatus opLength(Interp &I) {
   POP(Coll);
   switch (Coll.Ty) {
   case Type::Dict:
-    I.push(Object::makeInt(
-        static_cast<int64_t>(Coll.DictVal->Entries.size())));
+    I.push(Object::makeInt(static_cast<int64_t>(Coll.DictVal->size())));
     return PsStatus::Ok;
   case Type::Array:
     I.push(Object::makeInt(static_cast<int64_t>(Coll.ArrVal->size())));
@@ -860,7 +877,7 @@ void bindProc(Interp &I, ArrayImpl &Body) {
   for (Object &Elem : Body) {
     if (Elem.Ty == Type::Name && Elem.Exec) {
       Object Value;
-      if (I.lookup(Elem.text(), Value) && Value.Ty == Type::Operator)
+      if (I.lookup(Elem.Atom, Value) && Value.Ty == Type::Operator)
         Elem = Value;
     } else if (Elem.Ty == Type::Array && Elem.Exec) {
       bindProc(I, *Elem.ArrVal);

@@ -15,6 +15,7 @@
 ///   --program=SPEC          hello | fib | gen:<lines> | <path>.c;
 ///                           repeatable (default hello, fib, gen:13000)
 ///   --deferred              verify deferred-lexing symbol tables too
+///   --no-fastload           disable the binary symtab fastload cache
 ///   --no-md-lint            skip the source-tree lint
 ///   --md-lint-only          run only the source-tree lint
 ///   --src-root=DIR          source tree for the lint (default: this
@@ -27,6 +28,7 @@
 #include "verify/mdlint.h"
 #include "verify/verify.h"
 
+#include "postscript/fastload.h"
 #include "support/strings.h"
 #include "workload.h"
 
@@ -113,6 +115,8 @@ int main(int argc, char **argv) {
       Programs.push_back(Arg.substr(10));
     else if (Arg == "--deferred")
       Deferred = true;
+    else if (Arg == "--no-fastload")
+      ps::fastload::Cache::global().setEnabled(false);
     else if (Arg == "--no-md-lint")
       MdLint = false;
     else if (Arg == "--md-lint-only")

@@ -9,6 +9,7 @@
 #include "core/arch.h"
 #include "core/symtab.h"
 #include "lcc/stabs.h"
+#include "postscript/fastload.h"
 #include "support/byteorder.h"
 #include "support/strings.h"
 
@@ -88,13 +89,13 @@ public:
     Object LT;
     if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
       return Error::failure("no loader table loaded");
-    auto Map = LT.DictVal->Entries.find("anchormap");
-    if (Map == LT.DictVal->Entries.end() || Map->second.Ty != Type::Dict)
+    const Object *Map = LT.DictVal->find("anchormap");
+    if (!Map || Map->Ty != Type::Dict)
       return Error::failure("loader table has no anchor map");
-    auto It = Map->second.DictVal->Entries.find(Name);
-    if (It == Map->second.DictVal->Entries.end())
+    const Object *Found = Map->DictVal->find(Name);
+    if (!Found)
       return Error::failure("unknown anchor symbol: " + Name);
-    return static_cast<uint32_t>(It->second.IntVal);
+    return static_cast<uint32_t>(Found->IntVal);
   }
 
   Expected<uint32_t> fetchDataWord(uint32_t Addr) override {
@@ -218,7 +219,7 @@ private:
 //===----------------------------------------------------------------------===//
 
 bool Verifier::setup() {
-  if (Error E = I.run(prelude())) {
+  if (Error E = ps::fastload::Cache::global().run(I, prelude())) {
     diag(Severity::Error, "setup", Artifact::Symtab, "",
          "prelude failed: " + E.message());
     return false;
@@ -230,7 +231,7 @@ bool Verifier::setup() {
   // is populated from the machine-dependent PostScript fragment, then
   // both dictionaries go on the stack for the whole verification.
   I.dictStack().push_back(ArchDict);
-  Error E = I.run(Arch->MdPostScript);
+  Error E = ps::fastload::Cache::global().run(I, Arch->MdPostScript);
   I.dictStack().pop_back();
   if (E) {
     diag(Severity::Error, "setup", Artifact::Symtab, Arch->Desc->Name,
@@ -242,12 +243,12 @@ bool Verifier::setup() {
   I.Hooks = &Hooks;
 
   bool Ok = true;
-  if (Error SymE = I.run(C.PsSymtab)) {
+  if (Error SymE = ps::fastload::Cache::global().run(I, C.PsSymtab)) {
     diag(Severity::Error, "scope", Artifact::Symtab, "",
          "symbol table does not interpret: " + SymE.message());
     Ok = false;
   }
-  if (Error LtE = I.run(C.LoaderTable)) {
+  if (Error LtE = ps::fastload::Cache::global().run(I, C.LoaderTable)) {
     diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
          "loader table does not interpret: " + LtE.message());
     Ok = false;
@@ -262,13 +263,13 @@ void Verifier::loadProcTable() {
          "loader table did not define /loadertable");
     return;
   }
-  auto It = LT.DictVal->Entries.find("proctable");
-  if (It == LT.DictVal->Entries.end() || It->second.Ty != Type::Array) {
+  const Object *Pt = LT.DictVal->find("proctable");
+  if (!Pt || Pt->Ty != Type::Array) {
     diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
          "loader table has no /proctable");
     return;
   }
-  const ArrayImpl &A = *It->second.ArrVal;
+  const ArrayImpl &A = *Pt->ArrVal;
   if (A.size() % 2 != 0)
     diag(Severity::Error, "agreement", Artifact::LoaderTable, "",
          "proctable length is odd; expected (address, name) pairs");
@@ -324,15 +325,16 @@ void Verifier::walkSymtab() {
          Externs ? "top-level /externs is not a dictionary"
                  : Externs.message());
   } else {
-    for (auto &KV : Externs->DictVal->Entries) {
+    ps::AtomTable &AT = ps::AtomTable::global();
+    for (auto &KV : Externs->DictVal->sortedItems()) {
+      const std::string &Key = AT.text(KV.first);
       Object V = KV.second;
       if (Error E = symtab::force(I, V)) {
-        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
-             E.message());
+        diag(Severity::Error, "scope", Artifact::Symtab, Key, E.message());
         continue;
       }
-      KV.second = V;
-      checkEntry(V, KV.first, -1);
+      Externs->DictVal->set(KV.first, V);
+      checkEntry(V, Key, -1);
     }
   }
 
@@ -362,29 +364,30 @@ void Verifier::walkSymtab() {
          SourceMap ? "top-level /sourcemap is not a dictionary"
                    : SourceMap.message());
   } else {
-    for (auto &KV : SourceMap->DictVal->Entries) {
+    ps::AtomTable &AT = ps::AtomTable::global();
+    for (auto &KV : SourceMap->DictVal->sortedItems()) {
+      const std::string &Key = AT.text(KV.first);
       Object V = KV.second;
       if (Error E = symtab::force(I, V)) {
-        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
-             E.message());
+        diag(Severity::Error, "scope", Artifact::Symtab, Key, E.message());
         continue;
       }
-      KV.second = V;
+      SourceMap->DictVal->set(KV.first, V);
       if (V.Ty != Type::Array) {
-        diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+        diag(Severity::Error, "scope", Artifact::Symtab, Key,
              "sourcemap value is not an array of procedure entries");
         continue;
       }
       for (Object &Ref : *V.ArrVal) {
         Object Entry = Ref;
         if (Error E = symtab::force(I, Entry)) {
-          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+          diag(Severity::Error, "scope", Artifact::Symtab, Key,
                E.message());
           continue;
         }
         Ref = Entry;
         if (Entry.Ty != Type::Dict || !symtab::hasField(Entry, "loci"))
-          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+          diag(Severity::Error, "scope", Artifact::Symtab, Key,
                "sourcemap references a non-procedure entry");
       }
     }
@@ -415,15 +418,17 @@ void Verifier::checkProcEntry(Object Entry, const std::string &Context) {
       diag(Severity::Error, "scope", Artifact::Symtab, Name,
            Statics ? "/statics is not a dictionary" : Statics.message());
     } else {
-      for (auto &KV : Statics->DictVal->Entries) {
+      ps::AtomTable &AT = ps::AtomTable::global();
+      for (auto &KV : Statics->DictVal->sortedItems()) {
+        const std::string &Key = AT.text(KV.first);
         Object V = KV.second;
         if (Error E = symtab::force(I, V)) {
-          diag(Severity::Error, "scope", Artifact::Symtab, KV.first,
+          diag(Severity::Error, "scope", Artifact::Symtab, Key,
                E.message());
           continue;
         }
-        KV.second = V;
-        checkEntry(V, KV.first, -1);
+        Statics->DictVal->set(KV.first, V);
+        checkEntry(V, Key, -1);
       }
     }
   } else {
@@ -902,10 +907,12 @@ void Verifier::checkAgreement() {
   Object LT;
   std::map<std::string, uint32_t> AnchorMap;
   if (I.lookup("loadertable", LT) && LT.Ty == Type::Dict) {
-    auto It = LT.DictVal->Entries.find("anchormap");
-    if (It != LT.DictVal->Entries.end() && It->second.Ty == Type::Dict)
-      for (const auto &KV : It->second.DictVal->Entries)
-        AnchorMap[KV.first] = static_cast<uint32_t>(KV.second.IntVal);
+    const Object *Found = LT.DictVal->find("anchormap");
+    if (Found && Found->Ty == Type::Dict)
+      Found->DictVal->forEach([&AnchorMap](uint32_t Key, const Object &V) {
+        AnchorMap[ps::AtomTable::global().text(Key)] =
+            static_cast<uint32_t>(V.IntVal);
+      });
   }
   for (const std::string &A : SymtabAnchors)
     if (!AnchorMap.count(A))

@@ -1,0 +1,229 @@
+//===- tests/core/fastload_roundtrip_test.cpp ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-identical-semantics regression for the fastload cache: for every
+/// target x program x symtab flavor, the encoded blob must decode back to
+/// the scanner's exact token stream, and replaying it must build the same
+/// /symtab dictionary the scanner builds — forcing deferred entries
+/// included. If fastload ever changes what a symbol table means, this is
+/// the test that goes red.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/arch.h"
+#include "lcc/driver.h"
+#include "postscript/fastload.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace fastload = ldb::ps::fastload;
+
+namespace {
+
+const char *AllTargets[] = {"zmips", "zsparc", "z68k", "zvax"};
+
+lcc::SourceFile programFor(const std::string &Spec) {
+  if (Spec == "hello")
+    return {"hello.c", bench::helloProgram()};
+  if (Spec == "fib")
+    return {"fib.c", bench::fibProgram()};
+  unsigned Lines = static_cast<unsigned>(atoi(Spec.c_str() + 4));
+  return {Spec + ".c", bench::generateProgram(Lines)};
+}
+
+/// Deep token equality including the Exec bit; scanner output is a tree,
+/// so plain recursion suffices.
+bool tokensEqual(const Object &A, const Object &B) {
+  if (A.Ty != B.Ty || A.Exec != B.Exec)
+    return false;
+  switch (A.Ty) {
+  case Type::Int:
+    return A.IntVal == B.IntVal;
+  case Type::Real:
+    return A.RealVal == B.RealVal;
+  case Type::Name:
+    return A.Atom == B.Atom;
+  case Type::String:
+    return *A.StrVal == *B.StrVal;
+  case Type::Array: {
+    if (A.ArrVal->size() != B.ArrVal->size())
+      return false;
+    for (size_t K = 0; K < A.ArrVal->size(); ++K)
+      if (!tokensEqual((*A.ArrVal)[K], (*B.ArrVal)[K]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+/// Structural equality over interpreted values. Symtab dictionaries form
+/// DAGs (entries share type dicts, uplinks), so visited pairs are memoized
+/// to terminate and to keep the comparison linear.
+bool valuesEqual(const Object &A, const Object &B,
+                 std::set<std::pair<const void *, const void *>> &Seen);
+
+bool dictsEqual(const DictImpl &A, const DictImpl &B,
+                std::set<std::pair<const void *, const void *>> &Seen) {
+  if (A.size() != B.size())
+    return false;
+  for (uint32_t K = 0; K < A.size(); ++K) {
+    if (A.keyAt(K) != B.keyAt(K))
+      return false;
+    if (!valuesEqual(A.valueAt(K), B.valueAt(K), Seen))
+      return false;
+  }
+  return true;
+}
+
+bool valuesEqual(const Object &A, const Object &B,
+                 std::set<std::pair<const void *, const void *>> &Seen) {
+  if (A.Ty != B.Ty || A.Exec != B.Exec)
+    return false;
+  switch (A.Ty) {
+  case Type::Null:
+  case Type::Mark:
+    return true;
+  case Type::Bool:
+    return A.BoolVal == B.BoolVal;
+  case Type::Int:
+    return A.IntVal == B.IntVal;
+  case Type::Real:
+    return A.RealVal == B.RealVal;
+  case Type::Name:
+    return A.Atom == B.Atom;
+  case Type::String:
+    return *A.StrVal == *B.StrVal;
+  case Type::Array: {
+    if (!Seen.insert({A.ArrVal.get(), B.ArrVal.get()}).second)
+      return true;
+    if (A.ArrVal->size() != B.ArrVal->size())
+      return false;
+    for (size_t K = 0; K < A.ArrVal->size(); ++K)
+      if (!valuesEqual((*A.ArrVal)[K], (*B.ArrVal)[K], Seen))
+        return false;
+    return true;
+  }
+  case Type::Dict: {
+    if (!Seen.insert({A.DictVal.get(), B.DictVal.get()}).second)
+      return true;
+    return dictsEqual(*A.DictVal, *B.DictVal, Seen);
+  }
+  case Type::Operator:
+    // Eager symtabs bind entries at load time, splicing operators into
+    // procedure bodies; same registered name means the same operator.
+    return A.OpVal && B.OpVal && A.OpVal->Name == B.OpVal->Name;
+  default:
+    // Files, memories: opaque; count matching types as equal.
+    return true;
+  }
+}
+
+/// Interprets the machine-independent prelude, the target's
+/// machine-dependent fragment, and \p Symtab into \p I, the way
+/// Target::connect + loadSymbols stack their scopes — either straight
+/// through the scanner or by replaying a freshly encoded blob.
+void loadScope(Interp &I, const core::Architecture &Arch,
+               const std::string &Symtab, bool Replay) {
+  ASSERT_FALSE(I.run(prelude()));
+  auto ArchDict = Object::makeDict(std::make_shared<DictImpl>());
+  I.dictStack().push_back(ArchDict);
+  ASSERT_FALSE(I.run(Arch.MdPostScript));
+  if (!Replay) {
+    ASSERT_FALSE(I.run(Symtab));
+    return;
+  }
+  uint64_t Hash = fastload::contentHash(Symtab);
+  Expected<std::vector<Object>> Tokens = fastload::scanAll(Symtab);
+  ASSERT_TRUE(bool(Tokens)) << Tokens.message();
+  Expected<std::vector<uint8_t>> Blob = fastload::encode(*Tokens, Hash);
+  ASSERT_TRUE(bool(Blob)) << Blob.message();
+  Expected<std::vector<Object>> Replayed = fastload::decode(*Blob, Hash);
+  ASSERT_TRUE(bool(Replayed)) << Replayed.message();
+  EXPECT_EQ(fastload::execTokens(I, *Replayed), PsStatus::Ok)
+      << I.errorMessage();
+}
+
+void checkProgramOnTarget(const std::string &TargetName,
+                          const std::string &Spec, bool Deferred) {
+  SCOPED_TRACE(TargetName + "/" + Spec +
+               (Deferred ? "/deferred" : "/eager"));
+  const target::TargetDesc *Desc = target::targetByName(TargetName);
+  ASSERT_NE(Desc, nullptr);
+  const core::Architecture *Arch = core::architectureByName(TargetName);
+  ASSERT_NE(Arch, nullptr);
+
+  lcc::CompileOptions CO;
+  CO.DeferredSymtab = Deferred;
+  Expected<std::unique_ptr<lcc::Compilation>> C =
+      lcc::compileAndLink({programFor(Spec)}, *Desc, CO);
+  ASSERT_TRUE(bool(C)) << C.message();
+  const std::string &Symtab = (*C)->PsSymtab;
+
+  // Layer 1: the blob reproduces the scanner's token stream exactly.
+  uint64_t Hash = fastload::contentHash(Symtab);
+  Expected<std::vector<Object>> Tokens = fastload::scanAll(Symtab);
+  ASSERT_TRUE(bool(Tokens)) << Tokens.message();
+  Expected<std::vector<uint8_t>> Blob = fastload::encode(*Tokens, Hash);
+  ASSERT_TRUE(bool(Blob)) << Blob.message();
+  Expected<std::vector<Object>> Back = fastload::decode(*Blob, Hash);
+  ASSERT_TRUE(bool(Back)) << Back.message();
+  ASSERT_EQ(Tokens->size(), Back->size());
+  for (size_t K = 0; K < Tokens->size(); ++K)
+    ASSERT_TRUE(tokensEqual((*Tokens)[K], (*Back)[K])) << "token " << K;
+
+  // Layer 2: replaying the blob builds the same /symtab the scanner does.
+  Interp Scanned, Replayed;
+  loadScope(Scanned, *Arch, Symtab, /*Replay=*/false);
+  loadScope(Replayed, *Arch, Symtab, /*Replay=*/true);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  Object SymA, SymB;
+  ASSERT_TRUE(Scanned.lookup("symtab", SymA));
+  ASSERT_TRUE(Replayed.lookup("symtab", SymB));
+  ASSERT_EQ(SymA.Ty, Type::Dict);
+  ASSERT_EQ(SymB.Ty, Type::Dict);
+  std::set<std::pair<const void *, const void *>> Seen;
+  EXPECT_TRUE(dictsEqual(*SymA.DictVal, *SymB.DictVal, Seen));
+}
+
+class FastloadRoundTrip
+    : public ::testing::TestWithParam<std::tuple<const char *, bool>> {};
+
+TEST_P(FastloadRoundTrip, Hello) {
+  checkProgramOnTarget(std::get<0>(GetParam()), "hello",
+                       std::get<1>(GetParam()));
+}
+
+TEST_P(FastloadRoundTrip, Fib) {
+  checkProgramOnTarget(std::get<0>(GetParam()), "fib",
+                       std::get<1>(GetParam()));
+}
+
+TEST_P(FastloadRoundTrip, Generated13k) {
+  checkProgramOnTarget(std::get<0>(GetParam()), "gen:13000",
+                       std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargetsBothFlavors, FastloadRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(AllTargets),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FastloadRoundTrip::ParamType> &Info) {
+      return std::string(std::get<0>(Info.param)) +
+             (std::get<1>(Info.param) ? "Deferred" : "Eager");
+    });
+
+} // namespace

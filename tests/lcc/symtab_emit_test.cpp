@@ -67,9 +67,9 @@ protected:
 
   Object dictGet(const Object &D, const std::string &Key) {
     EXPECT_EQ(D.Ty, Type::Dict);
-    auto It = D.DictVal->Entries.find(Key);
-    EXPECT_TRUE(It != D.DictVal->Entries.end()) << "no key " << Key;
-    return It == D.DictVal->Entries.end() ? Object() : It->second;
+    const Object *Found = D.DictVal->find(Key);
+    EXPECT_TRUE(Found != nullptr) << "no key " << Key;
+    return Found ? *Found : Object();
   }
 
   const TargetDesc *Desc = nullptr;
@@ -103,7 +103,7 @@ TEST_P(SymtabEmit, UplinkTreeMatchesFig2) {
   Object N = dictGet(Fib, "formals");
   ASSERT_EQ(N.Ty, Type::Dict);
   EXPECT_EQ(dictGet(N, "name").text(), "n");
-  EXPECT_EQ(N.DictVal->Entries.count("uplink"), 0u);
+  EXPECT_FALSE(N.DictVal->contains("uplink"));
 
   // The static array a uplinks to n; i and j both uplink to a (Fig 2's
   // tree: two branches sharing the a -> n spine).
@@ -235,11 +235,11 @@ TEST_P(SymtabEmit, LoaderTableInterprets) {
 
   Object AnchorMap = dictGet(LT, "anchormap");
   ASSERT_EQ(AnchorMap.Ty, Type::Dict);
-  EXPECT_EQ(AnchorMap.DictVal->Entries.size(), 1u); // one unit, one anchor
+  EXPECT_EQ(AnchorMap.DictVal->size(), 1u); // one unit, one anchor
   // The anchor's name matches the symtab's /anchors entry.
   Object Anchors = dictGet(get("symtab"), "anchors");
   std::string AnchorName = (*Anchors.ArrVal)[0].text();
-  EXPECT_TRUE(AnchorMap.DictVal->Entries.count(AnchorName));
+  EXPECT_TRUE(AnchorMap.DictVal->contains(AnchorName));
 
   // proctable is a flat ascending array of (address, name) pairs and
   // includes procedures without debug symbols (_start).
@@ -306,14 +306,14 @@ TEST_P(SymtabEmit, MultiUnitTopLevelMerges) {
   Object Procs = dictGet(Top, "procs");
   EXPECT_EQ(Procs.ArrVal->size(), 2u); // f and main
   Object Externs = dictGet(Top, "externs");
-  EXPECT_TRUE(Externs.DictVal->Entries.count("ga"));
-  EXPECT_TRUE(Externs.DictVal->Entries.count("gb"));
-  EXPECT_TRUE(Externs.DictVal->Entries.count("main"));
+  EXPECT_TRUE(Externs.DictVal->contains("ga"));
+  EXPECT_TRUE(Externs.DictVal->contains("gb"));
+  EXPECT_TRUE(Externs.DictVal->contains("main"));
   Object Anchors = dictGet(Top, "anchors");
   EXPECT_EQ(Anchors.ArrVal->size(), 2u);
   Object Sm = dictGet(Top, "sourcemap");
-  EXPECT_TRUE(Sm.DictVal->Entries.count("a.c"));
-  EXPECT_TRUE(Sm.DictVal->Entries.count("b.c"));
+  EXPECT_TRUE(Sm.DictVal->contains("a.c"));
+  EXPECT_TRUE(Sm.DictVal->contains("b.c"));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTargets, SymtabEmit,

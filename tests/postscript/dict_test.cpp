@@ -1,0 +1,174 @@
+//===- tests/postscript/dict_test.cpp ------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atom-keyed DictImpl: inline storage spilling to heap, the
+/// open-addressed index above the linear-scan threshold, erase compaction,
+/// and the sorted-key view used by repr/forall — behaviors the whole
+/// interpreter leans on after the std::map replacement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/atoms.h"
+#include "postscript/interp.h"
+#include "postscript/object.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ldb;
+using namespace ldb::ps;
+
+namespace {
+
+TEST(AtomTable, InternIsIdempotentAndStable) {
+  AtomTable &AT = AtomTable::global();
+  uint32_t A = AT.intern("dict-test-unique-a");
+  uint32_t B = AT.intern("dict-test-unique-b");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(AT.intern("dict-test-unique-a"), A);
+  EXPECT_EQ(AT.text(A), "dict-test-unique-a");
+  EXPECT_EQ(AT.text(B), "dict-test-unique-b");
+}
+
+TEST(AtomTable, PeekNeverInterns) {
+  AtomTable &AT = AtomTable::global();
+  uint32_t Before = AT.size();
+  EXPECT_EQ(AT.peek("dict-test-never-interned-xyzzy"), AtomTable::None);
+  EXPECT_EQ(AT.size(), Before);
+}
+
+TEST(AtomTable, SurvivesGrowth) {
+  AtomTable &AT = AtomTable::global();
+  std::vector<uint32_t> Atoms;
+  for (int K = 0; K < 3000; ++K)
+    Atoms.push_back(AT.intern("growth-key-" + std::to_string(K)));
+  for (int K = 0; K < 3000; ++K) {
+    EXPECT_EQ(AT.intern("growth-key-" + std::to_string(K)), Atoms[K]);
+    EXPECT_EQ(AT.text(Atoms[K]), "growth-key-" + std::to_string(K));
+  }
+}
+
+TEST(Dict, InlineThenSpillPreservesInsertionOrder) {
+  DictImpl D;
+  // Four entries fit inline; the fifth spills to the heap vectors. The
+  // observable order must not change across the boundary.
+  for (int K = 0; K < 10; ++K)
+    D.set("k" + std::to_string(K), Object::makeInt(K));
+  ASSERT_EQ(D.size(), 10u);
+  for (int K = 0; K < 10; ++K) {
+    EXPECT_EQ(AtomTable::global().text(D.keyAt(K)), "k" + std::to_string(K));
+    EXPECT_EQ(D.valueAt(K).IntVal, K);
+  }
+}
+
+TEST(Dict, FindAndOverwrite) {
+  DictImpl D;
+  D.set("x", Object::makeInt(1));
+  D.set("y", Object::makeInt(2));
+  Object *X = D.find("x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->IntVal, 1);
+  D.set("x", Object::makeInt(42));
+  EXPECT_EQ(D.size(), 2u);
+  EXPECT_EQ(D.find("x")->IntVal, 42);
+  EXPECT_EQ(D.find("missing"), nullptr);
+}
+
+TEST(Dict, LargeDictIndexedLookup) {
+  DictImpl D;
+  for (int K = 0; K < 500; ++K)
+    D.set("big" + std::to_string(K), Object::makeInt(K * 7));
+  ASSERT_EQ(D.size(), 500u);
+  for (int K = 0; K < 500; ++K) {
+    Object *V = D.find("big" + std::to_string(K));
+    ASSERT_NE(V, nullptr) << K;
+    EXPECT_EQ(V->IntVal, K * 7);
+  }
+  EXPECT_FALSE(D.contains("big500"));
+}
+
+TEST(Dict, EraseCompactsAndKeepsOrder) {
+  DictImpl D;
+  for (int K = 0; K < 6; ++K)
+    D.set("e" + std::to_string(K), Object::makeInt(K));
+  EXPECT_TRUE(D.erase("e2"));
+  EXPECT_FALSE(D.erase("e2"));
+  ASSERT_EQ(D.size(), 5u);
+  std::vector<std::string> Keys;
+  D.forEach([&Keys](uint32_t A, const Object &) {
+    Keys.push_back(AtomTable::global().text(A));
+  });
+  EXPECT_EQ(Keys, (std::vector<std::string>{"e0", "e1", "e3", "e4", "e5"}));
+  EXPECT_EQ(D.find("e2"), nullptr);
+  EXPECT_EQ(D.find("e5")->IntVal, 5);
+}
+
+TEST(Dict, EraseFromLargeDictKeepsIndexConsistent) {
+  DictImpl D;
+  for (int K = 0; K < 100; ++K)
+    D.set("del" + std::to_string(K), Object::makeInt(K));
+  for (int K = 0; K < 100; K += 2)
+    EXPECT_TRUE(D.erase("del" + std::to_string(K)));
+  ASSERT_EQ(D.size(), 50u);
+  for (int K = 0; K < 100; ++K) {
+    Object *V = D.find("del" + std::to_string(K));
+    if (K % 2 == 0)
+      EXPECT_EQ(V, nullptr) << K;
+    else {
+      ASSERT_NE(V, nullptr) << K;
+      EXPECT_EQ(V->IntVal, K);
+    }
+  }
+}
+
+TEST(Dict, SortedItemsOrdersByKeyText) {
+  DictImpl D;
+  D.set("zebra", Object::makeInt(1));
+  D.set("apple", Object::makeInt(2));
+  D.set("mango", Object::makeInt(3));
+  auto Items = D.sortedItems();
+  ASSERT_EQ(Items.size(), 3u);
+  AtomTable &AT = AtomTable::global();
+  EXPECT_EQ(AT.text(Items[0].first), "apple");
+  EXPECT_EQ(AT.text(Items[1].first), "mango");
+  EXPECT_EQ(AT.text(Items[2].first), "zebra");
+}
+
+TEST(Dict, ClearEntries) {
+  DictImpl D;
+  for (int K = 0; K < 50; ++K)
+    D.set("c" + std::to_string(K), Object::makeInt(K));
+  D.clearEntries();
+  EXPECT_EQ(D.size(), 0u);
+  EXPECT_TRUE(D.empty());
+  EXPECT_EQ(D.find("c0"), nullptr);
+  D.set("c0", Object::makeInt(99));
+  EXPECT_EQ(D.find("c0")->IntVal, 99);
+}
+
+TEST(Dict, NameObjectsCompareByAtom) {
+  Object A = Object::makeName("samename", /*Exec=*/false);
+  Object B = Object::makeName("samename", /*Exec=*/true);
+  EXPECT_EQ(A.Atom, B.Atom);
+  EXPECT_EQ(A.text(), "samename");
+}
+
+TEST(Dict, InterpDictOpsStillWork) {
+  // End-to-end through the interpreter: def/load/known/undef over a dict
+  // big enough to engage the slot index.
+  Interp I;
+  std::string Code = "/d 1 dict def";
+  for (int K = 0; K < 40; ++K)
+    Code += " d /f" + std::to_string(K) + " " + std::to_string(K) + " put";
+  Code += " d /f17 get d /f39 get add";
+  ASSERT_FALSE(I.run(Code));
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 17 + 39);
+}
+
+} // namespace

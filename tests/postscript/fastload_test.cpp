@@ -1,0 +1,253 @@
+//===- tests/postscript/fastload_test.cpp --------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary fastload blob: encode/decode round-trips for every
+/// scanner-producible token shape, rejection of truncated / corrupt /
+/// stale blobs, and the Cache's fall-back-to-scanner behavior when a
+/// planted blob is bad — the cache must never change what a load means.
+///
+//===----------------------------------------------------------------------===//
+
+#include "postscript/fastload.h"
+
+#include "postscript/atoms.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::ps;
+using namespace ldb::ps::fastload;
+
+namespace {
+
+/// Deep structural equality for token objects, stricter than
+/// Object::equals: also compares the Exec bit, which the replay path
+/// depends on to distinguish procedures from data.
+bool tokensEqual(const Object &A, const Object &B) {
+  if (A.Ty != B.Ty || A.Exec != B.Exec)
+    return false;
+  switch (A.Ty) {
+  case Type::Int:
+    return A.IntVal == B.IntVal;
+  case Type::Real:
+    return A.RealVal == B.RealVal;
+  case Type::Name:
+    return A.Atom == B.Atom;
+  case Type::String:
+    return *A.StrVal == *B.StrVal;
+  case Type::Array: {
+    if (A.ArrVal->size() != B.ArrVal->size())
+      return false;
+    for (size_t K = 0; K < A.ArrVal->size(); ++K)
+      if (!tokensEqual((*A.ArrVal)[K], (*B.ArrVal)[K]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+std::vector<Object> roundTrip(const std::string &Text) {
+  uint64_t Hash = contentHash(Text);
+  Expected<std::vector<Object>> Tokens = scanAll(Text);
+  EXPECT_TRUE(bool(Tokens)) << Tokens.message();
+  Expected<std::vector<uint8_t>> Blob = encode(*Tokens, Hash);
+  EXPECT_TRUE(bool(Blob)) << Blob.message();
+  Expected<std::vector<Object>> Back = decode(*Blob, Hash);
+  EXPECT_TRUE(bool(Back)) << Back.message();
+  EXPECT_EQ(Tokens->size(), Back->size());
+  for (size_t K = 0; K < Tokens->size() && K < Back->size(); ++K)
+    EXPECT_TRUE(tokensEqual((*Tokens)[K], (*Back)[K])) << "token " << K;
+  return Back ? *Back : std::vector<Object>();
+}
+
+TEST(Fastload, RoundTripsEveryTokenShape) {
+  roundTrip("1 -2 2147483647 -9999999999");
+  roundTrip("3.5 -0.25 1e10");
+  roundTrip("/literal execname (a string) ()");
+  roundTrip("{ 1 2 add } { /x { nested (deep) } def }");
+  roundTrip("(string with \\(escapes\\) and \\n newline)");
+}
+
+TEST(Fastload, RoundTripPreservesExecBits) {
+  std::vector<Object> Back = roundTrip("/lit name { 1 } (s)");
+  ASSERT_EQ(Back.size(), 4u);
+  EXPECT_FALSE(Back[0].Exec); // /lit
+  EXPECT_TRUE(Back[1].Exec);  // name
+  EXPECT_TRUE(Back[2].Exec);  // procedure body
+  EXPECT_FALSE(Back[3].Exec); // string
+}
+
+TEST(Fastload, DecodedProceduresAreFresh) {
+  // Two decodes of the same blob must not share array storage — bind
+  // mutates procedure bodies in place.
+  std::string Text = "{ 1 2 add }";
+  uint64_t Hash = contentHash(Text);
+  auto Tokens = scanAll(Text);
+  ASSERT_TRUE(bool(Tokens));
+  auto Blob = encode(*Tokens, Hash);
+  ASSERT_TRUE(bool(Blob));
+  auto First = decode(*Blob, Hash);
+  auto Second = decode(*Blob, Hash);
+  ASSERT_TRUE(bool(First) && bool(Second));
+  ASSERT_EQ(First->size(), 1u);
+  EXPECT_NE((*First)[0].ArrVal.get(), (*Second)[0].ArrVal.get());
+}
+
+TEST(Fastload, ScanAllRejectsSyntaxErrors) {
+  EXPECT_FALSE(bool(scanAll("1 2 )")));
+  EXPECT_FALSE(bool(scanAll("{ unclosed")));
+}
+
+TEST(Fastload, DecodeRejectsBadMagic) {
+  std::string Text = "1 2 add";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  std::vector<uint8_t> Bad = *Blob;
+  Bad[0] = 'X';
+  EXPECT_FALSE(bool(decode(Bad, Hash)));
+}
+
+TEST(Fastload, DecodeRejectsWrongVersion) {
+  std::string Text = "1 2 add";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  std::vector<uint8_t> Bad = *Blob;
+  Bad[4] = Version + 1; // the version byte follows the 4-byte magic
+  EXPECT_FALSE(bool(decode(Bad, Hash)));
+}
+
+TEST(Fastload, DecodeRejectsHashMismatch) {
+  std::string Text = "1 2 add";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  // Same bytes, different expected hash: the blob is stale for this text.
+  EXPECT_FALSE(bool(decode(*Blob, Hash + 1)));
+}
+
+TEST(Fastload, DecodeRejectsTruncation) {
+  std::string Text = "/x { 1 2 add (str) } def x";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  // Every proper prefix must fail cleanly, never crash or misparse.
+  for (size_t Len = 0; Len < Blob->size(); ++Len) {
+    std::vector<uint8_t> Cut(Blob->begin(), Blob->begin() + Len);
+    EXPECT_FALSE(bool(decode(Cut, Hash))) << "prefix length " << Len;
+  }
+}
+
+TEST(Fastload, DecodeRejectsTrailingGarbage) {
+  std::string Text = "1 2 add";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  std::vector<uint8_t> Long = *Blob;
+  Long.push_back(0);
+  EXPECT_FALSE(bool(decode(Long, Hash)));
+}
+
+TEST(Fastload, CacheHitReplaysIdentically) {
+  Cache &C = Cache::global();
+  C.clear();
+  C.setEnabled(true);
+  std::string Text = "/fastload-hit-test { 2 3 mul } def fastload-hit-test";
+  interpStats().reset();
+
+  Interp I1;
+  ASSERT_FALSE(C.run(I1, Text));
+  EXPECT_EQ(interpStats().FastloadMisses, 1u);
+  EXPECT_EQ(interpStats().FastloadStores, 1u);
+  ASSERT_EQ(I1.opStack().size(), 1u);
+  EXPECT_EQ(I1.opStack().back().IntVal, 6);
+
+  Interp I2;
+  ASSERT_FALSE(C.run(I2, Text));
+  EXPECT_EQ(interpStats().FastloadHits, 1u);
+  ASSERT_EQ(I2.opStack().size(), 1u);
+  EXPECT_EQ(I2.opStack().back().IntVal, 6);
+  C.clear();
+}
+
+TEST(Fastload, CorruptPlantedBlobFallsBackToScanner) {
+  Cache &C = Cache::global();
+  C.clear();
+  C.setEnabled(true);
+  std::string Text = "/fastload-corrupt-test 40 2 add def fastload-corrupt-test";
+  uint64_t Hash = contentHash(Text);
+  interpStats().reset();
+
+  // Plant garbage under the text's own hash: a hit that fails decode.
+  C.store(Hash, {'L', 'D', 'F', 'L', 9, 9, 9});
+  Interp I;
+  ASSERT_FALSE(C.run(I, Text));
+  EXPECT_EQ(interpStats().FastloadFallbacks, 1u);
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 42);
+  // The bad blob was dropped and the freshly scanned one stored.
+  const std::vector<uint8_t> *Stored = C.lookup(Hash);
+  ASSERT_NE(Stored, nullptr);
+  EXPECT_TRUE(bool(decode(*Stored, Hash)));
+  C.clear();
+}
+
+TEST(Fastload, TruncatedPlantedBlobFallsBackToScanner) {
+  Cache &C = Cache::global();
+  C.clear();
+  C.setEnabled(true);
+  std::string Text = "1 2 3 add add";
+  uint64_t Hash = contentHash(Text);
+  auto Blob = encode(*scanAll(Text), Hash);
+  ASSERT_TRUE(bool(Blob));
+  std::vector<uint8_t> Cut(Blob->begin(), Blob->begin() + Blob->size() / 2);
+  C.store(Hash, Cut);
+  interpStats().reset();
+
+  Interp I;
+  ASSERT_FALSE(C.run(I, Text));
+  EXPECT_EQ(interpStats().FastloadFallbacks, 1u);
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 6);
+  C.clear();
+}
+
+TEST(Fastload, DisabledCacheUsesScannerOnly) {
+  Cache &C = Cache::global();
+  C.clear();
+  C.setEnabled(false);
+  interpStats().reset();
+  Interp I;
+  ASSERT_FALSE(C.run(I, "1 1 add"));
+  EXPECT_EQ(interpStats().FastloadMisses, 0u);
+  EXPECT_EQ(interpStats().FastloadStores, 0u);
+  EXPECT_EQ(C.size(), 0u);
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 2);
+  C.setEnabled(true);
+}
+
+TEST(Fastload, SyntaxErrorKeepsStreamingSemantics) {
+  // A text that fails to scan must still execute its prefix, exactly like
+  // the streaming scanner path, and must not be cached.
+  Cache &C = Cache::global();
+  C.clear();
+  C.setEnabled(true);
+  std::string Text = "7 8 add )";
+  Interp I;
+  Error E = C.run(I, Text);
+  EXPECT_TRUE(bool(E));
+  ASSERT_EQ(I.opStack().size(), 1u);
+  EXPECT_EQ(I.opStack().back().IntVal, 15);
+  EXPECT_EQ(C.lookup(contentHash(Text)), nullptr);
+  C.clear();
+}
+
+} // namespace

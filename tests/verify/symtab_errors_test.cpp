@@ -25,7 +25,7 @@ namespace {
 
 Object namedEntry(const std::string &Name) {
   auto D = std::make_shared<DictImpl>();
-  D->Entries["name"] = Object::makeString(Name);
+  D->set("name", Object::makeString(Name));
   return Object::makeDict(D);
 }
 
@@ -52,7 +52,7 @@ TEST(SymtabErrors, FailedDeferredFieldNamesKeyAndSymbol) {
   Object Entry = namedEntry("a");
   Object Bad = Object::makeString("undefinedoperator");
   Bad.Exec = true;
-  Entry.DictVal->Entries["where"] = Bad;
+  Entry.DictVal->set("where", Bad);
   Expected<Object> V = symtab::field(I, Entry, "where");
   ASSERT_FALSE(bool(V));
   EXPECT_NE(V.message().find("forcing /where of 'a'"), std::string::npos)
@@ -72,7 +72,7 @@ TEST(SymtabErrors, DeferredValueYieldingNothingIsReported) {
   Object Entry = namedEntry("v");
   Object Empty = Object::makeString("");
   Empty.Exec = true;
-  Entry.DictVal->Entries["type"] = Empty;
+  Entry.DictVal->set("type", Empty);
   Expected<Object> V = symtab::field(I, Entry, "type");
   ASSERT_FALSE(bool(V));
   EXPECT_NE(V.message().find("did not yield one result"), std::string::npos)
