@@ -1,0 +1,372 @@
+//===- bench/bench_step_traffic.cpp - experiment E8 -------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution-control traffic: the seed's stepping planted (and removed) a
+/// temporary breakpoint at every stopping point of every procedure on
+/// every step — O(whole program), ~2,861 sites per step on the
+/// 13,000-line workload — and forced every deferred symtab entry doing
+/// it. The stop-site index scopes the temporaries to the current
+/// procedure, its callees, and the caller. Three measurements:
+///
+///   (a) N source steps through gen:13000, seed sweep vs scoped: plant+
+///       remove operations, wire round trips, and wall time per step,
+///       with byte-identical stop (pc) sequences required;
+///   (b) the same stepping loop on all four targets (scoped only);
+///   (c) a conditional breakpoint in fib's hot recursion (`if n == 1`):
+///       every non-matching hit auto-resumes, cost per hit.
+///
+/// Gates (process exits nonzero, CI runs this as a smoke check):
+/// scoped uses >=10x fewer plant/remove ops and strictly fewer round
+/// trips per step than the sweep, and the conditional breakpoint resumes
+/// all non-matching hits with zero user-visible stops. Results land in
+/// BENCH_step.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/cli.h"
+#include "core/debugger.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <cstdio>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+void fail(const Error &E) {
+  std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+  std::exit(2);
+}
+
+/// One connected debugger+target over a fresh process running \p C.
+struct Session {
+  Session(const Compilation &C, const TargetDesc &Desc) {
+    nub::NubProcess &P = Host.createProcess("bench", Desc);
+    if (Error E = C.Img.loadInto(P.machine())) {
+      std::fprintf(stderr, "load failed: %s\n", E.message().c_str());
+      std::exit(2);
+    }
+    P.enter(C.Img.Entry);
+    auto TOr = Debugger.connect(Host, "bench", C.PsSymtab, C.LoaderTable);
+    if (!TOr) {
+      std::fprintf(stderr, "connect failed: %s\n", TOr.message().c_str());
+      std::exit(2);
+    }
+    T = *TOr;
+  }
+
+  /// Runs to \p Proc's entry and removes the breakpoint again, so the
+  /// stepping loops start from identical clean states.
+  void runTo(const std::string &Proc) {
+    if (Error E = Debugger.breakAtProc(*T, Proc))
+      fail(E);
+    if (Error E = T->resume())
+      fail(E);
+    if (!T->stopped()) {
+      std::fprintf(stderr, "did not reach %s\n", Proc.c_str());
+      std::exit(2);
+    }
+    Expected<size_t> N = T->deleteAllUserBreakpoints();
+    if (!N)
+      fail(N.takeError());
+  }
+
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+};
+
+/// Every stopping point in the image — the seed's per-step plant set,
+/// reimplemented here as the baseline after the index replaced it.
+std::vector<uint32_t> allStopSites(Target &T) {
+  Target::Scope S(T);
+  std::vector<uint32_t> Sites;
+  Expected<ps::Object> Top = symtab::topLevel(T.interp());
+  if (!Top)
+    return Sites;
+  Expected<ps::Object> Procs = symtab::field(T.interp(), *Top, "procs");
+  if (!Procs)
+    return Sites;
+  for (const ps::Object &EntryRef : *Procs->ArrVal) {
+    ps::Object Entry = EntryRef;
+    if (symtab::force(T.interp(), Entry))
+      continue;
+    Expected<ps::Object> Name = symtab::field(T.interp(), Entry, "name");
+    if (!Name)
+      continue;
+    Expected<uint32_t> ProcAddr = T.procAddr(Name->text());
+    if (!ProcAddr)
+      continue;
+    Expected<ps::Object> Loci = symtab::field(T.interp(), Entry, "loci");
+    if (!Loci)
+      continue;
+    for (const ps::Object &Locus : *Loci->ArrVal) {
+      if (Locus.Ty != ps::Type::Array || Locus.ArrVal->size() < 2)
+        continue;
+      Sites.push_back(*ProcAddr +
+                      static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal));
+    }
+  }
+  return Sites;
+}
+
+/// One seed-style step: plant everything, run, remove everything.
+/// Returns the number of plant+remove operations performed.
+uint64_t sweepStep(Target &T, const std::vector<uint32_t> &AllSites) {
+  std::vector<uint32_t> Temp;
+  for (uint32_t A : AllSites)
+    if (!T.breakpointAt(A))
+      Temp.push_back(A);
+  if (Error E = T.plantBreakpoints(Temp))
+    fail(E);
+  if (Error E = T.resume())
+    fail(E);
+  if (!T.exited())
+    if (Error E = T.removeBreakpoints(Temp))
+      fail(E);
+  return 2 * Temp.size();
+}
+
+/// The recursive Fig 1 fib — the iterative fibProgram() has no call
+/// tree; the conditional-breakpoint experiment needs the hot recursion.
+const char *RecFibSource = "int fib(int n) {\n"
+                           "  int r;\n"
+                           "  if (n < 2)\n"
+                           "    r = 1;\n"
+                           "  else\n"
+                           "    r = fib(n - 1) + fib(n - 2);\n"
+                           "  return r;\n"
+                           "}\n"
+                           "int main() {\n"
+                           "  int v;\n"
+                           "  v = fib(10);\n"
+                           "  return v;\n"
+                           "}\n";
+
+std::unique_ptr<Compilation> compileFor(const std::string &Name,
+                                        const std::string &Source,
+                                        const TargetDesc &Desc) {
+  auto C = compileAndLink({{Name, Source}}, Desc, CompileOptions());
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", C.message().c_str());
+    std::exit(1);
+  }
+  return C.take();
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+std::string ratio(uint64_t Base, uint64_t New) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx",
+                New ? static_cast<double>(Base) / New : 0.0);
+  return Buf;
+}
+
+bool Ok = true;
+void require(bool Cond, const char *What) {
+  if (!Cond) {
+    std::fprintf(stderr, "FAIL: %s\n", What);
+    Ok = false;
+  }
+}
+
+} // namespace
+
+int main() {
+  banner("E8: step traffic, whole-program sweep vs stop-site index",
+         "MSR-TR-99-4 indexed stop sites; target >=10x fewer plant/remove "
+         "ops and fewer round trips per step on gen:13000, identical stops");
+
+  const unsigned Steps = 40;
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::printf("\ncompiling gen:13000 and recursive fib...\n");
+  auto Gen = compileFor("gen.c", generateProgram(13000), Zmips);
+
+  //===------------------------------------------------------------------===//
+  // (a) N steps through gen:13000: sweep vs scoped
+  //===------------------------------------------------------------------===//
+
+  Session SweepS(*Gen, Zmips);
+  Session ScopedS(*Gen, Zmips);
+  SweepS.runTo("work300");
+  ScopedS.runTo("work300");
+
+  std::vector<uint32_t> AllSites = allStopSites(*SweepS.T);
+  std::printf("%zu stopping points in gen:13000\n\n", AllSites.size());
+
+  std::vector<uint32_t> SweepStops, ScopedStops;
+  uint64_t SweepOps = 0;
+  SweepS.T->resetStats();
+  double SweepSec = timeMedian(
+      [&] {
+        for (unsigned K = 0; K < Steps; ++K) {
+          SweepOps += sweepStep(*SweepS.T, AllSites);
+          Expected<uint32_t> Pc = SweepS.T->ctxPc();
+          SweepStops.push_back(Pc ? *Pc : 0);
+        }
+      },
+      1);
+  uint64_t SweepRt = SweepS.T->stats().RoundTrips;
+
+  ScopedS.T->resetStats();
+  double ScopedSec = timeMedian(
+      [&] {
+        for (unsigned K = 0; K < Steps; ++K) {
+          if (Error E = ScopedS.Debugger.stepToNextStop(*ScopedS.T))
+            fail(E);
+          Expected<uint32_t> Pc = ScopedS.T->ctxPc();
+          ScopedStops.push_back(Pc ? *Pc : 0);
+        }
+      },
+      1);
+  uint64_t ScopedRt = ScopedS.T->stats().RoundTrips;
+  const Target::ExecStats &ES = ScopedS.T->execStats();
+  uint64_t ScopedOps = ES.TempPlants + ES.TempRemoves;
+
+  // The optimization must be invisible: byte-identical stop sequences.
+  require(SweepStops == ScopedStops,
+          "sweep and scoped stepping must visit identical stop sequences");
+
+  head("gen:13000, " + num(Steps) + " steps", "sweep", "scoped");
+  row("plant+remove ops", num(SweepOps), num(ScopedOps));
+  row("wire round trips", num(SweepRt), num(ScopedRt));
+  row("wall time", ms(SweepSec), ms(ScopedSec));
+  row("per step: ops", num(SweepOps / Steps), num(ScopedOps / Steps));
+  row("per step: round trips", num(SweepRt / Steps), num(ScopedRt / Steps));
+  std::printf("\nimprovement: ops %s, round trips %s, time %s\n\n",
+              ratio(SweepOps, ScopedOps).c_str(),
+              ratio(SweepRt, ScopedRt).c_str(),
+              ratio(static_cast<uint64_t>(SweepSec * 1e6),
+                    static_cast<uint64_t>(ScopedSec * 1e6))
+                  .c_str());
+
+  require(SweepOps >= 10 * ScopedOps,
+          "scoped stepping must use >=10x fewer plant/remove operations");
+  require(ScopedRt < SweepRt,
+          "scoped stepping must use fewer wire round trips");
+
+  //===------------------------------------------------------------------===//
+  // (b) the same stepping loop on all four targets (scoped)
+  //===------------------------------------------------------------------===//
+
+  head("fib, 25 steps (scoped)", "round trips", "wall time");
+  struct PerTarget {
+    std::string Name;
+    uint64_t Rt = 0;
+    double Sec = 0;
+  };
+  std::vector<PerTarget> Table;
+  for (const TargetDesc *Desc : allTargets()) {
+    auto Fib = compileFor("fib.c", RecFibSource, *Desc);
+    Session S(*Fib, *Desc);
+    S.runTo("main");
+    S.T->resetStats();
+    double Sec = timeMedian(
+        [&] {
+          for (unsigned K = 0; K < 25 && !S.T->exited(); ++K)
+            if (Error E = S.Debugger.stepToNextStop(*S.T))
+              fail(E);
+        },
+        1);
+    Table.push_back({Desc->Name, S.T->stats().RoundTrips, Sec});
+    row(Desc->Name, num(S.T->stats().RoundTrips), ms(Sec));
+  }
+
+  //===------------------------------------------------------------------===//
+  // (c) conditional breakpoint in the hot recursion
+  //===------------------------------------------------------------------===//
+
+  auto Fib = compileFor("fib.c", RecFibSource, Zmips);
+  Session CondS(*Fib, Zmips);
+  ExprSession Exprs;
+  Expected<int> Id = CondS.Debugger.addBreakAtLine(*CondS.T, "fib.c", 4);
+  if (!Id)
+    fail(Id.takeError());
+  if (Error E = CondS.Debugger.setBreakpointCondition(*CondS.T, Exprs, *Id,
+                                                      "n == 1"))
+    fail(E);
+  uint64_t VisibleStops = 0;
+  CondS.T->resetStats();
+  double CondSec = timeMedian(
+      [&] {
+        while (true) {
+          if (Error E = CondS.Debugger.continueToStop(*CondS.T))
+            fail(E);
+          if (CondS.T->exited())
+            break;
+          ++VisibleStops;
+        }
+      },
+      1);
+  const Target::ExecStats &CS = CondS.T->execStats();
+  Target::UserBreakpoint *U = CondS.T->userBreakpoint(*Id);
+  uint64_t Hits = U ? U->HitCount : 0;
+
+  std::printf("\n");
+  head("fib(10), break fib.c:4 if n == 1", "count", "");
+  row("breakpoint hits", num(Hits), "");
+  row("condition evaluations", num(CS.CondEvals), "");
+  row("auto-resumed (condition false)", num(CS.CondResumes), "");
+  row("user-visible stops", num(VisibleStops), "");
+  if (Hits)
+    row("cost per hit", ms(CondSec / Hits), "");
+
+  // fib(10) reaches r=1 for every n<2 leaf; only the n==1 leaves stop.
+  require(Hits > 0, "the conditional breakpoint must be hit");
+  require(CS.CondResumes > 0, "some hits must auto-resume");
+  require(VisibleStops == Hits - CS.CondResumes,
+          "every non-matching hit must auto-resume, every match must stop");
+  require(VisibleStops > 0, "the n == 1 leaves must stop");
+
+  //===------------------------------------------------------------------===//
+  // Report
+  //===------------------------------------------------------------------===//
+
+  std::FILE *J = std::fopen("BENCH_step.json", "w");
+  if (J) {
+    std::fprintf(
+        J,
+        "{\n"
+        "  \"bench\": \"step_traffic\",\n"
+        "  \"workload\": \"gen:13000\",\n"
+        "  \"steps\": %u,\n"
+        "  \"stop_sites\": %zu,\n"
+        "  \"sweep\": {\"ops\": %llu, \"rt\": %llu, \"ms\": %.3f},\n"
+        "  \"scoped\": {\"ops\": %llu, \"rt\": %llu, \"ms\": %.3f},\n"
+        "  \"fib_steps\": {\n",
+        Steps, AllSites.size(), static_cast<unsigned long long>(SweepOps),
+        static_cast<unsigned long long>(SweepRt), SweepSec * 1e3,
+        static_cast<unsigned long long>(ScopedOps),
+        static_cast<unsigned long long>(ScopedRt), ScopedSec * 1e3);
+    for (size_t K = 0; K < Table.size(); ++K)
+      std::fprintf(J, "    \"%s\": {\"rt\": %llu, \"ms\": %.3f}%s\n",
+                   Table[K].Name.c_str(),
+                   static_cast<unsigned long long>(Table[K].Rt),
+                   Table[K].Sec * 1e3, K + 1 < Table.size() ? "," : "");
+    std::fprintf(
+        J,
+        "  },\n"
+        "  \"conditional\": {\"hits\": %llu, \"cond_evals\": %llu, "
+        "\"auto_resumes\": %llu, \"stops\": %llu, \"ms\": %.3f}\n"
+        "}\n",
+        static_cast<unsigned long long>(Hits),
+        static_cast<unsigned long long>(CS.CondEvals),
+        static_cast<unsigned long long>(CS.CondResumes),
+        static_cast<unsigned long long>(VisibleStops), CondSec * 1e3);
+    std::fclose(J);
+    std::printf("\nwrote BENCH_step.json\n");
+  }
+
+  return Ok ? 0 : 1;
+}

@@ -19,12 +19,17 @@ namespace {
 
 const char *HelpText =
     "commands:\n"
-    "  break FILE:LINE | break PROC   plant a breakpoint at a stopping "
-    "point\n"
-    "  breakpoints                    list planted breakpoints\n"
-    "  delete                         remove every breakpoint\n"
-    "  continue (c)                   resume execution\n"
+    "  break SPEC [if EXPR]           plant a breakpoint at FILE:LINE or\n"
+    "                                 PROC, optionally conditional\n"
+    "  breakpoints | info breakpoints list breakpoints with conditions\n"
+    "                                 and hit/ignore counts\n"
+    "  delete [N]                     remove breakpoint N, or every one\n"
+    "  ignore N COUNT                 skip the next COUNT hits of N\n"
+    "  continue (c)                   resume execution (conditional hits\n"
+    "                                 that do not match auto-resume)\n"
     "  step (s)                       run to the next stopping point\n"
+    "  next (n)                       like step, but skip over calls\n"
+    "  finish                         run until the caller is current\n"
     "  status                         why and where the target stopped\n"
     "  where (bt)                     backtrace\n"
     "  frame N                        select frame N for print/eval/set\n"
@@ -33,9 +38,9 @@ const char *HelpText =
     "  set NAME VALUE                 assign a constant to a variable\n"
     "  regs                           registers\n"
     "  disasm [N]                     disassemble N words at the pc\n"
-    "  stats [reset]                  wire-transport and interpreter\n"
-    "                                 counters (round trips, bytes, cache\n"
-    "                                 hits, atoms, dict probes, fastload)\n"
+    "  stats [reset]                  wire-transport, interpreter, and\n"
+    "                                 execution counters (round trips,\n"
+    "                                 cache hits, steps, breakpoint hits)\n"
     "  targets | target NAME          list / switch targets\n"
     "  help | quit\n";
 
@@ -95,41 +100,88 @@ std::string CommandInterpreter::execute(const std::string &Line) {
 
   if (Cmd == "break" || Cmd == "b") {
     if (Words.size() < 2)
-      return errText("break FILE:LINE or break PROC");
-    size_t Colon = Words[1].rfind(':');
-    Error E = Error::success();
-    if (Colon != std::string::npos) {
-      int LineNo = std::atoi(Words[1].c_str() + Colon + 1);
-      E = Debugger.breakAtLine(*Current, Words[1].substr(0, Colon), LineNo);
-    } else {
-      E = Debugger.breakAtProc(*Current, Words[1]);
+      return errText("break SPEC [if EXPR]");
+    // `break SPEC if EXPR`: everything after the ` if ` is the condition.
+    std::string Cond;
+    if (Words.size() >= 4 && Words[2] == "if") {
+      size_t IfAt = Line.find(" if ");
+      if (IfAt != std::string::npos)
+        Cond = Line.substr(IfAt + 4);
     }
-    if (E)
-      return errText(E.message());
-    return "breakpoint planted at " + Words[1] + "\n";
+    size_t Colon = Words[1].rfind(':');
+    Expected<int> Id = Colon != std::string::npos
+                           ? Debugger.addBreakAtLine(
+                                 *Current, Words[1].substr(0, Colon),
+                                 std::atoi(Words[1].c_str() + Colon + 1))
+                           : Debugger.addBreakAtProc(*Current, Words[1]);
+    if (!Id)
+      return errText(Id.message());
+    if (!Cond.empty()) {
+      if (Error E = Debugger.setBreakpointCondition(*Current, Session, *Id,
+                                                    Cond)) {
+        // A condition that will not compile must not leave an
+        // unconditional breakpoint behind.
+        Error D = Current->deleteUserBreakpoint(*Id);
+        (void)D;
+        return errText(E.message());
+      }
+      return "breakpoint " + std::to_string(*Id) + " planted at " +
+             Words[1] + " if " + Cond + "\n";
+    }
+    return "breakpoint " + std::to_string(*Id) + " planted at " + Words[1] +
+           "\n";
   }
 
-  if (Cmd == "breakpoints") {
-    if (Current->breakpoints().empty())
+  if (Cmd == "breakpoints" ||
+      (Cmd == "info" && Words.size() > 1 && Words[1] == "breakpoints")) {
+    const auto &Bps = Current->userBreakpoints();
+    if (Bps.empty())
       return "no breakpoints\n";
     std::string Out;
-    for (const auto &[Addr, Orig] : Current->breakpoints())
-      Out += "  " + hex32(Addr) + "\n";
+    for (const auto &[Id, U] : Bps) {
+      Out += "  " + std::to_string(Id) + "  " + hex32(U.Addrs.front()) +
+             "  " + U.Spec;
+      if (U.Addrs.size() > 1)
+        Out += " (" + std::to_string(U.Addrs.size()) + " sites)";
+      if (!U.CondText.empty())
+        Out += "  if " + U.CondText;
+      Out += "  hits " + std::to_string(U.HitCount);
+      if (U.Ignore)
+        Out += "  ignore " + std::to_string(U.Ignore);
+      Out += "\n";
+    }
     return Out;
   }
 
   if (Cmd == "delete") {
-    std::vector<uint32_t> Addrs;
-    for (const auto &[Addr, Orig] : Current->breakpoints())
-      Addrs.push_back(Addr);
-    if (Error E = Current->removeBreakpoints(Addrs))
-      return errText(E.message());
-    return "deleted " + std::to_string(Addrs.size()) + " breakpoint(s)\n";
+    if (Words.size() > 1) {
+      int Id = std::atoi(Words[1].c_str());
+      if (Error E = Current->deleteUserBreakpoint(Id))
+        return errText(E.message());
+      return "deleted breakpoint " + std::to_string(Id) + "\n";
+    }
+    Expected<size_t> N = Current->deleteAllUserBreakpoints();
+    if (!N)
+      return errText(N.message());
+    return "deleted " + std::to_string(*N) + " breakpoint(s)\n";
+  }
+
+  if (Cmd == "ignore") {
+    if (Words.size() < 3)
+      return errText("ignore N COUNT");
+    int Id = std::atoi(Words[1].c_str());
+    Target::UserBreakpoint *U = Current->userBreakpoint(Id);
+    if (!U)
+      return errText("no breakpoint " + Words[1]);
+    U->Ignore = static_cast<uint64_t>(std::atoll(Words[2].c_str()));
+    return "will ignore the next " + Words[2] + " hits of breakpoint " +
+           Words[1] + "\n";
   }
 
   if (Cmd == "stats") {
     if (Words.size() > 1 && Words[1] == "reset") {
       Current->resetStats();
+      Current->execStats().reset();
       ps::interpStats().reset();
       return "transport and interpreter counters reset\n";
     }
@@ -161,11 +213,21 @@ std::string CommandInterpreter::execute(const std::string &Line) {
            std::to_string(IS.FastloadMisses) + " misses, " +
            std::to_string(IS.FastloadStores) + " stores, " +
            std::to_string(IS.FastloadFallbacks) + " fallbacks\n";
+    const Target::ExecStats &ES = Current->execStats();
+    Out += "stepping:       " + std::to_string(ES.Steps) + " steps, " +
+           std::to_string(ES.Nexts) + " nexts, " +
+           std::to_string(ES.Finishes) + " finishes\n";
+    Out += "temporaries:    " + std::to_string(ES.TempPlants) +
+           " planted, " + std::to_string(ES.TempRemoves) + " removed\n";
+    Out += "bp hits:        " + std::to_string(ES.BpHits) + " hits, " +
+           std::to_string(ES.CondEvals) + " cond evals, " +
+           std::to_string(ES.CondResumes) + " cond resumes, " +
+           std::to_string(ES.IgnoreResumes) + " ignore resumes\n";
     return Out;
   }
 
   if (Cmd == "continue" || Cmd == "c") {
-    if (Error E = Current->resume())
+    if (Error E = Debugger.continueToStop(*Current))
       return errText(E.message());
     CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);
@@ -174,6 +236,22 @@ std::string CommandInterpreter::execute(const std::string &Line) {
 
   if (Cmd == "step" || Cmd == "s") {
     if (Error E = Debugger.stepToNextStop(*Current))
+      return errText(E.message());
+    CurrentFrame = 0;
+    Expected<std::string> Where = describeStop(*Current);
+    return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "next" || Cmd == "n") {
+    if (Error E = Debugger.stepOver(*Current))
+      return errText(E.message());
+    CurrentFrame = 0;
+    Expected<std::string> Where = describeStop(*Current);
+    return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "finish") {
+    if (Error E = Debugger.stepOut(*Current))
       return errText(E.message());
     CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);

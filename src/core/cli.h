@@ -9,9 +9,11 @@
 /// interface (the paper's point that ldb exposes one so user interfaces
 /// and higher-level tools can be layered above it). Commands:
 ///
-///   break FILE:LINE | break PROC      plant breakpoints
-///   breakpoints / delete              list / remove all breakpoints
-///   continue (c)                      resume until the next stop
+///   break SPEC [if EXPR]              plant (conditional) breakpoints
+///   breakpoints / info breakpoints    list with conditions and counters
+///   delete [N] / ignore N COUNT       remove / skip the next COUNT hits
+///   continue (c)                      resume until a stop that matches
+///   step (s) / next (n) / finish      scoped source-level stepping
 ///   status                            why and where the target stopped
 ///   where (bt)                        backtrace
 ///   print NAME (p)                    print via the PostScript printers

@@ -7,8 +7,11 @@
 #include "core/debugger.h"
 
 #include "postscript/fastload.h"
+#include "support/byteorder.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 
 using namespace ldb;
 using namespace ldb::core;
@@ -62,7 +65,8 @@ void Ldb::disconnect(const std::string &ProcName) {
   Targets.erase(It);
 }
 
-Error Ldb::breakAtLine(Target &T, const std::string &File, int Line) {
+Expected<int> Ldb::addBreakAtLine(Target &T, const std::string &File,
+                                  int Line) {
   Target::Scope S(T);
   Expected<std::vector<symtab::StopSite>> Sites =
       symtab::stopsForSource(T, File, Line);
@@ -71,65 +75,420 @@ Error Ldb::breakAtLine(Target &T, const std::string &File, int Line) {
   std::vector<uint32_t> Addrs;
   for (const symtab::StopSite &Site : *Sites)
     Addrs.push_back(Site.Addr);
-  return T.plantBreakpoints(Addrs);
+  return T.addUserBreakpoint(File + ":" + std::to_string(Line), Addrs);
 }
 
-Error Ldb::stepToNextStop(Target &T) {
-  Target::Scope S(T);
-  Expected<ps::Object> Top = symtab::topLevel(T.interp());
-  if (!Top)
-    return Top.takeError();
-  Expected<ps::Object> Procs = symtab::field(T.interp(), *Top, "procs");
-  if (!Procs)
-    return Procs.takeError();
-
-  // Plant a temporary breakpoint at every stopping point that does not
-  // already carry one. The currently-stopped point is skipped by the
-  // normal resume logic (the pc is advanced past its no-op).
-  std::vector<uint32_t> Temporary;
-  for (const ps::Object &EntryRef : *Procs->ArrVal) {
-    ps::Object Entry = EntryRef;
-    if (Error E = symtab::force(T.interp(), Entry))
-      return E;
-    Expected<ps::Object> Name = symtab::field(T.interp(), Entry, "name");
-    if (!Name)
-      continue;
-    Expected<uint32_t> ProcAddr = T.procAddr(Name->text());
-    if (!ProcAddr)
-      continue; // not in this image
-    Expected<ps::Object> Loci = symtab::field(T.interp(), Entry, "loci");
-    if (!Loci)
-      continue;
-    for (const ps::Object &Locus : *Loci->ArrVal) {
-      if (Locus.Ty != ps::Type::Array || Locus.ArrVal->size() < 2)
-        continue;
-      uint32_t Addr = *ProcAddr +
-                      static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
-      if (T.breakpointAt(Addr))
-        continue;
-      Temporary.push_back(Addr);
-    }
-  }
-  // One batch plant and one batch removal: a handful of block transfers
-  // instead of a round trip per stopping point.
-  if (Error E = T.plantBreakpoints(Temporary))
-    return E;
-
-  Error RunError = T.resume();
-  if (!Temporary.empty()) {
-    Error E = T.removeBreakpoints(Temporary);
-    // An exited process may not service the removal stores; that is fine,
-    // the image is gone with it.
-    if (!RunError && E && !T.exited())
-      RunError = std::move(E);
-  }
-  return RunError;
-}
-
-Error Ldb::breakAtProc(Target &T, const std::string &Proc) {
+Expected<int> Ldb::addBreakAtProc(Target &T, const std::string &Proc) {
   Target::Scope S(T);
   Expected<symtab::StopSite> Site = symtab::entryStop(T, Proc);
   if (!Site)
     return Site.takeError();
-  return T.plantBreakpoint(Site->Addr);
+  return T.addUserBreakpoint(Proc, {Site->Addr});
+}
+
+Error Ldb::breakAtLine(Target &T, const std::string &File, int Line) {
+  Expected<int> Id = addBreakAtLine(T, File, Line);
+  if (!Id)
+    return Id.takeError();
+  return Error::success();
+}
+
+Error Ldb::breakAtProc(Target &T, const std::string &Proc) {
+  Expected<int> Id = addBreakAtProc(T, Proc);
+  if (!Id)
+    return Id.takeError();
+  return Error::success();
+}
+
+Error Ldb::setBreakpointCondition(Target &T, ExprSession &Session, int Id,
+                                  const std::string &Text) {
+  Target::Scope S(T);
+  Target::UserBreakpoint *U = T.userBreakpoint(Id);
+  if (!U)
+    return Error::failure("no breakpoint " + std::to_string(Id));
+  // Compile once against the breakpoint's first site: that fixes which
+  // symbols the condition's names resolve to (locals become
+  // frame-relative locations). Each hit then runs the compiled procedure
+  // against the stopped frame's memory.
+  Expected<symtab::StopSite> Site = symtab::stopForPc(T, U->Addrs.front());
+  if (!Site)
+    return Site.takeError();
+  Expected<ps::Object> Proc = compileExpression(T, Session, Text, *Site);
+  if (!Proc)
+    return Proc.takeError();
+  U->CondText = Text;
+  U->Condition = *Proc;
+  return Error::success();
+}
+
+Expected<bool> Ldb::breakpointWantsStop(Target &T,
+                                        Target::UserBreakpoint &U) {
+  Target::ExecStats &ES = T.execStats();
+  ++U.HitCount;
+  ++ES.BpHits;
+  if (U.Ignore > 0) {
+    --U.Ignore;
+    ++ES.IgnoreResumes;
+    return false;
+  }
+  if (U.Condition.Ty == ps::Type::Null)
+    return true;
+  ++ES.CondEvals;
+  Expected<bool> V = evalCondition(T, U.Condition);
+  if (!V)
+    return Error::failure("breakpoint " + std::to_string(U.Id) +
+                          " condition '" + U.CondText +
+                          "': " + V.message());
+  if (!*V)
+    ++ES.CondResumes;
+  return *V;
+}
+
+namespace {
+
+/// The next stopping-point address strictly after \p From in \p P, or
+/// \p P.End (0 for the last procedure) when the statement region runs to
+/// the procedure's end.
+uint32_t nextLocusAddrAfter(const StopSiteIndex::Proc &P, uint32_t From) {
+  auto It = std::upper_bound(
+      P.Loci.begin(), P.Loci.end(), From,
+      [](uint32_t V, const StopSiteIndex::Locus &L) { return V < L.Addr; });
+  return It == P.Loci.end() ? P.End : It->Addr;
+}
+
+/// Adds every stopping point of \p P (loading its loci if needed).
+Error addProcSites(StopSiteIndex &Idx, StopSiteIndex::Proc &P,
+                   std::set<uint32_t> &Sites) {
+  if (Error E = Idx.ensureLoaded(P))
+    return E;
+  for (const StopSiteIndex::Locus &L : P.Loci)
+    Sites.insert(L.Addr);
+  return Error::success();
+}
+
+/// Call-scan regions are capped: scanning is O(region), and a statement
+/// region is small. The cap only bites in procedures with no upper bound
+/// (the image's last) or without symbols (startup code).
+constexpr uint32_t ScanCap = 16 * 1024;
+
+/// Clamps a call-scan region [From, To) to the cap; To == 0 means "no
+/// upper bound known".
+void clampScan(uint32_t From, uint32_t &To) {
+  if (To == 0 || To - From > ScanCap)
+    To = From + ScanCap;
+}
+
+/// Scans the pre-clamped code range [From, To) for direct calls and adds
+/// the callee's entry stopping point for each call that targets a known
+/// procedure entry. The compiler emits every call as Jal with an
+/// absolute word-address target, and every loop's branch targets land at
+/// or before a stopping point, so the region between two adjacent
+/// stopping points contains exactly the calls the current statement can
+/// make. Only the entry locus is planted: it sits right after the
+/// prologue at the callee's lowest stopping-point address, so execution
+/// reaches it before any other site in the callee — planting the rest
+/// would change nothing about where the step stops.
+Error addCalleeSites(Target &T, StopSiteIndex &Idx, uint32_t From,
+                     uint32_t To, std::set<uint32_t> &Sites) {
+  if (To <= From)
+    return Error::success();
+  std::vector<uint8_t> Block(To - From);
+  if (Error E = T.wire()->fetchBlock(
+          mem::Location::absolute(mem::SpCode, From), Block.size(),
+          Block.data()))
+    return E;
+  const target::TargetDesc &Desc = *T.arch().Desc;
+  for (uint32_t Off = 0; Off + 4 <= Block.size(); Off += 4) {
+    uint32_t Word = static_cast<uint32_t>(
+        unpackInt(Block.data() + Off, 4, Desc.Order));
+    target::Instr In;
+    if (!Desc.Enc.decode(Word, In) || In.Opc != target::Op::Jal)
+      continue;
+    uint32_t Callee = static_cast<uint32_t>(In.Imm) * 4;
+    Expected<StopSiteIndex::Proc *> CP = Idx.procContaining(Callee);
+    if (!CP || (*CP)->Addr != Callee)
+      continue; // not a procedure entry: not a call we understand
+    if (Error E = Idx.ensureLoaded(**CP))
+      return E;
+    if (const StopSiteIndex::Locus *L = StopSiteIndex::entryLocus(**CP))
+      Sites.insert(L->Addr);
+  }
+  return Error::success();
+}
+
+/// The scoped-stepping site set: the current procedure's stopping
+/// points; at the exit stop, the caller's as well (the return is about
+/// to happen); and, when stepping into calls, the entries of the
+/// procedures the current statement region calls. The seed planted every
+/// stopping point of every procedure instead — and forced every deferred
+/// symtab entry doing it.
+///
+/// Before reading anything, the regions the step will touch are warmed
+/// into the block cache as one aligned transfer per cluster, so the call
+/// scan and the plant's verification fetch are cache hits instead of
+/// separate round trips.
+Error collectStepSites(Target &T, bool IntoCalls,
+                       std::set<uint32_t> &Sites) {
+  Expected<uint32_t> Pc = T.ctxPc();
+  if (!Pc)
+    return Pc.takeError();
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (!IdxOr)
+    return IdxOr.takeError();
+  StopSiteIndex &Idx = **IdxOr;
+  Expected<StopSiteIndex::Proc *> POr = Idx.procContaining(*Pc);
+  if (!POr)
+    return POr.takeError();
+  StopSiteIndex::Proc &P = **POr;
+  if (Error E = Idx.ensureLoaded(P))
+    return E;
+
+  // The exact stopping point we are at, when there is one.
+  const StopSiteIndex::Locus *Cur = nullptr;
+  auto It = std::lower_bound(
+      P.Loci.begin(), P.Loci.end(), *Pc,
+      [](const StopSiteIndex::Locus &L, uint32_t V) { return L.Addr < V; });
+  if (It != P.Loci.end() && It->Addr == *Pc)
+    Cur = &*It;
+  bool AtExit = Cur && Cur->Addr == P.Loci.back().Addr;
+
+  // At the exit stop the next stop is in the caller: find it up front so
+  // its sites share the warming pass. Frame-walk errors degrade
+  // gracefully — _start has no caller, and the current procedure's sites
+  // are still planted.
+  StopSiteIndex::Proc *CallerProc = nullptr;
+  uint32_t CallerPc = 0;
+  if (AtExit) {
+    Expected<FrameInfo> Caller = T.frame(1);
+    if (Caller) {
+      Expected<StopSiteIndex::Proc *> CPOr = Idx.procContaining(Caller->Pc);
+      if (CPOr) {
+        CallerProc = *CPOr;
+        CallerPc = Caller->Pc;
+        if (Error E = Idx.ensureLoaded(*CallerProc))
+          return E;
+      }
+    }
+  }
+
+  // The call-scan region. At the exit stop a multi-call statement
+  // (fib(n-1) + fib(n-2)) calls again after the return, before the
+  // caller's next stopping point: scan the caller's post-return region.
+  // Otherwise scan [here, next stopping point); without symbols for this
+  // procedure (stopped in startup code) the whole remainder is the
+  // region — that is how the first step out of _start reaches main's
+  // entry.
+  bool HaveScan = false;
+  uint32_t ScanFrom = 0, ScanTo = 0;
+  if (AtExit) {
+    if (IntoCalls && CallerProc && CallerProc->HasSymbols) {
+      ScanFrom = CallerPc + 4;
+      ScanTo = nextLocusAddrAfter(*CallerProc, CallerPc);
+      HaveScan = true;
+    }
+  } else if (IntoCalls || !P.HasSymbols) {
+    ScanFrom = Cur ? Cur->Addr : *Pc;
+    ScanTo = P.HasSymbols ? nextLocusAddrAfter(P, ScanFrom) : P.End;
+    HaveScan = true;
+  }
+  if (HaveScan)
+    clampScan(ScanFrom, ScanTo);
+
+  // Warm everything the step reads in as few transfers as possible:
+  // nearby regions (a procedure and its neighbor, a scan inside a
+  // planted span) merge into one.
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> Spans;
+    auto NoteProc = [&Spans](const StopSiteIndex::Proc &Q) {
+      if (Q.HasSymbols && !Q.Loci.empty())
+        Spans.push_back({Q.Loci.front().Addr, Q.Loci.back().Addr + 4});
+    };
+    NoteProc(P);
+    if (CallerProc)
+      NoteProc(*CallerProc);
+    if (HaveScan && ScanFrom < ScanTo)
+      Spans.push_back({ScanFrom, ScanTo});
+    std::sort(Spans.begin(), Spans.end());
+    constexpr uint32_t MergeGap = 1024, WarmCap = 64 * 1024;
+    for (size_t I = 0; I < Spans.size();) {
+      auto [From, To] = Spans[I++];
+      while (I < Spans.size() && Spans[I].first <= To + MergeGap) {
+        To = std::max(To, Spans[I].second);
+        ++I;
+      }
+      if (To - From <= WarmCap)
+        T.warmCode(From, To);
+    }
+  }
+
+  if (Error E = addProcSites(Idx, P, Sites))
+    return E;
+  if (CallerProc)
+    if (Error E = addProcSites(Idx, *CallerProc, Sites))
+      return E;
+  if (HaveScan)
+    if (Error E = addCalleeSites(T, Idx, ScanFrom, ScanTo, Sites))
+      return E;
+  return Error::success();
+}
+
+} // namespace
+
+Error Ldb::stepToNextStop(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Steps;
+  std::set<uint32_t> Sites;
+  if (Error E = collectStepSites(T, /*IntoCalls=*/true, Sites))
+    return E;
+  // One batch plant and one batch removal: a handful of block transfers
+  // instead of a round trip per stopping point.
+  if (Error E = T.plantTemporaries(
+          std::vector<uint32_t>(Sites.begin(), Sites.end())))
+    return E;
+  Error RunError = T.resume();
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  return RunError;
+}
+
+Error Ldb::stepOver(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Nexts;
+  std::set<uint32_t> Sites;
+  if (Error E = collectStepSites(T, /*IntoCalls=*/false, Sites))
+    return E;
+  // Depth is judged by the virtual frame pointer: the stack grows down,
+  // so a deeper frame has a smaller vfp. Without a walkable frame
+  // (stopped in startup code) the first stop wins — a plain step.
+  bool HaveVfp = false;
+  uint32_t StartVfp = 0;
+  if (Expected<FrameInfo> F = T.frame(0)) {
+    HaveVfp = true;
+    StartVfp = F->Vfp;
+  }
+  if (Error E = T.plantTemporaries(
+          std::vector<uint32_t>(Sites.begin(), Sites.end())))
+    return E;
+  Error RunError = Error::success();
+  for (uint64_t Guard = 0;; ++Guard) {
+    if (Guard > 1000000) {
+      RunError = Error::failure("next did not converge");
+      break;
+    }
+    RunError = T.resume();
+    if (RunError || T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap || !HaveVfp)
+      break;
+    Expected<FrameInfo> F = T.frame(0);
+    if (!F)
+      break; // cannot judge depth: surface the stop
+    if (F->Vfp >= StartVfp)
+      break; // the same frame or a shallower one: the step is done
+    // A deeper frame: a call out of this statement (recursion included).
+    // Only a user breakpoint that wants the stop may keep it.
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc) {
+      RunError = Pc.takeError();
+      break;
+    }
+    if (Target::UserBreakpoint *U = T.userBreakpointAt(*Pc)) {
+      Expected<bool> Want = breakpointWantsStop(T, *U);
+      if (!Want) {
+        RunError = Want.takeError();
+        break;
+      }
+      if (*Want)
+        break;
+    }
+  }
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  return RunError;
+}
+
+Error Ldb::stepOut(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Finishes;
+  Expected<FrameInfo> Caller = T.frame(1);
+  if (!Caller)
+    return Error::failure("no caller frame to finish to");
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (!IdxOr)
+    return IdxOr.takeError();
+  StopSiteIndex &Idx = **IdxOr;
+  Expected<StopSiteIndex::Proc *> CPOr = Idx.procContaining(Caller->Pc);
+  if (!CPOr)
+    return CPOr.takeError();
+  StopSiteIndex::Proc &CP = **CPOr;
+  if (Error E = Idx.ensureLoaded(CP))
+    return E;
+  if (!CP.HasSymbols)
+    return Error::failure("no debugging symbols for " + CP.Name);
+  std::vector<uint32_t> Addrs;
+  for (const StopSiteIndex::Locus &L : CP.Loci)
+    Addrs.push_back(L.Addr);
+  uint32_t TargetVfp = Caller->Vfp;
+  if (Error E = T.plantTemporaries(Addrs))
+    return E;
+  Error RunError = Error::success();
+  for (uint64_t Guard = 0;; ++Guard) {
+    if (Guard > 1000000) {
+      RunError = Error::failure("finish did not converge");
+      break;
+    }
+    RunError = T.resume();
+    if (RunError || T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap)
+      break;
+    Expected<FrameInfo> F = T.frame(0);
+    if (!F)
+      break;
+    if (F->Vfp >= TargetVfp)
+      break; // back in the caller (or above it)
+    // Still below the caller: recursion through the caller's own
+    // stopping points, or a user breakpoint.
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc) {
+      RunError = Pc.takeError();
+      break;
+    }
+    if (Target::UserBreakpoint *U = T.userBreakpointAt(*Pc)) {
+      Expected<bool> Want = breakpointWantsStop(T, *U);
+      if (!Want) {
+        RunError = Want.takeError();
+        break;
+      }
+      if (*Want)
+        break;
+    }
+  }
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  return RunError;
+}
+
+Error Ldb::continueToStop(Target &T) {
+  Target::Scope S(T);
+  for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
+    if (Error E = T.resume())
+      return E;
+    if (T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap)
+      return Error::success();
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc)
+      return Pc.takeError();
+    Target::UserBreakpoint *U = T.userBreakpointAt(*Pc);
+    if (!U)
+      return Error::success(); // a trap we did not plant: surface it
+    Expected<bool> Want = breakpointWantsStop(T, *U);
+    if (!Want)
+      return Want.takeError();
+    if (*Want)
+      return Error::success();
+  }
+  return Error::failure("continue did not converge");
 }

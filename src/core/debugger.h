@@ -17,6 +17,7 @@
 #define LDB_CORE_DEBUGGER_H
 
 #include "core/eval.h"
+#include "core/expreval.h"
 #include "core/symtab.h"
 #include "core/target.h"
 
@@ -54,20 +55,51 @@ public:
   // locations of the corresponding instructions").
   //===--------------------------------------------------------------------===
 
-  /// Plants breakpoints at every stopping point for File:Line.
-  Error breakAtLine(Target &T, const std::string &File, int Line);
+  /// Plants a numbered breakpoint at every stopping point for File:Line.
+  Expected<int> addBreakAtLine(Target &T, const std::string &File,
+                               int Line);
 
-  /// Plants a breakpoint at the procedure's entry stopping point.
+  /// Plants a numbered breakpoint at the procedure's entry stopping
+  /// point.
+  Expected<int> addBreakAtProc(Target &T, const std::string &Proc);
+
+  /// Compatibility wrappers that drop the breakpoint number.
+  Error breakAtLine(Target &T, const std::string &File, int Line);
   Error breakAtProc(Target &T, const std::string &Proc);
 
+  /// Attaches a condition to breakpoint \p Id: the expression is compiled
+  /// once (against the breakpoint's first site, which fixes name
+  /// resolution) and evaluated per hit; non-matching hits auto-resume.
+  Error setBreakpointCondition(Target &T, ExprSession &Session, int Id,
+                               const std::string &Text);
+
   /// Source-level stepping, built entirely on breakpoints (the layering
-  /// the paper's Sec 7.1 sketches): plants temporary breakpoints at every
-  /// stopping point of every procedure with symbols, continues, then
-  /// removes the temporaries. Stops at the next stopping point reached,
-  /// including the entry of a called procedure.
+  /// the paper's Sec 7.1 sketches) but scoped by the stop-site index:
+  /// temporaries go only at the current procedure's stopping points, the
+  /// caller's (for returns), and the entries of procedures the current
+  /// statement can call — not the seed's every-stopping-point-in-the-
+  /// program sweep. Stops at the next stopping point reached, including
+  /// the entry of a called procedure.
   Error stepToNextStop(Target &T);
 
+  /// `next`: like step, but a stop in a deeper frame (a call from this
+  /// statement, including recursion) auto-resumes — unless a user
+  /// breakpoint wants it.
+  Error stepOver(Target &T);
+
+  /// `finish`: runs until the caller's frame is current again (plants
+  /// only the caller's stopping points).
+  Error stepOut(Target &T);
+
+  /// `continue` with breakpoint semantics: a hit whose ignore count or
+  /// condition says "not this time" is counted and auto-resumed.
+  Error continueToStop(Target &T);
+
 private:
+  /// Evaluates \p U's ignore count and condition at a hit; bumps the
+  /// counters. True means "really stop".
+  Expected<bool> breakpointWantsStop(Target &T, Target::UserBreakpoint &U);
+
   ps::Interp I;
   std::map<std::string, std::unique_ptr<Target>> Targets;
 };

@@ -134,24 +134,16 @@ std::string lookupReply(Target &T, const symtab::StopSite &Site,
 
 } // namespace
 
-Expected<std::string> ldb::core::evalExpression(Target &T,
-                                                ExprSession &Session,
-                                                const std::string &Text,
-                                                unsigned FrameNo) {
-  Target::Scope S(T);
-  Expected<FrameInfo> Frame = T.frame(FrameNo);
-  if (!Frame)
-    return Frame.takeError();
-  Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, Frame->Pc);
-  if (!Site)
-    return Site.takeError();
-
+Expected<ps::Object> ldb::core::compileExpression(
+    Target &T, ExprSession &Session, const std::string &Text,
+    const symtab::StopSite &Site) {
   Interp &I = T.interp();
   exprserver::ExprServer &Srv = Session.server();
 
   // The debugger treats each expression as a string: send it to the
   // expression server, then interpret PostScript code until the server
-  // says to stop (paper Sec 3).
+  // says to stop (paper Sec 3). The final procedure resolves `&mem`
+  // dynamically, so the caller may run it against any frame later.
   Srv.toServer().writeLine(Text);
 
   bool GotResult = false;
@@ -163,7 +155,7 @@ Expected<std::string> ldb::core::evalExpression(Target &T,
         std::string Name;
         if (PsStatus St = In.popNameText(Name); St != PsStatus::Ok)
           return St;
-        Srv.toServer().writeLine(lookupReply(T, *Site, Name));
+        Srv.toServer().writeLine(lookupReply(T, Site, Name));
         return PsStatus::Ok;
       }));
   Ops.DictVal->set(
@@ -203,12 +195,18 @@ Expected<std::string> ldb::core::evalExpression(Target &T,
   }
   Object Proc = I.opStack().back();
   I.opStack().pop_back();
+  return Proc;
+}
 
+Expected<ps::Object> ldb::core::runCompiled(Target &T, const Object &Proc,
+                                            const FrameInfo &Frame) {
+  Interp &I = T.interp();
+  size_t Depth = I.opStack().size();
   // Execute the procedure against the frame's abstract memory.
   auto Env = Object::makeDict(std::make_shared<DictImpl>());
-  Env.DictVal->set("&mem", Object::makeMemory(Frame->Mem));
+  Env.DictVal->set("&mem", Object::makeMemory(Frame.Mem));
   I.dictStack().push_back(Env);
-  St = I.exec(Proc);
+  PsStatus St = I.exec(Proc);
   I.dictStack().pop_back();
   if (St == PsStatus::Failed) {
     I.opStack().resize(Depth);
@@ -220,5 +218,44 @@ Expected<std::string> ldb::core::evalExpression(Target &T,
   }
   Object Result = I.opStack().back();
   I.opStack().pop_back();
-  return cvsText(Result);
+  return Result;
+}
+
+Expected<bool> ldb::core::evalCondition(Target &T, const Object &Proc) {
+  Expected<FrameInfo> Frame = T.frame(0);
+  if (!Frame)
+    return Frame.takeError();
+  Expected<Object> Result = runCompiled(T, Proc, *Frame);
+  if (!Result)
+    return Result.takeError();
+  switch (Result->Ty) {
+  case Type::Int:
+    return Result->IntVal != 0;
+  case Type::Bool:
+    return Result->BoolVal;
+  case Type::Real:
+    return Result->RealVal != 0.0;
+  default:
+    return Error::failure("condition did not yield a number");
+  }
+}
+
+Expected<std::string> ldb::core::evalExpression(Target &T,
+                                                ExprSession &Session,
+                                                const std::string &Text,
+                                                unsigned FrameNo) {
+  Target::Scope S(T);
+  Expected<FrameInfo> Frame = T.frame(FrameNo);
+  if (!Frame)
+    return Frame.takeError();
+  Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, Frame->Pc);
+  if (!Site)
+    return Site.takeError();
+  Expected<Object> Proc = compileExpression(T, Session, Text, *Site);
+  if (!Proc)
+    return Proc.takeError();
+  Expected<Object> Result = runCompiled(T, *Proc, *Frame);
+  if (!Result)
+    return Result.takeError();
+  return cvsText(*Result);
 }

@@ -18,6 +18,7 @@
 #ifndef LDB_CORE_EXPREVAL_H
 #define LDB_CORE_EXPREVAL_H
 
+#include "core/symtab.h"
 #include "core/target.h"
 #include "exprserver/server.h"
 
@@ -37,6 +38,24 @@ private:
 Expected<std::string> evalExpression(Target &T, ExprSession &Session,
                                      const std::string &Text,
                                      unsigned FrameNo = 0);
+
+/// Compiles \p Text once through the expression server, resolving names
+/// at \p Site, and returns the rewritten PostScript procedure. The
+/// procedure reads the target through whatever `&mem` names when it
+/// runs, so it can be executed many times against different frames —
+/// conditional breakpoints compile at `break` time and evaluate per hit.
+Expected<ps::Object> compileExpression(Target &T, ExprSession &Session,
+                                       const std::string &Text,
+                                       const symtab::StopSite &Site);
+
+/// Runs a compiled expression against \p Frame's abstract memory and
+/// returns the result object.
+Expected<ps::Object> runCompiled(Target &T, const ps::Object &Proc,
+                                 const FrameInfo &Frame);
+
+/// Runs a compiled condition in the stopped frame (frame 0) and reduces
+/// the result to C truthiness: nonzero is true.
+Expected<bool> evalCondition(Target &T, const ps::Object &Proc);
 
 /// Encodes a PostScript type dictionary as a wire type description for
 /// lookup replies (exposed for tests).

@@ -1,0 +1,253 @@
+//===- core/stopindex.cpp - the per-target stop-site index -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/stopindex.h"
+
+#include "core/symtab.h"
+#include "core/target.h"
+
+#include <algorithm>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+namespace {
+
+/// Index errors follow ldb-verify's diagnostic text: [check] artifact:
+/// symbol: message.
+Error indexError(const std::string &Symbol, const std::string &Message) {
+  return Error::failure("[stop-index] symtab: " + Symbol + ": " + Message);
+}
+
+} // namespace
+
+Error StopSiteIndex::build() {
+  Interp &I = T.interp();
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return Error::failure("no loader table for this target");
+  const Object *Pt = LT.DictVal->find("proctable");
+  if (!Pt || Pt->Ty != Type::Array)
+    return Error::failure("loader table has no proctable");
+
+  // The flat array of ascending (address, name) pairs. No symbol-table
+  // entry is touched: procedure ranges come straight from the linker.
+  Procs.clear();
+  ByName.clear();
+  FileProcs.clear();
+  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2) {
+    const Object &Addr = (*Pt->ArrVal)[K];
+    const Object &Name = (*Pt->ArrVal)[K + 1];
+    if (Addr.Ty != Type::Int ||
+        (Name.Ty != Type::String && Name.Ty != Type::Name))
+      return Error::failure("malformed proctable entry");
+    Proc P;
+    P.Addr = static_cast<uint32_t>(Addr.IntVal);
+    P.Name = Name.text();
+    Procs.push_back(std::move(P));
+  }
+  std::sort(Procs.begin(), Procs.end(),
+            [](const Proc &A, const Proc &B) { return A.Addr < B.Addr; });
+  for (size_t K = 0; K < Procs.size(); ++K) {
+    Procs[K].End = K + 1 < Procs.size() ? Procs[K + 1].Addr : 0;
+    ByName[Procs[K].Name] = K;
+  }
+  return Error::success();
+}
+
+Expected<StopSiteIndex::Proc *> StopSiteIndex::procContaining(uint32_t Pc) {
+  // Last procedure whose entry address is at or below the pc.
+  auto It = std::upper_bound(
+      Procs.begin(), Procs.end(), Pc,
+      [](uint32_t V, const Proc &P) { return V < P.Addr; });
+  if (It == Procs.begin())
+    return Error::failure("pc is below every known procedure");
+  return &*std::prev(It);
+}
+
+StopSiteIndex::Proc *StopSiteIndex::procByName(const std::string &Name) {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : &Procs[It->second];
+}
+
+Error StopSiteIndex::ensureLoaded(Proc &P) {
+  if (P.Loaded)
+    return Error::success();
+
+  Interp &I = T.interp();
+  Expected<Object> Top = symtab::topLevel(I);
+  if (!Top) {
+    P.Loaded = true;
+    return Error::success(); // no symbols loaded: an address-only index
+  }
+  Expected<Object> Externs = symtab::field(I, *Top, "externs");
+  if (!Externs)
+    return indexError("externs", Externs.message());
+  const Object *Found = Externs->DictVal->find(P.Name);
+  if (!Found) {
+    // Startup code and library routines carry no debug info; that is the
+    // normal shape of an image, not corruption.
+    P.Loaded = true;
+    P.HasSymbols = false;
+    return Error::success();
+  }
+
+  // Force exactly this entry (deferred entries elsewhere stay deferred),
+  // memoizing the result like every other symtab read.
+  Object Entry = *Found;
+  if (Error E = symtab::force(I, Entry))
+    return indexError(P.Name, E.message());
+  if (Entry.Ty != Type::Dict)
+    return indexError(P.Name, "entry is not a dictionary");
+  Externs->DictVal->set(P.Name, Entry);
+  return loadFromEntry(P, Entry);
+}
+
+Error StopSiteIndex::loadFromEntry(Proc &P, ps::Object Entry) {
+  if (P.Loaded)
+    return Error::success();
+  P.Loaded = true;
+
+  Interp &I = T.interp();
+  Expected<Object> Loci = symtab::field(I, Entry, "loci");
+  if (!Loci)
+    return indexError(P.Name, Loci.message());
+  if (Loci->Ty != Type::Array)
+    return indexError(P.Name, "/loci is not an array");
+  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+    const Object &L = (*Loci->ArrVal)[K];
+    if (L.Ty != Type::Array || L.ArrVal->size() < 2 ||
+        (*L.ArrVal)[0].Ty != Type::Int || (*L.ArrVal)[1].Ty != Type::Int)
+      return indexError(P.Name, "malformed stopping point " +
+                                    std::to_string(K));
+    Locus Loc;
+    Loc.Line = static_cast<int>((*L.ArrVal)[0].IntVal);
+    Loc.Addr = P.Addr + static_cast<uint32_t>((*L.ArrVal)[1].IntVal);
+    Loc.Index = static_cast<int>(K);
+    P.Loci.push_back(Loc);
+  }
+  // /loci is in creation order (loop-condition and -increment stops are
+  // created before the body's); queries want address order.
+  std::sort(P.Loci.begin(), P.Loci.end(),
+            [](const Locus &A, const Locus &B) { return A.Addr < B.Addr; });
+  P.Entry = Entry;
+  P.HasSymbols = true;
+  return Error::success();
+}
+
+Expected<StopSiteIndex::LocusRef> StopSiteIndex::locusAt(uint32_t Addr) {
+  Expected<Proc *> POr = procContaining(Addr);
+  if (!POr)
+    return POr.takeError();
+  Proc &P = **POr;
+  if (Error E = ensureLoaded(P))
+    return E;
+  if (!P.HasSymbols)
+    return Error::failure("no debugging symbols for " + P.Name);
+  auto It = std::lower_bound(
+      P.Loci.begin(), P.Loci.end(), Addr,
+      [](const Locus &L, uint32_t V) { return L.Addr < V; });
+  if (It == P.Loci.end() || It->Addr != Addr)
+    return Error::failure("pc " + std::to_string(Addr) +
+                          " is not at a stopping point of " + P.Name);
+  return LocusRef{&P, &*It};
+}
+
+Expected<StopSiteIndex::LocusRef> StopSiteIndex::nearestLocus(uint32_t Pc) {
+  Expected<Proc *> POr = procContaining(Pc);
+  if (!POr)
+    return POr.takeError();
+  Proc &P = **POr;
+  if (Error E = ensureLoaded(P))
+    return E;
+  if (!P.HasSymbols)
+    return Error::failure("no debugging symbols for " + P.Name);
+  auto It = std::upper_bound(
+      P.Loci.begin(), P.Loci.end(), Pc,
+      [](uint32_t V, const Locus &L) { return V < L.Addr; });
+  if (It == P.Loci.begin())
+    return Error::failure("no stopping point at or before this pc");
+  return LocusRef{&P, &*std::prev(It)};
+}
+
+Expected<std::vector<StopSiteIndex::LocusRef>>
+StopSiteIndex::lociForSource(const std::string &File, int Line) {
+  Interp &I = T.interp();
+  auto Cached = FileProcs.find(File);
+  if (Cached == FileProcs.end()) {
+    // First query against this file: force its procedures (and only its)
+    // through the sourcemap, then remember them.
+    Expected<Object> Top = symtab::topLevel(I);
+    if (!Top)
+      return Top.takeError();
+    Expected<Object> SourceMap = symtab::field(I, *Top, "sourcemap");
+    if (!SourceMap)
+      return SourceMap.takeError();
+    const Object *Found = SourceMap->DictVal->find(File);
+    if (!Found)
+      return Error::failure("no compilation unit named " + File);
+    Object Refs = *Found;
+    if (Error E = symtab::force(I, Refs))
+      return indexError(File, E.message());
+    if (Refs.Ty != Type::Array)
+      return indexError(File, "malformed sourcemap");
+
+    std::vector<size_t> Indices;
+    for (const Object &EntryRef : *Refs.ArrVal) {
+      Object Entry = EntryRef;
+      // A failing force is symbol-table corruption and must surface; the
+      // seed's stepping loop swallowed these with `continue`.
+      if (Error E = symtab::force(I, Entry))
+        return indexError(File, E.message());
+      Expected<Object> NameV = symtab::field(I, Entry, "name");
+      if (!NameV)
+        return indexError(File, NameV.message());
+      Proc *P = procByName(NameV->text());
+      if (!P)
+        continue; // procedure not in this image: legitimately skipped
+      // The entry is already forced; load from it directly (it may be a
+      // static function the externs dictionary does not list).
+      if (Error E = loadFromEntry(*P, Entry))
+        return E;
+      Indices.push_back(static_cast<size_t>(P - Procs.data()));
+    }
+    Cached = FileProcs.emplace(File, std::move(Indices)).first;
+  }
+
+  // Because of the preprocessor a single source location may correspond
+  // to more than one stopping point (paper Sec 2); collect them all.
+  std::vector<LocusRef> Out;
+  for (size_t K : Cached->second) {
+    Proc &P = Procs[K];
+    for (const Locus &L : P.Loci)
+      if (L.Line == Line)
+        Out.push_back(LocusRef{&P, &L});
+  }
+  if (Out.empty())
+    return Error::failure("no stopping point at " + File + ":" +
+                          std::to_string(Line));
+  return Out;
+}
+
+const StopSiteIndex::Locus *StopSiteIndex::entryLocus(const Proc &P) {
+  for (const Locus &L : P.Loci)
+    if (L.Index == 0)
+      return &L;
+  return nullptr;
+}
+
+const StopSiteIndex::Locus *StopSiteIndex::exitLocus(const Proc &P) {
+  return P.Loci.empty() ? nullptr : &P.Loci.back();
+}
+
+size_t StopSiteIndex::loadedCount() const {
+  size_t N = 0;
+  for (const Proc &P : Procs)
+    if (P.Loaded && P.HasSymbols)
+      ++N;
+  return N;
+}

@@ -1,0 +1,142 @@
+//===- core/stopindex.h - the per-target stop-site index --------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-target index of stopping points, built once from the loader
+/// table's proctable and completed lazily per procedure, so execution
+/// control scales with the current procedure instead of the whole
+/// program. The seed walked the entire PostScript symbol table for every
+/// pc-to-locus query and every step — forcing every deferred entry and
+/// defeating the Sec 5 deferred-lexing win. The index keeps the paper's
+/// architecture (the symbol table stays the PostScript source of truth;
+/// entries are forced through the same memoizing reader) but adds the
+/// sorted address table Hanson's revisited design (MSR-TR-99-4) indexes
+/// stop sites with:
+///
+///  * one pass over the proctable at first use — procedure address
+///    ranges, no symtab entry is forced;
+///  * per-procedure loci loaded on demand via the externs dictionary, so
+///    deferred entries stay deferred until a query actually lands in
+///    their procedure;
+///  * O(log n) addr->locus queries (exact and at-or-before) for stop
+///    description, backtrace symbolization, and stepping;
+///  * a per-file cache for source-line queries (breakAtLine), built by
+///    forcing only that file's procedures.
+///
+/// Index errors follow ldb-verify's diagnostic shape
+/// ("[check] artifact: symbol: message") and distinguish "procedure not
+/// in this image" (skipped: the symbol table may describe units the
+/// linker dropped) from real symbol-table corruption (propagated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_STOPINDEX_H
+#define LDB_CORE_STOPINDEX_H
+
+#include "postscript/object.h"
+#include "support/error.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldb::core {
+
+class Target;
+
+class StopSiteIndex {
+public:
+  /// One stopping point: the no-op's absolute address, its source line,
+  /// and its position in the entry's /loci array (needed to recover the
+  /// visible-symbol chain without re-scanning).
+  struct Locus {
+    uint32_t Addr = 0;
+    int Line = 0;
+    int Index = -1;
+  };
+
+  /// One procedure from the proctable. Loci are filled in (and the
+  /// symtab entry forced) only when a query lands in the procedure.
+  struct Proc {
+    uint32_t Addr = 0; ///< entry address
+    uint32_t End = 0;  ///< next procedure's address; 0 for the last
+    std::string Name;
+    bool Loaded = false;     ///< loci computed (entry forced if present)
+    bool HasSymbols = false; ///< a symbol-table entry exists
+    ps::Object Entry;        ///< the forced entry when HasSymbols
+    std::vector<Locus> Loci; ///< sorted by address
+  };
+
+  /// A locus together with its procedure.
+  struct LocusRef {
+    Proc *P = nullptr;
+    const Locus *L = nullptr;
+  };
+
+  explicit StopSiteIndex(Target &T) : T(T) {}
+
+  /// One pass over the loader table's proctable: procedure addresses and
+  /// names only. Must run inside a Target::Scope.
+  Error build();
+
+  //===--------------------------------------------------------------------===
+  // Queries. All but procContaining/procByName may force the procedure's
+  // symtab entry and must run inside a Target::Scope.
+  //===--------------------------------------------------------------------===
+
+  /// The procedure whose range contains \p Pc (binary search; never
+  /// forces anything). The procedure may lack symbols.
+  Expected<Proc *> procContaining(uint32_t Pc);
+
+  /// The procedure named \p Name, or null.
+  Proc *procByName(const std::string &Name);
+
+  /// The stopping point whose no-op is exactly at \p Addr.
+  Expected<LocusRef> locusAt(uint32_t Addr);
+
+  /// The nearest stopping point at or before \p Pc within its procedure
+  /// (caller frames stop between loci; faults stop mid-expression).
+  Expected<LocusRef> nearestLocus(uint32_t Pc);
+
+  /// Every stopping point of \p File : \p Line, forcing only that file's
+  /// procedures (cached per file). Procedures the image does not contain
+  /// are skipped; malformed entries are errors.
+  Expected<std::vector<LocusRef>> lociForSource(const std::string &File,
+                                                int Line);
+
+  /// Loads \p P's loci if not yet loaded: forces exactly one symtab
+  /// entry. A procedure without an entry (startup code, libraries) is
+  /// not an error — it simply has no loci.
+  Error ensureLoaded(Proc &P);
+
+  /// Like ensureLoaded, but from an already-forced entry (the sourcemap
+  /// walk holds one; static functions may not appear in externs).
+  Error loadFromEntry(Proc &P, ps::Object Entry);
+
+  /// The entry stopping point: /loci position 0 (emitted right after the
+  /// prologue). Null when the procedure has none.
+  static const Locus *entryLocus(const Proc &P);
+
+  /// The exit stopping point: the single epilogue's locus, the highest
+  /// address (every return passes it). Null when the procedure has none.
+  static const Locus *exitLocus(const Proc &P);
+
+  size_t procCount() const { return Procs.size(); }
+  /// Procedures whose loci have been computed — the E6 regression tests
+  /// watch this to prove stepping no longer forces the world.
+  size_t loadedCount() const;
+
+private:
+  Target &T;
+  std::vector<Proc> Procs;              ///< sorted by Addr
+  std::map<std::string, size_t> ByName; ///< name -> Procs index
+  /// file -> indices of its (loaded) procedures, built on first query.
+  std::map<std::string, std::vector<size_t>> FileProcs;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_STOPINDEX_H

@@ -132,129 +132,79 @@ Expected<symtab::StopSite> siteFromLocus(Interp &I, const Object &Locus,
   return Site;
 }
 
+/// Builds the full StopSite for an index reference: the index keeps only
+/// (addr, line, loci position); the visible-symbol chain is forced here,
+/// when the caller actually needs name-resolution context.
+Expected<symtab::StopSite> siteFromRef(Target &T,
+                                       StopSiteIndex::LocusRef R) {
+  Interp &I = T.interp();
+  Expected<Object> Loci = symtab::field(I, R.P->Entry, "loci");
+  if (!Loci)
+    return Loci.takeError();
+  if (R.L->Index < 0 ||
+      static_cast<size_t>(R.L->Index) >= Loci->ArrVal->size())
+    return Error::failure("malformed stopping point");
+  return siteFromLocus(I, (*Loci->ArrVal)[R.L->Index], R.L->Index,
+                       R.P->Addr, R.P->Name, R.P->Entry);
+}
+
 } // namespace
 
 Expected<symtab::StopSite> symtab::stopForPc(Target &T, uint32_t Pc) {
-  Interp &I = T.interp();
-  Expected<Target::ProcAddr> Proc = T.procForPc(Pc);
-  if (!Proc)
-    return Proc.takeError();
-  Expected<Object> Entry = procEntryByName(I, Proc->Name);
-  if (!Entry)
-    return Error::failure("no debugging symbols for " + Proc->Name);
-  Expected<Object> Loci = field(I, *Entry, "loci");
-  if (!Loci)
-    return Loci.takeError();
-  uint32_t Offset = Pc - Proc->Addr;
-  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
-    const Object &Locus = (*Loci->ArrVal)[K];
-    if (Locus.Ty == Type::Array && Locus.ArrVal->size() >= 2 &&
-        static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal) == Offset)
-      return siteFromLocus(I, Locus, static_cast<int>(K), Proc->Addr,
-                           Proc->Name, *Entry);
-  }
-  return Error::failure("pc " + std::to_string(Pc) +
-                        " is not at a stopping point of " + Proc->Name);
+  Expected<StopSiteIndex *> Idx = T.stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  Expected<StopSiteIndex::LocusRef> R = (*Idx)->locusAt(Pc);
+  if (!R)
+    return R.takeError();
+  return siteFromRef(T, *R);
 }
 
 Expected<symtab::StopSite> symtab::nearestStopForPc(Target &T, uint32_t Pc) {
-  Interp &I = T.interp();
-  Expected<Target::ProcAddr> Proc = T.procForPc(Pc);
-  if (!Proc)
-    return Proc.takeError();
-  Expected<Object> Entry = procEntryByName(I, Proc->Name);
-  if (!Entry)
-    return Error::failure("no debugging symbols for " + Proc->Name);
-  Expected<Object> Loci = field(I, *Entry, "loci");
-  if (!Loci)
-    return Loci.takeError();
-  uint32_t Offset = Pc - Proc->Addr;
-  int BestIndex = -1;
-  uint32_t BestOffset = 0;
-  for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
-    const Object &Locus = (*Loci->ArrVal)[K];
-    if (Locus.Ty != Type::Array || Locus.ArrVal->size() < 2)
-      continue;
-    uint32_t Off = static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal);
-    if (Off <= Offset && (BestIndex < 0 || Off >= BestOffset)) {
-      BestIndex = static_cast<int>(K);
-      BestOffset = Off;
-    }
-  }
-  if (BestIndex < 0)
-    return Error::failure("no stopping point at or before this pc");
-  return siteFromLocus(I, (*Loci->ArrVal)[BestIndex], BestIndex, Proc->Addr,
-                       Proc->Name, *Entry);
+  Expected<StopSiteIndex *> Idx = T.stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  Expected<StopSiteIndex::LocusRef> R = (*Idx)->nearestLocus(Pc);
+  if (!R)
+    return R.takeError();
+  return siteFromRef(T, *R);
 }
 
 Expected<std::vector<symtab::StopSite>>
 symtab::stopsForSource(Target &T, const std::string &File, int Line) {
-  Interp &I = T.interp();
-  Expected<Object> Top = topLevel(I);
-  if (!Top)
-    return Top.takeError();
-  Expected<Object> SourceMap = field(I, *Top, "sourcemap");
-  if (!SourceMap)
-    return SourceMap.takeError();
-  const Object *Found = SourceMap->DictVal->find(File);
-  if (!Found)
-    return Error::failure("no compilation unit named " + File);
-  Object Procs = *Found;
-  if (Error E = force(I, Procs))
-    return E;
-  if (Procs.Ty != Type::Array)
-    return Error::failure("malformed sourcemap");
-
-  // Because of the preprocessor a single source location may correspond
-  // to more than one stopping point (paper Sec 2); collect them all.
+  Expected<StopSiteIndex *> Idx = T.stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  Expected<std::vector<StopSiteIndex::LocusRef>> Refs =
+      (*Idx)->lociForSource(File, Line);
+  if (!Refs)
+    return Refs.takeError();
   std::vector<StopSite> Sites;
-  for (const Object &EntryRef : *Procs.ArrVal) {
-    Object Entry = EntryRef;
-    if (Error E = force(I, Entry))
-      return E;
-    Expected<Object> NameV = field(I, Entry, "name");
-    if (!NameV)
-      return NameV.takeError();
-    Expected<uint32_t> ProcAddr = T.procAddr(NameV->text());
-    if (!ProcAddr)
-      continue; // procedure not in this image
-    Expected<Object> Loci = field(I, Entry, "loci");
-    if (!Loci)
-      return Loci.takeError();
-    for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
-      const Object &Locus = (*Loci->ArrVal)[K];
-      if (Locus.Ty != Type::Array ||
-          (*Locus.ArrVal)[0].IntVal != Line)
-        continue;
-      Expected<StopSite> Site = siteFromLocus(
-          I, Locus, static_cast<int>(K), *ProcAddr, NameV->text(), Entry);
-      if (!Site)
-        return Site.takeError();
-      Sites.push_back(*Site);
-    }
+  for (const StopSiteIndex::LocusRef &R : *Refs) {
+    Expected<StopSite> Site = siteFromRef(T, R);
+    if (!Site)
+      return Site.takeError();
+    Sites.push_back(*Site);
   }
-  if (Sites.empty())
-    return Error::failure("no stopping point at " + File + ":" +
-                          std::to_string(Line));
   return Sites;
 }
 
 Expected<symtab::StopSite> symtab::entryStop(Target &T,
                                              const std::string &ProcName) {
-  Interp &I = T.interp();
-  Expected<Object> Entry = procEntryByName(I, ProcName);
-  if (!Entry)
-    return Entry.takeError();
-  Expected<uint32_t> ProcAddr = T.procAddr(ProcName);
-  if (!ProcAddr)
-    return ProcAddr.takeError();
-  Expected<Object> Loci = field(I, *Entry, "loci");
-  if (!Loci)
-    return Loci.takeError();
-  if (Loci->ArrVal->empty())
+  Expected<StopSiteIndex *> Idx = T.stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  StopSiteIndex::Proc *P = (*Idx)->procByName(ProcName);
+  if (!P)
+    return Error::failure("no symbol named " + ProcName);
+  if (Error E = (*Idx)->ensureLoaded(*P))
+    return E;
+  if (!P->HasSymbols)
+    return Error::failure("no symbol named " + ProcName);
+  const StopSiteIndex::Locus *L = StopSiteIndex::entryLocus(*P);
+  if (!L)
     return Error::failure(ProcName + " has no stopping points");
-  return siteFromLocus(I, (*Loci->ArrVal)[0], 0, *ProcAddr, ProcName,
-                       *Entry);
+  return siteFromRef(T, StopSiteIndex::LocusRef{P, L});
 }
 
 Expected<ps::Object> symtab::resolveName(Interp &I, const StopSite &Site,

@@ -103,6 +103,7 @@ void Target::crashConnection() {
 
 Error Target::loadSymbols(const std::string &PsText) {
   Scope S(*this);
+  StopIndex.reset(); // new symbols: cached loci may be stale
   // Symbol tables are where fastload pays: a re-connect or a second
   // target loading the same unit replays cached tokens past the scanner.
   return ps::fastload::Cache::global().run(I, PsText);
@@ -110,6 +111,7 @@ Error Target::loadSymbols(const std::string &PsText) {
 
 Error Target::loadLoaderTable(const std::string &PsText) {
   Scope S(*this);
+  StopIndex.reset(); // new proctable: procedure ranges may have moved
   if (Error E = ps::fastload::Cache::global().run(I, PsText))
     return E;
   Object LT;
@@ -241,51 +243,37 @@ Expected<uint32_t> Target::fetchDataWord(uint32_t Addr) {
   return static_cast<uint32_t>(V);
 }
 
-namespace {
-
-Expected<Object> proctable(Interp &I) {
-  Object LT;
-  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
-    return Error::failure("no loader table for this target");
-  const Object *Found = LT.DictVal->find("proctable");
-  if (!Found || Found->Ty != Type::Array)
-    return Error::failure("loader table has no proctable");
-  return *Found;
+Expected<StopSiteIndex *> Target::stopIndex() {
+  if (!StopIndex) {
+    auto Idx = std::make_unique<StopSiteIndex>(*this);
+    Scope S(*this);
+    if (Error E = Idx->build())
+      return E;
+    StopIndex = std::move(Idx);
+  }
+  return StopIndex.get();
 }
 
-} // namespace
-
 Expected<Target::ProcAddr> Target::procForPc(uint32_t Pc) {
-  Scope S(*this);
-  Expected<Object> Pt = proctable(I);
-  if (!Pt)
-    return Pt.takeError();
-  // The flat array of ascending (address, name) pairs: find the last
-  // entry at or below the pc.
-  ProcAddr Best;
-  bool Found = false;
-  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2) {
-    uint32_t Addr = static_cast<uint32_t>((*Pt->ArrVal)[K].IntVal);
-    if (Addr > Pc)
-      break;
-    Best.Addr = Addr;
-    Best.Name = (*Pt->ArrVal)[K + 1].text();
-    Found = true;
-  }
-  if (!Found)
-    return Error::failure("pc is below every known procedure");
-  return Best;
+  Expected<StopSiteIndex *> Idx = stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  // O(log n) over the sorted procedure ranges, instead of the seed's
+  // linear proctable scan per query.
+  Expected<StopSiteIndex::Proc *> P = (*Idx)->procContaining(Pc);
+  if (!P)
+    return P.takeError();
+  return ProcAddr{(*P)->Addr, (*P)->Name};
 }
 
 Expected<uint32_t> Target::procAddr(const std::string &Name) {
-  Scope S(*this);
-  Expected<Object> Pt = proctable(I);
-  if (!Pt)
-    return Pt.takeError();
-  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2)
-    if ((*Pt->ArrVal)[K + 1].text() == Name)
-      return static_cast<uint32_t>((*Pt->ArrVal)[K].IntVal);
-  return Error::failure("no procedure named " + Name);
+  Expected<StopSiteIndex *> Idx = stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  StopSiteIndex::Proc *P = (*Idx)->procByName(Name);
+  if (!P)
+    return Error::failure("no procedure named " + Name);
+  return P->Addr;
 }
 
 Expected<FrameWalker::ProcFrameData> Target::frameData(uint32_t Pc) {
@@ -468,4 +456,163 @@ Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
       Breakpoints.erase(A);
   }
   return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Temporary breakpoints
+//===----------------------------------------------------------------------===//
+
+void Target::warmCode(uint32_t From, uint32_t To) {
+  if (Cache && !Cache->bypass() && To > From)
+    Cache->warm(mem::Location::absolute(mem::SpCode, From), To - From);
+}
+
+Error Target::plantTemporaries(const std::vector<uint32_t> &Addrs) {
+  if (Error E = requireStopped())
+    return E;
+  // Skip sites that already carry a break word (a user breakpoint or a
+  // temporary from an outer stepping loop): whoever planted it owns it.
+  std::vector<uint32_t> Fresh;
+  for (uint32_t A : Addrs)
+    if (!Breakpoints.count(A))
+      Fresh.push_back(A);
+  std::sort(Fresh.begin(), Fresh.end());
+  Fresh.erase(std::unique(Fresh.begin(), Fresh.end()), Fresh.end());
+  const BreakpointData &Bp = Arch->Bp;
+  ByteOrder Order = Arch->Desc->Order;
+  for (const SiteRange &R : coalesce(Fresh, Bp.InstrSize)) {
+    std::vector<uint8_t> Block(R.End - R.Begin);
+    if (Error E =
+            Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    for (uint32_t A : R.Sites) {
+      uint32_t Word = static_cast<uint32_t>(
+          unpackInt(Block.data() + (A - R.Begin), Bp.InstrSize, Order));
+      if (Word != Bp.NopWord)
+        return Error::failure("not a stopping point: no no-op at " +
+                              std::to_string(A));
+    }
+    // Keep the pre-plant bytes: clearTemporaries stores them back as-is,
+    // one message per range, with no verification fetch of its own.
+    TempImages.push_back({R.Begin, Block});
+    for (uint32_t A : R.Sites)
+      packInt(Bp.BreakWord, Block.data() + (A - R.Begin), Bp.InstrSize,
+              Order);
+    if (Error E =
+            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             Block.size(), Block.data()))
+      return E;
+    for (uint32_t A : R.Sites) {
+      Breakpoints[A] = Bp.NopWord;
+      TempSites.insert(A);
+    }
+    Exec.TempPlants += R.Sites.size();
+  }
+  return Error::success();
+}
+
+Error Target::clearTemporaries() {
+  if (TempSites.empty()) {
+    TempImages.clear();
+    return Error::success();
+  }
+  Exec.TempRemoves += TempSites.size();
+  for (uint32_t A : TempSites)
+    Breakpoints.erase(A);
+  TempSites.clear();
+  std::vector<TempImage> Images = std::move(TempImages);
+  TempImages.clear();
+  if (exited() || !connected()) {
+    // An exited process cannot service the removal stores; the image is
+    // gone with it.
+    return Error::success();
+  }
+  for (const TempImage &R : Images)
+    if (Error E =
+            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                             R.Bytes.size(), R.Bytes.data()))
+      return E;
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// User breakpoints
+//===----------------------------------------------------------------------===//
+
+Expected<int> Target::addUserBreakpoint(const std::string &Spec,
+                                        const std::vector<uint32_t> &Addrs) {
+  std::vector<uint32_t> Sorted = Addrs;
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  if (Sorted.empty())
+    return Error::failure("breakpoint has no stopping points");
+  if (Error E = plantBreakpoints(Sorted))
+    return E;
+  UserBreakpoint U;
+  U.Id = NextBpId++;
+  U.Spec = Spec;
+  U.Addrs = std::move(Sorted);
+  int Id = U.Id;
+  UserBps[Id] = std::move(U);
+  return Id;
+}
+
+Error Target::deleteUserBreakpoint(int Id) {
+  auto It = UserBps.find(Id);
+  if (It == UserBps.end())
+    return Error::failure("no breakpoint " + std::to_string(Id));
+  // Unplant only the sites nothing else owns: another user breakpoint at
+  // the same line, or a live stepping temporary, keeps its break word.
+  std::vector<uint32_t> Remove;
+  for (uint32_t A : It->second.Addrs) {
+    bool Shared = TempSites.count(A) != 0;
+    for (const auto &[OtherId, U] : UserBps)
+      if (OtherId != Id &&
+          std::binary_search(U.Addrs.begin(), U.Addrs.end(), A)) {
+        Shared = true;
+        break;
+      }
+    if (!Shared && Breakpoints.count(A))
+      Remove.push_back(A);
+  }
+  UserBps.erase(It);
+  if (exited() || !connected()) {
+    for (uint32_t A : Remove)
+      Breakpoints.erase(A);
+    return Error::success();
+  }
+  return removeBreakpoints(Remove);
+}
+
+Expected<size_t> Target::deleteAllUserBreakpoints() {
+  size_t N = UserBps.size();
+  std::vector<uint32_t> Remove;
+  for (const auto &[Id, U] : UserBps)
+    for (uint32_t A : U.Addrs)
+      if (!TempSites.count(A) && Breakpoints.count(A))
+        Remove.push_back(A);
+  UserBps.clear();
+  std::sort(Remove.begin(), Remove.end());
+  Remove.erase(std::unique(Remove.begin(), Remove.end()), Remove.end());
+  if (exited() || !connected()) {
+    for (uint32_t A : Remove)
+      Breakpoints.erase(A);
+    return N;
+  }
+  if (Error E = removeBreakpoints(Remove))
+    return E;
+  return N;
+}
+
+Target::UserBreakpoint *Target::userBreakpoint(int Id) {
+  auto It = UserBps.find(Id);
+  return It == UserBps.end() ? nullptr : &It->second;
+}
+
+Target::UserBreakpoint *Target::userBreakpointAt(uint32_t Addr) {
+  for (auto &[Id, U] : UserBps)
+    if (std::binary_search(U.Addrs.begin(), U.Addrs.end(), Addr))
+      return &U;
+  return nullptr;
 }

@@ -22,6 +22,7 @@
 #define LDB_CORE_TARGET_H
 
 #include "core/arch.h"
+#include "core/stopindex.h"
 #include "mem/cached.h"
 #include "mem/remote.h"
 #include "mem/stats.h"
@@ -30,6 +31,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 namespace ldb::core {
@@ -182,6 +184,85 @@ public:
     return Breakpoints;
   }
 
+  //===--------------------------------------------------------------------===
+  // The stop-site index: sorted procedure ranges from the proctable,
+  // per-procedure loci loaded lazily (deferred symtab entries stay
+  // deferred). Built on first use, rebuilt after new symbols or a new
+  // loader table.
+  //===--------------------------------------------------------------------===
+
+  /// The index, building it on first use (enters its own Scope).
+  Expected<StopSiteIndex *> stopIndex();
+
+  //===--------------------------------------------------------------------===
+  // Temporary breakpoints (stepping). The target owns the bookkeeping so
+  // a temporary never double-plants or removes an overlapping user
+  // breakpoint: plantTemporaries skips sites that already carry a break
+  // word, and clearTemporaries removes exactly what it planted.
+  //===--------------------------------------------------------------------===
+
+  Error plantTemporaries(const std::vector<uint32_t> &Addrs);
+  Error clearTemporaries();
+  bool temporaryAt(uint32_t Addr) const { return TempSites.count(Addr); }
+  size_t temporaryCount() const { return TempSites.size(); }
+
+  /// Prefetches code bytes [From, To) into the block cache (best-effort,
+  /// no-op without block transport) so the reads stepping is about to
+  /// issue — the call scan, the plant's verification fetch — are served
+  /// from resident lines instead of the wire.
+  void warmCode(uint32_t From, uint32_t To);
+
+  //===--------------------------------------------------------------------===
+  // User breakpoints: numbered, listable, optionally conditional. The
+  // plain Breakpoints map below stays the planting machinery; these
+  // records give each user-visible breakpoint an identity, its sites, a
+  // compiled condition, and hit/ignore counters.
+  //===--------------------------------------------------------------------===
+
+  struct UserBreakpoint {
+    int Id = 0;
+    std::string Spec;          ///< what the user typed (file:line or proc)
+    std::string CondText;      ///< condition source, empty if none
+    ps::Object Condition;      ///< compiled condition; Null if none
+    std::vector<uint32_t> Addrs; ///< sorted unique site addresses
+    uint64_t HitCount = 0;
+    uint64_t Ignore = 0;
+  };
+
+  /// Plants \p Addrs and records them as one numbered breakpoint.
+  Expected<int> addUserBreakpoint(const std::string &Spec,
+                                  const std::vector<uint32_t> &Addrs);
+  /// Removes breakpoint \p Id, unplanting sites no other user breakpoint
+  /// shares. Tolerates an exited target (the image is gone).
+  Error deleteUserBreakpoint(int Id);
+  /// Removes every user breakpoint; returns how many there were.
+  Expected<size_t> deleteAllUserBreakpoints();
+  UserBreakpoint *userBreakpoint(int Id);
+  /// The user breakpoint owning a site at \p Addr, or null.
+  UserBreakpoint *userBreakpointAt(uint32_t Addr);
+  const std::map<int, UserBreakpoint> &userBreakpoints() const {
+    return UserBps;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Execution-control counters (the `stats` command reports them next to
+  // the transport counters).
+  //===--------------------------------------------------------------------===
+
+  struct ExecStats {
+    uint64_t Steps = 0;         ///< stepToNextStop calls
+    uint64_t Nexts = 0;         ///< stepOver calls
+    uint64_t Finishes = 0;      ///< stepOut calls
+    uint64_t TempPlants = 0;    ///< temporary sites planted
+    uint64_t TempRemoves = 0;   ///< temporary sites removed
+    uint64_t BpHits = 0;        ///< user-breakpoint hits
+    uint64_t CondEvals = 0;     ///< condition evaluations
+    uint64_t CondResumes = 0;   ///< auto-resumes on a false condition
+    uint64_t IgnoreResumes = 0; ///< auto-resumes on an ignore count
+    void reset() { *this = ExecStats(); }
+  };
+  ExecStats &execStats() { return Exec; }
+
 private:
   friend class Scope;
 
@@ -201,6 +282,21 @@ private:
   uint32_t RptAddr = 0;
   std::map<uint32_t, uint32_t> Breakpoints; ///< addr -> saved word
   std::map<uint32_t, FrameWalker::ProcFrameData> FrameDataCache;
+  std::unique_ptr<StopSiteIndex> StopIndex; ///< built lazily, see stopIndex()
+  std::set<uint32_t> TempSites; ///< temporaries currently planted
+
+  /// The pre-plant bytes of each code range plantTemporaries patched, so
+  /// clearTemporaries restores with one store per range and no re-fetch.
+  /// User break words inside a range were present before the plant and
+  /// ride along unchanged in both directions.
+  struct TempImage {
+    uint32_t Begin = 0;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<TempImage> TempImages;
+  std::map<int, UserBreakpoint> UserBps;
+  int NextBpId = 1;
+  ExecStats Exec;
 };
 
 } // namespace ldb::core

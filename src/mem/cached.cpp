@@ -82,6 +82,37 @@ void CachedMemory::patchLines(Location Loc, size_t Size,
     patchSpace(Space, Loc.Offset, Size, Bytes);
 }
 
+bool CachedMemory::allResident(Location Loc, size_t Size) const {
+  int64_t Base = Loc.Offset - (Loc.Offset % LineBytes);
+  int64_t End = Loc.Offset + static_cast<int64_t>(Size);
+  for (int64_t B = Base; B < End; B += LineBytes)
+    if (!Lines.count(std::make_pair(Loc.Space, B)))
+      return false;
+  return true;
+}
+
+void CachedMemory::warm(Location Loc, size_t Size) {
+  if (Bypass || Size == 0 || !cacheable(Loc) || allResident(Loc, Size))
+    return;
+  int64_t Base = Loc.Offset - (Loc.Offset % LineBytes);
+  int64_t End = Loc.Offset + static_cast<int64_t>(Size);
+  if (End % LineBytes)
+    End += LineBytes - End % LineBytes;
+  std::vector<uint8_t> Buf(static_cast<size_t>(End - Base));
+  Location At = Location::absolute(Loc.Space, Base);
+  if (Under->fetchBlock(At, Buf.size(), Buf.data())) {
+    // The aligned span may run one line past the end of target memory;
+    // retry once without the trailing line before giving up.
+    if (Buf.size() <= LineBytes ||
+        Under->fetchBlock(At, Buf.size() - LineBytes, Buf.data()))
+      return;
+    Buf.resize(Buf.size() - LineBytes);
+  }
+  if (Stats)
+    ++Stats->Cache[Loc.Space].Misses;
+  seedLines(At, Buf.size(), Buf.data());
+}
+
 void CachedMemory::seedLines(Location Loc, size_t Size,
                              const uint8_t *Bytes) {
   int64_t First = Loc.Offset + (LineBytes - 1);
@@ -166,7 +197,7 @@ Error CachedMemory::fetchBlock(Location Loc, size_t Size, uint8_t *Out) {
   }
   if (!cacheable(Loc))
     return Under->fetchBlock(Loc, Size, Out);
-  if (Size < LineBytes)
+  if (Size < LineBytes || allResident(Loc, Size))
     return fetchBytes(Loc, Size, Out);
   // A block at least one line long: move it in one transfer rather than
   // line by line, then keep the whole lines it covers.

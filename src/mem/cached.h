@@ -62,6 +62,14 @@ public:
   /// Counters for line hits and misses (per space); may be null.
   void setStats(TransportStats *S) { Stats = S; }
 
+  /// Best-effort prefetch: fills every line overlapping [Loc, Loc+Size)
+  /// with one aligned block transfer, so the reads that follow — a call
+  /// scan, a breakpoint plant's verification fetch — are served from the
+  /// cache. A failed transfer (the aligned span may run past the end of
+  /// target memory) leaves the cache unchanged; the ordinary reads then
+  /// pay their own way and report their own errors.
+  void warm(Location Loc, size_t Size);
+
   unsigned lineBytes() const { return LineBytes; }
   size_t cachedLines() const { return Lines.size(); }
 
@@ -92,6 +100,9 @@ private:
 
   /// Installs whole lines covered by a block that was just transferred.
   void seedLines(Location Loc, size_t Size, const uint8_t *Bytes);
+
+  /// True when every line overlapping [Loc, Loc+Size) is resident.
+  bool allResident(Location Loc, size_t Size) const;
 
   MemoryRef Under;
   ByteOrder Order;

@@ -1,0 +1,265 @@
+//===- tests/core/exec_control_test.cpp -----------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution control on the stop-site index: step/next/finish must walk
+/// the same (proc, line) sequences on every target, conditional
+/// breakpoints must auto-resume non-matching hits with exact counters,
+/// and scoped stepping in a deferred-symtab session must not force
+/// entries the step never touches (the index exists so that it doesn't).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+//  1: int fib(int n) {
+//  2:   int r;
+//  3:   if (n < 2) {
+//  4:     r = 1;
+//  5:   } else {
+//  6:     r = fib(n - 1) + fib(n - 2);
+//  7:   }
+//  8:   return r;
+//  9: }
+// 10: int main() {
+// 11:   int v;
+// 12:   v = fib(6);
+// 13:   return v;
+// 14: }
+const char *FibSource = "int fib(int n) {\n"
+                        "  int r;\n"
+                        "  if (n < 2) {\n"
+                        "    r = 1;\n"
+                        "  } else {\n"
+                        "    r = fib(n - 1) + fib(n - 2);\n"
+                        "  }\n"
+                        "  return r;\n"
+                        "}\n"
+                        "int main() {\n"
+                        "  int v;\n"
+                        "  v = fib(6);\n"
+                        "  return v;\n"
+                        "}\n";
+
+/// One connected debugging session over an in-process nub.
+struct Session {
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+
+  Error start(const TargetDesc &Desc, const std::string &Source,
+              CompileOptions Options = CompileOptions()) {
+    auto COr = compileAndLink({{"fib.c", Source}}, Desc, Options);
+    if (!COr)
+      return COr.takeError();
+    C = COr.take();
+    nub::NubProcess &Proc = Host.createProcess("fib", Desc);
+    if (Error E = C->Img.loadInto(Proc.machine()))
+      return E;
+    Proc.enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+    if (!TOr)
+      return TOr.takeError();
+    T = *TOr;
+    return Error::success();
+  }
+
+  /// "proc:line" at the current stop (or "exited").
+  std::string where() {
+    if (T->exited())
+      return "exited";
+    Expected<uint32_t> Pc = T->ctxPc();
+    if (!Pc)
+      return "?";
+    Target::Scope S(*T);
+    Expected<symtab::StopSite> Site = symtab::stopForPc(*T, *Pc);
+    if (!Site)
+      return "?";
+    return Site->ProcName + ":" + std::to_string(Site->Line);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Cross-target determinism: the step/next/finish walks are target-invariant
+//===----------------------------------------------------------------------===//
+
+TEST(ExecControl, StepSequenceIdenticalAcrossTargets) {
+  std::vector<std::string> First;
+  for (const TargetDesc *Desc : allTargets()) {
+    Session S;
+    ASSERT_FALSE(S.start(*Desc, FibSource));
+    std::vector<std::string> Seq;
+    for (int I = 0; I < 30 && !S.T->exited(); ++I) {
+      ASSERT_FALSE(S.Debugger->stepToNextStop(*S.T));
+      Seq.push_back(S.where());
+    }
+    if (First.empty()) {
+      First = Seq;
+      // Pin the shape once: entry stop, the call statement, the dive
+      // into fib, and its first leaf.
+      ASSERT_GE(Seq.size(), 8u);
+      EXPECT_EQ(Seq[0], "main:10");
+      EXPECT_EQ(Seq[1], "main:12");
+      EXPECT_EQ(Seq[2], "fib:1");
+      EXPECT_NE(std::find(Seq.begin(), Seq.end(), "fib:4"), Seq.end());
+    } else {
+      EXPECT_EQ(Seq, First) << "step walk diverged on " << Desc->Name;
+    }
+  }
+}
+
+TEST(ExecControl, NextStaysInFrameOnEveryTarget) {
+  for (const TargetDesc *Desc : allTargets()) {
+    Session S;
+    ASSERT_FALSE(S.start(*Desc, FibSource));
+    // Two steps reach the call statement; next must hop over the whole
+    // fib(6) subtree in one user-visible motion.
+    ASSERT_FALSE(S.Debugger->stepToNextStop(*S.T));
+    ASSERT_FALSE(S.Debugger->stepToNextStop(*S.T));
+    ASSERT_EQ(S.where(), "main:12") << Desc->Name;
+    ASSERT_FALSE(S.Debugger->stepOver(*S.T)) << Desc->Name;
+    EXPECT_EQ(S.where(), "main:13") << Desc->Name;
+    Expected<std::string> V = printVariable(*S.T, "v");
+    ASSERT_TRUE(static_cast<bool>(V)) << V.message();
+    EXPECT_EQ(*V, "13") << Desc->Name; // the call completed under next
+  }
+}
+
+TEST(ExecControl, FinishReturnsToCallerOnEveryTarget) {
+  for (const TargetDesc *Desc : allTargets()) {
+    Session S;
+    ASSERT_FALSE(S.start(*Desc, FibSource));
+    // Run to the first leaf activation, drop the breakpoint, and finish:
+    // the stop lands at the caller activation's next stopping point,
+    // auto-resuming the deeper recursion the caller makes in between.
+    ASSERT_FALSE(S.Debugger->breakAtLine(*S.T, "fib.c", 4));
+    ASSERT_FALSE(S.T->resume());
+    ASSERT_TRUE(S.T->stopped());
+    ASSERT_EQ(S.where(), "fib:4") << Desc->Name;
+    auto NOr = S.T->deleteAllUserBreakpoints();
+    ASSERT_TRUE(static_cast<bool>(NOr));
+    ASSERT_FALSE(S.Debugger->stepOut(*S.T)) << Desc->Name;
+    EXPECT_EQ(S.where(), "fib:8") << Desc->Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Conditional breakpoints and ignore counts
+//===----------------------------------------------------------------------===//
+
+class CondBreak : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  void SetUp() override { ASSERT_FALSE(S.start(*GetParam(), FibSource)); }
+
+  Session S;
+  ExprSession Exprs;
+};
+
+TEST_P(CondBreak, ConditionOnLocalFiltersHits) {
+  // fib(6) reaches line 4 in all 13 leaf activations; 8 have n == 1.
+  auto IdOr = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(IdOr)) << IdOr.message();
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, Exprs, *IdOr, "n == 1"));
+  int Visible = 0;
+  while (true) {
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+    if (S.T->exited())
+      break;
+    ++Visible;
+    ASSERT_EQ(S.where(), "fib:4");
+    Expected<std::string> N = printVariable(*S.T, "n");
+    ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+    EXPECT_EQ(*N, "1"); // every visible stop satisfies the condition
+    ASSERT_LT(Visible, 20) << "condition failed to filter";
+  }
+  EXPECT_EQ(Visible, 8);
+  const Target::ExecStats &ES = S.T->execStats();
+  EXPECT_EQ(ES.BpHits, 13u);
+  EXPECT_EQ(ES.CondEvals, 13u);
+  EXPECT_EQ(ES.CondResumes, 5u); // the n == 0 leaves
+  Target::UserBreakpoint *U = S.T->userBreakpoint(*IdOr);
+  ASSERT_NE(U, nullptr);
+  EXPECT_EQ(U->HitCount, 13u);
+}
+
+TEST_P(CondBreak, FalseConditionRunsToExit) {
+  auto IdOr = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(IdOr)) << IdOr.message();
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, Exprs, *IdOr, "n == 99"));
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  EXPECT_TRUE(S.T->exited());
+  EXPECT_EQ(S.T->execStats().BpHits, 13u);
+  EXPECT_EQ(S.T->execStats().CondResumes, 13u);
+}
+
+TEST_P(CondBreak, IgnoreCountSkipsEarlyHits) {
+  auto IdOr = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(IdOr)) << IdOr.message();
+  Target::UserBreakpoint *U = S.T->userBreakpoint(*IdOr);
+  ASSERT_NE(U, nullptr);
+  U->Ignore = 5;
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->stopped());
+  EXPECT_EQ(S.where(), "fib:4");
+  EXPECT_EQ(U->HitCount, 6u); // the sixth hit is the first visible one
+  EXPECT_EQ(U->Ignore, 0u);
+  EXPECT_EQ(S.T->execStats().IgnoreResumes, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CondBreak,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+//===----------------------------------------------------------------------===//
+// Deferred symtabs: a step must not force what it does not touch (E6)
+//===----------------------------------------------------------------------===//
+
+TEST(ExecControl, DeferredStepForcesOnlyCurrentProcedure) {
+  CompileOptions Options;
+  Options.DeferredSymtab = true;
+  Session S;
+  ASSERT_FALSE(
+      S.start(*targetByName("zmips"), bench::generateProgram(13000),
+              Options));
+  ASSERT_NE(S.C->PsSymtab.find("DeferDef"), std::string::npos);
+
+  // Run to one procedure in the middle of the image and take one step.
+  ASSERT_FALSE(S.Debugger->breakAtProc(*S.T, "work300"));
+  ASSERT_FALSE(S.T->resume());
+  ASSERT_TRUE(S.T->stopped());
+  ASSERT_FALSE(S.Debugger->stepToNextStop(*S.T));
+  ASSERT_TRUE(S.T->stopped());
+
+  // The seed's sweep planted every stopping point of every procedure
+  // here, forcing all ~680 deferred entries. The index plants only the
+  // current procedure's sites (the first statement makes no calls), so
+  // exactly one entry is loaded.
+  auto IdxOr = S.T->stopIndex();
+  ASSERT_TRUE(static_cast<bool>(IdxOr)) << IdxOr.message();
+  EXPECT_GE((*IdxOr)->procCount(), 600u);
+  EXPECT_LE((*IdxOr)->loadedCount(), 2u);
+  // And the plant itself stayed proportional to one procedure, not the
+  // 11,000+ stopping points of the whole image.
+  EXPECT_LT(S.T->execStats().TempPlants, 50u);
+}
+
+} // namespace
