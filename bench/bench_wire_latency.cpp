@@ -1,0 +1,336 @@
+//===- bench/bench_wire_latency.cpp - experiment E9 -------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end latency of debugger operations over a simulated wire. The
+/// block transport (E7) shrank the number of round trips; this bench
+/// shows what the remaining trips cost when each one takes real time,
+/// and how far the pipelined request window (multiple outstanding
+/// requests, store combining, posted warms) cuts the wall clock.
+///
+/// The workload is 30 source steps plus a full backtrace after each stop
+/// through gen:13000 on zmips, then planting and removing a breakpoint
+/// at every stopping point. Each configuration runs twice over a SimLink
+/// (virtual clock, zero jitter, seeded): serial (request window of 1 —
+/// every request waits for its reply, the pre-pipelining behaviour) and
+/// pipelined (window of 32). Simulated round-trip times: 0us, 200us
+/// (LAN), 2ms (WAN). Time is read off the link's virtual clock, so the
+/// numbers are exact and reproducible.
+///
+/// Gates (process exits nonzero, CI runs this as a smoke check): the
+/// pipelined step+backtrace loop must finish >=3x faster than serial at
+/// 2ms RTT, and both modes must observe byte-identical state: the same
+/// stop pc sequence, the same frame pcs, and bit-identical target memory
+/// after the wire drains. Results land in BENCH_latency.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/debugger.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+constexpr unsigned Steps = 30;
+
+void fail(const Error &E) {
+  std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+  std::exit(2);
+}
+
+/// One connected debugger+target over a fresh process running \p C, on a
+/// SimLink with \p Sim and a client request window of \p Window.
+struct Session {
+  Session(const Compilation &C, const TargetDesc &Desc,
+          const nub::SimParams &Sim, unsigned Window) {
+    P = &Host.createProcess("bench", Desc);
+    if (Error E = C.Img.loadInto(P->machine())) {
+      std::fprintf(stderr, "load failed: %s\n", E.message().c_str());
+      std::exit(2);
+    }
+    P->enter(C.Img.Entry);
+    auto TOr = Debugger.connect(Host, "bench", C.PsSymtab, C.LoaderTable,
+                                &Sim);
+    if (!TOr) {
+      std::fprintf(stderr, "connect failed: %s\n", TOr.message().c_str());
+      std::exit(2);
+    }
+    T = *TOr;
+    T->client().setWindow(Window);
+  }
+
+  /// Runs to \p Proc's entry and removes the breakpoint again, so every
+  /// configuration starts its measured loop from an identical state.
+  void runTo(const std::string &Proc) {
+    if (Error E = Debugger.breakAtProc(*T, Proc))
+      fail(E);
+    if (Error E = T->resume())
+      fail(E);
+    if (!T->stopped()) {
+      std::fprintf(stderr, "did not reach %s\n", Proc.c_str());
+      std::exit(2);
+    }
+    Expected<size_t> N = T->deleteAllUserBreakpoints();
+    if (!N)
+      fail(N.takeError());
+  }
+
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+  nub::NubProcess *P = nullptr;
+};
+
+/// Every stopping point in the image (the E7 plant workload).
+std::vector<uint32_t> allStopSites(Target &T) {
+  Target::Scope S(T);
+  std::vector<uint32_t> Sites;
+  Expected<ps::Object> Top = symtab::topLevel(T.interp());
+  if (!Top)
+    return Sites;
+  Expected<ps::Object> Procs = symtab::field(T.interp(), *Top, "procs");
+  if (!Procs)
+    return Sites;
+  for (const ps::Object &EntryRef : *Procs->ArrVal) {
+    ps::Object Entry = EntryRef;
+    if (symtab::force(T.interp(), Entry))
+      continue;
+    Expected<ps::Object> Name = symtab::field(T.interp(), Entry, "name");
+    if (!Name)
+      continue;
+    Expected<uint32_t> ProcAddr = T.procAddr(Name->text());
+    if (!ProcAddr)
+      continue;
+    Expected<ps::Object> Loci = symtab::field(T.interp(), Entry, "loci");
+    if (!Loci)
+      continue;
+    for (const ps::Object &Locus : *Loci->ArrVal) {
+      if (Locus.Ty != ps::Type::Array || Locus.ArrVal->size() < 2)
+        continue;
+      Sites.push_back(*ProcAddr +
+                      static_cast<uint32_t>((*Locus.ArrVal)[1].IntVal));
+    }
+  }
+  return Sites;
+}
+
+/// Everything one configuration run produces: virtual-clock costs plus
+/// the observed state the serial/pipelined pair must agree on.
+struct WorkloadRun {
+  uint64_t StepNs = 0;  ///< 30x (step + backtrace), virtual ns
+  uint64_t PlantNs = 0; ///< plant + remove all stop sites, virtual ns
+  uint64_t Rt = 0, Posted = 0, MaxInFlight = 0;
+  std::vector<uint32_t> Stops; ///< pc at each of the 30 stops
+  std::vector<uint32_t> BtPcs; ///< every frame pc of every backtrace
+  std::vector<uint8_t> Mem;    ///< full target memory after the drain
+};
+
+WorkloadRun runWorkload(const Compilation &Gen, const TargetDesc &Desc,
+                      uint64_t RttNs, unsigned Window,
+                      const std::vector<uint32_t> &Sites) {
+  nub::SimParams Sim;
+  Sim.LatencyNs = RttNs / 2;
+  Sim.JitterNs = 0;
+  Sim.Seed = 7;
+  Session S(Gen, Desc, Sim, Window);
+  S.runTo("work300");
+  S.T->resetStats();
+
+  WorkloadRun R;
+  nub::ChannelEnd &Ch = S.T->client().channel();
+  uint64_t T0 = Ch.nowNs();
+  for (unsigned K = 0; K < Steps; ++K) {
+    uint64_t A0 = Ch.nowNs();
+    if (Error E = S.Debugger.stepToNextStop(*S.T))
+      fail(E);
+    uint64_t A1 = Ch.nowNs();
+    Expected<uint32_t> Pc = S.T->ctxPc();
+    R.Stops.push_back(Pc ? *Pc : 0);
+    uint64_t A2 = Ch.nowNs();
+    Target::Scope Sc(*S.T);
+    Expected<std::vector<FrameInfo>> B = S.T->backtrace();
+    if (!B)
+      fail(B.takeError());
+    for (const FrameInfo &F : *B)
+      R.BtPcs.push_back(F.Pc);
+    uint64_t A3 = Ch.nowNs();
+    if (RttNs == 2000000 && std::getenv("LDB_BENCH_TRACE"))
+      std::fprintf(stderr, "w%u k%u step %llu ctx %llu bt %llu\n", Window, K,
+                   (unsigned long long)(A1 - A0), (unsigned long long)(A2 - A1),
+                   (unsigned long long)(A3 - A2));
+  }
+  R.StepNs = Ch.nowNs() - T0;
+
+  uint64_t T1 = Ch.nowNs();
+  if (Error E = S.T->plantBreakpoints(Sites))
+    fail(E);
+  if (Error E = S.T->removeBreakpoints(Sites))
+    fail(E);
+  R.PlantNs = Ch.nowNs() - T1;
+
+  // Drain the wire, then snapshot the machine for the identity check.
+  if (Error E = S.T->flushWire())
+    fail(E);
+  const mem::TransportStats &St = S.T->stats();
+  R.Rt = St.RoundTrips;
+  R.Posted = St.Posted;
+  R.MaxInFlight = St.MaxInFlight;
+  Machine &M = S.P->machine();
+  R.Mem.resize(M.memSize());
+  M.readBytes(0, M.memSize(), R.Mem.data());
+  return R;
+}
+
+std::string msOf(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f ms", double(Ns) / 1e6);
+  return Buf;
+}
+
+std::string ratio(uint64_t Serial, uint64_t Pipe) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx",
+                Pipe ? double(Serial) / double(Pipe) : 0.0);
+  return Buf;
+}
+
+bool Ok = true;
+void require(bool Cond, const char *What) {
+  if (!Cond) {
+    std::fprintf(stderr, "FAIL: %s\n", What);
+    Ok = false;
+  }
+}
+
+} // namespace
+
+int main() {
+  banner("E9: wall-clock latency, serial window vs pipelined window",
+         "pipelined transport overlaps round trips; target >=3x faster "
+         "step+backtrace at 2ms simulated RTT, byte-identical results");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::printf("\ncompiling gen:13000...\n");
+  auto Gen = compileAndLink({{"gen.c", generateProgram(13000)}}, Zmips,
+                            CompileOptions());
+  if (!Gen) {
+    std::fprintf(stderr, "compile failed: %s\n", Gen.message().c_str());
+    return 1;
+  }
+
+  // The plant workload's site list, from a throwaway zero-latency session.
+  std::vector<uint32_t> Sites;
+  {
+    nub::SimParams Zero;
+    Session S(**Gen, Zmips, Zero, 32);
+    Sites = allStopSites(*S.T);
+  }
+  if (Sites.empty()) {
+    std::fprintf(stderr, "no stopping points found\n");
+    return 2;
+  }
+  std::printf("%zu stopping points; %u steps + backtraces per run\n\n",
+              Sites.size(), Steps);
+
+  struct RttPoint {
+    uint64_t RttNs;
+    const char *Name;
+    WorkloadRun Serial, Pipe;
+  };
+  std::vector<RttPoint> Points = {
+      {0, "0us", {}, {}},
+      {200 * 1000, "200us", {}, {}},
+      {2 * 1000 * 1000, "2ms", {}, {}},
+  };
+
+  for (RttPoint &P : Points) {
+    P.Serial = runWorkload(**Gen, Zmips, P.RttNs, /*Window=*/1, Sites);
+    P.Pipe = runWorkload(**Gen, Zmips, P.RttNs, /*Window=*/32, Sites);
+
+    // The pipeline must be invisible: identical stop pcs, identical
+    // backtraces, bit-identical target memory once the wire drains.
+    require(P.Serial.Stops == P.Pipe.Stops,
+            "serial and pipelined stepping must stop at identical pcs");
+    require(P.Serial.BtPcs == P.Pipe.BtPcs,
+            "serial and pipelined backtraces must agree frame for frame");
+    require(P.Serial.Mem == P.Pipe.Mem,
+            "target memory must be bit-identical after the wire drains");
+  }
+
+  head("step+backtrace x" + std::to_string(Steps) + " (virtual time)",
+       "serial", "pipelined");
+  for (RttPoint &P : Points)
+    row(std::string("rtt ") + P.Name, msOf(P.Serial.StepNs),
+        msOf(P.Pipe.StepNs));
+  std::printf("\n");
+  head("plant+remove " + std::to_string(Sites.size()) + " breakpoints",
+       "serial", "pipelined");
+  for (RttPoint &P : Points)
+    row(std::string("rtt ") + P.Name, msOf(P.Serial.PlantNs),
+        msOf(P.Pipe.PlantNs));
+
+  RttPoint &Wan = Points.back();
+  std::printf("\nround trips: serial %llu, pipelined %llu "
+              "(%llu posted, window depth %llu)\n",
+              static_cast<unsigned long long>(Wan.Serial.Rt),
+              static_cast<unsigned long long>(Wan.Pipe.Rt),
+              static_cast<unsigned long long>(Wan.Pipe.Posted),
+              static_cast<unsigned long long>(Wan.Pipe.MaxInFlight));
+  std::printf("speedup at 2ms rtt: step+backtrace %s, plant %s\n",
+              ratio(Wan.Serial.StepNs, Wan.Pipe.StepNs).c_str(),
+              ratio(Wan.Serial.PlantNs, Wan.Pipe.PlantNs).c_str());
+
+  std::FILE *J = std::fopen("BENCH_latency.json", "w");
+  if (J) {
+    std::fprintf(J,
+                 "{\n"
+                 "  \"bench\": \"wire_latency\",\n"
+                 "  \"target\": \"zmips\",\n"
+                 "  \"steps\": %u,\n"
+                 "  \"stop_sites\": %zu,\n"
+                 "  \"points\": [\n",
+                 Steps, Sites.size());
+    for (size_t K = 0; K < Points.size(); ++K) {
+      const RttPoint &P = Points[K];
+      std::fprintf(
+          J,
+          "    {\"rtt_ns\": %llu,\n"
+          "     \"serial\": {\"step_ns\": %llu, \"plant_ns\": %llu, "
+          "\"rt\": %llu},\n"
+          "     \"pipelined\": {\"step_ns\": %llu, \"plant_ns\": %llu, "
+          "\"rt\": %llu, \"posted\": %llu, \"max_in_flight\": %llu}}%s\n",
+          static_cast<unsigned long long>(P.RttNs),
+          static_cast<unsigned long long>(P.Serial.StepNs),
+          static_cast<unsigned long long>(P.Serial.PlantNs),
+          static_cast<unsigned long long>(P.Serial.Rt),
+          static_cast<unsigned long long>(P.Pipe.StepNs),
+          static_cast<unsigned long long>(P.Pipe.PlantNs),
+          static_cast<unsigned long long>(P.Pipe.Rt),
+          static_cast<unsigned long long>(P.Pipe.Posted),
+          static_cast<unsigned long long>(P.Pipe.MaxInFlight),
+          K + 1 < Points.size() ? "," : "");
+    }
+    std::fprintf(J, "  ]\n}\n");
+    std::fclose(J);
+    std::printf("wrote BENCH_latency.json\n");
+  }
+
+  require(Wan.Pipe.StepNs * 3 <= Wan.Serial.StepNs,
+          "pipelined step+backtrace must be >=3x faster at 2ms rtt");
+  require(Wan.Pipe.PlantNs <= Wan.Serial.PlantNs,
+          "pipelined plant+remove must be no slower at 2ms rtt");
+  return Ok ? 0 : 1;
+}

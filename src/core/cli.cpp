@@ -190,8 +190,20 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     Out += "round trips:    " + std::to_string(S.RoundTrips) + "\n";
     Out += "messages:       " + std::to_string(S.MsgsSent) + " sent, " +
            std::to_string(S.MsgsReceived) + " received\n";
+    Out += "  block frames: " + std::to_string(S.BlockMsgsSent) + " sent, " +
+           std::to_string(S.BlockRepliesReceived) + " received\n";
+    Out += "  word frames:  " + std::to_string(S.WordMsgsSent) + " sent, " +
+           std::to_string(S.WordRepliesReceived) + " received\n";
     Out += "bytes on wire:  " + std::to_string(S.BytesSent) + " sent, " +
            std::to_string(S.BytesReceived) + " received\n";
+    Out += "pipeline:       " + std::to_string(S.Posted) + " posted, " +
+           std::to_string(S.MaxInFlight) + " max in flight, " +
+           std::to_string(S.StoresCombined) + " stores combined\n";
+    Out += "recovery:       " + std::to_string(S.Retries) + " retries, " +
+           std::to_string(S.Timeouts) + " timeouts, " +
+           std::to_string(S.StaleReplies) + " stale replies, " +
+           std::to_string(S.LinkDrops) + " drops, " +
+           std::to_string(S.LinkGarbles) + " garbles\n";
     Out += "cache:          " + std::to_string(S.cacheHits()) + " hits, " +
            std::to_string(S.cacheMisses()) + " misses\n";
     for (const auto &[Space, C] : S.Cache)

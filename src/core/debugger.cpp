@@ -27,9 +27,10 @@ Ldb::Ldb() {
 Expected<Target *> Ldb::connect(nub::ProcessHost &Host,
                                 const std::string &ProcName,
                                 const std::string &PsSymtab,
-                                const std::string &LoaderTable) {
+                                const std::string &LoaderTable,
+                                const nub::SimParams *Sim) {
   auto T = std::make_unique<Target>(ProcName, I);
-  if (Error E = T->connect(Host, ProcName))
+  if (Error E = T->connect(Host, ProcName, Sim))
     return E;
   if (!PsSymtab.empty())
     if (Error E = T->loadSymbols(PsSymtab))
@@ -227,15 +228,58 @@ Error addCalleeSites(Target &T, StopSiteIndex &Idx, uint32_t From,
 /// into the block cache as one aligned transfer per cluster, so the call
 /// scan and the plant's verification fetch are cache hits instead of
 /// separate round trips.
+/// One pipelined warm round for everything the step is about to read,
+/// sized from the stop pc the nub reported in the Stopped message: the
+/// context block and stack window (the frame and context reads), the
+/// current procedure's code, and the likely call-scan region. The hint
+/// only warms — every semantic read below still goes through the context,
+/// and now hits the cache. Best-effort: a span that cannot be warmed just
+/// means the reads pay their own way.
+void warmStepReads(Target &T, StopSiteIndex &Idx) {
+  if (!T.stopped())
+    return;
+  uint32_t Hint = T.lastStop().Pc;
+  std::vector<std::pair<mem::Location, size_t>> Spans;
+  T.stopContextSpans(Spans);
+  Expected<StopSiteIndex::Proc *> POr = Idx.procContaining(Hint);
+  if (POr && !Idx.ensureLoaded(**POr)) {
+    StopSiteIndex::Proc &P = **POr;
+    uint32_t From = 0, To = 0;
+    if (P.HasSymbols && !P.Loci.empty()) {
+      From = P.Loci.front().Addr;
+      To = P.Loci.back().Addr + 4;
+    }
+    // The scan region can run past the procedure's sites (startup code,
+    // the last procedure): extend the span to cover it.
+    uint32_t ScanFrom = Hint, ScanTo = P.HasSymbols
+                                          ? nextLocusAddrAfter(P, Hint)
+                                          : P.End;
+    clampScan(ScanFrom, ScanTo);
+    if (From == To) {
+      From = ScanFrom;
+      To = ScanTo;
+    } else {
+      From = std::min(From, ScanFrom);
+      To = std::max(To, ScanTo);
+    }
+    constexpr uint32_t WarmCap = 64 * 1024;
+    if (To > From && To - From <= WarmCap)
+      Spans.push_back({mem::Location::absolute(mem::SpCode, From),
+                       static_cast<size_t>(To - From)});
+  }
+  (void)T.warmSpans(Spans);
+}
+
 Error collectStepSites(Target &T, bool IntoCalls,
                        std::set<uint32_t> &Sites) {
-  Expected<uint32_t> Pc = T.ctxPc();
-  if (!Pc)
-    return Pc.takeError();
   Expected<StopSiteIndex *> IdxOr = T.stopIndex();
   if (!IdxOr)
     return IdxOr.takeError();
   StopSiteIndex &Idx = **IdxOr;
+  warmStepReads(T, Idx);
+  Expected<uint32_t> Pc = T.ctxPc();
+  if (!Pc)
+    return Pc.takeError();
   Expected<StopSiteIndex::Proc *> POr = Idx.procContaining(*Pc);
   if (!POr)
     return POr.takeError();
@@ -294,31 +338,34 @@ Error collectStepSites(Target &T, bool IntoCalls,
   if (HaveScan)
     clampScan(ScanFrom, ScanTo);
 
-  // Warm everything the step reads in as few transfers as possible:
-  // nearby regions (a procedure and its neighbor, a scan inside a
-  // planted span) merge into one.
+  // Warm whatever the hint round missed (the caller's code at an exit
+  // stop, a scan region that moved) in one more pipelined round; spans
+  // already resident cost nothing.
   {
-    std::vector<std::pair<uint32_t, uint32_t>> Spans;
-    auto NoteProc = [&Spans](const StopSiteIndex::Proc &Q) {
+    std::vector<std::pair<uint32_t, uint32_t>> Code;
+    auto NoteProc = [&Code](const StopSiteIndex::Proc &Q) {
       if (Q.HasSymbols && !Q.Loci.empty())
-        Spans.push_back({Q.Loci.front().Addr, Q.Loci.back().Addr + 4});
+        Code.push_back({Q.Loci.front().Addr, Q.Loci.back().Addr + 4});
     };
     NoteProc(P);
     if (CallerProc)
       NoteProc(*CallerProc);
     if (HaveScan && ScanFrom < ScanTo)
-      Spans.push_back({ScanFrom, ScanTo});
-    std::sort(Spans.begin(), Spans.end());
+      Code.push_back({ScanFrom, ScanTo});
+    std::sort(Code.begin(), Code.end());
     constexpr uint32_t MergeGap = 1024, WarmCap = 64 * 1024;
-    for (size_t I = 0; I < Spans.size();) {
-      auto [From, To] = Spans[I++];
-      while (I < Spans.size() && Spans[I].first <= To + MergeGap) {
-        To = std::max(To, Spans[I].second);
+    std::vector<std::pair<mem::Location, size_t>> Spans;
+    for (size_t I = 0; I < Code.size();) {
+      auto [From, To] = Code[I++];
+      while (I < Code.size() && Code[I].first <= To + MergeGap) {
+        To = std::max(To, Code[I].second);
         ++I;
       }
       if (To - From <= WarmCap)
-        T.warmCode(From, To);
+        Spans.push_back({mem::Location::absolute(mem::SpCode, From),
+                         static_cast<size_t>(To - From)});
     }
+    (void)T.warmSpans(Spans);
   }
 
   if (Error E = addProcSites(Idx, P, Sites))
@@ -330,6 +377,18 @@ Error collectStepSites(Target &T, bool IntoCalls,
     if (Error E = addCalleeSites(T, Idx, ScanFrom, ScanTo, Sites))
       return E;
   return Error::success();
+}
+
+/// After a stop: one pipelined round warming everything the stop's
+/// readers touch first — the frame-depth judging in next/finish, the
+/// user's print/backtrace, the next step's call scan. Any restore
+/// stores already queued ride the same round. Best-effort.
+void warmAfterStop(Target &T) {
+  if (!T.stopped())
+    return;
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (IdxOr)
+    warmStepReads(T, **IdxOr);
 }
 
 } // namespace
@@ -349,6 +408,8 @@ Error Ldb::stepToNextStop(Target &T) {
   Error E = T.clearTemporaries();
   if (!RunError && E)
     RunError = std::move(E);
+  if (!RunError)
+    warmAfterStop(T);
   return RunError;
 }
 
@@ -377,6 +438,8 @@ Error Ldb::stepOver(Target &T) {
       break;
     }
     RunError = T.resume();
+    if (!RunError)
+      warmAfterStop(T);
     if (RunError || T.exited() || !T.stopped() ||
         T.lastStop().Signo != nub::SigTrap || !HaveVfp)
       break;
@@ -439,6 +502,8 @@ Error Ldb::stepOut(Target &T) {
       break;
     }
     RunError = T.resume();
+    if (!RunError)
+      warmAfterStop(T);
     if (RunError || T.exited() || !T.stopped() ||
         T.lastStop().Signo != nub::SigTrap)
       break;
@@ -475,6 +540,7 @@ Error Ldb::continueToStop(Target &T) {
   for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
     if (Error E = T.resume())
       return E;
+    warmAfterStop(T);
     if (T.exited() || !T.stopped() ||
         T.lastStop().Signo != nub::SigTrap)
       return Error::success();

@@ -37,11 +37,13 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Connects a new target to a waiting process and reads its symbols
-  /// and loader table.
+  /// and loader table. When \p Sim is given the connection rides a
+  /// SimLink with those latency/fault parameters instead of a LocalLink.
   Expected<Target *> connect(nub::ProcessHost &Host,
                              const std::string &ProcName,
                              const std::string &PsSymtab,
-                             const std::string &LoaderTable);
+                             const std::string &LoaderTable,
+                             const nub::SimParams *Sim = nullptr);
 
   Target *target(const std::string &ProcName);
   std::vector<Target *> targets();

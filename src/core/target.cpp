@@ -11,6 +11,7 @@
 #include "support/byteorder.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace ldb;
 using namespace ldb::core;
@@ -41,8 +42,10 @@ Target::Scope::~Scope() {
 // Connection
 //===----------------------------------------------------------------------===//
 
-Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
-  Expected<std::unique_ptr<nub::NubClient>> C = Host.connect(ProcName, &Stats);
+Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName,
+                      const nub::SimParams *Sim) {
+  Expected<std::unique_ptr<nub::NubClient>> C =
+      Host.connect(ProcName, &Stats, Sim);
   if (!C)
     return C.takeError();
   Client = C.take();
@@ -63,9 +66,17 @@ Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName) {
   Cache = std::make_shared<mem::CachedMemory>(
       std::make_shared<mem::WireMemory>(*Client), Arch->Desc->Order);
   Cache->setSpacesAlias(true);
+  // Text never changes while the target runs (no self-modifying code in
+  // this system, and the debugger's break words patch write-through), so
+  // code lines survive the resume flush. LDB_CACHE_CODE=0 turns the
+  // retention off.
+  const char *KeepCode = std::getenv("LDB_CACHE_CODE");
+  if (!KeepCode || std::string(KeepCode) != "0")
+    Cache->setImmutableSpaces(std::string(1, mem::SpCode));
   Cache->setStats(&Stats);
   Wire = Cache;
   Stop = Client->pendingStop();
+  seedStopWindow();
 
   TargetDict = Object::makeDict(std::make_shared<DictImpl>());
   ArchDict = Object::makeDict(std::make_shared<DictImpl>());
@@ -160,14 +171,21 @@ Error Target::resume() {
   if (Error E = requireStopped())
     return E;
   // Resuming from a planted breakpoint skips the no-op: advance the saved
-  // pc in the context (paper Sec 3).
+  // pc in the context (paper Sec 3). The store is posted, not awaited: it
+  // rides the request window with the Continue (the link delivers in
+  // order, so the nub applies it first), and a failure surfaces from
+  // doContinue.
   if (Stop->Signo == nub::SigTrap) {
     Expected<uint32_t> Pc = ctxPc();
     if (!Pc)
       return Pc.takeError();
-    if (breakpointAt(*Pc))
-      if (Error E = setCtxPc(*Pc + Arch->Bp.PcAdvance))
-        return E;
+    if (breakpointAt(*Pc)) {
+      uint8_t Buf[4];
+      packInt(*Pc + Arch->Bp.PcAdvance, Buf, 4, Arch->Desc->Order);
+      Wire->postStoreBlock(mem::Location::absolute(
+                               mem::SpData, Stop->ContextAddr + Layout.PcOff),
+                           4, Buf, nullptr);
+    }
   }
   nub::StopInfo Next;
   Error E = Client->doContinue(Next);
@@ -178,7 +196,21 @@ Error Target::resume() {
   if (E)
     return E;
   Stop = Next;
+  seedStopWindow();
   return Error::success();
+}
+
+void Target::seedStopWindow() {
+  // The nub pushed the stop context window with the Stopped message; the
+  // pipelined client absorbs it into the cache so the first post-stop
+  // reads cost no exchange. The serial client (window 1, the
+  // pre-pipelining transport) ignores it.
+  if (!Cache || Cache->bypass() || !Client || Client->window() <= 1)
+    return;
+  if (!Stop || Stop->Exited || Stop->CtxWin.empty())
+    return;
+  Cache->seed(mem::Location::absolute(mem::SpData, Stop->CtxWinLo),
+              Stop->CtxWin.size(), Stop->CtxWin.data());
 }
 
 void Target::setBlockTransport(bool Enabled) {
@@ -306,6 +338,11 @@ Expected<FrameInfo> Target::frame(unsigned N) {
 Expected<std::vector<FrameInfo>> Target::backtrace(unsigned Max) {
   if (Error E = requireStopped())
     return E;
+  // One warm round up front: the context reads and every frame's link
+  // words then come out of resident lines instead of paying a round trip
+  // per frame.
+  if (Error E = warmStopContext())
+    return E;
   std::vector<FrameInfo> Frames;
   Expected<FrameInfo> FI = Arch->Walker->topFrame(*this, Stop->ContextAddr);
   if (!FI)
@@ -386,6 +423,17 @@ std::vector<SiteRange> coalesce(const std::vector<uint32_t> &Addrs,
   return Ranges;
 }
 
+/// The ranges as warm spans, so every range's verification fetch lands in
+/// one pipelined round instead of one round trip per range.
+std::vector<std::pair<mem::Location, size_t>>
+rangeSpans(const std::vector<SiteRange> &Ranges) {
+  std::vector<std::pair<mem::Location, size_t>> Spans;
+  for (const SiteRange &R : Ranges)
+    Spans.push_back({mem::Location::absolute(mem::SpCode, R.Begin),
+                     static_cast<size_t>(R.End - R.Begin)});
+  return Spans;
+}
+
 } // namespace
 
 Error Target::plantBreakpoints(const std::vector<uint32_t> &Addrs) {
@@ -399,7 +447,15 @@ Error Target::plantBreakpoints(const std::vector<uint32_t> &Addrs) {
   Fresh.erase(std::unique(Fresh.begin(), Fresh.end()), Fresh.end());
   const BreakpointData &Bp = Arch->Bp;
   ByteOrder Order = Arch->Desc->Order;
-  for (const SiteRange &R : coalesce(Fresh, Bp.InstrSize)) {
+  std::vector<SiteRange> Ranges = coalesce(Fresh, Bp.InstrSize);
+  // Every range's verification fetch in one pipelined round, then every
+  // patched block posted back and awaited together: two link latencies
+  // for the whole plant, however many ranges there are.
+  if (Error E = warmSpans(rangeSpans(Ranges)))
+    return E;
+  std::vector<std::vector<uint8_t>> Blocks;
+  Blocks.reserve(Ranges.size());
+  for (const SiteRange &R : Ranges) {
     std::vector<uint8_t> Block(R.End - R.Begin);
     if (Error E =
             Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
@@ -418,14 +474,13 @@ Error Target::plantBreakpoints(const std::vector<uint32_t> &Addrs) {
     for (uint32_t A : R.Sites)
       packInt(Bp.BreakWord, Block.data() + (A - R.Begin), Bp.InstrSize,
               Order);
-    if (Error E =
-            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
-                             Block.size(), Block.data()))
-      return E;
+    Blocks.push_back(std::move(Block));
+    Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                         Blocks.back().size(), Blocks.back().data(), nullptr);
     for (uint32_t A : R.Sites)
       Breakpoints[A] = Bp.NopWord;
   }
-  return Error::success();
+  return Wire->awaitPosted();
 }
 
 Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
@@ -439,7 +494,12 @@ Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
     return Error::success();
   const BreakpointData &Bp = Arch->Bp;
   ByteOrder Order = Arch->Desc->Order;
-  for (const SiteRange &R : coalesce(Sorted, Bp.InstrSize)) {
+  std::vector<SiteRange> Ranges = coalesce(Sorted, Bp.InstrSize);
+  if (Error E = warmSpans(rangeSpans(Ranges)))
+    return E;
+  std::vector<std::vector<uint8_t>> Blocks;
+  Blocks.reserve(Ranges.size());
+  for (const SiteRange &R : Ranges) {
     std::vector<uint8_t> Block(R.End - R.Begin);
     if (Error E =
             Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
@@ -448,14 +508,13 @@ Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
     for (uint32_t A : R.Sites)
       packInt(Breakpoints[A], Block.data() + (A - R.Begin), Bp.InstrSize,
               Order);
-    if (Error E =
-            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
-                             Block.size(), Block.data()))
-      return E;
+    Blocks.push_back(std::move(Block));
+    Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                         Blocks.back().size(), Blocks.back().data(), nullptr);
     for (uint32_t A : R.Sites)
       Breakpoints.erase(A);
   }
-  return Error::success();
+  return Wire->awaitPosted();
 }
 
 //===----------------------------------------------------------------------===//
@@ -465,6 +524,62 @@ Error Target::removeBreakpoints(const std::vector<uint32_t> &Addrs) {
 void Target::warmCode(uint32_t From, uint32_t To) {
   if (Cache && !Cache->bypass() && To > From)
     Cache->warm(mem::Location::absolute(mem::SpCode, From), To - From);
+}
+
+Error Target::warmSpans(
+    const std::vector<std::pair<mem::Location, size_t>> &Spans) {
+  if (!Cache || Cache->bypass() || Spans.empty())
+    return Error::success();
+  return Cache->warmMany(Spans);
+}
+
+void Target::stopContextSpans(
+    std::vector<std::pair<mem::Location, size_t>> &Spans) const {
+  if (!stopped())
+    return;
+  // The context sits at the top of target memory and the stack grows down
+  // from just below it, so one window covers the context block and the
+  // frames nearest the stop.
+  constexpr uint32_t StackWindow = 4096;
+  uint32_t Ctx = Stop->ContextAddr;
+  uint32_t Top = Ctx & ~15u; // the nub's stackTop()
+  uint32_t Lo = Top > StackWindow ? Top - StackWindow : 0;
+  // The Stopped message carries the stop-time sp: when the live stack
+  // reaches below the default window, extend it (bounded) so the whole
+  // frame chain warms in the same pipelined round.
+  if (Stop->Sp && Stop->Sp < Lo && Stop->Sp < Top) {
+    uint32_t From = Stop->Sp > 64 ? Stop->Sp - 64 : 0;
+    if (Lo - From <= 64 * 1024)
+      Lo = From;
+    else
+      Lo = Lo - 64 * 1024;
+  }
+  Spans.push_back({mem::Location::absolute(mem::SpData, Lo),
+                   static_cast<size_t>(Ctx - Lo) + Layout.Size});
+}
+
+Error Target::warmStopContext() {
+  if (!stopped() || !Cache || Cache->bypass())
+    return Error::success();
+  std::vector<std::pair<mem::Location, size_t>> Spans;
+  stopContextSpans(Spans);
+  if (Error E = warmSpans(Spans))
+    return E;
+  if (Stop->Sp)
+    return Error::success(); // the Stopped sp already sized the window
+  // An old nub without the sp field: read the stop-time sp (a cache hit
+  // now) and warm the live frames below the default window in a second
+  // round.
+  Expected<uint32_t> Sp = ctxWord(Layout.SpOff);
+  if (!Sp)
+    return Error::success(); // best-effort: the walk will pay its own way
+  uint32_t Top = Stop->ContextAddr & ~15u;
+  uint32_t Lo = Top > 4096 ? Top - 4096 : 0;
+  if (*Sp >= Lo || *Sp >= Top)
+    return Error::success();
+  uint32_t From = *Sp > 64 ? *Sp - 64 : 0;
+  size_t Len = std::min<size_t>(Lo - From, 64 * 1024);
+  return warmSpans({{mem::Location::absolute(mem::SpData, From), Len}});
 }
 
 Error Target::plantTemporaries(const std::vector<uint32_t> &Addrs) {
@@ -480,7 +595,10 @@ Error Target::plantTemporaries(const std::vector<uint32_t> &Addrs) {
   Fresh.erase(std::unique(Fresh.begin(), Fresh.end()), Fresh.end());
   const BreakpointData &Bp = Arch->Bp;
   ByteOrder Order = Arch->Desc->Order;
-  for (const SiteRange &R : coalesce(Fresh, Bp.InstrSize)) {
+  std::vector<SiteRange> Ranges = coalesce(Fresh, Bp.InstrSize);
+  if (Error E = warmSpans(rangeSpans(Ranges)))
+    return E;
+  for (const SiteRange &R : Ranges) {
     std::vector<uint8_t> Block(R.End - R.Begin);
     if (Error E =
             Wire->fetchBlock(mem::Location::absolute(mem::SpCode, R.Begin),
@@ -499,10 +617,11 @@ Error Target::plantTemporaries(const std::vector<uint32_t> &Addrs) {
     for (uint32_t A : R.Sites)
       packInt(Bp.BreakWord, Block.data() + (A - R.Begin), Bp.InstrSize,
               Order);
-    if (Error E =
-            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
-                             Block.size(), Block.data()))
-      return E;
+    // Posted, not awaited: the plant stores ride the request window with
+    // the Continue that always follows a plant (a failure surfaces from
+    // doContinue, before the target could have run past the site).
+    Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                         Block.size(), Block.data(), nullptr);
     for (uint32_t A : R.Sites) {
       Breakpoints[A] = Bp.NopWord;
       TempSites.insert(A);
@@ -528,11 +647,13 @@ Error Target::clearTemporaries() {
     // gone with it.
     return Error::success();
   }
+  // Posted, not awaited: the restore stores ride with whatever comes next
+  // (the next step's warm fetches, or the next Continue). Any read issued
+  // before they land is ordered behind them on the wire, and the cache
+  // patches eagerly, so nothing can observe the stale break words.
   for (const TempImage &R : Images)
-    if (Error E =
-            Wire->storeBlock(mem::Location::absolute(mem::SpCode, R.Begin),
-                             R.Bytes.size(), R.Bytes.data()))
-      return E;
+    Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, R.Begin),
+                         R.Bytes.size(), R.Bytes.data(), nullptr);
   return Error::success();
 }
 

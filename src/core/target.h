@@ -49,7 +49,12 @@ public:
 
   /// Connects to a waiting process; the Welcome message names the
   /// architecture, which selects ldb's machine-dependent code and data.
-  Error connect(nub::ProcessHost &Host, const std::string &ProcName);
+  /// \p Sim, when given, interposes a simulated-latency link (the bench
+  /// harness measures transports with it); by default the link is the
+  /// zero-latency local pair, or a SimLink when the LDB_SIM_* environment
+  /// knobs are set.
+  Error connect(nub::ProcessHost &Host, const std::string &ProcName,
+                const nub::SimParams *Sim = nullptr);
 
   /// Interprets PostScript symbol tables into the target dictionary.
   Error loadSymbols(const std::string &PsText);
@@ -212,6 +217,27 @@ public:
   /// from resident lines instead of the wire.
   void warmCode(uint32_t From, uint32_t To);
 
+  /// Prefetches several spans in one pipelined round: every non-resident
+  /// span is posted at once and awaited together, so the batch costs one
+  /// link latency instead of one per span. No-op without block transport.
+  Error warmSpans(const std::vector<std::pair<mem::Location, size_t>> &Spans);
+
+  /// Appends the spans a stopped target's state reads touch — the context
+  /// block and the stack window below it (the stack grows down from just
+  /// above the context) — for callers batching them with their own spans.
+  void stopContextSpans(
+      std::vector<std::pair<mem::Location, size_t>> &Spans) const;
+
+  /// Warms the stop context and stack in one round; if the stop-time sp
+  /// shows live frames below the default window, warms those in a second
+  /// round. Frame walks and context reads after this are cache hits.
+  Error warmStopContext();
+
+  /// Completes every posted transfer still in flight (queued stores
+  /// included) and returns the first deferred failure. The bench uses it
+  /// to settle the wire before comparing memory images.
+  Error flushWire() { return Wire ? Wire->awaitPosted() : Error::success(); }
+
   //===--------------------------------------------------------------------===
   // User breakpoints: numbered, listable, optionally conditional. The
   // plain Breakpoints map below stays the planting machinery; these
@@ -267,6 +293,10 @@ private:
   friend class Scope;
 
   Error requireStopped() const;
+
+  /// Absorbs the Stopped message's expedited context window into the
+  /// cache (pipelined client only; no wire traffic).
+  void seedStopWindow();
 
   std::string Name;
   ps::Interp &I;

@@ -7,6 +7,7 @@
 #include "mem/cached.h"
 
 #include <algorithm>
+#include <deque>
 
 using namespace ldb;
 using namespace ldb::mem;
@@ -16,7 +17,31 @@ CachedMemory::CachedMemory(MemoryRef Under, ByteOrder Order, unsigned LineBytes,
     : Under(std::move(Under)), Order(Order), LineBytes(LineBytes),
       CachedSpaces(std::move(CachedSpaces)) {}
 
-void CachedMemory::invalidate() { Lines.clear(); }
+void CachedMemory::seed(Location Loc, size_t Size, const uint8_t *Bytes) {
+  if (Bypass || !cacheable(Loc) || Size < LineBytes)
+    return;
+  int64_t First =
+      (Loc.Offset + LineBytes - 1) / LineBytes * static_cast<int64_t>(LineBytes);
+  int64_t End =
+      (Loc.Offset + static_cast<int64_t>(Size)) / LineBytes *
+      static_cast<int64_t>(LineBytes);
+  for (int64_t B = First; B < End; B += LineBytes) {
+    const uint8_t *Src = Bytes + (B - Loc.Offset);
+    Lines[std::make_pair(Loc.Space, B)].assign(Src, Src + LineBytes);
+  }
+}
+
+void CachedMemory::invalidate() {
+  if (ImmutableSpaces.empty()) {
+    Lines.clear();
+    return;
+  }
+  for (auto It = Lines.begin(); It != Lines.end();)
+    if (ImmutableSpaces.find(It->first.first) == std::string::npos)
+      It = Lines.erase(It);
+    else
+      ++It;
+}
 
 void CachedMemory::setBypass(bool Enabled) {
   Bypass = Enabled;
@@ -92,25 +117,96 @@ bool CachedMemory::allResident(Location Loc, size_t Size) const {
 }
 
 void CachedMemory::warm(Location Loc, size_t Size) {
-  if (Bypass || Size == 0 || !cacheable(Loc) || allResident(Loc, Size))
-    return;
-  int64_t Base = Loc.Offset - (Loc.Offset % LineBytes);
-  int64_t End = Loc.Offset + static_cast<int64_t>(Size);
-  if (End % LineBytes)
-    End += LineBytes - End % LineBytes;
-  std::vector<uint8_t> Buf(static_cast<size_t>(End - Base));
-  Location At = Location::absolute(Loc.Space, Base);
-  if (Under->fetchBlock(At, Buf.size(), Buf.data())) {
-    // The aligned span may run one line past the end of target memory;
-    // retry once without the trailing line before giving up.
-    if (Buf.size() <= LineBytes ||
-        Under->fetchBlock(At, Buf.size() - LineBytes, Buf.data()))
-      return;
-    Buf.resize(Buf.size() - LineBytes);
+  (void)warmMany({{Loc, Size}});
+}
+
+Error CachedMemory::warmMany(
+    const std::vector<std::pair<Location, size_t>> &Spans) {
+  if (Bypass)
+    return Error::success();
+
+  // Align every span to whole lines and merge overlapping or adjacent
+  // spans in the same space, so one transfer covers what would otherwise
+  // be several (a step's code span usually overlaps its context span's
+  // trailing line, say).
+  struct Span {
+    char Space;
+    int64_t Base, End;
+  };
+  std::vector<Span> Aligned;
+  for (const auto &[Loc, Size] : Spans) {
+    if (Size == 0 || !cacheable(Loc))
+      continue;
+    int64_t Base = Loc.Offset - (Loc.Offset % LineBytes);
+    int64_t End = Loc.Offset + static_cast<int64_t>(Size);
+    if (End % LineBytes)
+      End += LineBytes - End % LineBytes;
+    Aligned.push_back({Loc.Space, Base, End});
   }
-  if (Stats)
-    ++Stats->Cache[Loc.Space].Misses;
-  seedLines(At, Buf.size(), Buf.data());
+  std::sort(Aligned.begin(), Aligned.end(), [](const Span &A, const Span &B) {
+    return A.Space != B.Space ? A.Space < B.Space : A.Base < B.Base;
+  });
+  std::vector<Span> Merged;
+  for (const Span &S : Aligned) {
+    if (!Merged.empty() && Merged.back().Space == S.Space &&
+        S.Base <= Merged.back().End)
+      Merged.back().End = std::max(Merged.back().End, S.End);
+    else
+      Merged.push_back(S);
+  }
+
+  // Post every non-resident span, then await the whole batch at once.
+  struct Xfer {
+    Location At;
+    std::vector<uint8_t> Buf;
+    Error Err = Error::success();
+  };
+  std::deque<Xfer> Xfers; // deque: addresses stay valid while posting
+  for (const Span &S : Merged) {
+    Location At = Location::absolute(S.Space, S.Base);
+    size_t Size = static_cast<size_t>(S.End - S.Base);
+    if (allResident(At, Size))
+      continue;
+    Xfers.push_back({At, std::vector<uint8_t>(Size)});
+    Xfer &X = Xfers.back();
+    Under->postFetchBlock(X.At, X.Buf.size(), X.Buf.data(),
+                          [&X](Error E) { X.Err = std::move(E); });
+  }
+  if (Xfers.empty())
+    return Error::success();
+  Error HardErr = Under->awaitPosted();
+
+  // Seed what landed; retry failures once without their trailing line (the
+  // aligned tail may run past the end of target memory) — still as one
+  // posted batch.
+  std::vector<Xfer *> Retry;
+  for (Xfer &X : Xfers) {
+    if (!X.Err) {
+      if (Stats)
+        ++Stats->Cache[X.At.Space].Misses;
+      seedLines(X.At, X.Buf.size(), X.Buf.data());
+      continue;
+    }
+    if (HardErr || X.Buf.size() <= LineBytes)
+      continue;
+    X.Err = Error::success();
+    X.Buf.resize(X.Buf.size() - LineBytes);
+    Under->postFetchBlock(X.At, X.Buf.size(), X.Buf.data(),
+                          [&X](Error E) { X.Err = std::move(E); });
+    Retry.push_back(&X);
+  }
+  if (!Retry.empty()) {
+    if (Error E = Under->awaitPosted(); E && !HardErr)
+      HardErr = std::move(E);
+    for (Xfer *X : Retry) {
+      if (X->Err)
+        continue;
+      if (Stats)
+        ++Stats->Cache[X->At.Space].Misses;
+      seedLines(X->At, X->Buf.size(), X->Buf.data());
+    }
+  }
+  return HardErr;
 }
 
 void CachedMemory::seedLines(Location Loc, size_t Size,
@@ -231,4 +327,85 @@ Error CachedMemory::storeBlock(Location Loc, size_t Size,
     return E;
   patchLines(Loc, Size, Bytes);
   return Error::success();
+}
+
+void CachedMemory::dropLines(Location Loc, size_t Size) {
+  int64_t Base = Loc.Offset - (Loc.Offset % LineBytes);
+  int64_t End = Loc.Offset + static_cast<int64_t>(Size);
+  std::string Spaces = SpacesAlias ? CachedSpaces : std::string(1, Loc.Space);
+  for (char Space : Spaces)
+    for (int64_t B = Base; B < End; B += LineBytes)
+      Lines.erase(std::make_pair(Space, B));
+}
+
+void CachedMemory::postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                                  std::function<void(Error)> Done) {
+  if (Loc.Mode == AddrMode::Immediate) {
+    settlePosted(
+        Error::failure("cannot fetch a block from an immediate location"),
+        Done);
+    return;
+  }
+  if (Size == 0) {
+    settlePosted(Error::success(), Done);
+    return;
+  }
+  if (!cacheable(Loc) && !Bypass) {
+    Under->postFetchBlock(Loc, Size, Out, std::move(Done));
+    return;
+  }
+  if (Bypass || Size < LineBytes || allResident(Loc, Size)) {
+    // The cache (or the word-compatibility path) can answer now.
+    settlePosted(fetchBlock(Loc, Size, Out), Done);
+    return;
+  }
+  // A long non-resident block: post it downstream and keep the lines it
+  // covers when it lands.
+  Under->postFetchBlock(
+      Loc, Size, Out, [this, Loc, Size, Out, Done](Error E) mutable {
+        if (!E) {
+          if (Stats)
+            ++Stats->Cache[Loc.Space].Misses;
+          seedLines(Loc, Size, Out);
+        }
+        settlePosted(std::move(E), Done);
+      });
+}
+
+void CachedMemory::postStoreBlock(Location Loc, size_t Size,
+                                  const uint8_t *Bytes,
+                                  std::function<void(Error)> Done) {
+  if (Loc.Mode == AddrMode::Immediate) {
+    settlePosted(Error::failure("cannot store to an immediate location"),
+                 Done);
+    return;
+  }
+  if (Size == 0) {
+    settlePosted(Error::success(), Done);
+    return;
+  }
+  if (Bypass || !cacheable(Loc)) {
+    if (Bypass && cacheable(Loc)) {
+      settlePosted(storeBlock(Loc, Size, Bytes), Done);
+      return;
+    }
+    Under->postStoreBlock(Loc, Size, Bytes, std::move(Done));
+    return;
+  }
+  // Patch resident copies now — reads between post and await must see the
+  // new bytes — and drop them again if the target later refuses the store.
+  patchLines(Loc, Size, Bytes);
+  Under->postStoreBlock(Loc, Size, Bytes,
+                        [this, Loc, Size, Done](Error E) mutable {
+                          if (E)
+                            dropLines(Loc, Size);
+                          settlePosted(std::move(E), Done);
+                        });
+}
+
+Error CachedMemory::awaitPosted() {
+  Error Deferred = takeDeferred();
+  if (Error E = Under->awaitPosted())
+    return E;
+  return Deferred;
 }

@@ -50,8 +50,21 @@ public:
   /// patches lines cached under the others.
   void setSpacesAlias(bool Alias) { SpacesAlias = Alias; }
 
-  /// Drops every line. Must be called whenever the target may have run.
+  /// Drops every line except those in immutable spaces. Must be called
+  /// whenever the target may have run.
   void invalidate();
+
+  /// Drops every line unconditionally, immutable spaces included.
+  void invalidateAll() { Lines.clear(); }
+
+  /// Declares spaces whose contents the target never changes while it
+  /// runs (text, in a system without self-modifying code): their lines
+  /// survive invalidate(). The debugger's own writes — break words —
+  /// patch resident lines write-through, so they stay coherent. Pass ""
+  /// to restore the drop-everything policy.
+  void setImmutableSpaces(std::string Spaces) {
+    ImmutableSpaces = std::move(Spaces);
+  }
 
   /// Word-granularity compatibility mode: no lines are kept and block
   /// operations degrade to one word message per 4 bytes, reproducing the
@@ -70,6 +83,22 @@ public:
   /// pay their own way and report their own errors.
   void warm(Location Loc, size_t Size);
 
+  /// Seeds lines from bytes the peer pushed without being asked (the
+  /// nub's expedited stop window): every line fully covered by
+  /// [Loc, Loc+Size) becomes resident, partial edge lines are ignored.
+  /// Costs no wire traffic.
+  void seed(Location Loc, size_t Size, const uint8_t *Bytes);
+
+  /// Prefetches several spans at once: every non-resident aligned span is
+  /// posted downstream in one batch and awaited together, so the whole
+  /// set costs one link latency. Spans that fail (the aligned tail may run
+  /// past the end of target memory) are retried once without their
+  /// trailing line — also pipelined — then given up on. Returns the first
+  /// hard transport error (or a deferred error from earlier fire-and-
+  /// forget posts flushed by the same await); a span that merely cannot
+  /// be prefetched is not an error.
+  Error warmMany(const std::vector<std::pair<Location, size_t>> &Spans);
+
   unsigned lineBytes() const { return LineBytes; }
   size_t cachedLines() const { return Lines.size(); }
 
@@ -79,6 +108,19 @@ public:
   Error storeFloat(Location Loc, unsigned Size, long double Value) override;
   Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
   Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
+
+  /// Posted block access. Fetches that the cache can serve (resident, or
+  /// shorter than a line) complete immediately; the rest are posted
+  /// downstream, and seed lines when they land. Posted stores patch
+  /// resident lines *eagerly* — reads between post and await see the new
+  /// bytes, which is what lets breakpoint stores ride the window with the
+  /// Continue — and drop the patched lines again if the store later
+  /// fails, so the cache never keeps bytes the target refused.
+  void postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                      std::function<void(Error)> Done) override;
+  void postStoreBlock(Location Loc, size_t Size, const uint8_t *Bytes,
+                      std::function<void(Error)> Done) override;
+  Error awaitPosted() override;
 
 private:
   bool cacheable(Location Loc) const {
@@ -101,6 +143,9 @@ private:
   /// Installs whole lines covered by a block that was just transferred.
   void seedLines(Location Loc, size_t Size, const uint8_t *Bytes);
 
+  /// Drops every line overlapping [Loc, Loc+Size) (all aliased spaces).
+  void dropLines(Location Loc, size_t Size);
+
   /// True when every line overlapping [Loc, Loc+Size) is resident.
   bool allResident(Location Loc, size_t Size) const;
 
@@ -108,6 +153,7 @@ private:
   ByteOrder Order;
   unsigned LineBytes;
   std::string CachedSpaces;
+  std::string ImmutableSpaces;
   bool SpacesAlias = false;
   bool Bypass = false;
   TransportStats *Stats = nullptr;

@@ -86,6 +86,33 @@ Error Memory::storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) {
   return Error::success();
 }
 
+void Memory::settlePosted(Error E, std::function<void(Error)> &Done) {
+  if (Done)
+    Done(std::move(E));
+  else if (E && !DeferredPostErr)
+    DeferredPostErr = std::move(E);
+}
+
+Error Memory::takeDeferred() {
+  Error E = std::move(DeferredPostErr);
+  DeferredPostErr = Error::success();
+  return E;
+}
+
+void Memory::postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                            std::function<void(Error)> Done) {
+  // Synchronous default: complete immediately. Memories backed by a real
+  // asynchronous transport (the wire, the cache above it) override.
+  settlePosted(fetchBlock(Loc, Size, Out), Done);
+}
+
+void Memory::postStoreBlock(Location Loc, size_t Size, const uint8_t *Bytes,
+                            std::function<void(Error)> Done) {
+  settlePosted(storeBlock(Loc, Size, Bytes), Done);
+}
+
+Error Memory::awaitPosted() { return takeDeferred(); }
+
 //===----------------------------------------------------------------------===//
 // FlatMemory
 //===----------------------------------------------------------------------===//

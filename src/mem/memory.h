@@ -21,6 +21,7 @@
 #include "support/error.h"
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 
 namespace ldb::mem {
@@ -58,6 +59,31 @@ public:
 
   /// Stores \p Size raw bytes from \p Bytes starting at \p Loc.
   virtual Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes);
+
+  //===--------------------------------------------------------------------===
+  // Pipelined block access: post now, complete at awaitPosted(). Callers
+  // with a known fetch set (a stack walk's window, a plant's verification
+  // fetches, a step's code spans) post everything and await once, paying a
+  // single link latency instead of one per request. The defaults complete
+  // synchronously, so every memory supports the interface and memories
+  // without an asynchronous substrate lose nothing. \p Out and \p Bytes
+  // must stay valid until awaitPosted() returns. A null \p Done defers the
+  // first failure to awaitPosted()'s return value.
+  //===--------------------------------------------------------------------===
+
+  virtual void postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                              std::function<void(Error)> Done);
+  virtual void postStoreBlock(Location Loc, size_t Size, const uint8_t *Bytes,
+                              std::function<void(Error)> Done);
+  virtual Error awaitPosted();
+
+protected:
+  /// Deferred-error bookkeeping shared by the synchronous defaults.
+  void settlePosted(Error E, std::function<void(Error)> &Done);
+  Error takeDeferred();
+
+private:
+  Error DeferredPostErr = Error::success();
 };
 
 using MemoryRef = std::shared_ptr<Memory>;

@@ -30,6 +30,32 @@ Error RemoteEndpoint::remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
   return Error::success();
 }
 
+void RemoteEndpoint::postFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                                    uint8_t *Out,
+                                    std::function<void(Error)> Done) {
+  Error E = remoteFetchBlock(Space, Addr, Len, Out);
+  if (Done)
+    Done(std::move(E));
+  else if (E && !DeferredPostErr)
+    DeferredPostErr = std::move(E);
+}
+
+void RemoteEndpoint::postStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                                    const uint8_t *Bytes,
+                                    std::function<void(Error)> Done) {
+  Error E = remoteStoreBlock(Space, Addr, Len, Bytes);
+  if (Done)
+    Done(std::move(E));
+  else if (E && !DeferredPostErr)
+    DeferredPostErr = std::move(E);
+}
+
+Error RemoteEndpoint::awaitPosted() {
+  Error E = std::move(DeferredPostErr);
+  DeferredPostErr = Error::success();
+  return E;
+}
+
 Error WireMemory::checkAddr(Location Loc, uint32_t &Addr) {
   if (Loc.Offset < 0 || Loc.Offset > UINT32_MAX)
     return Error::failure("remote address " + Loc.str() + " out of range");
@@ -95,4 +121,44 @@ Error WireMemory::storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) {
     return E;
   return Endpoint.remoteStoreBlock(Loc.Space, Addr,
                                    static_cast<uint32_t>(Size), Bytes);
+}
+
+void WireMemory::postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                                std::function<void(Error)> Done) {
+  uint32_t Addr;
+  if (Loc.Mode == AddrMode::Immediate || Size > UINT32_MAX) {
+    settlePosted(Error::failure("cannot post a block fetch for " + Loc.str()),
+                 Done);
+    return;
+  }
+  if (Error E = checkAddr(Loc, Addr)) {
+    settlePosted(std::move(E), Done);
+    return;
+  }
+  Endpoint.postFetchBlock(Loc.Space, Addr, static_cast<uint32_t>(Size), Out,
+                          std::move(Done));
+}
+
+void WireMemory::postStoreBlock(Location Loc, size_t Size,
+                                const uint8_t *Bytes,
+                                std::function<void(Error)> Done) {
+  uint32_t Addr;
+  if (Loc.Mode == AddrMode::Immediate || Size > UINT32_MAX) {
+    settlePosted(Error::failure("cannot post a block store for " + Loc.str()),
+                 Done);
+    return;
+  }
+  if (Error E = checkAddr(Loc, Addr)) {
+    settlePosted(std::move(E), Done);
+    return;
+  }
+  Endpoint.postStoreBlock(Loc.Space, Addr, static_cast<uint32_t>(Size), Bytes,
+                          std::move(Done));
+}
+
+Error WireMemory::awaitPosted() {
+  Error Deferred = takeDeferred();
+  if (Error E = Endpoint.awaitPosted())
+    return E;
+  return Deferred;
 }

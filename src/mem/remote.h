@@ -43,6 +43,21 @@ public:
                                  uint8_t *Out);
   virtual Error remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
                                  const uint8_t *Bytes);
+
+  /// Pipelined halves: post requests now, complete them at awaitPosted().
+  /// The defaults complete synchronously; the nub client overrides with a
+  /// real request window so a posted batch costs one link latency. \p Out
+  /// and \p Bytes must stay valid until awaitPosted() returns. A null
+  /// \p Done defers the first failure to awaitPosted().
+  virtual void postFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                              uint8_t *Out, std::function<void(Error)> Done);
+  virtual void postStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                              const uint8_t *Bytes,
+                              std::function<void(Error)> Done);
+  virtual Error awaitPosted();
+
+private:
+  Error DeferredPostErr = Error::success();
 };
 
 /// Forwards every request to the nub through a RemoteEndpoint.
@@ -56,6 +71,12 @@ public:
   Error storeFloat(Location Loc, unsigned Size, long double Value) override;
   Error fetchBlock(Location Loc, size_t Size, uint8_t *Out) override;
   Error storeBlock(Location Loc, size_t Size, const uint8_t *Bytes) override;
+
+  void postFetchBlock(Location Loc, size_t Size, uint8_t *Out,
+                      std::function<void(Error)> Done) override;
+  void postStoreBlock(Location Loc, size_t Size, const uint8_t *Bytes,
+                      std::function<void(Error)> Done) override;
+  Error awaitPosted() override;
 
 private:
   Error checkAddr(Location Loc, uint32_t &Addr);

@@ -34,6 +34,33 @@ struct TransportStats {
   uint64_t BytesSent = 0;
   uint64_t BytesReceived = 0;
 
+  /// Frames split word vs block, per direction, so the shape of the
+  /// traffic (and the pipelining win) is visible interactively.
+  uint64_t BlockMsgsSent = 0;
+  uint64_t WordMsgsSent = 0;
+  uint64_t BlockRepliesReceived = 0;
+  uint64_t WordRepliesReceived = 0;
+
+  /// Pipelined-window counters. Posted counts requests issued through the
+  /// asynchronous half of the client; MaxInFlight is the deepest request
+  /// window observed; StoresCombined counts stores merged into a queued
+  /// contiguous neighbour instead of becoming their own frame.
+  uint64_t Posted = 0;
+  uint64_t MaxInFlight = 0;
+  uint64_t StoresCombined = 0;
+
+  /// Loss recovery. Retries counts retransmitted request frames (after a
+  /// timeout or a Corrupt report); Timeouts counts requests whose reply
+  /// deadline passed; StaleReplies counts replies whose sequence number
+  /// matched no outstanding request (late duplicates after a retry).
+  uint64_t Retries = 0;
+  uint64_t Timeouts = 0;
+  uint64_t StaleReplies = 0;
+
+  /// Fault injection at the (simulated) link, counted at the sender.
+  uint64_t LinkDrops = 0;
+  uint64_t LinkGarbles = 0;
+
   struct CacheCounters {
     uint64_t Hits = 0;
     uint64_t Misses = 0;

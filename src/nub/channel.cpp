@@ -6,17 +6,22 @@
 
 #include "nub/channel.h"
 
+#include "nub/protocol.h"
+
+#include <algorithm>
+#include <cstdlib>
+
 using namespace ldb::nub;
 
 std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
 LocalLink::makePair() {
   auto Link = std::make_shared<LocalLink>();
-  auto A = std::make_shared<ChannelEnd>(Link, /*IsA=*/true);
-  auto B = std::make_shared<ChannelEnd>(Link, /*IsA=*/false);
+  auto A = std::make_shared<LocalEnd>(Link, /*IsA=*/true);
+  auto B = std::make_shared<LocalEnd>(Link, /*IsA=*/false);
   return {A, B};
 }
 
-void ChannelEnd::write(const uint8_t *Bytes, size_t Size) {
+void LocalEnd::write(const uint8_t *Bytes, size_t Size) {
   if (Link->Broken)
     return;
   if (Stats)
@@ -30,7 +35,7 @@ void ChannelEnd::write(const uint8_t *Bytes, size_t Size) {
     Peer();
 }
 
-bool ChannelEnd::read(uint8_t *Out, size_t Size) {
+bool LocalEnd::read(uint8_t *Out, size_t Size) {
   std::deque<uint8_t> &In = inbox();
   if (In.size() < Size)
     return false;
@@ -43,14 +48,133 @@ bool ChannelEnd::read(uint8_t *Out, size_t Size) {
   return true;
 }
 
-size_t ChannelEnd::available() const { return inbox().size(); }
+size_t LocalEnd::available() const { return inbox().size(); }
 
-void ChannelEnd::setReadable(std::function<void()> Fn) {
+void LocalEnd::setReadable(std::function<void()> Fn) {
   (IsA ? Link->AReadable : Link->BReadable) = std::move(Fn);
 }
 
-void ChannelEnd::breakLink() {
+void LocalEnd::breakLink() {
   Link->Broken = true;
   Link->AReadable = nullptr;
   Link->BReadable = nullptr;
+}
+
+std::optional<SimParams> SimParams::fromEnv() {
+  const char *Latency = std::getenv("LDB_SIM_LATENCY_US");
+  const char *Jitter = std::getenv("LDB_SIM_JITTER_US");
+  const char *Bw = std::getenv("LDB_SIM_BW_MBPS");
+  const char *Seed = std::getenv("LDB_SIM_SEED");
+  if (!Latency && !Jitter && !Bw)
+    return std::nullopt;
+  SimParams P;
+  if (Latency)
+    P.LatencyNs = std::strtoull(Latency, nullptr, 10) * 1000;
+  if (Jitter)
+    P.JitterNs = std::strtoull(Jitter, nullptr, 10) * 1000;
+  if (Bw)
+    P.BytesPerSec = std::strtoull(Bw, nullptr, 10) * 1000000;
+  if (Seed)
+    P.Seed = std::strtoull(Seed, nullptr, 10);
+  return P;
+}
+
+std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
+SimLink::makePair(const SimParams &Params) {
+  auto Link = std::shared_ptr<SimLink>(new SimLink(Params));
+  auto A = std::make_shared<SimEnd>(Link, /*IsA=*/true);
+  auto B = std::make_shared<SimEnd>(Link, /*IsA=*/false);
+  return {A, B};
+}
+
+void SimLink::transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
+                       mem::TransportStats *Stats) {
+  if (Broken)
+    return;
+  if (Stats)
+    Stats->BytesSent += Size;
+  ++Sent;
+  if (P.DropEvery && Sent % P.DropEvery == 0) {
+    if (Stats)
+      ++Stats->LinkDrops;
+    return;
+  }
+  Flight F;
+  F.Bytes.assign(Bytes, Bytes + Size);
+  if (P.GarbleEvery && Sent % P.GarbleEvery == 0) {
+    // Flip one byte — the kind for runt messages, otherwise the payload
+    // middle. Never the length field: a real link corrupting the length
+    // desynchronizes the stream, which the protocol survives only by
+    // timeout, and the deterministic tests want the cheaper recovery
+    // (checksum mismatch -> Corrupt/retry) to be what is exercised.
+    size_t At = Size > FrameHeaderSize
+                    ? FrameHeaderSize + (Size - FrameHeaderSize) / 2
+                    : 0;
+    F.Bytes[At] ^= 0x5a;
+    if (Stats)
+      ++Stats->LinkGarbles;
+  }
+  uint64_t Jitter = P.JitterNs ? Rng() % (P.JitterNs + 1) : 0;
+  uint64_t TxNs =
+      P.BytesPerSec ? (Size * 1000000000ull) / P.BytesPerSec : 0;
+  uint64_t &Last = TowardA ? LastArriveA : LastArriveB;
+  uint64_t Arrive = std::max(NowNs + P.LatencyNs + Jitter, Last) + TxNs;
+  Last = Arrive;
+  F.ArriveNs = Arrive;
+  (TowardA ? FlightToA : FlightToB).push_back(std::move(F));
+}
+
+bool SimLink::pump() {
+  bool ToA;
+  if (!FlightToA.empty() &&
+      (FlightToB.empty() ||
+       FlightToA.front().ArriveNs <= FlightToB.front().ArriveNs))
+    ToA = true;
+  else if (!FlightToB.empty())
+    ToA = false;
+  else
+    return false;
+  std::deque<Flight> &Flights = ToA ? FlightToA : FlightToB;
+  Flight F = std::move(Flights.front());
+  Flights.pop_front();
+  NowNs = std::max(NowNs, F.ArriveNs);
+  std::deque<uint8_t> &In = ToA ? InA : InB;
+  In.insert(In.end(), F.Bytes.begin(), F.Bytes.end());
+  // The callback may write back into the link (the nub answering); those
+  // replies queue in flight for a later pump.
+  std::function<void()> &Fn = ToA ? AReadable : BReadable;
+  if (Fn)
+    Fn();
+  return true;
+}
+
+void SimEnd::write(const uint8_t *Bytes, size_t Size) {
+  Link->transmit(/*TowardA=*/!IsA, Bytes, Size, Stats);
+}
+
+bool SimEnd::read(uint8_t *Out, size_t Size) {
+  std::deque<uint8_t> &In = inbox();
+  if (In.size() < Size)
+    return false;
+  for (size_t K = 0; K < Size; ++K) {
+    Out[K] = In.front();
+    In.pop_front();
+  }
+  if (Stats)
+    Stats->BytesReceived += Size;
+  return true;
+}
+
+size_t SimEnd::available() const { return inbox().size(); }
+
+void SimEnd::setReadable(std::function<void()> Fn) {
+  (IsA ? Link->AReadable : Link->BReadable) = std::move(Fn);
+}
+
+void SimEnd::breakLink() {
+  Link->Broken = true;
+  Link->AReadable = nullptr;
+  Link->BReadable = nullptr;
+  Link->FlightToA.clear();
+  Link->FlightToB.clear();
 }

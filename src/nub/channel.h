@@ -6,11 +6,20 @@
 ///
 /// \file
 /// The byte-stream connection between ldb and a nub. The original used
-/// UNIX sockets; the simulated equivalent is a deterministic in-process
-/// duplex link with the same observable semantics: ordered bytes, two
+/// UNIX sockets; the simulated equivalents are deterministic in-process
+/// duplex links with the same observable semantics: ordered bytes, two
 /// independent directions, and an explicit broken state (so debugger-crash
 /// recovery is testable). The nub side registers a readable-callback and
 /// services requests as they arrive, exactly like a socket event loop.
+///
+/// Two link flavors share the ChannelEnd interface. LocalLink delivers
+/// writes instantly (the zero-latency wire every test rides). SimLink
+/// models a real link: each write() is one message that spends a
+/// configurable latency (plus seeded jitter and a bandwidth-proportional
+/// serialization time) in flight on a virtual clock, and can be dropped
+/// or garbled for fault-injection. Nothing moves until pump() delivers
+/// the next in-flight message, so a single-threaded caller controls time
+/// explicitly and every run is reproducible.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +32,61 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <random>
+#include <vector>
 
 namespace ldb::nub {
 
-class ChannelEnd;
+/// One endpoint of a duplex link.
+class ChannelEnd {
+public:
+  virtual ~ChannelEnd() = default;
 
-/// A bidirectional in-process link with two endpoints, A and B.
+  /// Sends one message to the peer. On a LocalLink the bytes land in the
+  /// peer's inbox and its readable callback fires before write() returns;
+  /// on a SimLink they enter the in-flight queue until pump() delivers
+  /// them. Writing on a broken channel silently drops the bytes, like
+  /// writing to a closed socket with SIGPIPE ignored.
+  virtual void write(const uint8_t *Bytes, size_t Size) = 0;
+
+  /// Reads exactly \p Size bytes; returns false if fewer are available or
+  /// the channel is broken and drained.
+  virtual bool read(uint8_t *Out, size_t Size) = 0;
+
+  virtual size_t available() const = 0;
+
+  /// Called after bytes arrive for this endpoint.
+  virtual void setReadable(std::function<void()> Fn) = 0;
+
+  /// Breaks the connection (debugger crash / detach at the transport
+  /// level). Both ends observe it; in-flight messages are lost.
+  virtual void breakLink() = 0;
+
+  virtual bool isBroken() const = 0;
+
+  /// Counts bytes this endpoint puts on and takes off the wire (the
+  /// transport-instrumentation hook; per endpoint, may be null).
+  virtual void setStats(mem::TransportStats *S) = 0;
+
+  /// True when this link models latency: pump() and advanceNs() drive a
+  /// virtual clock and a request may legitimately be answered later.
+  virtual bool simulated() const { return false; }
+
+  /// Delivers the next in-flight message (advancing the virtual clock to
+  /// its arrival and firing the receiving end's readable callback).
+  /// Returns false when nothing is in flight — on a LocalLink, always.
+  virtual bool pump() { return false; }
+
+  /// Virtual time, in nanoseconds since the link was made.
+  virtual uint64_t nowNs() const { return 0; }
+
+  /// Advances the virtual clock with the link idle — how a caller waits
+  /// out a timeout when pump() has nothing to deliver.
+  virtual void advanceNs(uint64_t Ns) { (void)Ns; }
+};
+
+/// A zero-latency bidirectional in-process link with two endpoints, A and B.
 class LocalLink {
 public:
   /// Creates a connected pair of endpoints.
@@ -36,48 +94,109 @@ public:
   makePair();
 
 private:
-  friend class ChannelEnd;
+  friend class LocalEnd;
   std::deque<uint8_t> ToA, ToB;
   std::function<void()> AReadable, BReadable;
   bool Broken = false;
 };
 
-/// One endpoint of a link.
-class ChannelEnd {
+/// One endpoint of a LocalLink.
+class LocalEnd : public ChannelEnd {
 public:
-  ChannelEnd(std::shared_ptr<LocalLink> Link, bool IsA)
+  LocalEnd(std::shared_ptr<LocalLink> Link, bool IsA)
       : Link(std::move(Link)), IsA(IsA) {}
 
-  /// Appends bytes for the peer and synchronously invokes the peer's
-  /// readable callback (the simulated analogue of the peer's event loop
-  /// waking up). Writing on a broken channel silently drops the bytes,
-  /// like writing to a closed socket with SIGPIPE ignored.
-  void write(const uint8_t *Bytes, size_t Size);
-
-  /// Reads exactly \p Size bytes; returns false if fewer are available or
-  /// the channel is broken and drained.
-  bool read(uint8_t *Out, size_t Size);
-
-  size_t available() const;
-
-  /// Called after bytes arrive for this endpoint.
-  void setReadable(std::function<void()> Fn);
-
-  /// Breaks the connection (debugger crash / detach at the transport
-  /// level). Both ends observe it.
-  void breakLink();
-
-  bool isBroken() const { return Link->Broken; }
-
-  /// Counts bytes this endpoint puts on and takes off the wire (the
-  /// transport-instrumentation hook; per endpoint, may be null).
-  void setStats(mem::TransportStats *S) { Stats = S; }
+  void write(const uint8_t *Bytes, size_t Size) override;
+  bool read(uint8_t *Out, size_t Size) override;
+  size_t available() const override;
+  void setReadable(std::function<void()> Fn) override;
+  void breakLink() override;
+  bool isBroken() const override { return Link->Broken; }
+  void setStats(mem::TransportStats *S) override { Stats = S; }
 
 private:
   std::deque<uint8_t> &inbox() const { return IsA ? Link->ToA : Link->ToB; }
   std::deque<uint8_t> &outbox() const { return IsA ? Link->ToB : Link->ToA; }
 
   std::shared_ptr<LocalLink> Link;
+  bool IsA;
+  mem::TransportStats *Stats = nullptr;
+};
+
+/// Tuning for a SimLink. All times are virtual nanoseconds.
+struct SimParams {
+  uint64_t LatencyNs = 0;    ///< one-way propagation delay per message
+  uint64_t BytesPerSec = 0;  ///< serialization rate; 0 = infinite
+  uint64_t JitterNs = 0;     ///< uniform [0, JitterNs] added per message
+  uint64_t Seed = 1;         ///< jitter PRNG seed
+  uint64_t DropEvery = 0;    ///< lose every Nth message; 0 = never
+  uint64_t GarbleEvery = 0;  ///< flip a byte in every Nth message; 0 = never
+
+  /// Builds params from LDB_SIM_LATENCY_US / LDB_SIM_JITTER_US /
+  /// LDB_SIM_BW_MBPS / LDB_SIM_SEED, or nullopt when none are set.
+  static std::optional<SimParams> fromEnv();
+};
+
+/// A latency-modeling link on a virtual clock. Messages written on either
+/// end queue in flight and arrive, per direction, in FIFO order at
+/// max(lastArrival, now + latency + jitter) + size/bandwidth. Delivery
+/// happens only inside pump(), which the debugger side calls while
+/// awaiting replies — the nub's readable callback then runs at the
+/// message's (virtual) arrival time, exactly like its event loop waking.
+class SimLink {
+public:
+  static std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
+  makePair(const SimParams &Params);
+
+private:
+  friend class SimEnd;
+  struct Flight {
+    uint64_t ArriveNs;
+    std::vector<uint8_t> Bytes;
+  };
+
+  explicit SimLink(const SimParams &Params) : P(Params), Rng(Params.Seed) {}
+
+  /// Queues one message toward A or B, applying jitter, bandwidth, and
+  /// fault injection. \p Stats is the sending end's counter block.
+  void transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
+                mem::TransportStats *Stats);
+  bool pump();
+
+  SimParams P;
+  std::deque<Flight> FlightToA, FlightToB;
+  std::deque<uint8_t> InA, InB;
+  std::function<void()> AReadable, BReadable;
+  uint64_t NowNs = 0;
+  uint64_t LastArriveA = 0, LastArriveB = 0;
+  uint64_t Sent = 0; ///< messages offered, for the fault-injection cadence
+  std::mt19937_64 Rng;
+  bool Broken = false;
+};
+
+/// One endpoint of a SimLink.
+class SimEnd : public ChannelEnd {
+public:
+  SimEnd(std::shared_ptr<SimLink> Link, bool IsA)
+      : Link(std::move(Link)), IsA(IsA) {}
+
+  void write(const uint8_t *Bytes, size_t Size) override;
+  bool read(uint8_t *Out, size_t Size) override;
+  size_t available() const override;
+  void setReadable(std::function<void()> Fn) override;
+  void breakLink() override;
+  bool isBroken() const override { return Link->Broken; }
+  void setStats(mem::TransportStats *S) override { Stats = S; }
+
+  bool simulated() const override { return true; }
+  bool pump() override { return Link->pump(); }
+  uint64_t nowNs() const override { return Link->NowNs; }
+  void advanceNs(uint64_t Ns) override { Link->NowNs += Ns; }
+
+private:
+  std::deque<uint8_t> &inbox() const { return IsA ? Link->InA : Link->InB; }
+
+  std::shared_ptr<SimLink> Link;
   bool IsA;
   mem::TransportStats *Stats = nullptr;
 };

@@ -7,52 +7,446 @@
 #include "nub/client.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 using namespace ldb;
 using namespace ldb::nub;
 
-Error NubClient::send(const MsgWriter &W) {
-  if (Chan->isBroken())
-    return Error::failure("connection to nub is broken");
-  std::vector<uint8_t> Frame = W.frame();
+NubClient::NubClient(std::shared_ptr<ChannelEnd> End) : Chan(std::move(End)) {
+  if (const char *W = std::getenv("LDB_WIRE_WINDOW")) {
+    unsigned long N = std::strtoul(W, nullptr, 10);
+    WindowMax = N ? static_cast<unsigned>(N) : 1;
+  }
+}
+
+void NubClient::rawWrite(const std::vector<uint8_t> &Frame) {
   Chan->write(Frame.data(), Frame.size());
   if (Stats)
     ++Stats->MsgsSent;
-  return Error::success();
 }
 
-Error NubClient::recv(MsgReader &Out) {
-  switch (readFrame(*Chan, Out)) {
-  case FrameStatus::Ok:
-    // Every receive in this synchronous protocol answers a send, so each
-    // one closes a round trip.
-    if (Stats) {
-      ++Stats->MsgsReceived;
-      ++Stats->RoundTrips;
-    }
-    return Error::success();
-  case FrameStatus::NoFrame:
-    return Error::failure("connection to nub is broken: no reply");
-  case FrameStatus::Truncated:
-    return Error::failure("truncated reply from nub");
-  case FrameStatus::Oversized:
-    return Error::failure("oversized reply from nub");
+void NubClient::countRequestSent(MsgKind Kind) {
+  if (!Stats)
+    return;
+  switch (Kind) {
+  case MsgKind::FetchBlock:
+  case MsgKind::StoreBlock:
+    ++Stats->BlockMsgsSent;
+    break;
+  case MsgKind::FetchInt:
+  case MsgKind::StoreInt:
+  case MsgKind::FetchFloat:
+  case MsgKind::StoreFloat:
+    ++Stats->WordMsgsSent;
+    break;
+  default:
+    break;
   }
-  return Error::failure("unexpected frame state");
 }
 
-Error NubClient::expectAck() {
-  MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = recv(Msg))
-    return E;
-  if (Msg.kind() == MsgKind::Ack)
-    return Error::success();
+void NubClient::countReplyFor(MsgKind ReqKind) {
+  if (!Stats)
+    return;
+  switch (ReqKind) {
+  case MsgKind::FetchBlock:
+  case MsgKind::StoreBlock:
+    ++Stats->BlockRepliesReceived;
+    break;
+  case MsgKind::FetchInt:
+  case MsgKind::StoreInt:
+  case MsgKind::FetchFloat:
+  case MsgKind::StoreFloat:
+    ++Stats->WordRepliesReceived;
+    break;
+  default:
+    break;
+  }
+}
+
+void NubClient::postFrame(MsgKind Kind, const MsgWriter &W, uint8_t *Out,
+                          uint32_t Len, std::function<void(Error)> Done,
+                          MsgReader *Capture) {
+  Request R;
+  R.Seq = NextSeq++;
+  R.ReqKind = Kind;
+  R.Frame = W.frame(R.Seq);
+  R.Out = Out;
+  R.Len = Len;
+  R.Done = std::move(Done);
+  R.Capture = Capture;
+  R.DeadlineNs = Chan->nowNs() + TimeoutNs;
+  countRequestSent(Kind);
+  rawWrite(R.Frame);
+  Outstanding.push_back(std::move(R));
+  if (Stats && Outstanding.size() > Stats->MaxInFlight)
+    Stats->MaxInFlight = Outstanding.size();
+}
+
+void NubClient::finish(Request &R, Error E) {
+  if (R.Done)
+    R.Done(std::move(E));
+  else if (E && !DeferredErr)
+    DeferredErr = std::move(E);
+}
+
+namespace {
+
+/// Requests that may be replayed after a timeout without changing target
+/// state. Continue/Kill/Detach are not: a lost *reply* means the nub
+/// already acted, and acting twice is worse than a clean error.
+bool idempotent(MsgKind Kind) {
+  switch (Kind) {
+  case MsgKind::FetchInt:
+  case MsgKind::StoreInt:
+  case MsgKind::FetchFloat:
+  case MsgKind::StoreFloat:
+  case MsgKind::FetchBlock:
+  case MsgKind::StoreBlock:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void NubClient::retransmitOrFail(std::list<Request>::iterator It,
+                                 const char *Why, bool SafeToRetry) {
+  Request &R = *It;
+  if (!SafeToRetry || R.Tries >= MaxTries) {
+    Request Dead = std::move(R);
+    Outstanding.erase(It);
+    finish(Dead, Error::failure("no usable reply from nub after " +
+                                std::to_string(Dead.Tries) + " attempts (" +
+                                Why + ")"));
+    return;
+  }
+  ++R.Tries;
+  if (Stats)
+    ++Stats->Retries;
+  rawWrite(R.Frame);
+  R.DeadlineNs = Chan->nowNs() + TimeoutNs;
+}
+
+void NubClient::handleReply(MsgReader Msg) {
+  auto It = std::find_if(Outstanding.begin(), Outstanding.end(),
+                         [&](const Request &R) { return R.Seq == Msg.seq(); });
+  if (It == Outstanding.end()) {
+    // A late duplicate (we already retried and completed this sequence
+    // number) or a reply to nothing. Never match it to a later request.
+    if (Stats)
+      ++Stats->StaleReplies;
+    return;
+  }
+  if (Msg.kind() == MsgKind::Corrupt) {
+    // Our request arrived damaged; the nub could not act on it, so any
+    // request — idempotent or not — is safe to resend.
+    retransmitOrFail(It, "request garbled in flight", /*SafeToRetry=*/true);
+    return;
+  }
+  Request R = std::move(*It);
+  Outstanding.erase(It);
+  if (Stats)
+    ++Stats->RoundTrips;
+  countReplyFor(R.ReqKind);
+  if (R.Capture) {
+    *R.Capture = std::move(Msg);
+    finish(R, Error::success());
+    return;
+  }
   if (Msg.kind() == MsgKind::Nak) {
     std::string Reason;
     Msg.str(Reason);
-    return Error::failure("nub refused: " + Reason);
+    finish(R, Error::failure((R.ReqKind == MsgKind::FetchBlock
+                                  ? "block fetch failed: "
+                                  : "nub refused: ") +
+                             Reason));
+    return;
   }
-  return Error::failure("unexpected reply from nub");
+  if (R.ReqKind == MsgKind::FetchBlock) {
+    const uint8_t *Ptr;
+    // A reply shorter than requested is an error, never a partial success:
+    // a link that dies mid-block must not read as zeros.
+    if (Msg.kind() != MsgKind::FetchBlockReply || Msg.remaining() != R.Len ||
+        !Msg.raw(R.Len, Ptr)) {
+      finish(R, Error::failure("unexpected reply to block fetch"));
+      return;
+    }
+    std::copy_n(Ptr, R.Len, R.Out);
+    finish(R, Error::success());
+    return;
+  }
+  if (Msg.kind() != MsgKind::Ack) {
+    finish(R, Error::failure("unexpected reply to block store"));
+    return;
+  }
+  finish(R, Error::success());
+}
+
+Error NubClient::failAll(Error E) {
+  std::list<Request> Doomed = std::move(Outstanding);
+  Outstanding.clear();
+  std::vector<QueuedStore> DoomedStores = std::move(StoreQ);
+  StoreQ.clear();
+  for (Request &R : Doomed)
+    finish(R, E);
+  for (QueuedStore &S : DoomedStores)
+    for (auto &Done : S.Dones)
+      if (Done)
+        Done(E);
+      else if (!DeferredErr)
+        DeferredErr = E;
+  return E;
+}
+
+Error NubClient::stepProgress() {
+  // First account for every whole frame already buffered.
+  for (;;) {
+    MsgReader Msg(MsgKind::Ack, {});
+    FrameStatus St = readFrame(*Chan, Msg);
+    if (St == FrameStatus::NoFrame)
+      break;
+    if (St == FrameStatus::Truncated)
+      return failAll(Error::failure("truncated reply from nub"));
+    if (St == FrameStatus::Oversized)
+      return failAll(Error::failure("oversized reply from nub"));
+    if (St == FrameStatus::Garbled) {
+      // On a simulated link the damaged reply is simply lost: its request
+      // times out and is retransmitted. A zero-latency local link has no
+      // retransmission clock, so surface the damage immediately.
+      if (!Chan->simulated())
+        return failAll(Error::failure("garbled reply from nub"));
+      continue;
+    }
+    if (Stats)
+      ++Stats->MsgsReceived;
+    handleReply(std::move(Msg));
+  }
+  if (Outstanding.empty())
+    return Error::success();
+  if (Chan->isBroken())
+    return failAll(Error::failure("connection to nub is broken"));
+  if (Chan->pump())
+    return Error::success();
+  if (!Chan->simulated())
+    // On a local link every reply is already buffered by the time the
+    // request returns; nothing left means nothing is coming.
+    return failAll(Error::failure("connection to nub is broken: no reply"));
+  // The simulated link is idle with requests outstanding: their frames
+  // (or replies) were lost. Wait out the earliest deadline and retry.
+  uint64_t Earliest = UINT64_MAX;
+  for (const Request &R : Outstanding)
+    Earliest = std::min(Earliest, R.DeadlineNs);
+  if (Earliest > Chan->nowNs())
+    Chan->advanceNs(Earliest - Chan->nowNs());
+  uint64_t Now = Chan->nowNs();
+  for (auto It = Outstanding.begin(); It != Outstanding.end();) {
+    auto Cur = It++;
+    if (Cur->DeadlineNs <= Now) {
+      if (Stats)
+        ++Stats->Timeouts;
+      retransmitOrFail(Cur, "timed out", idempotent(Cur->ReqKind));
+    }
+  }
+  return Error::success();
+}
+
+Error NubClient::enforceWindow() {
+  while (Outstanding.size() >= WindowMax)
+    if (Error E = stepProgress())
+      return E;
+  return Error::success();
+}
+
+Error NubClient::flushStores() {
+  std::vector<QueuedStore> Q = std::move(StoreQ);
+  StoreQ.clear();
+  for (QueuedStore &S : Q) {
+    if (Error E = enforceWindow()) {
+      // enforceWindow already failed everything outstanding; these queued
+      // stores were pulled out of StoreQ above, so fail them here too.
+      for (QueuedStore &Rest : Q)
+        for (auto &Done : Rest.Dones)
+          if (Done)
+            Done(E);
+      return E;
+    }
+    auto Dones = std::make_shared<std::vector<std::function<void(Error)>>>(
+        std::move(S.Dones));
+    MsgWriter W(MsgKind::StoreBlock);
+    W.u8(static_cast<uint8_t>(S.Space))
+        .u32(S.Addr)
+        .u32(static_cast<uint32_t>(S.Bytes.size()))
+        .raw(S.Bytes.data(), S.Bytes.size());
+    postFrame(MsgKind::StoreBlock, W, nullptr, 0,
+              [Dones](Error E) {
+                for (auto &Done : *Dones)
+                  if (Done)
+                    Done(E);
+              },
+              nullptr);
+    S.Dones.clear();
+  }
+  return Error::success();
+}
+
+Error NubClient::awaitPosted() {
+  if (Error E = flushStores())
+    return E;
+  while (!Outstanding.empty())
+    if (Error E = stepProgress())
+      return E;
+  Error E = std::move(DeferredErr);
+  DeferredErr = Error::success();
+  return E;
+}
+
+void NubClient::postFetchBlock(char Space, uint32_t Addr, uint32_t Len,
+                               uint8_t *Out, std::function<void(Error)> Done) {
+  if (WindowMax <= 1) {
+    Error E = remoteFetchBlock(Space, Addr, Len, Out);
+    if (Done)
+      Done(std::move(E));
+    else if (E && !DeferredErr)
+      DeferredErr = std::move(E);
+    return;
+  }
+  // Stores queued earlier must reach the nub before this fetch reads.
+  if (Error E = flushStores()) {
+    if (Done)
+      Done(std::move(E));
+    return;
+  }
+  // A request larger than one frame becomes several outstanding requests
+  // sharing the completion: first failure wins.
+  unsigned Parts = (Len + MaxBlockLen - 1) / MaxBlockLen;
+  if (Parts == 0)
+    Parts = 1;
+  struct Shared {
+    unsigned Left;
+    Error First = Error::success();
+    std::function<void(Error)> Done;
+  };
+  auto S = std::make_shared<Shared>();
+  S->Left = Parts;
+  S->Done = std::move(Done);
+  auto PartDone = [S](Error E) {
+    if (E && !S->First)
+      S->First = std::move(E);
+    if (--S->Left == 0) {
+      if (S->Done)
+        S->Done(std::move(S->First));
+    }
+  };
+  while (true) {
+    uint32_t N = std::min(Len, MaxBlockLen);
+    if (Error E = enforceWindow()) {
+      PartDone(E);
+      // Remaining parts were never posted; settle them immediately.
+      while (Len > N) {
+        Len -= std::min(Len - N, MaxBlockLen);
+        PartDone(Error::success());
+      }
+      return;
+    }
+    if (Stats)
+      ++Stats->Posted;
+    postFrame(MsgKind::FetchBlock,
+              MsgWriter(MsgKind::FetchBlock)
+                  .u8(static_cast<uint8_t>(Space))
+                  .u32(Addr)
+                  .u32(N),
+              Out, N, PartDone, nullptr);
+    if (Len <= N)
+      return;
+    Addr += N;
+    Out += N;
+    Len -= N;
+  }
+}
+
+void NubClient::postStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                               const uint8_t *Bytes,
+                               std::function<void(Error)> Done) {
+  if (WindowMax <= 1) {
+    Error E = remoteStoreBlock(Space, Addr, Len, Bytes);
+    if (Done)
+      Done(std::move(E));
+    else if (E && !DeferredErr)
+      DeferredErr = std::move(E);
+    return;
+  }
+  // Try to extend a queued contiguous neighbour: one frame instead of two.
+  for (QueuedStore &S : StoreQ) {
+    if (S.Space == Space && S.Addr + S.Bytes.size() == Addr &&
+        S.Bytes.size() + Len <= MaxBlockLen) {
+      S.Bytes.insert(S.Bytes.end(), Bytes, Bytes + Len);
+      S.Dones.push_back(std::move(Done));
+      if (Stats)
+        ++Stats->StoresCombined;
+      return;
+    }
+  }
+  while (Len > 0) {
+    uint32_t N = std::min(Len, MaxBlockLen);
+    QueuedStore S;
+    S.Space = Space;
+    S.Addr = Addr;
+    S.Bytes.assign(Bytes, Bytes + N);
+    if (Len <= N)
+      S.Dones.push_back(std::move(Done));
+    S.Dones.shrink_to_fit();
+    if (Stats)
+      ++Stats->Posted;
+    StoreQ.push_back(std::move(S));
+    Addr += N;
+    Bytes += N;
+    Len -= N;
+  }
+}
+
+Error NubClient::transact(MsgKind Kind, const MsgWriter &W, MsgReader &Out) {
+  // Queued stores precede every synchronous exchange so the nub sees a
+  // consistent order.
+  if (Error E = flushStores())
+    return E;
+  bool Flag = false;
+  Error Result = Error::success();
+  postFrame(Kind, W, nullptr, 0,
+            [&Flag, &Result](Error E) {
+              Flag = true;
+              Result = std::move(E);
+            },
+            &Out);
+  while (!Flag)
+    if (Error E = stepProgress())
+      return E;
+  return Result;
+}
+
+Error NubClient::recvBlocking(MsgReader &Out) {
+  for (;;) {
+    switch (readFrame(*Chan, Out)) {
+    case FrameStatus::Ok:
+      if (Stats) {
+        ++Stats->MsgsReceived;
+        ++Stats->RoundTrips;
+      }
+      return Error::success();
+    case FrameStatus::NoFrame:
+      if (Chan->pump())
+        continue;
+      return Error::failure("connection to nub is broken: no reply");
+    case FrameStatus::Truncated:
+      return Error::failure("truncated reply from nub");
+    case FrameStatus::Oversized:
+      return Error::failure("oversized reply from nub");
+    case FrameStatus::Garbled:
+      return Error::failure("garbled reply from nub");
+    }
+  }
 }
 
 namespace {
@@ -64,9 +458,16 @@ bool parseStop(MsgReader &Msg, StopInfo &Out) {
   }
   if (Msg.kind() != MsgKind::Stopped)
     return false;
-  uint32_t Signo;
-  if (!Msg.u32(Signo) || !Msg.u32(Out.Code) || !Msg.u32(Out.ContextAddr))
+  uint32_t Signo, WinLen;
+  if (!Msg.u32(Signo) || !Msg.u32(Out.Code) || !Msg.u32(Out.ContextAddr) ||
+      !Msg.u32(Out.Pc) || !Msg.u32(Out.Sp) || !Msg.u32(Out.CtxWinLo) ||
+      !Msg.u32(WinLen))
     return false;
+  const uint8_t *Win;
+  if (WinLen && Msg.remaining() == WinLen && Msg.raw(WinLen, Win))
+    Out.CtxWin.assign(Win, Win + WinLen);
+  else
+    Out.CtxWin.clear();
   Out.Signo = static_cast<int32_t>(Signo);
   Out.Exited = false;
   return true;
@@ -76,15 +477,18 @@ bool parseStop(MsgReader &Msg, StopInfo &Out) {
 
 Error NubClient::handshake() {
   MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = recv(Msg))
+  if (Error E = recvBlocking(Msg))
     return E;
   if (Msg.kind() != MsgKind::Welcome || !Msg.str(Arch))
     return Error::failure("nub did not send a welcome");
   // A stop or exit notification may already be queued (the nub announces
-  // the current state of an already-stopped process at attach time).
-  if (Chan->available() >= 5) {
+  // the current state of an already-stopped process at attach time); on a
+  // simulated link it may still be in flight right behind the Welcome.
+  while (Chan->available() < FrameHeaderSize && Chan->pump()) {
+  }
+  if (Chan->available() >= FrameHeaderSize) {
     MsgReader Note(MsgKind::Ack, {});
-    if (Error E = recv(Note))
+    if (Error E = recvBlocking(Note))
       return E;
     StopInfo Info;
     if (parseStop(Note, Info))
@@ -95,10 +499,12 @@ Error NubClient::handshake() {
 
 Error NubClient::doContinue(StopInfo &Out) {
   Pending.reset();
-  if (Error E = send(MsgWriter(MsgKind::Continue)))
+  // Flush the store queue first, but do not await it: the stores and the
+  // Continue ride the window together, and the link delivers in order.
+  if (Error E = flushStores())
     return E;
   MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = recv(Msg))
+  if (Error E = transact(MsgKind::Continue, MsgWriter(MsgKind::Continue), Msg))
     return E;
   if (Msg.kind() == MsgKind::Nak) {
     std::string Reason;
@@ -107,30 +513,49 @@ Error NubClient::doContinue(StopInfo &Out) {
   }
   if (!parseStop(Msg, Out))
     return Error::failure("unexpected reply to continue");
-  return Error::success();
+  // The stores that rode with the Continue were acknowledged before the
+  // Stopped reply (the link delivers in order): surface a failure now
+  // rather than from some later await.
+  return std::exchange(DeferredErr, Error::success());
 }
 
 Error NubClient::kill() {
-  if (Error E = send(MsgWriter(MsgKind::Kill)))
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::Kill, MsgWriter(MsgKind::Kill), Msg))
     return E;
-  return expectAck();
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused: " + Reason);
+  }
+  return Error::failure("unexpected reply from nub");
 }
 
 Error NubClient::detach() {
-  if (Error E = send(MsgWriter(MsgKind::Detach)))
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::Detach, MsgWriter(MsgKind::Detach), Msg))
     return E;
-  return expectAck();
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused: " + Reason);
+  }
+  return Error::failure("unexpected reply from nub");
 }
 
 Error NubClient::remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
                                 uint64_t &Value) {
-  if (Error E = send(MsgWriter(MsgKind::FetchInt)
-                         .u8(static_cast<uint8_t>(Space))
-                         .u32(Addr)
-                         .u8(static_cast<uint8_t>(Size))))
-    return E;
   MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = recv(Msg))
+  if (Error E = transact(MsgKind::FetchInt,
+                         MsgWriter(MsgKind::FetchInt)
+                             .u8(static_cast<uint8_t>(Space))
+                             .u32(Addr)
+                             .u8(static_cast<uint8_t>(Size)),
+                         Msg))
     return E;
   if (Msg.kind() == MsgKind::Nak) {
     std::string Reason;
@@ -144,24 +569,34 @@ Error NubClient::remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
 
 Error NubClient::remoteStoreInt(char Space, uint32_t Addr, unsigned Size,
                                 uint64_t Value) {
-  if (Error E = send(MsgWriter(MsgKind::StoreInt)
-                         .u8(static_cast<uint8_t>(Space))
-                         .u32(Addr)
-                         .u8(static_cast<uint8_t>(Size))
-                         .u64(Value)))
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::StoreInt,
+                         MsgWriter(MsgKind::StoreInt)
+                             .u8(static_cast<uint8_t>(Space))
+                             .u32(Addr)
+                             .u8(static_cast<uint8_t>(Size))
+                             .u64(Value),
+                         Msg))
     return E;
-  return expectAck();
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused: " + Reason);
+  }
+  return Error::failure("unexpected reply from nub");
 }
 
 Error NubClient::remoteFetchFloat(char Space, uint32_t Addr, unsigned Size,
                                   long double &Value) {
-  if (Error E = send(MsgWriter(MsgKind::FetchFloat)
-                         .u8(static_cast<uint8_t>(Space))
-                         .u32(Addr)
-                         .u8(static_cast<uint8_t>(Size))))
-    return E;
   MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = recv(Msg))
+  if (Error E = transact(MsgKind::FetchFloat,
+                         MsgWriter(MsgKind::FetchFloat)
+                             .u8(static_cast<uint8_t>(Space))
+                             .u32(Addr)
+                             .u8(static_cast<uint8_t>(Size)),
+                         Msg))
     return E;
   if (Msg.kind() == MsgKind::Nak) {
     std::string Reason;
@@ -175,26 +610,36 @@ Error NubClient::remoteFetchFloat(char Space, uint32_t Addr, unsigned Size,
 
 Error NubClient::remoteStoreFloat(char Space, uint32_t Addr, unsigned Size,
                                   long double Value) {
-  if (Error E = send(MsgWriter(MsgKind::StoreFloat)
-                         .u8(static_cast<uint8_t>(Space))
-                         .u32(Addr)
-                         .u8(static_cast<uint8_t>(Size))
-                         .f80(Value)))
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::StoreFloat,
+                         MsgWriter(MsgKind::StoreFloat)
+                             .u8(static_cast<uint8_t>(Space))
+                             .u32(Addr)
+                             .u8(static_cast<uint8_t>(Size))
+                             .f80(Value),
+                         Msg))
     return E;
-  return expectAck();
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused: " + Reason);
+  }
+  return Error::failure("unexpected reply from nub");
 }
 
 Error NubClient::remoteFetchBlock(char Space, uint32_t Addr, uint32_t Len,
                                   uint8_t *Out) {
   while (Len > 0) {
     uint32_t N = std::min(Len, MaxBlockLen);
-    if (Error E = send(MsgWriter(MsgKind::FetchBlock)
-                           .u8(static_cast<uint8_t>(Space))
-                           .u32(Addr)
-                           .u32(N)))
-      return E;
     MsgReader Msg(MsgKind::Ack, {});
-    if (Error E = recv(Msg))
+    if (Error E = transact(MsgKind::FetchBlock,
+                           MsgWriter(MsgKind::FetchBlock)
+                               .u8(static_cast<uint8_t>(Space))
+                               .u32(Addr)
+                               .u32(N),
+                           Msg))
       return E;
     if (Msg.kind() == MsgKind::Nak) {
       std::string Reason;
@@ -219,14 +664,22 @@ Error NubClient::remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
                                   const uint8_t *Bytes) {
   while (Len > 0) {
     uint32_t N = std::min(Len, MaxBlockLen);
-    if (Error E = send(MsgWriter(MsgKind::StoreBlock)
-                           .u8(static_cast<uint8_t>(Space))
-                           .u32(Addr)
-                           .u32(N)
-                           .raw(Bytes, N)))
+    MsgReader Msg(MsgKind::Ack, {});
+    if (Error E = transact(MsgKind::StoreBlock,
+                           MsgWriter(MsgKind::StoreBlock)
+                               .u8(static_cast<uint8_t>(Space))
+                               .u32(Addr)
+                               .u32(N)
+                               .raw(Bytes, N),
+                           Msg))
       return E;
-    if (Error E = expectAck())
-      return E;
+    if (Msg.kind() == MsgKind::Nak) {
+      std::string Reason;
+      Msg.str(Reason);
+      return Error::failure("nub refused: " + Reason);
+    }
+    if (Msg.kind() != MsgKind::Ack)
+      return Error::failure("unexpected reply from nub");
     Addr += N;
     Bytes += N;
     Len -= N;

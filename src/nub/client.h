@@ -13,6 +13,20 @@
 /// architecture name, which ldb uses to find its machine-dependent code
 /// and data, paper Sec 2).
 ///
+/// The client is pipelined: block fetches and stores can be *posted* —
+/// sent with a sequence number and completed later when the matching
+/// reply arrives — with up to a window's worth outstanding at once, so a
+/// batch of requests costs one link latency instead of one per request.
+/// Posted stores first land in a combining queue where contiguous
+/// neighbours merge into one frame; the queue is flushed (in order,
+/// ahead of any fetch or control message) so the nub always observes
+/// stores before anything that could depend on them. On a simulated
+/// link each outstanding request carries a deadline: a lost or damaged
+/// frame is retransmitted a bounded number of times and then surfaces
+/// as a clean error, never a hang. Replies are matched by sequence
+/// number, so they may arrive out of order and a stale duplicate (after
+/// a retransmit) is discarded, never matched to a later request.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LDB_NUB_CLIENT_H
@@ -23,6 +37,7 @@
 #include "nub/protocol.h"
 #include "support/error.h"
 
+#include <list>
 #include <memory>
 #include <optional>
 
@@ -35,11 +50,22 @@ struct StopInfo {
   int32_t Signo = 0;
   uint32_t Code = 0;
   uint32_t ContextAddr = 0;
+  /// The stop pc and sp, carried in the Stopped message itself (like the
+  /// key registers in gdb's 'T' stop reply) so the debugger can begin
+  /// prefetching around the stop — code near the pc, live stack from the
+  /// sp — without first reading the context.
+  uint32_t Pc = 0;
+  uint32_t Sp = 0;
+  /// The expedited stop window: the context block and the live stack,
+  /// pushed with the stop so a caching client can serve its first reads
+  /// without another exchange. Empty when the nub could not read it.
+  uint32_t CtxWinLo = 0;
+  std::vector<uint8_t> CtxWin;
 };
 
 class NubClient : public mem::RemoteEndpoint {
 public:
-  explicit NubClient(std::shared_ptr<ChannelEnd> End) : Chan(std::move(End)) {}
+  explicit NubClient(std::shared_ptr<ChannelEnd> End);
 
   /// Reads the Welcome (and any pending stop notification). Must be called
   /// once after connecting.
@@ -52,7 +78,9 @@ public:
   /// stopped (it always is, right after the startup pause).
   const std::optional<StopInfo> &pendingStop() const { return Pending; }
 
-  /// Resumes the target and waits for the next stop or exit.
+  /// Resumes the target and waits for the next stop or exit. Queued
+  /// stores are flushed first and ride the same window as the Continue
+  /// frame, so a step's breakpoint stores cost no extra latency.
   Error doContinue(StopInfo &Out);
 
   Error kill();
@@ -62,12 +90,25 @@ public:
   /// message. The nub must preserve target state for the next debugger.
   void crash() { Chan->breakLink(); }
 
+  /// The underlying channel (virtual-clock access for benches and tests).
+  ChannelEnd &channel() { return *Chan; }
+
   /// Attaches transport counters: the channel counts bytes, the client
   /// counts messages and round trips. Pass null to detach.
   void setStats(mem::TransportStats *S) {
     Stats = S;
     Chan->setStats(S);
   }
+
+  /// Request-window depth. 1 makes every block operation synchronous
+  /// (the serial baseline); the default comes from LDB_WIRE_WINDOW or 32.
+  void setWindow(unsigned N) { WindowMax = N ? N : 1; }
+  unsigned window() const { return WindowMax; }
+
+  /// Reply deadline per request and the attempt bound, on simulated links.
+  void setRequestTimeoutNs(uint64_t Ns) { TimeoutNs = Ns; }
+  void setMaxTries(unsigned N) { MaxTries = N ? N : 1; }
+  unsigned maxTries() const { return MaxTries; }
 
   // RemoteEndpoint: fetches and stores travelling to the nub.
   Error remoteFetchInt(char Space, uint32_t Addr, unsigned Size,
@@ -85,15 +126,79 @@ public:
   Error remoteStoreBlock(char Space, uint32_t Addr, uint32_t Len,
                          const uint8_t *Bytes) override;
 
+  // RemoteEndpoint, asynchronous half: post now, complete on await.
+  void postFetchBlock(char Space, uint32_t Addr, uint32_t Len, uint8_t *Out,
+                      std::function<void(Error)> Done) override;
+  void postStoreBlock(char Space, uint32_t Addr, uint32_t Len,
+                      const uint8_t *Bytes,
+                      std::function<void(Error)> Done) override;
+  Error awaitPosted() override;
+
 private:
-  Error send(const MsgWriter &W);
-  Error recv(MsgReader &Out);
-  Error expectAck();
+  /// One outstanding request: the frame kept for retransmission, where
+  /// its reply should land, and how to report completion.
+  struct Request {
+    uint32_t Seq = 0;
+    MsgKind ReqKind = MsgKind::Hello;
+    std::vector<uint8_t> Frame;
+    uint8_t *Out = nullptr; ///< FetchBlock destination
+    uint32_t Len = 0;
+    std::function<void(Error)> Done; ///< may be null (see DeferredErr)
+    MsgReader *Capture = nullptr;    ///< synchronous ops take the raw reply
+    unsigned Tries = 1;
+    uint64_t DeadlineNs = 0;
+  };
+
+  /// A store waiting in the combining queue, not yet on the wire.
+  struct QueuedStore {
+    char Space;
+    uint32_t Addr;
+    std::vector<uint8_t> Bytes;
+    std::vector<std::function<void(Error)>> Dones;
+  };
+
+  void rawWrite(const std::vector<uint8_t> &Frame);
+  /// Enqueues and sends one request frame.
+  void postFrame(MsgKind Kind, const MsgWriter &W, uint8_t *Out, uint32_t Len,
+                 std::function<void(Error)> Done, MsgReader *Capture);
+  /// Finishes one request: Done (or DeferredErr for fire-and-forget posts).
+  void finish(Request &R, Error E);
+  /// Matches one received reply to its request.
+  void handleReply(MsgReader Msg);
+  /// Retransmits (bounded) or fails the request at \p It. \p SafeToRetry
+  /// is false for non-idempotent requests on a timeout (the nub may have
+  /// already acted), in which case the request fails immediately.
+  void retransmitOrFail(std::list<Request>::iterator It, const char *Why,
+                        bool SafeToRetry);
+  /// Makes one unit of progress: drain buffered replies, else pump the
+  /// link, else wait out the earliest deadline (simulated links only).
+  /// A hard transport error fails every outstanding request cleanly.
+  Error stepProgress();
+  /// Fails everything outstanding and queued with \p E.
+  Error failAll(Error E);
+  /// Moves the store queue onto the wire, in order.
+  Error flushStores();
+  /// Blocks until the window has room for one more request.
+  Error enforceWindow();
+  /// Sends one request and blocks for its reply (capture style).
+  Error transact(MsgKind Kind, const MsgWriter &W, MsgReader &Out);
+  /// Blocking receive for spontaneous messages (handshake only).
+  Error recvBlocking(MsgReader &Out);
+  void countRequestSent(MsgKind Kind);
+  void countReplyFor(MsgKind ReqKind);
 
   std::shared_ptr<ChannelEnd> Chan;
   std::string Arch;
   std::optional<StopInfo> Pending;
   mem::TransportStats *Stats = nullptr;
+
+  std::list<Request> Outstanding;
+  std::vector<QueuedStore> StoreQ;
+  uint32_t NextSeq = 1;
+  unsigned WindowMax = 32;
+  uint64_t TimeoutNs = 50'000'000; ///< 50 ms of virtual time
+  unsigned MaxTries = 4;           ///< 1 send + 3 retransmissions
+  Error DeferredErr = Error::success();
 };
 
 } // namespace ldb::nub

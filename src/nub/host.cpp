@@ -19,11 +19,19 @@ NubProcess &ProcessHost::createProcess(const std::string &Name,
 }
 
 Expected<std::unique_ptr<NubClient>>
-ProcessHost::connect(const std::string &Name, mem::TransportStats *Stats) {
+ProcessHost::connect(const std::string &Name, mem::TransportStats *Stats,
+                     const SimParams *Sim) {
   NubProcess *Proc = find(Name);
   if (!Proc)
     return Error::failure("no process named '" + Name + "' is waiting");
-  auto [DebuggerEnd, NubEnd] = LocalLink::makePair();
+  std::optional<SimParams> Env;
+  if (!Sim) {
+    Env = SimParams::fromEnv();
+    if (Env)
+      Sim = &*Env;
+  }
+  auto [DebuggerEnd, NubEnd] =
+      Sim ? SimLink::makePair(*Sim) : LocalLink::makePair();
   auto Client = std::make_unique<NubClient>(DebuggerEnd);
   if (Stats)
     Client->setStats(Stats);

@@ -37,9 +37,13 @@ public:
   /// Connects a new debugger to the named process: builds a channel pair,
   /// attaches the nub end, and performs the client handshake. If \p Stats
   /// is given it is attached before the handshake, so the counters see
-  /// every byte of the connection's life.
+  /// every byte of the connection's life. The link is a zero-latency
+  /// LocalLink unless \p Sim is given (or LDB_SIM_LATENCY_US and friends
+  /// are set in the environment), in which case a latency-modeling
+  /// SimLink substitutes — same protocol, same nub, slower wire.
   Expected<std::unique_ptr<NubClient>>
-  connect(const std::string &Name, mem::TransportStats *Stats = nullptr);
+  connect(const std::string &Name, mem::TransportStats *Stats = nullptr,
+          const SimParams *Sim = nullptr);
 
   NubProcess *find(const std::string &Name);
 

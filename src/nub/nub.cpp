@@ -38,6 +38,8 @@ void NubProcess::continueUnattached() {
 void NubProcess::attach(std::shared_ptr<ChannelEnd> End) {
   Chan = std::move(End);
   Chan->setReadable([this] { onReadable(); });
+  CurSeq = 0; // attach announcements are spontaneous
+
   send(MsgWriter(MsgKind::Welcome).str(desc().Name));
   if (St == State::Exited)
     send(MsgWriter(MsgKind::Exited).u32(ExitStatus));
@@ -50,7 +52,7 @@ void NubProcess::attach(std::shared_ptr<ChannelEnd> End) {
 void NubProcess::send(const MsgWriter &W) {
   if (!attached())
     return;
-  std::vector<uint8_t> Frame = W.frame();
+  std::vector<uint8_t> Frame = W.frame(CurSeq);
   Chan->write(Frame.data(), Frame.size());
 }
 
@@ -59,10 +61,44 @@ void NubProcess::nak(const std::string &Reason) {
 }
 
 void NubProcess::sendStopped() {
-  send(MsgWriter(MsgKind::Stopped)
-           .u32(static_cast<uint32_t>(Signo))
-           .u32(SigCode)
-           .u32(CtxAddr));
+  // The stop pc and sp ride along so the debugger can prefetch the code
+  // around the stop and the live stack without first fetching the
+  // context block. The sp is read back from the saved context, which
+  // keeps this arch-independent.
+  uint32_t CtxSize = Md.layout(M.desc()).Size;
+  uint32_t Sp = 0;
+  (void)M.loadInt(CtxAddr + Md.layout(M.desc()).SpOff, 4, Sp);
+
+  // The expedited stop window (gdb's 'T' reply carries key registers;
+  // this carries the whole region the debugger reads first): the context
+  // block plus the live stack, from 4KiB below the stack top — extended
+  // down to the stop sp for deep stacks, bounded — rounded out to 4KiB
+  // so a line cache of any power-of-two line size can absorb it whole.
+  uint32_t Top = stackTop();
+  uint32_t Lo = Top > 4096 ? Top - 4096 : 0;
+  if (Sp && Sp < Lo && Sp < Top) {
+    uint32_t From = Sp > 64 ? Sp - 64 : 0;
+    Lo = Lo - From <= 64 * 1024 ? From : Lo - 64 * 1024;
+  }
+  Lo &= ~4095u;
+  uint32_t Hi = (CtxAddr + CtxSize + 4095) & ~4095u;
+  if (Hi > M.memSize() || Hi == 0)
+    Hi = M.memSize();
+  std::vector<uint8_t> Win(Hi - Lo);
+  if (!M.readBytes(Lo, Hi - Lo, Win.data()))
+    Win.clear();
+
+  MsgWriter W(MsgKind::Stopped);
+  W.u32(static_cast<uint32_t>(Signo))
+      .u32(SigCode)
+      .u32(CtxAddr)
+      .u32(M.Pc)
+      .u32(Sp)
+      .u32(Lo)
+      .u32(static_cast<uint32_t>(Win.size()));
+  if (!Win.empty())
+    W.raw(Win.data(), Win.size());
+  send(W);
 }
 
 void NubProcess::onReadable() {
@@ -79,9 +115,18 @@ void NubProcess::onReadable() {
     case FrameStatus::Oversized:
       // The declared length was hostile; readFrame drained the garbage, so
       // refuse the request and keep serving.
+      CurSeq = Msg.seq();
       nak("oversized frame");
       break;
+    case FrameStatus::Garbled:
+      // Damaged in flight: we cannot act on it, but we can say so (the
+      // header's sequence number is best effort) so the client resends
+      // without waiting out its timeout.
+      CurSeq = Msg.seq();
+      send(MsgWriter(MsgKind::Corrupt).str("garbled frame"));
+      break;
     case FrameStatus::Ok:
+      CurSeq = Msg.seq();
       handleMessage(Msg);
       break;
     }

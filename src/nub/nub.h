@@ -98,6 +98,10 @@ private:
   uint32_t CtxAddr;
   int32_t Signo = 0;
   uint32_t SigCode = 0;
+  /// Sequence number of the request being serviced; every send echoes it
+  /// so the client can match replies out of order. Spontaneous messages
+  /// (attach announcements) carry 0.
+  uint32_t CurSeq = 0;
   std::shared_ptr<ChannelEnd> Chan;
 };
 

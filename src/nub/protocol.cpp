@@ -69,13 +69,29 @@ MsgWriter &MsgWriter::raw(const uint8_t *Bytes, size_t Size) {
   return *this;
 }
 
-std::vector<uint8_t> MsgWriter::frame() const {
+uint32_t ldb::nub::fnv1a32(uint32_t Seed, const uint8_t *Bytes, size_t Size) {
+  uint32_t H = Seed;
+  for (size_t K = 0; K < Size; ++K) {
+    H ^= Bytes[K];
+    H *= 16777619u;
+  }
+  return H;
+}
+
+std::vector<uint8_t> MsgWriter::frame(uint32_t Seq) const {
   std::vector<uint8_t> Out;
-  Out.reserve(Payload.size() + 5);
+  Out.reserve(Payload.size() + FrameHeaderSize);
   Out.push_back(static_cast<uint8_t>(Kind));
-  uint8_t Len[4];
-  packInt(Payload.size(), Len, 4, ByteOrder::Little);
-  Out.insert(Out.end(), Len, Len + 4);
+  uint8_t Word[4];
+  packInt(Seq, Word, 4, ByteOrder::Little);
+  Out.insert(Out.end(), Word, Word + 4);
+  packInt(Payload.size(), Word, 4, ByteOrder::Little);
+  Out.insert(Out.end(), Word, Word + 4);
+  // Checksum covers kind, seq, len, payload — everything but itself.
+  uint32_t Sum = fnv1a32(Fnv1a32Init, Out.data(), Out.size());
+  Sum = fnv1a32(Sum, Payload.data(), Payload.size());
+  packInt(Sum, Word, 4, ByteOrder::Little);
+  Out.insert(Out.end(), Word, Word + 4);
   Out.insert(Out.end(), Payload.begin(), Payload.end());
   return Out;
 }
@@ -134,14 +150,18 @@ bool MsgReader::str(std::string &S) {
 bool MsgReader::raw(size_t N, const uint8_t *&Ptr) { return take(N, Ptr); }
 
 FrameStatus ldb::nub::readFrame(ChannelEnd &Ch, MsgReader &Out) {
-  if (Ch.available() < 5)
+  if (Ch.available() < FrameHeaderSize)
     return FrameStatus::NoFrame;
-  uint8_t Header[5];
-  if (!Ch.read(Header, 5))
+  uint8_t Header[FrameHeaderSize];
+  if (!Ch.read(Header, FrameHeaderSize))
     return FrameStatus::NoFrame;
   MsgKind Kind = static_cast<MsgKind>(Header[0]);
-  uint32_t Len =
+  uint32_t Seq =
       static_cast<uint32_t>(unpackInt(Header + 1, 4, ByteOrder::Little));
+  uint32_t Len =
+      static_cast<uint32_t>(unpackInt(Header + 5, 4, ByteOrder::Little));
+  uint32_t Sum =
+      static_cast<uint32_t>(unpackInt(Header + 9, 4, ByteOrder::Little));
   if (Len > MaxFramePayload) {
     // A hostile or corrupt length: never allocate it. Whatever payload
     // bytes did arrive are garbage belonging to this frame — drain them so
@@ -154,14 +174,22 @@ FrameStatus ldb::nub::readFrame(ChannelEnd &Ch, MsgReader &Out) {
         break;
       Left -= N;
     }
-    Out = MsgReader(Kind, {});
+    Out = MsgReader(Kind, {}, Seq);
     return FrameStatus::Oversized;
   }
   std::vector<uint8_t> Payload(Len);
   if (Len > 0 && !Ch.read(Payload.data(), Len)) {
-    Out = MsgReader(Kind, {});
+    Out = MsgReader(Kind, {}, Seq);
     return FrameStatus::Truncated;
   }
-  Out = MsgReader(Kind, std::move(Payload));
+  uint32_t Want = fnv1a32(Fnv1a32Init, Header, 9);
+  Want = fnv1a32(Want, Payload.data(), Payload.size());
+  if (Want != Sum) {
+    // Damaged in flight. The whole frame was consumed so the stream stays
+    // framed; kind and seq are best-effort (they may be the damaged bytes).
+    Out = MsgReader(Kind, {}, Seq);
+    return FrameStatus::Garbled;
+  }
+  Out = MsgReader(Kind, std::move(Payload), Seq);
   return FrameStatus::Ok;
 }

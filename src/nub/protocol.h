@@ -13,9 +13,16 @@
 /// little-endian on every host/target combination; the nub converts
 /// between wire order and target order.
 ///
-/// Frame: kind (1 byte), payload length (4 bytes LE), payload. Frames
-/// declaring more than MaxFramePayload bytes are rejected (Nak'd by the
-/// nub, an error in the client) rather than allocated.
+/// Frame: kind (1 byte), sequence number (4 bytes LE), payload length
+/// (4 bytes LE), checksum (4 bytes LE, FNV-1a over kind+seq+len+payload),
+/// payload. The sequence number lets a pipelined client keep several
+/// requests outstanding and match replies out of order: every reply
+/// echoes the sequence number of the request it answers; spontaneous
+/// messages (the attach-time Welcome and pending stop) carry sequence 0.
+/// The checksum makes a damaged frame detectable rather than silently
+/// wrong, which is what lets the client retry instead of corrupting
+/// state. Frames declaring more than MaxFramePayload bytes are rejected
+/// (Nak'd by the nub, an error in the client) rather than allocated.
 ///
 /// Word messages (FetchInt and friends) carry *values*: the nub unpacks
 /// target memory with the target's byte order and the wire carries the
@@ -59,11 +66,20 @@ enum class MsgKind : uint8_t {
   Ack,
   Nak,
   FetchBlockReply, ///< raw bytes, in target order
+  Corrupt, ///< reason (str): the request frame arrived damaged; resend it
 };
 
 /// Largest payload a frame may declare; anything larger is malformed (or
 /// hostile) and is refused without being allocated.
 inline constexpr uint32_t MaxFramePayload = 1u << 20;
+
+/// Bytes in a frame header: kind, sequence, length, checksum.
+inline constexpr size_t FrameHeaderSize = 13;
+
+/// FNV-1a-32 over a byte run; the frame checksum accumulates the header
+/// fields (checksum excluded) and then the payload through this.
+uint32_t fnv1a32(uint32_t Seed, const uint8_t *Bytes, size_t Size);
+inline constexpr uint32_t Fnv1a32Init = 2166136261u;
 
 /// Largest block a single Fetch/StoreBlock message may move; chosen so the
 /// StoreBlock header fields and payload always fit one frame. Clients split
@@ -94,8 +110,8 @@ public:
   MsgWriter &str(const std::string &S);
   MsgWriter &raw(const uint8_t *Bytes, size_t Size); ///< verbatim bytes
 
-  /// Frames the message: kind, length, payload.
-  std::vector<uint8_t> frame() const;
+  /// Frames the message: kind, sequence, length, checksum, payload.
+  std::vector<uint8_t> frame(uint32_t Seq = 0) const;
 
 private:
   MsgKind Kind;
@@ -105,10 +121,11 @@ private:
 /// Deserializes a received payload.
 class MsgReader {
 public:
-  MsgReader(MsgKind Kind, std::vector<uint8_t> Payload)
-      : Kind(Kind), Payload(std::move(Payload)) {}
+  MsgReader(MsgKind Kind, std::vector<uint8_t> Payload, uint32_t Seq = 0)
+      : Kind(Kind), Payload(std::move(Payload)), Seq(Seq) {}
 
   MsgKind kind() const { return Kind; }
+  uint32_t seq() const { return Seq; }
   bool u8(uint8_t &V);
   bool u32(uint32_t &V);
   bool u64(uint64_t &V);
@@ -124,6 +141,7 @@ private:
 
   MsgKind Kind;
   std::vector<uint8_t> Payload;
+  uint32_t Seq = 0;
   size_t Pos = 0;
 };
 
@@ -135,13 +153,17 @@ enum class FrameStatus : uint8_t {
   NoFrame,   ///< nothing (or only part of a header) buffered; nothing consumed
   Truncated, ///< header consumed but the payload never arrived (dead link)
   Oversized, ///< declared length exceeds MaxFramePayload; payload drained
+  Garbled,   ///< checksum mismatch; the frame was consumed but is untrusted
 };
 
 /// Reads one frame from \p Ch into \p Out, enforcing MaxFramePayload before
 /// allocating: an oversized declaration consumes the header, drains whatever
-/// payload bytes did arrive, and reports Oversized with the frame's kind in
-/// \p Out so the caller can answer (the nub Naks; the client errors). Both
-/// ends of the protocol read frames through here.
+/// payload bytes did arrive, and reports Oversized with the frame's kind and
+/// sequence in \p Out so the caller can answer (the nub Naks; the client
+/// errors). A frame whose checksum does not match is consumed whole and
+/// reported Garbled, again with kind and sequence (best effort — they may
+/// themselves be damaged) so the receiver can ask for a resend. Both ends
+/// of the protocol read frames through here.
 FrameStatus readFrame(ChannelEnd &Ch, MsgReader &Out);
 
 } // namespace ldb::nub

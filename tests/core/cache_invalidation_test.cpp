@@ -31,7 +31,16 @@ class CacheInvalidationTest : public ::testing::TestWithParam<const TargetDesc *
 protected:
   void SetUp() override {
     Desc = GetParam();
-    Proc = &Host.createProcess("t1", *Desc);
+    Proc = makeProcess("t1");
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "t1", "", "");
+    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+    T = *TOr;
+  }
+
+  /// Loads the flag-writing program into a fresh process and enters it.
+  nub::NubProcess *makeProcess(const std::string &Name) {
+    nub::NubProcess &P = Host.createProcess(Name, *Desc);
     unsigned ArgReg = Desc->FirstArgReg;
     // r1 = 42; nop (bp); [Flag] = r1; nop (bp); exit(0)
     std::vector<Instr> Program = {
@@ -44,19 +53,23 @@ protected:
     };
     uint32_t Addr = TextBase;
     for (const Instr &In : Program) {
-      ASSERT_TRUE(Proc->machine().storeInt(Addr, 4, Desc->Enc.encode(In)));
+      EXPECT_TRUE(P.machine().storeInt(Addr, 4, Desc->Enc.encode(In)));
       Addr += 4;
     }
-    Proc->enter(TextBase);
-    Debugger = std::make_unique<Ldb>();
-    auto TOr = Debugger->connect(Host, "t1", "", "");
-    ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
-    T = *TOr;
+    P.enter(TextBase);
+    return &P;
   }
 
   uint64_t fetchFlag() {
     uint64_t V = ~0ull;
     Error E = T->wire()->fetchInt(Location::absolute(SpData, Flag), 4, V);
+    EXPECT_FALSE(E) << E.message();
+    return V;
+  }
+
+  uint64_t fetchCode(Target &On, uint32_t Addr) {
+    uint64_t V = ~0ull;
+    Error E = On.wire()->fetchInt(Location::absolute(SpCode, Addr), 4, V);
     EXPECT_FALSE(E) << E.message();
     return V;
   }
@@ -130,6 +143,75 @@ TEST_P(CacheInvalidationTest, WordTransportSeesTheSameWorld) {
   T->setBlockTransport(true);
   EXPECT_TRUE(T->blockTransport());
   EXPECT_EQ(fetchFlag(), 42u);
+}
+
+TEST_P(CacheInvalidationTest, ResumeDropsWarmedDataLines) {
+  ASSERT_FALSE(T->plantBreakpoints({TextBase + 4, TextBase + 12}));
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+
+  // Prefetch the flag's line; the reads after it are free.
+  ASSERT_FALSE(T->warmSpans({{Location::absolute(SpData, Flag), 64}}));
+  uint64_t Before = T->stats().RoundTrips;
+  EXPECT_EQ(fetchFlag(), 0u);
+  EXPECT_EQ(T->stats().RoundTrips, Before) << "served from the warmed line";
+
+  // The target runs and stores 42. A warm()-populated line is no more
+  // durable than one filled by a read: resume must drop it.
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  EXPECT_EQ(fetchFlag(), 42u) << "the warmed line outlived the resume";
+}
+
+TEST_P(CacheInvalidationTest, CodeLinesSurviveResumeCoherently) {
+  ASSERT_FALSE(T->plantBreakpoints({TextBase + 4, TextBase + 12}));
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+
+  // Fill the code line (the plant's verification fetch may already have),
+  // then show it serves without traffic.
+  uint64_t First = fetchCode(*T, TextBase);
+  uint64_t Before = T->stats().RoundTrips;
+  EXPECT_EQ(fetchCode(*T, TextBase), First);
+  EXPECT_EQ(T->stats().RoundTrips, Before);
+
+  // Code is immutable while the target runs (no self-modifying code in
+  // this system), so the line survives the resume and still serves free —
+  // and with the same bytes, because the debugger's own break-word
+  // stores patch resident lines write-through.
+  ASSERT_FALSE(T->resume());
+  ASSERT_EQ(T->lastStop().Signo, nub::SigTrap);
+  uint64_t Across = T->stats().RoundTrips;
+  EXPECT_EQ(fetchCode(*T, TextBase), First);
+  EXPECT_EQ(T->stats().RoundTrips, Across)
+      << "the code line should have survived the resume";
+}
+
+TEST_P(CacheInvalidationTest, CacheCodeKillSwitchRestoresFullDrop) {
+  // LDB_CACHE_CODE=0 turns code-line retention off at connect time: every
+  // resume drops everything, the pre-retention behavior.
+  makeProcess("t2");
+  ::setenv("LDB_CACHE_CODE", "0", 1);
+  Ldb Plain;
+  auto TOr = Plain.connect(Host, "t2", "", "");
+  ::unsetenv("LDB_CACHE_CODE");
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  Target &U = **TOr;
+
+  ASSERT_FALSE(U.plantBreakpoints({TextBase + 4, TextBase + 12}));
+  ASSERT_FALSE(U.resume());
+  ASSERT_EQ(U.lastStop().Signo, nub::SigTrap);
+  uint64_t First = fetchCode(U, TextBase);
+  uint64_t Before = U.stats().RoundTrips;
+  EXPECT_EQ(fetchCode(U, TextBase), First);
+  EXPECT_EQ(U.stats().RoundTrips, Before) << "resident until the resume";
+
+  ASSERT_FALSE(U.resume());
+  ASSERT_EQ(U.lastStop().Signo, nub::SigTrap);
+  Before = U.stats().RoundTrips;
+  EXPECT_EQ(fetchCode(U, TextBase), First);
+  EXPECT_GT(U.stats().RoundTrips, Before)
+      << "with the kill switch, the code line must refill after a resume";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTargets, CacheInvalidationTest,

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 using namespace ldb;
 using namespace ldb::core;
 using namespace ldb::lcc;
@@ -166,6 +168,75 @@ TEST_F(CliTest, TargetSwitching) {
   EXPECT_EQ(run("print i"), "i = 2\n");
   run("target fib");
   EXPECT_NE(run("status").find("pause before main"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsSplitsFrameKindsPerDirection) {
+  run("break fib.c:7");
+  run("continue");
+  run("step");
+  std::string Out = run("stats");
+  // The frame-shape rows: block vs word messages, each split by
+  // direction, indented under the messages total.
+  auto row = [&](const std::string &Label) {
+    size_t At = Out.find(Label);
+    EXPECT_NE(At, std::string::npos) << Label << " missing from:\n" << Out;
+    if (At == std::string::npos)
+      return std::make_pair(uint64_t(0), uint64_t(0));
+    uint64_t Sent = 0, Received = 0;
+    EXPECT_EQ(std::sscanf(Out.c_str() + At + Label.size(),
+                          "%llu sent, %llu received",
+                          reinterpret_cast<unsigned long long *>(&Sent),
+                          reinterpret_cast<unsigned long long *>(&Received)),
+              2)
+        << "unparseable row after " << Label;
+    return std::make_pair(Sent, Received);
+  };
+  auto [BlockSent, BlockRecv] = row("  block frames: ");
+  auto [WordSent, WordRecv] = row("  word frames:  ");
+  EXPECT_GT(BlockSent, 0u) << "block transport sends block frames";
+  EXPECT_GT(BlockRecv, 0u);
+  EXPECT_EQ(WordSent, 0u) << "no word frames under the block transport";
+  EXPECT_EQ(WordRecv, 0u);
+  // The pipelined-window and recovery rows exist, and the stepping above
+  // actually drove the window deeper than one request.
+  EXPECT_NE(Out.find("pipeline:       "), std::string::npos) << Out;
+  EXPECT_NE(Out.find("recovery:       "), std::string::npos) << Out;
+  EXPECT_NE(Out.find(" posted, "), std::string::npos);
+  EXPECT_NE(Out.find(" max in flight, "), std::string::npos);
+  EXPECT_NE(Out.find(" stores combined"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsResetClearsPipelineAndRecoveryCounters) {
+  run("break fib.c:7");
+  run("continue");
+  run("step");
+  EXPECT_NE(run("stats reset").find("reset"), std::string::npos);
+  // Golden output: with no traffic since the reset, every transport row
+  // renders as exact zeros — one stale counter would show here.
+  std::string Out = run("stats");
+  EXPECT_NE(Out.find("round trips:    0\n"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("messages:       0 sent, 0 received\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("  block frames: 0 sent, 0 received\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("  word frames:  0 sent, 0 received\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("bytes on wire:  0 sent, 0 received\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(
+      Out.find("pipeline:       0 posted, 0 max in flight, 0 stores combined\n"),
+      std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("recovery:       0 retries, 0 timeouts, 0 stale replies, "
+                     "0 drops, 0 garbles\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("cache:          0 hits, 0 misses\n"), std::string::npos)
+      << Out;
 }
 
 } // namespace

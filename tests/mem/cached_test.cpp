@@ -328,4 +328,191 @@ TEST(CachedMemory, UncachedSpacesForwardUntouched) {
   EXPECT_EQ(Cache.cachedLines(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Seeding from pushed bytes (the nub's expedited stop window).
+//===----------------------------------------------------------------------===//
+
+TEST(CachedMemory, SeedInstallsOnlyFullyCoveredLines) {
+  Rig R; // 16-byte lines
+  ASSERT_FALSE(R.Flat->storeInt(d(0x20), 4, 0x11223344));
+  // The peer pushed [0x1a, 0x4a): lines 0x20 and 0x30 are fully covered,
+  // the ragged edges at 0x10 and 0x40 are not.
+  std::vector<uint8_t> Pushed(0x4a - 0x1a);
+  ASSERT_FALSE(R.Flat->fetchBlock(d(0x1a), Pushed.size(), Pushed.data()));
+  R.Cache->seed(d(0x1a), Pushed.size(), Pushed.data());
+  EXPECT_EQ(R.Cache->cachedLines(), 2u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 0) << "seeding costs no wire traffic";
+
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x20), 4, V));
+  EXPECT_EQ(V, 0x11223344u);
+  EXPECT_EQ(R.Probe->FetchBlocks, 0) << "served from the seeded line";
+  // The partial edge line was not installed: reading it fills normally.
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x10), 4, V));
+  EXPECT_EQ(R.Probe->FetchBlocks, 1);
+}
+
+TEST(CachedMemory, SeedIgnoresBypassAndUncachedSpaces) {
+  Rig R;
+  uint8_t Bytes[64] = {0};
+  R.Cache->seed(Location::absolute(SpExtra, 0), sizeof(Bytes), Bytes);
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+  R.Cache->setBypass(true);
+  R.Cache->seed(d(0), sizeof(Bytes), Bytes);
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Immutable spaces: code survives invalidate(), nothing survives
+// invalidateAll().
+//===----------------------------------------------------------------------===//
+
+TEST(CachedMemory, ImmutableSpacesSurviveInvalidate) {
+  Rig R;
+  R.Cache->setImmutableSpaces("c");
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x100), 4, V));
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V));
+  EXPECT_EQ(R.Cache->cachedLines(), 2u);
+
+  R.Cache->invalidate();
+  EXPECT_EQ(R.Cache->cachedLines(), 1u) << "code stays, data is dropped";
+  int Blocks = R.Probe->FetchBlocks;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x100), 4, V));
+  EXPECT_EQ(R.Probe->FetchBlocks, Blocks) << "the code line is still warm";
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V));
+  EXPECT_EQ(R.Probe->FetchBlocks, Blocks + 1) << "the data line refills";
+
+  R.Cache->invalidateAll();
+  EXPECT_EQ(R.Cache->cachedLines(), 0u) << "invalidateAll spares nothing";
+}
+
+TEST(CachedMemory, EmptyImmutableSetRestoresDropEverything) {
+  Rig R;
+  R.Cache->setImmutableSpaces("c");
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x40), 4, V));
+  R.Cache->setImmutableSpaces("");
+  R.Cache->invalidate();
+  EXPECT_EQ(R.Cache->cachedLines(), 0u);
+}
+
+TEST(CachedMemory, RetainedCodeLinesSeeWriteThroughStores) {
+  Rig R;
+  R.Cache->setImmutableSpaces("c");
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x80), 4, V));
+  EXPECT_EQ(V, 0u);
+  // The debugger plants a break word: the store writes through and
+  // patches the retained line, so surviving invalidate() stays coherent.
+  ASSERT_FALSE(R.Cache->storeInt(c(0x80), 4, 0x0000000d));
+  R.Cache->invalidate();
+  int Blocks = R.Probe->FetchBlocks;
+  ASSERT_FALSE(R.Cache->fetchInt(c(0x80), 4, V));
+  EXPECT_EQ(V, 0x0000000du);
+  EXPECT_EQ(R.Probe->FetchBlocks, Blocks) << "no refill needed";
+  ASSERT_FALSE(R.Flat->fetchInt(c(0x80), 4, V));
+  EXPECT_EQ(V, 0x0000000du) << "and the target really holds the break word";
+}
+
+//===----------------------------------------------------------------------===//
+// Prefetch batches and the posted half.
+//===----------------------------------------------------------------------===//
+
+TEST(CachedMemory, WarmManyFillsSpansInOneBatch) {
+  Rig R;
+  ASSERT_FALSE(R.Flat->storeInt(d(0x100), 4, 0xaaaa5555));
+  ASSERT_FALSE(R.Flat->storeInt(d(0x300), 4, 0x5555aaaa));
+  Error E = R.Cache->warmMany({{d(0x100), 64}, {d(0x300), 64}});
+  ASSERT_FALSE(E) << E.message();
+  int Blocks = R.Probe->FetchBlocks;
+  EXPECT_GT(Blocks, 0);
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V));
+  EXPECT_EQ(V, 0xaaaa5555u);
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x300), 4, V));
+  EXPECT_EQ(V, 0x5555aaaau);
+  EXPECT_EQ(R.Probe->FetchBlocks, Blocks) << "both spans were prefetched";
+}
+
+TEST(CachedMemory, WarmManyPastEndOfSpaceIsNotAnError) {
+  Rig R; // 'd' is 4096 bytes
+  Error E = R.Cache->warmMany({{d(4000), 200}});
+  EXPECT_FALSE(E) << "an unwarnable span is not a transport failure";
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(4000), 4, V)) << "reads still work";
+}
+
+TEST(CachedMemory, PostedFetchFromResidentLinesCompletesImmediately) {
+  Rig R;
+  ASSERT_FALSE(R.Flat->storeInt(d(0x100), 4, 0x01020304));
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V)); // line is now resident
+  int Blocks = R.Probe->FetchBlocks;
+  uint8_t Buf[4] = {0};
+  bool Completed = false;
+  R.Cache->postFetchBlock(d(0x100), 4, Buf, [&](Error E) {
+    EXPECT_FALSE(E) << E.message();
+    Completed = true;
+  });
+  EXPECT_TRUE(Completed) << "a cache hit needs no await";
+  EXPECT_EQ(R.Probe->FetchBlocks, Blocks);
+  ASSERT_FALSE(R.Cache->awaitPosted());
+}
+
+TEST(CachedMemory, PostedStorePatchesEagerlyAndDropsOnFailure) {
+  Rig R;
+  uint64_t V = 0;
+  ASSERT_FALSE(R.Cache->fetchInt(d(0x100), 4, V)); // make the line resident
+  uint8_t New[4] = {0xde, 0xad, 0xbe, 0xef};
+  R.Cache->postStoreBlock(d(0x100), 4, New, nullptr);
+  // Reads between post and await must already see the new bytes.
+  uint8_t Got[4] = {0};
+  ASSERT_FALSE(R.Cache->fetchBlock(d(0x100), 4, Got));
+  EXPECT_EQ(0, memcmp(Got, New, 4));
+  ASSERT_FALSE(R.Cache->awaitPosted());
+
+  // A store the target refuses (past the end of the space) must drop any
+  // eagerly patched line rather than keep bytes the target never took.
+  ASSERT_FALSE(R.Cache->fetchInt(d(4080), 4, V)); // line [4080, 4096)
+  size_t Resident = R.Cache->cachedLines();
+  std::vector<uint8_t> Beyond(32, 0x77);
+  bool FailedClean = false;
+  R.Cache->postStoreBlock(d(4080), Beyond.size(), Beyond.data(),
+                          [&](Error E) { FailedClean = static_cast<bool>(E); });
+  ASSERT_FALSE(R.Cache->awaitPosted()) << "failure went to the callback";
+  EXPECT_TRUE(FailedClean);
+  EXPECT_LT(R.Cache->cachedLines(), Resident) << "the patched line is gone";
+  ASSERT_FALSE(R.Cache->fetchInt(d(4080), 4, V));
+  EXPECT_EQ(V, 0u) << "the refused bytes are nowhere to be seen";
+}
+
+//===----------------------------------------------------------------------===//
+// The counter block itself.
+//===----------------------------------------------------------------------===//
+
+TEST(TransportStats, ResetClearsEveryCounter) {
+  TransportStats S;
+  S.RoundTrips = S.MsgsSent = S.MsgsReceived = S.BytesSent = S.BytesReceived =
+      1;
+  S.BlockMsgsSent = S.WordMsgsSent = S.BlockRepliesReceived =
+      S.WordRepliesReceived = 2;
+  S.Posted = S.MaxInFlight = S.StoresCombined = 3;
+  S.Retries = S.Timeouts = S.StaleReplies = 4;
+  S.LinkDrops = S.LinkGarbles = 5;
+  S.Cache['d'].Hits = S.Cache['d'].Misses = 6;
+  S.reset();
+  EXPECT_EQ(S.RoundTrips + S.MsgsSent + S.MsgsReceived + S.BytesSent +
+                S.BytesReceived,
+            0u);
+  EXPECT_EQ(S.BlockMsgsSent + S.WordMsgsSent + S.BlockRepliesReceived +
+                S.WordRepliesReceived,
+            0u);
+  EXPECT_EQ(S.Posted + S.MaxInFlight + S.StoresCombined, 0u);
+  EXPECT_EQ(S.Retries + S.Timeouts + S.StaleReplies, 0u);
+  EXPECT_EQ(S.LinkDrops + S.LinkGarbles, 0u);
+  EXPECT_TRUE(S.Cache.empty());
+  EXPECT_EQ(S.cacheHits() + S.cacheMisses(), 0u);
+}
+
 } // namespace

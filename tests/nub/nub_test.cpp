@@ -401,10 +401,10 @@ TEST(NubFraming, OversizedFrameNakedAndConnectionSurvives) {
   while (DebuggerEnd->available())
     DebuggerEnd->read(Sink, std::min<size_t>(DebuggerEnd->available(), 256));
 
-  uint8_t Bad[5];
+  uint8_t Bad[FrameHeaderSize] = {0};
   Bad[0] = static_cast<uint8_t>(MsgKind::FetchInt);
-  packInt(64u << 20, Bad + 1, 4, ByteOrder::Little);
-  DebuggerEnd->write(Bad, 5);
+  packInt(64u << 20, Bad + 5, 4, ByteOrder::Little);
+  DebuggerEnd->write(Bad, FrameHeaderSize);
   MsgReader Reply(MsgKind::Ack, {});
   ASSERT_EQ(readFrame(*DebuggerEnd, Reply), FrameStatus::Ok);
   EXPECT_EQ(Reply.kind(), MsgKind::Nak);
@@ -457,10 +457,10 @@ TEST(NubFraming, LinkBrokenMidBlockReplyIsCleanError) {
     uint8_t Sink[256];
     while (End->available())
       End->read(Sink, std::min<size_t>(End->available(), 256));
-    uint8_t Header[5];
+    uint8_t Header[FrameHeaderSize] = {0};
     Header[0] = static_cast<uint8_t>(MsgKind::FetchBlockReply);
-    packInt(64, Header + 1, 4, ByteOrder::Little);
-    End->write(Header, 5);
+    packInt(64, Header + 5, 4, ByteOrder::Little);
+    End->write(Header, FrameHeaderSize);
     uint8_t Part[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
     End->write(Part, 10);
     End->breakLink();
@@ -479,12 +479,18 @@ TEST(NubFraming, ShortBlockReplyIsError) {
   // is just as wrong: the client must refuse it, not zero-fill.
   auto [FakeNub, DebuggerEnd] = LocalLink::makePair();
   FakeNub->setReadable([End = FakeNub.get()] {
+    // Parse the request's header so the reply can echo its sequence
+    // number — an unmatched seq would (rightly) be discarded as stale.
+    uint8_t Header[FrameHeaderSize] = {0};
+    End->read(Header, FrameHeaderSize);
+    uint32_t Seq = static_cast<uint32_t>(
+        unpackInt(Header + 1, 4, ByteOrder::Little));
     uint8_t Sink[256];
     while (End->available())
       End->read(Sink, std::min<size_t>(End->available(), 256));
     uint8_t Part[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
     std::vector<uint8_t> Reply =
-        MsgWriter(MsgKind::FetchBlockReply).raw(Part, 10).frame();
+        MsgWriter(MsgKind::FetchBlockReply).raw(Part, 10).frame(Seq);
     End->write(Reply.data(), Reply.size());
   });
 

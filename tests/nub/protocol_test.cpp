@@ -23,16 +23,42 @@ using namespace ldb::nub;
 
 namespace {
 
-MsgReader roundTrip(const MsgWriter &W) {
-  std::vector<uint8_t> Frame = W.frame();
-  EXPECT_GE(Frame.size(), 5u);
+MsgReader roundTrip(const MsgWriter &W, uint32_t Seq = 0) {
+  std::vector<uint8_t> Frame = W.frame(Seq);
+  EXPECT_GE(Frame.size(), static_cast<size_t>(FrameHeaderSize));
   MsgKind Kind = static_cast<MsgKind>(Frame[0]);
+  uint32_t GotSeq =
+      static_cast<uint32_t>(unpackInt(Frame.data() + 1, 4, ByteOrder::Little));
+  EXPECT_EQ(GotSeq, Seq);
   uint32_t Len =
-      static_cast<uint32_t>(unpackInt(Frame.data() + 1, 4,
-                                      ByteOrder::Little));
-  EXPECT_EQ(Len + 5, Frame.size());
-  return MsgReader(Kind,
-                   std::vector<uint8_t>(Frame.begin() + 5, Frame.end()));
+      static_cast<uint32_t>(unpackInt(Frame.data() + 5, 4, ByteOrder::Little));
+  EXPECT_EQ(Len + FrameHeaderSize, Frame.size());
+  uint32_t Sum =
+      static_cast<uint32_t>(unpackInt(Frame.data() + 9, 4, ByteOrder::Little));
+  uint32_t Want = fnv1a32(Fnv1a32Init, Frame.data(), 9);
+  Want = fnv1a32(Want, Frame.data() + FrameHeaderSize, Len);
+  EXPECT_EQ(Sum, Want);
+  return MsgReader(
+      Kind, std::vector<uint8_t>(Frame.begin() + FrameHeaderSize, Frame.end()),
+      GotSeq);
+}
+
+/// Hand-builds a frame header: kind, seq, payload length, checksum. A
+/// negative \p Sum means "compute the real one over the header alone" —
+/// callers append the payload themselves and pass the full sum when they
+/// want a valid frame.
+std::vector<uint8_t> header(MsgKind Kind, uint32_t Len,
+                            const uint8_t *Payload = nullptr,
+                            uint32_t Seq = 0) {
+  std::vector<uint8_t> H(FrameHeaderSize);
+  H[0] = static_cast<uint8_t>(Kind);
+  packInt(Seq, H.data() + 1, 4, ByteOrder::Little);
+  packInt(Len, H.data() + 5, 4, ByteOrder::Little);
+  uint32_t Sum = fnv1a32(Fnv1a32Init, H.data(), 9);
+  if (Payload)
+    Sum = fnv1a32(Sum, Payload, Len);
+  packInt(Sum, H.data() + 9, 4, ByteOrder::Little);
+  return H;
 }
 
 TEST(Protocol, FieldsRoundTrip) {
@@ -67,10 +93,14 @@ TEST(Protocol, FieldsRoundTrip) {
 TEST(Protocol, WireIsLittleEndian) {
   std::vector<uint8_t> Frame = MsgWriter(MsgKind::FetchInt)
                                    .u32(0x11223344)
-                                   .frame();
-  // Payload begins after the 5-byte header; least significant byte first.
-  EXPECT_EQ(Frame[5], 0x44);
-  EXPECT_EQ(Frame[8], 0x11);
+                                   .frame(0x0a0b0c0d);
+  // Header fields are little-endian: seq at offset 1, length at 5.
+  EXPECT_EQ(Frame[1], 0x0d);
+  EXPECT_EQ(Frame[4], 0x0a);
+  EXPECT_EQ(Frame[5], 0x04);
+  // Payload begins after the 13-byte header; least significant byte first.
+  EXPECT_EQ(Frame[13], 0x44);
+  EXPECT_EQ(Frame[16], 0x11);
 }
 
 TEST(Protocol, TruncatedPayloadRejected) {
@@ -192,9 +222,9 @@ TEST(ReadFrame, PartialHeaderConsumesNothing) {
 TEST(ReadFrame, MissingPayloadIsTruncated) {
   auto [A, B] = LocalLink::makePair();
   // Header declares 10 payload bytes; only 4 ever arrive.
-  uint8_t Header[5] = {static_cast<uint8_t>(MsgKind::FetchInt), 10, 0, 0, 0};
+  std::vector<uint8_t> Header = header(MsgKind::FetchInt, 10);
   uint8_t Some[4] = {1, 2, 3, 4};
-  A->write(Header, 5);
+  A->write(Header.data(), Header.size());
   A->write(Some, 4);
   MsgReader Msg(MsgKind::Ack, {});
   EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Truncated);
@@ -204,13 +234,13 @@ TEST(ReadFrame, OversizedDeclarationRefusedWithoutAllocation) {
   auto [A, B] = LocalLink::makePair();
   // A frame declaring a 256 MiB payload must be rejected outright, not
   // allocated on faith.
-  std::vector<uint8_t> Bad(5 + 32, 0xee); // header + some garbage payload
-  Bad[0] = static_cast<uint8_t>(MsgKind::Hello);
-  packInt(256u << 20, Bad.data() + 1, 4, ByteOrder::Little);
+  std::vector<uint8_t> Bad = header(MsgKind::Hello, 256u << 20, nullptr, 77);
+  Bad.resize(Bad.size() + 32, 0xee); // some garbage payload bytes
   A->write(Bad.data(), Bad.size());
   MsgReader Msg(MsgKind::Ack, {});
   EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Oversized);
   EXPECT_EQ(Msg.kind(), MsgKind::Hello); // the kind survives for the Nak
+  EXPECT_EQ(Msg.seq(), 77u);             // so does the seq, for the echo
   // The garbage payload bytes that did arrive were drained, so a later
   // well-formed frame frames cleanly.
   EXPECT_EQ(B->available(), 0u);
@@ -218,6 +248,44 @@ TEST(ReadFrame, OversizedDeclarationRefusedWithoutAllocation) {
   A->write(Good.data(), Good.size());
   ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
   EXPECT_EQ(Msg.kind(), MsgKind::FetchInt);
+}
+
+TEST(ReadFrame, SequenceNumberRoundTrips) {
+  auto [A, B] = LocalLink::makePair();
+  std::vector<uint8_t> Frame =
+      MsgWriter(MsgKind::FetchInt).u8('d').frame(0xfeedf00d);
+  A->write(Frame.data(), Frame.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
+  EXPECT_EQ(Msg.seq(), 0xfeedf00du);
+}
+
+TEST(ReadFrame, FlippedPayloadByteIsGarbled) {
+  auto [A, B] = LocalLink::makePair();
+  std::vector<uint8_t> Frame =
+      MsgWriter(MsgKind::FetchInt).u8('d').u32(0x2000).u8(4).frame(9);
+  Frame[FrameHeaderSize + 2] ^= 0x01; // flip one payload bit
+  A->write(Frame.data(), Frame.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Garbled);
+  EXPECT_EQ(Msg.seq(), 9u); // seq survives so the nub can answer Corrupt
+  // The damaged frame was consumed whole: the stream stays framed and the
+  // next good frame comes off cleanly.
+  EXPECT_EQ(B->available(), 0u);
+  std::vector<uint8_t> Good = MsgWriter(MsgKind::FetchInt).u8('c').frame(10);
+  A->write(Good.data(), Good.size());
+  ASSERT_EQ(readFrame(*B, Msg), FrameStatus::Ok);
+  EXPECT_EQ(Msg.seq(), 10u);
+}
+
+TEST(ReadFrame, FlippedHeaderByteIsGarbled) {
+  auto [A, B] = LocalLink::makePair();
+  std::vector<uint8_t> Frame = MsgWriter(MsgKind::FetchInt).u8('d').frame(9);
+  Frame[3] ^= 0x40; // damage the sequence field itself
+  A->write(Frame.data(), Frame.size());
+  MsgReader Msg(MsgKind::Ack, {});
+  EXPECT_EQ(readFrame(*B, Msg), FrameStatus::Garbled);
+  EXPECT_EQ(B->available(), 0u);
 }
 
 TEST(ReadFrame, LargestLegalPayloadStillAccepted) {
