@@ -7,6 +7,7 @@
 #include "nub/channel.h"
 
 #include "nub/protocol.h"
+#include "nub/wiretrace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -16,6 +17,7 @@ using namespace ldb::nub;
 std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
 LocalLink::makePair() {
   auto Link = std::make_shared<LocalLink>();
+  Link->TraceId = WireTrace::global().registerLink();
   auto A = std::make_shared<LocalEnd>(Link, /*IsA=*/true);
   auto B = std::make_shared<LocalEnd>(Link, /*IsA=*/false);
   return {A, B};
@@ -24,6 +26,9 @@ LocalLink::makePair() {
 void LocalEnd::write(const uint8_t *Bytes, size_t Size) {
   if (Link->Broken)
     return;
+  if (Link->TraceId)
+    WireTrace::global().record(Link->TraceId, IsA ? 'a' : 'b', 'F', Bytes,
+                               Size, /*TNs=*/0);
   if (Stats)
     Stats->BytesSent += Size;
   std::deque<uint8_t> &Out = outbox();
@@ -82,6 +87,7 @@ std::optional<SimParams> SimParams::fromEnv() {
 std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
 SimLink::makePair(const SimParams &Params) {
   auto Link = std::shared_ptr<SimLink>(new SimLink(Params));
+  Link->TraceId = WireTrace::global().registerLink();
   auto A = std::make_shared<SimEnd>(Link, /*IsA=*/true);
   auto B = std::make_shared<SimEnd>(Link, /*IsA=*/false);
   return {A, B};
@@ -91,16 +97,21 @@ void SimLink::transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
                        mem::TransportStats *Stats) {
   if (Broken)
     return;
+  // The writing endpoint: transmit(TowardA) is a write by the other side.
+  char Side = TowardA ? 'b' : 'a';
   if (Stats)
     Stats->BytesSent += Size;
   ++Sent;
   if (P.DropEvery && Sent % P.DropEvery == 0) {
+    if (TraceId)
+      WireTrace::global().record(TraceId, Side, 'D', Bytes, Size, NowNs);
     if (Stats)
       ++Stats->LinkDrops;
     return;
   }
   Flight F;
   F.Bytes.assign(Bytes, Bytes + Size);
+  bool Garbled = false;
   if (P.GarbleEvery && Sent % P.GarbleEvery == 0) {
     // Flip one byte — the kind for runt messages, otherwise the payload
     // middle. Never the length field: a real link corrupting the length
@@ -111,9 +122,13 @@ void SimLink::transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
                     ? FrameHeaderSize + (Size - FrameHeaderSize) / 2
                     : 0;
     F.Bytes[At] ^= 0x5a;
+    Garbled = true;
     if (Stats)
       ++Stats->LinkGarbles;
   }
+  if (TraceId)
+    WireTrace::global().record(TraceId, Side, Garbled ? 'G' : 'F',
+                               F.Bytes.data(), F.Bytes.size(), NowNs);
   uint64_t Jitter = P.JitterNs ? Rng() % (P.JitterNs + 1) : 0;
   uint64_t TxNs =
       P.BytesPerSec ? (Size * 1000000000ull) / P.BytesPerSec : 0;

@@ -98,6 +98,7 @@ private:
   std::deque<uint8_t> ToA, ToB;
   std::function<void()> AReadable, BReadable;
   bool Broken = false;
+  unsigned TraceId = 0; ///< wire-trace link ordinal; 0 = not recording
 };
 
 /// One endpoint of a LocalLink.
@@ -172,6 +173,7 @@ private:
   uint64_t Sent = 0; ///< messages offered, for the fault-injection cadence
   std::mt19937_64 Rng;
   bool Broken = false;
+  unsigned TraceId = 0; ///< wire-trace link ordinal; 0 = not recording
 };
 
 /// One endpoint of a SimLink.

@@ -32,6 +32,50 @@ const char *ldb::nub::signalName(int32_t Signo) {
   }
 }
 
+const char *ldb::nub::msgKindName(MsgKind Kind) {
+  switch (Kind) {
+  case MsgKind::Hello:
+    return "Hello";
+  case MsgKind::FetchInt:
+    return "FetchInt";
+  case MsgKind::StoreInt:
+    return "StoreInt";
+  case MsgKind::FetchFloat:
+    return "FetchFloat";
+  case MsgKind::StoreFloat:
+    return "StoreFloat";
+  case MsgKind::Continue:
+    return "Continue";
+  case MsgKind::Kill:
+    return "Kill";
+  case MsgKind::Detach:
+    return "Detach";
+  case MsgKind::FetchBlock:
+    return "FetchBlock";
+  case MsgKind::StoreBlock:
+    return "StoreBlock";
+  case MsgKind::Welcome:
+    return "Welcome";
+  case MsgKind::Stopped:
+    return "Stopped";
+  case MsgKind::Exited:
+    return "Exited";
+  case MsgKind::FetchIntReply:
+    return "FetchIntReply";
+  case MsgKind::FetchFloatReply:
+    return "FetchFloatReply";
+  case MsgKind::Ack:
+    return "Ack";
+  case MsgKind::Nak:
+    return "Nak";
+  case MsgKind::FetchBlockReply:
+    return "FetchBlockReply";
+  case MsgKind::Corrupt:
+    return "Corrupt";
+  }
+  return "?";
+}
+
 MsgWriter &MsgWriter::u8(uint8_t V) {
   Payload.push_back(V);
   return *this;

@@ -98,6 +98,10 @@ enum Signal : int32_t {
 
 const char *signalName(int32_t Signo);
 
+/// Human-readable kind name ("FetchInt", "Ack", ...); "?" for a value
+/// that is not a protocol kind (e.g. a garbled kind byte in a trace).
+const char *msgKindName(MsgKind Kind);
+
 /// Serializes payload fields in wire (little-endian) order.
 class MsgWriter {
 public:

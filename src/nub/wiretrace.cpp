@@ -1,0 +1,73 @@
+//===- nub/wiretrace.cpp - wire-protocol frame recorder -------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/wiretrace.h"
+
+#include "nub/protocol.h"
+#include "support/byteorder.h"
+
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::nub;
+
+WireTrace &WireTrace::global() {
+  static WireTrace T;
+  return T;
+}
+
+WireTrace::WireTrace() {
+  const char *Path = std::getenv("LDB_WIRE_TRACE");
+  if (!Path || !*Path)
+    return;
+  File = std::fopen(Path, "a");
+  if (!File)
+    return;
+  const char *Window = std::getenv("LDB_WIRE_WINDOW");
+  unsigned W = 32;
+  if (Window && *Window)
+    W = static_cast<unsigned>(std::strtoul(Window, nullptr, 10));
+  std::fprintf(File, "# ldb-wire-trace v1 window=%u\n", W);
+}
+
+WireTrace::~WireTrace() {
+  if (File)
+    std::fclose(File);
+}
+
+unsigned WireTrace::registerLink() {
+  if (!File)
+    return 0;
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ++NextLink;
+}
+
+void WireTrace::record(unsigned Link, char Side, char Event,
+                       const uint8_t *Bytes, size_t Size, uint64_t TNs) {
+  if (!File)
+    return;
+  // A write is always one whole frame, but record runts faithfully (a
+  // garbled runt still has a kind byte worth logging) so the linter sees
+  // what the wire saw.
+  unsigned Kind = Size >= 1 ? Bytes[0] : 0;
+  uint32_t Seq = 0, Len = 0, Declared = 0, Computed = 0;
+  if (Size >= FrameHeaderSize) {
+    Seq = static_cast<uint32_t>(unpackInt(Bytes + 1, 4, ByteOrder::Little));
+    Len = static_cast<uint32_t>(unpackInt(Bytes + 5, 4, ByteOrder::Little));
+    Declared =
+        static_cast<uint32_t>(unpackInt(Bytes + 9, 4, ByteOrder::Little));
+    // The checksum covers kind+seq+len then the payload — never itself.
+    Computed = fnv1a32(Fnv1a32Init, Bytes, 9);
+    Computed = fnv1a32(Computed, Bytes + FrameHeaderSize,
+                       Size - FrameHeaderSize);
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::fprintf(File, "%c %u %c %u %u %u %08x %08x %llu %s\n", Event, Link,
+               Side, Kind, Seq, Len, Declared, Computed,
+               static_cast<unsigned long long>(TNs),
+               msgKindName(static_cast<MsgKind>(Kind)));
+  std::fflush(File);
+}

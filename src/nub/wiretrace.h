@@ -1,0 +1,72 @@
+//===- nub/wiretrace.h - wire-protocol frame recorder -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire-trace recorder: when LDB_WIRE_TRACE names a file, every frame
+/// either channel flavor puts on (or loses to) the wire is appended to it
+/// as one text line, so a whole debug session's protocol history can be
+/// linted offline by `ldb-verify --trace` — the static half of the replay
+/// discipline arXiv 2105.12819 needs a live session for. Recording sits
+/// at the transport layer (LocalEnd::write, SimLink::transmit), below the
+/// client's retransmit logic, so retries, drops, and garbled frames all
+/// appear exactly as the wire saw them.
+///
+/// Trace format (text, one record per line; `#` lines are comments):
+///
+///   # ldb-wire-trace v1 window=32
+///   F <link> <side> <kind> <seq> <len> <csum> <computed> <t-ns> <name>
+///
+/// where the event letter is `F` (frame transmitted), `D` (frame dropped
+/// by fault injection; bytes as offered), or `G` (frame garbled by fault
+/// injection; bytes as delivered); <link> is a per-process link ordinal
+/// (one process may open many links — each restarts its own sequence
+/// space); <side> is `a` or `b`, the writing endpoint; <csum> is the
+/// checksum the frame declares and <computed> the FNV-1a-32 the recorder
+/// computed over the frame, both hex; <t-ns> is the link's virtual clock
+/// at transmission (always 0 on a LocalLink). A `write()` on either
+/// channel flavor is always exactly one frame, which is what makes
+/// line-per-write equal line-per-frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_WIRETRACE_H
+#define LDB_NUB_WIRETRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+
+namespace ldb::nub {
+
+/// The process-wide frame recorder. Inert (every call a cheap no-op)
+/// unless LDB_WIRE_TRACE was set when first used.
+class WireTrace {
+public:
+  static WireTrace &global();
+
+  bool enabled() const { return File != nullptr; }
+
+  /// Assigns the next link ordinal; called once per link at makePair().
+  unsigned registerLink();
+
+  /// Appends one record. \p Event is 'F', 'D', or 'G'; \p Side is 'a' or
+  /// 'b' (the writing endpoint); \p Bytes/\p Size are the frame as it hit
+  /// the wire; \p TNs is the link's virtual clock.
+  void record(unsigned Link, char Side, char Event, const uint8_t *Bytes,
+              size_t Size, uint64_t TNs);
+
+private:
+  WireTrace();
+  ~WireTrace();
+
+  std::mutex Mu;
+  std::FILE *File = nullptr;
+  unsigned NextLink = 0;
+};
+
+} // namespace ldb::nub
+
+#endif // LDB_NUB_WIRETRACE_H

@@ -6,6 +6,8 @@
 
 #include "postscript/atoms.h"
 
+#include <mutex>
+
 using namespace ldb;
 using namespace ldb::ps;
 
@@ -23,7 +25,7 @@ uint64_t fnv1a(std::string_view S) {
 } // namespace
 
 InterpStats &ldb::ps::interpStats() {
-  static InterpStats S;
+  thread_local InterpStats S;
   return S;
 }
 
@@ -34,7 +36,7 @@ AtomTable &AtomTable::global() {
 
 AtomTable::AtomTable() { Slots.assign(1024, 0); }
 
-uint32_t AtomTable::peek(std::string_view Text) const {
+uint32_t AtomTable::peekLocked(std::string_view Text) const {
   uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
   uint32_t H = static_cast<uint32_t>(fnv1a(Text)) & Mask;
   for (;;) {
@@ -47,7 +49,21 @@ uint32_t AtomTable::peek(std::string_view Text) const {
   }
 }
 
+uint32_t AtomTable::peek(std::string_view Text) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
+  return peekLocked(Text);
+}
+
 uint32_t AtomTable::intern(std::string_view Text) {
+  // Fast path: after warm-up nearly every name already has an atom, so a
+  // shared lock suffices; only a genuinely new name pays for exclusion.
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    if (uint32_t A = peekLocked(Text); A != None)
+      return A;
+  }
+  std::unique_lock<std::shared_mutex> Lock(Mu);
+  // Re-probe: another thread may have interned it between the locks.
   uint32_t Mask = static_cast<uint32_t>(Slots.size()) - 1;
   uint32_t H = static_cast<uint32_t>(fnv1a(Text)) & Mask;
   for (;;) {

@@ -11,7 +11,11 @@
 /// response to the paper's Sec 7 startup costs, kept inside the PostScript
 /// design). The table is process-wide and append-only — atoms outlive any
 /// one Interp, which is what lets fastload blobs and re-connects reuse
-/// them — and, like the interpreter itself, it is not thread-safe.
+/// them. Unlike an Interp (one per thread, never shared), the table is
+/// shared by every interpreter in the process, so it synchronizes itself:
+/// lookups take a shared lock and only the first sight of a new name takes
+/// the exclusive one. That is what lets ldb-verify run one verification
+/// per worker thread over a common atom space.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,7 +32,8 @@
 namespace ldb::ps {
 
 /// Interpreter-side counters surfaced by the CLI `stats` command next to
-/// the wire-transport counters.
+/// the wire-transport counters. The counters are thread-local (an Interp
+/// never crosses threads, so each thread observes exactly its own work).
 struct InterpStats {
   uint64_t AtomsInterned = 0;     ///< new atoms created
   uint64_t DictFinds = 0;         ///< dict lookups (hit or miss)
@@ -57,15 +63,24 @@ public:
   uint32_t peek(std::string_view Text) const;
 
   /// The text of an atom. References stay valid for the process lifetime
-  /// (texts live in a deque and are never moved).
-  const std::string &text(uint32_t Atom) const { return Texts[Atom]; }
+  /// (texts live in a deque and are never moved), so the returned
+  /// reference may be held after the lock is released.
+  const std::string &text(uint32_t Atom) const {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    return Texts[Atom];
+  }
 
-  uint32_t size() const { return static_cast<uint32_t>(Texts.size()); }
+  uint32_t size() const {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    return static_cast<uint32_t>(Texts.size());
+  }
 
 private:
   AtomTable();
   void grow();
+  uint32_t peekLocked(std::string_view Text) const;
 
+  mutable std::shared_mutex Mu;
   std::deque<std::string> Texts;
   /// Open-addressed index: each slot holds atom+1, 0 = empty.
   std::vector<uint32_t> Slots;

@@ -8,6 +8,7 @@
 
 #include "postscript/scanner.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_map>
@@ -237,6 +238,7 @@ public:
   BlobReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
 
   size_t remaining() const { return Size - Pos; }
+  size_t pos() const { return Pos; }
 
   bool u8(uint8_t &Out) {
     if (Pos >= Size)
@@ -435,6 +437,226 @@ fastload::decode(const std::vector<uint8_t> &Blob, uint64_t ExpectHash) {
   return Tokens;
 }
 
+//===----------------------------------------------------------------------===//
+// Structural inspection (the verifier's blob family)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walks one token for inspect(), reporting the first defect precisely.
+/// Returns false when the walk cannot continue (the stream is
+/// desynchronized past the defect).
+bool inspectToken(BlobReader &R, const BlobTables &Tables, unsigned Depth,
+                  Object &Out, std::vector<BlobIssue> &Issues) {
+  auto fail = [&Issues](size_t At, std::string What) {
+    Issues.push_back(BlobIssue{At, std::move(What)});
+    return false;
+  };
+  if (Depth > MaxProcDepth)
+    return fail(R.pos(), "procedure nesting exceeds the format limit of " +
+                             std::to_string(MaxProcDepth));
+  size_t TagAt = R.pos();
+  uint8_t Tag;
+  if (!R.u8(Tag))
+    return fail(TagAt, "token stream ends mid-token");
+  bool Exec = (Tag & TagExecBit) != 0;
+  switch (Tag & ~TagExecBit) {
+  case TagInt: {
+    int64_t V;
+    if (!R.zigzag(V))
+      return fail(TagAt, "truncated or over-long integer varint");
+    Out = Object::makeInt(V);
+    Out.Exec = Exec;
+    return true;
+  }
+  case TagReal: {
+    uint64_t Bits;
+    if (!R.u64(Bits))
+      return fail(TagAt, "truncated real (expected 8 raw bytes)");
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    Out = Object::makeReal(V);
+    Out.Exec = Exec;
+    return true;
+  }
+  case TagName: {
+    uint64_t Idx;
+    if (!R.varint(Idx))
+      return fail(TagAt, "truncated or over-long name-index varint");
+    if (Idx >= Tables.Names.size())
+      return fail(TagAt, "name index " + std::to_string(Idx) +
+                             " out of range (name table has " +
+                             std::to_string(Tables.Names.size()) +
+                             " entries)");
+    Out = Object::makeNameAtom(Tables.Names[static_cast<size_t>(Idx)], Exec);
+    return true;
+  }
+  case TagString: {
+    uint64_t Idx;
+    if (!R.varint(Idx))
+      return fail(TagAt, "truncated or over-long string-index varint");
+    if (Idx >= Tables.Strings.size())
+      return fail(TagAt, "string index " + std::to_string(Idx) +
+                             " out of range (string table has " +
+                             std::to_string(Tables.Strings.size()) +
+                             " entries)");
+    Out = Object();
+    Out.Ty = Type::String;
+    Out.Exec = Exec;
+    Out.StrVal = Tables.Strings[static_cast<size_t>(Idx)];
+    return true;
+  }
+  case TagArray: {
+    uint64_t N;
+    if (!R.varint(N))
+      return fail(TagAt, "truncated or over-long procedure-length varint");
+    if (N > R.remaining())
+      return fail(TagAt, "procedure declares " + std::to_string(N) +
+                             " elements but only " +
+                             std::to_string(R.remaining()) +
+                             " bytes remain");
+    auto Body = std::make_shared<ArrayImpl>();
+    Body->reserve(static_cast<size_t>(N));
+    for (uint64_t I = 0; I < N; ++I) {
+      Object E;
+      if (!inspectToken(R, Tables, Depth + 1, E, Issues))
+        return false;
+      Body->push_back(std::move(E));
+    }
+    Out = Object::makeArray(std::move(Body), Exec);
+    return true;
+  }
+  default:
+    return fail(TagAt, "unknown token tag 0x" + [Tag] {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "%02x", Tag & ~TagExecBit);
+      return std::string(Buf);
+    }());
+  }
+}
+
+} // namespace
+
+std::vector<BlobIssue> fastload::inspect(const std::vector<uint8_t> &Blob,
+                                         uint64_t ExpectHash,
+                                         std::vector<Object> *Tokens) {
+  std::vector<BlobIssue> Issues;
+  auto issue = [&Issues](size_t At, std::string What) {
+    Issues.push_back(BlobIssue{At, std::move(What)});
+  };
+  BlobReader R(Blob.data(), Blob.size());
+
+  uint8_t Magic[4];
+  for (uint8_t &M : Magic)
+    if (!R.u8(M)) {
+      issue(R.pos(), "blob ends inside the magic");
+      return Issues;
+    }
+  if (std::memcmp(Magic, "LDFL", 4) != 0) {
+    issue(0, "bad magic (expected \"LDFL\")");
+    return Issues;
+  }
+  uint8_t Ver;
+  if (!R.u8(Ver)) {
+    issue(R.pos(), "blob ends before the version byte");
+    return Issues;
+  }
+  if (Ver != Version) {
+    issue(4, "format version " + std::to_string(Ver) + " (this build reads " +
+                 std::to_string(Version) + ")");
+    return Issues;
+  }
+  size_t HashAt = R.pos();
+  uint64_t Hash;
+  if (!R.u64(Hash)) {
+    issue(HashAt, "blob ends inside the content hash");
+    return Issues;
+  }
+  if (Hash != ExpectHash)
+    // Continue walking: a stale blob is still structurally decodable, and
+    // the extra findings tell stale-but-sound apart from corrupt.
+    issue(HashAt, "content hash does not match the source text (stale blob,"
+                  " or a damaged hash lane)");
+
+  BlobTables Tables;
+  AtomTable &AT = AtomTable::global();
+  size_t At = R.pos();
+  uint64_t NC;
+  if (!R.varint(NC)) {
+    issue(At, "truncated or over-long name-count varint");
+    return Issues;
+  }
+  if (NC > R.remaining()) {
+    issue(At, "name table declares " + std::to_string(NC) +
+                  " entries but only " + std::to_string(R.remaining()) +
+                  " bytes remain");
+    return Issues;
+  }
+  Tables.Names.reserve(static_cast<size_t>(NC));
+  for (uint64_t I = 0; I < NC; ++I) {
+    std::string_view Text;
+    At = R.pos();
+    if (!R.bytes(Text)) {
+      issue(At, "name table entry " + std::to_string(I) +
+                    " is truncated or over-long");
+      return Issues;
+    }
+    Tables.Names.push_back(AT.intern(Text));
+  }
+
+  At = R.pos();
+  uint64_t SC;
+  if (!R.varint(SC)) {
+    issue(At, "truncated or over-long string-count varint");
+    return Issues;
+  }
+  if (SC > R.remaining()) {
+    issue(At, "string table declares " + std::to_string(SC) +
+                  " entries but only " + std::to_string(R.remaining()) +
+                  " bytes remain");
+    return Issues;
+  }
+  Tables.Strings.reserve(static_cast<size_t>(SC));
+  for (uint64_t I = 0; I < SC; ++I) {
+    std::string_view Text;
+    At = R.pos();
+    if (!R.bytes(Text)) {
+      issue(At, "string table entry " + std::to_string(I) +
+                    " is truncated or over-long");
+      return Issues;
+    }
+    Tables.Strings.push_back(std::make_shared<const std::string>(Text));
+  }
+
+  At = R.pos();
+  uint64_t TokenCount;
+  if (!R.varint(TokenCount)) {
+    issue(At, "truncated or over-long token-count varint");
+    return Issues;
+  }
+  if (TokenCount > R.remaining()) {
+    issue(At, "blob declares " + std::to_string(TokenCount) +
+                  " tokens but only " + std::to_string(R.remaining()) +
+                  " bytes remain");
+    return Issues;
+  }
+
+  std::vector<Object> Decoded;
+  Decoded.reserve(static_cast<size_t>(TokenCount));
+  for (uint64_t I = 0; I < TokenCount; ++I) {
+    Object O;
+    if (!inspectToken(R, Tables, 0, O, Issues))
+      return Issues;
+    Decoded.push_back(std::move(O));
+  }
+  if (R.remaining() != 0)
+    issue(R.pos(), std::to_string(R.remaining()) +
+                       " trailing bytes after the token stream");
+  if (Issues.empty() && Tokens)
+    *Tokens = std::move(Decoded);
+  return Issues;
+}
+
 namespace {
 
 /// A fresh deep copy of a cached procedure: replays must hand out new
@@ -486,43 +708,69 @@ Cache::Cache() {
 }
 
 void Cache::store(uint64_t Hash, std::vector<uint8_t> Blob) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Blobs[Hash] = Entry{std::move(Blob), nullptr};
 }
 
 const std::vector<uint8_t> *Cache::lookup(uint64_t Hash) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Blobs.find(Hash);
   return It == Blobs.end() ? nullptr : &It->second.Blob;
 }
 
-void Cache::clear() { Blobs.clear(); }
+std::optional<std::vector<uint8_t>> Cache::snapshot(uint64_t Hash) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Blobs.find(Hash);
+  if (It == Blobs.end())
+    return std::nullopt;
+  return It->second.Blob;
+}
+
+void Cache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Blobs.clear();
+}
+
+size_t Cache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Blobs.size();
+}
 
 Error Cache::run(Interp &I, const std::string &Text) {
   if (!Enabled)
     return I.run(Text);
   InterpStats &S = interpStats();
   uint64_t Hash = contentHash(Text);
-  auto It = Blobs.find(Hash);
-  if (It != Blobs.end()) {
-    if (!It->second.Tokens) {
-      // First hit on this blob: decoding doubles as full validation
-      // (header, hash, table bounds, every token, no trailing bytes).
-      // The decoded stream is kept so later hits skip straight to
-      // replay.
-      if (Expected<std::vector<Object>> Decoded = decode(It->second.Blob,
-                                                         Hash))
-        It->second.Tokens = std::make_shared<const std::vector<Object>>(
-            std::move(*Decoded));
+  std::shared_ptr<const std::vector<Object>> Prepared;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Blobs.find(Hash);
+    if (It != Blobs.end()) {
+      if (!It->second.Tokens) {
+        // First hit on this blob: decoding doubles as full validation
+        // (header, hash, table bounds, every token, no trailing bytes).
+        // The decoded stream is kept so later hits skip straight to
+        // replay.
+        if (Expected<std::vector<Object>> Decoded = decode(It->second.Blob,
+                                                           Hash))
+          It->second.Tokens = std::make_shared<const std::vector<Object>>(
+              std::move(*Decoded));
+      }
+      if (It->second.Tokens) {
+        // Replay outside the lock on a retained reference: executed
+        // code could reach back into the cache, and other workers
+        // should not serialize behind a 13k-line replay.
+        Prepared = It->second.Tokens;
+      } else {
+        // Corrupt or stale: drop the blob and take the scanner path.
+        ++S.FastloadFallbacks;
+        Blobs.erase(It);
+      }
     }
-    if (It->second.Tokens) {
-      ++S.FastloadHits;
-      // Hold a reference across the replay: executed code could reach
-      // back into the cache and invalidate the entry.
-      std::shared_ptr<const std::vector<Object>> Tokens = It->second.Tokens;
-      return I.statusToError(replayPrepared(I, *Tokens));
-    }
-    // Corrupt or stale: drop the blob and take the scanner path.
-    ++S.FastloadFallbacks;
-    Blobs.erase(It);
+  }
+  if (Prepared) {
+    ++S.FastloadHits;
+    return I.statusToError(replayPrepared(I, *Prepared));
   }
   ++S.FastloadMisses;
 

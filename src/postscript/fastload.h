@@ -50,6 +50,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,9 +87,30 @@ Expected<std::vector<uint8_t>> encode(const std::vector<Object> &Tokens,
 Expected<std::vector<Object>> decode(const std::vector<uint8_t> &Blob,
                                      uint64_t ExpectHash);
 
+/// One structural defect found while walking a blob, with the byte
+/// offset at which it was noticed (ldb-verify's blob family turns these
+/// into diagnostics).
+struct BlobIssue {
+  size_t Offset = 0;
+  std::string What;
+};
+
+/// Structurally decodes \p Blob without executing anything: header magic,
+/// version, and stamped hash, both varint tables, and every token tag and
+/// table index. Unlike decode(), which reports only the first failure as
+/// an opaque Error, this names each defect precisely (flipped hash lane,
+/// out-of-range name index, over-long varint, trailing bytes, ...). An
+/// empty result means the blob is clean; \p Tokens, when non-null, then
+/// receives the decoded stream for cross-checking against the scanner.
+std::vector<BlobIssue> inspect(const std::vector<uint8_t> &Blob,
+                               uint64_t ExpectHash,
+                               std::vector<Object> *Tokens = nullptr);
+
 /// The in-process blob cache, keyed by content hash. Disable with
 /// --no-fastload (or the LDB_NO_FASTLOAD environment variable) to get the
-/// pure scanner path.
+/// pure scanner path. The cache is shared by every thread in the process
+/// (ldb-verify's pool runs one verification per worker), so the map is
+/// mutex-guarded; replays run outside the lock on a retained shared_ptr.
 class Cache {
 public:
   static Cache &global();
@@ -104,8 +127,11 @@ public:
   /// drops any prepared token stream, so the next hit re-validates.
   void store(uint64_t Hash, std::vector<uint8_t> Blob);
   const std::vector<uint8_t> *lookup(uint64_t Hash) const;
+  /// A copy of the cached blob for \p Hash, or nullopt. Unlike lookup(),
+  /// safe to call while other threads mutate the cache.
+  std::optional<std::vector<uint8_t>> snapshot(uint64_t Hash) const;
   void clear();
-  size_t size() const { return Blobs.size(); }
+  size_t size() const;
 
 private:
   Cache();
@@ -118,6 +144,7 @@ private:
   };
 
   bool Enabled = true;
+  mutable std::mutex Mu;
   std::unordered_map<uint64_t, Entry> Blobs;
 };
 

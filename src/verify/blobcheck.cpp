@@ -1,0 +1,122 @@
+//===- verify/blobcheck.cpp - fastload blob verification ------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/blobcheck.h"
+
+#include "postscript/fastload.h"
+
+#include <optional>
+#include <string>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::ps;
+
+namespace {
+
+void emit(std::vector<Diagnostic> &Out, const char *Label, size_t Offset,
+          std::string Msg) {
+  Diagnostic D;
+  D.Sev = Severity::Error;
+  D.Check = "blob";
+  D.Art = Artifact::FastloadBlob;
+  D.Symbol = Label;
+  D.Addr = static_cast<uint32_t>(Offset);
+  D.HasAddr = true;
+  D.Message = std::move(Msg);
+  Out.push_back(std::move(D));
+}
+
+/// Structural equality of two scanned/decoded tokens. Strings compare by
+/// text (the blob shares one allocation per distinct text; the scanner
+/// does not), procedures recursively.
+bool tokenEqual(const Object &A, const Object &B) {
+  if (A.Ty != B.Ty || A.Exec != B.Exec)
+    return false;
+  switch (A.Ty) {
+  case Type::Int:
+    return A.IntVal == B.IntVal;
+  case Type::Real:
+    return A.RealVal == B.RealVal;
+  case Type::Name:
+    return A.Atom == B.Atom;
+  case Type::String:
+    return A.text() == B.text();
+  case Type::Array: {
+    if (A.ArrVal->size() != B.ArrVal->size())
+      return false;
+    for (size_t K = 0; K < A.ArrVal->size(); ++K)
+      if (!tokenEqual((*A.ArrVal)[K], (*B.ArrVal)[K]))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+/// Verifies one text's blob: the cached one when present, else a freshly
+/// encoded one, so the family checks the whole encode/decode loop even on
+/// the first run.
+void checkOne(const char *Label, const std::string &Text,
+              std::vector<Diagnostic> &Out) {
+  uint64_t Hash = fastload::contentHash(Text);
+
+  Expected<std::vector<Object>> Scanned = fastload::scanAll(Text);
+  if (!Scanned) {
+    // The scope family reports artifacts that do not even scan; there is
+    // no token stream to compare a blob against.
+    return;
+  }
+
+  std::optional<std::vector<uint8_t>> Blob =
+      fastload::Cache::global().snapshot(Hash);
+  if (!Blob) {
+    Expected<std::vector<uint8_t>> Fresh = fastload::encode(*Scanned, Hash);
+    if (!Fresh) {
+      emit(Out, Label, 0,
+           "scanned token stream is not representable as a fastload blob: " +
+               Fresh.message());
+      return;
+    }
+    Blob = std::move(*Fresh);
+  }
+
+  std::vector<Object> Decoded;
+  std::vector<fastload::BlobIssue> Issues =
+      fastload::inspect(*Blob, Hash, &Decoded);
+  for (const fastload::BlobIssue &I : Issues)
+    emit(Out, Label, I.Offset, I.What);
+  if (!Issues.empty())
+    return;
+
+  // The structural walk passed; the decoded stream must now agree with a
+  // fresh scanner pass token for token, or replays and scans would load
+  // different symbol tables.
+  if (Decoded.size() != Scanned->size()) {
+    emit(Out, Label, 0,
+         "blob decodes to " + std::to_string(Decoded.size()) +
+             " tokens but the scanner produces " +
+             std::to_string(Scanned->size()));
+    return;
+  }
+  for (size_t K = 0; K < Decoded.size(); ++K)
+    if (!tokenEqual(Decoded[K], (*Scanned)[K])) {
+      emit(Out, Label, 0,
+           "decoded token " + std::to_string(K) +
+               " disagrees with the scanner (" + repr(Decoded[K]) +
+               " vs " + repr((*Scanned)[K]) + ")");
+      return;
+    }
+}
+
+} // namespace
+
+void ldb::verify::checkFastloadBlobs(const lcc::Compilation &C,
+                                     std::vector<Diagnostic> &Out) {
+  checkOne("symtab", C.PsSymtab, Out);
+  checkOne("loader-table", C.LoaderTable, Out);
+}

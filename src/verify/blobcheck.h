@@ -1,0 +1,38 @@
+//===- verify/blobcheck.h - fastload blob verification ----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier's fastload family ("blob"): structurally decodes the LDFL
+/// v2 blob cached for each PostScript artifact — header magic, version,
+/// content hash, both varint tables, every token tag and index — without
+/// executing anything, then cross-checks the decoded token stream against
+/// a fresh scanner pass over the same text. At run time a damaged blob is
+/// silently dropped in favor of the scanner; here it becomes a structured
+/// diagnostic naming the defect and its byte offset. Must run *before*
+/// the verifier interprets the artifacts, since interpreting is exactly
+/// what drops a bad blob from the cache. When no blob is cached yet, one
+/// is encoded from the fresh scan first, so the family always exercises
+/// the whole encode -> decode -> compare loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_BLOBCHECK_H
+#define LDB_VERIFY_BLOBCHECK_H
+
+#include "verify/verify.h"
+
+#include <vector>
+
+namespace ldb::verify {
+
+/// Runs the blob family over \p C's PostScript artifacts (symbol table
+/// and loader table), appending diagnostics to \p Out.
+void checkFastloadBlobs(const lcc::Compilation &C,
+                        std::vector<Diagnostic> &Out);
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_BLOBCHECK_H

@@ -1,0 +1,219 @@
+//===- verify/cfa.cpp - control-flow analysis over the image --------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/cfa.h"
+
+#include "support/byteorder.h"
+#include "support/strings.h"
+#include "target/targetdesc.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::target;
+
+namespace {
+
+void emit(std::vector<Diagnostic> &Out, std::string Sym, uint32_t Addr,
+          std::string Msg) {
+  Diagnostic D;
+  D.Sev = Severity::Error;
+  D.Check = "cfa";
+  D.Art = Artifact::Image;
+  D.Symbol = std::move(Sym);
+  D.Addr = Addr;
+  D.HasAddr = true;
+  D.Message = std::move(Msg);
+  Out.push_back(std::move(D));
+}
+
+/// The successors of one decoded instruction at \p Pc, following the
+/// simulator's semantics: branches are pc-relative word-scaled
+/// (Pc + 4 + Imm*4), J/Jal absolute word addresses (Imm*4), Jal/an
+/// indirect call fall through to the return point, a return (Jalr whose
+/// destination is not the link register) and Sys Exit end the walk.
+/// A same-register Beq/Bge/Bgeu is the code generator's unconditional
+/// jump (always taken, no fallthrough); a same-register Bne/Blt/Bltu can
+/// never be taken.
+struct Successors {
+  uint32_t Next[2];
+  unsigned Count = 0;
+  bool IsCall = false;      ///< Jal: Next[] is the return point
+  uint32_t CallTarget = 0;  ///< valid when IsCall
+  void add(uint32_t A) { Next[Count++] = A; }
+};
+
+Successors successorsOf(const TargetDesc &D, const Instr &In, uint32_t Pc) {
+  Successors S;
+  switch (In.Opc) {
+  case Op::Beq:
+  case Op::Bne:
+  case Op::Blt:
+  case Op::Bge:
+  case Op::Bltu:
+  case Op::Bgeu: {
+    uint32_t Target = Pc + 4 + static_cast<uint32_t>(In.Imm) * 4;
+    bool Same = In.Rd == In.Ra;
+    bool AlwaysTaken =
+        Same && (In.Opc == Op::Beq || In.Opc == Op::Bge || In.Opc == Op::Bgeu);
+    bool NeverTaken =
+        Same && (In.Opc == Op::Bne || In.Opc == Op::Blt || In.Opc == Op::Bltu);
+    if (!NeverTaken)
+      S.add(Target);
+    if (!AlwaysTaken)
+      S.add(Pc + 4);
+    return S;
+  }
+  case Op::J:
+    S.add(static_cast<uint32_t>(In.Imm) * 4);
+    return S;
+  case Op::Jal:
+    S.IsCall = true;
+    S.CallTarget = static_cast<uint32_t>(In.Imm) * 4;
+    S.add(Pc + 4);
+    return S;
+  case Op::Jalr:
+    // The code generator's only Jalr is the return (Jalr 0, ra); a Jalr
+    // that writes the link register would be an indirect call, which
+    // falls through to its return point.
+    if (In.Rd == D.RaReg)
+      S.add(Pc + 4);
+    return S;
+  case Op::Sys:
+    if (In.Imm != static_cast<int32_t>(Syscall::Exit))
+      S.add(Pc + 4);
+    return S;
+  default:
+    S.add(Pc + 4);
+    return S;
+  }
+}
+
+} // namespace
+
+void ldb::verify::checkControlFlow(
+    const lcc::Compilation &C, const std::vector<ProcRange> &Procs,
+    const std::map<std::string, std::vector<uint32_t>> &StopAddrs,
+    std::vector<Diagnostic> &Out) {
+  const lcc::Image &Img = C.Img;
+  const TargetDesc &D = *C.Desc;
+  uint32_t TextEnd = Img.TextBase + static_cast<uint32_t>(Img.Text.size());
+
+  // Procedure extents as the assembler recorded them: ranges must sit in
+  // the text segment and never overlap (the loader-table view cannot
+  // overlap by construction — End is the next entry — so the real sizes
+  // are the ones worth checking).
+  std::vector<const lcc::ProcInfo *> ByAddr;
+  ByAddr.reserve(Img.Procs.size());
+  for (const lcc::ProcInfo &P : Img.Procs)
+    ByAddr.push_back(&P);
+  std::sort(ByAddr.begin(), ByAddr.end(),
+            [](const lcc::ProcInfo *A, const lcc::ProcInfo *B) {
+              return A->CodeOffset < B->CodeOffset;
+            });
+  for (size_t K = 0; K < ByAddr.size(); ++K) {
+    const lcc::ProcInfo &P = *ByAddr[K];
+    uint32_t PEnd = P.CodeOffset + P.CodeSize;
+    if (P.CodeOffset < Img.TextBase || PEnd > TextEnd)
+      emit(Out, P.Name, P.CodeOffset,
+           "procedure code range [" + hex32(P.CodeOffset) + ", " +
+               hex32(PEnd) + ") lies outside the text segment");
+    if (K + 1 < ByAddr.size() && PEnd > ByAddr[K + 1]->CodeOffset)
+      emit(Out, P.Name, P.CodeOffset,
+           "procedure code range overlaps " + ByAddr[K + 1]->Name +
+               " at " + hex32(ByAddr[K + 1]->CodeOffset));
+  }
+
+  // Known call targets: every procedure entry the loader table lists.
+  std::set<uint32_t> Entries;
+  for (const ProcRange &P : Procs)
+    Entries.insert(P.Addr);
+
+  auto WordAt = [&Img](uint32_t Addr) {
+    return static_cast<uint32_t>(unpackInt(
+        Img.Text.data() + (Addr - Img.TextBase), 4, Img.Desc->Order));
+  };
+
+  for (const ProcRange &P : Procs) {
+    if (P.Addr < Img.TextBase || P.End > TextEnd || P.Addr >= P.End ||
+        (P.Addr - Img.TextBase) % 4 != 0)
+      continue; // the agreement family reports malformed ranges
+
+    // Decode the whole range once; a word no instruction assembles to
+    // only matters if control can reach it (alignment padding between
+    // procedures is legitimately undecodable).
+    size_t N = (P.End - P.Addr) / 4;
+    std::vector<Instr> Code(N);
+    std::vector<uint8_t> Decodes(N, 0);
+    for (size_t K = 0; K < N; ++K)
+      Decodes[K] =
+          D.Enc.decode(WordAt(P.Addr + static_cast<uint32_t>(K) * 4),
+                       Code[K]);
+
+    // Breadth-first reachability from the entry.
+    std::vector<uint8_t> Reached(N, 0);
+    std::vector<uint32_t> Work{P.Addr};
+    Reached[0] = 1;
+    while (!Work.empty()) {
+      uint32_t Pc = Work.back();
+      Work.pop_back();
+      size_t K = (Pc - P.Addr) / 4;
+      if (!Decodes[K]) {
+        emit(Out, P.Name, Pc,
+             "control reaches a word no instruction assembles to (" +
+                 hex32(WordAt(Pc)) + ")");
+        continue;
+      }
+      const Instr &In = Code[K];
+      if (In.Opc == Op::Break) {
+        emit(Out, P.Name, Pc,
+             "linked code contains a break word (breakpoints are planted "
+             "at run time, never linked in)");
+        continue;
+      }
+      Successors S = successorsOf(D, In, Pc);
+      if (S.IsCall && !Entries.count(S.CallTarget))
+        emit(Out, P.Name, Pc,
+             "call targets " + hex32(S.CallTarget) +
+                 ", which is no procedure entry the loader table knows");
+      for (unsigned I = 0; I < S.Count; ++I) {
+        uint32_t Succ = S.Next[I];
+        if (Succ < P.Addr || Succ >= P.End) {
+          if (Succ == Pc + 4)
+            emit(Out, P.Name, Pc,
+                 "control falls off the end of the procedure");
+          else
+            emit(Out, P.Name, Pc,
+                 std::string(opName(In.Opc)) + " targets " + hex32(Succ) +
+                     ", outside the procedure's code range [" +
+                     hex32(P.Addr) + ", " + hex32(P.End) + ")");
+          continue;
+        }
+        size_t SK = (Succ - P.Addr) / 4;
+        if (!Reached[SK]) {
+          Reached[SK] = 1;
+          Work.push_back(Succ);
+        }
+      }
+    }
+
+    // Every stopping point the symbol table resolved into this procedure
+    // must be reachable: an unreachable stop site holds a perfectly good
+    // no-op the program counter will never visit.
+    auto It = StopAddrs.find(P.Name);
+    if (It == StopAddrs.end())
+      continue;
+    for (uint32_t Stop : It->second) {
+      if (Stop < P.Addr || Stop >= P.End || (Stop - P.Addr) % 4 != 0)
+        continue; // the stop-site family reports out-of-range sites
+      if (!Reached[(Stop - P.Addr) / 4])
+        emit(Out, P.Name, Stop,
+             "stopping point is unreachable from the procedure entry");
+    }
+  }
+}

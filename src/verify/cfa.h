@@ -1,0 +1,53 @@
+//===- verify/cfa.h - control-flow analysis over the image ------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier's control-flow family ("cfa"): disassembles every
+/// procedure's code range through the target's MD encoding, builds a CFG
+/// from the branch/jump/call words, and proves properties the stop-site
+/// family cannot see from one word at a time — that every stopping point
+/// is *reachable* from its procedure's entry (a stop site that holds the
+/// no-op word but sits on dead code is a place the debugger will wait
+/// forever), that procedure code ranges never overlap, that branches stay
+/// inside their procedure, and that every direct call (Jal) targets a
+/// known procedure entry. Everything is proved from the linked image and
+/// loader table alone; no simulator runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_CFA_H
+#define LDB_VERIFY_CFA_H
+
+#include "verify/verify.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldb::verify {
+
+/// One procedure's code range, as the loader table sees it: [Addr, End)
+/// where End is the next procedure's entry (or the end of text).
+struct ProcRange {
+  std::string Name;
+  uint32_t Addr = 0;
+  uint32_t End = 0;
+};
+
+/// Runs the control-flow family over \p C, appending diagnostics to
+/// \p Out. \p Procs is the loader table's sorted procedure view;
+/// \p StopAddrs maps each procedure name to the absolute addresses of its
+/// stopping points (as resolved by the symtab walk).
+void checkControlFlow(const lcc::Compilation &C,
+                      const std::vector<ProcRange> &Procs,
+                      const std::map<std::string, std::vector<uint32_t>>
+                          &StopAddrs,
+                      std::vector<Diagnostic> &Out);
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_CFA_H

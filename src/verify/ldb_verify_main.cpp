@@ -6,38 +6,69 @@
 ///
 /// \file
 /// Command-line driver for the static debug-info verifier: compiles the
-/// requested programs for the requested targets, cross-checks the four
+/// requested programs for the requested targets, cross-checks the
 /// debugging artifacts (image, PostScript symbol table, loader table,
-/// stabs), and lints the source tree for machine-dependence leaks.
-///
-/// Run:  build/src/verify/ldb-verify [options]
-///   --target=NAME|all       architecture to verify (default all four)
-///   --program=SPEC          hello | fib | gen:<lines> | <path>.c;
-///                           repeatable (default hello, fib, gen:13000)
-///   --deferred              verify deferred-lexing symbol tables too
-///   --no-fastload           disable the binary symtab fastload cache
-///   --no-md-lint            skip the source-tree lint
-///   --md-lint-only          run only the source-tree lint
-///   --src-root=DIR          source tree for the lint (default: this
-///                           checkout's src/)
-///
-/// Exits 0 when every report is clean, 1 otherwise.
+/// stabs, fastload blobs, control flow), lints recorded wire traces, and
+/// lints the source tree for machine-dependence leaks. Independent
+/// (target, program, mode) verifications run on a small thread pool;
+/// results print in a fixed order regardless of scheduling, and each
+/// report is sorted and deduplicated, so two runs produce byte-identical
+/// output.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "verify/mdlint.h"
+#include "verify/tracelint.h"
 #include "verify/verify.h"
 
 #include "postscript/fastload.h"
 #include "support/strings.h"
 #include "workload.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <set>
+#include <thread>
 
 using namespace ldb;
 
 namespace {
+
+const char *HelpText = R"(ldb-verify - static verifier for ldb's debugging artifacts
+
+Usage: ldb-verify [options]
+
+  --target=NAME|all       architecture to verify (default all four)
+  --program=SPEC          hello | fib | gen:<lines> | <path>.c;
+                          repeatable (default hello, fib, gen:13000)
+  --deferred              verify deferred-lexing symbol tables too
+  --family=LIST           comma-separated check families to run, out of
+                          stop-site,scope,where,type,agreement,cfa,blob,
+                          md-lint,trace (default: all; "trace" selects
+                          only the --trace lint, skipping the sweep)
+  --json[=FILE]           emit diagnostics as JSON records (family,
+                          severity, artifact, symbol, address); with no
+                          FILE the JSON replaces the table on stdout
+  --trace=FILE            lint a wire trace recorded via LDB_WIRE_TRACE;
+                          repeatable
+  --window=N              in-flight window for --trace (default: the
+                          trace header's value, else 32)
+  --jobs=N                worker threads for the verification sweep
+                          (default: up to 4)
+  --no-fastload           disable the binary symtab fastload cache
+  --no-md-lint            skip the source-tree lint
+  --md-lint-only          run only the source-tree lint
+  --src-root=DIR          source tree for the lint (default: this
+                          checkout's src/)
+  --help                  print this and exit
+
+Exit status:
+  0  every artifact verified clean (warnings allowed)
+  1  at least one error-severity diagnostic was reported
+  2  artifacts could not be loaded at all: unknown option or target,
+     a program that does not compile, or an unreadable trace file
+)";
 
 struct ProgramSpec {
   std::string Label;
@@ -66,46 +97,110 @@ Expected<ProgramSpec> resolveProgram(const std::string &Spec) {
   return ProgramSpec{Spec, {Base, Text}};
 }
 
-/// Verifies one program on one target; returns the number of errors, or
-/// 1 for a program that cannot be compiled or analyzed at all.
-unsigned verifyOne(const target::TargetDesc &Desc, const ProgramSpec &Prog,
-                   bool Deferred) {
+//===----------------------------------------------------------------------===//
+// The verification sweep
+//===----------------------------------------------------------------------===//
+
+struct Job {
+  const target::TargetDesc *Desc;
+  const ProgramSpec *Prog;
+  bool Deferred;
+};
+
+struct JobResult {
+  bool Loaded = false;    ///< artifacts compiled and analyzed
+  std::string LoadError;  ///< why not, when !Loaded
+  verify::Report R;
+};
+
+JobResult runJob(const Job &J, const verify::Options &Opt) {
+  JobResult Res;
   lcc::CompileOptions CO;
-  CO.DeferredSymtab = Deferred;
+  CO.DeferredSymtab = J.Deferred;
   Expected<std::unique_ptr<lcc::Compilation>> C =
-      lcc::compileAndLink({Prog.Source}, Desc, CO);
+      lcc::compileAndLink({J.Prog->Source}, *J.Desc, CO);
   if (!C) {
-    std::fprintf(stderr, "ldb-verify: %s/%s: compile failed: %s\n",
-                 Desc.Name.c_str(), Prog.Label.c_str(),
-                 C.message().c_str());
-    return 1;
+    Res.LoadError = "compile failed: " + C.message();
+    return Res;
   }
-  Expected<verify::Report> R = verify::verifyCompilation(**C);
+  Expected<verify::Report> R = verify::verifyCompilation(**C, Opt);
   if (!R) {
-    std::fprintf(stderr, "ldb-verify: %s/%s: %s\n", Desc.Name.c_str(),
-                 Prog.Label.c_str(), R.message().c_str());
-    return 1;
+    Res.LoadError = R.message();
+    return Res;
   }
-  std::printf("%-6s %-10s %-8s %4u entries %4u stops  %s\n",
-              Desc.Name.c_str(), Prog.Label.c_str(),
-              Deferred ? "deferred" : "eager", R->EntriesWalked,
-              R->StopsChecked,
-              R->clean() ? "clean"
-                         : (std::to_string(R->errors()) + " errors, " +
-                            std::to_string(R->warnings()) + " warnings")
-                               .c_str());
-  if (!R->clean())
-    std::fputs(R->str().c_str(), stdout);
-  return R->errors();
+  Res.Loaded = true;
+  Res.R = std::move(*R);
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON output
+//===----------------------------------------------------------------------===//
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void jsonDiags(std::string &Out, const std::vector<verify::Diagnostic> &Diags,
+               const char *Indent) {
+  Out += "[";
+  for (size_t K = 0; K < Diags.size(); ++K) {
+    const verify::Diagnostic &D = Diags[K];
+    Out += K ? ",\n" : "\n";
+    Out += Indent;
+    Out += "{\"severity\":\"";
+    Out += D.Sev == verify::Severity::Error ? "error" : "warning";
+    Out += "\",\"family\":\"" + jsonEscape(D.Check) + "\"";
+    Out += ",\"artifact\":\"";
+    Out += verify::artifactName(D.Art);
+    Out += "\"";
+    if (!D.Symbol.empty())
+      Out += ",\"symbol\":\"" + jsonEscape(D.Symbol) + "\"";
+    if (D.HasAddr)
+      Out += ",\"address\":" + std::to_string(D.Addr);
+    Out += ",\"message\":\"" + jsonEscape(D.Message) + "\"}";
+  }
+  Out += "]";
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string TargetName = "all";
-  std::vector<std::string> Programs;
+  std::vector<std::string> Programs, Traces;
   std::string SrcRoot = std::string(LDB_SOURCE_ROOT) + "/src";
-  bool Deferred = false, MdLint = true, MdLintOnly = false;
+  std::string JsonPath;
+  bool Deferred = false, MdLint = true, MdLintOnly = false, Json = false;
+  unsigned Window = 0;
+  unsigned Jobs = std::min(4u, std::max(1u,
+                           std::thread::hardware_concurrency()));
+  verify::Options Opt;
 
   for (int K = 1; K < argc; ++K) {
     std::string Arg = argv[K];
@@ -123,8 +218,60 @@ int main(int argc, char **argv) {
       MdLintOnly = true;
     else if (Arg.rfind("--src-root=", 0) == 0)
       SrcRoot = Arg.substr(11);
-    else {
-      std::fprintf(stderr, "ldb-verify: unknown option %s\n", Arg.c_str());
+    else if (Arg == "--json")
+      Json = true;
+    else if (Arg.rfind("--json=", 0) == 0) {
+      Json = true;
+      JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--trace=", 0) == 0)
+      Traces.push_back(Arg.substr(8));
+    else if (Arg.rfind("--window=", 0) == 0)
+      Window = static_cast<unsigned>(atoi(Arg.c_str() + 9));
+    else if (Arg.rfind("--jobs=", 0) == 0)
+      Jobs = std::max(1, atoi(Arg.c_str() + 7));
+    else if (Arg.rfind("--family=", 0) == 0) {
+      Opt.CheckStops = Opt.CheckScopes = Opt.CheckWhere = Opt.CheckTypes =
+          Opt.CheckAgreement = Opt.CheckCfa = Opt.CheckBlob = false;
+      MdLint = false;
+      std::string List = Arg.substr(9);
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        std::string F = List.substr(
+            Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+        Pos = Comma == std::string::npos ? List.size() + 1 : Comma + 1;
+        if (F == "stop-site")
+          Opt.CheckStops = true;
+        else if (F == "scope")
+          Opt.CheckScopes = true;
+        else if (F == "where")
+          Opt.CheckWhere = true;
+        else if (F == "type")
+          Opt.CheckTypes = true;
+        else if (F == "agreement")
+          Opt.CheckAgreement = true;
+        else if (F == "cfa")
+          Opt.CheckCfa = true;
+        else if (F == "blob")
+          Opt.CheckBlob = true;
+        else if (F == "md-lint")
+          MdLint = true;
+        else if (F == "trace") {
+          // The trace family runs on whatever --trace files were given;
+          // naming it here just deselects the compile-and-verify sweep.
+        } else if (!F.empty()) {
+          std::fprintf(stderr, "ldb-verify: unknown family %s\n",
+                       F.c_str());
+          return 2;
+        }
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::fputs(HelpText, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "ldb-verify: unknown option %s (try --help)\n",
+                   Arg.c_str());
       return 2;
     }
   }
@@ -143,33 +290,170 @@ int main(int argc, char **argv) {
   }
 
   unsigned Errors = 0;
-  if (!MdLintOnly) {
+  bool LoadFailure = false;
+  // With --json and no file the JSON replaces the table on stdout, so
+  // the output stays machine-parseable; --json=FILE keeps both.
+  bool Table = !Json || !JsonPath.empty();
+  std::string JsonOut = "{\"version\":1,\"jobs\":[";
+  bool FirstJson = true;
+
+  // Run the (target, program, mode) sweep. Every family the verifier
+  // runs is pure over its own Compilation; the shared pieces (the atom
+  // table, the fastload cache) synchronize themselves, so independent
+  // verifications parallelize cleanly.
+  bool SweepWanted =
+      !MdLintOnly && (Opt.CheckStops || Opt.CheckScopes || Opt.CheckWhere ||
+                      Opt.CheckTypes || Opt.CheckAgreement || Opt.CheckCfa ||
+                      Opt.CheckBlob);
+  if (SweepWanted) {
+    std::vector<ProgramSpec> Specs;
+    Specs.reserve(Programs.size());
     for (const std::string &Spec : Programs) {
       Expected<ProgramSpec> Prog = resolveProgram(Spec);
       if (!Prog) {
         std::fprintf(stderr, "ldb-verify: %s\n", Prog.message().c_str());
         return 2;
       }
+      Specs.push_back(std::move(*Prog));
+    }
+    std::vector<Job> JobList;
+    for (const ProgramSpec &P : Specs)
       for (const target::TargetDesc *D : Targets) {
-        Errors += verifyOne(*D, *Prog, /*Deferred=*/false);
+        JobList.push_back(Job{D, &P, false});
         if (Deferred)
-          Errors += verifyOne(*D, *Prog, /*Deferred=*/true);
+          JobList.push_back(Job{D, &P, true});
+      }
+
+    std::vector<JobResult> Results(JobList.size());
+    std::atomic<size_t> NextJob{0};
+    auto Worker = [&JobList, &Results, &NextJob, &Opt] {
+      for (;;) {
+        size_t K = NextJob.fetch_add(1);
+        if (K >= JobList.size())
+          return;
+        Results[K] = runJob(JobList[K], Opt);
+      }
+    };
+    std::vector<std::thread> Pool;
+    unsigned NThreads =
+        std::min<unsigned>(Jobs, static_cast<unsigned>(JobList.size()));
+    for (unsigned T = 1; T < NThreads; ++T)
+      Pool.emplace_back(Worker);
+    Worker();
+    for (std::thread &T : Pool)
+      T.join();
+
+    // Results print in job order, never completion order.
+    for (size_t K = 0; K < JobList.size(); ++K) {
+      const Job &J = JobList[K];
+      const JobResult &Res = Results[K];
+      const char *Mode = J.Deferred ? "deferred" : "eager";
+      if (!Res.Loaded) {
+        std::fprintf(stderr, "ldb-verify: %s/%s (%s): %s\n",
+                     J.Desc->Name.c_str(), J.Prog->Label.c_str(), Mode,
+                     Res.LoadError.c_str());
+        LoadFailure = true;
+        continue;
+      }
+      const verify::Report &R = Res.R;
+      if (Table) {
+        std::printf("%-6s %-10s %-8s %4u entries %4u stops  %s\n",
+                    J.Desc->Name.c_str(), J.Prog->Label.c_str(), Mode,
+                    R.EntriesWalked, R.StopsChecked,
+                    R.clean() ? "clean"
+                              : (std::to_string(R.errors()) + " errors, " +
+                                 std::to_string(R.warnings()) + " warnings")
+                                    .c_str());
+        if (!R.clean())
+          std::fputs(R.str().c_str(), stdout);
+      }
+      Errors += R.errors();
+      if (Json) {
+        JsonOut += FirstJson ? "\n" : ",\n";
+        FirstJson = false;
+        JsonOut += "  {\"target\":\"" + J.Desc->Name + "\",\"program\":\"" +
+                   jsonEscape(J.Prog->Label) + "\",\"mode\":\"" + Mode +
+                   "\",\"entries\":" + std::to_string(R.EntriesWalked) +
+                   ",\"stops\":" + std::to_string(R.StopsChecked) +
+                   ",\"diagnostics\":";
+        jsonDiags(JsonOut, R.Diags, "    ");
+        JsonOut += "}";
       }
     }
   }
+  JsonOut += "]";
+
+  // Wire traces: each file lints independently.
+  if (Json)
+    JsonOut += ",\"traces\":[";
+  bool FirstTrace = true;
+  for (const std::string &Path : Traces) {
+    Expected<verify::Report> R = verify::lintWireTrace(Path, Window);
+    if (!R) {
+      std::fprintf(stderr, "ldb-verify: %s\n", R.message().c_str());
+      LoadFailure = true;
+      continue;
+    }
+    if (Table) {
+      std::printf("trace  %-19s %4u frames  %s\n", Path.c_str(),
+                  R->EntriesWalked,
+                  R->clean() ? "clean"
+                             : (std::to_string(R->errors()) + " errors, " +
+                                std::to_string(R->warnings()) + " warnings")
+                                   .c_str());
+      if (!R->clean())
+        std::fputs(R->str().c_str(), stdout);
+    }
+    Errors += R->errors();
+    if (Json) {
+      JsonOut += FirstTrace ? "\n" : ",\n";
+      FirstTrace = false;
+      JsonOut += "  {\"trace\":\"" + jsonEscape(Path) +
+                 "\",\"frames\":" + std::to_string(R->EntriesWalked) +
+                 ",\"diagnostics\":";
+      jsonDiags(JsonOut, R->Diags, "    ");
+      JsonOut += "}";
+    }
+  }
+  if (Json)
+    JsonOut += "]";
 
   if (MdLint || MdLintOnly) {
     std::vector<verify::Diagnostic> Lint = verify::mdIsolationLint(SrcRoot);
-    std::printf("md-lint %-25s %s\n", SrcRoot.c_str(),
-                Lint.empty()
-                    ? "clean"
-                    : (std::to_string(Lint.size()) + " findings").c_str());
+    if (Table)
+      std::printf("md-lint %-25s %s\n", SrcRoot.c_str(),
+                  Lint.empty()
+                      ? "clean"
+                      : (std::to_string(Lint.size()) + " findings").c_str());
     for (const verify::Diagnostic &D : Lint) {
-      std::fputs(D.str().c_str(), stdout);
-      std::fputc('\n', stdout);
+      if (Table) {
+        std::fputs(D.str().c_str(), stdout);
+        std::fputc('\n', stdout);
+      }
       Errors += D.Sev == verify::Severity::Error;
+    }
+    if (Json) {
+      JsonOut += ",\"mdlint\":";
+      jsonDiags(JsonOut, Lint, "  ");
     }
   }
 
+  if (Json) {
+    JsonOut += "}\n";
+    if (JsonPath.empty()) {
+      std::fputs(JsonOut.c_str(), stdout);
+    } else if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+      std::fputs(JsonOut.c_str(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "ldb-verify: cannot write %s\n",
+                   JsonPath.c_str());
+      LoadFailure = true;
+    }
+  }
+
+  // The exit contract (see --help): artifact-load failures dominate.
+  if (LoadFailure)
+    return 2;
   return Errors ? 1 : 0;
 }

@@ -1,0 +1,392 @@
+//===- verify/tracelint.cpp - wire-trace protocol linting -----------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/tracelint.h"
+
+#include "nub/protocol.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::nub;
+
+namespace {
+
+bool isRequest(unsigned Kind) {
+  return Kind >= static_cast<unsigned>(MsgKind::Hello) &&
+         Kind <= static_cast<unsigned>(MsgKind::StoreBlock);
+}
+
+bool isReply(unsigned Kind) {
+  return Kind >= static_cast<unsigned>(MsgKind::Welcome) &&
+         Kind <= static_cast<unsigned>(MsgKind::Corrupt);
+}
+
+/// The kinds the client may retransmit on its own (a lost reply makes a
+/// repeat harmless): all the fetches and stores. Hello, Continue, Kill,
+/// and Detach change target state and may be repeated only when the wire
+/// demonstrably lost or damaged a copy, or the nub asked (Corrupt).
+bool isIdempotent(unsigned Kind) {
+  switch (static_cast<MsgKind>(Kind)) {
+  case MsgKind::FetchInt:
+  case MsgKind::StoreInt:
+  case MsgKind::FetchFloat:
+  case MsgKind::StoreFloat:
+  case MsgKind::FetchBlock:
+  case MsgKind::StoreBlock:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isStore(unsigned Kind) {
+  return Kind == static_cast<unsigned>(MsgKind::StoreInt) ||
+         Kind == static_cast<unsigned>(MsgKind::StoreFloat) ||
+         Kind == static_cast<unsigned>(MsgKind::StoreBlock);
+}
+
+/// May \p Reply answer a request of kind \p Req? Nak and Corrupt answer
+/// anything; otherwise each request has one success shape (Continue has
+/// two: the program stopped, or it exited).
+bool replyAnswers(unsigned Req, unsigned Reply) {
+  MsgKind P = static_cast<MsgKind>(Reply);
+  if (P == MsgKind::Nak || P == MsgKind::Corrupt)
+    return true;
+  switch (static_cast<MsgKind>(Req)) {
+  case MsgKind::FetchInt:
+    return P == MsgKind::FetchIntReply;
+  case MsgKind::FetchFloat:
+    return P == MsgKind::FetchFloatReply;
+  case MsgKind::FetchBlock:
+    return P == MsgKind::FetchBlockReply;
+  case MsgKind::Continue:
+    return P == MsgKind::Stopped || P == MsgKind::Exited;
+  case MsgKind::Hello:
+  case MsgKind::StoreInt:
+  case MsgKind::StoreFloat:
+  case MsgKind::StoreBlock:
+  case MsgKind::Kill:
+  case MsgKind::Detach:
+    return P == MsgKind::Ack;
+  default:
+    return false;
+  }
+}
+
+/// One request the client has on the wire.
+struct Outstanding {
+  unsigned Kind = 0;
+  bool FaultSince = false;   ///< a copy was dropped or garbled
+  bool CorruptSince = false; ///< the nub reported a copy damaged
+};
+
+/// Everything the linter tracks for one link ordinal. One trace file may
+/// hold many links (every Session opens its own), each with its own
+/// sequence space.
+struct LinkState {
+  uint64_t LastTNs = 0;
+  int ClientSide = 0; ///< 'a' or 'b' once known
+  int NubSide = 0;
+  uint32_t MaxFreshSeq = 0;
+  std::map<uint32_t, Outstanding> Out;
+  std::map<uint32_t, unsigned> Completed; ///< seq -> request kind
+  bool ContinueOut = false;
+};
+
+class TraceLinter {
+public:
+  explicit TraceLinter(unsigned Window) : Window(Window) {}
+
+  void setWindow(unsigned W) { Window = W; }
+  void line(unsigned LineNo, unsigned Link, char Side, char Event,
+            unsigned Kind, uint32_t Seq, uint32_t Declared,
+            uint32_t Computed, uint64_t TNs);
+  void parseFailure(unsigned LineNo) {
+    Diagnostic D;
+    D.Sev = Severity::Error;
+    D.Check = "trace";
+    D.Art = Artifact::WireTrace;
+    D.Message =
+        "line " + std::to_string(LineNo) + ": unparseable trace record";
+    R.Diags.push_back(std::move(D));
+  }
+  Report finish();
+
+private:
+  void diag(Severity Sev, unsigned Link, unsigned LineNo, std::string Msg) {
+    Diagnostic D;
+    D.Sev = Sev;
+    D.Check = "trace";
+    D.Art = Artifact::WireTrace;
+    D.Symbol = "link " + std::to_string(Link);
+    D.Message = "line " + std::to_string(LineNo) + ": " + std::move(Msg);
+    R.Diags.push_back(std::move(D));
+  }
+
+  void clientFrame(LinkState &L, unsigned Link, unsigned LineNo, char Event,
+                   unsigned Kind, uint32_t Seq);
+  void nubFrame(LinkState &L, unsigned Link, unsigned LineNo, char Event,
+                unsigned Kind, uint32_t Seq);
+
+  unsigned Window;
+  std::map<unsigned, LinkState> Links;
+  Report R;
+};
+
+void TraceLinter::line(unsigned LineNo, unsigned Link, char Side, char Event,
+                       unsigned Kind, uint32_t Seq, uint32_t Declared,
+                       uint32_t Computed, uint64_t TNs) {
+  LinkState &L = Links[Link];
+  ++R.EntriesWalked;
+
+  if (TNs < L.LastTNs)
+    diag(Severity::Error, Link, LineNo,
+         "virtual time runs backward (" + std::to_string(TNs) + "ns after " +
+             std::to_string(L.LastTNs) + "ns)");
+  L.LastTNs = std::max(L.LastTNs, TNs);
+
+  // A garbled frame is expected to fail its checksum — that is the point.
+  // Any other frame failing it means the recorder saw bytes the protocol
+  // would reject even though no fault was injected.
+  if (Event != 'G' && Declared != Computed)
+    diag(Severity::Error, Link, LineNo,
+         std::string(msgKindName(static_cast<MsgKind>(Kind))) +
+             " frame declares checksum " + std::to_string(Declared) +
+             " but its bytes sum to " + std::to_string(Computed));
+
+  bool Request = isRequest(Kind);
+  bool Reply = isReply(Kind);
+  if (!Request && !Reply) {
+    // A garbled kind byte produces this legitimately; an intact frame
+    // with an unknown kind is a protocol violation.
+    if (Event != 'G')
+      diag(Severity::Error, Link, LineNo,
+           "frame kind " + std::to_string(Kind) + " is not in the protocol");
+    return;
+  }
+
+  // Infer which endpoint is the client: the side that sends requests.
+  int &Mine = Request ? L.ClientSide : L.NubSide;
+  int &Other = Request ? L.NubSide : L.ClientSide;
+  if (!Mine)
+    Mine = Side;
+  if (Mine != Side)
+    diag(Severity::Error, Link, LineNo,
+         std::string(Request ? "request" : "reply") + " sent by side '" +
+             static_cast<char>(Side) + "' but side '" +
+             static_cast<char>(Mine) + "' owns that direction");
+  else if (Other == Side)
+    diag(Severity::Error, Link, LineNo,
+         "one side sends both requests and replies");
+
+  if (Request)
+    clientFrame(L, Link, LineNo, Event, Kind, Seq);
+  else
+    nubFrame(L, Link, LineNo, Event, Kind, Seq);
+}
+
+void TraceLinter::clientFrame(LinkState &L, unsigned Link, unsigned LineNo,
+                              char Event, unsigned Kind, uint32_t Seq) {
+  const char *Name = msgKindName(static_cast<MsgKind>(Kind));
+  if (Seq == 0) {
+    diag(Severity::Error, Link, LineNo,
+         std::string(Name) + " request carries sequence 0 (reserved for "
+                             "spontaneous nub messages)");
+    return;
+  }
+
+  // The flush discipline: posted stores ride the window together with the
+  // Continue (the link delivers in order), so un-acked stores *before* a
+  // Continue are fine — but a store written *after* the Continue could
+  // land while the target runs, mutating memory the program is using.
+  if (isStore(Kind) && L.ContinueOut)
+    diag(Severity::Error, Link, LineNo,
+         std::string(Name) + " posted while a Continue is outstanding");
+
+  auto It = L.Out.find(Seq);
+  if (It == L.Out.end() && L.Completed.count(Seq)) {
+    // A retransmit racing the reply it did not see: rebuild the entry so
+    // the nub's second answer has something to match.
+    Outstanding O;
+    O.Kind = L.Completed[Seq];
+    It = L.Out.emplace(Seq, O).first;
+    L.Completed.erase(Seq);
+  }
+
+  if (It != L.Out.end()) {
+    Outstanding &O = It->second;
+    if (O.Kind != Kind) {
+      diag(Severity::Error, Link, LineNo,
+           "seq " + std::to_string(Seq) + " reused: first sent as " +
+               msgKindName(static_cast<MsgKind>(O.Kind)) + ", now " + Name);
+      O.Kind = Kind;
+    } else if (!isIdempotent(Kind) && !O.FaultSince && !O.CorruptSince) {
+      diag(Severity::Error, Link, LineNo,
+           std::string(Name) + " seq " + std::to_string(Seq) +
+               " retransmitted, but the kind is not idempotent and no loss "
+               "or Corrupt report licenses a repeat");
+    }
+    O.CorruptSince = false; // each Corrupt licenses one resend
+    if (Event == 'D' || Event == 'G')
+      O.FaultSince = true;
+    if (Kind == static_cast<unsigned>(MsgKind::Continue))
+      L.ContinueOut = true;
+    return;
+  }
+
+  // A fresh request.
+  if (Seq <= L.MaxFreshSeq)
+    diag(Severity::Error, Link, LineNo,
+         std::string(Name) + " seq " + std::to_string(Seq) +
+             " is not strictly increasing (already at " +
+             std::to_string(L.MaxFreshSeq) + ")");
+  L.MaxFreshSeq = std::max(L.MaxFreshSeq, Seq);
+  if (L.Out.size() + 1 > Window)
+    diag(Severity::Error, Link, LineNo,
+         "in-flight depth " + std::to_string(L.Out.size() + 1) +
+             " exceeds the window of " + std::to_string(Window));
+  if (Kind == static_cast<unsigned>(MsgKind::Continue)) {
+    if (L.ContinueOut)
+      diag(Severity::Error, Link, LineNo,
+           "second Continue sent while one is outstanding");
+    L.ContinueOut = true;
+  }
+  Outstanding O;
+  O.Kind = Kind;
+  O.FaultSince = Event == 'D' || Event == 'G';
+  L.Out.emplace(Seq, O);
+}
+
+void TraceLinter::nubFrame(LinkState &L, unsigned Link, unsigned LineNo,
+                           char Event, unsigned Kind, uint32_t Seq) {
+  const char *Name = msgKindName(static_cast<MsgKind>(Kind));
+
+  if (Seq == 0) {
+    // Spontaneous messages: the attach-time Welcome and pending stop.
+    if (Kind != static_cast<unsigned>(MsgKind::Welcome) &&
+        Kind != static_cast<unsigned>(MsgKind::Stopped) &&
+        Kind != static_cast<unsigned>(MsgKind::Exited))
+      diag(Severity::Error, Link, LineNo,
+           std::string(Name) +
+               " carries sequence 0 but is not a spontaneous kind");
+    return;
+  }
+  if (Kind == static_cast<unsigned>(MsgKind::Welcome)) {
+    diag(Severity::Error, Link, LineNo,
+         "Welcome must be spontaneous (sequence 0), not a reply to seq " +
+             std::to_string(Seq));
+    return;
+  }
+
+  auto It = L.Out.find(Seq);
+  if (It == L.Out.end()) {
+    if (L.Completed.count(Seq))
+      diag(Severity::Warning, Link, LineNo,
+           std::string(Name) + " answers seq " + std::to_string(Seq) +
+               " a second time (stale reply after a retransmit race)");
+    else
+      diag(Severity::Error, Link, LineNo,
+           std::string(Name) + " answers seq " + std::to_string(Seq) +
+               ", which no outstanding request carries");
+    return;
+  }
+
+  Outstanding &O = It->second;
+  if (!replyAnswers(O.Kind, Kind))
+    diag(Severity::Error, Link, LineNo,
+         std::string(Name) + " does not answer a " +
+             msgKindName(static_cast<MsgKind>(O.Kind)) + " (seq " +
+             std::to_string(Seq) + ")");
+
+  if (Event == 'D' || Event == 'G') {
+    // The client never sees this reply; the request stays outstanding
+    // and the loss licenses a retransmit.
+    O.FaultSince = true;
+    return;
+  }
+  if (Kind == static_cast<unsigned>(MsgKind::Corrupt)) {
+    // The request arrived damaged; it stays outstanding and must be
+    // resent — Corrupt explicitly licenses that even for non-idempotent
+    // kinds.
+    O.CorruptSince = true;
+    return;
+  }
+  if (O.Kind == static_cast<unsigned>(MsgKind::Continue))
+    L.ContinueOut = false;
+  L.Completed[Seq] = O.Kind;
+  L.Out.erase(It);
+}
+
+Report TraceLinter::finish() {
+  for (const auto &[Link, L] : Links)
+    for (const auto &[Seq, O] : L.Out) {
+      Diagnostic D;
+      D.Sev = Severity::Warning;
+      D.Check = "trace";
+      D.Art = Artifact::WireTrace;
+      D.Symbol = "link " + std::to_string(Link);
+      D.Message = std::string(msgKindName(static_cast<MsgKind>(O.Kind))) +
+                  " seq " + std::to_string(Seq) +
+                  " is still outstanding at the end of the trace";
+      R.Diags.push_back(std::move(D));
+    }
+  R.normalize();
+  return std::move(R);
+}
+
+} // namespace
+
+Expected<Report> ldb::verify::lintWireTrace(const std::string &Path,
+                                            unsigned WindowOverride) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return Error::failure("cannot open wire trace: " + Path);
+
+  TraceLinter Linter(WindowOverride ? WindowOverride : 32);
+  char Buf[512];
+  unsigned LineNo = 0;
+  while (std::fgets(Buf, sizeof(Buf), F)) {
+    ++LineNo;
+    if (Buf[0] == '\n' || Buf[0] == '\0')
+      continue;
+    if (Buf[0] == '#') {
+      // The recorder stamps the window limit into the header; an
+      // explicit --window wins over it.
+      if (!WindowOverride)
+        if (const char *W = std::strstr(Buf, "window="))
+          Linter.setWindow(
+              static_cast<unsigned>(std::strtoul(W + 7, nullptr, 10)));
+      continue;
+    }
+    char Event, Side;
+    unsigned Link, Kind;
+    uint32_t Seq, Len, Declared, Computed;
+    unsigned long long TNs;
+    if (std::sscanf(Buf, "%c %u %c %u %" SCNu32 " %" SCNu32 " %" SCNx32
+                         " %" SCNx32 " %llu",
+                    &Event, &Link, &Side, &Kind, &Seq, &Len, &Declared,
+                    &Computed, &TNs) != 9 ||
+        (Event != 'F' && Event != 'D' && Event != 'G') ||
+        (Side != 'a' && Side != 'b')) {
+      // One bad line should not hide discipline violations later on.
+      Linter.parseFailure(LineNo);
+      continue;
+    }
+    Linter.line(LineNo, Link, Side, Event, Kind, Seq, Declared, Computed,
+                TNs);
+  }
+  std::fclose(F);
+  Report R = Linter.finish();
+  return R;
+}

@@ -1,0 +1,44 @@
+//===- verify/tracelint.h - wire-trace protocol linting ---------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier's wire family ("trace"): statically lints a wire trace
+/// recorded by LDB_WIRE_TRACE (see nub/wiretrace.h for the line format)
+/// against the protocol's sequence discipline — the checkable core of
+/// what makes the pipelined transport replayable. Per link and direction:
+/// fresh request sequence numbers are nonzero and strictly increasing;
+/// the in-flight depth never exceeds the window; every reply answers an
+/// outstanding request with a kind the request allows; a request is
+/// retransmitted only when that is safe (its kind is idempotent, the nub
+/// reported the previous copy Corrupt, or the link demonstrably lost or
+/// damaged a frame since); no store is posted and no second Continue sent
+/// while a Continue is outstanding; sequence-0 frames are only the
+/// spontaneous kinds (Welcome, attach-time Stopped/Exited); checksums
+/// match on every untampered frame; and virtual time never runs backward.
+/// Everything is proved from the trace text alone — no session is
+/// replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_TRACELINT_H
+#define LDB_VERIFY_TRACELINT_H
+
+#include "verify/verify.h"
+
+#include <string>
+
+namespace ldb::verify {
+
+/// Lints the trace file at \p Path. \p WindowOverride, when nonzero,
+/// replaces the window limit recorded in the trace header (default 32
+/// when the header carries none). Returns an Error only when the file
+/// cannot be read at all; malformed traces produce diagnostics.
+Expected<Report> lintWireTrace(const std::string &Path,
+                               unsigned WindowOverride = 0);
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_TRACELINT_H

@@ -6,6 +6,9 @@
 
 #include "verify/verify.h"
 
+#include "verify/blobcheck.h"
+#include "verify/cfa.h"
+
 #include "core/arch.h"
 #include "core/symtab.h"
 #include "lcc/stabs.h"
@@ -16,6 +19,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 using namespace ldb;
 using namespace ldb::verify;
@@ -35,6 +39,10 @@ const char *ldb::verify::artifactName(Artifact A) {
     return "stabs";
   case Artifact::Source:
     return "source";
+  case Artifact::FastloadBlob:
+    return "fastload-blob";
+  case Artifact::WireTrace:
+    return "wire-trace";
   }
   return "?";
 }
@@ -64,6 +72,22 @@ unsigned Report::warnings() const {
   for (const Diagnostic &D : Diags)
     N += D.Sev == Severity::Warning;
   return N;
+}
+
+void Report::normalize() {
+  auto Key = [](const Diagnostic &D) {
+    return std::tie(D.Sev, D.Check, D.Art, D.Symbol, D.HasAddr, D.Addr,
+                    D.Message);
+  };
+  std::sort(Diags.begin(), Diags.end(),
+            [&Key](const Diagnostic &A, const Diagnostic &B) {
+              return Key(A) < Key(B);
+            });
+  Diags.erase(std::unique(Diags.begin(), Diags.end(),
+                          [&Key](const Diagnostic &A, const Diagnostic &B) {
+                            return Key(A) == Key(B);
+                          }),
+              Diags.end());
 }
 
 std::string Report::str() const {
@@ -210,6 +234,8 @@ private:
   std::set<std::string> EntryNames;      ///< /name of every entry walked
   std::set<std::string> SymtabProcNames; ///< entries with /kind (procedure)
   std::map<std::string, uint32_t> GlobalAddrs; ///< extern/static data addrs
+  /// Absolute stop-site addresses per procedure, for the cfa family.
+  std::map<std::string, std::vector<uint32_t>> StopAddrs;
 
   Report R;
 };
@@ -491,23 +517,29 @@ void Verifier::checkProcEntry(Object Entry, const std::string &Context) {
       diag(Severity::Error, "stop-site", Artifact::Symtab, Where,
            "two stopping points share one code offset");
 
-    if (Opt.CheckStops && P) {
-      ++R.StopsChecked;
+    if (P) {
       uint32_t Addr = P->Addr + static_cast<uint32_t>(L[1].IntVal);
-      if (Addr < P->Addr || Addr >= P->End) {
-        diagAt(Severity::Error, "stop-site", Artifact::Symtab, Name, Addr,
-               "stopping point lies outside the procedure's code range [" +
-                   hex32(P->Addr) + ", " + hex32(P->End) + ")");
-      } else {
-        Expected<uint32_t> Word = textWord(Addr);
-        if (!Word)
-          diagAt(Severity::Error, "stop-site", Artifact::Image, Name, Addr,
-                 Word.message());
-        else if (*Word != C.Desc->nopWord())
-          diagAt(Severity::Error, "stop-site", Artifact::Image, Name, Addr,
-                 "stopping point does not hold the no-op word: found " +
-                     hex32(*Word) + ", expected " +
-                     hex32(C.Desc->nopWord()));
+      bool InRange = Addr >= P->Addr && Addr < P->End;
+      if (InRange)
+        StopAddrs[Name].push_back(Addr); // the cfa family proves these
+      if (Opt.CheckStops) {
+        ++R.StopsChecked;
+        if (!InRange) {
+          diagAt(Severity::Error, "stop-site", Artifact::Symtab, Name, Addr,
+                 "stopping point lies outside the procedure's code range ["
+                 + hex32(P->Addr) + ", " + hex32(P->End) + ")");
+        } else {
+          Expected<uint32_t> Word = textWord(Addr);
+          if (!Word)
+            diagAt(Severity::Error, "stop-site", Artifact::Image, Name,
+                   Addr, Word.message());
+          else if (*Word != C.Desc->nopWord())
+            diagAt(Severity::Error, "stop-site", Artifact::Image, Name,
+                   Addr,
+                   "stopping point does not hold the no-op word: found " +
+                       hex32(*Word) + ", expected " +
+                       hex32(C.Desc->nopWord()));
+        }
       }
     }
 
@@ -1000,12 +1032,25 @@ void Verifier::checkAgreement() {
 
 Report Verifier::run() {
   Arch = core::architectureByName(C.Desc->Name);
+  // The blob family must look before setup() interprets the artifacts:
+  // interpreting is exactly what silently drops a damaged blob from the
+  // cache.
+  if (Opt.CheckBlob)
+    checkFastloadBlobs(C, R.Diags);
   if (setup()) {
     loadProcTable();
     walkSymtab();
     if (Opt.CheckAgreement)
       checkAgreement();
+    if (Opt.CheckCfa) {
+      std::vector<ProcRange> Ranges;
+      Ranges.reserve(ProcTable.size());
+      for (const Proc &P : ProcTable)
+        Ranges.push_back(ProcRange{P.Name, P.Addr, P.End});
+      checkControlFlow(C, Ranges, StopAddrs, R.Diags);
+    }
   }
+  R.normalize();
   return std::move(R);
 }
 

@@ -26,6 +26,13 @@
 ///   agreement  loader table, symtab externs, image symbols, and stabs
 ///              agree on the name -> address map, with no dangling
 ///              anchor symbols;
+///   cfa        (verify/cfa.h) a CFG disassembled through the MD layer
+///              proves stop sites reachable, code ranges disjoint,
+///              branches intra-procedure, and calls well-targeted;
+///   blob       (verify/blobcheck.h) cached fastload blobs decode
+///              structurally and agree with a fresh scanner pass;
+///   trace      (verify/tracelint.h) recorded wire traces obey the
+///              protocol's sequence discipline;
 ///   md-lint    (verify/mdlint.h) target-specific identifiers appear
 ///              only in the tagged machine-dependent files.
 ///
@@ -45,11 +52,13 @@ enum class Severity : uint8_t { Error, Warning };
 
 /// Which emitted artifact a diagnostic is about.
 enum class Artifact : uint8_t {
-  Image,       ///< the linked executable image
-  Symtab,      ///< the PostScript symbol table
-  LoaderTable, ///< the nm-style loader table
-  Stabs,       ///< the binary stabs baseline
-  Source,      ///< the debugger's own source tree (md-lint)
+  Image,        ///< the linked executable image
+  Symtab,       ///< the PostScript symbol table
+  LoaderTable,  ///< the nm-style loader table
+  Stabs,        ///< the binary stabs baseline
+  Source,       ///< the debugger's own source tree (md-lint)
+  FastloadBlob, ///< a cached LDFL fastload blob
+  WireTrace,    ///< a recorded wire trace (LDB_WIRE_TRACE)
 };
 
 const char *artifactName(Artifact A);
@@ -78,6 +87,11 @@ struct Report {
   unsigned warnings() const;
   bool clean() const { return Diags.empty(); }
 
+  /// Sorts diagnostics into a stable order (severity first, then family,
+  /// artifact, symbol, address, message) and drops exact duplicates, so
+  /// two runs over the same artifacts print byte-identical output.
+  void normalize();
+
   /// All diagnostics, one per line.
   std::string str() const;
 };
@@ -88,6 +102,8 @@ struct Options {
   bool CheckWhere = true;
   bool CheckTypes = true;
   bool CheckAgreement = true;
+  bool CheckCfa = true;  ///< control-flow analysis (verify/cfa.h)
+  bool CheckBlob = true; ///< fastload blob verification (verify/blobcheck.h)
 };
 
 /// Statically verifies one compiled-and-linked program: interprets its

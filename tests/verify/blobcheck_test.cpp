@@ -1,0 +1,268 @@
+//===- tests/verify/blobcheck_test.cpp - fastload blob verification ----------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation-kill suite for the blob family: pristine compilations verify
+/// clean, and each seeded blob corruption — flipped magic, wrong format
+/// version, a damaged content-hash lane, truncation, trailing garbage,
+/// an out-of-range table index, an unknown token tag, a lying procedure
+/// length, bottomless nesting, a token stream that no longer matches the
+/// text — produces exactly the expected diagnostic instead of a silent
+/// scanner fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/verify.h"
+
+#include "postscript/fastload.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::ps;
+
+namespace {
+
+std::unique_ptr<lcc::Compilation> compile(const target::TargetDesc &Desc) {
+  auto C = lcc::compileAndLink({{"fib.c", bench::fibProgram()}}, Desc, {});
+  EXPECT_TRUE(bool(C)) << C.message();
+  return C ? C.take() : nullptr;
+}
+
+/// Runs only the blob family.
+Report verifyBlob(const lcc::Compilation &C) {
+  Options Opt;
+  Opt.CheckStops = Opt.CheckScopes = Opt.CheckWhere = Opt.CheckTypes =
+      Opt.CheckAgreement = Opt.CheckCfa = false;
+  Expected<Report> R = verifyCompilation(C, Opt);
+  EXPECT_TRUE(bool(R)) << R.message();
+  return R ? *R : Report();
+}
+
+bool mentions(const Report &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.str().find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// A valid blob freshly encoded from \p Text, stamped with \p Hash (the
+/// text's own hash unless a test wants a mismatch).
+std::vector<uint8_t> freshBlob(const std::string &Text, uint64_t Hash) {
+  Expected<std::vector<Object>> Tokens = fastload::scanAll(Text);
+  EXPECT_TRUE(bool(Tokens)) << Tokens.message();
+  Expected<std::vector<uint8_t>> Blob = fastload::encode(*Tokens, Hash);
+  EXPECT_TRUE(bool(Blob)) << Blob.message();
+  return Blob ? *Blob : std::vector<uint8_t>();
+}
+
+/// The blob family checks whatever the cache holds for the symtab's
+/// content hash, so corrupt blobs are planted there.
+class BlobTest : public ::testing::TestWithParam<const target::TargetDesc *> {
+protected:
+  void SetUp() override { fastload::Cache::global().clear(); }
+  void TearDown() override { fastload::Cache::global().clear(); }
+
+  const target::TargetDesc &desc() { return *GetParam(); }
+
+  /// Compiles fib, corrupts its symtab blob with \p Corrupt, plants it,
+  /// and returns the blob family's report.
+  template <typename F> Report corrupted(F Corrupt) {
+    auto C = compile(desc());
+    EXPECT_TRUE(C);
+    if (!C)
+      return Report();
+    uint64_t Hash = fastload::contentHash(C->PsSymtab);
+    std::vector<uint8_t> Blob = freshBlob(C->PsSymtab, Hash);
+    Corrupt(Blob);
+    fastload::Cache::global().store(Hash, std::move(Blob));
+    return verifyBlob(*C);
+  }
+};
+
+TEST_P(BlobTest, PristineCompilationIsClean) {
+  for (bool Deferred : {false, true}) {
+    lcc::CompileOptions CO;
+    CO.DeferredSymtab = Deferred;
+    auto C = lcc::compileAndLink({{"fib.c", bench::fibProgram()}}, desc(), CO);
+    ASSERT_TRUE(bool(C)) << C.message();
+    Report R = verifyBlob(**C);
+    EXPECT_TRUE(R.clean()) << R.str();
+  }
+}
+
+TEST_P(BlobTest, CachedBlobFromARealLoadIsClean) {
+  // Let the interpreter populate the cache (the production path), then
+  // verify against that blob rather than a fresh encode.
+  auto C = compile(desc());
+  ASSERT_TRUE(C);
+  Report First = verifyBlob(*C); // setup() interprets and caches
+  EXPECT_TRUE(First.clean()) << First.str();
+  ASSERT_GT(fastload::Cache::global().size(), 0u);
+  Report Second = verifyBlob(*C);
+  EXPECT_TRUE(Second.clean()) << Second.str();
+}
+
+TEST_P(BlobTest, FlippedMagicIsCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B[0] ^= 0xff; });
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "bad magic")) << R.str();
+}
+
+TEST_P(BlobTest, WrongFormatVersionIsCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B[4] += 1; });
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "format version")) << R.str();
+}
+
+TEST_P(BlobTest, FlippedHashLaneIsCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B[5] ^= 0x01; });
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "content hash does not match")) << R.str();
+}
+
+TEST_P(BlobTest, TruncatedHeaderIsCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B.resize(8); });
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "blob ends inside the content hash")) << R.str();
+}
+
+TEST_P(BlobTest, TruncatedTokenStreamIsCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B.pop_back(); });
+  EXPECT_GE(R.errors(), 1u);
+}
+
+TEST_P(BlobTest, TrailingBytesAreCaught) {
+  Report R = corrupted([](std::vector<uint8_t> &B) { B.push_back(0); });
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "trailing bytes")) << R.str();
+}
+
+TEST_P(BlobTest, ForeignTokenStreamIsCaught) {
+  // Structurally flawless, stamped with the right hash — but it decodes
+  // to a different program than the text scans to.
+  auto C = compile(desc());
+  ASSERT_TRUE(C);
+  uint64_t Hash = fastload::contentHash(C->PsSymtab);
+  fastload::Cache::global().store(Hash, freshBlob("1 2 3", Hash));
+  Report R = verifyBlob(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "but the scanner produces")) << R.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, BlobTest,
+                         ::testing::ValuesIn(target::allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+//===----------------------------------------------------------------------===//
+// Structural inspection of hand-corrupted small blobs
+//===----------------------------------------------------------------------===//
+
+std::vector<fastload::BlobIssue> inspectText(const std::string &Text,
+                                             std::vector<uint8_t> Blob) {
+  return fastload::inspect(Blob, fastload::contentHash(Text));
+}
+
+bool issueMentions(const std::vector<fastload::BlobIssue> &Issues,
+                   const std::string &Needle) {
+  for (const fastload::BlobIssue &I : Issues)
+    if (I.What.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(BlobInspect, OutOfRangeNameIndexIsCaught) {
+  // "/alpha" encodes as one literal-name token; its table index is the
+  // blob's final byte.
+  const std::string Text = "/alpha";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  ASSERT_EQ(B.back(), 0u);
+  B.back() = 99;
+  auto Issues = inspectText(Text, B);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "name index 99 out of range"));
+}
+
+TEST(BlobInspect, OutOfRangeStringIndexIsCaught) {
+  const std::string Text = "(hello)";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  ASSERT_EQ(B.back(), 0u);
+  B.back() = 7;
+  auto Issues = inspectText(Text, B);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "string index 7 out of range"));
+}
+
+TEST(BlobInspect, UnknownTokenTagIsCaught) {
+  const std::string Text = "/alpha";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  B[B.size() - 2] = 0x0f; // the tag byte of the only token
+  auto Issues = inspectText(Text, B);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "unknown token tag 0x0f"));
+}
+
+TEST(BlobInspect, LyingProcedureLengthIsCaught) {
+  // "{1 2}": header (13 bytes), empty name and string tables (1 byte
+  // each), token count (1 byte), then the procedure tag and its element
+  // count at offsets 16 and 17.
+  const std::string Text = "{1 2}";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  ASSERT_GT(B.size(), 18u);
+  ASSERT_EQ(B[17], 2u);
+  B[17] = 127;
+  auto Issues = inspectText(Text, B);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "procedure declares 127 elements"));
+}
+
+TEST(BlobInspect, TruncatedIntegerVarintIsCaught) {
+  // 77777 zigzags to a multi-byte varint; dropping its last byte leaves
+  // the stream ending mid-number.
+  const std::string Text = "77777";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  B.pop_back();
+  auto Issues = inspectText(Text, B);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "integer varint"));
+}
+
+TEST(BlobInspect, BottomlessNestingIsCaught) {
+  // Hand-assembled: 210 nested one-element procedures overflow the
+  // format's depth limit. (The scanner enforces the same limit, so a
+  // blob this deep can only come from corruption.)
+  std::vector<uint8_t> B = {'L', 'D', 'F', 'L', fastload::Version};
+  uint64_t Hash = fastload::contentHash("x");
+  for (int K = 0; K < 8; ++K)
+    B.push_back(static_cast<uint8_t>(Hash >> (8 * K)));
+  B.push_back(0); // empty name table
+  B.push_back(0); // empty string table
+  B.push_back(1); // one token
+  for (int K = 0; K < 210; ++K) {
+    B.push_back(0x85); // exec array
+    B.push_back(1);    // of one element
+  }
+  B.push_back(0x85);
+  B.push_back(0); // innermost: empty
+  auto Issues = fastload::inspect(B, Hash);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(issueMentions(Issues, "nesting exceeds"));
+}
+
+TEST(BlobInspect, CleanBlobHandsBackTheTokens) {
+  const std::string Text = "/x 1 def { 2 add } (s)";
+  std::vector<uint8_t> B = freshBlob(Text, fastload::contentHash(Text));
+  std::vector<Object> Tokens;
+  auto Issues = fastload::inspect(B, fastload::contentHash(Text), &Tokens);
+  EXPECT_TRUE(Issues.empty());
+  Expected<std::vector<Object>> Scanned = fastload::scanAll(Text);
+  ASSERT_TRUE(bool(Scanned));
+  EXPECT_EQ(Tokens.size(), Scanned->size());
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+//===- tests/verify/cfa_test.cpp - control-flow analysis ---------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation-kill suite for the cfa family: pristine images analyze clean
+/// on every target, and each seeded corruption — a reachable word no
+/// instruction assembles to, a linked-in break word, a branch or jump
+/// escaping its procedure, a call to a non-entry, control falling off a
+/// procedure's end, an unreachable stopping point, overlapping or
+/// out-of-text code ranges — produces exactly the expected diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/verify.h"
+
+#include "support/byteorder.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::target;
+
+namespace {
+
+std::unique_ptr<lcc::Compilation> compile(const TargetDesc &Desc,
+                                          const std::string &Source) {
+  auto C = lcc::compileAndLink({{"fib.c", Source}}, Desc, {});
+  EXPECT_TRUE(bool(C)) << C.message();
+  return C ? C.take() : nullptr;
+}
+
+/// Runs only the cfa family (plus the symtab walk that feeds it stop
+/// addresses), so every diagnostic a mutation produces is a cfa one.
+Report verifyCfa(const lcc::Compilation &C) {
+  Options Opt;
+  Opt.CheckStops = Opt.CheckScopes = Opt.CheckWhere = Opt.CheckTypes =
+      Opt.CheckAgreement = Opt.CheckBlob = false;
+  Expected<Report> R = verifyCompilation(C, Opt);
+  EXPECT_TRUE(bool(R)) << R.message();
+  return R ? *R : Report();
+}
+
+bool mentions(const Report &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.str().find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+uint32_t wordAt(const lcc::Image &Img, uint32_t Addr) {
+  return static_cast<uint32_t>(
+      unpackInt(Img.Text.data() + (Addr - Img.TextBase), 4, Img.Desc->Order));
+}
+
+void setWord(lcc::Image &Img, uint32_t Addr, uint32_t W) {
+  packInt(W, Img.Text.data() + (Addr - Img.TextBase), 4, Img.Desc->Order);
+}
+
+const lcc::ProcInfo *proc(const lcc::Image &Img, const std::string &Name) {
+  for (const lcc::ProcInfo &P : Img.Procs)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+/// Address of the first instruction of kind \p O inside \p P, or 0.
+uint32_t findOp(const lcc::Image &Img, const lcc::ProcInfo &P, Op O) {
+  for (uint32_t A = P.CodeOffset; A + 4 <= P.CodeOffset + P.CodeSize; A += 4) {
+    Instr In;
+    if (Img.Desc->Enc.decode(wordAt(Img, A), In) && In.Opc == O)
+      return A;
+  }
+  return 0;
+}
+
+class CfaTest : public ::testing::TestWithParam<const TargetDesc *> {
+protected:
+  const TargetDesc &desc() { return *GetParam(); }
+};
+
+TEST_P(CfaTest, PristineProgramsAreClean) {
+  for (const std::string &Source :
+       {bench::helloProgram(), bench::fibProgram(),
+        bench::generateProgram(800)}) {
+    auto C = compile(desc(), Source);
+    ASSERT_TRUE(C);
+    Report R = verifyCfa(*C);
+    EXPECT_TRUE(R.clean()) << R.str();
+  }
+}
+
+TEST_P(CfaTest, ReachableUndecodableWordIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  // The all-zero word decodes on no target (tested in encoding_test).
+  setWord(C->Img, P->CodeOffset, 0);
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no instruction assembles to")) << R.str();
+}
+
+TEST_P(CfaTest, ReachableBreakWordIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  setWord(C->Img, P->CodeOffset, desc().breakWord());
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "break word")) << R.str();
+}
+
+TEST_P(CfaTest, AlwaysTakenBranchOutOfRangeIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  // Beq r0, r0 is the code generator's unconditional jump; aim it far
+  // past the procedure.
+  setWord(C->Img, P->CodeOffset,
+          desc().Enc.encode(Instr::i(Op::Beq, 0, 0, 1000)));
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "outside the procedure's code range")) << R.str();
+}
+
+TEST_P(CfaTest, ConditionalBranchBeforeProcIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  // A genuinely conditional branch (distinct registers) whose taken edge
+  // lands far before the text segment.
+  setWord(C->Img, P->CodeOffset,
+          desc().Enc.encode(Instr::i(Op::Bne, 1, 2, -8000)));
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "outside the procedure's code range")) << R.str();
+}
+
+TEST_P(CfaTest, JumpOutsideTextIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  setWord(C->Img, P->CodeOffset,
+          desc().Enc.encode(Instr::j(Op::J, 0x10000)));
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "outside the procedure's code range")) << R.str();
+}
+
+TEST_P(CfaTest, CallToNonEntryIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "main");
+  ASSERT_NE(P, nullptr);
+  uint32_t CallAt = findOp(C->Img, *P, Op::Jal);
+  ASSERT_NE(CallAt, 0u) << "main must call fib";
+  Instr In;
+  ASSERT_TRUE(desc().Enc.decode(wordAt(C->Img, CallAt), In));
+  // One word past the callee's entry is squarely inside its body.
+  setWord(C->Img, CallAt, desc().Enc.encode(Instr::j(Op::Jal, In.Imm + 1)));
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no procedure entry the loader table knows"))
+      << R.str();
+}
+
+TEST_P(CfaTest, ControlFallingOffTheEndIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  // The procedure placed last in the text segment ends exactly where the
+  // loader-table view ends, so a no-op in its final word falls off.
+  const lcc::ProcInfo *Last = nullptr;
+  for (const lcc::ProcInfo &P : C->Img.Procs)
+    if (!Last || P.CodeOffset > Last->CodeOffset)
+      Last = &P;
+  ASSERT_NE(Last, nullptr);
+  uint32_t TextEnd =
+      C->Img.TextBase + static_cast<uint32_t>(C->Img.Text.size());
+  ASSERT_EQ(Last->CodeOffset + Last->CodeSize, TextEnd);
+  uint32_t LastWord = TextEnd - 4;
+  int32_t Disp =
+      static_cast<int32_t>(LastWord - (Last->CodeOffset + 4)) / 4;
+  setWord(C->Img, Last->CodeOffset,
+          desc().Enc.encode(Instr::i(Op::Beq, 0, 0, Disp)));
+  setWord(C->Img, LastWord, desc().nopWord());
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "falls off the end")) << R.str();
+}
+
+TEST_P(CfaTest, UnreachableStopSiteIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  const lcc::ProcInfo *P = proc(C->Img, "fib");
+  ASSERT_NE(P, nullptr);
+  // An Exit at the entry makes every later block — including its planted
+  // stopping points — unreachable.
+  setWord(C->Img, P->CodeOffset,
+          desc().Enc.encode(Instr::i(
+              Op::Sys, 0, 0, static_cast<int32_t>(Syscall::Exit))));
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "unreachable from the procedure entry")) << R.str();
+}
+
+TEST_P(CfaTest, OverlappingProcRangesAreCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  ASSERT_GE(C->Img.Procs.size(), 2u);
+  // Stretch the first-placed procedure over its successor's entry.
+  lcc::ProcInfo *First = &C->Img.Procs[0];
+  for (lcc::ProcInfo &P : C->Img.Procs)
+    if (P.CodeOffset < First->CodeOffset)
+      First = &P;
+  First->CodeSize += 8;
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "overlaps")) << R.str();
+}
+
+TEST_P(CfaTest, ProcRangeOutsideTextIsCaught) {
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  ASSERT_FALSE(C->Img.Procs.empty());
+  C->Img.Procs[0].CodeSize =
+      static_cast<uint32_t>(C->Img.Text.size()) + 64;
+  Report R = verifyCfa(*C);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "outside the text segment")) << R.str();
+}
+
+TEST_P(CfaTest, ReturnStillTerminatesTheWalk) {
+  // A control-positive check on the successor model: replacing fib's
+  // body wholesale would be fragile, but verifying that a pristine image
+  // stays clean when the verifier re-runs (CFG construction is pure)
+  // guards against state leaking between procedures.
+  auto C = compile(desc(), bench::fibProgram());
+  ASSERT_TRUE(C);
+  EXPECT_TRUE(verifyCfa(*C).clean());
+  EXPECT_TRUE(verifyCfa(*C).clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, CfaTest,
+                         ::testing::ValuesIn(target::allTargets()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

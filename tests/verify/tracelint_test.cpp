@@ -1,0 +1,300 @@
+//===- tests/verify/tracelint_test.cpp - wire-trace protocol linting ---------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation-kill suite for the trace family: a clean recorded session
+/// lints clean, and each seeded discipline violation — duplicate or
+/// non-increasing sequence numbers, a non-idempotent retransmit without a
+/// licensing fault, a store posted after a Continue, window overflow, bad
+/// checksums, replies without requests, reordered and duplicated traces —
+/// is flagged.
+///
+/// Trace records are synthesized directly in the recorder's text format
+/// (kind and seq are what the linter reads; declared and computed
+/// checksums are carried per record, so a synthetic frame is "intact"
+/// exactly when the two agree).
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/tracelint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+using namespace ldb;
+using namespace ldb::verify;
+
+namespace {
+
+/// Writes \p Body under a v1 header with \p Window and lints it. The
+/// path carries the pid: ctest runs each test in its own process, in
+/// parallel, so a per-process counter alone would collide.
+Report lint(const std::string &Body, unsigned Window = 32,
+            unsigned Override = 0) {
+  static int Counter = 0;
+  std::string Path = ::testing::TempDir() + "ldb_trace_" +
+                     std::to_string(getpid()) + "_" +
+                     std::to_string(Counter++) + ".txt";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  EXPECT_NE(F, nullptr);
+  std::fprintf(F, "# ldb-wire-trace v1 window=%u\n", Window);
+  std::fputs(Body.c_str(), F);
+  std::fclose(F);
+  Expected<Report> R = lintWireTrace(Path, Override);
+  EXPECT_TRUE(bool(R)) << R.message();
+  std::remove(Path.c_str());
+  return R ? *R : Report();
+}
+
+bool mentions(const Report &R, const std::string &Needle) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.str().find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+// Kinds by number, as the recorder writes them: Hello=1 FetchInt=2
+// StoreInt=3 Continue=6 StoreBlock=10; Welcome=64 Stopped=65 Exited=66
+// FetchIntReply=67 Ack=69 FetchBlockReply=71 Corrupt=72.
+
+const char CleanSession[] = "F 1 b 64 0 9 aa aa 0 Welcome\n"
+                            "F 1 b 65 0 20 aa aa 5 Stopped\n"
+                            "F 1 a 1 1 0 bb bb 10 Hello\n"
+                            "F 1 b 69 1 0 cc cc 20 Ack\n"
+                            "F 1 a 2 2 0 dd dd 30 FetchInt\n"
+                            "F 1 b 67 2 4 ee ee 40 FetchIntReply\n";
+
+TEST(TraceLint, CleanSessionIsClean) {
+  Report R = lint(CleanSession);
+  EXPECT_TRUE(R.clean()) << R.str();
+  EXPECT_EQ(R.EntriesWalked, 6u);
+}
+
+TEST(TraceLint, MissingFileIsAnError) {
+  EXPECT_FALSE(bool(lintWireTrace("/nonexistent/ldb.trace")));
+}
+
+TEST(TraceLint, TwoLinksKeepSeparateSequenceSpaces) {
+  // The same seq numbers on another link ordinal are a fresh session,
+  // not duplicates.
+  std::string Two = CleanSession;
+  for (const char *Line : {"F 2 a 1 1 0 aa aa 50 Hello\n",
+                           "F 2 b 69 1 0 aa aa 60 Ack\n"})
+    Two += Line;
+  Report R = lint(Two);
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, DuplicateSeqWithDifferentKindIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 a 3 1 0 aa aa 10 StoreInt\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "seq 1 reused")) << R.str();
+}
+
+TEST(TraceLint, NonIncreasingFreshSeqIsCaught) {
+  Report R = lint("F 1 a 2 5 0 aa aa 0 FetchInt\n"
+                  "F 1 b 67 5 4 aa aa 5 FetchIntReply\n"
+                  "F 1 a 2 3 0 aa aa 10 FetchInt\n"
+                  "F 1 b 67 3 4 aa aa 15 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "not strictly increasing")) << R.str();
+}
+
+TEST(TraceLint, NonIdempotentRetransmitIsCaught) {
+  Report R = lint("F 1 a 1 1 0 aa aa 0 Hello\n"
+                  "F 1 a 1 1 0 aa aa 10 Hello\n"
+                  "F 1 b 69 1 0 aa aa 20 Ack\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "not idempotent")) << R.str();
+}
+
+TEST(TraceLint, IdempotentRetransmitIsAllowed) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 a 2 1 0 aa aa 10 FetchInt\n"
+                  "F 1 b 67 1 4 aa aa 20 FetchIntReply\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, DroppedFrameLicensesRetransmit) {
+  // The first Continue copy is dropped by the link ('D'); resending a
+  // non-idempotent kind is then legitimate.
+  Report R = lint("D 1 a 6 1 0 aa aa 0 Continue\n"
+                  "F 1 a 6 1 0 aa aa 10 Continue\n"
+                  "F 1 b 65 1 20 aa aa 20 Stopped\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, CorruptReportLicensesResend) {
+  Report R = lint("F 1 a 1 1 0 aa aa 0 Hello\n"
+                  "F 1 b 72 1 4 aa aa 10 Corrupt\n"
+                  "F 1 a 1 1 0 aa aa 20 Hello\n"
+                  "F 1 b 69 1 0 aa aa 30 Ack\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, StoreAfterContinueIsCaught) {
+  Report R = lint("F 1 a 6 1 0 aa aa 0 Continue\n"
+                  "F 1 a 3 2 8 aa aa 10 StoreInt\n"
+                  "F 1 b 65 1 20 aa aa 20 Stopped\n"
+                  "F 1 b 69 2 0 aa aa 30 Ack\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "posted while a Continue is outstanding"))
+      << R.str();
+}
+
+TEST(TraceLint, StoresRidingAheadOfContinueAreClean) {
+  // The production flush discipline: stores go on the wire first, the
+  // Continue follows, and the acks trail the Stopped.
+  Report R = lint("F 1 a 3 1 8 aa aa 0 StoreInt\n"
+                  "F 1 a 10 2 40 aa aa 5 StoreBlock\n"
+                  "F 1 a 6 3 0 aa aa 10 Continue\n"
+                  "F 1 b 69 1 0 aa aa 20 Ack\n"
+                  "F 1 b 69 2 0 aa aa 25 Ack\n"
+                  "F 1 b 65 3 20 aa aa 30 Stopped\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, SecondContinueIsCaught) {
+  Report R = lint("F 1 a 6 1 0 aa aa 0 Continue\n"
+                  "F 1 a 6 2 0 aa aa 10 Continue\n"
+                  "F 1 b 65 1 20 aa aa 20 Stopped\n"
+                  "F 1 b 65 2 20 aa aa 30 Stopped\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "second Continue")) << R.str();
+}
+
+TEST(TraceLint, WindowOverflowIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 a 2 2 0 aa aa 1 FetchInt\n"
+                  "F 1 a 2 3 0 aa aa 2 FetchInt\n",
+                  /*Window=*/2);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "exceeds the window of 2")) << R.str();
+}
+
+TEST(TraceLint, WindowOverrideBeatsTheHeader) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 a 2 2 0 aa aa 1 FetchInt\n"
+                  "F 1 a 2 3 0 aa aa 2 FetchInt\n",
+                  /*Window=*/2, /*Override=*/8);
+  EXPECT_EQ(R.errors(), 0u) << R.str();
+}
+
+TEST(TraceLint, ChecksumMismatchIsCaught) {
+  Report R = lint("F 1 a 2 1 0 12345678 9abcdef0 0 FetchInt\n"
+                  "F 1 b 67 1 4 aa aa 10 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "declares checksum")) << R.str();
+}
+
+TEST(TraceLint, GarbledFrameChecksumIsExpected) {
+  // 'G' means the link damaged the frame on purpose; its checksum
+  // mismatch and even an unknown kind byte are not findings, and the
+  // fault licenses the retransmit that follows.
+  Report R = lint("G 1 a 6 1 0 12345678 9abcdef0 0 Continue\n"
+                  "F 1 a 6 1 0 aa aa 10 Continue\n"
+                  "F 1 b 65 1 20 aa aa 20 Stopped\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, UnknownKindIsCaught) {
+  Report R = lint("F 1 a 50 1 0 aa aa 0 ?\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "not in the protocol")) << R.str();
+}
+
+TEST(TraceLint, ReplyWithoutRequestIsCaught) {
+  Report R = lint("F 1 b 67 9 4 aa aa 0 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no outstanding request")) << R.str();
+}
+
+TEST(TraceLint, WrongReplyKindIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 b 71 1 8 aa aa 10 FetchBlockReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "does not answer a FetchInt")) << R.str();
+}
+
+TEST(TraceLint, StaleSecondReplyIsAWarning) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 b 67 1 4 aa aa 10 FetchIntReply\n"
+                  "F 1 b 67 1 4 aa aa 20 FetchIntReply\n");
+  EXPECT_EQ(R.errors(), 0u) << R.str();
+  EXPECT_GE(R.warnings(), 1u);
+  EXPECT_TRUE(mentions(R, "a second time")) << R.str();
+}
+
+TEST(TraceLint, RequestWithSeqZeroIsCaught) {
+  Report R = lint("F 1 a 2 0 0 aa aa 0 FetchInt\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "sequence 0")) << R.str();
+}
+
+TEST(TraceLint, NonSpontaneousSeqZeroReplyIsCaught) {
+  Report R = lint("F 1 b 67 0 4 aa aa 0 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "not a spontaneous kind")) << R.str();
+}
+
+TEST(TraceLint, WelcomeWithASeqIsCaught) {
+  Report R = lint("F 1 b 64 5 9 aa aa 0 Welcome\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "Welcome must be spontaneous")) << R.str();
+}
+
+TEST(TraceLint, BackwardTimeIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 100 FetchInt\n"
+                  "F 1 b 67 1 4 aa aa 50 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "time runs backward")) << R.str();
+}
+
+TEST(TraceLint, UnparseableRecordIsCaught) {
+  Report R = lint("this is not a trace record\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "unparseable trace record")) << R.str();
+}
+
+TEST(TraceLint, OutstandingAtEofIsAWarning) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n");
+  EXPECT_EQ(R.errors(), 0u) << R.str();
+  EXPECT_GE(R.warnings(), 1u);
+  EXPECT_TRUE(mentions(R, "still outstanding")) << R.str();
+}
+
+TEST(TraceLint, RoleMixingIsCaught) {
+  // Side 'a' established itself as the client, then emits a reply.
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 a 67 1 4 aa aa 10 FetchIntReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "both requests and replies")) << R.str();
+}
+
+TEST(TraceLint, DuplicatedFrameInATraceIsCaught) {
+  // The acceptance case: a tool (or a splice) duplicating a Hello frame
+  // must be flagged — nothing lost a copy, so nothing licenses a repeat.
+  std::string Dup = CleanSession;
+  Dup += "F 1 a 1 1 0 bb bb 50 Hello\n";
+  Report R = lint(Dup);
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "not idempotent")) << R.str();
+}
+
+TEST(TraceLint, ReorderedTraceIsCaught) {
+  // The reply spliced ahead of its request answers nothing.
+  Report R = lint("F 1 b 67 1 4 aa aa 0 FetchIntReply\n"
+                  "F 1 a 2 1 0 aa aa 10 FetchInt\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no outstanding request")) << R.str();
+}
+
+} // namespace
