@@ -1,0 +1,323 @@
+//===- bench/bench_fleet.cpp - experiment E10 -------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet multiplexing: N concurrent debugging sessions on gen:13000,
+/// every wire a simulated-latency link on ONE shared virtual clock,
+/// driven round-robin by the SessionManager event loop on one thread —
+/// no thread-per-session. Each session runs the same script (break at
+/// work300, continue, then source steps); the per-session stop (pc)
+/// sequences must be byte-identical to a serial single-session run, so
+/// the multiplexing is observably invisible.
+///
+/// The memory claim: per-image heavyweights (interpreted symtab + loader
+/// table dictionaries, the stop-site index) are built once in the image
+/// repository and shared, so resident bytes/session at 64 sessions must
+/// be >=5x below the naive baseline where every session interprets its
+/// own private copies (LDB_NO_IMAGE_SHARE / setImageSharing(false)).
+///
+/// `bench_fleet smoke` runs only the 16-session shared fleet with no
+/// memory gate — the CI smoke configuration, cheap enough to run under
+/// LDB_WIRE_TRACE and lint the multi-link trace.
+///
+/// Results land in BENCH_fleet.json; the process exits nonzero when a
+/// gate fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/debugger.h"
+#include "core/fleet.h"
+#include "lcc/driver.h"
+#include "workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+void fail(const Error &E) {
+  std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+  std::exit(2);
+}
+
+bool Ok = true;
+void require(bool Cond, const char *What) {
+  if (!Cond) {
+    std::fprintf(stderr, "FAIL: %s\n", What);
+    Ok = false;
+  }
+}
+
+/// Heap bytes currently allocated, or 0 when the allocator offers no
+/// introspection (the memory gate is skipped then).
+size_t heapUsed() {
+#if defined(__GLIBC__)
+  struct mallinfo2 MI = mallinfo2();
+  return static_cast<size_t>(MI.uordblks) + static_cast<size_t>(MI.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+constexpr unsigned StepsPerSession = 12;
+
+/// One session's script: round 0 runs to work300's entry, each later
+/// round takes one source step and records the stop pc. Returns false
+/// when the session is done.
+bool sessionTurn(DebugSession &S, size_t Round,
+                 std::vector<uint32_t> &Stops) {
+  if (Round == 0) {
+    Expected<int> Id = S.addBreakAtProc("work300");
+    if (!Id)
+      fail(Id.takeError());
+    if (Error E = S.continueToStop())
+      fail(E);
+    if (!S.target().stopped()) {
+      std::fprintf(stderr, "session %s did not reach work300\n",
+                   S.name().c_str());
+      std::exit(2);
+    }
+    Expected<size_t> N = S.target().deleteAllUserBreakpoints();
+    if (!N)
+      fail(N.takeError());
+    return true;
+  }
+  if (Error E = S.stepToNextStop())
+    fail(E);
+  Expected<uint32_t> Pc = S.target().ctxPc();
+  Stops.push_back(Pc ? *Pc : 0);
+  return Round < StepsPerSession;
+}
+
+struct FleetResult {
+  size_t Sessions = 0;
+  double Sec = 0;            ///< wall time of the multiplexed run
+  size_t BytesPerSession = 0; ///< heap delta / N; 0 = unmeasurable
+  size_t ImageCount = 0;     ///< repository entries after the run
+  uint64_t Turns = 0;
+  uint64_t Wakeups = 0;
+  uint64_t RoundTrips = 0;   ///< fleet rollup
+  bool StopsMatch = true;    ///< every session == the serial reference
+};
+
+/// Runs N sessions over one SessionManager, all wires on one virtual
+/// clock. The processes exist before the measured window so their
+/// machine memory stays out of the per-session heap number; the window
+/// covers the debugger, its sessions, and the whole run, so per-session
+/// symbol copies (naive mode) and everything stepping forces are in.
+FleetResult runFleet(const Compilation &C, const TargetDesc &Desc, size_t N,
+                     bool Share, const std::vector<uint32_t> &Ref) {
+  nub::ProcessHost Host;
+  std::vector<std::string> Names;
+  for (size_t K = 0; K < N; ++K) {
+    Names.push_back("s" + std::to_string(K));
+    nub::NubProcess &P = Host.createProcess(Names.back(), Desc);
+    if (Error E = C.Img.loadInto(P.machine()))
+      fail(E);
+    P.enter(C.Img.Entry);
+  }
+
+  FleetResult R;
+  R.Sessions = N;
+  size_t Base = heapUsed();
+  {
+    Ldb Debugger;
+    Debugger.setImageSharing(Share);
+    nub::SimParams Sim;
+    Sim.LatencyNs = 2000;
+    auto Clock = std::make_shared<nub::VirtualClock>();
+    SessionManager Mgr;
+    for (const std::string &Name : Names) {
+      Expected<DebugSession *> S = Debugger.createSession(
+          Host, Name, C.PsSymtab, C.LoaderTable, &Sim, Clock);
+      if (!S)
+        fail(S.takeError());
+      Mgr.add(**S);
+    }
+    std::vector<std::vector<uint32_t>> Stops(N);
+    Stopwatch W;
+    Mgr.run([&](DebugSession &S, size_t Round) {
+      // Session names are "s<K>": recover K for the per-session record.
+      size_t K = static_cast<size_t>(std::atoll(S.name().c_str() + 1));
+      return sessionTurn(S, Round, Stops[K]);
+    });
+    R.Sec = W.seconds();
+    size_t After = heapUsed();
+    R.BytesPerSession = After > Base ? (After - Base) / N : 0;
+    R.ImageCount = Debugger.images().imageCount();
+    R.Turns = Mgr.turns();
+    R.Wakeups = Mgr.wakeups();
+    R.RoundTrips = Debugger.fleetStats().RoundTrips;
+    for (size_t K = 0; K < N; ++K)
+      if (Stops[K] != Ref)
+        R.StopsMatch = false;
+  }
+  return R;
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+std::string kb(size_t Bytes) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f KB", Bytes / 1024.0);
+  return Buf;
+}
+
+std::string perSec(double Count, double Sec) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f/s", Sec > 0 ? Count / Sec : 0.0);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+
+  banner("E10: fleet multiplexing, N sessions on one event loop",
+         "shared per-image artifacts + one virtual clock; target >=5x "
+         "lower bytes/session at 64 sessions vs per-session copies, "
+         "byte-identical stop sequences vs a serial run");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  std::printf("\ncompiling gen:13000...\n");
+  auto C = compileAndLink({{"gen.c", generateProgram(13000)}}, Zmips,
+                          CompileOptions());
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", C.message().c_str());
+    return 1;
+  }
+  std::unique_ptr<Compilation> Gen = C.take();
+
+  // The serial reference: one session, zero-latency local wire, no event
+  // loop. Every fleet session must reproduce exactly these stops.
+  std::vector<uint32_t> Ref;
+  {
+    nub::ProcessHost Host;
+    nub::NubProcess &P = Host.createProcess("ref", Zmips);
+    if (Error E = Gen->Img.loadInto(P.machine()))
+      fail(E);
+    P.enter(Gen->Img.Entry);
+    Ldb Debugger;
+    Expected<DebugSession *> S =
+        Debugger.createSession(Host, "ref", Gen->PsSymtab, Gen->LoaderTable);
+    if (!S)
+      fail(S.takeError());
+    for (size_t Round = 0; sessionTurn(**S, Round, Ref); ++Round)
+      ;
+  }
+  std::printf("serial reference: %zu stops recorded\n\n", Ref.size());
+
+  std::vector<size_t> Sizes = Smoke ? std::vector<size_t>{16}
+                                    : std::vector<size_t>{16, 64, 256};
+  std::vector<FleetResult> Shared;
+  head("shared images", "bytes/session", "agg steps/s");
+  for (size_t N : Sizes) {
+    FleetResult R = runFleet(*Gen, Zmips, N, /*Share=*/true, Ref);
+    row(num(N) + " sessions",
+        R.BytesPerSession ? kb(R.BytesPerSession) : "(n/a)",
+        perSec(double(N) * StepsPerSession, R.Sec));
+    require(R.StopsMatch,
+            "every fleet session must reproduce the serial stop sequence");
+    require(R.ImageCount == 1,
+            "a shared fleet on one image must hold exactly one repository "
+            "entry");
+    Shared.push_back(R);
+  }
+
+  FleetResult Naive;
+  if (!Smoke) {
+    Naive = runFleet(*Gen, Zmips, 64, /*Share=*/false, Ref);
+    std::printf("\n");
+    head("naive per-session copies", "bytes/session", "agg steps/s");
+    row("64 sessions", Naive.BytesPerSession ? kb(Naive.BytesPerSession)
+                                             : "(n/a)",
+        perSec(64.0 * StepsPerSession, Naive.Sec));
+    require(Naive.StopsMatch,
+            "naive sessions must reproduce the serial stop sequence too");
+
+    const FleetResult &S64 = Shared[1];
+    if (S64.BytesPerSession && Naive.BytesPerSession) {
+      double Ratio = double(Naive.BytesPerSession) /
+                     double(S64.BytesPerSession);
+      std::printf("\nbytes/session at 64: naive %s vs shared %s (%.1fx)\n",
+                  kb(Naive.BytesPerSession).c_str(),
+                  kb(S64.BytesPerSession).c_str(), Ratio);
+      require(Ratio >= 5.0,
+              "shared images must cut bytes/session >=5x at 64 sessions");
+    } else {
+      std::printf("\nheap introspection unavailable; memory gate skipped\n");
+    }
+  }
+
+  const FleetResult &F0 = Shared.front();
+  std::printf("\nevent loop: %llu turns, %llu wire wakeups, %llu fleet "
+              "round trips (%zu sessions)\n",
+              static_cast<unsigned long long>(F0.Turns),
+              static_cast<unsigned long long>(F0.Wakeups),
+              static_cast<unsigned long long>(F0.RoundTrips), F0.Sessions);
+
+  std::FILE *J = std::fopen("BENCH_fleet.json", "w");
+  if (J) {
+    std::fprintf(J,
+                 "{\n"
+                 "  \"bench\": \"fleet\",\n"
+                 "  \"workload\": \"gen:13000\",\n"
+                 "  \"steps_per_session\": %u,\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"shared\": [\n",
+                 StepsPerSession, Smoke ? "true" : "false");
+    for (size_t K = 0; K < Shared.size(); ++K) {
+      const FleetResult &R = Shared[K];
+      std::fprintf(
+          J,
+          "    {\"sessions\": %zu, \"steps_per_sec\": %.0f, "
+          "\"bytes_per_session\": %zu, \"images\": %zu, \"turns\": %llu, "
+          "\"wakeups\": %llu, \"rt\": %llu, \"stops_match\": %s}%s\n",
+          R.Sessions,
+          R.Sec > 0 ? double(R.Sessions) * StepsPerSession / R.Sec : 0.0,
+          R.BytesPerSession, R.ImageCount,
+          static_cast<unsigned long long>(R.Turns),
+          static_cast<unsigned long long>(R.Wakeups),
+          static_cast<unsigned long long>(R.RoundTrips),
+          R.StopsMatch ? "true" : "false",
+          K + 1 < Shared.size() ? "," : "");
+    }
+    std::fprintf(J, "  ]");
+    if (!Smoke) {
+      std::fprintf(
+          J,
+          ",\n  \"naive\": {\"sessions\": %zu, \"steps_per_sec\": %.0f, "
+          "\"bytes_per_session\": %zu, \"stops_match\": %s}",
+          Naive.Sessions,
+          Naive.Sec > 0 ? 64.0 * StepsPerSession / Naive.Sec : 0.0,
+          Naive.BytesPerSession, Naive.StopsMatch ? "true" : "false");
+      if (Shared.size() > 1 && Shared[1].BytesPerSession &&
+          Naive.BytesPerSession)
+        std::fprintf(J, ",\n  \"bytes_ratio_at_64\": %.2f",
+                     double(Naive.BytesPerSession) /
+                         double(Shared[1].BytesPerSession));
+    }
+    std::fprintf(J, "\n}\n");
+    std::fclose(J);
+    std::printf("wrote BENCH_fleet.json\n");
+  }
+
+  return Ok ? 0 : 1;
+}

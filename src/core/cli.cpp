@@ -41,7 +41,8 @@ const char *HelpText =
     "  stats [reset]                  wire-transport, interpreter, and\n"
     "                                 execution counters (round trips,\n"
     "                                 cache hits, steps, breakpoint hits)\n"
-    "  targets | target NAME          list / switch targets\n"
+    "  targets | target NAME          list / switch sessions\n"
+    "  disconnect [NAME]              drop a session\n"
     "  help | quit\n";
 
 std::string errText(const std::string &Message) {
@@ -50,10 +51,19 @@ std::string errText(const std::string &Message) {
 
 } // namespace
 
-std::string CommandInterpreter::requireTarget() {
-  if (!Current)
-    return "no target selected; use `target NAME`\n";
-  return std::string();
+DebugSession *CommandInterpreter::currentSession(std::string &Err) {
+  if (CurrentName.empty()) {
+    Err = "no target selected; use `target NAME`\n";
+    return nullptr;
+  }
+  DebugSession *S = Debugger.session(CurrentName);
+  if (!S) {
+    Err = "target '" + CurrentName +
+          "' is no longer connected; use `target NAME`\n";
+    CurrentName.clear();
+    return nullptr;
+  }
+  return S;
 }
 
 std::string CommandInterpreter::execute(const std::string &Line) {
@@ -71,8 +81,9 @@ std::string CommandInterpreter::execute(const std::string &Line) {
 
   if (Cmd == "targets") {
     std::string Out;
-    for (Target *T : Debugger.targets()) {
-      Out += (T == Current ? "* " : "  ") + T->name() + " (" +
+    for (DebugSession *S : Debugger.sessions()) {
+      Target *T = &S->target();
+      Out += (S->name() == CurrentName ? "* " : "  ") + T->name() + " (" +
              T->arch().Desc->Name + ") ";
       if (T->exited())
         Out += "exited " + std::to_string(T->lastStop().ExitStatus);
@@ -87,16 +98,32 @@ std::string CommandInterpreter::execute(const std::string &Line) {
   if (Cmd == "target") {
     if (Words.size() < 2)
       return errText("target NAME");
-    Target *T = Debugger.target(Words[1]);
-    if (!T)
+    DebugSession *S = Debugger.session(Words[1]);
+    if (!S)
       return errText("no target named " + Words[1]);
-    Current = T;
-    CurrentFrame = 0;
+    CurrentName = Words[1];
+    // A fresh selection starts at the stopped frame: a frame number
+    // carried over from another session would silently misread this one.
+    S->setCurrentFrame(0);
     return "current target: " + Words[1] + "\n";
   }
+  if (Cmd == "disconnect") {
+    std::string Name = Words.size() > 1 ? Words[1] : CurrentName;
+    if (Name.empty())
+      return errText("disconnect [NAME]");
+    if (!Debugger.session(Name))
+      return errText("no target named " + Name);
+    Debugger.disconnect(Name);
+    if (Name == CurrentName)
+      CurrentName.clear();
+    return "disconnected " + Name + "\n";
+  }
 
-  if (std::string E = requireTarget(); !E.empty())
-    return E;
+  std::string Err;
+  DebugSession *S = currentSession(Err);
+  if (!S)
+    return Err;
+  Target *Current = &S->target();
 
   if (Cmd == "break" || Cmd == "b") {
     if (Words.size() < 2)
@@ -109,16 +136,15 @@ std::string CommandInterpreter::execute(const std::string &Line) {
         Cond = Line.substr(IfAt + 4);
     }
     size_t Colon = Words[1].rfind(':');
-    Expected<int> Id = Colon != std::string::npos
-                           ? Debugger.addBreakAtLine(
-                                 *Current, Words[1].substr(0, Colon),
-                                 std::atoi(Words[1].c_str() + Colon + 1))
-                           : Debugger.addBreakAtProc(*Current, Words[1]);
+    Expected<int> Id =
+        Colon != std::string::npos
+            ? S->addBreakAtLine(Words[1].substr(0, Colon),
+                                std::atoi(Words[1].c_str() + Colon + 1))
+            : S->addBreakAtProc(Words[1]);
     if (!Id)
       return errText(Id.message());
     if (!Cond.empty()) {
-      if (Error E = Debugger.setBreakpointCondition(*Current, Session, *Id,
-                                                    Cond)) {
+      if (Error E = S->setBreakpointCondition(*Id, Cond)) {
         // A condition that will not compile must not leave an
         // unconditional breakpoint behind.
         Error D = Current->deleteUserBreakpoint(*Id);
@@ -180,36 +206,54 @@ std::string CommandInterpreter::execute(const std::string &Line) {
 
   if (Cmd == "stats") {
     if (Words.size() > 1 && Words[1] == "reset") {
-      Current->resetStats();
-      Current->execStats().reset();
+      for (DebugSession *Each : Debugger.sessions()) {
+        Each->target().resetStats();
+        Each->target().execStats().reset();
+      }
+      Debugger.clearRetiredStats();
       ps::interpStats().reset();
       return "transport and interpreter counters reset\n";
     }
-    const mem::TransportStats &S = Current->stats();
+    const mem::TransportStats &St = Current->stats();
     std::string Out;
-    Out += "round trips:    " + std::to_string(S.RoundTrips) + "\n";
-    Out += "messages:       " + std::to_string(S.MsgsSent) + " sent, " +
-           std::to_string(S.MsgsReceived) + " received\n";
-    Out += "  block frames: " + std::to_string(S.BlockMsgsSent) + " sent, " +
-           std::to_string(S.BlockRepliesReceived) + " received\n";
-    Out += "  word frames:  " + std::to_string(S.WordMsgsSent) + " sent, " +
-           std::to_string(S.WordRepliesReceived) + " received\n";
-    Out += "bytes on wire:  " + std::to_string(S.BytesSent) + " sent, " +
-           std::to_string(S.BytesReceived) + " received\n";
-    Out += "pipeline:       " + std::to_string(S.Posted) + " posted, " +
-           std::to_string(S.MaxInFlight) + " max in flight, " +
-           std::to_string(S.StoresCombined) + " stores combined\n";
-    Out += "recovery:       " + std::to_string(S.Retries) + " retries, " +
-           std::to_string(S.Timeouts) + " timeouts, " +
-           std::to_string(S.StaleReplies) + " stale replies, " +
-           std::to_string(S.LinkDrops) + " drops, " +
-           std::to_string(S.LinkGarbles) + " garbles\n";
-    Out += "cache:          " + std::to_string(S.cacheHits()) + " hits, " +
-           std::to_string(S.cacheMisses()) + " misses\n";
-    for (const auto &[Space, C] : S.Cache)
+    Out += "round trips:    " + std::to_string(St.RoundTrips) + "\n";
+    Out += "messages:       " + std::to_string(St.MsgsSent) + " sent, " +
+           std::to_string(St.MsgsReceived) + " received\n";
+    Out += "  block frames: " + std::to_string(St.BlockMsgsSent) +
+           " sent, " + std::to_string(St.BlockRepliesReceived) +
+           " received\n";
+    Out += "  word frames:  " + std::to_string(St.WordMsgsSent) + " sent, " +
+           std::to_string(St.WordRepliesReceived) + " received\n";
+    Out += "bytes on wire:  " + std::to_string(St.BytesSent) + " sent, " +
+           std::to_string(St.BytesReceived) + " received\n";
+    Out += "pipeline:       " + std::to_string(St.Posted) + " posted, " +
+           std::to_string(St.MaxInFlight) + " max in flight, " +
+           std::to_string(St.StoresCombined) + " stores combined\n";
+    Out += "recovery:       " + std::to_string(St.Retries) + " retries, " +
+           std::to_string(St.Timeouts) + " timeouts, " +
+           std::to_string(St.StaleReplies) + " stale replies, " +
+           std::to_string(St.LinkDrops) + " drops, " +
+           std::to_string(St.LinkGarbles) + " garbles\n";
+    Out += "cache:          " + std::to_string(St.cacheHits()) + " hits, " +
+           std::to_string(St.cacheMisses()) + " misses\n";
+    for (const auto &[Space, C] : St.Cache)
       Out += "  space " + std::string(1, Space) + ":      " +
              std::to_string(C.Hits) + " hits, " + std::to_string(C.Misses) +
              " misses\n";
+    std::vector<DebugSession *> All = Debugger.sessions();
+    Out += "sessions:       " + std::to_string(All.size()) + " active, " +
+           std::to_string(Debugger.images().imageCount()) +
+           " shared images\n";
+    for (DebugSession *Each : All) {
+      const mem::TransportStats &ES = Each->stats();
+      Out += "  session " + Each->name() + ": " +
+             std::to_string(ES.Posted) + " posted, " +
+             std::to_string(ES.Retries) + " retries\n";
+    }
+    mem::TransportStats Fleet = Debugger.fleetStats();
+    Out += "fleet:          " + std::to_string(Fleet.RoundTrips) +
+           " round trips, " + std::to_string(Fleet.Posted) + " posted, " +
+           std::to_string(Fleet.Retries) + " retries\n";
     const ps::InterpStats &IS = ps::interpStats();
     Out += "atoms interned: " + std::to_string(IS.AtomsInterned) + "\n";
     Out += "dict lookups:   " + std::to_string(IS.DictFinds) + " finds, " +
@@ -239,33 +283,29 @@ std::string CommandInterpreter::execute(const std::string &Line) {
   }
 
   if (Cmd == "continue" || Cmd == "c") {
-    if (Error E = Debugger.continueToStop(*Current))
+    if (Error E = S->continueToStop())
       return errText(E.message());
-    CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);
     return (Where ? *Where : std::string("stopped")) + "\n";
   }
 
   if (Cmd == "step" || Cmd == "s") {
-    if (Error E = Debugger.stepToNextStop(*Current))
+    if (Error E = S->stepToNextStop())
       return errText(E.message());
-    CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);
     return (Where ? *Where : std::string("stopped")) + "\n";
   }
 
   if (Cmd == "next" || Cmd == "n") {
-    if (Error E = Debugger.stepOver(*Current))
+    if (Error E = S->stepOver())
       return errText(E.message());
-    CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);
     return (Where ? *Where : std::string("stopped")) + "\n";
   }
 
   if (Cmd == "finish") {
-    if (Error E = Debugger.stepOut(*Current))
+    if (Error E = S->stepOut())
       return errText(E.message());
-    CurrentFrame = 0;
     Expected<std::string> Where = describeStop(*Current);
     return (Where ? *Where : std::string("stopped")) + "\n";
   }
@@ -287,7 +327,7 @@ std::string CommandInterpreter::execute(const std::string &Line) {
   if (Cmd == "frame") {
     if (Words.size() < 2)
       return errText("frame N");
-    CurrentFrame = static_cast<unsigned>(std::atoi(Words[1].c_str()));
+    S->setCurrentFrame(static_cast<unsigned>(std::atoi(Words[1].c_str())));
     return "frame " + Words[1] + " selected\n";
   }
 
@@ -295,7 +335,7 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     if (Words.size() < 2)
       return errText("print NAME");
     Expected<std::string> V =
-        printVariable(*Current, Words[1], CurrentFrame);
+        printVariable(*Current, Words[1], S->currentFrame());
     if (!V)
       return errText(V.message());
     return Words[1] + " = " + *V + "\n";
@@ -305,8 +345,8 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     if (Words.size() < 2)
       return errText("eval EXPR");
     std::string Expr = Line.substr(Line.find(Cmd) + Cmd.size());
-    Expected<std::string> V =
-        evalExpression(*Current, Session, Expr, CurrentFrame);
+    Expected<std::string> V = evalExpression(*Current, S->exprSession(),
+                                             Expr, S->currentFrame());
     if (!V)
       return errText(V.message());
     return *V + "\n";
@@ -315,8 +355,8 @@ std::string CommandInterpreter::execute(const std::string &Line) {
   if (Cmd == "set") {
     if (Words.size() < 3)
       return errText("set NAME VALUE");
-    if (Error E =
-            assignVariable(*Current, Words[1], Words[2], CurrentFrame))
+    if (Error E = assignVariable(*Current, Words[1], Words[2],
+                                 S->currentFrame()))
       return errText(E.message());
     return Words[1] + " = " + Words[2] + "\n";
   }

@@ -22,8 +22,17 @@
 ///   frame N                           select the current frame
 ///   regs                              registers, with per-target names
 ///   disasm [N]                        disassemble N words at the pc
-///   targets / target NAME             list / switch targets
+///   targets / target NAME             list / switch sessions
+///   disconnect [NAME]                 drop a session
 ///   help, quit
+///
+/// The interpreter holds no per-session state of its own: it remembers
+/// only the *name* of the selected session and resolves it through the
+/// debugger on every command, so a session dropped out from under it
+/// (disconnect, reconnect-after-crash replacing the entry) can never
+/// leave a dangling pointer — the next command reports the session gone.
+/// Frame selection and the expression-server session live in the
+/// DebugSession and follow it across `target NAME` switches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,19 +52,32 @@ public:
   /// as "error: ..." text, not failures — this is the user surface).
   std::string execute(const std::string &Line);
 
+  /// The session commands apply to; switched by `target NAME`. Only the
+  /// name is remembered — resolution happens per command.
+  void setCurrent(DebugSession *S) {
+    CurrentName = S ? S->name() : std::string();
+  }
+  void setCurrent(Target *T) {
+    CurrentName = T ? T->name() : std::string();
+  }
+
+  /// The selected session's target, or null when none is selected or the
+  /// session is gone.
+  Target *current() {
+    DebugSession *S =
+        CurrentName.empty() ? nullptr : Debugger.session(CurrentName);
+    return S ? &S->target() : nullptr;
+  }
+
   bool quitRequested() const { return Quit; }
 
-  /// The target commands apply to; switched by `target NAME`.
-  void setCurrent(Target *T) { Current = T; }
-  Target *current() { return Current; }
-
 private:
-  std::string requireTarget();
+  /// Resolves the selected session; on failure fills \p Err with the
+  /// message to show and returns null (clearing a stale selection).
+  DebugSession *currentSession(std::string &Err);
 
   Ldb &Debugger;
-  ExprSession Session;
-  Target *Current = nullptr;
-  unsigned CurrentFrame = 0;
+  std::string CurrentName;
   bool Quit = false;
 };
 

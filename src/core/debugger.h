@@ -5,11 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The debugger: one embedded PostScript interpreter, any number of
-/// simultaneously connected targets (possibly on different architectures,
-/// paper Sec 7), and the high-level operations user interfaces build on —
-/// the paper's point that ldb defines a client interface so other
-/// programs (user interfaces, event-action debuggers) can drive it.
+/// The debugger: one embedded PostScript interpreter, a shared repository
+/// of per-image artifacts, and any number of simultaneously connected
+/// debugging sessions (possibly on different architectures, paper Sec 7).
+/// Ldb is the session factory; per-session mutable state lives in
+/// DebugSession, and the execution-control operations live in the exec
+/// namespace (core/session.h). The target-oriented methods here are
+/// compatibility wrappers over those free functions — the paper's point
+/// that ldb defines a client interface so other programs (user
+/// interfaces, event-action debuggers, fleet drivers) can drive it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +22,8 @@
 
 #include "core/eval.h"
 #include "core/expreval.h"
+#include "core/imagecache.h"
+#include "core/session.h"
 #include "core/symtab.h"
 #include "core/target.h"
 
@@ -27,18 +33,65 @@ class Ldb {
 public:
   /// Builds the interpreter and reads the initial PostScript (the prelude
   /// of printers — a separately timed startup phase in the paper's Sec 7
-  /// table).
+  /// table). Image sharing is on unless LDB_NO_IMAGE_SHARE is set.
   Ldb();
 
   ps::Interp &interp() { return I; }
 
   //===--------------------------------------------------------------------===
-  // Targets
+  // Sessions
   //===--------------------------------------------------------------------===
 
-  /// Connects a new target to a waiting process and reads its symbols
-  /// and loader table. When \p Sim is given the connection rides a
-  /// SimLink with those latency/fault parameters instead of a LocalLink.
+  /// Connects a new session to a waiting process and maps the image's
+  /// shared artifacts (symbol table, loader table, stop-site index) into
+  /// it — building them only for the first session on each image. With
+  /// sharing disabled every session interprets its own private copies
+  /// (the naive baseline bench_fleet measures against). When \p Sim is
+  /// given the connection rides a SimLink with those latency/fault
+  /// parameters; \p Clock joins it to a shared virtual clock so a fleet
+  /// event loop can pump many sessions in one time order. A session with
+  /// the same name replaces the old one (its transport counters roll into
+  /// the retired aggregate).
+  Expected<DebugSession *>
+  createSession(nub::ProcessHost &Host, const std::string &ProcName,
+                const std::string &PsSymtab, const std::string &LoaderTable,
+                const nub::SimParams *Sim = nullptr,
+                std::shared_ptr<nub::VirtualClock> Clock = nullptr);
+
+  DebugSession *session(const std::string &ProcName);
+  std::vector<DebugSession *> sessions();
+
+  /// The session owning \p T, or null (a target not created by this Ldb).
+  DebugSession *sessionFor(const Target &T);
+
+  /// Drops a session (detaching politely when still connected). Its
+  /// transport counters roll into the retired aggregate so fleet totals
+  /// survive the session.
+  void disconnect(const std::string &ProcName);
+
+  //===--------------------------------------------------------------------===
+  // Shared per-image artifacts and fleet-wide statistics
+  //===--------------------------------------------------------------------===
+
+  ImageRepository &images() { return Images; }
+
+  /// Toggles image sharing for sessions created after the call.
+  void setImageSharing(bool Share) { ShareImages = Share; }
+  bool imageSharing() const { return ShareImages; }
+
+  /// Transport counters summed across every live session plus everything
+  /// retired sessions accumulated before they were dropped.
+  mem::TransportStats fleetStats();
+
+  /// Clears the retired-session aggregate (stats reset does; live
+  /// sessions reset their own blocks).
+  void clearRetiredStats() { Retired.reset(); }
+
+  //===--------------------------------------------------------------------===
+  // Target-oriented compatibility interface
+  //===--------------------------------------------------------------------===
+
+  /// Connects a new session and returns its target.
   Expected<Target *> connect(nub::ProcessHost &Host,
                              const std::string &ProcName,
                              const std::string &PsSymtab,
@@ -48,9 +101,6 @@ public:
   Target *target(const std::string &ProcName);
   std::vector<Target *> targets();
 
-  /// Drops a target (detaching politely when still connected).
-  void disconnect(const std::string &ProcName);
-
   //===--------------------------------------------------------------------===
   // Breakpoints by source location or procedure name (paper Sec 3:
   // "users specify source locations or procedure names; ldb computes the
@@ -59,11 +109,15 @@ public:
 
   /// Plants a numbered breakpoint at every stopping point for File:Line.
   Expected<int> addBreakAtLine(Target &T, const std::string &File,
-                               int Line);
+                               int Line) {
+    return exec::addBreakAtLine(T, File, Line);
+  }
 
   /// Plants a numbered breakpoint at the procedure's entry stopping
   /// point.
-  Expected<int> addBreakAtProc(Target &T, const std::string &Proc);
+  Expected<int> addBreakAtProc(Target &T, const std::string &Proc) {
+    return exec::addBreakAtProc(T, Proc);
+  }
 
   /// Compatibility wrappers that drop the breakpoint number.
   Error breakAtLine(Target &T, const std::string &File, int Line);
@@ -73,37 +127,37 @@ public:
   /// once (against the breakpoint's first site, which fixes name
   /// resolution) and evaluated per hit; non-matching hits auto-resume.
   Error setBreakpointCondition(Target &T, ExprSession &Session, int Id,
-                               const std::string &Text);
+                               const std::string &Text) {
+    return exec::setBreakpointCondition(T, Session, Id, Text);
+  }
 
   /// Source-level stepping, built entirely on breakpoints (the layering
   /// the paper's Sec 7.1 sketches) but scoped by the stop-site index:
   /// temporaries go only at the current procedure's stopping points, the
   /// caller's (for returns), and the entries of procedures the current
-  /// statement can call — not the seed's every-stopping-point-in-the-
-  /// program sweep. Stops at the next stopping point reached, including
-  /// the entry of a called procedure.
-  Error stepToNextStop(Target &T);
+  /// statement can call. Stops at the next stopping point reached,
+  /// including the entry of a called procedure.
+  Error stepToNextStop(Target &T) { return exec::stepToNextStop(T); }
 
   /// `next`: like step, but a stop in a deeper frame (a call from this
   /// statement, including recursion) auto-resumes — unless a user
   /// breakpoint wants it.
-  Error stepOver(Target &T);
+  Error stepOver(Target &T) { return exec::stepOver(T); }
 
   /// `finish`: runs until the caller's frame is current again (plants
   /// only the caller's stopping points).
-  Error stepOut(Target &T);
+  Error stepOut(Target &T) { return exec::stepOut(T); }
 
   /// `continue` with breakpoint semantics: a hit whose ignore count or
   /// condition says "not this time" is counted and auto-resumed.
-  Error continueToStop(Target &T);
+  Error continueToStop(Target &T) { return exec::continueToStop(T); }
 
 private:
-  /// Evaluates \p U's ignore count and condition at a hit; bumps the
-  /// counters. True means "really stop".
-  Expected<bool> breakpointWantsStop(Target &T, Target::UserBreakpoint &U);
-
   ps::Interp I;
-  std::map<std::string, std::unique_ptr<Target>> Targets;
+  std::map<std::string, std::unique_ptr<DebugSession>> Sessions;
+  ImageRepository Images;
+  bool ShareImages = true;
+  mem::TransportStats Retired; ///< rollup of disconnected sessions
 };
 
 } // namespace ldb::core

@@ -1,0 +1,62 @@
+//===- core/fleet.cpp - N sessions on one event loop ------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/fleet.h"
+
+#include "nub/client.h"
+
+#include <algorithm>
+
+using namespace ldb;
+using namespace ldb::core;
+
+void SessionManager::add(DebugSession &S) {
+  if (std::find(Sessions.begin(), Sessions.end(), &S) != Sessions.end())
+    return;
+  Sessions.push_back(&S);
+  nub::ChannelEnd &End = S.target().client().channel();
+  Links.add(&End);
+  // The debugger-side end is polled by its own reply waits, never via the
+  // callback — free for the loop's wakeup accounting.
+  End.setReadable([this] { ++Wakeups; });
+}
+
+void SessionManager::remove(DebugSession &S) {
+  auto It = std::find(Sessions.begin(), Sessions.end(), &S);
+  if (It == Sessions.end())
+    return;
+  Sessions.erase(It);
+  nub::ChannelEnd &End = S.target().client().channel();
+  End.setReadable(nullptr);
+  Links.remove(&End);
+}
+
+void SessionManager::run(
+    const std::function<bool(DebugSession &, size_t)> &Turn) {
+  std::vector<bool> Live(Sessions.size(), true);
+  size_t Remaining = Sessions.size();
+  for (size_t Round = 0; Remaining > 0; ++Round) {
+    for (size_t I = 0; I < Sessions.size(); ++I) {
+      if (!Live[I])
+        continue;
+      ++Turns;
+      if (!Turn(*Sessions[I], Round)) {
+        Live[I] = false;
+        --Remaining;
+      }
+      // Deliver whatever the turn left in flight before the next session
+      // runs, so cross-session time stays in arrival order.
+      Links.pumpAll();
+    }
+  }
+}
+
+mem::TransportStats SessionManager::rollup() const {
+  mem::TransportStats Out;
+  for (DebugSession *S : Sessions)
+    Out.accumulate(S->stats());
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- core/fleet.h - N sessions on one event loop --------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet event loop: N debugging sessions multiplexed over one thread.
+/// Each session's wire is one ChannelEnd registered in a nub::LinkSet;
+/// whichever link holds the globally earliest in-flight message is pumped
+/// next, so sessions on a shared virtual clock interleave in arrival
+/// order — the socket event loop the paper's nub runs, lifted to the
+/// debugger side and N targets. run() drives the sessions round-robin at
+/// command granularity (one debugger command per turn is the natural
+/// yield point: every command quiesces its own wire before returning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_FLEET_H
+#define LDB_CORE_FLEET_H
+
+#include "core/session.h"
+#include "nub/channel.h"
+
+#include <functional>
+
+namespace ldb::core {
+
+class SessionManager {
+public:
+  /// Registers a connected session: its channel joins the pump set and
+  /// its readable callback counts wakeups (the debugger-side end has no
+  /// other listener). Borrowed, not owned — remove before the session
+  /// dies.
+  void add(DebugSession &S);
+  void remove(DebugSession &S);
+  size_t sessionCount() const { return Sessions.size(); }
+
+  /// Delivers the earliest in-flight message across every session's link;
+  /// false when all wires are quiet.
+  bool pumpNext() { return Links.pumpNext(); }
+
+  /// Drains every wire; returns how many messages were delivered.
+  size_t pumpAll() { return Links.pumpAll(); }
+
+  /// Round-robin cooperative schedule: calls Turn(session, round) for
+  /// each live session, pumping the wires between turns, until every
+  /// session's Turn has returned false. One Turn should issue one
+  /// command-sized unit of work.
+  void run(const std::function<bool(DebugSession &, size_t)> &Turn);
+
+  /// Transport counters summed across the managed sessions.
+  mem::TransportStats rollup() const;
+
+  /// Turns taken across run() calls; wire wakeups observed.
+  uint64_t turns() const { return Turns; }
+  uint64_t wakeups() const { return Wakeups; }
+
+private:
+  std::vector<DebugSession *> Sessions;
+  nub::LinkSet Links;
+  uint64_t Turns = 0;
+  uint64_t Wakeups = 0;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_FLEET_H

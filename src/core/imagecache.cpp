@@ -1,0 +1,106 @@
+//===- core/imagecache.cpp - shared per-image artifacts --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/imagecache.h"
+
+#include "core/symtab.h"
+#include "core/target.h"
+#include "postscript/fastload.h"
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::ps;
+
+Error core::verifyLoadedImage(Interp &I, const std::string &ArchName,
+                              uint32_t &RptAddr) {
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return Error::failure("loader table did not define /loadertable");
+  if (const Object *Rpt = LT.DictVal->find("rpt"))
+    RptAddr = static_cast<uint32_t>(Rpt->IntVal);
+
+  // Consistency check (paper Sec 2): the anchor-symbol names in the
+  // top-level dictionary must all appear in the loader table, ensuring
+  // the symbol table matches the object code.
+  Object Top;
+  if (!I.lookup("symtab", Top) || Top.Ty != Type::Dict)
+    return Error::success(); // no symbols loaded; nothing to verify
+  Expected<Object> SymArch = symtab::field(I, Top, "architecture");
+  if (SymArch && SymArch->text() != ArchName)
+    return Error::failure("symbol table is for " + SymArch->text() +
+                          " but the target runs " + ArchName);
+  Expected<Object> Anchors = symtab::field(I, Top, "anchors");
+  if (!Anchors)
+    return Anchors.takeError();
+  Expected<Object> AnchorMap = symtab::field(I, LT, "anchormap");
+  if (!AnchorMap)
+    return AnchorMap.takeError();
+  for (const Object &A : *Anchors->ArrVal)
+    if (!AnchorMap->DictVal->contains(A.text()))
+      return Error::failure(
+          "symbol table does not match the object code: anchor " + A.text() +
+          " is missing from the loader table");
+  return Error::success();
+}
+
+size_t ImageRepository::sourceBytes() const {
+  size_t N = 0;
+  for (const auto &[Key, Img] : Images)
+    N += Img->sourceBytes();
+  return N;
+}
+
+Expected<std::shared_ptr<SharedImage>>
+ImageRepository::acquire(Target &For, const std::string &PsSymtab,
+                         const std::string &LoaderTable) {
+  const std::string &ArchName = For.arch().Desc->Name;
+  // Content-hash key over the triple: same architecture and same texts
+  // means the interpreted dictionaries would come out identical.
+  uint64_t H1 = fastload::contentHash(ArchName + "\n" + PsSymtab);
+  uint64_t H2 = fastload::contentHash(LoaderTable);
+  uint64_t Key = H1 ^ (H2 + 0x9e3779b97f4a7c15ull + (H1 << 6) + (H1 >> 2));
+  auto It = Images.find(Key);
+  if (It != Images.end())
+    return It->second;
+
+  auto Img = std::make_shared<SharedImage>();
+  Img->Key = Key;
+  Img->Arch = ArchName;
+  Img->SrcBytes = PsSymtab.size() + LoaderTable.size();
+  Img->Dict = Object::makeDict(std::make_shared<DictImpl>());
+
+  // Interpret the texts with the acquiring target's architecture
+  // dictionary below the image dictionary — the same stack shape a
+  // private load sees (Target::Scope), so machine-dependent names
+  // resolve identically; the defs land in the shared image dictionary.
+  // The hooks are the acquiring target's: any LazyData forced during the
+  // verification below reads image constants, which are the same through
+  // every target running this image.
+  Interp &I = For.interp();
+  size_t Depth = I.dictStack().size();
+  DebugHooks *SavedHooks = I.Hooks;
+  I.dictStack().push_back(For.archDict());
+  I.dictStack().push_back(Img->Dict);
+  I.Hooks = &For;
+
+  Error E = Error::success();
+  if (!PsSymtab.empty())
+    E = fastload::Cache::global().run(I, PsSymtab);
+  if (!E && !LoaderTable.empty())
+    E = fastload::Cache::global().run(I, LoaderTable);
+  if (!E && !LoaderTable.empty())
+    E = verifyLoadedImage(I, ArchName, Img->Rpt);
+  Img->Index = std::make_unique<StopSiteIndex>(I);
+  if (!E && !LoaderTable.empty())
+    E = Img->Index->build();
+
+  I.dictStack().resize(Depth);
+  I.Hooks = SavedHooks;
+  if (E)
+    return E;
+  Images[Key] = Img;
+  return Img;
+}

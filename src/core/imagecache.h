@@ -1,0 +1,107 @@
+//===- core/imagecache.h - shared per-image artifacts -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The image repository: one copy of each image's immutable heavyweights,
+/// shared by every session debugging that image. A session's Target used
+/// to interpret its own copy of the symbol table and loader table into a
+/// private dictionary — megabytes of PostScript objects duplicated per
+/// session, the "unbounded per-session duplication" a fleet server cannot
+/// afford. The repository interprets each distinct (architecture, symbol
+/// table, loader table) triple once, into a shared image dictionary, and
+/// builds one StopSiteIndex over it; sessions map the dictionary into
+/// their scope below their private target dictionary, so per-session
+/// definitions (expression temporaries, anything user-defined) still land
+/// privately while symtab and loader lookups resolve through the shared
+/// copy.
+///
+/// What is shareable and why:
+///  * the symtab/loadertable dictionaries — immutable after load; the
+///    deferred-entry forcing memoizes *into* the shared structure, so one
+///    session's forcing pays for everyone (the AtomTable and fastload
+///    token cache below this layer are already process-global);
+///  * the StopSiteIndex — reads only the interpreter, never target
+///    memory;
+///  * the /where reconstruction — its LazyData forcing reads anchor
+///    addresses and data words that are constants of the loaded image,
+///    identical across sessions running the same image.
+/// Per-session state (breakpoints, stop state, caches, transport) stays
+/// in the Target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_IMAGECACHE_H
+#define LDB_CORE_IMAGECACHE_H
+
+#include "core/stopindex.h"
+#include "postscript/object.h"
+#include "support/error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ldb::core {
+
+class Target;
+
+/// The immutable heavyweights of one loaded image: the interpreted
+/// symtab + loadertable dictionary, the stop-site index over it, and the
+/// handful of scalars extracted at load time. Built once by the
+/// repository; mapped read-through into every session's scope.
+class SharedImage {
+public:
+  uint64_t key() const { return Key; }
+  const std::string &archName() const { return Arch; }
+  ps::Object imageDict() const { return Dict; }
+  uint32_t rptAddr() const { return Rpt; }
+  StopSiteIndex &stopIndex() { return *Index; }
+  /// Bytes of PostScript source the image was built from — what every
+  /// additional session avoids re-interpreting.
+  size_t sourceBytes() const { return SrcBytes; }
+
+private:
+  friend class ImageRepository;
+  uint64_t Key = 0;
+  std::string Arch;
+  ps::Object Dict;
+  std::unique_ptr<StopSiteIndex> Index;
+  uint32_t Rpt = 0;
+  size_t SrcBytes = 0;
+};
+
+/// The per-debugger image cache, keyed by content hash of (architecture,
+/// symbol table, loader table). acquire() returns the existing entry when
+/// the image is already loaded; otherwise it interprets the texts once —
+/// inside \p For's architecture scope, so machine-dependent names resolve
+/// exactly as a private load would — and indexes them.
+class ImageRepository {
+public:
+  Expected<std::shared_ptr<SharedImage>>
+  acquire(Target &For, const std::string &PsSymtab,
+          const std::string &LoaderTable);
+
+  size_t imageCount() const { return Images.size(); }
+  /// Source bytes across all entries: the per-session cost each sharing
+  /// session avoids.
+  size_t sourceBytes() const;
+
+private:
+  std::map<uint64_t, std::shared_ptr<SharedImage>> Images;
+};
+
+/// The post-load consistency check both load paths share (paper Sec 2):
+/// /loadertable must exist, the symtab's architecture must match
+/// \p ArchName, and every anchor symbol the symtab names must appear in
+/// the loader table's anchor map. Extracts the runtime procedure table
+/// address into \p RptAddr. Must run inside a scope where the freshly
+/// loaded dictionaries are visible.
+Error verifyLoadedImage(ps::Interp &I, const std::string &ArchName,
+                        uint32_t &RptAddr);
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_IMAGECACHE_H

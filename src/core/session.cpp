@@ -1,0 +1,495 @@
+//===- core/session.cpp - one debugging session ----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/session.h"
+
+#include "core/eval.h"
+#include "core/symtab.h"
+#include "support/byteorder.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ldb;
+using namespace ldb::core;
+
+Expected<int> exec::addBreakAtLine(Target &T, const std::string &File,
+                                   int Line) {
+  Target::Scope S(T);
+  Expected<std::vector<symtab::StopSite>> Sites =
+      symtab::stopsForSource(T, File, Line);
+  if (!Sites)
+    return Sites.takeError();
+  std::vector<uint32_t> Addrs;
+  for (const symtab::StopSite &Site : *Sites)
+    Addrs.push_back(Site.Addr);
+  return T.addUserBreakpoint(File + ":" + std::to_string(Line), Addrs);
+}
+
+Expected<int> exec::addBreakAtProc(Target &T, const std::string &Proc) {
+  Target::Scope S(T);
+  Expected<symtab::StopSite> Site = symtab::entryStop(T, Proc);
+  if (!Site)
+    return Site.takeError();
+  return T.addUserBreakpoint(Proc, {Site->Addr});
+}
+
+Error exec::setBreakpointCondition(Target &T, ExprSession &Session, int Id,
+                                   const std::string &Text) {
+  Target::Scope S(T);
+  Target::UserBreakpoint *U = T.userBreakpoint(Id);
+  if (!U)
+    return Error::failure("no breakpoint " + std::to_string(Id));
+  // Compile once against the breakpoint's first site: that fixes which
+  // symbols the condition's names resolve to (locals become
+  // frame-relative locations). Each hit then runs the compiled procedure
+  // against the stopped frame's memory.
+  Expected<symtab::StopSite> Site = symtab::stopForPc(T, U->Addrs.front());
+  if (!Site)
+    return Site.takeError();
+  Expected<ps::Object> Proc = compileExpression(T, Session, Text, *Site);
+  if (!Proc)
+    return Proc.takeError();
+  U->CondText = Text;
+  U->Condition = *Proc;
+  return Error::success();
+}
+
+Expected<bool> exec::breakpointWantsStop(Target &T,
+                                         Target::UserBreakpoint &U) {
+  Target::ExecStats &ES = T.execStats();
+  ++U.HitCount;
+  ++ES.BpHits;
+  if (U.Ignore > 0) {
+    --U.Ignore;
+    ++ES.IgnoreResumes;
+    return false;
+  }
+  if (U.Condition.Ty == ps::Type::Null)
+    return true;
+  ++ES.CondEvals;
+  Expected<bool> V = evalCondition(T, U.Condition);
+  if (!V)
+    return Error::failure("breakpoint " + std::to_string(U.Id) +
+                          " condition '" + U.CondText + "': " + V.message());
+  if (!*V)
+    ++ES.CondResumes;
+  return *V;
+}
+
+namespace {
+
+/// The next stopping-point address strictly after \p From in \p P, or
+/// \p P.End (0 for the last procedure) when the statement region runs to
+/// the procedure's end.
+uint32_t nextLocusAddrAfter(const StopSiteIndex::Proc &P, uint32_t From) {
+  auto It = std::upper_bound(
+      P.Loci.begin(), P.Loci.end(), From,
+      [](uint32_t V, const StopSiteIndex::Locus &L) { return V < L.Addr; });
+  return It == P.Loci.end() ? P.End : It->Addr;
+}
+
+/// Adds every stopping point of \p P (loading its loci if needed).
+Error addProcSites(StopSiteIndex &Idx, StopSiteIndex::Proc &P,
+                   std::set<uint32_t> &Sites) {
+  if (Error E = Idx.ensureLoaded(P))
+    return E;
+  for (const StopSiteIndex::Locus &L : P.Loci)
+    Sites.insert(L.Addr);
+  return Error::success();
+}
+
+/// Call-scan regions are capped: scanning is O(region), and a statement
+/// region is small. The cap only bites in procedures with no upper bound
+/// (the image's last) or without symbols (startup code).
+constexpr uint32_t ScanCap = 16 * 1024;
+
+/// Clamps a call-scan region [From, To) to the cap; To == 0 means "no
+/// upper bound known".
+void clampScan(uint32_t From, uint32_t &To) {
+  if (To == 0 || To - From > ScanCap)
+    To = From + ScanCap;
+}
+
+/// Scans the pre-clamped code range [From, To) for direct calls and adds
+/// the callee's entry stopping point for each call that targets a known
+/// procedure entry. The compiler emits every call as Jal with an
+/// absolute word-address target, and every loop's branch targets land at
+/// or before a stopping point, so the region between two adjacent
+/// stopping points contains exactly the calls the current statement can
+/// make. Only the entry locus is planted: it sits right after the
+/// prologue at the callee's lowest stopping-point address, so execution
+/// reaches it before any other site in the callee — planting the rest
+/// would change nothing about where the step stops.
+Error addCalleeSites(Target &T, StopSiteIndex &Idx, uint32_t From,
+                     uint32_t To, std::set<uint32_t> &Sites) {
+  if (To <= From)
+    return Error::success();
+  std::vector<uint8_t> Block(To - From);
+  if (Error E = T.wire()->fetchBlock(
+          mem::Location::absolute(mem::SpCode, From), Block.size(),
+          Block.data()))
+    return E;
+  const target::TargetDesc &Desc = *T.arch().Desc;
+  for (uint32_t Off = 0; Off + 4 <= Block.size(); Off += 4) {
+    uint32_t Word = static_cast<uint32_t>(
+        unpackInt(Block.data() + Off, 4, Desc.Order));
+    target::Instr In;
+    if (!Desc.Enc.decode(Word, In) || In.Opc != target::Op::Jal)
+      continue;
+    uint32_t Callee = static_cast<uint32_t>(In.Imm) * 4;
+    Expected<StopSiteIndex::Proc *> CP = Idx.procContaining(Callee);
+    if (!CP || (*CP)->Addr != Callee)
+      continue; // not a procedure entry: not a call we understand
+    if (Error E = Idx.ensureLoaded(**CP))
+      return E;
+    if (const StopSiteIndex::Locus *L = StopSiteIndex::entryLocus(**CP))
+      Sites.insert(L->Addr);
+  }
+  return Error::success();
+}
+
+/// The scoped-stepping site set: the current procedure's stopping
+/// points; at the exit stop, the caller's as well (the return is about
+/// to happen); and, when stepping into calls, the entries of the
+/// procedures the current statement region calls. The seed planted every
+/// stopping point of every procedure instead — and forced every deferred
+/// symtab entry doing it.
+///
+/// Before reading anything, the regions the step will touch are warmed
+/// into the block cache as one aligned transfer per cluster, so the call
+/// scan and the plant's verification fetch are cache hits instead of
+/// separate round trips.
+/// One pipelined warm round for everything the step is about to read,
+/// sized from the stop pc the nub reported in the Stopped message: the
+/// context block and stack window (the frame and context reads), the
+/// current procedure's code, and the likely call-scan region. The hint
+/// only warms — every semantic read below still goes through the context,
+/// and now hits the cache. Best-effort: a span that cannot be warmed just
+/// means the reads pay their own way.
+void warmStepReads(Target &T, StopSiteIndex &Idx) {
+  if (!T.stopped())
+    return;
+  uint32_t Hint = T.lastStop().Pc;
+  std::vector<std::pair<mem::Location, size_t>> Spans;
+  T.stopContextSpans(Spans);
+  Expected<StopSiteIndex::Proc *> POr = Idx.procContaining(Hint);
+  if (POr && !Idx.ensureLoaded(**POr)) {
+    StopSiteIndex::Proc &P = **POr;
+    uint32_t From = 0, To = 0;
+    if (P.HasSymbols && !P.Loci.empty()) {
+      From = P.Loci.front().Addr;
+      To = P.Loci.back().Addr + 4;
+    }
+    // The scan region can run past the procedure's sites (startup code,
+    // the last procedure): extend the span to cover it.
+    uint32_t ScanFrom = Hint, ScanTo = P.HasSymbols
+                                          ? nextLocusAddrAfter(P, Hint)
+                                          : P.End;
+    clampScan(ScanFrom, ScanTo);
+    if (From == To) {
+      From = ScanFrom;
+      To = ScanTo;
+    } else {
+      From = std::min(From, ScanFrom);
+      To = std::max(To, ScanTo);
+    }
+    constexpr uint32_t WarmCap = 64 * 1024;
+    if (To > From && To - From <= WarmCap)
+      Spans.push_back({mem::Location::absolute(mem::SpCode, From),
+                       static_cast<size_t>(To - From)});
+  }
+  (void)T.warmSpans(Spans);
+}
+
+Error collectStepSites(Target &T, bool IntoCalls,
+                       std::set<uint32_t> &Sites) {
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (!IdxOr)
+    return IdxOr.takeError();
+  StopSiteIndex &Idx = **IdxOr;
+  warmStepReads(T, Idx);
+  Expected<uint32_t> Pc = T.ctxPc();
+  if (!Pc)
+    return Pc.takeError();
+  Expected<StopSiteIndex::Proc *> POr = Idx.procContaining(*Pc);
+  if (!POr)
+    return POr.takeError();
+  StopSiteIndex::Proc &P = **POr;
+  if (Error E = Idx.ensureLoaded(P))
+    return E;
+
+  // The exact stopping point we are at, when there is one.
+  const StopSiteIndex::Locus *Cur = nullptr;
+  auto It = std::lower_bound(
+      P.Loci.begin(), P.Loci.end(), *Pc,
+      [](const StopSiteIndex::Locus &L, uint32_t V) { return L.Addr < V; });
+  if (It != P.Loci.end() && It->Addr == *Pc)
+    Cur = &*It;
+  bool AtExit = Cur && Cur->Addr == P.Loci.back().Addr;
+
+  // At the exit stop the next stop is in the caller: find it up front so
+  // its sites share the warming pass. Frame-walk errors degrade
+  // gracefully — _start has no caller, and the current procedure's sites
+  // are still planted.
+  StopSiteIndex::Proc *CallerProc = nullptr;
+  uint32_t CallerPc = 0;
+  if (AtExit) {
+    Expected<FrameInfo> Caller = T.frame(1);
+    if (Caller) {
+      Expected<StopSiteIndex::Proc *> CPOr = Idx.procContaining(Caller->Pc);
+      if (CPOr) {
+        CallerProc = *CPOr;
+        CallerPc = Caller->Pc;
+        if (Error E = Idx.ensureLoaded(*CallerProc))
+          return E;
+      }
+    }
+  }
+
+  // The call-scan region. At the exit stop a multi-call statement
+  // (fib(n-1) + fib(n-2)) calls again after the return, before the
+  // caller's next stopping point: scan the caller's post-return region.
+  // Otherwise scan [here, next stopping point); without symbols for this
+  // procedure (stopped in startup code) the whole remainder is the
+  // region — that is how the first step out of _start reaches main's
+  // entry.
+  bool HaveScan = false;
+  uint32_t ScanFrom = 0, ScanTo = 0;
+  if (AtExit) {
+    if (IntoCalls && CallerProc && CallerProc->HasSymbols) {
+      ScanFrom = CallerPc + 4;
+      ScanTo = nextLocusAddrAfter(*CallerProc, CallerPc);
+      HaveScan = true;
+    }
+  } else if (IntoCalls || !P.HasSymbols) {
+    ScanFrom = Cur ? Cur->Addr : *Pc;
+    ScanTo = P.HasSymbols ? nextLocusAddrAfter(P, ScanFrom) : P.End;
+    HaveScan = true;
+  }
+  if (HaveScan)
+    clampScan(ScanFrom, ScanTo);
+
+  // Warm whatever the hint round missed (the caller's code at an exit
+  // stop, a scan region that moved) in one more pipelined round; spans
+  // already resident cost nothing.
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> Code;
+    auto NoteProc = [&Code](const StopSiteIndex::Proc &Q) {
+      if (Q.HasSymbols && !Q.Loci.empty())
+        Code.push_back({Q.Loci.front().Addr, Q.Loci.back().Addr + 4});
+    };
+    NoteProc(P);
+    if (CallerProc)
+      NoteProc(*CallerProc);
+    if (HaveScan && ScanFrom < ScanTo)
+      Code.push_back({ScanFrom, ScanTo});
+    std::sort(Code.begin(), Code.end());
+    constexpr uint32_t MergeGap = 1024, WarmCap = 64 * 1024;
+    std::vector<std::pair<mem::Location, size_t>> Spans;
+    for (size_t I = 0; I < Code.size();) {
+      auto [From, To] = Code[I++];
+      while (I < Code.size() && Code[I].first <= To + MergeGap) {
+        To = std::max(To, Code[I].second);
+        ++I;
+      }
+      if (To - From <= WarmCap)
+        Spans.push_back({mem::Location::absolute(mem::SpCode, From),
+                         static_cast<size_t>(To - From)});
+    }
+    (void)T.warmSpans(Spans);
+  }
+
+  if (Error E = addProcSites(Idx, P, Sites))
+    return E;
+  if (CallerProc)
+    if (Error E = addProcSites(Idx, *CallerProc, Sites))
+      return E;
+  if (HaveScan)
+    if (Error E = addCalleeSites(T, Idx, ScanFrom, ScanTo, Sites))
+      return E;
+  return Error::success();
+}
+
+/// After a stop: one pipelined round warming everything the stop's
+/// readers touch first — the frame-depth judging in next/finish, the
+/// user's print/backtrace, the next step's call scan. Any restore
+/// stores already queued ride the same round. Best-effort.
+void warmAfterStop(Target &T) {
+  if (!T.stopped())
+    return;
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (IdxOr)
+    warmStepReads(T, **IdxOr);
+}
+
+} // namespace
+
+Error exec::stepToNextStop(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Steps;
+  std::set<uint32_t> Sites;
+  if (Error E = collectStepSites(T, /*IntoCalls=*/true, Sites))
+    return E;
+  // One batch plant and one batch removal: a handful of block transfers
+  // instead of a round trip per stopping point.
+  if (Error E = T.plantTemporaries(
+          std::vector<uint32_t>(Sites.begin(), Sites.end())))
+    return E;
+  Error RunError = T.resume();
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  if (!RunError)
+    warmAfterStop(T);
+  return RunError;
+}
+
+Error exec::stepOver(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Nexts;
+  std::set<uint32_t> Sites;
+  if (Error E = collectStepSites(T, /*IntoCalls=*/false, Sites))
+    return E;
+  // Depth is judged by the virtual frame pointer: the stack grows down,
+  // so a deeper frame has a smaller vfp. Without a walkable frame
+  // (stopped in startup code) the first stop wins — a plain step.
+  bool HaveVfp = false;
+  uint32_t StartVfp = 0;
+  if (Expected<FrameInfo> F = T.frame(0)) {
+    HaveVfp = true;
+    StartVfp = F->Vfp;
+  }
+  if (Error E = T.plantTemporaries(
+          std::vector<uint32_t>(Sites.begin(), Sites.end())))
+    return E;
+  Error RunError = Error::success();
+  for (uint64_t Guard = 0;; ++Guard) {
+    if (Guard > 1000000) {
+      RunError = Error::failure("next did not converge");
+      break;
+    }
+    RunError = T.resume();
+    if (!RunError)
+      warmAfterStop(T);
+    if (RunError || T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap || !HaveVfp)
+      break;
+    Expected<FrameInfo> F = T.frame(0);
+    if (!F)
+      break; // cannot judge depth: surface the stop
+    if (F->Vfp >= StartVfp)
+      break; // the same frame or a shallower one: the step is done
+    // A deeper frame: a call out of this statement (recursion included).
+    // Only a user breakpoint that wants the stop may keep it.
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc) {
+      RunError = Pc.takeError();
+      break;
+    }
+    if (Target::UserBreakpoint *U = T.userBreakpointAt(*Pc)) {
+      Expected<bool> Want = breakpointWantsStop(T, *U);
+      if (!Want) {
+        RunError = Want.takeError();
+        break;
+      }
+      if (*Want)
+        break;
+    }
+  }
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  return RunError;
+}
+
+Error exec::stepOut(Target &T) {
+  Target::Scope S(T);
+  ++T.execStats().Finishes;
+  Expected<FrameInfo> Caller = T.frame(1);
+  if (!Caller)
+    return Error::failure("no caller frame to finish to");
+  Expected<StopSiteIndex *> IdxOr = T.stopIndex();
+  if (!IdxOr)
+    return IdxOr.takeError();
+  StopSiteIndex &Idx = **IdxOr;
+  Expected<StopSiteIndex::Proc *> CPOr = Idx.procContaining(Caller->Pc);
+  if (!CPOr)
+    return CPOr.takeError();
+  StopSiteIndex::Proc &CP = **CPOr;
+  if (Error E = Idx.ensureLoaded(CP))
+    return E;
+  if (!CP.HasSymbols)
+    return Error::failure("no debugging symbols for " + CP.Name);
+  std::vector<uint32_t> Addrs;
+  for (const StopSiteIndex::Locus &L : CP.Loci)
+    Addrs.push_back(L.Addr);
+  uint32_t TargetVfp = Caller->Vfp;
+  if (Error E = T.plantTemporaries(Addrs))
+    return E;
+  Error RunError = Error::success();
+  for (uint64_t Guard = 0;; ++Guard) {
+    if (Guard > 1000000) {
+      RunError = Error::failure("finish did not converge");
+      break;
+    }
+    RunError = T.resume();
+    if (!RunError)
+      warmAfterStop(T);
+    if (RunError || T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap)
+      break;
+    Expected<FrameInfo> F = T.frame(0);
+    if (!F)
+      break;
+    if (F->Vfp >= TargetVfp)
+      break; // back in the caller (or above it)
+    // Still below the caller: recursion through the caller's own
+    // stopping points, or a user breakpoint.
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc) {
+      RunError = Pc.takeError();
+      break;
+    }
+    if (Target::UserBreakpoint *U = T.userBreakpointAt(*Pc)) {
+      Expected<bool> Want = breakpointWantsStop(T, *U);
+      if (!Want) {
+        RunError = Want.takeError();
+        break;
+      }
+      if (*Want)
+        break;
+    }
+  }
+  Error E = T.clearTemporaries();
+  if (!RunError && E)
+    RunError = std::move(E);
+  return RunError;
+}
+
+Error exec::continueToStop(Target &T) {
+  Target::Scope S(T);
+  for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
+    if (Error E = T.resume())
+      return E;
+    warmAfterStop(T);
+    if (T.exited() || !T.stopped() ||
+        T.lastStop().Signo != nub::SigTrap)
+      return Error::success();
+    Expected<uint32_t> Pc = T.ctxPc();
+    if (!Pc)
+      return Pc.takeError();
+    Target::UserBreakpoint *U = T.userBreakpointAt(*Pc);
+    if (!U)
+      return Error::success(); // a trap we did not plant: surface it
+    Expected<bool> Want = breakpointWantsStop(T, *U);
+    if (!Want)
+      return Want.takeError();
+    if (*Want)
+      return Error::success();
+  }
+  return Error::failure("continue did not converge");
+}

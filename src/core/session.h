@@ -1,0 +1,122 @@
+//===- core/session.h - one debugging session -------------------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DebugSession owns all per-session mutable state: the Target (its nub
+/// connection, stop state, breakpoints, transport counters), the
+/// expression-server session, and the user's current frame selection.
+/// Everything above it — Ldb, the command interpreter, the fleet event
+/// loop — operates on sessions; everything immutable and per-image lives
+/// in the shared ImageRepository instead. This is the separation the
+/// paper's client interface implies (Sec 2, 7): one debugger core, any
+/// number of independent sessions multiplexed over it.
+///
+/// The execution-control operations (scoped stepping, breakpoint
+/// planting by source location, conditional-hit auto-resume) live here as
+/// free functions over Target in the exec namespace; DebugSession's
+/// methods and Ldb's target-oriented compatibility wrappers both delegate
+/// to them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_SESSION_H
+#define LDB_CORE_SESSION_H
+
+#include "core/expreval.h"
+#include "core/target.h"
+
+namespace ldb::core {
+
+class Ldb;
+
+//===----------------------------------------------------------------------===//
+// Execution control over a target (paper Sec 3, 7.1). All of it is
+// breakpoint-based and scoped by the stop-site index.
+//===----------------------------------------------------------------------===//
+
+namespace exec {
+
+/// Plants a numbered breakpoint at every stopping point for File:Line.
+Expected<int> addBreakAtLine(Target &T, const std::string &File, int Line);
+
+/// Plants a numbered breakpoint at the procedure's entry stopping point.
+Expected<int> addBreakAtProc(Target &T, const std::string &Proc);
+
+/// Attaches a condition to breakpoint \p Id: compiled once against the
+/// breakpoint's first site, evaluated per hit via \p Session's server.
+Error setBreakpointCondition(Target &T, ExprSession &Session, int Id,
+                             const std::string &Text);
+
+/// Evaluates \p U's ignore count and condition at a hit; bumps the
+/// counters. True means "really stop".
+Expected<bool> breakpointWantsStop(Target &T, Target::UserBreakpoint &U);
+
+/// Source-level step into calls; `next` over them; `finish` out to the
+/// caller; `continue` with conditional-hit auto-resume.
+Error stepToNextStop(Target &T);
+Error stepOver(Target &T);
+Error stepOut(Target &T);
+Error continueToStop(Target &T);
+
+} // namespace exec
+
+/// One debugging session: a connected target plus the per-session state
+/// that used to be smeared across Ldb and the command interpreter.
+/// Created by Ldb (the session factory), which shares its interpreter and
+/// image repository across all sessions.
+class DebugSession {
+public:
+  DebugSession(Ldb &Owner, std::string Name, ps::Interp &I)
+      : Owner(Owner), Name(std::move(Name)),
+        T(std::make_unique<Target>(this->Name, I)) {}
+
+  const std::string &name() const { return Name; }
+  Ldb &debugger() { return Owner; }
+  Target &target() { return *T; }
+  ExprSession &exprSession() { return Session; }
+
+  /// The user's frame selection (print/eval/set read it); reset to the
+  /// stopped frame whenever the target runs or the session is re-entered.
+  unsigned currentFrame() const { return CurrentFrame; }
+  void setCurrentFrame(unsigned N) { CurrentFrame = N; }
+
+  /// This session's transport counters (the fleet rollup sums them).
+  mem::TransportStats &stats() { return T->stats(); }
+
+  // Breakpoints.
+  Expected<int> addBreakAtLine(const std::string &File, int Line) {
+    return exec::addBreakAtLine(*T, File, Line);
+  }
+  Expected<int> addBreakAtProc(const std::string &Proc) {
+    return exec::addBreakAtProc(*T, Proc);
+  }
+  Error setBreakpointCondition(int Id, const std::string &Text) {
+    return exec::setBreakpointCondition(*T, Session, Id, Text);
+  }
+
+  // Execution control. Each resets the frame selection on success.
+  Error stepToNextStop() { return ranTo(exec::stepToNextStop(*T)); }
+  Error stepOver() { return ranTo(exec::stepOver(*T)); }
+  Error stepOut() { return ranTo(exec::stepOut(*T)); }
+  Error continueToStop() { return ranTo(exec::continueToStop(*T)); }
+
+private:
+  Error ranTo(Error E) {
+    if (!E)
+      CurrentFrame = 0;
+    return E;
+  }
+
+  Ldb &Owner;
+  std::string Name;
+  std::unique_ptr<Target> T;
+  ExprSession Session;
+  unsigned CurrentFrame = 0;
+};
+
+} // namespace ldb::core
+
+#endif // LDB_CORE_SESSION_H

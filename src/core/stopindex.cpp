@@ -26,7 +26,6 @@ Error indexError(const std::string &Symbol, const std::string &Message) {
 } // namespace
 
 Error StopSiteIndex::build() {
-  Interp &I = T.interp();
   Object LT;
   if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
     return Error::failure("no loader table for this target");
@@ -78,7 +77,6 @@ Error StopSiteIndex::ensureLoaded(Proc &P) {
   if (P.Loaded)
     return Error::success();
 
-  Interp &I = T.interp();
   Expected<Object> Top = symtab::topLevel(I);
   if (!Top) {
     P.Loaded = true;
@@ -112,7 +110,6 @@ Error StopSiteIndex::loadFromEntry(Proc &P, ps::Object Entry) {
     return Error::success();
   P.Loaded = true;
 
-  Interp &I = T.interp();
   Expected<Object> Loci = symtab::field(I, Entry, "loci");
   if (!Loci)
     return indexError(P.Name, Loci.message());
@@ -176,7 +173,6 @@ Expected<StopSiteIndex::LocusRef> StopSiteIndex::nearestLocus(uint32_t Pc) {
 
 Expected<std::vector<StopSiteIndex::LocusRef>>
 StopSiteIndex::lociForSource(const std::string &File, int Line) {
-  Interp &I = T.interp();
   auto Cached = FileProcs.find(File);
   if (Cached == FileProcs.end()) {
     // First query against this file: force its procedures (and only its)

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A per-target index of stopping points, built once from the loader
-/// table's proctable and completed lazily per procedure, so execution
+/// An index of stopping points, built once from the loader table's
+/// proctable and completed lazily per procedure, so execution
 /// control scales with the current procedure instead of the whole
 /// program. The seed walked the entire PostScript symbol table for every
 /// pc-to-locus query and every step — forcing every deferred entry and
@@ -43,10 +43,18 @@
 #include <string>
 #include <vector>
 
+namespace ldb::ps {
+class Interp;
+} // namespace ldb::ps
+
 namespace ldb::core {
 
-class Target;
-
+/// The stop-site index reads only the interpreter (the loader table and
+/// symbol table it finds through the dictionary stack), never target
+/// memory — which is what lets one instance serve every session debugging
+/// the same image (see core/imagecache.h). Build and the forcing queries
+/// must therefore run inside some Target::Scope whose dictionaries name
+/// the image this index describes.
 class StopSiteIndex {
 public:
   /// One stopping point: the no-op's absolute address, its source line,
@@ -76,7 +84,7 @@ public:
     const Locus *L = nullptr;
   };
 
-  explicit StopSiteIndex(Target &T) : T(T) {}
+  explicit StopSiteIndex(ps::Interp &I) : I(I) {}
 
   /// One pass over the loader table's proctable: procedure addresses and
   /// names only. Must run inside a Target::Scope.
@@ -130,7 +138,7 @@ public:
   size_t loadedCount() const;
 
 private:
-  Target &T;
+  ps::Interp &I;
   std::vector<Proc> Procs;              ///< sorted by Addr
   std::map<std::string, size_t> ByName; ///< name -> Procs index
   /// file -> indices of its (loaded) procedures, built on first query.

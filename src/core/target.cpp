@@ -27,8 +27,12 @@ Target::Scope::Scope(Target &T) : T(T) {
   // Architecture dictionary below, target dictionary on top: symbol
   // tables and loader tables read inside the scope define their names in
   // the target dictionary, and machine-dependent names resolve through
-  // the architecture dictionary (the rebinding of paper Sec 5).
+  // the architecture dictionary (the rebinding of paper Sec 5). A shared
+  // image slots between them: its symtab/loadertable resolve for every
+  // session, while fresh defs still land in the private target dict.
   T.I.dictStack().push_back(T.ArchDict);
+  if (T.Image)
+    T.I.dictStack().push_back(T.Image->imageDict());
   T.I.dictStack().push_back(T.TargetDict);
   T.I.Hooks = &T;
 }
@@ -43,9 +47,10 @@ Target::Scope::~Scope() {
 //===----------------------------------------------------------------------===//
 
 Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName,
-                      const nub::SimParams *Sim) {
+                      const nub::SimParams *Sim,
+                      std::shared_ptr<nub::VirtualClock> Clock) {
   Expected<std::unique_ptr<nub::NubClient>> C =
-      Host.connect(ProcName, &Stats, Sim);
+      Host.connect(ProcName, &Stats, Sim, std::move(Clock));
   if (!C)
     return C.takeError();
   Client = C.take();
@@ -125,33 +130,19 @@ Error Target::loadLoaderTable(const std::string &PsText) {
   StopIndex.reset(); // new proctable: procedure ranges may have moved
   if (Error E = ps::fastload::Cache::global().run(I, PsText))
     return E;
-  Object LT;
-  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
-    return Error::failure("loader table did not define /loadertable");
-  if (const Object *Rpt = LT.DictVal->find("rpt"))
-    RptAddr = static_cast<uint32_t>(Rpt->IntVal);
+  return verifyLoadedImage(I, Arch->Desc->Name, RptAddr);
+}
 
-  // Consistency check (paper Sec 2): the anchor-symbol names in the
-  // top-level dictionary must all appear in the loader table, ensuring
-  // the symbol table matches the object code.
-  Object Top;
-  if (!I.lookup("symtab", Top) || Top.Ty != Type::Dict)
-    return Error::success(); // no symbols loaded; nothing to verify
-  Expected<Object> ArchName = symtab::field(I, Top, "architecture");
-  if (ArchName && ArchName->text() != Arch->Desc->Name)
-    return Error::failure("symbol table is for " + ArchName->text() +
+Error Target::attachImage(std::shared_ptr<SharedImage> Img) {
+  if (!Arch)
+    return Error::failure("attachImage before connect");
+  if (Img->archName() != Arch->Desc->Name)
+    return Error::failure("image is for " + Img->archName() +
                           " but the target runs " + Arch->Desc->Name);
-  Expected<Object> Anchors = symtab::field(I, Top, "anchors");
-  if (!Anchors)
-    return Anchors.takeError();
-  Expected<Object> AnchorMap = symtab::field(I, LT, "anchormap");
-  if (!AnchorMap)
-    return AnchorMap.takeError();
-  for (const Object &A : *Anchors->ArrVal)
-    if (!AnchorMap->DictVal->contains(A.text()))
-      return Error::failure(
-          "symbol table does not match the object code: anchor " +
-          A.text() + " is missing from the loader table");
+  Image = std::move(Img);
+  RptAddr = Image->rptAddr();
+  StopIndex.reset();
+  FrameDataCache.clear();
   return Error::success();
 }
 
@@ -276,8 +267,13 @@ Expected<uint32_t> Target::fetchDataWord(uint32_t Addr) {
 }
 
 Expected<StopSiteIndex *> Target::stopIndex() {
+  // A shared image carries its index, built once at acquire time; every
+  // session's lazy forcing lands in the same structure, so one session's
+  // work pays for the fleet.
+  if (Image)
+    return &Image->stopIndex();
   if (!StopIndex) {
-    auto Idx = std::make_unique<StopSiteIndex>(*this);
+    auto Idx = std::make_unique<StopSiteIndex>(I);
     Scope S(*this);
     if (Error E = Idx->build())
       return E;

@@ -22,6 +22,7 @@
 #define LDB_CORE_TARGET_H
 
 #include "core/arch.h"
+#include "core/imagecache.h"
 #include "core/stopindex.h"
 #include "mem/cached.h"
 #include "mem/remote.h"
@@ -52,17 +53,32 @@ public:
   /// \p Sim, when given, interposes a simulated-latency link (the bench
   /// harness measures transports with it); by default the link is the
   /// zero-latency local pair, or a SimLink when the LDB_SIM_* environment
-  /// knobs are set.
+  /// knobs are set. \p Clock joins a SimLink connection to a shared
+  /// virtual clock (the fleet event loop drives many links on one).
   Error connect(nub::ProcessHost &Host, const std::string &ProcName,
-                const nub::SimParams *Sim = nullptr);
+                const nub::SimParams *Sim = nullptr,
+                std::shared_ptr<nub::VirtualClock> Clock = nullptr);
 
-  /// Interprets PostScript symbol tables into the target dictionary.
+  /// Interprets PostScript symbol tables into the target dictionary (the
+  /// private, per-session load path; sessions sharing an image attach a
+  /// SharedImage instead).
   Error loadSymbols(const std::string &PsText);
 
   /// Interprets the loader table, then checks that the top-level
   /// dictionary matches the object code: every anchor symbol the symtab
   /// names must appear in the loader table's anchor map (paper Sec 2).
   Error loadLoaderTable(const std::string &PsText);
+
+  /// Maps a repository image into this target's scope: symtab and
+  /// loadertable lookups resolve through the shared image dictionary
+  /// (below the private target dictionary), and the shared stop-site
+  /// index serves this target. Replaces any privately loaded tables.
+  Error attachImage(std::shared_ptr<SharedImage> Img);
+  const std::shared_ptr<SharedImage> &image() const { return Image; }
+
+  /// The machine-dependent dictionary (the image repository builds shared
+  /// images inside the same architecture scope a private load sees).
+  ps::Object archDict() const { return ArchDict; }
 
   const Architecture &arch() const { return *Arch; }
   nub::NubClient &client() { return *Client; }
@@ -306,8 +322,9 @@ private:
   mem::TransportStats Stats;
   mem::MemoryRef Wire; ///< what wire() hands out: the cache over the wire
   std::shared_ptr<mem::CachedMemory> Cache;
-  ps::Object TargetDict; ///< symtab + loader table live here
+  ps::Object TargetDict; ///< per-session defs; tables too, when private
   ps::Object ArchDict;   ///< machine-dependent PostScript bindings
+  std::shared_ptr<SharedImage> Image; ///< shared tables + index, if attached
   std::optional<nub::StopInfo> Stop;
   uint32_t RptAddr = 0;
   std::map<uint32_t, uint32_t> Breakpoints; ///< addr -> saved word

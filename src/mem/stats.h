@@ -70,6 +70,35 @@ struct TransportStats {
 
   void reset() { *this = TransportStats(); }
 
+  /// Folds \p O into this block — the fleet rollup: counters add, the
+  /// window high-water mark takes the max, and per-space cache counters
+  /// merge by space. One session's block never loses information by being
+  /// summed into an aggregate.
+  void accumulate(const TransportStats &O) {
+    RoundTrips += O.RoundTrips;
+    MsgsSent += O.MsgsSent;
+    MsgsReceived += O.MsgsReceived;
+    BytesSent += O.BytesSent;
+    BytesReceived += O.BytesReceived;
+    BlockMsgsSent += O.BlockMsgsSent;
+    WordMsgsSent += O.WordMsgsSent;
+    BlockRepliesReceived += O.BlockRepliesReceived;
+    WordRepliesReceived += O.WordRepliesReceived;
+    Posted += O.Posted;
+    if (O.MaxInFlight > MaxInFlight)
+      MaxInFlight = O.MaxInFlight;
+    StoresCombined += O.StoresCombined;
+    Retries += O.Retries;
+    Timeouts += O.Timeouts;
+    StaleReplies += O.StaleReplies;
+    LinkDrops += O.LinkDrops;
+    LinkGarbles += O.LinkGarbles;
+    for (const auto &[Space, C] : O.Cache) {
+      Cache[Space].Hits += C.Hits;
+      Cache[Space].Misses += C.Misses;
+    }
+  }
+
   uint64_t cacheHits() const {
     uint64_t N = 0;
     for (const auto &[Space, C] : Cache)

@@ -85,8 +85,10 @@ std::optional<SimParams> SimParams::fromEnv() {
 }
 
 std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
-SimLink::makePair(const SimParams &Params) {
-  auto Link = std::shared_ptr<SimLink>(new SimLink(Params));
+SimLink::makePair(const SimParams &Params,
+                  std::shared_ptr<VirtualClock> Clock) {
+  auto Link =
+      std::shared_ptr<SimLink>(new SimLink(Params, std::move(Clock)));
   Link->TraceId = WireTrace::global().registerLink();
   auto A = std::make_shared<SimEnd>(Link, /*IsA=*/true);
   auto B = std::make_shared<SimEnd>(Link, /*IsA=*/false);
@@ -104,7 +106,8 @@ void SimLink::transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
   ++Sent;
   if (P.DropEvery && Sent % P.DropEvery == 0) {
     if (TraceId)
-      WireTrace::global().record(TraceId, Side, 'D', Bytes, Size, NowNs);
+      WireTrace::global().record(TraceId, Side, 'D', Bytes, Size,
+                                 Clock->NowNs);
     if (Stats)
       ++Stats->LinkDrops;
     return;
@@ -128,12 +131,13 @@ void SimLink::transmit(bool TowardA, const uint8_t *Bytes, size_t Size,
   }
   if (TraceId)
     WireTrace::global().record(TraceId, Side, Garbled ? 'G' : 'F',
-                               F.Bytes.data(), F.Bytes.size(), NowNs);
+                               F.Bytes.data(), F.Bytes.size(), Clock->NowNs);
   uint64_t Jitter = P.JitterNs ? Rng() % (P.JitterNs + 1) : 0;
   uint64_t TxNs =
       P.BytesPerSec ? (Size * 1000000000ull) / P.BytesPerSec : 0;
   uint64_t &Last = TowardA ? LastArriveA : LastArriveB;
-  uint64_t Arrive = std::max(NowNs + P.LatencyNs + Jitter, Last) + TxNs;
+  uint64_t Arrive =
+      std::max(Clock->NowNs + P.LatencyNs + Jitter, Last) + TxNs;
   Last = Arrive;
   F.ArriveNs = Arrive;
   (TowardA ? FlightToA : FlightToB).push_back(std::move(F));
@@ -152,7 +156,7 @@ bool SimLink::pump() {
   std::deque<Flight> &Flights = ToA ? FlightToA : FlightToB;
   Flight F = std::move(Flights.front());
   Flights.pop_front();
-  NowNs = std::max(NowNs, F.ArriveNs);
+  Clock->NowNs = std::max(Clock->NowNs, F.ArriveNs);
   std::deque<uint8_t> &In = ToA ? InA : InB;
   In.insert(In.end(), F.Bytes.begin(), F.Bytes.end());
   // The callback may write back into the link (the nub answering); those
@@ -161,6 +165,15 @@ bool SimLink::pump() {
   if (Fn)
     Fn();
   return true;
+}
+
+std::optional<uint64_t> SimLink::nextArrival() const {
+  std::optional<uint64_t> Next;
+  if (!FlightToA.empty())
+    Next = FlightToA.front().ArriveNs;
+  if (!FlightToB.empty() && (!Next || FlightToB.front().ArriveNs < *Next))
+    Next = FlightToB.front().ArriveNs;
+  return Next;
 }
 
 void SimEnd::write(const uint8_t *Bytes, size_t Size) {
@@ -192,4 +205,40 @@ void SimEnd::breakLink() {
   Link->BReadable = nullptr;
   Link->FlightToA.clear();
   Link->FlightToB.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// LinkSet
+//===----------------------------------------------------------------------===//
+
+void LinkSet::add(ChannelEnd *End) {
+  if (End && std::find(Ends.begin(), Ends.end(), End) == Ends.end())
+    Ends.push_back(End);
+}
+
+void LinkSet::remove(const ChannelEnd *End) {
+  Ends.erase(std::remove(Ends.begin(), Ends.end(), End), Ends.end());
+}
+
+bool LinkSet::pumpNext() {
+  // Both ends of a link report the same earliest arrival, so registering
+  // one end per link is the normal shape; registering both is harmless
+  // (the pump lands on whichever comes first).
+  ChannelEnd *Earliest = nullptr;
+  uint64_t When = 0;
+  for (ChannelEnd *End : Ends) {
+    std::optional<uint64_t> Next = End->nextArrivalNs();
+    if (Next && (!Earliest || *Next < When)) {
+      Earliest = End;
+      When = *Next;
+    }
+  }
+  return Earliest && Earliest->pump();
+}
+
+size_t LinkSet::pumpAll() {
+  size_t Delivered = 0;
+  while (pumpNext())
+    ++Delivered;
+  return Delivered;
 }

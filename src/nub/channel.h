@@ -84,6 +84,44 @@ public:
   /// Advances the virtual clock with the link idle — how a caller waits
   /// out a timeout when pump() has nothing to deliver.
   virtual void advanceNs(uint64_t Ns) { (void)Ns; }
+
+  /// The virtual arrival time of the earliest in-flight message on this
+  /// link (either direction), or nullopt when nothing is in flight — how
+  /// a multi-link event loop decides which link to pump next. A LocalLink
+  /// never has anything in flight.
+  virtual std::optional<uint64_t> nextArrivalNs() const {
+    return std::nullopt;
+  }
+};
+
+/// The virtual clock a SimLink runs on. Normally each link owns its own;
+/// a fleet of links driven by one event loop shares a single instance, so
+/// time advances consistently across every session (a message delivered
+/// on one link moves "now" for all of them).
+struct VirtualClock {
+  uint64_t NowNs = 0;
+};
+
+/// A set of channel endpoints driven as one event loop: whichever link
+/// holds the globally earliest in-flight message is pumped next, so N
+/// simulated sessions interleave in virtual-arrival order on a single
+/// thread — no thread-per-session. Endpoints are borrowed, not owned;
+/// remove one before its channel dies.
+class LinkSet {
+public:
+  void add(ChannelEnd *End);
+  void remove(const ChannelEnd *End);
+  size_t size() const { return Ends.size(); }
+
+  /// Delivers the earliest in-flight message across every registered
+  /// link; false when nothing is in flight anywhere.
+  bool pumpNext();
+
+  /// Drains every in-flight message; returns how many were delivered.
+  size_t pumpAll();
+
+private:
+  std::vector<ChannelEnd *> Ends;
 };
 
 /// A zero-latency bidirectional in-process link with two endpoints, A and B.
@@ -146,8 +184,12 @@ struct SimParams {
 /// message's (virtual) arrival time, exactly like its event loop waking.
 class SimLink {
 public:
+  /// Creates a connected pair. With \p Clock the link joins a shared
+  /// virtual clock (the fleet event loop pumps many links from one);
+  /// without, it runs its own.
   static std::pair<std::shared_ptr<ChannelEnd>, std::shared_ptr<ChannelEnd>>
-  makePair(const SimParams &Params);
+  makePair(const SimParams &Params,
+           std::shared_ptr<VirtualClock> Clock = nullptr);
 
 private:
   friend class SimEnd;
@@ -156,7 +198,13 @@ private:
     std::vector<uint8_t> Bytes;
   };
 
-  explicit SimLink(const SimParams &Params) : P(Params), Rng(Params.Seed) {}
+  SimLink(const SimParams &Params, std::shared_ptr<VirtualClock> Clock)
+      : P(Params), Clock(Clock ? std::move(Clock)
+                               : std::make_shared<VirtualClock>()),
+        Rng(Params.Seed) {}
+
+  uint64_t nowNs() const { return Clock->NowNs; }
+  std::optional<uint64_t> nextArrival() const;
 
   /// Queues one message toward A or B, applying jitter, bandwidth, and
   /// fault injection. \p Stats is the sending end's counter block.
@@ -165,10 +213,10 @@ private:
   bool pump();
 
   SimParams P;
+  std::shared_ptr<VirtualClock> Clock;
   std::deque<Flight> FlightToA, FlightToB;
   std::deque<uint8_t> InA, InB;
   std::function<void()> AReadable, BReadable;
-  uint64_t NowNs = 0;
   uint64_t LastArriveA = 0, LastArriveB = 0;
   uint64_t Sent = 0; ///< messages offered, for the fault-injection cadence
   std::mt19937_64 Rng;
@@ -192,8 +240,11 @@ public:
 
   bool simulated() const override { return true; }
   bool pump() override { return Link->pump(); }
-  uint64_t nowNs() const override { return Link->NowNs; }
-  void advanceNs(uint64_t Ns) override { Link->NowNs += Ns; }
+  uint64_t nowNs() const override { return Link->nowNs(); }
+  void advanceNs(uint64_t Ns) override { Link->Clock->NowNs += Ns; }
+  std::optional<uint64_t> nextArrivalNs() const override {
+    return Link->nextArrival();
+  }
 
 private:
   std::deque<uint8_t> &inbox() const { return IsA ? Link->InA : Link->InB; }

@@ -20,7 +20,8 @@ NubProcess &ProcessHost::createProcess(const std::string &Name,
 
 Expected<std::unique_ptr<NubClient>>
 ProcessHost::connect(const std::string &Name, mem::TransportStats *Stats,
-                     const SimParams *Sim) {
+                     const SimParams *Sim,
+                     std::shared_ptr<VirtualClock> Clock) {
   NubProcess *Proc = find(Name);
   if (!Proc)
     return Error::failure("no process named '" + Name + "' is waiting");
@@ -30,8 +31,9 @@ ProcessHost::connect(const std::string &Name, mem::TransportStats *Stats,
     if (Env)
       Sim = &*Env;
   }
-  auto [DebuggerEnd, NubEnd] =
-      Sim ? SimLink::makePair(*Sim) : LocalLink::makePair();
+  auto [DebuggerEnd, NubEnd] = Sim
+                                   ? SimLink::makePair(*Sim, std::move(Clock))
+                                   : LocalLink::makePair();
   auto Client = std::make_unique<NubClient>(DebuggerEnd);
   if (Stats)
     Client->setStats(Stats);

@@ -40,10 +40,13 @@ public:
   /// every byte of the connection's life. The link is a zero-latency
   /// LocalLink unless \p Sim is given (or LDB_SIM_LATENCY_US and friends
   /// are set in the environment), in which case a latency-modeling
-  /// SimLink substitutes — same protocol, same nub, slower wire.
+  /// SimLink substitutes — same protocol, same nub, slower wire. \p Clock
+  /// (SimLink only) joins the connection to a shared virtual clock so a
+  /// fleet of sessions advances one timeline.
   Expected<std::unique_ptr<NubClient>>
   connect(const std::string &Name, mem::TransportStats *Stats = nullptr,
-          const SimParams *Sim = nullptr);
+          const SimParams *Sim = nullptr,
+          std::shared_ptr<VirtualClock> Clock = nullptr);
 
   NubProcess *find(const std::string &Name);
 

@@ -170,6 +170,76 @@ TEST_F(CliTest, TargetSwitching) {
   EXPECT_NE(run("status").find("pause before main"), std::string::npos);
 }
 
+TEST_F(CliTest, DisconnectOfCurrentTargetLeavesNoDanglingState) {
+  // Regression: disconnecting the selected target used to leave the
+  // interpreter's Current pointing at the freed Target; the next command
+  // dereferenced it. The CLI now resolves the session by name per
+  // command, so the stale selection is reported, not dereferenced.
+  run("break fib.c:7");
+  run("continue");
+  EXPECT_NE(run("disconnect").find("disconnected fib"), std::string::npos);
+  std::string Out = run("status");
+  EXPECT_NE(Out.find("no target selected"), std::string::npos) << Out;
+  EXPECT_EQ(Cli->current(), nullptr);
+}
+
+TEST_F(CliTest, DisconnectBehindTheCliBack) {
+  // The same dangling window without the CLI's own command: the client
+  // interface drops the session directly (an event-action tool could).
+  run("break fib.c:7");
+  Debugger->disconnect("fib");
+  std::string Out = run("step");
+  EXPECT_NE(Out.find("target 'fib' is no longer connected"),
+            std::string::npos)
+      << Out;
+  // The stale name was cleared: the next command reports no selection.
+  EXPECT_NE(run("status").find("no target selected"), std::string::npos);
+}
+
+TEST_F(CliTest, ReconnectUnderSameNameIsPickedUpSeamlessly) {
+  // A replacement session under the same name (reconnect after a
+  // debugger crash) must be what the next command operates on — not the
+  // freed original.
+  Target *Old = Cli->current();
+  ASSERT_NE(Old, nullptr);
+  Old->crashConnection();
+  auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  EXPECT_NE(*TOr, Old);
+  EXPECT_EQ(Cli->current(), *TOr);
+  EXPECT_NE(run("status").find("pause before main"), std::string::npos);
+}
+
+TEST_F(CliTest, FrameSelectionResetsAcrossTargetSwitch) {
+  // Regression: the frame selection used to live in the CLI and silently
+  // carry over to the next `target NAME` — print/eval then read the
+  // wrong frame of the new target. Selecting a target resets its frame.
+  const TargetDesc &Z68k = *targetByName("z68k");
+  auto C2Or = compileAndLink({{"fib.c", FibSource}}, Z68k,
+                             CompileOptions());
+  ASSERT_TRUE(static_cast<bool>(C2Or));
+  nub::NubProcess &P2 = Host.createProcess("other", Z68k);
+  ASSERT_FALSE((*C2Or)->Img.loadInto(P2.machine()));
+  P2.enter((*C2Or)->Img.Entry);
+  auto T2 = Debugger->connect(Host, "other", (*C2Or)->PsSymtab,
+                              (*C2Or)->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(T2));
+
+  run("break fib.c:7");
+  run("continue");
+  run("frame 1"); // select main's frame on fib
+  run("target other");
+  run("break fib.c:7");
+  run("continue");
+  // On the fresh target the selection must be frame 0 — i is visible.
+  EXPECT_EQ(run("print i"), "i = 2\n");
+  // And the first target kept its own frame selection independently.
+  run("target fib");
+  DebugSession *S = Debugger->session("fib");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->currentFrame(), 0u) << "switching back also resets";
+}
+
 TEST_F(CliTest, StatsSplitsFrameKindsPerDirection) {
   run("break fib.c:7");
   run("continue");
@@ -236,6 +306,53 @@ TEST_F(CliTest, StatsResetClearsPipelineAndRecoveryCounters) {
             std::string::npos)
       << Out;
   EXPECT_NE(Out.find("cache:          0 hits, 0 misses\n"), std::string::npos)
+      << Out;
+}
+
+TEST_F(CliTest, StatsShowsSessionAndFleetRollupRows) {
+  run("break fib.c:7");
+  run("continue");
+  std::string Out = run("stats");
+  EXPECT_NE(Out.find("sessions:       1 active, 1 shared images\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("  session fib: "), std::string::npos) << Out;
+  // With one session and nothing retired, the fleet total equals the
+  // session's own counters.
+  uint64_t Rt = 0, FleetRt = 1;
+  size_t At = Out.find("round trips:    ");
+  ASSERT_NE(At, std::string::npos);
+  std::sscanf(Out.c_str() + At, "round trips:    %llu",
+              reinterpret_cast<unsigned long long *>(&Rt));
+  At = Out.find("fleet:          ");
+  ASSERT_NE(At, std::string::npos) << Out;
+  std::sscanf(Out.c_str() + At, "fleet:          %llu round trips",
+              reinterpret_cast<unsigned long long *>(&FleetRt));
+  EXPECT_EQ(Rt, FleetRt) << Out;
+  EXPECT_GT(Rt, 0u);
+}
+
+TEST_F(CliTest, StatsResetClearsFleetRollups) {
+  run("break fib.c:7");
+  run("continue");
+  // Retire some counters: crash the session and reconnect under the same
+  // name. The fleet row then exceeds the fresh session's own counters.
+  Cli->current()->crashConnection();
+  auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr));
+  ASSERT_GT(Debugger->fleetStats().RoundTrips,
+            Debugger->session("fib")->stats().RoundTrips);
+
+  EXPECT_NE(run("stats reset").find("reset"), std::string::npos);
+  // Golden rows: the reset cleared the live session AND the retired
+  // aggregate — the fleet rollup reads exact zeros.
+  std::string Out = run("stats");
+  EXPECT_NE(Out.find("round trips:    0\n"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("  session fib: 0 posted, 0 retries\n"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("fleet:          0 round trips, 0 posted, 0 retries\n"),
+            std::string::npos)
       << Out;
 }
 

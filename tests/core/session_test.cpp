@@ -1,0 +1,250 @@
+//===- tests/core/session_test.cpp ---------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Session-architecture tests: N DebugSessions over one Ldb share one
+/// ImageRepository entry per image (with byte-identical behavior to
+/// private loads and to each other), keep their mutable state —
+/// breakpoint numbering, stop state, transport counters — independent,
+/// and multiplex over one SessionManager event loop with all simulated
+/// wires on a single virtual clock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/debugger.h"
+#include "core/fleet.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+const char *FibSource =
+    "void fib(int n) {\n"
+    "  static int a[20];\n"
+    "  if (n > 20) n = 20;\n"
+    "  a[0] = a[1] = 1;\n"
+    "  { int i;\n"
+    "    for (i=2; i<n; i++)\n"
+    "      a[i] = a[i-1] + a[i-2];\n"
+    "  }\n"
+    "}\n"
+    "int main() { fib(10); return 0; }\n";
+
+class SessionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Desc = targetByName("zmips");
+    auto COr = compileAndLink({{"fib.c", FibSource}}, *Desc,
+                              CompileOptions());
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    C = COr.take();
+    Debugger = std::make_unique<Ldb>();
+  }
+
+  /// Creates a fresh process running the image and connects a session
+  /// named \p Name to it.
+  DebugSession *makeSession(const std::string &Name,
+                            const nub::SimParams *Sim = nullptr,
+                            std::shared_ptr<nub::VirtualClock> Clock =
+                                nullptr) {
+    nub::NubProcess &P = Host.createProcess(Name, *Desc);
+    if (C->Img.loadInto(P.machine()))
+      return nullptr;
+    P.enter(C->Img.Entry);
+    auto SOr = Debugger->createSession(Host, Name, C->PsSymtab,
+                                       C->LoaderTable, Sim, Clock);
+    EXPECT_TRUE(static_cast<bool>(SOr)) << SOr.message();
+    return SOr ? *SOr : nullptr;
+  }
+
+  /// Runs the session to fib's entry and takes \p N source steps,
+  /// returning the stop pcs.
+  std::vector<uint32_t> stepTrace(DebugSession &S, unsigned N) {
+    std::vector<uint32_t> Pcs;
+    Expected<int> Id = S.addBreakAtProc("fib");
+    EXPECT_TRUE(static_cast<bool>(Id)) << Id.message();
+    if (!Id)
+      return Pcs;
+    Error E = S.continueToStop();
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    Expected<size_t> Del = S.target().deleteAllUserBreakpoints();
+    EXPECT_TRUE(static_cast<bool>(Del));
+    for (unsigned K = 0; K < N && !S.target().exited(); ++K) {
+      Error SE = S.stepToNextStop();
+      EXPECT_FALSE(static_cast<bool>(SE)) << SE.message();
+      Expected<uint32_t> Pc = S.target().ctxPc();
+      Pcs.push_back(Pc ? *Pc : 0);
+    }
+    return Pcs;
+  }
+
+  const TargetDesc *Desc = nullptr;
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  std::unique_ptr<Ldb> Debugger;
+};
+
+TEST_F(SessionTest, TwoSessionsShareOneRepositoryEntry) {
+  DebugSession *A = makeSession("a");
+  DebugSession *B = makeSession("b");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(Debugger->images().imageCount(), 1u);
+  ASSERT_TRUE(A->target().image());
+  ASSERT_TRUE(B->target().image());
+  // Literally the same shared object, not two equal copies.
+  EXPECT_EQ(A->target().image().get(), B->target().image().get());
+  EXPECT_GT(Debugger->images().sourceBytes(), 0u);
+}
+
+TEST_F(SessionTest, SharedSessionsProduceIdenticalStopSequences) {
+  DebugSession *A = makeSession("a");
+  DebugSession *B = makeSession("b");
+  ASSERT_TRUE(A && B);
+  // A steps first and pays the deferred-loci forcing; B rides the
+  // memoized shared entries. Interference through the shared image would
+  // skew one of the traces.
+  std::vector<uint32_t> TA = stepTrace(*A, 8);
+  std::vector<uint32_t> TB = stepTrace(*B, 8);
+  EXPECT_EQ(TA, TB);
+  ASSERT_EQ(TA.size(), 8u);
+}
+
+TEST_F(SessionTest, PrivateLoadMatchesSharedLoad) {
+  DebugSession *Shared = makeSession("shared");
+  ASSERT_TRUE(Shared);
+  Debugger->setImageSharing(false);
+  DebugSession *Priv = makeSession("private");
+  ASSERT_TRUE(Priv);
+  EXPECT_TRUE(Shared->target().image());
+  EXPECT_FALSE(Priv->target().image());
+  // Only the shared session put an entry in the repository.
+  EXPECT_EQ(Debugger->images().imageCount(), 1u);
+  // Sharing must be observably invisible: identical stepping.
+  EXPECT_EQ(stepTrace(*Shared, 8), stepTrace(*Priv, 8));
+}
+
+TEST_F(SessionTest, BreakpointNumberingIsPerSession) {
+  DebugSession *A = makeSession("a");
+  DebugSession *B = makeSession("b");
+  ASSERT_TRUE(A && B);
+  Expected<int> A1 = A->addBreakAtProc("fib");
+  Expected<int> A2 = A->addBreakAtLine("fib.c", 6);
+  Expected<int> B1 = B->addBreakAtProc("fib");
+  ASSERT_TRUE(A1 && A2 && B1);
+  // Numbering starts at 1 in every session, independently.
+  EXPECT_EQ(*A1, 1);
+  EXPECT_EQ(*A2, 2);
+  EXPECT_EQ(*B1, 1);
+  // Deleting in one session leaves the other's records and plants alone.
+  ASSERT_FALSE(A->target().deleteUserBreakpoint(*A1));
+  EXPECT_EQ(A->target().userBreakpoints().size(), 1u);
+  EXPECT_EQ(B->target().userBreakpoints().size(), 1u);
+  EXPECT_TRUE(B->target().userBreakpoint(*B1));
+}
+
+TEST_F(SessionTest, SessionManagerMultiplexesOnOneVirtualClock) {
+  nub::SimParams Sim;
+  Sim.LatencyNs = 1500;
+  auto Clock = std::make_shared<nub::VirtualClock>();
+  const unsigned N = 4, Steps = 6;
+  std::vector<DebugSession *> All;
+  for (unsigned K = 0; K < N; ++K) {
+    DebugSession *S =
+        makeSession("s" + std::to_string(K), &Sim, Clock);
+    ASSERT_TRUE(S);
+    All.push_back(S);
+  }
+  // The serial reference comes from a zero-latency private session.
+  DebugSession *Ref = makeSession("ref");
+  ASSERT_TRUE(Ref);
+  std::vector<uint32_t> Want = stepTrace(*Ref, Steps);
+
+  SessionManager Mgr;
+  for (DebugSession *S : All)
+    Mgr.add(*S);
+  EXPECT_EQ(Mgr.sessionCount(), N);
+
+  std::map<std::string, std::vector<uint32_t>> Stops;
+  Mgr.run([&](DebugSession &S, size_t Round) -> bool {
+    if (Round == 0) {
+      Expected<int> Id = S.addBreakAtProc("fib");
+      EXPECT_TRUE(static_cast<bool>(Id));
+      Error E = S.continueToStop();
+      EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+      Expected<size_t> Del = S.target().deleteAllUserBreakpoints();
+      EXPECT_TRUE(static_cast<bool>(Del));
+      return true;
+    }
+    Error E = S.stepToNextStop();
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    Expected<uint32_t> Pc = S.target().ctxPc();
+    Stops[S.name()].push_back(Pc ? *Pc : 0);
+    return Round < Steps;
+  });
+
+  // Every multiplexed session reproduced the serial trace exactly.
+  for (DebugSession *S : All)
+    EXPECT_EQ(Stops[S->name()], Want) << S->name();
+  // N sessions, one setup turn plus Steps stepping turns each.
+  EXPECT_EQ(Mgr.turns(), uint64_t(N) * (Steps + 1));
+  // All wires ran on the one shared clock, which actually advanced.
+  EXPECT_GT(All.front()->target().client().channel().nowNs(), 0u);
+  EXPECT_EQ(All.front()->target().client().channel().nowNs(),
+            All.back()->target().client().channel().nowNs());
+  // The rollup sums per-session counters.
+  mem::TransportStats Sum = Mgr.rollup();
+  EXPECT_GT(Sum.RoundTrips, All.front()->stats().RoundTrips);
+
+  for (DebugSession *S : All)
+    Mgr.remove(*S);
+  EXPECT_EQ(Mgr.sessionCount(), 0u);
+}
+
+TEST_F(SessionTest, ReplacedAndDroppedSessionsRetireTheirStats) {
+  DebugSession *A = makeSession("a");
+  ASSERT_TRUE(A);
+  stepTrace(*A, 4);
+  uint64_t LiveRt = A->stats().RoundTrips;
+  ASSERT_GT(LiveRt, 0u);
+  EXPECT_EQ(Debugger->fleetStats().RoundTrips, LiveRt);
+
+  // A reconnect under the same name replaces the session; the dead
+  // session's counters survive in the fleet aggregate.
+  A->target().crashConnection();
+  auto SOr = Debugger->createSession(Host, "a", C->PsSymtab,
+                                     C->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(SOr)) << SOr.message();
+  EXPECT_NE(*SOr, A);
+  EXPECT_GE(Debugger->fleetStats().RoundTrips, LiveRt);
+
+  // Disconnecting retires the replacement's counters too (the polite
+  // detach itself costs a final round trip).
+  uint64_t Total = Debugger->fleetStats().RoundTrips;
+  Debugger->disconnect("a");
+  EXPECT_EQ(Debugger->session("a"), nullptr);
+  EXPECT_GE(Debugger->fleetStats().RoundTrips, Total);
+  // And a reset clears the retired aggregate.
+  Debugger->clearRetiredStats();
+  EXPECT_EQ(Debugger->fleetStats().RoundTrips, 0u);
+}
+
+TEST_F(SessionTest, SessionForFindsTheOwningSession) {
+  DebugSession *A = makeSession("a");
+  DebugSession *B = makeSession("b");
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(Debugger->sessionFor(A->target()), A);
+  EXPECT_EQ(Debugger->sessionFor(B->target()), B);
+  Target Outside("outside", Debugger->interp());
+  EXPECT_EQ(Debugger->sessionFor(Outside), nullptr);
+}
+
+} // namespace

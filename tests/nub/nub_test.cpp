@@ -297,6 +297,39 @@ TEST_P(NubTest, DebuggerCrashPreservesState) {
   EXPECT_EQ(R1, 5u);
 }
 
+TEST_P(NubTest, SequentialReattachChainsThroughProcessHost) {
+  // The rendezvous supports any number of *sequential* connections to one
+  // process: each debugger's stores are the next debugger's preserved
+  // state, whether the previous connection died politely or by crash.
+  Proc->enter(TextBase);
+  auto Client = connect();
+  ASSERT_TRUE(Client);
+  ASSERT_FALSE(Client->remoteStoreInt('d', 0x3000, 4, 0xaa550001));
+  ASSERT_FALSE(Client->detach());
+
+  auto Client2 = connect();
+  ASSERT_TRUE(Client2);
+  uint64_t V = 0;
+  ASSERT_FALSE(Client2->remoteFetchInt('d', 0x3000, 4, V));
+  EXPECT_EQ(V, 0xaa550001u);
+  ASSERT_FALSE(Client2->remoteStoreInt('d', 0x3000, 4, 0xaa550002));
+  Client2->crash(); // transport dies with no Detach
+
+  auto Client3 = connect();
+  ASSERT_TRUE(Client3);
+  // The pre-main pause is still the pending stop: nobody ran the process.
+  ASSERT_TRUE(Client3->pendingStop().has_value());
+  EXPECT_EQ(Client3->pendingStop()->Signo, SigPause);
+  ASSERT_FALSE(Client3->remoteFetchInt('d', 0x3000, 4, V));
+  EXPECT_EQ(V, 0xaa550002u);
+  // The chain of reattaches never disturbed the program: it still runs
+  // to its normal exit.
+  StopInfo Stop;
+  ASSERT_FALSE(Client3->doContinue(Stop));
+  EXPECT_TRUE(Stop.Exited);
+  EXPECT_EQ(Stop.ExitStatus, 6u);
+}
+
 TEST_P(NubTest, FaultingProcessWaitsForDebugger) {
   // A process that faults with no debugger attached keeps its state and
   // waits; the target program need not be a child of the debugger.
