@@ -1,0 +1,403 @@
+//===- bench/bench_symblob.cpp - experiment E11 -----------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E11: the compiled debug-info blob (LDBI, core/symblob.h) against the
+/// interpreter it caches. Four measurements at gen:13,000 (the paper's
+/// lcc) and gen:100,000 (the million-symbol direction), per size:
+///
+///   cold build    compile() on a freshly connected target — forces every
+///                 symbol-table entry once; the cost the cache amortizes
+///   warm load     attachFile() of the persisted .ldbi (mmap + one
+///                 validation pass) vs a warm fastload replay of the same
+///                 symtab — the startup path the blob replaces
+///   pc sweep      briefForPc over every stop site on a fresh session,
+///                 blob-backed vs interpreter dictionaries — the query
+///                 path, including each side's lazy per-procedure cost
+///   equivalence   the same sweep and the same CLI session (status,
+///                 where, break FILE:LINE, continue) must be
+///                 byte-identical with the blob on and off
+///
+/// Gates: warm blob load >= 10x the fastload warm replay; the pc sweep
+/// >= 5x the dictionary path; both equivalence checks exact.
+///
+/// `bench_symblob smoke` runs only gen:13,000 with shorter sweeps — the
+/// CI configuration. Emits BENCH_symblob.json and sample-gen<N>.ldbi.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/cli.h"
+#include "core/symblob.h"
+#include "postscript/fastload.h"
+#include "workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+
+namespace {
+
+uint64_t hashStep(uint64_t H, const void *P, size_t N) {
+  const unsigned char *B = static_cast<const unsigned char *>(P);
+  for (size_t K = 0; K < N; ++K) {
+    H ^= B[K];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// One simulated process plus a debugger connected to it; everything a
+/// measurement needs torn down together.
+struct Session {
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+};
+
+std::unique_ptr<Session> connectTo(const CachedProgram &P) {
+  auto S = std::make_unique<Session>();
+  // gen:100000 outgrows the default 1 MiB machine; size memory to the
+  // image plus stack headroom.
+  uint32_t Need = std::max<uint32_t>(
+      P.Img.TextBase + static_cast<uint32_t>(P.Img.Text.size()),
+      P.Img.DataBase + static_cast<uint32_t>(P.Img.Data.size()));
+  uint32_t MemBytes = 1u << 20;
+  while (MemBytes < Need + (1u << 18))
+    MemBytes <<= 1;
+  nub::NubProcess &Proc = S->Host.createProcess("p0", *P.Img.Desc, MemBytes);
+  if (Error E = P.Img.loadInto(Proc.machine())) {
+    std::fprintf(stderr, "load failed: %s\n", E.message().c_str());
+    std::exit(2);
+  }
+  Proc.enter(P.Img.Entry);
+  auto T = S->Debugger.connect(S->Host, "p0", P.PsSymtab, P.LoaderTable);
+  if (!T) {
+    std::fprintf(stderr, "connect failed: %s\n", T.message().c_str());
+    std::exit(3);
+  }
+  S->T = *T;
+  return S;
+}
+
+/// Time one briefForPc pass over \p Pcs on a fresh session, and fold every
+/// answer (or error text) into \p OutHash — the equivalence fingerprint.
+/// Queries run under Target::Scope, as every in-tree consumer does.
+double sweepOnce(const CachedProgram &P, const std::vector<uint32_t> &Pcs,
+                 uint64_t &OutHash) {
+  auto S = connectTo(P);
+  Target::Scope Scope(*S->T);
+  uint64_t H = 1469598103934665603ull;
+  Stopwatch W;
+  for (uint32_t Pc : Pcs) {
+    Expected<symtab::SiteBrief> B = symtab::briefForPc(*S->T, Pc);
+    if (B) {
+      H = hashStep(H, &B->Addr, sizeof(B->Addr));
+      H = hashStep(H, &B->Line, sizeof(B->Line));
+      H = hashStep(H, B->ProcName.data(), B->ProcName.size());
+      H = hashStep(H, B->File.data(), B->File.size());
+      H = hashStep(H, &B->HasFile, sizeof(B->HasFile));
+    } else {
+      std::string M = B.message();
+      H = hashStep(H, M.data(), M.size());
+    }
+  }
+  double Sec = W.seconds();
+  OutHash = H;
+  return Sec;
+}
+
+/// The transcript of a canned CLI session — byte-compared across paths.
+std::string cliTranscript(const CachedProgram &P,
+                          const std::vector<std::string> &Commands) {
+  auto S = connectTo(P);
+  CommandInterpreter Cli(S->Debugger);
+  Cli.setCurrent(S->T);
+  Expected<std::string> Stop = describeStop(*S->T);
+  std::string Out = (Stop ? *Stop : Stop.message()) + "\n";
+  for (const std::string &C : Commands)
+    Out += "> " + C + "\n" + Cli.execute(C);
+  return Out;
+}
+
+struct SizeResult {
+  unsigned Lines = 0;
+  uint32_t Procs = 0, Loci = 0;
+  size_t BlobBytes = 0;
+  size_t SweepQueries = 0;
+  double ColdBuild = 0, WarmAttach = 0, FastloadWarm = 0;
+  double BlobSweep = 0, DictSweep = 0;
+  bool SweepEqual = false, CliEqual = false;
+  double warmSpeedup() const {
+    return WarmAttach > 0 ? FastloadWarm / WarmAttach : 0;
+  }
+  double pcSpeedup() const {
+    return BlobSweep > 0 ? DictSweep / BlobSweep : 0;
+  }
+};
+
+SizeResult runSize(unsigned Lines, bool Smoke) {
+  SizeResult R;
+  R.Lines = Lines;
+  const target::TargetDesc &Zmips = *target::targetByName("zmips");
+
+  std::printf("\ngen:%u — compiling (disk-cached)...\n", Lines);
+  auto P = cachedGenProgram(Zmips, Lines);
+  if (!P) {
+    std::fprintf(stderr, "workload failed: %s\n", P.message().c_str());
+    std::exit(1);
+  }
+
+  uint64_t Key = symblob::combineKeys(
+      ps::fastload::contentHash("zmips\n" + P->PsSymtab),
+      ps::fastload::contentHash(P->LoaderTable));
+
+  // Fastload warm replay of the symtab text — the startup path the blob
+  // competes with. Two priming runs: store, then prepare the stream.
+  ps::fastload::Cache &FC = ps::fastload::Cache::global();
+  auto FastloadRead = [&]() {
+    ps::Interp I;
+    if (I.run(ps::prelude()))
+      std::exit(4);
+    Stopwatch W;
+    if (FC.run(I, P->PsSymtab))
+      std::exit(5);
+    return W.seconds();
+  };
+  FastloadRead();
+  FastloadRead();
+  R.FastloadWarm = medianOf(FastloadRead, 3);
+
+  // Cold build: one compile() on a fresh session whose dictionaries have
+  // never been forced. Later compiles would walk memoized entries, so the
+  // honest number is the first one.
+  symblob::Cache &BC = symblob::Cache::global();
+  BC.setEnabled(false);
+  std::vector<uint8_t> Bytes;
+  {
+    auto S = connectTo(*P);
+    Target::Scope Scope(*S->T);
+    Stopwatch W;
+    Expected<std::vector<uint8_t>> B = symblob::compile(
+        S->T->interp(), symblob::Params{Key, "zmips"});
+    R.ColdBuild = W.seconds();
+    if (!B) {
+      std::fprintf(stderr, "compile failed: %s\n", B.message().c_str());
+      std::exit(6);
+    }
+    Bytes = B.take();
+  }
+  R.BlobBytes = Bytes.size();
+
+  // Persist and re-attach: the warm path is open + mmap + validate.
+  std::string Path = "sample-gen" + std::to_string(Lines) + ".ldbi";
+  if (std::FILE *F = std::fopen(Path.c_str(), "wb")) {
+    if (std::fwrite(Bytes.data(), 1, Bytes.size(), F) != Bytes.size())
+      std::exit(7);
+    std::fclose(F);
+  }
+  R.WarmAttach = medianOf(
+      [&] {
+        Stopwatch W;
+        auto B = symblob::Blob::attachFile(Path, Key);
+        if (!B)
+          std::exit(8);
+        return W.seconds();
+      },
+      Smoke ? 5 : 7);
+
+  auto Blob = symblob::Blob::attach(Bytes, Key);
+  if (!Blob) {
+    std::fprintf(stderr, "attach failed: %s\n", Blob.message().c_str());
+    std::exit(9);
+  }
+  R.Procs = (*Blob)->procCount();
+  R.Loci = (*Blob)->locusCount();
+
+  // The gated lookup sweep: one pc per procedure, best-of-N so the
+  // number is each path's steady-state query cost (the first run also
+  // pays first-touch — a per-procedure dictionary force on the
+  // interpreter side — which min() excludes from both sides alike).
+  std::vector<uint32_t> ProcPcs;
+  for (uint32_t K = 0; K < R.Procs; ++K) {
+    symblob::Blob::ProcView V = (*Blob)->proc(K);
+    if (V.LociCount)
+      ProcPcs.push_back((*Blob)->locus(V.LociStart).Addr);
+  }
+  R.SweepQueries = ProcPcs.size();
+
+  int SweepRuns = Smoke ? 3 : 4;
+  uint64_t Scratch = 0;
+  BC.setEnabled(true);
+  BC.clear();
+  BC.store(Key, Bytes);
+  R.BlobSweep =
+      minOf([&] { return sweepOnce(*P, ProcPcs, Scratch); }, SweepRuns);
+  BC.setEnabled(false);
+  R.DictSweep =
+      minOf([&] { return sweepOnce(*P, ProcPcs, Scratch); }, SweepRuns);
+
+  // The equivalence sweep: every stop-site address (strided down to a
+  // cap), answered once per path and fingerprinted.
+  size_t MaxQueries = Smoke ? 5000 : 20000;
+  uint32_t N = R.Loci, Stride = N > MaxQueries ? N / MaxQueries + 1 : 1;
+  std::vector<uint32_t> Pcs;
+  for (uint32_t K = 0; K < N; K += Stride)
+    Pcs.push_back((*Blob)->locus(K).Addr);
+  uint64_t BlobHash = 0, DictHash = 0;
+  BC.setEnabled(true);
+  sweepOnce(*P, Pcs, BlobHash);
+  BC.setEnabled(false);
+  sweepOnce(*P, Pcs, DictHash);
+  R.SweepEqual = BlobHash == DictHash;
+
+  // CLI equivalence: break targets picked from the blob's own records.
+  std::vector<std::string> Commands;
+  for (double Frac : {0.15, 0.5, 0.85}) {
+    symblob::Blob::LocusView L =
+        (*Blob)->locus(static_cast<uint32_t>(Frac * (N - 1)));
+    symblob::Blob::ProcView Pr = (*Blob)->proc(L.ProcId);
+    if (Pr.HasFile)
+      Commands.push_back("break " + std::string(Pr.File) + ":" +
+                         std::to_string(L.Line));
+  }
+  Commands.push_back("continue");
+  Commands.push_back("status");
+  Commands.push_back("where");
+  Commands.push_back("delete");
+  BC.setEnabled(true);
+  std::string WithBlob = cliTranscript(*P, Commands);
+  BC.setEnabled(false);
+  std::string WithDict = cliTranscript(*P, Commands);
+  R.CliEqual = WithBlob == WithDict;
+  BC.setEnabled(true);
+  return R;
+}
+
+void report(const SizeResult &R) {
+  std::string Tag = "gen:" + std::to_string(R.Lines);
+  std::printf("\n%s: %u procs, %u loci, blob %zu bytes\n", Tag.c_str(),
+              R.Procs, R.Loci, R.BlobBytes);
+  head("phase (" + Tag + ")", "paper", "measured");
+  row("cold blob build (forces all entries)", "-", ms(R.ColdBuild));
+  row("warm blob load (mmap + validate)", "-", ms(R.WarmAttach));
+  row("fastload warm replay (same symtab)", "-", ms(R.FastloadWarm));
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f us/query",
+                R.BlobSweep / R.SweepQueries * 1e6);
+  row("pc->locus sweep, blob", "-", Buf);
+  std::snprintf(Buf, sizeof(Buf), "%.3f us/query",
+                R.DictSweep / R.SweepQueries * 1e6);
+  row("pc->locus sweep, dictionaries", "-", Buf);
+
+  std::printf("\nshape checks (%s):\n", Tag.c_str());
+  std::printf("  warm blob load >= 10x fastload warm replay: %s (%.1fx)\n",
+              R.warmSpeedup() >= 10.0 ? "yes" : "NO", R.warmSpeedup());
+  std::printf("  pc sweep >= 5x the dictionary path: %s (%.1fx)\n",
+              R.pcSpeedup() >= 5.0 ? "yes" : "NO", R.pcSpeedup());
+  std::printf("  sweep answers byte-identical: %s\n",
+              R.SweepEqual ? "yes" : "NO");
+  std::printf("  CLI session byte-identical: %s\n",
+              R.CliEqual ? "yes" : "NO");
+}
+
+int gate(const SizeResult &R) {
+  int Bad = 0;
+  if (R.warmSpeedup() < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: gen:%u warm blob load (%.3f ms) only %.1fx the "
+                 "fastload warm replay (%.3f ms); need >= 10x\n",
+                 R.Lines, R.WarmAttach * 1e3, R.warmSpeedup(),
+                 R.FastloadWarm * 1e3);
+    Bad = 1;
+  }
+  if (R.pcSpeedup() < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: gen:%u blob pc sweep only %.1fx the dictionary "
+                 "path; need >= 5x\n",
+                 R.Lines, R.pcSpeedup());
+    Bad = 1;
+  }
+  if (!R.SweepEqual || !R.CliEqual) {
+    std::fprintf(stderr,
+                 "FAIL: gen:%u blob and interpreter answers differ "
+                 "(sweep %s, cli %s)\n",
+                 R.Lines, R.SweepEqual ? "equal" : "DIFFER",
+                 R.CliEqual ? "equal" : "DIFFER");
+    Bad = 1;
+  }
+  return Bad;
+}
+
+void emitJson(const std::vector<SizeResult> &Results, bool Smoke) {
+  std::FILE *J = std::fopen("BENCH_symblob.json", "w");
+  if (!J)
+    return;
+  std::fprintf(J,
+               "{\n"
+               "  \"bench\": \"symblob\",\n"
+               "  \"target\": \"zmips\",\n"
+               "  \"unit\": \"ms\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"sizes\": [\n",
+               Smoke ? "true" : "false");
+  for (size_t K = 0; K < Results.size(); ++K) {
+    const SizeResult &R = Results[K];
+    std::fprintf(
+        J,
+        "    {\n"
+        "      \"lines\": %u,\n"
+        "      \"procs\": %u,\n"
+        "      \"loci\": %u,\n"
+        "      \"blob_bytes\": %zu,\n"
+        "      \"cold_build\": %.3f,\n"
+        "      \"warm_attach\": %.4f,\n"
+        "      \"fastload_warm\": %.3f,\n"
+        "      \"warm_speedup_vs_fastload\": %.1f,\n"
+        "      \"sweep_queries\": %zu,\n"
+        "      \"pc_sweep_blob_us\": %.3f,\n"
+        "      \"pc_sweep_dict_us\": %.3f,\n"
+        "      \"pc_speedup\": %.1f,\n"
+        "      \"sweep_equal\": %s,\n"
+        "      \"cli_equal\": %s\n"
+        "    }%s\n",
+        R.Lines, R.Procs, R.Loci, R.BlobBytes, R.ColdBuild * 1e3,
+        R.WarmAttach * 1e3, R.FastloadWarm * 1e3, R.warmSpeedup(),
+        R.SweepQueries, R.BlobSweep / R.SweepQueries * 1e6,
+        R.DictSweep / R.SweepQueries * 1e6, R.pcSpeedup(),
+        R.SweepEqual ? "true" : "false", R.CliEqual ? "true" : "false",
+        K + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(J, "  ]\n}\n");
+  std::fclose(J);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  banner("E11: compiled debug info (LDBI blob vs the interpreter)",
+         "no 1992 counterpart; RDI-style compiled indexes over the "
+         "PostScript source of truth");
+
+  std::vector<SizeResult> Results;
+  Results.push_back(runSize(13000, Smoke));
+  if (!Smoke)
+    Results.push_back(runSize(100000, Smoke));
+
+  for (const SizeResult &R : Results)
+    report(R);
+  emitJson(Results, Smoke);
+
+  int Bad = 0;
+  for (const SizeResult &R : Results)
+    Bad |= gate(R);
+  return Bad;
+}

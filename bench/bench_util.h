@@ -48,6 +48,16 @@ inline double medianOf(const std::function<double()> &Fn, int Runs = 5) {
   return Times[Times.size() / 2];
 }
 
+/// Best-of-N for steady-state per-query costs, where every slowdown is
+/// noise (scheduling, cold caches) and the minimum is the estimator
+/// robust to it.
+inline double minOf(const std::function<double()> &Fn, int Runs = 5) {
+  double Best = Fn();
+  for (int K = 1; K < Runs; ++K)
+    Best = std::min(Best, Fn());
+  return Best;
+}
+
 inline void banner(const std::string &Title, const std::string &Claim) {
   std::printf("==============================================================="
               "=========\n");

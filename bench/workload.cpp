@@ -6,6 +6,12 @@
 
 #include "workload.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+
+using namespace ldb;
 using namespace ldb::bench;
 
 std::string ldb::bench::fibProgram() {
@@ -73,4 +79,227 @@ std::string ldb::bench::generateProgram(unsigned Lines) {
   Out += "  return sum % 97;\n";
   Out += "}\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The on-disk workload cache (LDIM v1): a flat little-endian serialization
+// of CachedProgram, keyed by a content hash of everything that determines
+// the compilation. Strictly a bench-time convenience — nothing in the
+// debugger proper reads these files.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t LdimVersion = 1;
+
+uint64_t fnv1a(std::string_view S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+void put32(std::string &Out, uint32_t V) {
+  for (int K = 0; K < 4; ++K)
+    Out.push_back(static_cast<char>((V >> (8 * K)) & 0xFF));
+}
+
+void put64(std::string &Out, uint64_t V) {
+  for (int K = 0; K < 8; ++K)
+    Out.push_back(static_cast<char>((V >> (8 * K)) & 0xFF));
+}
+
+void putBytes(std::string &Out, const void *P, size_t N) {
+  put32(Out, static_cast<uint32_t>(N));
+  Out.append(static_cast<const char *>(P), N);
+}
+
+void putStr(std::string &Out, const std::string &S) {
+  putBytes(Out, S.data(), S.size());
+}
+
+/// A bounds-checked cursor over a loaded cache file; any short read
+/// poisons it and the caller recompiles.
+struct Reader {
+  const std::string &In;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  bool take(void *P, size_t N) {
+    if (!Ok || In.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    std::memcpy(P, In.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+  uint32_t get32() {
+    uint8_t B[4] = {};
+    take(B, 4);
+    return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+           (static_cast<uint32_t>(B[2]) << 16) |
+           (static_cast<uint32_t>(B[3]) << 24);
+  }
+  uint64_t get64() {
+    uint64_t Lo = get32(), Hi = get32();
+    return Lo | (Hi << 32);
+  }
+  std::string getStr() {
+    uint32_t N = get32();
+    if (!Ok || In.size() - Pos < N) {
+      Ok = false;
+      return std::string();
+    }
+    std::string S(In.data() + Pos, N);
+    Pos += N;
+    return S;
+  }
+};
+
+std::string serialize(const CachedProgram &P, uint64_t SrcHash) {
+  std::string Out;
+  Out += "LDIM";
+  put32(Out, LdimVersion);
+  put64(Out, SrcHash);
+  const lcc::Image &Img = P.Img;
+  put32(Out, Img.Entry);
+  put32(Out, Img.TextBase);
+  put32(Out, Img.DataBase);
+  put32(Out, Img.RptAddr);
+  putBytes(Out, Img.Text.data(), Img.Text.size());
+  putBytes(Out, Img.Data.data(), Img.Data.size());
+  put32(Out, static_cast<uint32_t>(Img.Symbols.size()));
+  for (const lcc::ImageSymbol &S : Img.Symbols) {
+    putStr(Out, S.Name);
+    put32(Out, S.Addr);
+    put32(Out, static_cast<uint32_t>(static_cast<unsigned char>(S.Kind)));
+  }
+  put32(Out, static_cast<uint32_t>(Img.Procs.size()));
+  for (const lcc::ProcInfo &R : Img.Procs) {
+    putStr(Out, R.Name);
+    put32(Out, R.CodeOffset);
+    put32(Out, R.CodeSize);
+    put32(Out, R.FrameSize);
+    put32(Out, R.SaveMask);
+    put32(Out, static_cast<uint32_t>(R.SaveAreaOffset));
+    put32(Out, static_cast<uint32_t>(R.FnIndex));
+  }
+  put32(Out, Img.Stats.Instructions);
+  put32(Out, Img.Stats.StopNops);
+  put32(Out, Img.Stats.DelayNops);
+  put32(Out, Img.Stats.DelayFilled);
+  putStr(Out, P.PsSymtab);
+  putStr(Out, P.LoaderTable);
+  return Out;
+}
+
+bool deserialize(const std::string &In, uint64_t SrcHash,
+                 const target::TargetDesc &Desc, CachedProgram &P) {
+  if (In.size() < 16 || In.compare(0, 4, "LDIM") != 0)
+    return false;
+  Reader R{In, 4};
+  if (R.get32() != LdimVersion || R.get64() != SrcHash)
+    return false;
+  lcc::Image &Img = P.Img;
+  Img.Desc = &Desc;
+  Img.Entry = R.get32();
+  Img.TextBase = R.get32();
+  Img.DataBase = R.get32();
+  Img.RptAddr = R.get32();
+  std::string Text = R.getStr(), Data = R.getStr();
+  Img.Text.assign(Text.begin(), Text.end());
+  Img.Data.assign(Data.begin(), Data.end());
+  uint32_t NSym = R.get32();
+  if (!R.Ok || NSym > In.size())
+    return false;
+  Img.Symbols.resize(NSym);
+  for (lcc::ImageSymbol &S : Img.Symbols) {
+    S.Name = R.getStr();
+    S.Addr = R.get32();
+    S.Kind = static_cast<char>(R.get32());
+  }
+  uint32_t NProc = R.get32();
+  if (!R.Ok || NProc > In.size())
+    return false;
+  Img.Procs.resize(NProc);
+  for (lcc::ProcInfo &Rec : Img.Procs) {
+    Rec.Name = R.getStr();
+    Rec.CodeOffset = R.get32();
+    Rec.CodeSize = R.get32();
+    Rec.FrameSize = R.get32();
+    Rec.SaveMask = R.get32();
+    Rec.SaveAreaOffset = static_cast<int32_t>(R.get32());
+    Rec.FnIndex = static_cast<int>(R.get32());
+  }
+  Img.Stats.Instructions = R.get32();
+  Img.Stats.StopNops = R.get32();
+  Img.Stats.DelayNops = R.get32();
+  Img.Stats.DelayFilled = R.get32();
+  P.PsSymtab = R.getStr();
+  P.LoaderTable = R.getStr();
+  return R.Ok && R.Pos == In.size();
+}
+
+std::string cacheDir() {
+  const char *Env = std::getenv("LDB_IMAGE_CACHE_DIR");
+  return Env && *Env ? Env : ".ldb-image-cache";
+}
+
+bool readWhole(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[1 << 16];
+  size_t N;
+  Out.clear();
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+Expected<CachedProgram>
+ldb::bench::cachedGenProgram(const target::TargetDesc &Desc, unsigned Lines,
+                             bool Deferred) {
+  std::string Source = generateProgram(Lines);
+  uint64_t SrcHash = fnv1a(Desc.Name + (Deferred ? "\n-deferred\n" : "\n\n") +
+                           Source);
+  char Tail[64];
+  std::snprintf(Tail, sizeof(Tail), "-%016llx.img",
+                static_cast<unsigned long long>(SrcHash));
+  std::string Dir = cacheDir();
+  std::string Path = Dir + "/" + Desc.Name + "-gen" + std::to_string(Lines) +
+                     (Deferred ? "-def" : "") + Tail;
+
+  CachedProgram P;
+  std::string Raw;
+  if (readWhole(Path, Raw) && deserialize(Raw, SrcHash, Desc, P))
+    return P;
+
+  lcc::CompileOptions Options;
+  Options.DeferredSymtab = Deferred;
+  auto C = lcc::compileAndLink({{"lcc.c", std::move(Source)}}, Desc, Options);
+  if (!C)
+    return C.takeError();
+  P.Img = std::move((*C)->Img);
+  P.PsSymtab = std::move((*C)->PsSymtab);
+  P.LoaderTable = std::move((*C)->LoaderTable);
+
+  // Best-effort store: a read-only checkout just recompiles every run.
+  ::mkdir(Dir.c_str(), 0755);
+  std::string Blob = serialize(P, SrcHash);
+  std::string Tmp = Path + ".tmp";
+  if (std::FILE *F = std::fopen(Tmp.c_str(), "wb")) {
+    size_t W = std::fwrite(Blob.data(), 1, Blob.size(), F);
+    bool Ok = W == Blob.size() && std::fclose(F) == 0;
+    if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0)
+      std::remove(Tmp.c_str());
+  }
+  return P;
 }

@@ -16,6 +16,8 @@
 #ifndef LDB_BENCH_WORKLOAD_H
 #define LDB_BENCH_WORKLOAD_H
 
+#include "lcc/driver.h"
+
 #include <string>
 
 namespace ldb::bench {
@@ -30,6 +32,26 @@ std::string helloProgram();
 /// parameters, block-scoped locals, loops, a static array, struct use,
 /// and cross-calls, plus a main that calls them all.
 std::string generateProgram(unsigned Lines);
+
+/// A compiled gen:<lines> workload: the linked image plus the two debug
+/// texts a connect needs (the stabs baseline is not kept).
+struct CachedProgram {
+  lcc::Image Img;
+  std::string PsSymtab;
+  std::string LoaderTable;
+};
+
+/// Compiles generateProgram(\p Lines) for \p Desc, memoizing the linked
+/// image and debug artifacts on disk so the 100,000-line workload pays
+/// its multi-second compile once per checkout rather than once per bench
+/// run. The cache directory is $LDB_IMAGE_CACHE_DIR (default
+/// ".ldb-image-cache" under the working directory); entries are keyed by
+/// a content hash of the architecture, options, and generated source, so
+/// a generator or compiler change simply misses. A damaged entry is
+/// recompiled, never trusted.
+Expected<CachedProgram> cachedGenProgram(const target::TargetDesc &Desc,
+                                         unsigned Lines,
+                                         bool Deferred = false);
 
 } // namespace ldb::bench
 

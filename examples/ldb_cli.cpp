@@ -11,15 +11,19 @@
 /// attached it runs a canned scripted session so the binary demonstrates
 /// itself.
 ///
-/// Run:  build/examples/ldb_cli [--no-fastload] [ARCH] [FILE.c]
+/// Run:  build/examples/ldb_cli [--no-fastload] [--no-symblob]
+///                              [ARCH] [FILE.c]
 ///       echo "break main\ncontinue\nwhere\nquit" | build/examples/ldb_cli
 ///
 /// --no-fastload disables the binary symbol-table cache and forces the
 /// plain PostScript scanner path (useful for timing comparisons).
+/// --no-symblob disables the compiled LDBI debug-info blob, so every
+/// pc/line/name query walks the interpreted dictionaries.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/cli.h"
+#include "core/symblob.h"
 #include "example_util.h"
 #include "postscript/fastload.h"
 #include "support/strings.h"
@@ -66,6 +70,8 @@ int main(int argc, char **argv) {
   for (int K = 1; K < argc; ++K) {
     if (std::string(argv[K]) == "--no-fastload")
       ps::fastload::Cache::global().setEnabled(false);
+    else if (std::string(argv[K]) == "--no-symblob")
+      symblob::Cache::global().setEnabled(false);
     else
       Args.push_back(argv[K]);
   }

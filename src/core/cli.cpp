@@ -6,6 +6,7 @@
 
 #include "core/cli.h"
 
+#include "core/symblob.h"
 #include "postscript/atoms.h"
 #include "support/strings.h"
 #include "target/disasm.h"
@@ -212,6 +213,7 @@ std::string CommandInterpreter::execute(const std::string &Line) {
       }
       Debugger.clearRetiredStats();
       ps::interpStats().reset();
+      symblob::symblobStats().reset();
       return "transport and interpreter counters reset\n";
     }
     const mem::TransportStats &St = Current->stats();
@@ -269,6 +271,12 @@ std::string CommandInterpreter::execute(const std::string &Line) {
            std::to_string(IS.FastloadMisses) + " misses, " +
            std::to_string(IS.FastloadStores) + " stores, " +
            std::to_string(IS.FastloadFallbacks) + " fallbacks\n";
+    const symblob::SymblobStats &BS = symblob::symblobStats();
+    Out += "symblob:        " + std::to_string(BS.Hits) + " hits, " +
+           std::to_string(BS.Misses) + " misses, " +
+           std::to_string(BS.Builds) + " builds, " +
+           std::to_string(BS.Fallbacks) + " fallbacks, " +
+           std::to_string(BS.IndexProbes) + " probes\n";
     const Target::ExecStats &ES = Current->execStats();
     Out += "stepping:       " + std::to_string(ES.Steps) + " steps, " +
            std::to_string(ES.Nexts) + " nexts, " +

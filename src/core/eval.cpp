@@ -129,11 +129,11 @@ Expected<std::string> ldb::core::describeStop(Target &T) {
     return Pc.takeError();
   std::string Out = nub::signalName(Stop.Signo);
   Target::Scope S(T);
-  Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, *Pc);
+  // The brief is all a stop description needs — on the LDBI fast path it
+  // costs two binary searches and forces nothing.
+  Expected<symtab::SiteBrief> Site = symtab::briefForPc(T, *Pc);
   if (Site) {
-    Expected<Object> File =
-        symtab::field(T.interp(), Site->ProcEntry, "sourcefile");
-    Out += " at " + (File ? File->text() : std::string("?")) + ":" +
+    Out += " at " + (Site->HasFile ? Site->File : std::string("?")) + ":" +
            std::to_string(Site->Line) + " in " + Site->ProcName;
   } else {
     Expected<Target::ProcAddr> Proc = T.procForPc(*Pc);
@@ -151,12 +151,10 @@ Expected<std::string> ldb::core::renderBacktrace(Target &T, unsigned Max) {
   for (size_t K = 0; K < Frames->size(); ++K) {
     const FrameInfo &FI = (*Frames)[K];
     Out += "#" + std::to_string(K) + " ";
-    Expected<symtab::StopSite> Site = symtab::nearestStopForPc(T, FI.Pc);
+    Expected<symtab::SiteBrief> Site = symtab::briefForPc(T, FI.Pc);
     if (Site) {
-      Expected<Object> File =
-          symtab::field(T.interp(), Site->ProcEntry, "sourcefile");
       Out += Site->ProcName + " at " +
-             (File ? File->text() : std::string("?")) + ":" +
+             (Site->HasFile ? Site->File : std::string("?")) + ":" +
              std::to_string(Site->Line);
     } else {
       Expected<Target::ProcAddr> Proc = T.procForPc(FI.Pc);

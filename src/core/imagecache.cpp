@@ -6,6 +6,7 @@
 
 #include "core/imagecache.h"
 
+#include "core/symblob.h"
 #include "core/symtab.h"
 #include "core/target.h"
 #include "postscript/fastload.h"
@@ -61,7 +62,7 @@ ImageRepository::acquire(Target &For, const std::string &PsSymtab,
   // means the interpreted dictionaries would come out identical.
   uint64_t H1 = fastload::contentHash(ArchName + "\n" + PsSymtab);
   uint64_t H2 = fastload::contentHash(LoaderTable);
-  uint64_t Key = H1 ^ (H2 + 0x9e3779b97f4a7c15ull + (H1 << 6) + (H1 >> 2));
+  uint64_t Key = symblob::combineKeys(H1, H2);
   auto It = Images.find(Key);
   if (It != Images.end())
     return It->second;
@@ -96,6 +97,25 @@ ImageRepository::acquire(Target &For, const std::string &PsSymtab,
   Img->Index = std::make_unique<StopSiteIndex>(I);
   if (!E && !LoaderTable.empty())
     E = Img->Index->build();
+
+  // The compiled debug info (LDBI): prefer a cached blob for this key;
+  // compile one on the first miss. Compiling forces every symtab entry —
+  // into the shared dictionary, so the one-time cost pays for the whole
+  // fleet — and a failure is never fatal: the interpreter path stays
+  // behind the index.
+  if (!E && !LoaderTable.empty() && symblob::Cache::global().enabled()) {
+    symblob::Cache &BC = symblob::Cache::global();
+    std::shared_ptr<const symblob::Blob> B = BC.acquire(Key);
+    if (!B) {
+      Expected<std::vector<uint8_t>> Bytes =
+          symblob::compile(I, symblob::Params{Key, ArchName});
+      if (Bytes) {
+        BC.store(Key, Bytes.take());
+        B = BC.acquire(Key);
+      }
+    }
+    Img->Index->attachBlob(std::move(B));
+  }
 
   I.dictStack().resize(Depth);
   I.Hooks = SavedHooks;

@@ -6,6 +6,7 @@
 
 #include "core/stopindex.h"
 
+#include "core/symblob.h"
 #include "core/symtab.h"
 #include "core/target.h"
 
@@ -55,7 +56,47 @@ Error StopSiteIndex::build() {
     Procs[K].End = K + 1 < Procs.size() ? Procs[K + 1].Addr : 0;
     ByName[Procs[K].Name] = K;
   }
+  Blob.reset(); // a rebuild invalidates any attached fast path
   return Error::success();
+}
+
+void StopSiteIndex::attachBlob(std::shared_ptr<const symblob::Blob> B) {
+  if (!B)
+    return;
+  // The blob's procedure records and this index come from the same
+  // proctable in the same order; anything else means a stale or foreign
+  // blob, and the interpreter path serves instead.
+  if (B->procCount() != Procs.size()) {
+    ++symblob::symblobStats().Fallbacks;
+    return;
+  }
+  Blob = std::move(B);
+}
+
+bool StopSiteIndex::fillFromBlob(Proc &P, uint32_t Id, bool RequireExtern) {
+  symblob::Blob::ProcView V = Blob->proc(Id);
+  if (V.Addr != P.Addr || V.Name != P.Name)
+    return false;
+  ++symblob::symblobStats().IndexProbes;
+  P.Loaded = true;
+  P.FileSt = V.HasFile ? Proc::FileInfo::Known : Proc::FileInfo::None;
+  if (V.HasFile)
+    P.File = std::string(V.File);
+  if (V.HasSymbols && (!RequireExtern || V.Extern)) {
+    P.HasSymbols = true;
+    P.Loci.reserve(V.LociCount);
+    for (uint32_t K = 0; K < V.LociCount; ++K) {
+      symblob::Blob::LocusView LV = Blob->locus(V.LociStart + K);
+      Locus Loc;
+      Loc.Addr = LV.Addr;
+      Loc.Line = LV.Line;
+      Loc.Index = LV.Index;
+      P.Loci.push_back(Loc);
+    }
+  } else {
+    P.HasSymbols = false;
+  }
+  return true;
 }
 
 Expected<StopSiteIndex::Proc *> StopSiteIndex::procContaining(uint32_t Pc) {
@@ -76,6 +117,17 @@ StopSiteIndex::Proc *StopSiteIndex::procByName(const std::string &Name) {
 Error StopSiteIndex::ensureLoaded(Proc &P) {
   if (P.Loaded)
     return Error::success();
+
+  // The blob fast path: no symtab entry is forced, no interpreter runs.
+  // The interpreter path only reaches loci through the externs
+  // dictionary, so a static function stays "no debugging symbols" here —
+  // the blob's Extern bit preserves that exactly.
+  if (Blob) {
+    size_t Id = static_cast<size_t>(&P - Procs.data());
+    if (fillFromBlob(P, static_cast<uint32_t>(Id), /*RequireExtern=*/true))
+      return Error::success();
+    ++symblob::symblobStats().Fallbacks;
+  }
 
   Expected<Object> Top = symtab::topLevel(I);
   if (!Top) {
@@ -171,8 +223,102 @@ Expected<StopSiteIndex::LocusRef> StopSiteIndex::nearestLocus(uint32_t Pc) {
   return LocusRef{&P, &*std::prev(It)};
 }
 
+Error StopSiteIndex::ensureEntry(Proc &P) {
+  if (P.Entry.Ty == Type::Dict)
+    return Error::success();
+
+  // The blob fast path loaded loci without forcing the entry; a consumer
+  // now needs the real dictionary (visible chains, /where). Resolve it
+  // exactly the way the interpreter path would have: externs first, then
+  // the procedure's own compilation unit (static functions).
+  Expected<Object> Top = symtab::topLevel(I);
+  if (!Top)
+    return indexError(P.Name, "no symbol table");
+  Expected<Object> Externs = symtab::field(I, *Top, "externs");
+  if (!Externs)
+    return indexError("externs", Externs.message());
+  if (const Object *Found = Externs->DictVal->find(P.Name)) {
+    Object Entry = *Found;
+    if (Error E = symtab::force(I, Entry))
+      return indexError(P.Name, E.message());
+    if (Entry.Ty != Type::Dict)
+      return indexError(P.Name, "entry is not a dictionary");
+    Externs->DictVal->set(P.Name, Entry);
+    P.Entry = Entry;
+    return Error::success();
+  }
+  if (P.FileSt == Proc::FileInfo::Known) {
+    Expected<Object> SourceMap = symtab::field(I, *Top, "sourcemap");
+    if (!SourceMap)
+      return indexError("sourcemap", SourceMap.message());
+    if (const Object *Found = SourceMap->DictVal->find(P.File)) {
+      Object Refs = *Found;
+      if (Error E = symtab::force(I, Refs))
+        return indexError(P.File, E.message());
+      if (Refs.Ty == Type::Array)
+        for (const Object &EntryRef : *Refs.ArrVal) {
+          Object Entry = EntryRef;
+          if (Error E = symtab::force(I, Entry))
+            return indexError(P.File, E.message());
+          Expected<Object> NameV = symtab::field(I, Entry, "name");
+          if (!NameV)
+            return indexError(P.File, NameV.message());
+          if (Entry.Ty == Type::Dict && NameV->text() == P.Name) {
+            P.Entry = Entry;
+            return Error::success();
+          }
+        }
+    }
+  }
+  return indexError(P.Name, "no symbol-table entry");
+}
+
 Expected<std::vector<StopSiteIndex::LocusRef>>
 StopSiteIndex::lociForSource(const std::string &File, int Line) {
+  // The blob fast path: the sorted (file, line) index answers without
+  // forcing a single entry. Only files the blob's line index knows are
+  // eligible — anything else (including a file the sourcemap does not
+  // name) takes the interpreter path and its exact errors. Once the
+  // interpreter has cached a file, stay with that cache.
+  if (Blob && FileProcs.find(File) == FileProcs.end()) {
+    std::optional<uint32_t> Fid = Blob->fileId(File);
+    if (Fid && Blob->fileInLineIndex(*Fid)) {
+      ++symblob::symblobStats().IndexProbes;
+      std::vector<LocusRef> Out;
+      bool Mismatch = false;
+      for (uint32_t LocusId : Blob->lociForLine(*Fid, Line)) {
+        symblob::Blob::LocusView LV = Blob->locus(LocusId);
+        if (LV.ProcId >= Procs.size()) {
+          Mismatch = true;
+          break;
+        }
+        Proc &P = Procs[LV.ProcId];
+        if (!P.Loaded &&
+            !fillFromBlob(P, LV.ProcId, /*RequireExtern=*/false)) {
+          Mismatch = true;
+          break;
+        }
+        // A procedure already loaded without symbols contributes nothing
+        // — the same shape the interpreter's loadFromEntry early-return
+        // yields when ensureLoaded ran first.
+        if (!P.HasSymbols)
+          continue;
+        for (const Locus &L : P.Loci)
+          if (L.Addr == LV.Addr && L.Index == LV.Index) {
+            Out.push_back(LocusRef{&P, &L});
+            break;
+          }
+      }
+      if (!Mismatch) {
+        if (Out.empty())
+          return Error::failure("no stopping point at " + File + ":" +
+                                std::to_string(Line));
+        return Out;
+      }
+      ++symblob::symblobStats().Fallbacks;
+    }
+  }
+
   auto Cached = FileProcs.find(File);
   if (Cached == FileProcs.end()) {
     // First query against this file: force its procedures (and only its)

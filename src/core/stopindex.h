@@ -40,6 +40,7 @@
 #include "support/error.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ class Interp;
 } // namespace ldb::ps
 
 namespace ldb::core {
+
+namespace symblob {
+class Blob;
+} // namespace symblob
 
 /// The stop-site index reads only the interpreter (the loader table and
 /// symbol table it finds through the dictionary stack), never target
@@ -74,8 +79,16 @@ public:
     std::string Name;
     bool Loaded = false;     ///< loci computed (entry forced if present)
     bool HasSymbols = false; ///< a symbol-table entry exists
-    ps::Object Entry;        ///< the forced entry when HasSymbols
+    ps::Object Entry;        ///< the forced entry when HasSymbols; may be
+                             ///< null on the blob fast path (ensureEntry
+                             ///< resolves it on demand)
     std::vector<Locus> Loci; ///< sorted by address
+    /// The display source file (the entry's /sourcefile), cached so
+    /// symbolization need not force the entry. Unknown until a blob fill
+    /// or a briefForPc query resolves it.
+    enum class FileInfo { Unknown, Known, None };
+    FileInfo FileSt = FileInfo::Unknown;
+    std::string File; ///< valid when FileSt == Known
   };
 
   /// A locus together with its procedure.
@@ -124,6 +137,19 @@ public:
   /// walk holds one; static functions may not appear in externs).
   Error loadFromEntry(Proc &P, ps::Object Entry);
 
+  /// Resolves \p P's symbol-table entry when the blob fast path left it
+  /// null: externs first, then the procedure's compilation unit (static
+  /// functions). Forces exactly one entry, memoizing like ensureLoaded.
+  Error ensureEntry(Proc &P);
+
+  /// Attaches a validated blob as the index's fast path: ensureLoaded and
+  /// lociForSource answer from it without forcing symtab entries, and
+  /// every query falls back to the interpreter when the blob disagrees
+  /// with the proctable. Rejected (with a fallback counted) when the
+  /// blob's procedure list does not line up with this index.
+  void attachBlob(std::shared_ptr<const symblob::Blob> B);
+  const symblob::Blob *blob() const { return Blob.get(); }
+
   /// The entry stopping point: /loci position 0 (emitted right after the
   /// prologue). Null when the procedure has none.
   static const Locus *entryLocus(const Proc &P);
@@ -138,11 +164,19 @@ public:
   size_t loadedCount() const;
 
 private:
+  /// Fills \p P from the blob's record \p Id. RequireExtern gives
+  /// ensureLoaded parity: the interpreter path only finds loci through
+  /// the externs dictionary, so a static stays HasSymbols = false there
+  /// (lociForSource's sourcemap walk, which does reach statics, passes
+  /// false). Returns false when the record does not match \p P.
+  bool fillFromBlob(Proc &P, uint32_t Id, bool RequireExtern);
+
   ps::Interp &I;
   std::vector<Proc> Procs;              ///< sorted by Addr
   std::map<std::string, size_t> ByName; ///< name -> Procs index
   /// file -> indices of its (loaded) procedures, built on first query.
   std::map<std::string, std::vector<size_t>> FileProcs;
+  std::shared_ptr<const symblob::Blob> Blob; ///< the fast path, if any
 };
 
 } // namespace ldb::core

@@ -1,0 +1,1003 @@
+//===- core/symblob.cpp - compiled binary debug info (LDBI v1) -------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/symblob.h"
+
+#include "core/symtab.h"
+#include "postscript/object.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::core::symblob;
+using namespace ldb::ps;
+
+SymblobStats &symblob::symblobStats() {
+  thread_local SymblobStats S;
+  return S;
+}
+
+uint64_t symblob::combineKeys(uint64_t H1, uint64_t H2) {
+  // The image repository's key combine: same formula, one definition.
+  return H1 ^ (H2 + 0x9e3779b97f4a7c15ull + (H1 << 6) + (H1 >> 2));
+}
+
+//===----------------------------------------------------------------------===//
+// Layout constants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr size_t HeaderSize = 76;
+constexpr size_t SecDescOff = 24;
+constexpr size_t TotalSizeOff = 72;
+
+enum Section : unsigned {
+  SecStrings = 0, ///< count = byte size
+  SecProcs = 1,
+  SecLoci = 2,
+  SecFiles = 3,
+  SecLines = 4,
+  SecNames = 5,
+};
+
+constexpr size_t RecSize[6] = {1, 28, 16, 4, 12, 12};
+constexpr const char *SecName[6] = {"string", "proc",  "locus",
+                                    "file",   "line", "name"};
+
+enum ProcFlag : uint32_t {
+  ProcHasLoci = 1, ///< the blob carries this procedure's stop sites
+  ProcExtern = 2,  ///< the externs dictionary lists the procedure
+};
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitives (byte-wise: a blob is readable wherever it is
+// mapped, with no alignment or host-endianness assumptions)
+//===----------------------------------------------------------------------===//
+
+uint16_t get16(const uint8_t *D) {
+  return static_cast<uint16_t>(D[0] | (D[1] << 8));
+}
+
+uint32_t get32(const uint8_t *D) {
+  return static_cast<uint32_t>(D[0]) | (static_cast<uint32_t>(D[1]) << 8) |
+         (static_cast<uint32_t>(D[2]) << 16) |
+         (static_cast<uint32_t>(D[3]) << 24);
+}
+
+uint64_t get64(const uint8_t *D) {
+  return static_cast<uint64_t>(get32(D)) |
+         (static_cast<uint64_t>(get32(D + 4)) << 32);
+}
+
+void put16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void put64(std::vector<uint8_t> &Out, uint64_t V) {
+  put32(Out, static_cast<uint32_t>(V));
+  put32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+/// The string table under construction: NUL-terminated texts, offset 0 is
+/// the empty string, every distinct text stored once.
+class StrTab {
+public:
+  StrTab() : Bytes(1, 0) {}
+
+  uint32_t add(std::string_view S) {
+    if (S.empty())
+      return 0;
+    auto [It, New] = Map.emplace(std::string(S), 0);
+    if (!New)
+      return It->second;
+    uint32_t Off = static_cast<uint32_t>(Bytes.size());
+    It->second = Off;
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+    Bytes.push_back(0);
+    return Off;
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+private:
+  std::vector<uint8_t> Bytes;
+  std::map<std::string, uint32_t> Map;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structural validation
+//===----------------------------------------------------------------------===//
+
+std::vector<Issue> symblob::inspect(const uint8_t *D, size_t Size,
+                                    uint64_t ExpectKey) {
+  std::vector<Issue> Issues;
+  auto issue = [&Issues](size_t At, std::string What) {
+    Issues.push_back(Issue{At, std::move(What)});
+  };
+
+  if (Size < HeaderSize) {
+    issue(Size, "blob ends inside the header (" + std::to_string(Size) +
+                    " bytes; the header is " + std::to_string(HeaderSize) +
+                    ")");
+    return Issues;
+  }
+  if (std::memcmp(D, "LDBI", 4) != 0) {
+    issue(0, "bad magic (expected \"LDBI\")");
+    return Issues;
+  }
+  uint16_t Ver = get16(D + 4);
+  if (Ver != Version) {
+    issue(4, "format version " + std::to_string(Ver) +
+                 " (this build reads " + std::to_string(Version) + ")");
+    return Issues;
+  }
+  if (get64(D + 8) != ExpectKey)
+    // Keep walking: a stale blob is still structurally decodable, and the
+    // extra findings tell stale-but-sound apart from corrupt.
+    issue(8, "image key does not match the loaded image (stale blob, or a"
+             " damaged key)");
+  uint32_t Total = get32(D + TotalSizeOff);
+  if (Total != Size) {
+    issue(TotalSizeOff, "header declares " + std::to_string(Total) +
+                            " bytes but the blob holds " +
+                            std::to_string(Size));
+    return Issues;
+  }
+
+  uint64_t Off[6], Cnt[6];
+  for (unsigned S = 0; S < 6; ++S) {
+    size_t At = SecDescOff + 8 * S;
+    Off[S] = get32(D + At);
+    Cnt[S] = get32(D + At + 4);
+    uint64_t Bytes = Cnt[S] * RecSize[S];
+    if (Off[S] > Size || Bytes > Size - Off[S]) {
+      issue(At, std::string(SecName[S]) + " section (offset " +
+                    std::to_string(Off[S]) + ", " + std::to_string(Cnt[S]) +
+                    " entries) reaches past the end of the blob");
+      return Issues;
+    }
+  }
+
+  // The string table: must exist, start with the empty string, and end
+  // with a terminator so every in-range offset names a NUL-terminated
+  // text.
+  size_t StrOff = static_cast<size_t>(Off[SecStrings]);
+  size_t StrSize = static_cast<size_t>(Cnt[SecStrings]);
+  if (StrSize == 0) {
+    issue(SecDescOff, "empty string table (offset 0 must hold \"\")");
+    return Issues;
+  }
+  if (D[StrOff] != 0)
+    issue(StrOff, "string table does not begin with the empty string");
+  if (D[StrOff + StrSize - 1] != 0) {
+    issue(StrOff + StrSize - 1,
+          "string table does not end with a terminator");
+    return Issues;
+  }
+  auto strAt = [&](uint32_t SOff) {
+    return std::string_view(
+        reinterpret_cast<const char *>(D + StrOff + SOff));
+  };
+  uint32_t ArchOff = get32(D + 20);
+  if (ArchOff >= StrSize) {
+    issue(20, "architecture name offset " + std::to_string(ArchOff) +
+                  " out of range (string table is " +
+                  std::to_string(StrSize) + " bytes)");
+    return Issues;
+  }
+
+  uint64_t NProcs = Cnt[SecProcs], NLoci = Cnt[SecLoci];
+  uint64_t NFiles = Cnt[SecFiles], NLines = Cnt[SecLines];
+  uint64_t NNames = Cnt[SecNames];
+
+  // Procedure records: string/file/loci references in range, flags known,
+  // and the pc index sorted by address.
+  uint32_t PrevAddr = 0;
+  for (uint64_t K = 0; K < NProcs; ++K) {
+    size_t At = static_cast<size_t>(Off[SecProcs] + K * RecSize[SecProcs]);
+    const uint8_t *R = D + At;
+    uint32_t Addr = get32(R), NameOff = get32(R + 8);
+    uint32_t FileId = get32(R + 12);
+    uint64_t LociStart = get32(R + 16), LociCount = get32(R + 20);
+    uint32_t Flags = get32(R + 24);
+    if (NameOff >= StrSize) {
+      issue(At, "procedure " + std::to_string(K) + " name offset " +
+                    std::to_string(NameOff) + " out of range");
+      return Issues;
+    }
+    if (FileId != NoId && FileId >= NFiles) {
+      issue(At, "procedure " + std::to_string(K) + " file id " +
+                    std::to_string(FileId) + " out of range (" +
+                    std::to_string(NFiles) + " files)");
+      return Issues;
+    }
+    if (LociStart + LociCount > NLoci) {
+      issue(At, "procedure " + std::to_string(K) + " loci slice [" +
+                    std::to_string(LociStart) + ", " +
+                    std::to_string(LociStart + LociCount) +
+                    ") out of range (" + std::to_string(NLoci) + " loci)");
+      return Issues;
+    }
+    if (Flags & ~(ProcHasLoci | ProcExtern)) {
+      issue(At, "procedure " + std::to_string(K) + " has unknown flags");
+      return Issues;
+    }
+    if (K > 0 && Addr < PrevAddr) {
+      issue(At, "pc index unsorted: procedure " + std::to_string(K) +
+                    " at address " + std::to_string(Addr) +
+                    " follows address " + std::to_string(PrevAddr));
+      return Issues;
+    }
+    PrevAddr = Addr;
+    // The procedure's loci: each must name its owner, and the slice must
+    // be sorted by address.
+    uint32_t PrevLocusAddr = 0;
+    for (uint64_t L = LociStart; L < LociStart + LociCount; ++L) {
+      size_t LAt = static_cast<size_t>(Off[SecLoci] + L * RecSize[SecLoci]);
+      const uint8_t *LR = D + LAt;
+      uint32_t LAddr = get32(LR), LProc = get32(LR + 12);
+      if (LProc != K) {
+        issue(LAt, "locus " + std::to_string(L) +
+                       " does not name its owning procedure " +
+                       std::to_string(K));
+        return Issues;
+      }
+      if (L > LociStart && LAddr < PrevLocusAddr) {
+        issue(LAt, "locus index unsorted: locus " + std::to_string(L) +
+                       " at address " + std::to_string(LAddr) +
+                       " follows address " + std::to_string(PrevLocusAddr));
+        return Issues;
+      }
+      PrevLocusAddr = LAddr;
+    }
+  }
+
+  // Every locus must belong to some procedure's slice (checked above via
+  // ownership); here only the reference range.
+  for (uint64_t K = 0; K < NLoci; ++K) {
+    size_t At = static_cast<size_t>(Off[SecLoci] + K * RecSize[SecLoci]);
+    uint32_t LProc = get32(D + At + 12);
+    if (LProc >= NProcs) {
+      issue(At, "locus " + std::to_string(K) + " procedure id " +
+                    std::to_string(LProc) + " out of range");
+      return Issues;
+    }
+  }
+
+  for (uint64_t K = 0; K < NFiles; ++K) {
+    size_t At = static_cast<size_t>(Off[SecFiles] + K * RecSize[SecFiles]);
+    uint32_t NameOff = get32(D + At);
+    if (NameOff >= StrSize) {
+      issue(At, "file " + std::to_string(K) + " name offset " +
+                    std::to_string(NameOff) + " out of range");
+      return Issues;
+    }
+  }
+
+  // The (file, line) index: references in range, sorted by (file, line).
+  uint64_t PrevKey = 0;
+  for (uint64_t K = 0; K < NLines; ++K) {
+    size_t At = static_cast<size_t>(Off[SecLines] + K * RecSize[SecLines]);
+    const uint8_t *R = D + At;
+    uint32_t FileId = get32(R), Line = get32(R + 4), LocusId = get32(R + 8);
+    if (FileId >= NFiles) {
+      issue(At, "line record " + std::to_string(K) + " file id " +
+                    std::to_string(FileId) + " out of range");
+      return Issues;
+    }
+    if (LocusId >= NLoci) {
+      issue(At, "line record " + std::to_string(K) + " locus id " +
+                    std::to_string(LocusId) + " out of range");
+      return Issues;
+    }
+    uint64_t Key = (static_cast<uint64_t>(FileId) << 32) | Line;
+    if (K > 0 && Key < PrevKey) {
+      issue(At, "line index unsorted at record " + std::to_string(K));
+      return Issues;
+    }
+    PrevKey = Key;
+  }
+
+  // The name index: references in range, sorted by symbol text.
+  std::string_view PrevName;
+  for (uint64_t K = 0; K < NNames; ++K) {
+    size_t At = static_cast<size_t>(Off[SecNames] + K * RecSize[SecNames]);
+    const uint8_t *R = D + At;
+    uint32_t NameOff = get32(R), Kind = get32(R + 4), ProcId = get32(R + 8);
+    if (NameOff >= StrSize) {
+      issue(At, "symbol " + std::to_string(K) + " name offset " +
+                    std::to_string(NameOff) + " out of range");
+      return Issues;
+    }
+    if (Kind > 1) {
+      issue(At, "symbol " + std::to_string(K) + " has unknown kind " +
+                    std::to_string(Kind));
+      return Issues;
+    }
+    if (ProcId != NoId && ProcId >= NProcs) {
+      issue(At, "symbol " + std::to_string(K) + " procedure id " +
+                    std::to_string(ProcId) + " out of range");
+      return Issues;
+    }
+    std::string_view Name = strAt(NameOff);
+    if (K > 0 && Name < PrevName) {
+      issue(At, "name index unsorted at record " + std::to_string(K));
+      return Issues;
+    }
+    PrevName = Name;
+  }
+
+  return Issues;
+}
+
+std::vector<Issue> symblob::inspect(const std::vector<uint8_t> &Bytes,
+                                    uint64_t ExpectKey) {
+  return inspect(Bytes.data(), Bytes.size(), ExpectKey);
+}
+
+//===----------------------------------------------------------------------===//
+// Blob
+//===----------------------------------------------------------------------===//
+
+uint32_t Blob::rd32(size_t Off) const { return get32(Data + Off); }
+uint64_t Blob::rd64(size_t Off) const { return get64(Data + Off); }
+
+std::string_view Blob::str(uint32_t Off) const {
+  return std::string_view(reinterpret_cast<const char *>(
+      Data + rd32(SecDescOff + 8 * SecStrings) + Off));
+}
+
+namespace {
+
+/// Builds the blob's error for attach(): the first defect names the
+/// failure precisely.
+Error firstIssueError(const std::vector<Issue> &Issues) {
+  return Error::failure("ldbi blob: " + Issues.front().What +
+                        " (at byte offset " +
+                        std::to_string(Issues.front().Offset) + ")");
+}
+
+} // namespace
+
+Expected<std::shared_ptr<const Blob>>
+Blob::attach(std::vector<uint8_t> Bytes, uint64_t ExpectKey) {
+  std::vector<Issue> Issues =
+      inspect(Bytes.data(), Bytes.size(), ExpectKey);
+  if (!Issues.empty())
+    return firstIssueError(Issues);
+  auto B = std::shared_ptr<Blob>(new Blob());
+  B->Owned = std::move(Bytes);
+  B->Data = B->Owned.data();
+  B->Size = B->Owned.size();
+  return std::shared_ptr<const Blob>(std::move(B));
+}
+
+Expected<std::shared_ptr<const Blob>>
+Blob::attachFile(const std::string &Path, uint64_t ExpectKey) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Error::failure("cannot open " + Path);
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || St.st_size <= 0) {
+    ::close(Fd);
+    return Error::failure("cannot stat " + Path);
+  }
+  size_t Len = static_cast<size_t>(St.st_size);
+  void *Map = ::mmap(nullptr, Len, PROT_READ, MAP_PRIVATE, Fd, 0);
+  ::close(Fd);
+  if (Map == MAP_FAILED)
+    return Error::failure("cannot map " + Path);
+  std::vector<Issue> Issues =
+      inspect(static_cast<const uint8_t *>(Map), Len, ExpectKey);
+  if (!Issues.empty()) {
+    ::munmap(Map, Len);
+    return firstIssueError(Issues);
+  }
+  auto B = std::shared_ptr<Blob>(new Blob());
+  B->Map = Map;
+  B->MapLen = Len;
+  B->Data = static_cast<const uint8_t *>(Map);
+  B->Size = Len;
+  return std::shared_ptr<const Blob>(std::move(B));
+}
+
+Blob::~Blob() {
+  if (Map)
+    ::munmap(Map, MapLen);
+}
+
+uint64_t Blob::imageKey() const { return rd64(8); }
+uint32_t Blob::rptAddr() const { return rd32(16); }
+std::string_view Blob::archName() const { return str(rd32(20)); }
+
+uint32_t Blob::procCount() const {
+  return rd32(SecDescOff + 8 * SecProcs + 4);
+}
+uint32_t Blob::locusCount() const {
+  return rd32(SecDescOff + 8 * SecLoci + 4);
+}
+uint32_t Blob::fileCount() const {
+  return rd32(SecDescOff + 8 * SecFiles + 4);
+}
+uint32_t Blob::symbolCount() const {
+  return rd32(SecDescOff + 8 * SecNames + 4);
+}
+
+Blob::ProcView Blob::proc(uint32_t Id) const {
+  size_t At = rd32(SecDescOff + 8 * SecProcs) + Id * RecSize[SecProcs];
+  ProcView V;
+  V.Id = Id;
+  V.Addr = rd32(At);
+  V.End = rd32(At + 4);
+  V.Name = str(rd32(At + 8));
+  uint32_t FileId = rd32(At + 12);
+  if (FileId != NoId) {
+    V.File = fileName(FileId);
+    V.HasFile = true;
+  }
+  V.LociStart = rd32(At + 16);
+  V.LociCount = rd32(At + 20);
+  uint32_t Flags = rd32(At + 24);
+  V.HasSymbols = (Flags & ProcHasLoci) != 0;
+  V.Extern = (Flags & ProcExtern) != 0;
+  return V;
+}
+
+std::optional<Blob::ProcView> Blob::procContaining(uint32_t Pc) const {
+  uint32_t N = procCount();
+  size_t Base = rd32(SecDescOff + 8 * SecProcs);
+  // Last procedure whose entry address is at or below the pc.
+  uint32_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (get32(Data + Base + Mid * RecSize[SecProcs]) <= Pc)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  if (Lo == 0)
+    return std::nullopt;
+  return proc(Lo - 1);
+}
+
+std::optional<Blob::ProcView> Blob::procAt(uint32_t Addr) const {
+  std::optional<ProcView> P = procContaining(Addr);
+  if (!P || P->Addr != Addr)
+    return std::nullopt;
+  return P;
+}
+
+std::optional<Blob::ProcView> Blob::procNamed(std::string_view Name) const {
+  std::optional<SymbolView> S = symbolNamed(Name);
+  if (!S || !S->IsProc || S->ProcId == NoId)
+    return std::nullopt;
+  return proc(S->ProcId);
+}
+
+Blob::LocusView Blob::locus(uint32_t Id) const {
+  size_t At = rd32(SecDescOff + 8 * SecLoci) + Id * RecSize[SecLoci];
+  LocusView V;
+  V.Addr = rd32(At);
+  V.Line = static_cast<int>(rd32(At + 4));
+  V.Index = static_cast<int>(rd32(At + 8));
+  V.ProcId = rd32(At + 12);
+  return V;
+}
+
+std::string_view Blob::fileName(uint32_t Id) const {
+  size_t At = rd32(SecDescOff + 8 * SecFiles) + Id * RecSize[SecFiles];
+  return str(rd32(At));
+}
+
+std::optional<uint32_t> Blob::fileId(std::string_view Name) const {
+  uint32_t N = fileCount();
+  for (uint32_t K = 0; K < N; ++K)
+    if (fileName(K) == Name)
+      return K;
+  return std::nullopt;
+}
+
+std::vector<uint32_t> Blob::lociForLine(uint32_t File, int Line) const {
+  uint32_t N = rd32(SecDescOff + 8 * SecLines + 4);
+  size_t Base = rd32(SecDescOff + 8 * SecLines);
+  uint64_t Want =
+      (static_cast<uint64_t>(File) << 32) | static_cast<uint32_t>(Line);
+  auto keyAt = [&](uint32_t K) {
+    const uint8_t *R = Data + Base + K * RecSize[SecLines];
+    return (static_cast<uint64_t>(get32(R)) << 32) | get32(R + 4);
+  };
+  uint32_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (keyAt(Mid) < Want)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  std::vector<uint32_t> Out;
+  for (uint32_t K = Lo; K < N && keyAt(K) == Want; ++K)
+    Out.push_back(get32(Data + Base + K * RecSize[SecLines] + 8));
+  return Out;
+}
+
+bool Blob::fileInLineIndex(uint32_t File) const {
+  uint32_t N = rd32(SecDescOff + 8 * SecLines + 4);
+  size_t Base = rd32(SecDescOff + 8 * SecLines);
+  uint32_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (get32(Data + Base + Mid * RecSize[SecLines]) < File)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo < N && get32(Data + Base + Lo * RecSize[SecLines]) == File;
+}
+
+Blob::SymbolView Blob::symbol(uint32_t Id) const {
+  size_t At = rd32(SecDescOff + 8 * SecNames) + Id * RecSize[SecNames];
+  SymbolView V;
+  V.Name = str(rd32(At));
+  V.IsProc = rd32(At + 4) == 0;
+  V.ProcId = rd32(At + 8);
+  return V;
+}
+
+std::optional<Blob::SymbolView>
+Blob::symbolNamed(std::string_view Name) const {
+  uint32_t N = symbolCount();
+  size_t Base = rd32(SecDescOff + 8 * SecNames);
+  uint32_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (str(get32(Data + Base + Mid * RecSize[SecNames])) < Name)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  if (Lo >= N)
+    return std::nullopt;
+  SymbolView V = symbol(Lo);
+  if (V.Name != Name)
+    return std::nullopt;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// The compiler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BProc {
+  uint32_t Addr = 0;
+  uint32_t End = 0;
+  std::string Name;
+  int FileId = -1; ///< display file (the entry's /sourcefile)
+  uint32_t Flags = 0;
+};
+
+struct BLocus {
+  uint32_t Addr = 0;
+  int Line = 0;
+  uint32_t Index = 0;
+  uint32_t ProcId = 0;
+};
+
+struct BLine {
+  uint32_t FileId = 0;
+  int Line = 0;
+  uint32_t LocusId = 0;
+};
+
+struct BName {
+  std::string Name;
+  uint32_t Kind = 0;
+  uint32_t ProcId = NoId;
+};
+
+Error compileError(const std::string &What) {
+  return Error::failure("symblob: " + What);
+}
+
+} // namespace
+
+Expected<std::vector<uint8_t>> symblob::compile(Interp &I, const Params &P) {
+  // 1. The loader table's proctable: procedure address ranges, exactly as
+  // StopSiteIndex::build reads them.
+  Object LT;
+  if (!I.lookup("loadertable", LT) || LT.Ty != Type::Dict)
+    return compileError("no loader table for this target");
+  const Object *Pt = LT.DictVal->find("proctable");
+  if (!Pt || Pt->Ty != Type::Array)
+    return compileError("loader table has no proctable");
+  uint32_t Rpt = 0;
+  if (const Object *R = LT.DictVal->find("rpt"); R && R->Ty == Type::Int)
+    Rpt = static_cast<uint32_t>(R->IntVal);
+
+  std::vector<BProc> Procs;
+  for (size_t K = 0; K + 1 < Pt->ArrVal->size(); K += 2) {
+    const Object &Addr = (*Pt->ArrVal)[K];
+    const Object &Name = (*Pt->ArrVal)[K + 1];
+    if (Addr.Ty != Type::Int ||
+        (Name.Ty != Type::String && Name.Ty != Type::Name))
+      return compileError("malformed proctable entry");
+    BProc B;
+    B.Addr = static_cast<uint32_t>(Addr.IntVal);
+    B.Name = Name.text();
+    Procs.push_back(std::move(B));
+  }
+  std::sort(Procs.begin(), Procs.end(),
+            [](const BProc &A, const BProc &B) { return A.Addr < B.Addr; });
+  std::map<std::string, uint32_t> ByName;
+  for (size_t K = 0; K < Procs.size(); ++K) {
+    Procs[K].End = K + 1 < Procs.size() ? Procs[K + 1].Addr : 0;
+    ByName[Procs[K].Name] = static_cast<uint32_t>(K);
+  }
+
+  std::vector<std::string> Files;
+  std::map<std::string, uint32_t> FileIds;
+  auto internFile = [&](const std::string &F) {
+    auto [It, New] = FileIds.emplace(F, Files.size());
+    if (New)
+      Files.push_back(F);
+    return It->second;
+  };
+
+  std::vector<std::vector<BLocus>> ProcLoci(Procs.size());
+  /// The stop sites the entry's /loci array names, offset-relative to the
+  /// procedure's entry address, sorted by address like loadFromEntry.
+  auto fillLoci = [&](uint32_t Pid, const Object &Entry) -> Error {
+    Expected<Object> Loci = symtab::field(I, Entry, "loci");
+    if (!Loci)
+      return compileError(Procs[Pid].Name + ": " + Loci.message());
+    if (Loci->Ty != Type::Array)
+      return compileError(Procs[Pid].Name + ": /loci is not an array");
+    std::vector<BLocus> &Out = ProcLoci[Pid];
+    for (size_t K = 0; K < Loci->ArrVal->size(); ++K) {
+      const Object &L = (*Loci->ArrVal)[K];
+      if (L.Ty != Type::Array || L.ArrVal->size() < 2 ||
+          (*L.ArrVal)[0].Ty != Type::Int || (*L.ArrVal)[1].Ty != Type::Int)
+        return compileError(Procs[Pid].Name + ": malformed stopping point " +
+                            std::to_string(K));
+      BLocus Loc;
+      Loc.Line = static_cast<int>((*L.ArrVal)[0].IntVal);
+      Loc.Addr =
+          Procs[Pid].Addr + static_cast<uint32_t>((*L.ArrVal)[1].IntVal);
+      Loc.Index = static_cast<uint32_t>(K);
+      Loc.ProcId = Pid;
+      Out.push_back(Loc);
+    }
+    std::sort(Out.begin(), Out.end(),
+              [](const BLocus &A, const BLocus &B) { return A.Addr < B.Addr; });
+    Procs[Pid].Flags |= ProcHasLoci;
+    // The display file (describeStop, backtraces): the entry's
+    // /sourcefile, which may differ from the sourcemap key in a
+    // hand-written table.
+    if (symtab::hasField(Entry, "sourcefile")) {
+      Expected<Object> F = symtab::field(I, Entry, "sourcefile");
+      if (F && (F->Ty == Type::String || F->Ty == Type::Name))
+        Procs[Pid].FileId = static_cast<int>(internFile(F->text()));
+    }
+    return Error::success();
+  };
+
+  Object Top;
+  bool HasSymtab = I.lookup("symtab", Top) && Top.Ty == Type::Dict;
+
+  // 2. The sourcemap, unit by unit: covers static functions the externs
+  // dictionary does not list, and records the per-unit entry order the
+  // interpreter's lociForSource walk yields (the line index preserves it).
+  struct UnitProcs {
+    uint32_t FileId = 0;
+    std::vector<uint32_t> ProcIds;
+  };
+  std::vector<UnitProcs> Units;
+  if (HasSymtab && symtab::hasField(Top, "sourcemap")) {
+    Expected<Object> SM = symtab::field(I, Top, "sourcemap");
+    if (!SM)
+      return SM.takeError();
+    if (SM->Ty == Type::Dict) {
+      for (const auto &[Atom, Val] : SM->DictVal->sortedItems()) {
+        std::string FileName = AtomTable::global().text(Atom);
+        Object Refs = Val;
+        if (Error E = symtab::force(I, Refs))
+          return compileError(FileName + ": " + E.message());
+        if (Refs.Ty != Type::Array)
+          return compileError(FileName + ": malformed sourcemap");
+        UnitProcs U;
+        U.FileId = internFile(FileName);
+        for (const Object &EntryRef : *Refs.ArrVal) {
+          Object Entry = EntryRef;
+          if (Error E = symtab::force(I, Entry))
+            return compileError(FileName + ": " + E.message());
+          Expected<Object> NameV = symtab::field(I, Entry, "name");
+          if (!NameV)
+            return compileError(FileName + ": " + NameV.message());
+          auto It = ByName.find(NameV->text());
+          if (It == ByName.end())
+            continue; // procedure not in this image: legitimately skipped
+          uint32_t Pid = It->second;
+          if (Procs[Pid].Flags & ProcHasLoci)
+            continue;
+          if (Error E = fillLoci(Pid, Entry))
+            return E;
+          U.ProcIds.push_back(Pid);
+        }
+        Units.push_back(std::move(U));
+      }
+    }
+  }
+
+  // 3. The externs dictionary: one name->symbol record per global, plus
+  // loci for any procedure the sourcemap missed. Forcing everything here
+  // is the cold-build cost the cache amortizes; the memoized literals
+  // land in the shared dictionaries exactly like any other reader's.
+  std::vector<BName> Names;
+  if (HasSymtab && symtab::hasField(Top, "externs")) {
+    Expected<Object> Externs = symtab::field(I, Top, "externs");
+    if (!Externs)
+      return Externs.takeError();
+    if (Externs->Ty == Type::Dict) {
+      for (const auto &[Atom, Val] : Externs->DictVal->sortedItems()) {
+        std::string SymName = AtomTable::global().text(Atom);
+        Object Entry = Val;
+        if (Error E = symtab::force(I, Entry))
+          return compileError(SymName + ": " + E.message());
+        if (Entry.Ty != Type::Dict)
+          return compileError(SymName + ": entry is not a dictionary");
+        Externs->DictVal->set(Atom, Entry);
+        bool IsProc = symtab::hasField(Entry, "loci");
+        uint32_t Pid = NoId;
+        if (auto It = ByName.find(SymName); It != ByName.end())
+          Pid = It->second;
+        if (IsProc && Pid != NoId) {
+          Procs[Pid].Flags |= ProcExtern;
+          if (!(Procs[Pid].Flags & ProcHasLoci))
+            if (Error E = fillLoci(Pid, Entry))
+              return E;
+        }
+        BName N;
+        N.Name = SymName;
+        N.Kind = IsProc ? 0 : 1;
+        N.ProcId = IsProc ? Pid : NoId;
+        Names.push_back(std::move(N));
+      }
+    }
+  }
+
+  // 4. Flatten: loci grouped per procedure in address order, the line
+  // index in sourcemap order stable-sorted by (file, line), the name
+  // index sorted by text.
+  std::vector<BLocus> AllLoci;
+  std::vector<uint32_t> LociStart(Procs.size(), 0);
+  for (size_t K = 0; K < Procs.size(); ++K) {
+    LociStart[K] = static_cast<uint32_t>(AllLoci.size());
+    AllLoci.insert(AllLoci.end(), ProcLoci[K].begin(), ProcLoci[K].end());
+  }
+  std::vector<BLine> Lines;
+  for (const UnitProcs &U : Units)
+    for (uint32_t Pid : U.ProcIds)
+      for (size_t K = 0; K < ProcLoci[Pid].size(); ++K) {
+        BLine L;
+        L.FileId = U.FileId;
+        L.Line = ProcLoci[Pid][K].Line;
+        L.LocusId = LociStart[Pid] + static_cast<uint32_t>(K);
+        Lines.push_back(L);
+      }
+  std::stable_sort(Lines.begin(), Lines.end(),
+                   [](const BLine &A, const BLine &B) {
+                     return A.FileId != B.FileId ? A.FileId < B.FileId
+                                                 : A.Line < B.Line;
+                   });
+  std::sort(Names.begin(), Names.end(),
+            [](const BName &A, const BName &B) { return A.Name < B.Name; });
+
+  // 5. Assemble. Strings are interned first so every record write has a
+  // final offset.
+  StrTab Str;
+  uint32_t ArchOff = Str.add(P.ArchName);
+  std::vector<uint32_t> ProcNameOff(Procs.size());
+  for (size_t K = 0; K < Procs.size(); ++K)
+    ProcNameOff[K] = Str.add(Procs[K].Name);
+  std::vector<uint32_t> FileNameOff(Files.size());
+  for (size_t K = 0; K < Files.size(); ++K)
+    FileNameOff[K] = Str.add(Files[K]);
+  std::vector<uint32_t> SymNameOff(Names.size());
+  for (size_t K = 0; K < Names.size(); ++K)
+    SymNameOff[K] = Str.add(Names[K].Name);
+
+  uint64_t Off[6], Cnt[6];
+  Cnt[SecStrings] = Str.bytes().size();
+  Cnt[SecProcs] = Procs.size();
+  Cnt[SecLoci] = AllLoci.size();
+  Cnt[SecFiles] = Files.size();
+  Cnt[SecLines] = Lines.size();
+  Cnt[SecNames] = Names.size();
+  Off[0] = HeaderSize;
+  for (unsigned S = 1; S < 6; ++S)
+    Off[S] = Off[S - 1] + Cnt[S - 1] * RecSize[S - 1];
+  uint64_t Total = Off[5] + Cnt[5] * RecSize[5];
+  if (Total > 0xFFFFFFFFull)
+    return compileError("image too large for the 32-bit blob format");
+
+  std::vector<uint8_t> Out;
+  Out.reserve(static_cast<size_t>(Total));
+  Out.insert(Out.end(), {'L', 'D', 'B', 'I'});
+  put16(Out, Version);
+  put16(Out, 0); // flags
+  put64(Out, P.ImageKey);
+  put32(Out, Rpt);
+  put32(Out, ArchOff);
+  for (unsigned S = 0; S < 6; ++S) {
+    put32(Out, static_cast<uint32_t>(Off[S]));
+    put32(Out, static_cast<uint32_t>(Cnt[S]));
+  }
+  put32(Out, static_cast<uint32_t>(Total));
+
+  Out.insert(Out.end(), Str.bytes().begin(), Str.bytes().end());
+  for (size_t K = 0; K < Procs.size(); ++K) {
+    const BProc &B = Procs[K];
+    put32(Out, B.Addr);
+    put32(Out, B.End);
+    put32(Out, ProcNameOff[K]);
+    put32(Out, B.FileId < 0 ? NoId : static_cast<uint32_t>(B.FileId));
+    put32(Out, LociStart[K]);
+    put32(Out, static_cast<uint32_t>(ProcLoci[K].size()));
+    put32(Out, B.Flags);
+  }
+  for (const BLocus &L : AllLoci) {
+    put32(Out, L.Addr);
+    put32(Out, static_cast<uint32_t>(L.Line));
+    put32(Out, L.Index);
+    put32(Out, L.ProcId);
+  }
+  for (uint32_t NameOff : FileNameOff)
+    put32(Out, NameOff);
+  for (const BLine &L : Lines) {
+    put32(Out, L.FileId);
+    put32(Out, static_cast<uint32_t>(L.Line));
+    put32(Out, L.LocusId);
+  }
+  for (size_t K = 0; K < Names.size(); ++K) {
+    put32(Out, SymNameOff[K]);
+    put32(Out, Names[K].Kind);
+    put32(Out, Names[K].ProcId);
+  }
+
+  ++symblobStats().Builds;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+Cache &Cache::global() {
+  static Cache C;
+  return C;
+}
+
+Cache::Cache() {
+  if (std::getenv("LDB_NO_SYMBLOB"))
+    Enabled = false;
+  if (const char *D = std::getenv("LDB_SYMBLOB_DIR"))
+    Dir = D;
+}
+
+namespace {
+
+std::string blobPath(const std::string &Dir, uint64_t Key) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.ldbi",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
+} // namespace
+
+std::shared_ptr<const Blob> Cache::acquire(uint64_t Key) {
+  if (!Enabled)
+    return nullptr;
+  SymblobStats &S = symblobStats();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      if (!It->second.Attached) {
+        // First use: attaching doubles as full validation. A defective
+        // blob is dropped — the interpreter path is always behind it.
+        Expected<std::shared_ptr<const Blob>> B =
+            Blob::attach(It->second.Bytes, Key);
+        if (!B) {
+          ++S.Fallbacks;
+          Entries.erase(It);
+          return nullptr;
+        }
+        It->second.Attached = *B;
+      }
+      ++S.Hits;
+      return It->second.Attached;
+    }
+  }
+  if (!Dir.empty()) {
+    std::string Path = blobPath(Dir, Key);
+    if (::access(Path.c_str(), R_OK) == 0) {
+      Expected<std::shared_ptr<const Blob>> B =
+          Blob::attachFile(Path, Key);
+      if (B) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Entry &E = Entries[Key];
+        E.Attached = *B; // bytes stay on disk; the mapping serves reads
+        ++S.Hits;
+        return E.Attached;
+      }
+      // A damaged cache file: drop it like a corrupt in-memory blob.
+      ++S.Fallbacks;
+      std::remove(Path.c_str());
+      return nullptr;
+    }
+  }
+  ++S.Misses;
+  return nullptr;
+}
+
+void Cache::store(uint64_t Key, std::vector<uint8_t> Bytes) {
+  if (!Dir.empty()) {
+    // Best-effort persistence: a failed write only costs a rebuild.
+    std::string Path = blobPath(Dir, Key);
+    if (std::FILE *F = std::fopen(Path.c_str(), "wb")) {
+      std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+      std::fclose(F);
+    }
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries[Key] = Entry{std::move(Bytes), nullptr};
+}
+
+std::optional<std::vector<uint8_t>>
+Cache::snapshotBytes(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return std::nullopt;
+  if (!It->second.Bytes.empty())
+    return It->second.Bytes;
+  if (It->second.Attached) {
+    const Blob &B = *It->second.Attached;
+    return std::vector<uint8_t>(B.data(), B.data() + B.byteSize());
+  }
+  return std::nullopt;
+}
+
+void Cache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries.clear();
+}
+
+size_t Cache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}

@@ -1,0 +1,278 @@
+//===- core/symblob.h - compiled binary debug info (LDBI v1) ----*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LDBI: a compiled, position-independent binary debug-info blob. The
+/// paper keeps symbol tables as PostScript programs for retargetability,
+/// and fastload (postscript/fastload.h) made replaying them fast — but a
+/// warm load still replays the whole program through the interpreter, and
+/// every pc/line/name query ultimately walks interpreted dictionaries.
+/// Following raddebugger's RDI design and the "simplify the debug-info
+/// pipeline" lesson of Hanson's MSR-TR-99-4 revisit, compile() lowers a
+/// fully-forced symbol table + loader table into one flat blob with three
+/// sorted indexes — pc->proc/locus, (file,line)->stop-site, and
+/// name->symbol — each answering in O(log n) with zero interpreter
+/// involvement. The PostScript path stays the source of truth and the
+/// reference oracle: the blob is a read-path cache over it, invalidated by
+/// content hash, and ldb-verify's blob family cross-checks every query.
+///
+/// Blob layout (all fields little-endian; offsets are from byte 0, so a
+/// blob is valid wherever it is mapped):
+///
+///   off  size  field
+///     0     4  magic "LDBI"
+///     4     2  format version (1)
+///     6     2  flags (0)
+///     8     8  image key: the combined content hash of
+///              (arch "\n" symtab, loader table), see combineKeys()
+///    16     4  runtime procedure table address (loader /rpt)
+///    20     4  architecture name (string-table offset)
+///    24    48  six section descriptors, each {u32 offset, u32 count}:
+///              strings (count = byte size), procs, loci, files, lines,
+///              names
+///    72     4  total blob size in bytes
+///    76     -  section payloads
+///
+/// Records (sizes in bytes):
+///   ProcRec 28: addr, end, nameOff, fileId (NoId = none), lociStart,
+///               lociCount, flags (bit0 = has loci, bit1 = listed in the
+///               externs dictionary) — sorted by addr
+///   LocusRec 16: addr, line, lociIndex (position in the entry's /loci
+///               array), procId — grouped per procedure, each group
+///               sorted by addr
+///   FileRec  4: nameOff
+///   LineRec 12: fileId, line, locusId — sorted by (fileId, line), ties
+///               in the order the interpreter's sourcemap walk yields
+///   NameRec 12: nameOff, kind (0 = procedure, 1 = data), procId
+///               (NoId for data) — sorted by name text
+///
+/// The string table is NUL-terminated texts; offset 0 is the empty
+/// string. Validation is O(n) and complete at attach time — magic,
+/// version, key, section bounds, record sortedness, every string offset
+/// and cross-record index — so queries can trust the data without
+/// per-access checks, and a truncated or bit-flipped blob yields a
+/// structured diagnostic, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_CORE_SYMBLOB_H
+#define LDB_CORE_SYMBLOB_H
+
+#include "support/error.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ldb::ps {
+class Interp;
+} // namespace ldb::ps
+
+namespace ldb::core::symblob {
+
+/// Format version; bump on any layout change so old blobs miss.
+constexpr uint16_t Version = 1;
+
+/// The reserved "no id / no file" value in record fields.
+constexpr uint32_t NoId = 0xFFFFFFFFu;
+
+/// Counters for the compiled-debug-info path, surfaced by the CLI `stats`
+/// command next to the fastload counters. Thread-local like InterpStats:
+/// an Interp never crosses threads, so each thread observes its own work.
+struct SymblobStats {
+  uint64_t Hits = 0;        ///< cache lookups that returned a valid blob
+  uint64_t Misses = 0;      ///< cache lookups that found nothing
+  uint64_t Builds = 0;      ///< blobs compiled from the interpreter
+  uint64_t Fallbacks = 0;   ///< invalid blobs dropped to the interpreter
+  uint64_t IndexProbes = 0; ///< index queries answered from a blob
+  void reset() { *this = SymblobStats(); }
+};
+SymblobStats &symblobStats();
+
+/// Combines the two per-text content hashes into the image key — the same
+/// combine the image repository uses, so a blob keys exactly one
+/// (architecture, symtab, loader table) triple.
+uint64_t combineKeys(uint64_t H1, uint64_t H2);
+
+/// One structural defect found while validating a blob, with the byte
+/// offset at which it was noticed (ldb-verify's blob family turns these
+/// into diagnostics).
+struct Issue {
+  size_t Offset = 0;
+  std::string What;
+};
+
+/// Structurally validates \p Size bytes at \p Data against \p ExpectKey:
+/// header, section bounds, sortedness of all three indexes, and every
+/// string offset and cross-record id. An empty result means the blob is
+/// sound; each defect is named precisely (truncation, bad magic, stale
+/// key, unsorted index, out-of-range offsets, ...).
+std::vector<Issue> inspect(const uint8_t *Data, size_t Size,
+                           uint64_t ExpectKey);
+std::vector<Issue> inspect(const std::vector<uint8_t> &Bytes,
+                           uint64_t ExpectKey);
+
+/// An attached (validated) blob. Queries are read-only, lock-free, and
+/// O(log n); string_views point into the blob and live as long as it
+/// does. Obtain one from attach()/attachFile() or Cache::acquire().
+class Blob {
+public:
+  struct ProcView {
+    uint32_t Id = NoId;
+    uint32_t Addr = 0;
+    uint32_t End = 0;
+    std::string_view Name;
+    bool HasSymbols = false; ///< the blob carries loci for this procedure
+    bool Extern = false;     ///< the externs dictionary lists it
+    std::string_view File;   ///< empty when HasFile is false
+    bool HasFile = false;
+    uint32_t LociStart = 0;
+    uint32_t LociCount = 0;
+  };
+
+  struct LocusView {
+    uint32_t Addr = 0;
+    int Line = 0;
+    int Index = -1; ///< position in the entry's /loci array
+    uint32_t ProcId = NoId;
+  };
+
+  struct SymbolView {
+    std::string_view Name;
+    bool IsProc = false;
+    uint32_t ProcId = NoId;
+  };
+
+  /// Validates and adopts \p Bytes. A defective blob is an error carrying
+  /// the first Issue's text.
+  static Expected<std::shared_ptr<const Blob>>
+  attach(std::vector<uint8_t> Bytes, uint64_t ExpectKey);
+
+  /// Maps \p Path (mmap, read-only) and validates in place; the mapping
+  /// is released with the blob. Million-symbol images load at the cost of
+  /// the map plus one validation pass — no interpreter replay.
+  static Expected<std::shared_ptr<const Blob>>
+  attachFile(const std::string &Path, uint64_t ExpectKey);
+
+  ~Blob();
+  Blob(const Blob &) = delete;
+  Blob &operator=(const Blob &) = delete;
+
+  uint64_t imageKey() const;
+  uint32_t rptAddr() const;
+  std::string_view archName() const;
+  size_t byteSize() const { return Size; }
+  const uint8_t *data() const { return Data; }
+
+  uint32_t procCount() const;
+  ProcView proc(uint32_t Id) const;
+  /// The procedure whose [Addr, End) range contains \p Pc.
+  std::optional<ProcView> procContaining(uint32_t Pc) const;
+  /// The procedure whose entry address is exactly \p Addr.
+  std::optional<ProcView> procAt(uint32_t Addr) const;
+  std::optional<ProcView> procNamed(std::string_view Name) const;
+
+  uint32_t locusCount() const;
+  LocusView locus(uint32_t Id) const;
+
+  uint32_t fileCount() const;
+  std::string_view fileName(uint32_t Id) const;
+  std::optional<uint32_t> fileId(std::string_view Name) const;
+
+  /// Locus ids for every stop site of (\p File, \p Line), in the order
+  /// the interpreter's sourcemap walk would yield them.
+  std::vector<uint32_t> lociForLine(uint32_t File, int Line) const;
+
+  /// True when \p File owns at least one line record — i.e. it is a
+  /// compilation unit the sourcemap names, not merely a display file.
+  bool fileInLineIndex(uint32_t File) const;
+
+  uint32_t symbolCount() const;
+  SymbolView symbol(uint32_t Id) const;
+  std::optional<SymbolView> symbolNamed(std::string_view Name) const;
+
+private:
+  Blob() = default;
+
+  uint32_t rd32(size_t Off) const;
+  uint64_t rd64(size_t Off) const;
+  std::string_view str(uint32_t Off) const;
+
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  std::vector<uint8_t> Owned; ///< attach() storage
+  void *Map = nullptr;        ///< attachFile() storage
+  size_t MapLen = 0;
+};
+
+/// Compiles the loaded image the interpreter's dictionary stack names
+/// (/symtab and /loadertable) into an LDBI blob. Forces every symbol
+/// table entry — the cold-build cost the cache amortizes — but never
+/// forces /where, so no target memory is read and the blob is a constant
+/// of the image. Must run inside a scope whose dictionaries name the
+/// image being compiled (Target::Scope, or the repository's build scope).
+struct Params {
+  uint64_t ImageKey = 0;
+  std::string ArchName;
+};
+Expected<std::vector<uint8_t>> compile(ps::Interp &I, const Params &P);
+
+/// The in-process blob cache, keyed by image key and persisted to disk as
+/// <hexkey>.ldbi when a directory is configured (LDB_SYMBLOB_DIR, or
+/// setDirectory). Disable with LDB_NO_SYMBLOB=1 or --no-symblob to revert
+/// every consumer to the interpreter path. Shared by every thread in the
+/// process, so the map is mutex-guarded; attached blobs are immutable and
+/// queried outside the lock.
+class Cache {
+public:
+  static Cache &global();
+
+  bool enabled() const { return Enabled; }
+  void setEnabled(bool E) { Enabled = E; }
+
+  /// The validated blob for \p Key: from memory, else from the cache
+  /// directory. Counts a hit or miss; an invalid cached blob is dropped
+  /// (counted as a fallback) and null is returned — never an error, the
+  /// interpreter path is always behind it.
+  std::shared_ptr<const Blob> acquire(uint64_t Key);
+
+  /// Caches \p Bytes for \p Key (unvalidated — the next acquire
+  /// validates, so tests can plant corrupt blobs) and persists them when
+  /// a cache directory is configured.
+  void store(uint64_t Key, std::vector<uint8_t> Bytes);
+
+  /// A copy of the cached bytes for \p Key, or nullopt. Safe to call
+  /// while other threads mutate the cache.
+  std::optional<std::vector<uint8_t>> snapshotBytes(uint64_t Key) const;
+
+  void clear();
+  size_t size() const;
+
+  const std::string &directory() const { return Dir; }
+  void setDirectory(std::string D) { Dir = std::move(D); }
+
+private:
+  Cache();
+
+  struct Entry {
+    std::vector<uint8_t> Bytes;
+    std::shared_ptr<const Blob> Attached; ///< set once validated
+  };
+
+  bool Enabled = true;
+  std::string Dir;
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, Entry> Entries;
+};
+
+} // namespace ldb::core::symblob
+
+#endif // LDB_CORE_SYMBLOB_H

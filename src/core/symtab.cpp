@@ -134,10 +134,20 @@ Expected<symtab::StopSite> siteFromLocus(Interp &I, const Object &Locus,
 
 /// Builds the full StopSite for an index reference: the index keeps only
 /// (addr, line, loci position); the visible-symbol chain is forced here,
-/// when the caller actually needs name-resolution context.
+/// when the caller actually needs name-resolution context. The LDBI fast
+/// path loads loci without forcing the entry, so the entry may still be
+/// unresolved — ensureEntry forces exactly one, like the interpreter
+/// path would have.
 Expected<symtab::StopSite> siteFromRef(Target &T,
                                        StopSiteIndex::LocusRef R) {
   Interp &I = T.interp();
+  if (R.P->Entry.Ty != Type::Dict) {
+    Expected<StopSiteIndex *> Idx = T.stopIndex();
+    if (!Idx)
+      return Idx.takeError();
+    if (Error E = (*Idx)->ensureEntry(*R.P))
+      return E;
+  }
   Expected<Object> Loci = symtab::field(I, R.P->Entry, "loci");
   if (!Loci)
     return Loci.takeError();
@@ -168,6 +178,40 @@ Expected<symtab::StopSite> symtab::nearestStopForPc(Target &T, uint32_t Pc) {
   if (!R)
     return R.takeError();
   return siteFromRef(T, *R);
+}
+
+Expected<symtab::SiteBrief> symtab::briefForPc(Target &T, uint32_t Pc) {
+  Expected<StopSiteIndex *> Idx = T.stopIndex();
+  if (!Idx)
+    return Idx.takeError();
+  Expected<StopSiteIndex::LocusRef> R = (*Idx)->nearestLocus(Pc);
+  if (!R)
+    return R.takeError();
+  StopSiteIndex::Proc &P = *R->P;
+  SiteBrief B;
+  B.Addr = R->L->Addr;
+  B.Line = R->L->Line;
+  B.ProcName = P.Name;
+  if (P.FileSt == StopSiteIndex::Proc::FileInfo::Unknown) {
+    // The interpreter path loaded this procedure (the blob fill records
+    // the file up front): resolve /sourcefile once and cache it on the
+    // index, so the next backtrace row is a lookup, not a force.
+    if (P.Entry.Ty != Type::Dict && (*Idx)->ensureEntry(P)) {
+      P.FileSt = StopSiteIndex::Proc::FileInfo::None;
+    } else {
+      Expected<Object> File = field(T.interp(), P.Entry, "sourcefile");
+      if (File) {
+        P.File = File->text();
+        P.FileSt = StopSiteIndex::Proc::FileInfo::Known;
+      } else {
+        P.FileSt = StopSiteIndex::Proc::FileInfo::None;
+      }
+    }
+  }
+  B.HasFile = P.FileSt == StopSiteIndex::Proc::FileInfo::Known;
+  if (B.HasFile)
+    B.File = P.File;
+  return B;
 }
 
 Expected<std::vector<symtab::StopSite>>

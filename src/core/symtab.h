@@ -62,6 +62,21 @@ Expected<StopSite> stopForPc(Target &T, uint32_t Pc);
 /// faults that occur mid-expression.
 Expected<StopSite> nearestStopForPc(Target &T, uint32_t Pc);
 
+/// The symbolization a stop description or backtrace row needs — no
+/// entry dictionary, no visible chain. On the LDBI fast path this is
+/// pure index arithmetic; without a blob it forces at most the
+/// procedure's entry (once, the display file is cached on the index).
+struct SiteBrief {
+  uint32_t Addr = 0; ///< the stopping point's address
+  int Line = 0;
+  std::string ProcName;
+  std::string File; ///< display source file; empty when HasFile is false
+  bool HasFile = false;
+};
+
+/// The brief for the nearest stopping point at or before \p Pc.
+Expected<SiteBrief> briefForPc(Target &T, uint32_t Pc);
+
 /// All stopping points for \p File : \p Line — one source location can
 /// map to several stopping points (paper Sec 2).
 Expected<std::vector<StopSite>> stopsForSource(Target &T,

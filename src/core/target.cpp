@@ -6,6 +6,7 @@
 
 #include "core/target.h"
 
+#include "core/symblob.h"
 #include "core/symtab.h"
 #include "postscript/fastload.h"
 #include "support/byteorder.h"
@@ -120,6 +121,8 @@ void Target::crashConnection() {
 Error Target::loadSymbols(const std::string &PsText) {
   Scope S(*this);
   StopIndex.reset(); // new symbols: cached loci may be stale
+  PrivateSymHash =
+      ps::fastload::contentHash(Arch->Desc->Name + "\n" + PsText);
   // Symbol tables are where fastload pays: a re-connect or a second
   // target loading the same unit replays cached tokens past the scanner.
   return ps::fastload::Cache::global().run(I, PsText);
@@ -128,6 +131,7 @@ Error Target::loadSymbols(const std::string &PsText) {
 Error Target::loadLoaderTable(const std::string &PsText) {
   Scope S(*this);
   StopIndex.reset(); // new proctable: procedure ranges may have moved
+  PrivateLtHash = ps::fastload::contentHash(PsText);
   if (Error E = ps::fastload::Cache::global().run(I, PsText))
     return E;
   return verifyLoadedImage(I, Arch->Desc->Name, RptAddr);
@@ -277,6 +281,13 @@ Expected<StopSiteIndex *> Target::stopIndex() {
     Scope S(*this);
     if (Error E = Idx->build())
       return E;
+    // A blob some other load (the repository, a previous session) already
+    // compiled for this image serves the private index too. Lookup only:
+    // the private path never pays a compile.
+    if (PrivateSymHash && PrivateLtHash &&
+        symblob::Cache::global().enabled())
+      Idx->attachBlob(symblob::Cache::global().acquire(
+          symblob::combineKeys(PrivateSymHash, PrivateLtHash)));
     StopIndex = std::move(Idx);
   }
   return StopIndex.get();

@@ -330,6 +330,11 @@ private:
   std::map<uint32_t, uint32_t> Breakpoints; ///< addr -> saved word
   std::map<uint32_t, FrameWalker::ProcFrameData> FrameDataCache;
   std::unique_ptr<StopSiteIndex> StopIndex; ///< built lazily, see stopIndex()
+  /// Content hashes of the privately loaded texts, so the private-path
+  /// index can attach an LDBI blob another load already compiled for the
+  /// same image (lookup-only: the private path never compiles one).
+  uint64_t PrivateSymHash = 0;
+  uint64_t PrivateLtHash = 0;
   std::set<uint32_t> TempSites; ///< temporaries currently planted
 
   /// The pre-plant bytes of each code range plantTemporaries patched, so

@@ -709,19 +709,42 @@ Cache::Cache() {
 
 void Cache::store(uint64_t Hash, std::vector<uint8_t> Blob) {
   std::lock_guard<std::mutex> Lock(Mu);
-  Blobs[Hash] = Entry{std::move(Blob), nullptr};
+  Blobs[Hash] = Entry{std::move(Blob), nullptr, std::string()};
+}
+
+bool Cache::materialize(Entry &E, uint64_t Hash) const {
+  if (!E.Blob.empty())
+    return true;
+  if (!E.Tokens && !E.Text.empty()) {
+    Expected<std::vector<Object>> Scanned = scanAll(E.Text);
+    if (!Scanned)
+      return false;
+    E.Tokens =
+        std::make_shared<const std::vector<Object>>(std::move(*Scanned));
+    E.Text.clear();
+    E.Text.shrink_to_fit();
+  }
+  if (!E.Tokens)
+    return false;
+  Expected<std::vector<uint8_t>> Encoded = encode(*E.Tokens, Hash);
+  if (!Encoded)
+    return false;
+  E.Blob = std::move(*Encoded);
+  return true;
 }
 
 const std::vector<uint8_t> *Cache::lookup(uint64_t Hash) const {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Blobs.find(Hash);
-  return It == Blobs.end() ? nullptr : &It->second.Blob;
+  if (It == Blobs.end() || !materialize(It->second, Hash))
+    return nullptr;
+  return &It->second.Blob;
 }
 
 std::optional<std::vector<uint8_t>> Cache::snapshot(uint64_t Hash) const {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Blobs.find(Hash);
-  if (It == Blobs.end())
+  if (It == Blobs.end() || !materialize(It->second, Hash))
     return std::nullopt;
   return It->second.Blob;
 }
@@ -747,14 +770,26 @@ Error Cache::run(Interp &I, const std::string &Text) {
     auto It = Blobs.find(Hash);
     if (It != Blobs.end()) {
       if (!It->second.Tokens) {
-        // First hit on this blob: decoding doubles as full validation
-        // (header, hash, table bounds, every token, no trailing bytes).
-        // The decoded stream is kept so later hits skip straight to
-        // replay.
-        if (Expected<std::vector<Object>> Decoded = decode(It->second.Blob,
-                                                           Hash))
-          It->second.Tokens = std::make_shared<const std::vector<Object>>(
-              std::move(*Decoded));
+        if (!It->second.Blob.empty()) {
+          // First hit on a planted/serialized blob: decoding doubles as
+          // full validation (header, hash, table bounds, every token, no
+          // trailing bytes). The decoded stream is kept so later hits
+          // skip straight to replay.
+          if (Expected<std::vector<Object>> Decoded =
+                  decode(It->second.Blob, Hash))
+            It->second.Tokens = std::make_shared<const std::vector<Object>>(
+                std::move(*Decoded));
+        } else if (!It->second.Text.empty()) {
+          // First hit on a text-retained entry: one scan (no
+          // interpreter) prepares the stream; the text is dropped.
+          if (Expected<std::vector<Object>> Scanned =
+                  scanAll(It->second.Text)) {
+            It->second.Tokens = std::make_shared<const std::vector<Object>>(
+                std::move(*Scanned));
+            It->second.Text.clear();
+            It->second.Text.shrink_to_fit();
+          }
+        }
       }
       if (It->second.Tokens) {
         // Replay outside the lock on a retained reference: executed
@@ -775,26 +810,22 @@ Error Cache::run(Interp &I, const std::string &Text) {
   ++S.FastloadMisses;
 
   // Cold path: one streaming pass with Interp::runTokens semantics —
-  // scan a token, append it to the blob-in-progress, execute it. Each
-  // token is encoded before it executes, so bind rewriting a procedure
-  // body later never reaches the blob. Stop where runTokens would stop
-  // (scan error or failed execution); only a fully scanned and executed
-  // text is cached.
+  // exactly the plain scanner's work. The only extra cost is retaining a
+  // copy of the text; scanning it into the prepared stream happens on
+  // the first warm hit, and encoding into blob bytes only when someone
+  // asks for them (executed procedures cannot be retained — bind and put
+  // rewrite arrays in place — and encoding inline per token is what used
+  // to cost the cold path 12% over the scanner). Stop where runTokens
+  // would stop (scan error or failed execution); only a fully scanned
+  // and executed text is cached.
   StringCharSource Src(Text);
   Scanner Scan(Src);
-  NameIndex Names;
-  StringIndex Strings;
-  std::vector<uint8_t> TokenBytes;
-  size_t TokenCount = 0;
   for (;;) {
     Scanner::Result R = Scan.next();
     if (R.K == Scanner::Kind::EndOfInput)
       break;
     if (R.K == Scanner::Kind::Failed)
       return I.statusToError(I.fail("syntax error: " + R.Message));
-    if (!encodeToken(TokenBytes, R.O, Names, Strings, 0))
-      return I.statusToError(I.fail("token not representable in fastload"));
-    ++TokenCount;
     if (R.O.Ty == Type::Array && R.O.Exec) {
       I.push(std::move(R.O));
       continue;
@@ -802,7 +833,10 @@ Error Cache::run(Interp &I, const std::string &Text) {
     if (PsStatus St = I.exec(R.O); St != PsStatus::Ok)
       return I.statusToError(St);
   }
-  store(Hash, assembleBlob(Hash, Names, Strings, TokenCount, TokenBytes));
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Blobs[Hash] = Entry{std::vector<uint8_t>(), nullptr, Text};
+  }
   ++S.FastloadStores;
   return Error::success();
 }

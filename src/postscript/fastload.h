@@ -40,6 +40,14 @@
 /// (roughly 20 MB for a 13,000-line symtab); the cache holds one per
 /// distinct text loaded in-process.
 ///
+/// The cold path is the plain scanner plus one string copy: the source
+/// text is retained and nothing is encoded inline (encoding per token
+/// while executing cost the cold path 12% over the scanner — the
+/// BENCH_startup cold gate watches this). The retained text is scanned
+/// into the prepared stream on the first warm hit, and serialized into
+/// blob bytes only when something asks for them (lookup/snapshot) —
+/// work a text loaded exactly once never pays.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LDB_POSTSCRIPT_FASTLOAD_H
@@ -124,7 +132,9 @@ public:
   Error run(Interp &I, const std::string &Text);
 
   /// Direct cache access, used by tests to plant corrupt blobs. store()
-  /// drops any prepared token stream, so the next hit re-validates.
+  /// drops any prepared token stream and retained text, so the next hit
+  /// re-validates. lookup()/snapshot() serialize a text-retained entry on
+  /// demand (and return null/nullopt if it cannot be encoded).
   void store(uint64_t Hash, std::vector<uint8_t> Blob);
   const std::vector<uint8_t> *lookup(uint64_t Hash) const;
   /// A copy of the cached blob for \p Hash, or nullopt. Unlike lookup(),
@@ -136,16 +146,23 @@ public:
 private:
   Cache();
 
-  /// A cached blob plus, once the first hit has decoded it, the
-  /// validated token stream replays run from.
+  /// A cached entry, in one of three states: freshly stored cold (Text
+  /// only — the cold path is the scanner plus this copy), warmed (Tokens
+  /// prepared, Text dropped), or planted/serialized (Blob bytes; the
+  /// first hit decodes them into Tokens).
   struct Entry {
     std::vector<uint8_t> Blob;
     std::shared_ptr<const std::vector<Object>> Tokens;
+    std::string Text;
   };
+
+  /// Fills E.Blob from the prepared tokens (scanning the retained text
+  /// first if needed). Caller holds Mu. False when nothing encodable.
+  bool materialize(Entry &E, uint64_t Hash) const;
 
   bool Enabled = true;
   mutable std::mutex Mu;
-  std::unordered_map<uint64_t, Entry> Blobs;
+  mutable std::unordered_map<uint64_t, Entry> Blobs;
 };
 
 } // namespace ldb::ps::fastload

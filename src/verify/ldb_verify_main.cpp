@@ -21,6 +21,7 @@
 #include "verify/tracelint.h"
 #include "verify/verify.h"
 
+#include "core/symblob.h"
 #include "postscript/fastload.h"
 #include "support/strings.h"
 #include "workload.h"
@@ -57,6 +58,7 @@ Usage: ldb-verify [options]
   --jobs=N                worker threads for the verification sweep
                           (default: up to 4)
   --no-fastload           disable the binary symtab fastload cache
+  --no-symblob            disable the compiled LDBI debug-info cache
   --no-md-lint            skip the source-tree lint
   --md-lint-only          run only the source-tree lint
   --src-root=DIR          source tree for the lint (default: this
@@ -212,6 +214,8 @@ int main(int argc, char **argv) {
       Deferred = true;
     else if (Arg == "--no-fastload")
       ps::fastload::Cache::global().setEnabled(false);
+    else if (Arg == "--no-symblob")
+      core::symblob::Cache::global().setEnabled(false);
     else if (Arg == "--no-md-lint")
       MdLint = false;
     else if (Arg == "--md-lint-only")

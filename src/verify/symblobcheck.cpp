@@ -1,0 +1,365 @@
+//===- verify/symblobcheck.cpp - LDBI blob verification --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/symblobcheck.h"
+
+#include "core/symblob.h"
+#include "core/symtab.h"
+#include "postscript/fastload.h"
+#include "postscript/interp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+using namespace ldb;
+using namespace ldb::verify;
+using namespace ldb::ps;
+
+namespace symblob = ldb::core::symblob;
+namespace symtab = ldb::core::symtab;
+
+namespace {
+
+void emit(std::vector<Diagnostic> &Out, std::string Sym, std::string Msg) {
+  Diagnostic D;
+  D.Sev = Severity::Error;
+  D.Check = "blob";
+  D.Art = Artifact::Symblob;
+  D.Symbol = std::move(Sym);
+  D.Message = std::move(Msg);
+  Out.push_back(std::move(D));
+}
+
+void emitAt(std::vector<Diagnostic> &Out, std::string Sym, uint32_t Addr,
+            std::string Msg) {
+  Diagnostic D;
+  D.Sev = Severity::Error;
+  D.Check = "blob";
+  D.Art = Artifact::Symblob;
+  D.Symbol = std::move(Sym);
+  D.Addr = Addr;
+  D.HasAddr = true;
+  D.Message = std::move(Msg);
+  Out.push_back(std::move(D));
+}
+
+uint32_t rd32(const std::vector<uint8_t> &B, size_t Off) {
+  return static_cast<uint32_t>(B[Off]) |
+         (static_cast<uint32_t>(B[Off + 1]) << 8) |
+         (static_cast<uint32_t>(B[Off + 2]) << 16) |
+         (static_cast<uint32_t>(B[Off + 3]) << 24);
+}
+
+//===----------------------------------------------------------------------===//
+// The mutation battery: each deliberately damaged copy must be rejected
+// by inspect() with at least one structured issue, and attach() must
+// refuse it. A mutation that slips through means queries would trust
+// corrupt data, so the escape itself becomes a diagnostic.
+//===----------------------------------------------------------------------===//
+
+struct Mutation {
+  const char *Label;
+  bool Applied = false;
+  std::vector<uint8_t> Bytes;
+};
+
+std::vector<Mutation> mutate(const std::vector<uint8_t> &Clean) {
+  // Header layout (symblob.h): descriptors at 24, {offset, count} pairs
+  // for strings, procs, loci, files, lines, names; ProcRec is 28 bytes
+  // with the name offset at +8.
+  constexpr size_t DescOff = 24, ProcRecSize = 28;
+  uint32_t ProcsOff = Clean.size() >= 76 ? rd32(Clean, DescOff + 8) : 0;
+  uint32_t ProcCnt = Clean.size() >= 76 ? rd32(Clean, DescOff + 12) : 0;
+
+  std::vector<Mutation> Out;
+  auto Add = [&](const char *Label) -> Mutation & {
+    Out.push_back(Mutation{Label, false, Clean});
+    return Out.back();
+  };
+
+  {
+    Mutation &M = Add("truncation to half");
+    M.Bytes.resize(M.Bytes.size() / 2);
+    M.Applied = true;
+  }
+  {
+    Mutation &M = Add("truncation inside the header");
+    M.Bytes.resize(12);
+    M.Applied = true;
+  }
+  {
+    Mutation &M = Add("bad magic");
+    if (!M.Bytes.empty()) {
+      M.Bytes[0] ^= 0xFF;
+      M.Applied = true;
+    }
+  }
+  {
+    Mutation &M = Add("stale image key");
+    if (M.Bytes.size() >= 16) {
+      M.Bytes[8] ^= 0x01;
+      M.Applied = true;
+    }
+  }
+  {
+    Mutation &M = Add("unsorted pc index");
+    if (ProcCnt >= 2 &&
+        ProcsOff + 2 * ProcRecSize <= M.Bytes.size()) {
+      std::vector<uint8_t> Tmp(ProcRecSize);
+      std::memcpy(Tmp.data(), M.Bytes.data() + ProcsOff, ProcRecSize);
+      std::memcpy(M.Bytes.data() + ProcsOff,
+                  M.Bytes.data() + ProcsOff + ProcRecSize, ProcRecSize);
+      std::memcpy(M.Bytes.data() + ProcsOff + ProcRecSize, Tmp.data(),
+                  ProcRecSize);
+      M.Applied = true;
+    }
+  }
+  {
+    Mutation &M = Add("out-of-range string offset");
+    if (ProcCnt >= 1 && ProcsOff + ProcRecSize <= M.Bytes.size()) {
+      uint32_t Bad = 0xFFFFFF00u;
+      std::memcpy(M.Bytes.data() + ProcsOff + 8, &Bad, 4);
+      M.Applied = true;
+    }
+  }
+  return Out;
+}
+
+void checkMutations(const std::vector<uint8_t> &Clean, uint64_t Key,
+                    std::vector<Diagnostic> &Out) {
+  for (Mutation &M : mutate(Clean)) {
+    if (!M.Applied)
+      continue;
+    std::vector<symblob::Issue> Issues = symblob::inspect(M.Bytes, Key);
+    if (Issues.empty())
+      emit(Out, M.Label,
+           "mutated blob passes inspection; the validator would trust "
+           "damaged data");
+    Expected<std::shared_ptr<const symblob::Blob>> B =
+        symblob::Blob::attach(M.Bytes, Key);
+    if (B)
+      emit(Out, M.Label, "mutated blob attaches successfully");
+  }
+}
+
+} // namespace
+
+void ldb::verify::checkSymblob(
+    ps::Interp &I, const lcc::Compilation &C,
+    const std::vector<ProcRange> &Procs,
+    const std::map<std::string, std::vector<uint32_t>> &StopAddrs,
+    const std::set<std::string> &SymtabProcNames,
+    const std::set<std::string> &EntryNames,
+    std::vector<Diagnostic> &Out) {
+  // The blob keys exactly what the image repository would key: the
+  // architecture name plus both debug texts.
+  uint64_t Key = symblob::combineKeys(
+      ps::fastload::contentHash(C.Desc->Name + "\n" + C.PsSymtab),
+      ps::fastload::contentHash(C.LoaderTable));
+
+  Expected<std::vector<uint8_t>> BytesE =
+      symblob::compile(I, symblob::Params{Key, C.Desc->Name});
+  if (!BytesE) {
+    emit(Out, "", "symbol table does not compile to an LDBI blob: " +
+                      BytesE.message());
+    return;
+  }
+  std::vector<uint8_t> Bytes = BytesE.take();
+
+  // Structural validation of the freshly compiled blob must be clean.
+  for (const symblob::Issue &Is : symblob::inspect(Bytes, Key))
+    emitAt(Out, "", static_cast<uint32_t>(Is.Offset), Is.What);
+
+  Expected<std::shared_ptr<const symblob::Blob>> BlobE =
+      symblob::Blob::attach(Bytes, Key);
+  if (!BlobE) {
+    emit(Out, "", "freshly compiled blob does not attach: " +
+                      BlobE.message());
+    return;
+  }
+  const symblob::Blob &B = **BlobE;
+
+  if (B.archName() != C.Desc->Name)
+    emit(Out, std::string(B.archName()),
+         "blob architecture disagrees with the image's " + C.Desc->Name);
+
+  // pc -> proc: the blob's procedure index against the loader table.
+  if (B.procCount() != Procs.size())
+    emit(Out, "",
+         "blob has " + std::to_string(B.procCount()) +
+             " procedures but the loader table lists " +
+             std::to_string(Procs.size()));
+  for (const ProcRange &P : Procs) {
+    std::optional<symblob::Blob::ProcView> V = B.procAt(P.Addr);
+    // The blob leaves the last procedure's range open (End = 0): the
+    // compiler sees only the debug texts, not the image's text size.
+    if (!V || V->Name != P.Name || (V->End != 0 && V->End != P.End)) {
+      emitAt(Out, P.Name, P.Addr,
+             "pc index disagrees with the loader table entry");
+      continue;
+    }
+    std::optional<symblob::Blob::ProcView> Cont = B.procContaining(P.Addr);
+    if (!Cont || Cont->Addr != P.Addr)
+      emitAt(Out, P.Name, P.Addr,
+             "procContaining does not return the procedure at its own "
+             "entry address");
+    // procNamed routes through the name index, which lowers the externs
+    // dictionary; statics and runtime stubs are legitimately absent.
+    std::optional<symblob::Blob::ProcView> Named = B.procNamed(P.Name);
+    if (V->Extern && (!Named || Named->Addr != P.Addr))
+      emitAt(Out, P.Name, P.Addr,
+             "procedure name lookup disagrees with the loader table");
+  }
+
+  // pc -> locus: every stop address the symtab walk resolved must be a
+  // blob locus of the same procedure, and vice versa.
+  std::map<std::string, uint32_t> LoaderAddr;
+  for (const ProcRange &P : Procs)
+    LoaderAddr[P.Name] = P.Addr;
+  for (const auto &[Name, Addrs] : StopAddrs) {
+    // By loader-table address, not name: the name index covers only
+    // externs, but every stop site belongs to a linked procedure.
+    auto AddrIt = LoaderAddr.find(Name);
+    std::optional<symblob::Blob::ProcView> V =
+        AddrIt == LoaderAddr.end() ? std::nullopt : B.procAt(AddrIt->second);
+    if (!V) {
+      emit(Out, Name, "procedure with stop sites is missing from the blob");
+      continue;
+    }
+    if (!V->HasSymbols) {
+      emit(Out, Name,
+           "procedure has stop sites but the blob carries no loci for it");
+      continue;
+    }
+    std::set<uint32_t> BlobStops;
+    for (uint32_t K = 0; K < V->LociCount; ++K) {
+      symblob::Blob::LocusView L = B.locus(V->LociStart + K);
+      if (L.ProcId != V->Id)
+        emitAt(Out, Name, L.Addr,
+               "locus group member does not point back at its procedure");
+      BlobStops.insert(L.Addr);
+    }
+    for (uint32_t Addr : Addrs)
+      if (!BlobStops.count(Addr))
+        emitAt(Out, Name, Addr,
+               "stop site resolved by the symtab walk is missing from "
+               "the blob's pc index");
+    std::set<uint32_t> Walked(Addrs.begin(), Addrs.end());
+    for (uint32_t Addr : BlobStops)
+      if (!Walked.count(Addr))
+        emitAt(Out, Name, Addr,
+               "blob lists a stop site the symtab walk did not resolve");
+  }
+  for (const std::string &Name : SymtabProcNames) {
+    auto AddrIt = LoaderAddr.find(Name);
+    if (AddrIt == LoaderAddr.end())
+      continue; // the agreement family reports the missing loader entry
+    std::optional<symblob::Blob::ProcView> V = B.procAt(AddrIt->second);
+    if (V && !V->HasSymbols && StopAddrs.count(Name))
+      emit(Out, Name, "blob marks a symtab procedure as symbol-less");
+  }
+
+  // (file, line) -> stop site: replay the sourcemap walk that built the
+  // line index and demand the blob answers every query it defines.
+  Expected<Object> Top = symtab::topLevel(I);
+  if (Top && symtab::hasField(*Top, "sourcemap")) {
+    Expected<Object> SM = symtab::field(I, *Top, "sourcemap");
+    if (SM && SM->Ty == Type::Dict) {
+      std::map<std::string, const ProcRange *> ByName;
+      for (const ProcRange &P : Procs)
+        ByName[P.Name] = &P;
+      for (const auto &[Atom, Val] : SM->DictVal->sortedItems()) {
+        std::string FileName = AtomTable::global().text(Atom);
+        std::optional<uint32_t> Fid = B.fileId(FileName);
+        Object Refs = Val;
+        if (symtab::force(I, Refs) || Refs.Ty != Type::Array)
+          continue; // the scope family reports malformed sourcemaps
+        if (!Fid) {
+          emit(Out, FileName,
+               "sourcemap unit is missing from the blob's file table");
+          continue;
+        }
+        for (const Object &EntryRef : *Refs.ArrVal) {
+          Object Entry = EntryRef;
+          if (symtab::force(I, Entry) || Entry.Ty != Type::Dict)
+            continue;
+          Expected<Object> NameV = symtab::field(I, Entry, "name");
+          if (!NameV || NameV->Ty != Type::String)
+            continue;
+          auto It = ByName.find(NameV->text());
+          if (It == ByName.end())
+            continue; // not linked into this image; the blob skips it too
+          Expected<Object> Loci = symtab::field(I, Entry, "loci");
+          if (!Loci || Loci->Ty != Type::Array)
+            continue;
+          for (const Object &Locus : *Loci->ArrVal) {
+            if (Locus.Ty != Type::Array || Locus.ArrVal->size() < 2)
+              continue;
+            const ArrayImpl &L = *Locus.ArrVal;
+            if (L[0].Ty != Type::Int || L[1].Ty != Type::Int)
+              continue;
+            int Line = static_cast<int>(L[0].IntVal);
+            uint32_t Addr =
+                It->second->Addr + static_cast<uint32_t>(L[1].IntVal);
+            bool Found = false;
+            for (uint32_t Id : B.lociForLine(*Fid, Line))
+              Found |= B.locus(Id).Addr == Addr;
+            if (!Found)
+              emitAt(Out, NameV->text() + " " + FileName + ":" +
+                              std::to_string(Line),
+                     Addr,
+                     "line-index query misses a stop site the sourcemap "
+                     "walk yields");
+          }
+        }
+      }
+    }
+  }
+
+  // name -> symbol: the externs dictionary is exactly what the blob's
+  // name index lowers, so the two must agree in both directions.
+  if (Top && symtab::hasField(*Top, "externs")) {
+    Expected<Object> Externs = symtab::field(I, *Top, "externs");
+    if (Externs && Externs->Ty == Type::Dict) {
+      for (const auto &[Atom, Val] : Externs->DictVal->sortedItems()) {
+        std::string SymName = AtomTable::global().text(Atom);
+        Object Entry = Val;
+        if (symtab::force(I, Entry) || Entry.Ty != Type::Dict)
+          continue;
+        bool IsProc = symtab::hasField(Entry, "loci");
+        std::optional<symblob::Blob::SymbolView> S = B.symbolNamed(SymName);
+        if (!S) {
+          emit(Out, SymName,
+               "extern symbol is missing from the blob's name index");
+          continue;
+        }
+        if (S->IsProc != IsProc)
+          emit(Out, SymName,
+               "name index disagrees with the externs dictionary on the "
+               "symbol's kind");
+        if (S->IsProc && S->ProcId != symblob::NoId &&
+            B.proc(S->ProcId).Name != SymName)
+          emit(Out, SymName,
+               "name index binds the symbol to the wrong procedure");
+      }
+    }
+  }
+  for (uint32_t K = 0; K < B.symbolCount(); ++K) {
+    symblob::Blob::SymbolView S = B.symbol(K);
+    std::string SymName(S.Name);
+    if (!EntryNames.count(SymName))
+      emit(Out, SymName,
+           "blob names a symbol the symtab walk never saw");
+    if (S.IsProc && S.ProcId != symblob::NoId &&
+        (S.ProcId >= B.procCount() || B.proc(S.ProcId).Name != S.Name))
+      emit(Out, SymName, "name record points at the wrong procedure");
+    if (!S.IsProc && S.ProcId != symblob::NoId)
+      emit(Out, SymName, "data symbol carries a procedure id");
+  }
+
+  checkMutations(Bytes, Key, Out);
+}

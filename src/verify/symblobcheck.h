@@ -1,0 +1,58 @@
+//===- verify/symblobcheck.h - LDBI blob verification -----------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The blob family's LDBI half: compiles the verifier's fully-forced
+/// symbol table into a fresh LDBI blob (core/symblob.h), structurally
+/// validates it, and cross-checks every query class against the
+/// interpreter's view — the procedure table (pc -> proc), the resolved
+/// stop-site addresses (pc -> locus and the (file, line) index), and the
+/// name index against the walked entry names. A battery of deliberate
+/// mutations (truncation, bad magic, stale key, unsorted index,
+/// out-of-range string offsets) then proves the validator rejects each
+/// one with a structured diagnostic rather than trusting damaged data.
+///
+/// Unlike the fastload half (blobcheck.h), which must run before the
+/// artifacts are interpreted, this half needs the interpreter's state:
+/// the blob compiler walks the same dictionaries the verifier just
+/// forced, so it runs after the symtab walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_VERIFY_SYMBLOBCHECK_H
+#define LDB_VERIFY_SYMBLOBCHECK_H
+
+#include "verify/cfa.h"
+#include "verify/verify.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ldb::ps {
+class Interp;
+} // namespace ldb::ps
+
+namespace ldb::verify {
+
+/// Runs the LDBI checks over \p C, appending diagnostics to \p Out.
+/// \p I is the verifier's interpreter with /symtab and /loadertable in
+/// scope and every entry already forced; \p Procs is the loader table's
+/// sorted procedure view; \p StopAddrs the absolute stop addresses per
+/// procedure from the symtab walk; \p SymtabProcNames the procedures
+/// that carry debugging symbols; \p EntryNames every entry name walked.
+void checkSymblob(ps::Interp &I, const lcc::Compilation &C,
+                  const std::vector<ProcRange> &Procs,
+                  const std::map<std::string, std::vector<uint32_t>>
+                      &StopAddrs,
+                  const std::set<std::string> &SymtabProcNames,
+                  const std::set<std::string> &EntryNames,
+                  std::vector<Diagnostic> &Out);
+
+} // namespace ldb::verify
+
+#endif // LDB_VERIFY_SYMBLOBCHECK_H

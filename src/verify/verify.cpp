@@ -8,6 +8,7 @@
 
 #include "verify/blobcheck.h"
 #include "verify/cfa.h"
+#include "verify/symblobcheck.h"
 
 #include "core/arch.h"
 #include "core/symtab.h"
@@ -41,6 +42,8 @@ const char *ldb::verify::artifactName(Artifact A) {
     return "source";
   case Artifact::FastloadBlob:
     return "fastload-blob";
+  case Artifact::Symblob:
+    return "symblob";
   case Artifact::WireTrace:
     return "wire-trace";
   }
@@ -1042,13 +1045,18 @@ Report Verifier::run() {
     walkSymtab();
     if (Opt.CheckAgreement)
       checkAgreement();
-    if (Opt.CheckCfa) {
-      std::vector<ProcRange> Ranges;
-      Ranges.reserve(ProcTable.size());
-      for (const Proc &P : ProcTable)
-        Ranges.push_back(ProcRange{P.Name, P.Addr, P.End});
+    std::vector<ProcRange> Ranges;
+    Ranges.reserve(ProcTable.size());
+    for (const Proc &P : ProcTable)
+      Ranges.push_back(ProcRange{P.Name, P.Addr, P.End});
+    if (Opt.CheckCfa)
       checkControlFlow(C, Ranges, StopAddrs, R.Diags);
-    }
+    // The LDBI half of the blob family needs the walk's fully-forced
+    // dictionaries: the compiler lowers exactly the state walkSymtab
+    // just checked.
+    if (Opt.CheckBlob)
+      checkSymblob(I, C, Ranges, StopAddrs, SymtabProcNames, EntryNames,
+                   R.Diags);
   }
   R.normalize();
   return std::move(R);

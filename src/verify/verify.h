@@ -30,7 +30,10 @@
 ///              proves stop sites reachable, code ranges disjoint,
 ///              branches intra-procedure, and calls well-targeted;
 ///   blob       (verify/blobcheck.h) cached fastload blobs decode
-///              structurally and agree with a fresh scanner pass;
+///              structurally and agree with a fresh scanner pass, and
+///              (verify/symblobcheck.h) the compiled LDBI blob answers
+///              every pc/line/name query exactly as the interpreter does
+///              and rejects a battery of structural mutations;
 ///   trace      (verify/tracelint.h) recorded wire traces obey the
 ///              protocol's sequence discipline;
 ///   md-lint    (verify/mdlint.h) target-specific identifiers appear
@@ -58,6 +61,7 @@ enum class Artifact : uint8_t {
   Stabs,        ///< the binary stabs baseline
   Source,       ///< the debugger's own source tree (md-lint)
   FastloadBlob, ///< a cached LDFL fastload blob
+  Symblob,      ///< a compiled LDBI debug-info blob
   WireTrace,    ///< a recorded wire trace (LDB_WIRE_TRACE)
 };
 
@@ -103,7 +107,8 @@ struct Options {
   bool CheckTypes = true;
   bool CheckAgreement = true;
   bool CheckCfa = true;  ///< control-flow analysis (verify/cfa.h)
-  bool CheckBlob = true; ///< fastload blob verification (verify/blobcheck.h)
+  bool CheckBlob = true; ///< blob verification: fastload (blobcheck.h)
+                         ///< and LDBI (symblobcheck.h)
 };
 
 /// Statically verifies one compiled-and-linked program: interprets its

@@ -1,0 +1,395 @@
+//===- tests/core/symblob_test.cpp -----------------------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled debug-info blob (core/symblob.h) against its contract:
+/// compile -> inspect -> attach roundtrips cleanly on every target, every
+/// deliberate mutation is rejected with a structured error (never a
+/// crash), the mmap attach path behaves like the in-memory one, the cache
+/// drops invalid entries to the interpreter, a deferred symbol table
+/// answers byte-identically with the blob on and off, and the CLI stats
+/// rows report and reset the symblob counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+#include "core/debugger.h"
+#include "core/symblob.h"
+#include "core/symtab.h"
+#include "postscript/fastload.h"
+#include "target/targetdesc.h"
+#include "workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::target;
+
+namespace symblob = ldb::core::symblob;
+
+namespace {
+
+/// One simulated process with a debugger attached, sized to the image.
+struct Session {
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+};
+
+std::unique_ptr<Session> connectTo(const lcc::Image &Img,
+                                   const std::string &PsSymtab,
+                                   const std::string &LoaderTable) {
+  auto S = std::make_unique<Session>();
+  uint32_t Need = std::max<uint32_t>(
+      Img.TextBase + static_cast<uint32_t>(Img.Text.size()),
+      Img.DataBase + static_cast<uint32_t>(Img.Data.size()));
+  uint32_t MemBytes = 1u << 20;
+  while (MemBytes < Need + (1u << 18))
+    MemBytes <<= 1;
+  nub::NubProcess &Proc = S->Host.createProcess("p0", *Img.Desc, MemBytes);
+  if (Img.loadInto(Proc.machine()))
+    return nullptr;
+  Proc.enter(Img.Entry);
+  auto T = S->Debugger.connect(S->Host, "p0", PsSymtab, LoaderTable);
+  if (!T)
+    return nullptr;
+  S->T = *T;
+  return S;
+}
+
+uint64_t keyFor(const TargetDesc &Desc, const std::string &PsSymtab,
+                const std::string &LoaderTable) {
+  return symblob::combineKeys(
+      ps::fastload::contentHash(Desc.Name + "\n" + PsSymtab),
+      ps::fastload::contentHash(LoaderTable));
+}
+
+/// Compiles fib for \p Desc and lowers its debug info into a blob.
+struct Compiled {
+  std::unique_ptr<lcc::Compilation> C;
+  uint64_t Key = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+Compiled compileFib(const TargetDesc &Desc, bool Deferred = false) {
+  Compiled Out;
+  lcc::CompileOptions Options;
+  Options.DeferredSymtab = Deferred;
+  auto COr = lcc::compileAndLink({{"fib.c", bench::fibProgram()}}, Desc,
+                                 Options);
+  EXPECT_TRUE(static_cast<bool>(COr)) << COr.message();
+  if (!COr)
+    return Out;
+  Out.C = COr.take();
+  Out.Key = keyFor(Desc, Out.C->PsSymtab, Out.C->LoaderTable);
+
+  symblob::Cache::global().setEnabled(false);
+  auto S = connectTo(Out.C->Img, Out.C->PsSymtab, Out.C->LoaderTable);
+  symblob::Cache::global().setEnabled(true);
+  EXPECT_NE(S, nullptr);
+  if (!S)
+    return Out;
+  Target::Scope Scope(*S->T);
+  auto B = symblob::compile(S->T->interp(),
+                            symblob::Params{Out.Key, Desc.Name});
+  EXPECT_TRUE(static_cast<bool>(B)) << B.message();
+  if (B)
+    Out.Bytes = B.take();
+  return Out;
+}
+
+class SymblobTest : public ::testing::TestWithParam<const TargetDesc *> {};
+
+TEST_P(SymblobTest, CompileInspectAttachRoundtrip) {
+  Compiled P = compileFib(*GetParam());
+  ASSERT_FALSE(P.Bytes.empty());
+
+  EXPECT_TRUE(symblob::inspect(P.Bytes, P.Key).empty());
+  auto B = symblob::Blob::attach(P.Bytes, P.Key);
+  ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+  const symblob::Blob &Blob = **B;
+
+  EXPECT_EQ(Blob.imageKey(), P.Key);
+  EXPECT_EQ(Blob.archName(), GetParam()->Name);
+  EXPECT_GE(Blob.procCount(), 2u) << "fib and main at least";
+
+  auto Fib = Blob.procNamed("fib");
+  ASSERT_TRUE(Fib.has_value());
+  EXPECT_TRUE(Fib->HasSymbols);
+  EXPECT_TRUE(Fib->Extern);
+  EXPECT_GT(Fib->LociCount, 0u);
+
+  // Every locus of fib maps back through the pc and line indexes.
+  ASSERT_TRUE(Fib->HasFile);
+  auto Fid = Blob.fileId(Fib->File);
+  ASSERT_TRUE(Fid.has_value());
+  EXPECT_TRUE(Blob.fileInLineIndex(*Fid));
+  for (uint32_t K = 0; K < Fib->LociCount; ++K) {
+    symblob::Blob::LocusView L = Blob.locus(Fib->LociStart + K);
+    EXPECT_EQ(L.ProcId, Fib->Id);
+    EXPECT_GT(L.Line, 0);
+    auto Within = Blob.procContaining(L.Addr);
+    ASSERT_TRUE(Within.has_value());
+    EXPECT_EQ(Within->Id, Fib->Id);
+    bool Found = false;
+    for (uint32_t Id : Blob.lociForLine(*Fid, L.Line))
+      Found |= Blob.locus(Id).Addr == L.Addr;
+    EXPECT_TRUE(Found) << "line " << L.Line << " misses its stop site";
+  }
+
+  auto Sym = Blob.symbolNamed("fib");
+  ASSERT_TRUE(Sym.has_value());
+  EXPECT_TRUE(Sym->IsProc);
+  EXPECT_EQ(Blob.proc(Sym->ProcId).Name, "fib");
+  EXPECT_FALSE(Blob.symbolNamed("no-such-symbol").has_value());
+}
+
+TEST(SymblobMutations, EveryMutationIsRejectedStructurally) {
+  Compiled P = compileFib(*targetByName("zmips"));
+  ASSERT_FALSE(P.Bytes.empty());
+
+  auto Rd32 = [&](const std::vector<uint8_t> &B, size_t Off) {
+    uint32_t V;
+    std::memcpy(&V, B.data() + Off, 4);
+    return V;
+  };
+  uint32_t ProcsOff = Rd32(P.Bytes, 24 + 8);
+
+  struct Case {
+    const char *Label;
+    void (*Apply)(std::vector<uint8_t> &, uint32_t);
+  };
+  const Case Cases[] = {
+      {"truncation to half",
+       [](std::vector<uint8_t> &B, uint32_t) { B.resize(B.size() / 2); }},
+      {"truncation inside the header",
+       [](std::vector<uint8_t> &B, uint32_t) { B.resize(12); }},
+      {"bad magic",
+       [](std::vector<uint8_t> &B, uint32_t) { B[0] ^= 0xFF; }},
+      {"stale image key",
+       [](std::vector<uint8_t> &B, uint32_t) { B[8] ^= 0x01; }},
+      {"unsorted pc index",
+       [](std::vector<uint8_t> &B, uint32_t Off) {
+         uint8_t Tmp[28];
+         std::memcpy(Tmp, B.data() + Off, 28);
+         std::memcpy(B.data() + Off, B.data() + Off + 28, 28);
+         std::memcpy(B.data() + Off + 28, Tmp, 28);
+       }},
+      {"out-of-range string offset",
+       [](std::vector<uint8_t> &B, uint32_t Off) {
+         uint32_t Bad = 0xFFFFFF00u;
+         std::memcpy(B.data() + Off + 8, &Bad, 4);
+       }},
+  };
+  for (const Case &C : Cases) {
+    std::vector<uint8_t> Mutant = P.Bytes;
+    C.Apply(Mutant, ProcsOff);
+    EXPECT_FALSE(symblob::inspect(Mutant, P.Key).empty())
+        << C.Label << " passed inspection";
+    auto B = symblob::Blob::attach(std::move(Mutant), P.Key);
+    EXPECT_FALSE(static_cast<bool>(B)) << C.Label << " attached";
+    if (!B) {
+      EXPECT_FALSE(B.message().empty()) << C.Label;
+    }
+  }
+}
+
+TEST(SymblobAttachFile, MmapRoundtripAndRejection) {
+  Compiled P = compileFib(*targetByName("zmips"));
+  ASSERT_FALSE(P.Bytes.empty());
+
+  std::string Path = "symblob_test_tmp.ldbi";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fwrite(P.Bytes.data(), 1, P.Bytes.size(), F),
+            P.Bytes.size());
+  std::fclose(F);
+
+  auto B = symblob::Blob::attachFile(Path, P.Key);
+  ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+  EXPECT_EQ((*B)->byteSize(), P.Bytes.size());
+  EXPECT_EQ((*B)->procCount(),
+            symblob::Blob::attach(P.Bytes, P.Key).take()->procCount());
+
+  // A different expected key is a stale blob, not a crash.
+  EXPECT_FALSE(
+      static_cast<bool>(symblob::Blob::attachFile(Path, P.Key + 1)));
+  EXPECT_FALSE(static_cast<bool>(
+      symblob::Blob::attachFile("no-such-file.ldbi", P.Key)));
+
+  // Truncate on disk: the mmap path must reject it structurally too.
+  F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fwrite(P.Bytes.data(), 1, P.Bytes.size() / 3, F),
+            P.Bytes.size() / 3);
+  std::fclose(F);
+  EXPECT_FALSE(static_cast<bool>(symblob::Blob::attachFile(Path, P.Key)));
+  std::remove(Path.c_str());
+}
+
+TEST(SymblobCache, InvalidEntriesFallBackAndSnapshotsCopy) {
+  Compiled P = compileFib(*targetByName("zmips"));
+  ASSERT_FALSE(P.Bytes.empty());
+  symblob::Cache &BC = symblob::Cache::global();
+  BC.clear();
+  BC.setEnabled(true);
+
+  // A corrupt planted blob is dropped, counted, and never returned.
+  std::vector<uint8_t> Corrupt = P.Bytes;
+  Corrupt[0] ^= 0xFF;
+  BC.store(P.Key, Corrupt);
+  uint64_t Before = symblob::symblobStats().Fallbacks;
+  EXPECT_EQ(BC.acquire(P.Key), nullptr);
+  EXPECT_GT(symblob::symblobStats().Fallbacks, Before);
+
+  BC.store(P.Key, P.Bytes);
+  std::shared_ptr<const symblob::Blob> B = BC.acquire(P.Key);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->imageKey(), P.Key);
+  auto Snap = BC.snapshotBytes(P.Key);
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(*Snap, P.Bytes);
+
+  // Disabled means miss — the interpreter path is always behind it.
+  BC.setEnabled(false);
+  EXPECT_EQ(BC.acquire(P.Key), nullptr);
+  BC.setEnabled(true);
+
+  BC.clear();
+  EXPECT_EQ(BC.size(), 0u);
+  EXPECT_FALSE(BC.snapshotBytes(P.Key).has_value());
+}
+
+/// The deferred-lexing equivalence: a session whose stop-site queries are
+/// answered by the blob must behave byte-identically to one that forces
+/// the interpreter's deferred entries — including the later variable
+/// reads that DO force entries, proving the blob path left the symtab
+/// dictionaries in the same state the interpreter path produces.
+TEST_P(SymblobTest, DeferredSessionIsByteIdenticalWithBlobOnAndOff) {
+  Compiled P = compileFib(*GetParam(), /*Deferred=*/true);
+  ASSERT_NE(P.C, nullptr);
+  ASSERT_NE(P.C->PsSymtab.find("DeferDef"), std::string::npos);
+
+  const std::vector<std::string> Commands = {
+      "break fib.c:7", "continue", "status", "where",
+      "print i",       "print n",  "step",   "where",
+  };
+  auto Transcript = [&](bool UseBlob) {
+    symblob::Cache &BC = symblob::Cache::global();
+    BC.clear();
+    BC.setEnabled(UseBlob);
+    auto S = connectTo(P.C->Img, P.C->PsSymtab, P.C->LoaderTable);
+    EXPECT_NE(S, nullptr);
+    if (!S)
+      return std::string();
+    CommandInterpreter Cli(S->Debugger);
+    Cli.setCurrent(S->T);
+    std::string Out;
+    for (const std::string &C : Commands)
+      Out += "> " + C + "\n" + Cli.execute(C);
+    BC.setEnabled(true);
+    BC.clear();
+    return Out;
+  };
+
+  std::string WithBlob = Transcript(true);
+  std::string WithDict = Transcript(false);
+  EXPECT_FALSE(WithBlob.empty());
+  EXPECT_EQ(WithBlob, WithDict);
+  // The blob run really used the blob: a breakpoint by FILE:LINE and the
+  // stop description are index queries.
+  EXPECT_NE(WithBlob.find("fib.c:7"), std::string::npos);
+}
+
+TEST(SymblobCliStats, GoldenRowsReportAndReset) {
+  Compiled P = compileFib(*targetByName("zmips"));
+  ASSERT_NE(P.C, nullptr);
+  symblob::Cache &BC = symblob::Cache::global();
+  BC.clear();
+  BC.setEnabled(true);
+  symblob::symblobStats().reset();
+
+  auto S = connectTo(P.C->Img, P.C->PsSymtab, P.C->LoaderTable);
+  ASSERT_NE(S, nullptr);
+  CommandInterpreter Cli(S->Debugger);
+  Cli.setCurrent(S->T);
+  Cli.execute("break fib.c:7");
+  Cli.execute("continue");
+
+  std::string Out = Cli.execute("stats");
+  size_t At = Out.find("symblob:        ");
+  ASSERT_NE(At, std::string::npos) << Out;
+  unsigned long long Hits = 0, Misses = 0, Builds = 0, Fallbacks = 0,
+                     Probes = 0;
+  ASSERT_EQ(std::sscanf(Out.c_str() + At,
+                        "symblob:        %llu hits, %llu misses, "
+                        "%llu builds, %llu fallbacks, %llu probes",
+                        &Hits, &Misses, &Builds, &Fallbacks, &Probes),
+            5)
+      << Out;
+  (void)Hits;
+  EXPECT_EQ(Builds, 1u) << "connect compiled the blob once";
+  EXPECT_EQ(Misses, 1u) << "the build was preceded by one cache miss";
+  EXPECT_GT(Probes, 0u) << "break FILE:LINE and the stop went to the blob";
+  EXPECT_EQ(Fallbacks, 0u);
+
+  EXPECT_NE(Cli.execute("stats reset").find("reset"), std::string::npos);
+  Out = Cli.execute("stats");
+  EXPECT_NE(Out.find("symblob:        0 hits, 0 misses, 0 builds, "
+                     "0 fallbacks, 0 probes\n"),
+            std::string::npos)
+      << Out;
+  BC.clear();
+}
+
+/// The million-symbol direction, out of the tier-1 suite: set
+/// LDB_SCALE_TESTS=1 to run (the first run compiles a 100,000-line
+/// program; bench_symblob's disk cache makes later runs quick).
+TEST(SymblobScale, Gen100kAnswersQueries) {
+  if (!std::getenv("LDB_SCALE_TESTS"))
+    GTEST_SKIP() << "set LDB_SCALE_TESTS=1 to run the gen:100000 smoke";
+  const TargetDesc &Desc = *targetByName("zmips");
+  auto P = bench::cachedGenProgram(Desc, 100000);
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+
+  symblob::Cache &BC = symblob::Cache::global();
+  BC.clear();
+  BC.setEnabled(true);
+  auto S = connectTo(P->Img, P->PsSymtab, P->LoaderTable);
+  ASSERT_NE(S, nullptr);
+
+  uint64_t Key = keyFor(Desc, P->PsSymtab, P->LoaderTable);
+  auto Snap = BC.snapshotBytes(Key);
+  ASSERT_TRUE(Snap.has_value()) << "connect did not build the blob";
+  auto B = symblob::Blob::attach(std::move(*Snap), Key);
+  ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+  EXPECT_GT((*B)->procCount(), 5000u);
+  EXPECT_GT((*B)->locusCount(), 80000u);
+
+  Target::Scope Scope(*S->T);
+  symblob::Blob::ProcView Mid = (*B)->proc((*B)->procCount() / 2);
+  ASSERT_TRUE(Mid.HasSymbols);
+  symblob::Blob::LocusView L = (*B)->locus(Mid.LociStart);
+  auto Brief = core::symtab::briefForPc(*S->T, L.Addr);
+  ASSERT_TRUE(static_cast<bool>(Brief)) << Brief.message();
+  EXPECT_EQ(Brief->ProcName, Mid.Name);
+  EXPECT_EQ(Brief->Line, L.Line);
+  BC.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, SymblobTest,
+                         ::testing::ValuesIn(allTargets()),
+                         [](const auto &Info) {
+                           return Info.param->Name;
+                         });
+
+} // namespace
