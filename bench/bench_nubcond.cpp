@@ -1,0 +1,315 @@
+//===- bench/bench_nubcond.cpp - experiment E12 ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nub-side breakpoint conditions: a condition that is false a million
+/// times must cost approximately zero wire traffic — the paper's
+/// "ship the code to the data" thesis applied to the debugger itself.
+/// Three measurements:
+///
+///   (a) a loop breakpoint whose condition `i == N-1` rejects 10^6 - 1
+///       hits, evaluated in the nub: wall time, wire round trips, and
+///       visible stops (the whole run must fit in a handful of rounds);
+///   (b) the identical per-hit work on the host-eval path (what
+///       LDB_NO_NUBCOND forces) at 10^3 hits, extrapolated linearly to
+///       10^6 — every hit pays a Stopped report, a host evaluation, and
+///       a fresh Continue;
+///   (c) determinism and the tracepoint ring: a scaled-down run in both
+///       modes must produce byte-identical stop sequences and counters,
+///       and a `trace` over 10^4 silent hits must drain in bulk with the
+///       bounded nub ring dropping overflow, not wedging the target.
+///
+/// Gates (process exits nonzero, CI runs this as a smoke check): the
+/// nub-eval million-miss run takes <= 10 round trips and >= 100x less
+/// wall time than the extrapolated host-eval path, with byte-identical
+/// stop sequences between the two modes. Results land in
+/// BENCH_nubcond.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/cli.h"
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+void fail(const Error &E) {
+  std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+  std::exit(2);
+}
+
+//  1: int main() {
+//  2:   int i;
+//  3:   int s;
+//  4:   s = 0;
+//  5:   for (i = 0; i < N; i++) {
+//  6:     s = s + 1;            <- breakpoint site, one hit per iteration
+//  7:   }
+//  8:   return s;
+//  9: }
+std::string loopSource(unsigned N) {
+  return "int main() {\n"
+         "  int i;\n"
+         "  int s;\n"
+         "  s = 0;\n"
+         "  for (i = 0; i < " +
+         std::to_string(N) +
+         "; i++) {\n"
+         "    s = s + 1;\n"
+         "  }\n"
+         "  return s;\n"
+         "}\n";
+}
+
+std::unique_ptr<Compilation> compileLoop(unsigned N, const TargetDesc &Desc) {
+  auto C = compileAndLink({{"loop.c", loopSource(N)}}, Desc, CompileOptions());
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", C.message().c_str());
+    std::exit(1);
+  }
+  return C.take();
+}
+
+/// One connected debugger+target over a fresh process running \p C.
+struct Session {
+  Session(const Compilation &C, const TargetDesc &Desc) {
+    nub::NubProcess &P = Host.createProcess("bench", Desc);
+    if (Error E = C.Img.loadInto(P.machine())) {
+      std::fprintf(stderr, "load failed: %s\n", E.message().c_str());
+      std::exit(2);
+    }
+    P.enter(C.Img.Entry);
+    auto TOr = Debugger.connect(Host, "bench", C.PsSymtab, C.LoaderTable);
+    if (!TOr) {
+      std::fprintf(stderr, "connect failed: %s\n", TOr.message().c_str());
+      std::exit(2);
+    }
+    T = *TOr;
+  }
+
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  ExprSession Exprs;
+  Target *T = nullptr;
+};
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+bool Ok = true;
+void require(bool Cond, const char *What) {
+  if (!Cond) {
+    std::fprintf(stderr, "FAIL: %s\n", What);
+    Ok = false;
+  }
+}
+
+/// Sets `break loop.c:6 if i == Match`, runs to exit collecting the stop
+/// pcs, and returns the wall seconds of the continue loop. Round trips
+/// are counted from after the condition ships, so the measured traffic is
+/// the run itself, not the setup.
+double runLoop(Session &S, unsigned Match, bool NubEval,
+               std::vector<uint32_t> &Stops, uint64_t &RoundTrips) {
+  S.T->setNubCondEnabled(NubEval);
+  Expected<int> Id = S.Debugger.addBreakAtLine(*S.T, "loop.c", 6);
+  if (!Id)
+    fail(Id.takeError());
+  if (Error E = S.Debugger.setBreakpointCondition(
+          *S.T, S.Exprs, *Id, "i == " + std::to_string(Match)))
+    fail(E);
+  uint64_t Rt0 = S.T->stats().RoundTrips;
+  Stopwatch W;
+  while (!S.T->exited()) {
+    if (Error E = S.Debugger.continueToStop(*S.T))
+      fail(E);
+    if (S.T->exited())
+      break;
+    Expected<uint32_t> Pc = S.T->ctxPc();
+    if (!Pc)
+      fail(Pc.takeError());
+    Stops.push_back(*Pc);
+  }
+  double Sec = W.seconds();
+  RoundTrips = S.T->stats().RoundTrips - Rt0;
+  return Sec;
+}
+
+} // namespace
+
+int main() {
+  banner("E12: nub-side breakpoint conditions (bench_nubcond)",
+         "evaluate conditions in the target; a condition false 10^6 times "
+         "costs <=10 round trips and >=100x less time than host eval");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const unsigned Big = 1000000, Small = 1000;
+  std::printf("\ncompiling loop:10^6, loop:10^3, loop:10^4...\n");
+  auto BigC = compileLoop(Big, Zmips);
+  auto SmallC = compileLoop(Small, Zmips);
+  auto TraceC = compileLoop(10000, Zmips);
+
+  //===------------------------------------------------------------------===//
+  // (a) 10^6 hits, one match, nub-evaluated
+  //===------------------------------------------------------------------===//
+
+  Session Nub(*BigC, Zmips);
+  std::vector<uint32_t> NubStops;
+  uint64_t NubRt = 0;
+  double NubSec = runLoop(Nub, Big - 1, /*NubEval=*/true, NubStops, NubRt);
+  const Target::ExecStats &NS = Nub.T->execStats();
+
+  std::printf("\n");
+  head("10^6 hits, `if i == " + num(Big - 1) + "`", "nub eval", "");
+  row("breakpoint hits", num(NS.BpHits), "");
+  row("conditions evaluated in the nub", num(NS.NubCondEvals), "");
+  row("local resumes (never on the wire)", num(NS.NubLocalResumes), "");
+  row("user-visible stops", num(NubStops.size()), "");
+  row("wire round trips", num(NubRt), "");
+  row("wall time", ms(NubSec), "");
+
+  require(NS.BpHits == Big, "every iteration must hit the breakpoint");
+  require(NubStops.size() == 1, "exactly one hit matches the condition");
+  require(NS.NubCondEvals == Big, "the nub must evaluate every hit");
+  require(NubRt <= 10,
+          "a million rejected hits must fit in <=10 wire round trips");
+
+  //===------------------------------------------------------------------===//
+  // (b) the host-eval path at 10^3 hits, extrapolated to 10^6
+  //===------------------------------------------------------------------===//
+
+  Session Host(*SmallC, Zmips);
+  std::vector<uint32_t> HostStops;
+  uint64_t HostRt = 0;
+  double HostSec =
+      runLoop(Host, Small - 1, /*NubEval=*/false, HostStops, HostRt);
+  const Target::ExecStats &HS = Host.T->execStats();
+  double HostBigSec = HostSec * (static_cast<double>(Big) / Small);
+  uint64_t HostBigRt = HostRt * (Big / Small);
+  double Ratio = NubSec > 0 ? HostBigSec / NubSec : 0;
+  char RatioBuf[32];
+  std::snprintf(RatioBuf, sizeof(RatioBuf), "%.0fx", Ratio);
+
+  std::printf("\n");
+  head("host-eval oracle (10^3 hits, scaled to 10^6)", "host eval", "");
+  row("breakpoint hits measured", num(HS.BpHits), "");
+  row("conditions evaluated on the host", num(HS.CondEvals), "");
+  row("wire round trips measured", num(HostRt), "");
+  row("round trips at 10^6 hits", num(HostBigRt), "");
+  row("wall time at 10^6 hits", ms(HostBigSec), "");
+  row("nub-eval speedup at 10^6 hits", RatioBuf, "");
+
+  require(HS.BpHits == Small, "the host path must see every hit");
+  require(HS.CondEvals == Small, "the host path must evaluate every hit");
+  require(HostStops.size() == 1, "the oracle stops exactly once too");
+  require(Ratio >= 100,
+          "nub eval must be >=100x faster than the host-eval path");
+
+  //===------------------------------------------------------------------===//
+  // (c) determinism across modes + the tracepoint ring buffer
+  //===------------------------------------------------------------------===//
+
+  Session A(*SmallC, Zmips), B(*SmallC, Zmips);
+  std::vector<uint32_t> SeqNub, SeqHost;
+  uint64_t RtA = 0, RtB = 0;
+  (void)runLoop(A, Small / 2, /*NubEval=*/true, SeqNub, RtA);
+  (void)runLoop(B, Small / 2, /*NubEval=*/false, SeqHost, RtB);
+
+  std::printf("\n");
+  head("determinism, 10^3 hits `if i == " + num(Small / 2) + "`", "nub eval",
+       "host eval");
+  row("stop sequence length", num(SeqNub.size()), num(SeqHost.size()));
+  row("hits", num(A.T->execStats().BpHits), num(B.T->execStats().BpHits));
+  row("auto-resumed (condition false)", num(A.T->execStats().CondResumes),
+      num(B.T->execStats().CondResumes));
+  row("wire round trips", num(RtA), num(RtB));
+  require(SeqNub == SeqHost,
+          "stop sequences must be byte-identical across modes");
+  require(A.T->execStats().BpHits == B.T->execStats().BpHits &&
+              A.T->execStats().CondResumes == B.T->execStats().CondResumes,
+          "hit and resume counters must be identical across modes");
+
+  // The ring buffer: trace every iteration of a 10^4-hit loop with no
+  // stop at all. The 64KB nub ring keeps the oldest records and drops the
+  // overflow (the target keeps running regardless); the drain at exit
+  // brings the survivors home in bulk.
+  const unsigned TraceN = 10000;
+  Session Tr(*TraceC, Zmips);
+  Expected<int> Tp = exec::addTracepoint(*Tr.T, Tr.Exprs, "loop.c:6", {"i"});
+  if (!Tp)
+    fail(Tp.takeError());
+  uint64_t TrRt0 = Tr.T->stats().RoundTrips;
+  Stopwatch TW;
+  while (!Tr.T->exited())
+    if (Error E = Tr.Debugger.continueToStop(*Tr.T))
+      fail(E);
+  double TrSec = TW.seconds();
+  uint64_t TrRt = Tr.T->stats().RoundTrips - TrRt0;
+  const mem::TransportStats &TSt = Tr.T->stats();
+
+  std::printf("\n");
+  head("tracepoint `trace loop.c:6 i`, 10^4 hits", "count", "");
+  row("records drained", num(TSt.TraceRecords), "");
+  row("records dropped (ring bound)", num(Tr.T->traceDropped()), "");
+  row("drain exchanges", num(TSt.TraceDrains), "");
+  row("drain payload bytes", num(TSt.TraceDrainBytes), "");
+  row("wire round trips", num(TrRt), "");
+  row("wall time", ms(TrSec), "");
+
+  require(TSt.TraceRecords > 0, "the drain must bring records home");
+  require(Tr.T->traceLog().size() == TSt.TraceRecords,
+          "every drained record must land in the host log");
+  require(TSt.TraceRecords + Tr.T->traceDropped() == TraceN,
+          "every hit is either drained or counted dropped");
+  require(!Tr.T->traceLog().empty() && Tr.T->traceLog().front().HitNo == 1,
+          "the ring keeps the oldest records when it overflows");
+
+  //===------------------------------------------------------------------===//
+  // Report
+  //===------------------------------------------------------------------===//
+
+  std::FILE *J = std::fopen("BENCH_nubcond.json", "w");
+  if (J) {
+    std::fprintf(
+        J,
+        "{\n"
+        "  \"bench\": \"nubcond\",\n"
+        "  \"target\": \"%s\",\n"
+        "  \"nub\": {\"hits\": %llu, \"stops\": %zu, \"rt\": %llu, "
+        "\"ms\": %.3f},\n"
+        "  \"host\": {\"hits\": %llu, \"rt\": %llu, \"ms\": %.3f,\n"
+        "           \"rt_at_1e6\": %llu, \"ms_at_1e6\": %.3f},\n"
+        "  \"speedup\": %.1f,\n"
+        "  \"identical_stop_sequences\": %s,\n"
+        "  \"trace\": {\"hits\": %u, \"records\": %llu, \"dropped\": %llu,\n"
+        "            \"drains\": %llu, \"bytes\": %llu, \"ms\": %.3f}\n"
+        "}\n",
+        Zmips.Name.c_str(), static_cast<unsigned long long>(NS.BpHits),
+        NubStops.size(), static_cast<unsigned long long>(NubRt), NubSec * 1e3,
+        static_cast<unsigned long long>(HS.BpHits),
+        static_cast<unsigned long long>(HostRt), HostSec * 1e3,
+        static_cast<unsigned long long>(HostBigRt), HostBigSec * 1e3, Ratio,
+        SeqNub == SeqHost ? "true" : "false", TraceN,
+        static_cast<unsigned long long>(TSt.TraceRecords),
+        static_cast<unsigned long long>(Tr.T->traceDropped()),
+        static_cast<unsigned long long>(TSt.TraceDrains),
+        static_cast<unsigned long long>(TSt.TraceDrainBytes), TrSec * 1e3);
+    std::fclose(J);
+    std::printf("\nwrote BENCH_nubcond.json\n");
+  }
+
+  return Ok ? 0 : 1;
+}

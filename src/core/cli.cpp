@@ -11,6 +11,7 @@
 #include "support/strings.h"
 #include "target/disasm.h"
 
+#include <cstdint>
 #include <cstdlib>
 
 using namespace ldb;
@@ -26,8 +27,15 @@ const char *HelpText =
     "                                 and hit/ignore counts\n"
     "  delete [N]                     remove breakpoint N, or every one\n"
     "  ignore N COUNT                 skip the next COUNT hits of N\n"
+    "  trace SPEC EXPR[,EXPR...]      plant a tracepoint: hits never stop,\n"
+    "                                 the nub records the expressions\n"
+    "  trace [list]                   list tracepoints\n"
+    "  trace dump                     drain and print buffered records\n"
+    "  trace delete [N]               remove tracepoint N, or every one\n"
     "  continue (c)                   resume execution (conditional hits\n"
-    "                                 that do not match auto-resume)\n"
+    "                                 that do not match auto-resume;\n"
+    "                                 LDB_NO_NUBCOND=1 keeps evaluation\n"
+    "                                 host-side)\n"
     "  step (s)                       run to the next stopping point\n"
     "  next (n)                       like step, but skip over calls\n"
     "  finish                         run until the caller is current\n"
@@ -48,6 +56,23 @@ const char *HelpText =
 
 std::string errText(const std::string &Message) {
   return "error: " + Message + "\n";
+}
+
+std::string joinWith(const std::vector<std::string> &Parts,
+                     const std::string &Sep) {
+  std::string Out;
+  for (const std::string &P : Parts) {
+    if (!Out.empty())
+      Out += Sep;
+    Out += P;
+  }
+  return Out;
+}
+
+std::string trimWs(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  size_t E = S.find_last_not_of(" \t");
+  return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
 }
 
 } // namespace
@@ -201,8 +226,120 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     if (!U)
       return errText("no breakpoint " + Words[1]);
     U->Ignore = static_cast<uint64_t>(std::atoll(Words[2].c_str()));
+    U->Dirty = true; // the nub's shipped record is stale now
     return "will ignore the next " + Words[2] + " hits of breakpoint " +
            Words[1] + "\n";
+  }
+
+  if (Cmd == "trace") {
+    if (Words.size() < 2 || Words[1] == "list") {
+      const auto &Tps = Current->tracepoints();
+      if (Tps.empty())
+        return "no tracepoints\n";
+      std::string Out;
+      for (const auto &[Id, Tp] : Tps) {
+        Out += "  " + std::to_string(Id) + "  " + hex32(Tp.Addrs.front()) +
+               "  " + Tp.Spec;
+        if (Tp.Addrs.size() > 1)
+          Out += " (" + std::to_string(Tp.Addrs.size()) + " sites)";
+        Out += "  trace " + joinWith(Tp.ExprTexts, ", ");
+        Out += "  hits " + std::to_string(Tp.Hits);
+        Out += "\n";
+      }
+      return Out;
+    }
+    if (Words[1] == "delete") {
+      if (Words.size() > 2) {
+        int Id = std::atoi(Words[2].c_str());
+        if (Error E = Current->deleteTracepoint(Id))
+          return errText(E.message());
+        return "deleted tracepoint " + std::to_string(Id) + "\n";
+      }
+      std::vector<int> Ids;
+      for (const auto &[Id, Tp] : Current->tracepoints())
+        Ids.push_back(Id);
+      for (int Id : Ids)
+        if (Error E = Current->deleteTracepoint(Id))
+          return errText(E.message());
+      return "deleted " + std::to_string(Ids.size()) + " tracepoint(s)\n";
+    }
+    if (Words[1] == "dump") {
+      if (Error E = Current->drainTraceRecords())
+        return errText(E.message());
+      std::string Out;
+      Target::Scope Sc(*Current);
+      for (const nub::condbc::TraceRecord &R : Current->traceLog()) {
+        Out += "tp " + std::to_string(R.Id) + " hit " +
+               std::to_string(R.HitNo) + " at ";
+        Expected<symtab::SiteBrief> B =
+            symtab::briefForPc(*Current, R.Pc);
+        if (B && B->HasFile)
+          Out += B->File + ":" + std::to_string(B->Line) + " (" +
+                 B->ProcName + ")";
+        else if (B)
+          Out += B->ProcName;
+        else
+          Out += hex32(R.Pc);
+        const Target::Tracepoint *Tp =
+            Current->tracepoint(static_cast<int>(R.Id));
+        std::string Vals;
+        for (size_t K = 0; K < R.Values.size(); ++K) {
+          Vals += Vals.empty() ? ": " : ", ";
+          Vals += Tp && K < Tp->ExprTexts.size()
+                      ? Tp->ExprTexts[K]
+                      : "expr" + std::to_string(K);
+          // INT64_MIN marks an expression whose bytecode failed at this
+          // hit (a bad load mid-recursion, say); the record survives.
+          Vals += R.Values[K] == INT64_MIN
+                      ? " = ?"
+                      : " = " + std::to_string(R.Values[K]);
+        }
+        Out += Vals;
+        std::string Regs;
+        for (unsigned Reg = 0, K = 0; Reg < 32; ++Reg)
+          if (R.RegMask & (1u << Reg)) {
+            if (K < R.Regs.size())
+              Regs += (Regs.empty() ? "  [" : " ") + ("r" +
+                      std::to_string(Reg)) + "=" + hex32(R.Regs[K]);
+            ++K;
+          }
+        if (!Regs.empty())
+          Out += Regs + "]";
+        Out += "\n";
+      }
+      if (Current->traceDropped())
+        Out += "(" + std::to_string(Current->traceDropped()) +
+               " records dropped by the nub's full buffer)\n";
+      if (Out.empty())
+        Out = "no trace records\n";
+      Current->clearTraceLog();
+      return Out;
+    }
+    // trace SPEC EXPR[,EXPR...]: everything after the spec, split on
+    // commas, is the expression list.
+    size_t SpecAt = Line.find(Words[1]);
+    size_t ExprAt = Line.find(' ', SpecAt);
+    if (ExprAt == std::string::npos)
+      return errText("trace SPEC EXPR[,EXPR...]");
+    std::vector<std::string> Exprs;
+    std::string Rest = Line.substr(ExprAt + 1);
+    size_t Pos = 0;
+    while (Pos <= Rest.size()) {
+      size_t Comma = Rest.find(',', Pos);
+      std::string Piece = Rest.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      Piece = trimWs(Piece);
+      if (!Piece.empty())
+        Exprs.push_back(Piece);
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+    Expected<int> Id = S->addTracepoint(Words[1], Exprs);
+    if (!Id)
+      return errText(Id.message());
+    return "tracepoint " + std::to_string(*Id) + " planted at " + Words[1] +
+           " tracing " + joinWith(Exprs, ", ") + "\n";
   }
 
   if (Cmd == "stats") {
@@ -287,6 +424,13 @@ std::string CommandInterpreter::execute(const std::string &Line) {
            std::to_string(ES.CondEvals) + " cond evals, " +
            std::to_string(ES.CondResumes) + " cond resumes, " +
            std::to_string(ES.IgnoreResumes) + " ignore resumes\n";
+    Out += "nub eval:       " + std::to_string(ES.NubCondEvals) +
+           " evals, " + std::to_string(ES.NubLocalResumes) +
+           " local resumes, " + std::to_string(ES.CondShips) + " ships, " +
+           std::to_string(St.CondMsgsSent) + " record msgs\n";
+    Out += "trace:          " + std::to_string(St.TraceDrains) +
+           " drains, " + std::to_string(St.TraceRecords) + " records, " +
+           std::to_string(St.TraceDrainBytes) + " bytes\n";
     return Out;
   }
 

@@ -7,6 +7,7 @@
 #include "core/expreval.h"
 
 #include "core/symtab.h"
+#include "nub/condbc.h"
 
 using namespace ldb;
 using namespace ldb::core;
@@ -136,7 +137,7 @@ std::string lookupReply(Target &T, const symtab::StopSite &Site,
 
 Expected<ps::Object> ldb::core::compileExpression(
     Target &T, ExprSession &Session, const std::string &Text,
-    const symtab::StopSite &Site) {
+    const symtab::StopSite &Site, std::vector<uint8_t> *CondBytecode) {
   Interp &I = T.interp();
   exprserver::ExprServer &Srv = Session.server();
 
@@ -163,6 +164,21 @@ Expected<ps::Object> ldb::core::compileExpression(
       Object::makeOperator("ExpressionServer.result", [&](Interp &) {
         GotResult = true;
         return PsStatus::Stop;
+      }));
+  Ops.DictVal->set(
+      "ExpressionServer.condbc",
+      Object::makeOperator("ExpressionServer.condbc", [&](Interp &In) {
+        Object Hex;
+        if (PsStatus St = In.pop(Hex); St != PsStatus::Ok)
+          return St;
+        // The server volunteers the nub-expressible form ahead of the
+        // PostScript result; keep it only when the caller wants it.
+        if (CondBytecode) {
+          std::vector<uint8_t> Bytes;
+          if (nub::condbc::fromHex(cvsText(Hex), Bytes))
+            *CondBytecode = std::move(Bytes);
+        }
+        return PsStatus::Ok;
       }));
   Ops.DictVal->set(
       "ExpressionServer.error",

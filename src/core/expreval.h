@@ -44,9 +44,15 @@ Expected<std::string> evalExpression(Target &T, ExprSession &Session,
 /// procedure reads the target through whatever `&mem` names when it
 /// runs, so it can be executed many times against different frames —
 /// conditional breakpoints compile at `break` time and evaluate per hit.
+/// When \p CondBytecode is non-null and the server could also express the
+/// tree as nub-side condition bytecode (nub/condbc.h), the bytecode is
+/// stored there; an expression the bytecode cannot express leaves it
+/// empty, which callers treat as "host evaluation only".
 Expected<ps::Object> compileExpression(Target &T, ExprSession &Session,
                                        const std::string &Text,
-                                       const symtab::StopSite &Site);
+                                       const symtab::StopSite &Site,
+                                       std::vector<uint8_t> *CondBytecode =
+                                           nullptr);
 
 /// Runs a compiled expression against \p Frame's abstract memory and
 /// returns the result object.

@@ -11,6 +11,7 @@
 #include "support/byteorder.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 using namespace ldb;
@@ -50,12 +51,72 @@ Error exec::setBreakpointCondition(Target &T, ExprSession &Session, int Id,
   Expected<symtab::StopSite> Site = symtab::stopForPc(T, U->Addrs.front());
   if (!Site)
     return Site.takeError();
-  Expected<ps::Object> Proc = compileExpression(T, Session, Text, *Site);
+  std::vector<uint8_t> Bc;
+  Expected<ps::Object> Proc = compileExpression(T, Session, Text, *Site, &Bc);
   if (!Proc)
     return Proc.takeError();
   U->CondText = Text;
   U->Condition = *Proc;
+  // The nub half: when the server could express the condition as machine
+  // bytecode it ships to the nub before the next continue; when it could
+  // not (floats, calls, aggregates) Bc stays empty and every hit comes
+  // home for host evaluation.
+  U->Bytecode = std::move(Bc);
+  U->Dirty = true;
   return Error::success();
+}
+
+Expected<int> exec::addTracepoint(Target &T, ExprSession &Session,
+                                  const std::string &Spec,
+                                  const std::vector<std::string> &ExprTexts) {
+  if (!T.nubCondEnabled())
+    return Error::failure(
+        "tracepoints need nub-side evaluation (disabled by LDB_NO_NUBCOND)");
+  if (ExprTexts.empty())
+    return Error::failure("tracepoint needs at least one expression");
+  Target::Scope S(T);
+  std::vector<uint32_t> Addrs;
+  size_t Colon = Spec.rfind(':');
+  if (Colon != std::string::npos) {
+    Expected<std::vector<symtab::StopSite>> Sites = symtab::stopsForSource(
+        T, Spec.substr(0, Colon), std::atoi(Spec.c_str() + Colon + 1));
+    if (!Sites)
+      return Sites.takeError();
+    for (const symtab::StopSite &Site : *Sites)
+      Addrs.push_back(Site.Addr);
+  } else {
+    Expected<symtab::StopSite> Site = symtab::entryStop(T, Spec);
+    if (!Site)
+      return Site.takeError();
+    Addrs.push_back(Site->Addr);
+  }
+  if (Addrs.empty())
+    return Error::failure("tracepoint has no stopping points");
+  // Like a condition, each expression compiles once against the first
+  // site; unlike a condition it must come out as nub bytecode, whole.
+  Expected<symtab::StopSite> Site = symtab::stopForPc(T, Addrs.front());
+  if (!Site)
+    return Site.takeError();
+  std::vector<std::vector<uint8_t>> Exprs;
+  for (const std::string &Text : ExprTexts) {
+    std::vector<uint8_t> Bc;
+    Expected<ps::Object> Proc = compileExpression(T, Session, Text, *Site, &Bc);
+    if (!Proc)
+      return Error::failure("tracepoint expression '" + Text +
+                            "': " + Proc.message());
+    if (Bc.empty())
+      return Error::failure("tracepoint expression '" + Text +
+                            "' cannot run in the nub (floats, calls, and "
+                            "aggregates stay host-side)");
+    Exprs.push_back(std::move(Bc));
+  }
+  // Each record also carries the stack registers, enough to place the hit
+  // in a frame chain after the fact.
+  const target::TargetDesc &D = *T.arch().Desc;
+  uint32_t RegMask = 1u << D.SpReg;
+  if (D.FpReg >= 0)
+    RegMask |= 1u << static_cast<unsigned>(D.FpReg);
+  return T.addTracepoint(Spec, Addrs, ExprTexts, std::move(Exprs), RegMask);
 }
 
 Expected<bool> exec::breakpointWantsStop(Target &T,
@@ -63,6 +124,9 @@ Expected<bool> exec::breakpointWantsStop(Target &T,
   Target::ExecStats &ES = T.execStats();
   ++U.HitCount;
   ++ES.BpHits;
+  // Host-side counting diverges from the nub's shipped record; re-ship
+  // before the next auto-resume continue.
+  U.Dirty = true;
   if (U.Ignore > 0) {
     --U.Ignore;
     ++ES.IgnoreResumes;
@@ -472,24 +536,57 @@ Error exec::stepOut(Target &T) {
 
 Error exec::continueToStop(Target &T) {
   Target::Scope S(T);
-  for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
-    if (Error E = T.resume())
-      return E;
+  // Any stop this returns at is a real stop: warm the reads the user's
+  // next command will issue, and bring buffered tracepoint records home
+  // with it (best-effort — a failed drain loses trace data, not the
+  // stop). Rejected hits skip the warm on purpose: deciding a condition
+  // needs only the expedited stop window the nub already pushed, so a
+  // false hit must not re-fetch the frame-0 context or the stop site's
+  // code span (with code retention off that warm was a block fetch per
+  // rejected hit).
+  auto stopHere = [&T] {
     warmAfterStop(T);
+    (void)T.drainTraceRecords();
+    return Error::success();
+  };
+  for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
+    if (Error E = T.resume(/*AllowAutoResume=*/true))
+      return E;
     if (T.exited() || !T.stopped() ||
         T.lastStop().Signo != nub::SigTrap)
-      return Error::success();
+      return stopHere();
+    // A nub-decided stop already counted the hit and settled the
+    // condition in the target; re-deciding here would double-count.
+    if (T.lastStop().Decision == nub::StopNubDecided)
+      return stopHere();
     Expected<uint32_t> Pc = T.ctxPc();
     if (!Pc)
       return Pc.takeError();
     Target::UserBreakpoint *U = T.userBreakpointAt(*Pc);
     if (!U)
-      return Error::success(); // a trap we did not plant: surface it
+      return stopHere(); // a trap we did not plant: surface it
+    if (T.lastStop().Decision == nub::StopNubEvalFailed &&
+        U->Condition.Ty != ps::Type::Null) {
+      // The nub counted the hit but its bytecode could not settle the
+      // condition (a bad load, a divide by zero); finish the decision
+      // here with the full evaluator.
+      Target::ExecStats &ES = T.execStats();
+      ++ES.CondEvals;
+      Expected<bool> V = evalCondition(T, U->Condition);
+      if (!V)
+        return Error::failure("breakpoint " + std::to_string(U->Id) +
+                              " condition '" + U->CondText +
+                              "': " + V.message());
+      if (*V)
+        return stopHere();
+      ++ES.CondResumes;
+      continue;
+    }
     Expected<bool> Want = breakpointWantsStop(T, *U);
     if (!Want)
       return Want.takeError();
     if (*Want)
-      return Error::success();
+      return stopHere();
   }
   return Error::failure("continue did not converge");
 }

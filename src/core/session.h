@@ -54,6 +54,15 @@ Error setBreakpointCondition(Target &T, ExprSession &Session, int Id,
 /// counters. True means "really stop".
 Expected<bool> breakpointWantsStop(Target &T, Target::UserBreakpoint &U);
 
+/// Plants a numbered tracepoint at \p Spec (FILE:LINE or PROC) whose hits
+/// never stop: while the target runs, the nub appends each expression's
+/// value plus the sp/fp registers to its ring buffer. Every expression
+/// must compile to nub bytecode (there is no host fallback for a site the
+/// debugger never sees), so this fails under LDB_NO_NUBCOND.
+Expected<int> addTracepoint(Target &T, ExprSession &Session,
+                            const std::string &Spec,
+                            const std::vector<std::string> &ExprTexts);
+
 /// Source-level step into calls; `next` over them; `finish` out to the
 /// caller; `continue` with conditional-hit auto-resume.
 Error stepToNextStop(Target &T);
@@ -95,6 +104,10 @@ public:
   }
   Error setBreakpointCondition(int Id, const std::string &Text) {
     return exec::setBreakpointCondition(*T, Session, Id, Text);
+  }
+  Expected<int> addTracepoint(const std::string &Spec,
+                              const std::vector<std::string> &ExprTexts) {
+    return exec::addTracepoint(*T, Session, Spec, ExprTexts);
   }
 
   // Execution control. Each resets the frame selection on success.

@@ -79,6 +79,11 @@ Error Target::connect(nub::ProcessHost &Host, const std::string &ProcName,
   const char *KeepCode = std::getenv("LDB_CACHE_CODE");
   if (!KeepCode || std::string(KeepCode) != "0")
     Cache->setImmutableSpaces(std::string(1, mem::SpCode));
+  // LDB_NO_NUBCOND=1 keeps every condition, ignore count, and tracepoint
+  // host-evaluated: the kill switch, and the oracle the determinism suite
+  // compares nub-side evaluation against.
+  const char *NoNubCond = std::getenv("LDB_NO_NUBCOND");
+  NubCondEnabled = !(NoNubCond && std::string(NoNubCond) == "1");
   Cache->setStats(&Stats);
   Wire = Cache;
   Stop = Client->pendingStop();
@@ -162,9 +167,21 @@ Error Target::requireStopped() const {
   return Error::success();
 }
 
-Error Target::resume() {
+Error Target::resume(bool AllowAutoResume) {
   if (Error E = requireStopped())
     return E;
+  // Ship dirty condition/tracepoint records before an auto-resume
+  // continue; with at least one record live in the nub the continue runs
+  // in auto-resume mode and false, ignored, and traced hits settle in the
+  // target without a wire exchange. Any ship failure falls back to
+  // report-all — host-side evaluation is always correct — with the
+  // records left dirty for the next auto-resume continue to retry.
+  uint8_t Mode = nub::ContinueReportAll;
+  if (AllowAutoResume && NubCondEnabled) {
+    bool AnyManaged = false;
+    if (!syncNubRecords(AnyManaged) && AnyManaged)
+      Mode = nub::ContinueAutoResume;
+  }
   // Resuming from a planted breakpoint skips the no-op: advance the saved
   // pc in the context (paper Sec 3). The store is posted, not awaited: it
   // rides the request window with the Continue (the link delivers in
@@ -183,7 +200,7 @@ Error Target::resume() {
     }
   }
   nub::StopInfo Next;
-  Error E = Client->doContinue(Next);
+  Error E = Client->doContinue(Next, Mode);
   // The target ran (or at least may have): every cached line is now
   // suspect, success or not.
   if (Cache)
@@ -191,6 +208,7 @@ Error Target::resume() {
   if (E)
     return E;
   Stop = Next;
+  applyCounterSync();
   seedStopWindow();
   return Error::success();
 }
@@ -701,25 +719,47 @@ Error Target::deleteUserBreakpoint(int Id) {
         Shared = true;
         break;
       }
+    for (const auto &[TpId, Tp] : Tracepoints) {
+      if (Shared)
+        break;
+      if (std::binary_search(Tp.Addrs.begin(), Tp.Addrs.end(), A))
+        Shared = true;
+    }
     if (!Shared && Breakpoints.count(A))
       Remove.push_back(A);
   }
+  bool WasManaged = It->second.NubManaged;
   UserBps.erase(It);
   if (exited() || !connected()) {
     for (uint32_t A : Remove)
       Breakpoints.erase(A);
     return Error::success();
   }
+  // Best-effort: a stale nub record at an unplanted site can never fire
+  // (no break word), so a failed clear costs nothing.
+  if (WasManaged)
+    (void)Client->clearCondition(false, static_cast<uint32_t>(Id));
   return removeBreakpoints(Remove);
 }
 
 Expected<size_t> Target::deleteAllUserBreakpoints() {
   size_t N = UserBps.size();
   std::vector<uint32_t> Remove;
-  for (const auto &[Id, U] : UserBps)
-    for (uint32_t A : U.Addrs)
-      if (!TempSites.count(A) && Breakpoints.count(A))
+  std::vector<int> Managed;
+  for (const auto &[Id, U] : UserBps) {
+    if (U.NubManaged)
+      Managed.push_back(Id);
+    for (uint32_t A : U.Addrs) {
+      bool Traced = false;
+      for (const auto &[TpId, Tp] : Tracepoints)
+        if (std::binary_search(Tp.Addrs.begin(), Tp.Addrs.end(), A)) {
+          Traced = true;
+          break;
+        }
+      if (!TempSites.count(A) && !Traced && Breakpoints.count(A))
         Remove.push_back(A);
+    }
+  }
   UserBps.clear();
   std::sort(Remove.begin(), Remove.end());
   Remove.erase(std::unique(Remove.begin(), Remove.end()), Remove.end());
@@ -728,6 +768,8 @@ Expected<size_t> Target::deleteAllUserBreakpoints() {
       Breakpoints.erase(A);
     return N;
   }
+  for (int Id : Managed)
+    (void)Client->clearCondition(false, static_cast<uint32_t>(Id));
   if (Error E = removeBreakpoints(Remove))
     return E;
   return N;
@@ -743,4 +785,244 @@ Target::UserBreakpoint *Target::userBreakpointAt(uint32_t Addr) {
     if (std::binary_search(U.Addrs.begin(), U.Addrs.end(), Addr))
       return &U;
   return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Nub-side condition and tracepoint records
+//===----------------------------------------------------------------------===//
+
+Expected<std::vector<std::pair<uint32_t, uint32_t>>>
+Target::vfpSites(const std::vector<uint32_t> &Addrs, uint32_t &VfpReg) {
+  std::vector<std::pair<uint32_t, uint32_t>> Sites;
+  Sites.reserve(Addrs.size());
+  const target::TargetDesc &D = *Arch->Desc;
+  if (D.FpReg >= 0) {
+    // A frame-pointer architecture: the walker's top-frame vfp is the fp
+    // register itself, at every site.
+    VfpReg = static_cast<uint32_t>(D.FpReg);
+    for (uint32_t A : Addrs)
+      Sites.push_back({A, 0});
+    return Sites;
+  }
+  // No frame pointer (zmips): the vfp is sp plus the procedure's frame
+  // size, a per-site constant from the runtime procedure table — exactly
+  // what the zmips walker computes for frame 0.
+  VfpReg = D.SpReg;
+  for (uint32_t A : Addrs) {
+    Expected<FrameWalker::ProcFrameData> FD = frameData(A);
+    if (!FD)
+      return FD.takeError();
+    Sites.push_back({A, FD->FrameSize});
+  }
+  return Sites;
+}
+
+Error Target::syncNubRecords(bool &AnyManaged) {
+  AnyManaged = false;
+  if (!connected())
+    return Error::success();
+  Scope Sc(*this); // vfpSites reads frame data through the PS scope
+  Error First = Error::success();
+  auto keep = [&First](Error E) {
+    if (E && !First)
+      First = std::move(E);
+  };
+  for (auto &[Id, U] : UserBps) {
+    if (U.Dirty) {
+      if (!U.CondText.empty() && U.Bytecode.empty()) {
+        // An inexpressible condition stays host-evaluated: clear any
+        // stale record so the nub reports every hit at its sites.
+        if (!U.NubManaged) {
+          U.Dirty = false;
+        } else if (Error E =
+                       Client->clearCondition(false,
+                                              static_cast<uint32_t>(U.Id))) {
+          keep(std::move(E));
+        } else {
+          U.NubManaged = false;
+          U.Dirty = false;
+        }
+      } else {
+        nub::CondRecordSpec Spec;
+        Spec.Id = static_cast<uint32_t>(U.Id);
+        Spec.PcAdvance = Arch->Bp.PcAdvance;
+        Spec.Hits = static_cast<uint32_t>(U.HitCount);
+        Spec.Ignore = static_cast<uint32_t>(U.Ignore);
+        Spec.Bytecode = U.Bytecode;
+        uint32_t VfpReg = 0;
+        Expected<std::vector<std::pair<uint32_t, uint32_t>>> Sites =
+            vfpSites(U.Addrs, VfpReg);
+        if (!Sites) {
+          keep(Sites.takeError());
+        } else {
+          Spec.VfpReg = VfpReg;
+          Spec.Sites = Sites.take();
+          if (Error E = Client->setCondition(Spec)) {
+            keep(std::move(E));
+          } else {
+            U.NubManaged = true;
+            U.Dirty = false;
+            ++Exec.CondShips;
+          }
+        }
+      }
+    }
+    AnyManaged |= U.NubManaged;
+  }
+  for (auto &[Id, T] : Tracepoints) {
+    if (T.Dirty) {
+      nub::TraceRecordSpec Spec;
+      Spec.Id = static_cast<uint32_t>(T.Id);
+      Spec.PcAdvance = Arch->Bp.PcAdvance;
+      Spec.RegMask = T.RegMask;
+      Spec.Exprs = T.Exprs;
+      uint32_t VfpReg = 0;
+      Expected<std::vector<std::pair<uint32_t, uint32_t>>> Sites =
+          vfpSites(T.Addrs, VfpReg);
+      if (!Sites) {
+        keep(Sites.takeError());
+      } else {
+        Spec.VfpReg = VfpReg;
+        Spec.Sites = Sites.take();
+        if (Error E = Client->setTracepoint(Spec)) {
+          keep(std::move(E));
+        } else {
+          T.NubManaged = true;
+          T.Dirty = false;
+          ++Exec.CondShips;
+        }
+      }
+    }
+    AnyManaged |= T.NubManaged;
+  }
+  return First;
+}
+
+void Target::applyCounterSync() {
+  if (!Stop)
+    return;
+  const nub::StopInfo &S = *Stop;
+  // All nub counters are absolute, folded here by delta so `stats` and
+  // `info breakpoints` read the same whether a hit settled in the nub or
+  // on the host. Monotone guards make a tail-less frame (parsed as
+  // zeros) and host-side counter mutations harmless: deltas only ever
+  // fold forward.
+  if (S.NubCondEvals >= Exec.NubCondEvals) {
+    uint64_t EvalsDelta = S.NubCondEvals - Exec.NubCondEvals;
+    // Of the evals the nub ran since the last sync, every one resumed
+    // locally except a decisive one that produced this very stop at a
+    // conditional breakpoint (true condition, or a failed eval the host
+    // will finish).
+    uint64_t Decisive = 0;
+    if (EvalsDelta > 0 && !S.Exited &&
+        (S.Decision == nub::StopNubDecided ||
+         S.Decision == nub::StopNubEvalFailed))
+      if (UserBreakpoint *U = userBreakpointAt(S.Pc))
+        if (!U->Bytecode.empty())
+          Decisive = 1;
+    Exec.CondEvals += EvalsDelta;
+    Exec.CondResumes += EvalsDelta - Decisive;
+    Exec.NubCondEvals = S.NubCondEvals;
+  }
+  if (S.NubLocalResumes >= Exec.NubLocalResumes)
+    Exec.NubLocalResumes = S.NubLocalResumes;
+  for (const nub::CounterSync &C : S.Counters) {
+    UserBreakpoint *U = userBreakpoint(static_cast<int>(C.Id));
+    if (!U)
+      continue;
+    if (C.Hits >= U->HitCount) {
+      Exec.BpHits += C.Hits - U->HitCount;
+      U->HitCount = C.Hits;
+    }
+    if (C.Ignore <= U->Ignore) {
+      Exec.IgnoreResumes += U->Ignore - C.Ignore;
+      U->Ignore = C.Ignore;
+    }
+  }
+}
+
+Expected<int> Target::addTracepoint(const std::string &Spec,
+                                    const std::vector<uint32_t> &Addrs,
+                                    std::vector<std::string> ExprTexts,
+                                    std::vector<std::vector<uint8_t>> Exprs,
+                                    uint32_t RegMask) {
+  std::vector<uint32_t> Sorted = Addrs;
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  if (Sorted.empty())
+    return Error::failure("tracepoint has no stopping points");
+  // Tracepoint sites are planted like breakpoints (the resume machinery
+  // must advance the pc past them); only the nub-side record makes hits
+  // resume instead of stop.
+  if (Error E = plantBreakpoints(Sorted))
+    return E;
+  Tracepoint T;
+  T.Id = NextTpId++;
+  T.Spec = Spec;
+  T.ExprTexts = std::move(ExprTexts);
+  T.Exprs = std::move(Exprs);
+  T.Addrs = std::move(Sorted);
+  T.RegMask = RegMask;
+  int Id = T.Id;
+  Tracepoints[Id] = std::move(T);
+  return Id;
+}
+
+Error Target::deleteTracepoint(int Id) {
+  auto It = Tracepoints.find(Id);
+  if (It == Tracepoints.end())
+    return Error::failure("no tracepoint " + std::to_string(Id));
+  std::vector<uint32_t> Remove;
+  for (uint32_t A : It->second.Addrs) {
+    bool Shared = TempSites.count(A) != 0 || userBreakpointAt(A) != nullptr;
+    for (const auto &[OtherId, Tp] : Tracepoints) {
+      if (Shared)
+        break;
+      if (OtherId != Id &&
+          std::binary_search(Tp.Addrs.begin(), Tp.Addrs.end(), A))
+        Shared = true;
+    }
+    if (!Shared && Breakpoints.count(A))
+      Remove.push_back(A);
+  }
+  bool WasManaged = It->second.NubManaged;
+  Tracepoints.erase(It);
+  if (exited() || !connected()) {
+    for (uint32_t A : Remove)
+      Breakpoints.erase(A);
+    return Error::success();
+  }
+  if (WasManaged)
+    (void)Client->clearCondition(true, static_cast<uint32_t>(Id));
+  return removeBreakpoints(Remove);
+}
+
+Target::Tracepoint *Target::tracepoint(int Id) {
+  auto It = Tracepoints.find(Id);
+  return It == Tracepoints.end() ? nullptr : &It->second;
+}
+
+Error Target::drainTraceRecords() {
+  // The nub services drains in any state, so records buffered on the way
+  // to an exit still come home.
+  bool AnyManaged = false;
+  for (const auto &[Id, T] : Tracepoints)
+    AnyManaged |= T.NubManaged;
+  if (!AnyManaged || !connected())
+    return Error::success();
+  for (;;) {
+    nub::TraceDrain D;
+    if (Error E = Client->drainTrace(D))
+      return E;
+    TraceDropTotal += D.Dropped;
+    for (nub::condbc::TraceRecord &R : D.Records) {
+      if (Tracepoint *T = tracepoint(static_cast<int>(R.Id)))
+        T->Hits = std::max<uint64_t>(T->Hits, R.HitNo);
+      TraceLog.push_back(std::move(R));
+    }
+    if (D.Remaining == 0)
+      return Error::success();
+    if (D.Records.empty())
+      return Error::failure("trace drain made no progress");
+  }
 }

@@ -98,7 +98,14 @@ public:
 
   /// Resumes the target; if it is stopped at a planted breakpoint the
   /// saved pc is advanced past the no-op first (the Sec 3 resume).
-  Error resume();
+  /// \p AllowAutoResume lets this resume ship dirty condition/tracepoint
+  /// records to the nub and continue in auto-resume mode, so false or
+  /// ignored hits (and tracepoint hits) settle in the target without a
+  /// wire exchange. Stepping passes false: its temporaries must report
+  /// every trap. If shipping fails (transport fault, nub refusal) the
+  /// continue falls back to report-all and host-side evaluation; the
+  /// records stay dirty and the next auto-resume continue retries.
+  Error resume(bool AllowAutoResume = false);
 
   //===--------------------------------------------------------------------===
   // Context access: machine-independent code parameterized by the
@@ -269,6 +276,15 @@ public:
     std::vector<uint32_t> Addrs; ///< sorted unique site addresses
     uint64_t HitCount = 0;
     uint64_t Ignore = 0;
+    /// The condition compiled to nub bytecode; empty when there is no
+    /// condition (the record is then unconditional: count and stop) —
+    /// for an *inexpressible* condition no record ships at all and the
+    /// host keeps evaluating (see CondText/Bytecode in syncNubRecords).
+    std::vector<uint8_t> Bytecode;
+    bool NubManaged = false; ///< a record for this bp lives in the nub
+    /// Host-side state (hits, ignore, condition) changed since the last
+    /// ship; the record re-ships before the next auto-resume continue.
+    bool Dirty = true;
   };
 
   /// Plants \p Addrs and records them as one numbered breakpoint.
@@ -287,6 +303,57 @@ public:
   }
 
   //===--------------------------------------------------------------------===
+  // Nub-side condition and tracepoint records. The debugger compiles
+  // conditions to machine-independent bytecode (nub/condbc.h), ships them
+  // with the breakpoint's counters, and lets the nub settle false and
+  // ignored hits in the target. Tracepoints are planted sites whose hits
+  // never stop: the nub appends compiled-expression values and a register
+  // subset to a bounded ring buffer the host drains in bulk.
+  //===--------------------------------------------------------------------===
+
+  /// Whether conditions, ignore counts, and tracepoints may be evaluated
+  /// in the nub. LDB_NO_NUBCOND=1 at connect time forces host-side
+  /// evaluation (the oracle the determinism suite compares against).
+  bool nubCondEnabled() const { return NubCondEnabled; }
+  void setNubCondEnabled(bool On) { NubCondEnabled = On; }
+
+  struct Tracepoint {
+    int Id = 0;
+    std::string Spec;                  ///< what the user typed
+    std::vector<std::string> ExprTexts;
+    std::vector<std::vector<uint8_t>> Exprs; ///< compiled bytecode
+    std::vector<uint32_t> Addrs;       ///< sorted unique site addresses
+    uint32_t RegMask = 0;              ///< registers captured per hit
+    uint64_t Hits = 0;                 ///< highest hit number drained
+    bool NubManaged = false;
+    bool Dirty = true;
+  };
+
+  /// Plants \p Addrs and records them as one numbered tracepoint. The
+  /// record ships to the nub before the next auto-resume continue.
+  Expected<int> addTracepoint(const std::string &Spec,
+                              const std::vector<uint32_t> &Addrs,
+                              std::vector<std::string> ExprTexts,
+                              std::vector<std::vector<uint8_t>> Exprs,
+                              uint32_t RegMask);
+  /// Removes tracepoint \p Id, clearing its nub record (best-effort) and
+  /// unplanting sites nothing else shares.
+  Error deleteTracepoint(int Id);
+  Tracepoint *tracepoint(int Id);
+  const std::map<int, Tracepoint> &tracepoints() const { return Tracepoints; }
+
+  /// Drains every buffered tracepoint record from the nub into the
+  /// host-side log (one block-protocol exchange per reply's worth).
+  /// No-op when nothing is nub-managed or the target is gone.
+  Error drainTraceRecords();
+  const std::vector<nub::condbc::TraceRecord> &traceLog() const {
+    return TraceLog;
+  }
+  void clearTraceLog() { TraceLog.clear(); }
+  /// Records the nub dropped because its ring buffer was full.
+  uint64_t traceDropped() const { return TraceDropTotal; }
+
+  //===--------------------------------------------------------------------===
   // Execution-control counters (the `stats` command reports them next to
   // the transport counters).
   //===--------------------------------------------------------------------===
@@ -301,6 +368,9 @@ public:
     uint64_t CondEvals = 0;     ///< condition evaluations
     uint64_t CondResumes = 0;   ///< auto-resumes on a false condition
     uint64_t IgnoreResumes = 0; ///< auto-resumes on an ignore count
+    uint64_t CondShips = 0;     ///< condition/tracepoint records shipped
+    uint64_t NubCondEvals = 0;  ///< nub-side condition evals (absolute)
+    uint64_t NubLocalResumes = 0; ///< nub-side local resumes (absolute)
     void reset() { *this = ExecStats(); }
   };
   ExecStats &execStats() { return Exec; }
@@ -313,6 +383,20 @@ private:
   /// Absorbs the Stopped message's expedited context window into the
   /// cache (pipelined client only; no wire traffic).
   void seedStopWindow();
+
+  /// Ships every dirty condition/tracepoint record; \p AnyManaged reports
+  /// whether the nub holds at least one live record afterwards.
+  Error syncNubRecords(bool &AnyManaged);
+  /// Applies the last stop's counter tail: absolute nub counters fold
+  /// into the host's hit/ignore/eval counters so `stats` and `info
+  /// breakpoints` read the same with or without nub-side evaluation.
+  void applyCounterSync();
+  /// The (vfp register, per-site vfp offset) the nub needs to evaluate
+  /// frame-relative bytecode at \p Addrs: the frame-pointer register and
+  /// offset 0 on fp architectures, sp plus the procedure's frame size on
+  /// zmips (from the runtime procedure table).
+  Expected<std::vector<std::pair<uint32_t, uint32_t>>>
+  vfpSites(const std::vector<uint32_t> &Addrs, uint32_t &VfpReg);
 
   std::string Name;
   ps::Interp &I;
@@ -348,6 +432,11 @@ private:
   std::vector<TempImage> TempImages;
   std::map<int, UserBreakpoint> UserBps;
   int NextBpId = 1;
+  std::map<int, Tracepoint> Tracepoints;
+  int NextTpId = 1;
+  std::vector<nub::condbc::TraceRecord> TraceLog;
+  uint64_t TraceDropTotal = 0;
+  bool NubCondEnabled = true;
   ExecStats Exec;
 };
 

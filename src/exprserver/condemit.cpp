@@ -1,0 +1,386 @@
+//===- exprserver/condemit.cpp - intermediate code to condition bytecode --===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites the front end's intermediate-code trees as condition bytecode
+/// (nub/condbc.h) so breakpoint conditions can be evaluated inside the
+/// nub. This is a sibling of rewrite.cpp and mirrors its integer
+/// semantics instruction for instruction — sign extension where the
+/// PostScript says `signedbits`, a 32-bit mask where it says
+/// `16#ffffffff and` — so the nub and the host-side evaluator agree on
+/// every answer. It is deliberately *more* restrictive: expressions with
+/// side effects (assignment, ++/--), floating point, strings, calls, or
+/// aggregates are refused here even when PostScript can express them, and
+/// the caller falls back to host-side evaluation.
+///
+/// Location mapping: a register variable reads the live register
+/// (PushReg), a frame local is an address computed from the per-site
+/// virtual frame pointer (PushVfp + offset), and a global is its absolute
+/// debug address — the same three location kinds the PostScript rewriter
+/// emits as Regset0/Locals/DataLoc.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exprserver/server.h"
+
+#include "nub/condbc.h"
+
+using namespace ldb;
+using namespace ldb::exprserver;
+using namespace ldb::lcc;
+using namespace ldb::nub::condbc;
+
+namespace {
+
+class CondEmitter {
+public:
+  Expected<std::vector<uint8_t>> run(const Expr &E) {
+    if (Error Err = value(E))
+      return Err;
+    A.done();
+    return A.take();
+  }
+
+private:
+  Error fail(const std::string &Msg) { return Error::failure(Msg); }
+
+  /// The fetch for a scalar load of type \p Ty; the address is on the
+  /// stack. Mirrors Rewriter::emitFetch.
+  Error emitFetch(const CType &Ty) {
+    if (Ty.isFloating())
+      return fail("floating point is not supported in nub conditions");
+    switch (Ty.Size) {
+    case 1:
+      A.load(1);
+      A.sext(8);
+      return Error::success();
+    case 2:
+      A.load(2);
+      A.sext(16);
+      return Error::success();
+    default:
+      A.load(4);
+      if (!(Ty.Kind == TyKind::UInt || Ty.isPointer()))
+        A.sext(32);
+      return Error::success();
+    }
+  }
+
+  /// Wraps an integer result to C's 32-bit semantics, mirroring
+  /// Rewriter::emitWrap.
+  void emitWrap(const CType &Ty) {
+    if (Ty.Kind == TyKind::UInt)
+      A.mask32();
+    else if (Ty.isInteger())
+      A.sext(32);
+  }
+
+  /// Emits code leaving the *address* of lvalue \p E on the stack. A
+  /// register variable has no address; loadable register lvalues are
+  /// special-cased in value().
+  Error location(const Expr &E) {
+    switch (E.Op) {
+    case Ex::SymRef: {
+      const CSymbol &S = *E.Sym;
+      if (S.InRegister)
+        return fail("register variable has no address");
+      if (S.HasDebugAddr) {
+        A.pushI(static_cast<int64_t>(S.DebugAddr));
+        return Error::success();
+      }
+      if (S.Sto == Storage::Local || S.Sto == Storage::Param) {
+        A.pushVfp();
+        A.pushI(S.FrameOffset);
+        A.op(Op::Add);
+        return Error::success();
+      }
+      return fail("no debug-time location for " + S.Name);
+    }
+    case Ex::Index: {
+      const Expr &Base = *E.Kids[0];
+      if (Base.Ty->Kind == TyKind::Array) {
+        if (Error Err = location(Base))
+          return Err;
+      } else {
+        if (Error Err = value(Base))
+          return Err;
+      }
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      if (E.Ty->Size != 1) {
+        A.pushI(E.Ty->Size);
+        A.op(Op::Mul);
+      }
+      A.op(Op::Add);
+      return Error::success();
+    }
+    case Ex::Member: {
+      const Expr &Base = *E.Kids[0];
+      if (Error Err = location(Base))
+        return Err;
+      unsigned Off = 0;
+      for (const StructField &F : Base.Ty->Fields)
+        if (F.Name == E.SVal)
+          Off = F.Offset;
+      if (Off != 0) {
+        A.pushI(Off);
+        A.op(Op::Add);
+      }
+      return Error::success();
+    }
+    case Ex::Deref:
+      return value(*E.Kids[0]);
+    default:
+      return fail("expression is not an lvalue");
+    }
+  }
+
+  Error value(const Expr &E) {
+    switch (E.Op) {
+    case Ex::IntConst:
+      A.pushI(E.IVal);
+      return Error::success();
+    case Ex::FloatConst:
+    case Ex::StrConst:
+      return fail("only integer expressions run in the nub");
+    case Ex::SymRef: {
+      if (!E.Ty->isScalar())
+        return fail("aggregate used as a value");
+      const CSymbol &S = *E.Sym;
+      if (S.InRegister) {
+        if (E.Ty->isFloating())
+          return fail("floating point is not supported in nub conditions");
+        if (S.RegNum < 0 || S.RegNum > 255)
+          return fail("register number out of range");
+        // The live register at break time — exactly what the host-side
+        // frame-0 Regset0 alias reads from the saved context.
+        A.pushReg(static_cast<uint8_t>(S.RegNum));
+        // The register holds the 32-bit value; apply the same extension
+        // a memory fetch of this type would get.
+        if (E.Ty->Size == 1)
+          A.sext(8);
+        else if (E.Ty->Size == 2)
+          A.sext(16);
+        else if (!(E.Ty->Kind == TyKind::UInt || E.Ty->isPointer()))
+          A.sext(32);
+        return Error::success();
+      }
+      if (Error Err = location(E))
+        return Err;
+      return emitFetch(*E.Ty);
+    }
+    case Ex::Index:
+    case Ex::Member:
+    case Ex::Deref:
+      if (!E.Ty->isScalar())
+        return fail("aggregate used as a value");
+      if (Error Err = location(E))
+        return Err;
+      return emitFetch(*E.Ty);
+    case Ex::AddrOf: {
+      const Expr &K = *E.Kids[0];
+      if (K.Op == Ex::SymRef && K.Sym->Ty->Kind == TyKind::Func)
+        return fail("procedure addresses are not supported in expressions");
+      if (K.Op == Ex::SymRef && K.Sym->InRegister)
+        return fail("cannot take the address of register variable " +
+                    K.Sym->Name);
+      return location(K);
+    }
+    case Ex::Assign:
+    case Ex::PreInc:
+    case Ex::PreDec:
+    case Ex::PostInc:
+    case Ex::PostDec:
+      // A condition evaluated invisibly in the nub must not mutate the
+      // target; expressions with stores stay on the host-eval path.
+      return fail("side effects are not allowed in nub conditions");
+
+    case Ex::Add:
+    case Ex::Sub:
+    case Ex::Mul:
+    case Ex::Div:
+    case Ex::Rem:
+    case Ex::BitAnd:
+    case Ex::BitOr:
+    case Ex::BitXor:
+    case Ex::Shl:
+    case Ex::Shr: {
+      if (E.Ty->isFloating())
+        return fail("floating point is not supported in nub conditions");
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      bool PointerScale = E.Ty->isPointer() && E.Kids[1]->Ty->isInteger();
+      if (PointerScale && E.Ty->Ref->Size != 1) {
+        A.pushI(E.Ty->Ref->Size);
+        A.op(Op::Mul);
+      }
+      switch (E.Op) {
+      case Ex::Add:
+        A.op(Op::Add);
+        break;
+      case Ex::Sub:
+        A.op(Op::Sub);
+        break;
+      case Ex::Mul:
+        A.op(Op::Mul);
+        break;
+      case Ex::Div:
+        A.op(Op::Div);
+        break;
+      case Ex::Rem:
+        A.op(Op::Rem);
+        break;
+      case Ex::BitAnd:
+        A.op(Op::And);
+        break;
+      case Ex::BitOr:
+        A.op(Op::Or);
+        break;
+      case Ex::BitXor:
+        A.op(Op::Xor);
+        break;
+      case Ex::Shl:
+        A.op(Op::Shl);
+        break;
+      default: // Shr
+        A.op(E.Ty->Kind == TyKind::UInt ? Op::Srl : Op::Sra);
+        break;
+      }
+      emitWrap(*E.Ty);
+      return Error::success();
+    }
+
+    case Ex::Neg:
+      if (E.Ty->isFloating())
+        return fail("floating point is not supported in nub conditions");
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      A.op(Op::Neg);
+      emitWrap(*E.Ty);
+      return Error::success();
+    case Ex::BitNot:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      A.op(Op::BitNot);
+      emitWrap(*E.Ty);
+      return Error::success();
+    case Ex::LogNot:
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      A.pushI(0);
+      A.op(Op::CmpEq);
+      return Error::success();
+
+    case Ex::Lt:
+    case Ex::Le:
+    case Ex::Gt:
+    case Ex::Ge:
+    case Ex::EqEq:
+    case Ex::NeEq: {
+      if (E.Kids[0]->Ty->isFloating() || E.Kids[1]->Ty->isFloating())
+        return fail("floating point is not supported in nub conditions");
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      switch (E.Op) {
+      case Ex::Lt:
+        A.op(Op::CmpLt);
+        break;
+      case Ex::Le:
+        A.op(Op::CmpLe);
+        break;
+      case Ex::Gt:
+        A.op(Op::CmpGt);
+        break;
+      case Ex::Ge:
+        A.op(Op::CmpGe);
+        break;
+      case Ex::EqEq:
+        A.op(Op::CmpEq);
+        break;
+      default:
+        A.op(Op::CmpNe);
+        break;
+      }
+      return Error::success();
+    }
+
+    case Ex::LogAnd: {
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      size_t ToFalse = A.jump(Op::JumpIfZero);
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      A.pushI(0);
+      A.op(Op::CmpNe);
+      size_t ToEnd = A.jump(Op::Jump);
+      A.patchHere(ToFalse);
+      A.pushI(0);
+      A.patchHere(ToEnd);
+      return Error::success();
+    }
+    case Ex::LogOr: {
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      size_t ToRhs = A.jump(Op::JumpIfZero);
+      A.pushI(1);
+      size_t ToEnd = A.jump(Op::Jump);
+      A.patchHere(ToRhs);
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      A.pushI(0);
+      A.op(Op::CmpNe);
+      A.patchHere(ToEnd);
+      return Error::success();
+    }
+    case Ex::Cond: {
+      if (Error Err = value(*E.Kids[0]))
+        return Err;
+      size_t ToElse = A.jump(Op::JumpIfZero);
+      if (Error Err = value(*E.Kids[1]))
+        return Err;
+      size_t ToEnd = A.jump(Op::Jump);
+      A.patchHere(ToElse);
+      if (Error Err = value(*E.Kids[2]))
+        return Err;
+      A.patchHere(ToEnd);
+      return Error::success();
+    }
+
+    case Ex::Cast: {
+      const Expr &K = *E.Kids[0];
+      const CType &From = *K.Ty;
+      const CType &To = *E.Ty;
+      if (From.isFloating() || To.isFloating())
+        return fail("floating point is not supported in nub conditions");
+      if (Error Err = value(K))
+        return Err;
+      if (To.isInteger() && To.Size < 4)
+        A.sext(static_cast<uint8_t>(8 * To.Size));
+      else if (To.Kind == TyKind::UInt && From.isInteger())
+        A.mask32();
+      return Error::success();
+    }
+
+    case Ex::Call:
+      return fail("procedure calls into the target are not yet supported");
+    }
+    return fail("unsupported expression");
+  }
+
+  Assembler A;
+};
+
+} // namespace
+
+Expected<std::vector<uint8_t>>
+ldb::exprserver::rewriteToCondBytecode(const Expr &E) {
+  CondEmitter Em;
+  return Em.run(E);
+}

@@ -8,6 +8,7 @@
 
 #include "exprserver/typecodes.h"
 #include "lcc/parser.h"
+#include "nub/condbc.h"
 #include "support/strings.h"
 
 using namespace ldb;
@@ -92,10 +93,18 @@ void ExprServer::handleExpression(const std::string &Text) {
     Output = "(" + psEscape(Tree.message()) + ") ExpressionServer.error\n";
   } else {
     Expected<std::string> Ps = rewriteToPostScript(**Tree);
-    if (!Ps)
+    if (!Ps) {
       Output = "(" + psEscape(Ps.message()) + ") ExpressionServer.error\n";
-    else
-      Output = "{ " + *Ps + "}\nExpressionServer.result\n";
+    } else {
+      // When the tree is also expressible as nub-side condition bytecode,
+      // send it first (hex over the text pipe); a client that never
+      // installs ExpressionServer.condbc just won't be offered it, and an
+      // inexpressible tree silently stays host-eval-only.
+      Expected<std::vector<uint8_t>> Bc = rewriteToCondBytecode(**Tree);
+      if (Bc)
+        Output = "(" + nub::condbc::toHex(*Bc) + ") ExpressionServer.condbc\n";
+      Output += "{ " + *Ps + "}\nExpressionServer.result\n";
+    }
   }
   // Discard this expression's reconstructed symbol-table entries; keep
   // the accumulated type information (paper Sec 3).

@@ -70,6 +70,13 @@ private:
 /// target execution (procedure calls) or allocation (string literals).
 Expected<std::string> rewriteToPostScript(const lcc::Expr &E);
 
+/// Rewrites an intermediate-code tree as condition bytecode (nub/condbc.h)
+/// for nub-side evaluation, mirroring rewriteToPostScript's integer
+/// semantics exactly. Returns an error for anything the nub cannot or
+/// must not evaluate — floating point, side effects, calls, strings,
+/// aggregates — in which case the caller keeps host-side evaluation.
+Expected<std::vector<uint8_t>> rewriteToCondBytecode(const lcc::Expr &E);
+
 } // namespace ldb::exprserver
 
 #endif // LDB_EXPRSERVER_SERVER_H

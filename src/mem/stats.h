@@ -61,6 +61,14 @@ struct TransportStats {
   uint64_t LinkDrops = 0;
   uint64_t LinkGarbles = 0;
 
+  /// Nub-side record management: condition/tracepoint record frames sent
+  /// (SetCondition, ClearCondition, SetTracepoint), trace drains issued,
+  /// records received, and the raw record bytes those drains moved.
+  uint64_t CondMsgsSent = 0;
+  uint64_t TraceDrains = 0;
+  uint64_t TraceRecords = 0;
+  uint64_t TraceDrainBytes = 0;
+
   struct CacheCounters {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -93,6 +101,10 @@ struct TransportStats {
     StaleReplies += O.StaleReplies;
     LinkDrops += O.LinkDrops;
     LinkGarbles += O.LinkGarbles;
+    CondMsgsSent += O.CondMsgsSent;
+    TraceDrains += O.TraceDrains;
+    TraceRecords += O.TraceRecords;
+    TraceDrainBytes += O.TraceDrainBytes;
     for (const auto &[Space, C] : O.Cache) {
       Cache[Space].Hits += C.Hits;
       Cache[Space].Misses += C.Misses;

@@ -41,6 +41,14 @@ void NubClient::countRequestSent(MsgKind Kind) {
   case MsgKind::StoreFloat:
     ++Stats->WordMsgsSent;
     break;
+  case MsgKind::SetCondition:
+  case MsgKind::ClearCondition:
+  case MsgKind::SetTracepoint:
+    ++Stats->CondMsgsSent;
+    break;
+  case MsgKind::DrainTrace:
+    ++Stats->TraceDrains;
+    break;
   default:
     break;
   }
@@ -104,6 +112,13 @@ bool idempotent(MsgKind Kind) {
   case MsgKind::StoreFloat:
   case MsgKind::FetchBlock:
   case MsgKind::StoreBlock:
+  // Record management replays safely: re-setting a record replaces it
+  // with identical contents, clearing twice is a no-op, and a re-drained
+  // trace buffer just yields whatever records are left.
+  case MsgKind::SetCondition:
+  case MsgKind::ClearCondition:
+  case MsgKind::SetTracepoint:
+  case MsgKind::DrainTrace:
     return true;
   default:
     return false;
@@ -451,10 +466,43 @@ Error NubClient::recvBlocking(MsgReader &Out) {
 
 namespace {
 
+/// Parses the optional counter tail at the reader's position. A missing
+/// tail (tests, older nubs) reads as host-decides with no sync; a damaged
+/// one is dropped whole, never half-applied.
+void parseCounterTail(MsgReader &Msg, StopInfo &Out) {
+  Out.Decision = StopHostDecides;
+  Out.NubCondEvals = 0;
+  Out.NubLocalResumes = 0;
+  Out.Counters.clear();
+  if (Msg.atEnd())
+    return;
+  uint8_t Decision = StopHostDecides;
+  uint32_t Evals = 0, Resumes = 0, Entries = 0;
+  if (!Msg.u8(Decision) || !Msg.u32(Evals) || !Msg.u32(Resumes) ||
+      !Msg.u32(Entries))
+    return; // damaged tail: keep the stop, drop the sync
+  std::vector<CounterSync> Counters;
+  for (uint32_t K = 0; K < Entries; ++K) {
+    CounterSync C;
+    if (!Msg.u32(C.Id) || !Msg.u32(C.Hits) || !Msg.u32(C.Ignore))
+      return; // damaged tail: keep the stop, drop the sync
+    Counters.push_back(C);
+  }
+  Out.Decision = Decision;
+  Out.NubCondEvals = Evals;
+  Out.NubLocalResumes = Resumes;
+  Out.Counters = std::move(Counters);
+}
+
 bool parseStop(MsgReader &Msg, StopInfo &Out) {
   if (Msg.kind() == MsgKind::Exited) {
     Out.Exited = true;
-    return Msg.u32(Out.ExitStatus);
+    if (!Msg.u32(Out.ExitStatus))
+      return false;
+    // Exited carries the counter tail too: hits the nub counted between
+    // the last real stop and the exit would otherwise be lost.
+    parseCounterTail(Msg, Out);
+    return true;
   }
   if (Msg.kind() != MsgKind::Stopped)
     return false;
@@ -464,12 +512,16 @@ bool parseStop(MsgReader &Msg, StopInfo &Out) {
       !Msg.u32(WinLen))
     return false;
   const uint8_t *Win;
-  if (WinLen && Msg.remaining() == WinLen && Msg.raw(WinLen, Win))
+  // The window is read by its declared length; a counter tail (if any)
+  // follows it. A declared window the payload cannot cover is treated as
+  // absent, never as a short read.
+  if (WinLen && Msg.remaining() >= WinLen && Msg.raw(WinLen, Win))
     Out.CtxWin.assign(Win, Win + WinLen);
   else
     Out.CtxWin.clear();
   Out.Signo = static_cast<int32_t>(Signo);
   Out.Exited = false;
+  parseCounterTail(Msg, Out);
   return true;
 }
 
@@ -497,14 +549,19 @@ Error NubClient::handshake() {
   return Error::success();
 }
 
-Error NubClient::doContinue(StopInfo &Out) {
+Error NubClient::doContinue(StopInfo &Out, uint8_t Mode) {
   Pending.reset();
   // Flush the store queue first, but do not await it: the stores and the
   // Continue ride the window together, and the link delivers in order.
   if (Error E = flushStores())
     return E;
+  MsgWriter W(MsgKind::Continue);
+  // The mode byte is appended only when it says something: a ReportAll
+  // Continue is byte-identical to what pre-condition clients sent.
+  if (Mode != ContinueReportAll)
+    W.u8(Mode);
   MsgReader Msg(MsgKind::Ack, {});
-  if (Error E = transact(MsgKind::Continue, MsgWriter(MsgKind::Continue), Msg))
+  if (Error E = transact(MsgKind::Continue, W, Msg))
     return E;
   if (Msg.kind() == MsgKind::Nak) {
     std::string Reason;
@@ -517,6 +574,104 @@ Error NubClient::doContinue(StopInfo &Out) {
   // Stopped reply (the link delivers in order): surface a failure now
   // rather than from some later await.
   return std::exchange(DeferredErr, Error::success());
+}
+
+namespace {
+
+/// Shared Ack/Nak postlude for the record-management requests.
+Error expectAck(MsgReader &Msg, const char *What) {
+  if (Msg.kind() == MsgKind::Ack)
+    return Error::success();
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure(std::string("nub refused ") + What + ": " + Reason);
+  }
+  return Error::failure(std::string("unexpected reply to ") + What);
+}
+
+} // namespace
+
+Error NubClient::setCondition(const CondRecordSpec &Spec) {
+  MsgWriter W(MsgKind::SetCondition);
+  W.u32(Spec.Id)
+      .u32(Spec.PcAdvance)
+      .u32(Spec.VfpReg)
+      .u32(Spec.Hits)
+      .u32(Spec.Ignore)
+      .u32(static_cast<uint32_t>(Spec.Bytecode.size()));
+  if (!Spec.Bytecode.empty())
+    W.raw(Spec.Bytecode.data(), Spec.Bytecode.size());
+  W.u32(static_cast<uint32_t>(Spec.Sites.size()));
+  for (const auto &S : Spec.Sites)
+    W.u32(S.first).u32(S.second);
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::SetCondition, W, Msg))
+    return E;
+  return expectAck(Msg, "condition record");
+}
+
+Error NubClient::setTracepoint(const TraceRecordSpec &Spec) {
+  MsgWriter W(MsgKind::SetTracepoint);
+  W.u32(Spec.Id)
+      .u32(Spec.PcAdvance)
+      .u32(Spec.VfpReg)
+      .u32(Spec.RegMask)
+      .u8(static_cast<uint8_t>(Spec.Exprs.size()));
+  for (const std::vector<uint8_t> &Bc : Spec.Exprs) {
+    W.u32(static_cast<uint32_t>(Bc.size()));
+    if (!Bc.empty())
+      W.raw(Bc.data(), Bc.size());
+  }
+  W.u32(static_cast<uint32_t>(Spec.Sites.size()));
+  for (const auto &S : Spec.Sites)
+    W.u32(S.first).u32(S.second);
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::SetTracepoint, W, Msg))
+    return E;
+  return expectAck(Msg, "tracepoint record");
+}
+
+Error NubClient::clearCondition(bool Tracepoint, uint32_t Id) {
+  MsgWriter W(MsgKind::ClearCondition);
+  W.u8(Tracepoint ? 1 : 0).u32(Id);
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::ClearCondition, W, Msg))
+    return E;
+  return expectAck(Msg, "record clear");
+}
+
+Error NubClient::drainTrace(TraceDrain &Out) {
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::DrainTrace,
+                         MsgWriter(MsgKind::DrainTrace).u32(MaxBlockLen), Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused trace drain: " + Reason);
+  }
+  uint32_t Count = 0;
+  if (Msg.kind() != MsgKind::TraceReply || !Msg.u32(Out.Dropped) ||
+      !Msg.u32(Out.Remaining) || !Msg.u32(Count))
+    return Error::failure("unexpected reply to trace drain");
+  size_t RecordBytes = Msg.remaining();
+  const uint8_t *Raw = nullptr;
+  if (RecordBytes > 0 && !Msg.raw(RecordBytes, Raw))
+    return Error::failure("unexpected reply to trace drain");
+  size_t Pos = 0;
+  Out.Records.clear();
+  for (uint32_t K = 0; K < Count; ++K) {
+    condbc::TraceRecord R;
+    if (!condbc::parseRecord(Raw, RecordBytes, Pos, R))
+      return Error::failure("damaged trace record in drain reply");
+    Out.Records.push_back(std::move(R));
+  }
+  if (Stats) {
+    Stats->TraceRecords += Out.Records.size();
+    Stats->TraceDrainBytes += RecordBytes;
+  }
+  return Error::success();
 }
 
 Error NubClient::kill() {

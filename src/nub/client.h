@@ -34,6 +34,7 @@
 
 #include "mem/remote.h"
 #include "nub/channel.h"
+#include "nub/condbc.h"
 #include "nub/protocol.h"
 #include "support/error.h"
 
@@ -42,6 +43,14 @@
 #include <optional>
 
 namespace ldb::nub {
+
+/// One entry of the Stopped counter tail: the nub's absolute view of a
+/// managed breakpoint's counters.
+struct CounterSync {
+  uint32_t Id = 0;
+  uint32_t Hits = 0;   ///< cumulative
+  uint32_t Ignore = 0; ///< remaining
+};
 
 /// What a Stopped or Exited notification tells the debugger.
 struct StopInfo {
@@ -61,6 +70,43 @@ struct StopInfo {
   /// without another exchange. Empty when the nub could not read it.
   uint32_t CtxWinLo = 0;
   std::vector<uint8_t> CtxWin;
+  /// The counter tail (see protocol.h): how the nub disposed of the
+  /// break trap, its cumulative condition-eval/local-resume counters,
+  /// and an absolute counter sync per nub-managed breakpoint. A Stopped
+  /// from a tail-less nub parses as StopHostDecides with no entries.
+  uint8_t Decision = StopHostDecides;
+  uint32_t NubCondEvals = 0;
+  uint32_t NubLocalResumes = 0;
+  std::vector<CounterSync> Counters;
+};
+
+/// The debugger's half of a SetCondition record (see protocol.h for the
+/// wire layout and the nub's semantics).
+struct CondRecordSpec {
+  uint32_t Id = 0;
+  uint32_t PcAdvance = 0;
+  uint32_t VfpReg = 0;
+  uint32_t Hits = 0;
+  uint32_t Ignore = 0;
+  std::vector<uint8_t> Bytecode; ///< empty = unconditional
+  std::vector<std::pair<uint32_t, uint32_t>> Sites; ///< pc, vfp offset
+};
+
+/// The debugger's half of a SetTracepoint record.
+struct TraceRecordSpec {
+  uint32_t Id = 0;
+  uint32_t PcAdvance = 0;
+  uint32_t VfpReg = 0;
+  uint32_t RegMask = 0;
+  std::vector<std::vector<uint8_t>> Exprs;
+  std::vector<std::pair<uint32_t, uint32_t>> Sites; ///< pc, vfp offset
+};
+
+/// One DrainTrace exchange's worth of records.
+struct TraceDrain {
+  uint32_t Dropped = 0;   ///< records the nub dropped since the last drain
+  uint32_t Remaining = 0; ///< records still buffered nub-side
+  std::vector<condbc::TraceRecord> Records;
 };
 
 class NubClient : public mem::RemoteEndpoint {
@@ -80,8 +126,22 @@ public:
 
   /// Resumes the target and waits for the next stop or exit. Queued
   /// stores are flushed first and ride the same window as the Continue
-  /// frame, so a step's breakpoint stores cost no extra latency.
-  Error doContinue(StopInfo &Out);
+  /// frame, so a step's breakpoint stores cost no extra latency. \p Mode
+  /// is a ContinueMode: ReportAll keeps the pre-condition wire bytes
+  /// (no mode byte) and stops at every trap; AutoResume lets the nub
+  /// settle false/ignored/traced hits locally.
+  Error doContinue(StopInfo &Out, uint8_t Mode = ContinueReportAll);
+
+  /// Ships, replaces, or clears nub-side condition/tracepoint records.
+  /// Synchronous (Ack/Nak); a Nak or transport failure surfaces as an
+  /// error the caller answers by keeping host-side evaluation.
+  Error setCondition(const CondRecordSpec &Spec);
+  Error setTracepoint(const TraceRecordSpec &Spec);
+  Error clearCondition(bool Tracepoint, uint32_t Id);
+
+  /// Drains one reply's worth of buffered tracepoint records; loop while
+  /// Out.Remaining is nonzero for everything.
+  Error drainTrace(TraceDrain &Out);
 
   Error kill();
   Error detach();

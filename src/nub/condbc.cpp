@@ -1,0 +1,385 @@
+//===- nub/condbc.cpp - condition bytecode interpreter --------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "nub/condbc.h"
+
+#include "support/byteorder.h"
+
+using namespace ldb;
+using namespace ldb::nub;
+using namespace ldb::nub::condbc;
+
+void Assembler::pushI(int64_t V) {
+  op(Op::PushI);
+  uint8_t Raw[8];
+  packInt(static_cast<uint64_t>(V), Raw, 8, ByteOrder::Little);
+  Code.insert(Code.end(), Raw, Raw + 8);
+}
+
+void Assembler::pushReg(uint8_t Reg) {
+  op(Op::PushReg);
+  Code.push_back(Reg);
+}
+
+void Assembler::load(uint8_t Size) {
+  op(Op::Load);
+  Code.push_back(Size);
+}
+
+void Assembler::sext(uint8_t Bits) {
+  op(Op::SExt);
+  Code.push_back(Bits);
+}
+
+size_t Assembler::jump(Op O) {
+  op(O);
+  size_t Fixup = Code.size();
+  Code.push_back(0);
+  Code.push_back(0);
+  return Fixup;
+}
+
+void Assembler::patchHere(size_t Fixup) {
+  // Displacement is forward from the byte after the operand.
+  size_t Disp = Code.size() - (Fixup + 2);
+  Code[Fixup] = static_cast<uint8_t>(Disp & 0xff);
+  Code[Fixup + 1] = static_cast<uint8_t>((Disp >> 8) & 0xff);
+}
+
+std::string condbc::toHex(const std::vector<uint8_t> &Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (uint8_t B : Bytes) {
+    Out.push_back(Digits[B >> 4]);
+    Out.push_back(Digits[B & 0xf]);
+  }
+  return Out;
+}
+
+bool condbc::fromHex(const std::string &Hex, std::vector<uint8_t> &Bytes) {
+  if (Hex.size() % 2 != 0)
+    return false;
+  auto Nibble = [](char C, unsigned &V) {
+    if (C >= '0' && C <= '9')
+      V = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    return true;
+  };
+  Bytes.clear();
+  Bytes.reserve(Hex.size() / 2);
+  for (size_t K = 0; K < Hex.size(); K += 2) {
+    unsigned Hi, Lo;
+    if (!Nibble(Hex[K], Hi) || !Nibble(Hex[K + 1], Lo))
+      return false;
+    Bytes.push_back(static_cast<uint8_t>((Hi << 4) | Lo));
+  }
+  return true;
+}
+
+EvalStatus condbc::evaluate(const uint8_t *Code, size_t Size,
+                            const EvalEnv &Env, int64_t &Result) {
+  // Conditions are small; 64 slots is far beyond anything the emitter
+  // produces, and overflow fails the evaluation rather than growing.
+  int64_t Stack[64];
+  size_t Sp = 0; // next free slot
+  size_t Pc = 0;
+
+  auto Push = [&](int64_t V) {
+    if (Sp >= 64)
+      return false;
+    Stack[Sp++] = V;
+    return true;
+  };
+  auto Pop = [&](int64_t &V) {
+    if (Sp == 0)
+      return false;
+    V = Stack[--Sp];
+    return true;
+  };
+
+  while (Pc < Size) {
+    Op O = static_cast<Op>(Code[Pc++]);
+    int64_t A, B;
+    switch (O) {
+    case Op::PushI: {
+      if (Pc + 8 > Size)
+        return EvalStatus::Fail;
+      int64_t V =
+          static_cast<int64_t>(unpackInt(Code + Pc, 8, ByteOrder::Little));
+      Pc += 8;
+      if (!Push(V))
+        return EvalStatus::Fail;
+      break;
+    }
+    case Op::PushReg: {
+      if (Pc >= Size || !Env.ReadReg)
+        return EvalStatus::Fail;
+      unsigned Reg = Code[Pc++];
+      if (!Push(static_cast<int64_t>(Env.ReadReg(Reg))))
+        return EvalStatus::Fail;
+      break;
+    }
+    case Op::PushVfp:
+      if (!Push(static_cast<int64_t>(Env.Vfp)))
+        return EvalStatus::Fail;
+      break;
+    case Op::Load: {
+      if (Pc >= Size || !Env.Load)
+        return EvalStatus::Fail;
+      unsigned Width = Code[Pc++];
+      if (Width != 1 && Width != 2 && Width != 4)
+        return EvalStatus::Fail;
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      uint32_t Out = 0;
+      if (!Env.Load(static_cast<uint32_t>(A), Width, Out))
+        return EvalStatus::Fail;
+      if (!Push(static_cast<int64_t>(static_cast<uint64_t>(Out))))
+        return EvalStatus::Fail;
+      break;
+    }
+    case Op::SExt: {
+      if (Pc >= Size)
+        return EvalStatus::Fail;
+      unsigned Bits = Code[Pc++];
+      if (Bits == 0 || Bits > 64 || !Pop(A))
+        return EvalStatus::Fail;
+      if (Bits < 64) {
+        uint64_t U = static_cast<uint64_t>(A) & ((1ull << Bits) - 1);
+        uint64_t Sign = 1ull << (Bits - 1);
+        A = static_cast<int64_t>((U ^ Sign) - Sign);
+      }
+      if (!Push(A))
+        return EvalStatus::Fail;
+      break;
+    }
+    case Op::Mask32:
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      if (!Push(static_cast<int64_t>(static_cast<uint64_t>(A) & 0xffffffffu)))
+        return EvalStatus::Fail;
+      break;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Rem:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Sra:
+    case Op::Srl:
+    case Op::CmpEq:
+    case Op::CmpNe:
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpGt:
+    case Op::CmpGe: {
+      if (!Pop(B) || !Pop(A))
+        return EvalStatus::Fail;
+      int64_t V = 0;
+      switch (O) {
+      case Op::Add:
+        V = static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                 static_cast<uint64_t>(B));
+        break;
+      case Op::Sub:
+        V = static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                 static_cast<uint64_t>(B));
+        break;
+      case Op::Mul:
+        V = static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                 static_cast<uint64_t>(B));
+        break;
+      case Op::Div:
+        if (B == 0)
+          return EvalStatus::Fail;
+        V = A / B;
+        break;
+      case Op::Rem:
+        if (B == 0)
+          return EvalStatus::Fail;
+        V = A % B;
+        break;
+      case Op::And:
+        V = A & B;
+        break;
+      case Op::Or:
+        V = A | B;
+        break;
+      case Op::Xor:
+        V = A ^ B;
+        break;
+      case Op::Shl:
+        V = static_cast<int64_t>(static_cast<uint64_t>(A)
+                                 << (static_cast<uint64_t>(B) & 63));
+        break;
+      case Op::Sra: {
+        // Arithmetic shift of the sign-extended-32 value, matching the
+        // host-side PostScript Sra operator.
+        int32_t Lo = static_cast<int32_t>(static_cast<uint32_t>(A));
+        V = static_cast<int64_t>(Lo >> (static_cast<uint64_t>(B) & 31));
+        break;
+      }
+      case Op::Srl:
+        V = static_cast<int64_t>((static_cast<uint64_t>(A) & 0xffffffffu) >>
+                                 (static_cast<uint64_t>(B) & 31));
+        break;
+      case Op::CmpEq:
+        V = A == B;
+        break;
+      case Op::CmpNe:
+        V = A != B;
+        break;
+      case Op::CmpLt:
+        V = A < B;
+        break;
+      case Op::CmpLe:
+        V = A <= B;
+        break;
+      case Op::CmpGt:
+        V = A > B;
+        break;
+      case Op::CmpGe:
+        V = A >= B;
+        break;
+      default:
+        return EvalStatus::Fail;
+      }
+      if (!Push(V))
+        return EvalStatus::Fail;
+      break;
+    }
+    case Op::Neg:
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      if (!Push(static_cast<int64_t>(-static_cast<uint64_t>(A))))
+        return EvalStatus::Fail;
+      break;
+    case Op::BitNot:
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      if (!Push(~A))
+        return EvalStatus::Fail;
+      break;
+    case Op::Jump:
+    case Op::JumpIfZero: {
+      if (Pc + 2 > Size)
+        return EvalStatus::Fail;
+      uint32_t Disp =
+          static_cast<uint32_t>(unpackInt(Code + Pc, 2, ByteOrder::Little));
+      Pc += 2;
+      bool Taken = true;
+      if (O == Op::JumpIfZero) {
+        if (!Pop(A))
+          return EvalStatus::Fail;
+        Taken = A == 0;
+      }
+      // Forward-only: the pc always advances, so evaluation terminates.
+      if (Taken) {
+        if (Pc + Disp > Size)
+          return EvalStatus::Fail;
+        Pc += Disp;
+      }
+      break;
+    }
+    case Op::Dup:
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      if (!Push(A) || !Push(A))
+        return EvalStatus::Fail;
+      break;
+    case Op::Pop:
+      if (!Pop(A))
+        return EvalStatus::Fail;
+      break;
+    case Op::Done:
+      if (Sp != 1)
+        return EvalStatus::Fail;
+      Result = Stack[0];
+      return Result != 0 ? EvalStatus::True : EvalStatus::False;
+    default:
+      return EvalStatus::Fail;
+    }
+  }
+  // Fell off the end without Done.
+  return EvalStatus::Fail;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace records
+//===----------------------------------------------------------------------===//
+
+static void appendLe(std::vector<uint8_t> &Out, uint64_t V, unsigned Size) {
+  uint8_t Raw[8];
+  packInt(V, Raw, Size, ByteOrder::Little);
+  Out.insert(Out.end(), Raw, Raw + Size);
+}
+
+void condbc::appendRecord(std::vector<uint8_t> &Out, const TraceRecord &R) {
+  appendLe(Out, R.Id, 4);
+  appendLe(Out, R.HitNo, 4);
+  appendLe(Out, R.Pc, 4);
+  appendLe(Out, R.Vfp, 4);
+  appendLe(Out, R.RegMask, 4);
+  Out.push_back(static_cast<uint8_t>(R.Values.size()));
+  for (int64_t V : R.Values)
+    appendLe(Out, static_cast<uint64_t>(V), 8);
+  for (uint32_t G : R.Regs)
+    appendLe(Out, G, 4);
+}
+
+bool condbc::parseRecord(const uint8_t *Bytes, size_t Size, size_t &Pos,
+                         TraceRecord &R) {
+  auto TakeLe = [&](unsigned N, uint64_t &V) {
+    if (Pos + N > Size)
+      return false;
+    V = unpackInt(Bytes + Pos, N, ByteOrder::Little);
+    Pos += N;
+    return true;
+  };
+  uint64_t V = 0;
+  if (!TakeLe(4, V))
+    return false;
+  R.Id = static_cast<uint32_t>(V);
+  if (!TakeLe(4, V))
+    return false;
+  R.HitNo = static_cast<uint32_t>(V);
+  if (!TakeLe(4, V))
+    return false;
+  R.Pc = static_cast<uint32_t>(V);
+  if (!TakeLe(4, V))
+    return false;
+  R.Vfp = static_cast<uint32_t>(V);
+  if (!TakeLe(4, V))
+    return false;
+  R.RegMask = static_cast<uint32_t>(V);
+  if (Pos >= Size)
+    return false;
+  unsigned NVals = Bytes[Pos++];
+  R.Values.clear();
+  for (unsigned K = 0; K < NVals; ++K) {
+    if (!TakeLe(8, V))
+      return false;
+    R.Values.push_back(static_cast<int64_t>(V));
+  }
+  unsigned NRegs = 0;
+  for (unsigned Bit = 0; Bit < 32; ++Bit)
+    if (R.RegMask & (1u << Bit))
+      ++NRegs;
+  R.Regs.clear();
+  for (unsigned K = 0; K < NRegs; ++K) {
+    if (!TakeLe(4, V))
+      return false;
+    R.Regs.push_back(static_cast<uint32_t>(V));
+  }
+  return true;
+}

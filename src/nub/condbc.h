@@ -1,0 +1,162 @@
+//===- nub/condbc.h - condition bytecode for nub-side eval ------*- C++ -*-===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, machine-independent bytecode for breakpoint conditions and
+/// tracepoint expressions, evaluated inside the nub at each break hit so
+/// a condition that is false a million times costs no wire traffic. The
+/// expression server compiles the same checked expression tree it already
+/// rewrites to PostScript into this bytecode; expressions it cannot
+/// express (floats, calls, assignments, aggregates as values) simply get
+/// no bytecode and fall back to host-side evaluation.
+///
+/// The machine model is deliberately tiny: a stack of 64-bit signed
+/// integers, reads of the target's general registers, the per-site
+/// virtual frame pointer as a distinguished operand, and typed loads
+/// through the nub's existing memory access paths. Every operation
+/// mirrors the integer semantics of the PostScript the host-side path
+/// evaluates — sign extension and 32-bit wrapping are explicit
+/// instructions the emitter places exactly where the PostScript rewriter
+/// places `signedbits` and `16#ffffffff and` — so the nub and the host
+/// compute identical answers. Control flow is forward-only conditional
+/// jumps (short-circuit && || ?:), which makes termination trivial: the
+/// pc only moves forward.
+///
+/// Evaluation is total: a load from a bad address or a divide by zero
+/// yields Fail rather than trapping, and the nub answers Fail by
+/// stopping and letting the debugger decide (StopNubEvalFailed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LDB_NUB_CONDBC_H
+#define LDB_NUB_CONDBC_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ldb::nub::condbc {
+
+/// One-byte opcodes. Immediates follow the opcode little-endian.
+enum class Op : uint8_t {
+  PushI = 1, ///< i64 immediate (8 bytes LE)
+  PushReg,   ///< u8 register number; pushes the u32 gpr zero-extended
+  PushVfp,   ///< pushes the per-site virtual frame pointer
+  Load,      ///< u8 size (1/2/4): pops an address, pushes zero-extended
+  SExt,      ///< u8 bits: sign-extends the low \e bits of the top
+  Mask32,    ///< top &= 0xffffffff (the PostScript UInt wrap)
+  Add,
+  Sub,
+  Mul,
+  Div, ///< truncating; divide by zero fails the evaluation
+  Rem, ///< truncating remainder; zero divisor fails the evaluation
+  And,
+  Or,
+  Xor,
+  Shl,
+  Sra, ///< arithmetic shift right of the sign-extended-32 value
+  Srl, ///< logical shift right of the low 32 bits
+  Neg,
+  BitNot,
+  CmpEq, ///< pushes 1 or 0
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Jump,       ///< u16 forward displacement from the next instruction
+  JumpIfZero, ///< u16 forward displacement; pops the condition
+  Dup,
+  Pop,
+  Done, ///< result is the (single) value on the stack
+};
+
+/// How an evaluation came out.
+enum class EvalStatus : uint8_t {
+  True,  ///< completed; result nonzero
+  False, ///< completed; result zero
+  Fail,  ///< bad load, zero divisor, or malformed bytecode
+};
+
+/// The evaluation environment: how the interpreter reads registers and
+/// target memory. Inside the nub these bind to the live Machine; in
+/// tests they bind to arrays.
+struct EvalEnv {
+  /// Reads general register \p Reg, zero-extended (r0 reads 0).
+  std::function<uint64_t(unsigned Reg)> ReadReg;
+  /// Loads \p Size (1/2/4) bytes at \p Addr in the data space, in target
+  /// byte order, zero-extended into \p Out; false on a bad address.
+  std::function<bool(uint32_t Addr, unsigned Size, uint32_t &Out)> Load;
+  /// The virtual frame pointer for the site being evaluated.
+  uint32_t Vfp = 0;
+};
+
+/// Runs \p Size bytes of bytecode at \p Code, leaving the final value in
+/// \p Result when the evaluation completes.
+EvalStatus evaluate(const uint8_t *Code, size_t Size, const EvalEnv &Env,
+                    int64_t &Result);
+
+/// Convenience: completed-and-nonzero / completed-and-zero / failed.
+inline EvalStatus evaluate(const uint8_t *Code, size_t Size,
+                           const EvalEnv &Env) {
+  int64_t V = 0;
+  return evaluate(Code, Size, Env, V);
+}
+
+/// Builds bytecode. Forward jump targets are patched through the
+/// returned fixup positions.
+class Assembler {
+public:
+  void op(Op O) { Code.push_back(static_cast<uint8_t>(O)); }
+  void pushI(int64_t V);
+  void pushReg(uint8_t Reg);
+  void pushVfp() { op(Op::PushVfp); }
+  void load(uint8_t Size);
+  void sext(uint8_t Bits);
+  void mask32() { op(Op::Mask32); }
+
+  /// Emits \p O (Jump or JumpIfZero) with a placeholder displacement and
+  /// returns the fixup position for patchHere().
+  size_t jump(Op O);
+  /// Points the jump whose fixup is \p Fixup at the current end.
+  void patchHere(size_t Fixup);
+
+  void done() { op(Op::Done); }
+  size_t size() const { return Code.size(); }
+  std::vector<uint8_t> take() { return std::move(Code); }
+
+private:
+  std::vector<uint8_t> Code;
+};
+
+/// Hex transport for shipping bytecode through the expression server's
+/// text pipe (lowercase, two digits per byte).
+std::string toHex(const std::vector<uint8_t> &Bytes);
+bool fromHex(const std::string &Hex, std::vector<uint8_t> &Bytes);
+
+/// One buffered tracepoint record. Serialized little-endian as: id (u32),
+/// hit number (u32), pc (u32), vfp (u32), register mask (u32), value
+/// count (u8), values (i64 each), then one u32 per set mask bit in
+/// ascending register order.
+struct TraceRecord {
+  uint32_t Id = 0;
+  uint32_t HitNo = 0;
+  uint32_t Pc = 0;
+  uint32_t Vfp = 0;
+  uint32_t RegMask = 0;
+  std::vector<int64_t> Values;
+  std::vector<uint32_t> Regs;
+};
+
+void appendRecord(std::vector<uint8_t> &Out, const TraceRecord &R);
+/// Parses one record at \p Pos, advancing it; false on truncation.
+bool parseRecord(const uint8_t *Bytes, size_t Size, size_t &Pos,
+                 TraceRecord &R);
+
+} // namespace ldb::nub::condbc
+
+#endif // LDB_NUB_CONDBC_H

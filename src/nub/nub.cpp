@@ -98,7 +98,20 @@ void NubProcess::sendStopped() {
       .u32(static_cast<uint32_t>(Win.size()));
   if (!Win.empty())
     W.raw(Win.data(), Win.size());
+  appendCounterTail(W);
   send(W);
+}
+
+void NubProcess::appendCounterTail(MsgWriter &W) {
+  // The counter tail: how this stop was decided plus an absolute sync of
+  // every nub-managed breakpoint's counters, so hits the nub counted
+  // while resuming locally reach the debugger in the same message that
+  // reports the stop it did want. Exited carries it too — the hits
+  // counted between the last real stop and the exit must not be lost.
+  W.u8(Decision).u32(CondEvals).u32(LocalResumes);
+  W.u32(static_cast<uint32_t>(Conds.size()));
+  for (const auto &Entry : Conds)
+    W.u32(Entry.second.Id).u32(Entry.second.Hits).u32(Entry.second.Ignore);
 }
 
 void NubProcess::onReadable() {
@@ -158,12 +171,29 @@ void NubProcess::handleMessage(MsgReader &Msg) {
   case MsgKind::StoreBlock:
     handleStoreBlock(Msg);
     return;
-  case MsgKind::Continue:
+  case MsgKind::Continue: {
     if (St != State::Stopped) {
       nak("process is not stopped");
       return;
     }
-    doContinue();
+    // Optional trailing mode byte; a bare Continue (what pre-condition
+    // clients send) means report every stop.
+    uint8_t Mode = ContinueReportAll;
+    Msg.u8(Mode);
+    doContinue(Mode);
+    return;
+  }
+  case MsgKind::SetCondition:
+    handleSetCondition(Msg);
+    return;
+  case MsgKind::ClearCondition:
+    handleClearCondition(Msg);
+    return;
+  case MsgKind::SetTracepoint:
+    handleSetTracepoint(Msg);
+    return;
+  case MsgKind::DrainTrace:
+    handleDrainTrace(Msg);
     return;
   case MsgKind::Kill:
     St = State::Exited;
@@ -311,19 +341,249 @@ void NubProcess::handleStoreFloat(MsgReader &Msg) {
   send(MsgWriter(MsgKind::Ack));
 }
 
-void NubProcess::doContinue() {
+//===----------------------------------------------------------------------===//
+// Nub-side condition and tracepoint records
+//===----------------------------------------------------------------------===//
+
+void NubProcess::handleSetCondition(MsgReader &Msg) {
+  CondRecord C;
+  uint32_t BcLen = 0, NSites = 0;
+  if (!Msg.u32(C.Id) || !Msg.u32(C.PcAdvance) || !Msg.u32(C.VfpReg) ||
+      !Msg.u32(C.Hits) || !Msg.u32(C.Ignore) || !Msg.u32(BcLen))
+    return nak("malformed condition record");
+  const uint8_t *Bc = nullptr;
+  if (BcLen > 0 && !Msg.raw(BcLen, Bc))
+    return nak("malformed condition record");
+  if (Bc)
+    C.Bytecode.assign(Bc, Bc + BcLen);
+  if (!Msg.u32(NSites) || NSites > (1u << 16))
+    return nak("malformed condition record");
+  for (uint32_t K = 0; K < NSites; ++K) {
+    uint32_t Addr = 0, VfpOff = 0;
+    if (!Msg.u32(Addr) || !Msg.u32(VfpOff))
+      return nak("malformed condition record");
+    C.Sites[Addr] = VfpOff;
+  }
+  // Replacing a record drops its old site index entries first, so a
+  // re-sync after the debugger moved or re-specced the breakpoint never
+  // leaves stale pcs behind.
+  auto Old = Conds.find(C.Id);
+  if (Old != Conds.end())
+    for (const auto &S : Old->second.Sites)
+      CondSite.erase(S.first);
+  for (const auto &S : C.Sites)
+    CondSite[S.first] = C.Id;
+  Conds[C.Id] = std::move(C);
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::handleClearCondition(MsgReader &Msg) {
+  uint8_t Flavor = 0;
+  uint32_t Id = 0;
+  if (!Msg.u8(Flavor) || !Msg.u32(Id))
+    return nak("malformed clear");
+  if (Flavor == 0) {
+    auto It = Conds.find(Id);
+    if (It != Conds.end()) {
+      for (const auto &S : It->second.Sites)
+        CondSite.erase(S.first);
+      Conds.erase(It);
+    }
+  } else {
+    auto It = Traces.find(Id);
+    if (It != Traces.end()) {
+      for (const auto &S : It->second.Sites)
+        TraceSite.erase(S.first);
+      Traces.erase(It);
+    }
+  }
+  // Clearing an absent record is not an error: the debugger clears
+  // eagerly (delete, detach) and may race its own earlier failures.
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::handleSetTracepoint(MsgReader &Msg) {
+  TraceDef T;
+  uint8_t NExprs = 0;
+  uint32_t NSites = 0;
+  if (!Msg.u32(T.Id) || !Msg.u32(T.PcAdvance) || !Msg.u32(T.VfpReg) ||
+      !Msg.u32(T.RegMask) || !Msg.u8(NExprs))
+    return nak("malformed tracepoint record");
+  for (unsigned K = 0; K < NExprs; ++K) {
+    uint32_t BcLen = 0;
+    const uint8_t *Bc = nullptr;
+    if (!Msg.u32(BcLen) || (BcLen > 0 && !Msg.raw(BcLen, Bc)))
+      return nak("malformed tracepoint record");
+    T.Exprs.emplace_back(Bc, Bc + BcLen);
+  }
+  if (!Msg.u32(NSites) || NSites > (1u << 16))
+    return nak("malformed tracepoint record");
+  for (uint32_t K = 0; K < NSites; ++K) {
+    uint32_t Addr = 0, VfpOff = 0;
+    if (!Msg.u32(Addr) || !Msg.u32(VfpOff))
+      return nak("malformed tracepoint record");
+    T.Sites[Addr] = VfpOff;
+  }
+  auto Old = Traces.find(T.Id);
+  if (Old != Traces.end())
+    for (const auto &S : Old->second.Sites)
+      TraceSite.erase(S.first);
+  for (const auto &S : T.Sites)
+    TraceSite[S.first] = T.Id;
+  Traces[T.Id] = std::move(T);
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::handleDrainTrace(MsgReader &Msg) {
+  uint32_t MaxBytes = 0;
+  if (!Msg.u32(MaxBytes))
+    return nak("malformed drain");
+  if (MaxBytes == 0 || MaxBytes > MaxBlockLen)
+    MaxBytes = MaxBlockLen;
+  std::vector<uint8_t> Records;
+  uint32_t Count = 0;
+  while (!TraceBuf.empty() &&
+         Records.size() + TraceBuf.front().size() <= MaxBytes) {
+    const std::vector<uint8_t> &R = TraceBuf.front();
+    Records.insert(Records.end(), R.begin(), R.end());
+    TraceBufBytes -= R.size();
+    TraceBuf.pop_front();
+    ++Count;
+  }
+  MsgWriter W(MsgKind::TraceReply);
+  W.u32(TraceDropped)
+      .u32(static_cast<uint32_t>(TraceBuf.size()))
+      .u32(Count);
+  if (!Records.empty())
+    W.raw(Records.data(), Records.size());
+  TraceDropped = 0;
+  send(W);
+}
+
+condbc::EvalEnv NubProcess::evalEnv(uint32_t Vfp) {
+  condbc::EvalEnv Env;
+  Env.ReadReg = [this](unsigned R) -> uint64_t {
+    return R < desc().NumGpr ? M.gpr(R) : 0;
+  };
+  Env.Load = [this](uint32_t Addr, unsigned Size, uint32_t &Out) {
+    return M.loadInt(Addr, Size, Out);
+  };
+  Env.Vfp = Vfp;
+  return Env;
+}
+
+void NubProcess::recordTrace(TraceDef &T, uint32_t Pc) {
+  condbc::TraceRecord R;
+  R.Id = T.Id;
+  R.HitNo = ++T.Hits;
+  R.Pc = Pc;
+  R.Vfp = M.gpr(T.VfpReg) + T.Sites[Pc];
+  R.RegMask = T.RegMask;
+  condbc::EvalEnv Env = evalEnv(R.Vfp);
+  for (const std::vector<uint8_t> &Bc : T.Exprs) {
+    int64_t V = 0;
+    if (condbc::evaluate(Bc.data(), Bc.size(), Env, V) ==
+        condbc::EvalStatus::Fail)
+      V = INT64_MIN; // the drain side prints "?" for this sentinel
+    R.Values.push_back(V);
+  }
+  for (unsigned Reg = 0; Reg < 32; ++Reg)
+    if (R.RegMask & (1u << Reg))
+      R.Regs.push_back(M.gpr(Reg));
+  std::vector<uint8_t> Bytes;
+  condbc::appendRecord(Bytes, R);
+  if (TraceBufBytes + Bytes.size() > TraceBufMax) {
+    ++TraceDropped; // bounded buffer: the target keeps running regardless
+    return;
+  }
+  TraceBufBytes += Bytes.size();
+  TraceBuf.push_back(std::move(Bytes));
+}
+
+NubProcess::BreakAction NubProcess::breakAction(uint8_t Mode) {
+  if (Mode != ContinueAutoResume)
+    return BreakAction::HostDecides;
+  uint32_t Pc = M.Pc;
+  auto Ts = TraceSite.find(Pc);
+  if (Ts != TraceSite.end()) {
+    TraceDef &T = Traces[Ts->second];
+    recordTrace(T, Pc);
+    ++LocalResumes;
+    M.Pc = Pc + T.PcAdvance;
+    return BreakAction::Resume;
+  }
+  auto Cs = CondSite.find(Pc);
+  if (Cs == CondSite.end())
+    return BreakAction::HostDecides;
+  CondRecord &C = Conds[Cs->second];
+  ++C.Hits;
+  if (C.Ignore > 0) {
+    --C.Ignore;
+    ++LocalResumes;
+    M.Pc = Pc + C.PcAdvance;
+    return BreakAction::Resume;
+  }
+  if (C.Bytecode.empty())
+    return BreakAction::Stop; // unconditional: counted, stop wanted
+  ++CondEvals;
+  condbc::EvalEnv Env = evalEnv(M.gpr(C.VfpReg) + C.Sites[Pc]);
+  switch (condbc::evaluate(C.Bytecode.data(), C.Bytecode.size(), Env)) {
+  case condbc::EvalStatus::True:
+    return BreakAction::Stop;
+  case condbc::EvalStatus::False:
+    ++LocalResumes;
+    M.Pc = Pc + C.PcAdvance;
+    return BreakAction::Resume;
+  case condbc::EvalStatus::Fail:
+    break;
+  }
+  // A bad load or zero divisor: stop and let the debugger decide with
+  // its full evaluator (the hit is already counted).
+  return BreakAction::StopEvalFailed;
+}
+
+void NubProcess::doContinue(uint8_t Mode) {
   Md.restoreContext(M, CtxAddr);
-  handleEvent(M.run(StepBudget));
+  Decision = StopHostDecides;
+  uint32_t Resumes = 0;
+  for (;;) {
+    RunResult R = M.run(StepBudget);
+    if (R.Kind == StopKind::Breakpoint) {
+      switch (breakAction(Mode)) {
+      case BreakAction::Resume:
+        // Registers are live; no context round trip. The budget caps a
+        // breakpoint in an infinite loop whose condition never fires.
+        if (++Resumes < LocalResumeBudget)
+          continue;
+        R = RunResult{StopKind::Running, 0};
+        break;
+      case BreakAction::Stop:
+        Decision = StopNubDecided;
+        break;
+      case BreakAction::StopEvalFailed:
+        Decision = StopNubEvalFailed;
+        break;
+      case BreakAction::HostDecides:
+        break;
+      }
+    }
+    handleEvent(R);
+    return;
+  }
 }
 
 void NubProcess::handleEvent(RunResult R) {
   int32_t NewSigno = SigTrap;
   switch (R.Kind) {
-  case StopKind::Exited:
+  case StopKind::Exited: {
     St = State::Exited;
     ExitStatus = R.Value;
-    send(MsgWriter(MsgKind::Exited).u32(ExitStatus));
+    MsgWriter W(MsgKind::Exited);
+    W.u32(ExitStatus);
+    appendCounterTail(W);
+    send(W);
     return;
+  }
   case StopKind::Breakpoint:
     NewSigno = SigTrap;
     break;

@@ -14,18 +14,33 @@
 /// program and waits for a new connection from another instance of ldb.
 /// The nub knows nothing about breakpoints or single-stepping.
 ///
+/// It does, however, hold per-site *records* the debugger ships down —
+/// compiled condition bytecode, ignore counts, and tracepoint expression
+/// lists (nub/condbc.h) — keyed purely by pc. When an auto-resume
+/// continue hits a break trap at a recorded pc, the nub counts the hit,
+/// evaluates the bytecode against the live machine, and either resumes
+/// locally (false condition, ignored hit, tracepoint) or stops and tells
+/// the debugger how it decided. How break instructions get planted, what
+/// a breakpoint *is*, and where its sites live remain entirely ldb's
+/// business; the nub just runs the bytecode it was given at the pcs it
+/// was given.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LDB_NUB_NUB_H
 #define LDB_NUB_NUB_H
 
 #include "nub/channel.h"
+#include "nub/condbc.h"
 #include "nub/nubmd.h"
 #include "nub/protocol.h"
 #include "support/error.h"
 
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace ldb::nub {
 
@@ -76,7 +91,42 @@ public:
   /// Simulated signal number for a blown step budget.
   static constexpr int32_t SigXCpu = 24;
 
+  /// Cap on locally auto-resumed break hits per continue — a watchdog
+  /// (like StepBudget) so an always-false condition in an infinite loop
+  /// still surfaces as a SigXCpu stop instead of hanging the debugger.
+  static constexpr uint32_t LocalResumeBudget = 1u << 24;
+
+  /// Byte budget for buffered tracepoint records; a full buffer counts
+  /// drops rather than growing or blocking the target.
+  uint32_t TraceBufMax = 64 * 1024;
+
 private:
+  /// One nub-side breakpoint record: everything needed to count, ignore,
+  /// and evaluate hits without the debugger (see protocol.h SetCondition).
+  struct CondRecord {
+    uint32_t Id = 0;
+    uint32_t PcAdvance = 0;
+    uint32_t VfpReg = 0;
+    uint32_t Hits = 0;
+    uint32_t Ignore = 0;
+    std::vector<uint8_t> Bytecode;       ///< empty = unconditional
+    std::map<uint32_t, uint32_t> Sites;  ///< site pc -> vfp offset
+  };
+
+  /// One nub-side tracepoint record (see protocol.h SetTracepoint).
+  struct TraceDef {
+    uint32_t Id = 0;
+    uint32_t PcAdvance = 0;
+    uint32_t VfpReg = 0;
+    uint32_t RegMask = 0;
+    uint32_t Hits = 0;
+    std::vector<std::vector<uint8_t>> Exprs;
+    std::map<uint32_t, uint32_t> Sites;  ///< site pc -> vfp offset
+  };
+
+  /// What to do with a break trap after consulting the records.
+  enum class BreakAction : uint8_t { HostDecides, Stop, StopEvalFailed, Resume };
+
   void onReadable();
   void handleMessage(MsgReader &Msg);
   void handleFetchInt(MsgReader &Msg);
@@ -85,9 +135,17 @@ private:
   void handleStoreFloat(MsgReader &Msg);
   void handleFetchBlock(MsgReader &Msg);
   void handleStoreBlock(MsgReader &Msg);
-  void doContinue();
+  void handleSetCondition(MsgReader &Msg);
+  void handleClearCondition(MsgReader &Msg);
+  void handleSetTracepoint(MsgReader &Msg);
+  void handleDrainTrace(MsgReader &Msg);
+  void doContinue(uint8_t Mode = ContinueReportAll);
+  BreakAction breakAction(uint8_t Mode);
+  void recordTrace(TraceDef &T, uint32_t Pc);
+  condbc::EvalEnv evalEnv(uint32_t Vfp);
   void handleEvent(target::RunResult R);
   void sendStopped();
+  void appendCounterTail(MsgWriter &W);
   void send(const MsgWriter &W);
   void nak(const std::string &Reason);
 
@@ -103,6 +161,17 @@ private:
   /// (attach announcements) carry 0.
   uint32_t CurSeq = 0;
   std::shared_ptr<ChannelEnd> Chan;
+
+  std::map<uint32_t, CondRecord> Conds;  ///< by breakpoint id
+  std::map<uint32_t, uint32_t> CondSite; ///< site pc -> breakpoint id
+  std::map<uint32_t, TraceDef> Traces;   ///< by tracepoint id
+  std::map<uint32_t, uint32_t> TraceSite;///< site pc -> tracepoint id
+  std::deque<std::vector<uint8_t>> TraceBuf; ///< serialized records
+  size_t TraceBufBytes = 0;
+  uint32_t TraceDropped = 0;    ///< records dropped since the last drain
+  uint32_t CondEvals = 0;       ///< cumulative nub-side condition evals
+  uint32_t LocalResumes = 0;    ///< cumulative nub-side local resumes
+  uint8_t Decision = StopHostDecides; ///< how the last stop was decided
 };
 
 } // namespace ldb::nub

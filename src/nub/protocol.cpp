@@ -54,6 +54,14 @@ const char *ldb::nub::msgKindName(MsgKind Kind) {
     return "FetchBlock";
   case MsgKind::StoreBlock:
     return "StoreBlock";
+  case MsgKind::SetCondition:
+    return "SetCondition";
+  case MsgKind::ClearCondition:
+    return "ClearCondition";
+  case MsgKind::SetTracepoint:
+    return "SetTracepoint";
+  case MsgKind::DrainTrace:
+    return "DrainTrace";
   case MsgKind::Welcome:
     return "Welcome";
   case MsgKind::Stopped:
@@ -72,6 +80,8 @@ const char *ldb::nub::msgKindName(MsgKind Kind) {
     return "FetchBlockReply";
   case MsgKind::Corrupt:
     return "Corrupt";
+  case MsgKind::TraceReply:
+    return "TraceReply";
   }
   return "?";
 }

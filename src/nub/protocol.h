@@ -57,6 +57,25 @@ enum class MsgKind : uint8_t {
   FetchBlock, ///< space (u8), addr (u32), length (u32)
   StoreBlock, ///< space (u8), addr (u32), length (u32), raw bytes
 
+  /// Attaches (or replaces) the nub-side record for breakpoint \e id:
+  /// id (u32), pc advance (u32), vfp register (u32), cumulative hit
+  /// count (u32), remaining ignore count (u32), bytecode length (u32),
+  /// condition bytecode (raw, may be empty = unconditional), site count
+  /// (u32), then per site: address (u32), vfp offset (u32). Ack'd.
+  SetCondition,
+  /// Removes a nub-side record: flavor (u8: 0 condition, 1 tracepoint),
+  /// id (u32). Ack'd; clearing an absent record is not an error.
+  ClearCondition,
+  /// Attaches (or replaces) the nub-side record for tracepoint \e id:
+  /// id (u32), pc advance (u32), vfp register (u32), register mask
+  /// (u32), expression count (u8), per expression: bytecode length
+  /// (u32) + bytecode (raw), site count (u32), then per site: address
+  /// (u32), vfp offset (u32). Ack'd.
+  SetTracepoint,
+  /// Drains buffered trace records: max reply payload bytes (u32).
+  /// Answered by TraceReply.
+  DrainTrace,
+
   // Nub -> debugger.
   Welcome = 64,
   Stopped,
@@ -67,6 +86,11 @@ enum class MsgKind : uint8_t {
   Nak,
   FetchBlockReply, ///< raw bytes, in target order
   Corrupt, ///< reason (str): the request frame arrived damaged; resend it
+  /// Answer to DrainTrace: records dropped since the last drain (u32),
+  /// records still buffered after this reply (u32), record count in this
+  /// reply (u32), then that many serialized trace records (see
+  /// nub/condbc.h for the record layout).
+  TraceReply,
 };
 
 /// Largest payload a frame may declare; anything larger is malformed (or
@@ -85,6 +109,42 @@ inline constexpr uint32_t Fnv1a32Init = 2166136261u;
 /// StoreBlock header fields and payload always fit one frame. Clients split
 /// larger transfers.
 inline constexpr uint32_t MaxBlockLen = MaxFramePayload - 16;
+
+/// Continue run modes (optional trailing byte on a Continue request; an
+/// absent byte means ReportAll, which is what pre-condition clients sent).
+enum ContinueMode : uint8_t {
+  /// Report every stop to the debugger — the stepping paths use this so
+  /// host-side breakpoint bookkeeping sees each trap.
+  ContinueReportAll = 0,
+  /// Evaluate nub-side condition/tracepoint records at break traps and
+  /// resume locally on false, ignored, or traced hits; send Stopped only
+  /// when the debugger actually wants control.
+  ContinueAutoResume = 1,
+};
+
+/// How the nub disposed of the break trap a Stopped message reports; the
+/// first byte of the Stopped counter tail (see below).
+enum StopDecision : uint8_t {
+  /// No nub-side record was consulted (unmanaged site, non-trap stop, or
+  /// a ReportAll continue): the debugger owns all bookkeeping.
+  StopHostDecides = 0,
+  /// The nub counted the hit and its condition wanted the stop: the
+  /// debugger must apply the synced counters and must not re-evaluate.
+  StopNubDecided = 1,
+  /// The nub counted the hit but its bytecode evaluation failed (bad
+  /// address, divide by zero): the debugger applies the synced counters
+  /// and decides the stop by evaluating the condition itself.
+  StopNubEvalFailed = 2,
+};
+
+/// A Stopped payload is: signo (u32), code (u32), context address (u32),
+/// pc (u32), sp (u32), window lo (u32), window length (u32), window raw
+/// bytes — optionally followed by a counter tail a condition-aware nub
+/// appends: decision (u8, a StopDecision), cumulative nub condition
+/// evaluations (u32), cumulative nub local resumes (u32), entry count
+/// (u32), then per nub-managed breakpoint: id (u32), cumulative hits
+/// (u32), remaining ignore count (u32). A tail-less Stopped means
+/// StopHostDecides with no counters to sync.
 
 /// Simulated signal numbers carried in Stopped messages.
 enum Signal : int32_t {

@@ -24,17 +24,20 @@ namespace {
 
 bool isRequest(unsigned Kind) {
   return Kind >= static_cast<unsigned>(MsgKind::Hello) &&
-         Kind <= static_cast<unsigned>(MsgKind::StoreBlock);
+         Kind <= static_cast<unsigned>(MsgKind::DrainTrace);
 }
 
 bool isReply(unsigned Kind) {
   return Kind >= static_cast<unsigned>(MsgKind::Welcome) &&
-         Kind <= static_cast<unsigned>(MsgKind::Corrupt);
+         Kind <= static_cast<unsigned>(MsgKind::TraceReply);
 }
 
 /// The kinds the client may retransmit on its own (a lost reply makes a
-/// repeat harmless): all the fetches and stores. Hello, Continue, Kill,
-/// and Detach change target state and may be repeated only when the wire
+/// repeat harmless): all the fetches and stores, plus the nub-record
+/// management kinds (re-setting a record replaces it with identical
+/// contents, clearing twice is a no-op, and re-draining the trace buffer
+/// just yields whatever records are left). Hello, Continue, Kill, and
+/// Detach change target state and may be repeated only when the wire
 /// demonstrably lost or damaged a copy, or the nub asked (Corrupt).
 bool isIdempotent(unsigned Kind) {
   switch (static_cast<MsgKind>(Kind)) {
@@ -44,6 +47,10 @@ bool isIdempotent(unsigned Kind) {
   case MsgKind::StoreFloat:
   case MsgKind::FetchBlock:
   case MsgKind::StoreBlock:
+  case MsgKind::SetCondition:
+  case MsgKind::ClearCondition:
+  case MsgKind::SetTracepoint:
+  case MsgKind::DrainTrace:
     return true;
   default:
     return false;
@@ -72,10 +79,15 @@ bool replyAnswers(unsigned Req, unsigned Reply) {
     return P == MsgKind::FetchBlockReply;
   case MsgKind::Continue:
     return P == MsgKind::Stopped || P == MsgKind::Exited;
+  case MsgKind::DrainTrace:
+    return P == MsgKind::TraceReply;
   case MsgKind::Hello:
   case MsgKind::StoreInt:
   case MsgKind::StoreFloat:
   case MsgKind::StoreBlock:
+  case MsgKind::SetCondition:
+  case MsgKind::ClearCondition:
+  case MsgKind::SetTracepoint:
   case MsgKind::Kill:
   case MsgKind::Detach:
     return P == MsgKind::Ack;
@@ -251,6 +263,18 @@ void TraceLinter::clientFrame(LinkState &L, unsigned Link, unsigned LineNo,
          std::string(Name) + " seq " + std::to_string(Seq) +
              " is not strictly increasing (already at " +
              std::to_string(L.MaxFreshSeq) + ")");
+
+  // While a Continue is outstanding the target runs, and a nub-rejected
+  // hit must produce no host-visible frames: the only legal client
+  // traffic is the Continue's own retransmit (handled above) — any fresh
+  // request here means the host is servicing a hit the nub should have
+  // disposed of locally. (Stores already got the sharper message.)
+  if (L.ContinueOut && !isStore(Kind) &&
+      Kind != static_cast<unsigned>(MsgKind::Continue))
+    diag(Severity::Error, Link, LineNo,
+         std::string(Name) +
+             " sent while a Continue is outstanding: a nub-rejected hit "
+             "must produce no host-visible frames");
   L.MaxFreshSeq = std::max(L.MaxFreshSeq, Seq);
   if (L.Out.size() + 1 > Window)
     diag(Severity::Error, Link, LineNo,

@@ -14,8 +14,10 @@
 /// outstanding request with a kind the request allows; a request is
 /// retransmitted only when that is safe (its kind is idempotent, the nub
 /// reported the previous copy Corrupt, or the link demonstrably lost or
-/// damaged a frame since); no store is posted and no second Continue sent
-/// while a Continue is outstanding; sequence-0 frames are only the
+/// damaged a frame since); no store is posted, no other request sent (a
+/// nub-rejected hit must produce no host-visible frames), and no second
+/// Continue issued while a Continue is outstanding; sequence-0 frames
+/// are only the
 /// spontaneous kinds (Welcome, attach-time Stopped/Exited); checksums
 /// match on every untampered frame; and virtual time never runs backward.
 /// Everything is proved from the trace text alone — no session is

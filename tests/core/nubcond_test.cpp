@@ -1,0 +1,392 @@
+//===- tests/core/nubcond_test.cpp - nub-side conditions and tracepoints --===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nub-side condition evaluation is an optimization, not a semantic: on
+/// every target, eager or deferred, the stop sequence, hit/ignore
+/// counters, and `info breakpoints` output must be byte-identical whether
+/// the nub settles false hits locally or the host evaluates every one
+/// (the LDB_NO_NUBCOND oracle). Faulty links and malformed records must
+/// degrade to host evaluation, never wedge the session. Tracepoint
+/// records must come home with the right values and registers. And a
+/// rejected hit must be decided entirely from the expedited stop window
+/// the nub already pushed — no re-fetching (the E8 regression).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+//  1: int fib(int n) {
+//  2:   int r;
+//  3:   if (n < 2) {
+//  4:     r = 1;
+//  5:   } else {
+//  6:     r = fib(n - 1) + fib(n - 2);
+//  7:   }
+//  8:   return r;
+//  9: }
+// 10: int main() { ... v = fib(6); ... }
+const char *FibSource = "int fib(int n) {\n"
+                        "  int r;\n"
+                        "  if (n < 2) {\n"
+                        "    r = 1;\n"
+                        "  } else {\n"
+                        "    r = fib(n - 1) + fib(n - 2);\n"
+                        "  }\n"
+                        "  return r;\n"
+                        "}\n"
+                        "int main() {\n"
+                        "  int v;\n"
+                        "  v = fib(6);\n"
+                        "  return v;\n"
+                        "}\n";
+
+/// One connected debugging session over an in-process nub.
+struct Session {
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+  ExprSession Exprs;
+
+  Error start(const TargetDesc &Desc, const std::string &Source,
+              CompileOptions Options = CompileOptions(),
+              const nub::SimParams *Sim = nullptr) {
+    auto COr = compileAndLink({{"fib.c", Source}}, Desc, Options);
+    if (!COr)
+      return COr.takeError();
+    C = COr.take();
+    nub::NubProcess &Proc = Host.createProcess("fib", Desc);
+    if (Error E = C->Img.loadInto(Proc.machine()))
+      return E;
+    Proc.enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr =
+        Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable, Sim);
+    if (!TOr)
+      return TOr.takeError();
+    T = *TOr;
+    return Error::success();
+  }
+
+  /// "proc:line" at the current stop (or "exited").
+  std::string where() {
+    if (T->exited())
+      return "exited";
+    Expected<uint32_t> Pc = T->ctxPc();
+    if (!Pc)
+      return "?";
+    Target::Scope S(*T);
+    Expected<symtab::StopSite> Site = symtab::stopForPc(*T, *Pc);
+    if (!Site)
+      return "?";
+    return Site->ProcName + ":" + std::to_string(Site->Line);
+  }
+};
+
+/// Everything the oracle comparison looks at after one full run of
+/// "break fib.c:4 if n == 1; continue to exit".
+struct RunRecord {
+  std::vector<std::string> Stops;
+  std::string InfoBreakpoints;
+  uint64_t BpHits = 0, CondEvals = 0, CondResumes = 0, IgnoreResumes = 0;
+  uint64_t NubEvals = 0, NubResumes = 0, CondShips = 0;
+  uint64_t RoundTrips = 0;
+  uint64_t HitCount = 0, Ignore = 0;
+  bool Exited = false;
+};
+
+/// Runs the scenario on a started session whose breakpoint and condition
+/// are already set. Bounded: a wedge shows up as !Exited, not a hang.
+RunRecord drive(Session &S, int Id) {
+  RunRecord R;
+  for (int K = 0; K < 40 && !S.T->exited(); ++K) {
+    if (S.Debugger->continueToStop(*S.T))
+      break;
+    R.Stops.push_back(S.where());
+  }
+  R.Exited = S.T->exited();
+  CommandInterpreter Cli(*S.Debugger);
+  Cli.setCurrent(S.T);
+  R.InfoBreakpoints = Cli.execute("info breakpoints");
+  Target::ExecStats &ES = S.T->execStats();
+  R.BpHits = ES.BpHits;
+  R.CondEvals = ES.CondEvals;
+  R.CondResumes = ES.CondResumes;
+  R.IgnoreResumes = ES.IgnoreResumes;
+  R.NubEvals = ES.NubCondEvals;
+  R.NubResumes = ES.NubLocalResumes;
+  R.CondShips = ES.CondShips;
+  R.RoundTrips = S.T->stats().RoundTrips;
+  if (Target::UserBreakpoint *U = S.T->userBreakpoint(Id)) {
+    R.HitCount = U->HitCount;
+    R.Ignore = U->Ignore;
+  }
+  return R;
+}
+
+/// Starts, plants "break fib.c:4 if n == 1" (plus \p Ignore), and runs.
+bool condScenario(const TargetDesc &Desc, bool NubEval, bool Deferred,
+                  RunRecord &Out, uint64_t Ignore = 0,
+                  const nub::SimParams *Sim = nullptr) {
+  Session S;
+  CompileOptions Opt;
+  Opt.DeferredSymtab = Deferred;
+  if (S.start(Desc, FibSource, Opt, Sim))
+    return false;
+  S.T->setNubCondEnabled(NubEval);
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  if (!Id)
+    return false;
+  if (S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"))
+    return false;
+  if (Ignore)
+    S.T->userBreakpoint(*Id)->Ignore = Ignore;
+  Out = drive(S, *Id);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-target determinism: nub-eval vs the LDB_NO_NUBCOND host oracle
+//===----------------------------------------------------------------------===//
+
+TEST(NubCondDeterminism, StopSequencesAndCountersMatchTheHostOracle) {
+  for (const TargetDesc *Desc : allTargets())
+    for (bool Deferred : {false, true}) {
+      RunRecord Nub, Host;
+      ASSERT_TRUE(condScenario(*Desc, true, Deferred, Nub))
+          << Desc->Name << (Deferred ? " deferred" : " eager");
+      ASSERT_TRUE(condScenario(*Desc, false, Deferred, Host))
+          << Desc->Name << (Deferred ? " deferred" : " eager");
+
+      // The user-visible record is byte-identical.
+      EXPECT_EQ(Nub.Stops, Host.Stops) << Desc->Name;
+      EXPECT_EQ(Nub.InfoBreakpoints, Host.InfoBreakpoints) << Desc->Name;
+      EXPECT_EQ(Nub.BpHits, Host.BpHits) << Desc->Name;
+      EXPECT_EQ(Nub.CondEvals, Host.CondEvals) << Desc->Name;
+      EXPECT_EQ(Nub.CondResumes, Host.CondResumes) << Desc->Name;
+      EXPECT_EQ(Nub.HitCount, Host.HitCount) << Desc->Name;
+      EXPECT_EQ(Nub.Ignore, Host.Ignore) << Desc->Name;
+      EXPECT_TRUE(Nub.Exited && Host.Exited) << Desc->Name;
+
+      // Pin the scenario itself (fib(6): 13 hits, 8 with n == 1).
+      EXPECT_EQ(Host.BpHits, 13u) << Desc->Name;
+      EXPECT_EQ(Host.CondResumes, 5u) << Desc->Name;
+
+      // And the nub really did the work: evals moved into the target and
+      // false hits never crossed the wire.
+      EXPECT_EQ(Nub.NubEvals, 13u) << Desc->Name;
+      EXPECT_EQ(Nub.NubResumes, 5u) << Desc->Name;
+      EXPECT_GE(Nub.CondShips, 1u) << Desc->Name;
+      EXPECT_EQ(Host.NubEvals, 0u) << Desc->Name;
+      EXPECT_LT(Nub.RoundTrips, Host.RoundTrips) << Desc->Name;
+    }
+}
+
+TEST(NubCondDeterminism, IgnoreCountsMoveNubSideIntact) {
+  for (const TargetDesc *Desc : allTargets()) {
+    RunRecord Nub, Host;
+    ASSERT_TRUE(condScenario(*Desc, true, false, Nub, /*Ignore=*/5));
+    ASSERT_TRUE(condScenario(*Desc, false, false, Host, /*Ignore=*/5));
+    EXPECT_EQ(Nub.Stops, Host.Stops) << Desc->Name;
+    EXPECT_EQ(Nub.InfoBreakpoints, Host.InfoBreakpoints) << Desc->Name;
+    EXPECT_EQ(Nub.HitCount, Host.HitCount) << Desc->Name;
+    EXPECT_EQ(Nub.Ignore, Host.Ignore) << Desc->Name;
+    EXPECT_EQ(Nub.IgnoreResumes, Host.IgnoreResumes) << Desc->Name;
+    EXPECT_TRUE(Nub.Exited) << Desc->Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection: degrade to host evaluation, never wedge
+//===----------------------------------------------------------------------===//
+
+TEST(NubCondFaults, RefusedConditionShipFallsBackToHostEvaluation) {
+  // A condition record the nub refuses (here: a frame so large the nub
+  // Naks it without reading) must not wedge anything: every continue
+  // falls back to ReportAll, the host evaluates each hit itself, and the
+  // user-visible run matches the oracle exactly.
+  RunRecord Host;
+  const TargetDesc *Desc = targetByName("zsparc");
+  ASSERT_TRUE(condScenario(*Desc, false, false, Host));
+
+  Session S;
+  ASSERT_FALSE(S.start(*Desc, FibSource));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+  Target::UserBreakpoint *U = S.T->userBreakpoint(*Id);
+  ASSERT_TRUE(U);
+  U->Bytecode.assign(2u << 20, 0xff); // over the frame payload cap
+  U->Dirty = true;
+  RunRecord R = drive(S, *Id);
+
+  EXPECT_TRUE(R.Exited);
+  EXPECT_EQ(R.Stops, Host.Stops);
+  EXPECT_EQ(R.BpHits, Host.BpHits);
+  EXPECT_EQ(R.HitCount, Host.HitCount);
+  EXPECT_EQ(R.CondEvals, Host.CondEvals);
+  EXPECT_EQ(R.CondResumes, Host.CondResumes);
+  // The record never made it into the nub.
+  EXPECT_EQ(R.NubEvals, 0u);
+  EXPECT_EQ(R.CondShips, 0u);
+}
+
+TEST(NubCondFaults, MalformedBytecodeFallsBackToHostDecision) {
+  // A garbled condition record reaches the nub: its evaluation fails at
+  // the first hit, the nub stops with StopNubEvalFailed, and the host
+  // finishes every decision itself. The user-visible run is unchanged.
+  RunRecord Host;
+  const TargetDesc *Desc = targetByName("z68k");
+  ASSERT_TRUE(condScenario(*Desc, false, false, Host));
+
+  Session S;
+  ASSERT_FALSE(S.start(*Desc, FibSource));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+  Target::UserBreakpoint *U = S.T->userBreakpoint(*Id);
+  ASSERT_TRUE(U);
+  U->Bytecode = {0xff, 0x00}; // not a program the VM accepts
+  U->Dirty = true;
+  RunRecord R = drive(S, *Id);
+
+  EXPECT_TRUE(R.Exited);
+  EXPECT_EQ(R.Stops, Host.Stops);
+  EXPECT_EQ(R.BpHits, Host.BpHits);
+  EXPECT_EQ(R.HitCount, Host.HitCount);
+  EXPECT_EQ(R.CondResumes, Host.CondResumes);
+  // The nub tried (and failed) every hit; the host decided every hit.
+  EXPECT_EQ(R.NubEvals, 13u);
+  EXPECT_EQ(R.NubResumes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracepoints: values and registers come home
+//===----------------------------------------------------------------------===//
+
+TEST(Tracepoints, RecordsDrainWithValuesAndRegisters) {
+  for (const TargetDesc *Desc : allTargets()) {
+    Session S;
+    ASSERT_FALSE(S.start(*Desc, FibSource)) << Desc->Name;
+    Expected<int> Id =
+        exec::addTracepoint(*S.T, S.Exprs, "fib.c:4", {"n"});
+    ASSERT_TRUE(static_cast<bool>(Id)) << Desc->Name << ": " << Id.message();
+    for (int K = 0; K < 4 && !S.T->exited(); ++K)
+      ASSERT_FALSE(S.Debugger->continueToStop(*S.T)) << Desc->Name;
+    ASSERT_TRUE(S.T->exited()) << Desc->Name;
+
+    // fib(6) reaches the n < 2 leaf 13 times: n == 1 eight times and
+    // n == 0 five (the Fibonacci counts themselves).
+    const std::vector<nub::condbc::TraceRecord> &Log = S.T->traceLog();
+    ASSERT_EQ(Log.size(), 13u) << Desc->Name;
+    int Ones = 0;
+    uint32_t Mask = S.T->tracepoint(*Id)->RegMask;
+    for (size_t K = 0; K < Log.size(); ++K) {
+      EXPECT_EQ(Log[K].Id, static_cast<uint32_t>(*Id)) << Desc->Name;
+      EXPECT_EQ(Log[K].HitNo, K + 1) << Desc->Name;
+      ASSERT_EQ(Log[K].Values.size(), 1u) << Desc->Name;
+      EXPECT_TRUE(Log[K].Values[0] == 0 || Log[K].Values[0] == 1)
+          << Desc->Name << " n=" << Log[K].Values[0];
+      Ones += Log[K].Values[0] == 1;
+      EXPECT_EQ(Log[K].RegMask, Mask) << Desc->Name;
+      EXPECT_EQ(Log[K].Regs.size(),
+                static_cast<size_t>(__builtin_popcount(Mask)))
+          << Desc->Name;
+    }
+    EXPECT_EQ(Ones, 8) << Desc->Name;
+    EXPECT_EQ(S.T->tracepoint(*Id)->Hits, 13u) << Desc->Name;
+    EXPECT_EQ(S.T->traceDropped(), 0u) << Desc->Name;
+    // The whole run is one continue plus a handful of drains.
+    EXPECT_EQ(S.T->execStats().BpHits, 0u) << Desc->Name;
+  }
+}
+
+TEST(Tracepoints, RefusedWhenNubEvalIsDisabled) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zmips"), FibSource));
+  S.T->setNubCondEnabled(false);
+  Expected<int> Id = exec::addTracepoint(*S.T, S.Exprs, "fib.c:4", {"n"});
+  EXPECT_FALSE(static_cast<bool>(Id));
+}
+
+TEST(Tracepoints, DumpAttributesRecordsToSourceSites) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zvax"), FibSource));
+  CommandInterpreter Cli(*S.Debugger);
+  Cli.setCurrent(S.T);
+  EXPECT_NE(Cli.execute("trace fib.c:4 n").find("tracepoint 1"),
+            std::string::npos);
+  for (int K = 0; K < 4 && !S.T->exited(); ++K)
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  std::string Dump = Cli.execute("trace dump");
+  EXPECT_NE(Dump.find("tp 1 hit 1"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("fib.c:4"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("n = "), std::string::npos) << Dump;
+  // Dumping consumes the log.
+  EXPECT_TRUE(S.T->traceLog().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The E8 regression: rejected hits are served from the seeded stop window
+//===----------------------------------------------------------------------===//
+
+TEST(NubCondRegression, RejectedHitsDoNotRefetchTheStopContext) {
+  // Host-evaluated conditions (the LDB_NO_NUBCOND path) with code-line
+  // retention off, so every code re-fetch is visible as a miss: deciding
+  // a rejected hit must run entirely out of the expedited stop window the
+  // nub pushed with the Stopped — the warm (and its code-span fetch)
+  // belongs to accepted stops only.
+  setenv("LDB_CACHE_CODE", "0", 1);
+  Session S;
+  Error Started = S.start(*targetByName("zmips"), FibSource);
+  unsetenv("LDB_CACHE_CODE");
+  ASSERT_FALSE(Started);
+  S.T->setNubCondEnabled(false);
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+
+  uint64_t Code0 = S.T->stats().Cache['c'].Misses;
+  uint64_t Data0 = S.T->stats().Cache['d'].Misses;
+  int Visible = 0;
+  for (int K = 0; K < 40 && !S.T->exited(); ++K) {
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+    if (!S.T->exited())
+      ++Visible;
+  }
+  ASSERT_TRUE(S.T->exited());
+  EXPECT_EQ(Visible, 8);
+  EXPECT_EQ(S.T->execStats().BpHits, 13u);
+
+  // 13 hits, 8 accepted: code misses scale with accepted stops (one warm
+  // each), not with hits — before the fix this was >= 13.
+  uint64_t CodeMisses = S.T->stats().Cache['c'].Misses - Code0;
+  uint64_t DataMisses = S.T->stats().Cache['d'].Misses - Data0;
+  EXPECT_LE(CodeMisses, static_cast<uint64_t>(Visible) + 1);
+  // The five rejected evaluations read n from the seeded window: no data
+  // re-fetches beyond the walker's one-time frame-layout lookup.
+  EXPECT_LE(DataMisses, 2u);
+}
+
+} // namespace

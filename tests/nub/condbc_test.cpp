@@ -1,0 +1,311 @@
+//===- tests/nub/condbc_test.cpp - condition bytecode interpreter ---------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The condition-bytecode VM must mirror the host-side PostScript integer
+/// semantics exactly (sign extension, 32-bit wraps, truncating division)
+/// and be total: bad loads, zero divisors, stack misuse, and malformed
+/// bytecode all yield Fail rather than trapping — the nub answers Fail by
+/// stopping and letting the debugger decide.
+///
+//===----------------------------------------------------------------------===//
+
+#include "nub/condbc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace ldb::nub::condbc;
+
+namespace {
+
+/// An environment over a tiny fake machine: regs r0..r31 hold their own
+/// number ×10, and data memory is a 64-byte little-endian counter ramp.
+EvalEnv fakeEnv() {
+  EvalEnv Env;
+  Env.ReadReg = [](unsigned R) -> uint64_t { return R < 32 ? R * 10 : 0; };
+  Env.Load = [](uint32_t Addr, unsigned Size, uint32_t &Out) {
+    if (Addr < 0x1000 || Addr + Size > 0x1000 + 64)
+      return false;
+    uint32_t V = 0;
+    for (unsigned K = 0; K < Size; ++K)
+      V |= static_cast<uint32_t>((Addr - 0x1000 + K) & 0xff) << (8 * K);
+    Out = V;
+    return true;
+  };
+  Env.Vfp = 0x1010;
+  return Env;
+}
+
+EvalStatus run(const std::vector<uint8_t> &Code, int64_t &Result) {
+  EvalEnv Env = fakeEnv();
+  return evaluate(Code.data(), Code.size(), Env, Result);
+}
+
+EvalStatus run(const std::vector<uint8_t> &Code) {
+  int64_t V = 0;
+  return run(Code, V);
+}
+
+TEST(CondBc, ArithmeticAndComparisons) {
+  struct Case {
+    Op O;
+    int64_t A, B, Want;
+  } Cases[] = {
+      {Op::Add, 6, 7, 13},       {Op::Sub, 5, 9, -4},
+      {Op::Mul, -3, 7, -21},     {Op::Div, -7, 2, -3},
+      {Op::Rem, -7, 2, -1},      {Op::And, 0xf0f, 0x0ff, 0x00f},
+      {Op::Or, 0xf00, 0x00f, 0xf0f}, {Op::Xor, 0xff, 0x0f, 0xf0},
+      {Op::Shl, 1, 33, 1ll << 33},   {Op::CmpEq, 4, 4, 1},
+      {Op::CmpNe, 4, 4, 0},      {Op::CmpLt, -1, 0, 1},
+      {Op::CmpLe, 2, 2, 1},      {Op::CmpGt, 2, 3, 0},
+      {Op::CmpGe, 3, 3, 1},
+  };
+  for (const Case &C : Cases) {
+    Assembler A;
+    A.pushI(C.A);
+    A.pushI(C.B);
+    A.op(C.O);
+    A.done();
+    int64_t V = 0;
+    EvalStatus St = run(A.take(), V);
+    EXPECT_NE(St, EvalStatus::Fail) << static_cast<int>(C.O);
+    EXPECT_EQ(V, C.Want) << static_cast<int>(C.O);
+    EXPECT_EQ(St, C.Want ? EvalStatus::True : EvalStatus::False);
+  }
+}
+
+TEST(CondBc, ShiftsUse32BitSemantics) {
+  // Sra shifts the sign-extended-32 value; Srl the zero-extended low 32.
+  Assembler A;
+  A.pushI(0xffff0000u); // -65536 as an i32
+  A.pushI(8);
+  A.op(Op::Sra);
+  A.done();
+  int64_t V = 0;
+  EXPECT_EQ(run(A.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, -256);
+
+  Assembler B;
+  B.pushI(0xffff0000u);
+  B.pushI(8);
+  B.op(Op::Srl);
+  B.done();
+  EXPECT_EQ(run(B.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, 0x00ffff00);
+}
+
+TEST(CondBc, SignExtendAndMask32) {
+  Assembler A;
+  A.pushI(0xff);
+  A.sext(8);
+  A.done();
+  int64_t V = 0;
+  EXPECT_EQ(run(A.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, -1);
+
+  Assembler B;
+  B.pushI(-1);
+  B.mask32();
+  B.done();
+  EXPECT_EQ(run(B.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, 0xffffffffll);
+}
+
+TEST(CondBc, NegAndBitNotWrap) {
+  Assembler A;
+  A.pushI(5);
+  A.op(Op::Neg);
+  A.done();
+  int64_t V = 0;
+  EXPECT_EQ(run(A.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, -5);
+
+  Assembler B;
+  B.pushI(0);
+  B.op(Op::BitNot);
+  B.done();
+  EXPECT_EQ(run(B.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, -1);
+}
+
+TEST(CondBc, RegistersVfpAndLoads) {
+  // *(vfp + 4) as a 4-byte load: the ramp holds 0x14,0x15,0x16,0x17
+  // there, little-endian.
+  Assembler A;
+  A.pushVfp();
+  A.pushI(4);
+  A.op(Op::Add);
+  A.load(4);
+  A.done();
+  int64_t V = 0;
+  EXPECT_EQ(run(A.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, 0x17161514);
+
+  Assembler B;
+  B.pushReg(7);
+  B.done();
+  EXPECT_EQ(run(B.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, 70);
+}
+
+TEST(CondBc, ShortCircuitJumps) {
+  // 0 && (anything): JumpIfZero skips the right operand entirely — the
+  // skipped bytes can even be a div-by-zero and never run.
+  Assembler A;
+  A.pushI(0);
+  A.op(Op::Dup);
+  size_t Skip = A.jump(Op::JumpIfZero);
+  A.op(Op::Pop);
+  A.pushI(1);
+  A.pushI(0);
+  A.op(Op::Div); // dead: the jump must hop over it
+  A.patchHere(Skip);
+  A.done();
+  int64_t V = 0;
+  EXPECT_EQ(run(A.take(), V), EvalStatus::False);
+  EXPECT_EQ(V, 0);
+
+  // An unconditional Jump skips an alternative arm.
+  Assembler B;
+  B.pushI(7);
+  size_t Over = B.jump(Op::Jump);
+  B.pushI(99);
+  B.patchHere(Over);
+  B.done();
+  EXPECT_EQ(run(B.take(), V), EvalStatus::True);
+  EXPECT_EQ(V, 7);
+}
+
+TEST(CondBc, DivideByZeroFails) {
+  for (Op O : {Op::Div, Op::Rem}) {
+    Assembler A;
+    A.pushI(7);
+    A.pushI(0);
+    A.op(O);
+    A.done();
+    EXPECT_EQ(run(A.take()), EvalStatus::Fail);
+  }
+}
+
+TEST(CondBc, BadLoadFails) {
+  Assembler A;
+  A.pushI(0x10); // outside the fake ramp
+  A.load(4);
+  A.done();
+  EXPECT_EQ(run(A.take()), EvalStatus::Fail);
+
+  Assembler B; // width 3 is not a load the protocol has
+  B.pushVfp();
+  B.load(3);
+  B.done();
+  EXPECT_EQ(run(B.take()), EvalStatus::Fail);
+}
+
+TEST(CondBc, StackMisuseFails) {
+  // Underflow: Add with one operand.
+  Assembler A;
+  A.pushI(1);
+  A.op(Op::Add);
+  A.done();
+  EXPECT_EQ(run(A.take()), EvalStatus::Fail);
+
+  // Done must see exactly one value.
+  Assembler B;
+  B.pushI(1);
+  B.pushI(2);
+  B.done();
+  EXPECT_EQ(run(B.take()), EvalStatus::Fail);
+
+  // Overflow: 65 pushes exceed the 64-slot stack.
+  Assembler C;
+  for (int K = 0; K < 65; ++K)
+    C.pushI(K);
+  C.done();
+  EXPECT_EQ(run(C.take()), EvalStatus::Fail);
+}
+
+TEST(CondBc, MalformedBytecodeFails) {
+  // Unknown opcode.
+  EXPECT_EQ(run({0xff}), EvalStatus::Fail);
+  // Truncated PushI immediate.
+  EXPECT_EQ(run({static_cast<uint8_t>(Op::PushI), 1, 2, 3}),
+            EvalStatus::Fail);
+  // Jump past the end.
+  Assembler A;
+  A.pushI(1);
+  size_t J = A.jump(Op::Jump);
+  (void)J; // placeholder displacement of 0 is fine...
+  std::vector<uint8_t> Code = A.take();
+  Code[Code.size() - 2] = 0xff; // ...but a huge one leaves the code
+  Code[Code.size() - 1] = 0xff;
+  EXPECT_EQ(run(Code), EvalStatus::Fail);
+  // Falling off the end without Done.
+  Assembler B;
+  B.pushI(1);
+  EXPECT_EQ(run(B.take()), EvalStatus::Fail);
+  // Empty bytecode.
+  EXPECT_EQ(run({}), EvalStatus::Fail);
+}
+
+TEST(CondBc, HexTransportRoundTrips) {
+  std::vector<uint8_t> Bytes = {0x00, 0x7f, 0x80, 0xff, 0x12};
+  std::string Hex = toHex(Bytes);
+  EXPECT_EQ(Hex, "007f80ff12");
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(fromHex(Hex, Back));
+  EXPECT_EQ(Back, Bytes);
+  EXPECT_FALSE(fromHex("abc", Back));  // odd length
+  EXPECT_FALSE(fromHex("zz", Back));   // not hex
+}
+
+TEST(CondBc, TraceRecordRoundTripsAndRejectsTruncation) {
+  TraceRecord R;
+  R.Id = 3;
+  R.HitNo = 41;
+  R.Pc = 0x4000;
+  R.Vfp = 0x7ff0;
+  R.RegMask = (1u << 29) | (1u << 30);
+  R.Values = {-1, 0, 123456789};
+  R.Regs = {0x7ff0, 0x8000};
+
+  std::vector<uint8_t> Bytes;
+  appendRecord(Bytes, R);
+  size_t Pos = 0;
+  TraceRecord Back;
+  ASSERT_TRUE(parseRecord(Bytes.data(), Bytes.size(), Pos, Back));
+  EXPECT_EQ(Pos, Bytes.size());
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.HitNo, R.HitNo);
+  EXPECT_EQ(Back.Pc, R.Pc);
+  EXPECT_EQ(Back.Vfp, R.Vfp);
+  EXPECT_EQ(Back.RegMask, R.RegMask);
+  EXPECT_EQ(Back.Values, R.Values);
+  EXPECT_EQ(Back.Regs, R.Regs);
+
+  // Every proper prefix is a truncation, never a crash or a bogus parse.
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    Pos = 0;
+    EXPECT_FALSE(parseRecord(Bytes.data(), Cut, Pos, Back)) << Cut;
+  }
+
+  // Two records in one buffer parse back to back (the DrainTrace reply
+  // shape).
+  std::vector<uint8_t> Two;
+  appendRecord(Two, R);
+  TraceRecord S = R;
+  S.HitNo = 42;
+  appendRecord(Two, S);
+  Pos = 0;
+  ASSERT_TRUE(parseRecord(Two.data(), Two.size(), Pos, Back));
+  EXPECT_EQ(Back.HitNo, 41u);
+  ASSERT_TRUE(parseRecord(Two.data(), Two.size(), Pos, Back));
+  EXPECT_EQ(Back.HitNo, 42u);
+  EXPECT_EQ(Pos, Two.size());
+}
+
+} // namespace

@@ -568,6 +568,53 @@ TEST(ProcessHost, ConnectToMissingProcessFails) {
   EXPECT_FALSE(static_cast<bool>(C));
 }
 
+TEST(NubCondWire, DroppedAndGarbledRecordFramesRetransmitAndHeal) {
+  // The record-management kinds are idempotent: re-setting a record
+  // replaces it verbatim, clearing twice is a no-op, and a re-drain just
+  // yields what is left. So over a link that loses or damages frames,
+  // every dropped copy — request or Ack — simply retransmits and the
+  // exchanges all complete. (Continue cannot make this promise; records
+  // can.)
+  for (bool Garble : {false, true}) {
+    ProcessHost Host;
+    NubProcess &P = Host.createProcess("t1", *targetByName("zmips"));
+    ASSERT_TRUE(
+        P.machine().storeInt(TextBase, 4, P.desc().Enc.encode(Instr::nop())));
+    P.enter(TextBase);
+    SimParams Sim;
+    Sim.LatencyNs = 1000;
+    if (Garble)
+      Sim.GarbleEvery = 3;
+    else
+      Sim.DropEvery = 3;
+    auto COr = Host.connect("t1", nullptr, &Sim);
+    ASSERT_TRUE(static_cast<bool>(COr)) << COr.message();
+    std::unique_ptr<NubClient> Client = COr.take();
+
+    condbc::Assembler A;
+    A.pushI(1);
+    A.done();
+    CondRecordSpec Spec;
+    Spec.Id = 1;
+    Spec.PcAdvance = 4;
+    Spec.Bytecode = A.take();
+    Spec.Sites = {{TextBase, 0}};
+    for (unsigned K = 0; K < 8; ++K) {
+      Spec.Hits = K;
+      Error E = Client->setCondition(Spec);
+      EXPECT_FALSE(static_cast<bool>(E))
+          << (Garble ? "garble" : "drop") << " ship " << K << ": "
+          << E.message();
+    }
+    TraceDrain D;
+    Error E = Client->drainTrace(D);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+    EXPECT_TRUE(D.Records.empty());
+    E = Client->clearCondition(false, 1);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  }
+}
+
 TEST(ContextLayouts, PerTargetQuirksAreVisible) {
   // zvax reverses its gpr area; z68k uses 80-bit float slots; zsparc puts
   // floating state first. These are the machine-dependent data the shared

@@ -297,4 +297,89 @@ TEST(TraceLint, ReorderedTraceIsCaught) {
   EXPECT_TRUE(mentions(R, "no outstanding request")) << R.str();
 }
 
+// Nub-record kinds: SetCondition=11 ClearCondition=12 SetTracepoint=13
+// DrainTrace=14; TraceReply=73.
+
+TEST(TraceLint, NubRecordSessionIsClean) {
+  // The production auto-resume shape: records shipped and acked before
+  // the Continue, the buffered trace records drained after the stop.
+  Report R = lint("F 1 a 11 1 40 aa aa 0 SetCondition\n"
+                  "F 1 a 13 2 60 aa aa 5 SetTracepoint\n"
+                  "F 1 b 69 1 0 aa aa 10 Ack\n"
+                  "F 1 b 69 2 0 aa aa 15 Ack\n"
+                  "F 1 a 6 3 1 aa aa 20 Continue\n"
+                  "F 1 b 65 3 40 aa aa 30 Stopped\n"
+                  "F 1 a 14 4 4 aa aa 40 DrainTrace\n"
+                  "F 1 b 73 4 100 aa aa 50 TraceReply\n"
+                  "F 1 a 12 5 5 aa aa 60 ClearCondition\n"
+                  "F 1 b 69 5 0 aa aa 70 Ack\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, NubRecordRetransmitsAreIdempotent) {
+  // Re-setting a record replaces it verbatim and a re-drain just yields
+  // what is left, so a timeout retransmit needs no licensing fault.
+  Report R = lint("F 1 a 11 1 40 aa aa 0 SetCondition\n"
+                  "F 1 a 11 1 40 aa aa 10 SetCondition\n"
+                  "F 1 b 69 1 0 aa aa 20 Ack\n"
+                  "F 1 a 14 2 4 aa aa 30 DrainTrace\n"
+                  "F 1 a 14 2 4 aa aa 40 DrainTrace\n"
+                  "F 1 b 73 2 8 aa aa 50 TraceReply\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, DrainAnsweredByAckIsCaught) {
+  Report R = lint("F 1 a 14 1 4 aa aa 0 DrainTrace\n"
+                  "F 1 b 69 1 0 aa aa 10 Ack\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "does not answer a DrainTrace")) << R.str();
+}
+
+TEST(TraceLint, TraceReplyAnsweringAFetchIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 b 73 1 8 aa aa 10 TraceReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "does not answer a FetchInt")) << R.str();
+}
+
+TEST(TraceLint, TruncatedDrainReplyIsCaught) {
+  // A TraceReply whose bytes were cut short no longer sums to its
+  // declared checksum; with no fault injected that is a finding.
+  Report R = lint("F 1 a 14 1 4 aa aa 0 DrainTrace\n"
+                  "F 1 b 73 1 20 12345678 9abcdef0 10 TraceReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "TraceReply frame declares checksum")) << R.str();
+}
+
+TEST(TraceLint, GarbledDrainReplyLicensesRedrain) {
+  // The link damaged the reply ('G'): the drain stays outstanding and
+  // the client's re-drain is legitimate.
+  Report R = lint("F 1 a 14 1 4 aa aa 0 DrainTrace\n"
+                  "G 1 b 73 1 20 12345678 9abcdef0 10 TraceReply\n"
+                  "F 1 a 14 1 4 aa aa 20 DrainTrace\n"
+                  "F 1 b 73 1 20 bb bb 30 TraceReply\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, RequestWhileTargetRunsIsCaught) {
+  // A nub-rejected hit must produce no host-visible frames: any request
+  // between a Continue and its Stopped means the host serviced a hit the
+  // nub should have disposed of locally.
+  Report R = lint("F 1 a 6 1 1 aa aa 0 Continue\n"
+                  "F 1 a 2 2 9 aa aa 10 FetchInt\n"
+                  "F 1 b 67 2 4 aa aa 20 FetchIntReply\n"
+                  "F 1 b 65 1 40 aa aa 30 Stopped\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no host-visible frames")) << R.str();
+}
+
+TEST(TraceLint, SetConditionWhileTargetRunsIsCaught) {
+  Report R = lint("F 1 a 6 1 1 aa aa 0 Continue\n"
+                  "F 1 a 11 2 40 aa aa 10 SetCondition\n"
+                  "F 1 b 69 2 0 aa aa 20 Ack\n"
+                  "F 1 b 65 1 40 aa aa 30 Stopped\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "no host-visible frames")) << R.str();
+}
+
 } // namespace
