@@ -1,0 +1,460 @@
+//===- bench/bench_reverse.cpp - experiment E13 ---------------------------===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpointed record/replay: a reverse command must cost one checkpoint
+/// restore plus at most one checkpoint interval of re-execution, not a
+/// from-start replay. Three measurements on gen:13000:
+///
+///   (a) a checkpoint-spacing sweep: for each spacing, run to a stop near
+///       the end of the recording and time `reverse-step` from there —
+///       wall seconds, instructions re-executed, and the store footprint
+///       the spacing buys that speed with (checkpoints, keyframes, bytes,
+///       pages copied vs skipped clean);
+///   (b) the from-start oracle: the identical reverse-step with no
+///       interior checkpoints (only the enable-time keyframe survives),
+///       which is exactly what a debugger without a checkpoint store must
+///       do — replay the whole history under the stepping machinery;
+///   (c) time-travel transparency: forward/backward/forward round trips
+///       must leave registers, memory, and stop sequences byte-identical
+///       — checked on the gen:13000 run itself and on a recursive-fib
+///       breakpoint workload (reverse-continue honoring conditions' hit
+///       counters) on all four targets.
+///
+/// Gates (process exits nonzero, CI runs this as a smoke check):
+/// reverse-step at the default spacing is >=10x faster than from-start
+/// re-execution, and every round trip reproduces its forward run
+/// byte-for-byte on all four targets. Results land in BENCH_reverse.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+#include "core/debugger.h"
+#include "lcc/driver.h"
+#include "nub/nub.h"
+#include "workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ldb;
+using namespace ldb::bench;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+void fail(const Error &E) {
+  std::fprintf(stderr, "benchmark op failed: %s\n", E.message().c_str());
+  std::exit(2);
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+bool Ok = true;
+void require(bool Cond, const char *What) {
+  if (!Cond) {
+    std::fprintf(stderr, "FAIL: %s\n", What);
+    Ok = false;
+  }
+}
+
+/// FNV-1a over everything a replayed instant must reproduce: memory,
+/// registers, pc, retired count, and console output (the same digest the
+/// determinism tests use, so "byte-identical" means the same thing in
+/// both places).
+uint64_t machineDigest(const Machine &M) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    for (size_t K = 0; K < N; ++K) {
+      H ^= B[K];
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(M.memBytes().data(), M.memBytes().size());
+  Mix(&M.Pc, sizeof M.Pc);
+  Mix(&M.Icount, sizeof M.Icount);
+  for (unsigned R = 0; R < M.desc().NumGpr; ++R) {
+    uint32_t V = M.gpr(R);
+    Mix(&V, sizeof V);
+  }
+  for (unsigned R = 0; R < M.desc().NumFpr; ++R) {
+    double V = static_cast<double>(M.fpr(R));
+    Mix(&V, sizeof V);
+  }
+  Mix(M.ConsoleOut.data(), M.ConsoleOut.size());
+  return H;
+}
+
+// The paper's Fig 1 shape: deep recursion so reverse-next and
+// reverse-continue have frames and repeated hits to honor.
+//  4:     r = 1;   <- breakpoint site, 13 hits for fib(6)
+const char *RecFibSource = "int fib(int n) {\n"
+                           "  int r;\n"
+                           "  if (n < 2) {\n"
+                           "    r = 1;\n"
+                           "  } else {\n"
+                           "    r = fib(n - 1) + fib(n - 2);\n"
+                           "  }\n"
+                           "  return r;\n"
+                           "}\n"
+                           "int main() {\n"
+                           "  int v;\n"
+                           "  v = fib(6);\n"
+                           "  return v;\n"
+                           "}\n";
+
+/// One connected debugging session over an in-process nub, with the nub
+/// process kept visible so the bench can digest raw machine state.
+struct Session {
+  Session(const Image &Img, const std::string &Ps, const std::string &Loader,
+          const TargetDesc &Desc) {
+    Proc = &Host.createProcess("bench", Desc);
+    if (Error E = Img.loadInto(Proc->machine()))
+      fail(E);
+    Proc->enter(Img.Entry);
+    auto TOr = Debugger.connect(Host, "bench", Ps, Loader);
+    if (!TOr)
+      fail(TOr.takeError());
+    T = *TOr;
+  }
+
+  /// Turns recording on under an explicit checkpoint policy (0 spacing =
+  /// the shipped defaults), restoring the environment before returning.
+  void record(uint64_t Spacing) {
+    if (Spacing)
+      setenv("LDB_CHECKPOINT_SPACING", num(Spacing).c_str(), 1);
+    Error E = T->enableRecording();
+    unsetenv("LDB_CHECKPOINT_SPACING");
+    if (E)
+      fail(E);
+  }
+
+  uint64_t digest() const { return machineDigest(Proc->machine()); }
+
+  nub::ProcessHost Host;
+  Ldb Debugger;
+  Target *T = nullptr;
+  nub::NubProcess *Proc = nullptr;
+};
+
+/// One recorded instant: what a replay must reproduce.
+struct Instant {
+  uint64_t Icount = 0;
+  uint32_t Pc = 0;
+  uint64_t Digest = 0;
+  bool operator==(const Instant &O) const {
+    return Icount == O.Icount && Pc == O.Pc && Digest == O.Digest;
+  }
+};
+
+Instant snap(Session &S) {
+  Expected<uint32_t> Pc = S.T->ctxPc();
+  if (!Pc)
+    fail(Pc.takeError());
+  return {S.T->stopIcount(), *Pc, S.digest()};
+}
+
+/// One sweep point: a fresh recorded run to the late breakpoint, then
+/// \p Reps reverse-steps timed from there and the same count of forward
+/// steps that must land back on the identical instant.
+struct SweepResult {
+  uint64_t Spacing = 0; ///< 0 = from-start oracle (no interior checkpoints)
+  nub::NubProcess::TimelineInfo TI;
+  double StepSec = 0;         ///< median wall seconds per reverse-step
+  uint64_t ReplayPerStep = 0; ///< mean instructions re-executed per step
+  uint64_t EndIcount = 0;     ///< where the reverse-steps started from
+  bool RoundTrip = false;     ///< forward steps returned to the instant
+};
+
+SweepResult runSweepPoint(const CachedProgram &Gen, const TargetDesc &Desc,
+                          uint64_t Spacing, unsigned Reps) {
+  Session S(Gen.Img, Gen.PsSymtab, Gen.LoaderTable, Desc);
+  // A spacing beyond any possible run length leaves only the enable-time
+  // keyframe: the reverse machinery then *is* from-start re-execution.
+  S.record(Spacing ? Spacing : 1ull << 40);
+  if (Error E = S.Debugger.breakAtProc(*S.T, "work680"))
+    fail(E);
+  // Two hits: main's own work680(4) call and the work680(2) call inside
+  // work681 — both in the last percent of the run, with the whole history
+  // recorded behind them.
+  for (int Hit = 0; Hit < 2; ++Hit)
+    if (Error E = S.Debugger.continueToStop(*S.T))
+      fail(E);
+  if (!S.T->stopped()) {
+    std::fprintf(stderr, "gen:13000 never reached work680\n");
+    std::exit(2);
+  }
+  // One forward step before the snapshot: the scoped-stepping window
+  // plants break words that persist between steps, so the reference
+  // instant must carry the same window the post-round-trip instant will
+  // — memory identity means identical including the debugger's plants.
+  if (Error E = S.Debugger.stepToNextStop(*S.T))
+    fail(E);
+
+  SweepResult R;
+  R.Spacing = Spacing;
+  R.EndIcount = S.T->stopIcount();
+  Instant Here = snap(S);
+
+  std::vector<uint8_t> MemHere(S.Proc->machine().memBytes().begin(),
+                               S.Proc->machine().memBytes().end());
+  std::vector<uint32_t> GprHere;
+  for (unsigned G = 0; G < Desc.NumGpr; ++G)
+    GprHere.push_back(S.Proc->machine().gpr(G));
+
+  uint64_t Replay0 = S.Proc->timelineInfo().ReplayedInstrs;
+  std::vector<double> Times;
+  for (unsigned K = 0; K < Reps; ++K) {
+    Stopwatch W;
+    if (Error E = exec::reverseStep(*S.T))
+      fail(E);
+    Times.push_back(W.seconds());
+  }
+  std::sort(Times.begin(), Times.end());
+  R.StepSec = Times[Times.size() / 2];
+  R.ReplayPerStep =
+      (S.Proc->timelineInfo().ReplayedInstrs - Replay0) / Reps;
+
+  // Forward again: the same number of source steps must retrace the
+  // replayed stops exactly and land back on the pre-reverse instant.
+  for (unsigned K = 0; K < Reps; ++K)
+    if (Error E = S.Debugger.stepToNextStop(*S.T))
+      fail(E);
+  Instant There = snap(S);
+  R.RoundTrip = There == Here;
+  if (!R.RoundTrip)
+    std::fprintf(stderr,
+                 "round trip diverged at spacing %llu: icount %llu -> %llu, "
+                 "pc %u -> %u, digest %016llx -> %016llx\n",
+                 static_cast<unsigned long long>(Spacing),
+                 static_cast<unsigned long long>(Here.Icount),
+                 static_cast<unsigned long long>(There.Icount), Here.Pc,
+                 There.Pc, static_cast<unsigned long long>(Here.Digest),
+                 static_cast<unsigned long long>(There.Digest));
+  if (!R.RoundTrip) {
+    const auto &Mem = S.Proc->machine().memBytes();
+    int Shown = 0;
+    for (size_t B = 0; B < Mem.size() && Shown < 12; ++B)
+      if (Mem[B] != MemHere[B]) {
+        std::fprintf(stderr, "  mem[%zu (0x%zx)]: %02x -> %02x\n", B, B,
+                     MemHere[B], Mem[B]);
+        ++Shown;
+      }
+    for (unsigned G = 0; G < Desc.NumGpr; ++G)
+      if (S.Proc->machine().gpr(G) != GprHere[G])
+        std::fprintf(stderr, "  gpr[%u]: %u -> %u\n", G, GprHere[G],
+                     S.Proc->machine().gpr(G));
+  }
+  R.TI = S.Proc->timelineInfo();
+  return R;
+}
+
+std::string kb(uint64_t Bytes) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f KB", Bytes / 1024.0);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  unsetenv("LDB_CHECKPOINT_SPACING");
+  unsetenv("LDB_CHECKPOINT_KEYINT");
+  unsetenv("LDB_CHECKPOINT_BUDGET");
+
+  banner("E13: checkpointed record/replay, reverse execution (bench_reverse)",
+         "a reverse command costs one restore plus <=1 checkpoint interval "
+         "of replay; >=10x faster than from-start re-execution");
+
+  const TargetDesc &Zmips = *targetByName("zmips");
+  const uint64_t DefaultSpacing = nub::NubProcess::DefaultCheckpointSpacing;
+  const unsigned Reps = 6;
+
+  std::printf("\ncompiling gen:13000...\n");
+  Expected<CachedProgram> Gen = cachedGenProgram(Zmips, 13000);
+  if (!Gen)
+    fail(Gen.takeError());
+
+  //===------------------------------------------------------------------===//
+  // (a)+(b) the spacing sweep, from-start oracle last
+  //===------------------------------------------------------------------===//
+
+  std::vector<uint64_t> Spacings;
+  if (!Smoke) {
+    Spacings.push_back(DefaultSpacing / 4);
+    Spacings.push_back(DefaultSpacing);
+    Spacings.push_back(DefaultSpacing * 4);
+  } else {
+    Spacings.push_back(DefaultSpacing);
+  }
+
+  std::vector<SweepResult> Sweep;
+  for (uint64_t Sp : Spacings)
+    Sweep.push_back(runSweepPoint(*Gen, Zmips, Sp, Reps));
+  // The oracle replays the entire history per reverse-step; once is
+  // plenty to establish the from-start cost.
+  SweepResult FromStart = runSweepPoint(*Gen, Zmips, 0, 1);
+
+  const SweepResult *Def = nullptr;
+  for (const SweepResult &R : Sweep)
+    if (R.Spacing == DefaultSpacing)
+      Def = &R;
+
+  std::printf("\nrecorded run: %llu instructions to the last work680 hit\n\n",
+              static_cast<unsigned long long>(FromStart.EndIcount));
+  head("checkpoint spacing sweep (reverse-step)", "per step", "store");
+  for (const SweepResult &R : Sweep) {
+    std::string Label = num(R.Spacing) +
+                        (R.Spacing == DefaultSpacing ? " (default)" : "");
+    row(Label + ", " + num(R.TI.Checkpoints) + " ckpts", ms(R.StepSec),
+        kb(R.TI.Bytes));
+    row("  replayed instrs / pages saved",
+        num(R.ReplayPerStep), num(R.TI.PagesSaved));
+  }
+  row("from-start (no interior checkpoints)", ms(FromStart.StepSec),
+      kb(FromStart.TI.Bytes));
+  row("  replayed instrs", num(FromStart.ReplayPerStep), "");
+
+  double Speedup =
+      Def && Def->StepSec > 0 ? FromStart.StepSec / Def->StepSec : 0;
+  double InstrRatio = Def && Def->ReplayPerStep
+                          ? static_cast<double>(FromStart.ReplayPerStep) /
+                                Def->ReplayPerStep
+                          : 0;
+  std::printf("\nreverse-step at default spacing: %.1fx faster than "
+              "from-start, %.1fx fewer replayed instructions\n",
+              Speedup, InstrRatio);
+
+  require(Def != nullptr, "the sweep must include the default spacing");
+  require(Def && Def->TI.Checkpoints > 2,
+          "the default spacing must take interior checkpoints on gen:13000");
+  require(FromStart.TI.Checkpoints <= 1,
+          "the oracle must have no interior checkpoints");
+  require(Speedup >= 10,
+          "reverse-step must be >=10x faster than from-start re-execution "
+          "at the default spacing");
+  require(Def && FromStart.ReplayPerStep >= 10 * Def->ReplayPerStep,
+          "checkpoints must cut replayed instructions >=10x at the default "
+          "spacing");
+  for (const SweepResult &R : Sweep)
+    require(R.RoundTrip, "forward steps after reverse-steps must return to "
+                         "the byte-identical instant (gen:13000)");
+  require(FromStart.RoundTrip,
+          "the from-start oracle round trip must be byte-identical too");
+
+  //===------------------------------------------------------------------===//
+  // (c) forward/backward/forward round trips on all four targets
+  //===------------------------------------------------------------------===//
+
+  std::printf("\n");
+  head("fib(6) round trip, 13 hits of fib.c:4", "reverse", "re-forward");
+  bool AllIdentical = true;
+  std::vector<std::string> TripTargets;
+  for (const TargetDesc *Desc : allTargets()) {
+    auto C = compileAndLink({{"fib.c", RecFibSource}}, *Desc,
+                            CompileOptions());
+    if (!C)
+      fail(C.takeError());
+    std::unique_ptr<Compilation> Fib = C.take();
+    Session S(Fib->Img, Fib->PsSymtab, Fib->LoaderTable, *Desc);
+    S.record(400);
+    Expected<int> Id = S.Debugger.addBreakAtLine(*S.T, "fib.c", 4);
+    if (!Id)
+      fail(Id.takeError());
+
+    std::vector<Instant> Fwd;
+    for (int Hit = 0; Hit < 13; ++Hit) {
+      if (Error E = S.Debugger.continueToStop(*S.T))
+        fail(E);
+      Fwd.push_back(snap(S));
+    }
+
+    // Backward through every hit: reverse-continue honors the breakpoint
+    // and its counters in reverse...
+    bool Back = true;
+    for (int K = 11; K >= 0; --K) {
+      if (Error E = exec::reverseContinue(*S.T))
+        fail(E);
+      Back = Back && snap(S) == Fwd[K];
+    }
+    // ...and forward again retraces the recording hit for hit.
+    bool Re = true;
+    for (int K = 1; K < 13; ++K) {
+      if (Error E = S.Debugger.continueToStop(*S.T))
+        fail(E);
+      Re = Re && snap(S) == Fwd[K];
+    }
+    row(Desc->Name + ", 12 stops each way", Back ? "identical" : "DIVERGED",
+        Re ? "identical" : "DIVERGED");
+    AllIdentical = AllIdentical && Back && Re;
+    TripTargets.push_back(Desc->Name);
+  }
+  require(AllIdentical,
+          "forward/backward/forward round trips must leave registers, "
+          "memory, and stop sequences byte-identical on all four targets");
+
+  //===------------------------------------------------------------------===//
+  // Report
+  //===------------------------------------------------------------------===//
+
+  std::FILE *J = std::fopen("BENCH_reverse.json", "w");
+  if (J) {
+    std::fprintf(J,
+                 "{\n"
+                 "  \"bench\": \"reverse\",\n"
+                 "  \"workload\": \"gen:13000\",\n"
+                 "  \"target\": \"%s\",\n"
+                 "  \"run_instrs\": %llu,\n"
+                 "  \"sweep\": [\n",
+                 Zmips.Name.c_str(),
+                 static_cast<unsigned long long>(FromStart.EndIcount));
+    for (size_t K = 0; K < Sweep.size(); ++K) {
+      const SweepResult &R = Sweep[K];
+      std::fprintf(
+          J,
+          "    {\"spacing\": %llu, \"default\": %s, \"ckpts\": %u, "
+          "\"keyframes\": %u, \"bytes\": %llu, \"pages_saved\": %llu, "
+          "\"pages_clean\": %llu, \"step_ms\": %.3f, \"replayed\": %llu},\n",
+          static_cast<unsigned long long>(R.Spacing),
+          R.Spacing == DefaultSpacing ? "true" : "false", R.TI.Checkpoints,
+          R.TI.Keyframes, static_cast<unsigned long long>(R.TI.Bytes),
+          static_cast<unsigned long long>(R.TI.PagesSaved),
+          static_cast<unsigned long long>(R.TI.PagesClean), R.StepSec * 1e3,
+          static_cast<unsigned long long>(R.ReplayPerStep));
+    }
+    std::fprintf(
+        J,
+        "    {\"spacing\": 0, \"default\": false, \"ckpts\": %u, "
+        "\"keyframes\": %u, \"bytes\": %llu, \"pages_saved\": %llu, "
+        "\"pages_clean\": %llu, \"step_ms\": %.3f, \"replayed\": %llu}\n"
+        "  ],\n"
+        "  \"speedup_wall\": %.1f,\n"
+        "  \"speedup_instrs\": %.1f,\n"
+        "  \"roundtrip_identical\": %s,\n"
+        "  \"roundtrip_targets\": [\"%s\", \"%s\", \"%s\", \"%s\"]\n"
+        "}\n",
+        FromStart.TI.Checkpoints, FromStart.TI.Keyframes,
+        static_cast<unsigned long long>(FromStart.TI.Bytes),
+        static_cast<unsigned long long>(FromStart.TI.PagesSaved),
+        static_cast<unsigned long long>(FromStart.TI.PagesClean),
+        FromStart.StepSec * 1e3,
+        static_cast<unsigned long long>(FromStart.ReplayPerStep), Speedup,
+        InstrRatio, AllIdentical ? "true" : "false", TripTargets[0].c_str(),
+        TripTargets[1].c_str(), TripTargets[2].c_str(),
+        TripTargets[3].c_str());
+    std::fclose(J);
+    std::printf("\nwrote BENCH_reverse.json\n");
+  }
+
+  return Ok ? 0 : 1;
+}

@@ -39,6 +39,17 @@ const char *HelpText =
     "  step (s)                       run to the next stopping point\n"
     "  next (n)                       like step, but skip over calls\n"
     "  finish                         run until the caller is current\n"
+    "  record [on|off]                checkpointed recording: the nub\n"
+    "                                 snapshots dirty pages every\n"
+    "                                 LDB_CHECKPOINT_SPACING instructions\n"
+    "                                 (keyframe every LDB_CHECKPOINT_KEYINT,\n"
+    "                                 byte cap LDB_CHECKPOINT_BUDGET)\n"
+    "  reverse-step (rs)              back to the previous stopping point\n"
+    "  reverse-next (rn)              like reverse-step, but stay in this\n"
+    "                                 frame or a shallower one\n"
+    "  reverse-finish                 back to before this call was made\n"
+    "  reverse-continue (rc)          back to the previous breakpoint stop\n"
+    "  info timeline                  checkpoint store and replay counters\n"
     "  status                         why and where the target stopped\n"
     "  where (bt)                     backtrace\n"
     "  frame N                        select frame N for print/eval/set\n"
@@ -431,6 +442,19 @@ std::string CommandInterpreter::execute(const std::string &Line) {
     Out += "trace:          " + std::to_string(St.TraceDrains) +
            " drains, " + std::to_string(St.TraceRecords) + " records, " +
            std::to_string(St.TraceDrainBytes) + " bytes\n";
+    Out += "timeline:       " + std::to_string(ES.Seeks) + " seeks, " +
+           std::to_string(ES.Reverses) + " reverse commands\n";
+    if (Current->recording()) {
+      Expected<nub::TimelineInfo> TI = Current->timeline();
+      if (TI)
+        Out += "checkpoints:    " + std::to_string(TI->Checkpoints) +
+               " held (" + std::to_string(TI->Bytes) + " bytes, " +
+               std::to_string(TI->Evictions) + " evicted), " +
+               std::to_string(TI->PagesSaved) + " pages saved, " +
+               std::to_string(TI->PagesClean) + " skipped clean, " +
+               std::to_string(TI->Restores) + " restores, " +
+               std::to_string(TI->ReplayedInstrs) + " replayed\n";
+    }
     return Out;
   }
 
@@ -460,6 +484,61 @@ std::string CommandInterpreter::execute(const std::string &Line) {
       return errText(E.message());
     Expected<std::string> Where = describeStop(*Current);
     return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "record") {
+    if (Words.size() > 1 && Words[1] != "on" && Words[1] != "off")
+      return errText("record [on|off]");
+    if (Words.size() > 1 && Words[1] == "off") {
+      if (Error E = S->disableRecording())
+        return errText(E.message());
+      return "recording off\n";
+    }
+    if (Error E = S->enableRecording())
+      return errText(E.message());
+    return "recording from instruction " +
+           std::to_string(Current->stopIcount()) + "\n";
+  }
+
+  if (Cmd == "reverse-step" || Cmd == "rs" || Cmd == "reverse-next" ||
+      Cmd == "rn" || Cmd == "reverse-finish" || Cmd == "reverse-continue" ||
+      Cmd == "rc") {
+    Error E = (Cmd == "reverse-step" || Cmd == "rs") ? S->reverseStep()
+              : (Cmd == "reverse-next" || Cmd == "rn") ? S->reverseNext()
+              : Cmd == "reverse-finish"                ? S->reverseFinish()
+                                                       : S->reverseContinue();
+    if (E)
+      return errText(E.message());
+    Expected<std::string> Where = describeStop(*Current);
+    return (Where ? *Where : std::string("stopped")) + "\n";
+  }
+
+  if (Cmd == "timeline" ||
+      (Cmd == "info" && Words.size() > 1 && Words[1] == "timeline")) {
+    Expected<nub::TimelineInfo> TI = Current->timeline();
+    if (!TI)
+      return errText(TI.message());
+    std::string Out;
+    Out += std::string("recording:      ") + (TI->Enabled ? "on" : "off") +
+           "\n";
+    Out += "instructions:   " + std::to_string(TI->CurIcount) + " now, " +
+           std::to_string(TI->MaxIcount) + " max recorded\n";
+    Out += "checkpoints:    " + std::to_string(TI->Checkpoints) + " (" +
+           std::to_string(TI->Keyframes) + " keyframes), every " +
+           std::to_string(TI->Spacing) + " instructions, keyframe every " +
+           std::to_string(TI->KeyInterval) + "\n";
+    Out += "store:          " + std::to_string(TI->Bytes) + " bytes, " +
+           std::to_string(TI->Evictions) + " chains evicted, oldest " +
+           "restorable " + std::to_string(TI->OldestRestorable) + "\n";
+    Out += "pages:          " + std::to_string(TI->PagesSaved) +
+           " snapshotted, " + std::to_string(TI->PagesClean) +
+           " skipped clean\n";
+    Out += "replay:         " + std::to_string(TI->Restores) + " restores, " +
+           std::to_string(TI->ReplayedInstrs) + " instructions re-executed, " +
+           std::to_string(Current->execStats().Seeks) + " seeks, " +
+           std::to_string(Current->execStats().Reverses) +
+           " reverse commands\n";
+    return Out;
   }
 
   if (Cmd == "status") {

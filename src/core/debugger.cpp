@@ -84,6 +84,24 @@ void Ldb::disconnect(const std::string &ProcName) {
     return;
   Target &T = It->second->target();
   if (T.connected()) {
+    // The nub outlives the connection and waits for the next debugger:
+    // detach must leave the process as if it had never been debugged.
+    // Break words left planted would refuse the next debugger's plants
+    // (no no-op at the site) and trap with nobody listening; condition
+    // or tracepoint records left in the nub would hand that debugger
+    // decisions it never asked for the moment it plants the same site
+    // (hits silently auto-resumed at what it believes are plain
+    // breakpoints). The delete paths unplant and clear both, and they
+    // are best-effort on a dying process — a failed store costs nothing.
+    std::vector<int> BpIds, TpIds;
+    for (const auto &[Id, U] : T.userBreakpoints())
+      BpIds.push_back(Id);
+    for (const auto &[Id, Tp] : T.tracepoints())
+      TpIds.push_back(Id);
+    for (int Id : BpIds)
+      (void)T.deleteUserBreakpoint(Id);
+    for (int Id : TpIds)
+      (void)T.deleteTracepoint(Id);
     Error E = T.client().detach();
     (void)E; // the process may already be gone
   }

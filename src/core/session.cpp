@@ -534,6 +534,169 @@ Error exec::stepOut(Target &T) {
   return RunError;
 }
 
+//===----------------------------------------------------------------------===//
+// Reverse execution (checkpoint restore + deterministic forward replay)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One replayed stop on the way from a checkpoint back up to "now".
+/// (Icount, Pc) identifies a stop uniquely along one timeline: equal
+/// icounts mean no instruction retired between the stops — adjacent
+/// planted sites — whose pcs necessarily differ, and a revisited pc (a
+/// loop) has retired instructions in between.
+struct ReplayStop {
+  uint64_t Icount = 0;
+  uint32_t Pc = 0;
+  uint32_t Vfp = 0;
+  bool HasVfp = false;
+};
+
+enum class ReverseKind { Step, Next, Finish, Continue };
+
+Error reverseCommon(Target &T, ReverseKind Kind) {
+  if (!T.recording())
+    return Error::failure("recording is off (use `record on`)");
+  if (!T.stopped() && !T.exited())
+    return Error::failure("the process has not stopped yet");
+  if (!T.stopHasIcount())
+    return Error::failure(
+        "the nub reported no instruction count for this stop");
+  ++T.execStats().Reverses;
+
+  const uint64_t Now = T.stopIcount();
+  const bool NowExited = T.exited();
+  const uint32_t NowPc = NowExited ? 0 : T.lastStop().Pc;
+
+  // The depth reference for reverse-next/finish: the frame we are in
+  // now. Without a walkable frame reverse-next degrades to reverse-step.
+  bool HaveVfp = false;
+  uint32_t CurVfp = 0;
+  if ((Kind == ReverseKind::Next || Kind == ReverseKind::Finish) &&
+      T.stopped())
+    if (Expected<FrameInfo> F = T.frame(0)) {
+      HaveVfp = true;
+      CurVfp = F->Vfp;
+    }
+  if (Kind == ReverseKind::Finish && !HaveVfp)
+    return Error::failure("no frame to finish out of in reverse");
+
+  auto qualifies = [&](const ReplayStop &S) {
+    switch (Kind) {
+    case ReverseKind::Next:
+      return !HaveVfp || (S.HasVfp && S.Vfp >= CurVfp);
+    case ReverseKind::Finish:
+      return S.HasVfp && S.Vfp > CurVfp;
+    default:
+      return true;
+    }
+  };
+  // The replay op matches the command family: stepping stops enumerate
+  // every stopping point reached; continue stops honor breakpoint
+  // conditions and ignore counts exactly as the forward run did (the
+  // seek rewound their counters, so they re-decide identically).
+  auto forwardOp = [&T, Kind] {
+    return Kind == ReverseKind::Continue ? exec::continueToStop(T)
+                                         : exec::stepToNextStop(T);
+  };
+
+  // Pass 1: restore the nearest checkpoint below the search ceiling and
+  // enumerate the stops forward re-execution passes through; the newest
+  // qualifying one strictly before now is the destination. An interval
+  // without one sends the search a checkpoint further back — only over
+  // the not-yet-searched range — bottoming out at the recording's first
+  // keyframe.
+  uint64_t SeekBelow = Now;
+  uint64_t SearchedDown = UINT64_MAX; // icounts >= this are already searched
+  uint64_t PrevBase = UINT64_MAX;
+  for (;;) {
+    if (SeekBelow == 0) {
+      if (Kind == ReverseKind::Finish)
+        return Error::failure("no shallower frame in the recorded history");
+      return T.seekTo(0); // the recording's first keyframe
+    }
+    if (Error E = T.seekTo(SeekBelow - 1))
+      return E;
+    const uint64_t Base = T.stopIcount();
+    if (Base == PrevBase) {
+      // The store has nothing older: settle at the recording floor.
+      if (Kind == ReverseKind::Finish)
+        return Error::failure("no shallower frame in the recorded history");
+      return T.seekTo(Base);
+    }
+    std::vector<ReplayStop> Stops;
+    for (uint64_t Guard = 0; Guard <= 5000000; ++Guard) {
+      if (Error E = forwardOp())
+        return E;
+      if (T.exited() || !T.stopped())
+        break; // the exit is "now" (or past everything recorded before it)
+      ReplayStop S;
+      S.Icount = T.stopIcount();
+      S.Pc = T.lastStop().Pc;
+      if (SearchedDown == UINT64_MAX) {
+        // First interval: the ceiling is the current stop itself.
+        if (S.Icount > Now || (S.Icount == Now && S.Pc == NowPc))
+          break;
+      } else if (S.Icount > SearchedDown) {
+        break; // into territory an earlier interval already searched
+      }
+      if (Kind == ReverseKind::Next || Kind == ReverseKind::Finish)
+        if (Expected<FrameInfo> F = T.frame(0)) {
+          S.HasVfp = true;
+          S.Vfp = F->Vfp;
+        }
+      Stops.push_back(S);
+    }
+    size_t Chosen = Stops.size();
+    for (size_t K = Stops.size(); K-- > 0;)
+      if (qualifies(Stops[K])) {
+        Chosen = K;
+        break;
+      }
+    if (Chosen < Stops.size()) {
+      // Pass 2: land exactly there — re-restore the same checkpoint
+      // (its icount is an exact key) and replay the counted ops.
+      // Determinism makes the replay byte-identical to pass 1.
+      const ReplayStop Dest = Stops[Chosen];
+      if (Error E = T.seekTo(Base))
+        return E;
+      for (size_t K = 0; K <= Chosen; ++K)
+        if (Error E = forwardOp())
+          return E;
+      if (!T.stopped() || T.stopIcount() != Dest.Icount ||
+          T.lastStop().Pc != Dest.Pc)
+        return Error::failure(
+            "reverse re-execution diverged from the recording");
+      return Error::success();
+    }
+    SearchedDown = Base;
+    PrevBase = Base;
+    SeekBelow = Base;
+  }
+}
+
+} // namespace
+
+Error exec::reverseStep(Target &T) {
+  Target::Scope S(T);
+  return reverseCommon(T, ReverseKind::Step);
+}
+
+Error exec::reverseNext(Target &T) {
+  Target::Scope S(T);
+  return reverseCommon(T, ReverseKind::Next);
+}
+
+Error exec::reverseFinish(Target &T) {
+  Target::Scope S(T);
+  return reverseCommon(T, ReverseKind::Finish);
+}
+
+Error exec::reverseContinue(Target &T) {
+  Target::Scope S(T);
+  return reverseCommon(T, ReverseKind::Continue);
+}
+
 Error exec::continueToStop(Target &T) {
   Target::Scope S(T);
   // Any stop this returns at is a real stop: warm the reads the user's

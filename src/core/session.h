@@ -70,6 +70,22 @@ Error stepOver(Target &T);
 Error stepOut(Target &T);
 Error continueToStop(Target &T);
 
+/// Reverse execution over a recording target: restore the nearest
+/// checkpoint below the current stop and re-execute forward under the
+/// scoped-stepping machinery, landing on the latest qualifying stop
+/// strictly before now — the previous stopping point (reverse-step), the
+/// previous one in this frame or a shallower one (reverse-next), the
+/// last stop before this procedure was entered (reverse-finish), or the
+/// previous breakpoint stop with conditions and ignore counts honored
+/// (reverse-continue). Cost is bounded: one checkpoint restore plus at
+/// most one checkpoint interval of re-execution per interval searched.
+/// reverse-step and reverse-continue past the oldest qualifying stop
+/// settle at the recording's first keyframe.
+Error reverseStep(Target &T);
+Error reverseNext(Target &T);
+Error reverseFinish(Target &T);
+Error reverseContinue(Target &T);
+
 } // namespace exec
 
 /// One debugging session: a connected target plus the per-session state
@@ -115,6 +131,15 @@ public:
   Error stepOver() { return ranTo(exec::stepOver(*T)); }
   Error stepOut() { return ranTo(exec::stepOut(*T)); }
   Error continueToStop() { return ranTo(exec::continueToStop(*T)); }
+
+  // Time travel. Reverse commands move the stop, so they too reset the
+  // frame selection.
+  Error enableRecording() { return T->enableRecording(); }
+  Error disableRecording() { return T->disableRecording(); }
+  Error reverseStep() { return ranTo(exec::reverseStep(*T)); }
+  Error reverseNext() { return ranTo(exec::reverseNext(*T)); }
+  Error reverseFinish() { return ranTo(exec::reverseFinish(*T)); }
+  Error reverseContinue() { return ranTo(exec::reverseContinue(*T)); }
 
 private:
   Error ranTo(Error E) {

@@ -12,6 +12,7 @@
 #include "support/byteorder.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 
 using namespace ldb;
@@ -170,6 +171,11 @@ Error Target::requireStopped() const {
 Error Target::resume(bool AllowAutoResume) {
   if (Error E = requireStopped())
     return E;
+  // While recording, remember this stop's counters before leaving it: a
+  // later seek below this instant rewinds to exactly what the user saw
+  // here (hit bumps made while stopped — host condition evaluation, an
+  // `ignore` command — ride with the stop they belong to).
+  logTimelineEvent();
   // Ship dirty condition/tracepoint records before an auto-resume
   // continue; with at least one record live in the nub the continue runs
   // in auto-resume mode and false, ignored, and traced hits settle in the
@@ -186,8 +192,11 @@ Error Target::resume(bool AllowAutoResume) {
   // pc in the context (paper Sec 3). The store is posted, not awaited: it
   // rides the request window with the Continue (the link delivers in
   // order, so the nub applies it first), and a failure surfaces from
-  // doContinue.
-  if (Stop->Signo == nub::SigTrap) {
+  // doContinue. A seek-restored stop (SigPause) gets the same treatment:
+  // a checkpoint taken at a trap instant restores its pc onto the break
+  // word, and replaying forward must skip it exactly as the original
+  // resume did.
+  if (Stop->Signo == nub::SigTrap || Stop->Signo == nub::SigPause) {
     Expected<uint32_t> Pc = ctxPc();
     if (!Pc)
       return Pc.takeError();
@@ -407,6 +416,7 @@ Error Target::plantBreakpoint(uint32_t Addr) {
                                Bp.InstrSize, Bp.BreakWord))
     return E;
   Breakpoints[Addr] = static_cast<uint32_t>(Word);
+  EverPlanted.insert(Addr);
   return Error::success();
 }
 
@@ -502,8 +512,10 @@ Error Target::plantBreakpoints(const std::vector<uint32_t> &Addrs) {
     Blocks.push_back(std::move(Block));
     Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, R.Begin),
                          Blocks.back().size(), Blocks.back().data(), nullptr);
-    for (uint32_t A : R.Sites)
+    for (uint32_t A : R.Sites) {
       Breakpoints[A] = Bp.NopWord;
+      EverPlanted.insert(A);
+    }
   }
   return Wire->awaitPosted();
 }
@@ -650,6 +662,7 @@ Error Target::plantTemporaries(const std::vector<uint32_t> &Addrs) {
     for (uint32_t A : R.Sites) {
       Breakpoints[A] = Bp.NopWord;
       TempSites.insert(A);
+      EverPlanted.insert(A);
     }
     Exec.TempPlants += R.Sites.size();
   }
@@ -1025,4 +1038,138 @@ Error Target::drainTraceRecords() {
     if (D.Records.empty())
       return Error::failure("trace drain made no progress");
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Time travel
+//===----------------------------------------------------------------------===//
+
+Error Target::enableRecording() {
+  if (Error E = requireStopped())
+    return E;
+  uint64_t Spacing = 0, Budget = 0;
+  uint32_t KeyInt = 0;
+  if (const char *S = std::getenv("LDB_CHECKPOINT_SPACING"))
+    Spacing = std::strtoull(S, nullptr, 10);
+  if (const char *S = std::getenv("LDB_CHECKPOINT_KEYINT"))
+    KeyInt = static_cast<uint32_t>(std::strtoul(S, nullptr, 10));
+  if (const char *S = std::getenv("LDB_CHECKPOINT_BUDGET"))
+    Budget = std::strtoull(S, nullptr, 10);
+  // Zero spacing/interval pick the nub defaults; zero budget is
+  // unbounded (the LRU eviction never fires).
+  if (Error E = Client->setCheckpointPolicy(true, Spacing, KeyInt, Budget))
+    return E;
+  RecordingOn = true;
+  // The recording starts from this stop: log its counters as the rewind
+  // floor for seeks below every later stop.
+  TimelineLog.clear();
+  logTimelineEvent();
+  return Error::success();
+}
+
+Error Target::disableRecording() {
+  if (!connected())
+    return Error::failure("not connected to a process");
+  if (Error E = Client->setCheckpointPolicy(false, 0, 0, 0))
+    return E;
+  RecordingOn = false;
+  TimelineLog.clear();
+  return Error::success();
+}
+
+Expected<nub::TimelineInfo> Target::timeline() {
+  if (!connected())
+    return Error::failure("not connected to a process");
+  nub::TimelineInfo Info;
+  if (Error E = Client->queryTimeline(Info))
+    return E;
+  return Info;
+}
+
+void Target::logTimelineEvent() {
+  if (!RecordingOn || !Stop)
+    return;
+  TimelineEvent Ev;
+  Ev.Icount = stopIcount();
+  Ev.Bps.reserve(UserBps.size());
+  for (const auto &[Id, U] : UserBps)
+    Ev.Bps.push_back({Id, U.HitCount, U.Ignore});
+  TimelineLog.push_back(std::move(Ev));
+}
+
+void Target::rewindCounters(const nub::StopInfo &Reply) {
+  uint64_t Restored = Reply.HasIcount ? Reply.Icount : 0;
+  // Host side first: the newest logged stop at or below the restored
+  // instant carries the counters as the user saw them then. (Events are
+  // appended in timeline order, so the scan takes the last match.)
+  const TimelineEvent *Ev = nullptr;
+  for (const TimelineEvent &E : TimelineLog) {
+    if (E.Icount > Restored)
+      break;
+    Ev = &E;
+  }
+  if (Ev)
+    for (const auto &[Id, Hits, Ignore] : Ev->Bps)
+      if (UserBreakpoint *U = userBreakpoint(Id)) {
+        U->HitCount = Hits;
+        U->Ignore = Ignore;
+      }
+  // Truncate the log's future: re-execution is about to rewrite it.
+  while (!TimelineLog.empty() && TimelineLog.back().Icount > Restored)
+    TimelineLog.pop_back();
+  // The nub's restored record counters are authoritative for nub-managed
+  // breakpoints; the seek reply's tail applies absolutely — a rewind can
+  // never be folded as a forward delta, and the monotone guards in
+  // applyCounterSync would (correctly) refuse it.
+  for (const nub::CounterSync &C : Reply.Counters)
+    if (UserBreakpoint *U = userBreakpoint(static_cast<int>(C.Id))) {
+      U->HitCount = C.Hits;
+      U->Ignore = C.Ignore;
+      U->Dirty = false; // host and nub agree at this instant
+    }
+  Exec.NubCondEvals = Reply.NubCondEvals;
+  Exec.NubLocalResumes = Reply.NubLocalResumes;
+}
+
+Error Target::seekTo(uint64_t Icount) {
+  if (!connected())
+    return Error::failure("not connected to a process");
+  if (!RecordingOn)
+    return Error::failure("recording is off (use `record on`)");
+  if (!Stop)
+    return Error::failure("the process has not stopped yet");
+  if (!TempSites.empty())
+    return Error::failure("cannot seek with stepping temporaries planted");
+  nub::StopInfo Next;
+  if (Error E = Client->seek(Icount, Next))
+    return E;
+  ++Exec.Seeks;
+  // Time travel invalidates everything derived from target state —
+  // including the code lines a plain run-flush deliberately keeps: the
+  // restored image carries the snapshot's break words, not today's.
+  if (Cache)
+    Cache->invalidateAll();
+  FrameDataCache.clear();
+  Stop = Next;
+  rewindCounters(Next);
+  logTimelineEvent(); // the rewind floor for seeks inside this interval
+  // Sweep every site that ever carried a break word to its current
+  // truth: planted sites get the break word (the snapshot may predate
+  // the plant), everything else reverts to the no-op (the snapshot may
+  // predate the removal). Posted in one pipelined burst.
+  const BreakpointData &Bp = Arch->Bp;
+  ByteOrder Order = Arch->Desc->Order;
+  std::vector<std::array<uint8_t, 4>> Words;
+  Words.reserve(EverPlanted.size()); // postStoreBlock keeps the pointers
+  for (uint32_t A : EverPlanted) {
+    Words.emplace_back();
+    packInt(Breakpoints.count(A) ? Bp.BreakWord : Bp.NopWord,
+            Words.back().data(), Bp.InstrSize, Order);
+    Wire->postStoreBlock(mem::Location::absolute(mem::SpCode, A),
+                         Bp.InstrSize, Words.back().data(), nullptr);
+  }
+  if (Error E = Wire->awaitPosted())
+    return E;
+  seedStopWindow();
+  return Error::success();
 }

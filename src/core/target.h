@@ -33,6 +33,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 namespace ldb::core {
@@ -354,6 +355,45 @@ public:
   uint64_t traceDropped() const { return TraceDropTotal; }
 
   //===--------------------------------------------------------------------===
+  // Time travel: checkpointed recording in the nub, seeks back along the
+  // retired-instruction timeline, reverse execution by re-running forward
+  // from the nearest checkpoint (exec::reverseStep and friends).
+  //===--------------------------------------------------------------------===
+
+  /// Starts (or restarts) recording at the current stop: the nub begins
+  /// taking incremental checkpoints every LDB_CHECKPOINT_SPACING retired
+  /// instructions (default 20000), a self-contained keyframe every
+  /// LDB_CHECKPOINT_KEYINT of them (default 8), and evicts old
+  /// incremental chains once the store passes LDB_CHECKPOINT_BUDGET
+  /// bytes (default unbounded).
+  Error enableRecording();
+  /// Stops recording and drops the nub's checkpoint store.
+  Error disableRecording();
+  bool recording() const { return RecordingOn; }
+
+  /// The retired-instruction count at the last stop — the stop's
+  /// coordinate on the recording timeline (0 when the nub reported none).
+  uint64_t stopIcount() const {
+    return Stop && Stop->HasIcount ? Stop->Icount : 0;
+  }
+  bool stopHasIcount() const { return Stop && Stop->HasIcount; }
+
+  /// The nub's recording state: checkpoint count, store footprint,
+  /// restore and replay counters.
+  Expected<nub::TimelineInfo> timeline();
+
+  /// Seeks to the nearest restorable checkpoint at or below \p Icount and
+  /// reconciles everything host-side that must not survive time travel:
+  /// every cached line (code lines included — the restored image carries
+  /// the snapshot's break words, not today's), the per-procedure frame
+  /// data, planted break words (every site that ever held one is swept to
+  /// its current truth), and breakpoint counters (rewound from the
+  /// per-stop timeline log, then overridden by the nub's restored
+  /// absolute counters). Leaves the target stopped at the restored
+  /// instant; re-executing forward is the caller's business.
+  Error seekTo(uint64_t Icount);
+
+  //===--------------------------------------------------------------------===
   // Execution-control counters (the `stats` command reports them next to
   // the transport counters).
   //===--------------------------------------------------------------------===
@@ -371,6 +411,8 @@ public:
     uint64_t CondShips = 0;     ///< condition/tracepoint records shipped
     uint64_t NubCondEvals = 0;  ///< nub-side condition evals (absolute)
     uint64_t NubLocalResumes = 0; ///< nub-side local resumes (absolute)
+    uint64_t Seeks = 0;         ///< timeline seeks (checkpoint restores)
+    uint64_t Reverses = 0;      ///< reverse-execution commands
     void reset() { *this = ExecStats(); }
   };
   ExecStats &execStats() { return Exec; }
@@ -438,6 +480,30 @@ private:
   uint64_t TraceDropTotal = 0;
   bool NubCondEnabled = true;
   ExecStats Exec;
+
+  bool RecordingOn = false;
+  /// Every site that ever carried a break word: the seek sweep writes
+  /// each one's *current* truth over whatever plant state the restored
+  /// snapshot happened to capture. Never pruned — removal is what makes
+  /// a site's restored break word stale.
+  std::set<uint32_t> EverPlanted;
+  /// Host-side breakpoint counters witnessed at each recorded stop, so a
+  /// seek can rewind them. Nub-managed records override from the seek
+  /// reply's restored counter tail; this log is what rewinds the
+  /// host-evaluated rest.
+  struct TimelineEvent {
+    uint64_t Icount = 0;
+    std::vector<std::tuple<int, uint64_t, uint64_t>> Bps; ///< id,hits,ignore
+  };
+  std::vector<TimelineEvent> TimelineLog;
+  /// Snapshots the current stop's counters into the log (no-op unless
+  /// recording); called on the way into every resume, so host-side bumps
+  /// made while stopped ride with the stop they belong to.
+  void logTimelineEvent();
+  /// The seek half of the counter contract: rewind host counters from
+  /// the log, truncate the log's future, then apply the reply's restored
+  /// nub counters absolutely (a rewind cannot fold as a forward delta).
+  void rewindCounters(const nub::StopInfo &Reply);
 };
 
 } // namespace ldb::core

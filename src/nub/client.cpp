@@ -44,6 +44,7 @@ void NubClient::countRequestSent(MsgKind Kind) {
   case MsgKind::SetCondition:
   case MsgKind::ClearCondition:
   case MsgKind::SetTracepoint:
+  case MsgKind::SetCheckpointPolicy:
     ++Stats->CondMsgsSent;
     break;
   case MsgKind::DrainTrace:
@@ -119,6 +120,12 @@ bool idempotent(MsgKind Kind) {
   case MsgKind::ClearCondition:
   case MsgKind::SetTracepoint:
   case MsgKind::DrainTrace:
+  // The checkpoint kinds are idempotent by design: re-enabling resets
+  // the store onto the same keyframe, re-seeking restores the same
+  // checkpoint, and a timeline query is a pure read.
+  case MsgKind::SetCheckpointPolicy:
+  case MsgKind::Seek:
+  case MsgKind::TimelineQuery:
     return true;
   default:
     return false;
@@ -474,6 +481,8 @@ void parseCounterTail(MsgReader &Msg, StopInfo &Out) {
   Out.NubCondEvals = 0;
   Out.NubLocalResumes = 0;
   Out.Counters.clear();
+  Out.HasIcount = false;
+  Out.Icount = 0;
   if (Msg.atEnd())
     return;
   uint8_t Decision = StopHostDecides;
@@ -492,6 +501,13 @@ void parseCounterTail(MsgReader &Msg, StopInfo &Out) {
   Out.NubCondEvals = Evals;
   Out.NubLocalResumes = Resumes;
   Out.Counters = std::move(Counters);
+  // A recording-aware nub appends the stop's retired-instruction count;
+  // an older tail just ends here.
+  uint64_t Icount = 0;
+  if (Msg.remaining() >= 8 && Msg.u64(Icount)) {
+    Out.HasIcount = true;
+    Out.Icount = Icount;
+  }
 }
 
 bool parseStop(MsgReader &Msg, StopInfo &Out) {
@@ -671,6 +687,55 @@ Error NubClient::drainTrace(TraceDrain &Out) {
     Stats->TraceRecords += Out.Records.size();
     Stats->TraceDrainBytes += RecordBytes;
   }
+  return Error::success();
+}
+
+Error NubClient::setCheckpointPolicy(bool Enable, uint64_t Spacing,
+                                     uint32_t KeyInterval, uint64_t Budget) {
+  MsgWriter W(MsgKind::SetCheckpointPolicy);
+  W.u8(Enable ? 1 : 0).u64(Spacing).u32(KeyInterval).u64(Budget);
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::SetCheckpointPolicy, W, Msg))
+    return E;
+  return expectAck(Msg, "checkpoint policy");
+}
+
+Error NubClient::seek(uint64_t Target, StopInfo &Out) {
+  Pending.reset();
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E =
+          transact(MsgKind::Seek, MsgWriter(MsgKind::Seek).u64(Target), Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused seek: " + Reason);
+  }
+  if (!parseStop(Msg, Out))
+    return Error::failure("unexpected reply to seek");
+  return Error::success();
+}
+
+Error NubClient::queryTimeline(TimelineInfo &Out) {
+  MsgReader Msg(MsgKind::Ack, {});
+  if (Error E = transact(MsgKind::TimelineQuery,
+                         MsgWriter(MsgKind::TimelineQuery), Msg))
+    return E;
+  if (Msg.kind() == MsgKind::Nak) {
+    std::string Reason;
+    Msg.str(Reason);
+    return Error::failure("nub refused timeline query: " + Reason);
+  }
+  uint8_t Enabled = 0;
+  if (Msg.kind() != MsgKind::TimelineReply || !Msg.u8(Enabled) ||
+      !Msg.u64(Out.CurIcount) || !Msg.u64(Out.MaxIcount) ||
+      !Msg.u64(Out.OldestRestorable) || !Msg.u32(Out.Checkpoints) ||
+      !Msg.u32(Out.Keyframes) || !Msg.u64(Out.Bytes) || !Msg.u64(Out.Spacing) ||
+      !Msg.u32(Out.KeyInterval) || !Msg.u32(Out.Evictions) ||
+      !Msg.u32(Out.Restores) || !Msg.u64(Out.PagesSaved) ||
+      !Msg.u64(Out.PagesClean) || !Msg.u64(Out.ReplayedInstrs))
+    return Error::failure("unexpected reply to timeline query");
+  Out.Enabled = Enabled != 0;
   return Error::success();
 }
 

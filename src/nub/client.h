@@ -78,6 +78,29 @@ struct StopInfo {
   uint32_t NubCondEvals = 0;
   uint32_t NubLocalResumes = 0;
   std::vector<CounterSync> Counters;
+  /// Retired instructions at the stop — the stop's coordinate on the
+  /// recording timeline. False when the tail carried no count (an older
+  /// or non-recording nub).
+  bool HasIcount = false;
+  uint64_t Icount = 0;
+};
+
+/// What a TimelineQuery learns about the nub's recording state.
+struct TimelineInfo {
+  bool Enabled = false;
+  uint64_t CurIcount = 0;
+  uint64_t MaxIcount = 0;
+  uint64_t OldestRestorable = 0;
+  uint32_t Checkpoints = 0;
+  uint32_t Keyframes = 0;
+  uint64_t Bytes = 0;
+  uint64_t Spacing = 0;
+  uint32_t KeyInterval = 0;
+  uint32_t Evictions = 0;
+  uint32_t Restores = 0;
+  uint64_t PagesSaved = 0;
+  uint64_t PagesClean = 0;
+  uint64_t ReplayedInstrs = 0;
 };
 
 /// The debugger's half of a SetCondition record (see protocol.h for the
@@ -142,6 +165,21 @@ public:
   /// Drains one reply's worth of buffered tracepoint records; loop while
   /// Out.Remaining is nonzero for everything.
   Error drainTrace(TraceDrain &Out);
+
+  /// Enables (resetting the store and taking a fresh keyframe) or
+  /// disables checkpointed recording. Zero \p Spacing or \p KeyInterval
+  /// select the nub defaults; \p Budget of 0 is unbounded. Idempotent on
+  /// the wire.
+  Error setCheckpointPolicy(bool Enable, uint64_t Spacing,
+                            uint32_t KeyInterval, uint64_t Budget);
+
+  /// Restores the nearest restorable checkpoint at or below \p Target
+  /// retired instructions; the nub answers with a Stopped describing the
+  /// restored state, parsed into \p Out like a doContinue stop.
+  Error seek(uint64_t Target, StopInfo &Out);
+
+  /// Reads the nub's recording state.
+  Error queryTimeline(TimelineInfo &Out);
 
   Error kill();
   Error detach();

@@ -6,6 +6,8 @@
 
 #include "nub/nub.h"
 
+#include <algorithm>
+
 using namespace ldb;
 using namespace ldb::nub;
 using namespace ldb::target;
@@ -23,6 +25,7 @@ void NubProcess::enter(uint32_t Entry) {
   // take control. The context captures the startup state.
   Signo = SigPause;
   SigCode = 0;
+  StopPc = M.Pc;
   Md.saveContext(M, CtxAddr, Signo, SigCode);
   St = State::Stopped;
   if (attached())
@@ -112,6 +115,10 @@ void NubProcess::appendCounterTail(MsgWriter &W) {
   W.u32(static_cast<uint32_t>(Conds.size()));
   for (const auto &Entry : Conds)
     W.u32(Entry.second.Id).u32(Entry.second.Hits).u32(Entry.second.Ignore);
+  // The retired-instruction count at the stop: the time coordinate the
+  // reverse commands steer by. Trails the entries so a pre-recording
+  // client's parse simply stops short of it.
+  W.u64(M.Icount);
 }
 
 void NubProcess::onReadable() {
@@ -194,6 +201,15 @@ void NubProcess::handleMessage(MsgReader &Msg) {
     return;
   case MsgKind::DrainTrace:
     handleDrainTrace(Msg);
+    return;
+  case MsgKind::SetCheckpointPolicy:
+    handleSetCheckpointPolicy(Msg);
+    return;
+  case MsgKind::Seek:
+    handleSeek(Msg);
+    return;
+  case MsgKind::TimelineQuery:
+    handleTimelineQuery(Msg);
     return;
   case MsgKind::Kill:
     St = State::Exited;
@@ -460,6 +476,287 @@ void NubProcess::handleDrainTrace(MsgReader &Msg) {
   send(W);
 }
 
+//===----------------------------------------------------------------------===//
+// Checkpointed recording (time travel). The nub snapshots the machine at
+// spacing boundaries on its retired-instruction clock: registers, the
+// nub-side counters, and — thanks to the simulator's write barrier — only
+// the pages dirtied since the previous snapshot, with a self-contained
+// keyframe every KeyInterval checkpoints bounding restore cost. A Seek
+// restores the nearest intact checkpoint at or below the target count;
+// re-executing forward from there is the debugger's business.
+//===----------------------------------------------------------------------===//
+
+void NubProcess::handleSetCheckpointPolicy(MsgReader &Msg) {
+  uint8_t Enable = 0;
+  uint64_t Spacing = 0, Budget = 0;
+  uint32_t KeyInt = 0;
+  if (!Msg.u8(Enable) || !Msg.u64(Spacing) || !Msg.u32(KeyInt) ||
+      !Msg.u64(Budget))
+    return nak("malformed checkpoint policy");
+  if (!Enable) {
+    Recording = false;
+    Ckpts.clear();
+    CkBytes = 0;
+    CkSinceKey = 0;
+    CkBaselineValid = false;
+    M.setTrackDirty(false);
+    send(MsgWriter(MsgKind::Ack));
+    return;
+  }
+  if (St != State::Stopped)
+    return nak("process is not stopped");
+  Recording = true;
+  CkSpacing = Spacing ? Spacing : DefaultCheckpointSpacing;
+  CkKeyInterval = KeyInt ? KeyInt : 8;
+  CkBudget = Budget;
+  Ckpts.clear();
+  CkBytes = 0;
+  CkSinceKey = 0;
+  CkBaselineValid = false;
+  MaxIcount = M.Icount;
+  CkEvictions = CkRestores = 0;
+  CkPagesSaved = CkPagesClean = ReplayedInstrs = 0;
+  // Records already collected predate the recording: the ring must not
+  // re-collect them, and hits below the mark are not replays.
+  for (auto &E : Traces)
+    E.second.RecordedHits = E.second.Hits;
+  M.setTrackDirty(true);
+  M.clearDirty();
+  // Checkpoint zero: a keyframe of the state being recorded from. Never
+  // evicted, so a seek below everything else still has a floor. Taking
+  // it here also makes a re-enable (idempotent retransmit) land on
+  // exactly the state the first copy produced.
+  takeCheckpoint();
+  send(MsgWriter(MsgKind::Ack));
+}
+
+void NubProcess::takeCheckpoint() {
+  Checkpoint C;
+  C.Icount = M.Icount;
+  // A restore invalidates the dirty baseline (the map then measures
+  // against the restored instant, not the chain tip), so the first
+  // checkpoint after one must be self-contained.
+  C.Key = !CkBaselineValid || Ckpts.empty() || CkSinceKey + 1 >= CkKeyInterval;
+  C.PrevIcount = Ckpts.empty() ? 0 : Ckpts.rbegin()->first;
+  C.Pc = M.Pc;
+  C.ShadowReg = M.shadowReg();
+  C.Gpr.resize(desc().NumGpr);
+  for (unsigned R = 0; R < desc().NumGpr; ++R)
+    C.Gpr[R] = M.gpr(R);
+  C.Fpr.resize(desc().NumFpr);
+  for (unsigned R = 0; R < desc().NumFpr; ++R)
+    C.Fpr[R] = M.fpr(R);
+  C.ConsoleLen = M.ConsoleOut.size();
+  for (const auto &E : Conds)
+    C.CondCounters[E.first] = {E.second.Hits, E.second.Ignore};
+  for (const auto &E : Traces)
+    C.TraceHitCounts[E.first] = E.second.Hits;
+  C.Bytes = 256; // registers, counters, bookkeeping
+  if (C.Key) {
+    C.FullMem = M.memBytes();
+    C.Bytes += C.FullMem.size();
+    CkPagesSaved += M.pageCount();
+    CkSinceKey = 0;
+  } else {
+    const std::vector<uint8_t> &Dirty = M.dirtyPages();
+    const std::vector<uint8_t> &Mem = M.memBytes();
+    for (size_t P = 0; P < Dirty.size(); ++P) {
+      if (!Dirty[P]) {
+        ++CkPagesClean;
+        continue;
+      }
+      size_t Off = P * target::Machine::PageSize;
+      size_t N = std::min<size_t>(target::Machine::PageSize, Mem.size() - Off);
+      C.Pages[static_cast<uint32_t>(P)]
+          .assign(Mem.begin() + Off, Mem.begin() + Off + N);
+      C.Bytes += N;
+      ++CkPagesSaved;
+    }
+    ++CkSinceKey;
+  }
+  M.clearDirty();
+  CkBaselineValid = true;
+  auto Old = Ckpts.find(C.Icount);
+  if (Old != Ckpts.end())
+    CkBytes -= Old->second.Bytes;
+  CkBytes += C.Bytes;
+  Ckpts[C.Icount] = std::move(C);
+  enforceCheckpointBudget();
+}
+
+void NubProcess::enforceCheckpointBudget() {
+  if (CkBudget == 0)
+    return;
+  // Evict whole incremental chains, oldest first: an incremental whose
+  // predecessor is gone can never be restored, so partial eviction only
+  // strands dead weight. Keyframes are never evicted — they are what a
+  // seek into an evicted span degrades to — and the newest chain is
+  // live (the next checkpoint extends it).
+  while (CkBytes > CkBudget) {
+    uint64_t NewestKey = 0;
+    for (auto It = Ckpts.rbegin(); It != Ckpts.rend(); ++It)
+      if (It->second.Key) {
+        NewestKey = It->first;
+        break;
+      }
+    auto Victim = Ckpts.end();
+    for (auto It = Ckpts.begin(); It != Ckpts.end(); ++It)
+      if (!It->second.Key && It->first < NewestKey) {
+        Victim = It;
+        break;
+      }
+    if (Victim == Ckpts.end())
+      return; // only keyframes and the live chain left: the floor
+    while (Victim != Ckpts.end() && !Victim->second.Key) {
+      CkBytes -= Victim->second.Bytes;
+      ++CkEvictions;
+      Victim = Ckpts.erase(Victim);
+    }
+  }
+}
+
+const NubProcess::Checkpoint *
+NubProcess::findRestorable(uint64_t Target) const {
+  if (Ckpts.empty())
+    return nullptr;
+  auto It = Ckpts.upper_bound(Target);
+  while (It != Ckpts.begin()) {
+    --It;
+    const Checkpoint *C = &It->second;
+    bool Intact = true;
+    while (!C->Key) {
+      auto P = Ckpts.find(C->PrevIcount);
+      if (P == Ckpts.end()) {
+        Intact = false;
+        break;
+      }
+      C = &P->second;
+    }
+    if (Intact)
+      return &It->second;
+  }
+  // Target precedes everything: degrade to the enable-time keyframe.
+  return &Ckpts.begin()->second;
+}
+
+bool NubProcess::restoreCheckpoint(const Checkpoint &C) {
+  // The incremental chain from C back to its keyframe, applied keyframe
+  // first: memcpy the full image, then overlay each chain link's pages
+  // in icount order.
+  std::vector<const Checkpoint *> Chain;
+  const Checkpoint *P = &C;
+  while (!P->Key) {
+    Chain.push_back(P);
+    auto It = Ckpts.find(P->PrevIcount);
+    if (It == Ckpts.end())
+      return false;
+    P = &It->second;
+  }
+  M.setMemBytes(P->FullMem);
+  for (auto R = Chain.rbegin(); R != Chain.rend(); ++R)
+    for (const auto &Pg : (*R)->Pages)
+      M.writeBytes(Pg.first * target::Machine::PageSize,
+                   static_cast<unsigned>(Pg.second.size()), Pg.second.data());
+  for (unsigned R = 0; R < desc().NumGpr; ++R)
+    M.setGpr(R, C.Gpr[R]);
+  for (unsigned R = 0; R < desc().NumFpr; ++R)
+    M.setFpr(R, C.Fpr[R]);
+  M.Pc = C.Pc;
+  M.setShadowReg(C.ShadowReg);
+  M.Icount = C.Icount;
+  // ConsoleOut only ever grows, so its state at the snapshot is a prefix
+  // of its state now; restoring is truncation.
+  M.ConsoleOut.resize(C.ConsoleLen);
+  // Reinstate the counters so replayed hits re-count from the right
+  // base. A record with no entry did not exist (or had not hit) at the
+  // snapshot instant: its hits start over. RecordedHits deliberately
+  // survives — it is what keeps replayed trace hits out of the ring.
+  for (auto &E : Conds) {
+    auto It = C.CondCounters.find(E.first);
+    if (It != C.CondCounters.end()) {
+      E.second.Hits = It->second.first;
+      E.second.Ignore = It->second.second;
+    } else {
+      E.second.Hits = 0;
+    }
+  }
+  for (auto &E : Traces) {
+    auto It = C.TraceHitCounts.find(E.first);
+    E.second.Hits = It != C.TraceHitCounts.end() ? It->second : 0;
+  }
+  M.clearDirty();
+  CkBaselineValid = false;
+  ++CkRestores;
+  return true;
+}
+
+void NubProcess::handleSeek(MsgReader &Msg) {
+  uint64_t Target = 0;
+  if (!Msg.u64(Target))
+    return nak("malformed seek");
+  if (!Recording)
+    return nak("recording is not enabled");
+  if (St == State::Fresh)
+    return nak("process has not started");
+  const Checkpoint *C = findRestorable(Target);
+  if (!C)
+    return nak("no restorable checkpoint");
+  if (!restoreCheckpoint(*C))
+    return nak("checkpoint chain is damaged");
+  // The restored instant is announced as a stop (echoing this request's
+  // sequence): a pause, not a trap — the instruction at the restored pc
+  // has not executed. A seek also revives an exited process; its
+  // history is still on the timeline.
+  St = State::Stopped;
+  Signo = SigPause;
+  SigCode = 0;
+  StopPc = M.Pc;
+  Md.saveContext(M, CtxAddr, Signo, SigCode);
+  sendStopped();
+}
+
+void NubProcess::handleTimelineQuery(MsgReader &Msg) {
+  (void)Msg;
+  TimelineInfo T = timelineInfo();
+  MsgWriter W(MsgKind::TimelineReply);
+  W.u8(T.Enabled ? 1 : 0)
+      .u64(T.CurIcount)
+      .u64(T.MaxIcount)
+      .u64(T.OldestRestorable)
+      .u32(T.Checkpoints)
+      .u32(T.Keyframes)
+      .u64(T.Bytes)
+      .u64(T.Spacing)
+      .u32(T.KeyInterval)
+      .u32(T.Evictions)
+      .u32(T.Restores)
+      .u64(T.PagesSaved)
+      .u64(T.PagesClean)
+      .u64(T.ReplayedInstrs);
+  send(W);
+}
+
+NubProcess::TimelineInfo NubProcess::timelineInfo() const {
+  TimelineInfo T;
+  T.Enabled = Recording;
+  T.CurIcount = M.Icount;
+  T.MaxIcount = MaxIcount;
+  T.OldestRestorable = Ckpts.empty() ? M.Icount : Ckpts.begin()->first;
+  T.Checkpoints = static_cast<uint32_t>(Ckpts.size());
+  for (const auto &E : Ckpts)
+    if (E.second.Key)
+      ++T.Keyframes;
+  T.Bytes = CkBytes;
+  T.Spacing = CkSpacing;
+  T.KeyInterval = CkKeyInterval;
+  T.Evictions = CkEvictions;
+  T.Restores = CkRestores;
+  T.PagesSaved = CkPagesSaved;
+  T.PagesClean = CkPagesClean;
+  T.ReplayedInstrs = ReplayedInstrs;
+  return T;
+}
+
 condbc::EvalEnv NubProcess::evalEnv(uint32_t Vfp) {
   condbc::EvalEnv Env;
   Env.ReadReg = [this](unsigned R) -> uint64_t {
@@ -476,6 +773,12 @@ void NubProcess::recordTrace(TraceDef &T, uint32_t Pc) {
   condbc::TraceRecord R;
   R.Id = T.Id;
   R.HitNo = ++T.Hits;
+  // Replayed hits (restore rewound T.Hits below the high-water mark, and
+  // determinism reproduces the same hit numbers) are counted but never
+  // re-collected: the ring already saw them once.
+  if (R.HitNo <= T.RecordedHits)
+    return;
+  T.RecordedHits = R.HitNo;
   R.Pc = Pc;
   R.Vfp = M.gpr(T.VfpReg) + T.Sites[Pc];
   R.RegMask = T.RegMask;
@@ -510,6 +813,7 @@ NubProcess::BreakAction NubProcess::breakAction(uint8_t Mode) {
     recordTrace(T, Pc);
     ++LocalResumes;
     M.Pc = Pc + T.PcAdvance;
+    ++M.Icount; // the skipped no-op retires (see doContinue)
     return BreakAction::Resume;
   }
   auto Cs = CondSite.find(Pc);
@@ -521,6 +825,7 @@ NubProcess::BreakAction NubProcess::breakAction(uint8_t Mode) {
     --C.Ignore;
     ++LocalResumes;
     M.Pc = Pc + C.PcAdvance;
+    ++M.Icount; // the skipped no-op retires (see doContinue)
     return BreakAction::Resume;
   }
   if (C.Bytecode.empty())
@@ -533,6 +838,7 @@ NubProcess::BreakAction NubProcess::breakAction(uint8_t Mode) {
   case condbc::EvalStatus::False:
     ++LocalResumes;
     M.Pc = Pc + C.PcAdvance;
+    ++M.Icount; // the skipped no-op retires (see doContinue)
     return BreakAction::Resume;
   case condbc::EvalStatus::Fail:
     break;
@@ -544,17 +850,55 @@ NubProcess::BreakAction NubProcess::breakAction(uint8_t Mode) {
 
 void NubProcess::doContinue(uint8_t Mode) {
   Md.restoreContext(M, CtxAddr);
+  // A restored pc off the stop instant means the debugger advanced it
+  // past a planted break word: the no-op underneath never executes, so
+  // it is credited here. This keeps the retired count a coordinate of
+  // the execution path — a replay that plants different break words
+  // (stepping temporaries, say) retires the same icounts the recorded
+  // run did, which is what lets reverse commands compare replayed stops
+  // against recorded ones at all.
+  if (M.Pc != StopPc)
+    ++M.Icount;
   Decision = StopHostDecides;
   uint32_t Resumes = 0;
+  // While recording, one logical run is chunked at checkpoint-spacing
+  // boundaries: each chunk ends exactly where a checkpoint belongs, the
+  // snapshot is taken, and the run resumes with the pipeline state intact
+  // — the chunking must be invisible to the program.
+  uint64_t Segment = 0; ///< instructions retired since the last (re)start
+  bool Fresh = true;
   for (;;) {
-    RunResult R = M.run(StepBudget);
+    uint64_t Chunk = StepBudget - Segment;
+    if (Recording && CkSpacing > 0)
+      Chunk = std::min(Chunk, CkSpacing - M.Icount % CkSpacing);
+    uint64_t Before = M.Icount;
+    RunResult R = M.run(Chunk, Fresh);
+    Fresh = false;
+    Segment += M.Icount - Before;
+    if (Recording) {
+      if (Before < MaxIcount)
+        ReplayedInstrs += std::min(M.Icount, MaxIcount) - Before;
+      MaxIcount = std::max(MaxIcount, M.Icount);
+    }
+    if (R.Kind == StopKind::Running && Segment < StepBudget) {
+      // A checkpoint boundary, not a stop. Snapshot only fresh territory:
+      // re-executing a replay below the newest checkpoint re-visits
+      // instants the store already holds.
+      if (Recording &&
+          (Ckpts.empty() || M.Icount > Ckpts.rbegin()->first))
+        takeCheckpoint();
+      continue;
+    }
     if (R.Kind == StopKind::Breakpoint) {
       switch (breakAction(Mode)) {
       case BreakAction::Resume:
         // Registers are live; no context round trip. The budget caps a
         // breakpoint in an infinite loop whose condition never fires.
-        if (++Resumes < LocalResumeBudget)
+        if (++Resumes < LocalResumeBudget) {
+          Segment = 0;
+          Fresh = true;
           continue;
+        }
         R = RunResult{StopKind::Running, 0};
         break;
       case BreakAction::Stop:
@@ -605,6 +949,7 @@ void NubProcess::handleEvent(RunResult R) {
   }
   Signo = NewSigno;
   SigCode = R.Value;
+  StopPc = M.Pc;
   Md.saveContext(M, CtxAddr, Signo, SigCode);
   St = State::Stopped;
   if (attached())

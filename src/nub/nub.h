@@ -100,6 +100,34 @@ public:
   /// drops rather than growing or blocking the target.
   uint32_t TraceBufMax = 64 * 1024;
 
+  /// Default retired-instruction gap between checkpoints: what a
+  /// SetCheckpointPolicy spacing of 0 (and an unset
+  /// LDB_CHECKPOINT_SPACING) means. Tuned by the E13 sweep: at 20000 a
+  /// reverse command on the 13,000-line workload replays well under a
+  /// tenth of what from-start re-execution costs, for a store a budget
+  /// can still keep in the low megabytes.
+  static constexpr uint64_t DefaultCheckpointSpacing = 20000;
+
+  /// The recording state a TimelineQuery reports (also readable
+  /// in-process by benches and tests).
+  struct TimelineInfo {
+    bool Enabled = false;
+    uint64_t CurIcount = 0;        ///< the machine's retired count now
+    uint64_t MaxIcount = 0;        ///< highest count ever recorded
+    uint64_t OldestRestorable = 0; ///< icount of the oldest keyframe
+    uint32_t Checkpoints = 0;
+    uint32_t Keyframes = 0;
+    uint64_t Bytes = 0; ///< checkpoint-store footprint
+    uint64_t Spacing = 0;
+    uint32_t KeyInterval = 0;
+    uint32_t Evictions = 0;
+    uint32_t Restores = 0;
+    uint64_t PagesSaved = 0;      ///< pages copied into checkpoints
+    uint64_t PagesClean = 0;      ///< pages skipped clean at checkpoints
+    uint64_t ReplayedInstrs = 0;  ///< instructions re-executed below MaxIcount
+  };
+  TimelineInfo timelineInfo() const;
+
 private:
   /// One nub-side breakpoint record: everything needed to count, ignore,
   /// and evaluate hits without the debugger (see protocol.h SetCondition).
@@ -120,8 +148,35 @@ private:
     uint32_t VfpReg = 0;
     uint32_t RegMask = 0;
     uint32_t Hits = 0;
+    /// High-water mark of hits whose records already entered the ring
+    /// (or were counted dropped). Deliberately *not* checkpointed:
+    /// replaying below it re-counts Hits but never re-collects records,
+    /// so a reverse through a drained ring cannot double-collect.
+    uint32_t RecordedHits = 0;
     std::vector<std::vector<uint8_t>> Exprs;
     std::map<uint32_t, uint32_t> Sites;  ///< site pc -> vfp offset
+  };
+
+  /// One snapshot on the recording timeline. A keyframe holds the whole
+  /// memory image; an incremental holds only the pages dirtied since the
+  /// checkpoint at PrevIcount, so restoring it means restoring its
+  /// keyframe and applying the incrementals between them in order.
+  struct Checkpoint {
+    uint64_t Icount = 0;
+    uint64_t PrevIcount = 0; ///< diff baseline (meaningless for keyframes)
+    bool Key = false;
+    uint32_t Pc = 0;
+    int ShadowReg = -1;
+    std::vector<uint32_t> Gpr;
+    std::vector<long double> Fpr;
+    uint64_t ConsoleLen = 0; ///< ConsoleOut is append-only; truncate here
+    std::map<uint32_t, std::vector<uint8_t>> Pages; ///< page index -> bytes
+    std::vector<uint8_t> FullMem;                   ///< keyframes only
+    /// Nub-side counters at the instant of the snapshot, reinstated on
+    /// restore so replayed hits re-count from the right base.
+    std::map<uint32_t, std::pair<uint32_t, uint32_t>> CondCounters;
+    std::map<uint32_t, uint32_t> TraceHitCounts;
+    uint64_t Bytes = 0; ///< store-budget accounting
   };
 
   /// What to do with a break trap after consulting the records.
@@ -139,6 +194,16 @@ private:
   void handleClearCondition(MsgReader &Msg);
   void handleSetTracepoint(MsgReader &Msg);
   void handleDrainTrace(MsgReader &Msg);
+  void handleSetCheckpointPolicy(MsgReader &Msg);
+  void handleSeek(MsgReader &Msg);
+  void handleTimelineQuery(MsgReader &Msg);
+  void takeCheckpoint();
+  void enforceCheckpointBudget();
+  /// Nearest checkpoint <= Target whose incremental chain is intact; the
+  /// first checkpoint (the enable-time keyframe, never evicted) when
+  /// Target precedes everything.
+  const Checkpoint *findRestorable(uint64_t Target) const;
+  bool restoreCheckpoint(const Checkpoint &C);
   void doContinue(uint8_t Mode = ContinueReportAll);
   BreakAction breakAction(uint8_t Mode);
   void recordTrace(TraceDef &T, uint32_t Pc);
@@ -156,6 +221,12 @@ private:
   uint32_t CtxAddr;
   int32_t Signo = 0;
   uint32_t SigCode = 0;
+  /// The machine pc at the instant the current stop's context was saved.
+  /// A resume whose restored pc differs means the debugger skipped the
+  /// planted break word at the stop site; the skipped no-op is credited
+  /// to the retired count so icount stays a property of the execution
+  /// path, not of what happens to be planted (see doContinue).
+  uint32_t StopPc = 0;
   /// Sequence number of the request being serviced; every send echoes it
   /// so the client can match replies out of order. Spontaneous messages
   /// (attach announcements) carry 0.
@@ -172,6 +243,26 @@ private:
   uint32_t CondEvals = 0;       ///< cumulative nub-side condition evals
   uint32_t LocalResumes = 0;    ///< cumulative nub-side local resumes
   uint8_t Decision = StopHostDecides; ///< how the last stop was decided
+
+  // Checkpointed recording (SetCheckpointPolicy / Seek / TimelineQuery).
+  bool Recording = false;
+  uint64_t CkSpacing =
+      DefaultCheckpointSpacing; ///< retired instructions between checkpoints
+  uint32_t CkKeyInterval = 8;  ///< every Nth checkpoint is a keyframe
+  uint64_t CkBudget = 0;       ///< store byte budget; 0 = unbounded
+  std::map<uint64_t, Checkpoint> Ckpts; ///< by icount: O(log n) seek
+  uint64_t CkBytes = 0;
+  uint32_t CkSinceKey = 0;
+  /// False until a checkpoint anchors the dirty-page baseline; a restore
+  /// clears it, forcing the next checkpoint to be a self-contained
+  /// keyframe (the dirty map no longer measures against the chain).
+  bool CkBaselineValid = false;
+  uint64_t MaxIcount = 0;
+  uint32_t CkEvictions = 0;
+  uint32_t CkRestores = 0;
+  uint64_t CkPagesSaved = 0;
+  uint64_t CkPagesClean = 0;
+  uint64_t ReplayedInstrs = 0;
 };
 
 } // namespace ldb::nub

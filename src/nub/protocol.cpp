@@ -62,6 +62,12 @@ const char *ldb::nub::msgKindName(MsgKind Kind) {
     return "SetTracepoint";
   case MsgKind::DrainTrace:
     return "DrainTrace";
+  case MsgKind::SetCheckpointPolicy:
+    return "SetCheckpointPolicy";
+  case MsgKind::Seek:
+    return "Seek";
+  case MsgKind::TimelineQuery:
+    return "TimelineQuery";
   case MsgKind::Welcome:
     return "Welcome";
   case MsgKind::Stopped:
@@ -82,6 +88,8 @@ const char *ldb::nub::msgKindName(MsgKind Kind) {
     return "Corrupt";
   case MsgKind::TraceReply:
     return "TraceReply";
+  case MsgKind::TimelineReply:
+    return "TimelineReply";
   }
   return "?";
 }

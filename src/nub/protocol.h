@@ -76,6 +76,23 @@ enum class MsgKind : uint8_t {
   /// Answered by TraceReply.
   DrainTrace,
 
+  /// Configures checkpointed recording: enable (u8), checkpoint spacing
+  /// in retired instructions (u64), keyframe interval in checkpoints
+  /// (u32), checkpoint-store byte budget (u64, 0 = unbounded). Ack'd.
+  /// Idempotent: enabling resets the store and takes a fresh keyframe of
+  /// the current state, so a retransmitted enable lands on the state the
+  /// first copy produced; disabling twice is a no-op.
+  SetCheckpointPolicy,
+  /// Restores the nearest restorable checkpoint at or below a target
+  /// retired-instruction count: target icount (u64). Answered by a
+  /// Stopped message (echoing this request's sequence) describing the
+  /// restored state. Idempotent: re-restoring the same checkpoint lands
+  /// on the same bytes.
+  Seek,
+  /// Reads the recording state; no payload. Answered by TimelineReply.
+  /// Pure read, trivially idempotent.
+  TimelineQuery,
+
   // Nub -> debugger.
   Welcome = 64,
   Stopped,
@@ -91,6 +108,13 @@ enum class MsgKind : uint8_t {
   /// reply (u32), then that many serialized trace records (see
   /// nub/condbc.h for the record layout).
   TraceReply,
+  /// Answer to TimelineQuery: enabled (u8), current icount (u64), max
+  /// recorded icount (u64), oldest restorable icount (u64), checkpoint
+  /// count (u32), keyframe count (u32), stored bytes (u64), spacing
+  /// (u64), keyframe interval (u32), evicted checkpoints (u32), restores
+  /// (u32), pages snapshotted (u64), pages skipped clean (u64), replayed
+  /// instructions (u64).
+  TimelineReply,
 };
 
 /// Largest payload a frame may declare; anything larger is malformed (or
@@ -144,7 +168,10 @@ enum StopDecision : uint8_t {
 /// evaluations (u32), cumulative nub local resumes (u32), entry count
 /// (u32), then per nub-managed breakpoint: id (u32), cumulative hits
 /// (u32), remaining ignore count (u32). A tail-less Stopped means
-/// StopHostDecides with no counters to sync.
+/// StopHostDecides with no counters to sync. A recording-aware nub
+/// appends one more field after the counter entries: the retired
+/// instruction count at the stop (u64). Absent on older nubs; parsed
+/// only when the tail has 8 bytes left.
 
 /// Simulated signal numbers carried in Stopped messages.
 enum Signal : int32_t {

@@ -49,6 +49,7 @@ bool Machine::storeInt(uint32_t Addr, unsigned Size, uint32_t Value) {
   if ((Size != 1 && Size != 2 && Size != 4) || !inRange(Addr, Size))
     return false;
   packInt(Value, Mem.data() + Addr, Size, Desc->Order);
+  markDirty(Addr, Size);
   return true;
 }
 
@@ -63,6 +64,7 @@ bool Machine::writeBytes(uint32_t Addr, unsigned Count, const uint8_t *In) {
   if (!inRange(Addr, Count))
     return false;
   std::memcpy(Mem.data() + Addr, In, Count);
+  markDirty(Addr, Count);
   return true;
 }
 
@@ -128,10 +130,12 @@ int32_t toInt32(long double V) {
 
 } // namespace
 
-RunResult Machine::run(uint64_t Budget) {
+RunResult Machine::run(uint64_t Budget, bool FreshPipeline) {
   // A stop drains the pipeline: the load shadow does not survive into a
-  // resumed run (by then the load has long completed).
-  ShadowReg = -1;
+  // resumed run (by then the load has long completed). A checkpoint-
+  // boundary continuation of the same logical run keeps it.
+  if (FreshPipeline)
+    ShadowReg = -1;
   while (Budget-- > 0) {
     RunResult R = step();
     if (R.Kind != StopKind::Running)
@@ -389,6 +393,7 @@ RunResult Machine::step() {
     switch (static_cast<Syscall>(In.Imm)) {
     case Syscall::Exit:
       Pc = NextPc;
+      ++Icount;
       return RunResult{StopKind::Exited, A};
     case Syscall::PutChar:
       ConsoleOut += static_cast<char>(A & 0xff);
@@ -441,5 +446,6 @@ RunResult Machine::step() {
   }
 
   Pc = NextPc;
+  ++Icount;
   return RunResult{StopKind::Running, 0};
 }

@@ -52,6 +52,12 @@ public:
 
   uint32_t Pc = 0;
 
+  /// Retired-instruction counter: incremented once per instruction that
+  /// completes (including the Sys Exit itself), never for breakpoints or
+  /// faults, where the Pc stays at the stopping instruction and nothing
+  /// retired. This is the time axis for checkpointed record/replay.
+  uint64_t Icount = 0;
+
   /// Console output accumulated by the Put* system calls.
   std::string ConsoleOut;
 
@@ -76,9 +82,57 @@ public:
   /// Running result means the budget ran out and run() may be called
   /// again. The Pc is left at the stopping instruction for breakpoints
   /// and faults, past it for exits.
-  RunResult run(uint64_t Budget);
+  RunResult run(uint64_t Budget) { return run(Budget, true); }
+
+  /// As run(), but with \p FreshPipeline false the load-delay shadow from
+  /// the previous run() survives into this one. Checkpoint-boundary
+  /// chunking needs this: splitting one continuous run at an arbitrary
+  /// instruction count must not quietly drain the zmips pipeline where
+  /// the unchunked run would have faulted.
+  RunResult run(uint64_t Budget, bool FreshPipeline);
+
+  //===--------------------------------------------------------------------===//
+  // Dirty-page write barrier (checkpointed record/replay). While enabled,
+  // every mutation of Mem — simulated stores and debugger writeBytes alike
+  // — marks its 4 KiB page, so an incremental checkpoint snapshots only
+  // pages touched since the barrier was last cleared.
+  //===--------------------------------------------------------------------===//
+
+  static constexpr uint32_t PageSize = 4096;
+
+  void setTrackDirty(bool Enabled) {
+    TrackDirty = Enabled;
+    if (Enabled && DirtyPages.size() != pageCount())
+      DirtyPages.assign(pageCount(), 0);
+  }
+  bool trackDirty() const { return TrackDirty; }
+  size_t pageCount() const { return (Mem.size() + PageSize - 1) / PageSize; }
+
+  /// One byte per page; nonzero means dirtied since the last clearDirty().
+  const std::vector<uint8_t> &dirtyPages() const { return DirtyPages; }
+  void clearDirty() {
+    if (TrackDirty)
+      DirtyPages.assign(pageCount(), 0);
+  }
+
+  /// Whole-memory snapshot access for checkpoint keyframes and restores.
+  const std::vector<uint8_t> &memBytes() const { return Mem; }
+  void setMemBytes(const std::vector<uint8_t> &Bytes) { Mem = Bytes; }
+
+  /// The load-delay shadow, exposed so a checkpoint taken between a load
+  /// and its delay slot restores the hazard along with the registers.
+  int shadowReg() const { return ShadowReg; }
+  void setShadowReg(int R) { ShadowReg = R; }
 
 private:
+  void markDirty(uint32_t Addr, unsigned Count) {
+    if (!TrackDirty || Count == 0)
+      return;
+    for (uint32_t P = Addr / PageSize, E = (Addr + Count - 1) / PageSize;
+         P <= E; ++P)
+      DirtyPages[P] = 1;
+  }
+
   bool inRange(uint32_t Addr, unsigned Size) const {
     return Addr <= Mem.size() && Size <= Mem.size() - Addr;
   }
@@ -89,6 +143,8 @@ private:
   std::vector<uint8_t> Mem;
   std::vector<uint32_t> Gpr;
   std::vector<long double> Fpr;
+  std::vector<uint8_t> DirtyPages;
+  bool TrackDirty = false;
 
   /// zmips load-delay modeling: the integer register written by the most
   /// recently executed load, or -1. Reading it in the very next

@@ -24,12 +24,12 @@ namespace {
 
 bool isRequest(unsigned Kind) {
   return Kind >= static_cast<unsigned>(MsgKind::Hello) &&
-         Kind <= static_cast<unsigned>(MsgKind::DrainTrace);
+         Kind <= static_cast<unsigned>(MsgKind::TimelineQuery);
 }
 
 bool isReply(unsigned Kind) {
   return Kind >= static_cast<unsigned>(MsgKind::Welcome) &&
-         Kind <= static_cast<unsigned>(MsgKind::TraceReply);
+         Kind <= static_cast<unsigned>(MsgKind::TimelineReply);
 }
 
 /// The kinds the client may retransmit on its own (a lost reply makes a
@@ -51,6 +51,12 @@ bool isIdempotent(unsigned Kind) {
   case MsgKind::ClearCondition:
   case MsgKind::SetTracepoint:
   case MsgKind::DrainTrace:
+  // The checkpoint kinds: re-enabling a policy resets the store onto the
+  // same keyframe, re-seeking restores the same checkpoint, and a
+  // timeline query reads without writing.
+  case MsgKind::SetCheckpointPolicy:
+  case MsgKind::Seek:
+  case MsgKind::TimelineQuery:
     return true;
   default:
     return false;
@@ -81,6 +87,12 @@ bool replyAnswers(unsigned Req, unsigned Reply) {
     return P == MsgKind::Stopped || P == MsgKind::Exited;
   case MsgKind::DrainTrace:
     return P == MsgKind::TraceReply;
+  case MsgKind::Seek:
+    // A seek lands on a restored stop; it can never answer as Exited
+    // (restoring revives the process).
+    return P == MsgKind::Stopped;
+  case MsgKind::TimelineQuery:
+    return P == MsgKind::TimelineReply;
   case MsgKind::Hello:
   case MsgKind::StoreInt:
   case MsgKind::StoreFloat:
@@ -88,6 +100,7 @@ bool replyAnswers(unsigned Req, unsigned Reply) {
   case MsgKind::SetCondition:
   case MsgKind::ClearCondition:
   case MsgKind::SetTracepoint:
+  case MsgKind::SetCheckpointPolicy:
   case MsgKind::Kill:
   case MsgKind::Detach:
     return P == MsgKind::Ack;

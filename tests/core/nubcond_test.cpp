@@ -347,6 +347,101 @@ TEST(Tracepoints, DumpAttributesRecordsToSourceSites) {
 }
 
 //===----------------------------------------------------------------------===//
+// Lifecycle: deleting or disconnecting clears planted nub records
+//===----------------------------------------------------------------------===//
+
+TEST(NubCondLifecycle, DeleteWhilePlantedIsCrossModeByteIdentical) {
+  // Delete a breakpoint whose condition lives in the nub, then keep
+  // debugging: the rest of the run — every stop, `info breakpoints` —
+  // must be byte-identical to the host-evaluated oracle. A stale nub
+  // record surviving the delete would silently auto-resume hits.
+  for (const TargetDesc *Desc : allTargets()) {
+    struct ModeRecord {
+      std::vector<std::string> Stops;
+      std::string InfoBreakpoints;
+      bool Exited = false;
+    } Rec[2];
+    for (int Mode = 0; Mode < 2; ++Mode) {
+      bool NubEval = Mode == 0;
+      Session S;
+      ASSERT_FALSE(S.start(*Desc, FibSource)) << Desc->Name;
+      S.T->setNubCondEnabled(NubEval);
+      Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+      ASSERT_TRUE(static_cast<bool>(Id)) << Desc->Name;
+      ASSERT_FALSE(
+          S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+      for (int K = 0; K < 2; ++K) {
+        ASSERT_FALSE(S.Debugger->continueToStop(*S.T)) << Desc->Name;
+        Rec[Mode].Stops.push_back(S.where());
+      }
+      if (NubEval)
+        ASSERT_TRUE(S.T->userBreakpoint(*Id)->NubManaged)
+            << Desc->Name << ": the scenario must really plant a record";
+      ASSERT_FALSE(S.T->deleteUserBreakpoint(*Id)) << Desc->Name;
+      Expected<int> Id2 = S.Debugger->addBreakAtLine(*S.T, "fib.c", 8);
+      ASSERT_TRUE(static_cast<bool>(Id2)) << Desc->Name;
+      for (int K = 0; K < 40 && !S.T->exited(); ++K) {
+        ASSERT_FALSE(S.Debugger->continueToStop(*S.T)) << Desc->Name;
+        if (!S.T->exited())
+          Rec[Mode].Stops.push_back(S.where());
+      }
+      Rec[Mode].Exited = S.T->exited();
+      CommandInterpreter Cli(*S.Debugger);
+      Cli.setCurrent(S.T);
+      Rec[Mode].InfoBreakpoints = Cli.execute("info breakpoints");
+    }
+    EXPECT_TRUE(Rec[0].Exited && Rec[1].Exited) << Desc->Name;
+    EXPECT_EQ(Rec[0].Stops, Rec[1].Stops) << Desc->Name;
+    EXPECT_EQ(Rec[0].InfoBreakpoints, Rec[1].InfoBreakpoints) << Desc->Name;
+    // Every remaining execution of line 8 stops — fib(6) makes 25 calls
+    // and 3 had already returned by the second visible stop — so the
+    // deleted condition is gone from the run, not just from the host's
+    // table.
+    EXPECT_EQ(Rec[0].Stops.size(), 2u + 22u) << Desc->Name;
+  }
+}
+
+TEST(NubCondLifecycle, DisconnectClearsPlantedNubRecords) {
+  // The nub outlives a detach and waits for the next debugger. Records
+  // the old debugger shipped must not survive to make decisions for the
+  // new one: a fresh unconditional breakpoint at the same site reports
+  // every hit.
+  const TargetDesc *Desc = targetByName("zmips");
+  Session S;
+  ASSERT_FALSE(S.start(*Desc, FibSource));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+  // First visible stop consumes hit 1 (the n == 1 leaf is reached
+  // first); the condition record is planted nub-side.
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->stopped());
+  ASSERT_TRUE(S.T->userBreakpoint(*Id)->NubManaged);
+  S.Debugger->disconnect("fib");
+
+  // A second debugger attaches to the preserved process and plants a
+  // plain breakpoint at the same line: all 12 remaining executions of
+  // line 4 must stop — none auto-resumed by a stale condition.
+  Ldb Second;
+  auto TOr = Second.connect(S.Host, "fib", S.C->PsSymtab, S.C->LoaderTable);
+  ASSERT_TRUE(static_cast<bool>(TOr)) << TOr.message();
+  Target *T2 = *TOr;
+  ASSERT_TRUE(T2->stopped());
+  Expected<int> Id2 = Second.addBreakAtLine(*T2, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id2)) << Id2.message();
+  int Stops = 0;
+  for (int K = 0; K < 40 && !T2->exited(); ++K) {
+    ASSERT_FALSE(Second.continueToStop(*T2));
+    if (!T2->exited())
+      ++Stops;
+  }
+  EXPECT_TRUE(T2->exited());
+  EXPECT_EQ(Stops, 12);
+  EXPECT_EQ(T2->userBreakpoint(*Id2)->HitCount, 12u);
+}
+
+//===----------------------------------------------------------------------===//
 // The E8 regression: rejected hits are served from the seeded stop window
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,479 @@
+//===- tests/core/reverse_test.cpp - record/replay and reverse execution --===//
+//
+// Part of the ldb reproduction of "A Retargetable Debugger" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpointed recording is an optimization over re-running from the
+/// start; it must never be visible in the bytes. Restoring a checkpoint
+/// and re-executing has to reproduce the recorded run exactly — machine
+/// state, console output, stop sequence, hit counters, `info
+/// breakpoints` — on every target, eager or deferred. Reverse commands
+/// are defined entirely in terms of that replay, so each must land on a
+/// stop the forward run really visited, with the counters it had then.
+/// Eviction under a byte budget degrades how far back a seek restores
+/// cheaply, never whether replay is exact. And a drained tracepoint ring
+/// must not collect the same hit twice just because the timeline ran
+/// through it again.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/cli.h"
+#include "core/debugger.h"
+#include "core/expreval.h"
+#include "lcc/driver.h"
+#include "nub/nub.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+using namespace ldb;
+using namespace ldb::core;
+using namespace ldb::lcc;
+using namespace ldb::target;
+
+namespace {
+
+//  1: int fib(int n) {
+//  2:   int r;
+//  3:   if (n < 2) {
+//  4:     r = 1;
+//  5:   } else {
+//  6:     r = fib(n - 1) + fib(n - 2);
+//  7:   }
+//  8:   return r;
+//  9: }
+// 10: int main() { ... v = fib(6); ... }
+const char *FibSource = "int fib(int n) {\n"
+                        "  int r;\n"
+                        "  if (n < 2) {\n"
+                        "    r = 1;\n"
+                        "  } else {\n"
+                        "    r = fib(n - 1) + fib(n - 2);\n"
+                        "  }\n"
+                        "  return r;\n"
+                        "}\n"
+                        "int main() {\n"
+                        "  int v;\n"
+                        "  v = fib(6);\n"
+                        "  return v;\n"
+                        "}\n";
+
+/// FNV-1a over everything a replayed instant must reproduce: memory
+/// (break words included — the seek sweep restores today's plants),
+/// registers, pc, retired count, and console output. Floats go through
+/// double so register padding never leaks into the hash.
+uint64_t machineDigest(const Machine &M) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    for (size_t K = 0; K < N; ++K) {
+      H ^= B[K];
+      H *= 1099511628211ull;
+    }
+  };
+  Mix(M.memBytes().data(), M.memBytes().size());
+  Mix(&M.Pc, sizeof M.Pc);
+  Mix(&M.Icount, sizeof M.Icount);
+  for (unsigned R = 0; R < M.desc().NumGpr; ++R) {
+    uint32_t V = M.gpr(R);
+    Mix(&V, sizeof V);
+  }
+  for (unsigned R = 0; R < M.desc().NumFpr; ++R) {
+    double V = static_cast<double>(M.fpr(R));
+    Mix(&V, sizeof V);
+  }
+  Mix(M.ConsoleOut.data(), M.ConsoleOut.size());
+  return H;
+}
+
+/// One connected debugging session over an in-process nub, with the nub
+/// process kept visible so tests can compare raw machine state.
+struct Session {
+  std::unique_ptr<Compilation> C;
+  nub::ProcessHost Host;
+  std::unique_ptr<Ldb> Debugger;
+  Target *T = nullptr;
+  nub::NubProcess *Proc = nullptr;
+  ExprSession Exprs;
+
+  Error start(const TargetDesc &Desc, const std::string &Source,
+              CompileOptions Options = CompileOptions()) {
+    auto COr = compileAndLink({{"fib.c", Source}}, Desc, Options);
+    if (!COr)
+      return COr.takeError();
+    C = COr.take();
+    Proc = &Host.createProcess("fib", Desc);
+    if (Error E = C->Img.loadInto(Proc->machine()))
+      return E;
+    Proc->enter(C->Img.Entry);
+    Debugger = std::make_unique<Ldb>();
+    auto TOr = Debugger->connect(Host, "fib", C->PsSymtab, C->LoaderTable);
+    if (!TOr)
+      return TOr.takeError();
+    T = *TOr;
+    return Error::success();
+  }
+
+  /// Turns recording on under a test-sized checkpoint policy, restoring
+  /// the environment before returning.
+  Error record(const char *Spacing, const char *KeyInt = nullptr,
+               const char *Budget = nullptr) {
+    setenv("LDB_CHECKPOINT_SPACING", Spacing, 1);
+    if (KeyInt)
+      setenv("LDB_CHECKPOINT_KEYINT", KeyInt, 1);
+    if (Budget)
+      setenv("LDB_CHECKPOINT_BUDGET", Budget, 1);
+    Error E = T->enableRecording();
+    unsetenv("LDB_CHECKPOINT_SPACING");
+    unsetenv("LDB_CHECKPOINT_KEYINT");
+    unsetenv("LDB_CHECKPOINT_BUDGET");
+    return E;
+  }
+
+  /// "proc:line" at the current stop (or "exited").
+  std::string where() {
+    if (T->exited())
+      return "exited";
+    Expected<uint32_t> Pc = T->ctxPc();
+    if (!Pc)
+      return "?";
+    Target::Scope S(*T);
+    Expected<symtab::StopSite> Site = symtab::stopForPc(*T, *Pc);
+    if (!Site)
+      return "?";
+    return Site->ProcName + ":" + std::to_string(Site->Line);
+  }
+
+  uint64_t digest() const { return machineDigest(Proc->machine()); }
+};
+
+/// Everything one recorded instant must reproduce when replayed.
+struct StopRec {
+  uint64_t Icount = 0;
+  uint32_t Pc = 0;
+  uint64_t Digest = 0;
+  std::string Where;
+};
+
+StopRec snap(Session &S) {
+  StopRec R;
+  R.Icount = S.T->stopIcount();
+  R.Pc = S.T->lastStop().Pc;
+  R.Digest = S.digest();
+  R.Where = S.where();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: checkpoint restore + re-execution is byte-identical to
+// the recorded forward run, on every target, eager and deferred
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayDeterminism, SeekAndReExecutionAreByteIdentical) {
+  for (const TargetDesc *Desc : allTargets())
+    for (bool Deferred : {false, true}) {
+      SCOPED_TRACE(std::string(Desc->Name) +
+                   (Deferred ? " deferred" : " eager"));
+      Session S;
+      CompileOptions Opt;
+      Opt.DeferredSymtab = Deferred;
+      ASSERT_FALSE(S.start(*Desc, FibSource, Opt));
+      ASSERT_FALSE(S.record("300"));
+      Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+      ASSERT_TRUE(static_cast<bool>(Id));
+
+      // Forward: every stop's instant, plus the exit instant.
+      std::vector<StopRec> Fwd;
+      for (int K = 0; K < 40 && !S.T->exited(); ++K) {
+        ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+        if (!S.T->exited())
+          Fwd.push_back(snap(S));
+      }
+      ASSERT_TRUE(S.T->exited());
+      ASSERT_EQ(Fwd.size(), 13u);
+      uint64_t ExitDigest = S.digest();
+      std::string ExitConsole = S.Proc->machine().ConsoleOut;
+
+      // Seek below a mid-run stop; replay must walk the recorded suffix
+      // stop for stop, bit for bit, through to the same exit.
+      ASSERT_FALSE(S.T->seekTo(Fwd[6].Icount));
+      uint64_t Landing = S.T->stopIcount();
+      EXPECT_LE(Landing, Fwd[6].Icount);
+      for (const StopRec &Want : Fwd) {
+        if (Want.Icount <= Landing)
+          continue;
+        ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+        ASSERT_TRUE(S.T->stopped());
+        StopRec Got = snap(S);
+        EXPECT_EQ(Got.Icount, Want.Icount);
+        EXPECT_EQ(Got.Pc, Want.Pc);
+        EXPECT_EQ(Got.Where, Want.Where);
+        EXPECT_EQ(Got.Digest, Want.Digest);
+      }
+      ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+      ASSERT_TRUE(S.T->exited());
+      EXPECT_EQ(S.digest(), ExitDigest);
+      EXPECT_EQ(S.Proc->machine().ConsoleOut, ExitConsole);
+      EXPECT_GE(S.T->execStats().Seeks, 1u);
+    }
+}
+
+TEST(ReplayDeterminism, SeekRevivesAnExitedProcess) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("z68k"), FibSource));
+  ASSERT_FALSE(S.record("300"));
+  uint64_t Start = S.T->stopIcount();
+  uint64_t StartDigest = S.digest();
+  for (int K = 0; K < 4 && !S.T->exited(); ++K)
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->exited());
+  // The history is still on the timeline: seeking to the beginning
+  // lands on the enable keyframe, bit for bit.
+  ASSERT_FALSE(S.T->seekTo(Start));
+  ASSERT_TRUE(S.T->stopped());
+  EXPECT_EQ(S.T->stopIcount(), Start);
+  EXPECT_EQ(S.digest(), StartDigest);
+}
+
+//===----------------------------------------------------------------------===//
+// Reverse commands land on stops the forward run really visited
+//===----------------------------------------------------------------------===//
+
+TEST(ReverseStep, RetracesForwardStepsExactly) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zmips"), FibSource));
+  ASSERT_FALSE(S.record("200"));
+  StopRec Start = snap(S);
+
+  std::vector<StopRec> Fwd;
+  for (int K = 0; K < 8; ++K) {
+    ASSERT_FALSE(exec::stepToNextStop(*S.T));
+    ASSERT_TRUE(S.T->stopped());
+    Fwd.push_back(snap(S));
+  }
+
+  // Walk back through every forward step, digests included.
+  for (int K = 6; K >= 0; --K) {
+    ASSERT_FALSE(exec::reverseStep(*S.T)) << "step back to " << K;
+    StopRec Got = snap(S);
+    EXPECT_EQ(Got.Icount, Fwd[K].Icount) << K;
+    EXPECT_EQ(Got.Pc, Fwd[K].Pc) << K;
+    EXPECT_EQ(Got.Digest, Fwd[K].Digest) << K;
+  }
+  // One more lands on the recording's first instant; another settles
+  // there (the floor), it does not error or wedge.
+  ASSERT_FALSE(exec::reverseStep(*S.T));
+  EXPECT_EQ(S.T->stopIcount(), Start.Icount);
+  EXPECT_EQ(S.digest(), Start.Digest);
+  ASSERT_FALSE(exec::reverseStep(*S.T));
+  EXPECT_EQ(S.T->stopIcount(), Start.Icount);
+  EXPECT_GE(S.T->execStats().Reverses, 9u);
+}
+
+TEST(ReverseNextAndFinish, RespectFrameBoundaries) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zmips"), FibSource));
+  ASSERT_FALSE(S.record("400"));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 13);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_EQ(S.where(), "main:13");
+  uint64_t AtReturn = S.T->stopIcount();
+
+  // reverse-step sinks into the call that just returned...
+  ASSERT_FALSE(exec::reverseStep(*S.T));
+  EXPECT_LT(S.T->stopIcount(), AtReturn);
+  EXPECT_EQ(S.where().substr(0, 4), "fib:") << S.where();
+
+  // ...and reverse-finish climbs back out to before fib was entered.
+  ASSERT_FALSE(exec::reverseFinish(*S.T));
+  EXPECT_EQ(S.where(), "main:12");
+  uint64_t AtCall = S.T->stopIcount();
+  EXPECT_LT(AtCall, AtReturn);
+
+  // From the return site again, reverse-next skips the whole call in
+  // one step: same landing as step-then-finish.
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_EQ(S.where(), "main:13");
+  ASSERT_FALSE(exec::reverseNext(*S.T));
+  EXPECT_EQ(S.where(), "main:12");
+  EXPECT_EQ(S.T->stopIcount(), AtCall);
+}
+
+TEST(ReverseContinue, ReplaysBreakpointStopsWithCountersRewound) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zsparc"), FibSource));
+  ASSERT_FALSE(S.record("300"));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  ASSERT_FALSE(
+      S.Debugger->setBreakpointCondition(*S.T, S.Exprs, *Id, "n == 1"));
+
+  CommandInterpreter Cli(*S.Debugger);
+  Cli.setCurrent(S.T);
+  struct VisibleStop {
+    StopRec At;
+    uint64_t Hits = 0;
+    std::string Info;
+  };
+  std::vector<VisibleStop> Fwd;
+  for (int K = 0; K < 6; ++K) {
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+    ASSERT_TRUE(S.T->stopped());
+    Fwd.push_back({snap(S), S.T->userBreakpoint(*Id)->HitCount,
+                   Cli.execute("info breakpoints")});
+  }
+
+  // Each reverse-continue is the previous visible stop — conditions and
+  // hit counts honored in reverse, `info breakpoints` byte-identical to
+  // what the user saw there the first time.
+  for (int K = 4; K >= 0; --K) {
+    ASSERT_FALSE(exec::reverseContinue(*S.T)) << "back to stop " << K;
+    StopRec Got = snap(S);
+    EXPECT_EQ(Got.Icount, Fwd[K].At.Icount) << K;
+    EXPECT_EQ(Got.Pc, Fwd[K].At.Pc) << K;
+    EXPECT_EQ(Got.Digest, Fwd[K].At.Digest) << K;
+    EXPECT_EQ(S.T->userBreakpoint(*Id)->HitCount, Fwd[K].Hits) << K;
+    EXPECT_EQ(Cli.execute("info breakpoints"), Fwd[K].Info) << K;
+  }
+
+  // And forward again: the future is replayed, not invented.
+  ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  StopRec Got = snap(S);
+  EXPECT_EQ(Got.Icount, Fwd[1].At.Icount);
+  EXPECT_EQ(Got.Digest, Fwd[1].At.Digest);
+  EXPECT_EQ(S.T->userBreakpoint(*Id)->HitCount, Fwd[1].Hits);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracepoints: the drained ring never collects a hit twice
+//===----------------------------------------------------------------------===//
+
+TEST(ReverseTrace, ReplayDoesNotDoubleCollectDrainedRecords) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zvax"), FibSource));
+  ASSERT_FALSE(S.record("300"));
+  uint64_t Start = S.T->stopIcount();
+  Expected<int> Id = exec::addTracepoint(*S.T, S.Exprs, "fib.c:4", {"n"});
+  ASSERT_TRUE(static_cast<bool>(Id)) << Id.message();
+  for (int K = 0; K < 4 && !S.T->exited(); ++K)
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->exited());
+  std::vector<nub::condbc::TraceRecord> Drained = S.T->traceLog();
+  ASSERT_EQ(Drained.size(), 13u);
+
+  // Rewind to the beginning and live the whole run again: the ring has
+  // already reported hits 1..13, so replay adds nothing.
+  ASSERT_FALSE(S.T->seekTo(Start));
+  for (int K = 0; K < 4 && !S.T->exited(); ++K)
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->exited());
+  const std::vector<nub::condbc::TraceRecord> &Log = S.T->traceLog();
+  ASSERT_EQ(Log.size(), 13u);
+  std::set<std::pair<uint32_t, uint64_t>> Seen;
+  for (size_t K = 0; K < Log.size(); ++K) {
+    EXPECT_EQ(Log[K].Id, Drained[K].Id);
+    EXPECT_EQ(Log[K].HitNo, Drained[K].HitNo);
+    EXPECT_EQ(Log[K].Values, Drained[K].Values);
+    EXPECT_TRUE(Seen.insert({Log[K].Id, Log[K].HitNo}).second)
+        << "hit " << Log[K].HitNo << " collected twice";
+  }
+  EXPECT_EQ(S.T->traceDropped(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Budget: eviction reclaims incrementals, keyframes keep replay exact
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointBudget, EvictionDegradesToKeyframesNotToWrongBytes) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("zmips"), FibSource));
+  // Tight spacing and a budget below the keyframe load: every
+  // incremental chain behind the newest keyframe gets evicted.
+  ASSERT_FALSE(S.record("100", "4", "1500000"));
+  Expected<int> Id = S.Debugger->addBreakAtLine(*S.T, "fib.c", 4);
+  ASSERT_TRUE(static_cast<bool>(Id));
+  std::vector<StopRec> Fwd;
+  for (int K = 0; K < 40 && !S.T->exited(); ++K) {
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+    if (!S.T->exited())
+      Fwd.push_back(snap(S));
+  }
+  ASSERT_TRUE(S.T->exited());
+  uint64_t ExitDigest = S.digest();
+
+  Expected<nub::TimelineInfo> TI = S.T->timeline();
+  ASSERT_TRUE(static_cast<bool>(TI)) << TI.message();
+  EXPECT_TRUE(TI->Enabled);
+  ASSERT_GE(TI->Checkpoints, 3u) << "fib(6) must outrun spacing 100";
+  EXPECT_GE(TI->Keyframes, 2u);
+  EXPECT_GE(TI->Evictions, 1u);
+  // Under pressure the store degenerates to the keyframe floor plus the
+  // live chain: every older incremental chain has been evicted.
+  EXPECT_LE(TI->Checkpoints, TI->Keyframes + TI->KeyInterval);
+
+  // A seek into the evicted span restores the nearest surviving
+  // keyframe below it — further back than asked, never wrong.
+  uint64_t Mid = Fwd[6].Icount;
+  ASSERT_FALSE(S.T->seekTo(Mid));
+  EXPECT_LE(S.T->stopIcount(), Mid);
+  for (const StopRec &Want : Fwd) {
+    if (Want.Icount <= S.T->stopIcount())
+      continue;
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+    ASSERT_TRUE(S.T->stopped());
+    EXPECT_EQ(S.T->stopIcount(), Want.Icount);
+    EXPECT_EQ(S.digest(), Want.Digest);
+    break; // one replayed stop proves the chain restored intact
+  }
+  for (int K = 0; K < 40 && !S.T->exited(); ++K)
+    ASSERT_FALSE(S.Debugger->continueToStop(*S.T));
+  ASSERT_TRUE(S.T->exited());
+  EXPECT_EQ(S.digest(), ExitDigest);
+}
+
+//===----------------------------------------------------------------------===//
+// The user surface: record, reverse-*, info timeline, stats
+//===----------------------------------------------------------------------===//
+
+TEST(ReverseCli, CommandsRoundTrip) {
+  Session S;
+  ASSERT_FALSE(S.start(*targetByName("z68k"), FibSource));
+  CommandInterpreter Cli(*S.Debugger);
+  Cli.setCurrent(S.T);
+
+  // Reverse without a recording is an error, not a crash.
+  EXPECT_NE(Cli.execute("reverse-step").find("error"), std::string::npos);
+
+  std::string On = Cli.execute("record");
+  EXPECT_NE(On.find("recording from instruction"), std::string::npos) << On;
+  EXPECT_NE(Cli.execute("break fib.c:4").find("breakpoint 1"),
+            std::string::npos);
+  EXPECT_NE(Cli.execute("continue").find("fib.c"), std::string::npos);
+  std::string Before = Cli.execute("continue");
+  uint64_t Here = S.T->stopIcount();
+
+  std::string Back = Cli.execute("reverse-continue");
+  EXPECT_NE(Back.find("fib.c"), std::string::npos) << Back;
+  EXPECT_LT(S.T->stopIcount(), Here);
+
+  std::string Info = Cli.execute("info timeline");
+  EXPECT_NE(Info.find("recording:      on"), std::string::npos) << Info;
+  EXPECT_NE(Info.find("checkpoints:"), std::string::npos) << Info;
+  EXPECT_NE(Info.find("replay:"), std::string::npos) << Info;
+
+  std::string Stats = Cli.execute("stats");
+  EXPECT_NE(Stats.find("timeline:"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("reverse command"), std::string::npos) << Stats;
+
+  EXPECT_NE(Cli.execute("record off").find("recording off"),
+            std::string::npos);
+  EXPECT_NE(Cli.execute("rs").find("error"), std::string::npos);
+}
+
+} // namespace

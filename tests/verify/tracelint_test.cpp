@@ -382,4 +382,52 @@ TEST(TraceLint, SetConditionWhileTargetRunsIsCaught) {
   EXPECT_TRUE(mentions(R, "no host-visible frames")) << R.str();
 }
 
+// Time-travel kinds: SetCheckpointPolicy=15 Seek=16 TimelineQuery=17;
+// TimelineReply=74.
+
+TEST(TraceLint, TimeTravelSessionIsClean) {
+  // The production shape: policy enabled and acked, a run recorded, a
+  // seek answered by the restored Stopped, the timeline inspected.
+  Report R = lint("F 1 a 15 1 21 aa aa 0 SetCheckpointPolicy\n"
+                  "F 1 b 69 1 0 aa aa 10 Ack\n"
+                  "F 1 a 6 2 1 aa aa 20 Continue\n"
+                  "F 1 b 65 2 40 aa aa 30 Stopped\n"
+                  "F 1 a 16 3 8 aa aa 40 Seek\n"
+                  "F 1 b 65 3 40 aa aa 50 Stopped\n"
+                  "F 1 a 17 4 0 aa aa 60 TimelineQuery\n"
+                  "F 1 b 74 4 77 aa aa 70 TimelineReply\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, TimeTravelRetransmitsAreIdempotent) {
+  // Re-restoring the same checkpoint lands on the same bytes, a policy
+  // re-enable resets to the state the first copy produced, and a
+  // timeline read is pure: timeout retransmits need no licensing fault.
+  Report R = lint("F 1 a 15 1 21 aa aa 0 SetCheckpointPolicy\n"
+                  "F 1 a 15 1 21 aa aa 10 SetCheckpointPolicy\n"
+                  "F 1 b 69 1 0 aa aa 20 Ack\n"
+                  "F 1 a 16 2 8 aa aa 30 Seek\n"
+                  "F 1 a 16 2 8 aa aa 40 Seek\n"
+                  "F 1 b 65 2 40 aa aa 50 Stopped\n"
+                  "F 1 a 17 3 0 aa aa 60 TimelineQuery\n"
+                  "F 1 a 17 3 0 aa aa 70 TimelineQuery\n"
+                  "F 1 b 74 3 77 aa aa 80 TimelineReply\n");
+  EXPECT_TRUE(R.clean()) << R.str();
+}
+
+TEST(TraceLint, SeekAnsweredByExitedIsCaught) {
+  // Restoring revives the process: a seek can never answer as Exited.
+  Report R = lint("F 1 a 16 1 8 aa aa 0 Seek\n"
+                  "F 1 b 66 1 4 aa aa 10 Exited\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "does not answer a Seek")) << R.str();
+}
+
+TEST(TraceLint, TimelineReplyAnsweringAFetchIsCaught) {
+  Report R = lint("F 1 a 2 1 0 aa aa 0 FetchInt\n"
+                  "F 1 b 74 1 77 aa aa 10 TimelineReply\n");
+  EXPECT_GE(R.errors(), 1u);
+  EXPECT_TRUE(mentions(R, "does not answer a FetchInt")) << R.str();
+}
+
 } // namespace
